@@ -1,0 +1,114 @@
+//! Command-line assembler / disassembler for TPU programs.
+//!
+//! ```text
+//! tpu-asm asm <input.tpuasm> [-o out.bin]    assemble text to binary
+//! tpu-asm dis <input.bin> [--annotate]       disassemble binary to text
+//! tpu-asm check <input.tpuasm>               assemble and report statistics
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+use tpu_asm::{assemble, disassemble, disassemble_annotated};
+use tpu_core::isa::{Opcode, Program};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: tpu-asm asm <input.tpuasm> [-o out.bin]");
+    eprintln!("       tpu-asm dis <input.bin> [--annotate]");
+    eprintln!("       tpu-asm check <input.tpuasm>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else { return usage() };
+    let Some(input) = args.get(1) else { return usage() };
+
+    match cmd {
+        "asm" => {
+            let src = match fs::read_to_string(input) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("tpu-asm: cannot read {input}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let program = match assemble(&src) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{input}:{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let bytes = program.encode();
+            let out_path = match args.iter().position(|a| a == "-o") {
+                Some(i) => match args.get(i + 1) {
+                    Some(p) => p.clone(),
+                    None => return usage(),
+                },
+                None => format!("{input}.bin"),
+            };
+            if let Err(e) = fs::write(&out_path, &bytes) {
+                eprintln!("tpu-asm: cannot write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("{}: {} instructions, {} bytes", out_path, program.len(), bytes.len());
+            ExitCode::SUCCESS
+        }
+        "dis" => {
+            let bytes = match fs::read(input) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("tpu-asm: cannot read {input}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let program = match Program::decode(&bytes) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("tpu-asm: {input}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if args.iter().any(|a| a == "--annotate") {
+                print!("{}", disassemble_annotated(&program));
+            } else {
+                print!("{}", disassemble(&program));
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let src = match fs::read_to_string(input) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("tpu-asm: cannot read {input}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let program = match assemble(&src) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{input}:{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("instructions: {}", program.len());
+            println!("encoded bytes: {}", program.encoded_bytes());
+            println!("halted: {}", program.is_halted());
+            for op in [
+                Opcode::ReadHostMemory,
+                Opcode::WriteHostMemory,
+                Opcode::ReadWeights,
+                Opcode::MatrixMultiply,
+                Opcode::Activate,
+                Opcode::Sync,
+            ] {
+                let n = program.count(op);
+                if n > 0 {
+                    println!("{op:?}: {n}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

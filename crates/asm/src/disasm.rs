@@ -1,0 +1,212 @@
+//! Disassembler: instructions -> canonical assembly text.
+//!
+//! The emitted text is the assembler's canonical form: addresses in hex,
+//! counts in decimal, flags only when set, `prec` only when not `int8`,
+//! `pool` only when pooling is requested. [`crate::assemble`] applied to the
+//! output reproduces the original program exactly (see the round-trip
+//! property test in `tests/roundtrip.rs`).
+
+use std::fmt::Write as _;
+use tpu_core::config::Precision;
+use tpu_core::isa::{ActivationFunction, Instruction, PoolOp, Program};
+
+/// Render one instruction in canonical assembly syntax (no newline).
+///
+/// # Examples
+///
+/// ```
+/// use tpu_asm::disassemble_instruction;
+/// use tpu_core::isa::Instruction;
+///
+/// let text = disassemble_instruction(&Instruction::ReadWeights { dram_addr: 0x40, tiles: 4 });
+/// assert_eq!(text, "read_weights dram=0x40, tiles=4");
+/// ```
+pub fn disassemble_instruction(inst: &Instruction) -> String {
+    let mut s = String::new();
+    match *inst {
+        Instruction::ReadHostMemory { host_addr, ub_addr, len } => {
+            write!(s, "read_host_memory host=0x{host_addr:x}, ub=0x{ub_addr:x}, len={len}")
+                .unwrap();
+        }
+        Instruction::WriteHostMemory { ub_addr, host_addr, len } => {
+            write!(s, "write_host_memory ub=0x{ub_addr:x}, host=0x{host_addr:x}, len={len}")
+                .unwrap();
+        }
+        Instruction::ReadWeights { dram_addr, tiles } => {
+            write!(s, "read_weights dram=0x{dram_addr:x}, tiles={tiles}").unwrap();
+        }
+        Instruction::MatrixMultiply { ub_addr, acc_addr, rows, accumulate, convolve, precision } => {
+            write!(s, "matmul ub=0x{ub_addr:x}, acc={acc_addr}, rows={rows}").unwrap();
+            if accumulate {
+                s.push_str(", accumulate");
+            }
+            if convolve {
+                s.push_str(", convolve");
+            }
+            match precision {
+                Precision::Int8 => {}
+                Precision::Mixed8x16 => s.push_str(", prec=mixed"),
+                Precision::Int16 => s.push_str(", prec=int16"),
+            }
+        }
+        Instruction::Activate { acc_addr, ub_addr, rows, func, pool } => {
+            write!(s, "activate acc={acc_addr}, ub=0x{ub_addr:x}, rows={rows}").unwrap();
+            match func {
+                ActivationFunction::Identity => {}
+                ActivationFunction::Relu => s.push_str(", func=relu"),
+                ActivationFunction::Sigmoid => s.push_str(", func=sigmoid"),
+                ActivationFunction::Tanh => s.push_str(", func=tanh"),
+            }
+            match pool {
+                PoolOp::None => {}
+                PoolOp::Max { window } => write!(s, ", pool=max:{window}").unwrap(),
+                PoolOp::Avg { window } => write!(s, ", pool=avg:{window}").unwrap(),
+            }
+        }
+        Instruction::Sync => s.push_str("sync"),
+        Instruction::Nop => s.push_str("nop"),
+        Instruction::Halt => s.push_str("halt"),
+        Instruction::SetConfig { key, value } => {
+            write!(s, "set_config key={key}, value={value}").unwrap();
+        }
+        Instruction::InterruptHost { code } => {
+            write!(s, "interrupt_host code={code}").unwrap();
+        }
+        Instruction::DebugTag { tag } => {
+            write!(s, "debug_tag tag=0x{tag:x}").unwrap();
+        }
+    }
+    s
+}
+
+/// Render a whole program, one instruction per line.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_asm::{assemble, disassemble};
+///
+/// let program = assemble("nop\nhalt\n")?;
+/// assert_eq!(disassemble(&program), "nop\nhalt\n");
+/// # Ok::<(), tpu_asm::AsmError>(())
+/// ```
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    for inst in program.instructions() {
+        out.push_str(&disassemble_instruction(inst));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a program with a byte-offset gutter, in `objdump` style.
+///
+/// Each line shows the byte offset of the instruction within the encoded
+/// stream, the hex encoding, and the canonical text:
+///
+/// ```text
+/// 0000: 04 00 00 00 00 01 00 00 c8 00 00 00   matmul ub=0x0, acc=0, rows=200
+/// ```
+pub fn disassemble_annotated(program: &Program) -> String {
+    let mut out = String::new();
+    let mut offset = 0usize;
+    for inst in program.instructions() {
+        let bytes = inst.encode();
+        let hex: Vec<String> = bytes.iter().map(|b| format!("{b:02x}")).collect();
+        // Widest encoding is 16 bytes -> 47 characters of hex text.
+        writeln!(
+            out,
+            "{offset:04x}: {:<47} {}",
+            hex.join(" "),
+            disassemble_instruction(inst)
+        )
+        .unwrap();
+        offset += bytes.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_forms() {
+        let cases: Vec<(Instruction, &str)> = vec![
+            (
+                Instruction::ReadHostMemory { host_addr: 0x1000, ub_addr: 0, len: 512 },
+                "read_host_memory host=0x1000, ub=0x0, len=512",
+            ),
+            (
+                Instruction::WriteHostMemory { ub_addr: 0x8000, host_addr: 0x2000, len: 200 },
+                "write_host_memory ub=0x8000, host=0x2000, len=200",
+            ),
+            (
+                Instruction::ReadWeights { dram_addr: 0, tiles: 4 },
+                "read_weights dram=0x0, tiles=4",
+            ),
+            (
+                Instruction::MatrixMultiply {
+                    ub_addr: 0,
+                    acc_addr: 0,
+                    rows: 200,
+                    accumulate: false,
+                    convolve: false,
+                    precision: Precision::Int8,
+                },
+                "matmul ub=0x0, acc=0, rows=200",
+            ),
+            (
+                Instruction::MatrixMultiply {
+                    ub_addr: 0x100,
+                    acc_addr: 3,
+                    rows: 8,
+                    accumulate: true,
+                    convolve: true,
+                    precision: Precision::Mixed8x16,
+                },
+                "matmul ub=0x100, acc=3, rows=8, accumulate, convolve, prec=mixed",
+            ),
+            (
+                Instruction::Activate {
+                    acc_addr: 0,
+                    ub_addr: 0x4000,
+                    rows: 200,
+                    func: ActivationFunction::Relu,
+                    pool: PoolOp::None,
+                },
+                "activate acc=0, ub=0x4000, rows=200, func=relu",
+            ),
+            (
+                Instruction::Activate {
+                    acc_addr: 1,
+                    ub_addr: 0,
+                    rows: 4,
+                    func: ActivationFunction::Identity,
+                    pool: PoolOp::Avg { window: 2 },
+                },
+                "activate acc=1, ub=0x0, rows=4, pool=avg:2",
+            ),
+            (Instruction::Sync, "sync"),
+            (Instruction::Nop, "nop"),
+            (Instruction::Halt, "halt"),
+            (Instruction::SetConfig { key: 1, value: 7 }, "set_config key=1, value=7"),
+            (Instruction::InterruptHost { code: 2 }, "interrupt_host code=2"),
+            (Instruction::DebugTag { tag: 0xdead }, "debug_tag tag=0xdead"),
+        ];
+        for (inst, expected) in cases {
+            assert_eq!(disassemble_instruction(&inst), expected);
+        }
+    }
+
+    #[test]
+    fn annotated_output_contains_offsets_and_hex() {
+        let mut p = Program::new();
+        p.push(Instruction::Nop);
+        p.push(Instruction::Halt);
+        let text = disassemble_annotated(&p);
+        assert!(text.starts_with("0000: 07 00 00 00"));
+        assert!(text.contains("0004: 08 00 00 00"));
+        assert!(text.contains("halt"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Assembler error type with source locations.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// A half-open location in the assembly source, 1-based.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_asm::Span;
+///
+/// let span = Span::new(3, 7);
+/// assert_eq!(span.to_string(), "3:7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// Create a span at `line:col` (both 1-based).
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Error raised while assembling TPU assembly text.
+///
+/// Every variant carries the [`Span`] of the offending token so tooling can
+/// point at the exact location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A character that cannot begin any token.
+    UnexpectedChar {
+        /// The offending character.
+        ch: char,
+        /// Where it appeared.
+        span: Span,
+    },
+    /// A numeric literal that does not parse or overflows its field.
+    BadNumber {
+        /// The literal text as written.
+        text: String,
+        /// Where it appeared.
+        span: Span,
+    },
+    /// A mnemonic that names no TPU instruction or directive.
+    UnknownMnemonic {
+        /// The word as written.
+        name: String,
+        /// Where it appeared.
+        span: Span,
+    },
+    /// An operand keyword the instruction does not accept.
+    UnknownOperand {
+        /// The operand keyword as written.
+        name: String,
+        /// The instruction mnemonic being parsed.
+        mnemonic: &'static str,
+        /// Where it appeared.
+        span: Span,
+    },
+    /// A required operand that was not supplied.
+    MissingOperand {
+        /// The operand keyword that is required.
+        name: &'static str,
+        /// The instruction mnemonic being parsed.
+        mnemonic: &'static str,
+        /// Location of the instruction.
+        span: Span,
+    },
+    /// The same operand given twice.
+    DuplicateOperand {
+        /// The operand keyword.
+        name: String,
+        /// Where the second occurrence appeared.
+        span: Span,
+    },
+    /// An operand value outside its encodable range.
+    ValueOutOfRange {
+        /// The operand keyword.
+        name: String,
+        /// The value as written.
+        value: u64,
+        /// Largest encodable value for the field.
+        max: u64,
+        /// Where it appeared.
+        span: Span,
+    },
+    /// An enumerated operand (activation function, pool kind, precision)
+    /// with an unrecognised value.
+    BadEnumValue {
+        /// The operand keyword.
+        name: &'static str,
+        /// The value as written.
+        value: String,
+        /// Acceptable spellings.
+        expected: &'static str,
+        /// Where it appeared.
+        span: Span,
+    },
+    /// A token other than the one the grammar requires.
+    ExpectedToken {
+        /// Human description of what was required.
+        expected: &'static str,
+        /// What was found instead.
+        found: String,
+        /// Where it appeared.
+        span: Span,
+    },
+    /// A `.def` name used before being defined.
+    UndefinedSymbol {
+        /// The symbol as written.
+        name: String,
+        /// Where it appeared.
+        span: Span,
+    },
+    /// A `.def` name defined twice.
+    RedefinedSymbol {
+        /// The symbol as written.
+        name: String,
+        /// Where the second definition appeared.
+        span: Span,
+    },
+    /// `.repeat` without a matching `.end`.
+    UnterminatedRepeat {
+        /// Location of the `.repeat`.
+        span: Span,
+    },
+    /// `.end` without a matching `.repeat`.
+    UnmatchedEnd {
+        /// Location of the `.end`.
+        span: Span,
+    },
+    /// `.repeat` nesting deeper than the assembler supports.
+    RepeatTooDeep {
+        /// Location of the offending `.repeat`.
+        span: Span,
+        /// Maximum supported nesting depth.
+        max_depth: usize,
+    },
+    /// The expanded program exceeds the assembler's instruction budget
+    /// (guards against `.repeat` bombs).
+    ProgramTooLarge {
+        /// Number of instructions the expansion would produce.
+        instructions: usize,
+        /// The configured ceiling.
+        limit: usize,
+    },
+}
+
+impl AsmError {
+    /// The source location of the error, if it has one.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            AsmError::UnexpectedChar { span, .. }
+            | AsmError::BadNumber { span, .. }
+            | AsmError::UnknownMnemonic { span, .. }
+            | AsmError::UnknownOperand { span, .. }
+            | AsmError::MissingOperand { span, .. }
+            | AsmError::DuplicateOperand { span, .. }
+            | AsmError::ValueOutOfRange { span, .. }
+            | AsmError::BadEnumValue { span, .. }
+            | AsmError::ExpectedToken { span, .. }
+            | AsmError::UndefinedSymbol { span, .. }
+            | AsmError::RedefinedSymbol { span, .. }
+            | AsmError::UnterminatedRepeat { span }
+            | AsmError::UnmatchedEnd { span }
+            | AsmError::RepeatTooDeep { span, .. } => Some(*span),
+            AsmError::ProgramTooLarge { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnexpectedChar { ch, span } => {
+                write!(f, "{span}: unexpected character {ch:?}")
+            }
+            AsmError::BadNumber { text, span } => {
+                write!(f, "{span}: invalid numeric literal `{text}`")
+            }
+            AsmError::UnknownMnemonic { name, span } => {
+                write!(f, "{span}: unknown mnemonic `{name}`")
+            }
+            AsmError::UnknownOperand { name, mnemonic, span } => {
+                write!(f, "{span}: `{mnemonic}` takes no operand `{name}`")
+            }
+            AsmError::MissingOperand { name, mnemonic, span } => {
+                write!(f, "{span}: `{mnemonic}` requires operand `{name}`")
+            }
+            AsmError::DuplicateOperand { name, span } => {
+                write!(f, "{span}: operand `{name}` given more than once")
+            }
+            AsmError::ValueOutOfRange { name, value, max, span } => {
+                write!(f, "{span}: operand `{name}` value {value} exceeds maximum {max}")
+            }
+            AsmError::BadEnumValue { name, value, expected, span } => {
+                write!(f, "{span}: operand `{name}` value `{value}` is not one of {expected}")
+            }
+            AsmError::ExpectedToken { expected, found, span } => {
+                write!(f, "{span}: expected {expected}, found {found}")
+            }
+            AsmError::UndefinedSymbol { name, span } => {
+                write!(f, "{span}: undefined symbol `{name}`")
+            }
+            AsmError::RedefinedSymbol { name, span } => {
+                write!(f, "{span}: symbol `{name}` is already defined")
+            }
+            AsmError::UnterminatedRepeat { span } => {
+                write!(f, "{span}: `.repeat` is missing its matching `.end`")
+            }
+            AsmError::UnmatchedEnd { span } => {
+                write!(f, "{span}: `.end` has no matching `.repeat`")
+            }
+            AsmError::RepeatTooDeep { span, max_depth } => {
+                write!(f, "{span}: `.repeat` nesting exceeds the maximum depth of {max_depth}")
+            }
+            AsmError::ProgramTooLarge { instructions, limit } => {
+                write!(
+                    f,
+                    "expanded program would contain {instructions} instructions, over the limit of {limit}"
+                )
+            }
+        }
+    }
+}
+
+impl StdError for AsmError {}
+
+/// Result alias used throughout the assembler.
+pub type Result<T> = std::result::Result<T, AsmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors: Vec<AsmError> = vec![
+            AsmError::UnexpectedChar { ch: '!', span: Span::new(1, 2) },
+            AsmError::BadNumber { text: "0xzz".into(), span: Span::new(2, 3) },
+            AsmError::UnknownMnemonic { name: "frobnicate".into(), span: Span::new(1, 1) },
+            AsmError::UnknownOperand {
+                name: "foo".into(),
+                mnemonic: "matmul",
+                span: Span::new(4, 8),
+            },
+            AsmError::MissingOperand { name: "rows", mnemonic: "matmul", span: Span::new(4, 1) },
+            AsmError::DuplicateOperand { name: "ub".into(), span: Span::new(4, 20) },
+            AsmError::ValueOutOfRange {
+                name: "acc".into(),
+                value: 70_000,
+                max: 65_535,
+                span: Span::new(5, 9),
+            },
+            AsmError::BadEnumValue {
+                name: "func",
+                value: "gelu".into(),
+                expected: "identity|relu|sigmoid|tanh",
+                span: Span::new(6, 14),
+            },
+            AsmError::ExpectedToken {
+                expected: "`=`",
+                found: "`,`".into(),
+                span: Span::new(7, 3),
+            },
+            AsmError::UndefinedSymbol { name: "N".into(), span: Span::new(8, 2) },
+            AsmError::RedefinedSymbol { name: "N".into(), span: Span::new(9, 2) },
+            AsmError::UnterminatedRepeat { span: Span::new(10, 1) },
+            AsmError::UnmatchedEnd { span: Span::new(11, 1) },
+            AsmError::RepeatTooDeep { span: Span::new(12, 1), max_depth: 16 },
+            AsmError::ProgramTooLarge { instructions: 1_000_000, limit: 65_536 },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            // Messages after the span prefix start lowercase per C-GOOD-ERR.
+            let body = msg.split_once(": ").map_or(msg.as_str(), |(_, b)| b);
+            assert!(
+                body.chars().next().unwrap().is_lowercase() || body.starts_with('`'),
+                "message not lowercase: {body}"
+            );
+        }
+    }
+
+    #[test]
+    fn span_accessor_matches_variant() {
+        let e = AsmError::UnmatchedEnd { span: Span::new(3, 4) };
+        assert_eq!(e.span(), Some(Span::new(3, 4)));
+        let e = AsmError::ProgramTooLarge { instructions: 10, limit: 5 };
+        assert_eq!(e.span(), None);
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AsmError>();
+    }
+}

@@ -1,0 +1,191 @@
+//! Textual assembler and disassembler for the TPU CISC instruction set.
+//!
+//! The TPU of Jouppi et al. (ISCA 2017) executes a ~dozen-instruction CISC
+//! ISA streamed from the host over PCIe. This crate provides a small
+//! assembly language for that ISA so programs can be written, inspected and
+//! round-tripped as text instead of raw [`tpu_core::isa::Instruction`]
+//! values. It is the tooling layer a real deployment would keep next to the
+//! driver for debugging instruction streams.
+//!
+//! # Syntax
+//!
+//! One instruction per line; operands are `key=value` pairs separated by
+//! optional commas; bare keywords are flags; `;` and `#` start comments.
+//! Numbers are decimal or `0x` hex, with `_` separators allowed.
+//!
+//! ```text
+//! .def BATCH = 200                       ; named constants
+//! read_host_memory host=0x1000, ub=0x0, len=51_200
+//! read_weights dram=0x0, tiles=4
+//! .repeat 5                              ; CISC-style repetition
+//! matmul ub=0x0, acc=0, rows=BATCH, accumulate
+//! .end
+//! activate acc=0, ub=0xc800, rows=BATCH, func=relu
+//! write_host_memory ub=0xc800, host=0x2000, len=51_200
+//! halt
+//! ```
+//!
+//! # Examples
+//!
+//! Assemble, inspect, and round-trip a program:
+//!
+//! ```
+//! use tpu_asm::{assemble, disassemble};
+//! use tpu_core::isa::Opcode;
+//!
+//! let program = assemble("
+//!     read_weights dram=0x0, tiles=1
+//!     matmul ub=0x0, acc=0, rows=8
+//!     activate acc=0, ub=0x800, rows=8, func=relu
+//!     halt
+//! ")?;
+//! assert_eq!(program.count(Opcode::MatrixMultiply), 1);
+//! let text = disassemble(&program);
+//! assert_eq!(assemble(&text)?, program);
+//! # Ok::<(), tpu_asm::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod disasm;
+pub mod error;
+pub mod parse;
+pub mod token;
+
+pub use disasm::{disassemble, disassemble_annotated, disassemble_instruction};
+pub use error::{AsmError, Result, Span};
+
+use tpu_core::isa::Program;
+
+/// Assemble TPU assembly text into a [`Program`].
+///
+/// Uses the default expansion ceiling of
+/// [`parse::DEFAULT_MAX_INSTRUCTIONS`]; use [`Assembler`] to configure it.
+///
+/// # Errors
+///
+/// Any [`AsmError`]: lexical errors, unknown mnemonics or operands, values
+/// out of field range, malformed directives, or a `.repeat` expansion larger
+/// than the instruction ceiling.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_asm::assemble;
+///
+/// let program = assemble("nop\nhalt\n")?;
+/// assert_eq!(program.len(), 2);
+/// assert!(program.is_halted());
+/// # Ok::<(), tpu_asm::AsmError>(())
+/// ```
+pub fn assemble(src: &str) -> Result<Program> {
+    Assembler::new().assemble(src)
+}
+
+/// Configurable assembler front end.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_asm::Assembler;
+///
+/// let asm = Assembler::new().max_instructions(8);
+/// assert!(asm.assemble(".repeat 100\nnop\n.end\n").is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    max_instructions: usize,
+}
+
+impl Assembler {
+    /// An assembler with the default instruction ceiling.
+    pub fn new() -> Self {
+        Assembler { max_instructions: parse::DEFAULT_MAX_INSTRUCTIONS }
+    }
+
+    /// Set the maximum number of instructions a source may expand to.
+    ///
+    /// Guards against `.repeat` bombs when assembling untrusted text.
+    pub fn max_instructions(mut self, limit: usize) -> Self {
+        self.max_instructions = limit;
+        self
+    }
+
+    /// Assemble source text into a [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// See [`assemble`].
+    pub fn assemble(&self, src: &str) -> Result<Program> {
+        let tokens = token::tokenize(src)?;
+        let instructions =
+            parse::Parser::new(&tokens, self.max_instructions).parse_program()?;
+        let mut program = Program::new();
+        for inst in instructions {
+            program.push(inst);
+        }
+        Ok(program)
+    }
+}
+
+impl Default for Assembler {
+    fn default() -> Self {
+        Assembler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_core::isa::{Instruction, Opcode};
+
+    #[test]
+    fn assemble_then_encode_round_trips_through_bytes() {
+        let program = assemble(
+            "read_weights dram=0x0, tiles=2\nmatmul ub=0x0, acc=0, rows=16\nhalt\n",
+        )
+        .unwrap();
+        let bytes = program.encode();
+        let decoded = Program::decode(&bytes).unwrap();
+        assert_eq!(decoded, program);
+    }
+
+    #[test]
+    fn assembler_limit_is_enforced() {
+        let asm = Assembler::new().max_instructions(4);
+        assert!(asm.assemble("nop\nnop\nnop\nnop\n").is_ok());
+        let err = asm.assemble("nop\nnop\nnop\nnop\nnop\n").unwrap_err();
+        assert!(matches!(err, AsmError::ProgramTooLarge { limit: 4, .. }));
+    }
+
+    #[test]
+    fn default_assembler_matches_new() {
+        let a = Assembler::default();
+        let b = Assembler::new();
+        assert_eq!(a.max_instructions, b.max_instructions);
+    }
+
+    #[test]
+    fn doc_example_program_shape() {
+        let program = assemble(
+            "
+            .def BATCH = 200
+            read_host_memory host=0x1000, ub=0x0, len=51_200
+            read_weights dram=0x0, tiles=4
+            .repeat 5
+            matmul ub=0x0, acc=0, rows=BATCH, accumulate
+            .end
+            activate acc=0, ub=0xc800, rows=BATCH, func=relu
+            write_host_memory ub=0xc800, host=0x2000, len=51_200
+            halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(program.count(Opcode::MatrixMultiply), 5);
+        assert!(matches!(
+            program.instructions()[2],
+            Instruction::MatrixMultiply { rows: 200, accumulate: true, .. }
+        ));
+        assert!(program.is_halted());
+    }
+}

@@ -1,0 +1,807 @@
+//! Parser: token stream -> instructions, with `.def` and `.repeat` support.
+//!
+//! The TPU has no control flow — the host streams a finite instruction
+//! sequence over PCIe — so the surface language has no labels or branches.
+//! Two directives make hand-written programs tractable:
+//!
+//! - `.def NAME = VALUE` binds a numeric constant usable in any operand.
+//! - `.repeat N` ... `.end` expands its body `N` times, mirroring the CISC
+//!   repeat-field tradition the paper mentions.
+
+use crate::error::{AsmError, Result, Span};
+use crate::token::{Token, TokenKind};
+use std::collections::HashMap;
+use tpu_core::config::Precision;
+use tpu_core::isa::{ActivationFunction, Instruction, PoolOp};
+
+/// Upper bound on `.repeat` nesting.
+pub const MAX_REPEAT_DEPTH: usize = 16;
+
+/// Default ceiling on the number of instructions one source may expand to.
+pub const DEFAULT_MAX_INSTRUCTIONS: usize = 1 << 20;
+
+const UB_ADDR_MAX: u64 = 0xFF_FFFF; // 24-bit Unified Buffer address field.
+
+/// Parser state over a token stream.
+pub(crate) struct Parser<'t> {
+    tokens: &'t [Token],
+    pos: usize,
+    symbols: HashMap<String, u64>,
+    max_instructions: usize,
+}
+
+impl<'t> Parser<'t> {
+    pub(crate) fn new(tokens: &'t [Token], max_instructions: usize) -> Self {
+        Parser { tokens, pos: 0, symbols: HashMap::new(), max_instructions }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_newline(&mut self) -> Result<()> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::Newline | TokenKind::Eof => Ok(()),
+            other => Err(AsmError::ExpectedToken {
+                expected: "end of line",
+                found: other.describe(),
+                span: t.span,
+            }),
+        }
+    }
+
+    fn skip_blank_lines(&mut self) {
+        while matches!(self.peek().kind, TokenKind::Newline) {
+            self.bump();
+        }
+    }
+
+    /// Parse the whole token stream into a flat instruction vector.
+    pub(crate) fn parse_program(&mut self) -> Result<Vec<Instruction>> {
+        let mut out = Vec::new();
+        self.parse_block(&mut out, 0, /*inside_repeat=*/ false)?;
+        Ok(out)
+    }
+
+    /// Parse statements until EOF (top level) or `.end` (inside `.repeat`).
+    fn parse_block(
+        &mut self,
+        out: &mut Vec<Instruction>,
+        depth: usize,
+        inside_repeat: bool,
+    ) -> Result<()> {
+        loop {
+            self.skip_blank_lines();
+            let t = self.peek().clone();
+            match t.kind {
+                TokenKind::Eof => {
+                    if inside_repeat {
+                        return Err(AsmError::UnterminatedRepeat { span: t.span });
+                    }
+                    return Ok(());
+                }
+                TokenKind::Directive(ref d) if d == "end" => {
+                    if !inside_repeat {
+                        return Err(AsmError::UnmatchedEnd { span: t.span });
+                    }
+                    self.bump();
+                    self.expect_newline()?;
+                    return Ok(());
+                }
+                TokenKind::Directive(ref d) if d == "def" => {
+                    self.bump();
+                    self.parse_def()?;
+                }
+                TokenKind::Directive(ref d) if d == "repeat" => {
+                    self.bump();
+                    if depth + 1 > MAX_REPEAT_DEPTH {
+                        return Err(AsmError::RepeatTooDeep {
+                            span: t.span,
+                            max_depth: MAX_REPEAT_DEPTH,
+                        });
+                    }
+                    let count = self.parse_value()?;
+                    self.expect_newline()?;
+                    let mut body = Vec::new();
+                    self.parse_block(&mut body, depth + 1, true)?;
+                    let total = out
+                        .len()
+                        .saturating_add(body.len().saturating_mul(count.0 as usize));
+                    if total > self.max_instructions {
+                        return Err(AsmError::ProgramTooLarge {
+                            instructions: total,
+                            limit: self.max_instructions,
+                        });
+                    }
+                    for _ in 0..count.0 {
+                        out.extend(body.iter().cloned());
+                    }
+                }
+                TokenKind::Directive(ref d) => {
+                    return Err(AsmError::UnknownMnemonic { name: format!(".{d}"), span: t.span })
+                }
+                TokenKind::Ident(_) => {
+                    let inst = self.parse_instruction()?;
+                    if out.len() + 1 > self.max_instructions {
+                        return Err(AsmError::ProgramTooLarge {
+                            instructions: out.len() + 1,
+                            limit: self.max_instructions,
+                        });
+                    }
+                    out.push(inst);
+                }
+                other => {
+                    return Err(AsmError::ExpectedToken {
+                        expected: "a mnemonic or directive",
+                        found: other.describe(),
+                        span: t.span,
+                    })
+                }
+            }
+        }
+    }
+
+    fn parse_def(&mut self) -> Result<()> {
+        let t = self.bump();
+        let TokenKind::Ident(name) = t.kind else {
+            return Err(AsmError::ExpectedToken {
+                expected: "a symbol name",
+                found: t.kind.describe(),
+                span: t.span,
+            });
+        };
+        let eq = self.bump();
+        if !matches!(eq.kind, TokenKind::Equals) {
+            return Err(AsmError::ExpectedToken {
+                expected: "`=`",
+                found: eq.kind.describe(),
+                span: eq.span,
+            });
+        }
+        let (value, _) = self.parse_value()?;
+        if self.symbols.insert(name.clone(), value).is_some() {
+            return Err(AsmError::RedefinedSymbol { name, span: t.span });
+        }
+        self.expect_newline()
+    }
+
+    /// A numeric value: a literal or a `.def` symbol. Returns (value, span).
+    fn parse_value(&mut self) -> Result<(u64, Span)> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::Number(n) => Ok((n, t.span)),
+            TokenKind::Ident(name) => match self.symbols.get(&name) {
+                Some(&v) => Ok((v, t.span)),
+                None => Err(AsmError::UndefinedSymbol { name, span: t.span }),
+            },
+            other => Err(AsmError::ExpectedToken {
+                expected: "a number or symbol",
+                found: other.describe(),
+                span: t.span,
+            }),
+        }
+    }
+
+    fn parse_instruction(&mut self) -> Result<Instruction> {
+        let t = self.bump();
+        let TokenKind::Ident(name) = t.kind else { unreachable!("caller checked Ident") };
+        let span = t.span;
+        match name.as_str() {
+            "read_host_memory" | "rhm" => self.parse_read_host_memory(span),
+            "write_host_memory" | "whm" => self.parse_write_host_memory(span),
+            "read_weights" | "rw" => self.parse_read_weights(span),
+            "matmul" | "matrix_multiply" | "mm" => self.parse_matmul(span),
+            "activate" | "act" => self.parse_activate(span),
+            "sync" => {
+                self.expect_newline()?;
+                Ok(Instruction::Sync)
+            }
+            "nop" => {
+                self.expect_newline()?;
+                Ok(Instruction::Nop)
+            }
+            "halt" => {
+                self.expect_newline()?;
+                Ok(Instruction::Halt)
+            }
+            "set_config" => self.parse_set_config(span),
+            "interrupt_host" | "int" => self.parse_interrupt_host(span),
+            "debug_tag" | "dbg" => self.parse_debug_tag(span),
+            _ => Err(AsmError::UnknownMnemonic { name, span }),
+        }
+    }
+
+    /// Parse `key=value` / flag operands until end of line into a map.
+    fn parse_operands(&mut self, mnemonic: &'static str) -> Result<Operands> {
+        let mut ops = Operands { mnemonic, fields: Vec::new() };
+        loop {
+            let t = self.peek().clone();
+            match t.kind {
+                TokenKind::Newline | TokenKind::Eof => {
+                    self.bump();
+                    return Ok(ops);
+                }
+                TokenKind::Ident(ref key) => {
+                    let key = key.clone();
+                    self.bump();
+                    if ops.fields.iter().any(|f| f.key == key) {
+                        return Err(AsmError::DuplicateOperand { name: key, span: t.span });
+                    }
+                    let value = if matches!(self.peek().kind, TokenKind::Equals) {
+                        self.bump();
+                        let v = self.bump();
+                        match v.kind {
+                            TokenKind::Number(n) => OperandValue::Number(n, v.span),
+                            TokenKind::Ident(word) => {
+                                if let Some(&sym) = self.symbols.get(&word) {
+                                    OperandValue::Number(sym, v.span)
+                                } else if matches!(self.peek().kind, TokenKind::Colon) {
+                                    // e.g. pool=max:2
+                                    self.bump();
+                                    let (w, _) = self.parse_value()?;
+                                    OperandValue::WordWithArg(word, w, v.span)
+                                } else {
+                                    OperandValue::Word(word, v.span)
+                                }
+                            }
+                            other => {
+                                return Err(AsmError::ExpectedToken {
+                                    expected: "an operand value",
+                                    found: other.describe(),
+                                    span: v.span,
+                                })
+                            }
+                        }
+                    } else {
+                        OperandValue::Flag(t.span)
+                    };
+                    ops.fields.push(Field { key, value });
+                    // Optional comma between operands.
+                    if matches!(self.peek().kind, TokenKind::Comma) {
+                        self.bump();
+                    }
+                }
+                other => {
+                    return Err(AsmError::ExpectedToken {
+                        expected: "an operand keyword",
+                        found: other.describe(),
+                        span: t.span,
+                    })
+                }
+            }
+        }
+    }
+
+    fn parse_read_host_memory(&mut self, span: Span) -> Result<Instruction> {
+        let ops = self.parse_operands("read_host_memory")?;
+        let host_addr = ops.require_num("host", span, u64::MAX)?;
+        let ub_addr = ops.require_num("ub", span, UB_ADDR_MAX)? as u32;
+        let len = ops.require_num("len", span, u32::MAX as u64)? as u32;
+        ops.finish(&["host", "ub", "len"])?;
+        Ok(Instruction::ReadHostMemory { host_addr, ub_addr, len })
+    }
+
+    fn parse_write_host_memory(&mut self, span: Span) -> Result<Instruction> {
+        let ops = self.parse_operands("write_host_memory")?;
+        let ub_addr = ops.require_num("ub", span, UB_ADDR_MAX)? as u32;
+        let host_addr = ops.require_num("host", span, u64::MAX)?;
+        let len = ops.require_num("len", span, u32::MAX as u64)? as u32;
+        ops.finish(&["ub", "host", "len"])?;
+        Ok(Instruction::WriteHostMemory { ub_addr, host_addr, len })
+    }
+
+    fn parse_read_weights(&mut self, span: Span) -> Result<Instruction> {
+        let ops = self.parse_operands("read_weights")?;
+        let dram_addr = ops.require_num("dram", span, u64::MAX)?;
+        let tiles = ops.require_num("tiles", span, u16::MAX as u64)? as u16;
+        ops.finish(&["dram", "tiles"])?;
+        Ok(Instruction::ReadWeights { dram_addr, tiles })
+    }
+
+    fn parse_matmul(&mut self, span: Span) -> Result<Instruction> {
+        let ops = self.parse_operands("matmul")?;
+        let ub_addr = ops.require_num("ub", span, UB_ADDR_MAX)? as u32;
+        let acc_addr = ops.require_num("acc", span, u16::MAX as u64)? as u16;
+        let rows = ops.require_num("rows", span, u32::MAX as u64)? as u32;
+        let accumulate = ops.flag("accumulate")?;
+        let convolve = ops.flag("convolve")?;
+        let precision = match ops.word("prec")? {
+            None => Precision::Int8,
+            Some((w, vspan)) => match w.as_str() {
+                "int8" | "i8" => Precision::Int8,
+                "mixed" | "mixed8x16" => Precision::Mixed8x16,
+                "int16" | "i16" => Precision::Int16,
+                other => {
+                    return Err(AsmError::BadEnumValue {
+                        name: "prec",
+                        value: other.to_string(),
+                        expected: "int8|mixed|int16",
+                        span: vspan,
+                    })
+                }
+            },
+        };
+        ops.finish(&["ub", "acc", "rows", "accumulate", "convolve", "prec"])?;
+        Ok(Instruction::MatrixMultiply { ub_addr, acc_addr, rows, accumulate, convolve, precision })
+    }
+
+    fn parse_activate(&mut self, span: Span) -> Result<Instruction> {
+        let ops = self.parse_operands("activate")?;
+        let acc_addr = ops.require_num("acc", span, u16::MAX as u64)? as u16;
+        let ub_addr = ops.require_num("ub", span, UB_ADDR_MAX)? as u32;
+        let rows = ops.require_num("rows", span, u32::MAX as u64)? as u32;
+        let func = match ops.word("func")? {
+            None => ActivationFunction::Identity,
+            Some((w, vspan)) => match w.as_str() {
+                "identity" | "id" => ActivationFunction::Identity,
+                "relu" => ActivationFunction::Relu,
+                "sigmoid" => ActivationFunction::Sigmoid,
+                "tanh" => ActivationFunction::Tanh,
+                other => {
+                    return Err(AsmError::BadEnumValue {
+                        name: "func",
+                        value: other.to_string(),
+                        expected: "identity|relu|sigmoid|tanh",
+                        span: vspan,
+                    })
+                }
+            },
+        };
+        let pool = match ops.word_with_arg("pool")? {
+            None => PoolOp::None,
+            Some((w, arg, vspan)) => {
+                let window = match arg {
+                    Some(a) if a <= u8::MAX as u64 => a as u8,
+                    Some(a) => {
+                        return Err(AsmError::ValueOutOfRange {
+                            name: "pool".into(),
+                            value: a,
+                            max: u8::MAX as u64,
+                            span: vspan,
+                        })
+                    }
+                    None => 0,
+                };
+                match (w.as_str(), window) {
+                    ("none", _) => PoolOp::None,
+                    ("max", w) if w > 0 => PoolOp::Max { window: w },
+                    ("avg", w) if w > 0 => PoolOp::Avg { window: w },
+                    (other, _) => {
+                        return Err(AsmError::BadEnumValue {
+                            name: "pool",
+                            value: other.to_string(),
+                            expected: "none|max:W|avg:W (W >= 1)",
+                            span: vspan,
+                        })
+                    }
+                }
+            }
+        };
+        ops.finish(&["acc", "ub", "rows", "func", "pool"])?;
+        Ok(Instruction::Activate { acc_addr, ub_addr, rows, func, pool })
+    }
+
+    fn parse_set_config(&mut self, span: Span) -> Result<Instruction> {
+        let ops = self.parse_operands("set_config")?;
+        let key = ops.require_num("key", span, u8::MAX as u64)? as u8;
+        let value = ops.require_num("value", span, u32::MAX as u64)? as u32;
+        ops.finish(&["key", "value"])?;
+        Ok(Instruction::SetConfig { key, value })
+    }
+
+    fn parse_interrupt_host(&mut self, span: Span) -> Result<Instruction> {
+        let ops = self.parse_operands("interrupt_host")?;
+        let code = ops.require_num("code", span, u8::MAX as u64)? as u8;
+        ops.finish(&["code"])?;
+        Ok(Instruction::InterruptHost { code })
+    }
+
+    fn parse_debug_tag(&mut self, span: Span) -> Result<Instruction> {
+        let ops = self.parse_operands("debug_tag")?;
+        let tag = ops.require_num("tag", span, u32::MAX as u64)? as u32;
+        ops.finish(&["tag"])?;
+        Ok(Instruction::DebugTag { tag })
+    }
+}
+
+#[derive(Debug, Clone)]
+enum OperandValue {
+    Number(u64, Span),
+    Word(String, Span),
+    WordWithArg(String, u64, Span),
+    Flag(Span),
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    key: String,
+    value: OperandValue,
+}
+
+/// Collected operands for one instruction, consumed by typed accessors.
+struct Operands {
+    mnemonic: &'static str,
+    fields: Vec<Field>,
+}
+
+impl Operands {
+    fn get(&self, key: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.key == key)
+    }
+
+    fn require_num(&self, key: &'static str, inst_span: Span, max: u64) -> Result<u64> {
+        let field = self.get(key).ok_or(AsmError::MissingOperand {
+            name: key,
+            mnemonic: self.mnemonic,
+            span: inst_span,
+        })?;
+        match field.value {
+            OperandValue::Number(n, span) => {
+                if n > max {
+                    Err(AsmError::ValueOutOfRange { name: key.into(), value: n, max, span })
+                } else {
+                    Ok(n)
+                }
+            }
+            OperandValue::Word(ref w, span) | OperandValue::WordWithArg(ref w, _, span) => {
+                Err(AsmError::BadEnumValue {
+                    name: key,
+                    value: w.clone(),
+                    expected: "a number",
+                    span,
+                })
+            }
+            OperandValue::Flag(span) => Err(AsmError::ExpectedToken {
+                expected: "`=` and a value",
+                found: "a bare flag".into(),
+                span,
+            }),
+        }
+    }
+
+    fn flag(&self, key: &str) -> Result<bool> {
+        match self.get(key) {
+            None => Ok(false),
+            Some(Field { value: OperandValue::Flag(_), .. }) => Ok(true),
+            Some(Field { value: OperandValue::Number(n, span), .. }) => match n {
+                0 => Ok(false),
+                1 => Ok(true),
+                _ => Err(AsmError::ValueOutOfRange {
+                    name: key.into(),
+                    value: *n,
+                    max: 1,
+                    span: *span,
+                }),
+            },
+            Some(Field {
+                value: OperandValue::Word(w, span) | OperandValue::WordWithArg(w, _, span),
+                ..
+            }) => Err(AsmError::BadEnumValue {
+                name: "flag",
+                value: w.clone(),
+                expected: "a bare flag or 0/1",
+                span: *span,
+            }),
+        }
+    }
+
+    fn word(&self, key: &str) -> Result<Option<(String, Span)>> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(Field { value: OperandValue::Word(w, span), .. }) => {
+                Ok(Some((w.clone(), *span)))
+            }
+            Some(Field { value: OperandValue::Number(n, span), .. }) => {
+                Err(AsmError::BadEnumValue {
+                    name: "operand",
+                    value: n.to_string(),
+                    expected: "a keyword",
+                    span: *span,
+                })
+            }
+            Some(Field { value: OperandValue::WordWithArg(w, _, span), .. }) => {
+                Err(AsmError::BadEnumValue {
+                    name: "operand",
+                    value: w.clone(),
+                    expected: "a keyword without `:`",
+                    span: *span,
+                })
+            }
+            Some(Field { value: OperandValue::Flag(span), .. }) => Err(AsmError::ExpectedToken {
+                expected: "`=` and a keyword",
+                found: "a bare flag".into(),
+                span: *span,
+            }),
+        }
+    }
+
+    fn word_with_arg(&self, key: &str) -> Result<Option<(String, Option<u64>, Span)>> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(Field { value: OperandValue::WordWithArg(w, arg, span), .. }) => {
+                Ok(Some((w.clone(), Some(*arg), *span)))
+            }
+            Some(Field { value: OperandValue::Word(w, span), .. }) => {
+                Ok(Some((w.clone(), None, *span)))
+            }
+            Some(Field { value: OperandValue::Number(n, span), .. }) => {
+                Err(AsmError::BadEnumValue {
+                    name: "operand",
+                    value: n.to_string(),
+                    expected: "a keyword (optionally `kind:arg`)",
+                    span: *span,
+                })
+            }
+            Some(Field { value: OperandValue::Flag(span), .. }) => Err(AsmError::ExpectedToken {
+                expected: "`=` and a keyword",
+                found: "a bare flag".into(),
+                span: *span,
+            }),
+        }
+    }
+
+    /// Reject any operand keyword not in `allowed`.
+    fn finish(&self, allowed: &[&str]) -> Result<()> {
+        for field in &self.fields {
+            if !allowed.contains(&field.key.as_str()) {
+                let span = match field.value {
+                    OperandValue::Number(_, s)
+                    | OperandValue::Word(_, s)
+                    | OperandValue::WordWithArg(_, _, s)
+                    | OperandValue::Flag(s) => s,
+                };
+                return Err(AsmError::UnknownOperand {
+                    name: field.key.clone(),
+                    mnemonic: self.mnemonic,
+                    span,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    fn parse(src: &str) -> Result<Vec<Instruction>> {
+        let toks = tokenize(src)?;
+        Parser::new(&toks, DEFAULT_MAX_INSTRUCTIONS).parse_program()
+    }
+
+    #[test]
+    fn parses_all_mnemonics() {
+        let src = "\
+read_host_memory host=0x1000, ub=0, len=512
+read_weights dram=0, tiles=4
+matmul ub=0, acc=0, rows=200
+activate acc=0, ub=0x8000, rows=200, func=relu
+write_host_memory ub=0x8000, host=0x2000, len=200
+set_config key=1, value=7
+interrupt_host code=2
+debug_tag tag=0xdead
+sync
+nop
+halt
+";
+        let insts = parse(src).unwrap();
+        assert_eq!(insts.len(), 11);
+        assert!(matches!(insts[0], Instruction::ReadHostMemory { host_addr: 0x1000, .. }));
+        assert!(matches!(insts.last(), Some(Instruction::Halt)));
+    }
+
+    #[test]
+    fn short_mnemonics_are_aliases() {
+        let a = parse("mm ub=0, acc=0, rows=4").unwrap();
+        let b = parse("matmul ub=0, acc=0, rows=4").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matmul_flags_and_precision() {
+        let insts =
+            parse("matmul ub=0, acc=0, rows=8, accumulate, convolve, prec=int16").unwrap();
+        match &insts[0] {
+            Instruction::MatrixMultiply { accumulate, convolve, precision, .. } => {
+                assert!(*accumulate);
+                assert!(*convolve);
+                assert_eq!(*precision, Precision::Int16);
+            }
+            other => panic!("wrong instruction: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numeric_flags_accepted() {
+        let insts = parse("matmul ub=0, acc=0, rows=8, accumulate=1, convolve=0").unwrap();
+        match &insts[0] {
+            Instruction::MatrixMultiply { accumulate, convolve, .. } => {
+                assert!(*accumulate);
+                assert!(!*convolve);
+            }
+            other => panic!("wrong instruction: {other:?}"),
+        }
+        let err = parse("matmul ub=0, acc=0, rows=8, accumulate=2").unwrap_err();
+        assert!(matches!(err, AsmError::ValueOutOfRange { .. }));
+    }
+
+    #[test]
+    fn pool_windows_parse() {
+        let insts = parse("activate acc=0, ub=0, rows=4, func=relu, pool=max:3").unwrap();
+        match &insts[0] {
+            Instruction::Activate { pool, .. } => {
+                assert_eq!(*pool, PoolOp::Max { window: 3 })
+            }
+            other => panic!("wrong instruction: {other:?}"),
+        }
+        let insts = parse("activate acc=0, ub=0, rows=4, pool=avg:2").unwrap();
+        assert!(
+            matches!(&insts[0], Instruction::Activate { pool: PoolOp::Avg { window: 2 }, .. })
+        );
+    }
+
+    #[test]
+    fn zero_window_pool_rejected() {
+        let err = parse("activate acc=0, ub=0, rows=4, pool=max:0").unwrap_err();
+        assert!(matches!(err, AsmError::BadEnumValue { name: "pool", .. }));
+    }
+
+    #[test]
+    fn missing_operand_reported() {
+        let err = parse("matmul ub=0, acc=0").unwrap_err();
+        assert!(matches!(err, AsmError::MissingOperand { name: "rows", .. }));
+    }
+
+    #[test]
+    fn unknown_operand_reported() {
+        let err = parse("matmul ub=0, acc=0, rows=1, stride=2").unwrap_err();
+        assert!(matches!(err, AsmError::UnknownOperand { ref name, .. } if name == "stride"));
+    }
+
+    #[test]
+    fn duplicate_operand_reported() {
+        let err = parse("matmul ub=0, ub=1, acc=0, rows=1").unwrap_err();
+        assert!(matches!(err, AsmError::DuplicateOperand { ref name, .. } if name == "ub"));
+    }
+
+    #[test]
+    fn out_of_range_ub_address_rejected() {
+        let err = parse("matmul ub=0x1000000, acc=0, rows=1").unwrap_err();
+        assert!(matches!(err, AsmError::ValueOutOfRange { max: 0xFF_FFFF, .. }));
+    }
+
+    #[test]
+    fn def_binds_symbols() {
+        let src = "\
+.def BATCH = 200
+.def UB_IN = 0x0
+matmul ub=UB_IN, acc=0, rows=BATCH
+";
+        let insts = parse(src).unwrap();
+        assert!(matches!(insts[0], Instruction::MatrixMultiply { rows: 200, .. }));
+    }
+
+    #[test]
+    fn undefined_symbol_reported() {
+        let err = parse("matmul ub=MISSING, acc=0, rows=1").unwrap_err();
+        assert!(matches!(err, AsmError::BadEnumValue { .. } | AsmError::UndefinedSymbol { .. }));
+    }
+
+    #[test]
+    fn redefined_symbol_reported() {
+        let err = parse(".def A = 1\n.def A = 2\n").unwrap_err();
+        assert!(matches!(err, AsmError::RedefinedSymbol { ref name, .. } if name == "A"));
+    }
+
+    #[test]
+    fn repeat_expands_body() {
+        let src = "\
+.repeat 3
+nop
+sync
+.end
+halt
+";
+        let insts = parse(src).unwrap();
+        assert_eq!(insts.len(), 7);
+        assert_eq!(insts[0], Instruction::Nop);
+        assert_eq!(insts[5], Instruction::Sync);
+        assert_eq!(insts[6], Instruction::Halt);
+    }
+
+    #[test]
+    fn nested_repeat_multiplies() {
+        let src = "\
+.repeat 2
+.repeat 3
+nop
+.end
+.end
+";
+        let insts = parse(src).unwrap();
+        assert_eq!(insts.len(), 6);
+    }
+
+    #[test]
+    fn repeat_count_can_be_symbol() {
+        let insts = parse(".def N = 4\n.repeat N\nnop\n.end\n").unwrap();
+        assert_eq!(insts.len(), 4);
+    }
+
+    #[test]
+    fn repeat_zero_emits_nothing() {
+        let insts = parse(".repeat 0\nnop\n.end\nhalt\n").unwrap();
+        assert_eq!(insts, vec![Instruction::Halt]);
+    }
+
+    #[test]
+    fn unterminated_repeat_reported() {
+        let err = parse(".repeat 2\nnop\n").unwrap_err();
+        assert!(matches!(err, AsmError::UnterminatedRepeat { .. }));
+    }
+
+    #[test]
+    fn unmatched_end_reported() {
+        let err = parse("nop\n.end\n").unwrap_err();
+        assert!(matches!(err, AsmError::UnmatchedEnd { .. }));
+    }
+
+    #[test]
+    fn repeat_bomb_is_bounded() {
+        // 16 nested x1000 repeats would be 10^48 instructions; the expansion
+        // accounting must reject it rather than attempt allocation.
+        let mut src = String::new();
+        for _ in 0..10 {
+            src.push_str(".repeat 1000\n");
+        }
+        src.push_str("nop\n");
+        for _ in 0..10 {
+            src.push_str(".end\n");
+        }
+        let err = parse(&src).unwrap_err();
+        assert!(matches!(err, AsmError::ProgramTooLarge { .. }));
+    }
+
+    #[test]
+    fn deep_nesting_rejected() {
+        let mut src = String::new();
+        for _ in 0..(MAX_REPEAT_DEPTH + 1) {
+            src.push_str(".repeat 1\n");
+        }
+        src.push_str("nop\n");
+        for _ in 0..(MAX_REPEAT_DEPTH + 1) {
+            src.push_str(".end\n");
+        }
+        let err = parse(&src).unwrap_err();
+        assert!(matches!(err, AsmError::RepeatTooDeep { .. }));
+    }
+
+    #[test]
+    fn unknown_mnemonic_reported() {
+        let err = parse("frobnicate a=1").unwrap_err();
+        assert!(matches!(err, AsmError::UnknownMnemonic { ref name, .. } if name == "frobnicate"));
+    }
+
+    #[test]
+    fn unknown_directive_reported() {
+        let err = parse(".align 16\n").unwrap_err();
+        assert!(matches!(err, AsmError::UnknownMnemonic { ref name, .. } if name == ".align"));
+    }
+
+    #[test]
+    fn blank_lines_and_comments_ignored() {
+        let insts = parse("\n\n; leading comment\n\nnop\n\n# another\nhalt\n\n").unwrap();
+        assert_eq!(insts, vec![Instruction::Nop, Instruction::Halt]);
+    }
+}

@@ -1,0 +1,310 @@
+//! Lexer for TPU assembly text.
+//!
+//! The token grammar is deliberately small: identifiers (mnemonics, operand
+//! keywords, enum values, `.def` symbols), unsigned integer literals in
+//! decimal or `0x` hexadecimal, the punctuation `=`, `,` and `:`, directives
+//! beginning with `.`, and newlines (which terminate statements). Comments
+//! run from `;` or `#` to end of line.
+
+use crate::error::{AsmError, Result, Span};
+
+/// One lexical token with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where the token starts.
+    pub span: Span,
+}
+
+/// The kinds of token the assembler grammar distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier: mnemonic, operand keyword, enum value, or symbol.
+    Ident(String),
+    /// Directive: a word prefixed with `.`, e.g. `.repeat`.
+    Directive(String),
+    /// Unsigned integer literal (decimal or `0x` hex).
+    Number(u64),
+    /// `=`
+    Equals,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// End of line; statements never span lines.
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description used in diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Directive(s) => format!("directive `.{s}`"),
+            TokenKind::Number(n) => format!("number `{n}`"),
+            TokenKind::Equals => "`=`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::Colon => "`:`".to_string(),
+            TokenKind::Newline => "end of line".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+/// Tokenize a complete source string.
+///
+/// The returned stream always ends with a [`TokenKind::Eof`] token, and a
+/// [`TokenKind::Newline`] precedes it if the input did not end in one, so
+/// parsers can treat "newline" as a universal statement terminator.
+///
+/// # Errors
+///
+/// [`AsmError::UnexpectedChar`] for characters outside the grammar and
+/// [`AsmError::BadNumber`] for malformed or overflowing literals.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_asm::token::{tokenize, TokenKind};
+///
+/// let toks = tokenize("matmul ub=0x10, rows=4")?;
+/// assert!(matches!(toks[0].kind, TokenKind::Ident(ref s) if s == "matmul"));
+/// assert!(matches!(toks[2].kind, TokenKind::Equals));
+/// # Ok::<(), tpu_asm::AsmError>(())
+/// ```
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut chars = src.chars().peekable();
+
+    while let Some(&c) = chars.peek() {
+        let span = Span::new(line, col);
+        match c {
+            '\n' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::Newline, span });
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                chars.next();
+                col += 1;
+            }
+            ';' | '#' => {
+                // Comment to end of line; the newline itself is emitted on
+                // the next iteration so statement boundaries survive.
+                while let Some(&c2) = chars.peek() {
+                    if c2 == '\n' {
+                        break;
+                    }
+                    chars.next();
+                    col += 1;
+                }
+            }
+            '=' => {
+                chars.next();
+                col += 1;
+                tokens.push(Token { kind: TokenKind::Equals, span });
+            }
+            ',' => {
+                chars.next();
+                col += 1;
+                tokens.push(Token { kind: TokenKind::Comma, span });
+            }
+            ':' => {
+                chars.next();
+                col += 1;
+                tokens.push(Token { kind: TokenKind::Colon, span });
+            }
+            '.' => {
+                chars.next();
+                col += 1;
+                let mut word = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_ascii_alphanumeric() || c2 == '_' {
+                        word.push(c2);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if word.is_empty() {
+                    return Err(AsmError::UnexpectedChar { ch: '.', span });
+                }
+                tokens.push(Token { kind: TokenKind::Directive(word), span });
+            }
+            '0'..='9' => {
+                let mut text = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_ascii_alphanumeric() || c2 == '_' {
+                        text.push(c2);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let digits = text.replace('_', "");
+                let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X")) {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    digits.parse::<u64>()
+                };
+                match value {
+                    Ok(v) => tokens.push(Token { kind: TokenKind::Number(v), span }),
+                    Err(_) => return Err(AsmError::BadNumber { text, span }),
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut word = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_ascii_alphanumeric() || c2 == '_' {
+                        word.push(c2);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Ident(word), span });
+            }
+            other => return Err(AsmError::UnexpectedChar { ch: other, span }),
+        }
+    }
+
+    let end = Span::new(line, col);
+    if !matches!(tokens.last(), Some(Token { kind: TokenKind::Newline, .. })) {
+        tokens.push(Token { kind: TokenKind::Newline, span: end });
+    }
+    tokens.push(Token { kind: TokenKind::Eof, span: end });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_statement() {
+        let k = kinds("matmul ub=0x10, rows=200");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("matmul".into()),
+                TokenKind::Ident("ub".into()),
+                TokenKind::Equals,
+                TokenKind::Number(0x10),
+                TokenKind::Comma,
+                TokenKind::Ident("rows".into()),
+                TokenKind::Equals,
+                TokenKind::Number(200),
+                TokenKind::Newline,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_hex_and_underscored_numbers() {
+        assert_eq!(kinds("0xFF")[0], TokenKind::Number(255));
+        assert_eq!(kinds("1_000_000")[0], TokenKind::Number(1_000_000));
+        assert_eq!(kinds("0x1_00")[0], TokenKind::Number(256));
+    }
+
+    #[test]
+    fn comments_run_to_end_of_line() {
+        let k = kinds("nop ; this is ignored\nhalt");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("nop".into()),
+                TokenKind::Newline,
+                TokenKind::Ident("halt".into()),
+                TokenKind::Newline,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_comments_also_work() {
+        let k = kinds("halt # trailing");
+        assert_eq!(k[0], TokenKind::Ident("halt".into()));
+        assert_eq!(k[1], TokenKind::Newline);
+    }
+
+    #[test]
+    fn directives_are_distinct_tokens() {
+        let k = kinds(".repeat 3");
+        assert_eq!(k[0], TokenKind::Directive("repeat".into()));
+        assert_eq!(k[1], TokenKind::Number(3));
+    }
+
+    #[test]
+    fn bad_number_is_reported_with_text() {
+        let err = tokenize("mm ub=0xzz").unwrap_err();
+        assert!(matches!(err, AsmError::BadNumber { ref text, .. } if text == "0xzz"));
+    }
+
+    #[test]
+    fn overflowing_number_is_an_error() {
+        let err = tokenize("mm ub=99999999999999999999999").unwrap_err();
+        assert!(matches!(err, AsmError::BadNumber { .. }));
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error_with_span() {
+        let err = tokenize("halt\n  @").unwrap_err();
+        match err {
+            AsmError::UnexpectedChar { ch, span } => {
+                assert_eq!(ch, '@');
+                assert_eq!(span, Span::new(2, 3));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = tokenize("nop\n  halt").unwrap();
+        assert_eq!(toks[0].span, Span::new(1, 1));
+        assert_eq!(toks[2].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn empty_input_yields_newline_then_eof() {
+        let k = kinds("");
+        assert_eq!(k, vec![TokenKind::Newline, TokenKind::Eof]);
+    }
+
+    #[test]
+    fn bare_dot_is_rejected() {
+        let err = tokenize(". repeat").unwrap_err();
+        assert!(matches!(err, AsmError::UnexpectedChar { ch: '.', .. }));
+    }
+
+    #[test]
+    fn describe_is_nonempty_for_all_kinds() {
+        for kind in [
+            TokenKind::Ident("x".into()),
+            TokenKind::Directive("repeat".into()),
+            TokenKind::Number(1),
+            TokenKind::Equals,
+            TokenKind::Comma,
+            TokenKind::Colon,
+            TokenKind::Newline,
+            TokenKind::Eof,
+        ] {
+            assert!(!kind.describe().is_empty());
+        }
+    }
+}

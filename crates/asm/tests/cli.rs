@@ -1,0 +1,127 @@
+//! Integration tests for the `tpu-asm` command-line tool, driving the
+//! real binary through its asm / dis / check subcommands.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tpu-asm"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tpu-asm-cli-{name}-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+const SAMPLE: &str = "\
+read_host_memory host=0x0, ub=0x0, len=512
+read_weights dram=0x0, tiles=1
+matmul ub=0x0, acc=0, rows=8
+activate acc=0, ub=0x1000, rows=8, func=relu
+write_host_memory ub=0x1000, host=0x2000, len=512
+halt
+";
+
+#[test]
+fn assemble_then_disassemble_round_trips() {
+    let dir = tmpdir("roundtrip");
+    let src_path = dir.join("prog.tpuasm");
+    let bin_path = dir.join("prog.bin");
+    fs::write(&src_path, SAMPLE).unwrap();
+
+    let out = bin()
+        .args(["asm", src_path.to_str().unwrap(), "-o", bin_path.to_str().unwrap()])
+        .output()
+        .expect("run tpu-asm asm");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("6 instructions"), "{stdout}");
+
+    let out = bin()
+        .args(["dis", bin_path.to_str().unwrap()])
+        .output()
+        .expect("run tpu-asm dis");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("matmul ub=0x0, acc=0, rows=8"));
+    assert!(text.trim_end().ends_with("halt"));
+
+    // The disassembly must itself assemble to the same binary.
+    let src2 = dir.join("prog2.tpuasm");
+    fs::write(&src2, text.as_ref()).unwrap();
+    let bin2 = dir.join("prog2.bin");
+    let out = bin()
+        .args(["asm", src2.to_str().unwrap(), "-o", bin2.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(fs::read(&bin_path).unwrap(), fs::read(&bin2).unwrap());
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn annotated_disassembly_shows_offsets() {
+    let dir = tmpdir("annotate");
+    let src_path = dir.join("p.tpuasm");
+    fs::write(&src_path, "nop\nhalt\n").unwrap();
+    let bin_path = dir.join("p.bin");
+    assert!(bin()
+        .args(["asm", src_path.to_str().unwrap(), "-o", bin_path.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .args(["dis", bin_path.to_str().unwrap(), "--annotate"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0000:"), "{text}");
+    assert!(text.contains("0004:"), "{text}");
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn check_reports_statistics() {
+    let dir = tmpdir("check");
+    let src_path = dir.join("p.tpuasm");
+    fs::write(&src_path, SAMPLE).unwrap();
+    let out = bin().args(["check", src_path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("instructions: 6"));
+    assert!(text.contains("halted: true"));
+    assert!(text.contains("MatrixMultiply: 1"));
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn syntax_errors_exit_nonzero_with_location() {
+    let dir = tmpdir("err");
+    let src_path = dir.join("bad.tpuasm");
+    fs::write(&src_path, "matmul ub=0x0, acc=0\nhalt\n").unwrap();
+    let out = bin().args(["check", src_path.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("rows"), "stderr: {err}");
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn usage_on_missing_arguments() {
+    let out = bin().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn corrupt_binary_is_reported() {
+    let dir = tmpdir("corrupt");
+    let bad = dir.join("bad.bin");
+    fs::write(&bad, [0xEEu8, 0x00, 0x00, 0x00]).unwrap();
+    let out = bin().args(["dis", bad.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown opcode"));
+    let _ = fs::remove_dir_all(dir);
+}

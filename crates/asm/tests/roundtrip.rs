@@ -1,0 +1,197 @@
+//! Property tests: assemble/disassemble and encode/decode round-trips over
+//! randomly generated programs, and no-panic fuzzing of the assembler on
+//! arbitrary input text.
+
+use proptest::prelude::*;
+use tpu_asm::{assemble, disassemble, disassemble_instruction, Assembler};
+use tpu_core::config::Precision;
+use tpu_core::isa::{ActivationFunction, Instruction, PoolOp, Program};
+
+fn arb_precision() -> impl Strategy<Value = Precision> {
+    prop_oneof![
+        Just(Precision::Int8),
+        Just(Precision::Mixed8x16),
+        Just(Precision::Int16),
+    ]
+}
+
+fn arb_func() -> impl Strategy<Value = ActivationFunction> {
+    prop_oneof![
+        Just(ActivationFunction::Identity),
+        Just(ActivationFunction::Relu),
+        Just(ActivationFunction::Sigmoid),
+        Just(ActivationFunction::Tanh),
+    ]
+}
+
+fn arb_pool() -> impl Strategy<Value = PoolOp> {
+    prop_oneof![
+        Just(PoolOp::None),
+        (1u8..=15).prop_map(|window| PoolOp::Max { window }),
+        (1u8..=15).prop_map(|window| PoolOp::Avg { window }),
+    ]
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (any::<u64>(), 0u32..=0xFF_FFFF, any::<u32>()).prop_map(|(host_addr, ub_addr, len)| {
+            Instruction::ReadHostMemory { host_addr, ub_addr, len }
+        }),
+        (0u32..=0xFF_FFFF, any::<u64>(), any::<u32>()).prop_map(|(ub_addr, host_addr, len)| {
+            Instruction::WriteHostMemory { ub_addr, host_addr, len }
+        }),
+        (any::<u64>(), any::<u16>())
+            .prop_map(|(dram_addr, tiles)| Instruction::ReadWeights { dram_addr, tiles }),
+        (
+            0u32..=0xFF_FFFF,
+            any::<u16>(),
+            any::<u32>(),
+            any::<bool>(),
+            any::<bool>(),
+            arb_precision(),
+        )
+            .prop_map(|(ub_addr, acc_addr, rows, accumulate, convolve, precision)| {
+                Instruction::MatrixMultiply {
+                    ub_addr,
+                    acc_addr,
+                    rows,
+                    accumulate,
+                    convolve,
+                    precision,
+                }
+            }),
+        (any::<u16>(), 0u32..=0xFF_FFFF, any::<u32>(), arb_func(), arb_pool()).prop_map(
+            |(acc_addr, ub_addr, rows, func, pool)| Instruction::Activate {
+                acc_addr,
+                ub_addr,
+                rows,
+                func,
+                pool,
+            }
+        ),
+        Just(Instruction::Sync),
+        Just(Instruction::Nop),
+        Just(Instruction::Halt),
+        (any::<u8>(), any::<u32>())
+            .prop_map(|(key, value)| Instruction::SetConfig { key, value }),
+        any::<u8>().prop_map(|code| Instruction::InterruptHost { code }),
+        any::<u32>().prop_map(|tag| Instruction::DebugTag { tag }),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(arb_instruction(), 0..64).prop_map(|insts| {
+        let mut p = Program::new();
+        for i in insts {
+            p.push(i);
+        }
+        p
+    })
+}
+
+proptest! {
+    /// disassemble . assemble is the identity on programs.
+    #[test]
+    fn disassemble_assemble_roundtrip(program in arb_program()) {
+        let text = disassemble(&program);
+        let reassembled = assemble(&text).expect("canonical text must assemble");
+        prop_assert_eq!(reassembled, program);
+    }
+
+    /// Per-instruction canonical text assembles back to the instruction.
+    #[test]
+    fn single_instruction_roundtrip(inst in arb_instruction()) {
+        let text = disassemble_instruction(&inst);
+        let program = assemble(&text).unwrap();
+        prop_assert_eq!(program.instructions(), std::slice::from_ref(&inst));
+    }
+
+    /// Binary encode . decode is the identity, and disassembly of the
+    /// decoded program matches disassembly of the original.
+    #[test]
+    fn binary_roundtrip_matches_text(program in arb_program()) {
+        let bytes = program.encode();
+        let decoded = Program::decode(&bytes).unwrap();
+        prop_assert_eq!(disassemble(&decoded), disassemble(&program));
+    }
+
+    /// The assembler never panics on arbitrary input, it only errors.
+    #[test]
+    fn assembler_never_panics(src in "\\PC{0,256}") {
+        let _ = assemble(&src);
+    }
+
+    /// The assembler never panics on "almost valid" operand soup.
+    #[test]
+    fn assembler_never_panics_on_operand_soup(
+        mnemonic in "(matmul|activate|read_weights|read_host_memory|halt|\\.repeat|\\.def)",
+        keys in prop::collection::vec("(ub|acc|rows|func|pool|dram|tiles|host|len|x)", 0..5),
+        vals in prop::collection::vec(0u64..u64::MAX, 0..5),
+    ) {
+        let mut src = mnemonic;
+        for (i, k) in keys.iter().enumerate() {
+            let v = vals.get(i).copied().unwrap_or(0);
+            src.push_str(&format!(" {k}={v},"));
+        }
+        let _ = assemble(&src);
+    }
+
+    /// Whitespace, comment, and separator noise never changes the parse.
+    #[test]
+    fn formatting_noise_is_insignificant(program in arb_program(), seed in any::<u64>()) {
+        let canonical = disassemble(&program);
+        let mut noisy = String::new();
+        let mut rng = seed;
+        for line in canonical.lines() {
+            // xorshift so the noise varies per line without a rand dependency
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            if rng % 3 == 0 {
+                noisy.push('\n');
+            }
+            noisy.push_str("  ");
+            noisy.push_str(line);
+            if rng % 2 == 0 {
+                noisy.push_str("   ; trailing comment");
+            }
+            noisy.push('\n');
+        }
+        let reassembled = assemble(&noisy).unwrap();
+        prop_assert_eq!(reassembled, program);
+    }
+}
+
+#[test]
+fn repeat_limit_respected_with_custom_assembler() {
+    let asm = Assembler::new().max_instructions(100);
+    let src = ".repeat 99\nnop\n.end\nhalt\n";
+    assert!(asm.assemble(src).is_ok());
+    let src = ".repeat 100\nnop\n.end\nhalt\n";
+    assert!(asm.assemble(src).is_err());
+}
+
+#[test]
+fn kitchen_sink_program_assembles() {
+    // A realistic layer: stage inputs, prefetch weights, five accumulating
+    // matmuls, activate with pooling, drain outputs.
+    let src = "
+        .def B = 32
+        read_host_memory host=0x0, ub=0x0, len=8192
+        read_weights dram=0x0, tiles=5
+        matmul ub=0x0, acc=0, rows=B
+        .repeat 4
+        matmul ub=0x0, acc=0, rows=B, accumulate
+        .end
+        activate acc=0, ub=0x2000, rows=B, func=relu, pool=max:2
+        sync
+        write_host_memory ub=0x2000, host=0x10000, len=2048
+        interrupt_host code=1
+        halt
+    ";
+    let program = assemble(src).unwrap();
+    assert_eq!(program.len(), 12);
+    assert!(program.is_halted());
+    // The encoded stream decodes to the same program.
+    assert_eq!(Program::decode(&program.encode()).unwrap(), program);
+}

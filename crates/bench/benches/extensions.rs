@@ -1,0 +1,44 @@
+//! Criterion benches for the extension experiments: the sparsity
+//! ablation, the Boost-mode rack computation, energy per inference, and
+//! the CNN1 batch-aggregation what-if.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpu_bench::paper_config;
+
+fn extensions(c: &mut Criterion) {
+    let cfg = paper_config();
+    for id in [
+        "ext-sparsity",
+        "ext-boost",
+        "ext-energy",
+        "ext-batch",
+        "ext-batching",
+        "ext-energy-components",
+        "ext-pipeline",
+        "ext-calibration",
+        "ext-server",
+        "ext-diurnal",
+        "ext-compress",
+        "ext-p40",
+        "ext-avx2",
+        "ext-rack",
+        "ext-zeroskip",
+        "ext-precision",
+        "ext-ub",
+        "ext-latency-sweep",
+        "ext-fifo",
+    ] {
+        println!("{}", tpu_harness::generate(id, &cfg));
+        c.bench_function(id, |b| {
+            b.iter(|| black_box(tpu_harness::generate(black_box(id), &cfg)));
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = extensions
+}
+criterion_main!(benches);

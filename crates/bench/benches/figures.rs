@@ -1,0 +1,28 @@
+//! One Criterion benchmark per paper figure (2, 5-11): each iteration
+//! regenerates the figure's data series, and the series are printed once
+//! per run so `cargo bench` output doubles as the reproduction record.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpu_bench::paper_config;
+
+fn bench_figure(c: &mut Criterion, id: &'static str) {
+    let cfg = paper_config();
+    println!("{}", tpu_harness::generate(id, &cfg));
+    c.bench_function(id, |b| {
+        b.iter(|| black_box(tpu_harness::generate(black_box(id), &cfg)));
+    });
+}
+
+fn figures(c: &mut Criterion) {
+    for id in ["fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig11-apps"] {
+        bench_figure(c, id);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = figures
+}
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Microarchitecture ablation benchmarks of the simulator itself.
+//!
+//! These quantify the cost of the simulation substrates (not the modelled
+//! hardware): the cycle-accurate systolic wavefront at several array
+//! sizes, the tile-granular timing engine on real workload op streams,
+//! the two Unified Buffer allocators, quantized matrix multiplication,
+//! and the functional device running a compiled MLP end-to-end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use tpu_bench::{ablation_dims, paper_config};
+use tpu_core::mem::WeightTile;
+use tpu_core::systolic::SystolicArray;
+
+fn systolic_wavefront(c: &mut Criterion) {
+    let mut group = c.benchmark_group("systolic_wavefront");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for dim in ablation_dims() {
+        let tile = WeightTile::from_rows(
+            dim,
+            (0..dim * dim).map(|_| rng.gen_range(-128i32..=127) as i8).collect(),
+        );
+        let rows = 8;
+        let acts: Vec<i16> = (0..rows * dim).map(|_| rng.gen_range(-128i32..=127) as i16).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            let mut array = SystolicArray::new(dim);
+            array.stage_weights(&tile).unwrap();
+            array.commit_weights().unwrap();
+            b.iter(|| black_box(array.matmul(black_box(&acts), rows).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn timing_engine(c: &mut Criterion) {
+    let cfg = paper_config();
+    let mut group = c.benchmark_group("timing_engine");
+    for m in tpu_nn::workloads::all() {
+        let ops = tpu_compiler::lower_timed(&m, &cfg, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(m.name()), &ops, |b, ops| {
+            b.iter(|| black_box(tpu_core::timing::run_timed(&cfg, black_box(ops))));
+        });
+    }
+    group.finish();
+}
+
+fn ub_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ub_allocator");
+    let m = tpu_nn::workloads::cnn1();
+    let trace = tpu_compiler::alloc::model_buffer_trace(&m);
+    group.bench_function("bump_cnn1", |b| {
+        b.iter(|| black_box(tpu_compiler::alloc::bump_plan(black_box(&trace))));
+    });
+    group.bench_function("reuse_cnn1", |b| {
+        b.iter(|| black_box(tpu_compiler::alloc::reuse_plan(black_box(&trace))));
+    });
+    group.finish();
+}
+
+fn quantized_matmul(c: &mut Criterion) {
+    use tpu_nn::quant::{quantized_matmul, QuantizedActivations, QuantizedWeights};
+    use tpu_nn::Matrix;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let batch = 64;
+    let k = 256;
+    let n = 256;
+    let a = Matrix::from_fn(batch, k, |_, _| rng.gen_range(-1.0f32..1.0));
+    let w = Matrix::from_fn(k, n, |_, _| rng.gen_range(-0.5f32..0.5));
+    let qa = QuantizedActivations::quantize(&a, tpu_nn::quant::choose_activation_params(&a));
+    let qw = QuantizedWeights::quantize(&w);
+    c.bench_function("quantized_matmul_64x256x256", |b| {
+        b.iter(|| black_box(quantized_matmul(black_box(&qa), black_box(&qw))));
+    });
+}
+
+fn functional_device(c: &mut Criterion) {
+    use tpu_compiler::TpuRuntime;
+    use tpu_core::TpuConfig;
+    use tpu_nn::layer::{Layer, Nonlinearity};
+    use tpu_nn::model::{NnKind, NnModel};
+    use tpu_nn::reference::ModelWeights;
+    use tpu_nn::Matrix;
+
+    let mut small = TpuConfig::small();
+    small.array_dim = 32;
+    small.path_width = 32;
+    small.unified_buffer_bytes = 1 << 20;
+    small.accumulator_entries = 256;
+    let d = small.array_dim;
+    let model = NnModel::new(
+        "bench-mlp",
+        NnKind::Mlp,
+        vec![
+            Layer::fc(2 * d, d, Nonlinearity::Relu),
+            Layer::fc(d, d, Nonlinearity::Relu),
+        ],
+        16,
+        2 * d,
+        tpu_core::config::Precision::Int8,
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let weights = ModelWeights::random(&model, 0.4, &mut rng);
+    let input = Matrix::from_fn(16, 2 * d, |r, c| ((r * 13 + c) % 11) as f32 * 0.05);
+    let mut rt = TpuRuntime::new(small, 1 << 20);
+    // Warm the compile cache (first evaluation compiles).
+    rt.evaluate(&model, &weights, &input).unwrap();
+    c.bench_function("functional_device_mlp_32x32", |b| {
+        b.iter(|| black_box(rt.evaluate(&model, &weights, &input).unwrap()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = systolic_wavefront, timing_engine, ub_allocators, quantized_matmul, functional_device
+}
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Criterion benches for the tooling and modeling subsystems added on top
+//! of the paper reproduction: the assembler/disassembler round trip, the
+//! 4-stage pipeline model, batching-policy serving simulation, and
+//! quantization calibration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tpu_asm::{assemble, disassemble};
+use tpu_bench::paper_config;
+use tpu_core::pipeline::PipelineModel;
+use tpu_nn::calibrate::{CalibrationMethod, Calibrator};
+use tpu_nn::Matrix;
+use tpu_platforms::batching::{simulate_policy, tpu_service, Policy};
+use tpu_platforms::spec::Platform;
+
+/// A synthetic N-layer program in assembly text.
+fn layer_program_src(layers: usize, batch: u32) -> String {
+    let mut src = String::from("read_host_memory host=0x0, ub=0x0, len=51200\n");
+    for l in 0..layers {
+        // Wrap Unified Buffer offsets inside the 24-bit address field.
+        let ub_in = (l % 96) * 0x20000;
+        let ub_out = ((l + 1) % 96) * 0x20000;
+        src.push_str(&format!("read_weights dram={:#x}, tiles=1\n", l * 0x10000));
+        src.push_str(&format!("matmul ub={ub_in:#x}, acc=0, rows={batch}\n"));
+        src.push_str(&format!("activate acc=0, ub={ub_out:#x}, rows={batch}, func=relu\n"));
+        src.push_str("sync\n");
+    }
+    src.push_str("write_host_memory ub=0xa0000, host=0x10000, len=51200\nhalt\n");
+    src
+}
+
+fn asm_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("asm");
+    for layers in [1usize, 8, 64] {
+        let src = layer_program_src(layers, 200);
+        group.bench_with_input(BenchmarkId::new("assemble", layers), &src, |b, src| {
+            b.iter(|| black_box(assemble(black_box(src)).unwrap()));
+        });
+        let program = assemble(&src).unwrap();
+        group.bench_with_input(BenchmarkId::new("disassemble", layers), &program, |b, p| {
+            b.iter(|| black_box(disassemble(black_box(p))));
+        });
+        group.bench_with_input(BenchmarkId::new("encode_decode", layers), &program, |b, p| {
+            b.iter(|| {
+                let bytes = black_box(p).encode();
+                black_box(tpu_core::isa::Program::decode(&bytes).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn pipeline_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_model");
+    let model = PipelineModel::new(paper_config());
+    for layers in [2usize, 16, 128] {
+        let program = assemble(&layer_program_src(layers, 200)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &program, |b, p| {
+            b.iter(|| black_box(model.execute(black_box(p)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn batching_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batching_policy_sim");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("fixed", Policy::Fixed { batch: 64 }),
+        ("window", Policy::TimeWindow { max_batch: 64, window_ms: 2.0 }),
+        ("deadline", Policy::Deadline { max_batch: 64, deadline_ms: 7.0, margin_ms: 0.5 }),
+    ] {
+        let cfg = tpu_service(policy, 40_000.0);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(simulate_policy(black_box(&cfg))));
+        });
+    }
+    group.finish();
+}
+
+fn calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibration");
+    // Deterministic pseudo-random activations.
+    let mut state = 0x1337_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f32 / (1u64 << 53) as f32 - 0.5
+    };
+    let acts = Matrix::from_rows(64, 1024, (0..64 * 1024).map(|_| next() * 4.0).collect());
+    group.bench_function("observe_64k", |b| {
+        b.iter(|| {
+            let mut cal = Calibrator::new();
+            cal.observe(black_box(&acts));
+            black_box(cal.observations())
+        });
+    });
+    let mut cal = Calibrator::new();
+    cal.observe(&acts);
+    for (name, method) in [
+        ("minmax", CalibrationMethod::MinMax),
+        ("percentile", CalibrationMethod::Percentile(99.9)),
+        ("mse", CalibrationMethod::Mse),
+        ("entropy", CalibrationMethod::Entropy),
+    ] {
+        group.bench_with_input(BenchmarkId::new("params", name), &method, |b, m| {
+            b.iter(|| black_box(cal.params(*m)));
+        });
+    }
+    group.finish();
+}
+
+fn compression(c: &mut Criterion) {
+    use tpu_nn::compress::{prune_to_density, CompressedWeights};
+    use tpu_nn::quant::QuantizedWeights;
+    let mut group = c.benchmark_group("compress");
+    let mut state = 0xbeef_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f32 / (1u64 << 53) as f32 - 0.5
+    };
+    let dense = Matrix::from_fn(512, 512, |_, _| next());
+    for density in [0.05f64, 0.10, 0.50] {
+        let pruned = prune_to_density(&dense, density);
+        let q = QuantizedWeights::quantize(&pruned);
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("{:.0}%", density * 100.0)),
+            &q,
+            |b, q| b.iter(|| black_box(CompressedWeights::encode(black_box(q)))),
+        );
+        let compressed = CompressedWeights::encode(&q);
+        let acts: Vec<i16> = (0..512).map(|i| (i % 31) as i16 - 15).collect();
+        group.bench_with_input(
+            BenchmarkId::new("matvec", format!("{:.0}%", density * 100.0)),
+            &compressed,
+            |b, cw| b.iter(|| black_box(cw.matvec(black_box(&acts)))),
+        );
+    }
+    group.finish();
+}
+
+fn svg_rendering(c: &mut Criterion) {
+    let cfg = paper_config();
+    let mut group = c.benchmark_group("svg");
+    group.bench_function("fig8_combined_rooflines", |b| {
+        b.iter(|| black_box(tpu_harness::svg_out::fig8_svg(&cfg).unwrap()));
+    });
+    group.bench_function("fig5_tpu_roofline", |b| {
+        b.iter(|| {
+            black_box(tpu_harness::svg_out::roofline_svg(Platform::Tpu, &cfg).unwrap())
+        });
+    });
+    group.bench_function("fig9_bars", |b| {
+        b.iter(|| black_box(tpu_harness::svg_out::fig9_svg(&cfg).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    asm_roundtrip,
+    pipeline_model,
+    batching_policies,
+    calibration,
+    compression,
+    svg_rendering
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! One Criterion benchmark per paper table: each iteration regenerates
+//! the table end-to-end (workload construction, compilation/lowering,
+//! timing simulation where applicable, and text rendering), and the
+//! regenerated table is printed once per run so `cargo bench` output
+//! doubles as the reproduction record.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpu_bench::paper_config;
+
+fn bench_table(c: &mut Criterion, id: &'static str) {
+    let cfg = paper_config();
+    // Print the regenerated artifact once, so bench logs carry the data.
+    println!("{}", tpu_harness::generate(id, &cfg));
+    c.bench_function(id, |b| {
+        b.iter(|| black_box(tpu_harness::generate(black_box(id), &cfg)));
+    });
+}
+
+fn tables(c: &mut Criterion) {
+    for id in ["table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8"] {
+        bench_table(c, id);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = tables
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! # tpu-bench — benchmark harness for the TPU reproduction
+//!
+//! The Criterion benches live under `benches/`:
+//!
+//! * `tables` — one benchmark per paper table (1-8), each regenerating
+//!   the table end-to-end (workload lowering + timing simulation +
+//!   formatting).
+//! * `figures` — one benchmark per paper figure (2, 5-11).
+//! * `microarch` — ablation microbenchmarks of the simulator itself:
+//!   systolic wavefront throughput by array size, timing-engine op rates,
+//!   Unified Buffer allocators, quantized matmul, and the functional
+//!   device end-to-end.
+//!
+//! This library crate exposes small helpers shared by the benches.
+
+#![warn(missing_docs)]
+
+use tpu_core::TpuConfig;
+
+/// The array sizes the microarchitecture ablations sweep: from a 32x32
+/// toy to the shipped 256x256.
+pub fn ablation_dims() -> Vec<usize> {
+    vec![32, 64, 128, 256]
+}
+
+/// A paper-configuration handle for benches.
+pub fn paper_config() -> TpuConfig {
+    TpuConfig::paper()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_dims_are_powers_of_two_up_to_256() {
+        let dims = ablation_dims();
+        assert_eq!(*dims.last().unwrap(), 256);
+        for d in dims {
+            assert!(d.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn paper_config_is_valid() {
+        assert!(paper_config().validate().is_ok());
+    }
+}

@@ -1,0 +1,33 @@
+//! # tpu-compiler — lowering NN models onto the simulated TPU
+//!
+//! The paper's User Space Driver, rebuilt: [`tiling`] cuts im2col weight
+//! matrices into the matrix unit's 64 KiB tiles (quantifying the edge
+//! padding that becomes "unused MACs"), [`alloc`] provides the two
+//! generations of Unified Buffer storage allocators behind Table 8,
+//! [`lower`] emits both executable ISA programs (FC models, functional
+//! device) and timed-op streams (all six workloads, timing engine), and
+//! [`runtime`] wraps it all in the compile-once / evaluate-many lifecycle
+//! the paper describes.
+//!
+//! ```
+//! use tpu_compiler::tiling::TileGrid;
+//!
+//! // Section 7's fragmentation example: 600x600 on a 256 vs 512 array.
+//! assert_eq!(TileGrid::new(600, 600, 256).total_tiles(), 9);
+//! assert_eq!(TileGrid::new(600, 600, 512).total_tiles(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod lower;
+pub mod runtime;
+pub mod tiling;
+pub mod verify;
+pub mod weight_manager;
+
+pub use lower::{compile_fc, compile_fc_at, lower_timed, CompileError, CompiledModel};
+pub use runtime::{RuntimeError, TpuRuntime};
+pub use verify::{verify as verify_program, Violation};
+pub use weight_manager::{WeightMemoryManager, WeightRegion};
+pub use tiling::TileGrid;

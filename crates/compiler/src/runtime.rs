@@ -1,0 +1,347 @@
+//! The host-side User Space Driver.
+//!
+//! The paper splits the TPU stack into a Kernel Driver (memory management
+//! and interrupts) and a User Space Driver that "sets up and controls TPU
+//! execution, reformats data into TPU order, translates API calls into TPU
+//! instructions ... compiles a model the first time it is evaluated,
+//! caching the program image and writing the weight image into the TPU's
+//! weight memory; the second and following evaluations run at full speed."
+//!
+//! [`TpuRuntime`] reproduces that lifecycle for FC models on the
+//! functional device: the first `evaluate` of each model calibrates,
+//! compiles, reserves a Weight Memory region through the
+//! [`crate::weight_manager::WeightMemoryManager`], and uploads the weight
+//! image; subsequent calls dispatch the cached program. Several models can
+//! be resident at once, matching the paper's "8 GiB supports many
+//! simultaneously active models".
+
+use crate::lower::{
+    compile_fc_at, deformat_activations, format_activations, CompileError, CompiledModel,
+};
+use crate::weight_manager::{WeightMemoryError, WeightMemoryManager};
+use std::collections::HashMap;
+use tpu_core::config::TpuConfig;
+use tpu_core::func::FuncTpu;
+use tpu_core::mem::HostMemory;
+use tpu_nn::quant::QuantizedActivations;
+use tpu_nn::reference::{calibrate, ModelWeights};
+use tpu_nn::{Matrix, NnModel};
+
+/// Errors from the runtime: compilation, memory management, or device
+/// faults.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Model could not be compiled.
+    Compile(CompileError),
+    /// Weight Memory management failed.
+    WeightMemory(WeightMemoryError),
+    /// The device raised an architectural fault.
+    Device(tpu_core::TpuError),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Compile(e) => write!(f, "compile error: {e}"),
+            RuntimeError::WeightMemory(e) => write!(f, "weight memory error: {e}"),
+            RuntimeError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<CompileError> for RuntimeError {
+    fn from(e: CompileError) -> Self {
+        RuntimeError::Compile(e)
+    }
+}
+
+impl From<WeightMemoryError> for RuntimeError {
+    fn from(e: WeightMemoryError) -> Self {
+        RuntimeError::WeightMemory(e)
+    }
+}
+
+impl From<tpu_core::TpuError> for RuntimeError {
+    fn from(e: tpu_core::TpuError) -> Self {
+        RuntimeError::Device(e)
+    }
+}
+
+/// Host runtime owning one functional TPU, a compiled-model cache, and
+/// the Weight Memory manager.
+///
+/// # Examples
+///
+/// See `examples/quickstart.rs`, which runs a small MLP end-to-end and
+/// compares against the f32 reference.
+#[derive(Debug)]
+pub struct TpuRuntime {
+    device: FuncTpu,
+    host: HostMemory,
+    models: HashMap<String, CompiledModel>,
+    weights_mgr: WeightMemoryManager,
+    evaluations: u64,
+}
+
+impl TpuRuntime {
+    /// Create a runtime over a fresh device with `host_bytes` of host
+    /// memory.
+    pub fn new(cfg: TpuConfig, host_bytes: usize) -> Self {
+        let weights_mgr = WeightMemoryManager::new(cfg.weight_memory_bytes);
+        Self {
+            device: FuncTpu::new(cfg),
+            host: HostMemory::new(host_bytes),
+            models: HashMap::new(),
+            weights_mgr,
+            evaluations: 0,
+        }
+    }
+
+    /// Whether a model's program image is cached (true after its first
+    /// evaluation).
+    pub fn is_compiled(&self, name: &str) -> bool {
+        self.models.contains_key(name)
+    }
+
+    /// Names of models whose weight images are resident.
+    pub fn resident_models(&self) -> Vec<&str> {
+        self.weights_mgr.resident_models()
+    }
+
+    /// Total evaluations served across all models.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Evict a model: drop its cached program and release its Weight
+    /// Memory region.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::WeightMemory`] if the model is not resident.
+    pub fn evict(&mut self, name: &str) -> Result<(), RuntimeError> {
+        self.weights_mgr.evict(name)?;
+        self.models.remove(name);
+        Ok(())
+    }
+
+    /// Evaluate `model` on a `batch x input_width` f32 input, returning
+    /// the dequantized f32 output. The first call per model name
+    /// compiles, reserves Weight Memory, and uploads; later calls reuse
+    /// the cached image.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Compile`] on lowering failures,
+    /// [`RuntimeError::WeightMemory`] when the weight DRAM cannot hold
+    /// another image, and [`RuntimeError::Device`] on architectural
+    /// faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match the model's batch and width.
+    pub fn evaluate(
+        &mut self,
+        model: &NnModel,
+        weights: &ModelWeights,
+        input: &Matrix,
+    ) -> Result<Matrix, RuntimeError> {
+        assert_eq!(
+            input.shape(),
+            (model.batch(), model.input_width()),
+            "input must be batch x input_width"
+        );
+        if !self.models.contains_key(model.name()) {
+            // First evaluation of this model: calibrate on this input,
+            // reserve weight DRAM, compile at the reserved base, upload.
+            let cal = calibrate(model, weights, input);
+            let image_bytes: usize = model
+                .layers()
+                .iter()
+                .filter_map(|l| l.matrix_shape())
+                .map(|(k, n)| {
+                    crate::tiling::TileGrid::new(k, n, self.device.config().array_dim)
+                        .padded_bytes() as usize
+                })
+                .sum();
+            let region = self.weights_mgr.register(model.name(), image_bytes.max(1))?;
+            let compiled = match compile_fc_at(model, weights, &cal, self.device.config(), region.base)
+            {
+                Ok(c) => c,
+                Err(e) => {
+                    // Roll the reservation back on compile failure.
+                    let _ = self.weights_mgr.evict(model.name());
+                    return Err(e.into());
+                }
+            };
+            for (addr, tile) in &compiled.weight_image {
+                self.device.weight_memory_mut().store_tile(*addr, tile)?;
+            }
+            self.models.insert(model.name().to_string(), compiled);
+        }
+        let compiled = &self.models[model.name()];
+        let dim = self.device.config().array_dim;
+
+        // Quantize and reformat the input into TPU order.
+        let q = QuantizedActivations::quantize(input, compiled.input_params);
+        let blocks = format_activations(q.codes(), compiled.batch, input.cols(), dim);
+        self.host.write(compiled.input_host_addr as usize, &blocks)?;
+
+        self.device.reset_execution_state();
+        self.device.run(&compiled.program, &mut self.host)?;
+        self.evaluations += 1;
+
+        let raw = self
+            .host
+            .read(compiled.output_host_addr as usize, compiled.output_bytes)?
+            .to_vec();
+        let codes = deformat_activations(&raw, compiled.batch, compiled.output_width, dim);
+        let out = QuantizedActivations::from_codes(
+            compiled.batch,
+            compiled.output_width,
+            codes,
+            compiled.output_params,
+        );
+        Ok(out.dequantize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tpu_core::config::Precision;
+    use tpu_nn::layer::{Layer, Nonlinearity};
+    use tpu_nn::model::NnKind;
+    use tpu_nn::reference::forward_f32;
+
+    fn small_mlp_named(name: &str, batch: usize) -> NnModel {
+        let d = TpuConfig::small().array_dim; // 8
+        NnModel::new(
+            name,
+            NnKind::Mlp,
+            vec![
+                Layer::fc(2 * d, d, Nonlinearity::Relu),
+                Layer::fc(d, d, Nonlinearity::Relu),
+                Layer::fc(d, d, Nonlinearity::None),
+            ],
+            batch,
+            2 * d,
+            Precision::Int8,
+        )
+    }
+
+    fn small_mlp(batch: usize) -> NnModel {
+        small_mlp_named("small-mlp", batch)
+    }
+
+    #[test]
+    fn device_matches_f32_reference_within_quant_error() {
+        let model = small_mlp(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let weights = ModelWeights::random(&model, 0.4, &mut rng);
+        let input = Matrix::from_fn(4, model.input_width(), |r, c| {
+            ((r * 31 + c * 7) % 17) as f32 * 0.05 - 0.4
+        });
+        let want = forward_f32(&model, &weights, &input);
+
+        let mut rt = TpuRuntime::new(TpuConfig::small(), 1 << 20);
+        let got = rt.evaluate(&model, &weights, &input).unwrap();
+
+        assert_eq!(got.shape(), want.shape());
+        let diff = want.max_abs_diff(&got);
+        assert!(diff < 0.25, "quantized output diverged: max abs diff {diff}");
+    }
+
+    #[test]
+    fn second_evaluation_reuses_cached_image() {
+        let model = small_mlp(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let weights = ModelWeights::random(&model, 0.3, &mut rng);
+        let input = Matrix::from_fn(2, model.input_width(), |_, c| (c % 5) as f32 * 0.1);
+
+        let mut rt = TpuRuntime::new(TpuConfig::small(), 1 << 20);
+        assert!(!rt.is_compiled("small-mlp"));
+        let a = rt.evaluate(&model, &weights, &input).unwrap();
+        assert!(rt.is_compiled("small-mlp"));
+        let b = rt.evaluate(&model, &weights, &input).unwrap();
+        assert_eq!(rt.evaluations(), 2);
+        // Deterministic execution model: identical runs, identical bits.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multiple_models_resident_simultaneously() {
+        let m1 = small_mlp_named("model-a", 2);
+        let m2 = small_mlp_named("model-b", 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let w1 = ModelWeights::random(&m1, 0.3, &mut rng);
+        let w2 = ModelWeights::random(&m2, 0.3, &mut rng);
+        let x1 = Matrix::from_fn(2, m1.input_width(), |_, c| (c % 7) as f32 * 0.1 - 0.2);
+        let x2 = Matrix::from_fn(3, m2.input_width(), |_, c| (c % 5) as f32 * 0.1 - 0.1);
+
+        let mut rt = TpuRuntime::new(TpuConfig::small(), 1 << 20);
+        let y1_first = rt.evaluate(&m1, &w1, &x1).unwrap();
+        let y2 = rt.evaluate(&m2, &w2, &x2).unwrap();
+        assert_eq!(rt.resident_models(), vec!["model-a", "model-b"]);
+        // Re-running model A after model B was loaded must give identical
+        // results: the images do not clobber each other.
+        let y1_again = rt.evaluate(&m1, &w1, &x1).unwrap();
+        assert_eq!(y1_first, y1_again, "weight images must not overlap");
+        assert_eq!(y2.shape(), (3, TpuConfig::small().array_dim));
+    }
+
+    #[test]
+    fn eviction_frees_the_name_and_region() {
+        let m = small_mlp_named("evictee", 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let w = ModelWeights::random(&m, 0.3, &mut rng);
+        let x = Matrix::from_fn(2, m.input_width(), |_, c| (c % 3) as f32 * 0.2);
+        let mut rt = TpuRuntime::new(TpuConfig::small(), 1 << 20);
+        rt.evaluate(&m, &w, &x).unwrap();
+        assert!(rt.is_compiled("evictee"));
+        rt.evict("evictee").unwrap();
+        assert!(!rt.is_compiled("evictee"));
+        assert!(rt.resident_models().is_empty());
+        // Evicting twice is an error.
+        assert!(matches!(rt.evict("evictee"), Err(RuntimeError::WeightMemory(_))));
+        // And the model can come back.
+        rt.evaluate(&m, &w, &x).unwrap();
+        assert!(rt.is_compiled("evictee"));
+    }
+
+    #[test]
+    fn relu_network_output_is_nonnegative_after_dequant() {
+        let d = TpuConfig::small().array_dim;
+        let relu_model = NnModel::new(
+            "relu",
+            NnKind::Mlp,
+            vec![Layer::fc(2 * d, d, Nonlinearity::Relu), Layer::fc(d, d, Nonlinearity::Relu)],
+            3,
+            2 * d,
+            Precision::Int8,
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let weights = ModelWeights::random(&relu_model, 0.4, &mut rng);
+        let input = Matrix::from_fn(3, relu_model.input_width(), |r, c| {
+            ((r + c) % 9) as f32 * 0.08 - 0.3
+        });
+        let mut rt = TpuRuntime::new(TpuConfig::small(), 1 << 20);
+        let out = rt.evaluate(&relu_model, &weights, &input).unwrap();
+        for &v in out.data() {
+            assert!(v >= -1e-3, "ReLU output must be nonnegative, got {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch x input_width")]
+    fn wrong_input_shape_panics() {
+        let model = small_mlp(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let weights = ModelWeights::random(&model, 0.3, &mut rng);
+        let mut rt = TpuRuntime::new(TpuConfig::small(), 1 << 20);
+        let _ = rt.evaluate(&model, &weights, &Matrix::zeros(3, 5));
+    }
+}

@@ -1,0 +1,220 @@
+//! Weight-matrix tiling.
+//!
+//! The matrix unit holds one `dim x dim` weight tile at a time, so a layer
+//! whose im2col weight matrix is `K x N` is cut into a
+//! `ceil(K/dim) x ceil(N/dim)` grid of tiles. Edge tiles are zero-padded;
+//! their *fill fraction* (real weights over `dim^2` slots) is what shows up
+//! in the paper's "unused MACs" counter when shallow layers occupy the
+//! array (Table 3: CNN1 holds useful weights in only about half the 64K
+//! MACs). Section 7's matrix-size sweep degrades for exactly the
+//! fragmentation this module quantifies: a 600x600 matrix needs 9 tiles of
+//! a 256x256 array but also 4 tiles of a 512x512 array whose steps each
+//! take four times as long.
+
+use tpu_core::mem::WeightTile;
+
+/// Geometry of one tile in a layer's tile grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileInfo {
+    /// Index along the reduction (K) dimension.
+    pub k_index: usize,
+    /// Index along the output (N) dimension.
+    pub n_index: usize,
+    /// Rows of real weights in this tile (`<= dim`).
+    pub rows_used: usize,
+    /// Columns of real weights in this tile (`<= dim`).
+    pub cols_used: usize,
+}
+
+impl TileInfo {
+    /// Fraction of the `dim x dim` MAC slots holding real weights.
+    pub fn fill(&self, dim: usize) -> f64 {
+        (self.rows_used * self.cols_used) as f64 / (dim * dim) as f64
+    }
+}
+
+/// The tile decomposition of a `K x N` weight matrix on a `dim`-wide array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileGrid {
+    /// Reduction dimension of the weight matrix.
+    pub k: usize,
+    /// Output dimension of the weight matrix.
+    pub n: usize,
+    /// Array dimension.
+    pub dim: usize,
+}
+
+impl TileGrid {
+    /// Create the grid for a `K x N` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(k: usize, n: usize, dim: usize) -> Self {
+        assert!(k > 0 && n > 0 && dim > 0, "dimensions must be positive");
+        Self { k, n, dim }
+    }
+
+    /// Tiles along the reduction dimension.
+    pub fn k_tiles(&self) -> usize {
+        self.k.div_ceil(self.dim)
+    }
+
+    /// Tiles along the output dimension.
+    pub fn n_tiles(&self) -> usize {
+        self.n.div_ceil(self.dim)
+    }
+
+    /// Total tiles.
+    pub fn total_tiles(&self) -> usize {
+        self.k_tiles() * self.n_tiles()
+    }
+
+    /// Geometry of tile `(k_index, n_index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn tile(&self, k_index: usize, n_index: usize) -> TileInfo {
+        assert!(k_index < self.k_tiles() && n_index < self.n_tiles(), "tile out of range");
+        let rows_used = (self.k - k_index * self.dim).min(self.dim);
+        let cols_used = (self.n - n_index * self.dim).min(self.dim);
+        TileInfo { k_index, n_index, rows_used, cols_used }
+    }
+
+    /// Iterate tiles in the order the compiler schedules them: for each
+    /// output tile, all reduction tiles (so accumulation chains are
+    /// contiguous).
+    pub fn iter(&self) -> impl Iterator<Item = TileInfo> + '_ {
+        (0..self.n_tiles()).flat_map(move |n_index| {
+            (0..self.k_tiles()).map(move |k_index| self.tile(k_index, n_index))
+        })
+    }
+
+    /// Mean fill fraction across all tiles — the layer's "useful MAC"
+    /// ceiling.
+    pub fn mean_fill(&self) -> f64 {
+        let total: f64 = self.iter().map(|t| t.fill(self.dim)).sum();
+        total / self.total_tiles() as f64
+    }
+
+    /// Padded weight bytes fetched for this layer (tiles x dim^2), versus
+    /// `k * n` real bytes.
+    pub fn padded_bytes(&self) -> u64 {
+        (self.total_tiles() * self.dim * self.dim) as u64
+    }
+}
+
+/// Cut a row-major `K x N` i8 weight matrix into zero-padded device tiles,
+/// in [`TileGrid::iter`] order.
+///
+/// # Panics
+///
+/// Panics if `codes.len() != k * n`.
+pub fn pack_tiles(codes: &[i8], k: usize, n: usize, dim: usize) -> Vec<WeightTile> {
+    assert_eq!(codes.len(), k * n, "codes must be k*n");
+    let grid = TileGrid::new(k, n, dim);
+    grid.iter()
+        .map(|t| {
+            let mut data = vec![0i8; dim * dim];
+            for r in 0..t.rows_used {
+                let src_row = t.k_index * dim + r;
+                let src_col = t.n_index * dim;
+                let src = &codes[src_row * n + src_col..src_row * n + src_col + t.cols_used];
+                data[r * dim..r * dim + t.cols_used].copy_from_slice(src);
+            }
+            WeightTile::from_rows(dim, data)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_has_full_tiles() {
+        let g = TileGrid::new(512, 256, 256);
+        assert_eq!(g.k_tiles(), 2);
+        assert_eq!(g.n_tiles(), 1);
+        assert_eq!(g.total_tiles(), 2);
+        assert!((g.mean_fill() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn the_papers_600_example() {
+        // Section 7: a 600x600 matrix takes 9 steps on a 256x256 array but
+        // 4 steps on 512x512.
+        let g256 = TileGrid::new(600, 600, 256);
+        assert_eq!(g256.total_tiles(), 9);
+        let g512 = TileGrid::new(600, 600, 512);
+        assert_eq!(g512.total_tiles(), 4);
+        // Fragmentation is worse on the bigger array.
+        assert!(g512.mean_fill() < g256.mean_fill());
+    }
+
+    #[test]
+    fn edge_tiles_partial_fill() {
+        let g = TileGrid::new(300, 100, 256);
+        assert_eq!(g.total_tiles(), 2);
+        let t0 = g.tile(0, 0);
+        assert_eq!((t0.rows_used, t0.cols_used), (256, 100));
+        let t1 = g.tile(1, 0);
+        assert_eq!((t1.rows_used, t1.cols_used), (44, 100));
+        assert!((t0.fill(256) - 100.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_order_is_reduction_contiguous() {
+        let g = TileGrid::new(600, 600, 256);
+        let order: Vec<(usize, usize)> = g.iter().map(|t| (t.n_index, t.k_index)).collect();
+        // For each n, all k in order.
+        assert_eq!(order[0], (0, 0));
+        assert_eq!(order[1], (0, 1));
+        assert_eq!(order[2], (0, 2));
+        assert_eq!(order[3], (1, 0));
+        assert_eq!(order.len(), 9);
+    }
+
+    #[test]
+    fn padded_bytes_exceed_real_bytes() {
+        let g = TileGrid::new(300, 300, 256);
+        assert!(g.padded_bytes() >= (g.k * g.n) as u64);
+        // 2x2 tiles of 64KiB.
+        assert_eq!(g.padded_bytes(), 4 * 65536);
+    }
+
+    #[test]
+    fn pack_tiles_places_weights_correctly() {
+        // 3x5 matrix on a 2-wide array -> 2x3 grid.
+        let codes: Vec<i8> = (1..=15).collect();
+        let tiles = pack_tiles(&codes, 3, 5, 2);
+        assert_eq!(tiles.len(), 6);
+        // Tile (k=0, n=0) holds rows 0..2, cols 0..2: [1,2,6,7].
+        assert_eq!(tiles[0].data(), &[1, 2, 6, 7]);
+        // Tile (k=1, n=0) holds row 2 padded: [11,12,0,0].
+        assert_eq!(tiles[1].data(), &[11, 12, 0, 0]);
+        // Tile (k=0, n=2) holds col 4: [5,0,10,0].
+        assert_eq!(tiles[4].data(), &[5, 0, 10, 0]);
+        // Last tile: row 2, col 4: [15,0,0,0].
+        assert_eq!(tiles[5].data(), &[15, 0, 0, 0]);
+    }
+
+    #[test]
+    fn pack_tiles_fill_matches_nonzero_for_dense_weights() {
+        // With all-nonzero weights, each tile's nonzero count must equal
+        // its rows_used*cols_used.
+        let codes = vec![1i8; 300 * 100];
+        let grid = TileGrid::new(300, 100, 256);
+        let tiles = pack_tiles(&codes, 300, 100, 256);
+        for (tile, info) in tiles.iter().zip(grid.iter()) {
+            assert_eq!(tile.nonzero(), info.rows_used * info.cols_used);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dim_rejected() {
+        let _ = TileGrid::new(0, 1, 256);
+    }
+}

@@ -1,0 +1,264 @@
+//! Static program verification.
+//!
+//! The driver validates a compiled program against the device
+//! configuration before dispatch — the checks the hardware would
+//! otherwise discover as faults mid-flight: addresses within the Unified
+//! Buffer / accumulators / Weight Memory, the Weight FIFO never
+//! over-filled or under-run by the `Read_Weights` / `MatrixMultiply`
+//! pairing, and a terminating `Halt`. Every program the compiler emits
+//! must verify cleanly (asserted in tests); hand-built programs get their
+//! bugs reported with instruction indices instead of device faults.
+
+use tpu_core::config::TpuConfig;
+use tpu_core::isa::{Instruction, Program};
+
+/// One static violation found in a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the offending instruction.
+    pub index: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "instruction {}: {}", self.index, self.message)
+    }
+}
+
+/// Verify a program against a configuration. Returns all violations
+/// (empty = clean).
+pub fn verify(program: &Program, cfg: &TpuConfig) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut fifo_level = 0usize;
+    let dim = cfg.array_dim;
+
+    let mut push = |index: usize, message: String| violations.push(Violation { index, message });
+
+    for (i, inst) in program.instructions().iter().enumerate() {
+        match *inst {
+            Instruction::ReadHostMemory { ub_addr, len, .. }
+            | Instruction::WriteHostMemory { ub_addr, len, .. } => {
+                let end = ub_addr as usize + len as usize;
+                if end > cfg.unified_buffer_bytes {
+                    push(i, format!(
+                        "unified buffer range [{ub_addr}, {end}) exceeds capacity {}",
+                        cfg.unified_buffer_bytes
+                    ));
+                }
+            }
+            Instruction::ReadWeights { dram_addr, tiles } => {
+                let end = dram_addr as usize + tiles as usize * cfg.tile_bytes();
+                if end > cfg.weight_memory_bytes {
+                    push(i, format!(
+                        "weight memory range [{dram_addr}, {end}) exceeds capacity {}",
+                        cfg.weight_memory_bytes
+                    ));
+                }
+                fifo_level += tiles as usize;
+                if fifo_level > cfg.weight_fifo_tiles {
+                    push(i, format!(
+                        "weight fifo over-filled: {fifo_level} tiles queued, depth {}",
+                        cfg.weight_fifo_tiles
+                    ));
+                    fifo_level = cfg.weight_fifo_tiles;
+                }
+            }
+            Instruction::MatrixMultiply { ub_addr, acc_addr, rows, .. } => {
+                if fifo_level == 0 {
+                    push(i, "matrix multiply with no weight tile queued".to_string());
+                } else {
+                    fifo_level -= 1;
+                }
+                let ub_end = ub_addr as usize + rows as usize * dim;
+                if ub_end > cfg.unified_buffer_bytes {
+                    push(i, format!(
+                        "matmul reads [{ub_addr}, {ub_end}) past the unified buffer"
+                    ));
+                }
+                let acc_end = acc_addr as usize + rows as usize;
+                if acc_end > cfg.accumulator_entries {
+                    push(i, format!(
+                        "matmul writes accumulators [{acc_addr}, {acc_end}) past {}",
+                        cfg.accumulator_entries
+                    ));
+                }
+            }
+            Instruction::Activate { acc_addr, ub_addr, rows, .. } => {
+                let acc_end = acc_addr as usize + rows as usize;
+                if acc_end > cfg.accumulator_entries {
+                    push(i, format!(
+                        "activate reads accumulators [{acc_addr}, {acc_end}) past {}",
+                        cfg.accumulator_entries
+                    ));
+                }
+                let ub_end = ub_addr as usize + rows as usize * dim;
+                if ub_end > cfg.unified_buffer_bytes {
+                    push(i, format!(
+                        "activate writes [{ub_addr}, {ub_end}) past the unified buffer"
+                    ));
+                }
+            }
+            Instruction::Halt => {
+                if i + 1 != program.len() {
+                    push(i, "halt before the end of the program".to_string());
+                }
+            }
+            Instruction::Sync
+            | Instruction::Nop
+            | Instruction::SetConfig { .. }
+            | Instruction::InterruptHost { .. }
+            | Instruction::DebugTag { .. } => {}
+        }
+    }
+    if !program.is_halted() {
+        violations.push(Violation {
+            index: program.len().saturating_sub(1),
+            message: "program does not end with halt".to_string(),
+        });
+    }
+    violations
+}
+
+/// Convenience: verify and return `Ok(())` or the first violation's
+/// message.
+///
+/// # Errors
+///
+/// The first violation, rendered.
+pub fn verify_ok(program: &Program, cfg: &TpuConfig) -> Result<(), String> {
+    match verify(program, cfg).first() {
+        None => Ok(()),
+        Some(v) => Err(v.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_core::config::Precision;
+    use tpu_core::isa::{ActivationFunction, PoolOp};
+
+    fn cfg() -> TpuConfig {
+        TpuConfig::small()
+    }
+
+    fn mm(ub_addr: u32, acc_addr: u16, rows: u32) -> Instruction {
+        Instruction::MatrixMultiply {
+            ub_addr,
+            acc_addr,
+            rows,
+            accumulate: false,
+            convolve: false,
+            precision: Precision::Int8,
+        }
+    }
+
+    #[test]
+    fn compiler_output_always_verifies() {
+        use rand::SeedableRng;
+        use tpu_nn::layer::{Layer, Nonlinearity};
+        use tpu_nn::model::{NnKind, NnModel};
+        use tpu_nn::reference::{calibrate, ModelWeights};
+
+        let d = cfg().array_dim;
+        for (depth, batch) in [(1usize, 2usize), (3, 4), (2, 16)] {
+            let mut layers = vec![Layer::fc(3 * d, d, Nonlinearity::Relu)];
+            for _ in 1..depth {
+                layers.push(Layer::fc(d, d, Nonlinearity::Relu));
+            }
+            let model =
+                NnModel::new("v", NnKind::Mlp, layers, batch, 3 * d, Precision::Int8);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(depth as u64);
+            let w = ModelWeights::random(&model, 0.4, &mut rng);
+            let x = tpu_nn::Matrix::from_fn(batch, 3 * d, |r, c| ((r + c) % 7) as f32 * 0.1);
+            let cal = calibrate(&model, &w, &x);
+            let compiled = crate::compile_fc(&model, &w, &cal, &cfg()).unwrap();
+            assert_eq!(
+                verify(&compiled.program, &cfg()),
+                vec![],
+                "compiled program must verify clean (depth {depth}, batch {batch})"
+            );
+        }
+    }
+
+    #[test]
+    fn catches_matmul_without_weights() {
+        let mut p = Program::new();
+        p.push(mm(0, 0, 1));
+        p.push(Instruction::Halt);
+        let v = verify(&p, &cfg());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("no weight tile"));
+        assert_eq!(v[0].index, 0);
+    }
+
+    #[test]
+    fn catches_fifo_overflow() {
+        let mut p = Program::new();
+        p.push(Instruction::ReadWeights { dram_addr: 0, tiles: 5 }); // depth is 4
+        p.push(Instruction::Halt);
+        let v = verify(&p, &cfg());
+        assert!(v.iter().any(|x| x.message.contains("over-filled")), "{v:?}");
+    }
+
+    #[test]
+    fn catches_out_of_range_addresses() {
+        let c = cfg();
+        let mut p = Program::new();
+        p.push(Instruction::ReadHostMemory {
+            host_addr: 0,
+            ub_addr: (c.unified_buffer_bytes - 1) as u32,
+            len: 16,
+        });
+        p.push(Instruction::ReadWeights {
+            dram_addr: c.weight_memory_bytes as u64,
+            tiles: 1,
+        });
+        p.push(mm(0, (c.accumulator_entries) as u16, 4));
+        p.push(Instruction::Activate {
+            acc_addr: 0,
+            ub_addr: c.unified_buffer_bytes as u32,
+            rows: 1,
+            func: ActivationFunction::Relu,
+            pool: PoolOp::None,
+        });
+        p.push(Instruction::Halt);
+        let v = verify(&p, &c);
+        assert!(v.iter().any(|x| x.message.contains("unified buffer range")));
+        assert!(v.iter().any(|x| x.message.contains("weight memory range")));
+        assert!(v.iter().any(|x| x.message.contains("accumulators")));
+        assert!(v.iter().any(|x| x.message.contains("activate writes")));
+    }
+
+    #[test]
+    fn catches_missing_and_early_halt() {
+        let mut p = Program::new();
+        p.push(Instruction::Nop);
+        assert!(verify_ok(&p, &cfg()).is_err());
+
+        let mut p = Program::new();
+        p.push(Instruction::Halt);
+        p.push(Instruction::Nop);
+        let v = verify(&p, &cfg());
+        assert!(v.iter().any(|x| x.message.contains("halt before the end")));
+        // Missing trailing halt also reported.
+        assert!(v.iter().any(|x| x.message.contains("does not end with halt")));
+    }
+
+    #[test]
+    fn clean_program_is_ok() {
+        let mut p = Program::new();
+        p.push(Instruction::ReadWeights { dram_addr: 0, tiles: 1 });
+        p.push(mm(0, 0, 2));
+        p.push(Instruction::Halt);
+        assert_eq!(verify_ok(&p, &cfg()), Ok(()));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation { index: 3, message: "boom".to_string() };
+        assert_eq!(v.to_string(), "instruction 3: boom");
+    }
+}

@@ -1,0 +1,263 @@
+//! Weight Memory management for simultaneously-active models.
+//!
+//! Section 2: the 8 GiB Weight Memory "supports many simultaneously
+//! active models". The Kernel Driver's memory-management job is modelled
+//! here: a first-fit region allocator over the weight DRAM with explicit
+//! registration/eviction of model weight images, so several compiled
+//! models can stay resident and be dispatched without re-uploading.
+
+use std::collections::HashMap;
+
+/// A reserved region of Weight Memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightRegion {
+    /// First byte.
+    pub base: usize,
+    /// Length in bytes.
+    pub bytes: usize,
+}
+
+impl WeightRegion {
+    /// One past the last byte.
+    pub fn end(&self) -> usize {
+        self.base + self.bytes
+    }
+}
+
+/// Errors from the Weight Memory manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightMemoryError {
+    /// Not enough contiguous free space for the requested image.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: usize,
+        /// Largest free extent available.
+        largest_free: usize,
+    },
+    /// A model with this name is already resident.
+    AlreadyResident(String),
+    /// No resident model with this name.
+    NotResident(String),
+}
+
+impl std::fmt::Display for WeightMemoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightMemoryError::OutOfMemory { requested, largest_free } => write!(
+                f,
+                "weight memory exhausted: requested {requested} bytes, largest free extent {largest_free}"
+            ),
+            WeightMemoryError::AlreadyResident(name) => {
+                write!(f, "model {name} is already resident")
+            }
+            WeightMemoryError::NotResident(name) => write!(f, "model {name} is not resident"),
+        }
+    }
+}
+
+impl std::error::Error for WeightMemoryError {}
+
+/// First-fit region allocator over the weight DRAM, keyed by model name.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_compiler::weight_manager::WeightMemoryManager;
+///
+/// let mut mgr = WeightMemoryManager::new(1 << 20);
+/// let region = mgr.register("rankbrain", 4096)?;
+/// assert_eq!(region.base % WeightMemoryManager::TILE_ALIGN, 0);
+/// assert!(mgr.is_resident("rankbrain"));
+/// mgr.evict("rankbrain")?;
+/// # Ok::<(), tpu_compiler::weight_manager::WeightMemoryError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightMemoryManager {
+    capacity: usize,
+    resident: HashMap<String, WeightRegion>,
+}
+
+impl WeightMemoryManager {
+    /// Weight images are tile-aligned (one 256x256 8-bit tile).
+    pub const TILE_ALIGN: usize = 256 * 256;
+
+    /// Create a manager over `capacity` bytes of Weight Memory.
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, resident: HashMap::new() }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently reserved.
+    pub fn bytes_resident(&self) -> usize {
+        self.resident.values().map(|r| r.bytes).sum()
+    }
+
+    /// Names of resident models.
+    pub fn resident_models(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.resident.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Whether a model's weight image is resident.
+    pub fn is_resident(&self, name: &str) -> bool {
+        self.resident.contains_key(name)
+    }
+
+    /// The region of a resident model.
+    pub fn region_of(&self, name: &str) -> Option<WeightRegion> {
+        self.resident.get(name).copied()
+    }
+
+    fn round_up(v: usize) -> usize {
+        v.div_ceil(Self::TILE_ALIGN) * Self::TILE_ALIGN
+    }
+
+    /// Free extents in address order.
+    fn free_extents(&self) -> Vec<WeightRegion> {
+        let mut used: Vec<WeightRegion> = self.resident.values().copied().collect();
+        used.sort_by_key(|r| r.base);
+        let mut free = Vec::new();
+        let mut cursor = 0usize;
+        for r in used {
+            if r.base > cursor {
+                free.push(WeightRegion { base: cursor, bytes: r.base - cursor });
+            }
+            cursor = cursor.max(r.end());
+        }
+        if cursor < self.capacity {
+            free.push(WeightRegion { base: cursor, bytes: self.capacity - cursor });
+        }
+        free
+    }
+
+    /// Reserve a tile-aligned region for a model's weight image.
+    ///
+    /// # Errors
+    ///
+    /// [`WeightMemoryError::AlreadyResident`] if the name is taken, or
+    /// [`WeightMemoryError::OutOfMemory`] if no free extent fits.
+    pub fn register(
+        &mut self,
+        name: &str,
+        image_bytes: usize,
+    ) -> Result<WeightRegion, WeightMemoryError> {
+        if self.is_resident(name) {
+            return Err(WeightMemoryError::AlreadyResident(name.to_string()));
+        }
+        let bytes = Self::round_up(image_bytes.max(1));
+        let mut largest = 0usize;
+        for extent in self.free_extents() {
+            largest = largest.max(extent.bytes);
+            if extent.bytes >= bytes {
+                let region = WeightRegion { base: extent.base, bytes };
+                self.resident.insert(name.to_string(), region);
+                return Ok(region);
+            }
+        }
+        Err(WeightMemoryError::OutOfMemory { requested: bytes, largest_free: largest })
+    }
+
+    /// Release a model's region.
+    ///
+    /// # Errors
+    ///
+    /// [`WeightMemoryError::NotResident`] if the name is unknown.
+    pub fn evict(&mut self, name: &str) -> Result<WeightRegion, WeightMemoryError> {
+        self.resident
+            .remove(name)
+            .ok_or_else(|| WeightMemoryError::NotResident(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: usize = 1024 * 1024;
+
+    #[test]
+    fn register_aligns_and_tracks() {
+        let mut mgr = WeightMemoryManager::new(64 * MIB);
+        let a = mgr.register("a", 100).unwrap();
+        assert_eq!(a.base, 0);
+        assert_eq!(a.bytes, WeightMemoryManager::TILE_ALIGN);
+        let b = mgr.register("b", WeightMemoryManager::TILE_ALIGN + 1).unwrap();
+        assert_eq!(b.base, a.end());
+        assert_eq!(b.bytes, 2 * WeightMemoryManager::TILE_ALIGN);
+        assert_eq!(mgr.resident_models(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn no_overlap_between_regions() {
+        let mut mgr = WeightMemoryManager::new(64 * MIB);
+        let regions: Vec<WeightRegion> = (0..8)
+            .map(|i| mgr.register(&format!("m{i}"), (i + 1) * MIB).unwrap())
+            .collect();
+        for (i, a) in regions.iter().enumerate() {
+            for b in regions.iter().skip(i + 1) {
+                assert!(a.end() <= b.base || b.end() <= a.base, "{a:?} overlaps {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn evict_makes_room_and_first_fit_reuses_holes() {
+        let tile = WeightMemoryManager::TILE_ALIGN;
+        let mut mgr = WeightMemoryManager::new(4 * tile);
+        mgr.register("a", tile).unwrap();
+        mgr.register("b", tile).unwrap();
+        mgr.register("c", 2 * tile).unwrap();
+        // Full: next registration fails with the largest extent reported.
+        let err = mgr.register("d", tile).unwrap_err();
+        assert!(matches!(err, WeightMemoryError::OutOfMemory { largest_free: 0, .. }));
+        // Evicting the *middle* model opens a hole at its base.
+        let freed = mgr.evict("b").unwrap();
+        let d = mgr.register("d", tile).unwrap();
+        assert_eq!(d.base, freed.base, "first fit must reuse the hole");
+    }
+
+    #[test]
+    fn duplicate_and_missing_names() {
+        let mut mgr = WeightMemoryManager::new(16 * MIB);
+        mgr.register("x", MIB).unwrap();
+        assert!(matches!(
+            mgr.register("x", MIB),
+            Err(WeightMemoryError::AlreadyResident(_))
+        ));
+        assert!(matches!(mgr.evict("y"), Err(WeightMemoryError::NotResident(_))));
+    }
+
+    #[test]
+    fn all_six_production_models_fit_together() {
+        // The paper's point: 8 GiB holds many active models. The six
+        // Table 1 workloads total ~220M padded weight bytes.
+        let mut mgr = WeightMemoryManager::new(8 * 1024 * MIB);
+        for m in tpu_nn::workloads::all() {
+            let padded: u64 = m
+                .layers()
+                .iter()
+                .filter_map(|l| l.matrix_shape())
+                .map(|(k, n)| crate::tiling::TileGrid::new(k, n, 256).padded_bytes())
+                .sum();
+            mgr.register(m.name(), padded as usize).unwrap();
+        }
+        assert_eq!(mgr.resident_models().len(), 6);
+        assert!(mgr.bytes_resident() < mgr.capacity() / 8, "plenty of headroom left");
+    }
+
+    #[test]
+    fn error_messages_render() {
+        for e in [
+            WeightMemoryError::OutOfMemory { requested: 1, largest_free: 0 },
+            WeightMemoryError::AlreadyResident("m".into()),
+            WeightMemoryError::NotResident("m".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The Activation Unit: nonlinearities, requantization, and pooling.
+//!
+//! `Activate` reads 32-bit accumulator entries, applies the artificial
+//! neuron's nonlinear function (ReLU for the MLPs/CNNs, sigmoid and tanh
+//! for the LSTMs), requantizes to 8 bits, and writes the result to the
+//! Unified Buffer. Dedicated pooling hardware hangs off the same unit
+//! (Section 2). Sigmoid and tanh are evaluated through 256-entry lookup
+//! tables, as ASIC activation units conventionally are; the quantization
+//! scheme is standard affine u8 activations against symmetric i8 weights.
+
+use crate::isa::{ActivationFunction, PoolOp};
+use serde::{Deserialize, Serialize};
+
+/// Affine quantization parameters for u8 activations:
+/// `real = scale * (q - zero_point)`.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_core::act::QuantParams;
+///
+/// let q = QuantParams::new(0.05, 10);
+/// let code = q.quantize(1.0);
+/// assert!((q.dequantize(code) - 1.0).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Real value of one quantization step.
+    pub scale: f32,
+    /// Code representing real zero.
+    pub zero_point: u8,
+}
+
+impl QuantParams {
+    /// Create parameters from a step size and zero code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn new(scale: f32, zero_point: u8) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        Self { scale, zero_point }
+    }
+
+    /// Parameters covering `[lo, hi]` with 256 codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo <= 0.0 <= hi` and `lo < hi` (zero must be exactly
+    /// representable, the standard requirement for affine quantization).
+    pub fn from_range(lo: f32, hi: f32) -> Self {
+        assert!(lo < hi && lo <= 0.0 && hi >= 0.0, "range must straddle zero");
+        let scale = (hi - lo) / 255.0;
+        let zero_point = (-lo / scale).round().clamp(0.0, 255.0) as u8;
+        Self { scale, zero_point }
+    }
+
+    /// Quantize a real value to its nearest u8 code (saturating).
+    pub fn quantize(&self, real: f32) -> u8 {
+        ((real / self.scale).round() + self.zero_point as f32).clamp(0.0, 255.0) as u8
+    }
+
+    /// Recover the real value of a code.
+    pub fn dequantize(&self, code: u8) -> f32 {
+        self.scale * (code as f32 - self.zero_point as f32)
+    }
+}
+
+impl Default for QuantParams {
+    /// Unit scale with zero at code 128 (symmetric-ish default).
+    fn default() -> Self {
+        Self { scale: 1.0, zero_point: 128 }
+    }
+}
+
+/// 256-entry hardware lookup table mapping a real input (clamped to
+/// `[-LUT_RANGE, LUT_RANGE)`) through a nonlinear function to a quantized
+/// output code.
+#[derive(Debug, Clone)]
+pub struct Lut256 {
+    table: [u8; 256],
+    in_lo: f32,
+    in_step: f32,
+}
+
+/// Input domain half-width of the sigmoid/tanh LUTs; both functions are
+/// saturated beyond +/-8.
+pub const LUT_RANGE: f32 = 8.0;
+
+impl Lut256 {
+    /// Build a table for `f` over `[-LUT_RANGE, LUT_RANGE)` quantized with
+    /// `out`.
+    pub fn build(f: impl Fn(f32) -> f32, out: QuantParams) -> Self {
+        let in_lo = -LUT_RANGE;
+        let in_step = (2.0 * LUT_RANGE) / 256.0;
+        let mut table = [0u8; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let x = in_lo + (i as f32 + 0.5) * in_step;
+            *slot = out.quantize(f(x));
+        }
+        Self { table, in_lo, in_step }
+    }
+
+    /// Look up the output code for a real input (inputs outside the domain
+    /// clamp to the boundary entries, matching the saturating hardware).
+    pub fn lookup(&self, x: f32) -> u8 {
+        let idx = ((x - self.in_lo) / self.in_step).floor();
+        let idx = idx.clamp(0.0, 255.0) as usize;
+        self.table[idx]
+    }
+}
+
+/// The activation pipeline stage: requantization plus nonlinearity plus
+/// optional pooling.
+#[derive(Debug, Clone)]
+pub struct ActivationUnit {
+    /// Real value of one accumulator unit (`input_scale * weight_scale`).
+    acc_scale: f32,
+    /// Output quantization.
+    out: QuantParams,
+    sigmoid: Lut256,
+    tanh: Lut256,
+    /// Values processed over the unit's lifetime.
+    values_processed: u64,
+}
+
+impl ActivationUnit {
+    /// Create a unit converting accumulators at `acc_scale` into codes
+    /// quantized by `out`.
+    pub fn new(acc_scale: f32, out: QuantParams) -> Self {
+        Self {
+            acc_scale,
+            out,
+            sigmoid: Lut256::build(|x| 1.0 / (1.0 + (-x).exp()), out),
+            tanh: Lut256::build(|x| x.tanh(), out),
+            values_processed: 0,
+        }
+    }
+
+    /// The output quantization parameters.
+    pub fn out_params(&self) -> QuantParams {
+        self.out
+    }
+
+    /// Real value of one accumulator unit.
+    pub fn acc_scale(&self) -> f32 {
+        self.acc_scale
+    }
+
+    /// Lifetime count of activations produced.
+    pub fn values_processed(&self) -> u64 {
+        self.values_processed
+    }
+
+    /// Apply `func` to a slice of raw accumulator values, producing u8
+    /// activation codes.
+    pub fn activate(&mut self, func: ActivationFunction, acc: &[i32]) -> Vec<u8> {
+        self.values_processed += acc.len() as u64;
+        acc.iter()
+            .map(|&v| {
+                let real = v as f32 * self.acc_scale;
+                match func {
+                    ActivationFunction::Identity => self.out.quantize(real),
+                    ActivationFunction::Relu => self.out.quantize(real.max(0.0)),
+                    ActivationFunction::Sigmoid => self.sigmoid.lookup(real),
+                    ActivationFunction::Tanh => self.tanh.lookup(real),
+                }
+            })
+            .collect()
+    }
+
+    /// Pool groups of `window` consecutive rows of `lanes`-wide u8 data
+    /// (the compiler lowers 2-D spatial pooling into this row form).
+    ///
+    /// Rows that do not fill a final window are pooled as a smaller group.
+    /// `PoolOp::None` returns the input unchanged.
+    pub fn pool(&mut self, op: PoolOp, rows: &[u8], lanes: usize) -> Vec<u8> {
+        assert!(lanes > 0 && rows.len().is_multiple_of(lanes), "rows must be whole lanes");
+        match op {
+            PoolOp::None => rows.to_vec(),
+            PoolOp::Max { window } => self.pool_with(rows, lanes, window as usize, |acc, v| {
+                acc.max(v as u32)
+            }),
+            PoolOp::Avg { window } => {
+                let w = window as usize;
+                let n_rows = rows.len() / lanes;
+                let mut out = Vec::new();
+                let mut r = 0;
+                while r < n_rows {
+                    let group = (n_rows - r).min(w);
+                    for c in 0..lanes {
+                        let mut sum = 0u32;
+                        for g in 0..group {
+                            sum += rows[(r + g) * lanes + c] as u32;
+                        }
+                        out.push((sum / group as u32) as u8);
+                    }
+                    r += group;
+                }
+                self.values_processed += out.len() as u64;
+                out
+            }
+        }
+    }
+
+    fn pool_with(
+        &mut self,
+        rows: &[u8],
+        lanes: usize,
+        window: usize,
+        fold: impl Fn(u32, u8) -> u32,
+    ) -> Vec<u8> {
+        let n_rows = rows.len() / lanes;
+        let mut out = Vec::new();
+        let mut r = 0;
+        while r < n_rows {
+            let group = (n_rows - r).min(window.max(1));
+            for c in 0..lanes {
+                let mut acc = rows[r * lanes + c] as u32;
+                for g in 1..group {
+                    acc = fold(acc, rows[(r + g) * lanes + c]);
+                }
+                out.push(acc as u8);
+            }
+            r += group;
+        }
+        self.values_processed += out.len() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quant_roundtrip_within_half_step() {
+        let q = QuantParams::from_range(-4.0, 4.0);
+        for &v in &[-4.0f32, -1.5, 0.0, 0.7, 3.99] {
+            let err = (q.dequantize(q.quantize(v)) - v).abs();
+            assert!(err <= q.scale * 0.5 + 1e-6, "v={v} err={err}");
+        }
+    }
+
+    #[test]
+    fn quant_zero_is_exact() {
+        let q = QuantParams::from_range(-1.0, 3.0);
+        assert_eq!(q.dequantize(q.quantize(0.0)), 0.0);
+    }
+
+    #[test]
+    fn quant_saturates() {
+        let q = QuantParams::from_range(-1.0, 1.0);
+        assert_eq!(q.quantize(100.0), 255);
+        assert_eq!(q.quantize(-100.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "straddle zero")]
+    fn quant_range_must_straddle_zero() {
+        let _ = QuantParams::from_range(1.0, 2.0);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let out = QuantParams::from_range(0.0, 2.0);
+        let mut unit = ActivationUnit::new(0.01, out);
+        let codes = unit.activate(ActivationFunction::Relu, &[-500, 0, 100]);
+        assert_eq!(codes[0], out.quantize(0.0));
+        assert_eq!(codes[1], out.quantize(0.0));
+        assert_eq!(codes[2], out.quantize(1.0));
+    }
+
+    #[test]
+    fn sigmoid_lut_close_to_real_sigmoid() {
+        let out = QuantParams::from_range(0.0, 1.0);
+        let mut unit = ActivationUnit::new(0.01, out);
+        for acc in [-800i32, -200, -50, 0, 50, 200, 800] {
+            let real = acc as f32 * 0.01;
+            let want = 1.0 / (1.0 + (-real).exp());
+            let got = out.dequantize(unit.activate(ActivationFunction::Sigmoid, &[acc])[0]);
+            assert!((got - want).abs() < 0.03, "x={real} got={got} want={want}");
+        }
+    }
+
+    #[test]
+    fn tanh_lut_close_to_real_tanh() {
+        let out = QuantParams::from_range(-1.0, 1.0);
+        let mut unit = ActivationUnit::new(0.02, out);
+        for acc in [-600i32, -100, 0, 100, 600] {
+            let real = acc as f32 * 0.02;
+            let got = out.dequantize(unit.activate(ActivationFunction::Tanh, &[acc])[0]);
+            // LUT input resolution is 16/256 = 0.0625 and tanh has unit max
+            // slope, so the worst-case error is half a bin plus a quant step.
+            assert!((got - real.tanh()).abs() < 0.04, "x={real}");
+        }
+    }
+
+    #[test]
+    fn lut_saturates_outside_domain() {
+        let out = QuantParams::from_range(-1.0, 1.0);
+        let lut = Lut256::build(|x| x.tanh(), out);
+        assert_eq!(lut.lookup(1000.0), lut.lookup(LUT_RANGE + 1.0));
+        assert_eq!(lut.lookup(-1000.0), lut.lookup(-LUT_RANGE - 1.0));
+        assert!(out.dequantize(lut.lookup(100.0)) > 0.95);
+        assert!(out.dequantize(lut.lookup(-100.0)) < -0.95);
+    }
+
+    #[test]
+    fn max_pool_rows() {
+        let mut unit = ActivationUnit::new(1.0, QuantParams::default());
+        // 4 rows x 2 lanes, window 2.
+        let rows = [1, 10, 5, 2, 9, 0, 3, 4];
+        let pooled = unit.pool(PoolOp::Max { window: 2 }, &rows, 2);
+        assert_eq!(pooled, vec![5, 10, 9, 4]);
+    }
+
+    #[test]
+    fn avg_pool_rows_with_ragged_tail() {
+        let mut unit = ActivationUnit::new(1.0, QuantParams::default());
+        // 3 rows x 1 lane, window 2: avg(2,4)=3 then avg(9)=9.
+        let pooled = unit.pool(PoolOp::Avg { window: 2 }, &[2, 4, 9], 1);
+        assert_eq!(pooled, vec![3, 9]);
+    }
+
+    #[test]
+    fn pool_none_is_identity() {
+        let mut unit = ActivationUnit::new(1.0, QuantParams::default());
+        let rows = [7, 8, 9];
+        assert_eq!(unit.pool(PoolOp::None, &rows, 3), rows.to_vec());
+    }
+
+    #[test]
+    fn values_processed_accumulates() {
+        let mut unit = ActivationUnit::new(1.0, QuantParams::default());
+        unit.activate(ActivationFunction::Identity, &[1, 2, 3]);
+        unit.pool(PoolOp::Max { window: 2 }, &[1, 2], 1);
+        assert_eq!(unit.values_processed(), 4);
+    }
+}

@@ -1,0 +1,369 @@
+//! TPU hardware configuration.
+//!
+//! [`TpuConfig`] captures every microarchitectural parameter the simulator
+//! depends on. The [`Default`] configuration reproduces the TPU v1 as
+//! published in the ISCA 2017 paper (Table 2 and Section 2): a 256x256
+//! 8-bit MAC systolic array at 700 MHz, a 24 MiB Unified Buffer, 4 MiB of
+//! 32-bit accumulators (4096 entries of 256 lanes), a 4-tile-deep Weight
+//! FIFO in front of an 8 GiB / 34 GB/s DDR3 Weight Memory, and a PCIe Gen3
+//! x16 host link.
+//!
+//! Section 7 of the paper sweeps these parameters (memory bandwidth, clock,
+//! accumulators, matrix dimension); [`TpuConfigBuilder`] exists so the sweep
+//! code and the hypothetical TPU' can derive scaled designs from the
+//! baseline.
+
+use serde::{Deserialize, Serialize};
+
+/// One mebibyte in bytes.
+pub const MIB: usize = 1024 * 1024;
+/// One gibibyte in bytes.
+pub const GIB: usize = 1024 * MIB;
+
+/// Numeric width mode of the matrix unit (Section 2: mixed precision runs at
+/// half speed, 16-bit on both operands at quarter speed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 8-bit weights and 8-bit activations: full speed.
+    #[default]
+    Int8,
+    /// 8-bit weights with 16-bit activations (or vice versa): half speed.
+    Mixed8x16,
+    /// 16-bit weights and 16-bit activations: quarter speed.
+    Int16,
+}
+
+impl Precision {
+    /// Throughput divisor relative to full 8-bit speed.
+    pub fn speed_divisor(self) -> u64 {
+        match self {
+            Precision::Int8 => 1,
+            Precision::Mixed8x16 => 2,
+            Precision::Int16 => 4,
+        }
+    }
+}
+
+/// Complete microarchitectural configuration of a simulated TPU die.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_core::config::TpuConfig;
+///
+/// let cfg = TpuConfig::default();
+/// assert_eq!(cfg.array_dim, 256);
+/// // 65,536 MACs at 700 MHz, 2 ops per MAC => 92 TOPS peak.
+/// assert!((cfg.peak_tops() - 91.75).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TpuConfig {
+    /// Edge length of the square systolic array (paper: 256).
+    pub array_dim: usize,
+    /// Core clock in Hz (paper: 700 MHz).
+    pub clock_hz: u64,
+    /// Unified Buffer capacity in bytes (paper: 24 MiB).
+    pub unified_buffer_bytes: usize,
+    /// Number of 256-lane, 32-bit accumulator entries (paper: 4096 = 4 MiB).
+    pub accumulator_entries: usize,
+    /// Depth of the on-chip weight FIFO in tiles (paper: 4).
+    pub weight_fifo_tiles: usize,
+    /// Off-chip Weight Memory capacity in bytes (paper: 8 GiB).
+    pub weight_memory_bytes: usize,
+    /// Sustained Weight Memory bandwidth in bytes/second (paper: 34 GB/s).
+    pub weight_memory_bw: f64,
+    /// Sustained host PCIe bandwidth in bytes/second (Gen3 x16, ~12.5 GB/s
+    /// usable; the paper reports 3% of cycles lost to PCIe input stalls).
+    pub pcie_bw: f64,
+    /// Datapath width in bytes of the internal paths (paper: 256).
+    pub path_width: usize,
+    /// Thermal design power of the die in Watts (paper: 75 W).
+    pub tdp_watts: f64,
+    /// Measured idle power of the die in Watts (paper: 28 W).
+    pub idle_watts: f64,
+    /// Measured busy power of the die in Watts (paper: 40 W).
+    pub busy_watts: f64,
+}
+
+impl Default for TpuConfig {
+    fn default() -> Self {
+        Self {
+            array_dim: 256,
+            clock_hz: 700_000_000,
+            unified_buffer_bytes: 24 * MIB,
+            accumulator_entries: 4096,
+            weight_fifo_tiles: 4,
+            weight_memory_bytes: 8 * GIB,
+            weight_memory_bw: 34.0e9,
+            pcie_bw: 12.5e9,
+            path_width: 256,
+            tdp_watts: 75.0,
+            idle_watts: 28.0,
+            busy_watts: 40.0,
+        }
+    }
+}
+
+impl TpuConfig {
+    /// Configuration of the real TPU v1 (same as [`Default`]).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A small configuration (8x8 array, tiny memories) for fast unit tests
+    /// of the functional simulator.
+    pub fn small() -> Self {
+        Self {
+            array_dim: 8,
+            clock_hz: 700_000_000,
+            unified_buffer_bytes: 64 * 1024,
+            accumulator_entries: 64,
+            weight_fifo_tiles: 4,
+            weight_memory_bytes: 16 * MIB,
+            weight_memory_bw: 34.0e9,
+            pcie_bw: 12.5e9,
+            path_width: 8,
+            tdp_watts: 75.0,
+            idle_watts: 28.0,
+            busy_watts: 40.0,
+        }
+    }
+
+    /// Start building a modified configuration from this one.
+    pub fn to_builder(&self) -> TpuConfigBuilder {
+        TpuConfigBuilder { cfg: self.clone() }
+    }
+
+    /// Number of multiply-accumulate units in the array.
+    pub fn macs(&self) -> usize {
+        self.array_dim * self.array_dim
+    }
+
+    /// Bytes in one weight tile (`array_dim`^2 8-bit weights; 64 KiB for the
+    /// paper configuration).
+    pub fn tile_bytes(&self) -> usize {
+        self.array_dim * self.array_dim
+    }
+
+    /// Peak throughput in MACs per second.
+    pub fn peak_macs_per_sec(&self) -> f64 {
+        self.macs() as f64 * self.clock_hz as f64
+    }
+
+    /// Peak throughput in tera-operations per second, counting a
+    /// multiply-accumulate as two operations (the paper's 92 TOPS).
+    pub fn peak_tops(&self) -> f64 {
+        2.0 * self.peak_macs_per_sec() / 1e12
+    }
+
+    /// Roofline ridge point in MACs per byte of weight memory traffic.
+    ///
+    /// The paper quotes ~1350 ops/weight-byte for the TPU, with Table 1
+    /// operational intensities counted in multiply-accumulates.
+    pub fn ridge_point(&self) -> f64 {
+        self.peak_macs_per_sec() / self.weight_memory_bw
+    }
+
+    /// Cycles to shift one weight tile into the matrix unit (one row per
+    /// cycle: `array_dim` cycles; 256 for the paper configuration).
+    pub fn weight_shift_cycles(&self) -> u64 {
+        self.array_dim as u64
+    }
+
+    /// Cycles to stream one weight tile out of Weight Memory at the
+    /// configured bandwidth.
+    pub fn weight_load_cycles(&self) -> u64 {
+        let secs = self.tile_bytes() as f64 / self.weight_memory_bw;
+        (secs * self.clock_hz as f64).ceil() as u64
+    }
+
+    /// Seconds per clock cycle.
+    pub fn cycle_seconds(&self) -> f64 {
+        1.0 / self.clock_hz as f64
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated invariant (zero
+    /// array dimension, zero clock, buffer smaller than one tile, ...).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.array_dim == 0 {
+            return Err("array_dim must be nonzero".to_string());
+        }
+        if self.clock_hz == 0 {
+            return Err("clock_hz must be nonzero".to_string());
+        }
+        if self.unified_buffer_bytes < self.array_dim {
+            return Err("unified buffer must hold at least one row".to_string());
+        }
+        if self.accumulator_entries == 0 {
+            return Err("accumulator_entries must be nonzero".to_string());
+        }
+        if self.weight_fifo_tiles == 0 {
+            return Err("weight_fifo_tiles must be nonzero".to_string());
+        }
+        if self.weight_memory_bw <= 0.0 || self.pcie_bw <= 0.0 {
+            return Err("bandwidths must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Builder for deriving modified [`TpuConfig`]s (used by the Section 7
+/// design-space sweeps and the TPU' evaluation).
+///
+/// # Examples
+///
+/// ```
+/// use tpu_core::config::TpuConfig;
+///
+/// // TPU' from Section 7: GDDR5 weight memory (5x bandwidth).
+/// let tpu_prime = TpuConfig::paper()
+///     .to_builder()
+///     .weight_memory_bw(5.0 * 34.0e9)
+///     .build()
+///     .unwrap();
+/// assert!(tpu_prime.ridge_point() < 300.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TpuConfigBuilder {
+    cfg: TpuConfig,
+}
+
+impl TpuConfigBuilder {
+    /// Set the systolic array edge length.
+    pub fn array_dim(mut self, dim: usize) -> Self {
+        self.cfg.array_dim = dim;
+        self
+    }
+
+    /// Set the core clock in Hz.
+    pub fn clock_hz(mut self, hz: u64) -> Self {
+        self.cfg.clock_hz = hz;
+        self
+    }
+
+    /// Set the Unified Buffer capacity in bytes.
+    pub fn unified_buffer_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.unified_buffer_bytes = bytes;
+        self
+    }
+
+    /// Set the number of accumulator entries.
+    pub fn accumulator_entries(mut self, entries: usize) -> Self {
+        self.cfg.accumulator_entries = entries;
+        self
+    }
+
+    /// Set the weight FIFO depth in tiles.
+    pub fn weight_fifo_tiles(mut self, tiles: usize) -> Self {
+        self.cfg.weight_fifo_tiles = tiles;
+        self
+    }
+
+    /// Set the Weight Memory bandwidth in bytes/second.
+    pub fn weight_memory_bw(mut self, bw: f64) -> Self {
+        self.cfg.weight_memory_bw = bw;
+        self
+    }
+
+    /// Set the host PCIe bandwidth in bytes/second.
+    pub fn pcie_bw(mut self, bw: f64) -> Self {
+        self.cfg.pcie_bw = bw;
+        self
+    }
+
+    /// Set the Weight Memory capacity in bytes.
+    pub fn weight_memory_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.weight_memory_bytes = bytes;
+        self
+    }
+
+    /// Finish building.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message if the resulting configuration is
+    /// internally inconsistent (see [`TpuConfig::validate`]).
+    pub fn build(self) -> Result<TpuConfig, String> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_published_numbers() {
+        let cfg = TpuConfig::paper();
+        assert_eq!(cfg.macs(), 65_536);
+        assert_eq!(cfg.tile_bytes(), 64 * 1024);
+        assert_eq!(cfg.unified_buffer_bytes, 24 * MIB);
+        assert_eq!(cfg.accumulator_entries * cfg.array_dim * 4, 4 * MIB);
+        assert!((cfg.peak_tops() - 91.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn ridge_point_is_about_1350() {
+        let cfg = TpuConfig::paper();
+        let ridge = cfg.ridge_point();
+        assert!(
+            (1300.0..1400.0).contains(&ridge),
+            "ridge point {ridge} outside the paper's ~1350"
+        );
+    }
+
+    #[test]
+    fn weight_load_dominates_shift_at_paper_bandwidth() {
+        let cfg = TpuConfig::paper();
+        // 64 KiB at 34 GB/s is ~1.9 us = ~1350 cycles at 700 MHz, far more
+        // than the 256-cycle shift, which is why MLPs stall on weights.
+        assert!(cfg.weight_load_cycles() > 4 * cfg.weight_shift_cycles());
+        assert!((1300..1400).contains(&cfg.weight_load_cycles()));
+    }
+
+    #[test]
+    fn builder_scales_bandwidth() {
+        let cfg = TpuConfig::paper()
+            .to_builder()
+            .weight_memory_bw(5.0 * 34.0e9)
+            .build()
+            .unwrap();
+        assert!((cfg.ridge_point() - 1349.9 / 5.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn builder_rejects_invalid() {
+        assert!(TpuConfig::paper().to_builder().array_dim(0).build().is_err());
+        assert!(TpuConfig::paper().to_builder().clock_hz(0).build().is_err());
+        assert!(TpuConfig::paper()
+            .to_builder()
+            .weight_memory_bw(-1.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn precision_divisors() {
+        assert_eq!(Precision::Int8.speed_divisor(), 1);
+        assert_eq!(Precision::Mixed8x16.speed_divisor(), 2);
+        assert_eq!(Precision::Int16.speed_divisor(), 4);
+        assert_eq!(Precision::default(), Precision::Int8);
+    }
+
+    #[test]
+    fn small_config_is_valid() {
+        assert!(TpuConfig::small().validate().is_ok());
+        assert_eq!(TpuConfig::small().macs(), 64);
+    }
+
+    #[test]
+    fn cycle_seconds_inverse_of_clock() {
+        let cfg = TpuConfig::paper();
+        assert!((cfg.cycle_seconds() * cfg.clock_hz as f64 - 1.0).abs() < 1e-12);
+    }
+}

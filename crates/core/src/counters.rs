@@ -1,0 +1,226 @@
+//! Hardware performance counters.
+//!
+//! The real TPU exposes 106 performance counters; the paper's Table 3 is
+//! built from the matrix-unit activity group, which this module reproduces:
+//! cycles split into *array active*, *weight stall*, *weight shift*, and
+//! *non-matrix* (summing to 100%), the useful/unused MAC split on active
+//! cycles, and the RAW-hazard / PCIe-input-stall counters that partially
+//! explain non-matrix time.
+
+use serde::{Deserialize, Serialize};
+
+/// Raw counter file filled by the timing engine.
+///
+/// This is a passive record: all fields are public, mirroring a
+/// memory-mapped counter bank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfCounters {
+    /// Total cycles from first issue to last retirement.
+    pub total_cycles: u64,
+    /// Cycles the matrix unit spent computing.
+    pub array_active_cycles: u64,
+    /// Cycles the matrix unit idled waiting for a weight tile to arrive
+    /// from Weight Memory.
+    pub weight_stall_cycles: u64,
+    /// Cycles spent visibly shifting a weight tile into the array (not
+    /// hidden by double buffering).
+    pub weight_shift_cycles: u64,
+    /// Cycles the matrix unit idled for read-after-write dependences
+    /// (waiting on the Activation Unit via explicit synchronization).
+    pub raw_stall_cycles: u64,
+    /// Cycles the matrix unit idled waiting for input over PCIe.
+    pub input_stall_cycles: u64,
+    /// MAC slots that performed useful work on active cycles.
+    pub useful_macs: u64,
+    /// MAC slots occupied but holding zero padding on active cycles.
+    pub unused_macs: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Weight bytes streamed from Weight Memory.
+    pub weight_bytes: u64,
+    /// Bytes transferred host -> device over PCIe.
+    pub pcie_in_bytes: u64,
+    /// Bytes transferred device -> host over PCIe.
+    pub pcie_out_bytes: u64,
+    /// Cycles the Activation Unit was busy (nonlinearities, pooling, and
+    /// vector ops).
+    pub activation_cycles: u64,
+    /// Cycles the DMA engine was busy.
+    pub dma_cycles: u64,
+    /// Weight tiles committed into the matrix unit.
+    pub tiles_committed: u64,
+}
+
+impl PerfCounters {
+    /// Cycles that were neither active, weight-stalled, nor shifting:
+    /// the paper's "non-matrix cycles" (Table 3 row 6).
+    pub fn non_matrix_cycles(&self) -> u64 {
+        self.total_cycles
+            .saturating_sub(self.array_active_cycles)
+            .saturating_sub(self.weight_stall_cycles)
+            .saturating_sub(self.weight_shift_cycles)
+    }
+
+    /// Average clocks per instruction. The paper quotes a CPI of 10-20 for
+    /// the CISC instructions.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Merge another counter file into this one (summing).
+    pub fn merge(&mut self, other: &PerfCounters) {
+        self.total_cycles += other.total_cycles;
+        self.array_active_cycles += other.array_active_cycles;
+        self.weight_stall_cycles += other.weight_stall_cycles;
+        self.weight_shift_cycles += other.weight_shift_cycles;
+        self.raw_stall_cycles += other.raw_stall_cycles;
+        self.input_stall_cycles += other.input_stall_cycles;
+        self.useful_macs += other.useful_macs;
+        self.unused_macs += other.unused_macs;
+        self.instructions += other.instructions;
+        self.weight_bytes += other.weight_bytes;
+        self.pcie_in_bytes += other.pcie_in_bytes;
+        self.pcie_out_bytes += other.pcie_out_bytes;
+        self.activation_cycles += other.activation_cycles;
+        self.dma_cycles += other.dma_cycles;
+        self.tiles_committed += other.tiles_committed;
+    }
+}
+
+/// Table 3-style derived report: the counter file normalized to fractions
+/// of total cycles plus achieved TOPS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CounterReport {
+    /// Fraction of cycles the array computed (Table 3 row 1).
+    pub array_active: f64,
+    /// Useful MACs as a fraction of peak MAC slots (row 2).
+    pub useful_mac_fraction: f64,
+    /// Zero-padded MAC slots as a fraction of peak (row 3).
+    pub unused_mac_fraction: f64,
+    /// Weight-stall fraction (row 4).
+    pub weight_stall: f64,
+    /// Visible weight-shift fraction (row 5).
+    pub weight_shift: f64,
+    /// Non-matrix fraction (row 6).
+    pub non_matrix: f64,
+    /// RAW-stall fraction (row 7).
+    pub raw_stall: f64,
+    /// PCIe input-stall fraction (row 8).
+    pub input_stall: f64,
+    /// Achieved tera-operations per second from useful MACs (row 9).
+    pub teraops: f64,
+    /// Total wall-clock seconds simulated.
+    pub seconds: f64,
+}
+
+impl CounterReport {
+    /// Derive the report from a counter file given the clock and array
+    /// size.
+    pub fn from_counters(c: &PerfCounters, clock_hz: u64, macs: usize) -> Self {
+        let total = c.total_cycles.max(1) as f64;
+        let peak_slots = total * macs as f64;
+        let seconds = c.total_cycles as f64 / clock_hz as f64;
+        let teraops = if seconds > 0.0 {
+            2.0 * c.useful_macs as f64 / seconds / 1e12
+        } else {
+            0.0
+        };
+        Self {
+            array_active: c.array_active_cycles as f64 / total,
+            useful_mac_fraction: c.useful_macs as f64 / peak_slots,
+            unused_mac_fraction: c.unused_macs as f64 / peak_slots,
+            weight_stall: c.weight_stall_cycles as f64 / total,
+            weight_shift: c.weight_shift_cycles as f64 / total,
+            non_matrix: c.non_matrix_cycles() as f64 / total,
+            raw_stall: c.raw_stall_cycles as f64 / total,
+            input_stall: c.input_stall_cycles as f64 / total,
+            teraops,
+            seconds,
+        }
+    }
+
+    /// The four primary rows (active, stall, shift, non-matrix) must total
+    /// 100% as in the paper; returns their sum for checking.
+    pub fn primary_sum(&self) -> f64 {
+        self.array_active + self.weight_stall + self.weight_shift + self.non_matrix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfCounters {
+        PerfCounters {
+            total_cycles: 1000,
+            array_active_cycles: 150,
+            weight_stall_cycles: 500,
+            weight_shift_cycles: 150,
+            raw_stall_cycles: 60,
+            input_stall_cycles: 40,
+            useful_macs: 150 * 64,
+            unused_macs: 0,
+            instructions: 50,
+            weight_bytes: 1 << 20,
+            pcie_in_bytes: 4096,
+            pcie_out_bytes: 1024,
+            activation_cycles: 80,
+            dma_cycles: 30,
+            tiles_committed: 10,
+        }
+    }
+
+    #[test]
+    fn non_matrix_completes_the_total() {
+        let c = sample();
+        assert_eq!(c.non_matrix_cycles(), 200);
+        let r = CounterReport::from_counters(&c, 700_000_000, 64);
+        assert!((r.primary_sum() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpi_in_cisc_range() {
+        let c = sample();
+        assert!((c.cpi() - 20.0).abs() < 1e-9);
+        assert_eq!(PerfCounters::default().cpi(), 0.0);
+    }
+
+    #[test]
+    fn useful_fraction_of_peak() {
+        let c = sample();
+        let r = CounterReport::from_counters(&c, 700_000_000, 64);
+        // 150*64 useful MAC slots over 1000 cycles * 64 slots = 15%.
+        assert!((r.useful_mac_fraction - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn teraops_matches_hand_computation() {
+        let c = sample();
+        let clock = 700_000_000u64;
+        let r = CounterReport::from_counters(&c, clock, 64);
+        let secs = 1000.0 / clock as f64;
+        let want = 2.0 * (150.0 * 64.0) / secs / 1e12;
+        assert!((r.teraops - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.total_cycles, 2000);
+        assert_eq!(a.useful_macs, 2 * 150 * 64);
+        assert_eq!(a.tiles_committed, 20);
+    }
+
+    #[test]
+    fn zero_counters_do_not_divide_by_zero() {
+        let r = CounterReport::from_counters(&PerfCounters::default(), 700_000_000, 65536);
+        assert_eq!(r.teraops, 0.0);
+        assert_eq!(r.array_active, 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Error types for the TPU simulator.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Error raised by the functional or timing simulator.
+///
+/// Every variant names the architectural resource whose invariant was
+/// violated, mirroring how the real device would raise a host interrupt with
+/// a fault code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TpuError {
+    /// Access past the end of the Unified Buffer.
+    UnifiedBufferOutOfRange {
+        /// First byte of the offending access.
+        addr: usize,
+        /// Length of the offending access in bytes.
+        len: usize,
+        /// Capacity of the buffer in bytes.
+        capacity: usize,
+    },
+    /// Access past the end of the accumulator file.
+    AccumulatorOutOfRange {
+        /// First entry of the offending access.
+        entry: usize,
+        /// Number of entries accessed.
+        count: usize,
+        /// Number of entries in the file.
+        capacity: usize,
+    },
+    /// Access past the end of Weight Memory.
+    WeightMemoryOutOfRange {
+        /// Offending byte address.
+        addr: usize,
+        /// Length of the access.
+        len: usize,
+        /// Capacity in bytes.
+        capacity: usize,
+    },
+    /// Access past the end of simulated host memory.
+    HostMemoryOutOfRange {
+        /// Offending byte address.
+        addr: usize,
+        /// Length of the access.
+        len: usize,
+        /// Capacity in bytes.
+        capacity: usize,
+    },
+    /// `MatrixMultiply` issued while no weight tile is loaded.
+    NoWeightsLoaded,
+    /// Weight FIFO pushed while full.
+    WeightFifoOverflow {
+        /// Configured FIFO depth in tiles.
+        depth: usize,
+    },
+    /// Weight FIFO popped while empty.
+    WeightFifoUnderflow,
+    /// Instruction decoded from fewer bytes than its encoding requires.
+    TruncatedInstruction {
+        /// Opcode byte observed.
+        opcode: u8,
+        /// Bytes available.
+        have: usize,
+        /// Bytes needed.
+        need: usize,
+    },
+    /// Unknown opcode byte.
+    UnknownOpcode(u8),
+    /// A program ran past its end without reaching `Halt`.
+    MissingHalt,
+    /// Operand inconsistent with the configuration (e.g. a tile wider than
+    /// the array).
+    InvalidOperand(String),
+}
+
+impl fmt::Display for TpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TpuError::UnifiedBufferOutOfRange { addr, len, capacity } => write!(
+                f,
+                "unified buffer access [{addr}, {addr}+{len}) exceeds capacity {capacity}"
+            ),
+            TpuError::AccumulatorOutOfRange { entry, count, capacity } => write!(
+                f,
+                "accumulator access [{entry}, {entry}+{count}) exceeds {capacity} entries"
+            ),
+            TpuError::WeightMemoryOutOfRange { addr, len, capacity } => write!(
+                f,
+                "weight memory access [{addr}, {addr}+{len}) exceeds capacity {capacity}"
+            ),
+            TpuError::HostMemoryOutOfRange { addr, len, capacity } => write!(
+                f,
+                "host memory access [{addr}, {addr}+{len}) exceeds capacity {capacity}"
+            ),
+            TpuError::NoWeightsLoaded => {
+                write!(f, "matrix multiply issued with no weight tile loaded")
+            }
+            TpuError::WeightFifoOverflow { depth } => {
+                write!(f, "weight fifo overflow (depth {depth} tiles)")
+            }
+            TpuError::WeightFifoUnderflow => write!(f, "weight fifo underflow"),
+            TpuError::TruncatedInstruction { opcode, have, need } => write!(
+                f,
+                "truncated instruction: opcode {opcode:#04x} needs {need} bytes, have {have}"
+            ),
+            TpuError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            TpuError::MissingHalt => write!(f, "program ended without a halt instruction"),
+            TpuError::InvalidOperand(msg) => write!(f, "invalid operand: {msg}"),
+        }
+    }
+}
+
+impl StdError for TpuError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, TpuError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<TpuError> = vec![
+            TpuError::UnifiedBufferOutOfRange { addr: 1, len: 2, capacity: 3 },
+            TpuError::AccumulatorOutOfRange { entry: 1, count: 2, capacity: 3 },
+            TpuError::WeightMemoryOutOfRange { addr: 1, len: 2, capacity: 3 },
+            TpuError::HostMemoryOutOfRange { addr: 1, len: 2, capacity: 3 },
+            TpuError::NoWeightsLoaded,
+            TpuError::WeightFifoOverflow { depth: 4 },
+            TpuError::WeightFifoUnderflow,
+            TpuError::TruncatedInstruction { opcode: 3, have: 2, need: 12 },
+            TpuError::UnknownOpcode(0xff),
+            TpuError::MissingHalt,
+            TpuError::InvalidOperand("x".to_string()),
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TpuError>();
+    }
+}

@@ -1,0 +1,533 @@
+//! The functional device: executes TPU programs on real data.
+//!
+//! [`FuncTpu`] wires the architectural blocks of Figure 1 together — host
+//! DMA, Unified Buffer, Weight Memory, Weight FIFO, systolic matrix unit,
+//! accumulators, and Activation Unit — and interprets a [`Program`]
+//! end-to-end, so a compiled model produces actual numbers that can be
+//! checked against a floating-point reference. Quantization state (input
+//! zero point, accumulator scale, output parameters) is programmed with
+//! `SetConfig`, mirroring how the user-space driver configures the device
+//! before dispatch.
+//!
+//! By default matrix products use the validated fast oracle
+//! ([`crate::systolic::matmul_reference`]); `cycle_accurate(true)` steps
+//! the real wavefront instead, which is practical for small arrays.
+
+use crate::act::{ActivationUnit, QuantParams};
+use crate::config::TpuConfig;
+use crate::error::{Result, TpuError};
+use crate::isa::{Instruction, PoolOp, Program};
+use crate::mem::{Accumulators, HostMemory, UnifiedBuffer, WeightFifo, WeightMemory};
+use crate::systolic::{matmul_reference, SystolicArray};
+
+/// Configuration registers (`SetConfig` keys) understood by the device.
+pub mod cfg_keys {
+    /// Input activation zero point (u8 in the low byte).
+    pub const INPUT_ZERO_POINT: u8 = 0;
+    /// Output activation zero point (u8 in the low byte).
+    pub const OUTPUT_ZERO_POINT: u8 = 1;
+    /// Output activation scale (f32 bits).
+    pub const OUTPUT_SCALE: u8 = 2;
+    /// Accumulator scale = input scale x weight scale (f32 bits).
+    pub const ACC_SCALE: u8 = 3;
+}
+
+/// Statistics from one functional run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuncRunStats {
+    /// Instructions retired (including the final `Halt`).
+    pub instructions: u64,
+    /// Matrix multiplies executed.
+    pub matmuls: u64,
+    /// Weight tiles fetched.
+    pub tiles_fetched: u64,
+    /// Host interrupts raised.
+    pub interrupts: u64,
+}
+
+/// Functional model of one TPU die attached to a host.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_core::config::TpuConfig;
+/// use tpu_core::func::FuncTpu;
+/// use tpu_core::mem::HostMemory;
+///
+/// let mut tpu = FuncTpu::new(TpuConfig::small());
+/// let mut host = HostMemory::new(4096);
+/// // An empty program with just a halt runs to completion.
+/// let mut p = tpu_core::isa::Program::new();
+/// p.push(tpu_core::isa::Instruction::Halt);
+/// let stats = tpu.run(&p, &mut host).unwrap();
+/// assert_eq!(stats.instructions, 1);
+/// ```
+#[derive(Debug)]
+pub struct FuncTpu {
+    cfg: TpuConfig,
+    ub: UnifiedBuffer,
+    acc: Accumulators,
+    weight_mem: WeightMemory,
+    fifo: WeightFifo,
+    array: SystolicArray,
+    act: ActivationUnit,
+    input_zero_point: u8,
+    cycle_accurate: bool,
+    stats: FuncRunStats,
+}
+
+impl FuncTpu {
+    /// Create a device with default (unit) quantization registers.
+    pub fn new(cfg: TpuConfig) -> Self {
+        let act = ActivationUnit::new(1.0, QuantParams::default());
+        Self {
+            ub: UnifiedBuffer::new(cfg.unified_buffer_bytes),
+            acc: Accumulators::new(cfg.accumulator_entries, cfg.array_dim),
+            weight_mem: WeightMemory::new(cfg.weight_memory_bytes),
+            fifo: WeightFifo::new(cfg.weight_fifo_tiles),
+            array: SystolicArray::new(cfg.array_dim),
+            cfg,
+            act,
+            input_zero_point: 128,
+            cycle_accurate: false,
+            stats: FuncRunStats::default(),
+        }
+    }
+
+    /// Hardware configuration.
+    pub fn config(&self) -> &TpuConfig {
+        &self.cfg
+    }
+
+    /// Step the real systolic wavefront cycle-by-cycle instead of using
+    /// the algebraic oracle (slow for large arrays; default off).
+    pub fn cycle_accurate(&mut self, enabled: bool) -> &mut Self {
+        self.cycle_accurate = enabled;
+        self
+    }
+
+    /// Direct access to Weight Memory for the driver's weight-image upload.
+    pub fn weight_memory_mut(&mut self) -> &mut WeightMemory {
+        &mut self.weight_mem
+    }
+
+    /// The Unified Buffer (e.g. to inspect footprints after a run).
+    pub fn unified_buffer(&self) -> &UnifiedBuffer {
+        &self.ub
+    }
+
+    /// Program the quantization registers directly (equivalent to issuing
+    /// the corresponding `SetConfig` instructions).
+    pub fn set_quantization(&mut self, input: QuantParams, weight_scale: f32, output: QuantParams) {
+        self.input_zero_point = input.zero_point;
+        self.act = ActivationUnit::new(input.scale * weight_scale, output);
+    }
+
+    /// Run a program to its `Halt`.
+    ///
+    /// # Errors
+    ///
+    /// Any architectural violation surfaces as a [`TpuError`]: out-of-range
+    /// addresses, FIFO misuse, a matrix op with no weights, or a program
+    /// missing its `Halt`.
+    pub fn run(&mut self, program: &Program, host: &mut HostMemory) -> Result<FuncRunStats> {
+        self.stats = FuncRunStats::default();
+        for inst in program.instructions() {
+            self.stats.instructions += 1;
+            match inst {
+                Instruction::Halt => return Ok(self.stats),
+                other => self.exec(other, host)?,
+            }
+        }
+        Err(TpuError::MissingHalt)
+    }
+
+    fn exec(&mut self, inst: &Instruction, host: &mut HostMemory) -> Result<()> {
+        match *inst {
+            Instruction::ReadHostMemory { host_addr, ub_addr, len } => {
+                let bytes = host.read(host_addr as usize, len as usize)?.to_vec();
+                host.record_to_device(len as usize);
+                self.ub.write(ub_addr as usize, &bytes)?;
+            }
+            Instruction::WriteHostMemory { ub_addr, host_addr, len } => {
+                let bytes = self.ub.read(ub_addr as usize, len as usize)?.to_vec();
+                host.record_from_device(len as usize);
+                host.write(host_addr as usize, &bytes)?;
+            }
+            Instruction::ReadWeights { dram_addr, tiles } => {
+                let dim = self.cfg.array_dim;
+                for t in 0..tiles as usize {
+                    let addr = dram_addr as usize + t * self.cfg.tile_bytes();
+                    let tile = self.weight_mem.fetch_tile(addr, dim)?;
+                    self.fifo.push(tile)?;
+                    self.stats.tiles_fetched += 1;
+                }
+            }
+            Instruction::MatrixMultiply { ub_addr, acc_addr, rows, accumulate, .. } => {
+                let dim = self.cfg.array_dim;
+                let tile = self.fifo.pop()?;
+                self.array.stage_weights(&tile)?;
+                self.array.commit_weights()?;
+                let zp = self.input_zero_point as i16;
+                let raw = self.ub.read(ub_addr as usize, rows as usize * dim)?.to_vec();
+                let acts: Vec<i16> = raw.iter().map(|&b| b as i16 - zp).collect();
+                let outputs = if self.cycle_accurate {
+                    self.array.matmul(&acts, rows as usize)?.outputs
+                } else {
+                    matmul_reference(&tile, &acts, rows as usize)
+                };
+                for r in 0..rows as usize {
+                    self.acc.store(
+                        acc_addr as usize + r,
+                        &outputs[r * dim..(r + 1) * dim],
+                        accumulate,
+                    )?;
+                }
+                self.stats.matmuls += 1;
+            }
+            Instruction::Activate { acc_addr, ub_addr, rows, func, pool } => {
+                let dim = self.cfg.array_dim;
+                let values = self.acc.load(acc_addr as usize, rows as usize)?.to_vec();
+                let activated = self.act.activate(func, &values);
+                let pooled = match pool {
+                    PoolOp::None => activated,
+                    op => self.act.pool(op, &activated, dim),
+                };
+                self.ub.write(ub_addr as usize, &pooled)?;
+            }
+            Instruction::Sync | Instruction::Nop | Instruction::DebugTag { .. } => {}
+            Instruction::InterruptHost { .. } => {
+                self.stats.interrupts += 1;
+            }
+            Instruction::SetConfig { key, value } => self.set_config(key, value)?,
+            Instruction::Halt => unreachable!("handled by run"),
+        }
+        Ok(())
+    }
+
+    fn set_config(&mut self, key: u8, value: u32) -> Result<()> {
+        let out = self.act.out_params();
+        let acc_scale = self.act.acc_scale();
+        match key {
+            cfg_keys::INPUT_ZERO_POINT => {
+                self.input_zero_point = value as u8;
+            }
+            cfg_keys::OUTPUT_ZERO_POINT => {
+                self.act =
+                    ActivationUnit::new(acc_scale, QuantParams { scale: out.scale, zero_point: value as u8 });
+            }
+            cfg_keys::OUTPUT_SCALE => {
+                let scale = f32::from_bits(value);
+                if !(scale.is_finite() && scale > 0.0) {
+                    return Err(TpuError::InvalidOperand(format!(
+                        "output scale {scale} must be positive"
+                    )));
+                }
+                self.act = ActivationUnit::new(
+                    acc_scale,
+                    QuantParams { scale, zero_point: out.zero_point },
+                );
+            }
+            cfg_keys::ACC_SCALE => {
+                let scale = f32::from_bits(value);
+                if !(scale.is_finite() && scale > 0.0) {
+                    return Err(TpuError::InvalidOperand(format!(
+                        "accumulator scale {scale} must be positive"
+                    )));
+                }
+                self.act = ActivationUnit::new(scale, out);
+            }
+            other => {
+                return Err(TpuError::InvalidOperand(format!("config key {other}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+// `cfg` is stored for tile geometry and capacities; reconstruct helpers
+// that need it read it through `config()`.
+impl FuncTpu {
+    /// Reset all device state (memories, FIFO, statistics) keeping the
+    /// uploaded weight image, like re-dispatching on a warm device.
+    pub fn reset_execution_state(&mut self) {
+        self.ub.reset();
+        self.acc.reset();
+        self.fifo.reset();
+        self.array.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::ActivationFunction;
+    use crate::mem::WeightTile;
+
+    /// Build a device + host + identity-ish weight tile, returning both.
+    fn small_device() -> (FuncTpu, HostMemory) {
+        let tpu = FuncTpu::new(TpuConfig::small());
+        let host = HostMemory::new(1 << 16);
+        (tpu, host)
+    }
+
+    fn identity_tile(dim: usize) -> WeightTile {
+        let mut data = vec![0i8; dim * dim];
+        for i in 0..dim {
+            data[i * dim + i] = 1;
+        }
+        WeightTile::from_rows(dim, data)
+    }
+
+    #[test]
+    fn end_to_end_identity_layer() {
+        let (mut tpu, mut host) = small_device();
+        let dim = tpu.config().array_dim;
+        let tile = identity_tile(dim);
+        tpu.weight_memory_mut().store_tile(0, &tile).unwrap();
+        // Identity quantization: zero point 0, scales 1.
+        tpu.set_quantization(
+            QuantParams { scale: 1.0, zero_point: 0 },
+            1.0,
+            QuantParams { scale: 1.0, zero_point: 0 },
+        );
+
+        let input: Vec<u8> = (0..dim as u8).map(|v| v * 2).collect();
+        host.write(0, &input).unwrap();
+
+        let mut p = Program::new();
+        p.push(Instruction::ReadHostMemory { host_addr: 0, ub_addr: 0, len: dim as u32 });
+        p.push(Instruction::ReadWeights { dram_addr: 0, tiles: 1 });
+        p.push(Instruction::MatrixMultiply {
+            ub_addr: 0,
+            acc_addr: 0,
+            rows: 1,
+            accumulate: false,
+            convolve: false,
+            precision: crate::config::Precision::Int8,
+        });
+        p.push(Instruction::Activate {
+            acc_addr: 0,
+            ub_addr: 1024,
+            rows: 1,
+            func: ActivationFunction::Identity,
+            pool: PoolOp::None,
+        });
+        p.push(Instruction::WriteHostMemory {
+            ub_addr: 1024,
+            host_addr: 2048,
+            len: dim as u32,
+        });
+        p.push(Instruction::Halt);
+
+        let stats = tpu.run(&p, &mut host).unwrap();
+        assert_eq!(stats.matmuls, 1);
+        assert_eq!(stats.tiles_fetched, 1);
+        let out = host.read(2048, dim).unwrap();
+        assert_eq!(out, &input[..], "identity layer must copy its input");
+    }
+
+    #[test]
+    fn accumulate_joins_two_tiles() {
+        let (mut tpu, mut host) = small_device();
+        let dim = tpu.config().array_dim;
+        let tile = identity_tile(dim);
+        tpu.weight_memory_mut().store_tile(0, &tile).unwrap();
+        tpu.weight_memory_mut().store_tile(tile.bytes(), &tile).unwrap();
+        tpu.set_quantization(
+            QuantParams { scale: 1.0, zero_point: 0 },
+            1.0,
+            QuantParams { scale: 1.0, zero_point: 0 },
+        );
+        host.write(0, &vec![3u8; dim]).unwrap();
+
+        let mut p = Program::new();
+        p.push(Instruction::ReadHostMemory { host_addr: 0, ub_addr: 0, len: dim as u32 });
+        p.push(Instruction::ReadWeights { dram_addr: 0, tiles: 2 });
+        for (i, accumulate) in [(0u32, false), (1u32, true)] {
+            let _ = i;
+            p.push(Instruction::MatrixMultiply {
+                ub_addr: 0,
+                acc_addr: 0,
+                rows: 1,
+                accumulate,
+                convolve: false,
+                precision: crate::config::Precision::Int8,
+            });
+        }
+        p.push(Instruction::Activate {
+            acc_addr: 0,
+            ub_addr: 512,
+            rows: 1,
+            func: ActivationFunction::Identity,
+            pool: PoolOp::None,
+        });
+        p.push(Instruction::WriteHostMemory { ub_addr: 512, host_addr: 1024, len: dim as u32 });
+        p.push(Instruction::Halt);
+        tpu.run(&p, &mut host).unwrap();
+        assert_eq!(host.read(1024, dim).unwrap(), &vec![6u8; dim][..]);
+    }
+
+    #[test]
+    fn relu_clamps_below_zero_point() {
+        let (mut tpu, mut host) = small_device();
+        let dim = tpu.config().array_dim;
+        // Negative identity: output = -input.
+        let mut data = vec![0i8; dim * dim];
+        for i in 0..dim {
+            data[i * dim + i] = -1;
+        }
+        tpu.weight_memory_mut()
+            .store_tile(0, &WeightTile::from_rows(dim, data))
+            .unwrap();
+        tpu.set_quantization(
+            QuantParams { scale: 1.0, zero_point: 0 },
+            1.0,
+            QuantParams { scale: 1.0, zero_point: 0 },
+        );
+        host.write(0, &vec![5u8; dim]).unwrap();
+        let mut p = Program::new();
+        p.push(Instruction::ReadHostMemory { host_addr: 0, ub_addr: 0, len: dim as u32 });
+        p.push(Instruction::ReadWeights { dram_addr: 0, tiles: 1 });
+        p.push(Instruction::MatrixMultiply {
+            ub_addr: 0,
+            acc_addr: 0,
+            rows: 1,
+            accumulate: false,
+            convolve: false,
+            precision: crate::config::Precision::Int8,
+        });
+        p.push(Instruction::Activate {
+            acc_addr: 0,
+            ub_addr: 256,
+            rows: 1,
+            func: ActivationFunction::Relu,
+            pool: PoolOp::None,
+        });
+        p.push(Instruction::WriteHostMemory { ub_addr: 256, host_addr: 512, len: dim as u32 });
+        p.push(Instruction::Halt);
+        tpu.run(&p, &mut host).unwrap();
+        assert_eq!(host.read(512, dim).unwrap(), &vec![0u8; dim][..]);
+    }
+
+    #[test]
+    fn cycle_accurate_matches_fast_path() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let dim = TpuConfig::small().array_dim;
+        let tile = WeightTile::from_rows(
+            dim,
+            (0..dim * dim).map(|_| rng.gen_range(-128i32..=127) as i8).collect(),
+        );
+        let input: Vec<u8> = (0..dim * 3).map(|_| rng.gen()).collect();
+
+        let run = |cycle_accurate: bool| {
+            let mut tpu = FuncTpu::new(TpuConfig::small());
+            tpu.cycle_accurate(cycle_accurate);
+            tpu.weight_memory_mut().store_tile(0, &tile).unwrap();
+            let mut host = HostMemory::new(4096);
+            host.write(0, &input).unwrap();
+            let mut p = Program::new();
+            p.push(Instruction::ReadHostMemory {
+                host_addr: 0,
+                ub_addr: 0,
+                len: input.len() as u32,
+            });
+            p.push(Instruction::ReadWeights { dram_addr: 0, tiles: 1 });
+            p.push(Instruction::MatrixMultiply {
+                ub_addr: 0,
+                acc_addr: 0,
+                rows: 3,
+                accumulate: false,
+                convolve: false,
+                precision: crate::config::Precision::Int8,
+            });
+            p.push(Instruction::Activate {
+                acc_addr: 0,
+                ub_addr: 2048,
+                rows: 3,
+                func: ActivationFunction::Identity,
+                pool: PoolOp::None,
+            });
+            p.push(Instruction::WriteHostMemory {
+                ub_addr: 2048,
+                host_addr: 2048,
+                len: (3 * dim) as u32,
+            });
+            p.push(Instruction::Halt);
+            tpu.run(&p, &mut host).unwrap();
+            host.read(2048, 3 * dim).unwrap().to_vec()
+        };
+
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn missing_halt_is_an_error() {
+        let (mut tpu, mut host) = small_device();
+        let mut p = Program::new();
+        p.push(Instruction::Nop);
+        assert!(matches!(tpu.run(&p, &mut host), Err(TpuError::MissingHalt)));
+    }
+
+    #[test]
+    fn matmul_without_weights_fails() {
+        let (mut tpu, mut host) = small_device();
+        let mut p = Program::new();
+        p.push(Instruction::MatrixMultiply {
+            ub_addr: 0,
+            acc_addr: 0,
+            rows: 1,
+            accumulate: false,
+            convolve: false,
+            precision: crate::config::Precision::Int8,
+        });
+        p.push(Instruction::Halt);
+        assert!(matches!(tpu.run(&p, &mut host), Err(TpuError::WeightFifoUnderflow)));
+    }
+
+    #[test]
+    fn set_config_via_instruction() {
+        let (mut tpu, mut host) = small_device();
+        let mut p = Program::new();
+        p.push(Instruction::SetConfig { key: cfg_keys::INPUT_ZERO_POINT, value: 7 });
+        p.push(Instruction::SetConfig {
+            key: cfg_keys::OUTPUT_SCALE,
+            value: 0.5f32.to_bits(),
+        });
+        p.push(Instruction::SetConfig { key: cfg_keys::ACC_SCALE, value: 0.25f32.to_bits() });
+        p.push(Instruction::Halt);
+        tpu.run(&p, &mut host).unwrap();
+        assert_eq!(tpu.input_zero_point, 7);
+        assert!((tpu.act.acc_scale() - 0.25).abs() < 1e-9);
+        assert!((tpu.act.out_params().scale - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let (mut tpu, mut host) = small_device();
+        let mut p = Program::new();
+        p.push(Instruction::SetConfig { key: 200, value: 0 });
+        p.push(Instruction::Halt);
+        assert!(tpu.run(&p, &mut host).is_err());
+
+        let mut p = Program::new();
+        p.push(Instruction::SetConfig {
+            key: cfg_keys::OUTPUT_SCALE,
+            value: f32::NAN.to_bits(),
+        });
+        p.push(Instruction::Halt);
+        assert!(tpu.run(&p, &mut host).is_err());
+    }
+
+    #[test]
+    fn interrupts_counted() {
+        let (mut tpu, mut host) = small_device();
+        let mut p = Program::new();
+        p.push(Instruction::InterruptHost { code: 1 });
+        p.push(Instruction::InterruptHost { code: 2 });
+        p.push(Instruction::Halt);
+        let stats = tpu.run(&p, &mut host).unwrap();
+        assert_eq!(stats.interrupts, 2);
+    }
+}

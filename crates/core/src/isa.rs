@@ -1,0 +1,777 @@
+//! The TPU CISC instruction set.
+//!
+//! The host sends instructions over PCIe into an instruction buffer; the TPU
+//! never fetches its own instructions (Section 2). The ISA has about a dozen
+//! instructions, five of which do nearly all the work:
+//!
+//! 1. `Read_Host_Memory` — host DRAM -> Unified Buffer over PCIe.
+//! 2. `Read_Weights` — Weight Memory -> Weight FIFO (decoupled
+//!    access/execute: it retires after posting its address).
+//! 3. `MatrixMultiply`/`Convolve` — Unified Buffer x weight tile ->
+//!    accumulators; a `B x 256` input against a `256 x 256` tile takes `B`
+//!    pipelined cycles.
+//! 4. `Activate` — nonlinearity (ReLU/sigmoid/tanh) and optional pooling
+//!    from accumulators back into the Unified Buffer.
+//! 5. `Write_Host_Memory` — Unified Buffer -> host DRAM.
+//!
+//! The paper documents the `MatrixMultiply` encoding as 12 bytes: 3 bytes of
+//! Unified Buffer address, 2 of accumulator address, 4 of length, and the
+//! remaining 3 of opcode and flags; [`Instruction::encode`] reproduces that
+//! layout exactly and the other instructions use the same fixed-width style.
+
+use crate::config::Precision;
+use crate::error::{Result, TpuError};
+use serde::{Deserialize, Serialize};
+
+/// Nonlinear functions implemented by the Activation Unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivationFunction {
+    /// Pass accumulator values through (requantize only).
+    Identity,
+    /// `max(0, x)` — used by the MLPs and CNNs.
+    Relu,
+    /// Logistic sigmoid via the hardware lookup table — used by the LSTMs.
+    Sigmoid,
+    /// Hyperbolic tangent via the hardware lookup table — used by the LSTMs.
+    Tanh,
+}
+
+impl ActivationFunction {
+    fn code(self) -> u8 {
+        match self {
+            ActivationFunction::Identity => 0,
+            ActivationFunction::Relu => 1,
+            ActivationFunction::Sigmoid => 2,
+            ActivationFunction::Tanh => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self> {
+        match code {
+            0 => Ok(ActivationFunction::Identity),
+            1 => Ok(ActivationFunction::Relu),
+            2 => Ok(ActivationFunction::Sigmoid),
+            3 => Ok(ActivationFunction::Tanh),
+            other => Err(TpuError::InvalidOperand(format!(
+                "activation function code {other}"
+            ))),
+        }
+    }
+}
+
+/// Pooling performed by the dedicated hardware attached to the Activation
+/// Unit (Section 2: "it can also perform the pooling operations needed for
+/// convolutions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolOp {
+    /// No pooling.
+    None,
+    /// Max pooling over a `window x window` region.
+    Max {
+        /// Pooling window edge length.
+        window: u8,
+    },
+    /// Average pooling over a `window x window` region.
+    Avg {
+        /// Pooling window edge length.
+        window: u8,
+    },
+}
+
+impl PoolOp {
+    fn code(self) -> (u8, u8) {
+        match self {
+            PoolOp::None => (0, 0),
+            PoolOp::Max { window } => (1, window),
+            PoolOp::Avg { window } => (2, window),
+        }
+    }
+
+    fn from_code(kind: u8, window: u8) -> Result<Self> {
+        match kind {
+            0 => Ok(PoolOp::None),
+            1 => Ok(PoolOp::Max { window }),
+            2 => Ok(PoolOp::Avg { window }),
+            other => Err(TpuError::InvalidOperand(format!("pool op code {other}"))),
+        }
+    }
+}
+
+/// Opcodes of the TPU CISC ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Host DRAM -> Unified Buffer.
+    ReadHostMemory = 0x01,
+    /// Unified Buffer -> host DRAM.
+    WriteHostMemory = 0x02,
+    /// Weight Memory -> Weight FIFO.
+    ReadWeights = 0x03,
+    /// Matrix multiply or convolution (flag selects).
+    MatrixMultiply = 0x04,
+    /// Nonlinearity and optional pooling.
+    Activate = 0x05,
+    /// Wait for all outstanding work to drain.
+    Sync = 0x06,
+    /// No operation.
+    Nop = 0x07,
+    /// End of program.
+    Halt = 0x08,
+    /// Write a configuration register.
+    SetConfig = 0x09,
+    /// Raise a host interrupt.
+    InterruptHost = 0x0a,
+    /// Tag the instruction stream for debugging.
+    DebugTag = 0x0b,
+}
+
+impl Opcode {
+    fn from_byte(b: u8) -> Result<Self> {
+        Ok(match b {
+            0x01 => Opcode::ReadHostMemory,
+            0x02 => Opcode::WriteHostMemory,
+            0x03 => Opcode::ReadWeights,
+            0x04 => Opcode::MatrixMultiply,
+            0x05 => Opcode::Activate,
+            0x06 => Opcode::Sync,
+            0x07 => Opcode::Nop,
+            0x08 => Opcode::Halt,
+            0x09 => Opcode::SetConfig,
+            0x0a => Opcode::InterruptHost,
+            0x0b => Opcode::DebugTag,
+            other => return Err(TpuError::UnknownOpcode(other)),
+        })
+    }
+}
+
+/// One decoded TPU instruction.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_core::isa::Instruction;
+///
+/// let mm = Instruction::MatrixMultiply {
+///     ub_addr: 0x000100,
+///     acc_addr: 0,
+///     rows: 200,
+///     accumulate: false,
+///     convolve: false,
+///     precision: tpu_core::config::Precision::Int8,
+/// };
+/// let bytes = mm.encode();
+/// assert_eq!(bytes.len(), 12); // the paper's 12-byte CISC encoding
+/// let (decoded, used) = Instruction::decode(&bytes).unwrap();
+/// assert_eq!(used, 12);
+/// assert_eq!(decoded, mm);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instruction {
+    /// Copy `len` bytes from host memory into the Unified Buffer.
+    ReadHostMemory {
+        /// Source address in host DRAM.
+        host_addr: u64,
+        /// Destination byte offset in the Unified Buffer.
+        ub_addr: u32,
+        /// Transfer length in bytes.
+        len: u32,
+    },
+    /// Copy `len` bytes from the Unified Buffer to host memory.
+    WriteHostMemory {
+        /// Source byte offset in the Unified Buffer.
+        ub_addr: u32,
+        /// Destination address in host DRAM.
+        host_addr: u64,
+        /// Transfer length in bytes.
+        len: u32,
+    },
+    /// Stream `tiles` weight tiles starting at `dram_addr` into the FIFO.
+    ReadWeights {
+        /// Source byte address in Weight Memory.
+        dram_addr: u64,
+        /// Number of consecutive tiles to fetch.
+        tiles: u16,
+    },
+    /// Multiply a `rows x dim` Unified Buffer region by the current weight
+    /// tile into `rows` accumulator entries.
+    MatrixMultiply {
+        /// Source byte offset in the Unified Buffer (24-bit in hardware).
+        ub_addr: u32,
+        /// Destination accumulator entry.
+        acc_addr: u16,
+        /// Number of input rows `B`; takes `B` pipelined cycles.
+        rows: u32,
+        /// Accumulate into the destination instead of overwriting.
+        accumulate: bool,
+        /// Interpret as a convolution (affects the timing model only; the
+        /// compiler lowers convolutions to matrix form).
+        convolve: bool,
+        /// Operand precision (8-bit full speed, mixed half, 16-bit quarter).
+        precision: Precision,
+    },
+    /// Apply a nonlinearity (and optional pooling) to accumulator entries,
+    /// writing 8-bit results to the Unified Buffer.
+    Activate {
+        /// First source accumulator entry.
+        acc_addr: u16,
+        /// Destination byte offset in the Unified Buffer.
+        ub_addr: u32,
+        /// Number of accumulator entries to process.
+        rows: u32,
+        /// Nonlinear function.
+        func: ActivationFunction,
+        /// Optional pooling fused after the nonlinearity.
+        pool: PoolOp,
+    },
+    /// Barrier: wait until every outstanding instruction has completed.
+    Sync,
+    /// No operation.
+    Nop,
+    /// End of program.
+    Halt,
+    /// Write an opaque configuration register.
+    SetConfig {
+        /// Register index.
+        key: u8,
+        /// Register value.
+        value: u32,
+    },
+    /// Raise an interrupt visible to the host driver.
+    InterruptHost {
+        /// Interrupt code.
+        code: u8,
+    },
+    /// Debug marker carried through the pipeline.
+    DebugTag {
+        /// Opaque tag value.
+        tag: u32,
+    },
+}
+
+impl Instruction {
+    /// The opcode of this instruction.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Instruction::ReadHostMemory { .. } => Opcode::ReadHostMemory,
+            Instruction::WriteHostMemory { .. } => Opcode::WriteHostMemory,
+            Instruction::ReadWeights { .. } => Opcode::ReadWeights,
+            Instruction::MatrixMultiply { .. } => Opcode::MatrixMultiply,
+            Instruction::Activate { .. } => Opcode::Activate,
+            Instruction::Sync => Opcode::Sync,
+            Instruction::Nop => Opcode::Nop,
+            Instruction::Halt => Opcode::Halt,
+            Instruction::SetConfig { .. } => Opcode::SetConfig,
+            Instruction::InterruptHost { .. } => Opcode::InterruptHost,
+            Instruction::DebugTag { .. } => Opcode::DebugTag,
+        }
+    }
+
+    /// Encoded length in bytes for a given opcode.
+    pub fn encoded_len(op: Opcode) -> usize {
+        match op {
+            Opcode::ReadHostMemory | Opcode::WriteHostMemory => 16,
+            Opcode::ReadWeights => 12,
+            Opcode::MatrixMultiply => 12,
+            Opcode::Activate => 12,
+            Opcode::Sync | Opcode::Nop | Opcode::Halt => 4,
+            Opcode::SetConfig => 8,
+            Opcode::InterruptHost => 4,
+            Opcode::DebugTag => 8,
+        }
+    }
+
+    /// Encode to the fixed-width byte format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::encoded_len(self.opcode()));
+        out.push(self.opcode() as u8);
+        match *self {
+            Instruction::ReadHostMemory { host_addr, ub_addr, len } => {
+                out.extend_from_slice(&ub_addr.to_le_bytes()[..3]);
+                out.extend_from_slice(&host_addr.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+            Instruction::WriteHostMemory { ub_addr, host_addr, len } => {
+                out.extend_from_slice(&ub_addr.to_le_bytes()[..3]);
+                out.extend_from_slice(&host_addr.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+            Instruction::ReadWeights { dram_addr, tiles } => {
+                out.push(0);
+                out.extend_from_slice(&dram_addr.to_le_bytes());
+                out.extend_from_slice(&tiles.to_le_bytes());
+            }
+            Instruction::MatrixMultiply {
+                ub_addr,
+                acc_addr,
+                rows,
+                accumulate,
+                convolve,
+                precision,
+            } => {
+                // Paper layout: 3B UB address, 2B accumulator address, 4B
+                // length, remainder opcode + flags (12 bytes total).
+                let mut flags: u8 = 0;
+                if accumulate {
+                    flags |= 0b0000_0001;
+                }
+                if convolve {
+                    flags |= 0b0000_0010;
+                }
+                flags |= match precision {
+                    Precision::Int8 => 0,
+                    Precision::Mixed8x16 => 0b0000_0100,
+                    Precision::Int16 => 0b0000_1000,
+                };
+                out.push(flags);
+                out.push(0); // reserved flag byte
+                out.extend_from_slice(&ub_addr.to_le_bytes()[..3]);
+                out.extend_from_slice(&acc_addr.to_le_bytes());
+                out.extend_from_slice(&rows.to_le_bytes());
+            }
+            Instruction::Activate { acc_addr, ub_addr, rows, func, pool } => {
+                let (pool_kind, window) = pool.code();
+                out.push(func.code() | (pool_kind << 4));
+                out.push(window);
+                out.extend_from_slice(&ub_addr.to_le_bytes()[..3]);
+                out.extend_from_slice(&acc_addr.to_le_bytes());
+                out.extend_from_slice(&rows.to_le_bytes());
+            }
+            Instruction::Sync | Instruction::Nop | Instruction::Halt => {
+                out.extend_from_slice(&[0, 0, 0]);
+            }
+            Instruction::SetConfig { key, value } => {
+                out.push(key);
+                out.extend_from_slice(&[0, 0]);
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+            Instruction::InterruptHost { code } => {
+                out.push(code);
+                out.extend_from_slice(&[0, 0]);
+            }
+            Instruction::DebugTag { tag } => {
+                out.extend_from_slice(&[0, 0, 0]);
+                out.extend_from_slice(&tag.to_le_bytes());
+            }
+        }
+        debug_assert_eq!(out.len(), Self::encoded_len(self.opcode()));
+        out
+    }
+
+    /// Decode one instruction from the front of `bytes`, returning it and
+    /// the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`TpuError::UnknownOpcode`] for an unrecognised opcode byte and
+    /// [`TpuError::TruncatedInstruction`] if `bytes` is shorter than the
+    /// opcode's fixed encoding.
+    pub fn decode(bytes: &[u8]) -> Result<(Self, usize)> {
+        let Some(&op_byte) = bytes.first() else {
+            return Err(TpuError::TruncatedInstruction { opcode: 0, have: 0, need: 1 });
+        };
+        let op = Opcode::from_byte(op_byte)?;
+        let need = Self::encoded_len(op);
+        if bytes.len() < need {
+            return Err(TpuError::TruncatedInstruction {
+                opcode: op_byte,
+                have: bytes.len(),
+                need,
+            });
+        }
+        let b = &bytes[..need];
+        let u24 = |s: &[u8]| u32::from_le_bytes([s[0], s[1], s[2], 0]);
+        let inst = match op {
+            Opcode::ReadHostMemory => Instruction::ReadHostMemory {
+                ub_addr: u24(&b[1..4]),
+                host_addr: u64::from_le_bytes(b[4..12].try_into().unwrap()),
+                len: u32::from_le_bytes(b[12..16].try_into().unwrap()),
+            },
+            Opcode::WriteHostMemory => Instruction::WriteHostMemory {
+                ub_addr: u24(&b[1..4]),
+                host_addr: u64::from_le_bytes(b[4..12].try_into().unwrap()),
+                len: u32::from_le_bytes(b[12..16].try_into().unwrap()),
+            },
+            Opcode::ReadWeights => Instruction::ReadWeights {
+                dram_addr: u64::from_le_bytes(b[2..10].try_into().unwrap()),
+                tiles: u16::from_le_bytes(b[10..12].try_into().unwrap()),
+            },
+            Opcode::MatrixMultiply => {
+                let flags = b[1];
+                let precision = match flags & 0b0000_1100 {
+                    0 => Precision::Int8,
+                    0b0000_0100 => Precision::Mixed8x16,
+                    0b0000_1000 => Precision::Int16,
+                    other => {
+                        return Err(TpuError::InvalidOperand(format!(
+                            "precision flags {other:#04x}"
+                        )))
+                    }
+                };
+                Instruction::MatrixMultiply {
+                    ub_addr: u24(&b[3..6]),
+                    acc_addr: u16::from_le_bytes(b[6..8].try_into().unwrap()),
+                    rows: u32::from_le_bytes(b[8..12].try_into().unwrap()),
+                    accumulate: flags & 0b0000_0001 != 0,
+                    convolve: flags & 0b0000_0010 != 0,
+                    precision,
+                }
+            }
+            Opcode::Activate => {
+                let func = ActivationFunction::from_code(b[1] & 0x0f)?;
+                let pool = PoolOp::from_code(b[1] >> 4, b[2])?;
+                Instruction::Activate {
+                    ub_addr: u24(&b[3..6]),
+                    acc_addr: u16::from_le_bytes(b[6..8].try_into().unwrap()),
+                    rows: u32::from_le_bytes(b[8..12].try_into().unwrap()),
+                    func,
+                    pool,
+                }
+            }
+            Opcode::Sync => Instruction::Sync,
+            Opcode::Nop => Instruction::Nop,
+            Opcode::Halt => Instruction::Halt,
+            Opcode::SetConfig => Instruction::SetConfig {
+                key: b[1],
+                value: u32::from_le_bytes(b[4..8].try_into().unwrap()),
+            },
+            Opcode::InterruptHost => Instruction::InterruptHost { code: b[1] },
+            Opcode::DebugTag => Instruction::DebugTag {
+                tag: u32::from_le_bytes(b[4..8].try_into().unwrap()),
+            },
+        };
+        Ok((inst, need))
+    }
+}
+
+/// A complete TPU program: the instruction stream the host driver sends over
+/// PCIe.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Create an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one instruction.
+    pub fn push(&mut self, inst: Instruction) {
+        self.instructions.push(inst);
+    }
+
+    /// The instructions in issue order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Whether the program's final instruction is `Halt`.
+    pub fn is_halted(&self) -> bool {
+        matches!(self.instructions.last(), Some(Instruction::Halt))
+    }
+
+    /// Serialize the whole program to the wire format sent over PCIe.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for inst in &self.instructions {
+            out.extend_from_slice(&inst.encode());
+        }
+        out
+    }
+
+    /// Decode a program from its wire format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures from [`Instruction::decode`].
+    pub fn decode(mut bytes: &[u8]) -> Result<Self> {
+        let mut program = Program::new();
+        while !bytes.is_empty() {
+            let (inst, used) = Instruction::decode(bytes)?;
+            program.push(inst);
+            bytes = &bytes[used..];
+        }
+        Ok(program)
+    }
+
+    /// Count instructions with a given opcode.
+    pub fn count(&self, op: Opcode) -> usize {
+        self.instructions.iter().filter(|i| i.opcode() == op).count()
+    }
+
+    /// Total encoded size in bytes.
+    pub fn encoded_bytes(&self) -> usize {
+        self.instructions
+            .iter()
+            .map(|i| Instruction::encoded_len(i.opcode()))
+            .sum()
+    }
+}
+
+impl FromIterator<Instruction> for Program {
+    fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
+        Program { instructions: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Instruction> for Program {
+    fn extend<T: IntoIterator<Item = Instruction>>(&mut self, iter: T) {
+        self.instructions.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instructions() -> Vec<Instruction> {
+        vec![
+            Instruction::ReadHostMemory { host_addr: 0x1000, ub_addr: 0x20, len: 4096 },
+            Instruction::WriteHostMemory { ub_addr: 0x30, host_addr: 0x2000, len: 128 },
+            Instruction::ReadWeights { dram_addr: 0x40000, tiles: 7 },
+            Instruction::MatrixMultiply {
+                ub_addr: 0xabcdef,
+                acc_addr: 0x1234,
+                rows: 600,
+                accumulate: true,
+                convolve: false,
+                precision: Precision::Int8,
+            },
+            Instruction::MatrixMultiply {
+                ub_addr: 1,
+                acc_addr: 2,
+                rows: 3,
+                accumulate: false,
+                convolve: true,
+                precision: Precision::Int16,
+            },
+            Instruction::Activate {
+                acc_addr: 99,
+                ub_addr: 0x777,
+                rows: 256,
+                func: ActivationFunction::Sigmoid,
+                pool: PoolOp::Max { window: 3 },
+            },
+            Instruction::Sync,
+            Instruction::Nop,
+            Instruction::SetConfig { key: 9, value: 0xdead_beef },
+            Instruction::InterruptHost { code: 2 },
+            Instruction::DebugTag { tag: 42 },
+            Instruction::Halt,
+        ]
+    }
+
+    #[test]
+    fn matrix_multiply_is_twelve_bytes() {
+        // The paper: "The CISC MatrixMultiply instruction is 12 bytes".
+        assert_eq!(Instruction::encoded_len(Opcode::MatrixMultiply), 12);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for inst in sample_instructions() {
+            let bytes = inst.encode();
+            assert_eq!(bytes.len(), Instruction::encoded_len(inst.opcode()));
+            let (decoded, used) = Instruction::decode(&bytes).unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(decoded, inst, "roundtrip failed for {inst:?}");
+        }
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let program: Program = sample_instructions().into_iter().collect();
+        let bytes = program.encode();
+        assert_eq!(bytes.len(), program.encoded_bytes());
+        let decoded = Program::decode(&bytes).unwrap();
+        assert_eq!(decoded, program);
+        assert!(decoded.is_halted());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_opcode() {
+        assert!(matches!(
+            Instruction::decode(&[0xf0, 0, 0, 0]),
+            Err(TpuError::UnknownOpcode(0xf0))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = Instruction::Halt.encode();
+        assert!(matches!(
+            Instruction::decode(&bytes[..2]),
+            Err(TpuError::TruncatedInstruction { .. })
+        ));
+        assert!(Instruction::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn ub_addr_is_24_bit() {
+        // Addresses above 2^24 are masked by the 3-byte field.
+        let inst = Instruction::MatrixMultiply {
+            ub_addr: 0x00ff_ffff,
+            acc_addr: 0,
+            rows: 1,
+            accumulate: false,
+            convolve: false,
+            precision: Precision::Int8,
+        };
+        let (decoded, _) = Instruction::decode(&inst.encode()).unwrap();
+        assert_eq!(decoded, inst);
+    }
+
+    #[test]
+    fn count_by_opcode() {
+        let program: Program = sample_instructions().into_iter().collect();
+        assert_eq!(program.count(Opcode::MatrixMultiply), 2);
+        assert_eq!(program.count(Opcode::Halt), 1);
+        assert_eq!(program.count(Opcode::ReadWeights), 1);
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::new();
+        assert!(p.is_empty());
+        assert!(!p.is_halted());
+        assert_eq!(p.encoded_bytes(), 0);
+        assert_eq!(Program::decode(&[]).unwrap(), p);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn precision_strategy() -> impl Strategy<Value = Precision> {
+        prop_oneof![
+            Just(Precision::Int8),
+            Just(Precision::Mixed8x16),
+            Just(Precision::Int16),
+        ]
+    }
+
+    fn activation_strategy() -> impl Strategy<Value = ActivationFunction> {
+        prop_oneof![
+            Just(ActivationFunction::Identity),
+            Just(ActivationFunction::Relu),
+            Just(ActivationFunction::Sigmoid),
+            Just(ActivationFunction::Tanh),
+        ]
+    }
+
+    fn pool_strategy() -> impl Strategy<Value = PoolOp> {
+        prop_oneof![
+            Just(PoolOp::None),
+            (1u8..16).prop_map(|window| PoolOp::Max { window }),
+            (1u8..16).prop_map(|window| PoolOp::Avg { window }),
+        ]
+    }
+
+    fn instruction_strategy() -> impl Strategy<Value = Instruction> {
+        prop_oneof![
+            (any::<u64>(), 0u32..(1 << 24), any::<u32>()).prop_map(
+                |(host_addr, ub_addr, len)| Instruction::ReadHostMemory {
+                    host_addr,
+                    ub_addr,
+                    len
+                }
+            ),
+            (0u32..(1 << 24), any::<u64>(), any::<u32>()).prop_map(
+                |(ub_addr, host_addr, len)| Instruction::WriteHostMemory {
+                    ub_addr,
+                    host_addr,
+                    len
+                }
+            ),
+            (any::<u64>(), any::<u16>())
+                .prop_map(|(dram_addr, tiles)| Instruction::ReadWeights { dram_addr, tiles }),
+            (
+                0u32..(1 << 24),
+                any::<u16>(),
+                any::<u32>(),
+                any::<bool>(),
+                any::<bool>(),
+                precision_strategy()
+            )
+                .prop_map(|(ub_addr, acc_addr, rows, accumulate, convolve, precision)| {
+                    Instruction::MatrixMultiply {
+                        ub_addr,
+                        acc_addr,
+                        rows,
+                        accumulate,
+                        convolve,
+                        precision,
+                    }
+                }),
+            (
+                any::<u16>(),
+                0u32..(1 << 24),
+                any::<u32>(),
+                activation_strategy(),
+                pool_strategy()
+            )
+                .prop_map(|(acc_addr, ub_addr, rows, func, pool)| Instruction::Activate {
+                    acc_addr,
+                    ub_addr,
+                    rows,
+                    func,
+                    pool,
+                }),
+            Just(Instruction::Sync),
+            Just(Instruction::Nop),
+            Just(Instruction::Halt),
+            (any::<u8>(), any::<u32>())
+                .prop_map(|(key, value)| Instruction::SetConfig { key, value }),
+            any::<u8>().prop_map(|code| Instruction::InterruptHost { code }),
+            any::<u32>().prop_map(|tag| Instruction::DebugTag { tag }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn every_instruction_roundtrips(inst in instruction_strategy()) {
+            let bytes = inst.encode();
+            prop_assert_eq!(bytes.len(), Instruction::encoded_len(inst.opcode()));
+            let (decoded, used) = Instruction::decode(&bytes).unwrap();
+            prop_assert_eq!(used, bytes.len());
+            prop_assert_eq!(decoded, inst);
+        }
+
+        #[test]
+        fn programs_roundtrip(insts in prop::collection::vec(instruction_strategy(), 0..50)) {
+            let program: Program = insts.into_iter().collect();
+            let decoded = Program::decode(&program.encode()).unwrap();
+            prop_assert_eq!(decoded, program);
+        }
+
+        #[test]
+        fn truncated_streams_never_panic(
+            inst in instruction_strategy(),
+            cut in 0usize..16,
+        ) {
+            let bytes = inst.encode();
+            let cut = cut.min(bytes.len());
+            // Decoding any prefix either succeeds (full length) or errors
+            // cleanly; it must never panic.
+            let _ = Instruction::decode(&bytes[..cut]);
+        }
+
+        #[test]
+        fn garbage_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+            let _ = Program::decode(&bytes);
+        }
+    }
+}

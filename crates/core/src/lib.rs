@@ -1,0 +1,63 @@
+//! # tpu-core — a simulator of the TPU v1 from ISCA 2017
+//!
+//! This crate reproduces, in software, the accelerator described in
+//! *In-Datacenter Performance Analysis of a Tensor Processing Unit*
+//! (Jouppi et al., ISCA 2017): a PCIe coprocessor built around a 256x256
+//! systolic array of 8-bit multiply-accumulate cells (92 TOPS peak at
+//! 700 MHz), a 24 MiB software-managed Unified Buffer, 4 MiB of 32-bit
+//! accumulators, and a 4-tile Weight FIFO fed from 8 GiB of off-chip
+//! Weight Memory at 34 GB/s.
+//!
+//! Two execution engines share the same ISA and configuration:
+//!
+//! * [`func::FuncTpu`] — a functional device that runs compiled programs
+//!   on real data (host DMA -> Unified Buffer -> systolic matmul ->
+//!   activation -> host), optionally stepping the systolic wavefront
+//!   cycle-by-cycle.
+//! * [`timing::TimingEngine`] — a tile-granular timing model that resolves
+//!   weight prefetch, double-buffered shifts, RAW synchronization, and
+//!   PCIe contention into the performance-counter breakdown of the paper's
+//!   Table 3.
+//!
+//! A third engine, [`pipeline::PipelineModel`], executes raw ISA programs
+//! through the 4-stage CISC pipeline at instruction granularity, producing
+//! per-instruction overlap diagrams and CPI.
+//!
+//! # Quick example
+//!
+//! ```
+//! use tpu_core::config::TpuConfig;
+//! use tpu_core::mem::WeightTile;
+//! use tpu_core::systolic::SystolicArray;
+//!
+//! // An 8x8 array computing a real product through the diagonal wavefront.
+//! let dim = 8;
+//! let tile = WeightTile::from_rows(dim, vec![1; dim * dim]);
+//! let mut array = SystolicArray::new(dim);
+//! array.stage_weights(&tile)?;
+//! array.commit_weights()?;
+//! let run = array.matmul(&vec![1i16; dim], 1)?;
+//! assert_eq!(run.outputs, vec![8; dim]);
+//! # Ok::<(), tpu_core::error::TpuError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod act;
+pub mod config;
+pub mod counters;
+pub mod error;
+pub mod func;
+pub mod isa;
+pub mod mem;
+pub mod pipeline;
+pub mod systolic;
+pub mod timing;
+
+pub use config::TpuConfig;
+pub use counters::{CounterReport, PerfCounters};
+pub use error::TpuError;
+pub use func::FuncTpu;
+pub use isa::{Instruction, Program};
+pub use pipeline::{PipelineModel, PipelineTrace};
+pub use timing::{TimedOp, TimingEngine, TimingReport};

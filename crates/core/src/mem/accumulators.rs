@@ -1,0 +1,185 @@
+//! The 4 MiB accumulator file.
+//!
+//! 4096 entries of 256 32-bit accumulators sit below the matrix unit
+//! (Figure 1). The matrix unit produces one 256-element partial sum per
+//! clock; an entry can either be overwritten or accumulated into, which is
+//! how the compiler stitches together weight tiles that cover a matrix
+//! wider than 256.
+
+use crate::error::{Result, TpuError};
+
+/// The 32-bit accumulator file below the matrix unit.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_core::mem::Accumulators;
+///
+/// let mut acc = Accumulators::new(16, 4);
+/// acc.store(0, &[1, 2, 3, 4], false).unwrap();
+/// acc.store(0, &[10, 10, 10, 10], true).unwrap(); // accumulate
+/// assert_eq!(acc.entry(0).unwrap(), &[11, 12, 13, 14]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Accumulators {
+    data: Vec<i32>,
+    entries: usize,
+    lanes: usize,
+    stores: u64,
+    loads: u64,
+}
+
+impl Accumulators {
+    /// Create `entries` zeroed accumulator entries of `lanes` 32-bit values.
+    pub fn new(entries: usize, lanes: usize) -> Self {
+        Self { data: vec![0; entries * lanes], entries, lanes, stores: 0, loads: 0 }
+    }
+
+    /// Number of entries.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Lanes (accumulators) per entry.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    fn check(&self, entry: usize, count: usize) -> Result<()> {
+        if entry.checked_add(count).is_none_or(|e| e > self.entries) {
+            return Err(TpuError::AccumulatorOutOfRange {
+                entry,
+                count,
+                capacity: self.entries,
+            });
+        }
+        Ok(())
+    }
+
+    /// Store one `lanes`-wide partial sum into `entry`, accumulating if
+    /// `accumulate` is set (saturating on overflow like the hardware).
+    ///
+    /// # Errors
+    ///
+    /// [`TpuError::AccumulatorOutOfRange`] if `entry` is out of range, and
+    /// [`TpuError::InvalidOperand`] if `values` is not exactly one entry
+    /// wide.
+    pub fn store(&mut self, entry: usize, values: &[i32], accumulate: bool) -> Result<()> {
+        self.check(entry, 1)?;
+        if values.len() != self.lanes {
+            return Err(TpuError::InvalidOperand(format!(
+                "accumulator store of {} lanes into {}-lane entry",
+                values.len(),
+                self.lanes
+            )));
+        }
+        let base = entry * self.lanes;
+        if accumulate {
+            for (slot, v) in self.data[base..base + self.lanes].iter_mut().zip(values) {
+                *slot = slot.saturating_add(*v);
+            }
+        } else {
+            self.data[base..base + self.lanes].copy_from_slice(values);
+        }
+        self.stores += 1;
+        Ok(())
+    }
+
+    /// Read one entry.
+    ///
+    /// # Errors
+    ///
+    /// [`TpuError::AccumulatorOutOfRange`] if `entry` is out of range.
+    pub fn entry(&self, entry: usize) -> Result<&[i32]> {
+        self.check(entry, 1)?;
+        Ok(&self.data[entry * self.lanes..(entry + 1) * self.lanes])
+    }
+
+    /// Read `count` consecutive entries, counting a load transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`TpuError::AccumulatorOutOfRange`] if the range is out of bounds.
+    pub fn load(&mut self, entry: usize, count: usize) -> Result<&[i32]> {
+        self.check(entry, count)?;
+        self.loads += count as u64;
+        Ok(&self.data[entry * self.lanes..(entry + count) * self.lanes])
+    }
+
+    /// Number of store transactions.
+    pub fn stores(&self) -> u64 {
+        self.stores
+    }
+
+    /// Number of load transactions (entries read).
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Zero everything and reset statistics.
+    pub fn reset(&mut self) {
+        self.data.fill(0);
+        self.stores = 0;
+        self.loads = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overwrite_then_accumulate() {
+        let mut acc = Accumulators::new(4, 3);
+        acc.store(2, &[5, -5, 7], false).unwrap();
+        acc.store(2, &[1, 1, 1], true).unwrap();
+        assert_eq!(acc.entry(2).unwrap(), &[6, -4, 8]);
+    }
+
+    #[test]
+    fn saturating_accumulate() {
+        let mut acc = Accumulators::new(1, 1);
+        acc.store(0, &[i32::MAX], false).unwrap();
+        acc.store(0, &[1], true).unwrap();
+        assert_eq!(acc.entry(0).unwrap(), &[i32::MAX]);
+        acc.store(0, &[i32::MIN], false).unwrap();
+        acc.store(0, &[-1], true).unwrap();
+        assert_eq!(acc.entry(0).unwrap(), &[i32::MIN]);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut acc = Accumulators::new(4, 2);
+        assert!(acc.store(4, &[0, 0], false).is_err());
+        assert!(acc.entry(4).is_err());
+        assert!(acc.load(3, 2).is_err());
+        assert!(acc.load(usize::MAX, 1).is_err());
+    }
+
+    #[test]
+    fn wrong_width_rejected() {
+        let mut acc = Accumulators::new(4, 2);
+        assert!(matches!(
+            acc.store(0, &[1, 2, 3], false),
+            Err(TpuError::InvalidOperand(_))
+        ));
+    }
+
+    #[test]
+    fn load_counts_entries() {
+        let mut acc = Accumulators::new(8, 2);
+        acc.load(0, 3).unwrap();
+        assert_eq!(acc.loads(), 3);
+        acc.store(0, &[1, 2], false).unwrap();
+        assert_eq!(acc.stores(), 1);
+        acc.reset();
+        assert_eq!(acc.loads(), 0);
+        assert_eq!(acc.entry(0).unwrap(), &[0, 0]);
+    }
+
+    #[test]
+    fn paper_dimensions_are_4mib() {
+        let acc = Accumulators::new(4096, 256);
+        assert_eq!(acc.entries() * acc.lanes() * 4, 4 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,115 @@
+//! Simulated host (CPU server) DRAM.
+//!
+//! The TPU is a coprocessor on the PCIe bus: inputs arrive from and results
+//! return to host memory via the programmable DMA controller. This model is
+//! a flat byte array with traffic counters so the timing engine can charge
+//! PCIe time.
+
+use crate::error::{Result, TpuError};
+
+/// Flat model of the host server's DRAM visible to the TPU DMA engine.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_core::mem::HostMemory;
+///
+/// let mut host = HostMemory::new(4096);
+/// host.write(0x100, &[42]).unwrap();
+/// assert_eq!(host.read(0x100, 1).unwrap(), &[42]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostMemory {
+    data: Vec<u8>,
+    bytes_to_device: u64,
+    bytes_from_device: u64,
+}
+
+impl HostMemory {
+    /// Create `capacity` bytes of zeroed host memory.
+    pub fn new(capacity: usize) -> Self {
+        Self { data: vec![0; capacity], bytes_to_device: 0, bytes_from_device: 0 }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    fn check(&self, addr: usize, len: usize) -> Result<()> {
+        if addr.checked_add(len).is_none_or(|end| end > self.data.len()) {
+            return Err(TpuError::HostMemoryOutOfRange {
+                addr,
+                len,
+                capacity: self.data.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Read bytes (host -> device direction when used by the DMA engine).
+    ///
+    /// # Errors
+    ///
+    /// [`TpuError::HostMemoryOutOfRange`] if the range exceeds capacity.
+    pub fn read(&self, addr: usize, len: usize) -> Result<&[u8]> {
+        self.check(addr, len)?;
+        Ok(&self.data[addr..addr + len])
+    }
+
+    /// Write bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`TpuError::HostMemoryOutOfRange`] if the range exceeds capacity.
+    pub fn write(&mut self, addr: usize, bytes: &[u8]) -> Result<()> {
+        self.check(addr, bytes.len())?;
+        self.data[addr..addr + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Record a host->device DMA of `len` bytes (called by the DMA model).
+    pub fn record_to_device(&mut self, len: usize) {
+        self.bytes_to_device += len as u64;
+    }
+
+    /// Record a device->host DMA of `len` bytes.
+    pub fn record_from_device(&mut self, len: usize) {
+        self.bytes_from_device += len as u64;
+    }
+
+    /// Total bytes DMA'd host -> device.
+    pub fn bytes_to_device(&self) -> u64 {
+        self.bytes_to_device
+    }
+
+    /// Total bytes DMA'd device -> host.
+    pub fn bytes_from_device(&self) -> u64 {
+        self.bytes_from_device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_bounds() {
+        let mut host = HostMemory::new(8);
+        host.write(4, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(host.read(4, 4).unwrap(), &[1, 2, 3, 4]);
+        assert!(host.write(5, &[0; 4]).is_err());
+        assert!(host.read(9, 1).is_err());
+        assert!(host.read(usize::MAX, 1).is_err());
+    }
+
+    #[test]
+    fn dma_accounting() {
+        let mut host = HostMemory::new(8);
+        host.record_to_device(100);
+        host.record_to_device(28);
+        host.record_from_device(64);
+        assert_eq!(host.bytes_to_device(), 128);
+        assert_eq!(host.bytes_from_device(), 64);
+    }
+}

@@ -1,0 +1,19 @@
+//! On-chip and off-chip memory models.
+//!
+//! The TPU datapath is nearly two-thirds of the die (Figure 2) and most of
+//! that is memory: the 24 MiB Unified Buffer, the 4 MiB accumulator file,
+//! and the Weight FIFO staging tiles out of the off-chip 8 GiB Weight
+//! Memory. Each structure here is a functional model with access statistics
+//! so the timing engine and the energy model can observe traffic.
+
+mod accumulators;
+mod host_memory;
+mod unified_buffer;
+mod weight_fifo;
+mod weight_memory;
+
+pub use accumulators::Accumulators;
+pub use host_memory::HostMemory;
+pub use unified_buffer::UnifiedBuffer;
+pub use weight_fifo::WeightFifo;
+pub use weight_memory::{WeightMemory, WeightTile};

@@ -1,0 +1,185 @@
+//! The 24 MiB software-managed Unified Buffer.
+//!
+//! The Unified Buffer holds activations (intermediate results) and serves as
+//! the input to the Matrix Unit and the destination of the Activation Unit.
+//! It is byte-addressable here; the hardware reads and writes 256-byte-wide
+//! rows per cycle, which the timing engine accounts for separately.
+
+use crate::error::{Result, TpuError};
+
+/// Software-managed on-chip activation storage.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_core::mem::UnifiedBuffer;
+///
+/// let mut ub = UnifiedBuffer::new(1024);
+/// ub.write(0, &[1, 2, 3]).unwrap();
+/// assert_eq!(ub.read(0, 3).unwrap(), &[1, 2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnifiedBuffer {
+    data: Vec<u8>,
+    reads: u64,
+    writes: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+    high_water_mark: usize,
+}
+
+impl UnifiedBuffer {
+    /// Create a zero-filled buffer of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            data: vec![0; capacity],
+            reads: 0,
+            writes: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+            high_water_mark: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    fn check(&self, addr: usize, len: usize) -> Result<()> {
+        if addr.checked_add(len).is_none_or(|end| end > self.data.len()) {
+            return Err(TpuError::UnifiedBufferOutOfRange {
+                addr,
+                len,
+                capacity: self.data.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Read `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`TpuError::UnifiedBufferOutOfRange`] if the range exceeds capacity.
+    pub fn read(&mut self, addr: usize, len: usize) -> Result<&[u8]> {
+        self.check(addr, len)?;
+        self.reads += 1;
+        self.bytes_read += len as u64;
+        Ok(&self.data[addr..addr + len])
+    }
+
+    /// Copy bytes into the buffer starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`TpuError::UnifiedBufferOutOfRange`] if the range exceeds capacity.
+    pub fn write(&mut self, addr: usize, bytes: &[u8]) -> Result<()> {
+        self.check(addr, bytes.len())?;
+        self.data[addr..addr + bytes.len()].copy_from_slice(bytes);
+        self.writes += 1;
+        self.bytes_written += bytes.len() as u64;
+        self.high_water_mark = self.high_water_mark.max(addr + bytes.len());
+        Ok(())
+    }
+
+    /// Read without recording statistics (used by test oracles).
+    ///
+    /// # Errors
+    ///
+    /// [`TpuError::UnifiedBufferOutOfRange`] if the range exceeds capacity.
+    pub fn peek(&self, addr: usize, len: usize) -> Result<&[u8]> {
+        self.check(addr, len)?;
+        Ok(&self.data[addr..addr + len])
+    }
+
+    /// Total read transactions observed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total write transactions observed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total bytes read.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Total bytes written.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Highest byte offset ever written plus one — the footprint a Unified
+    /// Buffer allocator actually used (Table 8).
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water_mark
+    }
+
+    /// Zero the contents and reset statistics.
+    pub fn reset(&mut self) {
+        self.data.fill(0);
+        self.reads = 0;
+        self.writes = 0;
+        self.bytes_read = 0;
+        self.bytes_written = 0;
+        self.high_water_mark = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut ub = UnifiedBuffer::new(256);
+        ub.write(10, &[9, 8, 7]).unwrap();
+        assert_eq!(ub.read(10, 3).unwrap(), &[9, 8, 7]);
+        assert_eq!(ub.peek(11, 1).unwrap(), &[8]);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut ub = UnifiedBuffer::new(16);
+        assert!(ub.write(15, &[1, 2]).is_err());
+        assert!(ub.read(16, 1).is_err());
+        assert!(ub.read(0, 17).is_err());
+        // Exactly at capacity is fine.
+        assert!(ub.write(0, &[0; 16]).is_ok());
+    }
+
+    #[test]
+    fn overflow_addresses_do_not_panic() {
+        let mut ub = UnifiedBuffer::new(16);
+        assert!(ub.read(usize::MAX, 2).is_err());
+        assert!(ub.write(usize::MAX - 1, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn statistics_track_traffic() {
+        let mut ub = UnifiedBuffer::new(64);
+        ub.write(0, &[0; 32]).unwrap();
+        ub.write(32, &[0; 8]).unwrap();
+        ub.read(0, 16).unwrap();
+        assert_eq!(ub.writes(), 2);
+        assert_eq!(ub.reads(), 1);
+        assert_eq!(ub.bytes_written(), 40);
+        assert_eq!(ub.bytes_read(), 16);
+        assert_eq!(ub.high_water_mark(), 40);
+        ub.reset();
+        assert_eq!(ub.writes(), 0);
+        assert_eq!(ub.high_water_mark(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut ub = UnifiedBuffer::new(8);
+        ub.write(0, &[1]).unwrap();
+        let _ = ub.peek(0, 1).unwrap();
+        assert_eq!(ub.reads(), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The on-chip Weight FIFO.
+//!
+//! Weights are staged through a four-tile-deep FIFO between Weight Memory
+//! and the matrix unit (Section 2). `Read_Weights` follows the decoupled
+//! access/execute philosophy [Smi82]: the instruction retires after posting
+//! its address, and the matrix unit stalls only if it reaches a tile that
+//! has not yet arrived. The FIFO depth bounds how far weight prefetch can
+//! run ahead.
+
+use crate::error::{Result, TpuError};
+use crate::mem::WeightTile;
+use std::collections::VecDeque;
+
+/// Four-tile-deep staging FIFO between Weight Memory and the matrix unit.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_core::mem::{WeightFifo, WeightTile};
+///
+/// let mut fifo = WeightFifo::new(4);
+/// fifo.push(WeightTile::zeros(2)).unwrap();
+/// assert_eq!(fifo.len(), 1);
+/// let tile = fifo.pop().unwrap();
+/// assert_eq!(tile.dim(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightFifo {
+    depth: usize,
+    tiles: VecDeque<WeightTile>,
+    pushes: u64,
+    pops: u64,
+}
+
+impl WeightFifo {
+    /// Create a FIFO holding at most `depth` tiles.
+    pub fn new(depth: usize) -> Self {
+        Self { depth, tiles: VecDeque::with_capacity(depth), pushes: 0, pops: 0 }
+    }
+
+    /// Maximum number of tiles.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Tiles currently buffered.
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Whether the FIFO holds no tiles.
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// Whether another push would overflow.
+    pub fn is_full(&self) -> bool {
+        self.tiles.len() == self.depth
+    }
+
+    /// Enqueue a tile arriving from Weight Memory.
+    ///
+    /// # Errors
+    ///
+    /// [`TpuError::WeightFifoOverflow`] when full; the timing engine uses
+    /// `is_full` to apply backpressure instead of hitting this.
+    pub fn push(&mut self, tile: WeightTile) -> Result<()> {
+        if self.is_full() {
+            return Err(TpuError::WeightFifoOverflow { depth: self.depth });
+        }
+        self.tiles.push_back(tile);
+        self.pushes += 1;
+        Ok(())
+    }
+
+    /// Dequeue the oldest tile for shifting into the matrix unit.
+    ///
+    /// # Errors
+    ///
+    /// [`TpuError::WeightFifoUnderflow`] when empty (a weight-stall in the
+    /// timing model).
+    pub fn pop(&mut self) -> Result<WeightTile> {
+        let tile = self.tiles.pop_front().ok_or(TpuError::WeightFifoUnderflow)?;
+        self.pops += 1;
+        Ok(tile)
+    }
+
+    /// Total tiles pushed.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Total tiles popped.
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Drop buffered tiles and reset statistics.
+    pub fn reset(&mut self) {
+        self.tiles.clear();
+        self.pushes = 0;
+        self.pops = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut fifo = WeightFifo::new(2);
+        let a = WeightTile::from_rows(1, vec![1]);
+        let b = WeightTile::from_rows(1, vec![2]);
+        fifo.push(a.clone()).unwrap();
+        fifo.push(b.clone()).unwrap();
+        assert_eq!(fifo.pop().unwrap(), a);
+        assert_eq!(fifo.pop().unwrap(), b);
+    }
+
+    #[test]
+    fn overflow_and_underflow() {
+        let mut fifo = WeightFifo::new(1);
+        fifo.push(WeightTile::zeros(1)).unwrap();
+        assert!(fifo.is_full());
+        assert!(matches!(
+            fifo.push(WeightTile::zeros(1)),
+            Err(TpuError::WeightFifoOverflow { depth: 1 })
+        ));
+        fifo.pop().unwrap();
+        assert!(matches!(fifo.pop(), Err(TpuError::WeightFifoUnderflow)));
+    }
+
+    #[test]
+    fn stats_and_reset() {
+        let mut fifo = WeightFifo::new(4);
+        for _ in 0..3 {
+            fifo.push(WeightTile::zeros(1)).unwrap();
+        }
+        fifo.pop().unwrap();
+        assert_eq!(fifo.pushes(), 3);
+        assert_eq!(fifo.pops(), 1);
+        assert_eq!(fifo.len(), 2);
+        fifo.reset();
+        assert!(fifo.is_empty());
+        assert_eq!(fifo.pushes(), 0);
+    }
+
+    #[test]
+    fn paper_depth_is_four() {
+        let fifo = WeightFifo::new(4);
+        assert_eq!(fifo.depth(), 4);
+    }
+}

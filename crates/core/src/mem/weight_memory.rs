@@ -1,0 +1,196 @@
+//! Off-chip Weight Memory (8 GiB DDR3 in the paper).
+//!
+//! For inference the weights are read-only; 8 GiB supports many
+//! simultaneously-active models. The memory is modelled as a flat byte
+//! array from which `dim x dim` weight tiles are fetched; its bandwidth is
+//! the single most important parameter in the paper's evaluation (Section 7:
+//! "increasing memory bandwidth has the biggest impact").
+
+use crate::error::{Result, TpuError};
+
+/// One square tile of 8-bit weights, stored row-major, as shifted into the
+/// matrix unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightTile {
+    dim: usize,
+    data: Vec<i8>,
+}
+
+impl WeightTile {
+    /// Build a tile from row-major weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != dim * dim`.
+    pub fn from_rows(dim: usize, data: Vec<i8>) -> Self {
+        assert_eq!(data.len(), dim * dim, "tile data must be dim^2 weights");
+        Self { dim, data }
+    }
+
+    /// A zero tile.
+    pub fn zeros(dim: usize) -> Self {
+        Self { dim, data: vec![0; dim * dim] }
+    }
+
+    /// Tile edge length.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Weight at `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> i8 {
+        self.data[row * self.dim + col]
+    }
+
+    /// Row-major weight data.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Size in bytes (one byte per weight).
+    pub fn bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of nonzero weights — the timing model uses this to estimate
+    /// the "useful MACs" fraction of Table 3 (shallow layers leave columns
+    /// of the array zero-padded and therefore idle-but-occupied).
+    pub fn nonzero(&self) -> usize {
+        self.data.iter().filter(|w| **w != 0).count()
+    }
+}
+
+/// Flat, read-mostly off-chip weight store with traffic accounting.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_core::mem::{WeightMemory, WeightTile};
+///
+/// let mut wm = WeightMemory::new(1 << 20);
+/// let tile = WeightTile::from_rows(2, vec![1, 2, 3, 4]);
+/// wm.store_tile(0, &tile).unwrap();
+/// assert_eq!(wm.fetch_tile(0, 2).unwrap(), tile);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightMemory {
+    data: Vec<i8>,
+    bytes_fetched: u64,
+}
+
+impl WeightMemory {
+    /// Create a zeroed weight memory of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        Self { data: vec![0; capacity], bytes_fetched: 0 }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    fn check(&self, addr: usize, len: usize) -> Result<()> {
+        if addr.checked_add(len).is_none_or(|end| end > self.data.len()) {
+            return Err(TpuError::WeightMemoryOutOfRange {
+                addr,
+                len,
+                capacity: self.data.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Write a tile at byte address `addr` (host driver weight upload).
+    ///
+    /// # Errors
+    ///
+    /// [`TpuError::WeightMemoryOutOfRange`] if the tile does not fit.
+    pub fn store_tile(&mut self, addr: usize, tile: &WeightTile) -> Result<()> {
+        self.check(addr, tile.bytes())?;
+        self.data[addr..addr + tile.bytes()].copy_from_slice(tile.data());
+        Ok(())
+    }
+
+    /// Write raw bytes (weight image upload).
+    ///
+    /// # Errors
+    ///
+    /// [`TpuError::WeightMemoryOutOfRange`] if the range does not fit.
+    pub fn store_bytes(&mut self, addr: usize, bytes: &[i8]) -> Result<()> {
+        self.check(addr, bytes.len())?;
+        self.data[addr..addr + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Fetch one `dim x dim` tile starting at `addr`, counting the traffic.
+    ///
+    /// # Errors
+    ///
+    /// [`TpuError::WeightMemoryOutOfRange`] if the range does not fit.
+    pub fn fetch_tile(&mut self, addr: usize, dim: usize) -> Result<WeightTile> {
+        let len = dim * dim;
+        self.check(addr, len)?;
+        self.bytes_fetched += len as u64;
+        Ok(WeightTile::from_rows(dim, self.data[addr..addr + len].to_vec()))
+    }
+
+    /// Total bytes streamed out — the denominator of the paper's
+    /// operational intensity ("ops per byte of weight memory fetched").
+    pub fn bytes_fetched(&self) -> u64 {
+        self.bytes_fetched
+    }
+
+    /// Reset traffic accounting (contents are kept; weights are read-only
+    /// during inference).
+    pub fn reset_stats(&mut self) {
+        self.bytes_fetched = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_roundtrip() {
+        let mut wm = WeightMemory::new(64);
+        let tile = WeightTile::from_rows(4, (0..16).map(|v| v as i8).collect());
+        wm.store_tile(8, &tile).unwrap();
+        let back = wm.fetch_tile(8, 4).unwrap();
+        assert_eq!(back, tile);
+        assert_eq!(back.get(1, 2), 6);
+        assert_eq!(wm.bytes_fetched(), 16);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut wm = WeightMemory::new(15);
+        let tile = WeightTile::zeros(4);
+        assert!(wm.store_tile(0, &tile).is_err());
+        assert!(wm.fetch_tile(0, 4).is_err());
+        assert!(wm.fetch_tile(usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "dim^2")]
+    fn tile_shape_enforced() {
+        let _ = WeightTile::from_rows(3, vec![0; 8]);
+    }
+
+    #[test]
+    fn nonzero_counts_sparsity() {
+        let tile = WeightTile::from_rows(2, vec![0, 3, 0, -1]);
+        assert_eq!(tile.nonzero(), 2);
+        assert_eq!(WeightTile::zeros(8).nonzero(), 0);
+    }
+
+    #[test]
+    fn stats_reset_keeps_contents() {
+        let mut wm = WeightMemory::new(16);
+        wm.store_bytes(0, &[7; 4]).unwrap();
+        wm.fetch_tile(0, 2).unwrap();
+        wm.reset_stats();
+        assert_eq!(wm.bytes_fetched(), 0);
+        assert_eq!(wm.fetch_tile(0, 2).unwrap().get(0, 0), 7);
+    }
+}

@@ -1,0 +1,797 @@
+//! Instruction-level model of the 4-stage CISC pipeline.
+//!
+//! Section 2: "It uses a 4-stage pipeline for these CISC instructions,
+//! where each instruction executes in a separate stage ... our CISC
+//! instructions can occupy a station for thousands of clock cycles, unlike
+//! the traditional RISC pipeline with one clock cycle per stage." The plan
+//! was "to hide the execution of the other instructions by overlapping
+//! their execution with the `MatrixMultiply` instruction", with
+//! `Read_Weights` following the decoupled-access/execute philosophy and a
+//! "delay slot" where the matrix unit waits for explicit synchronization
+//! before reading the Unified Buffer.
+//!
+//! This module executes a real [`Program`] against that model: in-order
+//! issue into per-resource stations (PCIe DMA, weight fetch, matrix unit,
+//! activation unit), a scoreboard of Unified-Buffer and accumulator
+//! address ranges for RAW dependences, FIFO arrival tracking for weight
+//! stalls, and double-buffer shift hiding. The output is a
+//! [`PipelineTrace`]: per-instruction issue/start/complete cycles with a
+//! stall-reason breakdown, aggregate CPI (the paper quotes 10-20 for
+//! these CISC instructions), and the pipeline overlap diagram the paper
+//! says it could not draw.
+//!
+//! The per-instruction cost model matches [`crate::timing`]: a `B`-row
+//! multiply takes `B` pipelined cycles (scaled by precision), a weight
+//! tile crosses the DRAM channel at the configured bandwidth, DMA crosses
+//! PCIe at its bandwidth, and the activation unit retires one row per
+//! cycle (two when pooling is fused).
+
+use crate::config::TpuConfig;
+use crate::error::{Result, TpuError};
+use crate::isa::{Instruction, PoolOp, Program};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// The functional unit an instruction occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Unit {
+    /// PCIe DMA engine (host reads and writes).
+    Pcie,
+    /// Weight Memory channel (decoupled tile fetch).
+    WeightFetch,
+    /// The matrix multiply unit.
+    Matrix,
+    /// The activation/pooling unit.
+    Activation,
+    /// Front-end only (sync, nop, config, interrupts).
+    Control,
+}
+
+impl Unit {
+    /// Short label used by the overlap rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            Unit::Pcie => "pcie",
+            Unit::WeightFetch => "wfetch",
+            Unit::Matrix => "matrix",
+            Unit::Activation => "act",
+            Unit::Control => "ctl",
+        }
+    }
+}
+
+/// Why an instruction's start was delayed past its issue cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallBreakdown {
+    /// Cycles waiting for a weight tile to arrive in the FIFO.
+    pub weight_wait: u64,
+    /// Cycles waiting for operands (RAW on Unified Buffer or
+    /// accumulators).
+    pub raw_wait: u64,
+    /// Cycles waiting for the functional unit to free up.
+    pub structural_wait: u64,
+    /// Cycles of exposed (unhidden) weight shift.
+    pub shift_exposed: u64,
+}
+
+impl StallBreakdown {
+    /// Total stall cycles.
+    pub fn total(&self) -> u64 {
+        self.weight_wait + self.raw_wait + self.structural_wait + self.shift_exposed
+    }
+}
+
+/// Timing record of one executed instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstRecord {
+    /// Index in the program.
+    pub index: usize,
+    /// The instruction itself.
+    pub inst: Instruction,
+    /// Unit it occupied.
+    pub unit: Unit,
+    /// Cycle at which the front end issued it.
+    pub issue: u64,
+    /// Cycle execution began.
+    pub start: u64,
+    /// Cycle execution completed (exclusive).
+    pub complete: u64,
+    /// Why `start > issue`, if it was delayed.
+    pub stalls: StallBreakdown,
+}
+
+impl InstRecord {
+    /// Busy cycles on the functional unit.
+    pub fn busy_cycles(&self) -> u64 {
+        self.complete - self.start
+    }
+}
+
+/// Full pipeline execution trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineTrace {
+    /// Per-instruction records in program order.
+    pub records: Vec<InstRecord>,
+    /// Total cycles until the last instruction completed.
+    pub total_cycles: u64,
+}
+
+impl PipelineTrace {
+    /// Average clock cycles per instruction. The paper quotes 10-20 for
+    /// typical TPU CISC instruction streams.
+    pub fn cpi(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.total_cycles as f64 / self.records.len() as f64
+    }
+
+    /// Sum of busy cycles per unit — how loaded each resource was.
+    pub fn unit_busy(&self, unit: Unit) -> u64 {
+        self.records.iter().filter(|r| r.unit == unit).map(InstRecord::busy_cycles).sum()
+    }
+
+    /// Fraction of total time the matrix unit was busy.
+    pub fn matrix_utilization(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.unit_busy(Unit::Matrix) as f64 / self.total_cycles as f64
+    }
+
+    /// Sum of all stall cycles by cause.
+    pub fn total_stalls(&self) -> StallBreakdown {
+        let mut out = StallBreakdown::default();
+        for r in &self.records {
+            out.weight_wait += r.stalls.weight_wait;
+            out.raw_wait += r.stalls.raw_wait;
+            out.structural_wait += r.stalls.structural_wait;
+            out.shift_exposed += r.stalls.shift_exposed;
+        }
+        out
+    }
+
+    /// Render the pipeline overlap diagram: one row per instruction, one
+    /// column per `cycles_per_char` cycles, `#` where the instruction was
+    /// executing and `.` while it waited after issue.
+    ///
+    /// ```text
+    ///  0 pcie   |####      |  read_host_memory ...
+    ///  1 wfetch | ####     |  read_weights ...
+    ///  2 matrix |  ..####  |  matmul ...
+    /// ```
+    pub fn render_overlap(&self, width: usize) -> String {
+        let width = width.max(10);
+        let scale = (self.total_cycles.max(1) as f64 / width as f64).max(1.0);
+        let mut out = String::new();
+        for r in &self.records {
+            let col = |c: u64| ((c as f64 / scale) as usize).min(width - 1);
+            let mut lane = vec![' '; width];
+            for cell in lane.iter_mut().take(col(r.start)).skip(col(r.issue)) {
+                *cell = '.';
+            }
+            let (s, e) = (col(r.start), col(r.complete.max(r.start + 1)));
+            for cell in lane.iter_mut().take(e.max(s + 1)).skip(s) {
+                *cell = '#';
+            }
+            let lane: String = lane.into_iter().collect();
+            let desc = summarize(&r.inst);
+            let _ = writeln!(out, "{:>3} {:<6} |{lane}| {desc}", r.index, r.unit.label());
+        }
+        let _ = writeln!(
+            out,
+            "    total {} cycles, CPI {:.1}, matrix busy {:.0}%",
+            self.total_cycles,
+            self.cpi(),
+            self.matrix_utilization() * 100.0
+        );
+        out
+    }
+}
+
+fn summarize(inst: &Instruction) -> String {
+    match inst {
+        Instruction::ReadHostMemory { len, .. } => format!("read_host_memory len={len}"),
+        Instruction::WriteHostMemory { len, .. } => format!("write_host_memory len={len}"),
+        Instruction::ReadWeights { tiles, .. } => format!("read_weights tiles={tiles}"),
+        Instruction::MatrixMultiply { rows, .. } => format!("matmul rows={rows}"),
+        Instruction::Activate { rows, pool, .. } => match pool {
+            PoolOp::None => format!("activate rows={rows}"),
+            _ => format!("activate+pool rows={rows}"),
+        },
+        other => format!("{:?}", other.opcode()).to_lowercase(),
+    }
+}
+
+/// Byte- or entry-range with the cycle its contents become valid.
+#[derive(Debug, Clone, Copy)]
+struct RangeReady {
+    lo: u64,
+    hi: u64, // exclusive
+    ready: u64,
+}
+
+/// Scoreboard over one address space.
+#[derive(Debug, Default)]
+struct Scoreboard {
+    writes: Vec<RangeReady>,
+}
+
+impl Scoreboard {
+    /// Latest completion among writers overlapping `[lo, hi)`.
+    fn read_ready(&self, lo: u64, hi: u64) -> u64 {
+        self.writes
+            .iter()
+            .filter(|w| w.lo < hi && lo < w.hi)
+            .map(|w| w.ready)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Record a write to `[lo, hi)` completing at `ready`.
+    fn write(&mut self, lo: u64, hi: u64, ready: u64) {
+        // Drop fully-shadowed earlier writers to bound growth.
+        self.writes.retain(|w| !(lo <= w.lo && w.hi <= hi));
+        self.writes.push(RangeReady { lo, hi, ready });
+    }
+}
+
+/// The pipeline model. Construct once per configuration, then
+/// [`PipelineModel::execute`] programs against it.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_core::config::TpuConfig;
+/// use tpu_core::pipeline::PipelineModel;
+/// use tpu_core::isa::{Instruction, Program};
+///
+/// let mut p = Program::new();
+/// p.push(Instruction::ReadWeights { dram_addr: 0, tiles: 1 });
+/// p.push(Instruction::MatrixMultiply {
+///     ub_addr: 0, acc_addr: 0, rows: 64,
+///     accumulate: false, convolve: false,
+///     precision: Default::default(),
+/// });
+/// p.push(Instruction::Halt);
+/// let trace = PipelineModel::new(TpuConfig::small()).execute(&p)?;
+/// assert!(trace.cpi() > 1.0);
+/// # Ok::<(), tpu_core::error::TpuError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineModel {
+    cfg: TpuConfig,
+}
+
+impl PipelineModel {
+    /// A model for the given configuration.
+    pub fn new(cfg: TpuConfig) -> Self {
+        PipelineModel { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TpuConfig {
+        &self.cfg
+    }
+
+    fn pcie_cycles(&self, bytes: u64) -> u64 {
+        let bytes_per_cycle = self.cfg.pcie_bw / self.cfg.clock_hz as f64;
+        ((bytes as f64 / bytes_per_cycle).ceil() as u64).max(1)
+    }
+
+    fn tile_fetch_cycles(&self) -> u64 {
+        let bytes_per_cycle = self.cfg.weight_memory_bw / self.cfg.clock_hz as f64;
+        ((self.cfg.tile_bytes() as f64 / bytes_per_cycle).ceil() as u64).max(1)
+    }
+
+    /// Execute `program` through the pipeline model.
+    ///
+    /// # Errors
+    ///
+    /// [`TpuError::MissingHalt`] if the program does not end with `Halt`,
+    /// and [`TpuError::WeightFifoUnderflow`] if a `MatrixMultiply` pops a
+    /// tile no `Read_Weights` ever supplies.
+    pub fn execute(&self, program: &Program) -> Result<PipelineTrace> {
+        if !program.is_halted() {
+            return Err(TpuError::MissingHalt);
+        }
+        let dim = self.cfg.array_dim as u64;
+        let shift = self.cfg.weight_shift_cycles();
+        let fifo_depth = self.cfg.weight_fifo_tiles;
+
+        let mut records = Vec::new();
+        let mut cycle = 0u64; // front-end issue cursor
+
+        // Functional unit free-at times.
+        let mut free_pcie = 0u64;
+        let mut free_wfetch = 0u64;
+        let mut free_matrix = 0u64;
+        let mut free_act = 0u64;
+
+        // Weight FIFO: arrival cycle of each fetched tile, in fetch order;
+        // `next_pop` indexes the tile the next MatrixMultiply consumes,
+        // and `pop_times` records when each consumed tile left the FIFO
+        // (its shift into the array began) — the backpressure signal for
+        // later fetches.
+        let mut tile_arrivals: Vec<u64> = Vec::new();
+        let mut pop_times: Vec<u64> = Vec::new();
+        let mut next_pop = 0usize;
+
+        // Scoreboards.
+        let mut ub = Scoreboard::default();
+        let mut acc = Scoreboard::default();
+
+        // Completion cycle of the previous weight plane's *shift* — the
+        // double buffer allows one tile to shift while another computes,
+        // so a shift can begin as soon as the tile has arrived and the
+        // previous shift finished.
+        let mut shift_done = 0u64;
+
+        for (index, inst) in program.instructions().iter().enumerate() {
+            let issue = cycle;
+            cycle += 1; // one instruction enters the pipeline per cycle
+            let mut stalls = StallBreakdown::default();
+
+            let (unit, start, complete) = match *inst {
+                Instruction::ReadHostMemory { ub_addr, len, .. } => {
+                    let dur = self.pcie_cycles(len as u64);
+                    let start = issue.max(free_pcie);
+                    stalls.structural_wait = start - issue;
+                    let complete = start + dur;
+                    free_pcie = complete;
+                    ub.write(ub_addr as u64, ub_addr as u64 + len as u64, complete);
+                    (Unit::Pcie, start, complete)
+                }
+                Instruction::WriteHostMemory { ub_addr, len, .. } => {
+                    let ready = ub.read_ready(ub_addr as u64, ub_addr as u64 + len as u64);
+                    let start = issue.max(free_pcie).max(ready);
+                    stalls.raw_wait = ready.saturating_sub(issue.max(free_pcie));
+                    stalls.structural_wait = free_pcie.saturating_sub(issue);
+                    let complete = start + self.pcie_cycles(len as u64);
+                    free_pcie = complete;
+                    (Unit::Pcie, start, complete)
+                }
+                Instruction::ReadWeights { tiles, .. } => {
+                    // Decoupled access/execute: the instruction retires
+                    // after posting its address; the channel fills the
+                    // FIFO in the background. Backpressure: a fetch of
+                    // tile `k` cannot complete until tile `k - depth` has
+                    // been popped, because the FIFO holds only `depth`
+                    // tiles. In a well-formed program (the verifier
+                    // enforces this) that pop is already in the past of
+                    // the instruction stream; if it is not, the FIFO
+                    // would overflow on real hardware and the model
+                    // faults the same way the functional device does.
+                    let mut t = issue.max(free_wfetch);
+                    for _ in 0..tiles {
+                        let k = tile_arrivals.len();
+                        if k >= fifo_depth {
+                            let Some(&popped) = pop_times.get(k - fifo_depth) else {
+                                return Err(TpuError::WeightFifoOverflow {
+                                    depth: fifo_depth,
+                                });
+                            };
+                            t = t.max(popped);
+                        }
+                        t += self.tile_fetch_cycles();
+                        tile_arrivals.push(t);
+                    }
+                    free_wfetch = t;
+                    // The instruction itself occupies its station for one
+                    // cycle only.
+                    (Unit::WeightFetch, issue, issue + 1)
+                }
+                Instruction::MatrixMultiply { ub_addr, acc_addr, rows, precision, .. } => {
+                    let Some(&arrival) = tile_arrivals.get(next_pop) else {
+                        return Err(TpuError::WeightFifoUnderflow);
+                    };
+                    next_pop += 1;
+                    let in_bytes = rows as u64 * dim;
+                    let operand_ready = ub.read_ready(ub_addr as u64, ub_addr as u64 + in_bytes);
+                    // The shift can start once the tile has arrived and
+                    // the shift plane is free; it is hidden if it finishes
+                    // before the matrix unit would start anyway.
+                    let shift_start = arrival.max(shift_done);
+                    let shift_end = shift_start + shift;
+                    shift_done = shift_end;
+                    pop_times.push(shift_start);
+                    let earliest = issue.max(free_matrix).max(operand_ready);
+                    let start = earliest.max(shift_end);
+                    stalls.structural_wait = free_matrix.saturating_sub(issue);
+                    stalls.raw_wait = operand_ready.saturating_sub(issue.max(free_matrix));
+                    stalls.weight_wait = arrival.saturating_sub(earliest).min(start - earliest);
+                    stalls.shift_exposed =
+                        (start - earliest).saturating_sub(stalls.weight_wait);
+                    let dur = (rows as u64 * precision.speed_divisor()).max(1);
+                    let complete = start + dur;
+                    free_matrix = complete;
+                    acc.write(acc_addr as u64, acc_addr as u64 + rows as u64, complete);
+                    (Unit::Matrix, start, complete)
+                }
+                Instruction::Activate { acc_addr, ub_addr, rows, pool, .. } => {
+                    let ready = acc.read_ready(acc_addr as u64, acc_addr as u64 + rows as u64);
+                    let start = issue.max(free_act).max(ready);
+                    stalls.structural_wait = free_act.saturating_sub(issue);
+                    stalls.raw_wait = ready.saturating_sub(issue.max(free_act));
+                    let per_row = if matches!(pool, PoolOp::None) { 1 } else { 2 };
+                    let complete = start + (rows as u64 * per_row).max(1);
+                    free_act = complete;
+                    ub.write(ub_addr as u64, ub_addr as u64 + rows as u64 * dim, complete);
+                    (Unit::Activation, start, complete)
+                }
+                Instruction::Sync => {
+                    // Barrier: the front end does not issue past a Sync
+                    // until every unit has drained.
+                    let drain = free_pcie.max(free_wfetch).max(free_matrix).max(free_act);
+                    let start = issue.max(drain);
+                    cycle = start + 1;
+                    (Unit::Control, start, start + 1)
+                }
+                Instruction::Halt => {
+                    let drain = free_pcie.max(free_wfetch).max(free_matrix).max(free_act);
+                    let start = issue.max(drain);
+                    records.push(InstRecord {
+                        index,
+                        inst: inst.clone(),
+                        unit: Unit::Control,
+                        issue,
+                        start,
+                        complete: start + 1,
+                        stalls,
+                    });
+                    break;
+                }
+                Instruction::Nop
+                | Instruction::SetConfig { .. }
+                | Instruction::InterruptHost { .. }
+                | Instruction::DebugTag { .. } => (Unit::Control, issue, issue + 1),
+            };
+
+            records.push(InstRecord { index, inst: inst.clone(), unit, issue, start, complete, stalls });
+        }
+
+        let total_cycles = records.iter().map(|r| r.complete).max().unwrap_or(0);
+        Ok(PipelineTrace { records, total_cycles })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Precision;
+
+    fn cfg() -> TpuConfig {
+        TpuConfig::small()
+    }
+
+    fn mm(ub: u32, acc: u16, rows: u32) -> Instruction {
+        Instruction::MatrixMultiply {
+            ub_addr: ub,
+            acc_addr: acc,
+            rows,
+            accumulate: false,
+            convolve: false,
+            precision: Precision::Int8,
+        }
+    }
+
+    fn act(acc: u16, ub: u32, rows: u32) -> Instruction {
+        Instruction::Activate {
+            acc_addr: acc,
+            ub_addr: ub,
+            rows,
+            func: crate::isa::ActivationFunction::Relu,
+            pool: PoolOp::None,
+        }
+    }
+
+    fn program(insts: Vec<Instruction>) -> Program {
+        let mut p = Program::new();
+        for i in insts {
+            p.push(i);
+        }
+        p.push(Instruction::Halt);
+        p
+    }
+
+    #[test]
+    fn missing_halt_is_an_error() {
+        let mut p = Program::new();
+        p.push(Instruction::Nop);
+        let err = PipelineModel::new(cfg()).execute(&p).unwrap_err();
+        assert_eq!(err, TpuError::MissingHalt);
+    }
+
+    #[test]
+    fn matmul_without_weights_is_an_underflow() {
+        let p = program(vec![mm(0, 0, 8)]);
+        let err = PipelineModel::new(cfg()).execute(&p).unwrap_err();
+        assert_eq!(err, TpuError::WeightFifoUnderflow);
+    }
+
+    #[test]
+    fn read_weights_is_decoupled_and_matmul_waits_for_arrival() {
+        let p = program(vec![
+            Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
+            mm(0, 0, 4),
+        ]);
+        let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
+        let rw = &trace.records[0];
+        let m = &trace.records[1];
+        // The ReadWeights instruction retires immediately...
+        assert_eq!(rw.complete - rw.start, 1);
+        // ...but the matmul cannot start before the tile arrives + shift.
+        let model = PipelineModel::new(cfg());
+        let arrival = rw.issue + model.tile_fetch_cycles();
+        assert!(m.start >= arrival, "matmul start {} vs arrival {arrival}", m.start);
+        assert!(m.stalls.weight_wait + m.stalls.shift_exposed > 0);
+    }
+
+    #[test]
+    fn early_prefetch_hides_weight_latency() {
+        // Busy the matrix unit with a long multiply on tile 0 while tile 1
+        // is fetched; the second matmul then starts with no weight wait.
+        let p = program(vec![
+            Instruction::ReadWeights { dram_addr: 0, tiles: 2 },
+            mm(0, 0, 4096),
+            mm(0, 0, 4),
+        ]);
+        let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
+        let second = &trace.records[2];
+        assert_eq!(second.stalls.weight_wait, 0, "prefetched tile should be ready");
+        assert_eq!(second.stalls.shift_exposed, 0, "double buffer hides the shift");
+        // It starts the moment the matrix unit frees up.
+        let first = &trace.records[1];
+        assert_eq!(second.start, first.complete);
+    }
+
+    #[test]
+    fn activate_raw_depends_on_matmul() {
+        let p = program(vec![
+            Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
+            mm(0, 0, 16),
+            act(0, 0x200, 16),
+        ]);
+        let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
+        let m = &trace.records[1];
+        let a = &trace.records[2];
+        assert!(a.start >= m.complete, "activate must wait for its accumulators");
+        assert!(a.stalls.raw_wait > 0);
+    }
+
+    #[test]
+    fn independent_dma_overlaps_matmul() {
+        // Host input for the *next* batch (different UB range) streams in
+        // while the matrix unit works on the current one.
+        let p = program(vec![
+            Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
+            mm(0, 0, 2048),
+            Instruction::ReadHostMemory { host_addr: 0, ub_addr: 0x10000, len: 4096 },
+        ]);
+        let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
+        let m = &trace.records[1];
+        let dma = &trace.records[2];
+        assert!(dma.start < m.complete, "DMA overlaps the multiply");
+        // Total is far less than the serial sum of busy cycles.
+        let serial: u64 = trace.records.iter().map(InstRecord::busy_cycles).sum();
+        assert!(trace.total_cycles < serial);
+    }
+
+    #[test]
+    fn matmul_waits_for_its_input_dma() {
+        // Same UB range: true dependence, no overlap allowed.
+        let p = program(vec![
+            Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
+            Instruction::ReadHostMemory { host_addr: 0, ub_addr: 0, len: 4096 },
+            mm(0, 0, 8),
+        ]);
+        let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
+        let dma = &trace.records[1];
+        let m = &trace.records[2];
+        assert!(m.start >= dma.complete, "matmul reads what the DMA writes");
+    }
+
+    #[test]
+    fn sync_drains_the_machine() {
+        let p = program(vec![
+            Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
+            mm(0, 0, 512),
+            Instruction::Sync,
+            Instruction::Nop,
+        ]);
+        let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
+        let m = &trace.records[1];
+        let nop = &trace.records[3];
+        assert!(nop.issue > m.complete, "nothing issues past a sync until drain");
+    }
+
+    #[test]
+    fn inter_layer_delay_slot_via_sync() {
+        // Layer 1 activates into UB 0x400; sync; layer 2 multiplies from
+        // 0x400. The paper's "delay slot": the second multiply begins only
+        // after the activation writes back.
+        let p = program(vec![
+            Instruction::ReadWeights { dram_addr: 0, tiles: 2 },
+            mm(0, 0, 16),
+            act(0, 0x400, 16),
+            Instruction::Sync,
+            mm(0x400, 0, 16),
+        ]);
+        let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
+        let a = &trace.records[2];
+        let m2 = &trace.records[4];
+        assert!(m2.start >= a.complete);
+    }
+
+    #[test]
+    fn raw_tracking_works_even_without_sync() {
+        // The scoreboard alone must catch the UB dependence.
+        let p = program(vec![
+            Instruction::ReadWeights { dram_addr: 0, tiles: 2 },
+            mm(0, 0, 16),
+            act(0, 0x400, 16),
+            mm(0x400, 16, 16),
+        ]);
+        let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
+        let a = &trace.records[2];
+        let m2 = &trace.records[3];
+        assert!(m2.start >= a.complete);
+        assert!(m2.stalls.raw_wait > 0 || m2.stalls.weight_wait > 0);
+    }
+
+    #[test]
+    fn precision_scales_matmul_occupancy() {
+        let run = |precision| {
+            let p = program(vec![
+                Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
+                Instruction::MatrixMultiply {
+                    ub_addr: 0,
+                    acc_addr: 0,
+                    rows: 256,
+                    accumulate: false,
+                    convolve: false,
+                    precision,
+                },
+            ]);
+            let t = PipelineModel::new(cfg()).execute(&p).unwrap();
+            t.records[1].busy_cycles()
+        };
+        let full = run(Precision::Int8);
+        assert_eq!(run(Precision::Mixed8x16), full * 2);
+        assert_eq!(run(Precision::Int16), full * 4);
+    }
+
+    #[test]
+    fn pooling_doubles_activation_occupancy() {
+        let run = |pool| {
+            let p = program(vec![
+                Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
+                mm(0, 0, 64),
+                Instruction::Activate {
+                    acc_addr: 0,
+                    ub_addr: 0x400,
+                    rows: 64,
+                    func: crate::isa::ActivationFunction::Relu,
+                    pool,
+                },
+            ]);
+            let t = PipelineModel::new(cfg()).execute(&p).unwrap();
+            t.records[2].busy_cycles()
+        };
+        assert_eq!(run(PoolOp::Max { window: 2 }), 2 * run(PoolOp::None));
+    }
+
+    #[test]
+    fn cpi_is_sensible_for_a_layer_program() {
+        // A realistic mix: CPI lands well above 1 (CISC instructions hold
+        // stations for many cycles) — the paper quotes 10-20.
+        let p = program(vec![
+            Instruction::ReadHostMemory { host_addr: 0, ub_addr: 0, len: 2048 },
+            Instruction::ReadWeights { dram_addr: 0, tiles: 2 },
+            mm(0, 0, 64),
+            mm(0, 64, 64),
+            act(0, 0x800, 64),
+            act(64, 0xa00, 64),
+            Instruction::WriteHostMemory { ub_addr: 0x800, host_addr: 0x1000, len: 1024 },
+        ]);
+        let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
+        let cpi = trace.cpi();
+        assert!(cpi > 5.0 && cpi < 500.0, "CPI {cpi}");
+    }
+
+    #[test]
+    fn overlap_rendering_contains_every_instruction() {
+        let p = program(vec![
+            Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
+            mm(0, 0, 32),
+            act(0, 0x400, 32),
+        ]);
+        let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
+        let text = trace.render_overlap(60);
+        assert!(text.contains("matmul rows=32"));
+        assert!(text.contains("activate rows=32"));
+        assert!(text.contains('#'));
+        assert!(text.contains("CPI"));
+        assert_eq!(text.lines().count(), trace.records.len() + 1);
+    }
+
+    #[test]
+    fn trace_totals_match_last_completion() {
+        let p = program(vec![
+            Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
+            mm(0, 0, 128),
+            act(0, 0x400, 128),
+            Instruction::WriteHostMemory { ub_addr: 0x400, host_addr: 0, len: 1024 },
+        ]);
+        let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
+        let last = trace.records.iter().map(|r| r.complete).max().unwrap();
+        assert_eq!(trace.total_cycles, last);
+        // Stall accounting is internally consistent.
+        for r in &trace.records {
+            assert!(r.start >= r.issue);
+            assert!(r.complete > r.start || matches!(r.inst, Instruction::Halt));
+        }
+    }
+
+    #[test]
+    fn matrix_utilization_reflects_compute_share() {
+        // One giant multiply: matrix utilization approaches 1.
+        let p = program(vec![
+            Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
+            mm(0, 0, 100_000),
+        ]);
+        let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
+        assert!(trace.matrix_utilization() > 0.9, "{}", trace.matrix_utilization());
+    }
+
+    #[test]
+    fn overfilled_fifo_faults_like_the_functional_device() {
+        let c = cfg();
+        let depth = c.weight_fifo_tiles;
+        let p = program(vec![Instruction::ReadWeights {
+            dram_addr: 0,
+            tiles: (depth + 1) as u16,
+        }]);
+        let err = PipelineModel::new(c).execute(&p).unwrap_err();
+        assert_eq!(err, TpuError::WeightFifoOverflow { depth });
+    }
+
+    #[test]
+    fn fifo_backpressure_delays_refill_until_a_pop() {
+        // Fill the FIFO to depth, consume one tile with a long multiply,
+        // then fetch one more: its arrival cannot precede the first pop.
+        let c = cfg();
+        let depth = c.weight_fifo_tiles;
+        let mut insts = vec![Instruction::ReadWeights { dram_addr: 0, tiles: depth as u16 }];
+        insts.push(mm(0, 0, 4096)); // pops tile 0 after waiting for it
+        insts.push(Instruction::ReadWeights { dram_addr: 0x8000, tiles: 1 });
+        insts.push(mm(0, 0, 4));
+        let p = program(insts);
+        let trace = PipelineModel::new(c.clone()).execute(&p).unwrap();
+        let first_mm = &trace.records[1];
+        let last_mm = &trace.records[3];
+        // The refilled tile arrived no earlier than the first pop plus the
+        // channel time, so the last matmul starts after the first began.
+        let fetch = PipelineModel::new(c).tile_fetch_cycles();
+        assert!(
+            last_mm.start >= first_mm.start + fetch,
+            "refill must wait for the pop: {} vs {} + {fetch}",
+            last_mm.start,
+            first_mm.start
+        );
+    }
+
+    #[test]
+    fn early_halt_stops_execution() {
+        // A mid-stream Halt ends execution; instructions after it are
+        // never issued (the trailing Halt satisfies program validation).
+        let mut p = Program::new();
+        p.push(Instruction::Nop);
+        p.push(Instruction::Halt);
+        p.push(Instruction::Nop); // unreachable
+        p.push(Instruction::Halt);
+        let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
+        assert_eq!(trace.records.len(), 2);
+        assert!(matches!(trace.records[1].inst, Instruction::Halt));
+    }
+}

@@ -1,0 +1,600 @@
+//! The systolic Matrix Multiply Unit.
+//!
+//! The matrix unit holds a `dim x dim` grid of 8-bit multiply-accumulate
+//! cells. It is *weight-stationary*: a weight tile is shifted in from the
+//! top and parked in the cells, activations flow in from the left, and
+//! partial sums flow down and exit at the bottom (Figure 4). A given
+//! 256-element multiply-accumulate moves through the array as a diagonal
+//! wavefront; control and data are pipelined so software has the illusion
+//! that each 256-byte input is read at once and instantly updates one
+//! 256-lane accumulator entry.
+//!
+//! The unit holds the active tile plus one staging plane for
+//! double-buffering, hiding the 256 cycles it takes to shift a tile in.
+//!
+//! [`SystolicArray`] simulates this at single-cycle granularity: inputs are
+//! skewed on entry, each PE computes `psum_out = psum_in + w * act_in` per
+//! cycle, and outputs are de-skewed at the bottom edge. The end-to-end
+//! latency for a `B`-row multiply is `B + 2*dim - 2` cycles with one new
+//! row accepted per cycle, which unit tests assert. [`matmul_reference`]
+//! is the mathematical oracle the wavefront is validated against.
+
+use crate::error::{Result, TpuError};
+use crate::mem::WeightTile;
+
+/// Compute `x * W` for a row-major `rows x dim` activation block against a
+/// `dim x dim` weight tile, as i32 partial sums. This is the oracle the
+/// cycle-level wavefront is checked against and the fast path used by the
+/// functional device for large tiles.
+pub fn matmul_reference(tile: &WeightTile, activations: &[i16], rows: usize) -> Vec<i32> {
+    let dim = tile.dim();
+    assert_eq!(activations.len(), rows * dim, "activation block shape mismatch");
+    let mut out = vec![0i32; rows * dim];
+    for b in 0..rows {
+        let x = &activations[b * dim..(b + 1) * dim];
+        let o = &mut out[b * dim..(b + 1) * dim];
+        for (r, &xv) in x.iter().enumerate() {
+            if xv == 0 {
+                continue;
+            }
+            let xv = xv as i32;
+            let wrow = &tile.data()[r * dim..(r + 1) * dim];
+            for (c, &w) in wrow.iter().enumerate() {
+                o[c] += xv * w as i32;
+            }
+        }
+    }
+    out
+}
+
+/// Cycle-level weight-stationary systolic array with a double-buffered
+/// weight plane.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_core::mem::WeightTile;
+/// use tpu_core::systolic::{matmul_reference, SystolicArray};
+///
+/// let dim = 4;
+/// let tile = WeightTile::from_rows(dim, (0..16).map(|v| v as i8).collect());
+/// let mut array = SystolicArray::new(dim);
+/// array.stage_weights(&tile).unwrap();
+/// array.commit_weights().unwrap();
+///
+/// let acts: Vec<i16> = (0..8).map(|v| v as i16).collect(); // 2 rows of 4
+/// let run = array.matmul(&acts, 2).unwrap();
+/// assert_eq!(run.outputs, matmul_reference(&tile, &acts, 2));
+/// assert_eq!(run.cycles, 2 + 2 * 4 - 2); // B + 2*dim - 2
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystolicArray {
+    dim: usize,
+    /// Active weight plane, row-major.
+    active: Vec<i8>,
+    /// Staged (shifting-in) weight plane, if any.
+    staged: Option<Vec<i8>>,
+    /// Whether any weights were ever committed.
+    loaded: bool,
+    /// Activation register of each PE (value moving right this cycle).
+    act_regs: Vec<i16>,
+    /// Partial-sum register of each PE (value moving down this cycle).
+    psum_regs: Vec<i32>,
+    /// Whether the activation parked in each PE is in-flight data (vs the
+    /// zero bubble before/after a block).
+    lane_valid_bits: Vec<bool>,
+    /// Total cycles stepped over the array's lifetime.
+    cycles: u64,
+    /// Total useful (nonzero-weight) MACs performed.
+    useful_macs: u64,
+    /// Total MAC slots occupied during active cycles (useful + zero-weight).
+    occupied_macs: u64,
+    /// Occupied MAC slots where either operand was zero (the multiplies a
+    /// zero-gating design such as Eyeriss or Cnvlutin would not spend
+    /// energy on; the TPU performs them).
+    zero_operand_macs: u64,
+}
+
+/// Result of one pipelined matrix multiply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatmulRun {
+    /// Row-major `rows x dim` i32 partial sums.
+    pub outputs: Vec<i32>,
+    /// Pipelined cycles consumed (`rows + 2*dim - 2`).
+    pub cycles: u64,
+}
+
+impl SystolicArray {
+    /// Create an array of `dim x dim` MAC cells with no weights loaded.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            active: vec![0; dim * dim],
+            staged: None,
+            loaded: false,
+            act_regs: vec![0; dim * dim],
+            psum_regs: vec![0; dim * dim],
+            lane_valid_bits: vec![false; dim * dim],
+            cycles: 0,
+            useful_macs: 0,
+            occupied_macs: 0,
+            zero_operand_macs: 0,
+        }
+    }
+
+    /// Edge length of the array.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of MAC cells.
+    pub fn macs(&self) -> usize {
+        self.dim * self.dim
+    }
+
+    /// Stage a weight tile into the shadow plane (the "shift-in"; its 256
+    /// cycles of latency are charged by the timing engine, overlapped with
+    /// compute thanks to this double buffer).
+    ///
+    /// # Errors
+    ///
+    /// [`TpuError::InvalidOperand`] if the tile dimension does not match.
+    pub fn stage_weights(&mut self, tile: &WeightTile) -> Result<()> {
+        if tile.dim() != self.dim {
+            return Err(TpuError::InvalidOperand(format!(
+                "tile dim {} into {}x{} array",
+                tile.dim(),
+                self.dim,
+                self.dim
+            )));
+        }
+        self.staged = Some(tile.data().to_vec());
+        Ok(())
+    }
+
+    /// Make the staged plane active ("take effect with the advancing wave
+    /// alongside the first data of a new block").
+    ///
+    /// # Errors
+    ///
+    /// [`TpuError::NoWeightsLoaded`] if nothing was staged.
+    pub fn commit_weights(&mut self) -> Result<()> {
+        let staged = self.staged.take().ok_or(TpuError::NoWeightsLoaded)?;
+        self.active = staged;
+        self.loaded = true;
+        Ok(())
+    }
+
+    /// Whether a weight tile is active.
+    pub fn weights_loaded(&self) -> bool {
+        self.loaded
+    }
+
+    /// Lifetime cycles stepped.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Lifetime useful (nonzero-weight, nonzero-activation slot) MACs.
+    pub fn useful_macs(&self) -> u64 {
+        self.useful_macs
+    }
+
+    /// Lifetime occupied MAC slots (cells that held an in-flight operand,
+    /// whether or not the weight was zero) — Table 3 distinguishes useful
+    /// from unused MACs on active cycles.
+    pub fn occupied_macs(&self) -> u64 {
+        self.occupied_macs
+    }
+
+    /// Lifetime occupied MAC slots where either operand was zero.
+    ///
+    /// The TPU spends multiplier energy on these (its tight schedule
+    /// "precluded such optimizations"); a zero-gating dataflow like
+    /// Eyeriss, or a zero-skipping one like Cnvlutin, would not. The
+    /// ratio of this to [`SystolicArray::occupied_macs`] is the
+    /// gateable fraction of MAC energy for the workload that flowed
+    /// through the array.
+    pub fn zero_operand_macs(&self) -> u64 {
+        self.zero_operand_macs
+    }
+
+    /// Fraction of occupied MAC slots a zero-gating design would skip.
+    /// Returns 0 when nothing has flowed through yet.
+    pub fn gateable_fraction(&self) -> f64 {
+        if self.occupied_macs == 0 {
+            0.0
+        } else {
+            self.zero_operand_macs as f64 / self.occupied_macs as f64
+        }
+    }
+
+    /// Advance the wavefront one clock.
+    ///
+    /// `left_inputs[r]` is the activation entering row `r` this cycle (the
+    /// caller applies the diagonal skew); `valid[r]` says whether that lane
+    /// carries data. Returns the partial sums leaving the bottom edge, one
+    /// per column, paired with their validity.
+    fn step(&mut self, left_inputs: &[i16], valid: &[bool]) -> (Vec<i32>, Vec<bool>) {
+        let d = self.dim;
+        let mut bottom = vec![0i32; d];
+        let mut bottom_valid = vec![false; d];
+        // Process rows bottom-up and columns right-to-left so each PE reads
+        // its upstream neighbours' *previous* values before they update.
+        for r in (0..d).rev() {
+            for c in (0..d).rev() {
+                let idx = r * d + c;
+                let act_in = if c == 0 { left_inputs[r] } else { self.act_regs[idx - 1] };
+                let psum_in = if r == 0 { 0 } else { self.psum_regs[idx - d] };
+                let w = self.active[idx] as i32;
+                let product = w * act_in as i32;
+                let psum_out = psum_in + product;
+                // A slot is "occupied" if an in-flight activation is passing
+                // through; it is "useful" if the parked weight is nonzero.
+                let lane_valid = if c == 0 { valid[r] } else { self.lane_valid(idx - 1) };
+                if lane_valid {
+                    self.occupied_macs += 1;
+                    if w != 0 {
+                        self.useful_macs += 1;
+                    }
+                    if w == 0 || act_in == 0 {
+                        self.zero_operand_macs += 1;
+                    }
+                }
+                if r == d - 1 {
+                    bottom[c] = psum_out;
+                    bottom_valid[c] = lane_valid;
+                }
+                self.psum_regs[idx] = psum_out;
+                self.act_regs[idx] = act_in;
+                self.set_lane_valid(idx, lane_valid);
+            }
+        }
+        self.cycles += 1;
+        (bottom, bottom_valid)
+    }
+
+    // Validity of the activation currently parked in each PE is tracked in
+    // a side bitmap kept in `lane_valid_bits`.
+    fn lane_valid(&self, idx: usize) -> bool {
+        self.lane_valid_bits[idx]
+    }
+
+    fn set_lane_valid(&mut self, idx: usize, v: bool) {
+        self.lane_valid_bits[idx] = v;
+    }
+
+    /// Run a full pipelined multiply of a row-major `rows x dim` activation
+    /// block against the active tile, driving the wavefront cycle by cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`TpuError::NoWeightsLoaded`] if no tile was committed and
+    /// [`TpuError::InvalidOperand`] on a shape mismatch.
+    pub fn matmul(&mut self, activations: &[i16], rows: usize) -> Result<MatmulRun> {
+        if !self.loaded {
+            return Err(TpuError::NoWeightsLoaded);
+        }
+        let d = self.dim;
+        if activations.len() != rows * d {
+            return Err(TpuError::InvalidOperand(format!(
+                "activation block of {} values for {} rows x {} lanes",
+                activations.len(),
+                rows,
+                d
+            )));
+        }
+        // Reset pipeline state for this block; flow between blocks is
+        // handled at the timing level.
+        self.act_regs.fill(0);
+        self.psum_regs.fill(0);
+        self.lane_valid_bits.fill(false);
+
+        let total_cycles = if rows == 0 { 0 } else { rows + 2 * d - 2 };
+        let mut outputs = vec![0i32; rows * d];
+        let mut seen = vec![false; rows * d];
+        for t in 0..total_cycles {
+            // Row r receives activation row b at cycle t = b + r (skew).
+            let mut left = vec![0i16; d];
+            let mut valid = vec![false; d];
+            for r in 0..d {
+                if t >= r {
+                    let b = t - r;
+                    if b < rows {
+                        left[r] = activations[b * d + r];
+                        valid[r] = true;
+                    }
+                }
+            }
+            let (bottom, bottom_valid) = self.step(&left, &valid);
+            // Column c emits the sum for row b at cycle t = b + (d-1) + c.
+            for c in 0..d {
+                if bottom_valid[c] && t >= d - 1 + c {
+                    let b = t - (d - 1) - c;
+                    if b < rows {
+                        outputs[b * d + c] = bottom[c];
+                        seen[b * d + c] = true;
+                    }
+                }
+            }
+        }
+        debug_assert!(seen.iter().all(|&s| s), "every output lane must drain");
+        Ok(MatmulRun { outputs, cycles: total_cycles as u64 })
+    }
+}
+
+impl SystolicArray {
+    /// Reset lifetime statistics (cycles, MAC counts).
+    pub fn reset_stats(&mut self) {
+        self.cycles = 0;
+        self.useful_macs = 0;
+        self.occupied_macs = 0;
+        self.zero_operand_macs = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile(dim: usize, mut f: impl FnMut(usize, usize) -> i8) -> WeightTile {
+        let mut data = Vec::with_capacity(dim * dim);
+        for r in 0..dim {
+            for c in 0..dim {
+                data.push(f(r, c));
+            }
+        }
+        WeightTile::from_rows(dim, data)
+    }
+
+    #[test]
+    fn identity_tile_passes_inputs() {
+        let dim = 4;
+        let t = tile(dim, |r, c| if r == c { 1 } else { 0 });
+        let mut a = SystolicArray::new(dim);
+        a.stage_weights(&t).unwrap();
+        a.commit_weights().unwrap();
+        let acts: Vec<i16> = vec![3, -1, 7, 0, 10, 20, 30, 40];
+        let run = a.matmul(&acts, 2).unwrap();
+        let want: Vec<i32> = acts.iter().map(|&v| v as i32).collect();
+        assert_eq!(run.outputs, want);
+    }
+
+    #[test]
+    fn wavefront_matches_reference_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for dim in [1usize, 2, 3, 5, 8] {
+            for rows in [1usize, 2, 7, 16] {
+                let t = tile(dim, |_, _| rng.gen_range(-128i32..=127) as i8);
+                let acts: Vec<i16> =
+                    (0..rows * dim).map(|_| rng.gen_range(-256i32..=255) as i16).collect();
+                let mut a = SystolicArray::new(dim);
+                a.stage_weights(&t).unwrap();
+                a.commit_weights().unwrap();
+                let run = a.matmul(&acts, rows).unwrap();
+                assert_eq!(
+                    run.outputs,
+                    matmul_reference(&t, &acts, rows),
+                    "dim={dim} rows={rows}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_latency_is_rows_plus_2dim_minus_2() {
+        let dim = 8;
+        let t = tile(dim, |_, _| 1);
+        let mut a = SystolicArray::new(dim);
+        a.stage_weights(&t).unwrap();
+        a.commit_weights().unwrap();
+        for rows in [1usize, 8, 13] {
+            let acts = vec![1i16; rows * dim];
+            let run = a.matmul(&acts, rows).unwrap();
+            assert_eq!(run.cycles, (rows + 2 * dim - 2) as u64);
+        }
+    }
+
+    #[test]
+    fn zero_rows_is_free() {
+        let dim = 4;
+        let t = tile(dim, |_, _| 1);
+        let mut a = SystolicArray::new(dim);
+        a.stage_weights(&t).unwrap();
+        a.commit_weights().unwrap();
+        let run = a.matmul(&[], 0).unwrap();
+        assert_eq!(run.cycles, 0);
+        assert!(run.outputs.is_empty());
+    }
+
+    #[test]
+    fn requires_committed_weights() {
+        let mut a = SystolicArray::new(2);
+        assert!(matches!(a.matmul(&[1, 2], 1), Err(TpuError::NoWeightsLoaded)));
+        a.stage_weights(&tile(2, |_, _| 1)).unwrap();
+        // staged but not committed
+        assert!(matches!(a.matmul(&[1, 2], 1), Err(TpuError::NoWeightsLoaded)));
+        a.commit_weights().unwrap();
+        assert!(a.matmul(&[1, 2], 1).is_ok());
+    }
+
+    #[test]
+    fn double_buffering_keeps_active_plane_until_commit() {
+        let dim = 2;
+        let ones = tile(dim, |_, _| 1);
+        let twos = tile(dim, |_, _| 2);
+        let mut a = SystolicArray::new(dim);
+        a.stage_weights(&ones).unwrap();
+        a.commit_weights().unwrap();
+        a.stage_weights(&twos).unwrap(); // staged, not active yet
+        let run = a.matmul(&[1, 1], 1).unwrap();
+        assert_eq!(run.outputs, vec![2, 2]); // still the ones tile
+        a.commit_weights().unwrap();
+        let run = a.matmul(&[1, 1], 1).unwrap();
+        assert_eq!(run.outputs, vec![4, 4]); // now the twos tile
+    }
+
+    #[test]
+    fn commit_without_stage_errors() {
+        let mut a = SystolicArray::new(2);
+        assert!(matches!(a.commit_weights(), Err(TpuError::NoWeightsLoaded)));
+    }
+
+    #[test]
+    fn shape_mismatches_rejected() {
+        let mut a = SystolicArray::new(4);
+        assert!(a.stage_weights(&tile(2, |_, _| 1)).is_err());
+        a.stage_weights(&tile(4, |_, _| 1)).unwrap();
+        a.commit_weights().unwrap();
+        assert!(a.matmul(&[1, 2, 3], 1).is_err());
+    }
+
+    #[test]
+    fn useful_vs_occupied_macs_reflect_zero_weights() {
+        let dim = 4;
+        // Half the columns are zero: occupancy is full, usefulness is half.
+        let t = tile(dim, |_, c| if c < dim / 2 { 1 } else { 0 });
+        let mut a = SystolicArray::new(dim);
+        a.stage_weights(&t).unwrap();
+        a.commit_weights().unwrap();
+        let rows = 8;
+        a.matmul(&vec![1i16; rows * dim], rows).unwrap();
+        assert!(a.occupied_macs() > 0);
+        assert_eq!(a.useful_macs() * 2, a.occupied_macs());
+        a.reset_stats();
+        assert_eq!(a.useful_macs(), 0);
+        assert_eq!(a.cycles(), 0);
+    }
+
+    #[test]
+    fn zero_operands_are_counted_for_gating() {
+        // Half the weights zero, all activations nonzero: the gateable
+        // fraction equals the zero-weight fraction exactly.
+        let dim = 4;
+        let t = tile(dim, |r, _| if r % 2 == 0 { 3 } else { 0 });
+        let mut a = SystolicArray::new(dim);
+        a.stage_weights(&t).unwrap();
+        a.commit_weights().unwrap();
+        a.matmul(&[1i16; 16], 4).unwrap();
+        assert!((a.gateable_fraction() - 0.5).abs() < 1e-12, "{}", a.gateable_fraction());
+    }
+
+    #[test]
+    fn zero_activations_are_also_gateable() {
+        // All weights nonzero, half the activation lanes zero.
+        let dim = 4;
+        let t = tile(dim, |_, _| 2);
+        let mut a = SystolicArray::new(dim);
+        a.stage_weights(&t).unwrap();
+        a.commit_weights().unwrap();
+        let acts: Vec<i16> = (0..16).map(|i| if i % 2 == 0 { 5 } else { 0 }).collect();
+        a.matmul(&acts, 4).unwrap();
+        assert!((a.gateable_fraction() - 0.5).abs() < 1e-12, "{}", a.gateable_fraction());
+    }
+
+    #[test]
+    fn dense_nonzero_flow_has_nothing_to_gate() {
+        let dim = 3;
+        let t = tile(dim, |_, _| 1);
+        let mut a = SystolicArray::new(dim);
+        a.stage_weights(&t).unwrap();
+        a.commit_weights().unwrap();
+        a.matmul(&[7i16; 9], 3).unwrap();
+        assert_eq!(a.zero_operand_macs(), 0);
+        assert_eq!(a.gateable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn gateable_fraction_is_zero_before_any_flow() {
+        assert_eq!(SystolicArray::new(4).gateable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_zero_operand_count() {
+        let dim = 2;
+        let t = tile(dim, |_, _| 0);
+        let mut a = SystolicArray::new(dim);
+        a.stage_weights(&t).unwrap();
+        a.commit_weights().unwrap();
+        a.matmul(&[1i16; 4], 2).unwrap();
+        assert!(a.zero_operand_macs() > 0);
+        a.reset_stats();
+        assert_eq!(a.zero_operand_macs(), 0);
+    }
+
+    #[test]
+    fn saturating_behaviour_not_required_in_array() {
+        // Products accumulate in i32; with int8/int16 inputs a single
+        // column of dim<=256 cannot overflow i32 (256 * 127 * 32767 < 2^31).
+        let dim = 3;
+        let t = tile(dim, |_, _| 127);
+        let mut a = SystolicArray::new(dim);
+        a.stage_weights(&t).unwrap();
+        a.commit_weights().unwrap();
+        let run = a.matmul(&[i16::MAX; 3], 1).unwrap();
+        assert_eq!(run.outputs, vec![127 * 32767 * 3; 3]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The cycle-level wavefront equals the algebraic oracle for any
+        /// shape and operand values, at the documented pipeline latency.
+        #[test]
+        fn wavefront_matches_oracle(
+            dim in 1usize..12,
+            rows in 1usize..24,
+            seed in any::<u64>(),
+        ) {
+            // Deterministic pseudo-random operands from the seed.
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let weights: Vec<i8> = (0..dim * dim).map(|_| next() as i8).collect();
+            let acts: Vec<i16> = (0..rows * dim).map(|_| (next() as i16) / 64).collect();
+
+            let tile = WeightTile::from_rows(dim, weights);
+            let mut array = SystolicArray::new(dim);
+            array.stage_weights(&tile).unwrap();
+            array.commit_weights().unwrap();
+            let run = array.matmul(&acts, rows).unwrap();
+
+            prop_assert_eq!(&run.outputs, &matmul_reference(&tile, &acts, rows));
+            prop_assert_eq!(run.cycles, (rows + 2 * dim - 2) as u64);
+        }
+
+        /// MAC accounting invariants hold for any flow: useful and
+        /// gateable slots never exceed occupied slots, and occupied slots
+        /// equal exactly rows x dim x dim.
+        #[test]
+        fn mac_accounting_is_conserved(
+            dim in 1usize..10,
+            rows in 1usize..16,
+            zero_weights in any::<bool>(),
+        ) {
+            let w = if zero_weights { 0i8 } else { 3 };
+            let tile = WeightTile::from_rows(dim, vec![w; dim * dim]);
+            let mut array = SystolicArray::new(dim);
+            array.stage_weights(&tile).unwrap();
+            array.commit_weights().unwrap();
+            array.matmul(&vec![1i16; rows * dim], rows).unwrap();
+
+            let occupied = array.occupied_macs();
+            prop_assert_eq!(occupied, (rows * dim * dim) as u64);
+            prop_assert!(array.useful_macs() <= occupied);
+            prop_assert!(array.zero_operand_macs() <= occupied);
+            // Every slot is either useful (nonzero weight) or gateable
+            // (zero weight), since all activations here are nonzero.
+            prop_assert_eq!(array.useful_macs() + array.zero_operand_macs(), occupied);
+        }
+    }
+}

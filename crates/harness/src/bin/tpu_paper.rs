@@ -1,0 +1,77 @@
+//! `tpu-paper` — print regenerated tables and figures from the ISCA 2017
+//! TPU paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! tpu-paper --all              # everything, in paper order
+//! tpu-paper --table3 --fig11   # specific artifacts
+//! tpu-paper --list             # available identifiers
+//! ```
+
+use tpu_core::TpuConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = TpuConfig::paper();
+
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: tpu-paper [--all | --list | --check | --svg <dir> | --<experiment> ...]");
+        eprintln!("experiments: {}", tpu_harness::EXPERIMENTS.join(", "));
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in tpu_harness::EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--svg") {
+        let dir = args
+            .get(pos + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or("figures");
+        match tpu_harness::svg_out::write_all(&cfg, std::path::Path::new(dir)) {
+            Ok(paths) => {
+                for p in &paths {
+                    println!("wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("svg rendering failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--check") {
+        let report = tpu_harness::check::run_checks(&cfg);
+        print!("{report}");
+        if !report.all_pass() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let requested: Vec<&str> = if args.iter().any(|a| a == "--all") {
+        tpu_harness::EXPERIMENTS.to_vec()
+    } else {
+        let mut ids = Vec::new();
+        for a in &args {
+            let id = a.trim_start_matches("--");
+            match tpu_harness::EXPERIMENTS.iter().find(|e| **e == id) {
+                Some(found) => ids.push(*found),
+                None => {
+                    eprintln!("unknown experiment: {a} (try --list)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        ids
+    };
+
+    for id in requested {
+        println!("{}", tpu_harness::generate(id, &cfg));
+    }
+}

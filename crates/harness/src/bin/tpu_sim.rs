@@ -1,0 +1,200 @@
+//! `tpu-sim` — assemble, statically verify, and execute a TPU assembly
+//! program on both device models.
+//!
+//! This is the User Space Driver flow condensed into a CLI: the program
+//! is assembled, checked against the device configuration, run on the
+//! functional device (with deterministically seeded host and weight
+//! memory), and run through the instruction-level 4-stage CISC pipeline
+//! model for cycles, CPI, and stall causes.
+//!
+//! ```text
+//! tpu-sim <program.tpuasm> [--config paper|small] [--overlap] [--no-run]
+//! ```
+//!
+//! Exit codes: 0 success, 1 read/assemble error, 2 usage, 3 static
+//! verification failure, 4 runtime fault.
+
+use std::process::ExitCode;
+
+use tpu_asm::assemble;
+use tpu_compiler::verify::verify;
+use tpu_core::func::FuncTpu;
+use tpu_core::isa::{Instruction, Program};
+use tpu_core::mem::{HostMemory, WeightTile};
+use tpu_core::pipeline::{PipelineModel, Unit};
+use tpu_core::TpuConfig;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: tpu-sim <program.tpuasm> [--config paper|small] [--overlap] [--no-run]");
+    ExitCode::from(2)
+}
+
+/// Deterministic byte stream for seeding memories (xorshift64*).
+struct Seeder(u64);
+
+impl Seeder {
+    fn next_byte(&mut self) -> u8 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 56) as u8
+    }
+
+    fn bytes(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.next_byte()).collect()
+    }
+}
+
+/// Seed host memory behind every `Read_Host_Memory` source range and
+/// store a deterministic weight tile behind every `Read_Weights` range.
+fn seed_memories(tpu: &mut FuncTpu, program: &Program) -> Result<HostMemory, String> {
+    let dim = tpu.config().array_dim;
+    let tile_bytes = dim * dim;
+
+    let mut host_top = 0usize;
+    for inst in program.instructions() {
+        match *inst {
+            Instruction::ReadHostMemory { host_addr, len, .. }
+            | Instruction::WriteHostMemory { host_addr, len, .. } => {
+                host_top = host_top.max(host_addr as usize + len as usize);
+            }
+            _ => {}
+        }
+    }
+    let mut host = HostMemory::new((host_top + 4096).next_power_of_two());
+
+    let mut seeder = Seeder(0x1234_5678_9abc_def0);
+    for inst in program.instructions() {
+        match *inst {
+            Instruction::ReadHostMemory { host_addr, len, .. } => {
+                let data = seeder.bytes(len as usize);
+                host.write(host_addr as usize, &data).map_err(|e| e.to_string())?;
+            }
+            Instruction::ReadWeights { dram_addr, tiles } => {
+                for t in 0..tiles as usize {
+                    let raw = seeder.bytes(tile_bytes);
+                    // Small signed weights keep accumulators comfortably
+                    // inside 32 bits for any program shape.
+                    let weights: Vec<i8> = raw.iter().map(|b| (*b as i8) / 16).collect();
+                    let tile = WeightTile::from_rows(dim, weights);
+                    tpu.weight_memory_mut()
+                        .store_tile(dram_addr as usize + t * tile_bytes, &tile)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(host)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        return usage();
+    }
+    let Some(input) = args.iter().find(|a| !a.starts_with("--")) else { return usage() };
+    let overlap = args.iter().any(|a| a == "--overlap");
+    let run_functional = !args.iter().any(|a| a == "--no-run");
+    let cfg = match args.iter().position(|a| a == "--config") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("paper") => TpuConfig::paper(),
+            Some("small") => TpuConfig::small(),
+            _ => return usage(),
+        },
+        None => TpuConfig::paper(),
+    };
+
+    // 1. Assemble.
+    let src = match std::fs::read_to_string(input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tpu-sim: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match assemble(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{input}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "assembled {}: {} instructions ({} bytes encoded)",
+        input,
+        program.len(),
+        program.encode().len()
+    );
+
+    // 2. Static verification against the device configuration.
+    let violations = verify(&program, &cfg);
+    if violations.is_empty() {
+        println!(
+            "verified against {}x{} @ {} MHz: ok",
+            cfg.array_dim,
+            cfg.array_dim,
+            cfg.clock_hz / 1_000_000
+        );
+    } else {
+        eprintln!("verification failed with {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        return ExitCode::from(3);
+    }
+
+    // 3. Functional execution with seeded memories.
+    if run_functional {
+        let mut tpu = FuncTpu::new(cfg.clone());
+        let mut host = match seed_memories(&mut tpu, &program) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("tpu-sim: seeding failed: {e}");
+                return ExitCode::from(4);
+            }
+        };
+        match tpu.run(&program, &mut host) {
+            Ok(stats) => {
+                println!("\nfunctional run:");
+                println!("  instructions retired: {}", stats.instructions);
+                println!("  matrix multiplies:    {}", stats.matmuls);
+                println!("  weight tiles fetched: {}", stats.tiles_fetched);
+                println!("  bytes to device:      {}", host.bytes_to_device());
+                println!("  bytes from device:    {}", host.bytes_from_device());
+            }
+            Err(e) => {
+                eprintln!("tpu-sim: device fault: {e}");
+                return ExitCode::from(4);
+            }
+        }
+    }
+
+    // 4. Pipeline timing.
+    let trace = match PipelineModel::new(cfg.clone()).execute(&program) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tpu-sim: pipeline fault: {e}");
+            return ExitCode::from(4);
+        }
+    };
+    let us = trace.total_cycles as f64 * 1e6 / cfg.clock_hz as f64;
+    println!("\npipeline model:");
+    println!("  total cycles: {} ({us:.1} us)", trace.total_cycles);
+    println!("  CPI:          {:.1}", trace.cpi());
+    println!("  matrix util:  {:.1}%", 100.0 * trace.matrix_utilization());
+    let stalls = trace.total_stalls();
+    println!(
+        "  stalls: weight {} / RAW {} / structural {} / shift {}",
+        stalls.weight_wait, stalls.raw_wait, stalls.structural_wait, stalls.shift_exposed
+    );
+    for unit in [Unit::Pcie, Unit::WeightFetch, Unit::Matrix, Unit::Activation] {
+        println!("  {:<12} busy {:>8} cycles", unit.label(), trace.unit_busy(unit));
+    }
+    if overlap {
+        println!("\noverlap diagram:");
+        print!("{}", trace.render_overlap(72));
+    }
+
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,461 @@
+//! Automated reproduction checking: regenerate the paper's quantities and
+//! compare each against its published value with an explicit tolerance.
+//!
+//! Tolerances are the documented reproduction bands of EXPERIMENTS.md —
+//! tight where the quantity is structural or calibrated (ridge points,
+//! Table 4 operating points, Figure 9 band membership), wide where the
+//! paper measured hardware behaviour our synthetic workloads can only
+//! approximate (CNN1's cycle breakdown). `tpu-paper --check` prints the
+//! report and fails the process if any check regresses.
+
+use crate::paper;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tpu_core::TpuConfig;
+use tpu_nn::workloads;
+
+/// How a check compares ours against the paper's value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Tolerance {
+    /// `|ours - paper| / |paper| <= limit`.
+    Rel(f64),
+    /// `|ours - paper| <= limit`.
+    Abs(f64),
+    /// `low <= ours <= high` (paper value is informative only).
+    Band {
+        /// Inclusive lower bound.
+        low: f64,
+        /// Inclusive upper bound.
+        high: f64,
+    },
+}
+
+/// One paper-vs-ours comparison.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CheckItem {
+    /// Experiment this belongs to (e.g. "table3").
+    pub id: &'static str,
+    /// Human-readable quantity name.
+    pub name: String,
+    /// The published value.
+    pub paper: f64,
+    /// The regenerated value.
+    pub ours: f64,
+    /// Acceptance criterion.
+    pub tolerance: Tolerance,
+}
+
+impl CheckItem {
+    /// Whether the regenerated value satisfies the tolerance.
+    pub fn passes(&self) -> bool {
+        match self.tolerance {
+            Tolerance::Rel(limit) => {
+                if self.paper == 0.0 {
+                    self.ours.abs() <= limit
+                } else {
+                    ((self.ours - self.paper) / self.paper).abs() <= limit
+                }
+            }
+            Tolerance::Abs(limit) => (self.ours - self.paper).abs() <= limit,
+            Tolerance::Band { low, high } => (low..=high).contains(&self.ours),
+        }
+    }
+}
+
+/// The full reproduction report.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CheckReport {
+    /// Every comparison performed.
+    pub items: Vec<CheckItem>,
+}
+
+impl CheckReport {
+    /// Number of passing checks.
+    pub fn passed(&self) -> usize {
+        self.items.iter().filter(|i| i.passes()).count()
+    }
+
+    /// Number of failing checks.
+    pub fn failed(&self) -> usize {
+        self.items.len() - self.passed()
+    }
+
+    /// Whether every check passes.
+    pub fn all_pass(&self) -> bool {
+        self.failed() == 0
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "reproduction check: {} / {} pass", self.passed(), self.items.len())?;
+        let mut current = "";
+        for item in &self.items {
+            if item.id != current {
+                current = item.id;
+                writeln!(f, "-- {current} --")?;
+            }
+            let verdict = if item.passes() { "PASS" } else { "FAIL" };
+            let tol = match item.tolerance {
+                Tolerance::Rel(r) => format!("rel {:.0}%", r * 100.0),
+                Tolerance::Abs(a) => format!("abs {a}"),
+                Tolerance::Band { low, high } => format!("band [{low}, {high}]"),
+            };
+            writeln!(
+                f,
+                "  [{verdict}] {:<42} paper {:>10.3}  ours {:>10.3}  ({tol})",
+                item.name, item.paper, item.ours
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Regenerate and check every comparable quantity.
+pub fn run_checks(cfg: &TpuConfig) -> CheckReport {
+    let mut items = Vec::new();
+
+    // -- Table 1: workload aggregates --------------------------------
+    let paper_weights = [20e6, 5e6, 52e6, 34e6, 8e6, 100e6];
+    let paper_opb = [200.0, 168.0, 64.0, 96.0, 2888.0, 1750.0];
+    for (i, model) in workloads::all().iter().enumerate() {
+        items.push(CheckItem {
+            id: "table1",
+            name: format!("{} weights", model.name()),
+            paper: paper_weights[i],
+            ours: model.total_weights() as f64,
+            tolerance: Tolerance::Rel(0.15),
+        });
+        items.push(CheckItem {
+            id: "table1",
+            name: format!("{} ops/weight-byte", model.name()),
+            paper: paper_opb[i],
+            ours: model.ops_per_weight_byte(),
+            tolerance: Tolerance::Rel(0.10),
+        });
+    }
+
+    // -- Rooflines: ridge points --------------------------------------
+    use tpu_platforms::roofline::Roofline;
+    use tpu_platforms::spec::ChipSpec;
+    let (tpu_rp, cpu_rp, gpu_rp) = paper::RIDGE_POINTS;
+    for (name, spec, paper_rp) in [
+        ("TPU ridge point", ChipSpec::tpu(), tpu_rp),
+        ("Haswell ridge point", ChipSpec::haswell(), cpu_rp),
+        ("K80 ridge point", ChipSpec::k80(), gpu_rp),
+    ] {
+        items.push(CheckItem {
+            id: "fig5-8",
+            name: name.to_string(),
+            paper: paper_rp,
+            ours: Roofline::from_spec(&spec).ridge_point(),
+            tolerance: Tolerance::Rel(0.05),
+        });
+    }
+
+    // -- Table 3: cycle breakdown from the timing simulator -----------
+    // Tolerances per app reflect EXPERIMENTS.md: synthetic CNN1 diverges
+    // most (its production layer mix is proprietary).
+    let active_tol = [0.05, 0.05, 0.05, 0.06, 0.15, 0.20];
+    let stall_tol = [0.12, 0.16, 0.13, 0.08, 0.05, 0.15];
+    let tops_rel_tol = [0.25, 0.30, 0.25, 1.0, 0.15, 1.2];
+    for (i, model) in workloads::all().iter().enumerate() {
+        let ops = tpu_compiler::lower_timed(model, cfg, 1);
+        let r = tpu_core::timing::run_timed(cfg, &ops);
+        items.push(CheckItem {
+            id: "table3",
+            name: format!("{} array active", model.name()),
+            paper: paper::table3::ARRAY_ACTIVE[i],
+            ours: r.report.array_active,
+            tolerance: Tolerance::Abs(active_tol[i]),
+        });
+        items.push(CheckItem {
+            id: "table3",
+            name: format!("{} weight stall", model.name()),
+            paper: paper::table3::WEIGHT_STALL[i],
+            ours: r.report.weight_stall,
+            tolerance: Tolerance::Abs(stall_tol[i]),
+        });
+        items.push(CheckItem {
+            id: "table3",
+            name: format!("{} TeraOps/s", model.name()),
+            paper: paper::table3::TERAOPS[i],
+            ours: r.report.teraops,
+            tolerance: Tolerance::Rel(tops_rel_tol[i]),
+        });
+    }
+
+    // -- Table 4: serving operating points -----------------------------
+    for (row, (plat, batch, l99, ips, pct)) in
+        tpu_platforms::latency::table4().iter().zip(paper::TABLE4)
+    {
+        items.push(CheckItem {
+            id: "table4",
+            name: format!("{plat} batch {batch} 99th% ms"),
+            paper: l99,
+            ours: row.l99_ms,
+            tolerance: Tolerance::Rel(0.15),
+        });
+        items.push(CheckItem {
+            id: "table4",
+            name: format!("{plat} batch {batch} IPS"),
+            paper: ips,
+            ours: row.ips,
+            tolerance: Tolerance::Rel(0.15),
+        });
+        items.push(CheckItem {
+            id: "table4",
+            name: format!("{plat} batch {batch} % of max"),
+            paper: pct,
+            ours: row.pct_max,
+            tolerance: Tolerance::Abs(10.0),
+        });
+    }
+
+    // -- Table 6: relative performance ---------------------------------
+    let t6 = tpu_platforms::achieved::table6(cfg);
+    items.push(CheckItem {
+        id: "table6",
+        name: "GPU/CPU geometric mean".into(),
+        paper: paper::table6::GM.0,
+        ours: t6.gpu_gm,
+        tolerance: Tolerance::Rel(0.35),
+    });
+    items.push(CheckItem {
+        id: "table6",
+        name: "TPU/CPU geometric mean".into(),
+        paper: paper::table6::GM.1,
+        ours: t6.tpu_gm,
+        tolerance: Tolerance::Rel(0.35),
+    });
+    items.push(CheckItem {
+        id: "table6",
+        name: "TPU/CPU weighted mean".into(),
+        paper: paper::table6::WM.1,
+        ours: t6.tpu_wm,
+        tolerance: Tolerance::Rel(0.35),
+    });
+
+    // -- Table 7: analytic model vs simulator ---------------------------
+    let (_, mean_diff) = tpu_perfmodel::validate::table7(cfg);
+    items.push(CheckItem {
+        id: "table7",
+        name: "mean model-vs-counters difference".into(),
+        paper: 0.08,
+        ours: mean_diff,
+        tolerance: Tolerance::Band { low: 0.0, high: 0.15 },
+    });
+
+    // -- Table 8: Unified Buffer usage (shape claims) -------------------
+    // Absolute per-app values depend on the proprietary layer shapes
+    // (EXPERIMENTS.md documents the divergence); the published *claims*
+    // are structural: the improved allocator never loses, every app fits
+    // the 24 MiB buffer after improvement, and CNN1 is the largest
+    // consumer at roughly the paper's 13.9 MiB.
+    let models = workloads::all();
+    let mut largest = (String::new(), 0.0f64);
+    for model in &models {
+        let usage = tpu_compiler::alloc::ub_usage(model);
+        items.push(CheckItem {
+            id: "table8",
+            name: format!("{} improved <= bump (MiB saved)", model.name()),
+            paper: 0.0,
+            ours: usage.bump_mib - usage.reuse_mib,
+            tolerance: Tolerance::Band { low: 0.0, high: f64::INFINITY },
+        });
+        items.push(CheckItem {
+            id: "table8",
+            name: format!("{} fits 24 MiB UB (improved)", model.name()),
+            paper: 24.0,
+            ours: usage.reuse_mib,
+            tolerance: Tolerance::Band { low: 0.0, high: 24.0 },
+        });
+        if usage.reuse_mib > largest.1 {
+            largest = (model.name().to_string(), usage.reuse_mib);
+        }
+    }
+    items.push(CheckItem {
+        id: "table8",
+        name: format!("largest consumer ({}) near paper's 13.9 MiB", largest.0),
+        paper: paper::TABLE8[5],
+        ours: largest.1,
+        tolerance: Tolerance::Band { low: 10.0, high: 20.0 },
+    });
+
+    // -- Figure 9: performance/Watt bands -------------------------------
+    use tpu_power::perf_watt::Accounting;
+    let f9 = tpu_power::perf_watt::figure9(cfg);
+    let band_checks: [(&str, Accounting, (f64, f64)); 4] = [
+        ("TPU/CPU", Accounting::Total, paper::figure9::TPU_CPU_TOTAL),
+        ("TPU/CPU", Accounting::Incremental, paper::figure9::TPU_CPU_INC),
+        ("TPU'/CPU", Accounting::Total, paper::figure9::PRIME_CPU_TOTAL),
+        ("TPU'/CPU", Accounting::Incremental, paper::figure9::PRIME_CPU_INC),
+    ];
+    for (cmp, acct, (low, high)) in band_checks {
+        if let Some(bar) = f9.bar(cmp, acct) {
+            // The GM..WM spread must land inside a generously widened
+            // version of the published band.
+            items.push(CheckItem {
+                id: "fig9",
+                name: format!("{cmp} {acct:?} GM"),
+                paper: low,
+                ours: bar.gm,
+                tolerance: Tolerance::Band { low: low * 0.6, high: high * 1.4 },
+            });
+            items.push(CheckItem {
+                id: "fig9",
+                name: format!("{cmp} {acct:?} WM"),
+                paper: high,
+                ours: bar.wm,
+                tolerance: Tolerance::Band { low: low * 0.6, high: high * 1.4 },
+            });
+        }
+    }
+
+    // -- Figure 10 anchors: energy proportionality ----------------------
+    use tpu_platforms::spec::Platform;
+    use tpu_power::energy::{PowerCurve, PowerWorkload};
+    let (cpu10, gpu10, tpu10) = paper::POWER_AT_10PCT_CNN0;
+    for (name, platform, paper_frac) in [
+        ("CPU power fraction at 10% load", Platform::Haswell, cpu10),
+        ("GPU power fraction at 10% load", Platform::K80, gpu10),
+        ("TPU power fraction at 10% load", Platform::Tpu, tpu10),
+    ] {
+        let curve = PowerCurve::for_die(platform, PowerWorkload::Cnn0);
+        items.push(CheckItem {
+            id: "fig10",
+            name: name.to_string(),
+            paper: paper_frac,
+            ours: curve.fraction_of_busy(0.10),
+            tolerance: Tolerance::Abs(0.02),
+        });
+    }
+
+    // -- Section 8 what-ifs ---------------------------------------------
+    // AVX2 int8 CPU: "the ratio would drop from 41-83X to 12-24X".
+    let avx2 = tpu_power::avx2_whatif(cfg);
+    items.push(CheckItem {
+        id: "ext-avx2",
+        name: "TPU/CPU inc perf/Watt GM after 3.5x CPU int8".to_string(),
+        paper: 12.0,
+        ours: avx2.gm_after,
+        tolerance: Tolerance::Band { low: 12.0 * 0.6, high: 24.0 * 1.4 },
+    });
+    items.push(CheckItem {
+        id: "ext-avx2",
+        name: "TPU/CPU inc perf/Watt WM after 3.5x CPU int8".to_string(),
+        paper: 24.0,
+        ours: avx2.wm_after,
+        tolerance: Tolerance::Band { low: 12.0 * 0.6, high: 24.0 * 1.4 },
+    });
+    // P40: peak TOPS/Watt comparison at the quoted 47 TOPS / 250 W.
+    let p40 = tpu_platforms::p40_peak_comparison();
+    items.push(CheckItem {
+        id: "ext-p40",
+        name: "P40 peak TOPS/Watt".to_string(),
+        paper: 47.0 / 250.0,
+        ours: p40.p40_tops_per_watt,
+        tolerance: Tolerance::Rel(0.01),
+    });
+    items.push(CheckItem {
+        id: "ext-p40",
+        name: "TPU(busy)/P40 peak TOPS/Watt ratio".to_string(),
+        paper: (92.0 / 40.0) / (47.0 / 250.0),
+        ours: p40.tpu_advantage_busy,
+        tolerance: Tolerance::Rel(0.01),
+    });
+
+    // Section 6: "Haswell server plus four TPUs use <20% additional power
+    // but run CNN0 80 times faster".
+    let acc = tpu_power::rack::accelerated_server_cnn0(cfg);
+    items.push(CheckItem {
+        id: "ext-rack",
+        name: "host+4 TPUs extra power fraction (CNN0)".to_string(),
+        paper: 0.20,
+        ours: acc.extra_power_fraction,
+        tolerance: Tolerance::Band { low: -0.10, high: 0.20 },
+    });
+    items.push(CheckItem {
+        id: "ext-rack",
+        name: "host+4 TPUs CNN0 speedup vs host alone".to_string(),
+        paper: 80.0,
+        ours: acc.speedup,
+        tolerance: Tolerance::Rel(0.15),
+    });
+
+    CheckReport { items }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_check_passes_on_the_paper_configuration() {
+        let report = run_checks(&TpuConfig::paper());
+        let failures: Vec<String> = report
+            .items
+            .iter()
+            .filter(|i| !i.passes())
+            .map(|i| format!("{} {} (paper {}, ours {})", i.id, i.name, i.paper, i.ours))
+            .collect();
+        assert!(failures.is_empty(), "failing checks:\n{}", failures.join("\n"));
+    }
+
+    #[test]
+    fn report_has_broad_coverage() {
+        let report = run_checks(&TpuConfig::paper());
+        assert!(report.items.len() >= 50, "only {} checks", report.items.len());
+        for id in ["table1", "table3", "table4", "table6", "table7", "table8", "fig9", "fig10"] {
+            assert!(report.items.iter().any(|i| i.id == id), "no checks for {id}");
+        }
+    }
+
+    #[test]
+    fn display_renders_verdicts() {
+        let report = run_checks(&TpuConfig::paper());
+        let text = report.to_string();
+        assert!(text.contains("PASS"));
+        assert!(text.contains("reproduction check"));
+    }
+
+    #[test]
+    fn tolerance_semantics() {
+        let rel = CheckItem {
+            id: "x",
+            name: "rel".into(),
+            paper: 100.0,
+            ours: 109.0,
+            tolerance: Tolerance::Rel(0.10),
+        };
+        assert!(rel.passes());
+        let abs = CheckItem {
+            id: "x",
+            name: "abs".into(),
+            paper: 0.5,
+            ours: 0.56,
+            tolerance: Tolerance::Abs(0.05),
+        };
+        assert!(!abs.passes());
+        let band = CheckItem {
+            id: "x",
+            name: "band".into(),
+            paper: 1.0,
+            ours: 2.0,
+            tolerance: Tolerance::Band { low: 1.5, high: 2.5 },
+        };
+        assert!(band.passes());
+    }
+
+    #[test]
+    fn zero_paper_value_uses_absolute_fallback_for_rel() {
+        let item = CheckItem {
+            id: "x",
+            name: "zero".into(),
+            paper: 0.0,
+            ours: 0.001,
+            tolerance: Tolerance::Rel(0.01),
+        };
+        assert!(item.passes());
+    }
+}

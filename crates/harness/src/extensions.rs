@@ -1,0 +1,781 @@
+//! Extension experiments beyond the paper's published tables and
+//! figures: the Section 8 fallacy measurements as computations, the
+//! announced sparsity future work as a modeled ablation, and an
+//! energy-per-inference tabulation.
+
+use crate::table::{fmt_f, TextTable};
+use tpu_core::TpuConfig;
+use tpu_nn::workloads;
+use tpu_platforms::boost::{rack_provisioning, BoostMode};
+use tpu_power::energy_per_inference::energy_per_inference;
+
+/// Sparsity ablation (Section 2's "Sparsity will have high priority in
+/// future designs"): activation skipping vs weight compression.
+pub fn ext_sparsity(cfg: &TpuConfig) -> TextTable {
+    let rows = tpu_perfmodel::sparsity_ablation(cfg);
+    let mut t = TextTable::new(
+        "Extension — Sparsity ablation on the analytic model",
+        vec!["feature set", "MLP0", "MLP1", "LSTM0", "LSTM1", "CNN0", "CNN1", "WM"],
+    );
+    for r in rows {
+        let mut cells = vec![r.label.clone()];
+        for (_, s) in &r.speedups {
+            cells.push(fmt_f(*s, 2));
+        }
+        cells.push(fmt_f(r.weighted_mean, 2));
+        t.row(cells);
+    }
+    t.note("weight compression attacks the bandwidth wall; activation skipping only helps the CNNs");
+    t
+}
+
+/// The K80 Boost-mode fallacy as a rack-provisioning computation.
+pub fn ext_boost() -> TextTable {
+    let b = BoostMode::k80_lstm1();
+    let mut t = TextTable::new(
+        "Extension — K80 Boost mode at the rack level (Section 8 fallacy)",
+        vec!["budget (cards at base power)", "cards base", "cards boosted", "rack throughput ratio"],
+    );
+    for cards in [2usize, 4, 8, 16, 64] {
+        let budget = cards as f64 * 2.0 * 98.0;
+        let r = rack_provisioning(budget);
+        t.row(vec![
+            cards.to_string(),
+            r.cards_base.to_string(),
+            r.cards_boost.to_string(),
+            fmt_f(r.throughput_ratio, 2),
+        ]);
+    }
+    t.note(format!(
+        "boost: clock x{:.2}, measured perf x{:.1}, power x{:.1} -> perf/Watt x{:.2}",
+        b.clock_ratio(),
+        b.perf_gain,
+        b.power_gain,
+        b.perf_per_watt_gain()
+    ));
+    t
+}
+
+/// Energy per inference at full load, all platforms.
+pub fn ext_energy(cfg: &TpuConfig) -> TextTable {
+    let mut t = TextTable::new(
+        "Extension — Energy per inference at full load (J/inference)",
+        vec!["app", "CPU server", "GPU server", "TPU server", "CPU/TPU ratio"],
+    );
+    for r in energy_per_inference(cfg) {
+        t.row(vec![
+            r.name.clone(),
+            format!("{:.2e}", r.cpu_j),
+            format!("{:.2e}", r.gpu_j),
+            format!("{:.2e}", r.tpu_j),
+            fmt_f(r.cpu_over_tpu(), 1),
+        ]);
+    }
+    t.note("the electricity-bill view of Figure 9's performance/Watt");
+    t
+}
+
+/// The Section 8 CNN1 what-if: aggregating the four FC layers' batches
+/// from 32 to 128 to improve matrix-unit utilization.
+pub fn ext_batch_aggregation(cfg: &TpuConfig) -> TextTable {
+    let mut t = TextTable::new(
+        "Extension — CNN1 FC batch aggregation what-if (Section 8)",
+        vec!["batch", "IPS", "weight stall", "array active"],
+    );
+    for batch in [32usize, 64, 128, 256] {
+        let m = workloads::cnn1().with_batch(batch);
+        let ops = tpu_compiler::lower_timed(&m, cfg, 1);
+        let r = tpu_core::timing::run_timed(cfg, &ops);
+        let ips = batch as f64 / (r.counters.total_cycles as f64 / cfg.clock_hz as f64);
+        t.row(vec![
+            batch.to_string(),
+            fmt_f(ips, 0),
+            crate::table::fmt_pct(r.report.weight_stall),
+            crate::table::fmt_pct(r.report.array_active),
+        ]);
+    }
+    t.note("deeper FC batches amortize the intensity-32 weight loads that stall CNN1");
+    t
+}
+
+/// Batch-dispatch policy comparison on the serving simulator (the
+/// Section 8 "reduced latency over bigger batches" trade, quantified).
+pub fn ext_batching() -> TextTable {
+    use tpu_platforms::batching::{gpu_service, simulate_policy, tpu_service, Policy};
+    let mut t = TextTable::new(
+        "Extension — Batch-dispatch policies (TPU-like vs GPU-like service curves)",
+        vec!["curve", "policy", "p50 ms", "p99 ms", "IPS", "mean batch"],
+    );
+    let policies: [(&str, Policy); 3] = [
+        ("fixed 64", Policy::Fixed { batch: 64 }),
+        ("window 2 ms", Policy::TimeWindow { max_batch: 64, window_ms: 2.0 }),
+        ("deadline", Policy::Deadline { max_batch: 64, deadline_ms: 14.0, margin_ms: 2.0 }),
+    ];
+    for (curve, make) in [
+        ("TPU", tpu_service as fn(Policy, f64) -> _),
+        ("GPU", gpu_service as fn(Policy, f64) -> _),
+    ] {
+        let rate = if curve == "TPU" { 40_000.0 } else { 4_500.0 };
+        for (name, policy) in policies {
+            let r = simulate_policy(&make(policy, rate));
+            t.row(vec![
+                curve.to_string(),
+                name.to_string(),
+                fmt_f(r.p50_ms, 2),
+                fmt_f(r.p99_ms, 2),
+                fmt_f(r.throughput_ips, 0),
+                fmt_f(r.mean_batch, 1),
+            ]);
+        }
+    }
+    t.note("bounded-wait policies cap tail latency; the flat TPU curve barely pays for them");
+    t
+}
+
+/// Per-component energy breakdown (MACs / SRAM / DRAM / PCIe) per
+/// inference for the six apps, from the \[Dal16\] per-operation energies.
+pub fn ext_energy_components() -> TextTable {
+    use tpu_power::components::{die_energy_breakdown, InferenceWork, OpEnergy};
+    let ops = OpEnergy::default();
+    let mut t = TextTable::new(
+        "Extension — Energy per inference by component (uJ)",
+        vec!["app", "MACs", "SRAM", "DRAM", "PCIe", "total", "DRAM %"],
+    );
+    for model in workloads::all() {
+        let batch = model.batch();
+        let macs =
+            model.total_weights() as f64 * model.ops_per_weight_byte() / batch as f64 / 2.0;
+        let io = (model.input_width() * 2) as f64;
+        let work = InferenceWork::for_model(model.total_weights() as f64, macs, batch, io);
+        let e = die_energy_breakdown(&ops, &work);
+        t.row(vec![
+            model.name().to_string(),
+            fmt_f(e.mac_j * 1e6, 2),
+            fmt_f(e.sram_j * 1e6, 3),
+            fmt_f(e.dram_j * 1e6, 2),
+            fmt_f(e.pcie_j * 1e6, 4),
+            fmt_f(e.total_j() * 1e6, 2),
+            crate::table::fmt_pct(e.dram_fraction()),
+        ]);
+    }
+    t.note("MLPs/LSTMs are DRAM-energy bound, CNNs MAC-bound — the roofline in Joules");
+    t
+}
+
+/// CPI and stall breakdown of a two-layer program through the 4-stage
+/// CISC pipeline model at several batch sizes.
+pub fn ext_pipeline(cfg: &TpuConfig) -> TextTable {
+    use tpu_core::pipeline::PipelineModel;
+    let mut t = TextTable::new(
+        "Extension — 4-stage CISC pipeline: CPI and stalls vs batch (2-layer FC)",
+        vec!["batch", "cycles", "CPI", "weight wait", "RAW wait", "matrix busy %"],
+    );
+    let model = PipelineModel::new(cfg.clone());
+    for batch in [16u32, 64, 200, 1024] {
+        let dim = cfg.array_dim as u32;
+        let src = format!(
+            "
+            read_host_memory host=0x0, ub=0x0, len={in_len}
+            read_weights dram=0x0, tiles=1
+            matmul ub=0x0, acc=0, rows={batch}
+            read_weights dram=0x10000, tiles=1
+            activate acc=0, ub=0x20000, rows={batch}, func=relu
+            sync
+            matmul ub=0x20000, acc={batch}, rows={batch}
+            activate acc={batch}, ub=0x40000, rows={batch}, func=relu
+            write_host_memory ub=0x40000, host=0x10000, len={out_len}
+            halt
+            ",
+            in_len = batch * dim,
+            out_len = batch * dim,
+        );
+        let program = tpu_asm::assemble(&src).expect("pipeline extension program assembles");
+        let trace = model.execute(&program).expect("pipeline extension program executes");
+        let stalls = trace.total_stalls();
+        t.row(vec![
+            batch.to_string(),
+            trace.total_cycles.to_string(),
+            fmt_f(trace.cpi(), 1),
+            stalls.weight_wait.to_string(),
+            stalls.raw_wait.to_string(),
+            crate::table::fmt_pct(trace.matrix_utilization()),
+        ]);
+    }
+    t.note("CISC instructions occupy stations for thousands of cycles; CPI grows with batch");
+    t
+}
+
+/// Measured EIE-style weight compression (the Section 2 sparsity future
+/// work, functionally implemented): storage ratios at several pruning
+/// densities and the bandwidth relief they imply for memory-bound apps.
+pub fn ext_compress() -> TextTable {
+    use tpu_nn::compress::{prune_to_density, shared_bits, CompressedWeights};
+    use tpu_nn::quant::QuantizedWeights;
+    use tpu_nn::Matrix;
+
+    // Deterministic pseudo-random dense weights.
+    let mut state = 0x5eed_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f32 / (1u64 << 53) as f32 - 0.5
+    };
+    let dense = Matrix::from_fn(512, 512, |_, _| next());
+
+    let mut t = TextTable::new(
+        "Extension — EIE-style weight compression (512x512 tile, measured)",
+        vec!["density", "entries", "ratio", "ratio + sharing", "weight-BW relief"],
+    );
+    for density in [1.0f64, 0.30, 0.10, 0.05] {
+        let pruned = prune_to_density(&dense, density);
+        let q = QuantizedWeights::quantize(&pruned);
+        let c = CompressedWeights::encode(&q);
+        let plain = c.compression_ratio();
+        let sharing = c.dense_bits() as f64 / shared_bits(&c) as f64;
+        t.row(vec![
+            format!("{:.0}%", density * 100.0),
+            c.stored_entries().to_string(),
+            fmt_f(plain, 2),
+            fmt_f(sharing, 2),
+            // Memory-bound apps (Figure 5) scale with delivered weight
+            // bytes, so the storage ratio is the bandwidth multiplier.
+            format!("{:.1}x", sharing.max(1.0)),
+        ]);
+    }
+    t.note("ratios measured on the real format (4-bit runs, bridges, 16-entry codebook); MLP/LSTM weight stalls scale down by the relief factor");
+    t
+}
+
+/// Daily energy under a diurnal load profile (Section 6's "cost of
+/// electricity is based on the average consumed as the workload varies
+/// during the day").
+pub fn ext_diurnal() -> TextTable {
+    use tpu_platforms::spec::Platform;
+    use tpu_power::diurnal::{daily_energy, daily_energy_per_work, DiurnalProfile};
+    use tpu_power::energy::PowerWorkload;
+
+    let day = DiurnalProfile::datacenter_typical();
+    let mut t = TextTable::new(
+        "Extension — Daily server energy under a typical datacenter day (CNN0 curves)",
+        vec!["server", "kWh/day", "of provisioned", "proportionality penalty", "rel. kWh/work"],
+    );
+    // Table 6 weighted means x dies per server give relative whole-server
+    // throughput at full load.
+    let cases = [
+        (Platform::Haswell, 1.0 * 2.0),
+        (Platform::K80, 1.9 * 8.0),
+        (Platform::Tpu, 29.2 * 4.0),
+    ];
+    let cpu_work =
+        daily_energy_per_work(Platform::Haswell, PowerWorkload::Cnn0, &day, cases[0].1);
+    for (platform, tp) in cases {
+        let e = daily_energy(platform, PowerWorkload::Cnn0, &day);
+        let per_work = daily_energy_per_work(platform, PowerWorkload::Cnn0, &day, tp);
+        t.row(vec![
+            format!("{platform:?}"),
+            fmt_f(e.server_kwh, 1),
+            crate::table::fmt_pct(e.of_provisioned()),
+            fmt_f(e.proportionality_penalty(), 2),
+            fmt_f(per_work / cpu_work, 4),
+        ]);
+    }
+    t.note("the TPU's poor proportionality costs it ~1.9x vs an ideal server, yet its throughput still wins energy/work by ~50x");
+    t
+}
+
+/// Multi-die server scaling and dispatch disciplines (Table 2's 4-TPU /
+/// 8-GPU servers; Section 6's "four TPUs ... 80 times faster").
+pub fn ext_server() -> TextTable {
+    use tpu_platforms::server::{gpu_server, simulate_server, tpu_server, Dispatch};
+    let mut t = TextTable::new(
+        "Extension — Multi-die server scaling and dispatch (MLP0-class serving)",
+        vec!["server", "dies", "dispatch", "offered IPS", "p99 ms", "achieved IPS"],
+    );
+    for (dies, rate) in [(1usize, 180_000.0), (2, 360_000.0), (4, 600_000.0)] {
+        for dispatch in [Dispatch::RoundRobin, Dispatch::LeastLoaded] {
+            let r = simulate_server(&tpu_server(dies, dispatch, rate));
+            t.row(vec![
+                "TPU".into(),
+                dies.to_string(),
+                format!("{dispatch:?}"),
+                fmt_f(rate, 0),
+                fmt_f(r.p99_ms, 2),
+                fmt_f(r.throughput_ips, 0),
+            ]);
+        }
+    }
+    // Push the jittery K80 server to 90% of capacity, where service-time
+    // variance makes the dispatch discipline matter.
+    for dispatch in [Dispatch::RoundRobin, Dispatch::LeastLoaded] {
+        let mut cfg = gpu_server(8, dispatch, 18_500.0);
+        cfg.service_jitter_sigma = 0.4;
+        let r = simulate_server(&cfg);
+        t.row(vec![
+            "K80".into(),
+            "8".into(),
+            format!("{dispatch:?}"),
+            fmt_f(18_500.0, 0),
+            fmt_f(r.p99_ms, 2),
+            fmt_f(r.throughput_ips, 0),
+        ]);
+    }
+    t.note("deterministic service makes round-robin optimal; jittery dies need least-loaded");
+    t
+}
+
+/// The Section 8 P40 what-if: grant the newer GPU its full 47 peak
+/// 8-bit TOPS, then apply the same latency-bounded serving model that
+/// derates the K80.
+pub fn ext_p40(cfg: &TpuConfig) -> TextTable {
+    let peak = tpu_platforms::p40_peak_comparison();
+    let mut t = TextTable::new(
+        "Extension — P40 vs TPU under latency bounds (Section 8 fallacy)",
+        vec!["app", "P40 IPS (predicted)", "TPU IPS", "TPU/P40", "P40 % of peak"],
+    );
+    for r in tpu_platforms::p40_comparison(cfg) {
+        t.row(vec![
+            r.app.clone(),
+            fmt_f(r.p40_ips, 0),
+            fmt_f(r.tpu_ips, 0),
+            fmt_f(r.tpu_over_p40, 2),
+            fmt_f(100.0 * r.p40_peak_fraction, 1),
+        ]);
+    }
+    t.note(format!(
+        "peak TOPS/Watt: P40 {:.2} vs TPU {:.2} (busy) / {:.2} (TDP) -> TPU {:.0}x at the peak level",
+        peak.p40_tops_per_watt,
+        peak.tpu_tops_per_watt_busy,
+        peak.tpu_tops_per_watt_tdp,
+        peak.tpu_advantage_busy
+    ));
+    t.note("paper: the P40 was unavailable in early 2015 and its latency-bounded fraction of peak is unknown");
+    t
+}
+
+/// The Section 8 AVX2 int8 what-if: grant the CPU a uniform 3.5x
+/// quantized speedup and recompute the TPU/CPU perf/Watt ratio.
+pub fn ext_avx2(cfg: &TpuConfig) -> TextTable {
+    let w = tpu_power::avx2_whatif(cfg);
+    let mut t = TextTable::new(
+        "Extension — AVX2 int8 CPU what-if (Section 8 fallacy)",
+        vec!["quantity", "GM", "WM"],
+    );
+    t.row(vec![
+        "TPU/CPU incremental perf/Watt (fp32 CPU)".into(),
+        fmt_f(w.gm_before, 1),
+        fmt_f(w.wm_before, 1),
+    ]);
+    t.row(vec![
+        format!("after a uniform {:.1}x CPU int8 speedup", w.cpu_speedup),
+        fmt_f(w.gm_after, 1),
+        fmt_f(w.wm_after, 1),
+    ]);
+    t.note("paper: the ratio would drop from 41-83X to 12-24X — still an order of magnitude");
+    t
+}
+
+/// Rack-level density (Table 2 caption) and the Section 6
+/// accelerated-server computation.
+pub fn ext_rack(cfg: &TpuConfig) -> TextTable {
+    use tpu_power::rack::{accelerated_server_cnn0, rack_density, DEFAULT_RACK_BUDGET_W};
+    let mut t = TextTable::new(
+        "Extension — Rack-level density at a 12 kW budget",
+        vec!["platform", "servers/rack", "dies/rack", "rack throughput (vs 1 CPU die)"],
+    );
+    for r in rack_density(cfg, DEFAULT_RACK_BUDGET_W) {
+        t.row(vec![
+            r.platform.name().to_string(),
+            r.servers.to_string(),
+            r.dies.to_string(),
+            fmt_f(r.relative_throughput, 0),
+        ]);
+    }
+    let a = accelerated_server_cnn0(cfg);
+    t.note(format!(
+        "Section 6 check: host + 4 TPUs = {:.0} W vs {:.0} W CPU-alone ({:+.0}% power) for {:.0}x CNN0 throughput",
+        a.host_plus_tpus_w,
+        a.cpu_alone_w,
+        100.0 * a.extra_power_fraction,
+        a.speedup
+    ));
+    t.note("racks are provisioned for TDP, so the 861 W TPU server out-packs the 1838 W K80 server");
+    t
+}
+
+/// Zero-operand gating measured on the cycle-level systolic array: the
+/// fraction of MAC energy a Cnvlutin/Eyeriss-style design would save at
+/// several activation-sparsity levels (ReLU makes activations zero ~44%
+/// of the time per \[Alb16\]).
+pub fn ext_zeroskip() -> TextTable {
+    use tpu_core::mem::WeightTile;
+    use tpu_core::systolic::SystolicArray;
+    let dim = 32;
+    let rows = 64;
+    let mut t = TextTable::new(
+        "Extension — Zero-operand MACs on the systolic array (gating what-if)",
+        vec!["activation zeros", "occupied MACs", "gateable MACs", "gateable fraction"],
+    );
+    // Deterministic weights with a realistic ~6% exact zeros.
+    let weights: Vec<i8> = (0..dim * dim)
+        .map(|i| {
+            let v = ((i * 2654435761usize) >> 7) as i8;
+            if v.unsigned_abs() < 8 { 0 } else { v / 4 }
+        })
+        .collect();
+    for zero_frac in [0.0f64, 0.25, 0.44, 0.70] {
+        let mut array = SystolicArray::new(dim);
+        array.stage_weights(&WeightTile::from_rows(dim, weights.clone())).unwrap();
+        array.commit_weights().unwrap();
+        // Post-ReLU activations: non-negative, with the given zero rate,
+        // deterministically interleaved.
+        let acts: Vec<i16> = (0..rows * dim)
+            .map(|i| {
+                let phase = ((i * 40503) % 1000) as f64 / 1000.0;
+                if phase < zero_frac { 0 } else { 1 + (i % 100) as i16 }
+            })
+            .collect();
+        array.matmul(&acts, rows).unwrap();
+        t.row(vec![
+            crate::table::fmt_pct(zero_frac),
+            array.occupied_macs().to_string(),
+            array.zero_operand_macs().to_string(),
+            crate::table::fmt_pct(array.gateable_fraction()),
+        ]);
+    }
+    t.note("at [Alb16]'s 44% activation zeros, ~half of MAC energy is gateable — the TPU's schedule precluded it");
+    t.note("gating saves multiplier energy only; the bandwidth wall (ext-sparsity) needs weight compression");
+    t
+}
+
+/// Operand-precision ablation (Section 2: "the Matrix Unit computes at
+/// half-speed [with a mix of 8-bit and 16-bit operands], and at
+/// quarter-speed when both are 16 bits").
+pub fn ext_precision(cfg: &TpuConfig) -> TextTable {
+    use tpu_core::config::Precision;
+    use tpu_core::timing::TimedOp;
+    let mut t = TextTable::new(
+        "Extension — Matrix-unit precision modes (Section 2)",
+        vec!["app", "precision", "cycles", "TOPS", "vs int8"],
+    );
+    for model in [workloads::cnn0(), workloads::mlp0()] {
+        let base_ops = tpu_compiler::lower_timed(&model, cfg, 1);
+        let mut base_tops = None;
+        for (label, precision) in [
+            ("8-bit x 8-bit", Precision::Int8),
+            ("8-bit x 16-bit", Precision::Mixed8x16),
+            ("16-bit x 16-bit", Precision::Int16),
+        ] {
+            let ops: Vec<TimedOp> = base_ops
+                .iter()
+                .map(|op| match *op {
+                    TimedOp::Matmul { rows, .. } => TimedOp::Matmul { rows, precision },
+                    TimedOp::MatmulReuse { rows, .. } => {
+                        TimedOp::MatmulReuse { rows, precision }
+                    }
+                    other => other,
+                })
+                .collect();
+            let r = tpu_core::timing::run_timed(cfg, &ops);
+            let seconds = r.counters.total_cycles as f64 / cfg.clock_hz as f64;
+            let tops =
+                2.0 * model.batch() as f64 * model.macs_per_example() as f64 / seconds / 1e12;
+            let base = *base_tops.get_or_insert(tops);
+            t.row(vec![
+                model.name().to_string(),
+                label.to_string(),
+                r.counters.total_cycles.to_string(),
+                fmt_f(tops, 2),
+                fmt_f(tops / base, 2),
+            ]);
+        }
+    }
+    t.note("compute-bound CNN0 pays the full 2x/4x; weight-stall-bound MLP0 hides it entirely");
+    t.note("the roofline in another guise: slower MACs only matter above the ridge point");
+    t
+}
+
+/// Unified Buffer sizing (Section 7: the 24 MiB UB "was initially sized
+/// to allow MLPs to run at batch sizes up to 2048").
+pub fn ext_ub_sizing() -> TextTable {
+    let mut t = TextTable::new(
+        "Extension — Unified Buffer need vs MLP0 batch (Section 7 sizing)",
+        vec!["batch", "bump MiB", "improved MiB", "improved fits 24 MiB", "improved fits 14 MiB"],
+    );
+    for batch in [200usize, 512, 1024, 2048, 4096] {
+        let m = workloads::mlp0().with_batch(batch);
+        let u = tpu_compiler::alloc::ub_usage(&m);
+        t.row(vec![
+            batch.to_string(),
+            fmt_f(u.bump_mib, 1),
+            fmt_f(u.reuse_mib, 1),
+            if u.reuse_mib <= 24.0 { "yes" } else { "no" }.to_string(),
+            if u.reuse_mib <= 14.0 { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    t.note("the improved allocator runs MLP0 at batch 2048 in half the 24 MiB UB; the bump allocator just overflows");
+    t.note("matches Section 7: the UB ran at full capacity for 18 months until the new allocator landed");
+    t
+}
+
+/// The full batch-vs-latency curve behind Table 4: sweep MLP0 batch on
+/// all three platforms and mark each platform's 7 ms operating point.
+pub fn ext_latency_sweep() -> TextTable {
+    use tpu_platforms::latency::ServingModel;
+    let mut t = TextTable::new(
+        "Extension — MLP0 batch sweep under the 7 ms limit (Table 4's curve)",
+        vec!["platform", "batch", "99th% ms", "IPS", "within 7 ms"],
+    );
+    let platforms: [(&str, ServingModel, &[usize]); 3] = [
+        ("CPU", ServingModel::cpu_mlp0(), &[4, 8, 16, 32, 64]),
+        ("GPU", ServingModel::gpu_mlp0(), &[4, 8, 16, 32, 64]),
+        ("TPU", ServingModel::tpu_mlp0(), &[25, 50, 100, 200, 250]),
+    ];
+    for (name, model, batches) in platforms {
+        for &batch in batches {
+            let l99 = model.l99_ms(batch);
+            t.row(vec![
+                name.to_string(),
+                batch.to_string(),
+                fmt_f(l99, 1),
+                fmt_f(model.ips(batch), 0),
+                if l99 <= 7.0 { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+    }
+    t.note("the CPU/GPU latency wall falls between batch 16 and 32; the TPU's falls past batch 200");
+    t.note("throughput lost to the limit: CPU and GPU serve at ~40% of max IPS, the TPU at ~80% (Table 4)");
+    t
+}
+
+/// Weight FIFO depth ablation (Section 2: "The weight FIFO is four
+/// tiles deep"): how much decoupled prefetch the weight-stall-bound
+/// apps actually need.
+pub fn ext_fifo(cfg: &TpuConfig) -> TextTable {
+    let mut t = TextTable::new(
+        "Extension — Weight FIFO depth ablation (MLP0 and CNN1)",
+        vec!["app", "FIFO tiles", "weight stall", "array active", "TOPS"],
+    );
+    for model in [workloads::mlp0(), workloads::cnn1()] {
+        for depth in [1usize, 2, 4, 8] {
+            let deep = cfg
+                .to_builder()
+                .weight_fifo_tiles(depth)
+                .build()
+                .expect("paper config with a different FIFO depth is valid");
+            let ops = tpu_compiler::lower_timed(&model, &deep, 1);
+            let r = tpu_core::timing::run_timed(&deep, &ops);
+            let seconds = r.counters.total_cycles as f64 / deep.clock_hz as f64;
+            let tops =
+                2.0 * model.batch() as f64 * model.macs_per_example() as f64 / seconds / 1e12;
+            t.row(vec![
+                model.name().to_string(),
+                depth.to_string(),
+                crate::table::fmt_pct(r.report.weight_stall),
+                crate::table::fmt_pct(r.report.array_active),
+                fmt_f(tops, 2),
+            ]);
+        }
+    }
+    t.note("a single-tile FIFO exposes every fetch; the paper's 4 tiles capture nearly all the benefit");
+    t
+}
+
+/// Quantization-calibration comparison on a synthetic heavy-tailed
+/// activation tensor: min-max vs percentile vs MSE-optimal vs entropy.
+pub fn ext_calibration() -> TextTable {
+    use tpu_nn::calibrate::{quantization_mse, CalibrationMethod, Calibrator};
+    use tpu_nn::Matrix;
+
+    // Deterministic xorshift so the harness needs no RNG dependency.
+    let mut state = 0x2017_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f32 / (1u64 << 53) as f32 * 2.0 - 0.0000001
+    };
+    let n = 65_536;
+    let data: Vec<f32> = (0..n)
+        .map(|i| {
+            let u = next();
+            if i % 512 == 0 {
+                20.0 + u.abs() * 20.0
+            } else {
+                u - 1.0 + next()
+            }
+        })
+        .collect();
+    let acts = Matrix::from_rows(1, n, data);
+    let inliers: Vec<f32> = acts.data().iter().copied().filter(|v| v.abs() <= 1.0).collect();
+    let bulk = Matrix::from_rows(1, inliers.len(), inliers);
+
+    let mut cal = Calibrator::new();
+    cal.observe(&acts);
+
+    let mut t = TextTable::new(
+        "Extension — Quantization calibration methods (heavy-tailed layer)",
+        vec!["method", "scale", "total MSE", "bulk MSE"],
+    );
+    for (label, method) in [
+        ("min-max", CalibrationMethod::MinMax),
+        ("percentile 99.5", CalibrationMethod::Percentile(99.5)),
+        ("MSE-optimal", CalibrationMethod::Mse),
+        ("entropy (KL)", CalibrationMethod::Entropy),
+    ] {
+        let p = cal.params(method);
+        t.row(vec![
+            label.to_string(),
+            format!("{:.5}", p.scale),
+            format!("{:.6}", quantization_mse(&acts, p)),
+            format!("{:.8}", quantization_mse(&bulk, p)),
+        ]);
+    }
+    t.note("clipping trades outlier fidelity for resolution on the bulk of the distribution");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TpuConfig {
+        TpuConfig::paper()
+    }
+
+    #[test]
+    fn new_extension_tables_generate() {
+        assert_eq!(ext_batching().len(), 6);
+        assert_eq!(ext_energy_components().len(), 6);
+        assert_eq!(ext_pipeline(&cfg()).len(), 4);
+    }
+
+    #[test]
+    fn pipeline_extension_cycles_grow_with_batch() {
+        let t = ext_pipeline(&cfg());
+        let cycles: Vec<u64> = t.rows().iter().map(|r| r[1].parse().unwrap()).collect();
+        assert!(cycles.windows(2).all(|w| w[0] < w[1]), "{cycles:?}");
+    }
+
+    #[test]
+    fn extension_tables_generate() {
+        assert_eq!(ext_sparsity(&cfg()).len(), 4);
+        assert_eq!(ext_boost().len(), 5);
+        assert_eq!(ext_energy(&cfg()).len(), 6);
+        assert_eq!(ext_batch_aggregation(&cfg()).len(), 4);
+        assert_eq!(ext_p40(&cfg()).len(), 6);
+        assert_eq!(ext_avx2(&cfg()).len(), 2);
+    }
+
+    #[test]
+    fn avx2_whatif_lands_in_the_paper_band() {
+        let t = ext_avx2(&cfg());
+        let after_gm: f64 = t.rows()[1][1].parse().unwrap();
+        let after_wm: f64 = t.rows()[1][2].parse().unwrap();
+        // Paper: 41-83X drops to 12-24X. Our regenerated fig9 is close
+        // enough that the /3.5 lands in a widened band.
+        assert!((8.0..=30.0).contains(&after_gm), "{after_gm}");
+        assert!((8.0..=30.0).contains(&after_wm), "{after_wm}");
+        assert!(after_gm <= after_wm);
+    }
+
+    #[test]
+    fn precision_modes_halve_and_quarter_cnn0() {
+        let t = ext_precision(&cfg());
+        let ratio = |row: usize| -> f64 { t.rows()[row][4].parse().unwrap() };
+        // CNN0 rows 0-2: compute bound, pays the slowdown.
+        assert!((0.45..=0.60).contains(&ratio(1)), "mixed {}", ratio(1));
+        assert!((0.20..=0.30).contains(&ratio(2)), "int16 {}", ratio(2));
+        // MLP0 rows 3-5: weight-stall bound, hides it.
+        assert!(ratio(4) > 0.95, "mlp mixed {}", ratio(4));
+        assert!(ratio(5) > 0.95, "mlp int16 {}", ratio(5));
+    }
+
+    #[test]
+    fn ub_sizing_matches_section7_rationale() {
+        let t = ext_ub_sizing();
+        let batch_2048 = t.rows().iter().find(|r| r[0] == "2048").unwrap();
+        assert_eq!(batch_2048[3], "yes", "batch 2048 must fit 24 MiB with reuse");
+        let improved: f64 = batch_2048[2].parse().unwrap();
+        let bump: f64 = batch_2048[1].parse().unwrap();
+        assert!(improved < bump, "reuse allocator must beat bump");
+    }
+
+    #[test]
+    fn zeroskip_fraction_grows_with_sparsity() {
+        let t = ext_zeroskip();
+        let fracs: Vec<f64> = t
+            .rows()
+            .iter()
+            .map(|r| r[3].trim_end_matches('%').parse().unwrap())
+            .collect();
+        assert!(fracs.windows(2).all(|w| w[0] < w[1]), "{fracs:?}");
+        // At 44% activation zeros, roughly half the MAC slots are gateable.
+        assert!((40.0..=60.0).contains(&fracs[2]), "{}", fracs[2]);
+    }
+
+    #[test]
+    fn latency_sweep_places_the_wall_correctly() {
+        let t = ext_latency_sweep();
+        let ok = |platform: &str, batch: &str| -> bool {
+            t.rows()
+                .iter()
+                .find(|r| r[0] == platform && r[1] == batch)
+                .map(|r| r[4] == "yes")
+                .unwrap()
+        };
+        // Table 4: GPU serves at 16 within the limit but not at 32;
+        // the TPU holds batch 200 and loses 250.
+        assert!(ok("GPU", "16") && !ok("GPU", "32"));
+        assert!(ok("TPU", "200") && !ok("TPU", "250"));
+        assert!(ok("CPU", "8") && !ok("CPU", "64"));
+    }
+
+    #[test]
+    fn fifo_ablation_shows_diminishing_returns() {
+        let t = ext_fifo(&cfg());
+        let tops = |app: &str, depth: &str| -> f64 {
+            t.rows()
+                .iter()
+                .find(|r| r[0] == app && r[1] == depth)
+                .map(|r| r[4].parse().unwrap())
+                .unwrap()
+        };
+        for app in ["MLP0", "CNN1"] {
+            // Depth 2 beats depth 1; depth 8 adds under 2% over depth 4.
+            assert!(tops(app, "2") > tops(app, "1"), "{app}");
+            assert!(tops(app, "8") / tops(app, "4") < 1.02, "{app}");
+        }
+    }
+
+    #[test]
+    fn rack_density_favors_tpu() {
+        let t = ext_rack(&cfg());
+        let throughput = |row: usize| -> f64 { t.rows()[row][3].parse().unwrap() };
+        assert!(throughput(2) > 10.0 * throughput(1), "TPU rack must dominate K80 rack");
+    }
+
+    #[test]
+    fn p40_remains_behind_tpu_on_memory_bound_apps() {
+        let t = ext_p40(&cfg());
+        // MLP0 row: TPU/P40 ratio stays above 1 under latency bounds.
+        let ratio: f64 = t.rows()[0][3].parse().unwrap();
+        assert!(ratio > 1.0, "TPU should beat the latency-bounded P40 on MLP0: {ratio}");
+    }
+
+    #[test]
+    fn batch_aggregation_reduces_weight_stall() {
+        let cfg = cfg();
+        let stall = |batch: usize| {
+            let m = workloads::cnn1().with_batch(batch);
+            let ops = tpu_compiler::lower_timed(&m, &cfg, 1);
+            tpu_core::timing::run_timed(&cfg, &ops).report.weight_stall
+        };
+        assert!(
+            stall(128) < stall(32),
+            "batch 128 should stall less than 32: {} vs {}",
+            stall(128),
+            stall(32)
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Regenerators for Figures 2 and 5-11 (Figures 1, 3, and 4 are a block
+//! diagram, a board photograph, and a dataflow animation — not data).
+
+use crate::paper;
+use crate::table::{fmt_f, fmt_pct, TextTable};
+use tpu_core::TpuConfig;
+use tpu_nn::workloads;
+use tpu_platforms::roofline::Roofline;
+use tpu_platforms::spec::{tpu_floorplan, ChipSpec, Platform};
+use tpu_power::energy::{figure10 as fig10_data, PowerWorkload};
+use tpu_power::perf_watt::{figure9 as fig9_data, Accounting};
+
+/// Figure 2: the TPU die floorplan area budget.
+pub fn fig2() -> TextTable {
+    let mut t = TextTable::new(
+        "Figure 2 — TPU die floorplan budget",
+        vec!["block", "share of die"],
+    );
+    for (name, frac) in tpu_floorplan() {
+        t.row(vec![name.to_string(), fmt_pct(frac)]);
+    }
+    t.note("datapath (buffers + compute) is nearly two-thirds of the die; control is 2%");
+    t
+}
+
+/// One application's position on a platform's roofline: its operational
+/// intensity and achieved performance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppPoint {
+    /// Application name (MLP0, ..., CNN1).
+    pub app: String,
+    /// Operational intensity in MACs per weight byte.
+    pub intensity: f64,
+    /// Achieved performance in TeraOps/s.
+    pub achieved_tops: f64,
+}
+
+/// The six applications' roofline positions on one platform (the markers
+/// of Figures 5-8).
+pub fn roofline_points(platform: Platform, cfg: &TpuConfig) -> Vec<AppPoint> {
+    let mut points = Vec::with_capacity(6);
+    for m in workloads::all() {
+        let intensity = match platform {
+            // CPU/GPU serve at the latency-bounded batch (Table 4).
+            Platform::Haswell | Platform::K80 => {
+                let b = match m.kind() {
+                    tpu_nn::NnKind::Cnn => m.batch(),
+                    _ => 16.min(m.batch()),
+                };
+                b as f64 * m.macs_per_example() as f64 / m.total_weights() as f64
+            }
+            Platform::Tpu => m.ops_per_weight_byte(),
+        };
+        let achieved = match platform {
+            Platform::Tpu => crate::tables::simulate_app(m.name(), cfg).teraops,
+            Platform::Haswell | Platform::K80 => {
+                let baselines = tpu_platforms::achieved::calibrate_baselines(cfg);
+                let ips = match platform {
+                    Platform::Haswell => tpu_platforms::achieved::cpu_ips(&m, &baselines),
+                    _ => tpu_platforms::achieved::gpu_ips(&m, &baselines),
+                };
+                2.0 * ips * m.macs_per_example() as f64 / 1e12
+            }
+        };
+        points.push(AppPoint {
+            app: m.name().to_string(),
+            intensity,
+            achieved_tops: achieved,
+        });
+    }
+    points
+}
+
+/// Shared roofline figure builder: curve samples plus the six app points.
+fn roofline_figure(title: &str, platform: Platform, cfg: &TpuConfig) -> TextTable {
+    let spec = ChipSpec::of(platform);
+    let roofline = Roofline::from_spec(&spec);
+    let mut t = TextTable::new(
+        title,
+        vec!["app", "intensity (MAC/byte)", "roofline bound TOPS", "achieved TOPS"],
+    );
+    for p in roofline_points(platform, cfg) {
+        let (intensity, achieved) = (p.intensity, Some(p.achieved_tops));
+        t.row(vec![
+            p.app,
+            fmt_f(intensity, 0),
+            fmt_f(roofline.attainable_tops(intensity), 2),
+            achieved.map_or("--".to_string(), |v| fmt_f(v, 2)),
+        ]);
+    }
+    t.note(format!(
+        "{}: peak {} TOPS, ridge point {} MAC/byte",
+        spec.model,
+        fmt_f(roofline.peak_tops(), 1),
+        fmt_f(roofline.ridge_point(), 0)
+    ));
+    t
+}
+
+/// Figure 5: the TPU roofline.
+pub fn fig5(cfg: &TpuConfig) -> TextTable {
+    roofline_figure("Figure 5 — TPU die roofline", Platform::Tpu, cfg)
+}
+
+/// Figure 6: the Haswell roofline.
+pub fn fig6(cfg: &TpuConfig) -> TextTable {
+    roofline_figure("Figure 6 — Haswell die roofline", Platform::Haswell, cfg)
+}
+
+/// Figure 7: the K80 roofline.
+pub fn fig7(cfg: &TpuConfig) -> TextTable {
+    roofline_figure("Figure 7 — K80 die roofline", Platform::K80, cfg)
+}
+
+/// Figure 8: the three rooflines on one log-log plot — here, the curve
+/// samples for each platform.
+pub fn fig8() -> TextTable {
+    let mut t = TextTable::new(
+        "Figure 8 — Combined rooflines (log-log samples)",
+        vec!["intensity", "TPU TOPS", "Haswell TOPS", "K80 TOPS"],
+    );
+    let tpu = Roofline::from_spec(&ChipSpec::tpu());
+    let cpu = Roofline::from_spec(&ChipSpec::haswell());
+    let gpu = Roofline::from_spec(&ChipSpec::k80());
+    for (x, tops) in tpu.series(1.0, 10_000.0, 13) {
+        t.row(vec![
+            fmt_f(x, 1),
+            fmt_f(tops, 2),
+            fmt_f(cpu.attainable_tops(x), 2),
+            fmt_f(gpu.attainable_tops(x), 2),
+        ]);
+    }
+    t.note("all TPU points sit at or above the other two rooflines (the paper's stars)");
+    t
+}
+
+/// Figure 9: relative performance/Watt.
+pub fn fig9(cfg: &TpuConfig) -> TextTable {
+    let data = fig9_data(cfg);
+    let mut t = TextTable::new(
+        "Figure 9 — Relative performance/Watt (server level)",
+        vec!["comparison", "accounting", "GM", "WM"],
+    );
+    for bar in &data.bars {
+        t.row(vec![
+            bar.comparison.clone(),
+            match bar.accounting {
+                Accounting::Total => "total".to_string(),
+                Accounting::Incremental => "incremental".to_string(),
+            },
+            fmt_f(bar.gm, 1),
+            fmt_f(bar.wm, 1),
+        ]);
+    }
+    t.note(format!(
+        "paper bands: GPU/CPU total {:?}, TPU/CPU total {:?}, TPU/CPU inc {:?}, TPU'/CPU inc {:?}",
+        paper::figure9::GPU_CPU_TOTAL,
+        paper::figure9::TPU_CPU_TOTAL,
+        paper::figure9::TPU_CPU_INC,
+        paper::figure9::PRIME_CPU_INC
+    ));
+    t
+}
+
+/// Figure 10: Watts/die vs utilization for CNN0.
+pub fn fig10() -> TextTable {
+    let mut t = TextTable::new(
+        "Figure 10 — Watts/die vs utilization (CNN0)",
+        vec!["load", "CPU total", "GPU total", "GPU inc", "TPU total", "TPU inc"],
+    );
+    for row in fig10_data(PowerWorkload::Cnn0) {
+        t.row(vec![
+            fmt_pct(row.utilization),
+            fmt_f(row.cpu_per_die, 1),
+            fmt_f(row.gpu_total, 1),
+            fmt_f(row.gpu_incremental, 1),
+            fmt_f(row.tpu_total, 1),
+            fmt_f(row.tpu_incremental, 1),
+        ]);
+    }
+    t.note("TPU: lowest power but worst proportionality (88% of full power at 10% load)");
+    t
+}
+
+/// Figure 11: the design-space sweep.
+pub fn fig11(cfg: &TpuConfig) -> TextTable {
+    let pts = tpu_perfmodel::figure11(cfg);
+    let mut t = TextTable::new(
+        "Figure 11 — Weighted-mean performance vs parameter scaling",
+        vec!["knob", "0.25x", "0.5x", "1x", "2x", "4x"],
+    );
+    for knob in tpu_perfmodel::SweepKnob::all() {
+        let mut cells = vec![knob.label().to_string()];
+        for scale in tpu_perfmodel::sweep::SCALES {
+            let p = pts
+                .iter()
+                .find(|p| p.knob == knob && p.scale == scale)
+                .expect("sweep covers all points");
+            cells.push(fmt_f(p.weighted_mean, 2));
+        }
+        t.row(cells);
+    }
+    t.note("paper: memory 4x -> ~3x mean; clock ~flat; bigger matrix slightly degrades");
+    t
+}
+
+/// Per-application Figure 11 curves (the family split the weighted mean
+/// hides).
+pub fn fig11_apps(cfg: &TpuConfig) -> TextTable {
+    let curves = tpu_perfmodel::sweep::figure11_per_app(cfg);
+    let mut t = TextTable::new(
+        "Figure 11 detail — per-application speedup at 4x per knob",
+        vec!["app", "memory x4", "clock+ x4", "clock x4", "matrix+ x4", "matrix x4"],
+    );
+    for m in workloads::all() {
+        let mut cells = vec![m.name().to_string()];
+        for knob in tpu_perfmodel::SweepKnob::all() {
+            let v = curves
+                .iter()
+                .find(|c| c.app == m.name() && c.knob == knob)
+                .and_then(|c| c.points.iter().find(|(s, _)| *s == 4.0))
+                .map(|(_, v)| *v)
+                .expect("curve point");
+            cells.push(fmt_f(v, 2));
+        }
+        t.row(cells);
+    }
+    t.note("MLPs/LSTMs: ~3x from memory, nothing from clock; CNNs: vice versa");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TpuConfig {
+        TpuConfig::paper()
+    }
+
+    #[test]
+    fn fig2_covers_whole_die() {
+        let t = fig2();
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn rooflines_have_six_app_points() {
+        assert_eq!(fig5(&cfg()).len(), 6);
+        assert_eq!(fig6(&cfg()).len(), 6);
+        assert_eq!(fig7(&cfg()).len(), 6);
+    }
+
+    #[test]
+    fn fig8_tpu_stars_above_other_rooflines() {
+        // The paper: "All TPU stars are at or above the other 2
+        // rooflines" — each TPU application's achieved point beats what
+        // the CPU or GPU roofline could possibly deliver at the same
+        // operational intensity. (The TPU *curve* is not pointwise
+        // dominant: its 34 GB/s slant is the lowest of the three.)
+        let cpu = Roofline::from_spec(&ChipSpec::haswell());
+        let gpu = Roofline::from_spec(&ChipSpec::k80());
+        for m in workloads::all() {
+            let x = m.ops_per_weight_byte();
+            let star = crate::tables::simulate_app(m.name(), &cfg()).teraops;
+            assert!(
+                star >= cpu.attainable_tops(x) - 0.2,
+                "{}: star {star} below Haswell roofline {}",
+                m.name(),
+                cpu.attainable_tops(x)
+            );
+            assert!(
+                star >= gpu.attainable_tops(x) - 0.2,
+                "{}: star {star} below K80 roofline {}",
+                m.name(),
+                gpu.attainable_tops(x)
+            );
+        }
+    }
+
+    #[test]
+    fn fig9_and_fig10_and_fig11_render() {
+        assert_eq!(fig9(&cfg()).len(), 10);
+        assert_eq!(fig10().len(), 11);
+        assert_eq!(fig11(&cfg()).len(), 5);
+    }
+
+    #[test]
+    fn tpu_achieved_tops_below_roofline_bound() {
+        // Validity of the roofline: simulated achieved performance never
+        // exceeds the analytic bound.
+        let tpu = Roofline::from_spec(&ChipSpec::tpu());
+        for m in workloads::all() {
+            let achieved = crate::tables::simulate_app(m.name(), &cfg()).teraops;
+            let bound = tpu.attainable_tops(m.ops_per_weight_byte());
+            assert!(
+                achieved <= bound * 1.02,
+                "{}: achieved {achieved} exceeds bound {bound}",
+                m.name()
+            );
+        }
+    }
+}

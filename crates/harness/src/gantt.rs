@@ -1,0 +1,137 @@
+//! ASCII Gantt rendering of timing-engine traces.
+//!
+//! Renders the per-resource busy segments recorded by
+//! [`tpu_core::timing::TimingEngine::with_trace`] as a text chart — the
+//! "pipeline overlap diagram" the paper says it could not draw cleanly
+//! for its long-running CISC instructions ("we don't have clean pipeline
+//! overlap diagrams, because our CISC instructions can occupy a station
+//! for thousands of clock cycles"). At tile granularity, we can.
+
+use tpu_core::timing::{TraceResource, TraceSegment};
+
+/// Render a trace into an ASCII chart of `width` columns.
+///
+/// Each resource gets one row; `#` marks busy time, `.` idle time. The
+/// time axis is linear from the first to the last recorded cycle.
+///
+/// # Panics
+///
+/// Panics if `width < 10`.
+pub fn render(trace: &[TraceSegment], width: usize) -> String {
+    assert!(width >= 10, "chart needs at least 10 columns");
+    let resources = [
+        (TraceResource::Dma, "pcie dma  "),
+        (TraceResource::WeightDram, "weight mem"),
+        (TraceResource::Shift, "shift-in  "),
+        (TraceResource::Matrix, "matrix    "),
+        (TraceResource::Activation, "activation"),
+    ];
+    if trace.is_empty() {
+        return "(empty trace)\n".to_string();
+    }
+    let t0 = trace.iter().map(|s| s.start).min().expect("nonempty");
+    let t1 = trace.iter().map(|s| s.end).max().expect("nonempty");
+    let span = (t1 - t0).max(1) as f64;
+
+    let mut out = String::new();
+    out.push_str(&format!("cycles {t0}..{t1} ({} per column)\n", (span / width as f64).ceil()));
+    for (resource, label) in resources {
+        let mut row = vec!['.'; width];
+        for seg in trace.iter().filter(|s| s.resource == resource) {
+            let a = (((seg.start - t0) as f64 / span) * width as f64).floor() as usize;
+            let b = (((seg.end - t0) as f64 / span) * width as f64).ceil() as usize;
+            for cell in row.iter_mut().take(b.min(width)).skip(a.min(width.saturating_sub(1))) {
+                *cell = '#';
+            }
+        }
+        out.push_str(label);
+        out.push_str(" |");
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out
+}
+
+/// Utilization of one resource over the traced span, in `[0, 1]`.
+pub fn utilization(trace: &[TraceSegment], resource: TraceResource) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    let t0 = trace.iter().map(|s| s.start).min().expect("nonempty");
+    let t1 = trace.iter().map(|s| s.end).max().expect("nonempty");
+    let busy: u64 = trace
+        .iter()
+        .filter(|s| s.resource == resource)
+        .map(|s| s.end - s.start)
+        .sum();
+    busy as f64 / (t1 - t0).max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_core::timing::{TimedOp, TimingEngine};
+    use tpu_core::TpuConfig;
+
+    fn sample_trace() -> Vec<TraceSegment> {
+        let cfg = TpuConfig::paper();
+        let ops = vec![
+            TimedOp::HostIn { bytes: 100_000 },
+            TimedOp::Sync,
+            TimedOp::LoadTile { fill: 1.0 },
+            TimedOp::Matmul { rows: 2000, precision: tpu_core::config::Precision::Int8 },
+            TimedOp::Activate { rows: 2000, pooled: false },
+        ];
+        TimingEngine::new(&cfg).with_trace().run(&ops).trace.unwrap()
+    }
+
+    #[test]
+    fn render_has_five_rows_and_marks() {
+        let s = render(&sample_trace(), 60);
+        assert_eq!(s.lines().count(), 6); // header + 5 resources
+        assert!(s.contains("matrix"));
+        assert!(s.contains('#'));
+        assert!(s.contains("weight mem"));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        assert_eq!(render(&[], 40), "(empty trace)\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10")]
+    fn tiny_width_panics() {
+        let _ = render(&sample_trace(), 3);
+    }
+
+    #[test]
+    fn utilization_in_unit_range_and_consistent() {
+        let trace = sample_trace();
+        for r in [
+            TraceResource::Dma,
+            TraceResource::WeightDram,
+            TraceResource::Matrix,
+            TraceResource::Activation,
+        ] {
+            let u = utilization(&trace, r);
+            assert!((0.0..=1.0).contains(&u), "{r:?}: {u}");
+        }
+        assert!(utilization(&trace, TraceResource::Matrix) > 0.0);
+        assert_eq!(utilization(&[], TraceResource::Matrix), 0.0);
+    }
+
+    #[test]
+    fn memory_bound_run_shows_hot_weight_channel() {
+        // MLP0's signature in the Gantt: the weight-memory row is nearly
+        // solid while the matrix row is sparse.
+        let cfg = TpuConfig::paper();
+        let m = tpu_nn::workloads::mlp0();
+        let ops = tpu_compiler::lower_timed(&m, &cfg, 1);
+        let trace = TimingEngine::new(&cfg).with_trace().run(&ops).trace.unwrap();
+        let dram = utilization(&trace, TraceResource::WeightDram);
+        let matrix = utilization(&trace, TraceResource::Matrix);
+        assert!(dram > 0.8, "weight channel utilization {dram}");
+        assert!(matrix < 0.3, "matrix utilization {matrix}");
+    }
+}

@@ -1,0 +1,102 @@
+//! # tpu-harness — regenerate every table and figure of the paper
+//!
+//! One module per artifact family: [`tables`] regenerates Tables 1-8,
+//! [`figures`] regenerates Figures 2 and 5-11, [`paper`] holds the
+//! published reference values they are compared against, and [`table`] is
+//! the plain-text renderer. The `tpu-paper` binary prints any or all of
+//! them:
+//!
+//! ```text
+//! tpu-paper --all
+//! tpu-paper --table3 --fig11
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod extensions;
+pub mod figures;
+pub mod gantt;
+pub mod paper;
+pub mod svg_out;
+pub mod table;
+pub mod tables;
+
+use tpu_core::TpuConfig;
+
+/// Every experiment identifier the harness can regenerate.
+pub const EXPERIMENTS: [&str; 36] = [
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+    "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig11-apps", "ext-sparsity", "ext-boost", "ext-energy", "ext-batch",
+    "ext-batching", "ext-energy-components", "ext-pipeline", "ext-calibration",
+    "ext-server", "ext-diurnal", "ext-compress", "ext-p40", "ext-avx2",
+    "ext-rack", "ext-zeroskip", "ext-precision", "ext-ub", "ext-latency-sweep", "ext-fifo",
+];
+
+/// Generate one experiment's table by identifier.
+///
+/// # Panics
+///
+/// Panics on an unknown identifier (see [`EXPERIMENTS`]).
+pub fn generate(id: &str, cfg: &TpuConfig) -> table::TextTable {
+    match id {
+        "table1" => tables::table1(),
+        "table2" => tables::table2(),
+        "table3" => tables::table3(cfg),
+        "table4" => tables::table4(),
+        "table5" => tables::table5(cfg),
+        "table6" => tables::table6(cfg),
+        "table7" => tables::table7(cfg),
+        "table8" => tables::table8(),
+        "fig2" => figures::fig2(),
+        "fig5" => figures::fig5(cfg),
+        "fig6" => figures::fig6(cfg),
+        "fig7" => figures::fig7(cfg),
+        "fig8" => figures::fig8(),
+        "fig9" => figures::fig9(cfg),
+        "fig10" => figures::fig10(),
+        "fig11" => figures::fig11(cfg),
+        "fig11-apps" => figures::fig11_apps(cfg),
+        "ext-sparsity" => extensions::ext_sparsity(cfg),
+        "ext-boost" => extensions::ext_boost(),
+        "ext-energy" => extensions::ext_energy(cfg),
+        "ext-batch" => extensions::ext_batch_aggregation(cfg),
+        "ext-batching" => extensions::ext_batching(),
+        "ext-energy-components" => extensions::ext_energy_components(),
+        "ext-pipeline" => extensions::ext_pipeline(cfg),
+        "ext-calibration" => extensions::ext_calibration(),
+        "ext-server" => extensions::ext_server(),
+        "ext-diurnal" => extensions::ext_diurnal(),
+        "ext-compress" => extensions::ext_compress(),
+        "ext-p40" => extensions::ext_p40(cfg),
+        "ext-avx2" => extensions::ext_avx2(cfg),
+        "ext-rack" => extensions::ext_rack(cfg),
+        "ext-zeroskip" => extensions::ext_zeroskip(),
+        "ext-precision" => extensions::ext_precision(cfg),
+        "ext-ub" => extensions::ext_ub_sizing(),
+        "ext-latency-sweep" => extensions::ext_latency_sweep(),
+        "ext-fifo" => extensions::ext_fifo(cfg),
+        other => panic!("unknown experiment id {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_experiments_generate() {
+        let cfg = TpuConfig::paper();
+        for id in EXPERIMENTS {
+            let t = generate(id, &cfg);
+            assert!(!t.is_empty(), "{id} produced an empty table");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_id_panics() {
+        let _ = generate("table99", &TpuConfig::paper());
+    }
+}

@@ -1,0 +1,111 @@
+//! Published reference values from the paper, used for side-by-side
+//! comparison in the regenerated tables and in shape tests.
+
+/// The six application names in Table 1 order.
+pub const APPS: [&str; 6] = ["MLP0", "MLP1", "LSTM0", "LSTM1", "CNN0", "CNN1"];
+
+/// Table 3 published rows, per app in [`APPS`] order.
+pub mod table3 {
+    /// Array active cycles, fraction.
+    pub const ARRAY_ACTIVE: [f64; 6] = [0.127, 0.106, 0.082, 0.105, 0.782, 0.462];
+    /// Useful MACs as fraction of peak.
+    pub const USEFUL_MACS: [f64; 6] = [0.125, 0.094, 0.082, 0.063, 0.782, 0.225];
+    /// Weight stall cycles, fraction.
+    pub const WEIGHT_STALL: [f64; 6] = [0.539, 0.442, 0.581, 0.621, 0.0, 0.281];
+    /// Weight shift cycles, fraction.
+    pub const WEIGHT_SHIFT: [f64; 6] = [0.159, 0.134, 0.158, 0.171, 0.0, 0.070];
+    /// Non-matrix cycles, fraction.
+    pub const NON_MATRIX: [f64; 6] = [0.175, 0.319, 0.179, 0.103, 0.218, 0.187];
+    /// Achieved TeraOps/s (92 peak).
+    pub const TERAOPS: [f64; 6] = [12.3, 9.7, 3.7, 2.8, 86.0, 14.1];
+}
+
+/// Table 4 published rows: (platform, batch, 99th% ms, IPS, % max).
+pub const TABLE4: [(&str, usize, f64, f64, f64); 6] = [
+    ("CPU", 16, 7.2, 5_482.0, 42.0),
+    ("CPU", 64, 21.3, 13_194.0, 100.0),
+    ("GPU", 16, 6.7, 13_461.0, 37.0),
+    ("GPU", 64, 8.3, 36_465.0, 100.0),
+    ("TPU", 200, 7.0, 225_000.0, 80.0),
+    ("TPU", 250, 10.0, 280_000.0, 100.0),
+];
+
+/// Table 5: host interaction time as % of TPU time, per app.
+pub const TABLE5: [f64; 6] = [0.21, 0.76, 0.11, 0.20, 0.51, 0.14];
+
+/// Table 6 published columns: GPU and TPU performance relative to CPU.
+pub mod table6 {
+    /// K80 relative to Haswell per app.
+    pub const GPU_REL: [f64; 6] = [2.5, 0.3, 0.4, 1.2, 1.6, 2.7];
+    /// TPU relative to Haswell per app.
+    pub const TPU_REL: [f64; 6] = [41.0, 18.5, 3.5, 1.2, 40.3, 71.0];
+    /// Geometric means (GPU, TPU).
+    pub const GM: (f64, f64) = (1.1, 14.5);
+    /// Weighted means (GPU, TPU).
+    pub const WM: (f64, f64) = (1.9, 29.2);
+}
+
+/// Table 7: model-vs-hardware clock-cycle differences per app.
+pub const TABLE7: [f64; 6] = [0.068, 0.109, 0.077, 0.054, 0.082, 0.112];
+
+/// Table 8: maximum MiB of the 24 MiB Unified Buffer used per app (with
+/// the improved allocator).
+pub const TABLE8: [f64; 6] = [11.0, 2.3, 4.8, 4.5, 1.5, 13.9];
+
+/// Figure 9 published ratio bands (GM..WM).
+pub mod figure9 {
+    /// GPU/CPU total performance/Watt.
+    pub const GPU_CPU_TOTAL: (f64, f64) = (1.2, 2.1);
+    /// GPU/CPU incremental.
+    pub const GPU_CPU_INC: (f64, f64) = (1.7, 2.9);
+    /// TPU/CPU total.
+    pub const TPU_CPU_TOTAL: (f64, f64) = (17.0, 34.0);
+    /// TPU/CPU incremental.
+    pub const TPU_CPU_INC: (f64, f64) = (41.0, 83.0);
+    /// TPU'/CPU total.
+    pub const PRIME_CPU_TOTAL: (f64, f64) = (31.0, 86.0);
+    /// TPU'/CPU incremental.
+    pub const PRIME_CPU_INC: (f64, f64) = (69.0, 196.0);
+}
+
+/// Section 6 energy-proportionality anchors: fraction of full power at
+/// 10% load on CNN0, per (CPU, GPU, TPU).
+pub const POWER_AT_10PCT_CNN0: (f64, f64, f64) = (0.56, 0.66, 0.88);
+
+/// Roofline ridge points (TPU, Haswell, K80) in MACs per weight byte.
+pub const RIDGE_POINTS: (f64, f64, f64) = (1350.0, 13.0, 9.0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_primary_rows_total_one() {
+        for i in 0..6 {
+            let total = table3::ARRAY_ACTIVE[i]
+                + table3::WEIGHT_STALL[i]
+                + table3::WEIGHT_SHIFT[i]
+                + table3::NON_MATRIX[i];
+            assert!((total - 1.0).abs() < 0.01, "app {i}: {total}");
+        }
+    }
+
+    #[test]
+    fn table6_gm_consistent_with_columns() {
+        let gm: f64 = (table6::TPU_REL.iter().map(|v| v.ln()).sum::<f64>() / 6.0).exp();
+        assert!((gm - table6::GM.1).abs() < 0.5, "GM {gm}");
+    }
+
+    #[test]
+    fn mean_of_table7_is_8_percent() {
+        let mean: f64 = TABLE7.iter().sum::<f64>() / 6.0;
+        assert!((mean - 0.08).abs() < 0.01);
+    }
+
+    #[test]
+    fn table8_fits_24_mib() {
+        for v in TABLE8 {
+            assert!(v <= 24.0);
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! SVG renderings of the paper's figures.
+//!
+//! The text tables in [`crate::figures`] print the underlying numbers;
+//! this module draws the figures themselves with [`tpu_plot`]: the
+//! log-log rooflines with per-application markers (Figures 5-8), the
+//! relative performance/Watt bars (Figure 9), the power-vs-utilization
+//! curves (Figure 10), and the design-space sweep (Figure 11, plus the
+//! per-application detail the weighted mean hides).
+//!
+//! `tpu-paper --svg <dir>` writes every figure to `<dir>`.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use tpu_core::TpuConfig;
+use tpu_plot::{BarChart, Chart, Marker, PlotError, Scale, Series};
+use tpu_platforms::roofline::Roofline;
+use tpu_platforms::spec::{ChipSpec, Platform};
+use tpu_power::energy::{figure10 as fig10_data, PowerWorkload};
+use tpu_power::perf_watt::{figure9 as fig9_data, Accounting};
+
+use crate::figures::roofline_points;
+
+/// Intensity range shared by the roofline charts (MACs per weight byte).
+const INTENSITY_RANGE: (f64, f64) = (1.0, 10_000.0);
+
+fn roofline_series(spec: &ChipSpec) -> Series {
+    let roofline = Roofline::from_spec(spec);
+    Series::line(
+        format!("{} roofline", spec.model),
+        roofline.series(INTENSITY_RANGE.0, INTENSITY_RANGE.1, 64),
+    )
+}
+
+fn app_scatter(platform: Platform, cfg: &TpuConfig, marker: Marker, label: &str) -> Series {
+    let pts = roofline_points(platform, cfg)
+        .into_iter()
+        .map(|p| (p.intensity, p.achieved_tops.max(1e-3)))
+        .collect();
+    Series::scatter(label, pts, marker)
+}
+
+/// One platform's roofline with the six application markers
+/// (Figures 5, 6, and 7).
+///
+/// # Errors
+///
+/// Propagates [`PlotError`] if the chart data is degenerate (it is not
+/// for the shipped platform specs).
+pub fn roofline_svg(platform: Platform, cfg: &TpuConfig) -> Result<String, PlotError> {
+    let spec = ChipSpec::of(platform);
+    let (figure, marker) = match platform {
+        Platform::Tpu => ("Figure 5", Marker::Star),
+        Platform::Haswell => ("Figure 6", Marker::Circle),
+        Platform::K80 => ("Figure 7", Marker::Triangle),
+    };
+    Chart::new(format!("{figure} — {} (die) roofline", spec.model))
+        .x_axis("operational intensity (MACs per weight byte)", Scale::Log10)
+        .y_axis("TeraOps/s", Scale::Log10)
+        .x_domain(INTENSITY_RANGE.0, INTENSITY_RANGE.1)
+        .series(roofline_series(&spec))
+        .series(app_scatter(platform, cfg, marker, "applications"))
+        .render()
+}
+
+/// Figure 8: the three rooflines and all eighteen application points on
+/// one log-log chart (stars = TPU, triangles = K80, circles = Haswell).
+///
+/// # Errors
+///
+/// Propagates [`PlotError`] on degenerate data.
+pub fn fig8_svg(cfg: &TpuConfig) -> Result<String, PlotError> {
+    Chart::new("Figure 8 — combined rooflines")
+        .x_axis("operational intensity (MACs per weight byte)", Scale::Log10)
+        .y_axis("TeraOps/s", Scale::Log10)
+        .x_domain(INTENSITY_RANGE.0, INTENSITY_RANGE.1)
+        .series(roofline_series(&ChipSpec::tpu()).with_color("#d62728"))
+        .series(roofline_series(&ChipSpec::k80()).with_color("#1f77b4"))
+        .series(roofline_series(&ChipSpec::haswell()).with_color("#2ca02c"))
+        .series(app_scatter(Platform::Tpu, cfg, Marker::Star, "TPU apps").with_color("#d62728"))
+        .series(app_scatter(Platform::K80, cfg, Marker::Triangle, "K80 apps").with_color("#1f77b4"))
+        .series(
+            app_scatter(Platform::Haswell, cfg, Marker::Circle, "Haswell apps")
+                .with_color("#2ca02c"),
+        )
+        .render()
+}
+
+/// Figure 9: relative performance/Watt, grouped by comparison with
+/// GM/WM bars on a log axis.
+///
+/// # Errors
+///
+/// Propagates [`PlotError`] on degenerate data.
+pub fn fig9_svg(cfg: &TpuConfig) -> Result<String, PlotError> {
+    let data = fig9_data(cfg);
+    let labels: Vec<String> = data
+        .bars
+        .iter()
+        .map(|b| {
+            let acc = match b.accounting {
+                Accounting::Total => "total",
+                Accounting::Incremental => "inc",
+            };
+            format!("{} ({acc})", b.comparison)
+        })
+        .collect();
+    let mut chart =
+        BarChart::new("Figure 9 — relative performance/Watt", &["GM", "WM"])
+            .y_label("relative performance/Watt")
+            .log_y();
+    for (bar, label) in data.bars.iter().zip(&labels) {
+        chart = chart.bars(label, &[bar.gm, bar.wm]);
+    }
+    chart.render()
+}
+
+/// Figure 10: Watts/die vs offered load for CNN0, five curves.
+///
+/// # Errors
+///
+/// Propagates [`PlotError`] on degenerate data.
+pub fn fig10_svg() -> Result<String, PlotError> {
+    let rows = fig10_data(PowerWorkload::Cnn0);
+    let col = |pick: fn(&tpu_power::energy::Fig10Row) -> f64| -> Vec<(f64, f64)> {
+        rows.iter().map(|r| (100.0 * r.utilization, pick(r))).collect()
+    };
+    Chart::new("Figure 10 — Watts/die vs utilization (CNN0)")
+        .x_axis("target platform utilization (%)", Scale::Linear)
+        .y_axis("Watts per die", Scale::Linear)
+        .y_domain(0.0, 120.0)
+        .series(Series::line("Haswell (total)", col(|r| r.cpu_per_die)).with_markers(Marker::Circle))
+        .series(Series::line("K80 + host/8 (total)", col(|r| r.gpu_total)).with_markers(Marker::Triangle))
+        .series(Series::line("TPU + host/4 (total)", col(|r| r.tpu_total)).with_markers(Marker::Star))
+        .series(Series::line("K80 (incremental)", col(|r| r.gpu_incremental)))
+        .series(Series::line("TPU (incremental)", col(|r| r.tpu_incremental)))
+        .render()
+}
+
+/// Figure 11: weighted-mean speedup as each design knob scales
+/// 0.25x-4x (log2 x axis).
+///
+/// # Errors
+///
+/// Propagates [`PlotError`] on degenerate data.
+pub fn fig11_svg(cfg: &TpuConfig) -> Result<String, PlotError> {
+    let pts = tpu_perfmodel::figure11(cfg);
+    let mut chart = Chart::new("Figure 11 — performance vs design parameter scaling")
+        .x_axis("parameter scale (x baseline)", Scale::Log2)
+        .y_axis("weighted-mean relative performance", Scale::Linear)
+        .y_domain(0.0, 3.5);
+    for knob in tpu_perfmodel::SweepKnob::all() {
+        let series: Vec<(f64, f64)> = pts
+            .iter()
+            .filter(|p| p.knob == knob)
+            .map(|p| (p.scale, p.weighted_mean))
+            .collect();
+        chart = chart.series(Series::line(knob.label(), series).with_markers(Marker::Circle));
+    }
+    chart.render()
+}
+
+/// Figure 11 detail: one chart per knob, six per-application curves each.
+///
+/// Returns `(file_stem, svg)` pairs.
+///
+/// # Errors
+///
+/// Propagates [`PlotError`] on degenerate data.
+pub fn fig11_apps_svgs(cfg: &TpuConfig) -> Result<Vec<(String, String)>, PlotError> {
+    let curves = tpu_perfmodel::sweep::figure11_per_app(cfg);
+    let mut out = Vec::new();
+    for knob in tpu_perfmodel::SweepKnob::all() {
+        let mut chart = Chart::new(format!("Figure 11 detail — {} scaling per app", knob.label()))
+            .x_axis("parameter scale (x baseline)", Scale::Log2)
+            .y_axis("relative performance", Scale::Linear);
+        for c in curves.iter().filter(|c| c.knob == knob) {
+            chart = chart.series(Series::line(c.app.clone(), c.points.clone()));
+        }
+        let stem = format!(
+            "fig11-apps-{}",
+            knob.label().replace('+', "-plus").replace(|ch: char| !ch.is_ascii_alphanumeric() && ch != '-', "-")
+        );
+        out.push((stem, chart.render()?));
+    }
+    Ok(out)
+}
+
+/// Table 4 as a chart: MLP0 99th-percentile latency vs batch for the
+/// three platforms, with the 7 ms limit drawn as a reference line.
+///
+/// # Errors
+///
+/// Propagates [`PlotError`] on degenerate data.
+pub fn table4_svg() -> Result<String, PlotError> {
+    use tpu_platforms::latency::ServingModel;
+    let curve = |m: &ServingModel, batches: &[usize]| -> Vec<(f64, f64)> {
+        batches.iter().map(|&b| (b as f64, m.l99_ms(b))).collect()
+    };
+    let cpu_gpu_batches: Vec<usize> = (1..=64).collect();
+    let tpu_batches: Vec<usize> = (1..=256).collect();
+    Chart::new("Table 4 — MLP0 99th-percentile latency vs batch")
+        .x_axis("batch size", Scale::Log2)
+        .y_axis("99th-percentile latency (ms)", Scale::Linear)
+        .y_domain(0.0, 25.0)
+        .series(Series::line("Haswell", curve(&ServingModel::cpu_mlp0(), &cpu_gpu_batches)))
+        .series(Series::line("K80", curve(&ServingModel::gpu_mlp0(), &cpu_gpu_batches)))
+        .series(Series::line("TPU", curve(&ServingModel::tpu_mlp0(), &tpu_batches)))
+        .series(
+            Series::line("7 ms limit", vec![(1.0, 7.0), (256.0, 7.0)]).with_color("#7f7f7f"),
+        )
+        .render()
+}
+
+/// Render every figure into `dir`, creating it if needed. Returns the
+/// paths written, in figure order.
+///
+/// # Errors
+///
+/// Returns any filesystem error; chart construction errors are
+/// impossible for the shipped data and reported as `InvalidData` if a
+/// future change introduces one.
+pub fn write_all(cfg: &TpuConfig, dir: &Path) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let plot_err = |e: PlotError| io::Error::new(io::ErrorKind::InvalidData, e.to_string());
+
+    let mut files: Vec<(String, String)> = vec![
+        ("table4".into(), table4_svg().map_err(plot_err)?),
+        ("fig5".into(), roofline_svg(Platform::Tpu, cfg).map_err(plot_err)?),
+        ("fig6".into(), roofline_svg(Platform::Haswell, cfg).map_err(plot_err)?),
+        ("fig7".into(), roofline_svg(Platform::K80, cfg).map_err(plot_err)?),
+        ("fig8".into(), fig8_svg(cfg).map_err(plot_err)?),
+        ("fig9".into(), fig9_svg(cfg).map_err(plot_err)?),
+        ("fig10".into(), fig10_svg().map_err(plot_err)?),
+        ("fig11".into(), fig11_svg(cfg).map_err(plot_err)?),
+    ];
+    files.extend(fig11_apps_svgs(cfg).map_err(plot_err)?);
+
+    let mut paths = Vec::with_capacity(files.len());
+    for (stem, svg) in files {
+        let path = dir.join(format!("{stem}.svg"));
+        std::fs::write(&path, svg)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TpuConfig {
+        TpuConfig::paper()
+    }
+
+    #[test]
+    fn tpu_roofline_has_star_markers_and_ridge() {
+        let svg = roofline_svg(Platform::Tpu, &cfg()).unwrap();
+        assert!(svg.contains("Figure 5"));
+        assert!(svg.contains("<polygon")); // stars
+        assert!(svg.contains("applications"));
+    }
+
+    #[test]
+    fn cpu_and_gpu_rooflines_render() {
+        assert!(roofline_svg(Platform::Haswell, &cfg()).unwrap().contains("Figure 6"));
+        assert!(roofline_svg(Platform::K80, &cfg()).unwrap().contains("Figure 7"));
+    }
+
+    #[test]
+    fn fig8_has_three_rooflines_and_three_marker_sets() {
+        let svg = fig8_svg(&cfg()).unwrap();
+        for label in ["TPU apps", "K80 apps", "Haswell apps"] {
+            assert!(svg.contains(label), "missing {label}");
+        }
+        assert!(svg.matches("<polyline").count() >= 3);
+    }
+
+    #[test]
+    fn fig9_bars_cover_all_comparisons() {
+        let svg = fig9_svg(&cfg()).unwrap();
+        assert!(svg.contains("(total)"));
+        assert!(svg.contains("(inc)"));
+        assert!(svg.contains("GM"));
+        assert!(svg.contains("WM"));
+    }
+
+    #[test]
+    fn fig10_has_five_curves() {
+        let svg = fig10_svg().unwrap();
+        assert_eq!(svg.matches("<polyline").count(), 5, "five data polylines");
+        assert!(svg.contains("TPU + host/4"));
+    }
+
+    #[test]
+    fn fig11_covers_all_knobs() {
+        let svg = fig11_svg(&cfg()).unwrap();
+        for knob in tpu_perfmodel::SweepKnob::all() {
+            assert!(svg.contains(tpu_plot::escape(knob.label()).as_str()), "{}", knob.label());
+        }
+    }
+
+    #[test]
+    fn fig11_apps_yield_one_chart_per_knob() {
+        let charts = fig11_apps_svgs(&cfg()).unwrap();
+        assert_eq!(charts.len(), tpu_perfmodel::SweepKnob::all().len());
+        for (stem, svg) in &charts {
+            assert!(stem.starts_with("fig11-apps-"));
+            assert!(svg.contains("MLP0") && svg.contains("CNN1"));
+        }
+    }
+
+    #[test]
+    fn table4_svg_shows_all_platforms_and_the_limit() {
+        let svg = table4_svg().unwrap();
+        for label in ["Haswell", "K80", "TPU", "7 ms limit"] {
+            assert!(svg.contains(label), "missing {label}");
+        }
+        assert_eq!(svg.matches("<polyline").count(), 4);
+    }
+
+    #[test]
+    fn write_all_creates_files() {
+        let dir = std::env::temp_dir().join(format!("tpu-svg-test-{}", std::process::id()));
+        let paths = write_all(&cfg(), &dir).unwrap();
+        assert!(paths.len() >= 12);
+        for p in &paths {
+            let text = std::fs::read_to_string(p).unwrap();
+            assert!(text.starts_with("<svg"), "{p:?} is not SVG");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

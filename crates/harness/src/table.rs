@@ -1,0 +1,154 @@
+//! Plain-text table rendering for the experiment harness.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_harness::table::TextTable;
+///
+/// let mut t = TextTable::new("Demo", vec!["app", "value"]);
+/// t.row(vec!["MLP0".to_string(), "12.3".to_string()]);
+/// let s = t.to_string();
+/// assert!(s.contains("MLP0"));
+/// assert!(s.contains("Demo"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl TextTable {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: Vec<&str>) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Append a note printed under the table (e.g. the paper's reference
+    /// values).
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Access the raw rows (for tests).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let joined: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            writeln!(f, "| {} |", joined.join(" | "))
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with `digits` decimal places.
+pub fn fmt_f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", 100.0 * v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_headers_rows_notes() {
+        let mut t = TextTable::new("T", vec!["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("hello");
+        let s = t.to_string();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("| a | bb |"));
+        assert!(s.contains("note: hello"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new("T", vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn alignment_pads_to_widest() {
+        let mut t = TextTable::new("T", vec!["col"]);
+        t.row(vec!["wide-cell".into()]);
+        t.row(vec!["x".into()]);
+        let s = t.to_string();
+        assert!(s.contains("|         x |") || s.contains("| x"), "{s}");
+    }
+}

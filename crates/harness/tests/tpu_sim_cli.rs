@@ -1,0 +1,121 @@
+//! End-to-end tests of the `tpu-sim` binary: the assemble -> verify ->
+//! functional run -> pipeline timing driver flow, including its exit
+//! codes for bad input.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn sample(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/asm").join(name)
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tpu-sim")).args(args).output().expect("binary runs")
+}
+
+#[test]
+fn two_layer_mlp_runs_end_to_end() {
+    let path = sample("two_layer_mlp.tpuasm");
+    let out = run(&[path.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("11 instructions"), "{stdout}");
+    assert!(stdout.contains("verified against 256x256 @ 700 MHz: ok"), "{stdout}");
+    assert!(stdout.contains("matrix multiplies:    3"), "{stdout}");
+    assert!(stdout.contains("CPI"), "{stdout}");
+}
+
+#[test]
+fn overlap_flag_renders_the_diagram() {
+    let path = sample("two_layer_mlp.tpuasm");
+    let out = run(&[path.to_str().unwrap(), "--overlap"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("overlap diagram:"), "{stdout}");
+    assert!(stdout.contains("read_weights"), "{stdout}");
+}
+
+#[test]
+fn all_sample_programs_run() {
+    for name in ["two_layer_mlp.tpuasm", "conv_pool.tpuasm", "repeat_sweep.tpuasm"] {
+        let path = sample(name);
+        let out = run(&[path.to_str().unwrap()]);
+        assert!(
+            out.status.success(),
+            "{name} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn no_run_skips_the_functional_device() {
+    let path = sample("repeat_sweep.tpuasm");
+    let out = run(&[path.to_str().unwrap(), "--no-run"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("functional run:"), "{stdout}");
+    assert!(stdout.contains("pipeline model:"), "{stdout}");
+}
+
+#[test]
+fn missing_file_is_exit_1() {
+    let out = run(&["/nonexistent/prog.tpuasm"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn assembly_error_is_exit_1_with_location() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("tpu-sim-bad-{}.tpuasm", std::process::id()));
+    std::fs::write(&path, "matmul ub=oops\n").unwrap();
+    let out = run(&[path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains(".tpuasm:"), "{stderr}");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn verification_failure_is_exit_3() {
+    // A matmul with no weight tile loaded fails static verification.
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("tpu-sim-unverified-{}.tpuasm", std::process::id()));
+    std::fs::write(&path, "matmul ub=0x0, acc=0, rows=4\nhalt\n").unwrap();
+    let out = run(&[path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("verification failed"), "{stderr}");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn usage_is_exit_2() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn small_config_runs_small_programs() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("tpu-sim-small-{}.tpuasm", std::process::id()));
+    std::fs::write(
+        &path,
+        "read_host_memory host=0x0, ub=0x0, len=32\n\
+         read_weights dram=0x0, tiles=1\n\
+         matmul ub=0x0, acc=0, rows=4\n\
+         activate acc=0, ub=0x100, rows=4, func=relu\n\
+         sync\n\
+         write_host_memory ub=0x100, host=0x100, len=32\n\
+         halt\n",
+    )
+    .unwrap();
+    let out = run(&[path.to_str().unwrap(), "--config", "small"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("verified against 8x8"), "{stdout}");
+    std::fs::remove_file(&path).unwrap();
+}

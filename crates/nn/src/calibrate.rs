@@ -1,0 +1,665 @@
+//! Activation-range calibration for quantization.
+//!
+//! Section 1 of the paper: "A step called quantization transforms
+//! floating-point numbers into narrow integers — often just 8 bits — which
+//! are usually good enough for inference." The step the paper takes for
+//! granted is *choosing the ranges*: a production pipeline runs
+//! representative batches in float, observes each layer's activation
+//! distribution, and picks clipping thresholds that trade saturation error
+//! against resolution.
+//!
+//! [`Calibrator`] accumulates activations into a streaming magnitude
+//! histogram (range doubles as needed, so one pass suffices) and derives
+//! [`QuantParams`] under four policies:
+//!
+//! * [`CalibrationMethod::MinMax`] — cover the full observed range; the
+//!   baseline that [`crate::quant::choose_activation_params`] applies.
+//! * [`CalibrationMethod::Percentile`] — clip at a magnitude percentile,
+//!   shrugging off rare outliers.
+//! * [`CalibrationMethod::Mse`] — pick the clip threshold minimizing the
+//!   expected squared quantization error over the histogram.
+//! * [`CalibrationMethod::Entropy`] — pick the threshold minimizing the
+//!   KL divergence between the original and quantized distributions
+//!   (the TensorRT-style calibration).
+//!
+//! For well-behaved distributions all four agree closely; for heavy-tailed
+//! activations (common in practice) the clipping methods preserve far more
+//! resolution — see `percentile_beats_minmax_on_heavy_tails` in the tests.
+
+use crate::tensor::Matrix;
+use tpu_core::act::QuantParams;
+
+/// Policy for deriving quantization parameters from observed activations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CalibrationMethod {
+    /// Cover the full observed range.
+    MinMax,
+    /// Clip at this magnitude percentile in `(0, 100]`, e.g. `99.99`.
+    Percentile(f64),
+    /// Minimize expected squared quantization error.
+    Mse,
+    /// Minimize KL divergence between original and quantized
+    /// distributions.
+    Entropy,
+}
+
+/// Number of histogram bins. Power of two so range doubling merges bins
+/// exactly 2:1.
+const BINS: usize = 2048;
+
+/// Streaming magnitude histogram with automatic range growth.
+///
+/// Values are recorded by absolute magnitude into 2048 equal-width
+/// bins over `[0, limit)`. When a value at or beyond `limit` arrives, the
+/// limit doubles and adjacent bins merge pairwise, preserving all counts
+/// in one pass over the data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MagnitudeHistogram {
+    counts: Vec<u64>,
+    limit: f32,
+    total: u64,
+    saw_negative: bool,
+    max_abs: f32,
+}
+
+impl MagnitudeHistogram {
+    /// An empty histogram with an initial magnitude limit of 1.0.
+    pub fn new() -> Self {
+        MagnitudeHistogram {
+            counts: vec![0; BINS],
+            limit: 1.0,
+            total: 0,
+            saw_negative: false,
+            max_abs: 0.0,
+        }
+    }
+
+    /// Record one value (by magnitude; the sign only marks the histogram
+    /// as two-sided). Non-finite values are ignored.
+    pub fn record(&mut self, v: f32) {
+        if !v.is_finite() {
+            return;
+        }
+        if v < 0.0 {
+            self.saw_negative = true;
+        }
+        let mag = v.abs();
+        self.max_abs = self.max_abs.max(mag);
+        while mag >= self.limit {
+            self.double_range();
+        }
+        let bin = ((mag / self.limit) * BINS as f32) as usize;
+        self.counts[bin.min(BINS - 1)] += 1;
+        self.total += 1;
+    }
+
+    fn double_range(&mut self) {
+        for i in 0..BINS / 2 {
+            self.counts[i] = self.counts[2 * i] + self.counts[2 * i + 1];
+        }
+        for c in &mut self.counts[BINS / 2..] {
+            *c = 0;
+        }
+        self.limit *= 2.0;
+    }
+
+    /// Number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest magnitude recorded.
+    pub fn max_abs(&self) -> f32 {
+        self.max_abs
+    }
+
+    /// Whether any negative value was recorded.
+    pub fn saw_negative(&self) -> bool {
+        self.saw_negative
+    }
+
+    /// Upper edge of bin `i`.
+    fn bin_edge(&self, i: usize) -> f32 {
+        self.limit * (i + 1) as f32 / BINS as f32
+    }
+
+    /// Center of bin `i`.
+    fn bin_center(&self, i: usize) -> f32 {
+        self.limit * (i as f32 + 0.5) / BINS as f32
+    }
+
+    /// Magnitude below which `pct` percent of values fall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or `pct` is outside `(0, 100]`.
+    pub fn percentile(&self, pct: f64) -> f32 {
+        assert!(self.total > 0, "histogram is empty");
+        assert!(pct > 0.0 && pct <= 100.0, "percentile must be in (0, 100]");
+        let target = (self.total as f64 * pct / 100.0).ceil() as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return self.bin_edge(i);
+            }
+        }
+        self.bin_edge(BINS - 1)
+    }
+
+    /// Merge another histogram into this one (e.g. from a parallel
+    /// calibration shard).
+    pub fn merge(&mut self, other: &MagnitudeHistogram) {
+        // Equalize limits by doubling whichever is smaller.
+        let mut other = other.clone();
+        while self.limit < other.limit {
+            self.double_range();
+        }
+        while other.limit < self.limit {
+            other.double_range();
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.saw_negative |= other.saw_negative;
+        self.max_abs = self.max_abs.max(other.max_abs);
+    }
+}
+
+impl Default for MagnitudeHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Accumulates activation observations and derives quantization
+/// parameters.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_nn::calibrate::{CalibrationMethod, Calibrator};
+/// use tpu_nn::tensor::Matrix;
+///
+/// let mut cal = Calibrator::new();
+/// cal.observe(&Matrix::from_rows(1, 4, vec![0.1, -0.5, 2.0, 0.3]));
+/// let params = cal.params(CalibrationMethod::MinMax);
+/// // The full range [-2, 2] is representable.
+/// assert!((params.dequantize(params.quantize(2.0)) - 2.0).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Calibrator {
+    hist: MagnitudeHistogram,
+}
+
+impl Calibrator {
+    /// An empty calibrator.
+    pub fn new() -> Self {
+        Calibrator { hist: MagnitudeHistogram::new() }
+    }
+
+    /// Record every element of a matrix of activations.
+    pub fn observe(&mut self, m: &Matrix) {
+        for &v in m.data() {
+            self.hist.record(v);
+        }
+    }
+
+    /// Record a slice of values.
+    pub fn observe_slice(&mut self, values: &[f32]) {
+        for &v in values {
+            self.hist.record(v);
+        }
+    }
+
+    /// Number of values observed so far.
+    pub fn observations(&self) -> u64 {
+        self.hist.total()
+    }
+
+    /// Access the underlying histogram.
+    pub fn histogram(&self) -> &MagnitudeHistogram {
+        &self.hist
+    }
+
+    /// Merge observations from another calibrator.
+    pub fn merge(&mut self, other: &Calibrator) {
+        self.hist.merge(&other.hist);
+    }
+
+    /// Derive quantization parameters under `method`.
+    ///
+    /// The derived range is `[-T, T]` if any negative value was observed
+    /// and `[0, T]` otherwise (post-ReLU tensors get the full 256 codes on
+    /// the positive side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been observed, or for
+    /// [`CalibrationMethod::Percentile`] with a percentile outside
+    /// `(0, 100]`.
+    pub fn params(&self, method: CalibrationMethod) -> QuantParams {
+        assert!(self.hist.total() > 0, "calibrator has no observations");
+        let threshold = match method {
+            CalibrationMethod::MinMax => self.hist.max_abs(),
+            CalibrationMethod::Percentile(p) => self.hist.percentile(p),
+            CalibrationMethod::Mse => self.mse_threshold(),
+            CalibrationMethod::Entropy => self.entropy_threshold(),
+        };
+        // Guard degenerate all-zero observations.
+        let threshold = if threshold > 0.0 { threshold } else { 1.0 };
+        if self.hist.saw_negative() {
+            QuantParams::from_range(-threshold, threshold)
+        } else {
+            QuantParams::from_range(0.0, threshold)
+        }
+    }
+
+    /// Threshold minimizing expected squared error, scanned over bin
+    /// edges.
+    fn mse_threshold(&self) -> f32 {
+        let hist = &self.hist;
+        let levels: f32 = if hist.saw_negative() { 127.5 } else { 255.0 };
+        let mut best_t = hist.max_abs().max(f32::MIN_POSITIVE);
+        let mut best_err = f64::INFINITY;
+        // Candidate thresholds: 64 evenly spaced bin edges covering the
+        // occupied range.
+        let occupied = ((hist.max_abs() / hist.limit) * BINS as f32).ceil() as usize;
+        let occupied = occupied.clamp(1, BINS);
+        let step = (occupied / 64).max(1);
+        for edge in (step..=occupied).step_by(step) {
+            let t = hist.bin_edge(edge - 1);
+            let scale = t / levels;
+            let mut err = 0.0f64;
+            for (i, &c) in hist.counts.iter().enumerate().take(occupied) {
+                if c == 0 {
+                    continue;
+                }
+                let center = hist.bin_center(i);
+                let e = if center > t {
+                    // Clipped: error is the overshoot.
+                    (center - t) as f64
+                } else {
+                    // In range: expected rounding error ~ scale / sqrt(12).
+                    scale as f64 / 12f64.sqrt()
+                };
+                err += c as f64 * e * e;
+            }
+            if err < best_err {
+                best_err = err;
+                best_t = t;
+            }
+        }
+        best_t
+    }
+
+    /// Threshold minimizing KL divergence between the reference
+    /// distribution and its 256-level quantized reconstruction.
+    fn entropy_threshold(&self) -> f32 {
+        let hist = &self.hist;
+        let occupied = ((hist.max_abs() / hist.limit) * BINS as f32).ceil() as usize;
+        let occupied = occupied.clamp(1, BINS);
+        let quant_levels = 256usize;
+        if occupied <= quant_levels {
+            return hist.max_abs();
+        }
+        let mut best_t = hist.max_abs();
+        let mut best_kl = f64::INFINITY;
+        let step = ((occupied - quant_levels) / 48).max(1);
+        for edge in (quant_levels..=occupied).step_by(step) {
+            let kl = self.kl_for_threshold(edge, quant_levels);
+            if kl < best_kl {
+                best_kl = kl;
+                best_t = hist.bin_edge(edge - 1);
+            }
+        }
+        best_t
+    }
+
+    /// KL(P || Q) where P is the *full* observed distribution and Q is
+    /// its reconstruction after clipping at `edge` bins and quantizing to
+    /// `quant_levels` codes.
+    ///
+    /// Two distortions compete: a small `edge` reconstructs the clipped
+    /// tail at the threshold (bins past `edge` get only a smoothing
+    /// epsilon, so tail mass pays `p * ln(p / eps)`), while a large
+    /// `edge` spreads each quantization bucket over many bins. The
+    /// minimizing threshold balances them.
+    fn kl_for_threshold(&self, edge: usize, quant_levels: usize) -> f64 {
+        let occupied = ((self.hist.max_abs() / self.hist.limit) * BINS as f32).ceil() as usize;
+        let occupied = occupied.clamp(edge, BINS);
+        let counts = &self.hist.counts[..occupied];
+        let p: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+
+        // Quantized reconstruction over [0, edge): merge into
+        // quant_levels buckets, spread each bucket back uniformly over
+        // its nonzero source bins.
+        let mut q = vec![0.0f64; occupied];
+        for level in 0..quant_levels {
+            let lo = level * edge / quant_levels;
+            let hi = ((level + 1) * edge / quant_levels).max(lo + 1).min(edge);
+            let mass: f64 = p[lo..hi].iter().sum();
+            let nonzero = p[lo..hi].iter().filter(|&&x| x > 0.0).count();
+            if nonzero > 0 {
+                let share = mass / nonzero as f64;
+                for (i, &pv) in p[lo..hi].iter().enumerate() {
+                    if pv > 0.0 {
+                        q[lo + i] = share;
+                    }
+                }
+            }
+        }
+        // Clipped values saturate to the top code: their mass is
+        // reconstructed at the threshold bin, not where they lived.
+        let clipped: f64 = p[edge..].iter().sum();
+        q[edge - 1] += clipped;
+
+        let p_sum: f64 = p.iter().sum();
+        if p_sum == 0.0 {
+            return f64::INFINITY;
+        }
+        // Epsilon-smooth Q so clipped-tail bins carry a finite penalty.
+        let eps = 1e-12;
+        let q_sum: f64 = q.iter().sum::<f64>() + eps * occupied as f64;
+        let mut kl = 0.0;
+        for (&pv, &qv) in p.iter().zip(&q) {
+            if pv > 0.0 {
+                let pn = pv / p_sum;
+                let qn = (qv + eps) / q_sum;
+                kl += pn * (pn / qn).ln();
+            }
+        }
+        kl
+    }
+}
+
+/// Mean squared quantization error of `values` under `params` — the
+/// figure of merit calibration minimizes.
+pub fn quantization_mse(values: &Matrix, params: QuantParams) -> f64 {
+    let n = values.data().len();
+    if n == 0 {
+        return 0.0;
+    }
+    let sum: f64 = values
+        .data()
+        .iter()
+        .map(|&v| {
+            let e = (params.dequantize(params.quantize(v)) - v) as f64;
+            e * e
+        })
+        .sum();
+    sum / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian_like(n: usize, seed: u64) -> Matrix {
+        // Sum of uniforms: light-tailed, symmetric.
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_rows(
+            1,
+            n,
+            (0..n)
+                .map(|_| {
+                    let s: f32 = (0..12).map(|_| rng.gen_range(-0.5f32..0.5)).sum();
+                    s
+                })
+                .collect(),
+        )
+    }
+
+    fn heavy_tailed(n: usize, seed: u64) -> Matrix {
+        // Mostly small values, 0.1% enormous outliers.
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_rows(
+            1,
+            n,
+            (0..n)
+                .map(|i| {
+                    if i % 1000 == 0 {
+                        rng.gen_range(50.0f32..100.0)
+                    } else {
+                        rng.gen_range(-1.0f32..1.0)
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn minmax_covers_observed_range() {
+        let m = Matrix::from_rows(1, 4, vec![-3.0, 0.5, 1.0, 2.5]);
+        let mut cal = Calibrator::new();
+        cal.observe(&m);
+        let p = cal.params(CalibrationMethod::MinMax);
+        for &v in m.data() {
+            let err = (p.dequantize(p.quantize(v)) - v).abs();
+            assert!(err <= p.scale, "value {v} error {err} vs scale {}", p.scale);
+        }
+    }
+
+    #[test]
+    fn nonnegative_data_gets_one_sided_range() {
+        let mut cal = Calibrator::new();
+        cal.observe_slice(&[0.0, 1.0, 2.0, 3.0]);
+        let p = cal.params(CalibrationMethod::MinMax);
+        assert_eq!(p.zero_point, 0, "post-ReLU tensors use all codes for positives");
+    }
+
+    #[test]
+    fn signed_data_gets_symmetric_range() {
+        let mut cal = Calibrator::new();
+        cal.observe_slice(&[-2.0, 1.0]);
+        let p = cal.params(CalibrationMethod::MinMax);
+        // Zero point near the middle of the code space.
+        assert!((p.zero_point as i32 - 128).abs() <= 1, "zero point {}", p.zero_point);
+    }
+
+    #[test]
+    fn percentile_ignores_rare_outliers() {
+        let m = heavy_tailed(100_000, 7);
+        let mut cal = Calibrator::new();
+        cal.observe(&m);
+        let t_minmax = cal.histogram().max_abs();
+        let t_p999 = cal.histogram().percentile(99.9);
+        assert!(t_minmax > 50.0);
+        assert!(t_p999 < 2.0, "99.9th percentile threshold {t_p999}");
+    }
+
+    #[test]
+    fn percentile_preserves_resolution_on_the_bulk() {
+        // Min-max stretches the 256 codes over the outliers, leaving the
+        // 99.9% of ordinary activations with ~0.4 resolution; percentile
+        // calibration keeps them at ~0.008. (Total MSE can still favor
+        // min-max because clipped outliers pay (v - T)^2 — the clipping
+        // win is resolution where the information lives, which is why
+        // accuracy, not raw MSE, is the usual figure of merit.)
+        let m = heavy_tailed(100_000, 11);
+        let mut cal = Calibrator::new();
+        cal.observe(&m);
+        let inliers = Matrix::from_rows(
+            1,
+            m.data().iter().filter(|v| v.abs() <= 1.0).count(),
+            m.data().iter().copied().filter(|v| v.abs() <= 1.0).collect(),
+        );
+        let bulk_minmax = quantization_mse(&inliers, cal.params(CalibrationMethod::MinMax));
+        let bulk_pct =
+            quantization_mse(&inliers, cal.params(CalibrationMethod::Percentile(99.9)));
+        assert!(
+            bulk_pct < bulk_minmax / 100.0,
+            "bulk MSE: percentile {bulk_pct} vs min-max {bulk_minmax}"
+        );
+    }
+
+    #[test]
+    fn mse_method_never_loses_badly_to_minmax() {
+        for (name, m) in [
+            ("gaussian", gaussian_like(50_000, 3)),
+            ("heavy", heavy_tailed(50_000, 5)),
+        ] {
+            let mut cal = Calibrator::new();
+            cal.observe(&m);
+            let mse_minmax = quantization_mse(&m, cal.params(CalibrationMethod::MinMax));
+            let mse_opt = quantization_mse(&m, cal.params(CalibrationMethod::Mse));
+            assert!(
+                mse_opt <= mse_minmax * 1.05,
+                "{name}: MSE-calibrated {mse_opt} vs min-max {mse_minmax}"
+            );
+        }
+    }
+
+    #[test]
+    fn mse_method_clips_when_outliers_are_rare_enough() {
+        // Clipping lowers *total* MSE only when outlier frequency f
+        // satisfies f * (v - T)^2 < scale^2 / 12 — roughly f < 5e-6 for
+        // outliers at the full range. Two outliers in a million qualify.
+        // The inliers span [-10, 10] so that under min-max they cover
+        // several quantization steps and pay the full rounding error.
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut data: Vec<f32> = (0..1_000_000).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
+        data[1_234] = 500.0;
+        data[987_654] = -480.0;
+        let m = Matrix::from_rows(1, data.len(), data);
+        let mut cal = Calibrator::new();
+        cal.observe(&m);
+        let minmax = quantization_mse(&m, cal.params(CalibrationMethod::MinMax));
+        let opt = quantization_mse(&m, cal.params(CalibrationMethod::Mse));
+        assert!(opt < minmax / 2.0, "MSE calibration {opt} vs min-max {minmax}");
+    }
+
+    #[test]
+    fn entropy_method_produces_valid_params_and_never_exceeds_minmax() {
+        // Entropy calibration weighs the KL cost of reconstructing the
+        // clipped tail at the threshold against the resolution gained on
+        // the bulk. With a *uniform* bulk the resolution gain in KL terms
+        // is small, so the chosen threshold may sit anywhere up to the
+        // maximum — but never beyond it, and the bulk never loses
+        // resolution relative to min-max.
+        let m = heavy_tailed(100_000, 17);
+        let mut cal = Calibrator::new();
+        cal.observe(&m);
+        let p = cal.params(CalibrationMethod::Entropy);
+        assert!(p.scale > 0.0 && p.scale.is_finite());
+        let threshold = p.scale * 127.5; // symmetric range [-T, T]
+        let max = cal.histogram().max_abs();
+        assert!(threshold <= max * 1.01, "threshold {threshold} beyond max {max}");
+        let inliers = Matrix::from_rows(
+            1,
+            m.data().iter().filter(|v| v.abs() <= 1.0).count(),
+            m.data().iter().copied().filter(|v| v.abs() <= 1.0).collect(),
+        );
+        let bulk_minmax = quantization_mse(&inliers, cal.params(CalibrationMethod::MinMax));
+        let bulk_entropy = quantization_mse(&inliers, p);
+        assert!(
+            bulk_entropy <= bulk_minmax * 1.01,
+            "entropy bulk MSE {bulk_entropy} vs min-max {bulk_minmax}"
+        );
+    }
+
+    #[test]
+    fn methods_agree_on_well_behaved_data() {
+        let m = gaussian_like(50_000, 23);
+        let mut cal = Calibrator::new();
+        cal.observe(&m);
+        let t_minmax = cal.histogram().max_abs();
+        let t_pct = cal.histogram().percentile(99.99);
+        // On light-tailed data the 99.99th percentile is close to the max.
+        assert!(t_pct > 0.5 * t_minmax, "{t_pct} vs {t_minmax}");
+        // And entropy calibration must not clip into the body of the
+        // distribution: its threshold stays above the 99th percentile.
+        let p = cal.params(CalibrationMethod::Entropy);
+        let t_entropy = p.scale * 127.5;
+        let t_p99 = cal.histogram().percentile(99.0);
+        assert!(
+            t_entropy >= t_p99,
+            "entropy threshold {t_entropy} clipped into the bulk (p99 {t_p99})"
+        );
+        // Total quantization error stays within a small factor of min-max.
+        let mse_minmax = quantization_mse(&m, cal.params(CalibrationMethod::MinMax));
+        let mse_entropy = quantization_mse(&m, p);
+        assert!(
+            mse_entropy < mse_minmax * 10.0,
+            "entropy MSE {mse_entropy} vs min-max {mse_minmax}"
+        );
+    }
+
+    #[test]
+    fn histogram_range_growth_preserves_counts() {
+        let mut h = MagnitudeHistogram::new();
+        for i in 0..1000 {
+            h.record(i as f32 * 0.01); // up to 10.0: forces several doublings
+        }
+        assert_eq!(h.total(), 1000);
+        assert!(h.limit >= 10.0);
+        assert_eq!(h.counts.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite() {
+        let mut h = MagnitudeHistogram::new();
+        h.record(f32::NAN);
+        h.record(f32::INFINITY);
+        h.record(f32::NEG_INFINITY);
+        h.record(1.0);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn merged_histogram_equals_sequential_observation() {
+        let a_vals = gaussian_like(10_000, 31);
+        let b_vals = heavy_tailed(10_000, 37);
+        let mut together = Calibrator::new();
+        together.observe(&a_vals);
+        together.observe(&b_vals);
+        let mut sharded_a = Calibrator::new();
+        sharded_a.observe(&a_vals);
+        let mut sharded_b = Calibrator::new();
+        sharded_b.observe(&b_vals);
+        sharded_a.merge(&sharded_b);
+        assert_eq!(sharded_a.observations(), together.observations());
+        assert_eq!(sharded_a.histogram().max_abs(), together.histogram().max_abs());
+        // Thresholds agree (histograms may differ only by merge-order
+        // bin-boundary effects, which equal limits rule out here).
+        let p_together = together.histogram().percentile(99.0);
+        let p_sharded = sharded_a.histogram().percentile(99.0);
+        assert!(
+            (p_together - p_sharded).abs() / p_together < 0.02,
+            "{p_together} vs {p_sharded}"
+        );
+    }
+
+    #[test]
+    fn all_zero_observations_yield_valid_params() {
+        let mut cal = Calibrator::new();
+        cal.observe_slice(&[0.0; 16]);
+        let p = cal.params(CalibrationMethod::MinMax);
+        assert!(p.scale > 0.0);
+        assert_eq!(p.quantize(0.0), p.zero_point);
+    }
+
+    #[test]
+    #[should_panic(expected = "no observations")]
+    fn empty_calibrator_panics() {
+        let _ = Calibrator::new().params(CalibrationMethod::MinMax);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in (0, 100]")]
+    fn bad_percentile_panics() {
+        let mut cal = Calibrator::new();
+        cal.observe_slice(&[1.0]);
+        let _ = cal.params(CalibrationMethod::Percentile(0.0));
+    }
+
+    #[test]
+    fn quantization_mse_is_zero_for_exactly_representable() {
+        let p = QuantParams::new(0.5, 10);
+        let m = Matrix::from_rows(1, 3, vec![0.0, 0.5, -1.0]);
+        assert!(quantization_mse(&m, p) < 1e-12);
+    }
+}

@@ -1,0 +1,391 @@
+//! Spatial 2-D convolution and its im2col lowering.
+//!
+//! The TPU's matrix unit "can perform either a matrix multiply or a
+//! convolution" (Section 2): the compiler lowers a convolution to matrix
+//! form by unrolling each output position's receptive field into a row
+//! (im2col), so a `kh x kw` convolution over `in_ch` channels producing
+//! `out_ch` feature maps becomes a `(kh*kw*in_ch) x out_ch` weight matrix
+//! applied to one unrolled row per output position. This module provides
+//! the direct spatial reference, the im2col transform, and the proof (in
+//! tests) that the two agree — which is how the conv path of the
+//! simulator is validated numerically.
+
+use crate::tensor::Matrix;
+
+/// Shape of a 2-D convolution. Data layout is NHWC (batch, height,
+/// width, channel), weights are `(kh, kw, in_ch, out_ch)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl ConvSpec {
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.h + 2 * self.pad - self.kh) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.w + 2 * self.pad - self.kw) / self.stride + 1
+    }
+
+    /// Output positions per example.
+    pub fn out_positions(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Rows of the im2col weight matrix (`kh*kw*in_ch`).
+    pub fn patch_len(&self) -> usize {
+        self.kh * self.kw * self.in_ch
+    }
+
+    /// Validate the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any dimension is zero, the stride is zero, or
+    /// the kernel (with padding) exceeds the input.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.h == 0 || self.w == 0 || self.in_ch == 0 || self.out_ch == 0 {
+            return Err("conv dimensions must be nonzero".to_string());
+        }
+        if self.kh == 0 || self.kw == 0 || self.stride == 0 {
+            return Err("kernel and stride must be nonzero".to_string());
+        }
+        if self.kh > self.h + 2 * self.pad || self.kw > self.w + 2 * self.pad {
+            return Err("kernel larger than padded input".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// An NHWC activation tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NhwcTensor {
+    /// Batch.
+    pub n: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    /// Channels.
+    pub c: usize,
+    data: Vec<f32>,
+}
+
+impl NhwcTensor {
+    /// Zero tensor.
+    pub fn zeros(n: usize, h: usize, w: usize, c: usize) -> Self {
+        Self { n, h, w, c, data: vec![0.0; n * h * w * c] }
+    }
+
+    /// Build from a generator over `(n, y, x, c)`.
+    pub fn from_fn(
+        n: usize,
+        h: usize,
+        w: usize,
+        c: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> f32,
+    ) -> Self {
+        let mut t = Self::zeros(n, h, w, c);
+        for bi in 0..n {
+            for y in 0..h {
+                for x in 0..w {
+                    for ch in 0..c {
+                        let v = f(bi, y, x, ch);
+                        t.set(bi, y, x, ch, v);
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    fn idx(&self, n: usize, y: usize, x: usize, c: usize) -> usize {
+        ((n * self.h + y) * self.w + x) * self.c + c
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, n: usize, y: usize, x: usize, c: usize) -> f32 {
+        assert!(n < self.n && y < self.h && x < self.w && c < self.c);
+        self.data[self.idx(n, y, x, c)]
+    }
+
+    /// Element assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, n: usize, y: usize, x: usize, c: usize, v: f32) {
+        assert!(n < self.n && y < self.h && x < self.w && c < self.c);
+        let i = self.idx(n, y, x, c);
+        self.data[i] = v;
+    }
+
+    /// Padded read: positions outside the tensor return 0.0.
+    pub fn get_padded(&self, n: usize, y: isize, x: isize, c: usize) -> f32 {
+        if y < 0 || x < 0 || y as usize >= self.h || x as usize >= self.w {
+            0.0
+        } else {
+            self.get(n, y as usize, x as usize, c)
+        }
+    }
+
+    /// Flat data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+/// Direct (nested-loop) spatial convolution: the oracle.
+///
+/// `weights` is `(kh*kw*in_ch) x out_ch` row-major with the patch order
+/// `(ky, kx, in_ch)` — the same order [`im2col`] produces.
+///
+/// # Panics
+///
+/// Panics on shape mismatches or invalid geometry.
+pub fn conv2d_reference(input: &NhwcTensor, weights: &Matrix, spec: &ConvSpec) -> NhwcTensor {
+    spec.validate().expect("valid conv spec");
+    assert_eq!(input.h, spec.h);
+    assert_eq!(input.w, spec.w);
+    assert_eq!(input.c, spec.in_ch);
+    assert_eq!(weights.shape(), (spec.patch_len(), spec.out_ch), "weight shape");
+
+    let mut out = NhwcTensor::zeros(input.n, spec.out_h(), spec.out_w(), spec.out_ch);
+    for n in 0..input.n {
+        for oy in 0..spec.out_h() {
+            for ox in 0..spec.out_w() {
+                for oc in 0..spec.out_ch {
+                    let mut acc = 0.0f32;
+                    let mut patch = 0usize;
+                    for ky in 0..spec.kh {
+                        for kx in 0..spec.kw {
+                            let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                            let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                            for ic in 0..spec.in_ch {
+                                acc += input.get_padded(n, iy, ix, ic)
+                                    * weights.get(patch, oc);
+                                patch += 1;
+                            }
+                        }
+                    }
+                    out.set(n, oy, ox, oc, acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Unroll the input into the im2col matrix: one row per `(example,
+/// output position)`, `kh*kw*in_ch` columns in `(ky, kx, in_ch)` order.
+/// Multiplying it by the `(kh*kw*in_ch) x out_ch` weight matrix yields
+/// the convolution as a single matrix product — exactly what the TPU's
+/// matrix unit executes.
+pub fn im2col(input: &NhwcTensor, spec: &ConvSpec) -> Matrix {
+    spec.validate().expect("valid conv spec");
+    let rows = input.n * spec.out_positions();
+    let cols = spec.patch_len();
+    let mut m = Matrix::zeros(rows, cols);
+    let mut r = 0usize;
+    for n in 0..input.n {
+        for oy in 0..spec.out_h() {
+            for ox in 0..spec.out_w() {
+                let mut c = 0usize;
+                for ky in 0..spec.kh {
+                    for kx in 0..spec.kw {
+                        let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                        let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                        for ic in 0..spec.in_ch {
+                            m.set(r, c, input.get_padded(n, iy, ix, ic));
+                            c += 1;
+                        }
+                    }
+                }
+                r += 1;
+            }
+        }
+    }
+    m
+}
+
+/// Convolution via im2col + matmul (the TPU lowering), returned in NHWC.
+pub fn conv2d_im2col(input: &NhwcTensor, weights: &Matrix, spec: &ConvSpec) -> NhwcTensor {
+    let unrolled = im2col(input, spec);
+    let flat = unrolled.matmul(weights);
+    let mut out = NhwcTensor::zeros(input.n, spec.out_h(), spec.out_w(), spec.out_ch);
+    let mut r = 0usize;
+    for n in 0..input.n {
+        for oy in 0..spec.out_h() {
+            for ox in 0..spec.out_w() {
+                for oc in 0..spec.out_ch {
+                    out.set(n, oy, ox, oc, flat.get(r, oc));
+                }
+                r += 1;
+            }
+        }
+    }
+    out
+}
+
+/// 2-D max pooling over `window x window` with stride = window (the
+/// common non-overlapping form), NHWC.
+///
+/// # Panics
+///
+/// Panics if the window is zero or exceeds either spatial dimension.
+pub fn maxpool2d(input: &NhwcTensor, window: usize) -> NhwcTensor {
+    assert!(window > 0 && window <= input.h && window <= input.w, "bad pooling window");
+    let oh = input.h / window;
+    let ow = input.w / window;
+    let mut out = NhwcTensor::zeros(input.n, oh, ow, input.c);
+    for n in 0..input.n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for c in 0..input.c {
+                    let mut best = f32::NEG_INFINITY;
+                    for dy in 0..window {
+                        for dx in 0..window {
+                            best = best.max(input.get(n, oy * window + dy, ox * window + dx, c));
+                        }
+                    }
+                    out.set(n, oy, ox, c, best);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn spec_3x3_same(h: usize, w: usize, in_ch: usize, out_ch: usize) -> ConvSpec {
+        ConvSpec { h, w, in_ch, out_ch, kh: 3, kw: 3, stride: 1, pad: 1 }
+    }
+
+    #[test]
+    fn geometry() {
+        let s = spec_3x3_same(19, 19, 48, 256);
+        assert_eq!(s.out_h(), 19);
+        assert_eq!(s.out_positions(), 361); // the AlphaGo board
+        assert_eq!(s.patch_len(), 3 * 3 * 48);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn strided_geometry() {
+        let s = ConvSpec { h: 224, w: 224, in_ch: 3, out_ch: 64, kh: 7, kw: 7, stride: 2, pad: 3 };
+        assert_eq!(s.out_h(), 112);
+        assert_eq!(s.out_w(), 112);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut s = spec_3x3_same(4, 4, 1, 1);
+        s.stride = 0;
+        assert!(s.validate().is_err());
+        let s2 = ConvSpec { h: 2, w: 2, in_ch: 1, out_ch: 1, kh: 5, kw: 5, stride: 1, pad: 0 };
+        assert!(s2.validate().is_err());
+    }
+
+    #[test]
+    fn identity_1x1_conv_copies_channels() {
+        let spec = ConvSpec { h: 3, w: 3, in_ch: 2, out_ch: 2, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let id = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        let input = NhwcTensor::from_fn(1, 3, 3, 2, |_, y, x, c| (y * 3 + x) as f32 + c as f32 * 0.5);
+        let out = conv2d_reference(&input, &id, &spec);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn im2col_matches_direct_convolution() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for (spec, _) in [
+            (spec_3x3_same(5, 5, 3, 4), 0),
+            (ConvSpec { h: 6, w: 6, in_ch: 2, out_ch: 3, kh: 2, kw: 2, stride: 2, pad: 0 }, 1),
+            (ConvSpec { h: 7, w: 5, in_ch: 1, out_ch: 2, kh: 3, kw: 1, stride: 1, pad: 0 }, 2),
+            (ConvSpec { h: 9, w: 9, in_ch: 4, out_ch: 2, kh: 5, kw: 5, stride: 2, pad: 2 }, 3),
+        ] {
+            let w = Matrix::from_fn(spec.patch_len(), spec.out_ch, |_, _| {
+                rng.gen_range(-1.0f32..1.0)
+            });
+            let input = NhwcTensor::from_fn(2, spec.h, spec.w, spec.in_ch, |_, _, _, _| {
+                rng.gen_range(-1.0f32..1.0)
+            });
+            let direct = conv2d_reference(&input, &w, &spec);
+            let lowered = conv2d_im2col(&input, &w, &spec);
+            let max_diff = direct
+                .data()
+                .iter()
+                .zip(lowered.data())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(max_diff < 1e-4, "spec {spec:?}: diff {max_diff}");
+        }
+    }
+
+    #[test]
+    fn im2col_shape_feeds_the_matrix_unit() {
+        // The im2col matrix's shape must agree with Layer::matrix_shape's
+        // convention: reduction rows = kh*kw*in_ch.
+        let spec = spec_3x3_same(19, 19, 48, 256);
+        let input = NhwcTensor::zeros(8, 19, 19, 48);
+        let m = im2col(&input, &spec);
+        assert_eq!(m.shape(), (8 * 361, 3 * 3 * 48));
+        let layer = crate::layer::Layer::conv(48, 256, 3, 361, crate::layer::Nonlinearity::Relu);
+        assert_eq!(layer.matrix_shape().unwrap().0, m.cols());
+    }
+
+    #[test]
+    fn padding_contributes_zeros() {
+        // All-ones 3x3 kernel over all-ones 3x3 input with pad 1: corner
+        // outputs see only 4 real pixels, centre sees 9.
+        let spec = spec_3x3_same(3, 3, 1, 1);
+        let w = Matrix::from_fn(9, 1, |_, _| 1.0);
+        let input = NhwcTensor::from_fn(1, 3, 3, 1, |_, _, _, _| 1.0);
+        let out = conv2d_reference(&input, &w, &spec);
+        assert_eq!(out.get(0, 0, 0, 0), 4.0);
+        assert_eq!(out.get(0, 1, 1, 0), 9.0);
+        assert_eq!(out.get(0, 0, 1, 0), 6.0);
+    }
+
+    #[test]
+    fn maxpool_reduces_spatial_dims() {
+        let input = NhwcTensor::from_fn(1, 4, 4, 1, |_, y, x, _| (y * 4 + x) as f32);
+        let out = maxpool2d(&input, 2);
+        assert_eq!((out.h, out.w), (2, 2));
+        assert_eq!(out.get(0, 0, 0, 0), 5.0);
+        assert_eq!(out.get(0, 1, 1, 0), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad pooling window")]
+    fn oversized_pool_window_panics() {
+        let input = NhwcTensor::zeros(1, 2, 2, 1);
+        let _ = maxpool2d(&input, 3);
+    }
+}

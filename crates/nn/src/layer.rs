@@ -1,0 +1,235 @@
+//! Layer taxonomy of the paper's Table 1.
+//!
+//! Table 1 characterises each workload by its layer mix: FC (fully
+//! connected), Conv (convolution), Vector (elementwise), and Pool. Every
+//! layer kind here knows its weight count, its multiply-accumulate count
+//! per example, and — because the TPU lowers everything to the matrix unit
+//! — the shape of the weight matrix it presents for tiling (convolutions
+//! in im2col form: `in_ch*kh*kw` rows by `out_ch` columns, applied once
+//! per output position).
+
+use serde::{Deserialize, Serialize};
+
+/// Nonlinearity attached to a layer (Table 1's "Nonlinear function"
+/// column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Nonlinearity {
+    /// No nonlinearity (linear projection).
+    None,
+    /// `max(0, x)` — MLPs and CNNs.
+    Relu,
+    /// Logistic sigmoid — LSTM gates.
+    Sigmoid,
+    /// Hyperbolic tangent — LSTM cell updates.
+    Tanh,
+}
+
+/// A fully connected layer: `inputs x outputs` weights, reused across the
+/// batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FcLayer {
+    /// Input width.
+    pub inputs: usize,
+    /// Output width.
+    pub outputs: usize,
+    /// Nonlinearity applied to the output.
+    pub act: Nonlinearity,
+}
+
+/// A convolutional layer in im2col form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvLayer {
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels (filters).
+    pub out_ch: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Output spatial positions per example (`out_h * out_w`).
+    pub out_positions: usize,
+    /// Nonlinearity applied to the output.
+    pub act: Nonlinearity,
+}
+
+/// A pooling layer ("nonlinear downsizing" in Table 1), executed on the
+/// Activation Unit's dedicated hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolLayer {
+    /// Channels (lane width of each pooled row).
+    pub channels: usize,
+    /// Pooling window edge.
+    pub window: usize,
+    /// Input spatial positions per example.
+    pub in_positions: usize,
+}
+
+/// An elementwise vector layer (LSTM gate combinations), executed on the
+/// activation datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VectorLayer {
+    /// Vector width.
+    pub width: usize,
+    /// Datapath cycles per 256-wide row (compound gate math costs more
+    /// than a plain nonlinearity).
+    pub cost_per_row: u64,
+}
+
+/// One layer of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Layer {
+    /// Fully connected.
+    Fc(FcLayer),
+    /// Convolution.
+    Conv(ConvLayer),
+    /// Pooling.
+    Pool(PoolLayer),
+    /// Elementwise vector work.
+    Vector(VectorLayer),
+}
+
+impl Layer {
+    /// Convenience constructor for an FC layer.
+    pub fn fc(inputs: usize, outputs: usize, act: Nonlinearity) -> Self {
+        Layer::Fc(FcLayer { inputs, outputs, act })
+    }
+
+    /// Convenience constructor for a conv layer.
+    pub fn conv(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        out_positions: usize,
+        act: Nonlinearity,
+    ) -> Self {
+        Layer::Conv(ConvLayer { in_ch, out_ch, kh: k, kw: k, out_positions, act })
+    }
+
+    /// Convenience constructor for a pool layer.
+    pub fn pool(channels: usize, window: usize, in_positions: usize) -> Self {
+        Layer::Pool(PoolLayer { channels, window, in_positions })
+    }
+
+    /// Convenience constructor for a vector layer.
+    pub fn vector(width: usize, cost_per_row: u64) -> Self {
+        Layer::Vector(VectorLayer { width, cost_per_row })
+    }
+
+    /// Number of 8-bit weights held by this layer.
+    pub fn weights(&self) -> u64 {
+        match self {
+            Layer::Fc(l) => (l.inputs * l.outputs) as u64,
+            Layer::Conv(l) => (l.in_ch * l.kh * l.kw * l.out_ch) as u64,
+            Layer::Pool(_) | Layer::Vector(_) => 0,
+        }
+    }
+
+    /// Multiply-accumulates per example.
+    pub fn macs_per_example(&self) -> u64 {
+        match self {
+            Layer::Fc(l) => (l.inputs * l.outputs) as u64,
+            Layer::Conv(l) => (l.in_ch * l.kh * l.kw * l.out_ch * l.out_positions) as u64,
+            Layer::Pool(_) | Layer::Vector(_) => 0,
+        }
+    }
+
+    /// Shape of the matrix-unit weight operand: `(depth, width)` =
+    /// (reduction rows, output columns). `None` for non-matrix layers.
+    pub fn matrix_shape(&self) -> Option<(usize, usize)> {
+        match self {
+            Layer::Fc(l) => Some((l.inputs, l.outputs)),
+            Layer::Conv(l) => Some((l.in_ch * l.kh * l.kw, l.out_ch)),
+            Layer::Pool(_) | Layer::Vector(_) => None,
+        }
+    }
+
+    /// Matrix-unit input rows per example (1 for FC; output positions for
+    /// conv, whose weights are reused across positions).
+    pub fn matrix_rows_per_example(&self) -> u64 {
+        match self {
+            Layer::Fc(_) => 1,
+            Layer::Conv(l) => l.out_positions as u64,
+            Layer::Pool(_) | Layer::Vector(_) => 0,
+        }
+    }
+
+    /// The nonlinearity, if this layer has one.
+    pub fn nonlinearity(&self) -> Option<Nonlinearity> {
+        match self {
+            Layer::Fc(l) => Some(l.act),
+            Layer::Conv(l) => Some(l.act),
+            Layer::Pool(_) | Layer::Vector(_) => None,
+        }
+    }
+
+    /// Output width (activations produced per example row).
+    pub fn output_width(&self) -> usize {
+        match self {
+            Layer::Fc(l) => l.outputs,
+            Layer::Conv(l) => l.out_ch,
+            Layer::Pool(l) => l.channels,
+            Layer::Vector(l) => l.width,
+        }
+    }
+
+    /// Table 1 category name.
+    pub fn category(&self) -> &'static str {
+        match self {
+            Layer::Fc(_) => "FC",
+            Layer::Conv(_) => "Conv",
+            Layer::Pool(_) => "Pool",
+            Layer::Vector(_) => "Vector",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fc_weights_and_macs() {
+        let l = Layer::fc(1000, 500, Nonlinearity::Relu);
+        assert_eq!(l.weights(), 500_000);
+        assert_eq!(l.macs_per_example(), 500_000);
+        assert_eq!(l.matrix_shape(), Some((1000, 500)));
+        assert_eq!(l.matrix_rows_per_example(), 1);
+        assert_eq!(l.category(), "FC");
+    }
+
+    #[test]
+    fn conv_weight_reuse_multiplies_macs() {
+        // 3x3, 256->256 channels, 19x19 outputs (the AlphaGo shape).
+        let l = Layer::conv(256, 256, 3, 361, Nonlinearity::Relu);
+        assert_eq!(l.weights(), 3 * 3 * 256 * 256);
+        assert_eq!(l.macs_per_example(), l.weights() * 361);
+        assert_eq!(l.matrix_shape(), Some((3 * 3 * 256, 256)));
+        assert_eq!(l.matrix_rows_per_example(), 361);
+    }
+
+    #[test]
+    fn pool_and_vector_have_no_weights() {
+        assert_eq!(Layer::pool(256, 2, 196).weights(), 0);
+        assert_eq!(Layer::vector(1024, 3).weights(), 0);
+        assert_eq!(Layer::pool(256, 2, 196).macs_per_example(), 0);
+        assert!(Layer::vector(1024, 3).matrix_shape().is_none());
+    }
+
+    #[test]
+    fn output_width_per_kind() {
+        assert_eq!(Layer::fc(10, 20, Nonlinearity::None).output_width(), 20);
+        assert_eq!(Layer::conv(3, 64, 3, 100, Nonlinearity::Relu).output_width(), 64);
+        assert_eq!(Layer::pool(64, 2, 100).output_width(), 64);
+        assert_eq!(Layer::vector(512, 2).output_width(), 512);
+    }
+
+    #[test]
+    fn nonlinearity_exposure() {
+        assert_eq!(
+            Layer::fc(1, 1, Nonlinearity::Sigmoid).nonlinearity(),
+            Some(Nonlinearity::Sigmoid)
+        );
+        assert_eq!(Layer::pool(1, 2, 4).nonlinearity(), None);
+    }
+}

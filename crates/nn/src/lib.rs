@@ -1,0 +1,36 @@
+//! # tpu-nn — the neural-network substrate of the TPU reproduction
+//!
+//! Everything the ISCA 2017 evaluation needs from the "application" side,
+//! built from scratch: a small dense [`tensor::Matrix`] type, the
+//! quantization scheme that turns float models into the TPU's 8-bit world
+//! ([`quant`]), the layer taxonomy of Table 1 ([`layer`]), LSTM cell
+//! mathematics ([`lstm`]), float reference execution with calibration
+//! ([`mod@reference`]), and the six production benchmark workloads
+//! ([`workloads`]) whose aggregates match Table 1 exactly.
+//!
+//! ```
+//! use tpu_nn::workloads;
+//!
+//! let mlp0 = workloads::mlp0();
+//! assert_eq!(mlp0.total_weights(), 20_000_000);
+//! assert_eq!(mlp0.ops_per_weight_byte(), 200.0); // Table 1
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod compress;
+pub mod conv;
+pub mod layer;
+pub mod lstm;
+pub mod model;
+pub mod quant;
+pub mod reference;
+pub mod tensor;
+pub mod workloads;
+
+pub use calibrate::{CalibrationMethod, Calibrator, MagnitudeHistogram};
+pub use compress::{prune_to_density, CompressedWeights, SharedCodebook};
+pub use layer::{Layer, Nonlinearity};
+pub use model::{NnKind, NnModel};
+pub use tensor::Matrix;

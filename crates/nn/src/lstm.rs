@@ -1,0 +1,355 @@
+//! LSTM cell mathematics.
+//!
+//! "The art of the LSTM is in deciding what to forget and what to pass on
+//! as state to the next layer" (Section 1). A cell holds four gate weight
+//! matrices; each timestep computes
+//!
+//! ```text
+//! i = sigmoid([x, h] Wi)      input gate
+//! f = sigmoid([x, h] Wf)      forget gate
+//! g = tanh   ([x, h] Wg)      candidate state
+//! o = sigmoid([x, h] Wo)      output gate
+//! c' = f * c + i * g
+//! h' = o * tanh(c')
+//! ```
+//!
+//! On the TPU the four gate products are matrix-unit work (Table 1's FC
+//! layers) and the elementwise combinations are Vector layers on the
+//! activation datapath. Weights are reused across time steps, which is why
+//! the LSTMs' operational intensity equals their batch size.
+
+use crate::tensor::Matrix;
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// The four gate weight matrices of one LSTM cell, each
+/// `(inputs + hidden) x hidden`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmCell {
+    /// Input width.
+    inputs: usize,
+    /// Hidden/state width.
+    hidden: usize,
+    /// Input gate weights.
+    wi: Matrix,
+    /// Forget gate weights.
+    wf: Matrix,
+    /// Candidate weights.
+    wg: Matrix,
+    /// Output gate weights.
+    wo: Matrix,
+}
+
+/// Hidden and cell state carried between timesteps, one row per batch
+/// element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmState {
+    /// Hidden state `h`, `batch x hidden`.
+    pub h: Matrix,
+    /// Cell state `c`, `batch x hidden`.
+    pub c: Matrix,
+}
+
+impl LstmState {
+    /// Zero state for a batch.
+    pub fn zeros(batch: usize, hidden: usize) -> Self {
+        Self { h: Matrix::zeros(batch, hidden), c: Matrix::zeros(batch, hidden) }
+    }
+}
+
+impl LstmCell {
+    /// Create a cell from four gate matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any gate matrix is not `(inputs + hidden) x hidden`.
+    pub fn new(inputs: usize, hidden: usize, wi: Matrix, wf: Matrix, wg: Matrix, wo: Matrix) -> Self {
+        for (name, w) in [("wi", &wi), ("wf", &wf), ("wg", &wg), ("wo", &wo)] {
+            assert_eq!(
+                w.shape(),
+                (inputs + hidden, hidden),
+                "{name} must be (inputs+hidden) x hidden"
+            );
+        }
+        Self { inputs, hidden, wi, wf, wg, wo }
+    }
+
+    /// Random cell for testing, weights in `[-scale, scale]`.
+    pub fn random(inputs: usize, hidden: usize, scale: f32, rng: &mut impl rand::Rng) -> Self {
+        let mut gen = || Matrix::from_fn(inputs + hidden, hidden, |_, _| rng.gen_range(-scale..=scale));
+        let wi = gen();
+        let wf = gen();
+        let wg = gen();
+        let wo = gen();
+        Self::new(inputs, hidden, wi, wf, wg, wo)
+    }
+
+    /// Input width.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Total weights (4 gate matrices).
+    pub fn weights(&self) -> u64 {
+        4 * ((self.inputs + self.hidden) * self.hidden) as u64
+    }
+
+    /// Advance one timestep: consume `x` (`batch x inputs`) and the
+    /// previous state, produce the next state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn step(&self, x: &Matrix, state: &LstmState) -> LstmState {
+        let batch = x.rows();
+        assert_eq!(x.cols(), self.inputs, "input width mismatch");
+        assert_eq!(state.h.shape(), (batch, self.hidden), "hidden state mismatch");
+
+        // Concatenate [x, h] once.
+        let xh = Matrix::from_fn(batch, self.inputs + self.hidden, |r, c| {
+            if c < self.inputs {
+                x.get(r, c)
+            } else {
+                state.h.get(r, c - self.inputs)
+            }
+        });
+
+        let i = xh.matmul(&self.wi).map(sigmoid);
+        let f = xh.matmul(&self.wf).map(sigmoid);
+        let g = xh.matmul(&self.wg).map(|v| v.tanh());
+        let o = xh.matmul(&self.wo).map(sigmoid);
+
+        let c = f.zip(&state.c, |f, c| f * c).zip(&i.zip(&g, |i, g| i * g), |a, b| a + b);
+        let h = o.zip(&c.map(|v| v.tanh()), |o, t| o * t);
+        LstmState { h, c }
+    }
+
+    /// Run a sequence of `steps` identical-shape inputs, returning the
+    /// final state (weights are reused across time steps).
+    pub fn run_sequence(&self, xs: &[Matrix], init: LstmState) -> LstmState {
+        xs.iter().fold(init, |state, x| self.step(x, &state))
+    }
+}
+
+/// An LSTM cell quantized the way the TPU executes it: i8 gate weights,
+/// u8 activations through the matrix unit's integer path, and sigmoid/
+/// tanh through the Activation Unit's 256-entry lookup tables. Cell and
+/// hidden state are carried at higher precision between steps (the TPU
+/// runs LSTM activations in 16-bit, Section 2's half-speed mode).
+#[derive(Debug, Clone)]
+pub struct QuantizedLstmCell {
+    inputs: usize,
+    hidden: usize,
+    qwi: crate::quant::QuantizedWeights,
+    qwf: crate::quant::QuantizedWeights,
+    qwg: crate::quant::QuantizedWeights,
+    qwo: crate::quant::QuantizedWeights,
+}
+
+impl QuantizedLstmCell {
+    /// Quantize a float cell's four gate matrices.
+    pub fn quantize(cell: &LstmCell) -> Self {
+        Self {
+            inputs: cell.inputs,
+            hidden: cell.hidden,
+            qwi: crate::quant::QuantizedWeights::quantize(&cell.wi),
+            qwf: crate::quant::QuantizedWeights::quantize(&cell.wf),
+            qwg: crate::quant::QuantizedWeights::quantize(&cell.wg),
+            qwo: crate::quant::QuantizedWeights::quantize(&cell.wo),
+        }
+    }
+
+    /// One timestep on the quantized path. `x` is `batch x inputs` in
+    /// f32; activations are quantized at the step boundary exactly as the
+    /// User Space Driver reformats data for the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn step(&self, x: &Matrix, state: &LstmState) -> LstmState {
+        use crate::quant::{choose_activation_params, quantized_matmul, QuantizedActivations};
+        use tpu_core::act::{Lut256, QuantParams};
+
+        let batch = x.rows();
+        assert_eq!(x.cols(), self.inputs, "input width mismatch");
+        assert_eq!(state.h.shape(), (batch, self.hidden), "hidden state mismatch");
+
+        let xh = Matrix::from_fn(batch, self.inputs + self.hidden, |r, c| {
+            if c < self.inputs { x.get(r, c) } else { state.h.get(r, c - self.inputs) }
+        });
+        let in_q = choose_activation_params(&xh);
+        let qa = QuantizedActivations::quantize(&xh, in_q);
+
+        // Hardware LUTs for the gate nonlinearities.
+        let sig_out = QuantParams::from_range(0.0, 1.0);
+        let tanh_out = QuantParams::from_range(-1.0, 1.0);
+        let sigmoid_lut = Lut256::build(|v| 1.0 / (1.0 + (-v).exp()), sig_out);
+        let tanh_lut = Lut256::build(f32::tanh, tanh_out);
+
+        let gate = |w: &crate::quant::QuantizedWeights,
+                    lut: &Lut256,
+                    out_q: QuantParams|
+         -> Matrix {
+            let acc = quantized_matmul(&qa, w);
+            let scale = in_q.scale * w.scale();
+            Matrix::from_rows(
+                batch,
+                self.hidden,
+                acc.iter().map(|&v| out_q.dequantize(lut.lookup(v as f32 * scale))).collect(),
+            )
+        };
+
+        let i = gate(&self.qwi, &sigmoid_lut, sig_out);
+        let f = gate(&self.qwf, &sigmoid_lut, sig_out);
+        let g = gate(&self.qwg, &tanh_lut, tanh_out);
+        let o = gate(&self.qwo, &sigmoid_lut, sig_out);
+
+        // Elementwise combinations on the (16-bit) vector datapath; the
+        // state stays at higher precision between steps.
+        let c = f.zip(&state.c, |f, c| f * c).zip(&i.zip(&g, |i, g| i * g), |a, b| a + b);
+        let h = o.zip(&c.map(|v| v.tanh()), |o, t| o * t);
+        LstmState { h, c }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn zero_weights_give_zero_ish_state() {
+        let z = Matrix::zeros(3, 2);
+        let cell = LstmCell::new(1, 2, z.clone(), z.clone(), z.clone(), z.clone());
+        let state = cell.step(&Matrix::zeros(4, 1), &LstmState::zeros(4, 2));
+        // gates = sigmoid(0) = 0.5, g = tanh(0) = 0 -> c = 0, h = 0.
+        assert_eq!(state.c, Matrix::zeros(4, 2));
+        assert_eq!(state.h, Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn forget_gate_decays_cell_state() {
+        // Strong negative forget weights -> f ~ 0 -> old cell state gone.
+        let neg = Matrix::from_fn(2, 1, |_, _| -100.0);
+        let zero = Matrix::zeros(2, 1);
+        let cell = LstmCell::new(1, 1, zero.clone(), neg, zero.clone(), zero.clone());
+        let mut state = LstmState::zeros(1, 1);
+        state.c.set(0, 0, 5.0);
+        let next = cell.step(&Matrix::from_rows(1, 1, vec![1.0]), &state);
+        assert!(next.c.get(0, 0).abs() < 1e-3, "c' = {}", next.c.get(0, 0));
+    }
+
+    #[test]
+    fn state_is_bounded_by_gates() {
+        let mut r = rng();
+        let cell = LstmCell::random(4, 8, 0.5, &mut r);
+        let mut state = LstmState::zeros(2, 8);
+        for _ in 0..20 {
+            let x = Matrix::from_fn(2, 4, |_, _| 1.0);
+            state = cell.step(&x, &state);
+        }
+        // h = o * tanh(c) is always in (-1, 1).
+        for &v in state.h.data() {
+            assert!(v.abs() < 1.0, "h unbounded: {v}");
+        }
+        // c accumulates but the forget gate < 1 keeps it finite; generous
+        // bound to catch blow-ups.
+        for &v in state.c.data() {
+            assert!(v.abs() < 50.0, "c blew up: {v}");
+        }
+    }
+
+    #[test]
+    fn sequence_matches_manual_steps() {
+        let mut r = rng();
+        let cell = LstmCell::random(3, 4, 0.3, &mut r);
+        let xs: Vec<Matrix> = (0..3)
+            .map(|i| Matrix::from_fn(2, 3, |r_, c| (i + r_ + c) as f32 * 0.1))
+            .collect();
+        let manual = {
+            let mut s = LstmState::zeros(2, 4);
+            for x in &xs {
+                s = cell.step(x, &s);
+            }
+            s
+        };
+        let seq = cell.run_sequence(&xs, LstmState::zeros(2, 4));
+        assert_eq!(manual, seq);
+    }
+
+    #[test]
+    fn weight_count() {
+        let mut r = rng();
+        let cell = LstmCell::random(10, 20, 0.1, &mut r);
+        assert_eq!(cell.weights(), 4 * 30 * 20);
+        assert_eq!(cell.inputs(), 10);
+        assert_eq!(cell.hidden(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn shape_mismatch_panics() {
+        let mut r = rng();
+        let cell = LstmCell::random(3, 4, 0.3, &mut r);
+        let _ = cell.step(&Matrix::zeros(1, 5), &LstmState::zeros(1, 4));
+    }
+
+    #[test]
+    fn quantized_cell_tracks_float_cell_one_step() {
+        let mut r = rng();
+        let cell = LstmCell::random(6, 10, 0.3, &mut r);
+        let q = QuantizedLstmCell::quantize(&cell);
+        let x = Matrix::from_fn(3, 6, |row, col| ((row * 5 + col) % 7) as f32 * 0.15 - 0.4);
+        let state = LstmState::zeros(3, 10);
+        let want = cell.step(&x, &state);
+        let got = q.step(&x, &state);
+        let h_err = want.h.max_abs_diff(&got.h);
+        let c_err = want.c.max_abs_diff(&got.c);
+        // LUT resolution (~1/256 of the gate range) times a few gates.
+        assert!(h_err < 0.06, "hidden state error {h_err}");
+        assert!(c_err < 0.06, "cell state error {c_err}");
+    }
+
+    #[test]
+    fn quantized_cell_error_stays_bounded_over_a_sequence() {
+        // Quantization error must not compound catastrophically across
+        // timesteps: the gates' saturating nonlinearities keep it in
+        // check, which is why 8-bit inference works at all.
+        let mut r = rng();
+        let cell = LstmCell::random(4, 8, 0.3, &mut r);
+        let q = QuantizedLstmCell::quantize(&cell);
+        let mut fs = LstmState::zeros(2, 8);
+        let mut qs = LstmState::zeros(2, 8);
+        for t in 0..12 {
+            let x = Matrix::from_fn(2, 4, |row, col| ((t + row * 3 + col) % 9) as f32 * 0.1 - 0.35);
+            fs = cell.step(&x, &fs);
+            qs = q.step(&x, &qs);
+        }
+        let h_err = fs.h.max_abs_diff(&qs.h);
+        assert!(h_err < 0.25, "hidden-state drift after 12 steps: {h_err}");
+        for &v in qs.h.data() {
+            assert!(v.abs() <= 1.0, "quantized h must stay gate-bounded");
+        }
+    }
+
+    #[test]
+    fn quantized_cell_is_deterministic() {
+        let mut r = rng();
+        let cell = LstmCell::random(3, 5, 0.4, &mut r);
+        let q = QuantizedLstmCell::quantize(&cell);
+        let x = Matrix::from_fn(2, 3, |a, b| (a + b) as f32 * 0.2);
+        let s = LstmState::zeros(2, 5);
+        assert_eq!(q.step(&x, &s), q.step(&x, &s));
+    }
+}

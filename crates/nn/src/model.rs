@@ -1,0 +1,230 @@
+//! Whole-network models and their Table 1 aggregate statistics.
+
+use crate::layer::Layer;
+use serde::{Deserialize, Serialize};
+use tpu_core::config::Precision;
+
+/// The three NN families of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NnKind {
+    /// Multi-layer perceptron.
+    Mlp,
+    /// Long short-term memory recurrent network.
+    Lstm,
+    /// Convolutional network.
+    Cnn,
+}
+
+impl NnKind {
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            NnKind::Mlp => "MLP",
+            NnKind::Lstm => "LSTM",
+            NnKind::Cnn => "CNN",
+        }
+    }
+}
+
+/// A complete inference model: an ordered list of layers plus the serving
+/// batch size the paper's Table 1 assigns it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NnModel {
+    name: String,
+    kind: NnKind,
+    layers: Vec<Layer>,
+    batch: usize,
+    input_width: usize,
+    precision: Precision,
+}
+
+impl NnModel {
+    /// Assemble a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or `batch` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        kind: NnKind,
+        layers: Vec<Layer>,
+        batch: usize,
+        input_width: usize,
+        precision: Precision,
+    ) -> Self {
+        assert!(!layers.is_empty(), "a model needs at least one layer");
+        assert!(batch > 0, "batch must be positive");
+        Self { name: name.into(), kind, layers, batch, input_width, precision }
+    }
+
+    /// Model name (e.g. "MLP0").
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// NN family.
+    pub fn kind(&self) -> NnKind {
+        self.kind
+    }
+
+    /// Layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Serving batch size (Table 1, "TPU Batch Size").
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Width of one input example in bytes/activations.
+    pub fn input_width(&self) -> usize {
+        self.input_width
+    }
+
+    /// Matrix-unit operand precision (the LSTMs run 16-bit activations at
+    /// half speed; everything else is full-speed 8-bit).
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Total 8-bit weights (Table 1, "Weights").
+    pub fn total_weights(&self) -> u64 {
+        self.layers.iter().map(Layer::weights).sum()
+    }
+
+    /// Multiply-accumulates for one example.
+    pub fn macs_per_example(&self) -> u64 {
+        self.layers.iter().map(Layer::macs_per_example).sum()
+    }
+
+    /// Operational intensity in MACs per byte of weights fetched, at the
+    /// serving batch size (Table 1, "TPU Ops / Weight Byte"): weights are
+    /// fetched once per batch, so intensity is `batch * macs_per_example /
+    /// weight_bytes`.
+    pub fn ops_per_weight_byte(&self) -> f64 {
+        let w = self.total_weights();
+        if w == 0 {
+            return 0.0;
+        }
+        self.batch as f64 * self.macs_per_example() as f64 / w as f64
+    }
+
+    /// Count layers in each Table 1 category: `(fc, conv, vector, pool)`.
+    pub fn layer_counts(&self) -> (usize, usize, usize, usize) {
+        let mut fc = 0;
+        let mut conv = 0;
+        let mut vector = 0;
+        let mut pool = 0;
+        for l in &self.layers {
+            match l {
+                Layer::Fc(_) => fc += 1,
+                Layer::Conv(_) => conv += 1,
+                Layer::Vector(_) => vector += 1,
+                Layer::Pool(_) => pool += 1,
+            }
+        }
+        (fc, conv, vector, pool)
+    }
+
+    /// Total layer count.
+    pub fn total_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Bytes of input DMA'd from the host per batch.
+    pub fn input_bytes_per_batch(&self) -> u64 {
+        (self.batch * self.input_width) as u64
+    }
+
+    /// Bytes of output DMA'd to the host per batch (width of the final
+    /// layer).
+    pub fn output_bytes_per_batch(&self) -> u64 {
+        (self.batch * self.layers.last().map_or(0, Layer::output_width)) as u64
+    }
+
+    /// Derive a copy with a different batch size (Table 4 sweeps batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn with_batch(&self, batch: usize) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        let mut m = self.clone();
+        m.batch = batch;
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Nonlinearity;
+
+    fn tiny_mlp() -> NnModel {
+        NnModel::new(
+            "tiny",
+            NnKind::Mlp,
+            vec![
+                Layer::fc(100, 50, Nonlinearity::Relu),
+                Layer::fc(50, 10, Nonlinearity::Relu),
+            ],
+            8,
+            100,
+            Precision::Int8,
+        )
+    }
+
+    #[test]
+    fn aggregates() {
+        let m = tiny_mlp();
+        assert_eq!(m.total_weights(), 100 * 50 + 50 * 10);
+        assert_eq!(m.macs_per_example(), m.total_weights());
+        assert_eq!(m.layer_counts(), (2, 0, 0, 0));
+        assert_eq!(m.total_layers(), 2);
+        assert_eq!(m.input_bytes_per_batch(), 800);
+        assert_eq!(m.output_bytes_per_batch(), 80);
+    }
+
+    #[test]
+    fn fc_intensity_equals_batch() {
+        // For pure-FC models, MACs/example == weights, so intensity ==
+        // batch — exactly the Table 1 pattern (MLP0: batch 200 -> 200).
+        let m = tiny_mlp();
+        assert!((m.ops_per_weight_byte() - 8.0).abs() < 1e-9);
+        assert!((m.with_batch(200).ops_per_weight_byte() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conv_intensity_scales_with_positions() {
+        let m = NnModel::new(
+            "c",
+            NnKind::Cnn,
+            vec![Layer::conv(8, 8, 3, 100, Nonlinearity::Relu)],
+            2,
+            64,
+            Precision::Int8,
+        );
+        // intensity = batch * positions = 200.
+        assert!((m.ops_per_weight_byte() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_model_rejected() {
+        let _ = NnModel::new("x", NnKind::Mlp, vec![], 1, 1, Precision::Int8);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be positive")]
+    fn zero_batch_rejected() {
+        let _ = tiny_mlp().with_batch(0);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(NnKind::Mlp.name(), "MLP");
+        assert_eq!(NnKind::Lstm.name(), "LSTM");
+        assert_eq!(NnKind::Cnn.name(), "CNN");
+    }
+}

@@ -1,0 +1,247 @@
+//! Quantization: the step that makes the TPU possible.
+//!
+//! Section 1 of the paper: "A step called quantization transforms
+//! floating-point numbers into narrow integers — often just 8 bits — which
+//! are usually good enough for inference." The scheme here is the standard
+//! one the TPU software stack used: asymmetric affine u8 for activations
+//! (`real = scale * (q - zero_point)`), symmetric i8 for weights
+//! (`real = scale * q`), with 32-bit integer accumulation.
+
+use crate::tensor::Matrix;
+use tpu_core::act::QuantParams;
+
+/// A weight matrix quantized to symmetric i8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedWeights {
+    /// Row-major i8 codes, `inputs x outputs`.
+    codes: Vec<i8>,
+    rows: usize,
+    cols: usize,
+    /// Real value of one code step.
+    scale: f32,
+}
+
+impl QuantizedWeights {
+    /// Quantize an f32 weight matrix symmetrically into i8.
+    ///
+    /// The scale is chosen from the maximum absolute weight so the full
+    /// [-127, 127] range is used (code -128 is avoided, the common
+    /// symmetric convention).
+    pub fn quantize(weights: &Matrix) -> Self {
+        let max_abs = weights.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+        let codes = weights
+            .data()
+            .iter()
+            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        let (rows, cols) = weights.shape();
+        Self { codes, rows, cols, scale }
+    }
+
+    /// Scale of one code step.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// `(rows, cols)` = `(inputs, outputs)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Row-major codes.
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+
+    /// Reconstruct the f32 weights (with quantization error).
+    pub fn dequantize(&self) -> Matrix {
+        Matrix::from_rows(
+            self.rows,
+            self.cols,
+            self.codes.iter().map(|&c| c as f32 * self.scale).collect(),
+        )
+    }
+}
+
+/// A batch of activations quantized to affine u8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedActivations {
+    /// Row-major u8 codes, `batch x width`.
+    codes: Vec<u8>,
+    rows: usize,
+    cols: usize,
+    /// Affine parameters.
+    params: QuantParams,
+}
+
+impl QuantizedActivations {
+    /// Quantize a batch of f32 activations with the given parameters.
+    pub fn quantize(values: &Matrix, params: QuantParams) -> Self {
+        let codes = values.data().iter().map(|&v| params.quantize(v)).collect();
+        let (rows, cols) = values.shape();
+        Self { codes, rows, cols, params }
+    }
+
+    /// Wrap raw codes produced by the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != rows * cols`.
+    pub fn from_codes(rows: usize, cols: usize, codes: Vec<u8>, params: QuantParams) -> Self {
+        assert_eq!(codes.len(), rows * cols, "codes must be rows*cols");
+        Self { codes, rows, cols, params }
+    }
+
+    /// Affine parameters.
+    pub fn params(&self) -> QuantParams {
+        self.params
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Row-major codes.
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// Reconstruct the f32 activations (with quantization error).
+    pub fn dequantize(&self) -> Matrix {
+        Matrix::from_rows(
+            self.rows,
+            self.cols,
+            self.codes.iter().map(|&c| self.params.dequantize(c)).collect(),
+        )
+    }
+}
+
+/// Choose activation quantization parameters covering the observed range
+/// of `values` (always including zero).
+pub fn choose_activation_params(values: &Matrix) -> QuantParams {
+    let mut lo = 0.0f32;
+    let mut hi = 0.0f32;
+    for &v in values.data() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo == hi {
+        // Degenerate constant input; give it a unit-wide range.
+        hi = lo + 1.0;
+    }
+    QuantParams::from_range(lo, hi)
+}
+
+/// Quantized integer matmul exactly as the TPU computes it:
+/// `acc[b][o] = sum_i (a[b][i] - zp) * w[i][o]`, i32 accumulation.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+pub fn quantized_matmul(acts: &QuantizedActivations, weights: &QuantizedWeights) -> Vec<i32> {
+    let (batch, width) = acts.shape();
+    let (w_rows, w_cols) = weights.shape();
+    assert_eq!(width, w_rows, "inner dimensions must agree");
+    let zp = acts.params().zero_point as i32;
+    let mut out = vec![0i32; batch * w_cols];
+    for b in 0..batch {
+        for i in 0..width {
+            let a = acts.codes()[b * width + i] as i32 - zp;
+            if a == 0 {
+                continue;
+            }
+            let wrow = &weights.codes()[i * w_cols..(i + 1) * w_cols];
+            let orow = &mut out[b * w_cols..(b + 1) * w_cols];
+            for (o, &w) in orow.iter_mut().zip(wrow) {
+                *o += a * w as i32;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_weights() -> Matrix {
+        Matrix::from_rows(2, 3, vec![0.5, -1.0, 0.25, 1.0, 0.0, -0.5])
+    }
+
+    #[test]
+    fn weight_roundtrip_error_bounded() {
+        let w = sample_weights();
+        let q = QuantizedWeights::quantize(&w);
+        let err = w.max_abs_diff(&q.dequantize());
+        assert!(err <= q.scale() * 0.5 + 1e-6, "err {err} scale {}", q.scale());
+    }
+
+    #[test]
+    fn weight_scale_uses_full_range() {
+        let q = QuantizedWeights::quantize(&sample_weights());
+        // max |w| = 1.0 -> code 127.
+        assert!(q.codes().contains(&127) || q.codes().contains(&-127));
+    }
+
+    #[test]
+    fn zero_weights_quantize_cleanly() {
+        let q = QuantizedWeights::quantize(&Matrix::zeros(2, 2));
+        assert!(q.codes().iter().all(|&c| c == 0));
+        assert_eq!(q.scale(), 1.0);
+    }
+
+    #[test]
+    fn activation_roundtrip_error_bounded() {
+        let a = Matrix::from_rows(1, 4, vec![-2.0, 0.0, 1.5, 3.0]);
+        let p = choose_activation_params(&a);
+        let q = QuantizedActivations::quantize(&a, p);
+        let err = a.max_abs_diff(&q.dequantize());
+        assert!(err <= p.scale * 0.5 + 1e-6);
+    }
+
+    #[test]
+    fn constant_input_does_not_panic() {
+        let a = Matrix::from_rows(1, 2, vec![0.0, 0.0]);
+        let p = choose_activation_params(&a);
+        assert!(p.scale > 0.0);
+    }
+
+    #[test]
+    fn quantized_matmul_matches_f32_within_tolerance() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let batch = 4;
+        let width = 16;
+        let outs = 8;
+        let a = Matrix::from_fn(batch, width, |_, _| rng.gen_range(-1.0f32..1.0));
+        let w = Matrix::from_fn(width, outs, |_, _| rng.gen_range(-0.5f32..0.5));
+        let want = a.matmul(&w);
+
+        let pa = choose_activation_params(&a);
+        let qa = QuantizedActivations::quantize(&a, pa);
+        let qw = QuantizedWeights::quantize(&w);
+        let acc = quantized_matmul(&qa, &qw);
+        let got = Matrix::from_rows(
+            batch,
+            outs,
+            acc.iter().map(|&v| v as f32 * pa.scale * qw.scale()).collect(),
+        );
+        // Error grows with the reduction width; 16 terms of ~1% step error.
+        assert!(want.max_abs_diff(&got) < 0.08, "diff {}", want.max_abs_diff(&got));
+    }
+
+    #[test]
+    fn from_codes_validates_shape() {
+        let p = QuantParams::default();
+        let q = QuantizedActivations::from_codes(1, 2, vec![0, 1], p);
+        assert_eq!(q.shape(), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn from_codes_rejects_bad_shape() {
+        let _ = QuantizedActivations::from_codes(2, 2, vec![0; 3], QuantParams::default());
+    }
+}

@@ -1,0 +1,216 @@
+//! Floating-point reference execution and quantization calibration.
+//!
+//! The functional TPU produces quantized results; this module provides the
+//! f32 oracle they are validated against, plus the "calibration" pass the
+//! user-space driver performs the first time a model is evaluated: run the
+//! float model on representative data and record each layer boundary's
+//! activation range to choose quantization parameters.
+//!
+//! Reference execution covers matrix layers (FC) with their
+//! nonlinearities; that is exactly the subset the end-to-end functional
+//! tests compile onto the device (convolutions are validated separately at
+//! the im2col/tile level, and LSTM cell math in [`crate::lstm`]).
+
+use crate::layer::{Layer, Nonlinearity};
+use crate::model::NnModel;
+use crate::tensor::Matrix;
+use tpu_core::act::QuantParams;
+
+/// Materialized weights for a model's matrix layers, in layer order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelWeights {
+    matrices: Vec<Matrix>,
+}
+
+impl ModelWeights {
+    /// Random weights in `[-scale, scale]` for every matrix layer of
+    /// `model`.
+    pub fn random(model: &NnModel, scale: f32, rng: &mut impl rand::Rng) -> Self {
+        let matrices = model
+            .layers()
+            .iter()
+            .filter_map(Layer::matrix_shape)
+            .map(|(rows, cols)| {
+                Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-scale..=scale))
+            })
+            .collect();
+        Self { matrices }
+    }
+
+    /// Wrap explicit matrices (must match the model's matrix layers in
+    /// order and shape; checked at execution time).
+    pub fn from_matrices(matrices: Vec<Matrix>) -> Self {
+        Self { matrices }
+    }
+
+    /// The matrices in layer order.
+    pub fn matrices(&self) -> &[Matrix] {
+        &self.matrices
+    }
+}
+
+/// Apply a nonlinearity elementwise.
+pub fn apply_nonlinearity(act: Nonlinearity, x: &Matrix) -> Matrix {
+    match act {
+        Nonlinearity::None => x.clone(),
+        Nonlinearity::Relu => x.map(|v| v.max(0.0)),
+        Nonlinearity::Sigmoid => x.map(|v| 1.0 / (1.0 + (-v).exp())),
+        Nonlinearity::Tanh => x.map(f32::tanh),
+    }
+}
+
+/// Run the float model on a `batch x input_width` input, returning the
+/// final activations.
+///
+/// # Panics
+///
+/// Panics if `weights` does not match the model's matrix layers or the
+/// input shape is wrong. Non-matrix layers (Vector/Pool) pass data through
+/// unchanged in the reference (they are cost-only in the timing model and
+/// exercised directly in unit tests of the activation unit).
+pub fn forward_f32(model: &NnModel, weights: &ModelWeights, input: &Matrix) -> Matrix {
+    assert_eq!(input.cols(), model.input_width(), "input width mismatch");
+    let mut x = input.clone();
+    let mut wi = 0;
+    for layer in model.layers() {
+        match layer {
+            Layer::Fc(fc) => {
+                let w = &weights.matrices()[wi];
+                wi += 1;
+                assert_eq!(w.shape(), (fc.inputs, fc.outputs), "weight shape mismatch");
+                x = apply_nonlinearity(fc.act, &x.matmul(w));
+            }
+            Layer::Conv(_) => {
+                panic!("reference execution supports FC models; lower convs to tiles instead")
+            }
+            Layer::Pool(_) | Layer::Vector(_) => {}
+        }
+    }
+    x
+}
+
+/// Per-boundary quantization parameters chosen by calibration: entry 0 is
+/// the model input, entry `i + 1` the output of layer `i`'s matrix op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// Quantization parameters per activation boundary.
+    pub boundaries: Vec<QuantParams>,
+}
+
+/// Run the float model and record each boundary's activation range,
+/// mirroring the driver's first-evaluation compilation step.
+///
+/// # Panics
+///
+/// Same conditions as [`forward_f32`].
+pub fn calibrate(model: &NnModel, weights: &ModelWeights, input: &Matrix) -> Calibration {
+    let mut boundaries = vec![crate::quant::choose_activation_params(input)];
+    let mut x = input.clone();
+    let mut wi = 0;
+    for layer in model.layers() {
+        if let Layer::Fc(fc) = layer {
+            let w = &weights.matrices()[wi];
+            wi += 1;
+            x = apply_nonlinearity(fc.act, &x.matmul(w));
+            boundaries.push(crate::quant::choose_activation_params(&x));
+        }
+    }
+    Calibration { boundaries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NnKind;
+    use rand::SeedableRng;
+    use tpu_core::config::Precision;
+
+    fn mlp() -> NnModel {
+        NnModel::new(
+            "t",
+            NnKind::Mlp,
+            vec![
+                Layer::fc(6, 5, Nonlinearity::Relu),
+                Layer::fc(5, 3, Nonlinearity::None),
+            ],
+            2,
+            6,
+            Precision::Int8,
+        )
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let m = mlp();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let w = ModelWeights::random(&m, 0.5, &mut rng);
+        let x = Matrix::from_fn(2, 6, |_, _| 0.3);
+        let y = forward_f32(&m, &w, &x);
+        assert_eq!(y.shape(), (2, 3));
+    }
+
+    #[test]
+    fn relu_layer_output_nonnegative() {
+        let m = NnModel::new(
+            "r",
+            NnKind::Mlp,
+            vec![Layer::fc(4, 4, Nonlinearity::Relu)],
+            1,
+            4,
+            Precision::Int8,
+        );
+        let w = ModelWeights::from_matrices(vec![Matrix::from_fn(4, 4, |_, _| -1.0)]);
+        let y = forward_f32(&m, &w, &Matrix::from_fn(1, 4, |_, _| 1.0));
+        assert!(y.data().iter().all(|&v| v >= 0.0));
+        assert_eq!(y.data(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn identity_network_is_identity() {
+        let m = NnModel::new(
+            "i",
+            NnKind::Mlp,
+            vec![Layer::fc(3, 3, Nonlinearity::None)],
+            1,
+            3,
+            Precision::Int8,
+        );
+        let id = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        let w = ModelWeights::from_matrices(vec![id]);
+        let x = Matrix::from_rows(1, 3, vec![0.1, -0.5, 2.0]);
+        assert_eq!(forward_f32(&m, &w, &x), x);
+    }
+
+    #[test]
+    fn calibration_covers_all_boundaries() {
+        let m = mlp();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let w = ModelWeights::random(&m, 0.5, &mut rng);
+        let x = Matrix::from_fn(2, 6, |r, c| (r + c) as f32 * 0.1 - 0.3);
+        let cal = calibrate(&m, &w, &x);
+        assert_eq!(cal.boundaries.len(), 3); // input + 2 layers
+        for b in &cal.boundaries {
+            assert!(b.scale > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_panics() {
+        let m = mlp();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let w = ModelWeights::random(&m, 0.5, &mut rng);
+        let _ = forward_f32(&m, &w, &Matrix::zeros(1, 7));
+    }
+
+    #[test]
+    fn apply_nonlinearity_variants() {
+        let x = Matrix::from_rows(1, 2, vec![-1.0, 1.0]);
+        assert_eq!(apply_nonlinearity(Nonlinearity::None, &x), x);
+        assert_eq!(apply_nonlinearity(Nonlinearity::Relu, &x).data(), &[0.0, 1.0]);
+        let s = apply_nonlinearity(Nonlinearity::Sigmoid, &x);
+        assert!(s.get(0, 0) < 0.5 && s.get(0, 1) > 0.5);
+        let t = apply_nonlinearity(Nonlinearity::Tanh, &x);
+        assert!((t.get(0, 1) - 1.0f32.tanh()).abs() < 1e-6);
+    }
+}

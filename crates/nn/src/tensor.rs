@@ -1,0 +1,240 @@
+//! A minimal dense f32 matrix type for reference execution.
+//!
+//! The reproduction needs just enough linear algebra to serve as the
+//! floating-point oracle the quantized TPU results are validated against:
+//! row-major 2-D tensors, matrix multiply, and elementwise maps.
+
+use std::fmt;
+
+/// Row-major 2-D f32 matrix.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_nn::tensor::Matrix;
+///
+/// let a = Matrix::from_rows(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+/// let b = Matrix::from_rows(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+/// let c = a.matmul(&b);
+/// assert_eq!(c.get(0, 0), 58.0);
+/// assert_eq!(c.shape(), (2, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Build from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data must be rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a generator function over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[row * self.cols + col]
+    }
+
+    /// Set element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, row: usize, col: usize, v: f32) {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[row * self.cols + col] = v;
+    }
+
+    /// Row-major data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// One row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert!(row < self.rows);
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "inner dimensions must agree ({}x{} * {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[r * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let orow = &mut out.data[r * other.cols..(r + 1) * other.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise combination with another matrix of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Maximum absolute difference against another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{}", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            let row: Vec<String> =
+                self.row(r).iter().take(8).map(|v| format!("{v:8.3}")).collect();
+            writeln!(f, "  [{}{}]", row.join(", "), if self.cols > 8 { ", ..." } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(2, 2, vec![1., 2., 3., 4.]);
+        let b = Matrix::from_rows(2, 2, vec![5., 6., 7., 8.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        let id = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = Matrix::from_rows(1, 3, vec![-1., 0., 2.]);
+        assert_eq!(a.map(|v| v.max(0.0)).data(), &[0., 0., 2.]);
+        let b = Matrix::from_rows(1, 3, vec![1., 1., 1.]);
+        assert_eq!(a.zip(&b, |x, y| x + y).data(), &[0., 1., 3.]);
+    }
+
+    #[test]
+    fn max_abs_diff_measures_error() {
+        let a = Matrix::from_rows(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_rows(1, 2, vec![1.5, 2.25]);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(1, 0, 5.0);
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.row(1), &[5.0, 0.0]);
+        assert!(!format!("{m}").is_empty());
+    }
+}

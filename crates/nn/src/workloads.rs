@@ -1,0 +1,308 @@
+//! The six production workloads of Table 1.
+//!
+//! The paper characterises each application only in aggregate (layer
+//! counts by type, total weights, operational intensity, batch size); the
+//! production per-layer shapes are proprietary. The models here are
+//! synthetic networks whose aggregates match Table 1:
+//!
+//! | Name  | Layers (FC/Conv/Vector/Pool) | Weights | Ops/WeightByte | Batch |
+//! |-------|------------------------------|---------|----------------|-------|
+//! | MLP0  | 5 FC                         | 20M     | 200            | 200   |
+//! | MLP1  | 4 FC                         | 5M      | 168            | 168   |
+//! | LSTM0 | 24 FC + 34 Vector            | 52M     | 64             | 64    |
+//! | LSTM1 | 37 FC + 19 Vector            | 34M     | 96             | 96    |
+//! | CNN0  | 16 Conv                      | 8M      | 2888           | 8     |
+//! | CNN1  | 4 FC + 72 Conv + 13 Pool     | 100M    | ~1750          | 32    |
+//!
+//! Notable shape choices: CNN0 follows the AlphaGo network (19x19 board,
+//! so 361 output positions x batch 8 = the paper's 2888 ops/byte); LSTM1
+//! includes the 600x600 gate matrices Section 7 uses to explain matrix-
+//! unit fragmentation; CNN1 mixes shallow 1x1 convolutions (partially
+//! filling the 256-wide array, producing Table 3's unused MACs) with a
+//! heavy fully connected head at operational intensity 32 (the paper's
+//! weight-stall explanation for CNN1). The LSTMs run 16-bit activations
+//! (mixed precision, half speed).
+
+use crate::layer::{Layer, Nonlinearity};
+use crate::model::{NnKind, NnModel};
+use tpu_core::config::Precision;
+
+/// MLP0: 5 fully connected 2000x2000 ReLU layers, batch 200 (RankBrain-
+/// class ranking model).
+pub fn mlp0() -> NnModel {
+    let layers = (0..5).map(|_| Layer::fc(2000, 2000, Nonlinearity::Relu)).collect();
+    NnModel::new("MLP0", NnKind::Mlp, layers, 200, 2000, Precision::Int8)
+}
+
+/// MLP1: 4 fully connected 1120x1120 ReLU layers, batch 168.
+pub fn mlp1() -> NnModel {
+    let layers = (0..4).map(|_| Layer::fc(1120, 1120, Nonlinearity::Relu)).collect();
+    NnModel::new("MLP1", NnKind::Mlp, layers, 168, 1120, Precision::Int8)
+}
+
+/// LSTM0: 6 stacked LSTM cells (4 gate matmuls each = 24 FC layers) with
+/// 34 elementwise vector layers, hidden width 1040, batch 64.
+pub fn lstm0() -> NnModel {
+    let hidden = 1040;
+    let mut layers = Vec::new();
+    for cell in 0..6 {
+        // Four gate projections: [x, h] (2*hidden wide) -> hidden.
+        for gate in 0..4 {
+            let act = if gate == 2 { Nonlinearity::Tanh } else { Nonlinearity::Sigmoid };
+            layers.push(Layer::fc(2 * hidden, hidden, act));
+        }
+        // Five elementwise combinations per cell (f*c, i*g, +, tanh, o*).
+        for _ in 0..5 {
+            layers.push(Layer::vector(hidden, 3));
+        }
+        // Four extra vector transforms spread across the stack (input and
+        // output reformatting) to reach Table 1's 34.
+        if cell < 4 {
+            layers.push(Layer::vector(hidden, 2));
+        }
+    }
+    NnModel::new("LSTM0", NnKind::Lstm, layers, 64, hidden, Precision::Mixed8x16)
+}
+
+/// LSTM1: 37 gate matmuls mixing 600x600 matrices (Section 7's
+/// fragmentation example) with larger 1440x1440 ones, 19 vector layers,
+/// batch 96 (a GNM-Translate subset).
+pub fn lstm1() -> NnModel {
+    let mut layers = Vec::new();
+    // 25 narrow gates on the 600-wide recurrent path.
+    for i in 0..25 {
+        let act = if i % 4 == 2 { Nonlinearity::Tanh } else { Nonlinearity::Sigmoid };
+        layers.push(Layer::fc(600, 600, act));
+    }
+    // 12 wide gates on the 1440-wide encoder path.
+    for i in 0..12 {
+        let act = if i % 4 == 2 { Nonlinearity::Tanh } else { Nonlinearity::Sigmoid };
+        layers.push(Layer::fc(1440, 1440, act));
+    }
+    // 19 elementwise layers.
+    for _ in 0..19 {
+        layers.push(Layer::vector(600, 3));
+    }
+    NnModel::new("LSTM1", NnKind::Lstm, layers, 96, 600, Precision::Mixed8x16)
+}
+
+/// CNN0: the AlphaGo-style network — 16 convolutional layers on a 19x19
+/// board (361 output positions), 256 filters, batch 8.
+pub fn cnn0() -> NnModel {
+    let pos = 19 * 19;
+    let mut layers = vec![Layer::conv(48, 256, 3, pos, Nonlinearity::Relu)];
+    for _ in 0..14 {
+        layers.push(Layer::conv(256, 256, 3, pos, Nonlinearity::Relu));
+    }
+    // Final 1x1 policy head.
+    layers.push(Layer::conv(256, 1, 1, pos, Nonlinearity::Relu));
+    NnModel::new("CNN0", NnKind::Cnn, layers, 8, 48 * pos, Precision::Int8)
+}
+
+/// CNN1: an Inception-v2-style network — 72 convolutions across a spatial
+/// pyramid (28x28 -> 14x14 -> 7x7), 13 pooling layers, and a 4-layer fully
+/// connected head holding most of the 100M weights, batch 32.
+pub fn cnn1() -> NnModel {
+    // Stem: 3 convolutions at high resolution, with their pools.
+    let mut layers = vec![
+        Layer::conv(3, 64, 7, 112 * 112, Nonlinearity::Relu),
+        Layer::pool(64, 2, 112 * 112),
+        Layer::conv(64, 64, 1, 56 * 56, Nonlinearity::Relu),
+        Layer::conv(64, 192, 3, 56 * 56, Nonlinearity::Relu),
+        Layer::pool(192, 2, 56 * 56),
+    ];
+
+    // Stage A: 23 convolutions at 28x28, alternating shallow 1x1
+    // bottlenecks (partial array fill) with 3x3 convolutions.
+    for i in 0..23 {
+        if i % 2 == 0 {
+            layers.push(Layer::conv(256, 96, 1, 28 * 28, Nonlinearity::Relu));
+        } else {
+            layers.push(Layer::conv(96, 208, 3, 28 * 28, Nonlinearity::Relu));
+        }
+        if i % 6 == 5 {
+            layers.push(Layer::pool(208, 2, 28 * 28));
+        }
+    }
+    // Transition pool 28x28 -> 14x14.
+    layers.push(Layer::pool(512, 2, 28 * 28));
+    // Stage B: 23 convolutions at 14x14.
+    for i in 0..23 {
+        if i % 2 == 0 {
+            layers.push(Layer::conv(512, 160, 1, 14 * 14, Nonlinearity::Relu));
+        } else {
+            layers.push(Layer::conv(160, 320, 3, 14 * 14, Nonlinearity::Relu));
+        }
+        if i % 6 == 5 {
+            layers.push(Layer::pool(320, 2, 14 * 14));
+        }
+    }
+    // Transition pool 14x14 -> 7x7.
+    layers.push(Layer::pool(832, 2, 14 * 14));
+    // Stage C: 23 convolutions at 7x7.
+    for i in 0..23 {
+        if i % 2 == 0 {
+            layers.push(Layer::conv(832, 256, 1, 7 * 7, Nonlinearity::Relu));
+        } else {
+            layers.push(Layer::conv(256, 512, 3, 7 * 7, Nonlinearity::Relu));
+        }
+        if i % 8 == 7 {
+            layers.push(Layer::pool(512, 2, 7 * 7));
+        }
+    }
+    // Final global pool then the 4-layer FC head that dominates weights
+    // and runs at operational intensity = batch = 32.
+    layers.push(Layer::pool(512, 7, 7 * 7));
+    layers.push(Layer::fc(25088, 2048, Nonlinearity::Relu));
+    layers.push(Layer::fc(2048, 2048, Nonlinearity::Relu));
+    layers.push(Layer::fc(2048, 2048, Nonlinearity::Relu));
+    layers.push(Layer::fc(2048, 1008, Nonlinearity::Relu));
+    NnModel::new("CNN1", NnKind::Cnn, layers, 32, 224 * 224 * 3, Precision::Int8)
+}
+
+/// All six workloads in Table 1 order.
+pub fn all() -> Vec<NnModel> {
+    vec![mlp0(), mlp1(), lstm0(), lstm1(), cnn0(), cnn1()]
+}
+
+/// The datacenter deployment mix of July 2016 (Table 1's last column:
+/// MLPs 61%, LSTMs 29%, CNNs 5%, split evenly within each type and
+/// normalized to sum to 1), used for the paper's weighted means.
+pub fn workload_mix() -> Vec<(&'static str, f64)> {
+    let raw = [
+        ("MLP0", 0.305),
+        ("MLP1", 0.305),
+        ("LSTM0", 0.145),
+        ("LSTM1", 0.145),
+        ("CNN0", 0.025),
+        ("CNN1", 0.025),
+    ];
+    let total: f64 = raw.iter().map(|(_, w)| w).sum();
+    raw.iter().map(|&(n, w)| (n, w / total)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Assert `got` is within `tol` relative error of `want`.
+    fn close(got: f64, want: f64, tol: f64, what: &str) {
+        let rel = (got - want).abs() / want;
+        assert!(rel <= tol, "{what}: got {got}, want {want} (rel err {rel:.3})");
+    }
+
+    #[test]
+    fn mlp0_matches_table1() {
+        let m = mlp0();
+        assert_eq!(m.layer_counts(), (5, 0, 0, 0));
+        close(m.total_weights() as f64, 20e6, 0.01, "MLP0 weights");
+        close(m.ops_per_weight_byte(), 200.0, 0.01, "MLP0 intensity");
+        assert_eq!(m.batch(), 200);
+    }
+
+    #[test]
+    fn mlp1_matches_table1() {
+        let m = mlp1();
+        assert_eq!(m.layer_counts(), (4, 0, 0, 0));
+        close(m.total_weights() as f64, 5e6, 0.02, "MLP1 weights");
+        close(m.ops_per_weight_byte(), 168.0, 0.01, "MLP1 intensity");
+        assert_eq!(m.batch(), 168);
+    }
+
+    #[test]
+    fn lstm0_matches_table1() {
+        let m = lstm0();
+        let (fc, conv, vector, pool) = m.layer_counts();
+        assert_eq!((fc, conv, pool), (24, 0, 0));
+        assert_eq!(vector, 34);
+        assert_eq!(m.total_layers(), 58);
+        close(m.total_weights() as f64, 52e6, 0.02, "LSTM0 weights");
+        close(m.ops_per_weight_byte(), 64.0, 0.01, "LSTM0 intensity");
+        assert_eq!(m.precision(), Precision::Mixed8x16);
+    }
+
+    #[test]
+    fn lstm1_matches_table1() {
+        let m = lstm1();
+        let (fc, conv, vector, pool) = m.layer_counts();
+        assert_eq!((fc, conv, pool), (37, 0, 0));
+        assert_eq!(vector, 19);
+        assert_eq!(m.total_layers(), 56);
+        close(m.total_weights() as f64, 34e6, 0.02, "LSTM1 weights");
+        close(m.ops_per_weight_byte(), 96.0, 0.01, "LSTM1 intensity");
+    }
+
+    #[test]
+    fn lstm1_contains_the_600_matrix() {
+        // Section 7 explains fragmentation with LSTM1's 600x600 matrices.
+        let m = lstm1();
+        assert!(m
+            .layers()
+            .iter()
+            .any(|l| l.matrix_shape() == Some((600, 600))));
+    }
+
+    #[test]
+    fn cnn0_matches_table1() {
+        let m = cnn0();
+        assert_eq!(m.layer_counts(), (0, 16, 0, 0));
+        close(m.total_weights() as f64, 8e6, 0.06, "CNN0 weights");
+        close(m.ops_per_weight_byte(), 2888.0, 0.01, "CNN0 intensity");
+        assert_eq!(m.batch(), 8);
+    }
+
+    #[test]
+    fn cnn1_matches_table1() {
+        let m = cnn1();
+        let (fc, conv, vector, pool) = m.layer_counts();
+        assert_eq!(fc, 4, "CNN1 FC layers");
+        assert_eq!(conv, 72, "CNN1 conv layers");
+        assert_eq!(pool, 13, "CNN1 pool layers");
+        assert_eq!(vector, 0);
+        assert_eq!(m.total_layers(), 89);
+        close(m.total_weights() as f64, 100e6, 0.15, "CNN1 weights");
+        // Intensity within 25% of the published 1750 (shape, not identity).
+        close(m.ops_per_weight_byte(), 1750.0, 0.25, "CNN1 intensity");
+        assert_eq!(m.batch(), 32);
+    }
+
+    #[test]
+    fn mlps_and_lstms_are_memory_bound_cnns_compute_bound() {
+        // The paper's central roofline observation, as a pure property of
+        // the workloads: ridge point is ~1350 MAC/byte.
+        for m in [mlp0(), mlp1(), lstm0(), lstm1()] {
+            assert!(m.ops_per_weight_byte() < 1350.0, "{} should be memory bound", m.name());
+        }
+        for m in [cnn0(), cnn1()] {
+            assert!(m.ops_per_weight_byte() > 1000.0, "{} should be near/above ridge", m.name());
+        }
+    }
+
+    #[test]
+    fn mix_sums_to_one_and_favours_mlps() {
+        let mix = workload_mix();
+        let total: f64 = mix.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let mlp_share: f64 =
+            mix.iter().filter(|(n, _)| n.starts_with("MLP")).map(|(_, w)| w).sum();
+        let cnn_share: f64 =
+            mix.iter().filter(|(n, _)| n.starts_with("CNN")).map(|(_, w)| w).sum();
+        assert!(mlp_share > 0.6, "MLPs dominate the datacenter mix");
+        assert!(cnn_share < 0.06, "CNNs are only ~5% of the mix");
+    }
+
+    #[test]
+    fn all_returns_six_in_table_order() {
+        let names: Vec<&str> = all().iter().map(|m| m.name().to_string().leak() as &str).collect();
+        assert_eq!(names, ["MLP0", "MLP1", "LSTM0", "LSTM1", "CNN0", "CNN1"]);
+    }
+
+    #[test]
+    fn weights_fit_in_weight_memory() {
+        // All six models (and even all six together) fit the 8 GiB Weight
+        // Memory, as the paper says it "supports many simultaneously
+        // active models".
+        let total: u64 = all().iter().map(|m| m.total_weights()).sum();
+        assert!(total < 8 * 1024 * 1024 * 1024);
+    }
+}

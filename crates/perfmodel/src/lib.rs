@@ -1,0 +1,32 @@
+//! # tpu-perfmodel — the Section 7 analytic performance model
+//!
+//! The paper built a performance model of the TPU, validated it against
+//! hardware counters (Table 7, 8% average difference), then used it to
+//! sweep the design space (Figure 11) and to cost the hypothetical GDDR5
+//! TPU'. This crate does the same: [`model`] is the analytic model,
+//! [`validate`] checks it against the timing simulator, [`sweep`]
+//! regenerates Figure 11, and [`tpu_prime`] evaluates the redesign.
+//!
+//! ```
+//! use tpu_core::TpuConfig;
+//! use tpu_perfmodel::model::{speedup, DesignPoint};
+//!
+//! // 4x memory bandwidth pays off on the memory-bound MLP0...
+//! let cfg = TpuConfig::paper();
+//! let s = speedup(&tpu_nn::workloads::mlp0(), &cfg, &DesignPoint::memory(4.0));
+//! assert!(s > 2.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod sparsity;
+pub mod sweep;
+pub mod tpu_prime;
+pub mod validate;
+
+pub use model::{app_time, speedup, AppTime, DesignPoint};
+pub use sparsity::{ablation as sparsity_ablation, SparsityConfig};
+pub use sweep::{figure11, SweepKnob, SweepPoint};
+pub use tpu_prime::{evaluate_all, PrimeSpeedup, TpuPrimeVariant};
+pub use validate::{table7, ValidationRow};

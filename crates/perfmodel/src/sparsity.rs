@@ -1,0 +1,217 @@
+//! Sparsity: the paper's announced future-work direction, modeled.
+//!
+//! Section 2: "This unit is designed for dense matrices. Sparse
+//! architectural support was omitted for time-to-deploy reasons. Sparsity
+//! will have high priority in future designs." Section 9 surveys what was
+//! being left on the table: Cnvlutin skips multiplications when an
+//! activation is zero — 44% of the time, largely thanks to ReLU — for an
+//! average 1.4x; EIE prunes weights ~10x before Huffman coding.
+//!
+//! This module models both opportunities on top of the analytic model:
+//!
+//! * **Activation zero-skipping** (Cnvlutin-style) compresses *compute*
+//!   cycles by the zero fraction times a skip efficiency — it only pays
+//!   on compute-bound layers.
+//! * **Weight pruning** (EIE-style) compresses the *weight stream*, so it
+//!   pays exactly where the TPU hurts: the memory-bound MLPs and LSTMs.
+//!
+//! The headline the tests pin down: for the TPU's datacenter mix, weight
+//! compression is worth far more than activation skipping — the dual of
+//! the paper's bandwidth-dominates finding.
+
+use crate::model::{app_time, DesignPoint};
+use serde::{Deserialize, Serialize};
+use tpu_core::config::TpuConfig;
+use tpu_nn::model::NnModel;
+use tpu_nn::workloads;
+
+/// A hypothetical sparsity feature set for a future TPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SparsityConfig {
+    /// Fraction of activations that are zero (ReLU networks measure ~0.44).
+    pub activation_zero_fraction: f64,
+    /// Fraction of zero activations whose MAC slots are actually
+    /// reclaimed (scheduling efficiency; 1.0 is a perfect skipper).
+    pub skip_efficiency: f64,
+    /// Weight compression ratio delivered by pruning + encoding
+    /// (EIE reports ~10x; 1.0 = no compression).
+    pub weight_compression: f64,
+}
+
+impl SparsityConfig {
+    /// No sparsity support: the shipped TPU.
+    pub fn dense() -> Self {
+        Self { activation_zero_fraction: 0.0, skip_efficiency: 0.0, weight_compression: 1.0 }
+    }
+
+    /// Cnvlutin-style activation skipping at the published 44% zeros.
+    pub fn cnvlutin() -> Self {
+        Self { activation_zero_fraction: 0.44, skip_efficiency: 0.8, weight_compression: 1.0 }
+    }
+
+    /// EIE-style 10x weight compression (pruning + encoding).
+    pub fn eie_weights() -> Self {
+        Self { activation_zero_fraction: 0.0, skip_efficiency: 0.0, weight_compression: 10.0 }
+    }
+
+    /// Both together.
+    pub fn combined() -> Self {
+        Self { activation_zero_fraction: 0.44, skip_efficiency: 0.8, weight_compression: 10.0 }
+    }
+
+    /// Validate ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any fraction is outside `[0, 1]` or the
+    /// compression ratio is below 1.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.activation_zero_fraction) {
+            return Err("activation_zero_fraction must be in [0,1]".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.skip_efficiency) {
+            return Err("skip_efficiency must be in [0,1]".to_string());
+        }
+        if self.weight_compression < 1.0 {
+            return Err("weight_compression must be >= 1".to_string());
+        }
+        Ok(())
+    }
+
+    /// Multiplier on compute time (`< 1` when skipping works).
+    pub fn compute_factor(&self) -> f64 {
+        1.0 - self.activation_zero_fraction * self.skip_efficiency
+    }
+
+    /// Multiplier on effective weight bandwidth (`> 1` when compressed).
+    pub fn bandwidth_factor(&self) -> f64 {
+        self.weight_compression
+    }
+}
+
+/// Speedup of a sparsity feature set on one application, against the
+/// dense baseline. Compute compression scales the clock-side term,
+/// weight compression the bandwidth-side term of the analytic model.
+pub fn sparsity_speedup(model: &NnModel, cfg: &TpuConfig, sparsity: &SparsityConfig) -> f64 {
+    sparsity.validate().expect("valid sparsity config");
+    let dense = app_time(model, cfg, &DesignPoint::baseline()).total_s;
+    // Weight compression behaves exactly like extra bandwidth; activation
+    // skipping like a faster clock on matrix compute. Reuse the design-
+    // point machinery for both.
+    let design = DesignPoint {
+        memory_scale: sparsity.bandwidth_factor(),
+        clock_scale: 1.0 / sparsity.compute_factor().max(1e-9),
+        accumulator_scale: 1.0 / sparsity.compute_factor().max(1e-9),
+        matrix_scale: 1.0,
+    };
+    let sparse = app_time(model, cfg, &design).total_s;
+    dense / sparse
+}
+
+/// One row of the sparsity ablation: per-app speedups for a feature set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparsityRow {
+    /// Feature-set label.
+    pub label: String,
+    /// Per-app speedups in Table 1 order.
+    pub speedups: Vec<(String, f64)>,
+    /// Weighted-mean speedup under the datacenter mix.
+    pub weighted_mean: f64,
+}
+
+/// Evaluate a labelled feature set over all six workloads.
+pub fn evaluate(cfg: &TpuConfig, label: &str, sparsity: &SparsityConfig) -> SparsityRow {
+    let mix = workloads::workload_mix();
+    let mut speedups = Vec::new();
+    let mut wm = 0.0;
+    for m in workloads::all() {
+        let s = sparsity_speedup(&m, cfg, sparsity);
+        let w = mix.iter().find(|(n, _)| *n == m.name()).map(|(_, w)| *w).unwrap();
+        wm += s * w;
+        speedups.push((m.name().to_string(), s));
+    }
+    SparsityRow { label: label.to_string(), speedups, weighted_mean: wm }
+}
+
+/// The full ablation: dense, Cnvlutin-style, EIE-style, combined.
+pub fn ablation(cfg: &TpuConfig) -> Vec<SparsityRow> {
+    vec![
+        evaluate(cfg, "dense (shipped TPU)", &SparsityConfig::dense()),
+        evaluate(cfg, "activation skip (Cnvlutin-style)", &SparsityConfig::cnvlutin()),
+        evaluate(cfg, "weight compression 10x (EIE-style)", &SparsityConfig::eie_weights()),
+        evaluate(cfg, "both", &SparsityConfig::combined()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TpuConfig {
+        TpuConfig::paper()
+    }
+
+    #[test]
+    fn dense_is_exactly_one() {
+        for (_, s) in evaluate(&cfg(), "d", &SparsityConfig::dense()).speedups {
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn activation_skipping_helps_compute_bound_cnns_most() {
+        let row = evaluate(&cfg(), "a", &SparsityConfig::cnvlutin());
+        let get = |n: &str| row.speedups.iter().find(|(name, _)| name == n).unwrap().1;
+        // CNN0 is compute bound: skipping ~35% of compute pays there...
+        assert!(get("CNN0") > 1.2, "CNN0 {}", get("CNN0"));
+        // ...but the memory-bound MLPs barely move.
+        assert!(get("MLP0") < 1.1, "MLP0 {}", get("MLP0"));
+    }
+
+    #[test]
+    fn weight_compression_helps_memory_bound_apps_most() {
+        let row = evaluate(&cfg(), "w", &SparsityConfig::eie_weights());
+        let get = |n: &str| row.speedups.iter().find(|(name, _)| name == n).unwrap().1;
+        assert!(get("MLP0") > 3.0, "MLP0 {}", get("MLP0"));
+        assert!(get("LSTM0") > 3.0, "LSTM0 {}", get("LSTM0"));
+        assert!(get("CNN0") < 1.3, "CNN0 {}", get("CNN0"));
+    }
+
+    #[test]
+    fn weight_compression_beats_activation_skipping_on_the_mix() {
+        // The dual of the paper's finding: the datacenter mix is memory
+        // bound, so compressing weights is worth far more than skipping
+        // zero activations.
+        let act = evaluate(&cfg(), "a", &SparsityConfig::cnvlutin()).weighted_mean;
+        let wts = evaluate(&cfg(), "w", &SparsityConfig::eie_weights()).weighted_mean;
+        assert!(wts > 2.0 * act, "weights {wts} vs activations {act}");
+    }
+
+    #[test]
+    fn combined_dominates_both() {
+        let rows = ablation(&cfg());
+        let wm = |label: &str| {
+            rows.iter().find(|r| r.label.starts_with(label)).unwrap().weighted_mean
+        };
+        assert!(wm("both") >= wm("weight") - 1e-9);
+        assert!(wm("both") >= wm("activation") - 1e-9);
+        assert!((wm("dense") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let bad = SparsityConfig { activation_zero_fraction: 1.5, ..SparsityConfig::dense() };
+        assert!(bad.validate().is_err());
+        let bad = SparsityConfig { weight_compression: 0.5, ..SparsityConfig::dense() };
+        assert!(bad.validate().is_err());
+        let bad = SparsityConfig { skip_efficiency: -0.1, ..SparsityConfig::cnvlutin() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn factors() {
+        let c = SparsityConfig::cnvlutin();
+        assert!((c.compute_factor() - (1.0 - 0.44 * 0.8)).abs() < 1e-12);
+        assert_eq!(SparsityConfig::eie_weights().bandwidth_factor(), 10.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! The Figure 11 design-space sweep.
+//!
+//! Weighted-mean TPU performance as memory bandwidth, clock rate (with
+//! and without more accumulators), and matrix-unit dimension (with and
+//! without accumulators scaling as its square) vary from 0.25x to 4x.
+//! The paper's findings, which the tests pin down: memory bandwidth has
+//! by far the biggest impact (~3x at 4x bandwidth); clock scaling barely
+//! moves the weighted mean (MLPs and LSTMs are memory bound); and a
+//! bigger matrix unit slightly *degrades* performance because of 2-D
+//! fragmentation.
+
+use crate::model::{speedup, DesignPoint};
+use serde::{Deserialize, Serialize};
+use tpu_core::config::TpuConfig;
+use tpu_nn::workloads;
+
+/// The scaling knobs plotted in Figure 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SweepKnob {
+    /// Memory bandwidth only.
+    Memory,
+    /// Clock and accumulators together.
+    ClockPlus,
+    /// Clock only.
+    Clock,
+    /// Matrix dimension with accumulators scaling as its square.
+    MatrixPlus,
+    /// Matrix dimension only.
+    Matrix,
+}
+
+impl SweepKnob {
+    /// All five curves in the figure's legend order.
+    pub fn all() -> [SweepKnob; 5] {
+        [
+            SweepKnob::Memory,
+            SweepKnob::ClockPlus,
+            SweepKnob::Clock,
+            SweepKnob::MatrixPlus,
+            SweepKnob::Matrix,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepKnob::Memory => "memory",
+            SweepKnob::ClockPlus => "clock+",
+            SweepKnob::Clock => "clock",
+            SweepKnob::MatrixPlus => "matrix+",
+            SweepKnob::Matrix => "matrix",
+        }
+    }
+
+    /// The design point at a given scale.
+    pub fn design(self, scale: f64) -> DesignPoint {
+        match self {
+            SweepKnob::Memory => DesignPoint::memory(scale),
+            SweepKnob::ClockPlus => DesignPoint::clock_plus(scale),
+            SweepKnob::Clock => DesignPoint::clock(scale),
+            SweepKnob::MatrixPlus => DesignPoint::matrix_plus(scale),
+            SweepKnob::Matrix => DesignPoint::matrix(scale),
+        }
+    }
+}
+
+/// The scales Figure 11 plots.
+pub const SCALES: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// One point of one curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The knob being scaled.
+    pub knob: SweepKnob,
+    /// The multiplier applied.
+    pub scale: f64,
+    /// Weighted-mean speedup over the 1.0x baseline.
+    pub weighted_mean: f64,
+    /// Geometric-mean speedup over the baseline.
+    pub geometric_mean: f64,
+}
+
+/// Compute the full Figure 11 sweep.
+pub fn figure11(cfg: &TpuConfig) -> Vec<SweepPoint> {
+    let models = workloads::all();
+    let mix = workloads::workload_mix();
+    let weight = |name: &str| mix.iter().find(|(n, _)| *n == name).map(|(_, w)| *w).unwrap();
+
+    let mut out = Vec::new();
+    for knob in SweepKnob::all() {
+        for &scale in &SCALES {
+            let design = knob.design(scale);
+            let speedups: Vec<(f64, f64)> = models
+                .iter()
+                .map(|m| (speedup(m, cfg, &design), weight(m.name())))
+                .collect();
+            let weighted_mean: f64 = speedups.iter().map(|(s, w)| s * w).sum();
+            let geometric_mean =
+                (speedups.iter().map(|(s, _)| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+            out.push(SweepPoint { knob, scale, weighted_mean, geometric_mean });
+        }
+    }
+    out
+}
+
+/// One application's full curve for one knob: `(scale, speedup)` pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppCurve {
+    /// Application name.
+    pub app: String,
+    /// The knob swept.
+    pub knob: SweepKnob,
+    /// `(scale, speedup)` samples at [`SCALES`].
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Per-application curves (the detail Figure 11's weighted mean hides:
+/// "MLPs and LSTMs improve 3X with 4X memory bandwidth, but get nothing
+/// from a higher clock. For CNNs it's vice versa").
+pub fn figure11_per_app(cfg: &TpuConfig) -> Vec<AppCurve> {
+    let mut out = Vec::new();
+    for m in workloads::all() {
+        for knob in SweepKnob::all() {
+            let points = SCALES
+                .iter()
+                .map(|&s| (s, speedup(&m, cfg, &knob.design(s))))
+                .collect();
+            out.push(AppCurve { app: m.name().to_string(), knob, points });
+        }
+    }
+    out
+}
+
+/// Convenience: the weighted mean for one knob/scale.
+pub fn weighted_mean_at(cfg: &TpuConfig, knob: SweepKnob, scale: f64) -> f64 {
+    let design = knob.design(scale);
+    let mix = workloads::workload_mix();
+    workloads::all()
+        .iter()
+        .map(|m| {
+            let w = mix.iter().find(|(n, _)| *n == m.name()).map(|(_, w)| *w).unwrap();
+            speedup(m, cfg, &design) * w
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TpuConfig {
+        TpuConfig::paper()
+    }
+
+    #[test]
+    fn sweep_covers_all_knobs_and_scales() {
+        let pts = figure11(&cfg());
+        assert_eq!(pts.len(), 5 * 5);
+        for knob in SweepKnob::all() {
+            let at_1x = pts
+                .iter()
+                .find(|p| p.knob == knob && p.scale == 1.0)
+                .expect("baseline point exists");
+            assert!((at_1x.weighted_mean - 1.0).abs() < 1e-9, "baseline must be 1.0");
+        }
+    }
+
+    #[test]
+    fn memory_has_the_biggest_impact() {
+        // Paper: memory 4x -> ~3x mean; every other knob is far below.
+        let mem = weighted_mean_at(&cfg(), SweepKnob::Memory, 4.0);
+        assert!((2.0..=4.0).contains(&mem), "memory 4x weighted mean {mem}");
+        for knob in [SweepKnob::Clock, SweepKnob::ClockPlus, SweepKnob::Matrix, SweepKnob::MatrixPlus]
+        {
+            let s = weighted_mean_at(&cfg(), knob, 4.0);
+            assert!(mem > s, "memory ({mem}) must beat {} ({s})", knob.label());
+        }
+    }
+
+    #[test]
+    fn clock_has_little_benefit_on_the_weighted_mean() {
+        // "clock rate has little benefit on average with or without more
+        // accumulators" — the mix is dominated by memory-bound MLPs/LSTMs.
+        let clock = weighted_mean_at(&cfg(), SweepKnob::Clock, 4.0);
+        let clock_plus = weighted_mean_at(&cfg(), SweepKnob::ClockPlus, 4.0);
+        assert!(clock < 1.4, "clock 4x mean {clock}");
+        assert!(clock_plus < 1.4, "clock+ 4x mean {clock_plus}");
+        assert!(clock_plus >= clock - 1e-9, "accumulators never hurt the clock curve");
+    }
+
+    #[test]
+    fn bigger_matrix_slightly_degrades() {
+        // "the average performance slightly degrades when the matrix unit
+        // expands from 256x256 to 512x512, whether or not they get more
+        // accumulators."
+        for knob in [SweepKnob::Matrix, SweepKnob::MatrixPlus] {
+            let s = weighted_mean_at(&cfg(), knob, 2.0);
+            assert!(s <= 1.0 + 1e-9, "{} 2x mean {s} should not improve", knob.label());
+        }
+    }
+
+    #[test]
+    fn quarter_scale_designs_all_slow_down() {
+        for knob in SweepKnob::all() {
+            let s = weighted_mean_at(&cfg(), knob, 0.25);
+            assert!(s < 1.0, "{} 0.25x mean {s}", knob.label());
+        }
+    }
+
+    #[test]
+    fn memory_curve_is_monotone() {
+        let pts = figure11(&cfg());
+        let mut mem: Vec<(f64, f64)> = pts
+            .iter()
+            .filter(|p| p.knob == SweepKnob::Memory)
+            .map(|p| (p.scale, p.weighted_mean))
+            .collect();
+        mem.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in mem.windows(2) {
+            assert!(w[1].1 >= w[0].1, "memory curve must be nondecreasing");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            SweepKnob::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 5);
+    }
+
+    #[test]
+    fn per_app_curves_expose_the_family_split() {
+        // The sentence under Figure 11, as data: memory 4x gives the
+        // MLPs/LSTMs ~3x and the CNNs little; clock 4x is the reverse.
+        let curves = figure11_per_app(&cfg());
+        let at = |app: &str, knob: SweepKnob, scale: f64| {
+            curves
+                .iter()
+                .find(|c| c.app == app && c.knob == knob)
+                .and_then(|c| c.points.iter().find(|(s, _)| *s == scale))
+                .map(|(_, v)| *v)
+                .expect("curve point")
+        };
+        for app in ["MLP0", "MLP1", "LSTM0", "LSTM1"] {
+            assert!(at(app, SweepKnob::Memory, 4.0) > 2.0, "{app} memory");
+            assert!(at(app, SweepKnob::ClockPlus, 4.0) < 1.3, "{app} clock");
+        }
+        assert!(at("CNN0", SweepKnob::ClockPlus, 4.0) > 1.5, "CNN0 clock");
+        assert!(at("CNN0", SweepKnob::Memory, 4.0) < 1.3, "CNN0 memory");
+    }
+
+    #[test]
+    fn per_app_curves_cover_everything() {
+        let curves = figure11_per_app(&cfg());
+        assert_eq!(curves.len(), 6 * 5);
+        for c in &curves {
+            assert_eq!(c.points.len(), SCALES.len());
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! TPU': the hypothetical GDDR5 redesign (Section 7).
+//!
+//! With more than 15 months, the team "might have increased the clock
+//! rate by 50%" and, more importantly, replaced the DDR3 Weight Memory
+//! with K80-class GDDR5, improving bandwidth "by more than a factor of
+//! five" and moving the roofline ridge from 1350 to 250 ops/byte. The
+//! paper's findings: clock alone changes almost nothing; GDDR5 alone
+//! lifts the geometric mean to 2.6 and the weighted mean to 3.9; doing
+//! both raises the GM slightly (2.9) but not the WM — "so TPU' just has
+//! faster memory." Adding back host time drops the means to 1.9 and 3.2.
+//! The die cost: two extra memory channels (~10% area, partly regained by
+//! shrinking the Unified Buffer to 14 MiB) and ~40 W more server power
+//! (861 W -> ~900 W).
+
+use crate::model::{speedup, DesignPoint};
+use serde::{Deserialize, Serialize};
+use tpu_core::config::TpuConfig;
+use tpu_nn::workloads;
+use tpu_platforms::host::HostOverhead;
+
+/// GDDR5 bandwidth multiplier: moves the ridge point from ~1350 to ~250
+/// MACs/byte (34 GB/s -> ~184 GB/s).
+pub const GDDR5_BANDWIDTH_SCALE: f64 = 1350.0 / 250.0;
+
+/// The candidate TPU' variants Section 7 evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TpuPrimeVariant {
+    /// 1050 MHz clock, original DDR3.
+    ClockOnly,
+    /// Original 700 MHz clock, GDDR5 memory.
+    MemoryOnly,
+    /// Both changes.
+    Both,
+}
+
+impl TpuPrimeVariant {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TpuPrimeVariant::ClockOnly => "clock 1.5x only",
+            TpuPrimeVariant::MemoryOnly => "GDDR5 only",
+            TpuPrimeVariant::Both => "clock 1.5x + GDDR5",
+        }
+    }
+
+    /// The design point for this variant.
+    pub fn design(self) -> DesignPoint {
+        match self {
+            TpuPrimeVariant::ClockOnly => DesignPoint::clock_plus(1.5),
+            TpuPrimeVariant::MemoryOnly => DesignPoint::memory(GDDR5_BANDWIDTH_SCALE),
+            TpuPrimeVariant::Both => DesignPoint {
+                memory_scale: GDDR5_BANDWIDTH_SCALE,
+                clock_scale: 1.5,
+                accumulator_scale: 1.5,
+                matrix_scale: 1.0,
+            },
+        }
+    }
+}
+
+/// Speedup summary of a TPU' variant over the shipped TPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrimeSpeedup {
+    /// Which variant.
+    pub variant: TpuPrimeVariant,
+    /// Geometric mean over the six apps, device time only.
+    pub gm: f64,
+    /// Weighted mean under the datacenter mix, device time only.
+    pub wm: f64,
+    /// Geometric mean after adding the fixed host-interaction time.
+    pub gm_with_host: f64,
+    /// Weighted mean after adding the fixed host-interaction time.
+    pub wm_with_host: f64,
+}
+
+/// Evaluate one TPU' variant.
+pub fn evaluate(cfg: &TpuConfig, variant: TpuPrimeVariant) -> PrimeSpeedup {
+    let design = variant.design();
+    let mix = workloads::workload_mix();
+    let mut lns = 0.0;
+    let mut wsum = 0.0;
+    let mut lns_host = 0.0;
+    let mut wsum_host = 0.0;
+    let models = workloads::all();
+    for m in &models {
+        let s = speedup(m, cfg, &design);
+        let w = mix.iter().find(|(n, _)| *n == m.name()).map(|(_, w)| *w).unwrap();
+        lns += s.ln();
+        wsum += s * w;
+        // Host interaction time does not scale with the TPU design:
+        // t = t_dev/s + t_host with t_host = f * t_dev_base.
+        let f = HostOverhead::for_app(m.name()).fraction;
+        let s_host = (1.0 + f) / (1.0 / s + f);
+        lns_host += s_host.ln();
+        wsum_host += s_host * w;
+    }
+    let n = models.len() as f64;
+    PrimeSpeedup {
+        variant,
+        gm: (lns / n).exp(),
+        wm: wsum,
+        gm_with_host: (lns_host / n).exp(),
+        wm_with_host: wsum_host,
+    }
+}
+
+/// Evaluate all three variants.
+pub fn evaluate_all(cfg: &TpuConfig) -> Vec<PrimeSpeedup> {
+    [TpuPrimeVariant::ClockOnly, TpuPrimeVariant::MemoryOnly, TpuPrimeVariant::Both]
+        .into_iter()
+        .map(|v| evaluate(cfg, v))
+        .collect()
+}
+
+/// The TPU' server power estimate (Section 7): GDDR5 raises the 4-TPU
+/// server budget from 861 W to about 900 W.
+pub const TPU_PRIME_SERVER_BUSY_W: f64 = 900.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TpuConfig {
+        TpuConfig::paper()
+    }
+
+    #[test]
+    fn gddr5_scale_moves_ridge_to_250() {
+        let bw = cfg().weight_memory_bw * GDDR5_BANDWIDTH_SCALE;
+        let ridge = cfg().peak_macs_per_sec() / bw;
+        assert!((ridge - 250.0).abs() < 3.0, "ridge {ridge}");
+    }
+
+    #[test]
+    fn clock_only_changes_almost_nothing() {
+        // "increasing clock rate to 1050 MHz but not helping memory makes
+        // almost no change."
+        let s = evaluate(&cfg(), TpuPrimeVariant::ClockOnly);
+        assert!(s.wm < 1.25, "clock-only WM {}", s.wm);
+        assert!(s.gm < 1.35, "clock-only GM {}", s.gm);
+    }
+
+    #[test]
+    fn gddr5_alone_is_transformative() {
+        // Paper: GM 2.6, WM 3.9 for GDDR5 at 700 MHz (device only).
+        let s = evaluate(&cfg(), TpuPrimeVariant::MemoryOnly);
+        assert!((1.8..=4.0).contains(&s.gm), "GDDR5 GM {}", s.gm);
+        assert!((2.2..=5.0).contains(&s.wm), "GDDR5 WM {}", s.wm);
+    }
+
+    #[test]
+    fn both_beats_memory_only_on_gm_not_dramatically() {
+        // Paper: both raises GM to 2.9 vs 2.6, WM unchanged — "TPU' just
+        // has faster memory."
+        let mem = evaluate(&cfg(), TpuPrimeVariant::MemoryOnly);
+        let both = evaluate(&cfg(), TpuPrimeVariant::Both);
+        assert!(both.gm >= mem.gm - 1e-9);
+        assert!(both.gm < mem.gm * 1.5, "both GM {} vs mem GM {}", both.gm, mem.gm);
+    }
+
+    #[test]
+    fn host_time_dampens_the_gains() {
+        // Paper: adding host interaction drops 2.6 -> 1.9 and 3.9 -> 3.2.
+        let s = evaluate(&cfg(), TpuPrimeVariant::MemoryOnly);
+        assert!(s.gm_with_host < s.gm);
+        assert!(s.wm_with_host < s.wm);
+        assert!(s.gm_with_host > 1.2, "host-adjusted GM {}", s.gm_with_host);
+    }
+
+    #[test]
+    fn evaluate_all_covers_three_variants() {
+        let all = evaluate_all(&cfg());
+        assert_eq!(all.len(), 3);
+        let labels: std::collections::HashSet<_> =
+            all.iter().map(|s| s.variant.label()).collect();
+        assert_eq!(labels.len(), 3);
+    }
+}

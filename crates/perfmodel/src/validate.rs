@@ -1,0 +1,86 @@
+//! Table 7: validating the analytic model against the cycle-level
+//! simulator.
+//!
+//! The paper reports the difference in clock cycles between the hardware
+//! performance counters and the performance model: 6.8-11.2% per app, 8%
+//! on average. Our analogue compares the analytic model of
+//! [`crate::model`] against the tile-granular timing simulator, which
+//! plays the role of the hardware.
+
+use crate::model::{app_time, DesignPoint};
+use serde::{Deserialize, Serialize};
+use tpu_core::config::TpuConfig;
+use tpu_nn::model::NnModel;
+use tpu_nn::workloads;
+
+/// One column of Table 7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationRow {
+    /// Application name.
+    pub name: String,
+    /// Cycles per batch from the timing simulator ("hardware").
+    pub simulated_cycles: f64,
+    /// Cycles per batch from the analytic model.
+    pub model_cycles: f64,
+    /// Relative difference `|model - sim| / sim`.
+    pub rel_diff: f64,
+}
+
+/// Compare model and simulator for one application.
+pub fn validate_app(model: &NnModel, cfg: &TpuConfig) -> ValidationRow {
+    let batches = 2;
+    let ops = tpu_compiler::lower_timed(model, cfg, batches);
+    let sim = tpu_core::timing::run_timed(cfg, &ops);
+    let simulated_cycles = sim.counters.total_cycles as f64 / batches as f64;
+
+    let t = app_time(model, cfg, &DesignPoint::baseline());
+    let model_cycles = t.total_s * cfg.clock_hz as f64;
+
+    ValidationRow {
+        name: model.name().to_string(),
+        simulated_cycles,
+        model_cycles,
+        rel_diff: (model_cycles - simulated_cycles).abs() / simulated_cycles,
+    }
+}
+
+/// Table 7 for all six applications, plus the mean difference.
+pub fn table7(cfg: &TpuConfig) -> (Vec<ValidationRow>, f64) {
+    let rows: Vec<ValidationRow> =
+        workloads::all().iter().map(|m| validate_app(m, cfg)).collect();
+    let mean = rows.iter().map(|r| r.rel_diff).sum::<f64>() / rows.len() as f64;
+    (rows, mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_tracks_simulator_within_15_percent() {
+        // The paper's model-vs-hardware average is 8%; we hold our
+        // analytic model to a similar (slightly looser) standard against
+        // the simulator.
+        let (rows, mean) = table7(&TpuConfig::paper());
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(
+                r.rel_diff < 0.25,
+                "{}: model {} vs sim {} differs {:.1}%",
+                r.name,
+                r.model_cycles,
+                r.simulated_cycles,
+                100.0 * r.rel_diff
+            );
+        }
+        assert!(mean < 0.15, "mean model-vs-sim difference {:.1}%", 100.0 * mean);
+    }
+
+    #[test]
+    fn both_sides_positive() {
+        for r in table7(&TpuConfig::paper()).0 {
+            assert!(r.simulated_cycles > 0.0);
+            assert!(r.model_cycles > 0.0);
+        }
+    }
+}

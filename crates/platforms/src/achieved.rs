@@ -1,0 +1,297 @@
+//! Achieved per-die inference performance (Table 6).
+//!
+//! Table 6 reports per-die throughput relative to Haswell, including host
+//! overhead: GM 1.1x (K80) / 14.5x (TPU), WM 1.9x / 29.2x.
+//!
+//! Composition of the reproduction:
+//!
+//! * **TPU** throughput is *simulated*: the timing engine runs each
+//!   compiled workload and the result is derated by the measured Table 5
+//!   host-interaction overhead.
+//! * **CPU/GPU** throughput is a roofline model at the latency-bounded
+//!   batch (16 for MLPs/LSTMs per Table 4; the full batch for the
+//!   compute-bound CNNs), scaled by a per-family efficiency factor
+//!   calibrated on one anchor application per family (MLP0 from Table 4's
+//!   measured IPS; LSTM0 and CNN0 from their Table 6 columns). The three
+//!   remaining applications (MLP1, LSTM1, CNN1) are *predictions* of the
+//!   calibrated model.
+//!
+//! EXPERIMENTS.md records where the predictions land relative to the
+//! published columns.
+
+use crate::host::HostOverhead;
+use crate::roofline::Roofline;
+use crate::spec::ChipSpec;
+use serde::{Deserialize, Serialize};
+use tpu_core::TpuConfig;
+use tpu_nn::model::{NnKind, NnModel};
+use tpu_nn::workloads;
+
+/// Latency-bounded batch used on CPU/GPU for memory-bound families
+/// (Table 4: batch 16 under the 7 ms limit).
+const CPU_GPU_LATENCY_BATCH: usize = 16;
+
+/// Device-only TPU throughput for one workload, inferences/second, from
+/// the timing simulator.
+pub fn tpu_device_ips(model: &NnModel, cfg: &TpuConfig) -> f64 {
+    let batches = 2;
+    let ops = tpu_compiler::lower_timed(model, cfg, batches);
+    let report = tpu_core::timing::run_timed(cfg, &ops);
+    let seconds = report.counters.total_cycles as f64 / cfg.clock_hz as f64;
+    (model.batch() * batches) as f64 / seconds
+}
+
+/// TPU throughput including host interaction (Table 5 derating).
+pub fn tpu_served_ips(model: &NnModel, cfg: &TpuConfig) -> f64 {
+    HostOverhead::for_app(model.name()).derate_ips(tpu_device_ips(model, cfg))
+}
+
+/// Roofline-bound throughput of a CPU/GPU die on a workload at the
+/// latency-bounded batch, before the efficiency factor.
+fn raw_roofline_ips(model: &NnModel, spec: &ChipSpec) -> f64 {
+    let batch = match model.kind() {
+        NnKind::Mlp | NnKind::Lstm => CPU_GPU_LATENCY_BATCH.min(model.batch()),
+        NnKind::Cnn => model.batch(),
+    };
+    let intensity =
+        batch as f64 * model.macs_per_example() as f64 / model.total_weights() as f64;
+    let roofline = Roofline::from_spec(spec);
+    roofline.attainable_macs(intensity) / model.macs_per_example() as f64
+}
+
+/// Per-family efficiency factors for one platform, calibrated on anchors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FamilyEfficiency {
+    /// MLP factor.
+    pub mlp: f64,
+    /// LSTM factor.
+    pub lstm: f64,
+    /// CNN factor.
+    pub cnn: f64,
+}
+
+impl FamilyEfficiency {
+    fn factor(&self, kind: NnKind) -> f64 {
+        match kind {
+            NnKind::Mlp => self.mlp,
+            NnKind::Lstm => self.lstm,
+            NnKind::Cnn => self.cnn,
+        }
+    }
+}
+
+/// The calibrated baseline models for CPU and GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineModels {
+    /// Haswell efficiency factors.
+    pub cpu: FamilyEfficiency,
+    /// K80 efficiency factors.
+    pub gpu: FamilyEfficiency,
+}
+
+/// Published anchor ratios used for calibration: Table 4's measured MLP0
+/// IPS and Table 6's LSTM0/CNN0 columns.
+mod anchors {
+    /// Table 4: CPU MLP0 at batch 16 under 7 ms.
+    pub const CPU_MLP0_IPS: f64 = 5482.0;
+    /// Table 4: GPU MLP0 at batch 16 under 7 ms.
+    pub const GPU_MLP0_IPS: f64 = 13461.0;
+    /// Table 6: TPU/CPU on LSTM0.
+    pub const TPU_OVER_CPU_LSTM0: f64 = 3.5;
+    /// Table 6: GPU/CPU on LSTM0.
+    pub const GPU_OVER_CPU_LSTM0: f64 = 0.4;
+    /// Table 6: TPU/CPU on CNN0.
+    pub const TPU_OVER_CPU_CNN0: f64 = 40.3;
+    /// Table 6: GPU/CPU on CNN0.
+    pub const GPU_OVER_CPU_CNN0: f64 = 1.6;
+}
+
+/// Calibrate the CPU/GPU family efficiencies against the anchors.
+pub fn calibrate_baselines(cfg: &TpuConfig) -> BaselineModels {
+    let cpu_spec = ChipSpec::haswell();
+    let gpu_spec = ChipSpec::k80();
+    let mlp0 = workloads::mlp0();
+    let lstm0 = workloads::lstm0();
+    let cnn0 = workloads::cnn0();
+
+    let cpu_lstm0 = tpu_served_ips(&lstm0, cfg) / anchors::TPU_OVER_CPU_LSTM0;
+    let cpu_cnn0 = tpu_served_ips(&cnn0, cfg) / anchors::TPU_OVER_CPU_CNN0;
+
+    // Efficiency cannot exceed the roofline (the paper's own CPU CNN
+    // columns imply near-peak execution, which calibrates to ~1.0 here).
+    let clamp = |f: f64| f.min(1.0);
+    let cpu = FamilyEfficiency {
+        mlp: clamp(anchors::CPU_MLP0_IPS / raw_roofline_ips(&mlp0, &cpu_spec)),
+        lstm: clamp(cpu_lstm0 / raw_roofline_ips(&lstm0, &cpu_spec)),
+        cnn: clamp(cpu_cnn0 / raw_roofline_ips(&cnn0, &cpu_spec)),
+    };
+    let gpu = FamilyEfficiency {
+        mlp: clamp(anchors::GPU_MLP0_IPS / raw_roofline_ips(&mlp0, &gpu_spec)),
+        lstm: clamp(
+            cpu_lstm0 * anchors::GPU_OVER_CPU_LSTM0 / raw_roofline_ips(&lstm0, &gpu_spec),
+        ),
+        cnn: clamp(
+            cpu_cnn0 * anchors::GPU_OVER_CPU_CNN0 / raw_roofline_ips(&cnn0, &gpu_spec),
+        ),
+    };
+    BaselineModels { cpu, gpu }
+}
+
+/// CPU throughput for one workload under the calibrated model.
+pub fn cpu_ips(model: &NnModel, baselines: &BaselineModels) -> f64 {
+    raw_roofline_ips(model, &ChipSpec::haswell()) * baselines.cpu.factor(model.kind())
+}
+
+/// GPU throughput for one workload under the calibrated model.
+pub fn gpu_ips(model: &NnModel, baselines: &BaselineModels) -> f64 {
+    raw_roofline_ips(model, &ChipSpec::k80()) * baselines.gpu.factor(model.kind())
+}
+
+/// One application column of Table 6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table6Column {
+    /// Application name.
+    pub name: String,
+    /// K80 performance relative to Haswell.
+    pub gpu_rel: f64,
+    /// TPU performance relative to Haswell.
+    pub tpu_rel: f64,
+    /// TPU performance relative to the K80.
+    pub ratio: f64,
+}
+
+/// The full Table 6: six columns plus geometric and weighted means.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table6 {
+    /// Per-application relative performance.
+    pub columns: Vec<Table6Column>,
+    /// Geometric mean of GPU/CPU.
+    pub gpu_gm: f64,
+    /// Weighted mean of GPU/CPU under the datacenter mix.
+    pub gpu_wm: f64,
+    /// Geometric mean of TPU/CPU.
+    pub tpu_gm: f64,
+    /// Weighted mean of TPU/CPU under the datacenter mix.
+    pub tpu_wm: f64,
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = values.fold((0.0, 0usize), |(s, n), v| (s + v.ln(), n + 1));
+    (sum / n as f64).exp()
+}
+
+/// Regenerate Table 6 from the simulated TPU and calibrated baselines.
+pub fn table6(cfg: &TpuConfig) -> Table6 {
+    let baselines = calibrate_baselines(cfg);
+    let mix = workloads::workload_mix();
+    let mut columns = Vec::new();
+    for model in workloads::all() {
+        let cpu = cpu_ips(&model, &baselines);
+        let gpu = gpu_ips(&model, &baselines);
+        let tpu = tpu_served_ips(&model, cfg);
+        columns.push(Table6Column {
+            name: model.name().to_string(),
+            gpu_rel: gpu / cpu,
+            tpu_rel: tpu / cpu,
+            ratio: tpu / gpu,
+        });
+    }
+    let weight = |name: &str| {
+        mix.iter().find(|(n, _)| *n == name).map(|(_, w)| *w).unwrap_or(0.0)
+    };
+    let gpu_gm = geomean(columns.iter().map(|c| c.gpu_rel));
+    let tpu_gm = geomean(columns.iter().map(|c| c.tpu_rel));
+    let gpu_wm: f64 = columns.iter().map(|c| c.gpu_rel * weight(&c.name)).sum();
+    let tpu_wm: f64 = columns.iter().map(|c| c.tpu_rel * weight(&c.name)).sum();
+    Table6 { columns, gpu_gm, gpu_wm, tpu_gm, tpu_wm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TpuConfig {
+        TpuConfig::paper()
+    }
+
+    #[test]
+    fn tpu_device_ips_positive_for_all_apps() {
+        for m in workloads::all() {
+            let ips = tpu_device_ips(&m, &cfg());
+            assert!(ips > 0.0, "{}", m.name());
+            // Serving overhead only reduces throughput.
+            assert!(tpu_served_ips(&m, &cfg()) < ips);
+        }
+    }
+
+    #[test]
+    fn anchors_are_reproduced() {
+        let t = table6(&cfg());
+        let col = |n: &str| t.columns.iter().find(|c| c.name == n).unwrap();
+        // Calibration must make the anchor columns match the paper (the
+        // CNN0 efficiency clamps at the roofline, leaving it slightly
+        // above the published 40.3).
+        assert!((col("LSTM0").tpu_rel - 3.5).abs() < 0.05);
+        assert!((col("CNN0").tpu_rel - 40.3).abs() < 3.0);
+        assert!((col("LSTM0").gpu_rel - 0.4).abs() < 0.01);
+        assert!((col("CNN0").gpu_rel - 1.6).abs() < 0.15);
+    }
+
+    #[test]
+    fn tpu_mlp0_relative_close_to_published_41x() {
+        // This one is *not* an anchor: the TPU side is simulated and the
+        // CPU side comes from Table 4. The paper reports 41x.
+        let t = table6(&cfg());
+        let col = t.columns.iter().find(|c| c.name == "MLP0").unwrap();
+        assert!(
+            (25.0..=60.0).contains(&col.tpu_rel),
+            "TPU/CPU on MLP0 = {:.1}, paper says 41",
+            col.tpu_rel
+        );
+    }
+
+    #[test]
+    fn headline_means_in_paper_band() {
+        // Paper: GPU GM 1.1, WM 1.9; TPU GM 14.5, WM 29.2. The bands here
+        // are generous: the shape claim is "TPU is an order of magnitude
+        // past the GPU; the GPU is roughly at CPU parity".
+        let t = table6(&cfg());
+        assert!((0.7..=2.5).contains(&t.gpu_gm), "GPU GM {}", t.gpu_gm);
+        assert!((1.0..=3.0).contains(&t.gpu_wm), "GPU WM {}", t.gpu_wm);
+        assert!((8.0..=25.0).contains(&t.tpu_gm), "TPU GM {}", t.tpu_gm);
+        assert!((15.0..=45.0).contains(&t.tpu_wm), "TPU WM {}", t.tpu_wm);
+        // Weighted means exceed geometric means because the mix favours
+        // MLPs, where the TPU shines.
+        assert!(t.tpu_wm > t.tpu_gm);
+    }
+
+    #[test]
+    fn tpu_beats_gpu_on_every_app_on_average() {
+        let t = table6(&cfg());
+        let gm_ratio = geomean(t.columns.iter().map(|c| c.ratio));
+        assert!(gm_ratio > 5.0, "TPU/GPU GM {gm_ratio} (paper: 13.2)");
+    }
+
+    #[test]
+    fn cnns_use_full_batch_mlps_use_latency_batch() {
+        // Internal consistency of the latency-batch policy: raw roofline
+        // IPS for MLPs must be evaluated at intensity 16, i.e. memory
+        // bound on CPU (intensity 16 > ridge 12.75 -> actually compute
+        // bound on Haswell; the policy just must not use batch 200).
+        let spec = ChipSpec::haswell();
+        let m = workloads::mlp0();
+        let at16 = raw_roofline_ips(&m, &spec);
+        let served_intensity = CPU_GPU_LATENCY_BATCH as f64;
+        let bound = Roofline::from_spec(&spec).attainable_macs(served_intensity)
+            / m.macs_per_example() as f64;
+        assert!((at16 - bound).abs() / bound < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_factors_are_sane() {
+        let b = calibrate_baselines(&cfg());
+        for f in [b.cpu.mlp, b.cpu.lstm, b.cpu.cnn, b.gpu.mlp, b.gpu.lstm, b.gpu.cnn] {
+            assert!(f > 0.01 && f < 2.0, "efficiency factor {f} out of range");
+        }
+    }
+}

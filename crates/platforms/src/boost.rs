@@ -1,0 +1,128 @@
+//! The K80 Boost-mode fallacy (Sections 3 and 8).
+//!
+//! "Fallacy: The K80 GPU results would be much better if Boost mode were
+//! enabled." Boost raises the clock from 560 to as much as 875 MHz, but
+//! it is driver-controlled and lasts hundreds of milliseconds, so power
+//! and cooling must be provisioned as if it were always on — which would
+//! force fewer K80 cards per rack and hurt total cost of ownership.
+//! Measured on LSTM1: 1.4x performance for 1.3x power, a net
+//! performance/Watt gain of only ~1.1x.
+//!
+//! This module carries the measured constants and the rack-level
+//! provisioning argument as a computation.
+
+use crate::spec::ChipSpec;
+use serde::{Deserialize, Serialize};
+
+/// The K80 Boost-mode measurement from Section 8.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoostMode {
+    /// Base clock, MHz.
+    pub base_clock_mhz: f64,
+    /// Boosted clock, MHz.
+    pub boost_clock_mhz: f64,
+    /// Measured performance gain on LSTM1.
+    pub perf_gain: f64,
+    /// Measured power gain on LSTM1.
+    pub power_gain: f64,
+}
+
+impl BoostMode {
+    /// The published measurement.
+    pub fn k80_lstm1() -> Self {
+        Self { base_clock_mhz: 560.0, boost_clock_mhz: 875.0, perf_gain: 1.4, power_gain: 1.3 }
+    }
+
+    /// Clock-rate ratio (up to 1.6x).
+    pub fn clock_ratio(&self) -> f64 {
+        self.boost_clock_mhz / self.base_clock_mhz
+    }
+
+    /// Net performance/Watt gain — the paper's ~1.1x.
+    pub fn perf_per_watt_gain(&self) -> f64 {
+        self.perf_gain / self.power_gain
+    }
+
+    /// Performance does not scale with clock: the efficiency of the extra
+    /// clocks (measured gain over clock ratio; < 1 means memory-bound
+    /// cycles are wasted).
+    pub fn clock_efficiency(&self) -> f64 {
+        self.perf_gain / self.clock_ratio()
+    }
+}
+
+/// Rack-level provisioning: how many K80 cards fit a fixed accelerator
+/// power budget, and what total throughput results, with and without
+/// Boost. Power must be provisioned for the *sustained* Boost draw.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackProvisioning {
+    /// Cards deployable without Boost.
+    pub cards_base: usize,
+    /// Cards deployable with Boost provisioned.
+    pub cards_boost: usize,
+    /// Total rack throughput ratio (boost / base).
+    pub throughput_ratio: f64,
+}
+
+/// Evaluate the provisioning argument for a given accelerator power
+/// budget in Watts (per-card power from Table 2: 2 dies/card).
+pub fn rack_provisioning(budget_w: f64) -> RackProvisioning {
+    let boost = BoostMode::k80_lstm1();
+    let k80 = ChipSpec::k80();
+    let card_w_base = 2.0 * k80.busy_w;
+    let card_w_boost = card_w_base * boost.power_gain;
+    let cards_base = (budget_w / card_w_base).floor() as usize;
+    let cards_boost = (budget_w / card_w_boost).floor() as usize;
+    let throughput_ratio = if cards_base == 0 {
+        0.0
+    } else {
+        (cards_boost as f64 * boost.perf_gain) / cards_base as f64
+    };
+    RackProvisioning { cards_base, cards_boost, throughput_ratio }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_per_watt_gain_is_about_1_1() {
+        let b = BoostMode::k80_lstm1();
+        assert!((b.perf_per_watt_gain() - 1.077).abs() < 0.01);
+    }
+
+    #[test]
+    fn clock_ratio_up_to_1_6() {
+        let b = BoostMode::k80_lstm1();
+        assert!((b.clock_ratio() - 1.5625).abs() < 0.001);
+        // Performance gained less than clock: LSTM1 is partly memory
+        // bound on the GPU too.
+        assert!(b.clock_efficiency() < 1.0);
+    }
+
+    #[test]
+    fn provisioned_boost_yields_fewer_cards() {
+        // A 4-card budget (784 W at base power)...
+        let r = rack_provisioning(4.0 * 2.0 * 98.0);
+        assert_eq!(r.cards_base, 4);
+        // ...fits only 3 cards when Boost power must be provisioned.
+        assert_eq!(r.cards_boost, 3);
+        // Total throughput barely moves: 3 * 1.4 / 4 = 1.05.
+        assert!((r.throughput_ratio - 1.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_budgets_converge_to_perf_per_watt() {
+        // With many cards, the granularity effect vanishes and the rack
+        // gain approaches perf/power = ~1.08.
+        let r = rack_provisioning(1000.0 * 2.0 * 98.0);
+        assert!((r.throughput_ratio - 1.077).abs() < 0.01, "ratio {}", r.throughput_ratio);
+    }
+
+    #[test]
+    fn tiny_budget_fits_nothing() {
+        let r = rack_provisioning(10.0);
+        assert_eq!(r.cards_base, 0);
+        assert_eq!(r.throughput_ratio, 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # tpu-platforms — the CPU, GPU, and TPU platform models
+//!
+//! The comparison half of the ISCA 2017 evaluation: Table 2 platform
+//! specifications ([`spec`]), the adapted Roofline model of Section 4
+//! ([`roofline`]), the latency-bounded serving model behind Table 4
+//! ([`latency`]), measured host-interaction overheads of Table 5
+//! ([`host`]), and the achieved-performance composition of Table 6
+//! ([`achieved`]) that combines the simulated TPU with calibrated
+//! roofline baselines.
+//!
+//! ```
+//! use tpu_platforms::roofline::Roofline;
+//! use tpu_platforms::spec::ChipSpec;
+//!
+//! // The TPU's ridge point sits at ~1350 MACs per weight byte...
+//! let tpu = Roofline::from_spec(&ChipSpec::tpu());
+//! assert!(tpu.is_memory_bound(200.0));   // ...so MLP0 is memory bound,
+//! assert!(!tpu.is_memory_bound(2888.0)); // and CNN0 is compute bound.
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod achieved;
+pub mod batching;
+pub mod boost;
+pub mod host;
+pub mod latency;
+pub mod queue_sim;
+pub mod roofline;
+pub mod server;
+pub mod spec;
+pub mod whatif;
+
+pub use achieved::{table6, Table6};
+pub use batching::{simulate_policy, BatchSimConfig, BatchSimResult, Policy};
+pub use boost::BoostMode;
+pub use host::HostOverhead;
+pub use latency::{table4, ServingModel};
+pub use queue_sim::{simulate as simulate_serving, QueueSimConfig, QueueSimResult};
+pub use roofline::Roofline;
+pub use server::{simulate_server, Dispatch, ServerSimConfig, ServerSimResult};
+pub use spec::{ChipSpec, Platform};
+pub use whatif::{p40_comparison, p40_peak_comparison, P40Spec};

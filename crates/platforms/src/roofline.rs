@@ -1,0 +1,204 @@
+//! The Roofline performance model (Section 4, Figures 5-8).
+//!
+//! Adapted from HPC \[Wil09\] with the paper's two changes for quantized
+//! inference: operations are integer (MACs), and operational intensity is
+//! redefined as operations per byte of *weights* read, since weights do
+//! not fit on chip. Performance is plotted in ops/s (2 per MAC); the ridge
+//! point — where the slanted bandwidth bound meets the flat compute
+//! ceiling — is `peak_macs / bandwidth`: ~1350 for the TPU, 13 for
+//! Haswell, 9 for the K80.
+
+use crate::spec::ChipSpec;
+use serde::{Deserialize, Serialize};
+
+/// A roofline: a compute ceiling and a bandwidth slant.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_platforms::roofline::Roofline;
+/// use tpu_platforms::spec::ChipSpec;
+///
+/// let tpu = Roofline::from_spec(&ChipSpec::tpu());
+/// assert!((tpu.ridge_point() - 1352.9).abs() < 5.0);
+/// // MLP0 at intensity 200 is memory bound:
+/// assert!(tpu.attainable_tops(200.0) < tpu.peak_tops());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Peak computation in MACs per second.
+    peak_macs: f64,
+    /// Weight-memory bandwidth in bytes per second.
+    bw: f64,
+}
+
+impl Roofline {
+    /// Build from explicit peak (MACs/s) and bandwidth (bytes/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both are positive and finite.
+    pub fn new(peak_macs: f64, bw: f64) -> Self {
+        assert!(peak_macs > 0.0 && peak_macs.is_finite(), "peak must be positive");
+        assert!(bw > 0.0 && bw.is_finite(), "bandwidth must be positive");
+        Self { peak_macs, bw }
+    }
+
+    /// Build from a Table 2 platform spec.
+    pub fn from_spec(spec: &ChipSpec) -> Self {
+        Self::new(spec.roofline_peak_macs(), spec.mem_bytes_per_sec())
+    }
+
+    /// Peak performance in TOPS (2 ops per MAC).
+    pub fn peak_tops(&self) -> f64 {
+        2.0 * self.peak_macs / 1e12
+    }
+
+    /// Ridge point in MACs per weight byte.
+    pub fn ridge_point(&self) -> f64 {
+        self.peak_macs / self.bw
+    }
+
+    /// Attainable performance in MACs/s at a given operational intensity
+    /// (MACs per weight byte): `min(peak, bw * intensity)`.
+    pub fn attainable_macs(&self, intensity: f64) -> f64 {
+        (self.bw * intensity.max(0.0)).min(self.peak_macs)
+    }
+
+    /// Attainable performance in TOPS.
+    pub fn attainable_tops(&self, intensity: f64) -> f64 {
+        2.0 * self.attainable_macs(intensity) / 1e12
+    }
+
+    /// Whether an application at `intensity` is limited by bandwidth
+    /// (under the slant) rather than compute.
+    pub fn is_memory_bound(&self, intensity: f64) -> bool {
+        intensity < self.ridge_point()
+    }
+
+    /// Sample the roofline curve at `n` log-spaced intensities in
+    /// `[lo, hi]`, for plotting Figures 5-8. Returns `(intensity, tops)`
+    /// pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi` and `n >= 2`.
+    pub fn series(&self, lo: f64, hi: f64, n: usize) -> Vec<(f64, f64)> {
+        assert!(lo > 0.0 && hi > lo && n >= 2, "need a positive log range");
+        let step = (hi / lo).ln() / (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let x = lo * (step * i as f64).exp();
+                (x, self.attainable_tops(x))
+            })
+            .collect()
+    }
+}
+
+/// One application point on a roofline plot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppPoint {
+    /// Application name.
+    pub name: String,
+    /// Operational intensity in MACs per weight byte.
+    pub intensity: f64,
+    /// The roofline bound at that intensity, in TOPS.
+    pub roofline_tops: f64,
+    /// Achieved performance in TOPS (measured/simulated), if known.
+    pub achieved_tops: Option<f64>,
+}
+
+/// Place an application (by intensity) on a roofline.
+pub fn app_point(
+    name: &str,
+    intensity: f64,
+    roofline: &Roofline,
+    achieved_tops: Option<f64>,
+) -> AppPoint {
+    AppPoint {
+        name: name.to_string(),
+        intensity,
+        roofline_tops: roofline.attainable_tops(intensity),
+        achieved_tops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tpu() -> Roofline {
+        Roofline::from_spec(&ChipSpec::tpu())
+    }
+
+    #[test]
+    fn peak_matches_92_tops() {
+        assert!((tpu().peak_tops() - 92.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn slant_below_ridge_flat_above() {
+        let r = tpu();
+        let ridge = r.ridge_point();
+        // Below the ridge, attainable scales linearly with intensity.
+        let a = r.attainable_macs(ridge / 4.0);
+        let b = r.attainable_macs(ridge / 2.0);
+        assert!((b / a - 2.0).abs() < 1e-9);
+        // Above the ridge, it is flat at peak.
+        assert_eq!(r.attainable_macs(ridge * 2.0), r.attainable_macs(ridge * 10.0));
+        assert!((r.attainable_tops(ridge * 2.0) - r.peak_tops()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_classification_matches_paper() {
+        // MLPs and LSTMs (intensity 64..200) memory bound on the TPU;
+        // CNN0 (2888) compute bound.
+        let r = tpu();
+        for i in [200.0, 168.0, 64.0, 96.0] {
+            assert!(r.is_memory_bound(i));
+        }
+        assert!(!r.is_memory_bound(2888.0));
+    }
+
+    #[test]
+    fn cpu_gpu_ridges_far_left_of_tpu() {
+        let cpu = Roofline::from_spec(&ChipSpec::haswell());
+        let gpu = Roofline::from_spec(&ChipSpec::k80());
+        assert!(cpu.ridge_point() < 15.0);
+        assert!(gpu.ridge_point() < cpu.ridge_point());
+        assert!(tpu().ridge_point() > 100.0 * gpu.ridge_point());
+    }
+
+    #[test]
+    fn mlp0_attainable_on_tpu_matches_hand_calc() {
+        // 34 GB/s * 200 MAC/byte * 2 ops = 13.6 TOPS bound for MLP0.
+        let bound = tpu().attainable_tops(200.0);
+        assert!((bound - 13.6).abs() < 0.1, "got {bound}");
+    }
+
+    #[test]
+    fn series_is_monotone_and_covers_range() {
+        let r = tpu();
+        let s = r.series(1.0, 10_000.0, 64);
+        assert_eq!(s.len(), 64);
+        assert!((s[0].0 - 1.0).abs() < 1e-9);
+        assert!((s[63].0 - 10_000.0).abs() < 1e-6 * 10_000.0);
+        for w in s.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn app_point_carries_achieved() {
+        let p = app_point("MLP0", 200.0, &tpu(), Some(12.3));
+        assert_eq!(p.name, "MLP0");
+        assert!(p.achieved_tops.unwrap() <= p.roofline_tops + 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = Roofline::new(1e12, 0.0);
+    }
+}

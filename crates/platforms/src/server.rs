@@ -1,0 +1,301 @@
+//! Multi-accelerator server model.
+//!
+//! Table 2's benchmarked servers carry 2 Haswell dies, 8 K80 dies, or
+//! 4 TPU dies; Section 6 observes that "the Haswell server plus four TPUs
+//! use <20% additional power but run CNN0 80 times faster than the
+//! Haswell server alone (4 TPUs vs 2 CPUs)". This module dispatches the
+//! serving simulation across `n` accelerator dies behind one host and
+//! compares dispatch disciplines:
+//!
+//! * [`Dispatch::RoundRobin`] — requests cycle die 0, 1, 2, ... (no
+//!   queue-state knowledge needed);
+//! * [`Dispatch::LeastLoaded`] — each batch goes to the die that frees
+//!   up first (join-the-shortest-queue at batch granularity).
+//!
+//! With deterministic service the two disciplines converge; with jittery
+//! service least-loaded wins tail latency — another face of the paper's
+//! determinism argument.
+
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How batches are routed to accelerator dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Dispatch {
+    /// Cycle through dies in order.
+    RoundRobin,
+    /// Send each batch to the die that becomes free first.
+    LeastLoaded,
+}
+
+/// Configuration of a multi-die serving simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerSimConfig {
+    /// Number of accelerator dies behind the host.
+    pub dies: usize,
+    /// Dispatch discipline.
+    pub dispatch: Dispatch,
+    /// Offered load in requests per second (whole server).
+    pub arrival_rate: f64,
+    /// Batch size per dispatch.
+    pub batch: usize,
+    /// Batch service intercept, ms.
+    pub service_t0_ms: f64,
+    /// Batch service slope, ms per request.
+    pub service_t1_ms: f64,
+    /// Lognormal sigma of the per-batch service multiplier.
+    pub service_jitter_sigma: f64,
+    /// Requests to simulate.
+    pub requests: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ServerSimConfig {
+    /// Saturation throughput of the whole server, requests/s.
+    pub fn capacity_ips(&self) -> f64 {
+        let per_die =
+            self.batch as f64 / (self.service_t0_ms + self.service_t1_ms * self.batch as f64);
+        per_die * 1000.0 * self.dies as f64
+    }
+}
+
+/// Result of a multi-die serving simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerSimResult {
+    /// Median request latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, ms.
+    pub p99_ms: f64,
+    /// Achieved throughput, requests/s.
+    pub throughput_ips: f64,
+    /// Batches served per die.
+    pub batches_per_die: Vec<usize>,
+}
+
+impl ServerSimResult {
+    /// Ratio of the most- to least-loaded die's batch count (1.0 =
+    /// perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.batches_per_die.iter().copied().max().unwrap_or(0);
+        let min = self.batches_per_die.iter().copied().min().unwrap_or(0);
+        if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+/// Run the multi-die serving simulation.
+///
+/// # Panics
+///
+/// Panics on a degenerate configuration (no dies, zero batch, nonpositive
+/// rate, or too few requests for a stable 99th percentile).
+///
+/// # Examples
+///
+/// ```
+/// use tpu_platforms::server::{simulate_server, tpu_server, Dispatch};
+///
+/// let r = simulate_server(&tpu_server(4, Dispatch::LeastLoaded, 150_000.0));
+/// assert!(r.p99_ms < 7.0);
+/// ```
+pub fn simulate_server(cfg: &ServerSimConfig) -> ServerSimResult {
+    assert!(cfg.dies > 0, "need at least one die");
+    assert!(cfg.batch > 0, "batch must be positive");
+    assert!(cfg.arrival_rate > 0.0, "arrival rate must be positive");
+    assert!(cfg.requests >= 200, "need enough requests for a stable p99");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mean_gap_ms = 1000.0 / cfg.arrival_rate;
+    let mut arrivals = Vec::with_capacity(cfg.requests);
+    let mut t = 0.0f64;
+    for _ in 0..cfg.requests {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -mean_gap_ms * u.ln();
+        arrivals.push(t);
+    }
+
+    let mut free_at = vec![0.0f64; cfg.dies];
+    let mut batches_per_die = vec![0usize; cfg.dies];
+    let mut latencies = Vec::with_capacity(cfg.requests);
+    let mut last_end = 0.0f64;
+    let mut rr_next = 0usize;
+
+    for chunk in arrivals.chunks(cfg.batch) {
+        let ready = *chunk.last().expect("nonempty chunk");
+        let die = match cfg.dispatch {
+            Dispatch::RoundRobin => {
+                let d = rr_next;
+                rr_next = (rr_next + 1) % cfg.dies;
+                d
+            }
+            Dispatch::LeastLoaded => {
+                // The die that frees up first.
+                let (d, _) = free_at
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                    .expect("at least one die");
+                d
+            }
+        };
+        let start = ready.max(free_at[die]);
+        let jitter = if cfg.service_jitter_sigma > 0.0 {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (cfg.service_jitter_sigma * z).exp()
+        } else {
+            1.0
+        };
+        let service =
+            (cfg.service_t0_ms + cfg.service_t1_ms * chunk.len() as f64) * jitter;
+        let end = start + service;
+        free_at[die] = end;
+        batches_per_die[die] += 1;
+        last_end = last_end.max(end);
+        for &a in chunk {
+            latencies.push(end - a);
+        }
+    }
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| latencies[((latencies.len() as f64 - 1.0) * p) as usize];
+    ServerSimResult {
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        throughput_ips: cfg.requests as f64 / last_end * 1000.0,
+        batches_per_die,
+    }
+}
+
+/// A Table 2 TPU server: `dies` TPUs behind one Haswell host, serving
+/// MLP0 at batch 200 with deterministic execution.
+pub fn tpu_server(dies: usize, dispatch: Dispatch, arrival_rate: f64) -> ServerSimConfig {
+    ServerSimConfig {
+        dies,
+        dispatch,
+        arrival_rate,
+        batch: 200,
+        service_t0_ms: 0.873,
+        service_t1_ms: 0.00008,
+        service_jitter_sigma: 0.0,
+        requests: 60_000,
+        seed: 42,
+    }
+}
+
+/// A Table 2 K80 server: `dies` GPU dies with jittery service.
+pub fn gpu_server(dies: usize, dispatch: Dispatch, arrival_rate: f64) -> ServerSimConfig {
+    ServerSimConfig {
+        dies,
+        dispatch,
+        arrival_rate,
+        batch: 16,
+        service_t0_ms: 5.5,
+        service_t1_ms: 0.044,
+        service_jitter_sigma: 0.15,
+        requests: 60_000,
+        seed: 42,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_tpus_scale_throughput_nearly_linearly() {
+        // Keep each configuration at ~70% of its own capacity and compare
+        // sustained throughput: 4 dies carry ~4x the load of 1.
+        let one = tpu_server(1, Dispatch::LeastLoaded, 0.7 * tpu_server(1, Dispatch::LeastLoaded, 1.0).capacity_ips());
+        let four = tpu_server(4, Dispatch::LeastLoaded, 0.7 * tpu_server(4, Dispatch::LeastLoaded, 1.0).capacity_ips());
+        let r1 = simulate_server(&one);
+        let r4 = simulate_server(&four);
+        let ratio = r4.throughput_ips / r1.throughput_ips;
+        assert!((3.5..4.5).contains(&ratio), "scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn four_tpu_server_meets_7ms_at_high_load() {
+        // The server-level version of Table 4's TPU row.
+        let cfg = tpu_server(4, Dispatch::LeastLoaded, 600_000.0);
+        let r = simulate_server(&cfg);
+        assert!(r.p99_ms < 7.0, "4-TPU server p99 {} ms", r.p99_ms);
+        assert!(r.throughput_ips > 500_000.0);
+    }
+
+    #[test]
+    fn disciplines_converge_under_deterministic_service() {
+        let rate = 0.8 * tpu_server(4, Dispatch::RoundRobin, 1.0).capacity_ips();
+        let rr = simulate_server(&tpu_server(4, Dispatch::RoundRobin, rate));
+        let ll = simulate_server(&tpu_server(4, Dispatch::LeastLoaded, rate));
+        // Deterministic equal service: round robin is already optimal.
+        assert!(
+            (rr.p99_ms - ll.p99_ms).abs() < 0.25,
+            "rr {} vs ll {}",
+            rr.p99_ms,
+            ll.p99_ms
+        );
+    }
+
+    #[test]
+    fn least_loaded_beats_round_robin_under_jitter() {
+        // With service-time variance, blindly alternating sends work to a
+        // busy die while another sits idle; least-loaded adapts.
+        let rate = 0.85 * gpu_server(8, Dispatch::RoundRobin, 1.0).capacity_ips();
+        let mut rr_cfg = gpu_server(8, Dispatch::RoundRobin, rate);
+        let mut ll_cfg = gpu_server(8, Dispatch::LeastLoaded, rate);
+        rr_cfg.service_jitter_sigma = 0.5;
+        ll_cfg.service_jitter_sigma = 0.5;
+        let rr = simulate_server(&rr_cfg);
+        let ll = simulate_server(&ll_cfg);
+        assert!(
+            ll.p99_ms < rr.p99_ms,
+            "least-loaded p99 {} should beat round-robin {}",
+            ll.p99_ms,
+            rr.p99_ms
+        );
+    }
+
+    #[test]
+    fn round_robin_balances_batch_counts_exactly() {
+        let r = simulate_server(&tpu_server(4, Dispatch::RoundRobin, 100_000.0));
+        assert!(r.imbalance() < 1.05, "imbalance {}", r.imbalance());
+    }
+
+    #[test]
+    fn throughput_tracks_offered_load_below_saturation() {
+        let cfg = tpu_server(4, Dispatch::LeastLoaded, 300_000.0);
+        let r = simulate_server(&cfg);
+        assert!(
+            (r.throughput_ips - 300_000.0).abs() / 300_000.0 < 0.1,
+            "throughput {}",
+            r.throughput_ips
+        );
+    }
+
+    #[test]
+    fn results_are_reproducible() {
+        let cfg = gpu_server(8, Dispatch::LeastLoaded, 5_000.0);
+        assert_eq!(simulate_server(&cfg), simulate_server(&cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one die")]
+    fn zero_dies_panics() {
+        let mut cfg = tpu_server(1, Dispatch::RoundRobin, 100.0);
+        cfg.dies = 0;
+        let _ = simulate_server(&cfg);
+    }
+
+    #[test]
+    fn capacity_scales_with_dies() {
+        let c1 = tpu_server(1, Dispatch::RoundRobin, 1.0).capacity_ips();
+        let c4 = tpu_server(4, Dispatch::RoundRobin, 1.0).capacity_ips();
+        assert!((c4 / c1 - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,253 @@
+//! Table 2: the three benchmarked platforms.
+//!
+//! Server-class machines available in 2015, all with SECDED-protected
+//! memory: an 18-core dual-socket Haswell (also the host for both
+//! accelerators), the NVIDIA K80 (Boost mode disabled for TCO reasons,
+//! which reduces bandwidth from 240 to 160 GB/s and peak from 8.7 to 2.8
+//! TOPS per die), and the TPU.
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of a benchmarked platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// Intel Haswell E5-2699 v3 (CPU baseline and accelerator host).
+    Haswell,
+    /// NVIDIA K80 (one die of the dual-die card).
+    K80,
+    /// The TPU.
+    Tpu,
+}
+
+impl Platform {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::Haswell => "Haswell",
+            Platform::K80 => "K80",
+            Platform::Tpu => "TPU",
+        }
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipSpec {
+    /// Which platform.
+    pub platform: Platform,
+    /// Marketing/model string.
+    pub model: &'static str,
+    /// Die size in mm^2 (the TPU's is unreleased: "<= half of Haswell").
+    pub die_mm2: Option<f64>,
+    /// Process node in nm.
+    pub process_nm: u32,
+    /// Clock in MHz.
+    pub clock_mhz: f64,
+    /// Die TDP in Watts.
+    pub tdp_w: f64,
+    /// Measured idle power per die in Watts.
+    pub idle_w: f64,
+    /// Measured busy power per die in Watts.
+    pub busy_w: f64,
+    /// Peak 8-bit TOPS per die, if the platform has an integer path.
+    pub peak_tops_8b: Option<f64>,
+    /// Peak floating-point TOPS per die.
+    pub peak_tops_fp: Option<f64>,
+    /// Memory bandwidth in GB/s per die.
+    pub mem_gb_s: f64,
+    /// On-chip memory in MiB.
+    pub on_chip_mib: f64,
+    /// Dies per benchmarked server.
+    pub dies_per_server: usize,
+    /// Server TDP in Watts.
+    pub server_tdp_w: f64,
+    /// Measured server idle power in Watts.
+    pub server_idle_w: f64,
+    /// Measured server busy power in Watts.
+    pub server_busy_w: f64,
+}
+
+impl ChipSpec {
+    /// The Haswell row of Table 2.
+    pub fn haswell() -> Self {
+        Self {
+            platform: Platform::Haswell,
+            model: "Haswell E5-2699 v3",
+            die_mm2: Some(662.0),
+            process_nm: 22,
+            clock_mhz: 2300.0,
+            tdp_w: 145.0,
+            idle_w: 41.0,
+            busy_w: 145.0,
+            peak_tops_8b: Some(2.6),
+            peak_tops_fp: Some(1.3),
+            mem_gb_s: 51.0,
+            on_chip_mib: 51.0,
+            dies_per_server: 2,
+            server_tdp_w: 504.0,
+            server_idle_w: 159.0,
+            server_busy_w: 455.0,
+        }
+    }
+
+    /// The K80 row of Table 2 (per die; Boost mode disabled).
+    pub fn k80() -> Self {
+        Self {
+            platform: Platform::K80,
+            model: "NVIDIA K80",
+            die_mm2: Some(561.0),
+            process_nm: 28,
+            clock_mhz: 560.0,
+            tdp_w: 150.0,
+            idle_w: 25.0,
+            busy_w: 98.0,
+            peak_tops_8b: None,
+            peak_tops_fp: Some(2.8),
+            mem_gb_s: 160.0,
+            on_chip_mib: 8.0,
+            dies_per_server: 8,
+            server_tdp_w: 1838.0,
+            server_idle_w: 357.0,
+            server_busy_w: 991.0,
+        }
+    }
+
+    /// The TPU row of Table 2.
+    pub fn tpu() -> Self {
+        Self {
+            platform: Platform::Tpu,
+            model: "TPU",
+            die_mm2: None, // <= half the Haswell die
+            process_nm: 28,
+            clock_mhz: 700.0,
+            tdp_w: 75.0,
+            idle_w: 28.0,
+            busy_w: 40.0,
+            peak_tops_8b: Some(92.0),
+            peak_tops_fp: None,
+            mem_gb_s: 34.0,
+            on_chip_mib: 28.0,
+            dies_per_server: 4,
+            server_tdp_w: 861.0,
+            server_idle_w: 290.0,
+            server_busy_w: 384.0,
+        }
+    }
+
+    /// Look up a platform's spec.
+    pub fn of(platform: Platform) -> Self {
+        match platform {
+            Platform::Haswell => Self::haswell(),
+            Platform::K80 => Self::k80(),
+            Platform::Tpu => Self::tpu(),
+        }
+    }
+
+    /// All three rows in Table 2 order.
+    pub fn all() -> Vec<Self> {
+        vec![Self::haswell(), Self::k80(), Self::tpu()]
+    }
+
+    /// The inference peak the paper plots for this platform: 8-bit TOPS
+    /// where the quantized path exists (Haswell, TPU), floating point on
+    /// the K80 — except the paper's rooflines use FP for Haswell too,
+    /// because only one DNN had an 8-bit CPU implementation. We follow the
+    /// paper: FP for CPU/GPU, 8-bit for TPU.
+    pub fn roofline_peak_tops(&self) -> f64 {
+        match self.platform {
+            Platform::Haswell => self.peak_tops_fp.expect("haswell has fp"),
+            Platform::K80 => self.peak_tops_fp.expect("k80 has fp"),
+            Platform::Tpu => self.peak_tops_8b.expect("tpu has 8b"),
+        }
+    }
+
+    /// Peak in MACs/s (2 ops per multiply-accumulate).
+    pub fn roofline_peak_macs(&self) -> f64 {
+        self.roofline_peak_tops() * 1e12 / 2.0
+    }
+
+    /// Memory bandwidth in bytes/s.
+    pub fn mem_bytes_per_sec(&self) -> f64 {
+        self.mem_gb_s * 1e9
+    }
+}
+
+/// Figure 2's die floorplan budget: fraction of TPU die area by function.
+/// "Control is just 2%" — versus the large control planes of CPUs/GPUs.
+pub fn tpu_floorplan() -> Vec<(&'static str, f64)> {
+    vec![
+        ("Data buffers (Unified Buffer etc.)", 0.37),
+        ("Compute (Matrix Multiply Unit etc.)", 0.30),
+        ("I/O (PCIe, DDR3 interfaces)", 0.10),
+        ("Control", 0.02),
+        ("Misc / pad ring / unassigned", 0.21),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_headline_numbers() {
+        let h = ChipSpec::haswell();
+        assert_eq!(h.dies_per_server, 2);
+        assert_eq!(h.server_tdp_w, 504.0);
+        let k = ChipSpec::k80();
+        assert_eq!(k.dies_per_server, 8);
+        assert_eq!(k.mem_gb_s, 160.0);
+        let t = ChipSpec::tpu();
+        assert_eq!(t.peak_tops_8b, Some(92.0));
+        assert_eq!(t.on_chip_mib, 28.0);
+        assert!(t.die_mm2.is_none());
+    }
+
+    #[test]
+    fn tpu_has_25x_macs_and_3_5x_memory_of_k80() {
+        // The conclusion's comparison: 65,536 8-bit MACs vs 2,496 32-bit,
+        // 28 MiB vs 8 MiB, under half the power.
+        let t = ChipSpec::tpu();
+        let k = ChipSpec::k80();
+        assert!((t.on_chip_mib / k.on_chip_mib - 3.5).abs() < 0.01);
+        assert!(t.busy_w < k.busy_w / 2.0);
+    }
+
+    #[test]
+    fn ridge_points_match_paper() {
+        // TPU ~1350, Haswell ~13, K80 ~9 MACs per weight byte.
+        let ridge = |s: &ChipSpec| s.roofline_peak_macs() / s.mem_bytes_per_sec();
+        assert!((ridge(&ChipSpec::tpu()) - 1352.9).abs() < 5.0);
+        assert!((ridge(&ChipSpec::haswell()) - 12.7).abs() < 0.5);
+        assert!((ridge(&ChipSpec::k80()) - 8.75).abs() < 0.3);
+    }
+
+    #[test]
+    fn of_and_all_are_consistent() {
+        for s in ChipSpec::all() {
+            assert_eq!(ChipSpec::of(s.platform), s);
+            assert!(!s.platform.name().is_empty());
+        }
+        assert_eq!(ChipSpec::all().len(), 3);
+    }
+
+    #[test]
+    fn floorplan_sums_to_one() {
+        let total: f64 = tpu_floorplan().iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Datapath (buffers + compute) is nearly two-thirds of the die.
+        let datapath: f64 = tpu_floorplan()
+            .iter()
+            .filter(|(n, _)| n.starts_with("Data") || n.starts_with("Compute"))
+            .map(|(_, f)| f)
+            .sum();
+        assert!(datapath > 0.6);
+    }
+
+    #[test]
+    fn idle_power_well_below_busy() {
+        for s in ChipSpec::all() {
+            assert!(s.idle_w < s.busy_w);
+            assert!(s.server_idle_w < s.server_busy_w);
+        }
+    }
+}

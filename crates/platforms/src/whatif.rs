@@ -1,0 +1,193 @@
+//! Section 8 "newer chips" what-if: the NVIDIA P40.
+//!
+//! The paper's final fallacy ("CPU and GPU results would be comparable to
+//! the TPU if we ... compared to newer versions") names the P40: a 16 nm,
+//! 1.5 GHz, 250 W datacenter GPU with 47 Tera 8-bit ops/s — but
+//! unavailable in early 2015 and with an unknown fraction of peak
+//! deliverable under rigid latency bounds. This module makes the paper's
+//! argument quantitative: even granting the P40 its full peak, its peak
+//! TOPS/Watt is far below the TPU's, and under the same latency-bounded
+//! serving model that derates the K80, its *delivered* advantage shrinks
+//! further.
+
+use crate::achieved::{calibrate_baselines, tpu_served_ips};
+use crate::roofline::Roofline;
+use serde::{Deserialize, Serialize};
+use tpu_core::TpuConfig;
+use tpu_nn::model::{NnKind, NnModel};
+use tpu_nn::workloads;
+
+/// The P40 numbers Section 8 quotes, plus the board memory bandwidth
+/// (GDDR5X, from the vendor board specification — the paper quotes only
+/// process, clock, power, and peak ops).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct P40Spec {
+    /// Process node in nm.
+    pub process_nm: u32,
+    /// Clock in MHz.
+    pub clock_mhz: f64,
+    /// Board TDP in Watts.
+    pub tdp_w: f64,
+    /// Peak 8-bit TOPS.
+    pub peak_tops_8b: f64,
+    /// Memory bandwidth in GB/s.
+    pub mem_gb_s: f64,
+}
+
+impl P40Spec {
+    /// The Section 8 figures: "new 16-nm, 1.5GHz, 250W P40 ... 47 Tera
+    /// 8-bit ops/sec".
+    pub fn paper() -> Self {
+        P40Spec { process_nm: 16, clock_mhz: 1500.0, tdp_w: 250.0, peak_tops_8b: 47.0, mem_gb_s: 346.0 }
+    }
+
+    /// The P40's roofline (peak 8-bit ops; 2 ops per MAC).
+    pub fn roofline(&self) -> Roofline {
+        Roofline::new(self.peak_tops_8b * 1e12 / 2.0, self.mem_gb_s * 1e9)
+    }
+
+    /// Peak TOPS per Watt at TDP.
+    pub fn peak_tops_per_watt(&self) -> f64 {
+        self.peak_tops_8b / self.tdp_w
+    }
+}
+
+/// Peak-level comparison of the P40 against the TPU (Section 8's own
+/// framing: peak numbers, before any latency derating).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct P40PeakComparison {
+    /// P40 peak TOPS/Watt at its 250 W TDP.
+    pub p40_tops_per_watt: f64,
+    /// TPU peak TOPS/Watt at its measured 40 W busy power.
+    pub tpu_tops_per_watt_busy: f64,
+    /// TPU peak TOPS/Watt at its 75 W TDP.
+    pub tpu_tops_per_watt_tdp: f64,
+    /// TPU-busy over P40 peak-efficiency ratio.
+    pub tpu_advantage_busy: f64,
+}
+
+/// Compute the peak-efficiency comparison.
+pub fn p40_peak_comparison() -> P40PeakComparison {
+    let p40 = P40Spec::paper();
+    // Table 2: TPU peak 92 TOPS, 75 W TDP, 40 W measured busy.
+    let tpu_peak = 92.0;
+    let p = p40.peak_tops_per_watt();
+    let busy = tpu_peak / 40.0;
+    let tdp = tpu_peak / 75.0;
+    P40PeakComparison {
+        p40_tops_per_watt: p,
+        tpu_tops_per_watt_busy: busy,
+        tpu_tops_per_watt_tdp: tdp,
+        tpu_advantage_busy: busy / p,
+    }
+}
+
+/// One application's latency-bounded P40 prediction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P40Row {
+    /// Application name.
+    pub app: String,
+    /// Predicted P40 inferences/s per die under the serving model.
+    pub p40_ips: f64,
+    /// TPU inferences/s per die (simulated, host-derated).
+    pub tpu_ips: f64,
+    /// TPU over P40.
+    pub tpu_over_p40: f64,
+    /// Fraction of P40 peak the prediction delivers.
+    pub p40_peak_fraction: f64,
+}
+
+fn latency_batch(model: &NnModel) -> usize {
+    match model.kind() {
+        NnKind::Mlp | NnKind::Lstm => 16.min(model.batch()),
+        NnKind::Cnn => model.batch(),
+    }
+}
+
+/// Predict per-die P40 throughput for the six applications by running
+/// the same latency-bounded roofline + family-efficiency model used for
+/// the K80 (the paper: "we also can't know the fraction of P40 peak
+/// delivered within our rigid time bounds" — this model supplies the
+/// K80-calibrated answer).
+pub fn p40_comparison(cfg: &TpuConfig) -> Vec<P40Row> {
+    let p40 = P40Spec::paper();
+    let roofline = p40.roofline();
+    let baselines = calibrate_baselines(cfg);
+    workloads::all()
+        .iter()
+        .map(|m| {
+            let batch = latency_batch(m);
+            let intensity =
+                batch as f64 * m.macs_per_example() as f64 / m.total_weights() as f64;
+            let raw_ips = roofline.attainable_macs(intensity) / m.macs_per_example() as f64;
+            let eff = match m.kind() {
+                NnKind::Mlp => baselines.gpu.mlp,
+                NnKind::Lstm => baselines.gpu.lstm,
+                NnKind::Cnn => baselines.gpu.cnn,
+            };
+            let p40_ips = raw_ips * eff;
+            let tpu_ips = tpu_served_ips(m, cfg);
+            let delivered_tops = 2.0 * p40_ips * m.macs_per_example() as f64 / 1e12;
+            P40Row {
+                app: m.name().to_string(),
+                p40_ips,
+                tpu_ips,
+                tpu_over_p40: tpu_ips / p40_ips,
+                p40_peak_fraction: delivered_tops / p40.peak_tops_8b,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p40_peak_numbers_match_section8() {
+        let p40 = P40Spec::paper();
+        assert_eq!(p40.process_nm, 16);
+        assert_eq!(p40.tdp_w, 250.0);
+        assert_eq!(p40.peak_tops_8b, 47.0);
+        // 47/250 = 0.188 peak TOPS/W.
+        assert!((p40.peak_tops_per_watt() - 0.188).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tpu_peak_efficiency_is_an_order_of_magnitude_above_p40() {
+        let c = p40_peak_comparison();
+        // 92/40 = 2.3 vs 0.188: ~12x.
+        assert!(c.tpu_advantage_busy > 10.0 && c.tpu_advantage_busy < 14.0, "{c:?}");
+        assert!(c.tpu_tops_per_watt_tdp > 1.0);
+    }
+
+    #[test]
+    fn p40_roofline_ridge_is_far_left_of_tpu() {
+        let rp = P40Spec::paper().roofline().ridge_point();
+        // 23.5e12 MACs / 346e9 B/s = ~68 MAC/byte: still left of 1350.
+        assert!(rp > 40.0 && rp < 100.0, "{rp}");
+    }
+
+    #[test]
+    fn latency_bounded_p40_delivers_a_small_peak_fraction_on_mlps() {
+        let cfg = TpuConfig::paper();
+        let rows = p40_comparison(&cfg);
+        assert_eq!(rows.len(), 6);
+        let mlp0 = &rows[0];
+        assert_eq!(mlp0.app, "MLP0");
+        // Memory-bound at batch 16: single-digit percent of 47 TOPS.
+        assert!(mlp0.p40_peak_fraction < 0.10, "{mlp0:?}");
+        assert!(mlp0.p40_ips > 0.0);
+    }
+
+    #[test]
+    fn cnns_deliver_more_of_p40_peak_than_mlps() {
+        let cfg = TpuConfig::paper();
+        let rows = p40_comparison(&cfg);
+        let frac = |name: &str| {
+            rows.iter().find(|r| r.app == name).map(|r| r.p40_peak_fraction).unwrap()
+        };
+        assert!(frac("CNN0") > frac("MLP0"));
+        assert!(frac("CNN1") > frac("MLP1"));
+    }
+}

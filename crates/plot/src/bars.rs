@@ -1,0 +1,249 @@
+//! Grouped bar charts (Figure 9: relative performance/Watt per
+//! comparison, total vs incremental accounting, GM vs WM).
+
+use crate::chart::PALETTE;
+use crate::error::PlotError;
+use crate::scale::Scale;
+use crate::svg::{Anchor, SvgDocument};
+
+/// A grouped bar chart: `categories` along the x axis, one bar per
+/// `group` within each category.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_plot::BarChart;
+///
+/// let svg = BarChart::new("Perf/Watt", &["GM", "WM"])
+///     .bars("GPU/CPU", &[2.1, 2.9])
+///     .bars("TPU/CPU", &[34.0, 83.0])
+///     .log_y()
+///     .render()
+///     .expect("valid chart");
+/// assert!(svg.contains("TPU/CPU"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    groups: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+    y_label: String,
+    log_y: bool,
+}
+
+impl BarChart {
+    /// Start a chart with the group labels (legend). Categories along the
+    /// x axis are defined, in order, by the [`BarChart::bars`] calls.
+    pub fn new(title: impl Into<String>, groups: &[&str]) -> Self {
+        BarChart {
+            title: title.into(),
+            groups: groups.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            y_label: String::new(),
+            log_y: false,
+        }
+    }
+
+    /// Supply the group values for one category, in group order.
+    pub fn bars(mut self, category: &str, values: &[f64]) -> Self {
+        self.rows.push((category.to_string(), values.to_vec()));
+        self
+    }
+
+    /// Label the y axis.
+    pub fn y_label(mut self, label: impl Into<String>) -> Self {
+        self.y_label = label.into();
+        self
+    }
+
+    /// Use a base-10 log y axis (needed when ratios span 1x-200x).
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Render to an SVG string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlotError::NoData`] with no rows,
+    /// [`PlotError::RaggedGroups`] when a row's width differs from the
+    /// group count, [`PlotError::NonFinitePoint`] on NaN values, and
+    /// [`PlotError::NonPositiveLog`] when `log_y` meets a non-positive
+    /// value.
+    pub fn render(&self) -> Result<String, PlotError> {
+        if self.rows.is_empty() {
+            return Err(PlotError::NoData);
+        }
+        for (cat, vals) in &self.rows {
+            if vals.len() != self.groups.len() {
+                return Err(PlotError::RaggedGroups {
+                    expected: self.groups.len(),
+                    found: vals.len(),
+                });
+            }
+            for &v in vals {
+                if !v.is_finite() {
+                    return Err(PlotError::NonFinitePoint { series: cat.clone() });
+                }
+                if self.log_y && v <= 0.0 {
+                    return Err(PlotError::NonPositiveLog { bound: v });
+                }
+            }
+        }
+
+        let max = self.rows.iter().flat_map(|(_, v)| v).cloned().fold(f64::MIN, f64::max);
+        let (scale, y_lo, y_hi) = if self.log_y {
+            let min = self.rows.iter().flat_map(|(_, v)| v).cloned().fold(f64::MAX, f64::min);
+            (Scale::Log10, (min / 2.0).min(1.0), max * 1.3)
+        } else {
+            (Scale::Linear, 0.0, max * 1.1)
+        };
+        scale.check_domain(y_lo, y_hi)?;
+
+        let (width, height) = (720.0, 420.0);
+        let (left, right, top, bottom) = (70.0, 20.0, 40.0, 70.0);
+        let plot_w = width - left - right;
+        let plot_h = height - top - bottom;
+        let mut doc = SvgDocument::new(width, height);
+        doc.text(width / 2.0, 22.0, &self.title, 14.0, Anchor::Middle, "#111111");
+
+        for t in scale.ticks(y_lo, y_hi) {
+            let uy = scale.normalize(t.value, y_lo, y_hi);
+            if !(0.0..=1.0).contains(&uy) {
+                continue;
+            }
+            let py = top + (1.0 - uy) * plot_h;
+            doc.dashed_line(left, py, left + plot_w, py, "#cccccc");
+            doc.text(left - 6.0, py + 3.5, &t.label, 10.0, Anchor::End, "#333333");
+        }
+
+        let n_cat = self.rows.len() as f64;
+        let n_grp = self.groups.len() as f64;
+        let slot = plot_w / n_cat;
+        let bar_w = (slot * 0.8) / n_grp;
+        for (ci, (cat, vals)) in self.rows.iter().enumerate() {
+            let x0 = left + ci as f64 * slot + slot * 0.1;
+            for (gi, &v) in vals.iter().enumerate() {
+                let uy = scale.normalize(v, y_lo, y_hi).clamp(0.0, 1.0);
+                let bar_h = uy * plot_h;
+                let x = x0 + gi as f64 * bar_w;
+                doc.rect(
+                    x,
+                    top + plot_h - bar_h,
+                    bar_w * 0.92,
+                    bar_h,
+                    PALETTE[gi % PALETTE.len()],
+                    Some("#444444"),
+                );
+                // Value caption above the bar.
+                doc.text(
+                    x + bar_w * 0.46,
+                    top + plot_h - bar_h - 4.0,
+                    &trim_value(v),
+                    8.5,
+                    Anchor::Middle,
+                    "#333333",
+                );
+            }
+            doc.text(
+                x0 + slot * 0.4,
+                top + plot_h + 16.0,
+                cat,
+                10.0,
+                Anchor::Middle,
+                "#333333",
+            );
+        }
+
+        // Legend under the category labels.
+        let mut lx = left;
+        let ly = height - 22.0;
+        for (gi, g) in self.groups.iter().enumerate() {
+            doc.rect(lx, ly - 9.0, 10.0, 10.0, PALETTE[gi % PALETTE.len()], Some("#444444"));
+            doc.text(lx + 14.0, ly, g, 10.0, Anchor::Start, "#111111");
+            lx += 18.0 + 7.0 * g.len() as f64;
+        }
+        doc.line(left, top + plot_h, left + plot_w, top + plot_h, "#000000", 1.0);
+        doc.line(left, top, left, top + plot_h, "#000000", 1.0);
+        doc.vertical_text(18.0, top + plot_h / 2.0, &self.y_label, 11.0);
+
+        Ok(doc.finish())
+    }
+}
+
+fn trim_value(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> BarChart {
+        BarChart::new("fig9", &["GM", "WM"])
+            .bars("GPU/CPU", &[2.1, 2.9])
+            .bars("TPU/CPU", &[34.0, 83.0])
+    }
+
+    #[test]
+    fn renders_categories_groups_and_values() {
+        let svg = chart().y_label("relative perf/Watt").render().unwrap();
+        assert!(svg.contains("GPU/CPU"));
+        assert!(svg.contains("GM"));
+        assert!(svg.contains("WM"));
+        assert!(svg.contains("83"));
+        assert!(svg.contains("relative perf/Watt"));
+    }
+
+    #[test]
+    fn empty_chart_is_an_error() {
+        let c = BarChart::new("t", &["g"]);
+        assert_eq!(c.render().unwrap_err(), PlotError::NoData);
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let c = BarChart::new("t", &["g1", "g2"]).bars("a", &[1.0]);
+        assert_eq!(c.render().unwrap_err(), PlotError::RaggedGroups { expected: 2, found: 1 });
+    }
+
+    #[test]
+    fn nan_is_rejected() {
+        let c = BarChart::new("t", &["g"]).bars("a", &[f64::NAN]);
+        assert!(matches!(c.render().unwrap_err(), PlotError::NonFinitePoint { .. }));
+    }
+
+    #[test]
+    fn log_axis_rejects_zero_bars() {
+        let c = BarChart::new("t", &["g"]).bars("a", &[0.0]).log_y();
+        assert!(matches!(c.render().unwrap_err(), PlotError::NonPositiveLog { .. }));
+    }
+
+    #[test]
+    fn log_axis_renders_wide_ratio_span() {
+        let svg = BarChart::new("t", &["g"])
+            .bars("x", &[1.2])
+            .bars("y", &[196.0])
+            .log_y()
+            .render()
+            .unwrap();
+        // Decade gridline labels appear.
+        assert!(svg.contains(">10</text>"));
+        assert!(svg.contains(">100</text>"));
+    }
+
+    #[test]
+    fn bar_count_matches_rows_times_groups() {
+        let svg = chart().render().unwrap();
+        // 4 bars + 2 legend swatches; all are <rect> beyond the background.
+        let rects = svg.matches("<rect").count();
+        assert_eq!(rects, 1 + 4 + 2);
+    }
+}

@@ -1,0 +1,447 @@
+//! XY charts: line series and scatter markers over linear or log axes.
+//!
+//! This covers the paper's rooflines (Figures 5-8: log-log lines plus
+//! per-app markers), the power curves (Figure 10: linear lines), and the
+//! design-space sweep (Figure 11: log2-x lines).
+
+use crate::error::PlotError;
+use crate::scale::Scale;
+use crate::svg::{Anchor, SvgDocument};
+
+/// Default palette: distinguishable on white, colorblind-friendly order.
+pub const PALETTE: [&str; 8] = [
+    "#d62728", // red
+    "#1f77b4", // blue
+    "#2ca02c", // green
+    "#ff7f0e", // orange
+    "#9467bd", // purple
+    "#8c564b", // brown
+    "#17becf", // cyan
+    "#7f7f7f", // gray
+];
+
+/// Marker shape for scatter series (the paper uses stars for the TPU,
+/// triangles for the K80, and circles for Haswell in Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Marker {
+    /// No marker; line only.
+    None,
+    /// A filled circle.
+    Circle,
+    /// A filled square.
+    Square,
+    /// A filled upward triangle.
+    Triangle,
+    /// A filled five-pointed star.
+    Star,
+}
+
+/// One named series: points in data coordinates plus its visual style.
+#[derive(Debug, Clone)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+    marker: Marker,
+    line: bool,
+    color: Option<&'static str>,
+}
+
+impl Series {
+    /// A connected line through `points`.
+    pub fn line(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { name: name.into(), points, marker: Marker::None, line: true, color: None }
+    }
+
+    /// Unconnected markers at `points`.
+    pub fn scatter(name: impl Into<String>, points: Vec<(f64, f64)>, marker: Marker) -> Self {
+        Series { name: name.into(), points, marker, line: false, color: None }
+    }
+
+    /// Draw both the connecting line and a marker at each point.
+    pub fn with_markers(mut self, marker: Marker) -> Self {
+        self.marker = marker;
+        self
+    }
+
+    /// Override the palette color.
+    pub fn with_color(mut self, color: &'static str) -> Self {
+        self.color = Some(color);
+        self
+    }
+
+    /// The series label used in the legend.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The data points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+/// Pixel geometry shared by the chart renderers.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    width: f64,
+    height: f64,
+    left: f64,
+    right: f64,
+    top: f64,
+    bottom: f64,
+}
+
+impl Frame {
+    const DEFAULT: Frame =
+        Frame { width: 640.0, height: 420.0, left: 70.0, right: 20.0, top: 40.0, bottom: 55.0 };
+
+    fn plot_w(&self) -> f64 {
+        self.width - self.left - self.right
+    }
+
+    fn plot_h(&self) -> f64 {
+        self.height - self.top - self.bottom
+    }
+
+    /// Map a unit-interval pair onto pixel coordinates (y grows upward in
+    /// data space, downward in SVG space).
+    fn place(&self, ux: f64, uy: f64) -> (f64, f64) {
+        (self.left + ux * self.plot_w(), self.top + (1.0 - uy) * self.plot_h())
+    }
+}
+
+/// An XY chart under construction.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_plot::{Chart, Scale, Series};
+///
+/// let roofline = Series::line("TPU", vec![(1.0, 0.068), (1350.0, 92.0), (10_000.0, 92.0)]);
+/// let svg = Chart::new("TPU roofline")
+///     .x_axis("MACs per weight byte", Scale::Log10)
+///     .y_axis("TeraOps/s", Scale::Log10)
+///     .series(roofline)
+///     .render()
+///     .expect("valid chart");
+/// assert!(svg.contains("TPU roofline"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    x_scale: Scale,
+    y_scale: Scale,
+    series: Vec<Series>,
+    x_domain: Option<(f64, f64)>,
+    y_domain: Option<(f64, f64)>,
+    frame: Frame,
+}
+
+impl Chart {
+    /// Start a chart with a title. Axes default to linear.
+    pub fn new(title: impl Into<String>) -> Self {
+        Chart {
+            title: title.into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            series: Vec::new(),
+            x_domain: None,
+            y_domain: None,
+            frame: Frame::DEFAULT,
+        }
+    }
+
+    /// Label and scale of the x axis.
+    pub fn x_axis(mut self, label: impl Into<String>, scale: Scale) -> Self {
+        self.x_label = label.into();
+        self.x_scale = scale;
+        self
+    }
+
+    /// Label and scale of the y axis.
+    pub fn y_axis(mut self, label: impl Into<String>, scale: Scale) -> Self {
+        self.y_label = label.into();
+        self.y_scale = scale;
+        self
+    }
+
+    /// Fix the x domain instead of deriving it from the data.
+    pub fn x_domain(mut self, lo: f64, hi: f64) -> Self {
+        self.x_domain = Some((lo, hi));
+        self
+    }
+
+    /// Fix the y domain instead of deriving it from the data.
+    pub fn y_domain(mut self, lo: f64, hi: f64) -> Self {
+        self.y_domain = Some((lo, hi));
+        self
+    }
+
+    /// Add a series.
+    pub fn series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    fn derive_domain(
+        &self,
+        pick: impl Fn(&(f64, f64)) -> f64,
+        scale: Scale,
+        fixed: Option<(f64, f64)>,
+    ) -> Result<(f64, f64), PlotError> {
+        if let Some(d) = fixed {
+            scale.check_domain(d.0, d.1)?;
+            return Ok(d);
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for s in &self.series {
+            for p in s.points() {
+                let v = pick(p);
+                if !v.is_finite() {
+                    return Err(PlotError::NonFinitePoint { series: s.name().to_string() });
+                }
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(PlotError::NoData);
+        }
+        // Pad so extreme points are not drawn on the frame itself.
+        let (lo, hi) = match scale {
+            Scale::Linear => {
+                let pad = 0.05 * (hi - lo).max(f64::MIN_POSITIVE);
+                let lo = if lo >= 0.0 && lo < 0.3 * (hi - lo) { 0.0 } else { lo - pad };
+                (lo, hi + pad)
+            }
+            Scale::Log10 | Scale::Log2 => (lo / 1.3, hi * 1.3),
+        };
+        let (lo, hi) = if lo == hi { (lo - 0.5, hi + 0.5) } else { (lo, hi) };
+        scale.check_domain(lo, hi)?;
+        Ok((lo, hi))
+    }
+
+    /// Render to an SVG string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlotError::NoData`] when no series were added,
+    /// [`PlotError::NonFinitePoint`] when a point is NaN/infinite, and
+    /// domain errors when a fixed or derived domain is invalid for the
+    /// chosen scale.
+    pub fn render(&self) -> Result<String, PlotError> {
+        if self.series.is_empty() || self.series.iter().all(|s| s.points().is_empty()) {
+            return Err(PlotError::NoData);
+        }
+        let (x_lo, x_hi) = self.derive_domain(|p| p.0, self.x_scale, self.x_domain)?;
+        let (y_lo, y_hi) = self.derive_domain(|p| p.1, self.y_scale, self.y_domain)?;
+
+        let f = self.frame;
+        let mut doc = SvgDocument::new(f.width, f.height);
+        doc.text(f.width / 2.0, 22.0, &self.title, 14.0, Anchor::Middle, "#111111");
+
+        // Gridlines + tick labels.
+        for t in self.x_scale.ticks(x_lo, x_hi) {
+            let ux = self.x_scale.normalize(t.value, x_lo, x_hi);
+            if !(-1e-9..=1.0 + 1e-9).contains(&ux) {
+                continue;
+            }
+            let (px, _) = f.place(ux, 0.0);
+            doc.dashed_line(px, f.top, px, f.top + f.plot_h(), "#cccccc");
+            doc.text(px, f.top + f.plot_h() + 16.0, &t.label, 10.0, Anchor::Middle, "#333333");
+        }
+        for t in self.y_scale.ticks(y_lo, y_hi) {
+            let uy = self.y_scale.normalize(t.value, y_lo, y_hi);
+            if !(-1e-9..=1.0 + 1e-9).contains(&uy) {
+                continue;
+            }
+            let (_, py) = f.place(0.0, uy);
+            doc.dashed_line(f.left, py, f.left + f.plot_w(), py, "#cccccc");
+            doc.text(f.left - 6.0, py + 3.5, &t.label, 10.0, Anchor::End, "#333333");
+        }
+
+        // Axes frame.
+        doc.line(f.left, f.top, f.left, f.top + f.plot_h(), "#000000", 1.0);
+        doc.line(f.left, f.top + f.plot_h(), f.left + f.plot_w(), f.top + f.plot_h(), "#000000", 1.0);
+        doc.text(
+            f.left + f.plot_w() / 2.0,
+            f.height - 12.0,
+            &self.x_label,
+            11.0,
+            Anchor::Middle,
+            "#333333",
+        );
+        doc.vertical_text(18.0, f.top + f.plot_h() / 2.0, &self.y_label, 11.0);
+
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = s.color.unwrap_or(PALETTE[i % PALETTE.len()]);
+            let px_points: Vec<(f64, f64)> = s
+                .points()
+                .iter()
+                .map(|&(x, y)| {
+                    let ux = self.x_scale.normalize(x, x_lo, x_hi).clamp(0.0, 1.0);
+                    let uy = self.y_scale.normalize(y, y_lo, y_hi).clamp(0.0, 1.0);
+                    f.place(ux, uy)
+                })
+                .collect();
+            if s.line {
+                doc.polyline(&px_points, color, 1.8);
+            }
+            for &(px, py) in &px_points {
+                draw_marker(&mut doc, s.marker, px, py, color);
+            }
+        }
+
+        // Legend: one row per series, upper-right inside the plot.
+        let legend_x = f.left + f.plot_w() - 150.0;
+        for (i, s) in self.series.iter().enumerate() {
+            let color = s.color.unwrap_or(PALETTE[i % PALETTE.len()]);
+            let y = f.top + 14.0 + i as f64 * 15.0;
+            if s.line {
+                doc.line(legend_x, y - 3.5, legend_x + 18.0, y - 3.5, color, 2.0);
+            }
+            draw_marker(
+                &mut doc,
+                if s.marker == Marker::None && !s.line { Marker::Circle } else { s.marker },
+                legend_x + 9.0,
+                y - 3.5,
+                color,
+            );
+            doc.text(legend_x + 24.0, y, s.name(), 10.0, Anchor::Start, "#111111");
+        }
+
+        Ok(doc.finish())
+    }
+}
+
+fn draw_marker(doc: &mut SvgDocument, marker: Marker, px: f64, py: f64, color: &str) {
+    const R: f64 = 4.0;
+    match marker {
+        Marker::None => {}
+        Marker::Circle => doc.circle(px, py, R, color),
+        Marker::Square => doc.rect(px - R, py - R, 2.0 * R, 2.0 * R, color, None),
+        Marker::Triangle => {
+            doc.polygon(&[(px, py - R), (px - R, py + R), (px + R, py + R)], color);
+        }
+        Marker::Star => {
+            let mut pts = Vec::with_capacity(10);
+            for k in 0..10 {
+                let r = if k % 2 == 0 { 1.6 * R } else { 0.7 * R };
+                let a = std::f64::consts::PI * (k as f64 / 5.0) - std::f64::consts::FRAC_PI_2;
+                pts.push((px + r * a.cos(), py + r * a.sin()));
+            }
+            doc.polygon(&pts, color);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_chart() -> Chart {
+        Chart::new("t")
+            .series(Series::line("a", vec![(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)]))
+    }
+
+    #[test]
+    fn renders_title_labels_and_series_name() {
+        let svg = Chart::new("My <Chart>")
+            .x_axis("x & y", Scale::Linear)
+            .y_axis("tops", Scale::Linear)
+            .series(Series::line("se&ries", vec![(0.0, 1.0), (1.0, 2.0)]))
+            .render()
+            .unwrap();
+        assert!(svg.contains("My &lt;Chart&gt;"));
+        assert!(svg.contains("x &amp; y"));
+        assert!(svg.contains("se&amp;ries"));
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn no_data_is_an_error() {
+        assert_eq!(Chart::new("t").render().unwrap_err(), PlotError::NoData);
+        let empty = Chart::new("t").series(Series::line("a", vec![]));
+        assert_eq!(empty.render().unwrap_err(), PlotError::NoData);
+    }
+
+    #[test]
+    fn nan_point_is_an_error() {
+        let c = Chart::new("t").series(Series::line("bad", vec![(0.0, f64::NAN), (1.0, 1.0)]));
+        assert!(matches!(c.render().unwrap_err(), PlotError::NonFinitePoint { .. }));
+    }
+
+    #[test]
+    fn log_axis_with_zero_point_is_an_error() {
+        let c = simple_chart().x_axis("x", Scale::Log10);
+        assert!(matches!(c.render().unwrap_err(), PlotError::NonPositiveLog { .. }));
+    }
+
+    #[test]
+    fn fixed_domain_is_respected() {
+        let svg = simple_chart().x_domain(0.0, 10.0).y_domain(0.0, 10.0).render().unwrap();
+        // Ticks at 10 exist because the domain reaches 10.
+        assert!(svg.contains(">10</text>"));
+    }
+
+    #[test]
+    fn scatter_draws_markers_not_lines() {
+        let svg = Chart::new("pts")
+            .series(Series::scatter("s", vec![(1.0, 1.0), (2.0, 2.0)], Marker::Star))
+            .render()
+            .unwrap();
+        assert!(svg.contains("<polygon"));
+        // Only the legend sample could be a polyline; stars are polygons.
+        assert_eq!(svg.matches("<polyline").count(), 0);
+    }
+
+    #[test]
+    fn all_marker_shapes_render() {
+        for m in [Marker::Circle, Marker::Square, Marker::Triangle, Marker::Star] {
+            let svg = Chart::new("m")
+                .series(Series::scatter("s", vec![(1.0, 1.0)], m))
+                .render()
+                .unwrap();
+            assert!(svg.len() > 200);
+        }
+    }
+
+    #[test]
+    fn loglog_roofline_knee_is_monotone_in_pixels() {
+        // The ridge-point x must land strictly between the endpoints.
+        let svg = Chart::new("roofline")
+            .x_axis("intensity", Scale::Log10)
+            .y_axis("TOPS", Scale::Log10)
+            .series(Series::line("tpu", vec![(1.0, 0.068), (1350.0, 92.0), (10_000.0, 92.0)]))
+            .render()
+            .unwrap();
+        assert!(svg.contains("polyline"));
+    }
+
+    #[test]
+    fn palette_cycles_for_many_series() {
+        let mut c = Chart::new("many");
+        for i in 0..10 {
+            c = c.series(Series::line(format!("s{i}"), vec![(0.0, i as f64), (1.0, i as f64)]));
+        }
+        let svg = c.render().unwrap();
+        for color in PALETTE {
+            assert!(svg.contains(color), "missing {color}");
+        }
+    }
+
+    #[test]
+    fn constant_series_still_renders() {
+        let svg = Chart::new("flat")
+            .series(Series::line("c", vec![(0.0, 5.0), (1.0, 5.0)]))
+            .render()
+            .unwrap();
+        assert!(svg.contains("polyline"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for chart construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a chart could not be built or rendered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlotError {
+    /// The axis domain is empty or not finite.
+    EmptyDomain {
+        /// Lower bound supplied.
+        lo: f64,
+        /// Upper bound supplied.
+        hi: f64,
+    },
+    /// A logarithmic scale was given a non-positive bound.
+    NonPositiveLog {
+        /// The offending bound.
+        bound: f64,
+    },
+    /// The chart has no series (or a bar chart has no groups).
+    NoData,
+    /// A series point is not finite and cannot be placed.
+    NonFinitePoint {
+        /// Name of the series containing the point.
+        series: String,
+    },
+    /// Grouped bars were given rows of inconsistent width.
+    RaggedGroups {
+        /// Expected row width (number of groups).
+        expected: usize,
+        /// Width actually found.
+        found: usize,
+    },
+}
+
+impl fmt::Display for PlotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlotError::EmptyDomain { lo, hi } => {
+                write!(f, "axis domain [{lo}, {hi}] is empty or not finite")
+            }
+            PlotError::NonPositiveLog { bound } => {
+                write!(f, "log scale requires a positive domain, got {bound}")
+            }
+            PlotError::NoData => write!(f, "chart has no data"),
+            PlotError::NonFinitePoint { series } => {
+                write!(f, "series `{series}` contains a non-finite point")
+            }
+            PlotError::RaggedGroups { expected, found } => {
+                write!(f, "bar rows must all have {expected} groups, found {found}")
+            }
+        }
+    }
+}
+
+impl Error for PlotError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            PlotError::EmptyDomain { lo: 1.0, hi: 1.0 },
+            PlotError::NonPositiveLog { bound: 0.0 },
+            PlotError::NoData,
+            PlotError::NonFinitePoint { series: "tpu".into() },
+            PlotError::RaggedGroups { expected: 2, found: 3 },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlotError>();
+    }
+}

@@ -1,0 +1,62 @@
+//! # tpu-plot — dependency-free SVG charts for the paper's figures
+//!
+//! The ISCA 2017 TPU paper's evaluation is communicated through a handful
+//! of chart shapes: log-log rooflines with per-application markers
+//! (Figures 5-8), grouped relative-performance/Watt bars (Figure 9),
+//! power-vs-utilization line plots (Figure 10), and the 0.25x-4x
+//! design-space sweep (Figure 11). This crate renders all of them as
+//! standalone SVG files with no dependencies beyond `std`.
+//!
+//! - [`Chart`] + [`Series`]: XY charts over [`Scale::Linear`],
+//!   [`Scale::Log10`], or [`Scale::Log2`] axes, with line and scatter
+//!   series and the paper's marker shapes ([`Marker::Star`] for the TPU,
+//!   [`Marker::Triangle`] for the K80, [`Marker::Circle`] for Haswell).
+//! - [`BarChart`]: grouped bars with an optional log y axis.
+//! - [`SvgDocument`]: the low-level escaped-SVG builder both use.
+//!
+//! # Examples
+//!
+//! ```
+//! use tpu_plot::{Chart, Marker, Scale, Series};
+//!
+//! // A miniature Figure 5: the TPU roofline and one application point.
+//! let svg = Chart::new("TPU (die) roofline")
+//!     .x_axis("MACs per weight byte", Scale::Log10)
+//!     .y_axis("TeraOps/s", Scale::Log10)
+//!     .series(Series::line("roofline", vec![(1.0, 0.068), (1351.0, 92.0), (10_000.0, 92.0)]))
+//!     .series(Series::scatter("CNN0", vec![(2888.0, 86.0)], Marker::Star))
+//!     .render()?;
+//! assert!(svg.starts_with("<svg"));
+//! # Ok::<(), tpu_plot::PlotError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod bars;
+mod chart;
+mod error;
+mod scale;
+mod svg;
+
+pub use bars::BarChart;
+pub use chart::{Chart, Marker, Series, PALETTE};
+pub use error::PlotError;
+pub use scale::{Scale, Tick};
+pub use svg::{escape, Anchor, SvgDocument};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_debug() {
+        fn assert_debug<T: std::fmt::Debug>() {}
+        assert_debug::<Chart>();
+        assert_debug::<BarChart>();
+        assert_debug::<Series>();
+        assert_debug::<Scale>();
+        assert_debug::<Marker>();
+        assert_debug::<PlotError>();
+        assert_debug::<SvgDocument>();
+    }
+}

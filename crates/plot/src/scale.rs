@@ -1,0 +1,264 @@
+//! Axis scales: mapping data coordinates onto the unit interval and
+//! generating human-friendly tick positions.
+//!
+//! The paper's figures use three kinds of axes: linear (Figure 10's
+//! utilization and Watts), base-10 log-log (the Figure 5-8 rooflines),
+//! and base-2 log (Figure 11's 0.25x-4x parameter scaling). [`Scale`]
+//! covers all three.
+
+use crate::error::PlotError;
+
+/// An axis scale.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_plot::Scale;
+///
+/// // The roofline's log-log axes: intensity 10 sits halfway between
+/// // 1 and 100.
+/// assert_eq!(Scale::Log10.normalize(10.0, 1.0, 100.0), 0.5);
+/// // Figure 11's 0.25x-4x sweep: 1x is the midpoint of the octaves.
+/// assert_eq!(Scale::Log2.normalize(1.0, 0.25, 4.0), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Linear interpolation between the domain endpoints.
+    Linear,
+    /// Base-10 logarithmic; the domain must be strictly positive.
+    Log10,
+    /// Base-2 logarithmic; the domain must be strictly positive.
+    Log2,
+}
+
+impl Scale {
+    /// Validate a domain for this scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlotError::EmptyDomain`] when `lo >= hi` or either bound
+    /// is not finite, and [`PlotError::NonPositiveLog`] when a log scale
+    /// is given a non-positive bound.
+    pub fn check_domain(self, lo: f64, hi: f64) -> Result<(), PlotError> {
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(PlotError::EmptyDomain { lo, hi });
+        }
+        if self != Scale::Linear && lo <= 0.0 {
+            return Err(PlotError::NonPositiveLog { bound: lo });
+        }
+        Ok(())
+    }
+
+    /// Map `v` onto `[0, 1]` given the domain `[lo, hi]`.
+    ///
+    /// Values outside the domain extrapolate beyond the unit interval;
+    /// callers clip at the chart level so that out-of-range points are
+    /// visible failures rather than silent distortions.
+    pub fn normalize(self, v: f64, lo: f64, hi: f64) -> f64 {
+        match self {
+            Scale::Linear => (v - lo) / (hi - lo),
+            Scale::Log10 => (v.log10() - lo.log10()) / (hi.log10() - lo.log10()),
+            Scale::Log2 => (v.log2() - lo.log2()) / (hi.log2() - lo.log2()),
+        }
+    }
+
+    /// Generate tick positions (data coordinates) with printed labels for
+    /// the domain `[lo, hi]`.
+    ///
+    /// Linear scales produce 1/2/5-stepped "nice" ticks; `Log10` produces
+    /// decade ticks (1, 10, 100, ...); `Log2` produces octave ticks
+    /// (0.25, 0.5, 1, 2, 4, ...). The endpoints are always covered by at
+    /// least two ticks.
+    pub fn ticks(self, lo: f64, hi: f64) -> Vec<Tick> {
+        match self {
+            Scale::Linear => linear_ticks(lo, hi),
+            Scale::Log10 => log_ticks(lo, hi, 10.0),
+            Scale::Log2 => log_ticks(lo, hi, 2.0),
+        }
+    }
+}
+
+/// One axis tick: a data-coordinate position plus its printed label.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_plot::Scale;
+///
+/// let ticks = Scale::Log10.ticks(1.0, 1000.0);
+/// let labels: Vec<&str> = ticks.iter().map(|t| t.label.as_str()).collect();
+/// assert_eq!(labels, ["1", "10", "100", "1000"]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tick {
+    /// Position in data coordinates.
+    pub value: f64,
+    /// Label drawn next to the axis.
+    pub label: String,
+}
+
+impl Tick {
+    fn new(value: f64) -> Self {
+        Tick { value, label: format_tick(value) }
+    }
+}
+
+/// Render a tick value compactly: integers without a decimal point,
+/// sub-unit values with enough digits to distinguish them.
+fn format_tick(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e6 {
+        // Large magnitudes as powers of ten keep roofline axes readable.
+        format!("{v:.0e}")
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else if a >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        let s = format!("{v:.3}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+/// "Nice number" step selection: the largest of 1, 2, 5 x 10^k producing
+/// at most `max_ticks` intervals.
+fn nice_step(span: f64, max_ticks: usize) -> f64 {
+    debug_assert!(span > 0.0 && max_ticks >= 2);
+    let raw = span / max_ticks as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    for mult in [1.0, 2.0, 5.0, 10.0] {
+        let step = mult * mag;
+        if span / step <= max_ticks as f64 {
+            return step;
+        }
+    }
+    10.0 * mag
+}
+
+fn linear_ticks(lo: f64, hi: f64) -> Vec<Tick> {
+    let step = nice_step(hi - lo, 8);
+    let first = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut v = first;
+    // Guard the loop count so pathological float steps cannot spin.
+    for _ in 0..64 {
+        if v > hi + step * 1e-9 {
+            break;
+        }
+        // Snap near-zero values that arise from float cancellation.
+        let snapped = if v.abs() < step * 1e-9 { 0.0 } else { v };
+        ticks.push(Tick::new(snapped));
+        v += step;
+    }
+    if ticks.len() < 2 {
+        ticks = vec![Tick::new(lo), Tick::new(hi)];
+    }
+    ticks
+}
+
+fn log_ticks(lo: f64, hi: f64, base: f64) -> Vec<Tick> {
+    // The epsilon absorbs ln-ratio rounding (ln(1000)/ln(10) is
+    // 2.9999999999999996, which would otherwise drop the 1000 tick).
+    let log = |v: f64| v.ln() / base.ln();
+    let first = (log(lo) - 1e-9).ceil() as i32;
+    let last = (log(hi) + 1e-9).floor() as i32;
+    let mut ticks: Vec<Tick> =
+        (first..=last).map(|e| Tick::new(base.powi(e))).collect();
+    // A domain inside one decade/octave still needs endpoints.
+    if ticks.len() < 2 {
+        ticks = vec![Tick::new(lo), Tick::new(hi)];
+    }
+    ticks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_normalize_is_affine() {
+        assert_eq!(Scale::Linear.normalize(0.0, 0.0, 10.0), 0.0);
+        assert_eq!(Scale::Linear.normalize(10.0, 0.0, 10.0), 1.0);
+        assert_eq!(Scale::Linear.normalize(5.0, 0.0, 10.0), 0.5);
+    }
+
+    #[test]
+    fn log10_normalize_midpoint_is_geometric_mean() {
+        let mid = Scale::Log10.normalize(10.0, 1.0, 100.0);
+        assert!((mid - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log2_normalize_covers_octaves() {
+        assert!((Scale::Log2.normalize(1.0, 0.25, 4.0) - 0.5).abs() < 1e-12);
+        assert_eq!(Scale::Log2.normalize(0.25, 0.25, 4.0), 0.0);
+        assert_eq!(Scale::Log2.normalize(4.0, 0.25, 4.0), 1.0);
+    }
+
+    #[test]
+    fn out_of_domain_extrapolates() {
+        assert!(Scale::Linear.normalize(-5.0, 0.0, 10.0) < 0.0);
+        assert!(Scale::Log10.normalize(1000.0, 1.0, 100.0) > 1.0);
+    }
+
+    #[test]
+    fn domain_validation_rejects_bad_ranges() {
+        assert!(Scale::Linear.check_domain(1.0, 1.0).is_err());
+        assert!(Scale::Linear.check_domain(2.0, 1.0).is_err());
+        assert!(Scale::Linear.check_domain(f64::NAN, 1.0).is_err());
+        assert!(Scale::Log10.check_domain(0.0, 10.0).is_err());
+        assert!(Scale::Log10.check_domain(-1.0, 10.0).is_err());
+        assert!(Scale::Log10.check_domain(0.1, 10.0).is_ok());
+        assert!(Scale::Linear.check_domain(-5.0, 5.0).is_ok());
+    }
+
+    #[test]
+    fn linear_ticks_are_nice_and_cover_domain() {
+        let ticks = Scale::Linear.ticks(0.0, 100.0);
+        assert!(ticks.len() >= 3);
+        assert_eq!(ticks.first().unwrap().value, 0.0);
+        assert_eq!(ticks.last().unwrap().value, 100.0);
+        // 1/2/5 steps only.
+        let step = ticks[1].value - ticks[0].value;
+        let mant = step / 10f64.powf(step.log10().floor());
+        assert!([1.0, 2.0, 5.0].iter().any(|m| (mant - m).abs() < 1e-9), "step {step}");
+    }
+
+    #[test]
+    fn log10_ticks_are_decades() {
+        let ticks = Scale::Log10.ticks(1.0, 10_000.0);
+        let values: Vec<f64> = ticks.iter().map(|t| t.value).collect();
+        assert_eq!(values, vec![1.0, 10.0, 100.0, 1000.0, 10_000.0]);
+    }
+
+    #[test]
+    fn log2_ticks_are_octaves() {
+        let ticks = Scale::Log2.ticks(0.25, 4.0);
+        let values: Vec<f64> = ticks.iter().map(|t| t.value).collect();
+        assert_eq!(values, vec![0.25, 0.5, 1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn narrow_log_domain_falls_back_to_endpoints() {
+        let ticks = Scale::Log10.ticks(2.0, 8.0); // no decade inside
+        assert_eq!(ticks.len(), 2);
+        assert_eq!(ticks[0].value, 2.0);
+        assert_eq!(ticks[1].value, 8.0);
+    }
+
+    #[test]
+    fn tick_labels_are_compact() {
+        assert_eq!(format_tick(10.0), "10");
+        assert_eq!(format_tick(0.25), "0.25");
+        assert_eq!(format_tick(2.5), "2.5");
+        assert_eq!(format_tick(1e7), "1e7");
+        assert_eq!(format_tick(0.0), "0");
+    }
+
+    #[test]
+    fn fractional_linear_domain_gets_ticks() {
+        let ticks = Scale::Linear.ticks(0.0, 1.0);
+        assert!(ticks.len() >= 3);
+        assert!(ticks.iter().all(|t| t.value >= -1e-12 && t.value <= 1.0 + 1e-12));
+    }
+}

@@ -1,0 +1,309 @@
+//! A minimal SVG document builder.
+//!
+//! Only the primitives the charts need: lines, polylines, rectangles,
+//! circles, polygons, and text, each with a fixed attribute set. All text
+//! content and attribute values are escaped, so arbitrary series names
+//! (including `<`, `&`, quotes) render safely.
+
+use std::fmt::Write as _;
+
+/// Escape a string for use inside SVG text content or attribute values.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tpu_plot::escape("p50 < p99 & more"), "p50 &lt; p99 &amp; more");
+/// ```
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Horizontal text anchoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    /// Text starts at the given x.
+    Start,
+    /// Text is centered on the given x.
+    Middle,
+    /// Text ends at the given x.
+    End,
+}
+
+impl Anchor {
+    fn as_svg(self) -> &'static str {
+        match self {
+            Anchor::Start => "start",
+            Anchor::Middle => "middle",
+            Anchor::End => "end",
+        }
+    }
+}
+
+/// An SVG document under construction.
+///
+/// Coordinates are in user units (pixels at 1:1). The document emits a
+/// white background rectangle so charts are readable in dark-mode
+/// viewers.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_plot::{Anchor, SvgDocument};
+///
+/// let mut doc = SvgDocument::new(200.0, 100.0);
+/// doc.line(0.0, 50.0, 200.0, 50.0, "#000000", 1.0);
+/// doc.text(100.0, 45.0, "ridge point", 10.0, Anchor::Middle, "#333333");
+/// let svg = doc.finish();
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("ridge point"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SvgDocument {
+    width: f64,
+    height: f64,
+    body: String,
+    elements: usize,
+}
+
+impl SvgDocument {
+    /// Start a document of the given pixel size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not strictly positive and finite.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && width.is_finite(), "width must be positive");
+        assert!(height > 0.0 && height.is_finite(), "height must be positive");
+        let mut doc = SvgDocument { width, height, body: String::new(), elements: 0 };
+        doc.rect(0.0, 0.0, width, height, "#ffffff", None);
+        doc
+    }
+
+    /// Number of elements emitted so far (excluding the background).
+    pub fn element_count(&self) -> usize {
+        self.elements.saturating_sub(1)
+    }
+
+    fn coord(v: f64) -> String {
+        // Two decimals keeps files small and diffs stable.
+        format!("{v:.2}")
+    }
+
+    /// A straight line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{}" stroke-width="{}"/>"#,
+            Self::coord(x1),
+            Self::coord(y1),
+            Self::coord(x2),
+            Self::coord(y2),
+            escape(stroke),
+            width
+        );
+        self.elements += 1;
+    }
+
+    /// A dashed straight line segment (used for gridlines).
+    pub fn dashed_line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{}" stroke-width="0.5" stroke-dasharray="3 3"/>"#,
+            Self::coord(x1),
+            Self::coord(y1),
+            Self::coord(x2),
+            Self::coord(y2),
+            escape(stroke),
+        );
+        self.elements += 1;
+    }
+
+    /// An open polyline through the given points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        if points.len() < 2 {
+            return;
+        }
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{},{}", Self::coord(*x), Self::coord(*y)))
+            .collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="{}"/>"#,
+            pts.join(" "),
+            escape(stroke),
+            width
+        );
+        self.elements += 1;
+    }
+
+    /// A filled rectangle, optionally stroked.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<&str>) {
+        let stroke_attr = match stroke {
+            Some(s) => format!(r#" stroke="{}" stroke-width="0.75""#, escape(s)),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{}" y="{}" width="{}" height="{}" fill="{}"{}/>"#,
+            Self::coord(x),
+            Self::coord(y),
+            Self::coord(w.max(0.0)),
+            Self::coord(h.max(0.0)),
+            escape(fill),
+            stroke_attr
+        );
+        self.elements += 1;
+    }
+
+    /// A filled circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{}" cy="{}" r="{}" fill="{}"/>"#,
+            Self::coord(cx),
+            Self::coord(cy),
+            r,
+            escape(fill)
+        );
+        self.elements += 1;
+    }
+
+    /// A filled closed polygon.
+    pub fn polygon(&mut self, points: &[(f64, f64)], fill: &str) {
+        if points.len() < 3 {
+            return;
+        }
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{},{}", Self::coord(*x), Self::coord(*y)))
+            .collect();
+        let _ =
+            writeln!(self.body, r#"<polygon points="{}" fill="{}"/>"#, pts.join(" "), escape(fill));
+        self.elements += 1;
+    }
+
+    /// A text label. `size` is the font size in pixels.
+    pub fn text(&mut self, x: f64, y: f64, content: &str, size: f64, anchor: Anchor, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{}" y="{}" font-size="{}" font-family="sans-serif" text-anchor="{}" fill="{}">{}</text>"#,
+            Self::coord(x),
+            Self::coord(y),
+            size,
+            anchor.as_svg(),
+            escape(fill),
+            escape(content)
+        );
+        self.elements += 1;
+    }
+
+    /// A text label rotated 90 degrees counterclockwise about its anchor
+    /// (for y-axis titles).
+    pub fn vertical_text(&mut self, x: f64, y: f64, content: &str, size: f64) {
+        let _ = writeln!(
+            self.body,
+            r##"<text x="{x}" y="{y}" font-size="{size}" font-family="sans-serif" text-anchor="middle" transform="rotate(-90 {x} {y})" fill="#333333">{}</text>"##,
+            escape(content)
+        );
+        self.elements += 1;
+    }
+
+    /// Finish the document, returning the complete SVG text.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\">\n{body}</svg>\n",
+            w = self.width,
+            h = self.height,
+            body = self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_markup_characters() {
+        assert_eq!(escape("a<b&c>\"d'"), "a&lt;b&amp;c&gt;&quot;d&apos;");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn document_has_header_viewbox_and_background() {
+        let doc = SvgDocument::new(320.0, 200.0);
+        let s = doc.finish();
+        assert!(s.starts_with("<svg"));
+        assert!(s.contains("viewBox=\"0 0 320 200\""));
+        assert!(s.contains("#ffffff"));
+        assert!(s.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn elements_are_counted_excluding_background() {
+        let mut doc = SvgDocument::new(100.0, 100.0);
+        assert_eq!(doc.element_count(), 0);
+        doc.line(0.0, 0.0, 1.0, 1.0, "#000", 1.0);
+        doc.circle(5.0, 5.0, 2.0, "red");
+        doc.text(0.0, 0.0, "hi", 10.0, Anchor::Start, "#333");
+        assert_eq!(doc.element_count(), 3);
+    }
+
+    #[test]
+    fn text_content_is_escaped() {
+        let mut doc = SvgDocument::new(100.0, 100.0);
+        doc.text(0.0, 0.0, "a<b>&c", 10.0, Anchor::Middle, "#000");
+        let s = doc.finish();
+        assert!(s.contains("a&lt;b&gt;&amp;c"));
+        assert!(!s.contains("a<b>"));
+    }
+
+    #[test]
+    fn degenerate_polyline_and_polygon_are_skipped() {
+        let mut doc = SvgDocument::new(100.0, 100.0);
+        doc.polyline(&[(1.0, 1.0)], "#000", 1.0);
+        doc.polygon(&[(1.0, 1.0), (2.0, 2.0)], "#000");
+        assert_eq!(doc.element_count(), 0);
+    }
+
+    #[test]
+    fn tags_are_balanced() {
+        let mut doc = SvgDocument::new(100.0, 100.0);
+        doc.polyline(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)], "blue", 1.5);
+        doc.rect(1.0, 1.0, 5.0, 5.0, "green", Some("black"));
+        doc.vertical_text(10.0, 50.0, "TOPS", 11.0);
+        let s = doc.finish();
+        let opens = s.matches('<').count();
+        let closes = s.matches('>').count();
+        assert_eq!(opens, closes);
+        // Every element is self-closing or closed; no stray unescaped '&'.
+        for chunk in s.split('&').skip(1) {
+            assert!(
+                chunk.starts_with("amp;")
+                    || chunk.starts_with("lt;")
+                    || chunk.starts_with("gt;")
+                    || chunk.starts_with("quot;")
+                    || chunk.starts_with("apos;"),
+                "unescaped ampersand near: {chunk:.20}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _ = SvgDocument::new(0.0, 100.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the scale math and renderer robustness.
+
+use proptest::prelude::*;
+use tpu_plot::{escape, BarChart, Chart, Scale, Series};
+
+proptest! {
+    /// normalize is monotone for any valid domain and in-range inputs.
+    #[test]
+    fn linear_normalize_is_monotone(
+        lo in -1e6f64..1e6,
+        span in 1e-3f64..1e6,
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+    ) {
+        let hi = lo + span;
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let va = lo + a * span;
+        let vb = lo + b * span;
+        let na = Scale::Linear.normalize(va, lo, hi);
+        let nb = Scale::Linear.normalize(vb, lo, hi);
+        prop_assert!(na <= nb + 1e-12, "{na} > {nb}");
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&na));
+    }
+
+    /// Log10 normalize of endpoints is exactly 0 and 1, and interior
+    /// points stay interior.
+    #[test]
+    fn log10_normalize_respects_endpoints(
+        lo in 1e-6f64..1e3,
+        ratio in 1.001f64..1e6,
+        t in 0.0f64..1.0,
+    ) {
+        let hi = lo * ratio;
+        prop_assert!(Scale::Log10.normalize(lo, lo, hi).abs() < 1e-9);
+        prop_assert!((Scale::Log10.normalize(hi, lo, hi) - 1.0).abs() < 1e-9);
+        let mid = lo * ratio.powf(t);
+        let n = Scale::Log10.normalize(mid, lo, hi);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&n));
+    }
+
+    /// Ticks are strictly increasing and inside the domain for every
+    /// scale.
+    #[test]
+    fn ticks_are_sorted_and_in_domain(
+        lo in 0.001f64..100.0,
+        ratio in 1.5f64..1e5,
+        scale_idx in 0usize..3,
+    ) {
+        let hi = lo * ratio;
+        let scale = [Scale::Linear, Scale::Log10, Scale::Log2][scale_idx];
+        let ticks = scale.ticks(lo, hi);
+        prop_assert!(ticks.len() >= 2);
+        for w in ticks.windows(2) {
+            prop_assert!(w[0].value < w[1].value);
+        }
+        let eps = (hi - lo) * 1e-9;
+        for t in &ticks {
+            prop_assert!(t.value >= lo - eps && t.value <= hi + eps,
+                "tick {} outside [{lo}, {hi}]", t.value);
+            prop_assert!(!t.label.is_empty());
+        }
+    }
+
+    /// Any finite positive dataset renders without error on any axis
+    /// combination, and the output is structurally sane.
+    #[test]
+    fn chart_renders_arbitrary_positive_data(
+        points in prop::collection::vec((1e-3f64..1e6, 1e-3f64..1e6), 2..40),
+        x_scale in 0usize..3,
+        y_scale in 0usize..3,
+    ) {
+        let scales = [Scale::Linear, Scale::Log10, Scale::Log2];
+        let svg = Chart::new("prop")
+            .x_axis("x", scales[x_scale])
+            .y_axis("y", scales[y_scale])
+            .series(Series::line("s", points))
+            .render()
+            .expect("positive finite data always renders");
+        prop_assert!(svg.starts_with("<svg"));
+        prop_assert!(svg.trim_end().ends_with("</svg>"));
+        prop_assert_eq!(svg.matches('<').count(), svg.matches('>').count());
+    }
+
+    /// Escaping is idempotent-safe: no raw markup characters survive.
+    #[test]
+    fn escape_removes_all_markup(s in "\\PC*") {
+        let e = escape(&s);
+        prop_assert!(!e.contains('<'));
+        prop_assert!(!e.contains('>'));
+        prop_assert!(!e.contains('"'));
+        // Every '&' in the output starts a known entity.
+        for chunk in e.split('&').skip(1) {
+            prop_assert!(
+                chunk.starts_with("amp;") || chunk.starts_with("lt;")
+                    || chunk.starts_with("gt;") || chunk.starts_with("quot;")
+                    || chunk.starts_with("apos;"),
+                "raw ampersand in {e}"
+            );
+        }
+    }
+
+    /// Bar charts render for any positive values, linear or log.
+    #[test]
+    fn bars_render_arbitrary_positive_values(
+        vals in prop::collection::vec(1e-2f64..1e3, 1..6),
+        log in any::<bool>(),
+    ) {
+        let groups: Vec<String> = (0..vals.len()).map(|i| format!("g{i}")).collect();
+        let group_refs: Vec<&str> = groups.iter().map(String::as_str).collect();
+        let mut chart = BarChart::new("b", &group_refs).bars("only", &vals);
+        if log {
+            chart = chart.log_y();
+        }
+        let svg = chart.render().expect("positive bars always render");
+        prop_assert!(svg.contains("<rect"));
+    }
+}

@@ -1,0 +1,351 @@
+//! Per-operation energy/area and a die-level energy breakdown.
+//!
+//! The paper's Section 1 quotes Dally's numbers (\[Dal16\]): an 8-bit integer
+//! multiply is ~6x lower energy and ~6x smaller than an IEEE 754 16-bit
+//! floating-point multiply, and integer addition is 13x lower energy and
+//! 38x smaller. Section 2 adds the architectural consequence: "reading a
+//! large SRAM uses much more power than arithmetic", which is why the
+//! matrix unit is systolic — each operand is read from the Unified Buffer
+//! once and then flows through 256 MACs.
+//!
+//! This module encodes those per-operation costs (45 nm-class values from
+//! the Horowitz/Dally energy tables, which is what \[Dal16\] presents) and
+//! composes them into:
+//!
+//! * [`OpEnergy`] — energy per primitive operation, with the paper's
+//!   int-vs-float ratios preserved;
+//! * [`die_energy_breakdown`] — Joules per inference split across MACs,
+//!   SRAM reads, DRAM weight traffic and PCIe, for any of the six apps;
+//! * [`systolic_savings`] — how much SRAM-read energy the systolic
+//!   organization saves versus a naive design that re-reads operands from
+//!   the Unified Buffer for every MAC.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy per primitive operation, picojoules.
+///
+/// Defaults are 45 nm-class values consistent with the ratios quoted in
+/// the paper's introduction (8-bit int multiply ~6x cheaper than fp16
+/// multiply; int add 13x cheaper than fp add).
+///
+/// # Examples
+///
+/// ```
+/// use tpu_power::components::OpEnergy;
+///
+/// let e = OpEnergy::default();
+/// // The paper's headline ratios hold.
+/// assert!((e.fp16_mul_pj / e.int8_mul_pj - 5.5).abs() < 1.5);
+/// assert!((e.fp16_add_pj / e.int8_add_pj - 13.0).abs() < 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpEnergy {
+    /// 8-bit integer multiply, pJ.
+    pub int8_mul_pj: f64,
+    /// 8-bit integer add (32-bit accumulate path), pJ.
+    pub int8_add_pj: f64,
+    /// IEEE 754 half-precision multiply, pJ.
+    pub fp16_mul_pj: f64,
+    /// IEEE 754 half-precision add, pJ.
+    pub fp16_add_pj: f64,
+    /// Single-precision multiply, pJ.
+    pub fp32_mul_pj: f64,
+    /// Single-precision add, pJ.
+    pub fp32_add_pj: f64,
+    /// Read one byte from a large (MiB-scale) on-chip SRAM, pJ.
+    pub sram_byte_pj: f64,
+    /// Read one byte from off-chip DRAM, pJ.
+    pub dram_byte_pj: f64,
+    /// Move one byte over PCIe Gen3, pJ.
+    pub pcie_byte_pj: f64,
+}
+
+impl Default for OpEnergy {
+    fn default() -> Self {
+        OpEnergy {
+            int8_mul_pj: 0.2,
+            int8_add_pj: 0.03,
+            fp16_mul_pj: 1.1,  // ~5.5x the int8 multiply
+            fp16_add_pj: 0.4,  // ~13x the int8 add
+            fp32_mul_pj: 3.7,
+            fp32_add_pj: 0.9,
+            sram_byte_pj: 1.25, // large SRAM: ~10 pJ per 64-bit word
+            dram_byte_pj: 162.5, // ~1.3 nJ per 64-bit word
+            pcie_byte_pj: 30.0,
+        }
+    }
+}
+
+impl OpEnergy {
+    /// Energy of one 8-bit MAC (multiply + 32-bit accumulate), pJ.
+    pub fn int8_mac_pj(&self) -> f64 {
+        self.int8_mul_pj + self.int8_add_pj
+    }
+
+    /// Energy of one fp16 MAC, pJ.
+    pub fn fp16_mac_pj(&self) -> f64 {
+        self.fp16_mul_pj + self.fp16_add_pj
+    }
+
+    /// The paper's "6x less energy" multiply ratio.
+    pub fn mul_energy_ratio(&self) -> f64 {
+        self.fp16_mul_pj / self.int8_mul_pj
+    }
+
+    /// The paper's "13x" add ratio.
+    pub fn add_energy_ratio(&self) -> f64 {
+        self.fp16_add_pj / self.int8_add_pj
+    }
+}
+
+/// Area per primitive in square micrometres, 45 nm-class.
+///
+/// Preserves the paper's "6X less area" (multiply) and "38X" (add) claims.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpArea {
+    /// 8-bit integer multiplier, um^2.
+    pub int8_mul_um2: f64,
+    /// 8-bit integer adder, um^2.
+    pub int8_add_um2: f64,
+    /// fp16 multiplier, um^2.
+    pub fp16_mul_um2: f64,
+    /// fp16 adder, um^2.
+    pub fp16_add_um2: f64,
+}
+
+impl Default for OpArea {
+    fn default() -> Self {
+        OpArea {
+            int8_mul_um2: 282.0,
+            int8_add_um2: 36.0,
+            fp16_mul_um2: 1640.0, // ~5.8x int8
+            fp16_add_um2: 1360.0, // ~38x int8
+        }
+    }
+}
+
+impl OpArea {
+    /// fp16/int8 multiplier area ratio (the paper says ~6x).
+    pub fn mul_area_ratio(&self) -> f64 {
+        self.fp16_mul_um2 / self.int8_mul_um2
+    }
+
+    /// fp16/int8 adder area ratio (the paper says ~38x).
+    pub fn add_area_ratio(&self) -> f64 {
+        self.fp16_add_um2 / self.int8_add_um2
+    }
+
+    /// How many int8 MACs fit in the area of one fp16 MAC.
+    ///
+    /// The conclusion's "25 times as many MACs" against the K80 combines
+    /// this density advantage with the TPU's dedication of a quarter of
+    /// its die to the matrix unit.
+    pub fn macs_per_fp16_mac(&self) -> f64 {
+        (self.fp16_mul_um2 + self.fp16_add_um2) / (self.int8_mul_um2 + self.int8_add_um2)
+    }
+}
+
+/// One inference's worth of work, counted in architectural events.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InferenceWork {
+    /// Useful 8-bit MACs performed.
+    pub macs: f64,
+    /// Bytes read from the Unified Buffer into the matrix unit.
+    pub ub_read_bytes: f64,
+    /// Bytes written back to the Unified Buffer.
+    pub ub_write_bytes: f64,
+    /// Weight bytes fetched from DRAM.
+    pub weight_bytes: f64,
+    /// Bytes moved over PCIe (inputs + outputs).
+    pub pcie_bytes: f64,
+}
+
+impl InferenceWork {
+    /// Work profile for a batch-`b` inference of a model with
+    /// `weights` weight bytes and `ops_per_inference` MACs.
+    ///
+    /// The systolic design reads each input row once per weight tile pass
+    /// rather than once per MAC; `ub_read_bytes` reflects that.
+    pub fn for_model(weights: f64, macs_per_inference: f64, batch: usize, io_bytes: f64) -> Self {
+        let b = batch as f64;
+        InferenceWork {
+            macs: macs_per_inference,
+            // Each activation byte enters the array once per 256-wide tile
+            // column it participates in: approximately macs / 256.
+            ub_read_bytes: macs_per_inference / 256.0,
+            ub_write_bytes: macs_per_inference / 256.0 / 256.0 * 4.0,
+            // Weights are amortized over the batch.
+            weight_bytes: weights / b,
+            pcie_bytes: io_bytes,
+        }
+    }
+}
+
+/// Energy per inference split by component, Joules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// MAC array switching energy.
+    pub mac_j: f64,
+    /// Unified Buffer read + write energy.
+    pub sram_j: f64,
+    /// Weight Memory DRAM energy.
+    pub dram_j: f64,
+    /// PCIe transfer energy.
+    pub pcie_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy per inference, Joules.
+    pub fn total_j(&self) -> f64 {
+        self.mac_j + self.sram_j + self.dram_j + self.pcie_j
+    }
+
+    /// Fraction of total energy spent in DRAM weight traffic.
+    pub fn dram_fraction(&self) -> f64 {
+        self.dram_j / self.total_j()
+    }
+}
+
+/// Compute the per-inference energy breakdown for a work profile.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_power::components::{die_energy_breakdown, InferenceWork, OpEnergy};
+///
+/// // MLP0: 20M weights, ~20M MACs/inference, batch 200.
+/// let work = InferenceWork::for_model(20e6, 20e6, 200, 4000.0);
+/// let e = die_energy_breakdown(&OpEnergy::default(), &work);
+/// // Even with batch-200 amortization, DRAM weight traffic is the
+/// // largest energy component — the MLPs are memory-bound in energy
+/// // just as they are in time (Figure 5).
+/// assert!(e.dram_fraction() > 0.5);
+/// ```
+pub fn die_energy_breakdown(ops: &OpEnergy, work: &InferenceWork) -> EnergyBreakdown {
+    EnergyBreakdown {
+        mac_j: work.macs * ops.int8_mac_pj() * 1e-12,
+        sram_j: (work.ub_read_bytes + work.ub_write_bytes) * ops.sram_byte_pj * 1e-12,
+        dram_j: work.weight_bytes * ops.dram_byte_pj * 1e-12,
+        pcie_j: work.pcie_bytes * ops.pcie_byte_pj * 1e-12,
+    }
+}
+
+/// SRAM-read energy of the systolic organization versus a naive array that
+/// re-reads both operands from the Unified Buffer for every MAC.
+///
+/// Returns `(systolic_joules, naive_joules)` for `macs` multiply-adds on
+/// an `array_dim`-wide systolic array.
+///
+/// The systolic array reads each 256-byte input vector once and each
+/// weight once (it is then held in place), so SRAM traffic is
+/// `macs / array_dim` bytes; the naive design reads two operand bytes per
+/// MAC.
+pub fn systolic_savings(ops: &OpEnergy, macs: f64, array_dim: usize) -> (f64, f64) {
+    let systolic_bytes = macs / array_dim as f64;
+    let naive_bytes = macs * 2.0;
+    (
+        systolic_bytes * ops.sram_byte_pj * 1e-12,
+        naive_bytes * ops.sram_byte_pj * 1e-12,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_energy_ratios_hold() {
+        let e = OpEnergy::default();
+        let mul_ratio = e.mul_energy_ratio();
+        let add_ratio = e.add_energy_ratio();
+        assert!((4.5..7.5).contains(&mul_ratio), "multiply ratio {mul_ratio}");
+        assert!((11.0..15.0).contains(&add_ratio), "add ratio {add_ratio}");
+    }
+
+    #[test]
+    fn paper_area_ratios_hold() {
+        let a = OpArea::default();
+        assert!((4.5..7.5).contains(&a.mul_area_ratio()));
+        assert!((34.0..42.0).contains(&a.add_area_ratio()));
+    }
+
+    #[test]
+    fn int8_mac_density_supports_25x_claim() {
+        // 6x multiplier and 38x adder density compose to an order of
+        // magnitude more MACs per area; with the TPU also spending a
+        // larger die fraction on compute this underwrites the 25x MAC
+        // count advantage over the K80.
+        let a = OpArea::default();
+        assert!(a.macs_per_fp16_mac() > 7.0, "{}", a.macs_per_fp16_mac());
+    }
+
+    #[test]
+    fn batching_amortizes_dram_energy_but_mlp0_stays_memory_dominated() {
+        let e = OpEnergy::default();
+        let small = InferenceWork::for_model(20e6, 20e6, 1, 4000.0);
+        let large = InferenceWork::for_model(20e6, 20e6, 200, 4000.0);
+        let b1 = die_energy_breakdown(&e, &small);
+        let b200 = die_energy_breakdown(&e, &large);
+        // Batch 1: essentially all energy is weight DRAM traffic.
+        assert!(b1.dram_fraction() > 0.99, "batch 1 DRAM fraction {}", b1.dram_fraction());
+        // Batch 200 cuts per-inference energy by >100x...
+        assert!(b200.total_j() < b1.total_j() / 100.0);
+        // ...yet DRAM remains the largest single component: MLP0 is
+        // memory-bound in energy just as in Figure 5's roofline.
+        assert!(b200.dram_fraction() > 0.5, "batch 200 DRAM fraction {}", b200.dram_fraction());
+        assert!(b200.dram_fraction() < b1.dram_fraction());
+    }
+
+    #[test]
+    fn cnn_energy_is_compute_dominated() {
+        // CNN0: 8M weights but 2888 ops/weight-byte at batch 8 => MAC
+        // energy swamps weight traffic, mirroring its compute-bound
+        // position on the roofline.
+        let e = OpEnergy::default();
+        let macs = 8e6 * 2888.0 / 2.0 * 8.0 / 8.0; // ops/2 = MACs, per inference at batch 8
+        let w = InferenceWork::for_model(8e6, macs, 8, 150_000.0);
+        let b = die_energy_breakdown(&e, &w);
+        assert!(b.mac_j > b.dram_j, "mac {} vs dram {}", b.mac_j, b.dram_j);
+    }
+
+    #[test]
+    fn systolic_saves_two_orders_of_magnitude_of_sram_energy() {
+        let e = OpEnergy::default();
+        let (systolic, naive) = systolic_savings(&e, 65_536.0 * 1000.0, 256);
+        assert!(naive / systolic > 100.0, "savings ratio {}", naive / systolic);
+    }
+
+    #[test]
+    fn sram_byte_costs_more_than_a_mac() {
+        // "Reading a large SRAM uses much more power than arithmetic."
+        let e = OpEnergy::default();
+        assert!(e.sram_byte_pj > e.int8_mac_pj());
+    }
+
+    #[test]
+    fn dram_byte_costs_two_orders_more_than_sram_byte() {
+        let e = OpEnergy::default();
+        assert!(e.dram_byte_pj / e.sram_byte_pj > 100.0);
+    }
+
+    #[test]
+    fn breakdown_total_is_sum_of_parts() {
+        let e = OpEnergy::default();
+        let w = InferenceWork::for_model(5e6, 5e6, 168, 2000.0);
+        let b = die_energy_breakdown(&e, &w);
+        let sum = b.mac_j + b.sram_j + b.dram_j + b.pcie_j;
+        assert!((b.total_j() - sum).abs() < 1e-18);
+    }
+
+    #[test]
+    fn energy_per_inference_is_plausible_for_mlp0() {
+        // MLP0 at batch 200 and 225k inferences/s on a ~40 W die implies
+        // ~180 uJ per inference of total power; the datapath component
+        // computed here must come in well under that ceiling.
+        let e = OpEnergy::default();
+        let w = InferenceWork::for_model(20e6, 20e6, 200, 4000.0);
+        let b = die_energy_breakdown(&e, &w);
+        assert!(b.total_j() < 180e-6, "datapath energy {} J", b.total_j());
+        assert!(b.total_j() > 1e-7, "implausibly low energy {} J", b.total_j());
+    }
+}

@@ -1,0 +1,257 @@
+//! Daily energy under a varying datacenter load profile.
+//!
+//! Section 6: "the cost of electricity is based on the *average*
+//! consumed as the workload varies during the day", and \[Bar07\] "found
+//! that servers are 100% busy less than 10% of the time". This module
+//! integrates each platform's utilization-to-power curve over a 24-hour
+//! load profile, turning the Figure 10 curves into the quantity a
+//! datacenter operator actually pays for — and quantifying how much the
+//! TPU's poor energy proportionality costs it in practice.
+
+use crate::energy::{host_server_power, PowerCurve, PowerWorkload};
+use serde::{Deserialize, Serialize};
+use tpu_platforms::spec::{ChipSpec, Platform};
+
+/// A 24-hour utilization profile, one value in `[0, 1]` per hour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalProfile {
+    hours: [f64; 24],
+}
+
+impl DiurnalProfile {
+    /// A profile from explicit hourly utilizations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is outside `[0, 1]`.
+    pub fn new(hours: [f64; 24]) -> Self {
+        assert!(
+            hours.iter().all(|&u| (0.0..=1.0).contains(&u)),
+            "utilizations must lie in [0, 1]"
+        );
+        DiurnalProfile { hours }
+    }
+
+    /// Constant utilization all day.
+    pub fn flat(u: f64) -> Self {
+        Self::new([u; 24])
+    }
+
+    /// A \[Bar07\]-shaped datacenter day: a night trough around 10-20%,
+    /// a business-hours ramp, an evening peak near 75%, never far past
+    /// it — "servers are 100% busy less than 10% of the time".
+    pub fn datacenter_typical() -> Self {
+        Self::new([
+            0.20, 0.15, 0.12, 0.10, 0.10, 0.12, // 00-05: trough
+            0.18, 0.28, 0.40, 0.50, 0.55, 0.60, // 06-11: ramp
+            0.62, 0.60, 0.58, 0.60, 0.65, 0.70, // 12-17: plateau
+            0.75, 0.72, 0.65, 0.50, 0.35, 0.25, // 18-23: peak and wind-down
+        ])
+    }
+
+    /// The hourly utilizations.
+    pub fn hours(&self) -> &[f64; 24] {
+        &self.hours
+    }
+
+    /// Mean utilization over the day.
+    pub fn mean(&self) -> f64 {
+        self.hours.iter().sum::<f64>() / 24.0
+    }
+}
+
+/// Daily energy figures for one platform under a profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DailyEnergy {
+    /// The platform.
+    pub platform: Platform,
+    /// Whole-server energy per day, kWh (accelerator dies + host).
+    pub server_kwh: f64,
+    /// Energy a perfectly proportional server (same busy power) would
+    /// use, kWh.
+    pub proportional_kwh: f64,
+    /// Energy at 24h of full load, kWh (the provisioning view).
+    pub full_load_kwh: f64,
+}
+
+impl DailyEnergy {
+    /// How much more energy than a perfectly proportional server:
+    /// 1.0 = ideal, larger = worse proportionality cost.
+    pub fn proportionality_penalty(&self) -> f64 {
+        self.server_kwh / self.proportional_kwh
+    }
+
+    /// Fraction of the full-load (provisioned) energy actually consumed.
+    pub fn of_provisioned(&self) -> f64 {
+        self.server_kwh / self.full_load_kwh
+    }
+}
+
+/// Whole-server power (accelerator dies + host share) at utilization `u`.
+fn server_power_w(platform: Platform, workload: PowerWorkload, u: f64) -> f64 {
+    let spec = ChipSpec::of(platform);
+    let die = PowerCurve::for_die(platform, workload);
+    match platform {
+        Platform::Haswell => {
+            // The CPU *is* the server; scale the die curve to server power.
+            die.power(u) / die.busy_w * spec.server_busy_w
+        }
+        _ => die.power(u) * spec.dies_per_server as f64 + host_server_power(platform, u),
+    }
+}
+
+/// Integrate a platform's server power over the profile.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_power::diurnal::{daily_energy, DiurnalProfile};
+/// use tpu_power::energy::PowerWorkload;
+/// use tpu_platforms::spec::Platform;
+///
+/// let day = DiurnalProfile::datacenter_typical();
+/// let tpu = daily_energy(Platform::Tpu, PowerWorkload::Cnn0, &day);
+/// // Poor proportionality: the TPU uses most of its full-load energy
+/// // even though the day averages ~42% utilization.
+/// assert!(tpu.of_provisioned() > 0.8);
+/// ```
+pub fn daily_energy(
+    platform: Platform,
+    workload: PowerWorkload,
+    profile: &DiurnalProfile,
+) -> DailyEnergy {
+    let mut wh = 0.0;
+    let mut proportional_wh = 0.0;
+    let full_w = server_power_w(platform, workload, 1.0);
+    for &u in profile.hours() {
+        wh += server_power_w(platform, workload, u);
+        // A perfectly proportional server: power scales linearly with
+        // utilization from zero.
+        proportional_wh += full_w * u;
+    }
+    DailyEnergy {
+        platform,
+        server_kwh: wh / 1000.0,
+        proportional_kwh: proportional_wh / 1000.0,
+        full_load_kwh: full_w * 24.0 / 1000.0,
+    }
+}
+
+/// Daily *work* done by a server under the profile, in arbitrary
+/// inference units: utilization times relative per-server throughput.
+///
+/// `relative_throughput` is the server's full-load performance relative
+/// to some baseline (e.g. Table 6's per-die numbers scaled by
+/// dies/server).
+pub fn daily_work(profile: &DiurnalProfile, relative_throughput: f64) -> f64 {
+    profile.hours().iter().sum::<f64>() * relative_throughput
+}
+
+/// Energy per unit of work across a day: the operator's real metric.
+/// Returns kWh per (relative) inference unit.
+pub fn daily_energy_per_work(
+    platform: Platform,
+    workload: PowerWorkload,
+    profile: &DiurnalProfile,
+    relative_throughput: f64,
+) -> f64 {
+    daily_energy(platform, workload, profile).server_kwh / daily_work(profile, relative_throughput)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_full_load_equals_provisioned_energy() {
+        for p in [Platform::Haswell, Platform::K80, Platform::Tpu] {
+            let e = daily_energy(p, PowerWorkload::Cnn0, &DiurnalProfile::flat(1.0));
+            assert!((e.of_provisioned() - 1.0).abs() < 1e-9, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn tpu_pays_the_worst_proportionality_penalty() {
+        // Section 6: at 10% load the TPU draws 88% of full power, the GPU
+        // 66%, the CPU 56% — so over a light day the TPU wastes the most
+        // relative to an ideal proportional server.
+        let day = DiurnalProfile::flat(0.10);
+        let cpu = daily_energy(Platform::Haswell, PowerWorkload::Cnn0, &day);
+        let gpu = daily_energy(Platform::K80, PowerWorkload::Cnn0, &day);
+        let tpu = daily_energy(Platform::Tpu, PowerWorkload::Cnn0, &day);
+        assert!(
+            tpu.proportionality_penalty() > gpu.proportionality_penalty(),
+            "tpu {} vs gpu {}",
+            tpu.proportionality_penalty(),
+            gpu.proportionality_penalty()
+        );
+        assert!(
+            gpu.proportionality_penalty() > cpu.proportionality_penalty(),
+            "gpu {} vs cpu {}",
+            gpu.proportionality_penalty(),
+            cpu.proportionality_penalty()
+        );
+    }
+
+    #[test]
+    fn typical_day_energy_sits_between_idle_and_full() {
+        let day = DiurnalProfile::datacenter_typical();
+        for p in [Platform::Haswell, Platform::K80, Platform::Tpu] {
+            let e = daily_energy(p, PowerWorkload::Cnn0, &day);
+            assert!(e.server_kwh < e.full_load_kwh, "{p:?}");
+            assert!(e.server_kwh > 0.0);
+            assert!(e.proportionality_penalty() >= 1.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn tpu_still_wins_energy_per_work_despite_poor_proportionality() {
+        // The paper's bottom line survives the diurnal accounting: even
+        // charged for its flat power curve, the TPU's throughput advantage
+        // leaves it far cheaper per inference than the CPU server.
+        let day = DiurnalProfile::datacenter_typical();
+        // Table 6 weighted means scaled to whole servers:
+        // CPU = 1.0 x 1 (2 dies is the baseline server),
+        // K80 server = 1.9 x (8 dies / 2-die baseline is already in the
+        // per-die ratio context; keep per-die x dies consistent):
+        let cpu_tp = 1.0 * 2.0;
+        let gpu_tp = 1.9 * 8.0;
+        let tpu_tp = 29.2 * 4.0;
+        let cpu = daily_energy_per_work(Platform::Haswell, PowerWorkload::Cnn0, &day, cpu_tp);
+        let gpu = daily_energy_per_work(Platform::K80, PowerWorkload::Cnn0, &day, gpu_tp);
+        let tpu = daily_energy_per_work(Platform::Tpu, PowerWorkload::Cnn0, &day, tpu_tp);
+        assert!(tpu < gpu && gpu < cpu, "tpu {tpu} gpu {gpu} cpu {cpu}");
+        assert!(cpu / tpu > 10.0, "TPU energy/work advantage only {}", cpu / tpu);
+    }
+
+    #[test]
+    fn mean_utilization_of_typical_day_is_moderate() {
+        let m = DiurnalProfile::datacenter_typical().mean();
+        assert!((0.3..0.6).contains(&m), "mean {m}");
+    }
+
+    #[test]
+    fn profile_accessors_round_trip() {
+        let hours = [0.5; 24];
+        let p = DiurnalProfile::new(hours);
+        assert_eq!(p.hours(), &hours);
+        assert!((p.mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilizations must lie in [0, 1]")]
+    fn out_of_range_utilization_panics() {
+        let mut hours = [0.5; 24];
+        hours[3] = 1.5;
+        let _ = DiurnalProfile::new(hours);
+    }
+
+    #[test]
+    fn energy_monotone_in_load() {
+        for p in [Platform::Haswell, Platform::K80, Platform::Tpu] {
+            let lo = daily_energy(p, PowerWorkload::Cnn0, &DiurnalProfile::flat(0.2));
+            let hi = daily_energy(p, PowerWorkload::Cnn0, &DiurnalProfile::flat(0.8));
+            assert!(hi.server_kwh > lo.server_kwh, "{p:?}");
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Energy proportionality (Section 6, Figure 10).
+//!
+//! \[Bar07\] argued servers should consume power proportional to work
+//! performed. The paper measured power as offered load varies from 0 to
+//! 100% (in 10% buckets) and found the TPU has *poor* proportionality:
+//! running CNN0 at 10% load it draws 88% of its full power (the short
+//! schedule left no time for energy-saving features), versus 66% for the
+//! K80 and 56% for Haswell. LSTM1 behaves similarly (94/78/47%).
+//!
+//! The curve family is `P(u) = idle + (busy - idle) * u^alpha` with alpha
+//! fitted per platform and workload to those published 10%-load points;
+//! Table 2 supplies idle/busy. Host power while driving an accelerator
+//! uses the same form with the measured 100%-load fractions (52% of full
+//! CPU-server power when hosting GPUs, 69% when hosting TPUs — the CPU
+//! works harder for the faster accelerator).
+
+use serde::{Deserialize, Serialize};
+use tpu_platforms::spec::{ChipSpec, Platform};
+
+/// Workloads for which proportionality constants were published.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerWorkload {
+    /// The compute-bound CNN (Figure 10's workload).
+    Cnn0,
+    /// The memory-bound LSTM quoted in the text.
+    Lstm1,
+}
+
+/// A utilization-to-power curve for one die.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerCurve {
+    /// Power at zero load, Watts.
+    pub idle_w: f64,
+    /// Power at full load, Watts.
+    pub busy_w: f64,
+    /// Proportionality exponent: lower alpha = flatter curve = worse
+    /// proportionality.
+    pub alpha: f64,
+}
+
+impl PowerCurve {
+    /// Construct directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= idle <= busy` and `alpha > 0`.
+    pub fn new(idle_w: f64, busy_w: f64, alpha: f64) -> Self {
+        assert!(idle_w >= 0.0 && busy_w >= idle_w, "idle must not exceed busy");
+        assert!(alpha > 0.0, "alpha must be positive");
+        Self { idle_w, busy_w, alpha }
+    }
+
+    /// Fit alpha so the curve passes through (`u_ref`, `p_ref` fraction
+    /// of busy power).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference point is not between idle and busy power
+    /// or `u_ref` is not in `(0, 1)`.
+    pub fn fit(idle_w: f64, busy_w: f64, u_ref: f64, frac_of_busy: f64) -> Self {
+        assert!(u_ref > 0.0 && u_ref < 1.0, "reference utilization in (0,1)");
+        let p_ref = frac_of_busy * busy_w;
+        assert!(
+            p_ref > idle_w && p_ref < busy_w,
+            "reference power {p_ref} must lie between idle {idle_w} and busy {busy_w}"
+        );
+        let alpha = ((p_ref - idle_w) / (busy_w - idle_w)).ln() / u_ref.ln();
+        Self::new(idle_w, busy_w, alpha)
+    }
+
+    /// The calibrated per-die curve for a platform and workload.
+    pub fn for_die(platform: Platform, workload: PowerWorkload) -> Self {
+        let spec = ChipSpec::of(platform);
+        // Section 6's 10%-load fractions of full power.
+        let frac_at_10 = match (platform, workload) {
+            (Platform::Haswell, PowerWorkload::Cnn0) => 0.56,
+            (Platform::K80, PowerWorkload::Cnn0) => 0.66,
+            (Platform::Tpu, PowerWorkload::Cnn0) => 0.88,
+            (Platform::Haswell, PowerWorkload::Lstm1) => 0.47,
+            (Platform::K80, PowerWorkload::Lstm1) => 0.78,
+            (Platform::Tpu, PowerWorkload::Lstm1) => 0.94,
+        };
+        Self::fit(spec.idle_w, spec.busy_w, 0.10, frac_at_10)
+    }
+
+    /// Power at utilization `u` (clamped to `[0, 1]`), Watts.
+    pub fn power(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        if u == 0.0 {
+            return self.idle_w;
+        }
+        self.idle_w + (self.busy_w - self.idle_w) * u.powf(self.alpha)
+    }
+
+    /// Fraction of full power drawn at utilization `u`.
+    pub fn fraction_of_busy(&self, u: f64) -> f64 {
+        self.power(u) / self.busy_w
+    }
+}
+
+/// Host CPU-server power while driving accelerators: the measured
+/// 100%-load fractions of the full CPU server's busy power.
+pub fn host_server_power(accel: Platform, u: f64) -> f64 {
+    let cpu = ChipSpec::haswell();
+    let full_frac = match accel {
+        Platform::K80 => 0.52,
+        Platform::Tpu => 0.69,
+        Platform::Haswell => 1.0,
+    };
+    let busy = full_frac * cpu.server_busy_w;
+    // The host inherits Haswell's proportionality shape.
+    let curve = PowerCurve::for_die(Platform::Haswell, PowerWorkload::Cnn0);
+    let shape = (curve.power(u) - curve.idle_w) / (curve.busy_w - curve.idle_w);
+    cpu.server_idle_w + (busy - cpu.server_idle_w) * shape
+}
+
+/// One row of the Figure 10 data: Watts per die at a given utilization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig10Row {
+    /// Offered workload utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Haswell total Watts/die (server/2).
+    pub cpu_per_die: f64,
+    /// K80 total Watts/die (die + host share /8).
+    pub gpu_total: f64,
+    /// K80 incremental Watts/die.
+    pub gpu_incremental: f64,
+    /// TPU total Watts/die (die + host share /4).
+    pub tpu_total: f64,
+    /// TPU incremental Watts/die.
+    pub tpu_incremental: f64,
+}
+
+/// Generate the Figure 10 series (0..100% in 10% buckets, as measured).
+pub fn figure10(workload: PowerWorkload) -> Vec<Fig10Row> {
+    let cpu = ChipSpec::haswell();
+    let gpu_curve = PowerCurve::for_die(Platform::K80, workload);
+    let tpu_curve = PowerCurve::for_die(Platform::Tpu, workload);
+    let cpu_curve = PowerCurve::for_die(Platform::Haswell, workload);
+
+    (0..=10)
+        .map(|i| {
+            let u = i as f64 / 10.0;
+            // CPU server: 2 dies; its own curve shapes the whole server.
+            let cpu_server = cpu.server_idle_w
+                + (cpu.server_busy_w - cpu.server_idle_w)
+                    * ((cpu_curve.power(u) - cpu_curve.idle_w)
+                        / (cpu_curve.busy_w - cpu_curve.idle_w));
+            Fig10Row {
+                utilization: u,
+                cpu_per_die: cpu_server / 2.0,
+                gpu_total: gpu_curve.power(u) + host_server_power(Platform::K80, u) / 8.0,
+                gpu_incremental: gpu_curve.power(u),
+                tpu_total: tpu_curve.power(u) + host_server_power(Platform::Tpu, u) / 4.0,
+                tpu_incremental: tpu_curve.power(u),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_hits_published_10_percent_points() {
+        let cases = [
+            (Platform::Haswell, PowerWorkload::Cnn0, 0.56),
+            (Platform::K80, PowerWorkload::Cnn0, 0.66),
+            (Platform::Tpu, PowerWorkload::Cnn0, 0.88),
+            (Platform::Haswell, PowerWorkload::Lstm1, 0.47),
+            (Platform::K80, PowerWorkload::Lstm1, 0.78),
+            (Platform::Tpu, PowerWorkload::Lstm1, 0.94),
+        ];
+        for (p, w, frac) in cases {
+            let c = PowerCurve::for_die(p, w);
+            let got = c.fraction_of_busy(0.10);
+            assert!((got - frac).abs() < 0.005, "{p:?} {w:?}: {got} vs {frac}");
+        }
+    }
+
+    #[test]
+    fn endpoints_are_idle_and_busy() {
+        let c = PowerCurve::for_die(Platform::Tpu, PowerWorkload::Cnn0);
+        assert!((c.power(0.0) - 28.0).abs() < 1e-9);
+        assert!((c.power(1.0) - 40.0).abs() < 1e-9);
+        assert!((c.power(2.0) - 40.0).abs() < 1e-9, "clamped above 1");
+    }
+
+    #[test]
+    fn power_is_monotone_in_utilization() {
+        for p in [Platform::Haswell, Platform::K80, Platform::Tpu] {
+            let c = PowerCurve::for_die(p, PowerWorkload::Cnn0);
+            let mut prev = 0.0;
+            for i in 0..=20 {
+                let pw = c.power(i as f64 / 20.0);
+                assert!(pw >= prev);
+                prev = pw;
+            }
+        }
+    }
+
+    #[test]
+    fn tpu_is_least_proportional_cpu_most() {
+        // Lower alpha = flatter = worse proportionality.
+        let cpu = PowerCurve::for_die(Platform::Haswell, PowerWorkload::Cnn0);
+        let gpu = PowerCurve::for_die(Platform::K80, PowerWorkload::Cnn0);
+        let tpu = PowerCurve::for_die(Platform::Tpu, PowerWorkload::Cnn0);
+        assert!(cpu.alpha > gpu.alpha && gpu.alpha > tpu.alpha);
+    }
+
+    #[test]
+    fn tpu_total_per_die_is_118w_at_full_load() {
+        // Section 6: "the TPU has the lowest power — 118W per die total
+        // ... and 40W per die incremental".
+        let rows = figure10(PowerWorkload::Cnn0);
+        let full = rows.last().unwrap();
+        assert!((full.tpu_total - 118.0).abs() < 3.0, "TPU total {}", full.tpu_total);
+        assert!((full.tpu_incremental - 40.0).abs() < 0.5);
+        // And it is the lowest of the three platforms.
+        assert!(full.tpu_total < full.gpu_total);
+        assert!(full.tpu_total < full.cpu_per_die);
+    }
+
+    #[test]
+    fn figure10_has_eleven_buckets() {
+        let rows = figure10(PowerWorkload::Cnn0);
+        assert_eq!(rows.len(), 11);
+        assert_eq!(rows[0].utilization, 0.0);
+        assert_eq!(rows[10].utilization, 1.0);
+    }
+
+    #[test]
+    fn host_power_higher_when_hosting_tpus() {
+        // "The CPU does more work for the TPU because it is running so
+        // much faster than the GPU."
+        assert!(
+            host_server_power(Platform::Tpu, 1.0) > host_server_power(Platform::K80, 1.0)
+        );
+        // At zero load both sit at server idle.
+        let idle = ChipSpec::haswell().server_idle_w;
+        assert!((host_server_power(Platform::Tpu, 0.0) - idle).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "between idle")]
+    fn fit_rejects_out_of_band_reference() {
+        let _ = PowerCurve::fit(10.0, 20.0, 0.1, 0.1);
+    }
+}

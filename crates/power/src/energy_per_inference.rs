@@ -1,0 +1,120 @@
+//! Energy per inference — an extension the paper implies but never
+//! tabulates.
+//!
+//! Performance/Watt (Figure 9) divided out per request: Joules per
+//! inference for each application on each platform, at full load, using
+//! the Table 6 throughput composition and the Table 2 busy powers (with
+//! the host's share charged to the accelerators, as in the "total"
+//! accounting). This is the number a capacity planner multiplies by
+//! request volume to get an electricity bill.
+
+use serde::{Deserialize, Serialize};
+use tpu_core::TpuConfig;
+use tpu_platforms::achieved::{calibrate_baselines, cpu_ips, gpu_ips, tpu_served_ips};
+use tpu_platforms::spec::ChipSpec;
+use tpu_nn::workloads;
+
+/// Joules per inference for one application on the three platforms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyRow {
+    /// Application name.
+    pub name: String,
+    /// Haswell server, J/inference.
+    pub cpu_j: f64,
+    /// K80 server (including host share), J/inference.
+    pub gpu_j: f64,
+    /// TPU server (including host share), J/inference.
+    pub tpu_j: f64,
+}
+
+impl EnergyRow {
+    /// CPU-to-TPU energy ratio (how many times more energy the CPU burns
+    /// per inference).
+    pub fn cpu_over_tpu(&self) -> f64 {
+        self.cpu_j / self.tpu_j
+    }
+}
+
+/// Compute the energy-per-inference table at full load.
+///
+/// Server-level throughput is per-die throughput times dies; server-level
+/// power is the measured busy Watts from Table 2. The CPU baseline's
+/// absolute IPS comes from the calibrated Table 6 composition.
+pub fn energy_per_inference(cfg: &TpuConfig) -> Vec<EnergyRow> {
+    let baselines = calibrate_baselines(cfg);
+    let cpu_spec = ChipSpec::haswell();
+    let gpu_spec = ChipSpec::k80();
+    let tpu_spec = ChipSpec::tpu();
+    workloads::all()
+        .iter()
+        .map(|m| {
+            let cpu_server_ips = cpu_ips(m, &baselines) * cpu_spec.dies_per_server as f64;
+            let gpu_server_ips = gpu_ips(m, &baselines) * gpu_spec.dies_per_server as f64;
+            let tpu_server_ips = tpu_served_ips(m, cfg) * tpu_spec.dies_per_server as f64;
+            EnergyRow {
+                name: m.name().to_string(),
+                cpu_j: cpu_spec.server_busy_w / cpu_server_ips,
+                gpu_j: gpu_spec.server_busy_w / gpu_server_ips,
+                tpu_j: tpu_spec.server_busy_w / tpu_server_ips,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<EnergyRow> {
+        energy_per_inference(&TpuConfig::paper())
+    }
+
+    #[test]
+    fn six_rows_all_positive() {
+        let r = rows();
+        assert_eq!(r.len(), 6);
+        for row in &r {
+            assert!(row.cpu_j > 0.0 && row.gpu_j > 0.0 && row.tpu_j > 0.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn tpu_is_cheapest_per_inference_everywhere() {
+        for row in rows() {
+            assert!(row.tpu_j < row.gpu_j, "{}: TPU {} vs GPU {}", row.name, row.tpu_j, row.gpu_j);
+            assert!(row.tpu_j < row.cpu_j, "{}: TPU {} vs CPU {}", row.name, row.tpu_j, row.cpu_j);
+        }
+    }
+
+    #[test]
+    fn mlp0_energy_ratio_tracks_perf_watt() {
+        // For MLP0 the CPU/TPU energy ratio should be in the same decade
+        // as the Figure 9 perf/Watt advantage.
+        let r = rows();
+        let mlp0 = r.iter().find(|x| x.name == "MLP0").unwrap();
+        let ratio = mlp0.cpu_over_tpu();
+        assert!((15.0..=120.0).contains(&ratio), "MLP0 CPU/TPU energy ratio {ratio}");
+    }
+
+    #[test]
+    fn complex_models_cost_more_energy() {
+        // CNN1 does ~1000x the MACs of MLP1 per inference; energy per
+        // inference must reflect workload complexity on every platform
+        // (the Section 8 IPS fallacy, in Joules).
+        let r = rows();
+        let mlp1 = r.iter().find(|x| x.name == "MLP1").unwrap();
+        let cnn1 = r.iter().find(|x| x.name == "CNN1").unwrap();
+        assert!(cnn1.tpu_j > 10.0 * mlp1.tpu_j);
+        assert!(cnn1.cpu_j > 10.0 * mlp1.cpu_j);
+    }
+
+    #[test]
+    fn absolute_magnitudes_are_sane() {
+        // TPU server at ~384 W and ~100k-1M IPS on MLPs: sub-millijoule
+        // to few-millijoule per inference.
+        let r = rows();
+        let mlp0 = r.iter().find(|x| x.name == "MLP0").unwrap();
+        assert!(mlp0.tpu_j < 0.01, "TPU MLP0 {} J", mlp0.tpu_j);
+        assert!(mlp0.cpu_j < 0.2, "CPU MLP0 {} J", mlp0.cpu_j);
+    }
+}

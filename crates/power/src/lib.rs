@@ -1,0 +1,32 @@
+//! # tpu-power — power, energy proportionality, and performance/Watt
+//!
+//! The cost side of the ISCA 2017 evaluation: [`energy`] models each
+//! platform's utilization-to-power curve (Figure 10; the TPU draws 88% of
+//! full power at 10% load) and [`perf_watt`] composes Table 6 performance
+//! with Table 2 server power into Figure 9's total and incremental
+//! performance/Watt ratios, including the GDDR5 TPU'.
+//!
+//! ```
+//! use tpu_power::energy::{PowerCurve, PowerWorkload};
+//! use tpu_platforms::spec::Platform;
+//!
+//! let tpu = PowerCurve::for_die(Platform::Tpu, PowerWorkload::Cnn0);
+//! // Poor energy proportionality: 88% of full power at 10% load.
+//! assert!((tpu.fraction_of_busy(0.10) - 0.88).abs() < 0.01);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod diurnal;
+pub mod energy;
+pub mod energy_per_inference;
+pub mod perf_watt;
+pub mod rack;
+
+pub use components::{die_energy_breakdown, EnergyBreakdown, InferenceWork, OpArea, OpEnergy};
+pub use diurnal::{daily_energy, DailyEnergy, DiurnalProfile};
+pub use energy::{figure10, Fig10Row, PowerCurve, PowerWorkload};
+pub use energy_per_inference::{energy_per_inference, EnergyRow};
+pub use rack::{accelerated_server_cnn0, rack_density, AcceleratedServer, RackRow};
+pub use perf_watt::{avx2_whatif, figure9, Accounting, Avx2WhatIf, Fig9Bar, Figure9};

@@ -1,0 +1,255 @@
+//! Performance per Watt (Section 5, Figure 9).
+//!
+//! "Power is correlated with TCO, and we can publish Watts per server, so
+//! we use performance/Watt as our proxy for performance/TCO." Figure 9
+//! compares whole servers two ways: *total* performance/Watt includes the
+//! host CPU server's power in the accelerator's bill; *incremental*
+//! subtracts it. The paper's headline numbers: the K80 server is 1.2-2.1x
+//! Haswell total (1.7-2.9x incremental); the TPU server is 17-34x total
+//! (41-83x incremental); and the GDDR5 TPU' soars to 31-86x total and
+//! 69-196x incremental over Haswell.
+//!
+//! Performance here is the Table 6 relative-per-die throughput times dies
+//! per server; power is server TDP (Figure 9 is a TDP figure), with the
+//! TPU' budgeted at ~900 W per Section 7.
+
+use serde::{Deserialize, Serialize};
+use tpu_core::TpuConfig;
+use tpu_perfmodel::tpu_prime::{self, TpuPrimeVariant};
+use tpu_platforms::achieved::table6;
+use tpu_platforms::spec::ChipSpec;
+
+/// The perf/Watt accounting mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Accounting {
+    /// Include the host CPU server's power.
+    Total,
+    /// Subtract the host CPU server's power first.
+    Incremental,
+}
+
+/// One bar group of Figure 9: a comparison's GM and WM ratios.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig9Bar {
+    /// E.g. "TPU/CPU".
+    pub comparison: String,
+    /// Total or incremental accounting.
+    pub accounting: Accounting,
+    /// Geometric-mean ratio.
+    pub gm: f64,
+    /// Weighted-mean ratio.
+    pub wm: f64,
+}
+
+/// Server-level performance/Watt summary for all platforms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure9 {
+    /// All bar groups.
+    pub bars: Vec<Fig9Bar>,
+}
+
+impl Figure9 {
+    /// Find a bar by comparison and accounting.
+    pub fn bar(&self, comparison: &str, accounting: Accounting) -> Option<&Fig9Bar> {
+        self.bars
+            .iter()
+            .find(|b| b.comparison == comparison && b.accounting == accounting)
+    }
+}
+
+struct ServerPerfWatt {
+    gm: f64,
+    wm: f64,
+}
+
+fn perf_per_watt(rel_perf_gm: f64, rel_perf_wm: f64, dies: f64, watts: f64) -> ServerPerfWatt {
+    ServerPerfWatt { gm: rel_perf_gm * dies / watts, wm: rel_perf_wm * dies / watts }
+}
+
+/// Compute Figure 9 from the simulated Table 6 and the TPU' model.
+pub fn figure9(cfg: &TpuConfig) -> Figure9 {
+    let t6 = table6(cfg);
+    let cpu = ChipSpec::haswell();
+    let gpu = ChipSpec::k80();
+    let tpu = ChipSpec::tpu();
+
+    // TPU' performance multipliers (host-adjusted, as the paper applies
+    // them when crediting the redesign at the server level).
+    let prime = tpu_prime::evaluate(cfg, TpuPrimeVariant::MemoryOnly);
+
+    let cpu_total = perf_per_watt(1.0, 1.0, cpu.dies_per_server as f64, cpu.server_tdp_w);
+
+    let mk = |rel_gm: f64, rel_wm: f64, dies: f64, watts: f64, inc_watts: f64| {
+        (
+            perf_per_watt(rel_gm, rel_wm, dies, watts),
+            perf_per_watt(rel_gm, rel_wm, dies, inc_watts),
+        )
+    };
+
+    let (gpu_t, gpu_i) = mk(
+        t6.gpu_gm,
+        t6.gpu_wm,
+        gpu.dies_per_server as f64,
+        gpu.server_tdp_w,
+        gpu.server_tdp_w - cpu.server_tdp_w,
+    );
+    let (tpu_t, tpu_i) = mk(
+        t6.tpu_gm,
+        t6.tpu_wm,
+        tpu.dies_per_server as f64,
+        tpu.server_tdp_w,
+        tpu.server_tdp_w - cpu.server_tdp_w,
+    );
+    let prime_watts = tpu_prime::TPU_PRIME_SERVER_BUSY_W;
+    let (prime_t, prime_i) = mk(
+        t6.tpu_gm * prime.gm_with_host,
+        t6.tpu_wm * prime.wm_with_host,
+        tpu.dies_per_server as f64,
+        prime_watts,
+        prime_watts - cpu.server_tdp_w,
+    );
+
+    let mut bars = Vec::new();
+    let mut push = |name: &str, acct: Accounting, s: &ServerPerfWatt, base: &ServerPerfWatt| {
+        bars.push(Fig9Bar {
+            comparison: name.to_string(),
+            accounting: acct,
+            gm: s.gm / base.gm,
+            wm: s.wm / base.wm,
+        });
+    };
+
+    push("GPU/CPU", Accounting::Total, &gpu_t, &cpu_total);
+    push("GPU/CPU", Accounting::Incremental, &gpu_i, &cpu_total);
+    push("TPU/CPU", Accounting::Total, &tpu_t, &cpu_total);
+    push("TPU/CPU", Accounting::Incremental, &tpu_i, &cpu_total);
+    push("TPU/GPU", Accounting::Total, &tpu_t, &gpu_t);
+    push("TPU/GPU", Accounting::Incremental, &tpu_i, &gpu_i);
+    push("TPU'/CPU", Accounting::Total, &prime_t, &cpu_total);
+    push("TPU'/CPU", Accounting::Incremental, &prime_i, &cpu_total);
+    push("TPU'/GPU", Accounting::Total, &prime_t, &gpu_t);
+    push("TPU'/GPU", Accounting::Incremental, &prime_i, &gpu_i);
+
+    Figure9 { bars }
+}
+
+/// The Section 8 AVX2 int8 CPU speedup: "We originally had 8-bit results
+/// for just one DNN on the CPU ... the benefit was ~3.5X."
+pub const AVX2_INT8_SPEEDUP: f64 = 3.5;
+
+/// The Section 8 CPU-quantization what-if.
+///
+/// The paper: "If all DNNs had similar speedup, performance/Watt ratio
+/// would drop from 41-83X to 12-24X." A uniform CPU speedup at unchanged
+/// CPU power divides every TPU/CPU perf/Watt ratio by the same factor,
+/// so the what-if is exact arithmetic on the Figure 9 bars.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Avx2WhatIf {
+    /// Assumed uniform CPU speedup from AVX2 int8.
+    pub cpu_speedup: f64,
+    /// TPU/CPU incremental perf/Watt GM before (paper band: 41-83).
+    pub gm_before: f64,
+    /// TPU/CPU incremental perf/Watt WM before.
+    pub wm_before: f64,
+    /// GM after granting the CPU the speedup (paper band: 12-24).
+    pub gm_after: f64,
+    /// WM after granting the CPU the speedup.
+    pub wm_after: f64,
+}
+
+/// Evaluate the AVX2 int8 what-if on the regenerated Figure 9.
+///
+/// # Panics
+///
+/// Panics if [`figure9`] omits the TPU/CPU incremental bar (it never
+/// does).
+pub fn avx2_whatif(cfg: &TpuConfig) -> Avx2WhatIf {
+    let f9 = figure9(cfg);
+    let bar = f9
+        .bar("TPU/CPU", Accounting::Incremental)
+        .expect("figure9 always includes the TPU/CPU incremental bar");
+    Avx2WhatIf {
+        cpu_speedup: AVX2_INT8_SPEEDUP,
+        gm_before: bar.gm,
+        wm_before: bar.wm,
+        gm_after: bar.gm / AVX2_INT8_SPEEDUP,
+        wm_after: bar.wm / AVX2_INT8_SPEEDUP,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig9() -> Figure9 {
+        figure9(&TpuConfig::paper())
+    }
+
+    #[test]
+    fn gpu_server_is_one_to_two_x_cpu_total() {
+        // Paper: 1.2 (GM) - 2.1 (WM) total performance/Watt.
+        let b = fig9();
+        let bar = b.bar("GPU/CPU", Accounting::Total).unwrap();
+        assert!((0.8..=2.0).contains(&bar.gm), "GPU/CPU total GM {}", bar.gm);
+        assert!((1.0..=2.6).contains(&bar.wm), "GPU/CPU total WM {}", bar.wm);
+        // Incremental flatters the GPU (paper: 1.7-2.9).
+        let inc = b.bar("GPU/CPU", Accounting::Incremental).unwrap();
+        assert!(inc.gm > bar.gm && inc.wm > bar.wm);
+    }
+
+    #[test]
+    fn tpu_server_total_in_paper_band() {
+        // Paper: 17 (GM) - 34 (WM) total performance/Watt over Haswell.
+        let bar = fig9();
+        let b = bar.bar("TPU/CPU", Accounting::Total).unwrap();
+        assert!((12.0..=30.0).contains(&b.gm), "TPU/CPU total GM {}", b.gm);
+        assert!((18.0..=40.0).contains(&b.wm), "TPU/CPU total WM {}", b.wm);
+    }
+
+    #[test]
+    fn tpu_incremental_is_the_asic_justification() {
+        // Paper: 41-83x — "our company's justification for a custom ASIC".
+        let bar = fig9();
+        let b = bar.bar("TPU/CPU", Accounting::Incremental).unwrap();
+        assert!(b.gm > 25.0, "TPU/CPU incremental GM {}", b.gm);
+        assert!(b.wm > 45.0, "TPU/CPU incremental WM {}", b.wm);
+    }
+
+    #[test]
+    fn tpu_vs_gpu_order_of_magnitude() {
+        // Paper: 14-16x total, 25-29x incremental.
+        let bar = fig9();
+        let t = bar.bar("TPU/GPU", Accounting::Total).unwrap();
+        let i = bar.bar("TPU/GPU", Accounting::Incremental).unwrap();
+        assert!(t.gm > 7.0 && t.wm > 7.0, "TPU/GPU total {} {}", t.gm, t.wm);
+        assert!(i.gm > t.gm, "incremental must exceed total for the TPU");
+    }
+
+    #[test]
+    fn tpu_prime_lifts_every_ratio() {
+        let bar = fig9();
+        for acct in [Accounting::Total, Accounting::Incremental] {
+            let tpu = bar.bar("TPU/CPU", acct).unwrap();
+            let prime = bar.bar("TPU'/CPU", acct).unwrap();
+            assert!(prime.gm > tpu.gm, "{acct:?}: TPU' GM {} vs TPU {}", prime.gm, tpu.gm);
+            assert!(prime.wm > tpu.wm);
+        }
+    }
+
+    #[test]
+    fn tpu_prime_incremental_approaches_paper_band() {
+        // Paper: 69-196x over Haswell incremental.
+        let bar = fig9();
+        let b = bar.bar("TPU'/CPU", Accounting::Incremental).unwrap();
+        assert!(b.gm > 40.0, "TPU'/CPU incremental GM {}", b.gm);
+        assert!(b.wm > 80.0, "TPU'/CPU incremental WM {}", b.wm);
+    }
+
+    #[test]
+    fn all_ten_bars_present() {
+        let bar = fig9();
+        assert_eq!(bar.bars.len(), 10);
+        assert!(bar.bar("TPU'/GPU", Accounting::Total).is_some());
+        assert!(bar.bar("nonsense", Accounting::Total).is_none());
+    }
+}

@@ -1,0 +1,165 @@
+//! Rack-level provisioning: density, the Section 5 TCO proxy, and the
+//! Section 6 accelerated-server claim.
+//!
+//! Two of the paper's claims live above the server level:
+//!
+//! * Table 2's caption: "The low-power TPU allows for better rack-level
+//!   density than the high-power GPU." Racks are provisioned for TDP, so
+//!   servers-per-rack is the rack power budget divided by server TDP,
+//!   and rack throughput is servers x dies x per-die performance.
+//! * Section 6: "the Haswell server plus four TPUs use <20% additional
+//!   power but run CNN0 80 times faster than the Haswell server alone
+//!   (4 TPUs vs 2 CPUs)."
+
+use crate::energy::{host_server_power, PowerCurve, PowerWorkload};
+use serde::{Deserialize, Serialize};
+use tpu_core::TpuConfig;
+use tpu_platforms::achieved::table6;
+use tpu_platforms::spec::{ChipSpec, Platform};
+
+/// A typical datacenter rack power envelope in Watts (provisioned, so
+/// compared against server TDP).
+pub const DEFAULT_RACK_BUDGET_W: f64 = 12_000.0;
+
+/// One platform's rack-level provisioning outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RackRow {
+    /// Which platform fills the rack.
+    pub platform: Platform,
+    /// Servers that fit the power budget at TDP.
+    pub servers: usize,
+    /// Accelerator (or CPU) dies in the rack.
+    pub dies: usize,
+    /// Rack inference throughput relative to one Haswell *die*, using the
+    /// Table 6 weighted-mean per-die performance.
+    pub relative_throughput: f64,
+}
+
+/// Fill a rack of `budget_w` with each platform's servers and compare
+/// rack-level throughput (Table 2 caption's density argument).
+///
+/// # Panics
+///
+/// Panics if `budget_w` is not positive.
+pub fn rack_density(cfg: &TpuConfig, budget_w: f64) -> Vec<RackRow> {
+    assert!(budget_w > 0.0, "rack budget must be positive");
+    let t6 = table6(cfg);
+    [
+        (ChipSpec::haswell(), 1.0),
+        (ChipSpec::k80(), t6.gpu_wm),
+        (ChipSpec::tpu(), t6.tpu_wm),
+    ]
+    .into_iter()
+    .map(|(spec, per_die)| {
+        let servers = (budget_w / spec.server_tdp_w).floor() as usize;
+        let dies = servers * spec.dies_per_server;
+        RackRow {
+            platform: spec.platform,
+            servers,
+            dies,
+            relative_throughput: dies as f64 * per_die,
+        }
+    })
+    .collect()
+}
+
+/// The Section 6 accelerated-server computation for CNN0.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratedServer {
+    /// Haswell server alone at full CNN0 load, Watts.
+    pub cpu_alone_w: f64,
+    /// Haswell host (at its measured 69%-of-busy CNN0 load) plus four
+    /// TPUs at full load, Watts.
+    pub host_plus_tpus_w: f64,
+    /// Additional power as a fraction of the CPU-alone server.
+    pub extra_power_fraction: f64,
+    /// CNN0 throughput of the accelerated server relative to the
+    /// CPU-alone server (4 TPU dies vs 2 CPU dies).
+    pub speedup: f64,
+}
+
+/// Compute the "host + 4 TPUs vs host alone" comparison from the power
+/// curves and the Table 6 CNN0 column.
+pub fn accelerated_server_cnn0(cfg: &TpuConfig) -> AcceleratedServer {
+    let cpu = ChipSpec::haswell();
+    let tpu = ChipSpec::tpu();
+
+    // CPU server alone, CNN0 at 100% load.
+    let cpu_alone_w = cpu.server_busy_w;
+
+    // Host serving 4 TPUs: Section 6 gives the host's measured load; the
+    // TPUs each draw their measured busy die power.
+    let host_w = host_server_power(Platform::Tpu, 1.0);
+    let tpu_curve = PowerCurve::for_die(Platform::Tpu, PowerWorkload::Cnn0);
+    let tpus_w = tpu.dies_per_server as f64 * tpu_curve.power(1.0);
+    let host_plus_tpus_w = host_w + tpus_w;
+
+    // Throughput: per-die CNN0 relative performance from Table 6.
+    let t6 = table6(cfg);
+    let cnn0_rel = t6
+        .columns
+        .iter()
+        .find(|c| c.name == "CNN0")
+        .map(|c| c.tpu_rel)
+        .expect("table6 always includes CNN0");
+    let speedup = cnn0_rel * tpu.dies_per_server as f64 / cpu.dies_per_server as f64;
+
+    AcceleratedServer {
+        cpu_alone_w,
+        host_plus_tpus_w,
+        extra_power_fraction: host_plus_tpus_w / cpu_alone_w - 1.0,
+        speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TpuConfig {
+        TpuConfig::paper()
+    }
+
+    #[test]
+    fn tpu_rack_hosts_more_servers_than_gpu_rack() {
+        let rows = rack_density(&cfg(), DEFAULT_RACK_BUDGET_W);
+        let servers = |p: Platform| rows.iter().find(|r| r.platform == p).unwrap().servers;
+        // 12 kW: TPU at 861 W -> 13 servers; K80 at 1838 W -> 6.
+        assert!(servers(Platform::Tpu) >= 2 * servers(Platform::K80));
+    }
+
+    #[test]
+    fn tpu_rack_throughput_dominates() {
+        let rows = rack_density(&cfg(), DEFAULT_RACK_BUDGET_W);
+        let tp = |p: Platform| {
+            rows.iter().find(|r| r.platform == p).unwrap().relative_throughput
+        };
+        assert!(tp(Platform::Tpu) > 10.0 * tp(Platform::K80));
+        assert!(tp(Platform::K80) > tp(Platform::Haswell));
+    }
+
+    #[test]
+    fn density_scales_with_budget() {
+        let small = rack_density(&cfg(), 4_000.0);
+        let large = rack_density(&cfg(), 24_000.0);
+        for (s, l) in small.iter().zip(&large) {
+            assert!(l.servers >= 5 * s.servers, "{:?} vs {:?}", s, l);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rack budget must be positive")]
+    fn zero_budget_panics() {
+        let _ = rack_density(&cfg(), 0.0);
+    }
+
+    #[test]
+    fn accelerated_server_matches_section6() {
+        let a = accelerated_server_cnn0(&cfg());
+        // "<20% additional power" and "~80 times faster".
+        assert!(a.extra_power_fraction < 0.20, "{a:?}");
+        assert!(a.extra_power_fraction > -0.10, "{a:?}");
+        assert!((60.0..=100.0).contains(&a.speedup), "{a:?}");
+        assert!(a.host_plus_tpus_w > 0.0 && a.cpu_alone_w > 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Quantization calibration: choosing activation ranges before deployment.
+//!
+//! The paper's quantization step ("floating-point numbers into narrow
+//! integers — often just 8 bits") presumes each tensor has a range. This
+//! example runs a small MLP in float over representative batches, feeds
+//! the observed activations to the [`Calibrator`], and compares min-max,
+//! percentile, MSE-optimal, and entropy (KL) calibration on a layer whose
+//! activations are heavy-tailed — the case where the methods diverge.
+//!
+//! ```text
+//! cargo run --example calibration
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpu_repro::tpu_nn::calibrate::{quantization_mse, CalibrationMethod, Calibrator};
+use tpu_repro::tpu_nn::Matrix;
+
+fn main() {
+    // Simulated post-GEMM activations: a well-behaved layer and a
+    // heavy-tailed one (a few neurons saturate hard — common in practice).
+    let mut rng = StdRng::seed_from_u64(2015);
+    let well_behaved = Matrix::from_fn(64, 1024, |_, _| {
+        (0..8).map(|_| rng.gen_range(-0.25f32..0.25)).sum()
+    });
+    let mut rng2 = StdRng::seed_from_u64(2016);
+    let heavy_tailed = Matrix::from_fn(64, 1024, |_, c| {
+        if c % 512 == 0 {
+            rng2.gen_range(20.0f32..40.0)
+        } else {
+            rng2.gen_range(-1.0f32..1.0)
+        }
+    });
+
+    for (name, acts) in [("well-behaved layer", &well_behaved), ("heavy-tailed layer", &heavy_tailed)] {
+        let mut cal = Calibrator::new();
+        cal.observe(acts);
+        println!("{name}: {} observations, max |x| = {:.2}", cal.observations(), cal.histogram().max_abs());
+
+        // Resolution on the bulk (|x| <= 1): where the information lives.
+        let inliers: Vec<f32> = acts.data().iter().copied().filter(|v| v.abs() <= 1.0).collect();
+        let bulk = Matrix::from_rows(1, inliers.len(), inliers);
+
+        println!(
+            "  {:<22} {:>10} {:>14} {:>14}",
+            "method", "scale", "total MSE", "bulk MSE"
+        );
+        for (label, method) in [
+            ("min-max", CalibrationMethod::MinMax),
+            // 99.5 < (100 - outlier fraction): actually clips the tail.
+            ("percentile 99.5", CalibrationMethod::Percentile(99.5)),
+            ("MSE-optimal", CalibrationMethod::Mse),
+            ("entropy (KL)", CalibrationMethod::Entropy),
+        ] {
+            let p = cal.params(method);
+            println!(
+                "  {label:<22} {:>10.5} {:>14.6} {:>14.8}",
+                p.scale,
+                quantization_mse(acts, p),
+                quantization_mse(&bulk, p),
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "OK: on well-behaved activations all methods agree. On heavy tails,\n\
+         percentile clipping trades total MSE (the clipped outliers pay\n\
+         (v - T)^2) for orders of magnitude more resolution on the bulk of\n\
+         the distribution — the trade that preserves model accuracy, which\n\
+         is why accuracy rather than raw MSE is the usual figure of merit."
+    );
+}

@@ -1,0 +1,65 @@
+//! Pipeline overlap diagrams for the 4-stage CISC pipeline.
+//!
+//! The paper (Section 2): "We don't have clean pipeline overlap diagrams,
+//! because our CISC instructions can occupy a station for thousands of
+//! clock cycles". The simulator does: this example assembles a two-layer
+//! inference program in TPU assembly, executes it through the
+//! instruction-level pipeline model at the paper's full 256x256 / 700 MHz
+//! configuration, and renders where every instruction sat.
+//!
+//! ```text
+//! cargo run --example pipeline_overlap
+//! ```
+
+use tpu_repro::tpu_asm::assemble;
+use tpu_repro::tpu_core::pipeline::{PipelineModel, Unit};
+use tpu_repro::tpu_core::TpuConfig;
+
+fn main() {
+    let cfg = TpuConfig::paper(); // 256x256, 700 MHz, 34 GB/s weights
+
+    // Two fully connected layers at batch 200 (MLP0's operating point):
+    // layer 1 spans two weight tiles (accumulated), layer 2 one tile.
+    // The inter-layer sync is the paper's "delay slot".
+    let src = "
+        .def BATCH = 200
+
+        read_host_memory host=0x0, ub=0x0, len=102400     ; 2 x 256-wide inputs
+        read_weights dram=0x0, tiles=2                     ; prefetch layer 1
+        matmul ub=0x0,     acc=0, rows=BATCH
+        matmul ub=0xc800,  acc=0, rows=BATCH, accumulate
+        read_weights dram=0x20000, tiles=1                 ; prefetch layer 2 under compute
+        activate acc=0, ub=0x20000, rows=BATCH, func=relu
+        sync                                               ; the delay slot
+        matmul ub=0x20000, acc=200, rows=BATCH
+        activate acc=200, ub=0x40000, rows=BATCH, func=relu
+        write_host_memory ub=0x40000, host=0x10000, len=51200
+        halt
+    ";
+    let program = assemble(src).expect("program assembles");
+
+    let trace = PipelineModel::new(cfg).execute(&program).expect("program executes");
+    println!("4-stage CISC pipeline overlap (paper configuration, 256x256 @ 700 MHz):\n");
+    print!("{}", trace.render_overlap(72));
+
+    let stalls = trace.total_stalls();
+    println!("\nstall breakdown (cycles):");
+    println!("  waiting for weight tiles: {:>6}", stalls.weight_wait);
+    println!("  RAW dependences:          {:>6}", stalls.raw_wait);
+    println!("  structural (unit busy):   {:>6}", stalls.structural_wait);
+    println!("  exposed weight shift:     {:>6}", stalls.shift_exposed);
+
+    println!("\nunit occupancy (busy cycles):");
+    for unit in [Unit::Pcie, Unit::WeightFetch, Unit::Matrix, Unit::Activation] {
+        println!("  {:<8} {:>8}", unit.label(), trace.unit_busy(unit));
+    }
+
+    let us = trace.total_cycles as f64 / 700.0; // 700 cycles per microsecond
+    println!("\ntotal: {} cycles = {us:.1} us at 700 MHz, CPI {:.1}", trace.total_cycles, trace.cpi());
+    println!(
+        "\nOK: Read_Weights retires immediately (decoupled access/execute), the\n\
+         second layer's tile streams in under the first layer's compute, and\n\
+         the sync delay slot orders the Unified Buffer read after the\n\
+         activation write — exactly the behaviours Section 2 describes."
+    );
+}

@@ -1,0 +1,73 @@
+//! Quickstart: compile a small MLP onto the functional TPU, run it, and
+//! check the quantized result against the floating-point reference.
+//!
+//! This walks the same lifecycle the paper's User Space Driver does:
+//! calibrate on first evaluation, compile to the CISC ISA, upload the
+//! weight image, then serve repeated evaluations from the cached program.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rand::SeedableRng;
+use tpu_repro::tpu_compiler::TpuRuntime;
+use tpu_repro::tpu_core::TpuConfig;
+use tpu_repro::tpu_nn::layer::{Layer, Nonlinearity};
+use tpu_repro::tpu_nn::model::{NnKind, NnModel};
+use tpu_repro::tpu_nn::reference::{forward_f32, ModelWeights};
+use tpu_repro::tpu_nn::Matrix;
+
+fn main() {
+    // A small device configuration (8x8 systolic array) so the example
+    // runs the *cycle-level* machinery quickly.
+    let cfg = TpuConfig::small();
+    let d = cfg.array_dim;
+
+    // A 3-layer MLP: 16 -> 8 -> 8, ReLU activations, batch of 4.
+    let model = NnModel::new(
+        "quickstart-mlp",
+        NnKind::Mlp,
+        vec![
+            Layer::fc(2 * d, d, Nonlinearity::Relu),
+            Layer::fc(d, d, Nonlinearity::Relu),
+            Layer::fc(d, d, Nonlinearity::None),
+        ],
+        4,
+        2 * d,
+        tpu_repro::tpu_core::config::Precision::Int8,
+    );
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2017);
+    let weights = ModelWeights::random(&model, 0.4, &mut rng);
+    let input = Matrix::from_fn(model.batch(), model.input_width(), |r, c| {
+        ((r * 31 + c * 7) % 17) as f32 * 0.05 - 0.4
+    });
+
+    // Floating-point oracle.
+    let reference = forward_f32(&model, &weights, &input);
+
+    // The TPU runtime: first evaluation calibrates + compiles + uploads.
+    let mut runtime = TpuRuntime::new(cfg, 1 << 20);
+    let first = runtime.evaluate(&model, &weights, &input).expect("first evaluation");
+    assert!(
+        runtime.is_compiled("quickstart-mlp"),
+        "program image is cached after the first run"
+    );
+
+    // Second evaluation reuses the cached image ("the second and
+    // following evaluations run at full speed").
+    let second = runtime.evaluate(&model, &weights, &input).expect("second evaluation");
+    assert_eq!(first, second, "deterministic execution: identical runs, identical bits");
+
+    let max_err = reference.max_abs_diff(&first);
+    println!("quickstart MLP on the functional TPU");
+    println!("  batch x output: {:?}", first.shape());
+    println!("  evaluations served: {}", runtime.evaluations());
+    println!("  max |quantized - f32 reference| = {max_err:.4}");
+    println!();
+    println!("  f32 reference, first row:  {:?}", &reference.row(0)[..d.min(8)]);
+    println!("  TPU (dequantized), row 0:  {:?}", &first.row(0)[..d.min(8)]);
+
+    assert!(max_err < 0.25, "quantized result should track the f32 reference");
+    println!("\nOK: 8-bit quantized inference matches the f32 reference within quantization error.");
+}

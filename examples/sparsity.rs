@@ -1,0 +1,86 @@
+//! Sparsity: prune, compress, and compute on the compressed form.
+//!
+//! Section 2 of the paper: "Sparse architectural support was omitted for
+//! time-to-deploy reasons. Sparsity will have high priority in future
+//! designs." This example walks the EIE-style pipeline the related-work
+//! section describes: magnitude-prune a layer to 10% density, quantize,
+//! compress with 4-bit relative indexing and a 16-entry shared-value
+//! codebook, run the matrix-vector product directly on the compressed
+//! format, and translate the measured storage ratio into the Weight
+//! Memory bandwidth relief that would un-stall the MLPs and LSTMs.
+//!
+//! ```text
+//! cargo run --example sparsity
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpu_repro::tpu_nn::compress::{prune_to_density, shared_bits, CompressedWeights, SharedCodebook};
+use tpu_repro::tpu_nn::quant::QuantizedWeights;
+use tpu_repro::tpu_nn::Matrix;
+
+fn main() {
+    let (rows, cols) = (1024, 256);
+    let mut rng = StdRng::seed_from_u64(2016);
+    let dense = Matrix::from_fn(rows, cols, |_, _| {
+        // A roughly normal weight distribution: most mass near zero, the
+        // shape magnitude pruning exploits.
+        (0..6).map(|_| rng.gen_range(-0.2f32..0.2)).sum()
+    });
+
+    println!("layer: {rows} x {cols} = {} weights\n", rows * cols);
+    println!(
+        "{:<10} {:>9} {:>9} {:>10} {:>12} {:>12}",
+        "density", "entries", "ratio", "+sharing", "KiB dense", "KiB sparse"
+    );
+    for density in [1.0f64, 0.5, 0.25, 0.10, 0.05] {
+        let pruned = prune_to_density(&dense, density);
+        let q = QuantizedWeights::quantize(&pruned);
+        let c = CompressedWeights::encode(&q);
+        let sharing_ratio = c.dense_bits() as f64 / shared_bits(&c) as f64;
+        println!(
+            "{:<10} {:>9} {:>9.2} {:>10.2} {:>12.1} {:>12.1}",
+            format!("{:.0}%", density * 100.0),
+            c.stored_entries(),
+            c.compression_ratio(),
+            sharing_ratio,
+            c.dense_bits() as f64 / 8.0 / 1024.0,
+            shared_bits(&c) as f64 / 8.0 / 1024.0,
+        );
+    }
+
+    // Correctness: the compressed matvec is bit-identical to dense.
+    let pruned = prune_to_density(&dense, 0.10);
+    let q = QuantizedWeights::quantize(&pruned);
+    let c = CompressedWeights::encode(&q);
+    let acts: Vec<i16> = (0..rows).map(|i| ((i * 13) % 41) as i16 - 20).collect();
+    let sparse_out = c.matvec(&acts);
+    let codes = q.codes();
+    let mut dense_out = vec![0i32; cols];
+    for (col, d) in dense_out.iter_mut().enumerate() {
+        for (row, &a) in acts.iter().enumerate() {
+            *d += a as i32 * codes[row * cols + col] as i32;
+        }
+    }
+    assert_eq!(sparse_out, dense_out);
+    println!("\ncompressed matvec == dense matmul: bit-identical over {cols} outputs");
+
+    // Weight sharing accuracy: worst centroid error over the survivors.
+    let cb = SharedCodebook::fit(q.codes());
+    println!(
+        "16-entry codebook: max |code - centroid| = {} (of 127 full scale)",
+        cb.max_error(q.codes())
+    );
+
+    // The architectural consequence, per the paper's roofline: MLPs and
+    // LSTMs sit on the slanted (bandwidth-bound) part of Figure 5, so
+    // delivered-weight compression multiplies their throughput until
+    // they hit the compute ceiling at intensity ~1350.
+    let relief = c.dense_bits() as f64 / shared_bits(&c) as f64;
+    println!(
+        "\nimplied Weight Memory bandwidth relief at 10% density: {relief:.1}x\n\
+         (MLP0 at intensity 200 would need ~6.75x to reach the ridge at 1350;\n\
+         this format alone delivers most of it — the rest is the future-work\n\
+         sparse MAC datapath the paper promises)"
+    );
+}

@@ -1,0 +1,32 @@
+//! # tpu-repro — reproduction of the ISCA 2017 TPU paper
+//!
+//! Workspace facade: re-exports every crate of the reproduction so the
+//! examples and integration tests can reach the whole system through one
+//! dependency.
+//!
+//! * [`tpu_core`] — the TPU simulator (ISA, systolic array, memories,
+//!   timing engine, functional device).
+//! * [`tpu_asm`] — textual assembler/disassembler for the CISC ISA.
+//! * [`tpu_nn`] — tensors, quantization, layers, LSTM math, and the six
+//!   Table 1 workloads.
+//! * [`tpu_compiler`] — tiling, Unified Buffer allocation, lowering, and
+//!   the host runtime.
+//! * [`tpu_platforms`] — Table 2 specs, rooflines, serving latency, host
+//!   overhead, Table 6 composition.
+//! * [`tpu_perfmodel`] — the Section 7 analytic model, Figure 11 sweeps,
+//!   TPU'.
+//! * [`tpu_power`] — energy proportionality and performance/Watt.
+//! * [`tpu_plot`] — dependency-free SVG charts for the figures.
+//! * [`tpu_harness`] — regenerators for every table and figure.
+
+#![warn(missing_docs)]
+
+pub use tpu_asm;
+pub use tpu_compiler;
+pub use tpu_core;
+pub use tpu_harness;
+pub use tpu_nn;
+pub use tpu_perfmodel;
+pub use tpu_platforms;
+pub use tpu_plot;
+pub use tpu_power;

@@ -1,0 +1,289 @@
+//! End-to-end integration tests: NN model -> quantization -> compiler ->
+//! ISA program -> functional device, validated against the f32 reference.
+
+use rand::SeedableRng;
+use tpu_repro::tpu_compiler::{compile_fc, TpuRuntime};
+use tpu_repro::tpu_core::func::FuncTpu;
+use tpu_repro::tpu_core::isa::Program;
+use tpu_repro::tpu_core::mem::HostMemory;
+use tpu_repro::tpu_core::TpuConfig;
+use tpu_repro::tpu_nn::layer::{Layer, Nonlinearity};
+use tpu_repro::tpu_nn::model::{NnKind, NnModel};
+use tpu_repro::tpu_nn::reference::{calibrate, forward_f32, ModelWeights};
+use tpu_repro::tpu_nn::Matrix;
+
+fn mlp(widths: &[usize], acts: &[Nonlinearity], batch: usize) -> NnModel {
+    assert_eq!(widths.len(), acts.len() + 1);
+    let layers = widths
+        .windows(2)
+        .zip(acts)
+        .map(|(w, &a)| Layer::fc(w[0], w[1], a))
+        .collect();
+    NnModel::new(
+        "it-mlp",
+        NnKind::Mlp,
+        layers,
+        batch,
+        widths[0],
+        tpu_repro::tpu_core::config::Precision::Int8,
+    )
+}
+
+fn run_and_compare(model: &NnModel, seed: u64, tolerance: f32) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let weights = ModelWeights::random(model, 0.4, &mut rng);
+    let input = Matrix::from_fn(model.batch(), model.input_width(), |r, c| {
+        ((r * 37 + c * 11 + seed as usize) % 23) as f32 * 0.04 - 0.4
+    });
+    let want = forward_f32(model, &weights, &input);
+
+    let mut rt = TpuRuntime::new(TpuConfig::small(), 1 << 22);
+    let got = rt.evaluate(model, &weights, &input).expect("device run");
+    let diff = want.max_abs_diff(&got);
+    assert!(
+        diff < tolerance,
+        "seed {seed}: device diverged from f32 reference by {diff} (tolerance {tolerance})"
+    );
+}
+
+#[test]
+fn single_layer_widths_spanning_tiles() {
+    // Widths below, at, and above the 8-wide test array exercise 1x1,
+    // 1xN, and MxN tile grids.
+    for (i, &w_in) in [4usize, 8, 16, 24].iter().enumerate() {
+        for (j, &w_out) in [8usize, 16].iter().enumerate() {
+            let m = mlp(&[w_in, w_out], &[Nonlinearity::Relu], 4);
+            run_and_compare(&m, (i * 10 + j) as u64, 0.2);
+        }
+    }
+}
+
+#[test]
+fn deep_mlp_with_mixed_activations() {
+    let m = mlp(
+        &[16, 8, 8, 8, 8],
+        &[
+            Nonlinearity::Relu,
+            Nonlinearity::Tanh,
+            Nonlinearity::Sigmoid,
+            Nonlinearity::None,
+        ],
+        3,
+    );
+    // Sigmoid/tanh run through 256-entry LUTs and each quantized layer
+    // adds error, so the tolerance is looser.
+    run_and_compare(&m, 99, 0.35);
+}
+
+#[test]
+fn batch_sizes_from_one_to_many() {
+    for batch in [1usize, 2, 7, 16] {
+        let m = mlp(&[16, 8], &[Nonlinearity::Relu], batch);
+        run_and_compare(&m, batch as u64, 0.2);
+    }
+}
+
+#[test]
+fn program_survives_wire_roundtrip_and_reexecutes_identically() {
+    let model = mlp(&[16, 8, 8], &[Nonlinearity::Relu, Nonlinearity::None], 4);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let weights = ModelWeights::random(&model, 0.4, &mut rng);
+    let input = Matrix::from_fn(4, 16, |r, c| ((r + 3 * c) % 13) as f32 * 0.05 - 0.3);
+    let cal = calibrate(&model, &weights, &input);
+    let cfg = TpuConfig::small();
+    let compiled = compile_fc(&model, &weights, &cal, &cfg).expect("compile");
+
+    // Encode to the PCIe wire format, decode, and run both programs on
+    // identical devices: the deterministic execution model demands
+    // bit-identical output.
+    let decoded = Program::decode(&compiled.program.encode()).expect("decode");
+    assert_eq!(decoded, compiled.program);
+
+    let run = |program: &Program| {
+        let mut dev = FuncTpu::new(cfg.clone());
+        for (addr, tile) in &compiled.weight_image {
+            dev.weight_memory_mut().store_tile(*addr, tile).unwrap();
+        }
+        let mut host = HostMemory::new(1 << 20);
+        // Write a fixed input block.
+        let block: Vec<u8> = (0..compiled.input_bytes).map(|i| (i % 251) as u8).collect();
+        host.write(compiled.input_host_addr as usize, &block).unwrap();
+        dev.run(program, &mut host).unwrap();
+        host.read(compiled.output_host_addr as usize, compiled.output_bytes)
+            .unwrap()
+            .to_vec()
+    };
+    assert_eq!(run(&compiled.program), run(&decoded));
+}
+
+#[test]
+fn cycle_accurate_wavefront_agrees_with_fast_path_end_to_end() {
+    let model = mlp(&[16, 8], &[Nonlinearity::Relu], 2);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let weights = ModelWeights::random(&model, 0.4, &mut rng);
+    let input = Matrix::from_fn(2, 16, |r, c| ((r * 5 + c) % 9) as f32 * 0.1 - 0.4);
+    let cal = calibrate(&model, &weights, &input);
+    let cfg = TpuConfig::small();
+    let compiled = compile_fc(&model, &weights, &cal, &cfg).expect("compile");
+
+    let run = |cycle_accurate: bool| {
+        let mut dev = FuncTpu::new(cfg.clone());
+        dev.cycle_accurate(cycle_accurate);
+        for (addr, tile) in &compiled.weight_image {
+            dev.weight_memory_mut().store_tile(*addr, tile).unwrap();
+        }
+        let mut host = HostMemory::new(1 << 20);
+        let block: Vec<u8> = (0..compiled.input_bytes).map(|i| (i * 7 % 256) as u8).collect();
+        host.write(0, &block).unwrap();
+        dev.run(&compiled.program, &mut host).unwrap();
+        host.read(compiled.output_host_addr as usize, compiled.output_bytes)
+            .unwrap()
+            .to_vec()
+    };
+    assert_eq!(run(true), run(false), "wavefront and oracle must agree bit-for-bit");
+}
+
+#[test]
+fn lstm_cell_sequences_are_deterministic_and_bounded() {
+    use tpu_repro::tpu_nn::lstm::{LstmCell, LstmState};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let cell = LstmCell::random(8, 16, 0.4, &mut rng);
+    let xs: Vec<Matrix> =
+        (0..10).map(|t| Matrix::from_fn(4, 8, |r, c| ((t + r + c) % 7) as f32 * 0.1)).collect();
+    let a = cell.run_sequence(&xs, LstmState::zeros(4, 16));
+    let b = cell.run_sequence(&xs, LstmState::zeros(4, 16));
+    assert_eq!(a, b);
+    for &h in a.h.data() {
+        assert!(h.abs() < 1.0);
+    }
+}
+
+#[test]
+fn convolution_through_the_device_matches_spatial_reference() {
+    // Lower a real 2-D convolution the way the TPU compiler does —
+    // im2col + tiled matmul — build the ISA program by hand, run it on
+    // the functional device, and compare against the direct spatial
+    // convolution within quantization error.
+    use tpu_repro::tpu_compiler::lower::{deformat_activations, format_activations};
+    use tpu_repro::tpu_compiler::tiling::{pack_tiles, TileGrid};
+    use tpu_repro::tpu_core::func::cfg_keys;
+    use tpu_repro::tpu_core::isa::{ActivationFunction, Instruction, PoolOp};
+    use tpu_repro::tpu_nn::conv::{conv2d_reference, im2col, ConvSpec, NhwcTensor};
+    use tpu_repro::tpu_nn::quant::{
+        choose_activation_params, QuantizedActivations, QuantizedWeights,
+    };
+
+    let cfg = TpuConfig::small(); // 8x8 array
+    let dim = cfg.array_dim;
+    let spec = ConvSpec { h: 5, w: 5, in_ch: 2, out_ch: 8, kh: 3, kw: 3, stride: 1, pad: 1 };
+    let batch_examples = 2;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+    use rand::Rng;
+    let wf = Matrix::from_fn(spec.patch_len(), spec.out_ch, |_, _| rng.gen_range(-0.5f32..0.5));
+    let input =
+        NhwcTensor::from_fn(batch_examples, spec.h, spec.w, spec.in_ch, |_, _, _, _| {
+            rng.gen_range(-1.0f32..1.0)
+        });
+
+    // Oracle: spatial convolution + ReLU.
+    let want = conv2d_reference(&input, &wf, &spec);
+
+    // Quantize: im2col rows are the activations, conv kernel the weights.
+    let unrolled = im2col(&input, &spec);
+    let in_q = choose_activation_params(&unrolled);
+    let qa = QuantizedActivations::quantize(&unrolled, in_q);
+    let qw = QuantizedWeights::quantize(&wf);
+
+    // Output quantization from the f32 result's observed range.
+    let out_mat = Matrix::from_rows(
+        batch_examples * spec.out_positions(),
+        spec.out_ch,
+        want.data().iter().map(|v| v.max(0.0)).collect(),
+    );
+    let out_q = choose_activation_params(&out_mat);
+
+    // Tile the (18 x 8) weight matrix on the 8-wide array: 3x1 grid.
+    let (k, n) = (spec.patch_len(), spec.out_ch);
+    let grid = TileGrid::new(k, n, dim);
+    let tiles = pack_tiles(qw.codes(), k, n, dim);
+    let rows = batch_examples * spec.out_positions();
+    assert!(rows <= cfg.accumulator_entries);
+
+    let mut dev = FuncTpu::new(cfg.clone());
+    for (i, tile) in tiles.iter().enumerate() {
+        dev.weight_memory_mut().store_tile(i * cfg.tile_bytes(), tile).unwrap();
+    }
+
+    // Block-format the im2col activations and stage them in host memory.
+    let blocks = format_activations(qa.codes(), rows, k, dim);
+    let mut host = HostMemory::new(1 << 20);
+    host.write(0, &blocks).unwrap();
+
+    let mut p = Program::new();
+    p.push(Instruction::SetConfig {
+        key: cfg_keys::INPUT_ZERO_POINT,
+        value: in_q.zero_point as u32,
+    });
+    p.push(Instruction::SetConfig {
+        key: cfg_keys::ACC_SCALE,
+        value: (in_q.scale * qw.scale()).to_bits(),
+    });
+    p.push(Instruction::SetConfig { key: cfg_keys::OUTPUT_SCALE, value: out_q.scale.to_bits() });
+    p.push(Instruction::SetConfig {
+        key: cfg_keys::OUTPUT_ZERO_POINT,
+        value: out_q.zero_point as u32,
+    });
+    p.push(Instruction::ReadHostMemory { host_addr: 0, ub_addr: 0, len: blocks.len() as u32 });
+    p.push(Instruction::ReadWeights { dram_addr: 0, tiles: tiles.len() as u16 });
+    for info in grid.iter() {
+        p.push(Instruction::MatrixMultiply {
+            ub_addr: (info.k_index * rows * dim) as u32,
+            acc_addr: 0,
+            rows: rows as u32,
+            accumulate: info.k_index > 0,
+            convolve: true,
+            precision: tpu_repro::tpu_core::config::Precision::Int8,
+        });
+    }
+    let out_base = blocks.len() as u32;
+    p.push(Instruction::Activate {
+        acc_addr: 0,
+        ub_addr: out_base,
+        rows: rows as u32,
+        func: ActivationFunction::Relu,
+        pool: PoolOp::None,
+    });
+    let out_block_bytes = (rows * dim) as u32;
+    p.push(Instruction::WriteHostMemory {
+        ub_addr: out_base,
+        host_addr: 0x8000,
+        len: out_block_bytes,
+    });
+    p.push(Instruction::Halt);
+
+    dev.run(&p, &mut host).unwrap();
+
+    let raw = host.read(0x8000, out_block_bytes as usize).unwrap().to_vec();
+    let codes = deformat_activations(&raw, rows, spec.out_ch.min(dim), dim);
+    let got = QuantizedActivations::from_codes(rows, spec.out_ch, codes, out_q).dequantize();
+
+    // Compare against the spatial oracle with ReLU, elementwise.
+    let mut max_diff = 0.0f32;
+    let mut r = 0usize;
+    for bi in 0..batch_examples {
+        for oy in 0..spec.out_h() {
+            for ox in 0..spec.out_w() {
+                for oc in 0..spec.out_ch {
+                    let reference = want.get(bi, oy, ox, oc).max(0.0);
+                    max_diff = max_diff.max((reference - got.get(r, oc)).abs());
+                }
+                r += 1;
+            }
+        }
+    }
+    assert!(
+        max_diff < 0.2,
+        "device convolution diverged from spatial reference by {max_diff}"
+    );
+}

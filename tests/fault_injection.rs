@@ -1,0 +1,161 @@
+//! Fault-injection tests: malformed programs written in assembly, run
+//! through the static verifier, the functional device, and the pipeline
+//! model, asserting that each layer reports the right fault.
+//!
+//! A real driver stack has exactly these layers: verify at compile time
+//! where possible, fault at dispatch time otherwise.
+
+use tpu_repro::tpu_asm::assemble;
+use tpu_repro::tpu_compiler::verify::verify;
+use tpu_repro::tpu_core::func::FuncTpu;
+use tpu_repro::tpu_core::mem::HostMemory;
+use tpu_repro::tpu_core::pipeline::PipelineModel;
+use tpu_repro::tpu_core::{TpuConfig, TpuError};
+
+fn run_func(cfg: &TpuConfig, src: &str) -> Result<(), TpuError> {
+    let program = assemble(src).expect("test programs must assemble");
+    let mut tpu = FuncTpu::new(cfg.clone());
+    let mut host = HostMemory::new(1 << 16);
+    host.write(0, &vec![1u8; 4096]).unwrap();
+    tpu.run(&program, &mut host).map(|_| ())
+}
+
+#[test]
+fn matmul_without_weights_faults_everywhere() {
+    let cfg = TpuConfig::small();
+    let src = "matmul ub=0x0, acc=0, rows=4\nhalt\n";
+    // Static verification flags it...
+    let program = assemble(src).unwrap();
+    let violations = verify(&program, &cfg);
+    assert!(
+        violations.iter().any(|v| v.message.contains("no weight tile")),
+        "verifier should flag the missing Read_Weights: {violations:?}"
+    );
+    // ...the functional device faults...
+    let err = run_func(&cfg, src).unwrap_err();
+    assert!(
+        matches!(err, TpuError::WeightFifoUnderflow | TpuError::NoWeightsLoaded),
+        "functional fault: {err}"
+    );
+    // ...and the pipeline model faults the same way.
+    let err = PipelineModel::new(cfg).execute(&program).unwrap_err();
+    assert_eq!(err, TpuError::WeightFifoUnderflow);
+}
+
+#[test]
+fn unified_buffer_overflow_faults_the_device() {
+    let cfg = TpuConfig::small();
+    // UB is small in the test config; a read near the 24-bit limit
+    // must fault as out of range.
+    let src = "read_host_memory host=0x0, ub=0xffff00, len=4096\nhalt\n";
+    let program = assemble(src).unwrap();
+    let violations = verify(&program, &cfg);
+    assert!(!violations.is_empty(), "verifier must flag the UB overflow");
+    let err = run_func(&cfg, src).unwrap_err();
+    assert!(
+        matches!(err, TpuError::UnifiedBufferOutOfRange { .. }),
+        "device fault: {err}"
+    );
+}
+
+#[test]
+fn accumulator_overflow_faults_the_device() {
+    let cfg = TpuConfig::small();
+    let entries = cfg.accumulator_entries;
+    let src = format!(
+        "read_host_memory host=0x0, ub=0x0, len=64\n\
+         read_weights dram=0x0, tiles=1\n\
+         matmul ub=0x0, acc={}, rows=8\nhalt\n",
+        entries - 2
+    );
+    let program = assemble(&src).unwrap();
+    assert!(!verify(&program, &cfg).is_empty(), "verifier must flag accumulator overflow");
+    let err = run_func(&cfg, &src).unwrap_err();
+    assert!(matches!(err, TpuError::AccumulatorOutOfRange { .. }), "device fault: {err}");
+}
+
+#[test]
+fn fifo_overflow_is_flagged_statically() {
+    let cfg = TpuConfig::small();
+    let depth = cfg.weight_fifo_tiles;
+    let src = format!("read_weights dram=0x0, tiles={}\nhalt\n", depth + 1);
+    let program = assemble(&src).unwrap();
+    let violations = verify(&program, &cfg);
+    assert!(
+        violations.iter().any(|v| v.message.to_lowercase().contains("fifo")),
+        "verifier must flag FIFO overfill: {violations:?}"
+    );
+    let err = run_func(&cfg, &src).unwrap_err();
+    assert!(matches!(err, TpuError::WeightFifoOverflow { .. }), "device fault: {err}");
+}
+
+#[test]
+fn missing_halt_is_rejected_before_dispatch() {
+    let cfg = TpuConfig::small();
+    let program = assemble("nop\n").unwrap();
+    assert!(
+        verify(&program, &cfg).iter().any(|v| v.message.to_lowercase().contains("halt")),
+        "verifier must require a halt"
+    );
+    let err = PipelineModel::new(cfg.clone()).execute(&program).unwrap_err();
+    assert_eq!(err, TpuError::MissingHalt);
+    let mut tpu = FuncTpu::new(cfg);
+    let mut host = HostMemory::new(1 << 12);
+    assert_eq!(tpu.run(&program, &mut host).unwrap_err(), TpuError::MissingHalt);
+}
+
+#[test]
+fn host_memory_overflow_faults_the_device() {
+    let cfg = TpuConfig::small();
+    let program = assemble("read_host_memory host=0xfff000, ub=0x0, len=8192\nhalt\n").unwrap();
+    let mut tpu = FuncTpu::new(cfg);
+    let mut host = HostMemory::new(1 << 16); // 64 KiB: address is way out
+    let err = tpu.run(&program, &mut host).unwrap_err();
+    assert!(matches!(err, TpuError::HostMemoryOutOfRange { .. }), "device fault: {err}");
+}
+
+#[test]
+fn weight_memory_overflow_faults_the_device() {
+    let cfg = TpuConfig::small();
+    let capacity = cfg.weight_memory_bytes;
+    let src = format!("read_weights dram={:#x}, tiles=1\nhalt\n", capacity);
+    let err = run_func(&cfg, &src).unwrap_err();
+    assert!(matches!(err, TpuError::WeightMemoryOutOfRange { .. }), "device fault: {err}");
+}
+
+#[test]
+fn corrupted_binary_streams_fail_to_decode() {
+    use tpu_repro::tpu_core::isa::Program;
+    let program = assemble("read_weights dram=0x0, tiles=1\nhalt\n").unwrap();
+    let mut bytes = program.encode();
+
+    // Truncation: cut mid-instruction.
+    let truncated = &bytes[..bytes.len() - 2];
+    let err = Program::decode(truncated).unwrap_err();
+    assert!(matches!(err, TpuError::TruncatedInstruction { .. }), "{err}");
+
+    // Corruption: overwrite an opcode byte with garbage.
+    bytes[0] = 0xEE;
+    let err = Program::decode(&bytes).unwrap_err();
+    assert_eq!(err, TpuError::UnknownOpcode(0xEE));
+}
+
+#[test]
+fn verifier_is_silent_on_a_clean_hand_written_program() {
+    let cfg = TpuConfig::small();
+    let d = cfg.array_dim;
+    let src = format!(
+        "
+        read_host_memory host=0x0, ub=0x0, len={len}
+        read_weights dram=0x0, tiles=1
+        matmul ub=0x0, acc=0, rows=4
+        activate acc=0, ub=0x1000, rows=4, func=relu
+        write_host_memory ub=0x1000, host=0x2000, len={len}
+        halt
+        ",
+        len = 4 * d,
+    );
+    let program = assemble(&src).unwrap();
+    assert_eq!(verify(&program, &cfg), vec![]);
+    assert!(run_func(&cfg, &src).is_ok());
+}

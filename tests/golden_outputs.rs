@@ -1,0 +1,71 @@
+//! Golden snapshot tests: every table, figure, and extension artifact the
+//! harness can regenerate is compared byte-for-byte against a checked-in
+//! snapshot under `tests/golden/`.
+//!
+//! The generators are fully deterministic (seeded simulations, fixed
+//! iteration order), so any diff is a real behaviour change. When a
+//! change is intentional, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_outputs
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use std::path::PathBuf;
+use tpu_repro::tpu_core::TpuConfig;
+use tpu_repro::tpu_harness::{generate, EXPERIMENTS};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn check_or_update(name: &str, actual: &str) {
+    let path = golden_dir().join(format!("{name}.txt"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {path:?} ({e}); run UPDATE_GOLDEN=1 cargo test --test golden_outputs")
+    });
+    if expected != actual {
+        // Locate the first differing line for a readable failure.
+        let mismatch = expected
+            .lines()
+            .zip(actual.lines())
+            .enumerate()
+            .find(|(_, (e, a))| e != a)
+            .map(|(i, (e, a))| format!("line {}: expected `{e}`, got `{a}`", i + 1))
+            .unwrap_or_else(|| "line counts differ".to_string());
+        panic!(
+            "{name} drifted from its golden snapshot ({mismatch}).\n\
+             If intentional, regenerate with UPDATE_GOLDEN=1 and review the diff."
+        );
+    }
+}
+
+#[test]
+fn every_experiment_matches_its_golden_snapshot() {
+    let cfg = TpuConfig::paper();
+    for id in EXPERIMENTS {
+        let table = generate(id, &cfg).to_string();
+        check_or_update(id, &table);
+    }
+}
+
+#[test]
+fn golden_dir_has_no_stale_snapshots() {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return; // freshly regenerated; nothing can be stale
+    }
+    let live: Vec<String> = EXPERIMENTS.iter().map(|id| format!("{id}.txt")).collect();
+    for entry in std::fs::read_dir(golden_dir()).expect("golden dir exists") {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(
+            live.contains(&name),
+            "stale golden snapshot {name}: no experiment generates it any more"
+        );
+    }
+}

@@ -1,0 +1,445 @@
+//! Property-based cross-crate invariants: random models through the
+//! compiler and timing engine, random data through the quantization and
+//! layout paths.
+
+use proptest::prelude::*;
+use tpu_repro::tpu_compiler::lower::{deformat_activations, format_activations};
+use tpu_repro::tpu_compiler::lower_timed;
+use tpu_repro::tpu_core::timing::{run_timed, TimedOp};
+use tpu_repro::tpu_core::TpuConfig;
+use tpu_repro::tpu_nn::layer::{Layer, Nonlinearity};
+use tpu_repro::tpu_nn::model::{NnKind, NnModel};
+
+/// Random small-ish FC/vector models.
+fn model_strategy() -> impl Strategy<Value = NnModel> {
+    let layer = prop_oneof![
+        (64usize..2048, 64usize..2048)
+            .prop_map(|(i, o)| Layer::fc(i, o, Nonlinearity::Relu)),
+        (64usize..1024, 1u64..4).prop_map(|(w, c)| Layer::vector(w, c)),
+    ];
+    (prop::collection::vec(layer, 1..6), 1usize..256).prop_map(|(mut layers, batch)| {
+        // Ensure at least one matrix layer so the model does real work.
+        if !layers.iter().any(|l| l.matrix_shape().is_some()) {
+            layers.push(Layer::fc(256, 256, Nonlinearity::Relu));
+        }
+        let input_width = match layers[0] {
+            Layer::Fc(fc) => fc.inputs,
+            Layer::Vector(v) => v.width,
+            _ => unreachable!(),
+        };
+        NnModel::new(
+            "prop",
+            NnKind::Mlp,
+            layers,
+            batch,
+            input_width,
+            tpu_repro::tpu_core::config::Precision::Int8,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn timing_fractions_always_total_one(model in model_strategy()) {
+        let cfg = TpuConfig::paper();
+        let ops = lower_timed(&model, &cfg, 1);
+        let r = run_timed(&cfg, &ops);
+        prop_assert!((r.report.primary_sum() - 1.0).abs() < 1e-9);
+        prop_assert!(r.report.teraops <= cfg.peak_tops() + 1e-9);
+    }
+
+    #[test]
+    fn active_cycles_equal_lowered_rows(model in model_strategy()) {
+        let cfg = TpuConfig::paper();
+        let ops = lower_timed(&model, &cfg, 1);
+        let expected_active: u64 = ops
+            .iter()
+            .map(|op| match op {
+                TimedOp::Matmul { rows, precision }
+                | TimedOp::MatmulReuse { rows, precision } => {
+                    rows * precision.speed_divisor()
+                }
+                _ => 0,
+            })
+            .sum();
+        let r = run_timed(&cfg, &ops);
+        prop_assert_eq!(r.counters.array_active_cycles, expected_active);
+    }
+
+    #[test]
+    fn weight_traffic_equals_padded_tile_bytes(model in model_strategy()) {
+        let cfg = TpuConfig::paper();
+        let ops = lower_timed(&model, &cfg, 1);
+        let tiles = ops.iter().filter(|o| matches!(o, TimedOp::LoadTile { .. })).count();
+        let r = run_timed(&cfg, &ops);
+        prop_assert_eq!(r.counters.weight_bytes, (tiles * cfg.tile_bytes()) as u64);
+        // Padded traffic is at least the model's real weight bytes.
+        prop_assert!(r.counters.weight_bytes >= model.total_weights());
+    }
+
+    #[test]
+    fn useful_plus_unused_macs_equal_active_slots(model in model_strategy()) {
+        let cfg = TpuConfig::paper();
+        let ops = lower_timed(&model, &cfg, 1);
+        let r = run_timed(&cfg, &ops);
+        let rows: u64 = ops
+            .iter()
+            .map(|op| match op {
+                TimedOp::Matmul { rows, .. } | TimedOp::MatmulReuse { rows, .. } => *rows,
+                _ => 0,
+            })
+            .sum();
+        let slots = rows * cfg.macs() as u64;
+        let counted = r.counters.useful_macs + r.counters.unused_macs;
+        // Fill fractions are applied with float rounding per-op; allow
+        // one slot-row of slack per op.
+        let slack = ops.len() as u64 * cfg.macs() as u64;
+        prop_assert!(counted <= slots + slack);
+        prop_assert!(counted + slack >= slots);
+    }
+
+    #[test]
+    fn more_bandwidth_never_slows_a_model(model in model_strategy()) {
+        let base = TpuConfig::paper();
+        let fast = base.to_builder().weight_memory_bw(2.0 * base.weight_memory_bw).build().unwrap();
+        let ops = lower_timed(&model, &base, 1);
+        let t_base = run_timed(&base, &ops).counters.total_cycles;
+        let t_fast = run_timed(&fast, &ops).counters.total_cycles;
+        prop_assert!(t_fast <= t_base);
+    }
+
+    #[test]
+    fn format_deformat_roundtrip(
+        batch in 1usize..16,
+        width in 1usize..100,
+        seed in 0u64..1000,
+    ) {
+        let dim = 8;
+        let codes: Vec<u8> = (0..batch * width)
+            .map(|i| ((i as u64).wrapping_mul(seed + 1) % 256) as u8)
+            .collect();
+        let blocks = format_activations(&codes, batch, width, dim);
+        prop_assert_eq!(deformat_activations(&blocks, batch, width, dim), codes);
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bounded(
+        values in prop::collection::vec(-100.0f32..100.0, 1..64),
+    ) {
+        use tpu_repro::tpu_nn::quant::{choose_activation_params, QuantizedActivations};
+        use tpu_repro::tpu_nn::Matrix;
+        let m = Matrix::from_rows(1, values.len(), values.clone());
+        let p = choose_activation_params(&m);
+        let q = QuantizedActivations::quantize(&m, p);
+        let err = m.max_abs_diff(&q.dequantize());
+        prop_assert!(err <= p.scale * 0.5 + 1e-4, "err {} scale {}", err, p.scale);
+    }
+
+    #[test]
+    fn systolic_matches_oracle_on_random_tiles(
+        dim in 1usize..6,
+        rows in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        use tpu_repro::tpu_core::mem::WeightTile;
+        use tpu_repro::tpu_core::systolic::{matmul_reference, SystolicArray};
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as i64
+        };
+        let tile = WeightTile::from_rows(
+            dim,
+            (0..dim * dim).map(|_| (next() % 256 - 128) as i8).collect(),
+        );
+        let acts: Vec<i16> = (0..rows * dim).map(|_| (next() % 512 - 256) as i16).collect();
+        let mut array = SystolicArray::new(dim);
+        array.stage_weights(&tile).unwrap();
+        array.commit_weights().unwrap();
+        let run = array.matmul(&acts, rows).unwrap();
+        prop_assert_eq!(run.outputs, matmul_reference(&tile, &acts, rows));
+        prop_assert_eq!(run.cycles, (rows + 2 * dim - 2) as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Differential test: random small MLPs through the full stack
+    /// (calibrate -> compile -> functional device) track the f32
+    /// reference within quantization error.
+    #[test]
+    fn random_mlps_match_reference_through_the_device(
+        hidden_layers in 0usize..3,
+        batch in 1usize..8,
+        in_mult in 1usize..4,
+        seed in 0u64..10_000,
+    ) {
+        use rand::SeedableRng;
+        use tpu_repro::tpu_compiler::TpuRuntime;
+        use tpu_repro::tpu_nn::reference::{forward_f32, ModelWeights};
+
+        let d = TpuConfig::small().array_dim;
+        let mut layers = vec![Layer::fc(in_mult * d, d, Nonlinearity::Relu)];
+        for _ in 0..hidden_layers {
+            layers.push(Layer::fc(d, d, Nonlinearity::Relu));
+        }
+        let model = NnModel::new(
+            "prop-mlp",
+            NnKind::Mlp,
+            layers,
+            batch,
+            in_mult * d,
+            tpu_repro::tpu_core::config::Precision::Int8,
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let weights = ModelWeights::random(&model, 0.4, &mut rng);
+        let input = tpu_repro::tpu_nn::Matrix::from_fn(batch, in_mult * d, |r, c| {
+            ((r * 17 + c * 5 + seed as usize) % 19) as f32 * 0.05 - 0.45
+        });
+        let want = forward_f32(&model, &weights, &input);
+        let mut rt = TpuRuntime::new(TpuConfig::small(), 1 << 22);
+        let got = rt.evaluate(&model, &weights, &input).expect("device run");
+        let diff = want.max_abs_diff(&got);
+        // Error compounds per quantized layer; generous but meaningful.
+        let tol = 0.12 * (hidden_layers + 1) as f32 + 0.08;
+        prop_assert!(diff < tol, "diff {} at tol {} (seed {})", diff, tol, seed);
+    }
+
+    /// Every compiled program passes static verification.
+    #[test]
+    fn compiled_programs_always_verify(
+        hidden_layers in 0usize..3,
+        batch in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        use rand::SeedableRng;
+        use tpu_repro::tpu_compiler::verify::verify;
+        use tpu_repro::tpu_nn::reference::{calibrate, ModelWeights};
+
+        let cfg = TpuConfig::small();
+        let d = cfg.array_dim;
+        let mut layers = vec![Layer::fc(2 * d, d, Nonlinearity::Relu)];
+        for _ in 0..hidden_layers {
+            layers.push(Layer::fc(d, d, Nonlinearity::None));
+        }
+        let model = NnModel::new(
+            "prop-verify",
+            NnKind::Mlp,
+            layers,
+            batch,
+            2 * d,
+            tpu_repro::tpu_core::config::Precision::Int8,
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let weights = ModelWeights::random(&model, 0.4, &mut rng);
+        let input = tpu_repro::tpu_nn::Matrix::from_fn(batch, 2 * d, |r, c| {
+            ((r + c) % 11) as f32 * 0.08 - 0.4
+        });
+        let cal = calibrate(&model, &weights, &input);
+        let compiled =
+            tpu_repro::tpu_compiler::compile_fc(&model, &weights, &cal, &cfg).unwrap();
+        prop_assert_eq!(verify(&compiled.program, &cfg), vec![]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Compiled programs execute through the instruction-level pipeline
+    /// model with internally consistent timing: issue <= start < complete
+    /// for every instruction, and total time is the last completion.
+    #[test]
+    fn compiled_programs_flow_through_the_pipeline_model(
+        hidden_layers in 0usize..3,
+        batch in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        use rand::SeedableRng;
+        use tpu_repro::tpu_core::pipeline::PipelineModel;
+        use tpu_repro::tpu_nn::reference::{calibrate, ModelWeights};
+
+        let cfg = TpuConfig::small();
+        let d = cfg.array_dim;
+        let mut layers = vec![Layer::fc(2 * d, d, Nonlinearity::Relu)];
+        for _ in 0..hidden_layers {
+            layers.push(Layer::fc(d, d, Nonlinearity::Relu));
+        }
+        let model = NnModel::new(
+            "prop-pipe",
+            NnKind::Mlp,
+            layers,
+            batch,
+            2 * d,
+            tpu_repro::tpu_core::config::Precision::Int8,
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let weights = ModelWeights::random(&model, 0.3, &mut rng);
+        let input = tpu_repro::tpu_nn::Matrix::from_fn(batch, 2 * d, |r, c| {
+            ((r * 3 + c) % 13) as f32 * 0.06 - 0.36
+        });
+        let cal = calibrate(&model, &weights, &input);
+        let compiled =
+            tpu_repro::tpu_compiler::compile_fc(&model, &weights, &cal, &cfg).unwrap();
+        let trace = PipelineModel::new(cfg).execute(&compiled.program).unwrap();
+        prop_assert_eq!(trace.records.len(), compiled.program.len());
+        let mut last_issue = 0;
+        for r in &trace.records {
+            prop_assert!(r.issue >= last_issue, "in-order issue");
+            last_issue = r.issue;
+            prop_assert!(r.start >= r.issue);
+            prop_assert!(r.complete > r.start);
+            prop_assert!(r.complete <= trace.total_cycles);
+        }
+    }
+
+    /// Assembly text produced from compiled programs round-trips exactly
+    /// (the disassembler covers everything the compiler emits).
+    #[test]
+    fn compiled_programs_round_trip_through_assembly(
+        batch in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        use rand::SeedableRng;
+        use tpu_repro::tpu_asm::{assemble, disassemble};
+        use tpu_repro::tpu_nn::reference::{calibrate, ModelWeights};
+
+        let cfg = TpuConfig::small();
+        let d = cfg.array_dim;
+        let model = NnModel::new(
+            "prop-asm",
+            NnKind::Mlp,
+            vec![Layer::fc(2 * d, d, Nonlinearity::Relu)],
+            batch,
+            2 * d,
+            tpu_repro::tpu_core::config::Precision::Int8,
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let weights = ModelWeights::random(&model, 0.3, &mut rng);
+        let input = tpu_repro::tpu_nn::Matrix::from_fn(batch, 2 * d, |r, c| {
+            ((r + 2 * c) % 7) as f32 * 0.1 - 0.3
+        });
+        let cal = calibrate(&model, &weights, &input);
+        let compiled =
+            tpu_repro::tpu_compiler::compile_fc(&model, &weights, &cal, &cfg).unwrap();
+        let text = disassemble(&compiled.program);
+        prop_assert_eq!(assemble(&text).unwrap(), compiled.program);
+    }
+
+    /// Batching-policy simulation invariants across random loads and
+    /// policies: percentiles are ordered, batches bounded, throughput
+    /// bounded by capacity (with jitter slack).
+    #[test]
+    fn batching_policies_respect_basic_invariants(
+        rate in 500.0f64..100_000.0,
+        max_batch in 1usize..128,
+        window_ms in 0.1f64..10.0,
+        which in 0usize..3,
+    ) {
+        use tpu_repro::tpu_platforms::batching::{simulate_policy, tpu_service, Policy};
+        let policy = match which {
+            0 => Policy::Fixed { batch: max_batch },
+            1 => Policy::TimeWindow { max_batch, window_ms },
+            _ => Policy::Deadline { max_batch, deadline_ms: window_ms + 5.0, margin_ms: 0.5 },
+        };
+        let r = simulate_policy(&tpu_service(policy, rate));
+        prop_assert!(r.p50_ms <= r.p99_ms);
+        prop_assert!(r.mean_batch >= 1.0 && r.mean_batch <= max_batch as f64 + 1e-9);
+        prop_assert!(r.throughput_ips > 0.0);
+        prop_assert!(r.deadline_hit_rate >= 0.0 && r.deadline_hit_rate <= 1.0);
+    }
+
+    /// Calibration always yields valid parameters for arbitrary finite
+    /// observations, and the percentile threshold is monotone in p.
+    #[test]
+    fn calibration_params_always_valid(
+        values in prop::collection::vec(-1e6f32..1e6, 1..2000),
+        lo_pct in 1.0f64..50.0,
+    ) {
+        use tpu_repro::tpu_nn::calibrate::{CalibrationMethod, Calibrator};
+        let mut cal = Calibrator::new();
+        cal.observe_slice(&values);
+        for method in [
+            CalibrationMethod::MinMax,
+            CalibrationMethod::Percentile(lo_pct),
+            CalibrationMethod::Percentile(100.0),
+            CalibrationMethod::Mse,
+            CalibrationMethod::Entropy,
+        ] {
+            let p = cal.params(method);
+            prop_assert!(p.scale > 0.0 && p.scale.is_finite(), "{method:?}");
+            // Zero is exactly representable (affine quantization contract).
+            prop_assert_eq!(p.quantize(0.0), p.zero_point);
+        }
+        let t_lo = cal.histogram().percentile(lo_pct);
+        let t_hi = cal.histogram().percentile(100.0);
+        prop_assert!(t_lo <= t_hi * (1.0 + 1e-6));
+    }
+
+    /// The multi-die server never loses requests and orders percentiles.
+    #[test]
+    fn server_sim_conserves_requests(
+        dies in 1usize..9,
+        rate in 1_000.0f64..500_000.0,
+        least_loaded in any::<bool>(),
+    ) {
+        use tpu_repro::tpu_platforms::server::{simulate_server, tpu_server, Dispatch};
+        let dispatch = if least_loaded { Dispatch::LeastLoaded } else { Dispatch::RoundRobin };
+        let cfg = tpu_server(dies, dispatch, rate);
+        let r = simulate_server(&cfg);
+        prop_assert!(r.p50_ms <= r.p99_ms);
+        let batches: usize = r.batches_per_die.iter().sum();
+        let served = batches * cfg.batch;
+        // Last chunk may be partial: served batches cover all requests.
+        prop_assert!(served >= cfg.requests);
+        prop_assert!(served < cfg.requests + cfg.batch * dies + cfg.batch);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// EIE-style compression is lossless and its compressed-form matvec
+    /// is bit-identical to the dense computation, for any sparsity.
+    #[test]
+    fn compressed_weights_are_lossless_and_compute_exactly(
+        rows in 1usize..200,
+        cols in 1usize..48,
+        density in 0.0f64..1.0,
+        seed in 0u64..10_000,
+    ) {
+        use rand::SeedableRng;
+        use rand::Rng;
+        use tpu_repro::tpu_nn::compress::CompressedWeights;
+        use tpu_repro::tpu_nn::quant::QuantizedWeights;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dense = tpu_repro::tpu_nn::Matrix::from_fn(rows, cols, |_, _| {
+            if rng.gen_bool(density.clamp(0.0, 1.0)) {
+                rng.gen_range(-1.0f32..1.0)
+            } else {
+                0.0
+            }
+        });
+        let q = QuantizedWeights::quantize(&dense);
+        let c = CompressedWeights::encode(&q);
+        // Lossless.
+        prop_assert_eq!(c.decode(), q.codes());
+        // Exact arithmetic.
+        let acts: Vec<i16> = (0..rows).map(|i| ((i * 31 + seed as usize) % 61) as i16 - 30).collect();
+        let sparse = c.matvec(&acts);
+        let codes = q.codes();
+        for (col, &s) in sparse.iter().enumerate() {
+            let mut acc = 0i32;
+            for (row, &a) in acts.iter().enumerate() {
+                acc += a as i32 * codes[row * cols + col] as i32;
+            }
+            prop_assert_eq!(s, acc);
+        }
+        // Storage accounting is consistent.
+        prop_assert!(c.density() <= 1.0);
+        prop_assert!(c.compressed_bits() > 0);
+    }
+}

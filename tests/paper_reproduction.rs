@@ -1,0 +1,258 @@
+//! The paper's headline claims, asserted against the reproduction.
+//!
+//! Each test names the claim as stated in the paper and checks that the
+//! simulated/modelled system reproduces its *shape* — who wins, by
+//! roughly what factor, where the crossovers fall.
+
+use tpu_repro::tpu_core::TpuConfig;
+use tpu_repro::tpu_nn::workloads;
+use tpu_repro::tpu_platforms::roofline::Roofline;
+use tpu_repro::tpu_platforms::spec::ChipSpec;
+
+fn cfg() -> TpuConfig {
+    TpuConfig::paper()
+}
+
+#[test]
+fn claim_tpu_is_15x_to_30x_faster_than_gpu_and_cpu() {
+    // Abstract: "the TPU is on average about 15X-30X faster than its
+    // contemporary GPU or CPU."
+    let t6 = tpu_repro::tpu_platforms::table6(&cfg());
+    assert!(
+        (10.0..=35.0).contains(&t6.tpu_gm) || (10.0..=35.0).contains(&t6.tpu_wm),
+        "TPU/CPU GM {} WM {} should straddle the 15-30x band",
+        t6.tpu_gm,
+        t6.tpu_wm
+    );
+    let tpu_over_gpu_wm = t6.tpu_wm / t6.gpu_wm;
+    assert!(
+        (8.0..=35.0).contains(&tpu_over_gpu_wm),
+        "TPU/GPU WM {tpu_over_gpu_wm} (paper: 15.3)"
+    );
+}
+
+#[test]
+fn claim_k80_is_just_a_little_faster_than_haswell() {
+    // "Due to latency limits, the K80 GPU is underutilized for inference,
+    // and is just a little faster than a Haswell CPU."
+    let t6 = tpu_repro::tpu_platforms::table6(&cfg());
+    assert!((0.7..=3.0).contains(&t6.gpu_gm), "GPU GM {}", t6.gpu_gm);
+    assert!(t6.gpu_gm < t6.tpu_gm / 5.0);
+}
+
+#[test]
+fn claim_four_of_six_apps_are_memory_bound_on_tpu() {
+    let tpu = Roofline::from_spec(&ChipSpec::tpu());
+    let memory_bound = workloads::all()
+        .iter()
+        .filter(|m| tpu.is_memory_bound(m.ops_per_weight_byte()))
+        .count();
+    assert_eq!(memory_bound, 4, "MLPs and LSTMs under the ridge, CNNs above");
+}
+
+#[test]
+fn claim_cnns_are_only_5_percent_of_the_workload() {
+    let cnn_share: f64 = workloads::workload_mix()
+        .iter()
+        .filter(|(n, _)| n.starts_with("CNN"))
+        .map(|(_, w)| w)
+        .sum();
+    assert!((0.04..=0.07).contains(&cnn_share));
+}
+
+#[test]
+fn claim_perf_watt_30x_to_80x() {
+    // Abstract: "TOPS/Watt about 30X-80X higher" (the incremental band).
+    use tpu_repro::tpu_power::perf_watt::{figure9, Accounting};
+    let f9 = figure9(&cfg());
+    let inc = f9.bar("TPU/CPU", Accounting::Incremental).unwrap();
+    assert!(
+        inc.gm >= 25.0 && inc.wm <= 110.0 && inc.wm >= 40.0,
+        "TPU/CPU incremental GM {} WM {} (paper 41-83)",
+        inc.gm,
+        inc.wm
+    );
+}
+
+#[test]
+fn claim_gddr5_tpu_prime_would_triple_performance() {
+    // Abstract: "using the GPU's GDDR5 memory in the TPU would triple
+    // achieved TOPS" — the weighted-mean device speedup is ~3-4x.
+    use tpu_repro::tpu_perfmodel::tpu_prime::{evaluate, TpuPrimeVariant};
+    let s = evaluate(&cfg(), TpuPrimeVariant::MemoryOnly);
+    assert!((2.5..=4.5).contains(&s.wm), "GDDR5 WM speedup {}", s.wm);
+}
+
+#[test]
+fn claim_tpu_prime_perf_watt_nearly_70x_gpu_200x_cpu() {
+    use tpu_repro::tpu_power::perf_watt::{figure9, Accounting};
+    let f9 = figure9(&cfg());
+    let vs_cpu = f9.bar("TPU'/CPU", Accounting::Incremental).unwrap();
+    let vs_gpu = f9.bar("TPU'/GPU", Accounting::Incremental).unwrap();
+    assert!(vs_cpu.wm > 100.0, "TPU'/CPU incremental WM {} (paper ~196)", vs_cpu.wm);
+    assert!(vs_gpu.wm > 20.0, "TPU'/GPU incremental WM {} (paper ~68)", vs_gpu.wm);
+}
+
+#[test]
+fn claim_ips_varies_75x_across_apps() {
+    // Section 8: "the TPU runs the 4-layer MLP1 at 360,000 IPS but the
+    // 89-layer CNN1 at only 4,700 IPS, so TPU IPS vary by 75X" — IPS is a
+    // function of the NN, not the hardware.
+    use tpu_repro::tpu_platforms::achieved::tpu_device_ips;
+    let mlp1 = tpu_device_ips(&workloads::mlp1(), &cfg());
+    let cnn1 = tpu_device_ips(&workloads::cnn1(), &cfg());
+    let spread = mlp1 / cnn1;
+    assert!(
+        (40.0..=400.0).contains(&spread),
+        "MLP1 {mlp1:.0} IPS vs CNN1 {cnn1:.0} IPS: spread {spread:.0}x (paper 75x)"
+    );
+}
+
+#[test]
+fn claim_boost_mode_would_have_minor_perf_watt_impact() {
+    // Section 8's fallacy: K80 Boost raises clock 1.6x, measured
+    // performance 1.4x and power 1.3x -> perf/Watt gain only ~1.1x.
+    let perf_gain: f64 = 1.4;
+    let power_gain = 1.3;
+    let perf_watt_gain = perf_gain / power_gain;
+    assert!((perf_watt_gain - 1.08).abs() < 0.05);
+    // And at the server level it cannot close the gap to the TPU: even
+    // granting the GPU 1.4x performance at equal power, the TPU keeps an
+    // order of magnitude.
+    let t6 = tpu_repro::tpu_platforms::table6(&cfg());
+    assert!(t6.tpu_wm / (t6.gpu_wm * perf_gain) > 5.0);
+}
+
+#[test]
+fn claim_cpi_of_cisc_instructions_is_10_to_20() {
+    // Section 2: "The average clock cycles per instruction (CPI) of these
+    // CISC instructions is typically 10 to 20." Our op stream carries one
+    // entry per tile/chunk, so the analogous number is cycles per
+    // *matrix* instruction for the memory-bound apps, which the paper's
+    // repeat-field instructions resemble most closely.
+    let cfg = cfg();
+    for m in [workloads::mlp0(), workloads::mlp1()] {
+        let ops = tpu_repro::tpu_compiler::lower_timed(&m, &cfg, 1);
+        let r = tpu_repro::tpu_core::timing::run_timed(&cfg, &ops);
+        let cpi = r.counters.cpi();
+        assert!(
+            cpi > 10.0,
+            "{}: CPI {cpi} — CISC ops occupy stations for many cycles",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn claim_ub_improved_allocator_brings_largest_app_near_14_mib() {
+    // Section 7: the improved allocator reduces the largest app to 14 MiB.
+    let max = workloads::all()
+        .iter()
+        .map(|m| tpu_repro::tpu_compiler::alloc::ub_usage(m).reuse_mib)
+        .fold(0.0f64, f64::max);
+    assert!((8.0..=20.0).contains(&max), "largest app uses {max} MiB (paper: 14)");
+}
+
+#[test]
+fn claim_ridge_points() {
+    let (tpu, cpu, gpu) = tpu_repro::tpu_harness::paper::RIDGE_POINTS;
+    assert!((Roofline::from_spec(&ChipSpec::tpu()).ridge_point() - tpu).abs() < 5.0);
+    assert!((Roofline::from_spec(&ChipSpec::haswell()).ridge_point() - cpu).abs() < 0.5);
+    assert!((Roofline::from_spec(&ChipSpec::k80()).ridge_point() - gpu).abs() < 0.5);
+}
+
+#[test]
+fn claim_energy_proportionality_ranking() {
+    // Section 6: TPU worst, CPU best; at 10% load TPU uses 88% of full
+    // power, CPU 56%, GPU 66%.
+    use tpu_repro::tpu_power::energy::{PowerCurve, PowerWorkload};
+    use tpu_repro::tpu_platforms::spec::Platform;
+    let f = |p| PowerCurve::for_die(p, PowerWorkload::Cnn0).fraction_of_busy(0.10);
+    let (c, g, t) = (f(Platform::Haswell), f(Platform::K80), f(Platform::Tpu));
+    assert!(t > g && g > c);
+    assert!((t - 0.88).abs() < 0.01 && (g - 0.66).abs() < 0.01 && (c - 0.56).abs() < 0.01);
+}
+
+#[test]
+fn claim_haswell_plus_tpus_runs_cnn0_80x_faster_for_20pct_more_power() {
+    // Section 6: "the Haswell server plus four TPUs use <20% additional
+    // power but run CNN0 80 times faster than the Haswell server alone."
+    use tpu_repro::tpu_power::energy::host_server_power;
+    use tpu_repro::tpu_platforms::spec::Platform;
+    let cpu = ChipSpec::haswell();
+    let tpu_curve = tpu_repro::tpu_power::energy::PowerCurve::for_die(
+        Platform::Tpu,
+        tpu_repro::tpu_power::energy::PowerWorkload::Cnn0,
+    );
+    let with_tpus = host_server_power(Platform::Tpu, 1.0) + 4.0 * tpu_curve.power(1.0);
+    let alone = cpu.server_busy_w;
+    let extra = with_tpus / alone - 1.0;
+    assert!(extra < 0.20, "extra power {:.1}%", 100.0 * extra);
+    // Performance side: 4 TPUs vs 2 CPUs on CNN0 (per-die rel 40.3 -> x2
+    // die ratio) is ~80x.
+    let t6 = tpu_repro::tpu_platforms::table6(&cfg());
+    let cnn0 = t6.columns.iter().find(|c| c.name == "CNN0").unwrap();
+    let server_ratio = cnn0.tpu_rel * 4.0 / 2.0;
+    assert!((60.0..=100.0).contains(&server_ratio), "CNN0 server speedup {server_ratio}");
+}
+
+#[test]
+fn claim_all_tpu_stars_at_or_above_the_other_rooflines() {
+    // Figure 8's caption: "All TPU stars are at or above the other 2
+    // rooflines" — every app achieves more on the TPU than the CPU and
+    // GPU rooflines would even permit at its serving intensity.
+    use tpu_repro::tpu_harness::figures::roofline_points;
+    use tpu_repro::tpu_platforms::spec::Platform;
+    let cfg = cfg();
+    let tpu_points = roofline_points(Platform::Tpu, &cfg);
+    for spec in [ChipSpec::haswell(), ChipSpec::k80()] {
+        let other = Roofline::from_spec(&spec);
+        for p in &tpu_points {
+            // LSTM1 is the paper's one near-tie (1.2x vs GPU); allow a
+            // small margin rather than strict dominance.
+            let bound = other.attainable_tops(p.intensity);
+            assert!(
+                p.achieved_tops > 0.8 * bound.min(other.peak_tops()),
+                "{} on TPU ({:.2} TOPS) far below the {} roofline ({bound:.2} TOPS)",
+                p.app,
+                p.achieved_tops,
+                spec.model,
+            );
+        }
+        // And the headline apps dominate outright.
+        for name in ["MLP0", "CNN0", "CNN1"] {
+            let p = tpu_points.iter().find(|p| p.app == name).unwrap();
+            assert!(
+                p.achieved_tops > other.peak_tops(),
+                "{name} should exceed the {} peak entirely",
+                spec.model
+            );
+        }
+    }
+}
+
+#[test]
+fn claim_avx2_int8_cpu_would_shrink_perf_watt_to_12_to_24x() {
+    // Section 8: "If all DNNs had similar speedup, performance/Watt
+    // ratio would drop from 41-83X to 12-24X."
+    let w = tpu_repro::tpu_power::avx2_whatif(&cfg());
+    assert!((30.0..=90.0).contains(&w.gm_before), "before GM {}", w.gm_before);
+    assert!((8.0..=30.0).contains(&w.gm_after), "after GM {}", w.gm_after);
+    assert!((8.0..=30.0).contains(&w.wm_after), "after WM {}", w.wm_after);
+    assert!(w.gm_after >= 8.0, "still roughly an order of magnitude");
+}
+
+#[test]
+fn claim_p40_peak_efficiency_still_trails_the_tpu() {
+    // Section 8: the 16-nm, 250 W, 47-TOPS P40 is newer, but even at
+    // peak its TOPS/Watt trails the 28-nm TPU by an order of magnitude.
+    let c = tpu_repro::tpu_platforms::p40_peak_comparison();
+    assert!(c.tpu_advantage_busy > 10.0, "TPU advantage {}", c.tpu_advantage_busy);
+    // And under latency bounds the predicted delivered fraction of P40
+    // peak is small for the memory-bound majority of the workload.
+    let rows = tpu_repro::tpu_platforms::p40_comparison(&cfg());
+    let memory_bound = rows.iter().filter(|r| r.app.starts_with("MLP") || r.app.starts_with("LSTM"));
+    for r in memory_bound {
+        assert!(r.p40_peak_fraction < 0.10, "{} delivers {:.1}% of P40 peak", r.app, 100.0 * r.p40_peak_fraction);
+    }
+}
