@@ -20,8 +20,12 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first().map(String::as_str) else { return usage() };
-    let Some(input) = args.get(1) else { return usage() };
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    let Some(input) = args.get(1) else {
+        return usage();
+    };
 
     match cmd {
         "asm" => {
@@ -51,7 +55,12 @@ fn main() -> ExitCode {
                 eprintln!("tpu-asm: cannot write {out_path}: {e}");
                 return ExitCode::FAILURE;
             }
-            println!("{}: {} instructions, {} bytes", out_path, program.len(), bytes.len());
+            println!(
+                "{}: {} instructions, {} bytes",
+                out_path,
+                program.len(),
+                bytes.len()
+            );
             ExitCode::SUCCESS
         }
         "dis" => {

@@ -24,18 +24,39 @@ use tpu_core::isa::{ActivationFunction, Instruction, PoolOp, Program};
 pub fn disassemble_instruction(inst: &Instruction) -> String {
     let mut s = String::new();
     match *inst {
-        Instruction::ReadHostMemory { host_addr, ub_addr, len } => {
-            write!(s, "read_host_memory host=0x{host_addr:x}, ub=0x{ub_addr:x}, len={len}")
-                .unwrap();
+        Instruction::ReadHostMemory {
+            host_addr,
+            ub_addr,
+            len,
+        } => {
+            write!(
+                s,
+                "read_host_memory host=0x{host_addr:x}, ub=0x{ub_addr:x}, len={len}"
+            )
+            .unwrap();
         }
-        Instruction::WriteHostMemory { ub_addr, host_addr, len } => {
-            write!(s, "write_host_memory ub=0x{ub_addr:x}, host=0x{host_addr:x}, len={len}")
-                .unwrap();
+        Instruction::WriteHostMemory {
+            ub_addr,
+            host_addr,
+            len,
+        } => {
+            write!(
+                s,
+                "write_host_memory ub=0x{ub_addr:x}, host=0x{host_addr:x}, len={len}"
+            )
+            .unwrap();
         }
         Instruction::ReadWeights { dram_addr, tiles } => {
             write!(s, "read_weights dram=0x{dram_addr:x}, tiles={tiles}").unwrap();
         }
-        Instruction::MatrixMultiply { ub_addr, acc_addr, rows, accumulate, convolve, precision } => {
+        Instruction::MatrixMultiply {
+            ub_addr,
+            acc_addr,
+            rows,
+            accumulate,
+            convolve,
+            precision,
+        } => {
             write!(s, "matmul ub=0x{ub_addr:x}, acc={acc_addr}, rows={rows}").unwrap();
             if accumulate {
                 s.push_str(", accumulate");
@@ -49,7 +70,13 @@ pub fn disassemble_instruction(inst: &Instruction) -> String {
                 Precision::Int16 => s.push_str(", prec=int16"),
             }
         }
-        Instruction::Activate { acc_addr, ub_addr, rows, func, pool } => {
+        Instruction::Activate {
+            acc_addr,
+            ub_addr,
+            rows,
+            func,
+            pool,
+        } => {
             write!(s, "activate acc={acc_addr}, ub=0x{ub_addr:x}, rows={rows}").unwrap();
             match func {
                 ActivationFunction::Identity => {}
@@ -134,15 +161,26 @@ mod tests {
     fn canonical_forms() {
         let cases: Vec<(Instruction, &str)> = vec![
             (
-                Instruction::ReadHostMemory { host_addr: 0x1000, ub_addr: 0, len: 512 },
+                Instruction::ReadHostMemory {
+                    host_addr: 0x1000,
+                    ub_addr: 0,
+                    len: 512,
+                },
                 "read_host_memory host=0x1000, ub=0x0, len=512",
             ),
             (
-                Instruction::WriteHostMemory { ub_addr: 0x8000, host_addr: 0x2000, len: 200 },
+                Instruction::WriteHostMemory {
+                    ub_addr: 0x8000,
+                    host_addr: 0x2000,
+                    len: 200,
+                },
                 "write_host_memory ub=0x8000, host=0x2000, len=200",
             ),
             (
-                Instruction::ReadWeights { dram_addr: 0, tiles: 4 },
+                Instruction::ReadWeights {
+                    dram_addr: 0,
+                    tiles: 4,
+                },
                 "read_weights dram=0x0, tiles=4",
             ),
             (
@@ -190,9 +228,18 @@ mod tests {
             (Instruction::Sync, "sync"),
             (Instruction::Nop, "nop"),
             (Instruction::Halt, "halt"),
-            (Instruction::SetConfig { key: 1, value: 7 }, "set_config key=1, value=7"),
-            (Instruction::InterruptHost { code: 2 }, "interrupt_host code=2"),
-            (Instruction::DebugTag { tag: 0xdead }, "debug_tag tag=0xdead"),
+            (
+                Instruction::SetConfig { key: 1, value: 7 },
+                "set_config key=1, value=7",
+            ),
+            (
+                Instruction::InterruptHost { code: 2 },
+                "interrupt_host code=2",
+            ),
+            (
+                Instruction::DebugTag { tag: 0xdead },
+                "debug_tag tag=0xdead",
+            ),
         ];
         for (inst, expected) in cases {
             assert_eq!(disassemble_instruction(&inst), expected);

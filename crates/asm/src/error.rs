@@ -194,22 +194,50 @@ impl fmt::Display for AsmError {
             AsmError::UnknownMnemonic { name, span } => {
                 write!(f, "{span}: unknown mnemonic `{name}`")
             }
-            AsmError::UnknownOperand { name, mnemonic, span } => {
+            AsmError::UnknownOperand {
+                name,
+                mnemonic,
+                span,
+            } => {
                 write!(f, "{span}: `{mnemonic}` takes no operand `{name}`")
             }
-            AsmError::MissingOperand { name, mnemonic, span } => {
+            AsmError::MissingOperand {
+                name,
+                mnemonic,
+                span,
+            } => {
                 write!(f, "{span}: `{mnemonic}` requires operand `{name}`")
             }
             AsmError::DuplicateOperand { name, span } => {
                 write!(f, "{span}: operand `{name}` given more than once")
             }
-            AsmError::ValueOutOfRange { name, value, max, span } => {
-                write!(f, "{span}: operand `{name}` value {value} exceeds maximum {max}")
+            AsmError::ValueOutOfRange {
+                name,
+                value,
+                max,
+                span,
+            } => {
+                write!(
+                    f,
+                    "{span}: operand `{name}` value {value} exceeds maximum {max}"
+                )
             }
-            AsmError::BadEnumValue { name, value, expected, span } => {
-                write!(f, "{span}: operand `{name}` value `{value}` is not one of {expected}")
+            AsmError::BadEnumValue {
+                name,
+                value,
+                expected,
+                span,
+            } => {
+                write!(
+                    f,
+                    "{span}: operand `{name}` value `{value}` is not one of {expected}"
+                )
             }
-            AsmError::ExpectedToken { expected, found, span } => {
+            AsmError::ExpectedToken {
+                expected,
+                found,
+                span,
+            } => {
                 write!(f, "{span}: expected {expected}, found {found}")
             }
             AsmError::UndefinedSymbol { name, span } => {
@@ -225,9 +253,15 @@ impl fmt::Display for AsmError {
                 write!(f, "{span}: `.end` has no matching `.repeat`")
             }
             AsmError::RepeatTooDeep { span, max_depth } => {
-                write!(f, "{span}: `.repeat` nesting exceeds the maximum depth of {max_depth}")
+                write!(
+                    f,
+                    "{span}: `.repeat` nesting exceeds the maximum depth of {max_depth}"
+                )
             }
-            AsmError::ProgramTooLarge { instructions, limit } => {
+            AsmError::ProgramTooLarge {
+                instructions,
+                limit,
+            } => {
                 write!(
                     f,
                     "expanded program would contain {instructions} instructions, over the limit of {limit}"
@@ -249,16 +283,32 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errors: Vec<AsmError> = vec![
-            AsmError::UnexpectedChar { ch: '!', span: Span::new(1, 2) },
-            AsmError::BadNumber { text: "0xzz".into(), span: Span::new(2, 3) },
-            AsmError::UnknownMnemonic { name: "frobnicate".into(), span: Span::new(1, 1) },
+            AsmError::UnexpectedChar {
+                ch: '!',
+                span: Span::new(1, 2),
+            },
+            AsmError::BadNumber {
+                text: "0xzz".into(),
+                span: Span::new(2, 3),
+            },
+            AsmError::UnknownMnemonic {
+                name: "frobnicate".into(),
+                span: Span::new(1, 1),
+            },
             AsmError::UnknownOperand {
                 name: "foo".into(),
                 mnemonic: "matmul",
                 span: Span::new(4, 8),
             },
-            AsmError::MissingOperand { name: "rows", mnemonic: "matmul", span: Span::new(4, 1) },
-            AsmError::DuplicateOperand { name: "ub".into(), span: Span::new(4, 20) },
+            AsmError::MissingOperand {
+                name: "rows",
+                mnemonic: "matmul",
+                span: Span::new(4, 1),
+            },
+            AsmError::DuplicateOperand {
+                name: "ub".into(),
+                span: Span::new(4, 20),
+            },
             AsmError::ValueOutOfRange {
                 name: "acc".into(),
                 value: 70_000,
@@ -276,12 +326,28 @@ mod tests {
                 found: "`,`".into(),
                 span: Span::new(7, 3),
             },
-            AsmError::UndefinedSymbol { name: "N".into(), span: Span::new(8, 2) },
-            AsmError::RedefinedSymbol { name: "N".into(), span: Span::new(9, 2) },
-            AsmError::UnterminatedRepeat { span: Span::new(10, 1) },
-            AsmError::UnmatchedEnd { span: Span::new(11, 1) },
-            AsmError::RepeatTooDeep { span: Span::new(12, 1), max_depth: 16 },
-            AsmError::ProgramTooLarge { instructions: 1_000_000, limit: 65_536 },
+            AsmError::UndefinedSymbol {
+                name: "N".into(),
+                span: Span::new(8, 2),
+            },
+            AsmError::RedefinedSymbol {
+                name: "N".into(),
+                span: Span::new(9, 2),
+            },
+            AsmError::UnterminatedRepeat {
+                span: Span::new(10, 1),
+            },
+            AsmError::UnmatchedEnd {
+                span: Span::new(11, 1),
+            },
+            AsmError::RepeatTooDeep {
+                span: Span::new(12, 1),
+                max_depth: 16,
+            },
+            AsmError::ProgramTooLarge {
+                instructions: 1_000_000,
+                limit: 65_536,
+            },
         ];
         for e in errors {
             let msg = e.to_string();
@@ -297,9 +363,14 @@ mod tests {
 
     #[test]
     fn span_accessor_matches_variant() {
-        let e = AsmError::UnmatchedEnd { span: Span::new(3, 4) };
+        let e = AsmError::UnmatchedEnd {
+            span: Span::new(3, 4),
+        };
         assert_eq!(e.span(), Some(Span::new(3, 4)));
-        let e = AsmError::ProgramTooLarge { instructions: 10, limit: 5 };
+        let e = AsmError::ProgramTooLarge {
+            instructions: 10,
+            limit: 5,
+        };
         assert_eq!(e.span(), None);
     }
 

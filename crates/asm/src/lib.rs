@@ -100,7 +100,9 @@ pub struct Assembler {
 impl Assembler {
     /// An assembler with the default instruction ceiling.
     pub fn new() -> Self {
-        Assembler { max_instructions: parse::DEFAULT_MAX_INSTRUCTIONS }
+        Assembler {
+            max_instructions: parse::DEFAULT_MAX_INSTRUCTIONS,
+        }
     }
 
     /// Set the maximum number of instructions a source may expand to.
@@ -118,8 +120,7 @@ impl Assembler {
     /// See [`assemble`].
     pub fn assemble(&self, src: &str) -> Result<Program> {
         let tokens = token::tokenize(src)?;
-        let instructions =
-            parse::Parser::new(&tokens, self.max_instructions).parse_program()?;
+        let instructions = parse::Parser::new(&tokens, self.max_instructions).parse_program()?;
         let mut program = Program::new();
         for inst in instructions {
             program.push(inst);
@@ -141,10 +142,9 @@ mod tests {
 
     #[test]
     fn assemble_then_encode_round_trips_through_bytes() {
-        let program = assemble(
-            "read_weights dram=0x0, tiles=2\nmatmul ub=0x0, acc=0, rows=16\nhalt\n",
-        )
-        .unwrap();
+        let program =
+            assemble("read_weights dram=0x0, tiles=2\nmatmul ub=0x0, acc=0, rows=16\nhalt\n")
+                .unwrap();
         let bytes = program.encode();
         let decoded = Program::decode(&bytes).unwrap();
         assert_eq!(decoded, program);
@@ -184,7 +184,11 @@ mod tests {
         assert_eq!(program.count(Opcode::MatrixMultiply), 5);
         assert!(matches!(
             program.instructions()[2],
-            Instruction::MatrixMultiply { rows: 200, accumulate: true, .. }
+            Instruction::MatrixMultiply {
+                rows: 200,
+                accumulate: true,
+                ..
+            }
         ));
         assert!(program.is_halted());
     }

@@ -32,7 +32,12 @@ pub(crate) struct Parser<'t> {
 
 impl<'t> Parser<'t> {
     pub(crate) fn new(tokens: &'t [Token], max_instructions: usize) -> Self {
-        Parser { tokens, pos: 0, symbols: HashMap::new(), max_instructions }
+        Parser {
+            tokens,
+            pos: 0,
+            symbols: HashMap::new(),
+            max_instructions,
+        }
     }
 
     fn peek(&self) -> &Token {
@@ -127,7 +132,10 @@ impl<'t> Parser<'t> {
                     }
                 }
                 TokenKind::Directive(ref d) => {
-                    return Err(AsmError::UnknownMnemonic { name: format!(".{d}"), span: t.span })
+                    return Err(AsmError::UnknownMnemonic {
+                        name: format!(".{d}"),
+                        span: t.span,
+                    })
                 }
                 TokenKind::Ident(_) => {
                     let inst = self.parse_instruction()?;
@@ -193,7 +201,9 @@ impl<'t> Parser<'t> {
 
     fn parse_instruction(&mut self) -> Result<Instruction> {
         let t = self.bump();
-        let TokenKind::Ident(name) = t.kind else { unreachable!("caller checked Ident") };
+        let TokenKind::Ident(name) = t.kind else {
+            unreachable!("caller checked Ident")
+        };
         let span = t.span;
         match name.as_str() {
             "read_host_memory" | "rhm" => self.parse_read_host_memory(span),
@@ -222,7 +232,10 @@ impl<'t> Parser<'t> {
 
     /// Parse `key=value` / flag operands until end of line into a map.
     fn parse_operands(&mut self, mnemonic: &'static str) -> Result<Operands> {
-        let mut ops = Operands { mnemonic, fields: Vec::new() };
+        let mut ops = Operands {
+            mnemonic,
+            fields: Vec::new(),
+        };
         loop {
             let t = self.peek().clone();
             match t.kind {
@@ -234,7 +247,10 @@ impl<'t> Parser<'t> {
                     let key = key.clone();
                     self.bump();
                     if ops.fields.iter().any(|f| f.key == key) {
-                        return Err(AsmError::DuplicateOperand { name: key, span: t.span });
+                        return Err(AsmError::DuplicateOperand {
+                            name: key,
+                            span: t.span,
+                        });
                     }
                     let value = if matches!(self.peek().kind, TokenKind::Equals) {
                         self.bump();
@@ -287,7 +303,11 @@ impl<'t> Parser<'t> {
         let ub_addr = ops.require_num("ub", span, UB_ADDR_MAX)? as u32;
         let len = ops.require_num("len", span, u32::MAX as u64)? as u32;
         ops.finish(&["host", "ub", "len"])?;
-        Ok(Instruction::ReadHostMemory { host_addr, ub_addr, len })
+        Ok(Instruction::ReadHostMemory {
+            host_addr,
+            ub_addr,
+            len,
+        })
     }
 
     fn parse_write_host_memory(&mut self, span: Span) -> Result<Instruction> {
@@ -296,7 +316,11 @@ impl<'t> Parser<'t> {
         let host_addr = ops.require_num("host", span, u64::MAX)?;
         let len = ops.require_num("len", span, u32::MAX as u64)? as u32;
         ops.finish(&["ub", "host", "len"])?;
-        Ok(Instruction::WriteHostMemory { ub_addr, host_addr, len })
+        Ok(Instruction::WriteHostMemory {
+            ub_addr,
+            host_addr,
+            len,
+        })
     }
 
     fn parse_read_weights(&mut self, span: Span) -> Result<Instruction> {
@@ -331,7 +355,14 @@ impl<'t> Parser<'t> {
             },
         };
         ops.finish(&["ub", "acc", "rows", "accumulate", "convolve", "prec"])?;
-        Ok(Instruction::MatrixMultiply { ub_addr, acc_addr, rows, accumulate, convolve, precision })
+        Ok(Instruction::MatrixMultiply {
+            ub_addr,
+            acc_addr,
+            rows,
+            accumulate,
+            convolve,
+            precision,
+        })
     }
 
     fn parse_activate(&mut self, span: Span) -> Result<Instruction> {
@@ -387,7 +418,13 @@ impl<'t> Parser<'t> {
             }
         };
         ops.finish(&["acc", "ub", "rows", "func", "pool"])?;
-        Ok(Instruction::Activate { acc_addr, ub_addr, rows, func, pool })
+        Ok(Instruction::Activate {
+            acc_addr,
+            ub_addr,
+            rows,
+            func,
+            pool,
+        })
     }
 
     fn parse_set_config(&mut self, span: Span) -> Result<Instruction> {
@@ -447,7 +484,12 @@ impl Operands {
         match field.value {
             OperandValue::Number(n, span) => {
                 if n > max {
-                    Err(AsmError::ValueOutOfRange { name: key.into(), value: n, max, span })
+                    Err(AsmError::ValueOutOfRange {
+                        name: key.into(),
+                        value: n,
+                        max,
+                        span,
+                    })
                 } else {
                     Ok(n)
                 }
@@ -471,8 +513,14 @@ impl Operands {
     fn flag(&self, key: &str) -> Result<bool> {
         match self.get(key) {
             None => Ok(false),
-            Some(Field { value: OperandValue::Flag(_), .. }) => Ok(true),
-            Some(Field { value: OperandValue::Number(n, span), .. }) => match n {
+            Some(Field {
+                value: OperandValue::Flag(_),
+                ..
+            }) => Ok(true),
+            Some(Field {
+                value: OperandValue::Number(n, span),
+                ..
+            }) => match n {
                 0 => Ok(false),
                 1 => Ok(true),
                 _ => Err(AsmError::ValueOutOfRange {
@@ -497,26 +545,32 @@ impl Operands {
     fn word(&self, key: &str) -> Result<Option<(String, Span)>> {
         match self.get(key) {
             None => Ok(None),
-            Some(Field { value: OperandValue::Word(w, span), .. }) => {
-                Ok(Some((w.clone(), *span)))
-            }
-            Some(Field { value: OperandValue::Number(n, span), .. }) => {
-                Err(AsmError::BadEnumValue {
-                    name: "operand",
-                    value: n.to_string(),
-                    expected: "a keyword",
-                    span: *span,
-                })
-            }
-            Some(Field { value: OperandValue::WordWithArg(w, _, span), .. }) => {
-                Err(AsmError::BadEnumValue {
-                    name: "operand",
-                    value: w.clone(),
-                    expected: "a keyword without `:`",
-                    span: *span,
-                })
-            }
-            Some(Field { value: OperandValue::Flag(span), .. }) => Err(AsmError::ExpectedToken {
+            Some(Field {
+                value: OperandValue::Word(w, span),
+                ..
+            }) => Ok(Some((w.clone(), *span))),
+            Some(Field {
+                value: OperandValue::Number(n, span),
+                ..
+            }) => Err(AsmError::BadEnumValue {
+                name: "operand",
+                value: n.to_string(),
+                expected: "a keyword",
+                span: *span,
+            }),
+            Some(Field {
+                value: OperandValue::WordWithArg(w, _, span),
+                ..
+            }) => Err(AsmError::BadEnumValue {
+                name: "operand",
+                value: w.clone(),
+                expected: "a keyword without `:`",
+                span: *span,
+            }),
+            Some(Field {
+                value: OperandValue::Flag(span),
+                ..
+            }) => Err(AsmError::ExpectedToken {
                 expected: "`=` and a keyword",
                 found: "a bare flag".into(),
                 span: *span,
@@ -527,21 +581,27 @@ impl Operands {
     fn word_with_arg(&self, key: &str) -> Result<Option<(String, Option<u64>, Span)>> {
         match self.get(key) {
             None => Ok(None),
-            Some(Field { value: OperandValue::WordWithArg(w, arg, span), .. }) => {
-                Ok(Some((w.clone(), Some(*arg), *span)))
-            }
-            Some(Field { value: OperandValue::Word(w, span), .. }) => {
-                Ok(Some((w.clone(), None, *span)))
-            }
-            Some(Field { value: OperandValue::Number(n, span), .. }) => {
-                Err(AsmError::BadEnumValue {
-                    name: "operand",
-                    value: n.to_string(),
-                    expected: "a keyword (optionally `kind:arg`)",
-                    span: *span,
-                })
-            }
-            Some(Field { value: OperandValue::Flag(span), .. }) => Err(AsmError::ExpectedToken {
+            Some(Field {
+                value: OperandValue::WordWithArg(w, arg, span),
+                ..
+            }) => Ok(Some((w.clone(), Some(*arg), *span))),
+            Some(Field {
+                value: OperandValue::Word(w, span),
+                ..
+            }) => Ok(Some((w.clone(), None, *span))),
+            Some(Field {
+                value: OperandValue::Number(n, span),
+                ..
+            }) => Err(AsmError::BadEnumValue {
+                name: "operand",
+                value: n.to_string(),
+                expected: "a keyword (optionally `kind:arg`)",
+                span: *span,
+            }),
+            Some(Field {
+                value: OperandValue::Flag(span),
+                ..
+            }) => Err(AsmError::ExpectedToken {
                 expected: "`=` and a keyword",
                 found: "a bare flag".into(),
                 span: *span,
@@ -597,7 +657,13 @@ halt
 ";
         let insts = parse(src).unwrap();
         assert_eq!(insts.len(), 11);
-        assert!(matches!(insts[0], Instruction::ReadHostMemory { host_addr: 0x1000, .. }));
+        assert!(matches!(
+            insts[0],
+            Instruction::ReadHostMemory {
+                host_addr: 0x1000,
+                ..
+            }
+        ));
         assert!(matches!(insts.last(), Some(Instruction::Halt)));
     }
 
@@ -610,10 +676,14 @@ halt
 
     #[test]
     fn matmul_flags_and_precision() {
-        let insts =
-            parse("matmul ub=0, acc=0, rows=8, accumulate, convolve, prec=int16").unwrap();
+        let insts = parse("matmul ub=0, acc=0, rows=8, accumulate, convolve, prec=int16").unwrap();
         match &insts[0] {
-            Instruction::MatrixMultiply { accumulate, convolve, precision, .. } => {
+            Instruction::MatrixMultiply {
+                accumulate,
+                convolve,
+                precision,
+                ..
+            } => {
                 assert!(*accumulate);
                 assert!(*convolve);
                 assert_eq!(*precision, Precision::Int16);
@@ -626,7 +696,11 @@ halt
     fn numeric_flags_accepted() {
         let insts = parse("matmul ub=0, acc=0, rows=8, accumulate=1, convolve=0").unwrap();
         match &insts[0] {
-            Instruction::MatrixMultiply { accumulate, convolve, .. } => {
+            Instruction::MatrixMultiply {
+                accumulate,
+                convolve,
+                ..
+            } => {
                 assert!(*accumulate);
                 assert!(!*convolve);
             }
@@ -646,9 +720,13 @@ halt
             other => panic!("wrong instruction: {other:?}"),
         }
         let insts = parse("activate acc=0, ub=0, rows=4, pool=avg:2").unwrap();
-        assert!(
-            matches!(&insts[0], Instruction::Activate { pool: PoolOp::Avg { window: 2 }, .. })
-        );
+        assert!(matches!(
+            &insts[0],
+            Instruction::Activate {
+                pool: PoolOp::Avg { window: 2 },
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -678,7 +756,10 @@ halt
     #[test]
     fn out_of_range_ub_address_rejected() {
         let err = parse("matmul ub=0x1000000, acc=0, rows=1").unwrap_err();
-        assert!(matches!(err, AsmError::ValueOutOfRange { max: 0xFF_FFFF, .. }));
+        assert!(matches!(
+            err,
+            AsmError::ValueOutOfRange { max: 0xFF_FFFF, .. }
+        ));
     }
 
     #[test]
@@ -689,13 +770,19 @@ halt
 matmul ub=UB_IN, acc=0, rows=BATCH
 ";
         let insts = parse(src).unwrap();
-        assert!(matches!(insts[0], Instruction::MatrixMultiply { rows: 200, .. }));
+        assert!(matches!(
+            insts[0],
+            Instruction::MatrixMultiply { rows: 200, .. }
+        ));
     }
 
     #[test]
     fn undefined_symbol_reported() {
         let err = parse("matmul ub=MISSING, acc=0, rows=1").unwrap_err();
-        assert!(matches!(err, AsmError::BadEnumValue { .. } | AsmError::UndefinedSymbol { .. }));
+        assert!(matches!(
+            err,
+            AsmError::BadEnumValue { .. } | AsmError::UndefinedSymbol { .. }
+        ));
     }
 
     #[test]

@@ -86,7 +86,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
         match c {
             '\n' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::Newline, span });
+                tokens.push(Token {
+                    kind: TokenKind::Newline,
+                    span,
+                });
                 line += 1;
                 col = 1;
             }
@@ -108,17 +111,26 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
             '=' => {
                 chars.next();
                 col += 1;
-                tokens.push(Token { kind: TokenKind::Equals, span });
+                tokens.push(Token {
+                    kind: TokenKind::Equals,
+                    span,
+                });
             }
             ',' => {
                 chars.next();
                 col += 1;
-                tokens.push(Token { kind: TokenKind::Comma, span });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    span,
+                });
             }
             ':' => {
                 chars.next();
                 col += 1;
-                tokens.push(Token { kind: TokenKind::Colon, span });
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    span,
+                });
             }
             '.' => {
                 chars.next();
@@ -136,7 +148,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 if word.is_empty() {
                     return Err(AsmError::UnexpectedChar { ch: '.', span });
                 }
-                tokens.push(Token { kind: TokenKind::Directive(word), span });
+                tokens.push(Token {
+                    kind: TokenKind::Directive(word),
+                    span,
+                });
             }
             '0'..='9' => {
                 let mut text = String::new();
@@ -150,13 +165,19 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                     }
                 }
                 let digits = text.replace('_', "");
-                let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X")) {
+                let value = if let Some(hex) = digits
+                    .strip_prefix("0x")
+                    .or_else(|| digits.strip_prefix("0X"))
+                {
                     u64::from_str_radix(hex, 16)
                 } else {
                     digits.parse::<u64>()
                 };
                 match value {
-                    Ok(v) => tokens.push(Token { kind: TokenKind::Number(v), span }),
+                    Ok(v) => tokens.push(Token {
+                        kind: TokenKind::Number(v),
+                        span,
+                    }),
                     Err(_) => return Err(AsmError::BadNumber { text, span }),
                 }
             }
@@ -171,17 +192,32 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                         break;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Ident(word), span });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(word),
+                    span,
+                });
             }
             other => return Err(AsmError::UnexpectedChar { ch: other, span }),
         }
     }
 
     let end = Span::new(line, col);
-    if !matches!(tokens.last(), Some(Token { kind: TokenKind::Newline, .. })) {
-        tokens.push(Token { kind: TokenKind::Newline, span: end });
+    if !matches!(
+        tokens.last(),
+        Some(Token {
+            kind: TokenKind::Newline,
+            ..
+        })
+    ) {
+        tokens.push(Token {
+            kind: TokenKind::Newline,
+            span: end,
+        });
     }
-    tokens.push(Token { kind: TokenKind::Eof, span: end });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: end,
+    });
     Ok(tokens)
 }
 

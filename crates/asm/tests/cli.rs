@@ -32,10 +32,19 @@ fn assemble_then_disassemble_round_trips() {
     fs::write(&src_path, SAMPLE).unwrap();
 
     let out = bin()
-        .args(["asm", src_path.to_str().unwrap(), "-o", bin_path.to_str().unwrap()])
+        .args([
+            "asm",
+            src_path.to_str().unwrap(),
+            "-o",
+            bin_path.to_str().unwrap(),
+        ])
         .output()
         .expect("run tpu-asm asm");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("6 instructions"), "{stdout}");
 
@@ -68,7 +77,12 @@ fn annotated_disassembly_shows_offsets() {
     fs::write(&src_path, "nop\nhalt\n").unwrap();
     let bin_path = dir.join("p.bin");
     assert!(bin()
-        .args(["asm", src_path.to_str().unwrap(), "-o", bin_path.to_str().unwrap()])
+        .args([
+            "asm",
+            src_path.to_str().unwrap(),
+            "-o",
+            bin_path.to_str().unwrap()
+        ])
         .status()
         .unwrap()
         .success());
@@ -87,7 +101,10 @@ fn check_reports_statistics() {
     let dir = tmpdir("check");
     let src_path = dir.join("p.tpuasm");
     fs::write(&src_path, SAMPLE).unwrap();
-    let out = bin().args(["check", src_path.to_str().unwrap()]).output().unwrap();
+    let out = bin()
+        .args(["check", src_path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("instructions: 6"));
@@ -101,7 +118,10 @@ fn syntax_errors_exit_nonzero_with_location() {
     let dir = tmpdir("err");
     let src_path = dir.join("bad.tpuasm");
     fs::write(&src_path, "matmul ub=0x0, acc=0\nhalt\n").unwrap();
-    let out = bin().args(["check", src_path.to_str().unwrap()]).output().unwrap();
+    let out = bin()
+        .args(["check", src_path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("rows"), "stderr: {err}");

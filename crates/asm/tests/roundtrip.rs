@@ -35,10 +35,18 @@ fn arb_pool() -> impl Strategy<Value = PoolOp> {
 fn arb_instruction() -> impl Strategy<Value = Instruction> {
     prop_oneof![
         (any::<u64>(), 0u32..=0xFF_FFFF, any::<u32>()).prop_map(|(host_addr, ub_addr, len)| {
-            Instruction::ReadHostMemory { host_addr, ub_addr, len }
+            Instruction::ReadHostMemory {
+                host_addr,
+                ub_addr,
+                len,
+            }
         }),
         (0u32..=0xFF_FFFF, any::<u64>(), any::<u32>()).prop_map(|(ub_addr, host_addr, len)| {
-            Instruction::WriteHostMemory { ub_addr, host_addr, len }
+            Instruction::WriteHostMemory {
+                ub_addr,
+                host_addr,
+                len,
+            }
         }),
         (any::<u64>(), any::<u16>())
             .prop_map(|(dram_addr, tiles)| Instruction::ReadWeights { dram_addr, tiles }),
@@ -50,30 +58,38 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
             any::<bool>(),
             arb_precision(),
         )
-            .prop_map(|(ub_addr, acc_addr, rows, accumulate, convolve, precision)| {
-                Instruction::MatrixMultiply {
-                    ub_addr,
-                    acc_addr,
-                    rows,
-                    accumulate,
-                    convolve,
-                    precision,
+            .prop_map(
+                |(ub_addr, acc_addr, rows, accumulate, convolve, precision)| {
+                    Instruction::MatrixMultiply {
+                        ub_addr,
+                        acc_addr,
+                        rows,
+                        accumulate,
+                        convolve,
+                        precision,
+                    }
                 }
-            }),
-        (any::<u16>(), 0u32..=0xFF_FFFF, any::<u32>(), arb_func(), arb_pool()).prop_map(
-            |(acc_addr, ub_addr, rows, func, pool)| Instruction::Activate {
-                acc_addr,
-                ub_addr,
-                rows,
-                func,
-                pool,
-            }
-        ),
+            ),
+        (
+            any::<u16>(),
+            0u32..=0xFF_FFFF,
+            any::<u32>(),
+            arb_func(),
+            arb_pool()
+        )
+            .prop_map(
+                |(acc_addr, ub_addr, rows, func, pool)| Instruction::Activate {
+                    acc_addr,
+                    ub_addr,
+                    rows,
+                    func,
+                    pool,
+                }
+            ),
         Just(Instruction::Sync),
         Just(Instruction::Nop),
         Just(Instruction::Halt),
-        (any::<u8>(), any::<u32>())
-            .prop_map(|(key, value)| Instruction::SetConfig { key, value }),
+        (any::<u8>(), any::<u32>()).prop_map(|(key, value)| Instruction::SetConfig { key, value }),
         any::<u8>().prop_map(|code| Instruction::InterruptHost { code }),
         any::<u32>().prop_map(|tag| Instruction::DebugTag { tag }),
     ]

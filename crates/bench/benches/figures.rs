@@ -15,7 +15,17 @@ fn bench_figure(c: &mut Criterion, id: &'static str) {
 }
 
 fn figures(c: &mut Criterion) {
-    for id in ["fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig11-apps"] {
+    for id in [
+        "fig2",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig11-apps",
+    ] {
         bench_figure(c, id);
     }
 }

@@ -19,10 +19,14 @@ fn systolic_wavefront(c: &mut Criterion) {
     for dim in ablation_dims() {
         let tile = WeightTile::from_rows(
             dim,
-            (0..dim * dim).map(|_| rng.gen_range(-128i32..=127) as i8).collect(),
+            (0..dim * dim)
+                .map(|_| rng.gen_range(-128i32..=127) as i8)
+                .collect(),
         );
         let rows = 8;
-        let acts: Vec<i16> = (0..rows * dim).map(|_| rng.gen_range(-128i32..=127) as i16).collect();
+        let acts: Vec<i16> = (0..rows * dim)
+            .map(|_| rng.gen_range(-128i32..=127) as i16)
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
             let mut array = SystolicArray::new(dim);
             array.stage_weights(&tile).unwrap();

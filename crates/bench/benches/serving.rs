@@ -1,0 +1,86 @@
+//! Event-loop throughput of the discrete-event serving runtime: how
+//! many simulation events per second the engine sustains at 10k and
+//! 100k requests. This is the perf trajectory for every future scaling
+//! PR that builds on `tpu_serve` — regressions in the heap, the timer
+//! rearming, or the dispatch scan show up here first.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tpu_core::TpuConfig;
+use tpu_serve::tenant::ArrivalProcess;
+use tpu_serve::{run, BatchPolicy, ClusterSpec, ServiceCurve, TenantSpec};
+
+fn single_tenant(requests: usize) -> Vec<TenantSpec> {
+    vec![TenantSpec::new(
+        "MLP0",
+        ArrivalProcess::Poisson {
+            rate_rps: 150_000.0,
+        },
+        BatchPolicy::Timeout {
+            max_batch: 200,
+            t_max_ms: 2.0,
+        },
+        7.0,
+        requests,
+    )
+    .with_curve(ServiceCurve::tpu_mlp0_table4())]
+}
+
+fn mixed_tenants(requests_each: usize) -> Vec<TenantSpec> {
+    ["MLP0", "MLP1", "LSTM0", "LSTM1"]
+        .iter()
+        .map(|w| {
+            TenantSpec::new(
+                w,
+                ArrivalProcess::Poisson { rate_rps: 20_000.0 },
+                BatchPolicy::Timeout {
+                    max_batch: 64,
+                    t_max_ms: 3.0,
+                },
+                50.0,
+                requests_each,
+            )
+        })
+        .collect()
+}
+
+fn event_loop_throughput(c: &mut Criterion) {
+    let cfg = TpuConfig::paper();
+    let mut group = c.benchmark_group("serve_event_loop");
+    group.sample_size(10);
+    for requests in [10_000usize, 100_000] {
+        let tenants = single_tenant(requests);
+        let cluster = ClusterSpec::new(4, 42);
+        // Report the event count once so events/sec is computable from
+        // the printed µs/iter.
+        let events = run(&cluster, &tenants, &cfg).events_processed;
+        println!("serve_event_loop/single/{requests}: {events} events per iteration");
+        group.bench_with_input(
+            BenchmarkId::new("single", requests),
+            &requests,
+            |b, &_requests| b.iter(|| black_box(run(&cluster, &tenants, &cfg))),
+        );
+    }
+    for requests_each in [2_500usize, 25_000] {
+        let tenants = mixed_tenants(requests_each);
+        let cluster = ClusterSpec::new(4, 42);
+        let events = run(&cluster, &tenants, &cfg).events_processed;
+        println!(
+            "serve_event_loop/mixed4/{}: {events} events per iteration",
+            4 * requests_each
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mixed4", 4 * requests_each),
+            &requests_each,
+            |b, &_r| b.iter(|| black_box(run(&cluster, &tenants, &cfg))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = event_loop_throughput
+}
+criterion_main!(benches);

@@ -22,7 +22,9 @@ fn layer_program_src(layers: usize, batch: u32) -> String {
         let ub_out = ((l + 1) % 96) * 0x20000;
         src.push_str(&format!("read_weights dram={:#x}, tiles=1\n", l * 0x10000));
         src.push_str(&format!("matmul ub={ub_in:#x}, acc=0, rows={batch}\n"));
-        src.push_str(&format!("activate acc=0, ub={ub_out:#x}, rows={batch}, func=relu\n"));
+        src.push_str(&format!(
+            "activate acc=0, ub={ub_out:#x}, rows={batch}, func=relu\n"
+        ));
         src.push_str("sync\n");
     }
     src.push_str("write_host_memory ub=0xa0000, host=0x10000, len=51200\nhalt\n");
@@ -40,12 +42,16 @@ fn asm_roundtrip(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("disassemble", layers), &program, |b, p| {
             b.iter(|| black_box(disassemble(black_box(p))));
         });
-        group.bench_with_input(BenchmarkId::new("encode_decode", layers), &program, |b, p| {
-            b.iter(|| {
-                let bytes = black_box(p).encode();
-                black_box(tpu_core::isa::Program::decode(&bytes).unwrap())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("encode_decode", layers),
+            &program,
+            |b, p| {
+                b.iter(|| {
+                    let bytes = black_box(p).encode();
+                    black_box(tpu_core::isa::Program::decode(&bytes).unwrap())
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -67,8 +73,21 @@ fn batching_policies(c: &mut Criterion) {
     group.sample_size(10);
     for (name, policy) in [
         ("fixed", Policy::Fixed { batch: 64 }),
-        ("window", Policy::TimeWindow { max_batch: 64, window_ms: 2.0 }),
-        ("deadline", Policy::Deadline { max_batch: 64, deadline_ms: 7.0, margin_ms: 0.5 }),
+        (
+            "window",
+            Policy::TimeWindow {
+                max_batch: 64,
+                window_ms: 2.0,
+            },
+        ),
+        (
+            "deadline",
+            Policy::Deadline {
+                max_batch: 64,
+                deadline_ms: 7.0,
+                margin_ms: 0.5,
+            },
+        ),
     ] {
         let cfg = tpu_service(policy, 40_000.0);
         group.bench_function(name, |b| {
@@ -149,9 +168,7 @@ fn svg_rendering(c: &mut Criterion) {
         b.iter(|| black_box(tpu_harness::svg_out::fig8_svg(&cfg).unwrap()));
     });
     group.bench_function("fig5_tpu_roofline", |b| {
-        b.iter(|| {
-            black_box(tpu_harness::svg_out::roofline_svg(Platform::Tpu, &cfg).unwrap())
-        });
+        b.iter(|| black_box(tpu_harness::svg_out::roofline_svg(Platform::Tpu, &cfg).unwrap()));
     });
     group.bench_function("fig9_bars", |b| {
         b.iter(|| black_box(tpu_harness::svg_out::fig9_svg(&cfg).unwrap()));

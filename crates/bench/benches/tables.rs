@@ -18,7 +18,9 @@ fn bench_table(c: &mut Criterion, id: &'static str) {
 }
 
 fn tables(c: &mut Criterion) {
-    for id in ["table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8"] {
+    for id in [
+        "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+    ] {
         bench_table(c, id);
     }
 }

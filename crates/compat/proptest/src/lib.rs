@@ -1,0 +1,444 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! the [`Strategy`] trait with `prop_map`, range / tuple / [`Just`] /
+//! vec / simple-regex string strategies, the `prop_oneof!` union, the
+//! `proptest!` test macro with optional `#![proptest_config(...)]`, and
+//! the `prop_assert*` family. No shrinking: a failing case fails the
+//! test directly with the generated inputs in the panic message.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The RNG driving generation (deterministically seeded per test).
+    pub type TestRng = StdRng;
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Box::new(move |rng: &mut TestRng| self.generate(rng)),
+            }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// `Strategy::prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Box<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.inner)(rng)
+        }
+    }
+
+    /// Always produce a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between strategies of a common value type
+    /// (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from boxed arms.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+
+    /// String strategies from a micro-regex: `"(a|b|c)"` alternation of
+    /// literals (with `\\.` escapes), `"\\PC*"` / `"\\PC{m,n}"` printable
+    /// strings. Anything else is treated as a literal.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        // \PC repetitions: any printable characters.
+        if let Some(rest) = pattern.strip_prefix("\\PC") {
+            let (lo, hi) = match rest {
+                "*" => (0usize, 64usize),
+                "+" => (1, 64),
+                _ => {
+                    let counts: Option<(usize, usize)> = rest
+                        .strip_prefix('{')
+                        .and_then(|r| r.strip_suffix('}'))
+                        .and_then(|r| r.split_once(','))
+                        .and_then(|(a, b)| Some((a.trim().parse().ok()?, b.trim().parse().ok()?)));
+                    match counts {
+                        Some(c) => c,
+                        None => return pattern.to_string(),
+                    }
+                }
+            };
+            let len = rng.gen_range(lo..=hi);
+            return (0..len).map(|_| printable_char(rng)).collect();
+        }
+        // (a|b|c) alternation of literals.
+        if let Some(body) = pattern.strip_prefix('(').and_then(|p| p.strip_suffix(')')) {
+            let arms: Vec<&str> = body.split('|').collect();
+            let pick = arms[rng.gen_range(0..arms.len())];
+            return unescape(pick);
+        }
+        unescape(pattern)
+    }
+
+    fn unescape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                if let Some(next) = chars.next() {
+                    out.push(next);
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    fn printable_char(rng: &mut TestRng) -> char {
+        // Mostly ASCII printable, occasionally a printable BMP char, so
+        // robustness tests see multibyte UTF-8 too.
+        if rng.gen_bool(0.9) {
+            rng.gen_range(0x20u32..0x7f) as u8 as char
+        } else {
+            char::from_u32(rng.gen_range(0xa1u32..0x2000)).unwrap_or('¿')
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A `Vec` of values from `element`, with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// Ranges usable as a vec-length specification.
+    pub trait IntoLenRange {
+        /// Inclusive (lo, hi) bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoLenRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty length range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoLenRange for std::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl IntoLenRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    /// Build a vec strategy.
+    pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+        let (lo, hi) = len.bounds();
+        VecStrategy { element, lo, hi }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.lo..=self.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+#[doc(hidden)]
+pub use rand as _rand;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps the heavier simulator
+        // properties fast while still exercising the input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    /// Whole-domain uniform strategy for primitive types.
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Uniform over the entire domain of `T`.
+    pub fn any<T: rand::Standard>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: rand::Standard> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample_standard(rng)
+        }
+    }
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use super::arbitrary::any;
+    pub use super::strategy::{BoxedStrategy, Just, Strategy};
+    pub use super::ProptestConfig;
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop` namespace (`prop::collection::vec`).
+    pub mod prop {
+        pub use super::super::collection;
+    }
+}
+
+/// Assert inside a property; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice between strategies producing a common type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    }};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    // Internal: config captured, expand each test fn.
+    (@cfg ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                // Deterministic per-test seed: fixed constant + test name.
+                let mut seed = 0xcafe_f00d_d15e_a5e5u64;
+                for b in stringify!($name).bytes() {
+                    seed = seed.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+                }
+                let mut rng =
+                    <$crate::strategy::TestRng as $crate::_rand::SeedableRng>::seed_from_u64(seed);
+                for _case in 0..cfg.cases {
+                    let ($($arg,)+) = ($($crate::strategy::Strategy::generate(&$strat, &mut rng),)+);
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Tri {
+        A,
+        B,
+        C(u8),
+    }
+
+    fn tri() -> impl Strategy<Value = Tri> {
+        prop_oneof![Just(Tri::A), Just(Tri::B), (1u8..16).prop_map(Tri::C)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -2i32..=2, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose((a, b) in (0u32..5, 5u32..10).prop_map(|(x, y)| (y, x))) {
+            prop_assert!(a >= 5 && b < 5);
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(vals in prop::collection::vec(tri(), 64..65)) {
+            // 64 draws from three arms: all variants should be possible
+            // (not asserting all appear in a single draw of 64, just that
+            // generation works and C stays in range).
+            for v in vals {
+                if let Tri::C(n) = v {
+                    prop_assert!((1..16).contains(&n));
+                }
+            }
+        }
+
+        #[test]
+        fn string_patterns_generate(s in "(alpha|beta|\\.dot)", free in "\\PC{0,16}") {
+            prop_assert!(["alpha", "beta", ".dot"].contains(&s.as_str()));
+            prop_assert!(free.chars().count() <= 16);
+        }
+    }
+
+    #[test]
+    fn any_covers_primitives() {
+        use crate::strategy::Strategy;
+        let mut rng = <crate::strategy::TestRng as rand::SeedableRng>::seed_from_u64(1);
+        let _: bool = any::<bool>().generate(&mut rng);
+        let _: u64 = any::<u64>().generate(&mut rng);
+    }
+}

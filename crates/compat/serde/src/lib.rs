@@ -1,0 +1,31 @@
+//! Offline shim for `serde`.
+//!
+//! `Serialize` and `Deserialize` are marker traits with blanket impls;
+//! the derive macros (re-exported from the `serde_derive` shim) expand to
+//! nothing. This is enough for code that *declares* serializability but
+//! only exercises it through `serde_json`-style value construction.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// The `de` module, for `serde::de::DeserializeOwned` imports.
+pub mod de {
+    pub use super::Deserialize;
+    pub use super::DeserializeOwned;
+}
+
+/// The `ser` module, for `serde::ser::Serialize` imports.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`: the derive macros expand to nothing.
+//!
+//! The companion `serde` shim gives every type a blanket `Serialize` /
+//! `Deserialize` impl, so the derives only need to exist so that
+//! `#[derive(Serialize, Deserialize)]` attributes parse.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (the shim `serde::Serialize` trait has a
+/// blanket impl).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (the shim `serde::Deserialize` trait has a
+/// blanket impl).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

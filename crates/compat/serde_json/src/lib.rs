@@ -1,0 +1,147 @@
+//! Offline shim for `serde_json`: a minimal JSON document tree.
+//!
+//! The real crate serializes any `serde::Serialize` type; this shim
+//! (paired with the no-op `serde` shim) instead offers an explicit
+//! [`Value`] tree plus `to_string` / `to_string_pretty` over it. Callers
+//! in this workspace build their JSON explicitly, which keeps the shim
+//! tiny and the output format under test control.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any finite number (rendered with `{}`; integers stay integral).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object with deterministically ordered (sorted) keys.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Build an object from key/value pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (String, Value)>) -> Self {
+        Value::Object(pairs.into_iter().collect())
+    }
+
+    fn write(&self, f: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Value::Null => f.push_str("null"),
+            Value::Bool(b) => f.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    f.push_str(&format!("{}", *n as i64));
+                } else {
+                    f.push_str(&format!("{n}"));
+                }
+            }
+            Value::String(s) => {
+                f.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => f.push_str("\\\""),
+                        '\\' => f.push_str("\\\\"),
+                        '\n' => f.push_str("\\n"),
+                        '\t' => f.push_str("\\t"),
+                        '\r' => f.push_str("\\r"),
+                        c if (c as u32) < 0x20 => f.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => f.push(c),
+                    }
+                }
+                f.push('"');
+            }
+            Value::Array(items) => {
+                f.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.push(',');
+                    }
+                    Self::newline(f, indent, level + 1);
+                    v.write(f, indent, level + 1);
+                }
+                if !items.is_empty() {
+                    Self::newline(f, indent, level);
+                }
+                f.push(']');
+            }
+            Value::Object(map) => {
+                f.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.push(',');
+                    }
+                    Self::newline(f, indent, level + 1);
+                    Value::String(k.clone()).write(f, indent, level + 1);
+                    f.push(':');
+                    if indent.is_some() {
+                        f.push(' ');
+                    }
+                    v.write(f, indent, level + 1);
+                }
+                if !map.is_empty() {
+                    Self::newline(f, indent, level);
+                }
+                f.push('}');
+            }
+        }
+    }
+
+    fn newline(f: &mut String, indent: Option<usize>, level: usize) {
+        if let Some(w) = indent {
+            f.push('\n');
+            f.push_str(&" ".repeat(w * level));
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_string(self))
+    }
+}
+
+/// Render a [`Value`] compactly.
+pub fn to_string(value: &Value) -> String {
+    let mut s = String::new();
+    value.write(&mut s, None, 0);
+    s
+}
+
+/// Render a [`Value`] with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> String {
+    let mut s = String::new();
+    value.write(&mut s, Some(2), 0);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_containers() {
+        let v = Value::object([
+            ("a".to_string(), Value::Number(1.0)),
+            (
+                "b".to_string(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".to_string(), Value::String("x\"y".to_string())),
+        ]);
+        assert_eq!(to_string(&v), r#"{"a":1,"b":[true,null],"c":"x\"y"}"#);
+    }
+
+    #[test]
+    fn pretty_output_is_stable() {
+        let v = Value::object([("k".to_string(), Value::Number(2.5))]);
+        assert_eq!(to_string_pretty(&v), "{\n  \"k\": 2.5\n}");
+    }
+}

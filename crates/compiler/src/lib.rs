@@ -28,6 +28,6 @@ pub mod weight_manager;
 
 pub use lower::{compile_fc, compile_fc_at, lower_timed, CompileError, CompiledModel};
 pub use runtime::{RuntimeError, TpuRuntime};
+pub use tiling::TileGrid;
 pub use verify::{verify as verify_program, Violation};
 pub use weight_manager::{WeightMemoryManager, WeightRegion};
-pub use tiling::TileGrid;

@@ -64,7 +64,10 @@ impl std::fmt::Display for CompileError {
                 write!(f, "batch {batch} exceeds {limit} accumulator entries")
             }
             CompileError::UnifiedBufferOverflow { needed, capacity } => {
-                write!(f, "activations need {needed} bytes, unified buffer holds {capacity}")
+                write!(
+                    f,
+                    "activations need {needed} bytes, unified buffer holds {capacity}"
+                )
             }
             CompileError::CalibrationMismatch { got, need } => {
                 write!(f, "calibration has {got} boundaries, model needs {need}")
@@ -133,7 +136,11 @@ pub fn format_activations(codes: &[u8], batch: usize, width: usize, dim: usize) 
 /// codes from the block layout.
 pub fn deformat_activations(blocks: &[u8], batch: usize, width: usize, dim: usize) -> Vec<u8> {
     let nblocks = width.div_ceil(dim);
-    assert_eq!(blocks.len(), nblocks * batch * dim, "block data size mismatch");
+    assert_eq!(
+        blocks.len(),
+        nblocks * batch * dim,
+        "block data size mismatch"
+    );
     let mut out = vec![0u8; batch * width];
     for b in 0..batch {
         for w in 0..width {
@@ -195,7 +202,10 @@ pub fn compile_fc_at(
         });
     }
     if batch > cfg.accumulator_entries {
-        return Err(CompileError::BatchTooLarge { batch, limit: cfg.accumulator_entries });
+        return Err(CompileError::BatchTooLarge {
+            batch,
+            limit: cfg.accumulator_entries,
+        });
     }
 
     // Unified Buffer layout: one block region per boundary, bump-allocated.
@@ -254,13 +264,18 @@ pub fn compile_fc_at(
         // reduction blocks.
         let mut tile_iter = tiles.into_iter();
         for (t_idx, info) in grid.iter().enumerate() {
-            let tile = tile_iter.next().expect("pack_tiles yields one tile per grid slot");
+            let tile = tile_iter
+                .next()
+                .expect("pack_tiles yields one tile per grid slot");
             let addr = weight_cursor;
             weight_cursor += cfg.tile_bytes();
             weight_image.push((addr, tile));
             let _ = t_idx;
 
-            program.push(Instruction::ReadWeights { dram_addr: addr as u64, tiles: 1 });
+            program.push(Instruction::ReadWeights {
+                dram_addr: addr as u64,
+                tiles: 1,
+            });
             program.push(Instruction::MatrixMultiply {
                 ub_addr: (boundary_base[i] + info.k_index * batch * dim) as u32,
                 acc_addr: 0,
@@ -320,7 +335,9 @@ pub fn lower_timed(model: &NnModel, cfg: &TpuConfig, batches: usize) -> Vec<Time
     let mut ops = Vec::new();
 
     for _ in 0..batches {
-        ops.push(TimedOp::HostIn { bytes: model.input_bytes_per_batch() });
+        ops.push(TimedOp::HostIn {
+            bytes: model.input_bytes_per_batch(),
+        });
         ops.push(TimedOp::Sync);
         for layer in model.layers() {
             match layer {
@@ -330,7 +347,9 @@ pub fn lower_timed(model: &NnModel, cfg: &TpuConfig, batches: usize) -> Vec<Time
                     let rows = batch * layer.matrix_rows_per_example();
                     for info in grid.iter() {
                         let last_k = info.k_index == grid.k_tiles() - 1;
-                        ops.push(TimedOp::LoadTile { fill: info.fill(dim) });
+                        ops.push(TimedOp::LoadTile {
+                            fill: info.fill(dim),
+                        });
                         let mut remaining = rows;
                         let mut first = true;
                         while remaining > 0 {
@@ -345,7 +364,10 @@ pub fn lower_timed(model: &NnModel, cfg: &TpuConfig, batches: usize) -> Vec<Time
                             // Activation is pipelined per accumulator
                             // chunk, overlapping the next chunk's compute.
                             if last_k {
-                                ops.push(TimedOp::Activate { rows: c, pooled: false });
+                                ops.push(TimedOp::Activate {
+                                    rows: c,
+                                    pooled: false,
+                                });
                             }
                         }
                     }
@@ -355,17 +377,23 @@ pub fn lower_timed(model: &NnModel, cfg: &TpuConfig, batches: usize) -> Vec<Time
                     // Pooling streams through the dedicated hardware on the
                     // activation path; it orders behind other activation
                     // work naturally (no matrix-unit barrier needed).
-                    let rows = batch * p.in_positions as u64 * (p.channels as u64).div_ceil(dim as u64);
+                    let rows =
+                        batch * p.in_positions as u64 * (p.channels as u64).div_ceil(dim as u64);
                     ops.push(TimedOp::Activate { rows, pooled: true });
                 }
                 Layer::Vector(v) => {
                     let rows = batch * (v.width as u64).div_ceil(dim as u64);
-                    ops.push(TimedOp::Vector { rows, cost_per_row: v.cost_per_row });
+                    ops.push(TimedOp::Vector {
+                        rows,
+                        cost_per_row: v.cost_per_row,
+                    });
                     ops.push(TimedOp::Sync);
                 }
             }
         }
-        ops.push(TimedOp::HostOut { bytes: model.output_bytes_per_batch() });
+        ops.push(TimedOp::HostOut {
+            bytes: model.output_bytes_per_batch(),
+        });
     }
     ops
 }
@@ -463,7 +491,9 @@ mod tests {
             tpu_core::config::Precision::Int8,
         );
         let (w, _) = calib_for(&tiny_model(1));
-        let cal = Calibration { boundaries: vec![QuantParams::default(); 2] };
+        let cal = Calibration {
+            boundaries: vec![QuantParams::default(); 2],
+        };
         assert!(matches!(
             compile_fc(&m, &w, &cal, &small_cfg()),
             Err(CompileError::UnsupportedLayer("Conv"))
@@ -484,7 +514,9 @@ mod tests {
     fn compile_rejects_mismatched_calibration() {
         let m = tiny_model(1);
         let (w, cal) = calib_for(&m);
-        let short = Calibration { boundaries: cal.boundaries[..1].to_vec() };
+        let short = Calibration {
+            boundaries: cal.boundaries[..1].to_vec(),
+        };
         assert!(matches!(
             compile_fc(&m, &w, &short, &small_cfg()),
             Err(CompileError::CalibrationMismatch { .. })
@@ -496,10 +528,16 @@ mod tests {
         let m = workloads::mlp0();
         let cfg = TpuConfig::paper();
         let ops = lower_timed(&m, &cfg, 1);
-        let loads = ops.iter().filter(|o| matches!(o, TimedOp::LoadTile { .. })).count();
+        let loads = ops
+            .iter()
+            .filter(|o| matches!(o, TimedOp::LoadTile { .. }))
+            .count();
         // 5 layers of 2000x2000 on 256: ceil(2000/256)=8 -> 64 tiles each.
         assert_eq!(loads, 5 * 64);
-        let matmuls = ops.iter().filter(|o| matches!(o, TimedOp::Matmul { .. })).count();
+        let matmuls = ops
+            .iter()
+            .filter(|o| matches!(o, TimedOp::Matmul { .. }))
+            .count();
         assert_eq!(matmuls, loads, "one primary matmul per tile");
     }
 
@@ -534,9 +572,15 @@ mod tests {
         let ops = lower_timed(&m, &cfg, 1);
         assert!(ops.iter().any(|o| matches!(
             o,
-            TimedOp::Matmul { precision: tpu_core::config::Precision::Mixed8x16, .. }
+            TimedOp::Matmul {
+                precision: tpu_core::config::Precision::Mixed8x16,
+                ..
+            }
         )));
-        let vectors = ops.iter().filter(|o| matches!(o, TimedOp::Vector { .. })).count();
+        let vectors = ops
+            .iter()
+            .filter(|o| matches!(o, TimedOp::Vector { .. }))
+            .count();
         assert_eq!(vectors, 34);
     }
 
@@ -544,8 +588,16 @@ mod tests {
     fn error_display_messages() {
         let msgs = [
             CompileError::UnsupportedLayer("Conv").to_string(),
-            CompileError::BatchTooLarge { batch: 5000, limit: 4096 }.to_string(),
-            CompileError::UnifiedBufferOverflow { needed: 2, capacity: 1 }.to_string(),
+            CompileError::BatchTooLarge {
+                batch: 5000,
+                limit: 4096,
+            }
+            .to_string(),
+            CompileError::UnifiedBufferOverflow {
+                needed: 2,
+                capacity: 1,
+            }
+            .to_string(),
             CompileError::CalibrationMismatch { got: 1, need: 3 }.to_string(),
         ];
         for m in msgs {

@@ -166,16 +166,18 @@ impl TpuRuntime {
                         .padded_bytes() as usize
                 })
                 .sum();
-            let region = self.weights_mgr.register(model.name(), image_bytes.max(1))?;
-            let compiled = match compile_fc_at(model, weights, &cal, self.device.config(), region.base)
-            {
-                Ok(c) => c,
-                Err(e) => {
-                    // Roll the reservation back on compile failure.
-                    let _ = self.weights_mgr.evict(model.name());
-                    return Err(e.into());
-                }
-            };
+            let region = self
+                .weights_mgr
+                .register(model.name(), image_bytes.max(1))?;
+            let compiled =
+                match compile_fc_at(model, weights, &cal, self.device.config(), region.base) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        // Roll the reservation back on compile failure.
+                        let _ = self.weights_mgr.evict(model.name());
+                        return Err(e.into());
+                    }
+                };
             for (addr, tile) in &compiled.weight_image {
                 self.device.weight_memory_mut().store_tile(*addr, tile)?;
             }
@@ -187,7 +189,8 @@ impl TpuRuntime {
         // Quantize and reformat the input into TPU order.
         let q = QuantizedActivations::quantize(input, compiled.input_params);
         let blocks = format_activations(q.codes(), compiled.batch, input.cols(), dim);
-        self.host.write(compiled.input_host_addr as usize, &blocks)?;
+        self.host
+            .write(compiled.input_host_addr as usize, &blocks)?;
 
         self.device.reset_execution_state();
         self.device.run(&compiled.program, &mut self.host)?;
@@ -252,7 +255,10 @@ mod tests {
 
         assert_eq!(got.shape(), want.shape());
         let diff = want.max_abs_diff(&got);
-        assert!(diff < 0.25, "quantized output diverged: max abs diff {diff}");
+        assert!(
+            diff < 0.25,
+            "quantized output diverged: max abs diff {diff}"
+        );
     }
 
     #[test]
@@ -306,7 +312,10 @@ mod tests {
         assert!(!rt.is_compiled("evictee"));
         assert!(rt.resident_models().is_empty());
         // Evicting twice is an error.
-        assert!(matches!(rt.evict("evictee"), Err(RuntimeError::WeightMemory(_))));
+        assert!(matches!(
+            rt.evict("evictee"),
+            Err(RuntimeError::WeightMemory(_))
+        ));
         // And the model can come back.
         rt.evaluate(&m, &w, &x).unwrap();
         assert!(rt.is_compiled("evictee"));
@@ -318,7 +327,10 @@ mod tests {
         let relu_model = NnModel::new(
             "relu",
             NnKind::Mlp,
-            vec![Layer::fc(2 * d, d, Nonlinearity::Relu), Layer::fc(d, d, Nonlinearity::Relu)],
+            vec![
+                Layer::fc(2 * d, d, Nonlinearity::Relu),
+                Layer::fc(d, d, Nonlinearity::Relu),
+            ],
             3,
             2 * d,
             Precision::Int8,

@@ -76,10 +76,18 @@ impl TileGrid {
     ///
     /// Panics if the indices are out of range.
     pub fn tile(&self, k_index: usize, n_index: usize) -> TileInfo {
-        assert!(k_index < self.k_tiles() && n_index < self.n_tiles(), "tile out of range");
+        assert!(
+            k_index < self.k_tiles() && n_index < self.n_tiles(),
+            "tile out of range"
+        );
         let rows_used = (self.k - k_index * self.dim).min(self.dim);
         let cols_used = (self.n - n_index * self.dim).min(self.dim);
-        TileInfo { k_index, n_index, rows_used, cols_used }
+        TileInfo {
+            k_index,
+            n_index,
+            rows_used,
+            cols_used,
+        }
     }
 
     /// Iterate tiles in the order the compiler schedules them: for each

@@ -42,30 +42,44 @@ pub fn verify(program: &Program, cfg: &TpuConfig) -> Vec<Violation> {
             | Instruction::WriteHostMemory { ub_addr, len, .. } => {
                 let end = ub_addr as usize + len as usize;
                 if end > cfg.unified_buffer_bytes {
-                    push(i, format!(
-                        "unified buffer range [{ub_addr}, {end}) exceeds capacity {}",
-                        cfg.unified_buffer_bytes
-                    ));
+                    push(
+                        i,
+                        format!(
+                            "unified buffer range [{ub_addr}, {end}) exceeds capacity {}",
+                            cfg.unified_buffer_bytes
+                        ),
+                    );
                 }
             }
             Instruction::ReadWeights { dram_addr, tiles } => {
                 let end = dram_addr as usize + tiles as usize * cfg.tile_bytes();
                 if end > cfg.weight_memory_bytes {
-                    push(i, format!(
-                        "weight memory range [{dram_addr}, {end}) exceeds capacity {}",
-                        cfg.weight_memory_bytes
-                    ));
+                    push(
+                        i,
+                        format!(
+                            "weight memory range [{dram_addr}, {end}) exceeds capacity {}",
+                            cfg.weight_memory_bytes
+                        ),
+                    );
                 }
                 fifo_level += tiles as usize;
                 if fifo_level > cfg.weight_fifo_tiles {
-                    push(i, format!(
-                        "weight fifo over-filled: {fifo_level} tiles queued, depth {}",
-                        cfg.weight_fifo_tiles
-                    ));
+                    push(
+                        i,
+                        format!(
+                            "weight fifo over-filled: {fifo_level} tiles queued, depth {}",
+                            cfg.weight_fifo_tiles
+                        ),
+                    );
                     fifo_level = cfg.weight_fifo_tiles;
                 }
             }
-            Instruction::MatrixMultiply { ub_addr, acc_addr, rows, .. } => {
+            Instruction::MatrixMultiply {
+                ub_addr,
+                acc_addr,
+                rows,
+                ..
+            } => {
                 if fifo_level == 0 {
                     push(i, "matrix multiply with no weight tile queued".to_string());
                 } else {
@@ -73,31 +87,44 @@ pub fn verify(program: &Program, cfg: &TpuConfig) -> Vec<Violation> {
                 }
                 let ub_end = ub_addr as usize + rows as usize * dim;
                 if ub_end > cfg.unified_buffer_bytes {
-                    push(i, format!(
-                        "matmul reads [{ub_addr}, {ub_end}) past the unified buffer"
-                    ));
+                    push(
+                        i,
+                        format!("matmul reads [{ub_addr}, {ub_end}) past the unified buffer"),
+                    );
                 }
                 let acc_end = acc_addr as usize + rows as usize;
                 if acc_end > cfg.accumulator_entries {
-                    push(i, format!(
-                        "matmul writes accumulators [{acc_addr}, {acc_end}) past {}",
-                        cfg.accumulator_entries
-                    ));
+                    push(
+                        i,
+                        format!(
+                            "matmul writes accumulators [{acc_addr}, {acc_end}) past {}",
+                            cfg.accumulator_entries
+                        ),
+                    );
                 }
             }
-            Instruction::Activate { acc_addr, ub_addr, rows, .. } => {
+            Instruction::Activate {
+                acc_addr,
+                ub_addr,
+                rows,
+                ..
+            } => {
                 let acc_end = acc_addr as usize + rows as usize;
                 if acc_end > cfg.accumulator_entries {
-                    push(i, format!(
-                        "activate reads accumulators [{acc_addr}, {acc_end}) past {}",
-                        cfg.accumulator_entries
-                    ));
+                    push(
+                        i,
+                        format!(
+                            "activate reads accumulators [{acc_addr}, {acc_end}) past {}",
+                            cfg.accumulator_entries
+                        ),
+                    );
                 }
                 let ub_end = ub_addr as usize + rows as usize * dim;
                 if ub_end > cfg.unified_buffer_bytes {
-                    push(i, format!(
-                        "activate writes [{ub_addr}, {ub_end}) past the unified buffer"
-                    ));
+                    push(
+                        i,
+                        format!("activate writes [{ub_addr}, {ub_end}) past the unified buffer"),
+                    );
                 }
             }
             Instruction::Halt => {
@@ -168,8 +195,7 @@ mod tests {
             for _ in 1..depth {
                 layers.push(Layer::fc(d, d, Nonlinearity::Relu));
             }
-            let model =
-                NnModel::new("v", NnKind::Mlp, layers, batch, 3 * d, Precision::Int8);
+            let model = NnModel::new("v", NnKind::Mlp, layers, batch, 3 * d, Precision::Int8);
             let mut rng = rand::rngs::StdRng::seed_from_u64(depth as u64);
             let w = ModelWeights::random(&model, 0.4, &mut rng);
             let x = tpu_nn::Matrix::from_fn(batch, 3 * d, |r, c| ((r + c) % 7) as f32 * 0.1);
@@ -197,7 +223,10 @@ mod tests {
     #[test]
     fn catches_fifo_overflow() {
         let mut p = Program::new();
-        p.push(Instruction::ReadWeights { dram_addr: 0, tiles: 5 }); // depth is 4
+        p.push(Instruction::ReadWeights {
+            dram_addr: 0,
+            tiles: 5,
+        }); // depth is 4
         p.push(Instruction::Halt);
         let v = verify(&p, &cfg());
         assert!(v.iter().any(|x| x.message.contains("over-filled")), "{v:?}");
@@ -244,13 +273,18 @@ mod tests {
         let v = verify(&p, &cfg());
         assert!(v.iter().any(|x| x.message.contains("halt before the end")));
         // Missing trailing halt also reported.
-        assert!(v.iter().any(|x| x.message.contains("does not end with halt")));
+        assert!(v
+            .iter()
+            .any(|x| x.message.contains("does not end with halt")));
     }
 
     #[test]
     fn clean_program_is_ok() {
         let mut p = Program::new();
-        p.push(Instruction::ReadWeights { dram_addr: 0, tiles: 1 });
+        p.push(Instruction::ReadWeights {
+            dram_addr: 0,
+            tiles: 1,
+        });
         p.push(mm(0, 0, 2));
         p.push(Instruction::Halt);
         assert_eq!(verify_ok(&p, &cfg()), Ok(()));
@@ -258,7 +292,10 @@ mod tests {
 
     #[test]
     fn violation_display() {
-        let v = Violation { index: 3, message: "boom".to_string() };
+        let v = Violation {
+            index: 3,
+            message: "boom".to_string(),
+        };
         assert_eq!(v.to_string(), "instruction 3: boom");
     }
 }

@@ -83,7 +83,10 @@ impl WeightMemoryManager {
 
     /// Create a manager over `capacity` bytes of Weight Memory.
     pub fn new(capacity: usize) -> Self {
-        Self { capacity, resident: HashMap::new() }
+        Self {
+            capacity,
+            resident: HashMap::new(),
+        }
     }
 
     /// Total capacity in bytes.
@@ -125,12 +128,18 @@ impl WeightMemoryManager {
         let mut cursor = 0usize;
         for r in used {
             if r.base > cursor {
-                free.push(WeightRegion { base: cursor, bytes: r.base - cursor });
+                free.push(WeightRegion {
+                    base: cursor,
+                    bytes: r.base - cursor,
+                });
             }
             cursor = cursor.max(r.end());
         }
         if cursor < self.capacity {
-            free.push(WeightRegion { base: cursor, bytes: self.capacity - cursor });
+            free.push(WeightRegion {
+                base: cursor,
+                bytes: self.capacity - cursor,
+            });
         }
         free
     }
@@ -154,12 +163,18 @@ impl WeightMemoryManager {
         for extent in self.free_extents() {
             largest = largest.max(extent.bytes);
             if extent.bytes >= bytes {
-                let region = WeightRegion { base: extent.base, bytes };
+                let region = WeightRegion {
+                    base: extent.base,
+                    bytes,
+                };
                 self.resident.insert(name.to_string(), region);
                 return Ok(region);
             }
         }
-        Err(WeightMemoryError::OutOfMemory { requested: bytes, largest_free: largest })
+        Err(WeightMemoryError::OutOfMemory {
+            requested: bytes,
+            largest_free: largest,
+        })
     }
 
     /// Release a model's region.
@@ -186,7 +201,9 @@ mod tests {
         let a = mgr.register("a", 100).unwrap();
         assert_eq!(a.base, 0);
         assert_eq!(a.bytes, WeightMemoryManager::TILE_ALIGN);
-        let b = mgr.register("b", WeightMemoryManager::TILE_ALIGN + 1).unwrap();
+        let b = mgr
+            .register("b", WeightMemoryManager::TILE_ALIGN + 1)
+            .unwrap();
         assert_eq!(b.base, a.end());
         assert_eq!(b.bytes, 2 * WeightMemoryManager::TILE_ALIGN);
         assert_eq!(mgr.resident_models(), vec!["a", "b"]);
@@ -200,7 +217,10 @@ mod tests {
             .collect();
         for (i, a) in regions.iter().enumerate() {
             for b in regions.iter().skip(i + 1) {
-                assert!(a.end() <= b.base || b.end() <= a.base, "{a:?} overlaps {b:?}");
+                assert!(
+                    a.end() <= b.base || b.end() <= a.base,
+                    "{a:?} overlaps {b:?}"
+                );
             }
         }
     }
@@ -214,7 +234,13 @@ mod tests {
         mgr.register("c", 2 * tile).unwrap();
         // Full: next registration fails with the largest extent reported.
         let err = mgr.register("d", tile).unwrap_err();
-        assert!(matches!(err, WeightMemoryError::OutOfMemory { largest_free: 0, .. }));
+        assert!(matches!(
+            err,
+            WeightMemoryError::OutOfMemory {
+                largest_free: 0,
+                ..
+            }
+        ));
         // Evicting the *middle* model opens a hole at its base.
         let freed = mgr.evict("b").unwrap();
         let d = mgr.register("d", tile).unwrap();
@@ -229,7 +255,10 @@ mod tests {
             mgr.register("x", MIB),
             Err(WeightMemoryError::AlreadyResident(_))
         ));
-        assert!(matches!(mgr.evict("y"), Err(WeightMemoryError::NotResident(_))));
+        assert!(matches!(
+            mgr.evict("y"),
+            Err(WeightMemoryError::NotResident(_))
+        ));
     }
 
     #[test]
@@ -247,13 +276,19 @@ mod tests {
             mgr.register(m.name(), padded as usize).unwrap();
         }
         assert_eq!(mgr.resident_models().len(), 6);
-        assert!(mgr.bytes_resident() < mgr.capacity() / 8, "plenty of headroom left");
+        assert!(
+            mgr.bytes_resident() < mgr.capacity() / 8,
+            "plenty of headroom left"
+        );
     }
 
     #[test]
     fn error_messages_render() {
         for e in [
-            WeightMemoryError::OutOfMemory { requested: 1, largest_free: 0 },
+            WeightMemoryError::OutOfMemory {
+                requested: 1,
+                largest_free: 0,
+            },
             WeightMemoryError::AlreadyResident("m".into()),
             WeightMemoryError::NotResident("m".into()),
         ] {

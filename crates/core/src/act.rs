@@ -49,7 +49,10 @@ impl QuantParams {
     /// Panics unless `lo <= 0.0 <= hi` and `lo < hi` (zero must be exactly
     /// representable, the standard requirement for affine quantization).
     pub fn from_range(lo: f32, hi: f32) -> Self {
-        assert!(lo < hi && lo <= 0.0 && hi >= 0.0, "range must straddle zero");
+        assert!(
+            lo < hi && lo <= 0.0 && hi >= 0.0,
+            "range must straddle zero"
+        );
         let scale = (hi - lo) / 255.0;
         let zero_point = (-lo / scale).round().clamp(0.0, 255.0) as u8;
         Self { scale, zero_point }
@@ -69,7 +72,10 @@ impl QuantParams {
 impl Default for QuantParams {
     /// Unit scale with zero at code 128 (symmetric-ish default).
     fn default() -> Self {
-        Self { scale: 1.0, zero_point: 128 }
+        Self {
+            scale: 1.0,
+            zero_point: 128,
+        }
     }
 }
 
@@ -98,7 +104,11 @@ impl Lut256 {
             let x = in_lo + (i as f32 + 0.5) * in_step;
             *slot = out.quantize(f(x));
         }
-        Self { table, in_lo, in_step }
+        Self {
+            table,
+            in_lo,
+            in_step,
+        }
     }
 
     /// Look up the output code for a real input (inputs outside the domain
@@ -175,12 +185,15 @@ impl ActivationUnit {
     /// Rows that do not fill a final window are pooled as a smaller group.
     /// `PoolOp::None` returns the input unchanged.
     pub fn pool(&mut self, op: PoolOp, rows: &[u8], lanes: usize) -> Vec<u8> {
-        assert!(lanes > 0 && rows.len().is_multiple_of(lanes), "rows must be whole lanes");
+        assert!(
+            lanes > 0 && rows.len().is_multiple_of(lanes),
+            "rows must be whole lanes"
+        );
         match op {
             PoolOp::None => rows.to_vec(),
-            PoolOp::Max { window } => self.pool_with(rows, lanes, window as usize, |acc, v| {
-                acc.max(v as u32)
-            }),
+            PoolOp::Max { window } => {
+                self.pool_with(rows, lanes, window as usize, |acc, v| acc.max(v as u32))
+            }
             PoolOp::Avg { window } => {
                 let w = window as usize;
                 let n_rows = rows.len() / lanes;

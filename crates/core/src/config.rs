@@ -338,7 +338,11 @@ mod tests {
 
     #[test]
     fn builder_rejects_invalid() {
-        assert!(TpuConfig::paper().to_builder().array_dim(0).build().is_err());
+        assert!(TpuConfig::paper()
+            .to_builder()
+            .array_dim(0)
+            .build()
+            .is_err());
         assert!(TpuConfig::paper().to_builder().clock_hz(0).build().is_err());
         assert!(TpuConfig::paper()
             .to_builder()

@@ -76,19 +76,35 @@ pub enum TpuError {
 impl fmt::Display for TpuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TpuError::UnifiedBufferOutOfRange { addr, len, capacity } => write!(
+            TpuError::UnifiedBufferOutOfRange {
+                addr,
+                len,
+                capacity,
+            } => write!(
                 f,
                 "unified buffer access [{addr}, {addr}+{len}) exceeds capacity {capacity}"
             ),
-            TpuError::AccumulatorOutOfRange { entry, count, capacity } => write!(
+            TpuError::AccumulatorOutOfRange {
+                entry,
+                count,
+                capacity,
+            } => write!(
                 f,
                 "accumulator access [{entry}, {entry}+{count}) exceeds {capacity} entries"
             ),
-            TpuError::WeightMemoryOutOfRange { addr, len, capacity } => write!(
+            TpuError::WeightMemoryOutOfRange {
+                addr,
+                len,
+                capacity,
+            } => write!(
                 f,
                 "weight memory access [{addr}, {addr}+{len}) exceeds capacity {capacity}"
             ),
-            TpuError::HostMemoryOutOfRange { addr, len, capacity } => write!(
+            TpuError::HostMemoryOutOfRange {
+                addr,
+                len,
+                capacity,
+            } => write!(
                 f,
                 "host memory access [{addr}, {addr}+{len}) exceeds capacity {capacity}"
             ),
@@ -122,14 +138,34 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errs: Vec<TpuError> = vec![
-            TpuError::UnifiedBufferOutOfRange { addr: 1, len: 2, capacity: 3 },
-            TpuError::AccumulatorOutOfRange { entry: 1, count: 2, capacity: 3 },
-            TpuError::WeightMemoryOutOfRange { addr: 1, len: 2, capacity: 3 },
-            TpuError::HostMemoryOutOfRange { addr: 1, len: 2, capacity: 3 },
+            TpuError::UnifiedBufferOutOfRange {
+                addr: 1,
+                len: 2,
+                capacity: 3,
+            },
+            TpuError::AccumulatorOutOfRange {
+                entry: 1,
+                count: 2,
+                capacity: 3,
+            },
+            TpuError::WeightMemoryOutOfRange {
+                addr: 1,
+                len: 2,
+                capacity: 3,
+            },
+            TpuError::HostMemoryOutOfRange {
+                addr: 1,
+                len: 2,
+                capacity: 3,
+            },
             TpuError::NoWeightsLoaded,
             TpuError::WeightFifoOverflow { depth: 4 },
             TpuError::WeightFifoUnderflow,
-            TpuError::TruncatedInstruction { opcode: 3, have: 2, need: 12 },
+            TpuError::TruncatedInstruction {
+                opcode: 3,
+                have: 2,
+                need: 12,
+            },
             TpuError::UnknownOpcode(0xff),
             TpuError::MissingHalt,
             TpuError::InvalidOperand("x".to_string()),

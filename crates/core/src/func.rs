@@ -144,12 +144,20 @@ impl FuncTpu {
 
     fn exec(&mut self, inst: &Instruction, host: &mut HostMemory) -> Result<()> {
         match *inst {
-            Instruction::ReadHostMemory { host_addr, ub_addr, len } => {
+            Instruction::ReadHostMemory {
+                host_addr,
+                ub_addr,
+                len,
+            } => {
                 let bytes = host.read(host_addr as usize, len as usize)?.to_vec();
                 host.record_to_device(len as usize);
                 self.ub.write(ub_addr as usize, &bytes)?;
             }
-            Instruction::WriteHostMemory { ub_addr, host_addr, len } => {
+            Instruction::WriteHostMemory {
+                ub_addr,
+                host_addr,
+                len,
+            } => {
                 let bytes = self.ub.read(ub_addr as usize, len as usize)?.to_vec();
                 host.record_from_device(len as usize);
                 host.write(host_addr as usize, &bytes)?;
@@ -163,13 +171,22 @@ impl FuncTpu {
                     self.stats.tiles_fetched += 1;
                 }
             }
-            Instruction::MatrixMultiply { ub_addr, acc_addr, rows, accumulate, .. } => {
+            Instruction::MatrixMultiply {
+                ub_addr,
+                acc_addr,
+                rows,
+                accumulate,
+                ..
+            } => {
                 let dim = self.cfg.array_dim;
                 let tile = self.fifo.pop()?;
                 self.array.stage_weights(&tile)?;
                 self.array.commit_weights()?;
                 let zp = self.input_zero_point as i16;
-                let raw = self.ub.read(ub_addr as usize, rows as usize * dim)?.to_vec();
+                let raw = self
+                    .ub
+                    .read(ub_addr as usize, rows as usize * dim)?
+                    .to_vec();
                 let acts: Vec<i16> = raw.iter().map(|&b| b as i16 - zp).collect();
                 let outputs = if self.cycle_accurate {
                     self.array.matmul(&acts, rows as usize)?.outputs
@@ -185,7 +202,13 @@ impl FuncTpu {
                 }
                 self.stats.matmuls += 1;
             }
-            Instruction::Activate { acc_addr, ub_addr, rows, func, pool } => {
+            Instruction::Activate {
+                acc_addr,
+                ub_addr,
+                rows,
+                func,
+                pool,
+            } => {
                 let dim = self.cfg.array_dim;
                 let values = self.acc.load(acc_addr as usize, rows as usize)?.to_vec();
                 let activated = self.act.activate(func, &values);
@@ -213,8 +236,13 @@ impl FuncTpu {
                 self.input_zero_point = value as u8;
             }
             cfg_keys::OUTPUT_ZERO_POINT => {
-                self.act =
-                    ActivationUnit::new(acc_scale, QuantParams { scale: out.scale, zero_point: value as u8 });
+                self.act = ActivationUnit::new(
+                    acc_scale,
+                    QuantParams {
+                        scale: out.scale,
+                        zero_point: value as u8,
+                    },
+                );
             }
             cfg_keys::OUTPUT_SCALE => {
                 let scale = f32::from_bits(value);
@@ -225,7 +253,10 @@ impl FuncTpu {
                 }
                 self.act = ActivationUnit::new(
                     acc_scale,
-                    QuantParams { scale, zero_point: out.zero_point },
+                    QuantParams {
+                        scale,
+                        zero_point: out.zero_point,
+                    },
                 );
             }
             cfg_keys::ACC_SCALE => {
@@ -287,17 +318,30 @@ mod tests {
         tpu.weight_memory_mut().store_tile(0, &tile).unwrap();
         // Identity quantization: zero point 0, scales 1.
         tpu.set_quantization(
-            QuantParams { scale: 1.0, zero_point: 0 },
+            QuantParams {
+                scale: 1.0,
+                zero_point: 0,
+            },
             1.0,
-            QuantParams { scale: 1.0, zero_point: 0 },
+            QuantParams {
+                scale: 1.0,
+                zero_point: 0,
+            },
         );
 
         let input: Vec<u8> = (0..dim as u8).map(|v| v * 2).collect();
         host.write(0, &input).unwrap();
 
         let mut p = Program::new();
-        p.push(Instruction::ReadHostMemory { host_addr: 0, ub_addr: 0, len: dim as u32 });
-        p.push(Instruction::ReadWeights { dram_addr: 0, tiles: 1 });
+        p.push(Instruction::ReadHostMemory {
+            host_addr: 0,
+            ub_addr: 0,
+            len: dim as u32,
+        });
+        p.push(Instruction::ReadWeights {
+            dram_addr: 0,
+            tiles: 1,
+        });
         p.push(Instruction::MatrixMultiply {
             ub_addr: 0,
             acc_addr: 0,
@@ -333,17 +377,32 @@ mod tests {
         let dim = tpu.config().array_dim;
         let tile = identity_tile(dim);
         tpu.weight_memory_mut().store_tile(0, &tile).unwrap();
-        tpu.weight_memory_mut().store_tile(tile.bytes(), &tile).unwrap();
+        tpu.weight_memory_mut()
+            .store_tile(tile.bytes(), &tile)
+            .unwrap();
         tpu.set_quantization(
-            QuantParams { scale: 1.0, zero_point: 0 },
+            QuantParams {
+                scale: 1.0,
+                zero_point: 0,
+            },
             1.0,
-            QuantParams { scale: 1.0, zero_point: 0 },
+            QuantParams {
+                scale: 1.0,
+                zero_point: 0,
+            },
         );
         host.write(0, &vec![3u8; dim]).unwrap();
 
         let mut p = Program::new();
-        p.push(Instruction::ReadHostMemory { host_addr: 0, ub_addr: 0, len: dim as u32 });
-        p.push(Instruction::ReadWeights { dram_addr: 0, tiles: 2 });
+        p.push(Instruction::ReadHostMemory {
+            host_addr: 0,
+            ub_addr: 0,
+            len: dim as u32,
+        });
+        p.push(Instruction::ReadWeights {
+            dram_addr: 0,
+            tiles: 2,
+        });
         for (i, accumulate) in [(0u32, false), (1u32, true)] {
             let _ = i;
             p.push(Instruction::MatrixMultiply {
@@ -362,7 +421,11 @@ mod tests {
             func: ActivationFunction::Identity,
             pool: PoolOp::None,
         });
-        p.push(Instruction::WriteHostMemory { ub_addr: 512, host_addr: 1024, len: dim as u32 });
+        p.push(Instruction::WriteHostMemory {
+            ub_addr: 512,
+            host_addr: 1024,
+            len: dim as u32,
+        });
         p.push(Instruction::Halt);
         tpu.run(&p, &mut host).unwrap();
         assert_eq!(host.read(1024, dim).unwrap(), &vec![6u8; dim][..]);
@@ -381,14 +444,27 @@ mod tests {
             .store_tile(0, &WeightTile::from_rows(dim, data))
             .unwrap();
         tpu.set_quantization(
-            QuantParams { scale: 1.0, zero_point: 0 },
+            QuantParams {
+                scale: 1.0,
+                zero_point: 0,
+            },
             1.0,
-            QuantParams { scale: 1.0, zero_point: 0 },
+            QuantParams {
+                scale: 1.0,
+                zero_point: 0,
+            },
         );
         host.write(0, &vec![5u8; dim]).unwrap();
         let mut p = Program::new();
-        p.push(Instruction::ReadHostMemory { host_addr: 0, ub_addr: 0, len: dim as u32 });
-        p.push(Instruction::ReadWeights { dram_addr: 0, tiles: 1 });
+        p.push(Instruction::ReadHostMemory {
+            host_addr: 0,
+            ub_addr: 0,
+            len: dim as u32,
+        });
+        p.push(Instruction::ReadWeights {
+            dram_addr: 0,
+            tiles: 1,
+        });
         p.push(Instruction::MatrixMultiply {
             ub_addr: 0,
             acc_addr: 0,
@@ -404,7 +480,11 @@ mod tests {
             func: ActivationFunction::Relu,
             pool: PoolOp::None,
         });
-        p.push(Instruction::WriteHostMemory { ub_addr: 256, host_addr: 512, len: dim as u32 });
+        p.push(Instruction::WriteHostMemory {
+            ub_addr: 256,
+            host_addr: 512,
+            len: dim as u32,
+        });
         p.push(Instruction::Halt);
         tpu.run(&p, &mut host).unwrap();
         assert_eq!(host.read(512, dim).unwrap(), &vec![0u8; dim][..]);
@@ -417,7 +497,9 @@ mod tests {
         let dim = TpuConfig::small().array_dim;
         let tile = WeightTile::from_rows(
             dim,
-            (0..dim * dim).map(|_| rng.gen_range(-128i32..=127) as i8).collect(),
+            (0..dim * dim)
+                .map(|_| rng.gen_range(-128i32..=127) as i8)
+                .collect(),
         );
         let input: Vec<u8> = (0..dim * 3).map(|_| rng.gen()).collect();
 
@@ -433,7 +515,10 @@ mod tests {
                 ub_addr: 0,
                 len: input.len() as u32,
             });
-            p.push(Instruction::ReadWeights { dram_addr: 0, tiles: 1 });
+            p.push(Instruction::ReadWeights {
+                dram_addr: 0,
+                tiles: 1,
+            });
             p.push(Instruction::MatrixMultiply {
                 ub_addr: 0,
                 acc_addr: 0,
@@ -483,19 +568,28 @@ mod tests {
             precision: crate::config::Precision::Int8,
         });
         p.push(Instruction::Halt);
-        assert!(matches!(tpu.run(&p, &mut host), Err(TpuError::WeightFifoUnderflow)));
+        assert!(matches!(
+            tpu.run(&p, &mut host),
+            Err(TpuError::WeightFifoUnderflow)
+        ));
     }
 
     #[test]
     fn set_config_via_instruction() {
         let (mut tpu, mut host) = small_device();
         let mut p = Program::new();
-        p.push(Instruction::SetConfig { key: cfg_keys::INPUT_ZERO_POINT, value: 7 });
+        p.push(Instruction::SetConfig {
+            key: cfg_keys::INPUT_ZERO_POINT,
+            value: 7,
+        });
         p.push(Instruction::SetConfig {
             key: cfg_keys::OUTPUT_SCALE,
             value: 0.5f32.to_bits(),
         });
-        p.push(Instruction::SetConfig { key: cfg_keys::ACC_SCALE, value: 0.25f32.to_bits() });
+        p.push(Instruction::SetConfig {
+            key: cfg_keys::ACC_SCALE,
+            value: 0.25f32.to_bits(),
+        });
         p.push(Instruction::Halt);
         tpu.run(&p, &mut host).unwrap();
         assert_eq!(tpu.input_zero_point, 7);

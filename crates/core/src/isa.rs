@@ -285,12 +285,20 @@ impl Instruction {
         let mut out = Vec::with_capacity(Self::encoded_len(self.opcode()));
         out.push(self.opcode() as u8);
         match *self {
-            Instruction::ReadHostMemory { host_addr, ub_addr, len } => {
+            Instruction::ReadHostMemory {
+                host_addr,
+                ub_addr,
+                len,
+            } => {
                 out.extend_from_slice(&ub_addr.to_le_bytes()[..3]);
                 out.extend_from_slice(&host_addr.to_le_bytes());
                 out.extend_from_slice(&len.to_le_bytes());
             }
-            Instruction::WriteHostMemory { ub_addr, host_addr, len } => {
+            Instruction::WriteHostMemory {
+                ub_addr,
+                host_addr,
+                len,
+            } => {
                 out.extend_from_slice(&ub_addr.to_le_bytes()[..3]);
                 out.extend_from_slice(&host_addr.to_le_bytes());
                 out.extend_from_slice(&len.to_le_bytes());
@@ -328,7 +336,13 @@ impl Instruction {
                 out.extend_from_slice(&acc_addr.to_le_bytes());
                 out.extend_from_slice(&rows.to_le_bytes());
             }
-            Instruction::Activate { acc_addr, ub_addr, rows, func, pool } => {
+            Instruction::Activate {
+                acc_addr,
+                ub_addr,
+                rows,
+                func,
+                pool,
+            } => {
                 let (pool_kind, window) = pool.code();
                 out.push(func.code() | (pool_kind << 4));
                 out.push(window);
@@ -367,7 +381,11 @@ impl Instruction {
     /// opcode's fixed encoding.
     pub fn decode(bytes: &[u8]) -> Result<(Self, usize)> {
         let Some(&op_byte) = bytes.first() else {
-            return Err(TpuError::TruncatedInstruction { opcode: 0, have: 0, need: 1 });
+            return Err(TpuError::TruncatedInstruction {
+                opcode: 0,
+                have: 0,
+                need: 1,
+            });
         };
         let op = Opcode::from_byte(op_byte)?;
         let need = Self::encoded_len(op);
@@ -507,7 +525,10 @@ impl Program {
 
     /// Count instructions with a given opcode.
     pub fn count(&self, op: Opcode) -> usize {
-        self.instructions.iter().filter(|i| i.opcode() == op).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.opcode() == op)
+            .count()
     }
 
     /// Total encoded size in bytes.
@@ -521,7 +542,9 @@ impl Program {
 
 impl FromIterator<Instruction> for Program {
     fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
-        Program { instructions: iter.into_iter().collect() }
+        Program {
+            instructions: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -537,9 +560,20 @@ mod tests {
 
     fn sample_instructions() -> Vec<Instruction> {
         vec![
-            Instruction::ReadHostMemory { host_addr: 0x1000, ub_addr: 0x20, len: 4096 },
-            Instruction::WriteHostMemory { ub_addr: 0x30, host_addr: 0x2000, len: 128 },
-            Instruction::ReadWeights { dram_addr: 0x40000, tiles: 7 },
+            Instruction::ReadHostMemory {
+                host_addr: 0x1000,
+                ub_addr: 0x20,
+                len: 4096,
+            },
+            Instruction::WriteHostMemory {
+                ub_addr: 0x30,
+                host_addr: 0x2000,
+                len: 128,
+            },
+            Instruction::ReadWeights {
+                dram_addr: 0x40000,
+                tiles: 7,
+            },
             Instruction::MatrixMultiply {
                 ub_addr: 0xabcdef,
                 acc_addr: 0x1234,
@@ -565,7 +599,10 @@ mod tests {
             },
             Instruction::Sync,
             Instruction::Nop,
-            Instruction::SetConfig { key: 9, value: 0xdead_beef },
+            Instruction::SetConfig {
+                key: 9,
+                value: 0xdead_beef,
+            },
             Instruction::InterruptHost { code: 2 },
             Instruction::DebugTag { tag: 42 },
             Instruction::Halt,
@@ -682,20 +719,20 @@ mod proptests {
 
     fn instruction_strategy() -> impl Strategy<Value = Instruction> {
         prop_oneof![
-            (any::<u64>(), 0u32..(1 << 24), any::<u32>()).prop_map(
-                |(host_addr, ub_addr, len)| Instruction::ReadHostMemory {
+            (any::<u64>(), 0u32..(1 << 24), any::<u32>()).prop_map(|(host_addr, ub_addr, len)| {
+                Instruction::ReadHostMemory {
                     host_addr,
                     ub_addr,
-                    len
+                    len,
                 }
-            ),
-            (0u32..(1 << 24), any::<u64>(), any::<u32>()).prop_map(
-                |(ub_addr, host_addr, len)| Instruction::WriteHostMemory {
+            }),
+            (0u32..(1 << 24), any::<u64>(), any::<u32>()).prop_map(|(ub_addr, host_addr, len)| {
+                Instruction::WriteHostMemory {
                     ub_addr,
                     host_addr,
-                    len
+                    len,
                 }
-            ),
+            }),
             (any::<u64>(), any::<u16>())
                 .prop_map(|(dram_addr, tiles)| Instruction::ReadWeights { dram_addr, tiles }),
             (
@@ -706,16 +743,18 @@ mod proptests {
                 any::<bool>(),
                 precision_strategy()
             )
-                .prop_map(|(ub_addr, acc_addr, rows, accumulate, convolve, precision)| {
-                    Instruction::MatrixMultiply {
-                        ub_addr,
-                        acc_addr,
-                        rows,
-                        accumulate,
-                        convolve,
-                        precision,
+                .prop_map(
+                    |(ub_addr, acc_addr, rows, accumulate, convolve, precision)| {
+                        Instruction::MatrixMultiply {
+                            ub_addr,
+                            acc_addr,
+                            rows,
+                            accumulate,
+                            convolve,
+                            precision,
+                        }
                     }
-                }),
+                ),
             (
                 any::<u16>(),
                 0u32..(1 << 24),
@@ -723,12 +762,14 @@ mod proptests {
                 activation_strategy(),
                 pool_strategy()
             )
-                .prop_map(|(acc_addr, ub_addr, rows, func, pool)| Instruction::Activate {
-                    acc_addr,
-                    ub_addr,
-                    rows,
-                    func,
-                    pool,
+                .prop_map(|(acc_addr, ub_addr, rows, func, pool)| {
+                    Instruction::Activate {
+                        acc_addr,
+                        ub_addr,
+                        rows,
+                        func,
+                        pool,
+                    }
                 }),
             Just(Instruction::Sync),
             Just(Instruction::Nop),

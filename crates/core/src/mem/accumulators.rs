@@ -32,7 +32,13 @@ pub struct Accumulators {
 impl Accumulators {
     /// Create `entries` zeroed accumulator entries of `lanes` 32-bit values.
     pub fn new(entries: usize, lanes: usize) -> Self {
-        Self { data: vec![0; entries * lanes], entries, lanes, stores: 0, loads: 0 }
+        Self {
+            data: vec![0; entries * lanes],
+            entries,
+            lanes,
+            stores: 0,
+            loads: 0,
+        }
     }
 
     /// Number of entries.

@@ -28,7 +28,11 @@ pub struct HostMemory {
 impl HostMemory {
     /// Create `capacity` bytes of zeroed host memory.
     pub fn new(capacity: usize) -> Self {
-        Self { data: vec![0; capacity], bytes_to_device: 0, bytes_from_device: 0 }
+        Self {
+            data: vec![0; capacity],
+            bytes_to_device: 0,
+            bytes_from_device: 0,
+        }
     }
 
     /// Capacity in bytes.
@@ -37,7 +41,10 @@ impl HostMemory {
     }
 
     fn check(&self, addr: usize, len: usize) -> Result<()> {
-        if addr.checked_add(len).is_none_or(|end| end > self.data.len()) {
+        if addr
+            .checked_add(len)
+            .is_none_or(|end| end > self.data.len())
+        {
             return Err(TpuError::HostMemoryOutOfRange {
                 addr,
                 len,

@@ -47,7 +47,10 @@ impl UnifiedBuffer {
     }
 
     fn check(&self, addr: usize, len: usize) -> Result<()> {
-        if addr.checked_add(len).is_none_or(|end| end > self.data.len()) {
+        if addr
+            .checked_add(len)
+            .is_none_or(|end| end > self.data.len())
+        {
             return Err(TpuError::UnifiedBufferOutOfRange {
                 addr,
                 len,

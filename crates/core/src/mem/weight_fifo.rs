@@ -35,7 +35,12 @@ pub struct WeightFifo {
 impl WeightFifo {
     /// Create a FIFO holding at most `depth` tiles.
     pub fn new(depth: usize) -> Self {
-        Self { depth, tiles: VecDeque::with_capacity(depth), pushes: 0, pops: 0 }
+        Self {
+            depth,
+            tiles: VecDeque::with_capacity(depth),
+            pushes: 0,
+            pops: 0,
+        }
     }
 
     /// Maximum number of tiles.
@@ -80,7 +85,10 @@ impl WeightFifo {
     /// [`TpuError::WeightFifoUnderflow`] when empty (a weight-stall in the
     /// timing model).
     pub fn pop(&mut self) -> Result<WeightTile> {
-        let tile = self.tiles.pop_front().ok_or(TpuError::WeightFifoUnderflow)?;
+        let tile = self
+            .tiles
+            .pop_front()
+            .ok_or(TpuError::WeightFifoUnderflow)?;
         self.pops += 1;
         Ok(tile)
     }

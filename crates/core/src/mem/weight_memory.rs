@@ -29,7 +29,10 @@ impl WeightTile {
 
     /// A zero tile.
     pub fn zeros(dim: usize) -> Self {
-        Self { dim, data: vec![0; dim * dim] }
+        Self {
+            dim,
+            data: vec![0; dim * dim],
+        }
     }
 
     /// Tile edge length.
@@ -81,7 +84,10 @@ pub struct WeightMemory {
 impl WeightMemory {
     /// Create a zeroed weight memory of `capacity` bytes.
     pub fn new(capacity: usize) -> Self {
-        Self { data: vec![0; capacity], bytes_fetched: 0 }
+        Self {
+            data: vec![0; capacity],
+            bytes_fetched: 0,
+        }
     }
 
     /// Capacity in bytes.
@@ -90,7 +96,10 @@ impl WeightMemory {
     }
 
     fn check(&self, addr: usize, len: usize) -> Result<()> {
-        if addr.checked_add(len).is_none_or(|end| end > self.data.len()) {
+        if addr
+            .checked_add(len)
+            .is_none_or(|end| end > self.data.len())
+        {
             return Err(TpuError::WeightMemoryOutOfRange {
                 addr,
                 len,
@@ -131,7 +140,10 @@ impl WeightMemory {
         let len = dim * dim;
         self.check(addr, len)?;
         self.bytes_fetched += len as u64;
-        Ok(WeightTile::from_rows(dim, self.data[addr..addr + len].to_vec()))
+        Ok(WeightTile::from_rows(
+            dim,
+            self.data[addr..addr + len].to_vec(),
+        ))
     }
 
     /// Total bytes streamed out — the denominator of the paper's

@@ -128,7 +128,11 @@ impl PipelineTrace {
 
     /// Sum of busy cycles per unit — how loaded each resource was.
     pub fn unit_busy(&self, unit: Unit) -> u64 {
-        self.records.iter().filter(|r| r.unit == unit).map(InstRecord::busy_cycles).sum()
+        self.records
+            .iter()
+            .filter(|r| r.unit == unit)
+            .map(InstRecord::busy_cycles)
+            .sum()
     }
 
     /// Fraction of total time the matrix unit was busy.
@@ -367,9 +371,7 @@ impl PipelineModel {
                         let k = tile_arrivals.len();
                         if k >= fifo_depth {
                             let Some(&popped) = pop_times.get(k - fifo_depth) else {
-                                return Err(TpuError::WeightFifoOverflow {
-                                    depth: fifo_depth,
-                                });
+                                return Err(TpuError::WeightFifoOverflow { depth: fifo_depth });
                             };
                             t = t.max(popped);
                         }
@@ -381,7 +383,13 @@ impl PipelineModel {
                     // cycle only.
                     (Unit::WeightFetch, issue, issue + 1)
                 }
-                Instruction::MatrixMultiply { ub_addr, acc_addr, rows, precision, .. } => {
+                Instruction::MatrixMultiply {
+                    ub_addr,
+                    acc_addr,
+                    rows,
+                    precision,
+                    ..
+                } => {
                     let Some(&arrival) = tile_arrivals.get(next_pop) else {
                         return Err(TpuError::WeightFifoUnderflow);
                     };
@@ -400,15 +408,20 @@ impl PipelineModel {
                     stalls.structural_wait = free_matrix.saturating_sub(issue);
                     stalls.raw_wait = operand_ready.saturating_sub(issue.max(free_matrix));
                     stalls.weight_wait = arrival.saturating_sub(earliest).min(start - earliest);
-                    stalls.shift_exposed =
-                        (start - earliest).saturating_sub(stalls.weight_wait);
+                    stalls.shift_exposed = (start - earliest).saturating_sub(stalls.weight_wait);
                     let dur = (rows as u64 * precision.speed_divisor()).max(1);
                     let complete = start + dur;
                     free_matrix = complete;
                     acc.write(acc_addr as u64, acc_addr as u64 + rows as u64, complete);
                     (Unit::Matrix, start, complete)
                 }
-                Instruction::Activate { acc_addr, ub_addr, rows, pool, .. } => {
+                Instruction::Activate {
+                    acc_addr,
+                    ub_addr,
+                    rows,
+                    pool,
+                    ..
+                } => {
                     let ready = acc.read_ready(acc_addr as u64, acc_addr as u64 + rows as u64);
                     let start = issue.max(free_act).max(ready);
                     stalls.structural_wait = free_act.saturating_sub(issue);
@@ -447,11 +460,22 @@ impl PipelineModel {
                 | Instruction::DebugTag { .. } => (Unit::Control, issue, issue + 1),
             };
 
-            records.push(InstRecord { index, inst: inst.clone(), unit, issue, start, complete, stalls });
+            records.push(InstRecord {
+                index,
+                inst: inst.clone(),
+                unit,
+                issue,
+                start,
+                complete,
+                stalls,
+            });
         }
 
         let total_cycles = records.iter().map(|r| r.complete).max().unwrap_or(0);
-        Ok(PipelineTrace { records, total_cycles })
+        Ok(PipelineTrace {
+            records,
+            total_cycles,
+        })
     }
 }
 
@@ -512,7 +536,10 @@ mod tests {
     #[test]
     fn read_weights_is_decoupled_and_matmul_waits_for_arrival() {
         let p = program(vec![
-            Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
+            Instruction::ReadWeights {
+                dram_addr: 0,
+                tiles: 1,
+            },
             mm(0, 0, 4),
         ]);
         let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
@@ -523,7 +550,11 @@ mod tests {
         // ...but the matmul cannot start before the tile arrives + shift.
         let model = PipelineModel::new(cfg());
         let arrival = rw.issue + model.tile_fetch_cycles();
-        assert!(m.start >= arrival, "matmul start {} vs arrival {arrival}", m.start);
+        assert!(
+            m.start >= arrival,
+            "matmul start {} vs arrival {arrival}",
+            m.start
+        );
         assert!(m.stalls.weight_wait + m.stalls.shift_exposed > 0);
     }
 
@@ -532,14 +563,23 @@ mod tests {
         // Busy the matrix unit with a long multiply on tile 0 while tile 1
         // is fetched; the second matmul then starts with no weight wait.
         let p = program(vec![
-            Instruction::ReadWeights { dram_addr: 0, tiles: 2 },
+            Instruction::ReadWeights {
+                dram_addr: 0,
+                tiles: 2,
+            },
             mm(0, 0, 4096),
             mm(0, 0, 4),
         ]);
         let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
         let second = &trace.records[2];
-        assert_eq!(second.stalls.weight_wait, 0, "prefetched tile should be ready");
-        assert_eq!(second.stalls.shift_exposed, 0, "double buffer hides the shift");
+        assert_eq!(
+            second.stalls.weight_wait, 0,
+            "prefetched tile should be ready"
+        );
+        assert_eq!(
+            second.stalls.shift_exposed, 0,
+            "double buffer hides the shift"
+        );
         // It starts the moment the matrix unit frees up.
         let first = &trace.records[1];
         assert_eq!(second.start, first.complete);
@@ -548,14 +588,20 @@ mod tests {
     #[test]
     fn activate_raw_depends_on_matmul() {
         let p = program(vec![
-            Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
+            Instruction::ReadWeights {
+                dram_addr: 0,
+                tiles: 1,
+            },
             mm(0, 0, 16),
             act(0, 0x200, 16),
         ]);
         let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
         let m = &trace.records[1];
         let a = &trace.records[2];
-        assert!(a.start >= m.complete, "activate must wait for its accumulators");
+        assert!(
+            a.start >= m.complete,
+            "activate must wait for its accumulators"
+        );
         assert!(a.stalls.raw_wait > 0);
     }
 
@@ -564,9 +610,16 @@ mod tests {
         // Host input for the *next* batch (different UB range) streams in
         // while the matrix unit works on the current one.
         let p = program(vec![
-            Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
+            Instruction::ReadWeights {
+                dram_addr: 0,
+                tiles: 1,
+            },
             mm(0, 0, 2048),
-            Instruction::ReadHostMemory { host_addr: 0, ub_addr: 0x10000, len: 4096 },
+            Instruction::ReadHostMemory {
+                host_addr: 0,
+                ub_addr: 0x10000,
+                len: 4096,
+            },
         ]);
         let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
         let m = &trace.records[1];
@@ -581,8 +634,15 @@ mod tests {
     fn matmul_waits_for_its_input_dma() {
         // Same UB range: true dependence, no overlap allowed.
         let p = program(vec![
-            Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
-            Instruction::ReadHostMemory { host_addr: 0, ub_addr: 0, len: 4096 },
+            Instruction::ReadWeights {
+                dram_addr: 0,
+                tiles: 1,
+            },
+            Instruction::ReadHostMemory {
+                host_addr: 0,
+                ub_addr: 0,
+                len: 4096,
+            },
             mm(0, 0, 8),
         ]);
         let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
@@ -594,7 +654,10 @@ mod tests {
     #[test]
     fn sync_drains_the_machine() {
         let p = program(vec![
-            Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
+            Instruction::ReadWeights {
+                dram_addr: 0,
+                tiles: 1,
+            },
             mm(0, 0, 512),
             Instruction::Sync,
             Instruction::Nop,
@@ -602,7 +665,10 @@ mod tests {
         let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
         let m = &trace.records[1];
         let nop = &trace.records[3];
-        assert!(nop.issue > m.complete, "nothing issues past a sync until drain");
+        assert!(
+            nop.issue > m.complete,
+            "nothing issues past a sync until drain"
+        );
     }
 
     #[test]
@@ -611,7 +677,10 @@ mod tests {
         // 0x400. The paper's "delay slot": the second multiply begins only
         // after the activation writes back.
         let p = program(vec![
-            Instruction::ReadWeights { dram_addr: 0, tiles: 2 },
+            Instruction::ReadWeights {
+                dram_addr: 0,
+                tiles: 2,
+            },
             mm(0, 0, 16),
             act(0, 0x400, 16),
             Instruction::Sync,
@@ -627,7 +696,10 @@ mod tests {
     fn raw_tracking_works_even_without_sync() {
         // The scoreboard alone must catch the UB dependence.
         let p = program(vec![
-            Instruction::ReadWeights { dram_addr: 0, tiles: 2 },
+            Instruction::ReadWeights {
+                dram_addr: 0,
+                tiles: 2,
+            },
             mm(0, 0, 16),
             act(0, 0x400, 16),
             mm(0x400, 16, 16),
@@ -643,7 +715,10 @@ mod tests {
     fn precision_scales_matmul_occupancy() {
         let run = |precision| {
             let p = program(vec![
-                Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
+                Instruction::ReadWeights {
+                    dram_addr: 0,
+                    tiles: 1,
+                },
                 Instruction::MatrixMultiply {
                     ub_addr: 0,
                     acc_addr: 0,
@@ -665,7 +740,10 @@ mod tests {
     fn pooling_doubles_activation_occupancy() {
         let run = |pool| {
             let p = program(vec![
-                Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
+                Instruction::ReadWeights {
+                    dram_addr: 0,
+                    tiles: 1,
+                },
                 mm(0, 0, 64),
                 Instruction::Activate {
                     acc_addr: 0,
@@ -686,13 +764,24 @@ mod tests {
         // A realistic mix: CPI lands well above 1 (CISC instructions hold
         // stations for many cycles) — the paper quotes 10-20.
         let p = program(vec![
-            Instruction::ReadHostMemory { host_addr: 0, ub_addr: 0, len: 2048 },
-            Instruction::ReadWeights { dram_addr: 0, tiles: 2 },
+            Instruction::ReadHostMemory {
+                host_addr: 0,
+                ub_addr: 0,
+                len: 2048,
+            },
+            Instruction::ReadWeights {
+                dram_addr: 0,
+                tiles: 2,
+            },
             mm(0, 0, 64),
             mm(0, 64, 64),
             act(0, 0x800, 64),
             act(64, 0xa00, 64),
-            Instruction::WriteHostMemory { ub_addr: 0x800, host_addr: 0x1000, len: 1024 },
+            Instruction::WriteHostMemory {
+                ub_addr: 0x800,
+                host_addr: 0x1000,
+                len: 1024,
+            },
         ]);
         let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
         let cpi = trace.cpi();
@@ -702,7 +791,10 @@ mod tests {
     #[test]
     fn overlap_rendering_contains_every_instruction() {
         let p = program(vec![
-            Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
+            Instruction::ReadWeights {
+                dram_addr: 0,
+                tiles: 1,
+            },
             mm(0, 0, 32),
             act(0, 0x400, 32),
         ]);
@@ -718,10 +810,17 @@ mod tests {
     #[test]
     fn trace_totals_match_last_completion() {
         let p = program(vec![
-            Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
+            Instruction::ReadWeights {
+                dram_addr: 0,
+                tiles: 1,
+            },
             mm(0, 0, 128),
             act(0, 0x400, 128),
-            Instruction::WriteHostMemory { ub_addr: 0x400, host_addr: 0, len: 1024 },
+            Instruction::WriteHostMemory {
+                ub_addr: 0x400,
+                host_addr: 0,
+                len: 1024,
+            },
         ]);
         let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
         let last = trace.records.iter().map(|r| r.complete).max().unwrap();
@@ -737,11 +836,18 @@ mod tests {
     fn matrix_utilization_reflects_compute_share() {
         // One giant multiply: matrix utilization approaches 1.
         let p = program(vec![
-            Instruction::ReadWeights { dram_addr: 0, tiles: 1 },
+            Instruction::ReadWeights {
+                dram_addr: 0,
+                tiles: 1,
+            },
             mm(0, 0, 100_000),
         ]);
         let trace = PipelineModel::new(cfg()).execute(&p).unwrap();
-        assert!(trace.matrix_utilization() > 0.9, "{}", trace.matrix_utilization());
+        assert!(
+            trace.matrix_utilization() > 0.9,
+            "{}",
+            trace.matrix_utilization()
+        );
     }
 
     #[test]
@@ -762,9 +868,15 @@ mod tests {
         // then fetch one more: its arrival cannot precede the first pop.
         let c = cfg();
         let depth = c.weight_fifo_tiles;
-        let mut insts = vec![Instruction::ReadWeights { dram_addr: 0, tiles: depth as u16 }];
+        let mut insts = vec![Instruction::ReadWeights {
+            dram_addr: 0,
+            tiles: depth as u16,
+        }];
         insts.push(mm(0, 0, 4096)); // pops tile 0 after waiting for it
-        insts.push(Instruction::ReadWeights { dram_addr: 0x8000, tiles: 1 });
+        insts.push(Instruction::ReadWeights {
+            dram_addr: 0x8000,
+            tiles: 1,
+        });
         insts.push(mm(0, 0, 4));
         let p = program(insts);
         let trace = PipelineModel::new(c.clone()).execute(&p).unwrap();

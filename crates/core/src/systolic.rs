@@ -28,7 +28,11 @@ use crate::mem::WeightTile;
 /// functional device for large tiles.
 pub fn matmul_reference(tile: &WeightTile, activations: &[i16], rows: usize) -> Vec<i32> {
     let dim = tile.dim();
-    assert_eq!(activations.len(), rows * dim, "activation block shape mismatch");
+    assert_eq!(
+        activations.len(),
+        rows * dim,
+        "activation block shape mismatch"
+    );
     let mut out = vec![0i32; rows * dim];
     for b in 0..rows {
         let x = &activations[b * dim..(b + 1) * dim];
@@ -224,14 +228,22 @@ impl SystolicArray {
         for r in (0..d).rev() {
             for c in (0..d).rev() {
                 let idx = r * d + c;
-                let act_in = if c == 0 { left_inputs[r] } else { self.act_regs[idx - 1] };
+                let act_in = if c == 0 {
+                    left_inputs[r]
+                } else {
+                    self.act_regs[idx - 1]
+                };
                 let psum_in = if r == 0 { 0 } else { self.psum_regs[idx - d] };
                 let w = self.active[idx] as i32;
                 let product = w * act_in as i32;
                 let psum_out = psum_in + product;
                 // A slot is "occupied" if an in-flight activation is passing
                 // through; it is "useful" if the parked weight is nonzero.
-                let lane_valid = if c == 0 { valid[r] } else { self.lane_valid(idx - 1) };
+                let lane_valid = if c == 0 {
+                    valid[r]
+                } else {
+                    self.lane_valid(idx - 1)
+                };
                 if lane_valid {
                     self.occupied_macs += 1;
                     if w != 0 {
@@ -319,7 +331,10 @@ impl SystolicArray {
             }
         }
         debug_assert!(seen.iter().all(|&s| s), "every output lane must drain");
-        Ok(MatmulRun { outputs, cycles: total_cycles as u64 })
+        Ok(MatmulRun {
+            outputs,
+            cycles: total_cycles as u64,
+        })
     }
 }
 
@@ -367,8 +382,9 @@ mod tests {
         for dim in [1usize, 2, 3, 5, 8] {
             for rows in [1usize, 2, 7, 16] {
                 let t = tile(dim, |_, _| rng.gen_range(-128i32..=127) as i8);
-                let acts: Vec<i16> =
-                    (0..rows * dim).map(|_| rng.gen_range(-256i32..=255) as i16).collect();
+                let acts: Vec<i16> = (0..rows * dim)
+                    .map(|_| rng.gen_range(-256i32..=255) as i16)
+                    .collect();
                 let mut a = SystolicArray::new(dim);
                 a.stage_weights(&t).unwrap();
                 a.commit_weights().unwrap();
@@ -411,10 +427,16 @@ mod tests {
     #[test]
     fn requires_committed_weights() {
         let mut a = SystolicArray::new(2);
-        assert!(matches!(a.matmul(&[1, 2], 1), Err(TpuError::NoWeightsLoaded)));
+        assert!(matches!(
+            a.matmul(&[1, 2], 1),
+            Err(TpuError::NoWeightsLoaded)
+        ));
         a.stage_weights(&tile(2, |_, _| 1)).unwrap();
         // staged but not committed
-        assert!(matches!(a.matmul(&[1, 2], 1), Err(TpuError::NoWeightsLoaded)));
+        assert!(matches!(
+            a.matmul(&[1, 2], 1),
+            Err(TpuError::NoWeightsLoaded)
+        ));
         a.commit_weights().unwrap();
         assert!(a.matmul(&[1, 2], 1).is_ok());
     }
@@ -477,7 +499,11 @@ mod tests {
         a.stage_weights(&t).unwrap();
         a.commit_weights().unwrap();
         a.matmul(&[1i16; 16], 4).unwrap();
-        assert!((a.gateable_fraction() - 0.5).abs() < 1e-12, "{}", a.gateable_fraction());
+        assert!(
+            (a.gateable_fraction() - 0.5).abs() < 1e-12,
+            "{}",
+            a.gateable_fraction()
+        );
     }
 
     #[test]
@@ -490,7 +516,11 @@ mod tests {
         a.commit_weights().unwrap();
         let acts: Vec<i16> = (0..16).map(|i| if i % 2 == 0 { 5 } else { 0 }).collect();
         a.matmul(&acts, 4).unwrap();
-        assert!((a.gateable_fraction() - 0.5).abs() < 1e-12, "{}", a.gateable_fraction());
+        assert!(
+            (a.gateable_fraction() - 0.5).abs() < 1e-12,
+            "{}",
+            a.gateable_fraction()
+        );
     }
 
     #[test]

@@ -229,7 +229,11 @@ impl TimingEngine {
     fn record(&mut self, resource: TraceResource, start: u64, end: u64) {
         if let Some(trace) = self.trace.as_mut() {
             if end > start {
-                trace.push(TraceSegment { resource, start, end });
+                trace.push(TraceSegment {
+                    resource,
+                    start,
+                    end,
+                });
             }
         }
     }
@@ -252,7 +256,11 @@ impl TimingEngine {
         self.counters.total_cycles = total;
         let report =
             CounterReport::from_counters(&self.counters, self.cfg.clock_hz, self.cfg.macs());
-        TimingReport { counters: self.counters, report, trace: self.trace }
+        TimingReport {
+            counters: self.counters,
+            report,
+            trace: self.trace,
+        }
     }
 
     fn exec(&mut self, op: TimedOp) {
@@ -282,8 +290,7 @@ impl TimingEngine {
                 let n = self.tiles_loaded;
                 let mut start = self.dram_free;
                 if n >= self.cfg.weight_fifo_tiles {
-                    if let Some(&commit) = self.commit_times.get(n - self.cfg.weight_fifo_tiles)
-                    {
+                    if let Some(&commit) = self.commit_times.get(n - self.cfg.weight_fifo_tiles) {
                         start = start.max(commit);
                     }
                 }
@@ -352,7 +359,11 @@ impl TimingEngine {
                 let slots = rows as f64 * self.cfg.macs() as f64;
                 self.counters.useful_macs += (slots * self.last_fill) as u64;
                 self.counters.unused_macs += (slots * (1.0 - self.last_fill)) as u64;
-                self.record(TraceResource::Matrix, compute_start, compute_start + compute_cycles);
+                self.record(
+                    TraceResource::Matrix,
+                    compute_start,
+                    compute_start + compute_cycles,
+                );
                 self.matrix_free = compute_start + compute_cycles;
                 self.last_acc_ready = self.matrix_free;
             }
@@ -404,9 +415,15 @@ mod tests {
         let mut ops = Vec::new();
         for _ in 0..tiles {
             ops.push(TimedOp::LoadTile { fill: 1.0 });
-            ops.push(TimedOp::Matmul { rows, precision: Precision::Int8 });
+            ops.push(TimedOp::Matmul {
+                rows,
+                precision: Precision::Int8,
+            });
         }
-        ops.push(TimedOp::Activate { rows, pooled: false });
+        ops.push(TimedOp::Activate {
+            rows,
+            pooled: false,
+        });
         ops.push(TimedOp::Sync);
         ops
     }
@@ -415,7 +432,10 @@ mod tests {
     fn single_matmul_accounts_all_cycles() {
         let ops = vec![
             TimedOp::LoadTile { fill: 1.0 },
-            TimedOp::Matmul { rows: 100, precision: Precision::Int8 },
+            TimedOp::Matmul {
+                rows: 100,
+                precision: Precision::Int8,
+            },
         ];
         let r = run_timed(&cfg(), &ops);
         let c = &r.counters;
@@ -435,8 +455,16 @@ mod tests {
         // Batch 200 (MLP0-like): 200 compute cycles per ~1350-cycle tile
         // delivery means the array is mostly weight-stalled, as in Table 3.
         let r = run_timed(&cfg(), &fc_layer_ops(40, 200));
-        assert!(r.report.weight_stall > 0.4, "weight stall {}", r.report.weight_stall);
-        assert!(r.report.array_active < 0.25, "active {}", r.report.array_active);
+        assert!(
+            r.report.weight_stall > 0.4,
+            "weight stall {}",
+            r.report.weight_stall
+        );
+        assert!(
+            r.report.array_active < 0.25,
+            "active {}",
+            r.report.array_active
+        );
         assert!(r.report.weight_shift > 0.05);
     }
 
@@ -445,7 +473,11 @@ mod tests {
         // CNN-like: 4000 rows per tile >> 1350-cycle load; shifts and loads
         // hide under compute after the first tile.
         let r = run_timed(&cfg(), &fc_layer_ops(20, 4000));
-        assert!(r.report.array_active > 0.85, "active {}", r.report.array_active);
+        assert!(
+            r.report.array_active > 0.85,
+            "active {}",
+            r.report.array_active
+        );
         assert!(r.report.weight_stall < 0.05);
     }
 
@@ -454,7 +486,10 @@ mod tests {
         let mk = |p| {
             vec![
                 TimedOp::LoadTile { fill: 1.0 },
-                TimedOp::Matmul { rows: 512, precision: p },
+                TimedOp::Matmul {
+                    rows: 512,
+                    precision: p,
+                },
             ]
         };
         let r8 = run_timed(&cfg(), &mk(Precision::Int8));
@@ -469,7 +504,10 @@ mod tests {
     fn partial_fill_splits_useful_and_unused_macs() {
         let ops = vec![
             TimedOp::LoadTile { fill: 0.25 },
-            TimedOp::Matmul { rows: 100, precision: Precision::Int8 },
+            TimedOp::Matmul {
+                rows: 100,
+                precision: Precision::Int8,
+            },
         ];
         let r = run_timed(&cfg(), &ops);
         let total = r.counters.useful_macs + r.counters.unused_macs;
@@ -483,11 +521,20 @@ mod tests {
         // wait: those cycles must show up as RAW stalls.
         let ops = vec![
             TimedOp::LoadTile { fill: 1.0 },
-            TimedOp::Matmul { rows: 10, precision: Precision::Int8 },
-            TimedOp::Vector { rows: 5000, cost_per_row: 4 },
+            TimedOp::Matmul {
+                rows: 10,
+                precision: Precision::Int8,
+            },
+            TimedOp::Vector {
+                rows: 5000,
+                cost_per_row: 4,
+            },
             TimedOp::Sync,
             TimedOp::LoadTile { fill: 1.0 },
-            TimedOp::Matmul { rows: 10, precision: Precision::Int8 },
+            TimedOp::Matmul {
+                rows: 10,
+                precision: Precision::Int8,
+            },
         ];
         let r = run_timed(&cfg(), &ops);
         assert!(r.counters.raw_stall_cycles > 0, "{:?}", r.counters);
@@ -501,7 +548,10 @@ mod tests {
             TimedOp::HostIn { bytes: 50_000_000 },
             TimedOp::Sync,
             TimedOp::LoadTile { fill: 1.0 },
-            TimedOp::Matmul { rows: 10, precision: Precision::Int8 },
+            TimedOp::Matmul {
+                rows: 10,
+                precision: Precision::Int8,
+            },
         ];
         let r = run_timed(&cfg(), &ops);
         assert!(r.counters.input_stall_cycles > 0);
@@ -514,7 +564,10 @@ mod tests {
         // past what pure bandwidth would give.
         let mut ops: Vec<TimedOp> = (0..8).map(|_| TimedOp::LoadTile { fill: 1.0 }).collect();
         for _ in 0..8 {
-            ops.push(TimedOp::Matmul { rows: 4000, precision: Precision::Int8 });
+            ops.push(TimedOp::Matmul {
+                rows: 4000,
+                precision: Precision::Int8,
+            });
         }
         let r = run_timed(&cfg(), &ops);
         // Compute-bound: total ~ 8 * 4000 plus the first load+shift.
@@ -533,9 +586,15 @@ mod tests {
         for _ in 0..4 {
             for ops in [&mut with_act, &mut without] {
                 ops.push(TimedOp::LoadTile { fill: 1.0 });
-                ops.push(TimedOp::Matmul { rows: 4000, precision: Precision::Int8 });
+                ops.push(TimedOp::Matmul {
+                    rows: 4000,
+                    precision: Precision::Int8,
+                });
             }
-            with_act.push(TimedOp::Activate { rows: 256, pooled: false });
+            with_act.push(TimedOp::Activate {
+                rows: 256,
+                pooled: false,
+            });
         }
         let a = run_timed(&cfg(), &with_act).counters.total_cycles;
         let b = run_timed(&cfg(), &without).counters.total_cycles;
@@ -548,10 +607,16 @@ mod tests {
     fn matmul_reuse_adds_compute_without_reload() {
         let base = vec![
             TimedOp::LoadTile { fill: 0.5 },
-            TimedOp::Matmul { rows: 100, precision: Precision::Int8 },
+            TimedOp::Matmul {
+                rows: 100,
+                precision: Precision::Int8,
+            },
         ];
         let mut with_reuse = base.clone();
-        with_reuse.push(TimedOp::MatmulReuse { rows: 100, precision: Precision::Int8 });
+        with_reuse.push(TimedOp::MatmulReuse {
+            rows: 100,
+            precision: Precision::Int8,
+        });
         let a = run_timed(&cfg(), &base);
         let b = run_timed(&cfg(), &with_reuse);
         // Exactly 100 more active cycles, no extra weight traffic, and the
@@ -592,7 +657,10 @@ mod tests {
         let mut prev = u64::MAX;
         for depth in [1usize, 2, 4, 8] {
             let c = cycles_at(depth);
-            assert!(c <= prev, "depth {depth} slower than shallower FIFO ({c} > {prev})");
+            assert!(
+                c <= prev,
+                "depth {depth} slower than shallower FIFO ({c} > {prev})"
+            );
             prev = c;
         }
         // And depth 2 visibly beats depth 1 on this mixed-bound stream.
@@ -600,7 +668,11 @@ mod tests {
     }
 
     fn traced(ops: &[TimedOp]) -> Vec<TraceSegment> {
-        TimingEngine::new(&cfg()).with_trace().run(ops).trace.expect("tracing enabled")
+        TimingEngine::new(&cfg())
+            .with_trace()
+            .run(ops)
+            .trace
+            .expect("tracing enabled")
     }
 
     fn of(trace: &[TraceSegment], r: TraceResource) -> Vec<TraceSegment> {
@@ -655,7 +727,11 @@ mod tests {
             .skip(1) // the first shift has nothing to hide under
             .filter(|s| matrix.iter().any(|m| s.overlaps(m)))
             .count();
-        assert_eq!(hidden, shifts.len() - 1, "all steady-state shifts must be hidden");
+        assert_eq!(
+            hidden,
+            shifts.len() - 1,
+            "all steady-state shifts must be hidden"
+        );
     }
 
     #[test]

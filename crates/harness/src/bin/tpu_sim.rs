@@ -68,7 +68,8 @@ fn seed_memories(tpu: &mut FuncTpu, program: &Program) -> Result<HostMemory, Str
         match *inst {
             Instruction::ReadHostMemory { host_addr, len, .. } => {
                 let data = seeder.bytes(len as usize);
-                host.write(host_addr as usize, &data).map_err(|e| e.to_string())?;
+                host.write(host_addr as usize, &data)
+                    .map_err(|e| e.to_string())?;
             }
             Instruction::ReadWeights { dram_addr, tiles } => {
                 for t in 0..tiles as usize {
@@ -93,7 +94,9 @@ fn main() -> ExitCode {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         return usage();
     }
-    let Some(input) = args.iter().find(|a| !a.starts_with("--")) else { return usage() };
+    let Some(input) = args.iter().find(|a| !a.starts_with("--")) else {
+        return usage();
+    };
     let overlap = args.iter().any(|a| a == "--overlap");
     let run_functional = !args.iter().any(|a| a == "--no-run");
     let cfg = match args.iter().position(|a| a == "--config") {
@@ -137,7 +140,10 @@ fn main() -> ExitCode {
             cfg.clock_hz / 1_000_000
         );
     } else {
-        eprintln!("verification failed with {} violation(s):", violations.len());
+        eprintln!(
+            "verification failed with {} violation(s):",
+            violations.len()
+        );
         for v in &violations {
             eprintln!("  {v}");
         }
@@ -188,8 +194,17 @@ fn main() -> ExitCode {
         "  stalls: weight {} / RAW {} / structural {} / shift {}",
         stalls.weight_wait, stalls.raw_wait, stalls.structural_wait, stalls.shift_exposed
     );
-    for unit in [Unit::Pcie, Unit::WeightFetch, Unit::Matrix, Unit::Activation] {
-        println!("  {:<12} busy {:>8} cycles", unit.label(), trace.unit_busy(unit));
+    for unit in [
+        Unit::Pcie,
+        Unit::WeightFetch,
+        Unit::Matrix,
+        Unit::Activation,
+    ] {
+        println!(
+            "  {:<12} busy {:>8} cycles",
+            unit.label(),
+            trace.unit_busy(unit)
+        );
     }
     if overlap {
         println!("\noverlap diagram:");

@@ -88,7 +88,12 @@ impl CheckReport {
 
 impl fmt::Display for CheckReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "reproduction check: {} / {} pass", self.passed(), self.items.len())?;
+        writeln!(
+            f,
+            "reproduction check: {} / {} pass",
+            self.passed(),
+            self.items.len()
+        )?;
         let mut current = "";
         for item in &self.items {
             if item.id != current {
@@ -243,7 +248,10 @@ pub fn run_checks(cfg: &TpuConfig) -> CheckReport {
         name: "mean model-vs-counters difference".into(),
         paper: 0.08,
         ours: mean_diff,
-        tolerance: Tolerance::Band { low: 0.0, high: 0.15 },
+        tolerance: Tolerance::Band {
+            low: 0.0,
+            high: 0.15,
+        },
     });
 
     // -- Table 8: Unified Buffer usage (shape claims) -------------------
@@ -261,14 +269,20 @@ pub fn run_checks(cfg: &TpuConfig) -> CheckReport {
             name: format!("{} improved <= bump (MiB saved)", model.name()),
             paper: 0.0,
             ours: usage.bump_mib - usage.reuse_mib,
-            tolerance: Tolerance::Band { low: 0.0, high: f64::INFINITY },
+            tolerance: Tolerance::Band {
+                low: 0.0,
+                high: f64::INFINITY,
+            },
         });
         items.push(CheckItem {
             id: "table8",
             name: format!("{} fits 24 MiB UB (improved)", model.name()),
             paper: 24.0,
             ours: usage.reuse_mib,
-            tolerance: Tolerance::Band { low: 0.0, high: 24.0 },
+            tolerance: Tolerance::Band {
+                low: 0.0,
+                high: 24.0,
+            },
         });
         if usage.reuse_mib > largest.1 {
             largest = (model.name().to_string(), usage.reuse_mib);
@@ -279,7 +293,10 @@ pub fn run_checks(cfg: &TpuConfig) -> CheckReport {
         name: format!("largest consumer ({}) near paper's 13.9 MiB", largest.0),
         paper: paper::TABLE8[5],
         ours: largest.1,
-        tolerance: Tolerance::Band { low: 10.0, high: 20.0 },
+        tolerance: Tolerance::Band {
+            low: 10.0,
+            high: 20.0,
+        },
     });
 
     // -- Figure 9: performance/Watt bands -------------------------------
@@ -287,9 +304,21 @@ pub fn run_checks(cfg: &TpuConfig) -> CheckReport {
     let f9 = tpu_power::perf_watt::figure9(cfg);
     let band_checks: [(&str, Accounting, (f64, f64)); 4] = [
         ("TPU/CPU", Accounting::Total, paper::figure9::TPU_CPU_TOTAL),
-        ("TPU/CPU", Accounting::Incremental, paper::figure9::TPU_CPU_INC),
-        ("TPU'/CPU", Accounting::Total, paper::figure9::PRIME_CPU_TOTAL),
-        ("TPU'/CPU", Accounting::Incremental, paper::figure9::PRIME_CPU_INC),
+        (
+            "TPU/CPU",
+            Accounting::Incremental,
+            paper::figure9::TPU_CPU_INC,
+        ),
+        (
+            "TPU'/CPU",
+            Accounting::Total,
+            paper::figure9::PRIME_CPU_TOTAL,
+        ),
+        (
+            "TPU'/CPU",
+            Accounting::Incremental,
+            paper::figure9::PRIME_CPU_INC,
+        ),
     ];
     for (cmp, acct, (low, high)) in band_checks {
         if let Some(bar) = f9.bar(cmp, acct) {
@@ -300,14 +329,20 @@ pub fn run_checks(cfg: &TpuConfig) -> CheckReport {
                 name: format!("{cmp} {acct:?} GM"),
                 paper: low,
                 ours: bar.gm,
-                tolerance: Tolerance::Band { low: low * 0.6, high: high * 1.4 },
+                tolerance: Tolerance::Band {
+                    low: low * 0.6,
+                    high: high * 1.4,
+                },
             });
             items.push(CheckItem {
                 id: "fig9",
                 name: format!("{cmp} {acct:?} WM"),
                 paper: high,
                 ours: bar.wm,
-                tolerance: Tolerance::Band { low: low * 0.6, high: high * 1.4 },
+                tolerance: Tolerance::Band {
+                    low: low * 0.6,
+                    high: high * 1.4,
+                },
             });
         }
     }
@@ -339,14 +374,20 @@ pub fn run_checks(cfg: &TpuConfig) -> CheckReport {
         name: "TPU/CPU inc perf/Watt GM after 3.5x CPU int8".to_string(),
         paper: 12.0,
         ours: avx2.gm_after,
-        tolerance: Tolerance::Band { low: 12.0 * 0.6, high: 24.0 * 1.4 },
+        tolerance: Tolerance::Band {
+            low: 12.0 * 0.6,
+            high: 24.0 * 1.4,
+        },
     });
     items.push(CheckItem {
         id: "ext-avx2",
         name: "TPU/CPU inc perf/Watt WM after 3.5x CPU int8".to_string(),
         paper: 24.0,
         ours: avx2.wm_after,
-        tolerance: Tolerance::Band { low: 12.0 * 0.6, high: 24.0 * 1.4 },
+        tolerance: Tolerance::Band {
+            low: 12.0 * 0.6,
+            high: 24.0 * 1.4,
+        },
     });
     // P40: peak TOPS/Watt comparison at the quoted 47 TOPS / 250 W.
     let p40 = tpu_platforms::p40_peak_comparison();
@@ -373,7 +414,10 @@ pub fn run_checks(cfg: &TpuConfig) -> CheckReport {
         name: "host+4 TPUs extra power fraction (CNN0)".to_string(),
         paper: 0.20,
         ours: acc.extra_power_fraction,
-        tolerance: Tolerance::Band { low: -0.10, high: 0.20 },
+        tolerance: Tolerance::Band {
+            low: -0.10,
+            high: 0.20,
+        },
     });
     items.push(CheckItem {
         id: "ext-rack",
@@ -399,15 +443,28 @@ mod tests {
             .filter(|i| !i.passes())
             .map(|i| format!("{} {} (paper {}, ours {})", i.id, i.name, i.paper, i.ours))
             .collect();
-        assert!(failures.is_empty(), "failing checks:\n{}", failures.join("\n"));
+        assert!(
+            failures.is_empty(),
+            "failing checks:\n{}",
+            failures.join("\n")
+        );
     }
 
     #[test]
     fn report_has_broad_coverage() {
         let report = run_checks(&TpuConfig::paper());
-        assert!(report.items.len() >= 50, "only {} checks", report.items.len());
-        for id in ["table1", "table3", "table4", "table6", "table7", "table8", "fig9", "fig10"] {
-            assert!(report.items.iter().any(|i| i.id == id), "no checks for {id}");
+        assert!(
+            report.items.len() >= 50,
+            "only {} checks",
+            report.items.len()
+        );
+        for id in [
+            "table1", "table3", "table4", "table6", "table7", "table8", "fig9", "fig10",
+        ] {
+            assert!(
+                report.items.iter().any(|i| i.id == id),
+                "no checks for {id}"
+            );
         }
     }
 
@@ -442,7 +499,10 @@ mod tests {
             name: "band".into(),
             paper: 1.0,
             ours: 2.0,
-            tolerance: Tolerance::Band { low: 1.5, high: 2.5 },
+            tolerance: Tolerance::Band {
+                low: 1.5,
+                high: 2.5,
+            },
         };
         assert!(band.passes());
     }

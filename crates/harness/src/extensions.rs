@@ -15,7 +15,16 @@ pub fn ext_sparsity(cfg: &TpuConfig) -> TextTable {
     let rows = tpu_perfmodel::sparsity_ablation(cfg);
     let mut t = TextTable::new(
         "Extension — Sparsity ablation on the analytic model",
-        vec!["feature set", "MLP0", "MLP1", "LSTM0", "LSTM1", "CNN0", "CNN1", "WM"],
+        vec![
+            "feature set",
+            "MLP0",
+            "MLP1",
+            "LSTM0",
+            "LSTM1",
+            "CNN0",
+            "CNN1",
+            "WM",
+        ],
     );
     for r in rows {
         let mut cells = vec![r.label.clone()];
@@ -25,7 +34,9 @@ pub fn ext_sparsity(cfg: &TpuConfig) -> TextTable {
         cells.push(fmt_f(r.weighted_mean, 2));
         t.row(cells);
     }
-    t.note("weight compression attacks the bandwidth wall; activation skipping only helps the CNNs");
+    t.note(
+        "weight compression attacks the bandwidth wall; activation skipping only helps the CNNs",
+    );
     t
 }
 
@@ -34,7 +45,12 @@ pub fn ext_boost() -> TextTable {
     let b = BoostMode::k80_lstm1();
     let mut t = TextTable::new(
         "Extension — K80 Boost mode at the rack level (Section 8 fallacy)",
-        vec!["budget (cards at base power)", "cards base", "cards boosted", "rack throughput ratio"],
+        vec![
+            "budget (cards at base power)",
+            "cards base",
+            "cards boosted",
+            "rack throughput ratio",
+        ],
     );
     for cards in [2usize, 4, 8, 16, 64] {
         let budget = cards as f64 * 2.0 * 98.0;
@@ -60,7 +76,13 @@ pub fn ext_boost() -> TextTable {
 pub fn ext_energy(cfg: &TpuConfig) -> TextTable {
     let mut t = TextTable::new(
         "Extension — Energy per inference at full load (J/inference)",
-        vec!["app", "CPU server", "GPU server", "TPU server", "CPU/TPU ratio"],
+        vec![
+            "app",
+            "CPU server",
+            "GPU server",
+            "TPU server",
+            "CPU/TPU ratio",
+        ],
     );
     for r in energy_per_inference(cfg) {
         t.row(vec![
@@ -108,8 +130,21 @@ pub fn ext_batching() -> TextTable {
     );
     let policies: [(&str, Policy); 3] = [
         ("fixed 64", Policy::Fixed { batch: 64 }),
-        ("window 2 ms", Policy::TimeWindow { max_batch: 64, window_ms: 2.0 }),
-        ("deadline", Policy::Deadline { max_batch: 64, deadline_ms: 14.0, margin_ms: 2.0 }),
+        (
+            "window 2 ms",
+            Policy::TimeWindow {
+                max_batch: 64,
+                window_ms: 2.0,
+            },
+        ),
+        (
+            "deadline",
+            Policy::Deadline {
+                max_batch: 64,
+                deadline_ms: 14.0,
+                margin_ms: 2.0,
+            },
+        ),
     ];
     for (curve, make) in [
         ("TPU", tpu_service as fn(Policy, f64) -> _),
@@ -143,8 +178,7 @@ pub fn ext_energy_components() -> TextTable {
     );
     for model in workloads::all() {
         let batch = model.batch();
-        let macs =
-            model.total_weights() as f64 * model.ops_per_weight_byte() / batch as f64 / 2.0;
+        let macs = model.total_weights() as f64 * model.ops_per_weight_byte() / batch as f64 / 2.0;
         let io = (model.input_width() * 2) as f64;
         let work = InferenceWork::for_model(model.total_weights() as f64, macs, batch, io);
         let e = die_energy_breakdown(&ops, &work);
@@ -168,7 +202,14 @@ pub fn ext_pipeline(cfg: &TpuConfig) -> TextTable {
     use tpu_core::pipeline::PipelineModel;
     let mut t = TextTable::new(
         "Extension — 4-stage CISC pipeline: CPI and stalls vs batch (2-layer FC)",
-        vec!["batch", "cycles", "CPI", "weight wait", "RAW wait", "matrix busy %"],
+        vec![
+            "batch",
+            "cycles",
+            "CPI",
+            "weight wait",
+            "RAW wait",
+            "matrix busy %",
+        ],
     );
     let model = PipelineModel::new(cfg.clone());
     for batch in [16u32, 64, 200, 1024] {
@@ -190,7 +231,9 @@ pub fn ext_pipeline(cfg: &TpuConfig) -> TextTable {
             out_len = batch * dim,
         );
         let program = tpu_asm::assemble(&src).expect("pipeline extension program assembles");
-        let trace = model.execute(&program).expect("pipeline extension program executes");
+        let trace = model
+            .execute(&program)
+            .expect("pipeline extension program executes");
         let stalls = trace.total_stalls();
         t.row(vec![
             batch.to_string(),
@@ -225,7 +268,13 @@ pub fn ext_compress() -> TextTable {
 
     let mut t = TextTable::new(
         "Extension — EIE-style weight compression (512x512 tile, measured)",
-        vec!["density", "entries", "ratio", "ratio + sharing", "weight-BW relief"],
+        vec![
+            "density",
+            "entries",
+            "ratio",
+            "ratio + sharing",
+            "weight-BW relief",
+        ],
     );
     for density in [1.0f64, 0.30, 0.10, 0.05] {
         let pruned = prune_to_density(&dense, density);
@@ -258,7 +307,13 @@ pub fn ext_diurnal() -> TextTable {
     let day = DiurnalProfile::datacenter_typical();
     let mut t = TextTable::new(
         "Extension — Daily server energy under a typical datacenter day (CNN0 curves)",
-        vec!["server", "kWh/day", "of provisioned", "proportionality penalty", "rel. kWh/work"],
+        vec![
+            "server",
+            "kWh/day",
+            "of provisioned",
+            "proportionality penalty",
+            "rel. kWh/work",
+        ],
     );
     // Table 6 weighted means x dies per server give relative whole-server
     // throughput at full load.
@@ -267,8 +322,7 @@ pub fn ext_diurnal() -> TextTable {
         (Platform::K80, 1.9 * 8.0),
         (Platform::Tpu, 29.2 * 4.0),
     ];
-    let cpu_work =
-        daily_energy_per_work(Platform::Haswell, PowerWorkload::Cnn0, &day, cases[0].1);
+    let cpu_work = daily_energy_per_work(Platform::Haswell, PowerWorkload::Cnn0, &day, cases[0].1);
     for (platform, tp) in cases {
         let e = daily_energy(platform, PowerWorkload::Cnn0, &day);
         let per_work = daily_energy_per_work(platform, PowerWorkload::Cnn0, &day, tp);
@@ -290,7 +344,14 @@ pub fn ext_server() -> TextTable {
     use tpu_platforms::server::{gpu_server, simulate_server, tpu_server, Dispatch};
     let mut t = TextTable::new(
         "Extension — Multi-die server scaling and dispatch (MLP0-class serving)",
-        vec!["server", "dies", "dispatch", "offered IPS", "p99 ms", "achieved IPS"],
+        vec![
+            "server",
+            "dies",
+            "dispatch",
+            "offered IPS",
+            "p99 ms",
+            "achieved IPS",
+        ],
     );
     for (dies, rate) in [(1usize, 180_000.0), (2, 360_000.0), (4, 600_000.0)] {
         for dispatch in [Dispatch::RoundRobin, Dispatch::LeastLoaded] {
@@ -331,7 +392,13 @@ pub fn ext_p40(cfg: &TpuConfig) -> TextTable {
     let peak = tpu_platforms::p40_peak_comparison();
     let mut t = TextTable::new(
         "Extension — P40 vs TPU under latency bounds (Section 8 fallacy)",
-        vec!["app", "P40 IPS (predicted)", "TPU IPS", "TPU/P40", "P40 % of peak"],
+        vec![
+            "app",
+            "P40 IPS (predicted)",
+            "TPU IPS",
+            "TPU/P40",
+            "P40 % of peak",
+        ],
     );
     for r in tpu_platforms::p40_comparison(cfg) {
         t.row(vec![
@@ -381,7 +448,12 @@ pub fn ext_rack(cfg: &TpuConfig) -> TextTable {
     use tpu_power::rack::{accelerated_server_cnn0, rack_density, DEFAULT_RACK_BUDGET_W};
     let mut t = TextTable::new(
         "Extension — Rack-level density at a 12 kW budget",
-        vec!["platform", "servers/rack", "dies/rack", "rack throughput (vs 1 CPU die)"],
+        vec![
+            "platform",
+            "servers/rack",
+            "dies/rack",
+            "rack throughput (vs 1 CPU die)",
+        ],
     );
     for r in rack_density(cfg, DEFAULT_RACK_BUDGET_W) {
         t.row(vec![
@@ -399,7 +471,9 @@ pub fn ext_rack(cfg: &TpuConfig) -> TextTable {
         100.0 * a.extra_power_fraction,
         a.speedup
     ));
-    t.note("racks are provisioned for TDP, so the 861 W TPU server out-packs the 1838 W K80 server");
+    t.note(
+        "racks are provisioned for TDP, so the 861 W TPU server out-packs the 1838 W K80 server",
+    );
     t
 }
 
@@ -414,25 +488,40 @@ pub fn ext_zeroskip() -> TextTable {
     let rows = 64;
     let mut t = TextTable::new(
         "Extension — Zero-operand MACs on the systolic array (gating what-if)",
-        vec!["activation zeros", "occupied MACs", "gateable MACs", "gateable fraction"],
+        vec![
+            "activation zeros",
+            "occupied MACs",
+            "gateable MACs",
+            "gateable fraction",
+        ],
     );
     // Deterministic weights with a realistic ~6% exact zeros.
     let weights: Vec<i8> = (0..dim * dim)
         .map(|i| {
             let v = ((i * 2654435761usize) >> 7) as i8;
-            if v.unsigned_abs() < 8 { 0 } else { v / 4 }
+            if v.unsigned_abs() < 8 {
+                0
+            } else {
+                v / 4
+            }
         })
         .collect();
     for zero_frac in [0.0f64, 0.25, 0.44, 0.70] {
         let mut array = SystolicArray::new(dim);
-        array.stage_weights(&WeightTile::from_rows(dim, weights.clone())).unwrap();
+        array
+            .stage_weights(&WeightTile::from_rows(dim, weights.clone()))
+            .unwrap();
         array.commit_weights().unwrap();
         // Post-ReLU activations: non-negative, with the given zero rate,
         // deterministically interleaved.
         let acts: Vec<i16> = (0..rows * dim)
             .map(|i| {
                 let phase = ((i * 40503) % 1000) as f64 / 1000.0;
-                if phase < zero_frac { 0 } else { 1 + (i % 100) as i16 }
+                if phase < zero_frac {
+                    0
+                } else {
+                    1 + (i % 100) as i16
+                }
             })
             .collect();
         array.matmul(&acts, rows).unwrap();
@@ -470,9 +559,7 @@ pub fn ext_precision(cfg: &TpuConfig) -> TextTable {
                 .iter()
                 .map(|op| match *op {
                     TimedOp::Matmul { rows, .. } => TimedOp::Matmul { rows, precision },
-                    TimedOp::MatmulReuse { rows, .. } => {
-                        TimedOp::MatmulReuse { rows, precision }
-                    }
+                    TimedOp::MatmulReuse { rows, .. } => TimedOp::MatmulReuse { rows, precision },
                     other => other,
                 })
                 .collect();
@@ -500,7 +587,13 @@ pub fn ext_precision(cfg: &TpuConfig) -> TextTable {
 pub fn ext_ub_sizing() -> TextTable {
     let mut t = TextTable::new(
         "Extension — Unified Buffer need vs MLP0 batch (Section 7 sizing)",
-        vec!["batch", "bump MiB", "improved MiB", "improved fits 24 MiB", "improved fits 14 MiB"],
+        vec![
+            "batch",
+            "bump MiB",
+            "improved MiB",
+            "improved fits 24 MiB",
+            "improved fits 14 MiB",
+        ],
     );
     for batch in [200usize, 512, 1024, 2048, 4096] {
         let m = workloads::mlp0().with_batch(batch);
@@ -543,7 +636,9 @@ pub fn ext_latency_sweep() -> TextTable {
             ]);
         }
     }
-    t.note("the CPU/GPU latency wall falls between batch 16 and 32; the TPU's falls past batch 200");
+    t.note(
+        "the CPU/GPU latency wall falls between batch 16 and 32; the TPU's falls past batch 200",
+    );
     t.note("throughput lost to the limit: CPU and GPU serve at ~40% of max IPS, the TPU at ~80% (Table 4)");
     t
 }
@@ -607,7 +702,12 @@ pub fn ext_calibration() -> TextTable {
         })
         .collect();
     let acts = Matrix::from_rows(1, n, data);
-    let inliers: Vec<f32> = acts.data().iter().copied().filter(|v| v.abs() <= 1.0).collect();
+    let inliers: Vec<f32> = acts
+        .data()
+        .iter()
+        .copied()
+        .filter(|v| v.abs() <= 1.0)
+        .collect();
     let bulk = Matrix::from_rows(1, inliers.len(), inliers);
 
     let mut cal = Calibrator::new();
@@ -695,7 +795,10 @@ mod tests {
     fn ub_sizing_matches_section7_rationale() {
         let t = ext_ub_sizing();
         let batch_2048 = t.rows().iter().find(|r| r[0] == "2048").unwrap();
-        assert_eq!(batch_2048[3], "yes", "batch 2048 must fit 24 MiB with reuse");
+        assert_eq!(
+            batch_2048[3], "yes",
+            "batch 2048 must fit 24 MiB with reuse"
+        );
         let improved: f64 = batch_2048[2].parse().unwrap();
         let bump: f64 = batch_2048[1].parse().unwrap();
         assert!(improved < bump, "reuse allocator must beat bump");
@@ -752,7 +855,10 @@ mod tests {
     fn rack_density_favors_tpu() {
         let t = ext_rack(&cfg());
         let throughput = |row: usize| -> f64 { t.rows()[row][3].parse().unwrap() };
-        assert!(throughput(2) > 10.0 * throughput(1), "TPU rack must dominate K80 rack");
+        assert!(
+            throughput(2) > 10.0 * throughput(1),
+            "TPU rack must dominate K80 rack"
+        );
     }
 
     #[test]
@@ -760,7 +866,10 @@ mod tests {
         let t = ext_p40(&cfg());
         // MLP0 row: TPU/P40 ratio stays above 1 under latency bounds.
         let ratio: f64 = t.rows()[0][3].parse().unwrap();
-        assert!(ratio > 1.0, "TPU should beat the latency-bounded P40 on MLP0: {ratio}");
+        assert!(
+            ratio > 1.0,
+            "TPU should beat the latency-bounded P40 on MLP0: {ratio}"
+        );
     }
 
     #[test]

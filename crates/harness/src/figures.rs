@@ -77,7 +77,12 @@ fn roofline_figure(title: &str, platform: Platform, cfg: &TpuConfig) -> TextTabl
     let roofline = Roofline::from_spec(&spec);
     let mut t = TextTable::new(
         title,
-        vec!["app", "intensity (MAC/byte)", "roofline bound TOPS", "achieved TOPS"],
+        vec![
+            "app",
+            "intensity (MAC/byte)",
+            "roofline bound TOPS",
+            "achieved TOPS",
+        ],
     );
     for p in roofline_points(platform, cfg) {
         let (intensity, achieved) = (p.intensity, Some(p.achieved_tops));
@@ -166,7 +171,14 @@ pub fn fig9(cfg: &TpuConfig) -> TextTable {
 pub fn fig10() -> TextTable {
     let mut t = TextTable::new(
         "Figure 10 — Watts/die vs utilization (CNN0)",
-        vec!["load", "CPU total", "GPU total", "GPU inc", "TPU total", "TPU inc"],
+        vec![
+            "load",
+            "CPU total",
+            "GPU total",
+            "GPU inc",
+            "TPU total",
+            "TPU inc",
+        ],
     );
     for row in fig10_data(PowerWorkload::Cnn0) {
         t.row(vec![
@@ -210,7 +222,14 @@ pub fn fig11_apps(cfg: &TpuConfig) -> TextTable {
     let curves = tpu_perfmodel::sweep::figure11_per_app(cfg);
     let mut t = TextTable::new(
         "Figure 11 detail — per-application speedup at 4x per knob",
-        vec!["app", "memory x4", "clock+ x4", "clock x4", "matrix+ x4", "matrix x4"],
+        vec![
+            "app",
+            "memory x4",
+            "clock+ x4",
+            "clock x4",
+            "matrix+ x4",
+            "matrix x4",
+        ],
     );
     for m in workloads::all() {
         let mut cells = vec![m.name().to_string()];

@@ -34,13 +34,20 @@ pub fn render(trace: &[TraceSegment], width: usize) -> String {
     let span = (t1 - t0).max(1) as f64;
 
     let mut out = String::new();
-    out.push_str(&format!("cycles {t0}..{t1} ({} per column)\n", (span / width as f64).ceil()));
+    out.push_str(&format!(
+        "cycles {t0}..{t1} ({} per column)\n",
+        (span / width as f64).ceil()
+    ));
     for (resource, label) in resources {
         let mut row = vec!['.'; width];
         for seg in trace.iter().filter(|s| s.resource == resource) {
             let a = (((seg.start - t0) as f64 / span) * width as f64).floor() as usize;
             let b = (((seg.end - t0) as f64 / span) * width as f64).ceil() as usize;
-            for cell in row.iter_mut().take(b.min(width)).skip(a.min(width.saturating_sub(1))) {
+            for cell in row
+                .iter_mut()
+                .take(b.min(width))
+                .skip(a.min(width.saturating_sub(1)))
+            {
                 *cell = '#';
             }
         }
@@ -79,10 +86,20 @@ mod tests {
             TimedOp::HostIn { bytes: 100_000 },
             TimedOp::Sync,
             TimedOp::LoadTile { fill: 1.0 },
-            TimedOp::Matmul { rows: 2000, precision: tpu_core::config::Precision::Int8 },
-            TimedOp::Activate { rows: 2000, pooled: false },
+            TimedOp::Matmul {
+                rows: 2000,
+                precision: tpu_core::config::Precision::Int8,
+            },
+            TimedOp::Activate {
+                rows: 2000,
+                pooled: false,
+            },
         ];
-        TimingEngine::new(&cfg).with_trace().run(&ops).trace.unwrap()
+        TimingEngine::new(&cfg)
+            .with_trace()
+            .run(&ops)
+            .trace
+            .unwrap()
     }
 
     #[test]
@@ -128,7 +145,11 @@ mod tests {
         let cfg = TpuConfig::paper();
         let m = tpu_nn::workloads::mlp0();
         let ops = tpu_compiler::lower_timed(&m, &cfg, 1);
-        let trace = TimingEngine::new(&cfg).with_trace().run(&ops).trace.unwrap();
+        let trace = TimingEngine::new(&cfg)
+            .with_trace()
+            .run(&ops)
+            .trace
+            .unwrap();
         let dram = utilization(&trace, TraceResource::WeightDram);
         let matrix = utilization(&trace, TraceResource::Matrix);
         assert!(dram > 0.8, "weight channel utilization {dram}");

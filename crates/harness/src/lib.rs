@@ -26,12 +26,42 @@ use tpu_core::TpuConfig;
 
 /// Every experiment identifier the harness can regenerate.
 pub const EXPERIMENTS: [&str; 36] = [
-    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-    "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig11-apps", "ext-sparsity", "ext-boost", "ext-energy", "ext-batch",
-    "ext-batching", "ext-energy-components", "ext-pipeline", "ext-calibration",
-    "ext-server", "ext-diurnal", "ext-compress", "ext-p40", "ext-avx2",
-    "ext-rack", "ext-zeroskip", "ext-precision", "ext-ub", "ext-latency-sweep", "ext-fifo",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "fig2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig11-apps",
+    "ext-sparsity",
+    "ext-boost",
+    "ext-energy",
+    "ext-batch",
+    "ext-batching",
+    "ext-energy-components",
+    "ext-pipeline",
+    "ext-calibration",
+    "ext-server",
+    "ext-diurnal",
+    "ext-compress",
+    "ext-p40",
+    "ext-avx2",
+    "ext-rack",
+    "ext-zeroskip",
+    "ext-precision",
+    "ext-ub",
+    "ext-latency-sweep",
+    "ext-fifo",
 ];
 
 /// Generate one experiment's table by identifier.

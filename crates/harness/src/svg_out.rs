@@ -13,9 +13,9 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use tpu_core::TpuConfig;
-use tpu_plot::{BarChart, Chart, Marker, PlotError, Scale, Series};
 use tpu_platforms::roofline::Roofline;
 use tpu_platforms::spec::{ChipSpec, Platform};
+use tpu_plot::{BarChart, Chart, Marker, PlotError, Scale, Series};
 use tpu_power::energy::{figure10 as fig10_data, PowerWorkload};
 use tpu_power::perf_watt::{figure9 as fig9_data, Accounting};
 
@@ -105,10 +105,9 @@ pub fn fig9_svg(cfg: &TpuConfig) -> Result<String, PlotError> {
             format!("{} ({acc})", b.comparison)
         })
         .collect();
-    let mut chart =
-        BarChart::new("Figure 9 — relative performance/Watt", &["GM", "WM"])
-            .y_label("relative performance/Watt")
-            .log_y();
+    let mut chart = BarChart::new("Figure 9 — relative performance/Watt", &["GM", "WM"])
+        .y_label("relative performance/Watt")
+        .log_y();
     for (bar, label) in data.bars.iter().zip(&labels) {
         chart = chart.bars(label, &[bar.gm, bar.wm]);
     }
@@ -123,17 +122,32 @@ pub fn fig9_svg(cfg: &TpuConfig) -> Result<String, PlotError> {
 pub fn fig10_svg() -> Result<String, PlotError> {
     let rows = fig10_data(PowerWorkload::Cnn0);
     let col = |pick: fn(&tpu_power::energy::Fig10Row) -> f64| -> Vec<(f64, f64)> {
-        rows.iter().map(|r| (100.0 * r.utilization, pick(r))).collect()
+        rows.iter()
+            .map(|r| (100.0 * r.utilization, pick(r)))
+            .collect()
     };
     Chart::new("Figure 10 — Watts/die vs utilization (CNN0)")
         .x_axis("target platform utilization (%)", Scale::Linear)
         .y_axis("Watts per die", Scale::Linear)
         .y_domain(0.0, 120.0)
-        .series(Series::line("Haswell (total)", col(|r| r.cpu_per_die)).with_markers(Marker::Circle))
-        .series(Series::line("K80 + host/8 (total)", col(|r| r.gpu_total)).with_markers(Marker::Triangle))
-        .series(Series::line("TPU + host/4 (total)", col(|r| r.tpu_total)).with_markers(Marker::Star))
-        .series(Series::line("K80 (incremental)", col(|r| r.gpu_incremental)))
-        .series(Series::line("TPU (incremental)", col(|r| r.tpu_incremental)))
+        .series(
+            Series::line("Haswell (total)", col(|r| r.cpu_per_die)).with_markers(Marker::Circle),
+        )
+        .series(
+            Series::line("K80 + host/8 (total)", col(|r| r.gpu_total))
+                .with_markers(Marker::Triangle),
+        )
+        .series(
+            Series::line("TPU + host/4 (total)", col(|r| r.tpu_total)).with_markers(Marker::Star),
+        )
+        .series(Series::line(
+            "K80 (incremental)",
+            col(|r| r.gpu_incremental),
+        ))
+        .series(Series::line(
+            "TPU (incremental)",
+            col(|r| r.tpu_incremental),
+        ))
         .render()
 }
 
@@ -171,15 +185,20 @@ pub fn fig11_apps_svgs(cfg: &TpuConfig) -> Result<Vec<(String, String)>, PlotErr
     let curves = tpu_perfmodel::sweep::figure11_per_app(cfg);
     let mut out = Vec::new();
     for knob in tpu_perfmodel::SweepKnob::all() {
-        let mut chart = Chart::new(format!("Figure 11 detail — {} scaling per app", knob.label()))
-            .x_axis("parameter scale (x baseline)", Scale::Log2)
-            .y_axis("relative performance", Scale::Linear);
+        let mut chart = Chart::new(format!(
+            "Figure 11 detail — {} scaling per app",
+            knob.label()
+        ))
+        .x_axis("parameter scale (x baseline)", Scale::Log2)
+        .y_axis("relative performance", Scale::Linear);
         for c in curves.iter().filter(|c| c.knob == knob) {
             chart = chart.series(Series::line(c.app.clone(), c.points.clone()));
         }
         let stem = format!(
             "fig11-apps-{}",
-            knob.label().replace('+', "-plus").replace(|ch: char| !ch.is_ascii_alphanumeric() && ch != '-', "-")
+            knob.label()
+                .replace('+', "-plus")
+                .replace(|ch: char| !ch.is_ascii_alphanumeric() && ch != '-', "-")
         );
         out.push((stem, chart.render()?));
     }
@@ -203,12 +222,19 @@ pub fn table4_svg() -> Result<String, PlotError> {
         .x_axis("batch size", Scale::Log2)
         .y_axis("99th-percentile latency (ms)", Scale::Linear)
         .y_domain(0.0, 25.0)
-        .series(Series::line("Haswell", curve(&ServingModel::cpu_mlp0(), &cpu_gpu_batches)))
-        .series(Series::line("K80", curve(&ServingModel::gpu_mlp0(), &cpu_gpu_batches)))
-        .series(Series::line("TPU", curve(&ServingModel::tpu_mlp0(), &tpu_batches)))
-        .series(
-            Series::line("7 ms limit", vec![(1.0, 7.0), (256.0, 7.0)]).with_color("#7f7f7f"),
-        )
+        .series(Series::line(
+            "Haswell",
+            curve(&ServingModel::cpu_mlp0(), &cpu_gpu_batches),
+        ))
+        .series(Series::line(
+            "K80",
+            curve(&ServingModel::gpu_mlp0(), &cpu_gpu_batches),
+        ))
+        .series(Series::line(
+            "TPU",
+            curve(&ServingModel::tpu_mlp0(), &tpu_batches),
+        ))
+        .series(Series::line("7 ms limit", vec![(1.0, 7.0), (256.0, 7.0)]).with_color("#7f7f7f"))
         .render()
 }
 
@@ -226,9 +252,18 @@ pub fn write_all(cfg: &TpuConfig, dir: &Path) -> io::Result<Vec<PathBuf>> {
 
     let mut files: Vec<(String, String)> = vec![
         ("table4".into(), table4_svg().map_err(plot_err)?),
-        ("fig5".into(), roofline_svg(Platform::Tpu, cfg).map_err(plot_err)?),
-        ("fig6".into(), roofline_svg(Platform::Haswell, cfg).map_err(plot_err)?),
-        ("fig7".into(), roofline_svg(Platform::K80, cfg).map_err(plot_err)?),
+        (
+            "fig5".into(),
+            roofline_svg(Platform::Tpu, cfg).map_err(plot_err)?,
+        ),
+        (
+            "fig6".into(),
+            roofline_svg(Platform::Haswell, cfg).map_err(plot_err)?,
+        ),
+        (
+            "fig7".into(),
+            roofline_svg(Platform::K80, cfg).map_err(plot_err)?,
+        ),
         ("fig8".into(), fig8_svg(cfg).map_err(plot_err)?),
         ("fig9".into(), fig9_svg(cfg).map_err(plot_err)?),
         ("fig10".into(), fig10_svg().map_err(plot_err)?),
@@ -263,8 +298,12 @@ mod tests {
 
     #[test]
     fn cpu_and_gpu_rooflines_render() {
-        assert!(roofline_svg(Platform::Haswell, &cfg()).unwrap().contains("Figure 6"));
-        assert!(roofline_svg(Platform::K80, &cfg()).unwrap().contains("Figure 7"));
+        assert!(roofline_svg(Platform::Haswell, &cfg())
+            .unwrap()
+            .contains("Figure 6"));
+        assert!(roofline_svg(Platform::K80, &cfg())
+            .unwrap()
+            .contains("Figure 7"));
     }
 
     #[test]
@@ -296,7 +335,11 @@ mod tests {
     fn fig11_covers_all_knobs() {
         let svg = fig11_svg(&cfg()).unwrap();
         for knob in tpu_perfmodel::SweepKnob::all() {
-            assert!(svg.contains(tpu_plot::escape(knob.label()).as_str()), "{}", knob.label());
+            assert!(
+                svg.contains(tpu_plot::escape(knob.label()).as_str()),
+                "{}",
+                knob.label()
+            );
         }
     }
 

@@ -23,7 +23,18 @@ pub fn simulate_app(name: &str, cfg: &TpuConfig) -> CounterReport {
 pub fn table1() -> TextTable {
     let mut t = TextTable::new(
         "Table 1 — Six NN applications (95% of TPU workload)",
-        vec!["name", "FC", "Conv", "Vector", "Pool", "total", "nonlinear", "weights", "ops/byte", "batch"],
+        vec![
+            "name",
+            "FC",
+            "Conv",
+            "Vector",
+            "Pool",
+            "total",
+            "nonlinear",
+            "weights",
+            "ops/byte",
+            "batch",
+        ],
     );
     for m in workloads::all() {
         let (fc, conv, vector, pool) = m.layer_counts();
@@ -52,7 +63,10 @@ pub fn table1() -> TextTable {
 pub fn table2() -> TextTable {
     let mut t = TextTable::new(
         "Table 2 — Benchmarked servers",
-        vec!["model", "mm^2", "nm", "MHz", "TDP W", "idle W", "busy W", "TOPS 8b", "TOPS FP", "GB/s", "MiB", "dies", "srv TDP", "srv idle", "srv busy"],
+        vec![
+            "model", "mm^2", "nm", "MHz", "TDP W", "idle W", "busy W", "TOPS 8b", "TOPS FP",
+            "GB/s", "MiB", "dies", "srv TDP", "srv idle", "srv busy",
+        ],
     );
     for s in ChipSpec::all() {
         t.row(vec![
@@ -82,7 +96,21 @@ pub fn table2() -> TextTable {
 pub fn table3(cfg: &TpuConfig) -> TextTable {
     let mut t = TextTable::new(
         "Table 3 — Factors limiting TPU performance (simulated vs paper)",
-        vec!["app", "active", "useful MACs", "unused MACs", "wt stall", "wt shift", "non-matrix", "RAW", "input", "TOPS", "paper active", "paper stall", "paper TOPS"],
+        vec![
+            "app",
+            "active",
+            "useful MACs",
+            "unused MACs",
+            "wt stall",
+            "wt shift",
+            "non-matrix",
+            "RAW",
+            "input",
+            "TOPS",
+            "paper active",
+            "paper stall",
+            "paper TOPS",
+        ],
     );
     for (i, name) in paper::APPS.iter().enumerate() {
         let r = simulate_app(name, cfg);
@@ -110,10 +138,19 @@ pub fn table3(cfg: &TpuConfig) -> TextTable {
 pub fn table4() -> TextTable {
     let mut t = TextTable::new(
         "Table 4 — 99th-percentile response time vs batch (MLP0)",
-        vec!["type", "batch", "99th% ms", "IPS", "% max", "paper ms", "paper IPS"],
+        vec![
+            "type",
+            "batch",
+            "99th% ms",
+            "IPS",
+            "% max",
+            "paper ms",
+            "paper IPS",
+        ],
     );
-    for (row, &(platform, batch, p_ms, p_ips, _)) in
-        tpu_platforms::latency::table4().iter().zip(paper::TABLE4.iter())
+    for (row, &(platform, batch, p_ms, p_ips, _)) in tpu_platforms::latency::table4()
+        .iter()
+        .zip(paper::TABLE4.iter())
     {
         t.row(vec![
             platform.to_string(),
@@ -137,7 +174,10 @@ pub fn table5(cfg: &TpuConfig) -> TextTable {
         vec!["app", "measured (paper)", "simulated PCIe data only"],
     );
     for name in paper::APPS {
-        let model = workloads::all().into_iter().find(|m| m.name() == name).unwrap();
+        let model = workloads::all()
+            .into_iter()
+            .find(|m| m.name() == name)
+            .unwrap();
         let ops = tpu_compiler::lower_timed(&model, cfg, 1);
         let r = tpu_core::timing::run_timed(cfg, &ops);
         let pcie = r.counters.dma_cycles as f64 / r.counters.total_cycles.max(1) as f64;
@@ -156,7 +196,14 @@ pub fn table6(cfg: &TpuConfig) -> TextTable {
     let data = tpu_platforms::table6(cfg);
     let mut t = TextTable::new(
         "Table 6 — K80 and TPU performance relative to CPU (per die, incl. host)",
-        vec!["app", "GPU rel", "TPU rel", "TPU/GPU", "paper GPU", "paper TPU"],
+        vec![
+            "app",
+            "GPU rel",
+            "TPU rel",
+            "TPU/GPU",
+            "paper GPU",
+            "paper TPU",
+        ],
     );
     for (i, c) in data.columns.iter().enumerate() {
         t.row(vec![
@@ -204,7 +251,10 @@ pub fn table7(cfg: &TpuConfig) -> TextTable {
             fmt_pct(paper::TABLE7[i]),
         ]);
     }
-    t.note(format!("mean difference {} (paper mean: 8%)", fmt_pct(mean)));
+    t.note(format!(
+        "mean difference {} (paper mean: 8%)",
+        fmt_pct(mean)
+    ));
     t
 }
 
@@ -212,7 +262,12 @@ pub fn table7(cfg: &TpuConfig) -> TextTable {
 pub fn table8() -> TextTable {
     let mut t = TextTable::new(
         "Table 8 — Unified Buffer MiB used per app",
-        vec!["app", "bump allocator", "improved allocator", "paper (improved)"],
+        vec![
+            "app",
+            "bump allocator",
+            "improved allocator",
+            "paper (improved)",
+        ],
     );
     for (i, m) in workloads::all().iter().enumerate() {
         let u = tpu_compiler::alloc::ub_usage(m);
@@ -223,7 +278,9 @@ pub fn table8() -> TextTable {
             fmt_f(paper::TABLE8[i], 1),
         ]);
     }
-    t.note("the first-deployment allocator never reuses space; the improved one frees dead boundaries");
+    t.note(
+        "the first-deployment allocator never reuses space; the improved one frees dead boundaries",
+    );
     t
 }
 
@@ -273,15 +330,20 @@ mod tests {
             cnn1.array_active,
             paper::table3::ARRAY_ACTIVE[5]
         );
-        assert!(cnn1.unused_mac_fraction > 0.10, "CNN1 shallow layers leave MACs unused");
+        assert!(
+            cnn1.unused_mac_fraction > 0.10,
+            "CNN1 shallow layers leave MACs unused"
+        );
     }
 
     #[test]
     fn table3_tops_ordering_matches_paper() {
         // CNN0 >> MLPs > LSTMs; CNN1 far below CNN0.
         let cfg = cfg();
-        let tops: Vec<f64> =
-            paper::APPS.iter().map(|a| simulate_app(a, &cfg).teraops).collect();
+        let tops: Vec<f64> = paper::APPS
+            .iter()
+            .map(|a| simulate_app(a, &cfg).teraops)
+            .collect();
         let (mlp0, _mlp1, lstm0, _lstm1, cnn0, cnn1) =
             (tops[0], tops[1], tops[2], tops[3], tops[4], tops[5]);
         assert!(cnn0 > 4.0 * cnn1 / 2.0, "CNN0 {cnn0} vs CNN1 {cnn1}");

@@ -6,21 +6,33 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn sample(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/asm").join(name)
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/asm")
+        .join(name)
 }
 
 fn run(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_tpu-sim")).args(args).output().expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_tpu-sim"))
+        .args(args)
+        .output()
+        .expect("binary runs")
 }
 
 #[test]
 fn two_layer_mlp_runs_end_to_end() {
     let path = sample("two_layer_mlp.tpuasm");
     let out = run(&[path.to_str().unwrap()]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("11 instructions"), "{stdout}");
-    assert!(stdout.contains("verified against 256x256 @ 700 MHz: ok"), "{stdout}");
+    assert!(
+        stdout.contains("verified against 256x256 @ 700 MHz: ok"),
+        "{stdout}"
+    );
     assert!(stdout.contains("matrix multiplies:    3"), "{stdout}");
     assert!(stdout.contains("CPI"), "{stdout}");
 }
@@ -37,7 +49,11 @@ fn overlap_flag_renders_the_diagram() {
 
 #[test]
 fn all_sample_programs_run() {
-    for name in ["two_layer_mlp.tpuasm", "conv_pool.tpuasm", "repeat_sweep.tpuasm"] {
+    for name in [
+        "two_layer_mlp.tpuasm",
+        "conv_pool.tpuasm",
+        "repeat_sweep.tpuasm",
+    ] {
         let path = sample(name);
         let out = run(&[path.to_str().unwrap()]);
         assert!(
@@ -114,7 +130,11 @@ fn small_config_runs_small_programs() {
     )
     .unwrap();
     let out = run(&[path.to_str().unwrap(), "--config", "small"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("verified against 8x8"), "{stdout}");
     std::fs::remove_file(&path).unwrap();

@@ -196,7 +196,9 @@ pub struct Calibrator {
 impl Calibrator {
     /// An empty calibrator.
     pub fn new() -> Self {
-        Calibrator { hist: MagnitudeHistogram::new() }
+        Calibrator {
+            hist: MagnitudeHistogram::new(),
+        }
     }
 
     /// Record every element of a matrix of activations.
@@ -448,7 +450,10 @@ mod tests {
         let mut cal = Calibrator::new();
         cal.observe_slice(&[0.0, 1.0, 2.0, 3.0]);
         let p = cal.params(CalibrationMethod::MinMax);
-        assert_eq!(p.zero_point, 0, "post-ReLU tensors use all codes for positives");
+        assert_eq!(
+            p.zero_point, 0,
+            "post-ReLU tensors use all codes for positives"
+        );
     }
 
     #[test]
@@ -457,7 +462,11 @@ mod tests {
         cal.observe_slice(&[-2.0, 1.0]);
         let p = cal.params(CalibrationMethod::MinMax);
         // Zero point near the middle of the code space.
-        assert!((p.zero_point as i32 - 128).abs() <= 1, "zero point {}", p.zero_point);
+        assert!(
+            (p.zero_point as i32 - 128).abs() <= 1,
+            "zero point {}",
+            p.zero_point
+        );
     }
 
     #[test]
@@ -485,11 +494,14 @@ mod tests {
         let inliers = Matrix::from_rows(
             1,
             m.data().iter().filter(|v| v.abs() <= 1.0).count(),
-            m.data().iter().copied().filter(|v| v.abs() <= 1.0).collect(),
+            m.data()
+                .iter()
+                .copied()
+                .filter(|v| v.abs() <= 1.0)
+                .collect(),
         );
         let bulk_minmax = quantization_mse(&inliers, cal.params(CalibrationMethod::MinMax));
-        let bulk_pct =
-            quantization_mse(&inliers, cal.params(CalibrationMethod::Percentile(99.9)));
+        let bulk_pct = quantization_mse(&inliers, cal.params(CalibrationMethod::Percentile(99.9)));
         assert!(
             bulk_pct < bulk_minmax / 100.0,
             "bulk MSE: percentile {bulk_pct} vs min-max {bulk_minmax}"
@@ -521,7 +533,9 @@ mod tests {
         // The inliers span [-10, 10] so that under min-max they cover
         // several quantization steps and pay the full rounding error.
         let mut rng = StdRng::seed_from_u64(13);
-        let mut data: Vec<f32> = (0..1_000_000).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
+        let mut data: Vec<f32> = (0..1_000_000)
+            .map(|_| rng.gen_range(-10.0f32..10.0))
+            .collect();
         data[1_234] = 500.0;
         data[987_654] = -480.0;
         let m = Matrix::from_rows(1, data.len(), data);
@@ -529,7 +543,10 @@ mod tests {
         cal.observe(&m);
         let minmax = quantization_mse(&m, cal.params(CalibrationMethod::MinMax));
         let opt = quantization_mse(&m, cal.params(CalibrationMethod::Mse));
-        assert!(opt < minmax / 2.0, "MSE calibration {opt} vs min-max {minmax}");
+        assert!(
+            opt < minmax / 2.0,
+            "MSE calibration {opt} vs min-max {minmax}"
+        );
     }
 
     #[test]
@@ -547,11 +564,18 @@ mod tests {
         assert!(p.scale > 0.0 && p.scale.is_finite());
         let threshold = p.scale * 127.5; // symmetric range [-T, T]
         let max = cal.histogram().max_abs();
-        assert!(threshold <= max * 1.01, "threshold {threshold} beyond max {max}");
+        assert!(
+            threshold <= max * 1.01,
+            "threshold {threshold} beyond max {max}"
+        );
         let inliers = Matrix::from_rows(
             1,
             m.data().iter().filter(|v| v.abs() <= 1.0).count(),
-            m.data().iter().copied().filter(|v| v.abs() <= 1.0).collect(),
+            m.data()
+                .iter()
+                .copied()
+                .filter(|v| v.abs() <= 1.0)
+                .collect(),
         );
         let bulk_minmax = quantization_mse(&inliers, cal.params(CalibrationMethod::MinMax));
         let bulk_entropy = quantization_mse(&inliers, p);
@@ -622,7 +646,10 @@ mod tests {
         sharded_b.observe(&b_vals);
         sharded_a.merge(&sharded_b);
         assert_eq!(sharded_a.observations(), together.observations());
-        assert_eq!(sharded_a.histogram().max_abs(), together.histogram().max_abs());
+        assert_eq!(
+            sharded_a.histogram().max_abs(),
+            together.histogram().max_abs()
+        );
         // Thresholds agree (histograms may differ only by merge-order
         // bin-boundary effects, which equal limits rule out here).
         let p_together = together.histogram().percentile(99.0);

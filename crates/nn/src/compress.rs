@@ -102,17 +102,28 @@ impl CompressedWeights {
                     run += 1;
                     if run > MAX_RUN {
                         // Bridge: explicit zero entry with a full run.
-                        entries.push(SparseEntry { zero_run: MAX_RUN as u8, value: 0 });
+                        entries.push(SparseEntry {
+                            zero_run: MAX_RUN as u8,
+                            value: 0,
+                        });
                         run = 0;
                     }
                 } else {
-                    entries.push(SparseEntry { zero_run: run as u8, value: v });
+                    entries.push(SparseEntry {
+                        zero_run: run as u8,
+                        value: v,
+                    });
                     run = 0;
                 }
             }
             col_ptr.push(entries.len() as u32);
         }
-        CompressedWeights { rows, cols, entries, col_ptr }
+        CompressedWeights {
+            rows,
+            cols,
+            entries,
+            col_ptr,
+        }
     }
 
     /// Shape of the dense matrix this encodes.
@@ -314,7 +325,11 @@ mod tests {
         data[99] = 0.9;
         let w = QuantizedWeights::quantize(&Matrix::from_rows(100, 1, data));
         let c = CompressedWeights::encode(&w);
-        assert!(c.stored_entries() >= 7, "99 zeros need >= 6 bridges: {}", c.stored_entries());
+        assert!(
+            c.stored_entries() >= 7,
+            "99 zeros need >= 6 bridges: {}",
+            c.stored_entries()
+        );
         let decoded = c.decode();
         assert_ne!(decoded[99], 0);
         assert!(decoded[..99].iter().all(|&v| v == 0));
@@ -351,7 +366,11 @@ mod tests {
     fn dense_matrix_does_not_benefit() {
         let w = random_sparse(128, 128, 1.0, 17);
         let c = CompressedWeights::encode(&w);
-        assert!(c.compression_ratio() < 1.0, "ratio {}", c.compression_ratio());
+        assert!(
+            c.compression_ratio() < 1.0,
+            "ratio {}",
+            c.compression_ratio()
+        );
     }
 
     #[test]
@@ -374,7 +393,11 @@ mod tests {
         let cb = SharedCodebook::fit(&codes);
         // 16 centroids over 255 values: worst-case error well under a
         // half-interval of 255/16 ~ 16.
-        assert!(cb.max_error(&codes) <= 16, "max error {}", cb.max_error(&codes));
+        assert!(
+            cb.max_error(&codes) <= 16,
+            "max error {}",
+            cb.max_error(&codes)
+        );
     }
 
     #[test]

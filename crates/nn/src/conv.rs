@@ -92,7 +92,13 @@ pub struct NhwcTensor {
 impl NhwcTensor {
     /// Zero tensor.
     pub fn zeros(n: usize, h: usize, w: usize, c: usize) -> Self {
-        Self { n, h, w, c, data: vec![0.0; n * h * w * c] }
+        Self {
+            n,
+            h,
+            w,
+            c,
+            data: vec![0.0; n * h * w * c],
+        }
     }
 
     /// Build from a generator over `(n, y, x, c)`.
@@ -170,7 +176,11 @@ pub fn conv2d_reference(input: &NhwcTensor, weights: &Matrix, spec: &ConvSpec) -
     assert_eq!(input.h, spec.h);
     assert_eq!(input.w, spec.w);
     assert_eq!(input.c, spec.in_ch);
-    assert_eq!(weights.shape(), (spec.patch_len(), spec.out_ch), "weight shape");
+    assert_eq!(
+        weights.shape(),
+        (spec.patch_len(), spec.out_ch),
+        "weight shape"
+    );
 
     let mut out = NhwcTensor::zeros(input.n, spec.out_h(), spec.out_w(), spec.out_ch);
     for n in 0..input.n {
@@ -184,8 +194,7 @@ pub fn conv2d_reference(input: &NhwcTensor, weights: &Matrix, spec: &ConvSpec) -
                             let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
                             let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
                             for ic in 0..spec.in_ch {
-                                acc += input.get_padded(n, iy, ix, ic)
-                                    * weights.get(patch, oc);
+                                acc += input.get_padded(n, iy, ix, ic) * weights.get(patch, oc);
                                 patch += 1;
                             }
                         }
@@ -256,7 +265,10 @@ pub fn conv2d_im2col(input: &NhwcTensor, weights: &Matrix, spec: &ConvSpec) -> N
 ///
 /// Panics if the window is zero or exceeds either spatial dimension.
 pub fn maxpool2d(input: &NhwcTensor, window: usize) -> NhwcTensor {
-    assert!(window > 0 && window <= input.h && window <= input.w, "bad pooling window");
+    assert!(
+        window > 0 && window <= input.h && window <= input.w,
+        "bad pooling window"
+    );
     let oh = input.h / window;
     let ow = input.w / window;
     let mut out = NhwcTensor::zeros(input.n, oh, ow, input.c);
@@ -284,7 +296,16 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn spec_3x3_same(h: usize, w: usize, in_ch: usize, out_ch: usize) -> ConvSpec {
-        ConvSpec { h, w, in_ch, out_ch, kh: 3, kw: 3, stride: 1, pad: 1 }
+        ConvSpec {
+            h,
+            w,
+            in_ch,
+            out_ch,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        }
     }
 
     #[test]
@@ -298,7 +319,16 @@ mod tests {
 
     #[test]
     fn strided_geometry() {
-        let s = ConvSpec { h: 224, w: 224, in_ch: 3, out_ch: 64, kh: 7, kw: 7, stride: 2, pad: 3 };
+        let s = ConvSpec {
+            h: 224,
+            w: 224,
+            in_ch: 3,
+            out_ch: 64,
+            kh: 7,
+            kw: 7,
+            stride: 2,
+            pad: 3,
+        };
         assert_eq!(s.out_h(), 112);
         assert_eq!(s.out_w(), 112);
     }
@@ -308,15 +338,34 @@ mod tests {
         let mut s = spec_3x3_same(4, 4, 1, 1);
         s.stride = 0;
         assert!(s.validate().is_err());
-        let s2 = ConvSpec { h: 2, w: 2, in_ch: 1, out_ch: 1, kh: 5, kw: 5, stride: 1, pad: 0 };
+        let s2 = ConvSpec {
+            h: 2,
+            w: 2,
+            in_ch: 1,
+            out_ch: 1,
+            kh: 5,
+            kw: 5,
+            stride: 1,
+            pad: 0,
+        };
         assert!(s2.validate().is_err());
     }
 
     #[test]
     fn identity_1x1_conv_copies_channels() {
-        let spec = ConvSpec { h: 3, w: 3, in_ch: 2, out_ch: 2, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let spec = ConvSpec {
+            h: 3,
+            w: 3,
+            in_ch: 2,
+            out_ch: 2,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        };
         let id = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
-        let input = NhwcTensor::from_fn(1, 3, 3, 2, |_, y, x, c| (y * 3 + x) as f32 + c as f32 * 0.5);
+        let input =
+            NhwcTensor::from_fn(1, 3, 3, 2, |_, y, x, c| (y * 3 + x) as f32 + c as f32 * 0.5);
         let out = conv2d_reference(&input, &id, &spec);
         assert_eq!(out, input);
     }
@@ -326,9 +375,45 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(77);
         for (spec, _) in [
             (spec_3x3_same(5, 5, 3, 4), 0),
-            (ConvSpec { h: 6, w: 6, in_ch: 2, out_ch: 3, kh: 2, kw: 2, stride: 2, pad: 0 }, 1),
-            (ConvSpec { h: 7, w: 5, in_ch: 1, out_ch: 2, kh: 3, kw: 1, stride: 1, pad: 0 }, 2),
-            (ConvSpec { h: 9, w: 9, in_ch: 4, out_ch: 2, kh: 5, kw: 5, stride: 2, pad: 2 }, 3),
+            (
+                ConvSpec {
+                    h: 6,
+                    w: 6,
+                    in_ch: 2,
+                    out_ch: 3,
+                    kh: 2,
+                    kw: 2,
+                    stride: 2,
+                    pad: 0,
+                },
+                1,
+            ),
+            (
+                ConvSpec {
+                    h: 7,
+                    w: 5,
+                    in_ch: 1,
+                    out_ch: 2,
+                    kh: 3,
+                    kw: 1,
+                    stride: 1,
+                    pad: 0,
+                },
+                2,
+            ),
+            (
+                ConvSpec {
+                    h: 9,
+                    w: 9,
+                    in_ch: 4,
+                    out_ch: 2,
+                    kh: 5,
+                    kw: 5,
+                    stride: 2,
+                    pad: 2,
+                },
+                3,
+            ),
         ] {
             let w = Matrix::from_fn(spec.patch_len(), spec.out_ch, |_, _| {
                 rng.gen_range(-1.0f32..1.0)

@@ -92,7 +92,11 @@ pub enum Layer {
 impl Layer {
     /// Convenience constructor for an FC layer.
     pub fn fc(inputs: usize, outputs: usize, act: Nonlinearity) -> Self {
-        Layer::Fc(FcLayer { inputs, outputs, act })
+        Layer::Fc(FcLayer {
+            inputs,
+            outputs,
+            act,
+        })
     }
 
     /// Convenience constructor for a conv layer.
@@ -103,17 +107,31 @@ impl Layer {
         out_positions: usize,
         act: Nonlinearity,
     ) -> Self {
-        Layer::Conv(ConvLayer { in_ch, out_ch, kh: k, kw: k, out_positions, act })
+        Layer::Conv(ConvLayer {
+            in_ch,
+            out_ch,
+            kh: k,
+            kw: k,
+            out_positions,
+            act,
+        })
     }
 
     /// Convenience constructor for a pool layer.
     pub fn pool(channels: usize, window: usize, in_positions: usize) -> Self {
-        Layer::Pool(PoolLayer { channels, window, in_positions })
+        Layer::Pool(PoolLayer {
+            channels,
+            window,
+            in_positions,
+        })
     }
 
     /// Convenience constructor for a vector layer.
     pub fn vector(width: usize, cost_per_row: u64) -> Self {
-        Layer::Vector(VectorLayer { width, cost_per_row })
+        Layer::Vector(VectorLayer {
+            width,
+            cost_per_row,
+        })
     }
 
     /// Number of 8-bit weights held by this layer.
@@ -219,7 +237,10 @@ mod tests {
     #[test]
     fn output_width_per_kind() {
         assert_eq!(Layer::fc(10, 20, Nonlinearity::None).output_width(), 20);
-        assert_eq!(Layer::conv(3, 64, 3, 100, Nonlinearity::Relu).output_width(), 64);
+        assert_eq!(
+            Layer::conv(3, 64, 3, 100, Nonlinearity::Relu).output_width(),
+            64
+        );
         assert_eq!(Layer::pool(64, 2, 100).output_width(), 64);
         assert_eq!(Layer::vector(512, 2).output_width(), 512);
     }

@@ -55,7 +55,10 @@ pub struct LstmState {
 impl LstmState {
     /// Zero state for a batch.
     pub fn zeros(batch: usize, hidden: usize) -> Self {
-        Self { h: Matrix::zeros(batch, hidden), c: Matrix::zeros(batch, hidden) }
+        Self {
+            h: Matrix::zeros(batch, hidden),
+            c: Matrix::zeros(batch, hidden),
+        }
     }
 }
 
@@ -65,7 +68,14 @@ impl LstmCell {
     /// # Panics
     ///
     /// Panics if any gate matrix is not `(inputs + hidden) x hidden`.
-    pub fn new(inputs: usize, hidden: usize, wi: Matrix, wf: Matrix, wg: Matrix, wo: Matrix) -> Self {
+    pub fn new(
+        inputs: usize,
+        hidden: usize,
+        wi: Matrix,
+        wf: Matrix,
+        wg: Matrix,
+        wo: Matrix,
+    ) -> Self {
         for (name, w) in [("wi", &wi), ("wf", &wf), ("wg", &wg), ("wo", &wo)] {
             assert_eq!(
                 w.shape(),
@@ -73,12 +83,23 @@ impl LstmCell {
                 "{name} must be (inputs+hidden) x hidden"
             );
         }
-        Self { inputs, hidden, wi, wf, wg, wo }
+        Self {
+            inputs,
+            hidden,
+            wi,
+            wf,
+            wg,
+            wo,
+        }
     }
 
     /// Random cell for testing, weights in `[-scale, scale]`.
     pub fn random(inputs: usize, hidden: usize, scale: f32, rng: &mut impl rand::Rng) -> Self {
-        let mut gen = || Matrix::from_fn(inputs + hidden, hidden, |_, _| rng.gen_range(-scale..=scale));
+        let mut gen = || {
+            Matrix::from_fn(inputs + hidden, hidden, |_, _| {
+                rng.gen_range(-scale..=scale)
+            })
+        };
         let wi = gen();
         let wf = gen();
         let wg = gen();
@@ -110,7 +131,11 @@ impl LstmCell {
     pub fn step(&self, x: &Matrix, state: &LstmState) -> LstmState {
         let batch = x.rows();
         assert_eq!(x.cols(), self.inputs, "input width mismatch");
-        assert_eq!(state.h.shape(), (batch, self.hidden), "hidden state mismatch");
+        assert_eq!(
+            state.h.shape(),
+            (batch, self.hidden),
+            "hidden state mismatch"
+        );
 
         // Concatenate [x, h] once.
         let xh = Matrix::from_fn(batch, self.inputs + self.hidden, |r, c| {
@@ -126,7 +151,9 @@ impl LstmCell {
         let g = xh.matmul(&self.wg).map(|v| v.tanh());
         let o = xh.matmul(&self.wo).map(sigmoid);
 
-        let c = f.zip(&state.c, |f, c| f * c).zip(&i.zip(&g, |i, g| i * g), |a, b| a + b);
+        let c = f
+            .zip(&state.c, |f, c| f * c)
+            .zip(&i.zip(&g, |i, g| i * g), |a, b| a + b);
         let h = o.zip(&c.map(|v| v.tanh()), |o, t| o * t);
         LstmState { h, c }
     }
@@ -179,10 +206,18 @@ impl QuantizedLstmCell {
 
         let batch = x.rows();
         assert_eq!(x.cols(), self.inputs, "input width mismatch");
-        assert_eq!(state.h.shape(), (batch, self.hidden), "hidden state mismatch");
+        assert_eq!(
+            state.h.shape(),
+            (batch, self.hidden),
+            "hidden state mismatch"
+        );
 
         let xh = Matrix::from_fn(batch, self.inputs + self.hidden, |r, c| {
-            if c < self.inputs { x.get(r, c) } else { state.h.get(r, c - self.inputs) }
+            if c < self.inputs {
+                x.get(r, c)
+            } else {
+                state.h.get(r, c - self.inputs)
+            }
         });
         let in_q = choose_activation_params(&xh);
         let qa = QuantizedActivations::quantize(&xh, in_q);
@@ -193,18 +228,18 @@ impl QuantizedLstmCell {
         let sigmoid_lut = Lut256::build(|v| 1.0 / (1.0 + (-v).exp()), sig_out);
         let tanh_lut = Lut256::build(f32::tanh, tanh_out);
 
-        let gate = |w: &crate::quant::QuantizedWeights,
-                    lut: &Lut256,
-                    out_q: QuantParams|
-         -> Matrix {
-            let acc = quantized_matmul(&qa, w);
-            let scale = in_q.scale * w.scale();
-            Matrix::from_rows(
-                batch,
-                self.hidden,
-                acc.iter().map(|&v| out_q.dequantize(lut.lookup(v as f32 * scale))).collect(),
-            )
-        };
+        let gate =
+            |w: &crate::quant::QuantizedWeights, lut: &Lut256, out_q: QuantParams| -> Matrix {
+                let acc = quantized_matmul(&qa, w);
+                let scale = in_q.scale * w.scale();
+                Matrix::from_rows(
+                    batch,
+                    self.hidden,
+                    acc.iter()
+                        .map(|&v| out_q.dequantize(lut.lookup(v as f32 * scale)))
+                        .collect(),
+                )
+            };
 
         let i = gate(&self.qwi, &sigmoid_lut, sig_out);
         let f = gate(&self.qwf, &sigmoid_lut, sig_out);
@@ -213,7 +248,9 @@ impl QuantizedLstmCell {
 
         // Elementwise combinations on the (16-bit) vector datapath; the
         // state stays at higher precision between steps.
-        let c = f.zip(&state.c, |f, c| f * c).zip(&i.zip(&g, |i, g| i * g), |a, b| a + b);
+        let c = f
+            .zip(&state.c, |f, c| f * c)
+            .zip(&i.zip(&g, |i, g| i * g), |a, b| a + b);
         let h = o.zip(&c.map(|v| v.tanh()), |o, t| o * t);
         LstmState { h, c }
     }
@@ -332,7 +369,9 @@ mod tests {
         let mut fs = LstmState::zeros(2, 8);
         let mut qs = LstmState::zeros(2, 8);
         for t in 0..12 {
-            let x = Matrix::from_fn(2, 4, |row, col| ((t + row * 3 + col) % 9) as f32 * 0.1 - 0.35);
+            let x = Matrix::from_fn(2, 4, |row, col| {
+                ((t + row * 3 + col) % 9) as f32 * 0.1 - 0.35
+            });
             fs = cell.step(&x, &fs);
             qs = q.step(&x, &qs);
         }

@@ -54,7 +54,14 @@ impl NnModel {
     ) -> Self {
         assert!(!layers.is_empty(), "a model needs at least one layer");
         assert!(batch > 0, "batch must be positive");
-        Self { name: name.into(), kind, layers, batch, input_width, precision }
+        Self {
+            name: name.into(),
+            kind,
+            layers,
+            batch,
+            input_width,
+            precision,
+        }
     }
 
     /// Model name (e.g. "MLP0").

@@ -36,7 +36,12 @@ impl QuantizedWeights {
             .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
             .collect();
         let (rows, cols) = weights.shape();
-        Self { codes, rows, cols, scale }
+        Self {
+            codes,
+            rows,
+            cols,
+            scale,
+        }
     }
 
     /// Scale of one code step.
@@ -80,7 +85,12 @@ impl QuantizedActivations {
     pub fn quantize(values: &Matrix, params: QuantParams) -> Self {
         let codes = values.data().iter().map(|&v| params.quantize(v)).collect();
         let (rows, cols) = values.shape();
-        Self { codes, rows, cols, params }
+        Self {
+            codes,
+            rows,
+            cols,
+            params,
+        }
     }
 
     /// Wrap raw codes produced by the device.
@@ -90,7 +100,12 @@ impl QuantizedActivations {
     /// Panics if `codes.len() != rows * cols`.
     pub fn from_codes(rows: usize, cols: usize, codes: Vec<u8>, params: QuantParams) -> Self {
         assert_eq!(codes.len(), rows * cols, "codes must be rows*cols");
-        Self { codes, rows, cols, params }
+        Self {
+            codes,
+            rows,
+            cols,
+            params,
+        }
     }
 
     /// Affine parameters.
@@ -113,7 +128,10 @@ impl QuantizedActivations {
         Matrix::from_rows(
             self.rows,
             self.cols,
-            self.codes.iter().map(|&c| self.params.dequantize(c)).collect(),
+            self.codes
+                .iter()
+                .map(|&c| self.params.dequantize(c))
+                .collect(),
         )
     }
 }
@@ -175,7 +193,11 @@ mod tests {
         let w = sample_weights();
         let q = QuantizedWeights::quantize(&w);
         let err = w.max_abs_diff(&q.dequantize());
-        assert!(err <= q.scale() * 0.5 + 1e-6, "err {err} scale {}", q.scale());
+        assert!(
+            err <= q.scale() * 0.5 + 1e-6,
+            "err {err} scale {}",
+            q.scale()
+        );
     }
 
     #[test]
@@ -226,10 +248,16 @@ mod tests {
         let got = Matrix::from_rows(
             batch,
             outs,
-            acc.iter().map(|&v| v as f32 * pa.scale * qw.scale()).collect(),
+            acc.iter()
+                .map(|&v| v as f32 * pa.scale * qw.scale())
+                .collect(),
         );
         // Error grows with the reduction width; 16 terms of ~1% step error.
-        assert!(want.max_abs_diff(&got) < 0.08, "diff {}", want.max_abs_diff(&got));
+        assert!(
+            want.max_abs_diff(&got) < 0.08,
+            "diff {}",
+            want.max_abs_diff(&got)
+        );
     }
 
     #[test]

@@ -30,9 +30,7 @@ impl ModelWeights {
             .layers()
             .iter()
             .filter_map(Layer::matrix_shape)
-            .map(|(rows, cols)| {
-                Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-scale..=scale))
-            })
+            .map(|(rows, cols)| Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-scale..=scale)))
             .collect();
         Self { matrices }
     }
@@ -207,7 +205,10 @@ mod tests {
     fn apply_nonlinearity_variants() {
         let x = Matrix::from_rows(1, 2, vec![-1.0, 1.0]);
         assert_eq!(apply_nonlinearity(Nonlinearity::None, &x), x);
-        assert_eq!(apply_nonlinearity(Nonlinearity::Relu, &x).data(), &[0.0, 1.0]);
+        assert_eq!(
+            apply_nonlinearity(Nonlinearity::Relu, &x).data(),
+            &[0.0, 1.0]
+        );
         let s = apply_nonlinearity(Nonlinearity::Sigmoid, &x);
         assert!(s.get(0, 0) < 0.5 && s.get(0, 1) > 0.5);
         let t = apply_nonlinearity(Nonlinearity::Tanh, &x);

@@ -30,13 +30,17 @@ use tpu_core::config::Precision;
 /// MLP0: 5 fully connected 2000x2000 ReLU layers, batch 200 (RankBrain-
 /// class ranking model).
 pub fn mlp0() -> NnModel {
-    let layers = (0..5).map(|_| Layer::fc(2000, 2000, Nonlinearity::Relu)).collect();
+    let layers = (0..5)
+        .map(|_| Layer::fc(2000, 2000, Nonlinearity::Relu))
+        .collect();
     NnModel::new("MLP0", NnKind::Mlp, layers, 200, 2000, Precision::Int8)
 }
 
 /// MLP1: 4 fully connected 1120x1120 ReLU layers, batch 168.
 pub fn mlp1() -> NnModel {
-    let layers = (0..4).map(|_| Layer::fc(1120, 1120, Nonlinearity::Relu)).collect();
+    let layers = (0..4)
+        .map(|_| Layer::fc(1120, 1120, Nonlinearity::Relu))
+        .collect();
     NnModel::new("MLP1", NnKind::Mlp, layers, 168, 1120, Precision::Int8)
 }
 
@@ -48,7 +52,11 @@ pub fn lstm0() -> NnModel {
     for cell in 0..6 {
         // Four gate projections: [x, h] (2*hidden wide) -> hidden.
         for gate in 0..4 {
-            let act = if gate == 2 { Nonlinearity::Tanh } else { Nonlinearity::Sigmoid };
+            let act = if gate == 2 {
+                Nonlinearity::Tanh
+            } else {
+                Nonlinearity::Sigmoid
+            };
             layers.push(Layer::fc(2 * hidden, hidden, act));
         }
         // Five elementwise combinations per cell (f*c, i*g, +, tanh, o*).
@@ -61,7 +69,14 @@ pub fn lstm0() -> NnModel {
             layers.push(Layer::vector(hidden, 2));
         }
     }
-    NnModel::new("LSTM0", NnKind::Lstm, layers, 64, hidden, Precision::Mixed8x16)
+    NnModel::new(
+        "LSTM0",
+        NnKind::Lstm,
+        layers,
+        64,
+        hidden,
+        Precision::Mixed8x16,
+    )
 }
 
 /// LSTM1: 37 gate matmuls mixing 600x600 matrices (Section 7's
@@ -71,12 +86,20 @@ pub fn lstm1() -> NnModel {
     let mut layers = Vec::new();
     // 25 narrow gates on the 600-wide recurrent path.
     for i in 0..25 {
-        let act = if i % 4 == 2 { Nonlinearity::Tanh } else { Nonlinearity::Sigmoid };
+        let act = if i % 4 == 2 {
+            Nonlinearity::Tanh
+        } else {
+            Nonlinearity::Sigmoid
+        };
         layers.push(Layer::fc(600, 600, act));
     }
     // 12 wide gates on the 1440-wide encoder path.
     for i in 0..12 {
-        let act = if i % 4 == 2 { Nonlinearity::Tanh } else { Nonlinearity::Sigmoid };
+        let act = if i % 4 == 2 {
+            Nonlinearity::Tanh
+        } else {
+            Nonlinearity::Sigmoid
+        };
         layers.push(Layer::fc(1440, 1440, act));
     }
     // 19 elementwise layers.
@@ -157,7 +180,14 @@ pub fn cnn1() -> NnModel {
     layers.push(Layer::fc(2048, 2048, Nonlinearity::Relu));
     layers.push(Layer::fc(2048, 2048, Nonlinearity::Relu));
     layers.push(Layer::fc(2048, 1008, Nonlinearity::Relu));
-    NnModel::new("CNN1", NnKind::Cnn, layers, 32, 224 * 224 * 3, Precision::Int8)
+    NnModel::new(
+        "CNN1",
+        NnKind::Cnn,
+        layers,
+        32,
+        224 * 224 * 3,
+        Precision::Int8,
+    )
 }
 
 /// All six workloads in Table 1 order.
@@ -188,7 +218,10 @@ mod tests {
     /// Assert `got` is within `tol` relative error of `want`.
     fn close(got: f64, want: f64, tol: f64, what: &str) {
         let rel = (got - want).abs() / want;
-        assert!(rel <= tol, "{what}: got {got}, want {want} (rel err {rel:.3})");
+        assert!(
+            rel <= tol,
+            "{what}: got {got}, want {want} (rel err {rel:.3})"
+        );
     }
 
     #[test]
@@ -271,10 +304,18 @@ mod tests {
         // The paper's central roofline observation, as a pure property of
         // the workloads: ridge point is ~1350 MAC/byte.
         for m in [mlp0(), mlp1(), lstm0(), lstm1()] {
-            assert!(m.ops_per_weight_byte() < 1350.0, "{} should be memory bound", m.name());
+            assert!(
+                m.ops_per_weight_byte() < 1350.0,
+                "{} should be memory bound",
+                m.name()
+            );
         }
         for m in [cnn0(), cnn1()] {
-            assert!(m.ops_per_weight_byte() > 1000.0, "{} should be near/above ridge", m.name());
+            assert!(
+                m.ops_per_weight_byte() > 1000.0,
+                "{} should be near/above ridge",
+                m.name()
+            );
         }
     }
 
@@ -283,17 +324,26 @@ mod tests {
         let mix = workload_mix();
         let total: f64 = mix.iter().map(|(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-9);
-        let mlp_share: f64 =
-            mix.iter().filter(|(n, _)| n.starts_with("MLP")).map(|(_, w)| w).sum();
-        let cnn_share: f64 =
-            mix.iter().filter(|(n, _)| n.starts_with("CNN")).map(|(_, w)| w).sum();
+        let mlp_share: f64 = mix
+            .iter()
+            .filter(|(n, _)| n.starts_with("MLP"))
+            .map(|(_, w)| w)
+            .sum();
+        let cnn_share: f64 = mix
+            .iter()
+            .filter(|(n, _)| n.starts_with("CNN"))
+            .map(|(_, w)| w)
+            .sum();
         assert!(mlp_share > 0.6, "MLPs dominate the datacenter mix");
         assert!(cnn_share < 0.06, "CNNs are only ~5% of the mix");
     }
 
     #[test]
     fn all_returns_six_in_table_order() {
-        let names: Vec<&str> = all().iter().map(|m| m.name().to_string().leak() as &str).collect();
+        let names: Vec<&str> = all()
+            .iter()
+            .map(|m| m.name().to_string().leak() as &str)
+            .collect();
         assert_eq!(names, ["MLP0", "MLP1", "LSTM0", "LSTM1", "CNN0", "CNN1"]);
     }
 

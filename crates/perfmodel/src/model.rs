@@ -38,34 +38,56 @@ pub struct DesignPoint {
 impl DesignPoint {
     /// The shipped TPU (all multipliers 1.0).
     pub fn baseline() -> Self {
-        Self { memory_scale: 1.0, clock_scale: 1.0, accumulator_scale: 1.0, matrix_scale: 1.0 }
+        Self {
+            memory_scale: 1.0,
+            clock_scale: 1.0,
+            accumulator_scale: 1.0,
+            matrix_scale: 1.0,
+        }
     }
 
     /// Scale only memory bandwidth (Figure 11's `memory`).
     pub fn memory(scale: f64) -> Self {
-        Self { memory_scale: scale, ..Self::baseline() }
+        Self {
+            memory_scale: scale,
+            ..Self::baseline()
+        }
     }
 
     /// Scale only the clock (Figure 11's `clock`).
     pub fn clock(scale: f64) -> Self {
-        Self { clock_scale: scale, ..Self::baseline() }
+        Self {
+            clock_scale: scale,
+            ..Self::baseline()
+        }
     }
 
     /// Scale the clock and the accumulators together (Figure 11's
     /// `clock+`).
     pub fn clock_plus(scale: f64) -> Self {
-        Self { clock_scale: scale, accumulator_scale: scale, ..Self::baseline() }
+        Self {
+            clock_scale: scale,
+            accumulator_scale: scale,
+            ..Self::baseline()
+        }
     }
 
     /// Scale only the matrix dimension (Figure 11's `matrix`).
     pub fn matrix(scale: f64) -> Self {
-        Self { matrix_scale: scale, ..Self::baseline() }
+        Self {
+            matrix_scale: scale,
+            ..Self::baseline()
+        }
     }
 
     /// Scale the matrix dimension with accumulators growing as its square
     /// (Figure 11's `matrix+`).
     pub fn matrix_plus(scale: f64) -> Self {
-        Self { matrix_scale: scale, accumulator_scale: scale * scale, ..Self::baseline() }
+        Self {
+            matrix_scale: scale,
+            accumulator_scale: scale * scale,
+            ..Self::baseline()
+        }
     }
 }
 
@@ -85,7 +107,9 @@ pub struct AppTime {
 /// Evaluate the analytic model: device time for one serving batch of
 /// `model` on `design`, relative to the `base` hardware configuration.
 pub fn app_time(model: &NnModel, base: &TpuConfig, design: &DesignPoint) -> AppTime {
-    let dim = (base.array_dim as f64 * design.matrix_scale).round().max(1.0) as usize;
+    let dim = (base.array_dim as f64 * design.matrix_scale)
+        .round()
+        .max(1.0) as usize;
     let clock = base.clock_hz as f64 * design.clock_scale;
     let bw = base.weight_memory_bw * design.memory_scale;
     let acc_entries = (base.accumulator_entries as f64 * design.accumulator_scale).max(2.0);
@@ -120,9 +144,7 @@ pub fn app_time(model: &NnModel, base: &TpuConfig, design: &DesignPoint) -> AppT
                 act_s += chunk_rows.min(rows) / clock;
             }
             Layer::Pool(p) => {
-                let rows = batch
-                    * p.in_positions as f64
-                    * (p.channels as f64 / dim as f64).ceil();
+                let rows = batch * p.in_positions as f64 * (p.channels as f64 / dim as f64).ceil();
                 act_s += 2.0 * rows / clock;
             }
             Layer::Vector(v) => {
@@ -132,10 +154,15 @@ pub fn app_time(model: &NnModel, base: &TpuConfig, design: &DesignPoint) -> AppT
         }
     }
 
-    let dma_s = (model.input_bytes_per_batch() + model.output_bytes_per_batch()) as f64
-        / base.pcie_bw;
+    let dma_s =
+        (model.input_bytes_per_batch() + model.output_bytes_per_batch()) as f64 / base.pcie_bw;
     let total_s = matrix_s + act_s + dma_s;
-    AppTime { matrix_s, act_s, dma_s, total_s }
+    AppTime {
+        matrix_s,
+        act_s,
+        dma_s,
+        total_s,
+    }
 }
 
 /// Speedup of `design` over the baseline for one application.

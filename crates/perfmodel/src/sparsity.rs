@@ -41,22 +41,38 @@ pub struct SparsityConfig {
 impl SparsityConfig {
     /// No sparsity support: the shipped TPU.
     pub fn dense() -> Self {
-        Self { activation_zero_fraction: 0.0, skip_efficiency: 0.0, weight_compression: 1.0 }
+        Self {
+            activation_zero_fraction: 0.0,
+            skip_efficiency: 0.0,
+            weight_compression: 1.0,
+        }
     }
 
     /// Cnvlutin-style activation skipping at the published 44% zeros.
     pub fn cnvlutin() -> Self {
-        Self { activation_zero_fraction: 0.44, skip_efficiency: 0.8, weight_compression: 1.0 }
+        Self {
+            activation_zero_fraction: 0.44,
+            skip_efficiency: 0.8,
+            weight_compression: 1.0,
+        }
     }
 
     /// EIE-style 10x weight compression (pruning + encoding).
     pub fn eie_weights() -> Self {
-        Self { activation_zero_fraction: 0.0, skip_efficiency: 0.0, weight_compression: 10.0 }
+        Self {
+            activation_zero_fraction: 0.0,
+            skip_efficiency: 0.0,
+            weight_compression: 10.0,
+        }
     }
 
     /// Both together.
     pub fn combined() -> Self {
-        Self { activation_zero_fraction: 0.44, skip_efficiency: 0.8, weight_compression: 10.0 }
+        Self {
+            activation_zero_fraction: 0.44,
+            skip_efficiency: 0.8,
+            weight_compression: 10.0,
+        }
     }
 
     /// Validate ranges.
@@ -126,19 +142,35 @@ pub fn evaluate(cfg: &TpuConfig, label: &str, sparsity: &SparsityConfig) -> Spar
     let mut wm = 0.0;
     for m in workloads::all() {
         let s = sparsity_speedup(&m, cfg, sparsity);
-        let w = mix.iter().find(|(n, _)| *n == m.name()).map(|(_, w)| *w).unwrap();
+        let w = mix
+            .iter()
+            .find(|(n, _)| *n == m.name())
+            .map(|(_, w)| *w)
+            .unwrap();
         wm += s * w;
         speedups.push((m.name().to_string(), s));
     }
-    SparsityRow { label: label.to_string(), speedups, weighted_mean: wm }
+    SparsityRow {
+        label: label.to_string(),
+        speedups,
+        weighted_mean: wm,
+    }
 }
 
 /// The full ablation: dense, Cnvlutin-style, EIE-style, combined.
 pub fn ablation(cfg: &TpuConfig) -> Vec<SparsityRow> {
     vec![
         evaluate(cfg, "dense (shipped TPU)", &SparsityConfig::dense()),
-        evaluate(cfg, "activation skip (Cnvlutin-style)", &SparsityConfig::cnvlutin()),
-        evaluate(cfg, "weight compression 10x (EIE-style)", &SparsityConfig::eie_weights()),
+        evaluate(
+            cfg,
+            "activation skip (Cnvlutin-style)",
+            &SparsityConfig::cnvlutin(),
+        ),
+        evaluate(
+            cfg,
+            "weight compression 10x (EIE-style)",
+            &SparsityConfig::eie_weights(),
+        ),
         evaluate(cfg, "both", &SparsityConfig::combined()),
     ]
 }
@@ -191,7 +223,10 @@ mod tests {
     fn combined_dominates_both() {
         let rows = ablation(&cfg());
         let wm = |label: &str| {
-            rows.iter().find(|r| r.label.starts_with(label)).unwrap().weighted_mean
+            rows.iter()
+                .find(|r| r.label.starts_with(label))
+                .unwrap()
+                .weighted_mean
         };
         assert!(wm("both") >= wm("weight") - 1e-9);
         assert!(wm("both") >= wm("activation") - 1e-9);
@@ -200,11 +235,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let bad = SparsityConfig { activation_zero_fraction: 1.5, ..SparsityConfig::dense() };
+        let bad = SparsityConfig {
+            activation_zero_fraction: 1.5,
+            ..SparsityConfig::dense()
+        };
         assert!(bad.validate().is_err());
-        let bad = SparsityConfig { weight_compression: 0.5, ..SparsityConfig::dense() };
+        let bad = SparsityConfig {
+            weight_compression: 0.5,
+            ..SparsityConfig::dense()
+        };
         assert!(bad.validate().is_err());
-        let bad = SparsityConfig { skip_efficiency: -0.1, ..SparsityConfig::cnvlutin() };
+        let bad = SparsityConfig {
+            skip_efficiency: -0.1,
+            ..SparsityConfig::cnvlutin()
+        };
         assert!(bad.validate().is_err());
     }
 

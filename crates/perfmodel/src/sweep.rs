@@ -84,7 +84,12 @@ pub struct SweepPoint {
 pub fn figure11(cfg: &TpuConfig) -> Vec<SweepPoint> {
     let models = workloads::all();
     let mix = workloads::workload_mix();
-    let weight = |name: &str| mix.iter().find(|(n, _)| *n == name).map(|(_, w)| *w).unwrap();
+    let weight = |name: &str| {
+        mix.iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, w)| *w)
+            .unwrap()
+    };
 
     let mut out = Vec::new();
     for knob in SweepKnob::all() {
@@ -97,7 +102,12 @@ pub fn figure11(cfg: &TpuConfig) -> Vec<SweepPoint> {
             let weighted_mean: f64 = speedups.iter().map(|(s, w)| s * w).sum();
             let geometric_mean =
                 (speedups.iter().map(|(s, _)| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
-            out.push(SweepPoint { knob, scale, weighted_mean, geometric_mean });
+            out.push(SweepPoint {
+                knob,
+                scale,
+                weighted_mean,
+                geometric_mean,
+            });
         }
     }
     out
@@ -125,7 +135,11 @@ pub fn figure11_per_app(cfg: &TpuConfig) -> Vec<AppCurve> {
                 .iter()
                 .map(|&s| (s, speedup(&m, cfg, &knob.design(s))))
                 .collect();
-            out.push(AppCurve { app: m.name().to_string(), knob, points });
+            out.push(AppCurve {
+                app: m.name().to_string(),
+                knob,
+                points,
+            });
         }
     }
     out
@@ -138,7 +152,11 @@ pub fn weighted_mean_at(cfg: &TpuConfig, knob: SweepKnob, scale: f64) -> f64 {
     workloads::all()
         .iter()
         .map(|m| {
-            let w = mix.iter().find(|(n, _)| *n == m.name()).map(|(_, w)| *w).unwrap();
+            let w = mix
+                .iter()
+                .find(|(n, _)| *n == m.name())
+                .map(|(_, w)| *w)
+                .unwrap();
             speedup(m, cfg, &design) * w
         })
         .sum()
@@ -161,7 +179,10 @@ mod tests {
                 .iter()
                 .find(|p| p.knob == knob && p.scale == 1.0)
                 .expect("baseline point exists");
-            assert!((at_1x.weighted_mean - 1.0).abs() < 1e-9, "baseline must be 1.0");
+            assert!(
+                (at_1x.weighted_mean - 1.0).abs() < 1e-9,
+                "baseline must be 1.0"
+            );
         }
     }
 
@@ -170,8 +191,12 @@ mod tests {
         // Paper: memory 4x -> ~3x mean; every other knob is far below.
         let mem = weighted_mean_at(&cfg(), SweepKnob::Memory, 4.0);
         assert!((2.0..=4.0).contains(&mem), "memory 4x weighted mean {mem}");
-        for knob in [SweepKnob::Clock, SweepKnob::ClockPlus, SweepKnob::Matrix, SweepKnob::MatrixPlus]
-        {
+        for knob in [
+            SweepKnob::Clock,
+            SweepKnob::ClockPlus,
+            SweepKnob::Matrix,
+            SweepKnob::MatrixPlus,
+        ] {
             let s = weighted_mean_at(&cfg(), knob, 4.0);
             assert!(mem > s, "memory ({mem}) must beat {} ({s})", knob.label());
         }
@@ -185,7 +210,10 @@ mod tests {
         let clock_plus = weighted_mean_at(&cfg(), SweepKnob::ClockPlus, 4.0);
         assert!(clock < 1.4, "clock 4x mean {clock}");
         assert!(clock_plus < 1.4, "clock+ 4x mean {clock_plus}");
-        assert!(clock_plus >= clock - 1e-9, "accumulators never hurt the clock curve");
+        assert!(
+            clock_plus >= clock - 1e-9,
+            "accumulators never hurt the clock curve"
+        );
     }
 
     #[test]
@@ -195,7 +223,11 @@ mod tests {
         // accumulators."
         for knob in [SweepKnob::Matrix, SweepKnob::MatrixPlus] {
             let s = weighted_mean_at(&cfg(), knob, 2.0);
-            assert!(s <= 1.0 + 1e-9, "{} 2x mean {s} should not improve", knob.label());
+            assert!(
+                s <= 1.0 + 1e-9,
+                "{} 2x mean {s} should not improve",
+                knob.label()
+            );
         }
     }
 

@@ -84,7 +84,11 @@ pub fn evaluate(cfg: &TpuConfig, variant: TpuPrimeVariant) -> PrimeSpeedup {
     let models = workloads::all();
     for m in &models {
         let s = speedup(m, cfg, &design);
-        let w = mix.iter().find(|(n, _)| *n == m.name()).map(|(_, w)| *w).unwrap();
+        let w = mix
+            .iter()
+            .find(|(n, _)| *n == m.name())
+            .map(|(_, w)| *w)
+            .unwrap();
         lns += s.ln();
         wsum += s * w;
         // Host interaction time does not scale with the TPU design:
@@ -106,10 +110,14 @@ pub fn evaluate(cfg: &TpuConfig, variant: TpuPrimeVariant) -> PrimeSpeedup {
 
 /// Evaluate all three variants.
 pub fn evaluate_all(cfg: &TpuConfig) -> Vec<PrimeSpeedup> {
-    [TpuPrimeVariant::ClockOnly, TpuPrimeVariant::MemoryOnly, TpuPrimeVariant::Both]
-        .into_iter()
-        .map(|v| evaluate(cfg, v))
-        .collect()
+    [
+        TpuPrimeVariant::ClockOnly,
+        TpuPrimeVariant::MemoryOnly,
+        TpuPrimeVariant::Both,
+    ]
+    .into_iter()
+    .map(|v| evaluate(cfg, v))
+    .collect()
 }
 
 /// The TPU' server power estimate (Section 7): GDDR5 raises the 4-TPU
@@ -155,7 +163,12 @@ mod tests {
         let mem = evaluate(&cfg(), TpuPrimeVariant::MemoryOnly);
         let both = evaluate(&cfg(), TpuPrimeVariant::Both);
         assert!(both.gm >= mem.gm - 1e-9);
-        assert!(both.gm < mem.gm * 1.5, "both GM {} vs mem GM {}", both.gm, mem.gm);
+        assert!(
+            both.gm < mem.gm * 1.5,
+            "both GM {} vs mem GM {}",
+            both.gm,
+            mem.gm
+        );
     }
 
     #[test]
@@ -171,8 +184,7 @@ mod tests {
     fn evaluate_all_covers_three_variants() {
         let all = evaluate_all(&cfg());
         assert_eq!(all.len(), 3);
-        let labels: std::collections::HashSet<_> =
-            all.iter().map(|s| s.variant.label()).collect();
+        let labels: std::collections::HashSet<_> = all.iter().map(|s| s.variant.label()).collect();
         assert_eq!(labels.len(), 3);
     }
 }

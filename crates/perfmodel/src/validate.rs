@@ -46,8 +46,10 @@ pub fn validate_app(model: &NnModel, cfg: &TpuConfig) -> ValidationRow {
 
 /// Table 7 for all six applications, plus the mean difference.
 pub fn table7(cfg: &TpuConfig) -> (Vec<ValidationRow>, f64) {
-    let rows: Vec<ValidationRow> =
-        workloads::all().iter().map(|m| validate_app(m, cfg)).collect();
+    let rows: Vec<ValidationRow> = workloads::all()
+        .iter()
+        .map(|m| validate_app(m, cfg))
+        .collect();
     let mean = rows.iter().map(|r| r.rel_diff).sum::<f64>() / rows.len() as f64;
     (rows, mean)
 }
@@ -73,7 +75,11 @@ mod tests {
                 100.0 * r.rel_diff
             );
         }
-        assert!(mean < 0.15, "mean model-vs-sim difference {:.1}%", 100.0 * mean);
+        assert!(
+            mean < 0.15,
+            "mean model-vs-sim difference {:.1}%",
+            100.0 * mean
+        );
     }
 
     #[test]

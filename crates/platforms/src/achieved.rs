@@ -53,8 +53,7 @@ fn raw_roofline_ips(model: &NnModel, spec: &ChipSpec) -> f64 {
         NnKind::Mlp | NnKind::Lstm => CPU_GPU_LATENCY_BATCH.min(model.batch()),
         NnKind::Cnn => model.batch(),
     };
-    let intensity =
-        batch as f64 * model.macs_per_example() as f64 / model.total_weights() as f64;
+    let intensity = batch as f64 * model.macs_per_example() as f64 / model.total_weights() as f64;
     let roofline = Roofline::from_spec(spec);
     roofline.attainable_macs(intensity) / model.macs_per_example() as f64
 }
@@ -127,12 +126,8 @@ pub fn calibrate_baselines(cfg: &TpuConfig) -> BaselineModels {
     };
     let gpu = FamilyEfficiency {
         mlp: clamp(anchors::GPU_MLP0_IPS / raw_roofline_ips(&mlp0, &gpu_spec)),
-        lstm: clamp(
-            cpu_lstm0 * anchors::GPU_OVER_CPU_LSTM0 / raw_roofline_ips(&lstm0, &gpu_spec),
-        ),
-        cnn: clamp(
-            cpu_cnn0 * anchors::GPU_OVER_CPU_CNN0 / raw_roofline_ips(&cnn0, &gpu_spec),
-        ),
+        lstm: clamp(cpu_lstm0 * anchors::GPU_OVER_CPU_LSTM0 / raw_roofline_ips(&lstm0, &gpu_spec)),
+        cnn: clamp(cpu_cnn0 * anchors::GPU_OVER_CPU_CNN0 / raw_roofline_ips(&cnn0, &gpu_spec)),
     };
     BaselineModels { cpu, gpu }
 }
@@ -197,13 +192,22 @@ pub fn table6(cfg: &TpuConfig) -> Table6 {
         });
     }
     let weight = |name: &str| {
-        mix.iter().find(|(n, _)| *n == name).map(|(_, w)| *w).unwrap_or(0.0)
+        mix.iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, w)| *w)
+            .unwrap_or(0.0)
     };
     let gpu_gm = geomean(columns.iter().map(|c| c.gpu_rel));
     let tpu_gm = geomean(columns.iter().map(|c| c.tpu_rel));
     let gpu_wm: f64 = columns.iter().map(|c| c.gpu_rel * weight(&c.name)).sum();
     let tpu_wm: f64 = columns.iter().map(|c| c.tpu_rel * weight(&c.name)).sum();
-    Table6 { columns, gpu_gm, gpu_wm, tpu_gm, tpu_wm }
+    Table6 {
+        columns,
+        gpu_gm,
+        gpu_wm,
+        tpu_gm,
+        tpu_wm,
+    }
 }
 
 #[cfg(test)]
@@ -290,7 +294,9 @@ mod tests {
     #[test]
     fn efficiency_factors_are_sane() {
         let b = calibrate_baselines(&cfg());
-        for f in [b.cpu.mlp, b.cpu.lstm, b.cpu.cnn, b.gpu.mlp, b.gpu.lstm, b.gpu.cnn] {
+        for f in [
+            b.cpu.mlp, b.cpu.lstm, b.cpu.cnn, b.gpu.mlp, b.gpu.lstm, b.gpu.cnn,
+        ] {
             assert!(f > 0.01 && f < 2.0, "efficiency factor {f} out of range");
         }
     }

@@ -171,8 +171,7 @@ pub fn simulate_policy(cfg: &BatchSimConfig) -> BatchSimResult {
         let oldest = arrivals[next];
         // Requests queued by the time the server could start.
         let earliest_start = oldest.max(server_free);
-        let queued_by =
-            |time: f64| arrivals[next..].iter().take_while(|&&a| a <= time).count();
+        let queued_by = |time: f64| arrivals[next..].iter().take_while(|&&a| a <= time).count();
 
         // Decide dispatch time and batch size under the policy.
         let (start, batch) = match cfg.policy {
@@ -181,7 +180,10 @@ pub fn simulate_policy(cfg: &BatchSimConfig) -> BatchSimResult {
                 let ready = arrivals[next + want - 1];
                 (ready.max(server_free), want)
             }
-            Policy::TimeWindow { max_batch, window_ms } => {
+            Policy::TimeWindow {
+                max_batch,
+                window_ms,
+            } => {
                 let cutoff = oldest + window_ms;
                 // Dispatch at the earliest of: batch full, window expiry —
                 // but never before the server is free.
@@ -193,7 +195,11 @@ pub fn simulate_policy(cfg: &BatchSimConfig) -> BatchSimResult {
                 let b = queued_by(start).clamp(1, max_batch);
                 (start.max(arrivals[next + b - 1]), b)
             }
-            Policy::Deadline { max_batch, deadline_ms, margin_ms } => {
+            Policy::Deadline {
+                max_batch,
+                deadline_ms,
+                margin_ms,
+            } => {
                 // Latest start such that the oldest request still meets its
                 // deadline given the service time of the batch available
                 // then. Solved by scanning candidate batch sizes.
@@ -299,7 +305,12 @@ mod tests {
             requests: cfg.requests,
             seed: cfg.seed,
         });
-        assert!((r.p99_ms - legacy.p99_ms).abs() < 0.5, "{} vs {}", r.p99_ms, legacy.p99_ms);
+        assert!(
+            (r.p99_ms - legacy.p99_ms).abs() < 0.5,
+            "{} vs {}",
+            r.p99_ms,
+            legacy.p99_ms
+        );
     }
 
     #[test]
@@ -309,10 +320,18 @@ mod tests {
         let trickle = 1_000.0; // ~1 request/ms
         let fixed = simulate_policy(&tpu_service(Policy::Fixed { batch: 64 }, trickle));
         let window = simulate_policy(&tpu_service(
-            Policy::TimeWindow { max_batch: 64, window_ms: 2.0 },
+            Policy::TimeWindow {
+                max_batch: 64,
+                window_ms: 2.0,
+            },
             trickle,
         ));
-        assert!(window.p99_ms < fixed.p99_ms / 2.0, "{} vs {}", window.p99_ms, fixed.p99_ms);
+        assert!(
+            window.p99_ms < fixed.p99_ms / 2.0,
+            "{} vs {}",
+            window.p99_ms,
+            fixed.p99_ms
+        );
         assert!(window.mean_batch < 64.0);
     }
 
@@ -320,7 +339,10 @@ mod tests {
     fn time_window_reaches_full_batches_at_high_load() {
         let flood = 500_000.0;
         let r = simulate_policy(&tpu_service(
-            Policy::TimeWindow { max_batch: 64, window_ms: 5.0 },
+            Policy::TimeWindow {
+                max_batch: 64,
+                window_ms: 5.0,
+            },
             flood,
         ));
         assert!(r.mean_batch > 55.0, "mean batch {}", r.mean_batch);
@@ -331,21 +353,37 @@ mod tests {
         // The margin must absorb the lognormal service jitter; with two
         // milliseconds of headroom the hit rate clears 97%.
         let cfg = gpu_service(
-            Policy::Deadline { max_batch: 64, deadline_ms: 14.0, margin_ms: 2.0 },
+            Policy::Deadline {
+                max_batch: 64,
+                deadline_ms: 14.0,
+                margin_ms: 2.0,
+            },
             2_500.0,
         );
         let r = simulate_policy(&cfg);
-        assert!(r.deadline_hit_rate > 0.97, "hit rate {}", r.deadline_hit_rate);
+        assert!(
+            r.deadline_hit_rate > 0.97,
+            "hit rate {}",
+            r.deadline_hit_rate
+        );
     }
 
     #[test]
     fn wider_margin_raises_hit_rate() {
         let tight = simulate_policy(&gpu_service(
-            Policy::Deadline { max_batch: 64, deadline_ms: 14.0, margin_ms: 0.5 },
+            Policy::Deadline {
+                max_batch: 64,
+                deadline_ms: 14.0,
+                margin_ms: 0.5,
+            },
             2_500.0,
         ));
         let wide = simulate_policy(&gpu_service(
-            Policy::Deadline { max_batch: 64, deadline_ms: 14.0, margin_ms: 3.0 },
+            Policy::Deadline {
+                max_batch: 64,
+                deadline_ms: 14.0,
+                margin_ms: 3.0,
+            },
             2_500.0,
         ));
         assert!(wide.deadline_hit_rate >= tight.deadline_hit_rate);
@@ -354,11 +392,19 @@ mod tests {
     #[test]
     fn deadline_policy_grows_batches_with_load() {
         let lo = simulate_policy(&gpu_service(
-            Policy::Deadline { max_batch: 64, deadline_ms: 14.0, margin_ms: 1.0 },
+            Policy::Deadline {
+                max_batch: 64,
+                deadline_ms: 14.0,
+                margin_ms: 1.0,
+            },
             500.0,
         ));
         let hi = simulate_policy(&gpu_service(
-            Policy::Deadline { max_batch: 64, deadline_ms: 14.0, margin_ms: 1.0 },
+            Policy::Deadline {
+                max_batch: 64,
+                deadline_ms: 14.0,
+                margin_ms: 1.0,
+            },
             4_000.0,
         ));
         assert!(
@@ -377,8 +423,12 @@ mod tests {
         // of its saturation throughput.
         let tpu = tpu_service(Policy::Fixed { batch: 256 }, 1.0);
         let gpu = gpu_service(Policy::Fixed { batch: 256 }, 1.0);
-        let fits =
-            |cfg: &BatchSimConfig| (1..=256).rev().find(|&b| cfg.service_ms(b) <= 7.0).unwrap_or(1);
+        let fits = |cfg: &BatchSimConfig| {
+            (1..=256)
+                .rev()
+                .find(|&b| cfg.service_ms(b) <= 7.0)
+                .unwrap_or(1)
+        };
         let tpu_fit = fits(&tpu);
         let gpu_fit = fits(&gpu);
         assert_eq!(tpu_fit, 256, "every TPU batch fits in 7 ms");
@@ -392,7 +442,13 @@ mod tests {
 
     #[test]
     fn results_are_reproducible() {
-        let cfg = gpu_service(Policy::TimeWindow { max_batch: 32, window_ms: 3.0 }, 3_000.0);
+        let cfg = gpu_service(
+            Policy::TimeWindow {
+                max_batch: 32,
+                window_ms: 3.0,
+            },
+            3_000.0,
+        );
         assert_eq!(simulate_policy(&cfg), simulate_policy(&cfg));
     }
 
@@ -401,8 +457,15 @@ mod tests {
         for rate in [500.0, 5_000.0, 50_000.0] {
             for policy in [
                 Policy::Fixed { batch: 32 },
-                Policy::TimeWindow { max_batch: 32, window_ms: 1.0 },
-                Policy::Deadline { max_batch: 32, deadline_ms: 10.0, margin_ms: 0.5 },
+                Policy::TimeWindow {
+                    max_batch: 32,
+                    window_ms: 1.0,
+                },
+                Policy::Deadline {
+                    max_batch: 32,
+                    deadline_ms: 10.0,
+                    margin_ms: 0.5,
+                },
             ] {
                 let r = simulate_policy(&tpu_service(policy, rate));
                 assert!(r.mean_batch <= 32.0 + 1e-9);
@@ -413,7 +476,13 @@ mod tests {
 
     #[test]
     fn every_request_is_accounted_for() {
-        let cfg = tpu_service(Policy::TimeWindow { max_batch: 16, window_ms: 0.5 }, 2_000.0);
+        let cfg = tpu_service(
+            Policy::TimeWindow {
+                max_batch: 16,
+                window_ms: 0.5,
+            },
+            2_000.0,
+        );
         let r = simulate_policy(&cfg);
         let total = (r.mean_batch * r.batches as f64).round() as usize;
         assert_eq!(total, cfg.requests);
@@ -429,9 +498,21 @@ mod tests {
     #[test]
     fn policy_max_batch_accessor() {
         assert_eq!(Policy::Fixed { batch: 7 }.max_batch(), 7);
-        assert_eq!(Policy::TimeWindow { max_batch: 9, window_ms: 1.0 }.max_batch(), 9);
         assert_eq!(
-            Policy::Deadline { max_batch: 11, deadline_ms: 7.0, margin_ms: 1.0 }.max_batch(),
+            Policy::TimeWindow {
+                max_batch: 9,
+                window_ms: 1.0
+            }
+            .max_batch(),
+            9
+        );
+        assert_eq!(
+            Policy::Deadline {
+                max_batch: 11,
+                deadline_ms: 7.0,
+                margin_ms: 1.0
+            }
+            .max_batch(),
             11
         );
     }

@@ -30,7 +30,12 @@ pub struct BoostMode {
 impl BoostMode {
     /// The published measurement.
     pub fn k80_lstm1() -> Self {
-        Self { base_clock_mhz: 560.0, boost_clock_mhz: 875.0, perf_gain: 1.4, power_gain: 1.3 }
+        Self {
+            base_clock_mhz: 560.0,
+            boost_clock_mhz: 875.0,
+            perf_gain: 1.4,
+            power_gain: 1.3,
+        }
     }
 
     /// Clock-rate ratio (up to 1.6x).
@@ -78,7 +83,11 @@ pub fn rack_provisioning(budget_w: f64) -> RackProvisioning {
     } else {
         (cards_boost as f64 * boost.perf_gain) / cards_base as f64
     };
-    RackProvisioning { cards_base, cards_boost, throughput_ratio }
+    RackProvisioning {
+        cards_base,
+        cards_boost,
+        throughput_ratio,
+    }
 }
 
 #[cfg(test)]
@@ -116,7 +125,11 @@ mod tests {
         // With many cards, the granularity effect vanishes and the rack
         // gain approaches perf/power = ~1.08.
         let r = rack_provisioning(1000.0 * 2.0 * 98.0);
-        assert!((r.throughput_ratio - 1.077).abs() < 0.01, "ratio {}", r.throughput_ratio);
+        assert!(
+            (r.throughput_ratio - 1.077).abs() < 0.01,
+            "ratio {}",
+            r.throughput_ratio
+        );
     }
 
     #[test]

@@ -51,7 +51,14 @@ impl ServingModel {
             "constants must be nonnegative"
         );
         assert!(cap_ips > 0.0, "throughput ceiling must be positive");
-        Self { t0_ms, t1_ms, h_ms, u_ms, q_ms, cap_ips }
+        Self {
+            t0_ms,
+            t1_ms,
+            h_ms,
+            u_ms,
+            q_ms,
+            cap_ips,
+        }
     }
 
     /// Haswell serving MLP0 (fitted to Table 4 rows 1-2).
@@ -169,7 +176,10 @@ mod tests {
 
     fn close(got: f64, want: f64, tol: f64, what: &str) {
         let rel = (got - want).abs() / want;
-        assert!(rel <= tol, "{what}: got {got:.3}, want {want} (rel {rel:.4})");
+        assert!(
+            rel <= tol,
+            "{what}: got {got:.3}, want {want} (rel {rel:.4})"
+        );
     }
 
     #[test]
@@ -201,7 +211,11 @@ mod tests {
 
     #[test]
     fn latency_grows_with_batch() {
-        for m in [ServingModel::cpu_mlp0(), ServingModel::gpu_mlp0(), ServingModel::tpu_mlp0()] {
+        for m in [
+            ServingModel::cpu_mlp0(),
+            ServingModel::gpu_mlp0(),
+            ServingModel::tpu_mlp0(),
+        ] {
             let mut prev = 0.0;
             for b in [1usize, 8, 32, 64, 128, 200] {
                 let l = m.l99_ms(b);
@@ -213,7 +227,11 @@ mod tests {
 
     #[test]
     fn throughput_grows_with_batch() {
-        for m in [ServingModel::cpu_mlp0(), ServingModel::gpu_mlp0(), ServingModel::tpu_mlp0()] {
+        for m in [
+            ServingModel::cpu_mlp0(),
+            ServingModel::gpu_mlp0(),
+            ServingModel::tpu_mlp0(),
+        ] {
             assert!(m.ips(64) > m.ips(16));
             assert!(m.ips(16) > m.ips(1));
         }
@@ -242,9 +260,18 @@ mod tests {
         let f_cpu = ServingModel::cpu_mlp0().fraction_of_max(limit, &pow2, 64);
         let f_gpu = ServingModel::gpu_mlp0().fraction_of_max(limit, &pow2, 64);
         let f_tpu = ServingModel::tpu_mlp0().fraction_of_max(limit, &tpu_cfgs, 250);
-        assert!((f_cpu - 0.42).abs() < 0.03, "CPU fraction {f_cpu} (paper 42%)");
-        assert!((f_gpu - 0.37).abs() < 0.03, "GPU fraction {f_gpu} (paper 37%)");
-        assert!((f_tpu - 0.80).abs() < 0.03, "TPU fraction {f_tpu} (paper 80%)");
+        assert!(
+            (f_cpu - 0.42).abs() < 0.03,
+            "CPU fraction {f_cpu} (paper 42%)"
+        );
+        assert!(
+            (f_gpu - 0.37).abs() < 0.03,
+            "GPU fraction {f_gpu} (paper 37%)"
+        );
+        assert!(
+            (f_tpu - 0.80).abs() < 0.03,
+            "TPU fraction {f_tpu} (paper 80%)"
+        );
         assert_eq!(
             ServingModel::cpu_mlp0().max_batch_within_from(limit, &pow2),
             Some(16)

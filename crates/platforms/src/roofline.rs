@@ -39,7 +39,10 @@ impl Roofline {
     ///
     /// Panics unless both are positive and finite.
     pub fn new(peak_macs: f64, bw: f64) -> Self {
-        assert!(peak_macs > 0.0 && peak_macs.is_finite(), "peak must be positive");
+        assert!(
+            peak_macs > 0.0 && peak_macs.is_finite(),
+            "peak must be positive"
+        );
         assert!(bw > 0.0 && bw.is_finite(), "bandwidth must be positive");
         Self { peak_macs, bw }
     }
@@ -145,7 +148,10 @@ mod tests {
         let b = r.attainable_macs(ridge / 2.0);
         assert!((b / a - 2.0).abs() < 1e-9);
         // Above the ridge, it is flat at peak.
-        assert_eq!(r.attainable_macs(ridge * 2.0), r.attainable_macs(ridge * 10.0));
+        assert_eq!(
+            r.attainable_macs(ridge * 2.0),
+            r.attainable_macs(ridge * 10.0)
+        );
         assert!((r.attainable_tops(ridge * 2.0) - r.peak_tops()).abs() < 1e-9);
     }
 

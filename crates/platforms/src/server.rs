@@ -151,8 +151,7 @@ pub fn simulate_server(cfg: &ServerSimConfig) -> ServerSimResult {
         } else {
             1.0
         };
-        let service =
-            (cfg.service_t0_ms + cfg.service_t1_ms * chunk.len() as f64) * jitter;
+        let service = (cfg.service_t0_ms + cfg.service_t1_ms * chunk.len() as f64) * jitter;
         let end = start + service;
         free_at[die] = end;
         batches_per_die[die] += 1;
@@ -211,8 +210,16 @@ mod tests {
     fn four_tpus_scale_throughput_nearly_linearly() {
         // Keep each configuration at ~70% of its own capacity and compare
         // sustained throughput: 4 dies carry ~4x the load of 1.
-        let one = tpu_server(1, Dispatch::LeastLoaded, 0.7 * tpu_server(1, Dispatch::LeastLoaded, 1.0).capacity_ips());
-        let four = tpu_server(4, Dispatch::LeastLoaded, 0.7 * tpu_server(4, Dispatch::LeastLoaded, 1.0).capacity_ips());
+        let one = tpu_server(
+            1,
+            Dispatch::LeastLoaded,
+            0.7 * tpu_server(1, Dispatch::LeastLoaded, 1.0).capacity_ips(),
+        );
+        let four = tpu_server(
+            4,
+            Dispatch::LeastLoaded,
+            0.7 * tpu_server(4, Dispatch::LeastLoaded, 1.0).capacity_ips(),
+        );
         let r1 = simulate_server(&one);
         let r4 = simulate_server(&four);
         let ratio = r4.throughput_ips / r1.throughput_ips;

@@ -38,7 +38,13 @@ impl P40Spec {
     /// The Section 8 figures: "new 16-nm, 1.5GHz, 250W P40 ... 47 Tera
     /// 8-bit ops/sec".
     pub fn paper() -> Self {
-        P40Spec { process_nm: 16, clock_mhz: 1500.0, tdp_w: 250.0, peak_tops_8b: 47.0, mem_gb_s: 346.0 }
+        P40Spec {
+            process_nm: 16,
+            clock_mhz: 1500.0,
+            tdp_w: 250.0,
+            peak_tops_8b: 47.0,
+            mem_gb_s: 346.0,
+        }
     }
 
     /// The P40's roofline (peak 8-bit ops; 2 ops per MAC).
@@ -117,8 +123,7 @@ pub fn p40_comparison(cfg: &TpuConfig) -> Vec<P40Row> {
         .iter()
         .map(|m| {
             let batch = latency_batch(m);
-            let intensity =
-                batch as f64 * m.macs_per_example() as f64 / m.total_weights() as f64;
+            let intensity = batch as f64 * m.macs_per_example() as f64 / m.total_weights() as f64;
             let raw_ips = roofline.attainable_macs(intensity) / m.macs_per_example() as f64;
             let eff = match m.kind() {
                 NnKind::Mlp => baselines.gpu.mlp,
@@ -157,7 +162,10 @@ mod tests {
     fn tpu_peak_efficiency_is_an_order_of_magnitude_above_p40() {
         let c = p40_peak_comparison();
         // 92/40 = 2.3 vs 0.188: ~12x.
-        assert!(c.tpu_advantage_busy > 10.0 && c.tpu_advantage_busy < 14.0, "{c:?}");
+        assert!(
+            c.tpu_advantage_busy > 10.0 && c.tpu_advantage_busy < 14.0,
+            "{c:?}"
+        );
         assert!(c.tpu_tops_per_watt_tdp > 1.0);
     }
 
@@ -185,7 +193,10 @@ mod tests {
         let cfg = TpuConfig::paper();
         let rows = p40_comparison(&cfg);
         let frac = |name: &str| {
-            rows.iter().find(|r| r.app == name).map(|r| r.p40_peak_fraction).unwrap()
+            rows.iter()
+                .find(|r| r.app == name)
+                .map(|r| r.p40_peak_fraction)
+                .unwrap()
         };
         assert!(frac("CNN0") > frac("MLP0"));
         assert!(frac("CNN1") > frac("MLP1"));

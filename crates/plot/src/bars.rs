@@ -84,7 +84,9 @@ impl BarChart {
             }
             for &v in vals {
                 if !v.is_finite() {
-                    return Err(PlotError::NonFinitePoint { series: cat.clone() });
+                    return Err(PlotError::NonFinitePoint {
+                        series: cat.clone(),
+                    });
                 }
                 if self.log_y && v <= 0.0 {
                     return Err(PlotError::NonPositiveLog { bound: v });
@@ -92,9 +94,19 @@ impl BarChart {
             }
         }
 
-        let max = self.rows.iter().flat_map(|(_, v)| v).cloned().fold(f64::MIN, f64::max);
+        let max = self
+            .rows
+            .iter()
+            .flat_map(|(_, v)| v)
+            .cloned()
+            .fold(f64::MIN, f64::max);
         let (scale, y_lo, y_hi) = if self.log_y {
-            let min = self.rows.iter().flat_map(|(_, v)| v).cloned().fold(f64::MAX, f64::min);
+            let min = self
+                .rows
+                .iter()
+                .flat_map(|(_, v)| v)
+                .cloned()
+                .fold(f64::MAX, f64::min);
             (Scale::Log10, (min / 2.0).min(1.0), max * 1.3)
         } else {
             (Scale::Linear, 0.0, max * 1.1)
@@ -106,7 +118,14 @@ impl BarChart {
         let plot_w = width - left - right;
         let plot_h = height - top - bottom;
         let mut doc = SvgDocument::new(width, height);
-        doc.text(width / 2.0, 22.0, &self.title, 14.0, Anchor::Middle, "#111111");
+        doc.text(
+            width / 2.0,
+            22.0,
+            &self.title,
+            14.0,
+            Anchor::Middle,
+            "#111111",
+        );
 
         for t in scale.ticks(y_lo, y_hi) {
             let uy = scale.normalize(t.value, y_lo, y_hi);
@@ -160,11 +179,25 @@ impl BarChart {
         let mut lx = left;
         let ly = height - 22.0;
         for (gi, g) in self.groups.iter().enumerate() {
-            doc.rect(lx, ly - 9.0, 10.0, 10.0, PALETTE[gi % PALETTE.len()], Some("#444444"));
+            doc.rect(
+                lx,
+                ly - 9.0,
+                10.0,
+                10.0,
+                PALETTE[gi % PALETTE.len()],
+                Some("#444444"),
+            );
             doc.text(lx + 14.0, ly, g, 10.0, Anchor::Start, "#111111");
             lx += 18.0 + 7.0 * g.len() as f64;
         }
-        doc.line(left, top + plot_h, left + plot_w, top + plot_h, "#000000", 1.0);
+        doc.line(
+            left,
+            top + plot_h,
+            left + plot_w,
+            top + plot_h,
+            "#000000",
+            1.0,
+        );
         doc.line(left, top, left, top + plot_h, "#000000", 1.0);
         doc.vertical_text(18.0, top + plot_h / 2.0, &self.y_label, 11.0);
 
@@ -211,19 +244,31 @@ mod tests {
     #[test]
     fn ragged_rows_are_rejected() {
         let c = BarChart::new("t", &["g1", "g2"]).bars("a", &[1.0]);
-        assert_eq!(c.render().unwrap_err(), PlotError::RaggedGroups { expected: 2, found: 1 });
+        assert_eq!(
+            c.render().unwrap_err(),
+            PlotError::RaggedGroups {
+                expected: 2,
+                found: 1
+            }
+        );
     }
 
     #[test]
     fn nan_is_rejected() {
         let c = BarChart::new("t", &["g"]).bars("a", &[f64::NAN]);
-        assert!(matches!(c.render().unwrap_err(), PlotError::NonFinitePoint { .. }));
+        assert!(matches!(
+            c.render().unwrap_err(),
+            PlotError::NonFinitePoint { .. }
+        ));
     }
 
     #[test]
     fn log_axis_rejects_zero_bars() {
         let c = BarChart::new("t", &["g"]).bars("a", &[0.0]).log_y();
-        assert!(matches!(c.render().unwrap_err(), PlotError::NonPositiveLog { .. }));
+        assert!(matches!(
+            c.render().unwrap_err(),
+            PlotError::NonPositiveLog { .. }
+        ));
     }
 
     #[test]

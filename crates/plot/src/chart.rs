@@ -49,12 +49,24 @@ pub struct Series {
 impl Series {
     /// A connected line through `points`.
     pub fn line(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { name: name.into(), points, marker: Marker::None, line: true, color: None }
+        Series {
+            name: name.into(),
+            points,
+            marker: Marker::None,
+            line: true,
+            color: None,
+        }
     }
 
     /// Unconnected markers at `points`.
     pub fn scatter(name: impl Into<String>, points: Vec<(f64, f64)>, marker: Marker) -> Self {
-        Series { name: name.into(), points, marker, line: false, color: None }
+        Series {
+            name: name.into(),
+            points,
+            marker,
+            line: false,
+            color: None,
+        }
     }
 
     /// Draw both the connecting line and a marker at each point.
@@ -92,8 +104,14 @@ struct Frame {
 }
 
 impl Frame {
-    const DEFAULT: Frame =
-        Frame { width: 640.0, height: 420.0, left: 70.0, right: 20.0, top: 40.0, bottom: 55.0 };
+    const DEFAULT: Frame = Frame {
+        width: 640.0,
+        height: 420.0,
+        left: 70.0,
+        right: 20.0,
+        top: 40.0,
+        bottom: 55.0,
+    };
 
     fn plot_w(&self) -> f64 {
         self.width - self.left - self.right
@@ -106,7 +124,10 @@ impl Frame {
     /// Map a unit-interval pair onto pixel coordinates (y grows upward in
     /// data space, downward in SVG space).
     fn place(&self, ux: f64, uy: f64) -> (f64, f64) {
-        (self.left + ux * self.plot_w(), self.top + (1.0 - uy) * self.plot_h())
+        (
+            self.left + ux * self.plot_w(),
+            self.top + (1.0 - uy) * self.plot_h(),
+        )
     }
 }
 
@@ -203,7 +224,9 @@ impl Chart {
             for p in s.points() {
                 let v = pick(p);
                 if !v.is_finite() {
-                    return Err(PlotError::NonFinitePoint { series: s.name().to_string() });
+                    return Err(PlotError::NonFinitePoint {
+                        series: s.name().to_string(),
+                    });
                 }
                 lo = lo.min(v);
                 hi = hi.max(v);
@@ -216,12 +239,20 @@ impl Chart {
         let (lo, hi) = match scale {
             Scale::Linear => {
                 let pad = 0.05 * (hi - lo).max(f64::MIN_POSITIVE);
-                let lo = if lo >= 0.0 && lo < 0.3 * (hi - lo) { 0.0 } else { lo - pad };
+                let lo = if lo >= 0.0 && lo < 0.3 * (hi - lo) {
+                    0.0
+                } else {
+                    lo - pad
+                };
                 (lo, hi + pad)
             }
             Scale::Log10 | Scale::Log2 => (lo / 1.3, hi * 1.3),
         };
-        let (lo, hi) = if lo == hi { (lo - 0.5, hi + 0.5) } else { (lo, hi) };
+        let (lo, hi) = if lo == hi {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            (lo, hi)
+        };
         scale.check_domain(lo, hi)?;
         Ok((lo, hi))
     }
@@ -243,7 +274,14 @@ impl Chart {
 
         let f = self.frame;
         let mut doc = SvgDocument::new(f.width, f.height);
-        doc.text(f.width / 2.0, 22.0, &self.title, 14.0, Anchor::Middle, "#111111");
+        doc.text(
+            f.width / 2.0,
+            22.0,
+            &self.title,
+            14.0,
+            Anchor::Middle,
+            "#111111",
+        );
 
         // Gridlines + tick labels.
         for t in self.x_scale.ticks(x_lo, x_hi) {
@@ -253,7 +291,14 @@ impl Chart {
             }
             let (px, _) = f.place(ux, 0.0);
             doc.dashed_line(px, f.top, px, f.top + f.plot_h(), "#cccccc");
-            doc.text(px, f.top + f.plot_h() + 16.0, &t.label, 10.0, Anchor::Middle, "#333333");
+            doc.text(
+                px,
+                f.top + f.plot_h() + 16.0,
+                &t.label,
+                10.0,
+                Anchor::Middle,
+                "#333333",
+            );
         }
         for t in self.y_scale.ticks(y_lo, y_hi) {
             let uy = self.y_scale.normalize(t.value, y_lo, y_hi);
@@ -262,12 +307,26 @@ impl Chart {
             }
             let (_, py) = f.place(0.0, uy);
             doc.dashed_line(f.left, py, f.left + f.plot_w(), py, "#cccccc");
-            doc.text(f.left - 6.0, py + 3.5, &t.label, 10.0, Anchor::End, "#333333");
+            doc.text(
+                f.left - 6.0,
+                py + 3.5,
+                &t.label,
+                10.0,
+                Anchor::End,
+                "#333333",
+            );
         }
 
         // Axes frame.
         doc.line(f.left, f.top, f.left, f.top + f.plot_h(), "#000000", 1.0);
-        doc.line(f.left, f.top + f.plot_h(), f.left + f.plot_w(), f.top + f.plot_h(), "#000000", 1.0);
+        doc.line(
+            f.left,
+            f.top + f.plot_h(),
+            f.left + f.plot_w(),
+            f.top + f.plot_h(),
+            "#000000",
+            1.0,
+        );
         doc.text(
             f.left + f.plot_w() / 2.0,
             f.height - 12.0,
@@ -308,7 +367,11 @@ impl Chart {
             }
             draw_marker(
                 &mut doc,
-                if s.marker == Marker::None && !s.line { Marker::Circle } else { s.marker },
+                if s.marker == Marker::None && !s.line {
+                    Marker::Circle
+                } else {
+                    s.marker
+                },
                 legend_x + 9.0,
                 y - 3.5,
                 color,
@@ -346,8 +409,7 @@ mod tests {
     use super::*;
 
     fn simple_chart() -> Chart {
-        Chart::new("t")
-            .series(Series::line("a", vec![(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)]))
+        Chart::new("t").series(Series::line("a", vec![(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)]))
     }
 
     #[test]
@@ -374,18 +436,28 @@ mod tests {
     #[test]
     fn nan_point_is_an_error() {
         let c = Chart::new("t").series(Series::line("bad", vec![(0.0, f64::NAN), (1.0, 1.0)]));
-        assert!(matches!(c.render().unwrap_err(), PlotError::NonFinitePoint { .. }));
+        assert!(matches!(
+            c.render().unwrap_err(),
+            PlotError::NonFinitePoint { .. }
+        ));
     }
 
     #[test]
     fn log_axis_with_zero_point_is_an_error() {
         let c = simple_chart().x_axis("x", Scale::Log10);
-        assert!(matches!(c.render().unwrap_err(), PlotError::NonPositiveLog { .. }));
+        assert!(matches!(
+            c.render().unwrap_err(),
+            PlotError::NonPositiveLog { .. }
+        ));
     }
 
     #[test]
     fn fixed_domain_is_respected() {
-        let svg = simple_chart().x_domain(0.0, 10.0).y_domain(0.0, 10.0).render().unwrap();
+        let svg = simple_chart()
+            .x_domain(0.0, 10.0)
+            .y_domain(0.0, 10.0)
+            .render()
+            .unwrap();
         // Ticks at 10 exist because the domain reaches 10.
         assert!(svg.contains(">10</text>"));
     }
@@ -393,7 +465,11 @@ mod tests {
     #[test]
     fn scatter_draws_markers_not_lines() {
         let svg = Chart::new("pts")
-            .series(Series::scatter("s", vec![(1.0, 1.0), (2.0, 2.0)], Marker::Star))
+            .series(Series::scatter(
+                "s",
+                vec![(1.0, 1.0), (2.0, 2.0)],
+                Marker::Star,
+            ))
             .render()
             .unwrap();
         assert!(svg.contains("<polygon"));
@@ -403,7 +479,12 @@ mod tests {
 
     #[test]
     fn all_marker_shapes_render() {
-        for m in [Marker::Circle, Marker::Square, Marker::Triangle, Marker::Star] {
+        for m in [
+            Marker::Circle,
+            Marker::Square,
+            Marker::Triangle,
+            Marker::Star,
+        ] {
             let svg = Chart::new("m")
                 .series(Series::scatter("s", vec![(1.0, 1.0)], m))
                 .render()
@@ -418,7 +499,10 @@ mod tests {
         let svg = Chart::new("roofline")
             .x_axis("intensity", Scale::Log10)
             .y_axis("TOPS", Scale::Log10)
-            .series(Series::line("tpu", vec![(1.0, 0.068), (1350.0, 92.0), (10_000.0, 92.0)]))
+            .series(Series::line(
+                "tpu",
+                vec![(1.0, 0.068), (1350.0, 92.0), (10_000.0, 92.0)],
+            ))
             .render()
             .unwrap();
         assert!(svg.contains("polyline"));
@@ -428,7 +512,10 @@ mod tests {
     fn palette_cycles_for_many_series() {
         let mut c = Chart::new("many");
         for i in 0..10 {
-            c = c.series(Series::line(format!("s{i}"), vec![(0.0, i as f64), (1.0, i as f64)]));
+            c = c.series(Series::line(
+                format!("s{i}"),
+                vec![(0.0, i as f64), (1.0, i as f64)],
+            ));
         }
         let svg = c.render().unwrap();
         for color in PALETTE {

@@ -66,8 +66,13 @@ mod tests {
             PlotError::EmptyDomain { lo: 1.0, hi: 1.0 },
             PlotError::NonPositiveLog { bound: 0.0 },
             PlotError::NoData,
-            PlotError::NonFinitePoint { series: "tpu".into() },
-            PlotError::RaggedGroups { expected: 2, found: 3 },
+            PlotError::NonFinitePoint {
+                series: "tpu".into(),
+            },
+            PlotError::RaggedGroups {
+                expected: 2,
+                found: 3,
+            },
         ];
         for e in errors {
             let msg = e.to_string();

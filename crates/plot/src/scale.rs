@@ -99,7 +99,10 @@ pub struct Tick {
 
 impl Tick {
     fn new(value: f64) -> Self {
-        Tick { value, label: format_tick(value) }
+        Tick {
+            value,
+            label: format_tick(value),
+        }
     }
 }
 
@@ -162,8 +165,7 @@ fn log_ticks(lo: f64, hi: f64, base: f64) -> Vec<Tick> {
     let log = |v: f64| v.ln() / base.ln();
     let first = (log(lo) - 1e-9).ceil() as i32;
     let last = (log(hi) + 1e-9).floor() as i32;
-    let mut ticks: Vec<Tick> =
-        (first..=last).map(|e| Tick::new(base.powi(e))).collect();
+    let mut ticks: Vec<Tick> = (first..=last).map(|e| Tick::new(base.powi(e))).collect();
     // A domain inside one decade/octave still needs endpoints.
     if ticks.len() < 2 {
         ticks = vec![Tick::new(lo), Tick::new(hi)];
@@ -221,7 +223,10 @@ mod tests {
         // 1/2/5 steps only.
         let step = ticks[1].value - ticks[0].value;
         let mant = step / 10f64.powf(step.log10().floor());
-        assert!([1.0, 2.0, 5.0].iter().any(|m| (mant - m).abs() < 1e-9), "step {step}");
+        assert!(
+            [1.0, 2.0, 5.0].iter().any(|m| (mant - m).abs() < 1e-9),
+            "step {step}"
+        );
     }
 
     #[test]
@@ -259,6 +264,8 @@ mod tests {
     fn fractional_linear_domain_gets_ticks() {
         let ticks = Scale::Linear.ticks(0.0, 1.0);
         assert!(ticks.len() >= 3);
-        assert!(ticks.iter().all(|t| t.value >= -1e-12 && t.value <= 1.0 + 1e-12));
+        assert!(ticks
+            .iter()
+            .all(|t| t.value >= -1e-12 && t.value <= 1.0 + 1e-12));
     }
 }

@@ -84,8 +84,16 @@ impl SvgDocument {
     /// Panics if either dimension is not strictly positive and finite.
     pub fn new(width: f64, height: f64) -> Self {
         assert!(width > 0.0 && width.is_finite(), "width must be positive");
-        assert!(height > 0.0 && height.is_finite(), "height must be positive");
-        let mut doc = SvgDocument { width, height, body: String::new(), elements: 0 };
+        assert!(
+            height > 0.0 && height.is_finite(),
+            "height must be positive"
+        );
+        let mut doc = SvgDocument {
+            width,
+            height,
+            body: String::new(),
+            elements: 0,
+        };
         doc.rect(0.0, 0.0, width, height, "#ffffff", None);
         doc
     }
@@ -189,8 +197,12 @@ impl SvgDocument {
             .iter()
             .map(|(x, y)| format!("{},{}", Self::coord(*x), Self::coord(*y)))
             .collect();
-        let _ =
-            writeln!(self.body, r#"<polygon points="{}" fill="{}"/>"#, pts.join(" "), escape(fill));
+        let _ = writeln!(
+            self.body,
+            r#"<polygon points="{}" fill="{}"/>"#,
+            pts.join(" "),
+            escape(fill)
+        );
         self.elements += 1;
     }
 

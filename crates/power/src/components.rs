@@ -65,11 +65,11 @@ impl Default for OpEnergy {
         OpEnergy {
             int8_mul_pj: 0.2,
             int8_add_pj: 0.03,
-            fp16_mul_pj: 1.1,  // ~5.5x the int8 multiply
-            fp16_add_pj: 0.4,  // ~13x the int8 add
+            fp16_mul_pj: 1.1, // ~5.5x the int8 multiply
+            fp16_add_pj: 0.4, // ~13x the int8 add
             fp32_mul_pj: 3.7,
             fp32_add_pj: 0.9,
-            sram_byte_pj: 1.25, // large SRAM: ~10 pJ per 64-bit word
+            sram_byte_pj: 1.25,  // large SRAM: ~10 pJ per 64-bit word
             dram_byte_pj: 162.5, // ~1.3 nJ per 64-bit word
             pcie_byte_pj: 30.0,
         }
@@ -258,7 +258,10 @@ mod tests {
         let e = OpEnergy::default();
         let mul_ratio = e.mul_energy_ratio();
         let add_ratio = e.add_energy_ratio();
-        assert!((4.5..7.5).contains(&mul_ratio), "multiply ratio {mul_ratio}");
+        assert!(
+            (4.5..7.5).contains(&mul_ratio),
+            "multiply ratio {mul_ratio}"
+        );
         assert!((11.0..15.0).contains(&add_ratio), "add ratio {add_ratio}");
     }
 
@@ -287,12 +290,20 @@ mod tests {
         let b1 = die_energy_breakdown(&e, &small);
         let b200 = die_energy_breakdown(&e, &large);
         // Batch 1: essentially all energy is weight DRAM traffic.
-        assert!(b1.dram_fraction() > 0.99, "batch 1 DRAM fraction {}", b1.dram_fraction());
+        assert!(
+            b1.dram_fraction() > 0.99,
+            "batch 1 DRAM fraction {}",
+            b1.dram_fraction()
+        );
         // Batch 200 cuts per-inference energy by >100x...
         assert!(b200.total_j() < b1.total_j() / 100.0);
         // ...yet DRAM remains the largest single component: MLP0 is
         // memory-bound in energy just as in Figure 5's roofline.
-        assert!(b200.dram_fraction() > 0.5, "batch 200 DRAM fraction {}", b200.dram_fraction());
+        assert!(
+            b200.dram_fraction() > 0.5,
+            "batch 200 DRAM fraction {}",
+            b200.dram_fraction()
+        );
         assert!(b200.dram_fraction() < b1.dram_fraction());
     }
 
@@ -312,7 +323,11 @@ mod tests {
     fn systolic_saves_two_orders_of_magnitude_of_sram_energy() {
         let e = OpEnergy::default();
         let (systolic, naive) = systolic_savings(&e, 65_536.0 * 1000.0, 256);
-        assert!(naive / systolic > 100.0, "savings ratio {}", naive / systolic);
+        assert!(
+            naive / systolic > 100.0,
+            "savings ratio {}",
+            naive / systolic
+        );
     }
 
     #[test]
@@ -346,6 +361,10 @@ mod tests {
         let w = InferenceWork::for_model(20e6, 20e6, 200, 4000.0);
         let b = die_energy_breakdown(&e, &w);
         assert!(b.total_j() < 180e-6, "datapath energy {} J", b.total_j());
-        assert!(b.total_j() > 1e-7, "implausibly low energy {} J", b.total_j());
+        assert!(
+            b.total_j() > 1e-7,
+            "implausibly low energy {} J",
+            b.total_j()
+        );
     }
 }

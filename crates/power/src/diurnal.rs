@@ -221,7 +221,11 @@ mod tests {
         let gpu = daily_energy_per_work(Platform::K80, PowerWorkload::Cnn0, &day, gpu_tp);
         let tpu = daily_energy_per_work(Platform::Tpu, PowerWorkload::Cnn0, &day, tpu_tp);
         assert!(tpu < gpu && gpu < cpu, "tpu {tpu} gpu {gpu} cpu {cpu}");
-        assert!(cpu / tpu > 10.0, "TPU energy/work advantage only {}", cpu / tpu);
+        assert!(
+            cpu / tpu > 10.0,
+            "TPU energy/work advantage only {}",
+            cpu / tpu
+        );
     }
 
     #[test]

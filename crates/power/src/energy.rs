@@ -45,9 +45,16 @@ impl PowerCurve {
     ///
     /// Panics unless `0 <= idle <= busy` and `alpha > 0`.
     pub fn new(idle_w: f64, busy_w: f64, alpha: f64) -> Self {
-        assert!(idle_w >= 0.0 && busy_w >= idle_w, "idle must not exceed busy");
+        assert!(
+            idle_w >= 0.0 && busy_w >= idle_w,
+            "idle must not exceed busy"
+        );
         assert!(alpha > 0.0, "alpha must be positive");
-        Self { idle_w, busy_w, alpha }
+        Self {
+            idle_w,
+            busy_w,
+            alpha,
+        }
     }
 
     /// Fit alpha so the curve passes through (`u_ref`, `p_ref` fraction
@@ -215,7 +222,11 @@ mod tests {
         // ... and 40W per die incremental".
         let rows = figure10(PowerWorkload::Cnn0);
         let full = rows.last().unwrap();
-        assert!((full.tpu_total - 118.0).abs() < 3.0, "TPU total {}", full.tpu_total);
+        assert!(
+            (full.tpu_total - 118.0).abs() < 3.0,
+            "TPU total {}",
+            full.tpu_total
+        );
         assert!((full.tpu_incremental - 40.0).abs() < 0.5);
         // And it is the lowest of the three platforms.
         assert!(full.tpu_total < full.gpu_total);
@@ -234,9 +245,7 @@ mod tests {
     fn host_power_higher_when_hosting_tpus() {
         // "The CPU does more work for the TPU because it is running so
         // much faster than the GPU."
-        assert!(
-            host_server_power(Platform::Tpu, 1.0) > host_server_power(Platform::K80, 1.0)
-        );
+        assert!(host_server_power(Platform::Tpu, 1.0) > host_server_power(Platform::K80, 1.0));
         // At zero load both sit at server idle.
         let idle = ChipSpec::haswell().server_idle_w;
         assert!((host_server_power(Platform::Tpu, 0.0) - idle).abs() < 1e-9);

@@ -10,9 +10,9 @@
 
 use serde::{Deserialize, Serialize};
 use tpu_core::TpuConfig;
+use tpu_nn::workloads;
 use tpu_platforms::achieved::{calibrate_baselines, cpu_ips, gpu_ips, tpu_served_ips};
 use tpu_platforms::spec::ChipSpec;
-use tpu_nn::workloads;
 
 /// Joules per inference for one application on the three platforms.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,15 +74,30 @@ mod tests {
         let r = rows();
         assert_eq!(r.len(), 6);
         for row in &r {
-            assert!(row.cpu_j > 0.0 && row.gpu_j > 0.0 && row.tpu_j > 0.0, "{row:?}");
+            assert!(
+                row.cpu_j > 0.0 && row.gpu_j > 0.0 && row.tpu_j > 0.0,
+                "{row:?}"
+            );
         }
     }
 
     #[test]
     fn tpu_is_cheapest_per_inference_everywhere() {
         for row in rows() {
-            assert!(row.tpu_j < row.gpu_j, "{}: TPU {} vs GPU {}", row.name, row.tpu_j, row.gpu_j);
-            assert!(row.tpu_j < row.cpu_j, "{}: TPU {} vs CPU {}", row.name, row.tpu_j, row.cpu_j);
+            assert!(
+                row.tpu_j < row.gpu_j,
+                "{}: TPU {} vs GPU {}",
+                row.name,
+                row.tpu_j,
+                row.gpu_j
+            );
+            assert!(
+                row.tpu_j < row.cpu_j,
+                "{}: TPU {} vs CPU {}",
+                row.name,
+                row.tpu_j,
+                row.cpu_j
+            );
         }
     }
 
@@ -93,7 +108,10 @@ mod tests {
         let r = rows();
         let mlp0 = r.iter().find(|x| x.name == "MLP0").unwrap();
         let ratio = mlp0.cpu_over_tpu();
-        assert!((15.0..=120.0).contains(&ratio), "MLP0 CPU/TPU energy ratio {ratio}");
+        assert!(
+            (15.0..=120.0).contains(&ratio),
+            "MLP0 CPU/TPU energy ratio {ratio}"
+        );
     }
 
     #[test]

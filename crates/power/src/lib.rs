@@ -28,5 +28,5 @@ pub use components::{die_energy_breakdown, EnergyBreakdown, InferenceWork, OpAre
 pub use diurnal::{daily_energy, DailyEnergy, DiurnalProfile};
 pub use energy::{figure10, Fig10Row, PowerCurve, PowerWorkload};
 pub use energy_per_inference::{energy_per_inference, EnergyRow};
-pub use rack::{accelerated_server_cnn0, rack_density, AcceleratedServer, RackRow};
 pub use perf_watt::{avx2_whatif, figure9, Accounting, Avx2WhatIf, Fig9Bar, Figure9};
+pub use rack::{accelerated_server_cnn0, rack_density, AcceleratedServer, RackRow};

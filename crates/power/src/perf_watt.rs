@@ -63,7 +63,10 @@ struct ServerPerfWatt {
 }
 
 fn perf_per_watt(rel_perf_gm: f64, rel_perf_wm: f64, dies: f64, watts: f64) -> ServerPerfWatt {
-    ServerPerfWatt { gm: rel_perf_gm * dies / watts, wm: rel_perf_wm * dies / watts }
+    ServerPerfWatt {
+        gm: rel_perf_gm * dies / watts,
+        wm: rel_perf_wm * dies / watts,
+    }
 }
 
 /// Compute Figure 9 from the simulated Table 6 and the TPU' model.
@@ -231,7 +234,12 @@ mod tests {
         for acct in [Accounting::Total, Accounting::Incremental] {
             let tpu = bar.bar("TPU/CPU", acct).unwrap();
             let prime = bar.bar("TPU'/CPU", acct).unwrap();
-            assert!(prime.gm > tpu.gm, "{acct:?}: TPU' GM {} vs TPU {}", prime.gm, tpu.gm);
+            assert!(
+                prime.gm > tpu.gm,
+                "{acct:?}: TPU' GM {} vs TPU {}",
+                prime.gm,
+                tpu.gm
+            );
             assert!(prime.wm > tpu.wm);
         }
     }

@@ -132,7 +132,10 @@ mod tests {
     fn tpu_rack_throughput_dominates() {
         let rows = rack_density(&cfg(), DEFAULT_RACK_BUDGET_W);
         let tp = |p: Platform| {
-            rows.iter().find(|r| r.platform == p).unwrap().relative_throughput
+            rows.iter()
+                .find(|r| r.platform == p)
+                .unwrap()
+                .relative_throughput
         };
         assert!(tp(Platform::Tpu) > 10.0 * tp(Platform::K80));
         assert!(tp(Platform::K80) > tp(Platform::Haswell));

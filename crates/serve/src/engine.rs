@@ -1,0 +1,560 @@
+//! The discrete-event, multi-tenant serving engine.
+//!
+//! Generalizes the closed-form serving models of `tpu_platforms`
+//! (`queue_sim`, `batching`, `server`) into one seeded scheduler:
+//! Poisson (or bursty) request streams per tenant, policy-driven batch
+//! formation, priority admission onto a pool of accelerator dies, and
+//! per-request end-to-end latency accounting. With a single tenant,
+//! a [`BatchPolicy::Fixed`] policy and one die, the engine reproduces
+//! `queue_sim::simulate` exactly (same seed, same arrival stream, same
+//! dispatch instants) — the integration tests pin that equivalence.
+//!
+//! Everything is deterministic from [`ClusterSpec::seed`]: arrival
+//! streams are per-tenant seeded RNGs, ties in the event queue break by
+//! schedule order, and die selection is a pure function of engine state.
+
+use crate::event::{Event, EventQueue};
+use crate::policy::BatchPolicy;
+use crate::report::{percentile, DieReport, ServeReport, TenantReport};
+use crate::service::ServiceCurve;
+use crate::tenant::TenantSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use tpu_core::TpuConfig;
+pub use tpu_platforms::server::Dispatch;
+
+/// The die pool the tenants share.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of accelerator dies behind the host.
+    pub dies: usize,
+    /// How ready batches are routed to free dies.
+    pub dispatch: Dispatch,
+    /// Master seed; every stochastic stream derives from it.
+    pub seed: u64,
+}
+
+impl ClusterSpec {
+    /// A pool of `dies` dies with least-loaded dispatch.
+    pub fn new(dies: usize, seed: u64) -> Self {
+        ClusterSpec {
+            dies,
+            dispatch: Dispatch::LeastLoaded,
+            seed,
+        }
+    }
+
+    /// Select the dispatch discipline.
+    pub fn with_dispatch(mut self, dispatch: Dispatch) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+}
+
+struct TenantState {
+    spec: TenantSpec,
+    curve: ServiceCurve,
+    queue: VecDeque<f64>,
+    remaining: usize,
+    arrival_rng: StdRng,
+    timer_generation: u64,
+    latencies: Vec<f64>,
+    batches: usize,
+    dispatched: usize,
+}
+
+impl TenantState {
+    fn draining(&self) -> bool {
+        self.remaining == 0
+    }
+
+    fn next_gap_ms(&mut self, now_ms: f64) -> f64 {
+        let rate = self.spec.arrivals.rate_at(now_ms);
+        assert!(rate > 0.0, "arrival rate must stay positive");
+        let u: f64 = self.arrival_rng.gen_range(f64::EPSILON..1.0);
+        -(1000.0 / rate) * u.ln()
+    }
+}
+
+struct DieState {
+    busy: bool,
+    busy_ms: f64,
+    batches: usize,
+}
+
+/// Run the serving simulation to completion and report.
+///
+/// # Panics
+///
+/// Panics on a degenerate setup: no dies, no tenants, a tenant with no
+/// requests, or a nonpositive arrival rate.
+pub fn run(cluster: &ClusterSpec, tenants: &[TenantSpec], cfg: &TpuConfig) -> ServeReport {
+    assert!(cluster.dies > 0, "need at least one die");
+    assert!(!tenants.is_empty(), "need at least one tenant");
+
+    let mut states: Vec<TenantState> = tenants
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            assert!(spec.requests > 0, "tenant {} has no requests", spec.name);
+            spec.arrivals.validate();
+            assert!(
+                spec.policy.max_batch() > 0,
+                "tenant {} has a zero batch",
+                spec.name
+            );
+            TenantState {
+                curve: spec.effective_curve(cfg),
+                queue: VecDeque::new(),
+                remaining: spec.requests,
+                // Tenant 0 shares the master seed so a single-tenant run
+                // reproduces queue_sim's arrival stream bit for bit.
+                arrival_rng: StdRng::seed_from_u64(
+                    cluster
+                        .seed
+                        .wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                ),
+                timer_generation: 0,
+                latencies: Vec::with_capacity(spec.requests),
+                batches: 0,
+                dispatched: 0,
+                spec: spec.clone(),
+            }
+        })
+        .collect();
+
+    let mut service_rng = StdRng::seed_from_u64(cluster.seed ^ 0x5bd1_e995_9e37_79b9);
+    let mut dies: Vec<DieState> = (0..cluster.dies)
+        .map(|_| DieState {
+            busy: false,
+            busy_ms: 0.0,
+            batches: 0,
+        })
+        .collect();
+    let mut rr_next = 0usize;
+
+    let mut q = EventQueue::new();
+    for (i, t) in states.iter_mut().enumerate() {
+        let gap = t.next_gap_ms(0.0);
+        q.schedule(gap, Event::Arrival { tenant: i });
+    }
+
+    let mut events_processed = 0u64;
+    let mut makespan_ms = 0.0f64;
+
+    while let Some((now, event)) = q.pop() {
+        events_processed += 1;
+        match event {
+            Event::Arrival { tenant } => {
+                let t = &mut states[tenant];
+                debug_assert!(t.remaining > 0, "arrival after stream end");
+                t.queue.push_back(now);
+                t.remaining -= 1;
+                if t.remaining > 0 {
+                    let gap = t.next_gap_ms(now);
+                    q.schedule(now + gap, Event::Arrival { tenant });
+                }
+                // A Timeout deadline depends only on the oldest request,
+                // so it needs (re)arming only when this arrival *is* the
+                // new oldest; SloAdaptive's depends on queue length too,
+                // so every arrival moves it. Skipping the no-op re-arms
+                // keeps the heap free of one stale timer per request.
+                let rearm = match t.spec.policy {
+                    BatchPolicy::Fixed { .. } => false,
+                    BatchPolicy::Timeout { .. } => t.queue.len() == 1,
+                    BatchPolicy::SloAdaptive { .. } => true,
+                };
+                if rearm {
+                    arm_timer(&mut q, tenant, &mut states[tenant], now);
+                }
+            }
+            Event::Timer { tenant, generation } => {
+                if states[tenant].timer_generation != generation {
+                    continue; // stale timer; the queue changed since
+                }
+            }
+            Event::DieFree { die } => {
+                dies[die].busy = false;
+            }
+        }
+
+        // Any event can unblock a dispatch: a batch may have become
+        // ready (arrival/timer) or capacity may have appeared (die free).
+        try_dispatch(
+            &mut q,
+            &mut states,
+            &mut dies,
+            cluster.dispatch,
+            &mut rr_next,
+            &mut service_rng,
+            now,
+            &mut makespan_ms,
+        );
+    }
+
+    for (i, t) in states.iter().enumerate() {
+        assert!(
+            t.queue.is_empty() && t.remaining == 0,
+            "tenant {i} finished with work left (engine bug)"
+        );
+    }
+
+    build_report(states, dies, makespan_ms, events_processed)
+}
+
+/// Arm (or re-arm) the tenant's dispatch timer for its current oldest
+/// request. Each queue mutation bumps the generation so earlier timers
+/// become no-ops.
+fn arm_timer(q: &mut EventQueue, tenant: usize, t: &mut TenantState, now_ms: f64) {
+    t.timer_generation += 1;
+    if let Some(&oldest) = t.queue.front() {
+        if let Some(deadline) = t
+            .spec
+            .policy
+            .next_deadline_ms(oldest, t.queue.len(), &t.curve)
+        {
+            q.schedule(
+                deadline.max(now_ms),
+                Event::Timer {
+                    tenant,
+                    generation: t.timer_generation,
+                },
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_dispatch(
+    q: &mut EventQueue,
+    states: &mut [TenantState],
+    dies: &mut [DieState],
+    dispatch: Dispatch,
+    rr_next: &mut usize,
+    service_rng: &mut StdRng,
+    now_ms: f64,
+    makespan_ms: &mut f64,
+) {
+    loop {
+        if !dies.iter().any(|d| !d.busy) {
+            return;
+        }
+        // Ready tenants, contended by (priority desc, oldest wait asc,
+        // index asc).
+        let ready = states
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                t.spec.policy.should_dispatch(
+                    now_ms,
+                    t.queue.front().copied().unwrap_or(f64::INFINITY),
+                    t.queue.len(),
+                    t.draining(),
+                    &t.curve,
+                )
+            })
+            .min_by(|(ia, a), (ib, b)| {
+                b.spec
+                    .priority
+                    .cmp(&a.spec.priority)
+                    .then(
+                        a.queue
+                            .front()
+                            .partial_cmp(&b.queue.front())
+                            .expect("finite arrivals"),
+                    )
+                    .then(ia.cmp(ib))
+            })
+            .map(|(i, _)| i);
+        let Some(tenant) = ready else { return };
+
+        let die = pick_die(dies, dispatch, rr_next);
+        let t = &mut states[tenant];
+        let batch = t.queue.len().min(t.spec.policy.max_batch());
+        let jitter = lognormal_multiplier(service_rng, t.curve.jitter_sigma);
+        let service = t.curve.service_ms(batch) * jitter;
+        let end = now_ms + service;
+
+        for _ in 0..batch {
+            let arrival = t.queue.pop_front().expect("batch within queue");
+            t.latencies.push(end - arrival);
+        }
+        t.batches += 1;
+        t.dispatched += batch;
+        arm_timer(q, tenant, t, now_ms);
+
+        let d = &mut dies[die];
+        d.busy = true;
+        d.busy_ms += service;
+        d.batches += 1;
+        *makespan_ms = makespan_ms.max(end);
+        q.schedule(end, Event::DieFree { die });
+    }
+}
+
+/// Choose a free die. Round-robin cycles the pool (skipping busy dies);
+/// least-loaded picks the free die with the least accumulated busy time.
+fn pick_die(dies: &[DieState], dispatch: Dispatch, rr_next: &mut usize) -> usize {
+    match dispatch {
+        Dispatch::RoundRobin => {
+            let n = dies.len();
+            for k in 0..n {
+                let d = (*rr_next + k) % n;
+                if !dies[d].busy {
+                    *rr_next = (d + 1) % n;
+                    return d;
+                }
+            }
+            unreachable!("caller checked a free die exists")
+        }
+        Dispatch::LeastLoaded => dies
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.busy)
+            .min_by(|a, b| {
+                a.1.busy_ms
+                    .partial_cmp(&b.1.busy_ms)
+                    .expect("finite busy times")
+            })
+            .map(|(i, _)| i)
+            .expect("caller checked a free die exists"),
+    }
+}
+
+/// Unit-median lognormal multiplier via Box–Muller, matching the jitter
+/// model of `tpu_platforms::queue_sim`.
+fn lognormal_multiplier(rng: &mut StdRng, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 1.0;
+    }
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z).exp()
+}
+
+fn build_report(
+    states: Vec<TenantState>,
+    dies: Vec<DieState>,
+    makespan_ms: f64,
+    events_processed: u64,
+) -> ServeReport {
+    let tenants: Vec<TenantReport> = states
+        .into_iter()
+        .map(|mut t| {
+            t.latencies
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            let n = t.latencies.len();
+            let slo_hits = t.latencies.iter().filter(|&&l| l <= t.spec.slo_ms).count();
+            TenantReport {
+                name: t.spec.name.clone(),
+                workload: t.spec.workload.clone(),
+                priority: t.spec.priority,
+                requests: n,
+                batches: t.batches,
+                mean_batch: t.dispatched as f64 / t.batches.max(1) as f64,
+                mean_ms: t.latencies.iter().sum::<f64>() / n.max(1) as f64,
+                p50_ms: percentile(&t.latencies, 0.50),
+                p95_ms: percentile(&t.latencies, 0.95),
+                p99_ms: percentile(&t.latencies, 0.99),
+                slo_ms: t.spec.slo_ms,
+                slo_attainment: slo_hits as f64 / n.max(1) as f64,
+                throughput_rps: n as f64 / makespan_ms.max(f64::MIN_POSITIVE) * 1000.0,
+            }
+        })
+        .collect();
+    let dies: Vec<DieReport> = dies
+        .into_iter()
+        .map(|d| DieReport {
+            batches: d.batches,
+            busy_ms: d.busy_ms,
+            utilization: (d.busy_ms / makespan_ms.max(f64::MIN_POSITIVE)).min(1.0),
+        })
+        .collect();
+    ServeReport {
+        tenants,
+        dies,
+        makespan_ms,
+        events_processed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::BatchPolicy;
+    use crate::tenant::ArrivalProcess;
+
+    fn mlp0_tenant(rate: f64, policy: BatchPolicy, requests: usize) -> TenantSpec {
+        TenantSpec::new(
+            "MLP0",
+            ArrivalProcess::Poisson { rate_rps: rate },
+            policy,
+            7.0,
+            requests,
+        )
+        .with_curve(ServiceCurve::tpu_mlp0_table4())
+    }
+
+    #[test]
+    fn serves_every_request_exactly_once() {
+        let cfg = TpuConfig::paper();
+        let r = run(
+            &ClusterSpec::new(2, 42),
+            &[
+                mlp0_tenant(50_000.0, BatchPolicy::Fixed { batch: 64 }, 5_000),
+                mlp0_tenant(
+                    20_000.0,
+                    BatchPolicy::Timeout {
+                        max_batch: 64,
+                        t_max_ms: 2.0,
+                    },
+                    3_000,
+                ),
+            ],
+            &cfg,
+        );
+        assert_eq!(r.tenants[0].requests, 5_000);
+        assert_eq!(r.tenants[1].requests, 3_000);
+        assert_eq!(r.total_requests(), 8_000);
+        let batch_total: usize = r.dies.iter().map(|d| d.batches).sum();
+        assert_eq!(
+            batch_total,
+            r.tenants.iter().map(|t| t.batches).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let cfg = TpuConfig::paper();
+        let spec = ClusterSpec::new(4, 7);
+        let tenants = [
+            mlp0_tenant(100_000.0, BatchPolicy::Fixed { batch: 128 }, 10_000),
+            mlp0_tenant(
+                10_000.0,
+                BatchPolicy::Timeout {
+                    max_batch: 200,
+                    t_max_ms: 1.5,
+                },
+                2_000,
+            ),
+        ];
+        let a = run(&spec, &tenants, &cfg);
+        let b = run(&spec, &tenants, &cfg);
+        assert_eq!(
+            format!("{a}"),
+            format!("{b}"),
+            "seeded runs must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = TpuConfig::paper();
+        let tenants = [mlp0_tenant(
+            100_000.0,
+            BatchPolicy::Fixed { batch: 128 },
+            5_000,
+        )];
+        let a = run(&ClusterSpec::new(2, 1), &tenants, &cfg);
+        let b = run(&ClusterSpec::new(2, 2), &tenants, &cfg);
+        assert_ne!(format!("{a}"), format!("{b}"));
+    }
+
+    #[test]
+    fn utilization_is_bounded_and_positive() {
+        let cfg = TpuConfig::paper();
+        let r = run(
+            &ClusterSpec::new(4, 11),
+            &[mlp0_tenant(
+                200_000.0,
+                BatchPolicy::Fixed { batch: 200 },
+                20_000,
+            )],
+            &cfg,
+        );
+        for d in &r.dies {
+            assert!(
+                d.utilization > 0.0 && d.utilization <= 1.0,
+                "{}",
+                d.utilization
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_balances_batches() {
+        let cfg = TpuConfig::paper();
+        let r = run(
+            &ClusterSpec::new(4, 3).with_dispatch(Dispatch::RoundRobin),
+            &[mlp0_tenant(
+                150_000.0,
+                BatchPolicy::Fixed { batch: 100 },
+                20_000,
+            )],
+            &cfg,
+        );
+        let max = r.dies.iter().map(|d| d.batches).max().unwrap();
+        let min = r.dies.iter().map(|d| d.batches).min().unwrap();
+        assert!(max - min <= 2, "round robin should balance: {max} vs {min}");
+    }
+
+    #[test]
+    fn higher_priority_tenant_sees_tighter_tail_under_contention() {
+        // Two identical tenants drive 2 dies near saturation; the
+        // high-priority tenant wins contended dies and keeps its tail.
+        let cfg = TpuConfig::paper();
+        let mk = |prio: u8| {
+            mlp0_tenant(110_000.0, BatchPolicy::Fixed { batch: 128 }, 20_000)
+                .with_priority(prio)
+                .named(if prio > 1 { "hi" } else { "lo" })
+        };
+        let r = run(&ClusterSpec::new(2, 19), &[mk(9), mk(1)], &cfg);
+        let hi = &r.tenants[0];
+        let lo = &r.tenants[1];
+        assert!(
+            hi.p99_ms <= lo.p99_ms,
+            "priority should not hurt the tail: hi {} vs lo {}",
+            hi.p99_ms,
+            lo.p99_ms
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_inflate_the_tail() {
+        let cfg = TpuConfig::paper();
+        let steady = mlp0_tenant(80_000.0, BatchPolicy::Fixed { batch: 128 }, 20_000);
+        let mut bursty = steady.clone();
+        bursty.arrivals = ArrivalProcess::Bursty {
+            rate_rps: 80_000.0,
+            burst_factor: 4.0,
+            period_ms: 20.0,
+            duty: 0.2,
+        };
+        let rs = run(&ClusterSpec::new(1, 5), &[steady], &cfg);
+        let rb = run(&ClusterSpec::new(1, 5), &[bursty], &cfg);
+        assert!(
+            rb.tenants[0].p99_ms > rs.tenants[0].p99_ms,
+            "bursts must stretch the tail: {} vs {}",
+            rb.tenants[0].p99_ms,
+            rs.tenants[0].p99_ms
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one die")]
+    fn zero_dies_panics() {
+        let cfg = TpuConfig::paper();
+        let _ = run(
+            &ClusterSpec {
+                dies: 0,
+                dispatch: Dispatch::RoundRobin,
+                seed: 1,
+            },
+            &[mlp0_tenant(1000.0, BatchPolicy::Fixed { batch: 1 }, 500)],
+            &cfg,
+        );
+    }
+}

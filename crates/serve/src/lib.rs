@@ -1,0 +1,65 @@
+//! # tpu-serve — a seeded, discrete-event, multi-tenant serving runtime
+//!
+//! The paper's serving argument (Sections 2 and 8) is about the *tail*:
+//! the 99th-percentile SLO — not throughput — dictates batch size, and
+//! deterministic execution wins the tail. The analytic models in
+//! `tpu_platforms` demonstrate that with closed forms; this crate turns
+//! it into an actual scheduler:
+//!
+//! * [`event`] — a binary-heap event loop over simulated milliseconds:
+//!   no wall clock, no threads, bit-identical results from a seed;
+//! * [`policy`] — batch formation: fixed-size, timeout-bounded
+//!   (dispatch when full *or* after `t_max` ms), and SLO-adaptive;
+//! * [`tenant`] — multi-tenant admission: the six Table 1 workloads as
+//!   tenants with per-tenant arrival processes, priorities, and latency
+//!   targets;
+//! * [`service`] — per-batch service times calibrated from the Section 7
+//!   analytic model and Table 5 host overheads, not hardcoded constants;
+//! * [`engine`] — the scheduler itself: policy-driven batch formation,
+//!   priority admission onto a shared die pool, round-robin or
+//!   least-loaded multi-die dispatch (subsuming
+//!   `tpu_platforms::server`);
+//! * [`report`] — per-tenant p50/p95/p99, SLO attainment, and per-die
+//!   utilization, renderable as text or JSON;
+//! * [`scenario`] — named end-to-end scenarios (`mlp0-burst`,
+//!   `mixed-tenants`, `cnn-batch-sweep`, `fixed-vs-timeout`) behind the
+//!   `tpu_serve` CLI.
+//!
+//! With one tenant, a fixed batch, and one die, the engine reproduces
+//! `tpu_platforms::queue_sim::simulate` exactly — the integration tests
+//! pin that equivalence, so the event-driven generalization stays
+//! anchored to the calibrated Table 4 models.
+//!
+//! ```
+//! use tpu_serve::{run, BatchPolicy, ClusterSpec, ServiceCurve, TenantSpec};
+//! use tpu_serve::tenant::ArrivalProcess;
+//!
+//! let cfg = tpu_core::TpuConfig::paper();
+//! let tenant = TenantSpec::new(
+//!     "MLP0",
+//!     ArrivalProcess::Poisson { rate_rps: 120_000.0 },
+//!     BatchPolicy::Timeout { max_batch: 200, t_max_ms: 2.0 },
+//!     7.0,
+//!     20_000,
+//! )
+//! .with_curve(ServiceCurve::tpu_mlp0_table4());
+//! let report = run(&ClusterSpec::new(2, 42), &[tenant], &cfg);
+//! assert!(report.tenant("MLP0").unwrap().p99_ms < 7.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod policy;
+pub mod report;
+pub mod scenario;
+pub mod service;
+pub mod tenant;
+
+pub use engine::{run, ClusterSpec, Dispatch};
+pub use policy::BatchPolicy;
+pub use report::{DieReport, ServeReport, TenantReport};
+pub use scenario::{all_scenarios, scenario_by_name, Scenario, ScenarioRun};
+pub use service::ServiceCurve;
+pub use tenant::{ArrivalProcess, TenantSpec};

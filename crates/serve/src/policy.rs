@@ -1,0 +1,181 @@
+//! Batch-dispatch policies, evaluated inside the event loop.
+//!
+//! The paper's Section 8 fallacy — datacenter inference values the tail,
+//! not raw throughput — turns into a dispatch decision: *when* does a
+//! tenant's queue become a batch?
+//!
+//! * [`BatchPolicy::Fixed`] waits for exactly `batch` requests (Table 4's
+//!   measured discipline);
+//! * [`BatchPolicy::Timeout`] dispatches when full **or** once the oldest
+//!   request has waited `t_max_ms` — the SLO mechanism production
+//!   serving uses to bound accumulation delay;
+//! * [`BatchPolicy::SloAdaptive`] works backwards from the tenant's
+//!   latency target: it keeps growing the batch while the oldest request
+//!   can still finish inside `slo_ms - margin_ms`, given the tenant's
+//!   calibrated service curve.
+
+use crate::service::ServiceCurve;
+use serde::{Deserialize, Serialize};
+
+/// When a tenant's queued requests become a dispatchable batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BatchPolicy {
+    /// Dispatch exactly `batch` requests at a time.
+    Fixed {
+        /// The fixed batch size.
+        batch: usize,
+    },
+    /// Dispatch at `max_batch` requests, or when the oldest queued
+    /// request has waited `t_max_ms`, whichever comes first.
+    Timeout {
+        /// Upper bound on the batch size.
+        max_batch: usize,
+        /// Longest accumulation wait for the oldest request, ms.
+        t_max_ms: f64,
+    },
+    /// Dispatch at `max_batch`, or at the last moment the oldest request
+    /// can still meet `slo_ms` with `margin_ms` of safety.
+    SloAdaptive {
+        /// Upper bound on the batch size.
+        max_batch: usize,
+        /// Per-request latency target, ms.
+        slo_ms: f64,
+        /// Safety margin subtracted from the target, ms.
+        margin_ms: f64,
+    },
+}
+
+impl BatchPolicy {
+    /// The largest batch this policy will ever dispatch.
+    pub fn max_batch(&self) -> usize {
+        match *self {
+            BatchPolicy::Fixed { batch } => batch,
+            BatchPolicy::Timeout { max_batch, .. } | BatchPolicy::SloAdaptive { max_batch, .. } => {
+                max_batch
+            }
+        }
+    }
+
+    /// Whether a queue of `queued` requests, whose oldest member arrived
+    /// at `oldest_ms`, should dispatch at time `now_ms`. `draining` is
+    /// true once the tenant has no future arrivals (tail batches flush).
+    pub fn should_dispatch(
+        &self,
+        now_ms: f64,
+        oldest_ms: f64,
+        queued: usize,
+        draining: bool,
+        curve: &ServiceCurve,
+    ) -> bool {
+        if queued == 0 {
+            return false;
+        }
+        if queued >= self.max_batch() || draining {
+            return true;
+        }
+        match *self {
+            BatchPolicy::Fixed { .. } => false,
+            BatchPolicy::Timeout { t_max_ms, .. } => now_ms - oldest_ms >= t_max_ms - 1e-9,
+            BatchPolicy::SloAdaptive {
+                slo_ms, margin_ms, ..
+            } => {
+                // Waiting for one more request would finish the oldest at
+                // (its arrival + wait) + service(queued + 1); dispatch as
+                // soon as even the *current* start time cannot be pushed
+                // further without breaching the target.
+                let budget = slo_ms - margin_ms;
+                now_ms + curve.service_ms(queued + 1) >= oldest_ms + budget - 1e-9
+            }
+        }
+    }
+
+    /// The next absolute time at which `should_dispatch` could flip from
+    /// false to true without another arrival, or `None` if only a new
+    /// arrival (or a die becoming free) can trigger dispatch. Drives the
+    /// engine's timer events.
+    pub fn next_deadline_ms(
+        &self,
+        oldest_ms: f64,
+        queued: usize,
+        curve: &ServiceCurve,
+    ) -> Option<f64> {
+        if queued == 0 {
+            return None;
+        }
+        match *self {
+            BatchPolicy::Fixed { .. } => None,
+            BatchPolicy::Timeout { t_max_ms, .. } => Some(oldest_ms + t_max_ms),
+            BatchPolicy::SloAdaptive {
+                slo_ms, margin_ms, ..
+            } => Some(oldest_ms + (slo_ms - margin_ms) - curve.service_ms(queued + 1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> ServiceCurve {
+        ServiceCurve::new(1.0, 0.01, 0.0)
+    }
+
+    #[test]
+    fn fixed_waits_for_exactly_batch() {
+        let p = BatchPolicy::Fixed { batch: 4 };
+        assert!(!p.should_dispatch(100.0, 0.0, 3, false, &curve()));
+        assert!(p.should_dispatch(100.0, 0.0, 4, false, &curve()));
+        assert_eq!(p.next_deadline_ms(0.0, 3, &curve()), None);
+    }
+
+    #[test]
+    fn fixed_flushes_partial_batches_when_draining() {
+        let p = BatchPolicy::Fixed { batch: 4 };
+        assert!(p.should_dispatch(0.0, 0.0, 1, true, &curve()));
+    }
+
+    #[test]
+    fn timeout_fires_on_oldest_wait() {
+        let p = BatchPolicy::Timeout {
+            max_batch: 64,
+            t_max_ms: 2.0,
+        };
+        assert!(!p.should_dispatch(1.5, 0.0, 8, false, &curve()));
+        assert!(p.should_dispatch(2.0, 0.0, 8, false, &curve()));
+        assert_eq!(p.next_deadline_ms(5.0, 8, &curve()), Some(7.0));
+    }
+
+    #[test]
+    fn slo_adaptive_dispatches_before_breach() {
+        let p = BatchPolicy::SloAdaptive {
+            max_batch: 64,
+            slo_ms: 7.0,
+            margin_ms: 1.0,
+        };
+        let c = curve();
+        // Budget 6 ms; service(9) = 1.09 ms, so the latest safe start for
+        // an oldest arrival at t=0 is ~4.91 ms.
+        assert!(!p.should_dispatch(3.0, 0.0, 8, false, &c));
+        assert!(p.should_dispatch(5.0, 0.0, 8, false, &c));
+        let dl = p.next_deadline_ms(0.0, 8, &c).unwrap();
+        assert!((dl - (6.0 - c.service_ms(9))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_queues_never_dispatch() {
+        for p in [
+            BatchPolicy::Fixed { batch: 1 },
+            BatchPolicy::Timeout {
+                max_batch: 1,
+                t_max_ms: 0.0,
+            },
+            BatchPolicy::SloAdaptive {
+                max_batch: 1,
+                slo_ms: 1.0,
+                margin_ms: 0.0,
+            },
+        ] {
+            assert!(!p.should_dispatch(10.0, 0.0, 0, true, &curve()));
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Per-tenant and per-die reporting.
+//!
+//! The report is the runtime's contract with its tests: the `Display`
+//! rendering is fixed-format and fully determined by the simulation, so
+//! "same seed ⇒ bit-identical report" is assertable as string equality.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Latency percentile over a **sorted** slice, using the same index
+/// formula as `tpu_platforms::queue_sim` (nearest-rank on n-1).
+pub fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "percentile in [0,1]");
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    sorted_ms[((sorted_ms.len() as f64 - 1.0) * p) as usize]
+}
+
+/// One tenant's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Tenant display name.
+    pub name: String,
+    /// Table 1 workload the tenant runs.
+    pub workload: String,
+    /// Admission priority.
+    pub priority: u8,
+    /// Requests served.
+    pub requests: usize,
+    /// Batches dispatched.
+    pub batches: usize,
+    /// Mean dispatched batch size.
+    pub mean_batch: f64,
+    /// Mean end-to-end latency, ms.
+    pub mean_ms: f64,
+    /// Median latency, ms.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// The tenant's latency target, ms.
+    pub slo_ms: f64,
+    /// Fraction of requests at or under the target.
+    pub slo_attainment: f64,
+    /// Served throughput over the whole run, requests/s.
+    pub throughput_rps: f64,
+}
+
+/// One die's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DieReport {
+    /// Batches this die executed.
+    pub batches: usize,
+    /// Total busy time, ms.
+    pub busy_ms: f64,
+    /// Busy fraction of the makespan, in [0, 1].
+    pub utilization: f64,
+}
+
+/// The full outcome of one simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Per-tenant outcomes, in tenant declaration order.
+    pub tenants: Vec<TenantReport>,
+    /// Per-die outcomes, in die index order.
+    pub dies: Vec<DieReport>,
+    /// Completion time of the last batch, ms.
+    pub makespan_ms: f64,
+    /// Events the engine processed (arrivals + timers + completions).
+    pub events_processed: u64,
+}
+
+impl ServeReport {
+    /// Requests served across all tenants.
+    pub fn total_requests(&self) -> usize {
+        self.tenants.iter().map(|t| t.requests).sum()
+    }
+
+    /// Find one tenant's report by name.
+    pub fn tenant(&self, name: &str) -> Option<&TenantReport> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+
+    /// Mean die utilization, in [0, 1].
+    pub fn mean_utilization(&self) -> f64 {
+        if self.dies.is_empty() {
+            return 0.0;
+        }
+        self.dies.iter().map(|d| d.utilization).sum::<f64>() / self.dies.len() as f64
+    }
+
+    /// The report as a `serde_json` value (stable key order).
+    pub fn to_json(&self) -> serde_json::Value {
+        use serde_json::Value;
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| {
+                Value::object([
+                    ("name".into(), Value::String(t.name.clone())),
+                    ("workload".into(), Value::String(t.workload.clone())),
+                    ("priority".into(), Value::Number(t.priority as f64)),
+                    ("requests".into(), Value::Number(t.requests as f64)),
+                    ("batches".into(), Value::Number(t.batches as f64)),
+                    ("mean_batch".into(), Value::Number(round3(t.mean_batch))),
+                    ("mean_ms".into(), Value::Number(round3(t.mean_ms))),
+                    ("p50_ms".into(), Value::Number(round3(t.p50_ms))),
+                    ("p95_ms".into(), Value::Number(round3(t.p95_ms))),
+                    ("p99_ms".into(), Value::Number(round3(t.p99_ms))),
+                    ("slo_ms".into(), Value::Number(t.slo_ms)),
+                    (
+                        "slo_attainment".into(),
+                        Value::Number(round3(t.slo_attainment)),
+                    ),
+                    (
+                        "throughput_rps".into(),
+                        Value::Number(round3(t.throughput_rps)),
+                    ),
+                ])
+            })
+            .collect();
+        let dies = self
+            .dies
+            .iter()
+            .map(|d| {
+                Value::object([
+                    ("batches".into(), Value::Number(d.batches as f64)),
+                    ("busy_ms".into(), Value::Number(round3(d.busy_ms))),
+                    ("utilization".into(), Value::Number(round3(d.utilization))),
+                ])
+            })
+            .collect();
+        Value::object([
+            ("tenants".into(), Value::Array(tenants)),
+            ("dies".into(), Value::Array(dies)),
+            (
+                "makespan_ms".into(),
+                Value::Number(round3(self.makespan_ms)),
+            ),
+            (
+                "events_processed".into(),
+                Value::Number(self.events_processed as f64),
+            ),
+        ])
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>5} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9} {:>7} {:>12}",
+            "tenant",
+            "prio",
+            "requests",
+            "batch",
+            "mean ms",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "SLO%",
+            "rps"
+        )?;
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "{:<12} {:>5} {:>9} {:>8.1} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7.2} {:>12.0}",
+                t.name,
+                t.priority,
+                t.requests,
+                t.mean_batch,
+                t.mean_ms,
+                t.p50_ms,
+                t.p95_ms,
+                t.p99_ms,
+                100.0 * t.slo_attainment,
+                t.throughput_rps
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "{:<6} {:>9} {:>12} {:>12}",
+            "die", "batches", "busy ms", "utilization"
+        )?;
+        for (i, d) in self.dies.iter().enumerate() {
+            writeln!(
+                f,
+                "{:<6} {:>9} {:>12.3} {:>11.1}%",
+                i,
+                d.batches,
+                d.busy_ms,
+                100.0 * d.utilization
+            )?;
+        }
+        writeln!(
+            f,
+            "\nmakespan {:.3} ms · {} events · mean utilization {:.1}%",
+            self.makespan_ms,
+            self.events_processed,
+            100.0 * self.mean_utilization()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_matches_queue_sim_indexing() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.50), 49.0);
+        assert_eq!(percentile(&v, 0.99), 98.0);
+        assert_eq!(percentile(&v, 1.00), 99.0);
+        assert_eq!(percentile(&v, 0.0), 0.0);
+    }
+
+    #[test]
+    fn empty_percentile_is_zero() {
+        assert_eq!(percentile(&[], 0.99), 0.0);
+    }
+
+    fn sample() -> ServeReport {
+        ServeReport {
+            tenants: vec![TenantReport {
+                name: "MLP0".into(),
+                workload: "MLP0".into(),
+                priority: 1,
+                requests: 10,
+                batches: 2,
+                mean_batch: 5.0,
+                mean_ms: 1.5,
+                p50_ms: 1.2,
+                p95_ms: 2.5,
+                p99_ms: 3.0,
+                slo_ms: 7.0,
+                slo_attainment: 1.0,
+                throughput_rps: 1000.0,
+            }],
+            dies: vec![DieReport {
+                batches: 2,
+                busy_ms: 4.0,
+                utilization: 0.4,
+            }],
+            makespan_ms: 10.0,
+            events_processed: 13,
+        }
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let a = format!("{}", sample());
+        let b = format!("{}", sample());
+        assert_eq!(a, b);
+        assert!(a.contains("MLP0"));
+        assert!(a.contains("p99 ms"));
+        assert!(a.contains("utilization"));
+    }
+
+    #[test]
+    fn json_contains_the_headline_numbers() {
+        let j = serde_json::to_string(&sample().to_json());
+        assert!(j.contains("\"p99_ms\":3"), "{j}");
+        assert!(j.contains("\"utilization\":0.4"), "{j}");
+        assert!(j.contains("\"events_processed\":13"), "{j}");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let r = sample();
+        assert!(r.tenant("MLP0").is_some());
+        assert!(r.tenant("CNN9").is_none());
+        assert_eq!(r.total_requests(), 10);
+    }
+}

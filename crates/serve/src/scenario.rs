@@ -1,0 +1,317 @@
+//! Named end-to-end serving scenarios.
+//!
+//! Each scenario is a reproducible experiment: a die pool plus a set of
+//! tenants, sometimes swept over a parameter (batch size, arrival
+//! shape, batching policy). The `tpu_serve` CLI runs them by name; the
+//! integration tests pin their qualitative outcomes (e.g. that
+//! timeout-bounded batching beats fixed batching's p99 at equal load).
+//!
+//! Arrival rates are sized against the calibrated per-die capacities of
+//! the Table 1 workloads (see `ServiceCurve::from_workload`): MLP0
+//! ~242k rps/die, LSTM0 ~27k, CNN0 ~8.3k, CNN1 ~2.8k.
+
+use crate::engine::{run, ClusterSpec, Dispatch};
+use crate::policy::BatchPolicy;
+use crate::report::ServeReport;
+use crate::service::ServiceCurve;
+use crate::tenant::{ArrivalProcess, TenantSpec};
+use tpu_core::TpuConfig;
+
+/// One concrete run within a scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// Label distinguishing this run within the scenario.
+    pub label: String,
+    /// The die pool.
+    pub cluster: ClusterSpec,
+    /// The tenants admitted to it.
+    pub tenants: Vec<TenantSpec>,
+}
+
+/// A named, reproducible serving experiment.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// CLI name, e.g. `mixed-tenants`.
+    pub name: &'static str,
+    /// One-line description for `tpu_serve list`.
+    pub description: &'static str,
+    /// The runs, executed in order.
+    pub runs: Vec<ScenarioRun>,
+}
+
+impl Scenario {
+    /// Execute every run and pair it with its label.
+    pub fn execute(&self, cfg: &TpuConfig) -> Vec<(String, ServeReport)> {
+        self.runs
+            .iter()
+            .map(|r| (r.label.clone(), run(&r.cluster, &r.tenants, cfg)))
+            .collect()
+    }
+
+    /// Re-seed every run (CLI `--seed`).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        for r in &mut self.runs {
+            r.cluster.seed = seed;
+        }
+        self
+    }
+
+    /// Scale every tenant's request count by `factor` (CLI
+    /// `--requests-scale`), keeping at least one request per tenant.
+    pub fn scale_requests(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale must be positive");
+        for r in &mut self.runs {
+            for t in &mut r.tenants {
+                t.requests = ((t.requests as f64 * factor).round() as usize).max(1);
+            }
+        }
+        self
+    }
+}
+
+/// The datacenter mix: all six Table 1 workloads sharing four dies, with
+/// user-facing MLPs at high priority and the throughput-tolerant CNNs at
+/// low priority. Offered load sits near 60% of pool capacity.
+fn mixed_tenants() -> Scenario {
+    let t = |workload: &str,
+             rate: f64,
+             max_batch: usize,
+             t_max_ms: f64,
+             slo_ms: f64,
+             priority: u8,
+             requests: usize| {
+        TenantSpec::new(
+            workload,
+            ArrivalProcess::Poisson { rate_rps: rate },
+            BatchPolicy::Timeout {
+                max_batch,
+                t_max_ms,
+            },
+            slo_ms,
+            requests,
+        )
+        .with_priority(priority)
+    };
+    Scenario {
+        name: "mixed-tenants",
+        description: "all six Table 1 workloads share 4 dies at ~60% load",
+        runs: vec![ScenarioRun {
+            label: "mixed".into(),
+            cluster: ClusterSpec::new(4, 42),
+            tenants: vec![
+                t("MLP0", 150_000.0, 200, 2.0, 7.0, 3, 45_000),
+                t("MLP1", 80_000.0, 168, 2.0, 7.0, 3, 24_000),
+                t("LSTM0", 12_000.0, 64, 5.0, 50.0, 2, 3_600),
+                t("LSTM1", 20_000.0, 96, 5.0, 50.0, 2, 6_000),
+                t("CNN0", 3_000.0, 8, 10.0, 30.0, 1, 900),
+                t("CNN1", 800.0, 32, 20.0, 60.0, 1, 240),
+            ],
+        }],
+    }
+}
+
+/// MLP0 under the Table 4 measured curve: a steady Poisson stream versus
+/// the same mean load arriving in 4x bursts. Determinism keeps the
+/// steady tail flat; the bursts show what the SLO headroom is for.
+fn mlp0_burst() -> Scenario {
+    let tenant = |arrivals: ArrivalProcess| {
+        TenantSpec::new(
+            "MLP0",
+            arrivals,
+            BatchPolicy::Timeout {
+                max_batch: 200,
+                t_max_ms: 2.0,
+            },
+            7.0,
+            60_000,
+        )
+        .with_curve(ServiceCurve::tpu_mlp0_table4())
+    };
+    let cluster = ClusterSpec::new(2, 42);
+    Scenario {
+        name: "mlp0-burst",
+        description: "MLP0 on 2 dies: steady Poisson vs 4x on/off bursts",
+        runs: vec![
+            ScenarioRun {
+                label: "steady".into(),
+                cluster: cluster.clone(),
+                tenants: vec![tenant(ArrivalProcess::Poisson {
+                    rate_rps: 300_000.0,
+                })],
+            },
+            ScenarioRun {
+                label: "burst-4x".into(),
+                cluster,
+                tenants: vec![tenant(ArrivalProcess::Bursty {
+                    rate_rps: 300_000.0,
+                    burst_factor: 4.0,
+                    period_ms: 20.0,
+                    duty: 0.2,
+                })],
+            },
+        ],
+    }
+}
+
+/// CNN0 on one die swept across fixed batch sizes: the Table 4 story —
+/// throughput rises with batch while the tail pays accumulation delay,
+/// and under-batching pays queueing delay instead.
+fn cnn_batch_sweep() -> Scenario {
+    let runs = [1usize, 2, 4, 8, 16, 32]
+        .into_iter()
+        .map(|batch| ScenarioRun {
+            label: format!("batch-{batch}"),
+            cluster: ClusterSpec::new(1, 42),
+            tenants: vec![TenantSpec::new(
+                "CNN0",
+                ArrivalProcess::Poisson { rate_rps: 2_000.0 },
+                BatchPolicy::Fixed { batch },
+                30.0,
+                4_000,
+            )],
+        })
+        .collect();
+    Scenario {
+        name: "cnn-batch-sweep",
+        description: "CNN0 on 1 die, fixed batch 1..32: batch vs p99 tradeoff",
+        runs,
+    }
+}
+
+/// The SLO mechanism head-to-head: at identical offered load, fixed
+/// batch-200 waits out its accumulation delay and breaches 7 ms, while
+/// the timeout-bounded and SLO-adaptive policies dispatch partial
+/// batches and meet it.
+fn fixed_vs_timeout() -> Scenario {
+    let tenant = |policy: BatchPolicy| {
+        TenantSpec::new(
+            "MLP0",
+            ArrivalProcess::Poisson { rate_rps: 30_000.0 },
+            policy,
+            7.0,
+            15_000,
+        )
+        .with_curve(ServiceCurve::tpu_mlp0_table4())
+    };
+    let cluster = ClusterSpec::new(1, 42);
+    Scenario {
+        name: "fixed-vs-timeout",
+        description: "MLP0 at equal load: fixed-200 vs 2ms timeout vs SLO-adaptive",
+        runs: vec![
+            ScenarioRun {
+                label: "fixed-200".into(),
+                cluster: cluster.clone(),
+                tenants: vec![tenant(BatchPolicy::Fixed { batch: 200 })],
+            },
+            ScenarioRun {
+                label: "timeout-2ms".into(),
+                cluster: cluster.clone(),
+                tenants: vec![tenant(BatchPolicy::Timeout {
+                    max_batch: 200,
+                    t_max_ms: 2.0,
+                })],
+            },
+            ScenarioRun {
+                label: "slo-adaptive".into(),
+                cluster,
+                tenants: vec![tenant(BatchPolicy::SloAdaptive {
+                    max_batch: 200,
+                    slo_ms: 7.0,
+                    margin_ms: 1.0,
+                })],
+            },
+        ],
+    }
+}
+
+/// Scale-out: the same 300k rps MLP0 stream on 1, 2, then 4 dies. One
+/// die is 33% over capacity — its queue and tail grow without bound —
+/// while two dies absorb the load and four run with full headroom.
+/// Round-robin dispatch here also demonstrates that the engine's
+/// central queue is work-conserving: batches only ever launch onto free
+/// dies, so the discipline choice costs nothing.
+fn scale_out() -> Scenario {
+    let tenant = || {
+        TenantSpec::new(
+            "MLP0",
+            ArrivalProcess::Poisson {
+                rate_rps: 300_000.0,
+            },
+            BatchPolicy::Timeout {
+                max_batch: 200,
+                t_max_ms: 2.0,
+            },
+            7.0,
+            60_000,
+        )
+        .with_curve(ServiceCurve::tpu_mlp0_table4())
+    };
+    let runs = [1usize, 2, 4]
+        .into_iter()
+        .map(|dies| ScenarioRun {
+            label: format!("dies-{dies}"),
+            cluster: ClusterSpec::new(dies, 42).with_dispatch(Dispatch::RoundRobin),
+            tenants: vec![tenant()],
+        })
+        .collect();
+    Scenario {
+        name: "scale-out",
+        description: "300k rps MLP0 on 1, 2, 4 dies: overload vs headroom",
+        runs,
+    }
+}
+
+/// All named scenarios, in CLI listing order.
+pub fn all_scenarios() -> Vec<Scenario> {
+    vec![
+        mixed_tenants(),
+        mlp0_burst(),
+        cnn_batch_sweep(),
+        fixed_vs_timeout(),
+        scale_out(),
+    ]
+}
+
+/// Look a scenario up by its CLI name.
+pub fn scenario_by_name(name: &str) -> Option<Scenario> {
+    all_scenarios().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_resolves_by_name() {
+        for s in all_scenarios() {
+            assert!(scenario_by_name(s.name).is_some(), "{}", s.name);
+            assert!(!s.runs.is_empty(), "{} has no runs", s.name);
+        }
+        assert!(scenario_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn seeding_and_scaling_apply_to_every_run() {
+        let s = scenario_by_name("cnn-batch-sweep")
+            .unwrap()
+            .with_seed(7)
+            .scale_requests(0.1);
+        for r in &s.runs {
+            assert_eq!(r.cluster.seed, 7);
+            assert_eq!(r.tenants[0].requests, 400);
+        }
+    }
+
+    #[test]
+    fn mixed_tenants_executes_end_to_end_when_scaled_down() {
+        let cfg = TpuConfig::paper();
+        let s = scenario_by_name("mixed-tenants")
+            .unwrap()
+            .scale_requests(0.02);
+        let reports = s.execute(&cfg);
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0].1;
+        assert_eq!(r.tenants.len(), 6);
+        assert!(r.mean_utilization() > 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-batch service-time curves, calibrated from the analytic models.
+//!
+//! Every batch dispatched to a die costs `s(B) = t0 + t1·B` milliseconds.
+//! Rather than hardcoding constants, [`ServiceCurve::from_workload`]
+//! derives the curve for any Table 1 workload from the Section 7 analytic
+//! model (`tpu_perfmodel::app_time`) and the Table 5 host-interaction
+//! fractions (`tpu_platforms::HostOverhead`): the marginal per-request
+//! slope comes from device time at the workload's reference batch, and
+//! the intercept is the per-dispatch host cost. The MLP0 Table 4
+//! operating point is also available directly via
+//! [`ServiceCurve::tpu_mlp0_table4`].
+
+use serde::{Deserialize, Serialize};
+use tpu_core::TpuConfig;
+use tpu_nn::model::NnModel;
+use tpu_perfmodel::{app_time, DesignPoint};
+use tpu_platforms::HostOverhead;
+
+/// Affine batch service-time model with optional execution jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceCurve {
+    /// Per-dispatch intercept (host interaction, weight staging), ms.
+    pub t0_ms: f64,
+    /// Marginal cost per request in the batch, ms.
+    pub t1_ms: f64,
+    /// Lognormal sigma of a per-batch service multiplier. 0.0 models the
+    /// TPU's deterministic execution; CPU/GPU-like platforms use > 0.
+    pub jitter_sigma: f64,
+}
+
+impl ServiceCurve {
+    /// Build from explicit constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative constants or a degenerate all-zero curve.
+    pub fn new(t0_ms: f64, t1_ms: f64, jitter_sigma: f64) -> Self {
+        assert!(
+            t0_ms >= 0.0 && t1_ms >= 0.0 && jitter_sigma >= 0.0,
+            "service constants must be nonnegative"
+        );
+        assert!(t0_ms + t1_ms > 0.0, "service curve must cost something");
+        Self {
+            t0_ms,
+            t1_ms,
+            jitter_sigma,
+        }
+    }
+
+    /// Calibrate a deterministic TPU curve for one Table 1 workload:
+    /// slope from the analytic device time at the workload's reference
+    /// batch, intercept from its measured host-interaction fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload name is not one of the six Table 1
+    /// applications (the host-overhead table is keyed by name).
+    pub fn from_workload(model: &NnModel, cfg: &TpuConfig) -> Self {
+        let device_ms = app_time(model, cfg, &DesignPoint::baseline()).total_s * 1000.0;
+        let b_ref = model.batch() as f64;
+        let host = HostOverhead::for_app(model.name());
+        Self::new(device_ms * host.fraction, device_ms / b_ref, 0.0)
+    }
+
+    /// The MLP0 Table 4 TPU operating point (measured, host-inclusive):
+    /// near-flat slope, deterministic execution. Matches the constants
+    /// used by `tpu_platforms::queue_sim::tpu_like`.
+    pub fn tpu_mlp0_table4() -> Self {
+        Self::new(0.873, 0.00008, 0.0)
+    }
+
+    /// A CPU-like curve on MLP0 (steep slope, jittery execution), the
+    /// contrast case for the determinism experiments.
+    pub fn cpu_mlp0_table4() -> Self {
+        Self::new(2.275, 0.0402, 0.25)
+    }
+
+    /// Mean service time for a batch of `b` requests, ms.
+    pub fn service_ms(&self, b: usize) -> f64 {
+        self.t0_ms + self.t1_ms * b as f64
+    }
+
+    /// Saturation throughput of one die at batch `b`, requests/s.
+    pub fn capacity_ips(&self, b: usize) -> f64 {
+        assert!(b > 0, "capacity needs a positive batch");
+        b as f64 / self.service_ms(b) * 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_nn::workloads;
+
+    #[test]
+    fn calibrated_curves_are_positive_and_finite() {
+        let cfg = TpuConfig::paper();
+        for m in workloads::all() {
+            let c = ServiceCurve::from_workload(&m, &cfg);
+            assert!(
+                c.t0_ms >= 0.0 && c.t0_ms.is_finite(),
+                "{}: t0 {}",
+                m.name(),
+                c.t0_ms
+            );
+            assert!(
+                c.t1_ms > 0.0 && c.t1_ms.is_finite(),
+                "{}: t1 {}",
+                m.name(),
+                c.t1_ms
+            );
+            assert_eq!(c.jitter_sigma, 0.0, "TPU curves are deterministic");
+        }
+    }
+
+    #[test]
+    fn mlp0_reference_batch_is_sub_10ms() {
+        // The paper serves MLP0 at batch 200 under a 7 ms tail limit;
+        // the analytic device+host time for one batch must land in that
+        // regime (single milliseconds, not tens).
+        let cfg = TpuConfig::paper();
+        let m = workloads::mlp0();
+        let c = ServiceCurve::from_workload(&m, &cfg);
+        let batch_ms = c.service_ms(m.batch());
+        assert!(
+            batch_ms > 0.05 && batch_ms < 10.0,
+            "MLP0 batch time {batch_ms} ms"
+        );
+    }
+
+    #[test]
+    fn cnn0_costs_more_per_request_than_mlp0() {
+        // CNN0 does ~18x the ops per byte of MLP0 at batch 8; its
+        // marginal per-request time must be far higher.
+        let cfg = TpuConfig::paper();
+        let mlp0 = ServiceCurve::from_workload(&workloads::mlp0(), &cfg);
+        let cnn0 = ServiceCurve::from_workload(&workloads::cnn0(), &cfg);
+        assert!(
+            cnn0.t1_ms > 5.0 * mlp0.t1_ms,
+            "cnn0 {} vs mlp0 {}",
+            cnn0.t1_ms,
+            mlp0.t1_ms
+        );
+    }
+
+    #[test]
+    fn capacity_grows_with_batch_on_flat_curves() {
+        let c = ServiceCurve::tpu_mlp0_table4();
+        assert!(c.capacity_ips(200) > c.capacity_ips(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_constants_rejected() {
+        let _ = ServiceCurve::new(-0.1, 0.0, 0.0);
+    }
+}

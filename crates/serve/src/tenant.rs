@@ -1,0 +1,288 @@
+//! Multi-tenant admission: who is sending traffic, how fast, and what
+//! they are owed.
+//!
+//! A [`TenantSpec`] binds one Table 1 workload (by name, resolved through
+//! `tpu_nn::workloads`) to an arrival process, a batching policy, a
+//! priority, and a latency target. The engine admits any number of
+//! tenants onto a shared die pool; ties for a free die break by priority
+//! (higher first), then by the oldest waiting request.
+
+use crate::policy::BatchPolicy;
+use crate::service::ServiceCurve;
+use serde::{Deserialize, Serialize};
+use tpu_core::TpuConfig;
+use tpu_nn::model::NnModel;
+use tpu_nn::workloads;
+
+/// The shape of a tenant's request stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Stationary Poisson arrivals at `rate_rps` requests/second.
+    Poisson {
+        /// Mean offered load, requests per second.
+        rate_rps: f64,
+    },
+    /// An on/off modulated Poisson process: `burst_factor`× the base
+    /// rate for the first `duty` fraction of every `period_ms` window,
+    /// and a complementary trickle for the rest (the mean stays
+    /// `rate_rps`).
+    Bursty {
+        /// Mean offered load, requests per second.
+        rate_rps: f64,
+        /// Rate multiplier during the on-phase (> 1).
+        burst_factor: f64,
+        /// Length of one on/off cycle, ms.
+        period_ms: f64,
+        /// Fraction of the period spent in the on-phase (0, 1).
+        duty: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Mean offered load, requests per second.
+    pub fn mean_rate_rps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_rps } | ArrivalProcess::Bursty { rate_rps, .. } => {
+                rate_rps
+            }
+        }
+    }
+
+    /// Reject degenerate processes at admission time rather than
+    /// mid-simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a nonpositive mean rate, and for bursty processes on a
+    /// nonpositive period, a duty outside (0, 1), a burst factor below
+    /// 1, or `burst_factor * duty >= 1` (which would drive the off-phase
+    /// rate to zero and stall the arrival stream).
+    pub fn validate(&self) {
+        assert!(self.mean_rate_rps() > 0.0, "arrival rate must be positive");
+        if let ArrivalProcess::Bursty {
+            burst_factor,
+            period_ms,
+            duty,
+            ..
+        } = *self
+        {
+            assert!(period_ms > 0.0, "burst period must be positive");
+            assert!(
+                duty > 0.0 && duty < 1.0,
+                "burst duty must lie strictly inside (0, 1)"
+            );
+            assert!(burst_factor >= 1.0, "burst factor must be at least 1");
+            assert!(
+                burst_factor * duty < 1.0,
+                "burst_factor * duty must stay below 1, or the off-phase \
+                 rate hits zero and the arrival stream stalls"
+            );
+        }
+    }
+
+    /// Instantaneous rate at simulated time `now_ms`.
+    pub fn rate_at(&self, now_ms: f64) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_rps } => rate_rps,
+            ArrivalProcess::Bursty {
+                rate_rps,
+                burst_factor,
+                period_ms,
+                duty,
+            } => {
+                let phase = (now_ms / period_ms).fract();
+                if phase < duty {
+                    rate_rps * burst_factor
+                } else {
+                    // Complement keeps the long-run mean at rate_rps.
+                    let off = (1.0 - burst_factor * duty) / (1.0 - duty);
+                    rate_rps * off.max(0.0)
+                }
+            }
+        }
+    }
+}
+
+/// One tenant of the serving runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Display name (defaults to the workload name).
+    pub name: String,
+    /// Table 1 workload name: "MLP0", "MLP1", "LSTM0", "LSTM1", "CNN0",
+    /// or "CNN1".
+    pub workload: String,
+    /// Request stream.
+    pub arrivals: ArrivalProcess,
+    /// Batching policy.
+    pub policy: BatchPolicy,
+    /// Admission priority; higher wins contended dies.
+    pub priority: u8,
+    /// Per-request latency target, ms (reported as SLO attainment).
+    pub slo_ms: f64,
+    /// Requests this tenant contributes to the simulation.
+    pub requests: usize,
+    /// Service curve override; `None` calibrates from the workload via
+    /// [`ServiceCurve::from_workload`].
+    pub curve: Option<ServiceCurve>,
+}
+
+impl TenantSpec {
+    /// A tenant named after its workload, with a calibrated curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workload` is not a Table 1 name.
+    pub fn new(
+        workload: &str,
+        arrivals: ArrivalProcess,
+        policy: BatchPolicy,
+        slo_ms: f64,
+        requests: usize,
+    ) -> Self {
+        assert!(
+            resolve_workload(workload).is_some(),
+            "unknown workload {workload}; expected a Table 1 name"
+        );
+        TenantSpec {
+            name: workload.to_string(),
+            workload: workload.to_string(),
+            arrivals,
+            policy,
+            priority: 1,
+            slo_ms,
+            requests,
+            curve: None,
+        }
+    }
+
+    /// Set the display name.
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Set the admission priority (higher wins contention).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Override the calibrated service curve.
+    pub fn with_curve(mut self, curve: ServiceCurve) -> Self {
+        self.curve = Some(curve);
+        self
+    }
+
+    /// The tenant's effective service curve on `cfg`.
+    pub fn effective_curve(&self, cfg: &TpuConfig) -> ServiceCurve {
+        match self.curve {
+            Some(c) => c,
+            None => {
+                let model = resolve_workload(&self.workload).expect("validated at construction");
+                ServiceCurve::from_workload(&model, cfg)
+            }
+        }
+    }
+}
+
+/// Resolve a Table 1 workload by name.
+pub fn resolve_workload(name: &str) -> Option<NnModel> {
+    match name {
+        "MLP0" => Some(workloads::mlp0()),
+        "MLP1" => Some(workloads::mlp1()),
+        "LSTM0" => Some(workloads::lstm0()),
+        "LSTM1" => Some(workloads::lstm1()),
+        "CNN0" => Some(workloads::cnn0()),
+        "CNN1" => Some(workloads::cnn1()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_workloads_resolve() {
+        for n in ["MLP0", "MLP1", "LSTM0", "LSTM1", "CNN0", "CNN1"] {
+            assert!(resolve_workload(n).is_some(), "{n}");
+        }
+        assert!(resolve_workload("GPT4").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_is_rejected() {
+        let _ = TenantSpec::new(
+            "Resnet",
+            ArrivalProcess::Poisson { rate_rps: 1.0 },
+            BatchPolicy::Fixed { batch: 1 },
+            7.0,
+            100,
+        );
+    }
+
+    #[test]
+    fn bursty_mean_rate_is_preserved() {
+        let a = ArrivalProcess::Bursty {
+            rate_rps: 1000.0,
+            burst_factor: 3.0,
+            period_ms: 100.0,
+            duty: 0.2,
+        };
+        // Time-average of rate_at over one period ≈ rate_rps.
+        let steps = 10_000;
+        let mean: f64 = (0..steps)
+            .map(|i| a.rate_at(100.0 * i as f64 / steps as f64))
+            .sum::<f64>()
+            / steps as f64;
+        assert!((mean - 1000.0).abs() / 1000.0 < 0.01, "mean {mean}");
+        a.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "burst_factor * duty")]
+    fn saturated_duty_cycle_is_rejected_at_admission() {
+        // burst_factor * duty = 1.25 would zero the off-phase rate and
+        // stall the stream mid-simulation; validate() catches it up
+        // front instead.
+        ArrivalProcess::Bursty {
+            rate_rps: 10_000.0,
+            burst_factor: 5.0,
+            period_ms: 20.0,
+            duty: 0.25,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "duty must lie strictly inside")]
+    fn degenerate_duty_is_rejected() {
+        ArrivalProcess::Bursty {
+            rate_rps: 1.0,
+            burst_factor: 2.0,
+            period_ms: 10.0,
+            duty: 1.0,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn calibrated_curve_is_used_unless_overridden() {
+        let cfg = TpuConfig::paper();
+        let base = TenantSpec::new(
+            "MLP0",
+            ArrivalProcess::Poisson { rate_rps: 1.0 },
+            BatchPolicy::Fixed { batch: 8 },
+            7.0,
+            100,
+        );
+        let calibrated = base.effective_curve(&cfg);
+        assert!(calibrated.t1_ms > 0.0);
+        let overridden = base
+            .clone()
+            .with_curve(ServiceCurve::tpu_mlp0_table4())
+            .effective_curve(&cfg);
+        assert_eq!(overridden, ServiceCurve::tpu_mlp0_table4());
+    }
+}

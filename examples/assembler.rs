@@ -53,7 +53,11 @@ fn main() {
     );
 
     let program = assemble(&src).expect("example program must assemble");
-    println!("assembled {} instructions, {} bytes encoded\n", program.len(), program.encoded_bytes());
+    println!(
+        "assembled {} instructions, {} bytes encoded\n",
+        program.len(),
+        program.encoded_bytes()
+    );
 
     // Binary round trip: encode, decode, and show the annotated listing.
     let bytes = program.encode();
@@ -73,7 +77,9 @@ fn main() {
     for i in 0..d {
         tile[i * d + i] = 1;
     }
-    tpu.weight_memory_mut().store_bytes(0, &tile).expect("tile fits in Weight Memory");
+    tpu.weight_memory_mut()
+        .store_bytes(0, &tile)
+        .expect("tile fits in Weight Memory");
 
     // Host input: distinct small positive and negative codes.
     let mut host = HostMemory::new(1 << 16);
@@ -83,7 +89,10 @@ fn main() {
     host.write(0x0, &input).expect("input fits in host memory");
 
     let stats = tpu.run(&program, &mut host).expect("program executes");
-    let output = host.read(0x1000, batch * d).expect("output readable").to_vec();
+    let output = host
+        .read(0x1000, batch * d)
+        .expect("output readable")
+        .to_vec();
 
     println!("\ninput  (u8 codes): {:?}", &input[..d]);
     println!("output (u8 codes): {:?}", &output[..d]);

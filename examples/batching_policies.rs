@@ -31,31 +31,63 @@ fn main() {
     let gpu_rate = 4_500.0;
 
     println!("TPU-like service curve (s(B) = 0.873 + 0.00008 B ms), {tpu_rate} req/s:");
-    row("fixed batch 200", &tpu_service(Policy::Fixed { batch: 200 }, tpu_rate));
-    row("fixed batch 64", &tpu_service(Policy::Fixed { batch: 64 }, tpu_rate));
+    row(
+        "fixed batch 200",
+        &tpu_service(Policy::Fixed { batch: 200 }, tpu_rate),
+    );
+    row(
+        "fixed batch 64",
+        &tpu_service(Policy::Fixed { batch: 64 }, tpu_rate),
+    );
     row(
         "window 2 ms, max 200",
-        &tpu_service(Policy::TimeWindow { max_batch: 200, window_ms: 2.0 }, tpu_rate),
+        &tpu_service(
+            Policy::TimeWindow {
+                max_batch: 200,
+                window_ms: 2.0,
+            },
+            tpu_rate,
+        ),
     );
     row(
         "deadline 7 ms, max 200",
         &tpu_service(
-            Policy::Deadline { max_batch: 200, deadline_ms: 7.0, margin_ms: 0.5 },
+            Policy::Deadline {
+                max_batch: 200,
+                deadline_ms: 7.0,
+                margin_ms: 0.5,
+            },
             tpu_rate,
         ),
     );
 
     println!("\nGPU-like service curve (s(B) = 5.5 + 0.044 B ms, 15% jitter), {gpu_rate} req/s:");
-    row("fixed batch 64", &gpu_service(Policy::Fixed { batch: 64 }, gpu_rate));
-    row("fixed batch 16", &gpu_service(Policy::Fixed { batch: 16 }, gpu_rate));
+    row(
+        "fixed batch 64",
+        &gpu_service(Policy::Fixed { batch: 64 }, gpu_rate),
+    );
+    row(
+        "fixed batch 16",
+        &gpu_service(Policy::Fixed { batch: 16 }, gpu_rate),
+    );
     row(
         "window 2 ms, max 64",
-        &gpu_service(Policy::TimeWindow { max_batch: 64, window_ms: 2.0 }, gpu_rate),
+        &gpu_service(
+            Policy::TimeWindow {
+                max_batch: 64,
+                window_ms: 2.0,
+            },
+            gpu_rate,
+        ),
     );
     row(
         "deadline 14 ms, max 64",
         &gpu_service(
-            Policy::Deadline { max_batch: 64, deadline_ms: 14.0, margin_ms: 2.0 },
+            Policy::Deadline {
+                max_batch: 64,
+                deadline_ms: 14.0,
+                margin_ms: 2.0,
+            },
             gpu_rate,
         ),
     );
@@ -63,7 +95,10 @@ fn main() {
     // The paper's asymmetry, stated numerically: what fraction of
     // unconstrained throughput survives a 7 ms service budget?
     let fit = |cfg: &BatchSimConfig| {
-        (1..=256).rev().find(|&b| cfg.service_ms(b) <= 7.0).unwrap_or(1)
+        (1..=256)
+            .rev()
+            .find(|&b| cfg.service_ms(b) <= 7.0)
+            .unwrap_or(1)
     };
     let tpu = tpu_service(Policy::Fixed { batch: 256 }, 1.0);
     let gpu = gpu_service(Policy::Fixed { batch: 256 }, 1.0);
@@ -72,8 +107,14 @@ fn main() {
     };
     let (tb, gb) = (fit(&tpu), fit(&gpu));
     println!("\nlargest batch whose service time fits 7 ms, and capacity retained:");
-    println!("  TPU-like: batch {tb:<4} retains {:>5.1}% of unconstrained capacity", retained(&tpu, tb));
-    println!("  GPU-like: batch {gb:<4} retains {:>5.1}% of unconstrained capacity", retained(&gpu, gb));
+    println!(
+        "  TPU-like: batch {tb:<4} retains {:>5.1}% of unconstrained capacity",
+        retained(&tpu, tb)
+    );
+    println!(
+        "  GPU-like: batch {gb:<4} retains {:>5.1}% of unconstrained capacity",
+        retained(&gpu, gb)
+    );
     println!(
         "\nOK: the flat TPU service curve keeps its big batches under the latency\n\
          limit; the steep GPU curve must shrink batches and forfeit capacity\n\

@@ -32,13 +32,25 @@ fn main() {
         }
     });
 
-    for (name, acts) in [("well-behaved layer", &well_behaved), ("heavy-tailed layer", &heavy_tailed)] {
+    for (name, acts) in [
+        ("well-behaved layer", &well_behaved),
+        ("heavy-tailed layer", &heavy_tailed),
+    ] {
         let mut cal = Calibrator::new();
         cal.observe(acts);
-        println!("{name}: {} observations, max |x| = {:.2}", cal.observations(), cal.histogram().max_abs());
+        println!(
+            "{name}: {} observations, max |x| = {:.2}",
+            cal.observations(),
+            cal.histogram().max_abs()
+        );
 
         // Resolution on the bulk (|x| <= 1): where the information lives.
-        let inliers: Vec<f32> = acts.data().iter().copied().filter(|v| v.abs() <= 1.0).collect();
+        let inliers: Vec<f32> = acts
+            .data()
+            .iter()
+            .copied()
+            .filter(|v| v.abs() <= 1.0)
+            .collect();
         let bulk = Matrix::from_rows(1, inliers.len(), inliers);
 
         println!(

@@ -21,13 +21,27 @@ fn main() {
     let area = OpArea::default();
 
     println!("per-operation energy (pJ) and the paper's ratios:");
-    println!("  int8 multiply {:>6.2}   fp16 multiply {:>6.2}   ratio {:>4.1}x (paper: ~6x)",
-        ops.int8_mul_pj, ops.fp16_mul_pj, ops.mul_energy_ratio());
-    println!("  int8 add      {:>6.2}   fp16 add      {:>6.2}   ratio {:>4.1}x (paper: 13x)",
-        ops.int8_add_pj, ops.fp16_add_pj, ops.add_energy_ratio());
-    println!("  fp16 multiplier area ratio {:>4.1}x (paper: ~6x), adder {:>4.1}x (paper: 38x)",
-        area.mul_area_ratio(), area.add_area_ratio());
-    println!("  => {:.0} int8 MACs fit per fp16 MAC of area\n", area.macs_per_fp16_mac());
+    println!(
+        "  int8 multiply {:>6.2}   fp16 multiply {:>6.2}   ratio {:>4.1}x (paper: ~6x)",
+        ops.int8_mul_pj,
+        ops.fp16_mul_pj,
+        ops.mul_energy_ratio()
+    );
+    println!(
+        "  int8 add      {:>6.2}   fp16 add      {:>6.2}   ratio {:>4.1}x (paper: 13x)",
+        ops.int8_add_pj,
+        ops.fp16_add_pj,
+        ops.add_energy_ratio()
+    );
+    println!(
+        "  fp16 multiplier area ratio {:>4.1}x (paper: ~6x), adder {:>4.1}x (paper: 38x)",
+        area.mul_area_ratio(),
+        area.add_area_ratio()
+    );
+    println!(
+        "  => {:.0} int8 MACs fit per fp16 MAC of area\n",
+        area.macs_per_fp16_mac()
+    );
 
     println!("energy per inference by component (uJ):");
     println!(
@@ -40,14 +54,11 @@ fn main() {
         // MLPs/LSTMs land at one MAC per weight; CNNs reuse each weight
         // spatially and do hundreds.
         let batch = model.batch();
-        let macs = model.total_weights() as f64 * model.ops_per_weight_byte()
-            / batch as f64
-            / 2.0;
+        let macs = model.total_weights() as f64 * model.ops_per_weight_byte() / batch as f64 / 2.0;
         // I/O per inference: input + output activations, ~2 KiB-class for
         // MLPs/LSTMs, larger for CNN images.
         let io_bytes = (model.input_width() * 2) as f64;
-        let work =
-            InferenceWork::for_model(model.total_weights() as f64, macs, batch, io_bytes);
+        let work = InferenceWork::for_model(model.total_weights() as f64, macs, batch, io_bytes);
         let e = die_energy_breakdown(&ops, &work);
         println!(
             "  {:<6} {:>8.2} {:>8.3} {:>8.2} {:>8.4} {:>9.2} {:>6.0}%",
@@ -68,8 +79,14 @@ fn main() {
     println!("\nSRAM read energy for one second of peak MACs (46 T MAC/s):");
     println!("  systolic (read once per 256-wide column): {systolic:>8.1} J");
     println!("  naive (re-read both operands per MAC):    {naive:>8.1} J");
-    println!("  saving: {:.0}x — without systolic reuse the SRAM alone would", naive / systolic);
-    println!("  dissipate {:.0} W, far beyond the TPU's 40 W busy power.", naive);
+    println!(
+        "  saving: {:.0}x — without systolic reuse the SRAM alone would",
+        naive / systolic
+    );
+    println!(
+        "  dissipate {:.0} W, far beyond the TPU's 40 W busy power.",
+        naive
+    );
 
     println!("\nOK: batching amortizes DRAM weight energy; systolic flow makes the");
     println!("SRAM affordable; int8 density underwrites the 25x MAC advantage.");

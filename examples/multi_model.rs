@@ -21,7 +21,14 @@ fn make_model(name: &str, depth: usize, batch: usize) -> NnModel {
     for _ in 1..depth {
         layers.push(Layer::fc(d, d, Nonlinearity::Relu));
     }
-    NnModel::new(name, NnKind::Mlp, layers, batch, 2 * d, tpu_repro::tpu_core::config::Precision::Int8)
+    NnModel::new(
+        name,
+        NnKind::Mlp,
+        layers,
+        batch,
+        2 * d,
+        tpu_repro::tpu_core::config::Precision::Int8,
+    )
 }
 
 fn main() {
@@ -30,7 +37,11 @@ fn main() {
 
     // Three "applications" sharing one TPU, like a datacenter host
     // multiplexing ranking, translation, and vision traffic.
-    let specs = [("ranker", 3usize, 4usize), ("translator", 5, 2), ("vision-head", 2, 8)];
+    let specs = [
+        ("ranker", 3usize, 4usize),
+        ("translator", 5, 2),
+        ("vision-head", 2, 8),
+    ];
     let mut apps = Vec::new();
     for (name, depth, batch) in specs {
         let model = make_model(name, depth, batch);
@@ -58,11 +69,16 @@ fn main() {
 
     // Retire the vision head; its Weight Memory region becomes reusable.
     runtime.evict("vision-head").expect("evict");
-    println!("\nAfter evicting 'vision-head': {:?}", runtime.resident_models());
+    println!(
+        "\nAfter evicting 'vision-head': {:?}",
+        runtime.resident_models()
+    );
 
     // The remaining models keep serving from their cached images.
     let (model, weights, input) = &apps[0];
-    let again = runtime.evaluate(model, weights, input).expect("still serving");
+    let again = runtime
+        .evaluate(model, weights, input)
+        .expect("still serving");
     println!(
         "'{}' still serves from its cached image: output {:?}",
         model.name(),
@@ -74,5 +90,8 @@ fn main() {
     let w = ModelWeights::random(&newcomer, 0.4, &mut rng);
     let x = Matrix::from_fn(4, newcomer.input_width(), |r, c| ((r + c) % 5) as f32 * 0.1);
     runtime.evaluate(&newcomer, &w, &x).expect("newcomer");
-    println!("After loading 'newcomer':     {:?}", runtime.resident_models());
+    println!(
+        "After loading 'newcomer':     {:?}",
+        runtime.resident_models()
+    );
 }

@@ -58,8 +58,8 @@ fn main() {
     println!("Pipeline activity for one MLP0 batch:");
     let trace = traced.trace.as_deref().unwrap_or(&[]);
     print!("{}", tpu_repro::tpu_harness::gantt::render(trace, 100));
-    use tpu_repro::tpu_harness::gantt::utilization;
     use tpu_repro::tpu_core::timing::TraceResource;
+    use tpu_repro::tpu_harness::gantt::utilization;
     println!(
         "utilization: weight mem {:.0}%, matrix {:.0}%, activation {:.0}% — the memory-bound signature",
         100.0 * utilization(trace, TraceResource::WeightDram),
@@ -78,7 +78,15 @@ fn main() {
     let deep_ips = 128.0 / (deep.counters.total_cycles as f64 / cfg.clock_hz as f64);
     println!();
     println!("Section 8 what-if — aggregate CNN1 FC batches 32 -> 128:");
-    println!("  throughput {:.0} -> {:.0} inferences/s ({:.2}x)", base_ips, deep_ips, deep_ips / base_ips);
-    println!("  weight-stall fraction {:.1}% -> {:.1}%",
-        100.0 * result.report.weight_stall, 100.0 * deep.report.weight_stall);
+    println!(
+        "  throughput {:.0} -> {:.0} inferences/s ({:.2}x)",
+        base_ips,
+        deep_ips,
+        deep_ips / base_ips
+    );
+    println!(
+        "  weight-stall fraction {:.1}% -> {:.1}%",
+        100.0 * result.report.weight_stall,
+        100.0 * deep.report.weight_stall
+    );
 }

@@ -38,7 +38,9 @@ fn main() {
     ";
     let program = assemble(src).expect("program assembles");
 
-    let trace = PipelineModel::new(cfg).execute(&program).expect("program executes");
+    let trace = PipelineModel::new(cfg)
+        .execute(&program)
+        .expect("program executes");
     println!("4-stage CISC pipeline overlap (paper configuration, 256x256 @ 700 MHz):\n");
     print!("{}", trace.render_overlap(72));
 
@@ -50,12 +52,21 @@ fn main() {
     println!("  exposed weight shift:     {:>6}", stalls.shift_exposed);
 
     println!("\nunit occupancy (busy cycles):");
-    for unit in [Unit::Pcie, Unit::WeightFetch, Unit::Matrix, Unit::Activation] {
+    for unit in [
+        Unit::Pcie,
+        Unit::WeightFetch,
+        Unit::Matrix,
+        Unit::Activation,
+    ] {
         println!("  {:<8} {:>8}", unit.label(), trace.unit_busy(unit));
     }
 
     let us = trace.total_cycles as f64 / 700.0; // 700 cycles per microsecond
-    println!("\ntotal: {} cycles = {us:.1} us at 700 MHz, CPI {:.1}", trace.total_cycles, trace.cpi());
+    println!(
+        "\ntotal: {} cycles = {us:.1} us at 700 MHz, CPI {:.1}",
+        trace.total_cycles,
+        trace.cpi()
+    );
     println!(
         "\nOK: Read_Weights retires immediately (decoupled access/execute), the\n\
          second layer's tile streams in under the first layer's compute, and\n\

@@ -48,7 +48,9 @@ fn main() {
 
     // The TPU runtime: first evaluation calibrates + compiles + uploads.
     let mut runtime = TpuRuntime::new(cfg, 1 << 20);
-    let first = runtime.evaluate(&model, &weights, &input).expect("first evaluation");
+    let first = runtime
+        .evaluate(&model, &weights, &input)
+        .expect("first evaluation");
     assert!(
         runtime.is_compiled("quickstart-mlp"),
         "program image is cached after the first run"
@@ -56,8 +58,13 @@ fn main() {
 
     // Second evaluation reuses the cached image ("the second and
     // following evaluations run at full speed").
-    let second = runtime.evaluate(&model, &weights, &input).expect("second evaluation");
-    assert_eq!(first, second, "deterministic execution: identical runs, identical bits");
+    let second = runtime
+        .evaluate(&model, &weights, &input)
+        .expect("second evaluation");
+    assert_eq!(
+        first, second,
+        "deterministic execution: identical runs, identical bits"
+    );
 
     let max_err = reference.max_abs_diff(&first);
     println!("quickstart MLP on the functional TPU");
@@ -65,9 +72,20 @@ fn main() {
     println!("  evaluations served: {}", runtime.evaluations());
     println!("  max |quantized - f32 reference| = {max_err:.4}");
     println!();
-    println!("  f32 reference, first row:  {:?}", &reference.row(0)[..d.min(8)]);
-    println!("  TPU (dequantized), row 0:  {:?}", &first.row(0)[..d.min(8)]);
+    println!(
+        "  f32 reference, first row:  {:?}",
+        &reference.row(0)[..d.min(8)]
+    );
+    println!(
+        "  TPU (dequantized), row 0:  {:?}",
+        &first.row(0)[..d.min(8)]
+    );
 
-    assert!(max_err < 0.25, "quantized result should track the f32 reference");
-    println!("\nOK: 8-bit quantized inference matches the f32 reference within quantization error.");
+    assert!(
+        max_err < 0.25,
+        "quantized result should track the f32 reference"
+    );
+    println!(
+        "\nOK: 8-bit quantized inference matches the f32 reference within quantization error."
+    );
 }

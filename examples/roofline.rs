@@ -37,7 +37,11 @@ fn main() {
             "  {:6} intensity {:7.0} -> {} (bound: {:5.1} TOPS)",
             m.name(),
             i,
-            if tpu.is_memory_bound(i) { "memory bound " } else { "compute bound" },
+            if tpu.is_memory_bound(i) {
+                "memory bound "
+            } else {
+                "compute bound"
+            },
             tpu.attainable_tops(i)
         );
     }

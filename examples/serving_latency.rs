@@ -12,9 +12,17 @@ use tpu_repro::tpu_platforms::latency::ServingModel;
 
 fn main() {
     let platforms = [
-        ("CPU", ServingModel::cpu_mlp0(), vec![1usize, 4, 8, 16, 32, 64]),
+        (
+            "CPU",
+            ServingModel::cpu_mlp0(),
+            vec![1usize, 4, 8, 16, 32, 64],
+        ),
         ("GPU", ServingModel::gpu_mlp0(), vec![1, 4, 8, 16, 32, 64]),
-        ("TPU", ServingModel::tpu_mlp0(), vec![25, 50, 100, 150, 200, 250]),
+        (
+            "TPU",
+            ServingModel::tpu_mlp0(),
+            vec![25, 50, 100, 150, 200, 250],
+        ),
     ];
 
     println!("Batch sweep for MLP0 (99th-percentile latency vs throughput):\n");
@@ -25,12 +33,23 @@ fn main() {
         // enforcement tolerates that sliver, so the cut is at 7.21.
         let limit = 7.21;
         for &b in batches {
-            let marker = if model.l99_ms(b) <= limit { "  within limit" } else { "  over limit" };
-            println!("  {b:5}   {:7.2}  {:8.0}{marker}", model.l99_ms(b), model.ips(b));
+            let marker = if model.l99_ms(b) <= limit {
+                "  within limit"
+            } else {
+                "  over limit"
+            };
+            println!(
+                "  {b:5}   {:7.2}  {:8.0}{marker}",
+                model.l99_ms(b),
+                model.ips(b)
+            );
         }
         let best = model.max_batch_within_from(limit, batches);
         match best {
-            Some(b) => println!("  -> largest deployable batch under 7 ms: {b} ({:.0} IPS)\n", model.ips(b)),
+            Some(b) => println!(
+                "  -> largest deployable batch under 7 ms: {b} ({:.0} IPS)\n",
+                model.ips(b)
+            ),
             None => println!("  -> no batch meets the limit\n"),
         }
     }

@@ -15,7 +15,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tpu_repro::tpu_nn::compress::{prune_to_density, shared_bits, CompressedWeights, SharedCodebook};
+use tpu_repro::tpu_nn::compress::{
+    prune_to_density, shared_bits, CompressedWeights, SharedCodebook,
+};
 use tpu_repro::tpu_nn::quant::QuantizedWeights;
 use tpu_repro::tpu_nn::Matrix;
 

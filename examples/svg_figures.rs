@@ -14,7 +14,9 @@ use tpu_repro::tpu_harness::svg_out;
 use tpu_repro::tpu_plot::{Chart, Marker, Scale, Series};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "figures".to_string());
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "figures".to_string());
     let dir = std::path::PathBuf::from(dir);
     let cfg = TpuConfig::paper();
 

@@ -18,6 +18,11 @@
 //! * [`tpu_power`] — energy proportionality and performance/Watt.
 //! * [`tpu_plot`] — dependency-free SVG charts for the figures.
 //! * [`tpu_harness`] — regenerators for every table and figure.
+//! * [`tpu_serve`] — the seeded discrete-event, multi-tenant serving
+//!   runtime: pluggable batching policies (fixed, timeout-bounded,
+//!   SLO-adaptive), priority admission of the Table 1 workloads onto a
+//!   shared die pool, and per-tenant p50/p95/p99 + utilization
+//!   reporting. Run scenarios with the `tpu_serve` binary.
 
 #![warn(missing_docs)]
 
@@ -30,3 +35,4 @@ pub use tpu_perfmodel;
 pub use tpu_platforms;
 pub use tpu_plot;
 pub use tpu_power;
+pub use tpu_serve;

@@ -107,7 +107,8 @@ fn program_survives_wire_roundtrip_and_reexecutes_identically() {
         let mut host = HostMemory::new(1 << 20);
         // Write a fixed input block.
         let block: Vec<u8> = (0..compiled.input_bytes).map(|i| (i % 251) as u8).collect();
-        host.write(compiled.input_host_addr as usize, &block).unwrap();
+        host.write(compiled.input_host_addr as usize, &block)
+            .unwrap();
         dev.run(program, &mut host).unwrap();
         host.read(compiled.output_host_addr as usize, compiled.output_bytes)
             .unwrap()
@@ -133,14 +134,20 @@ fn cycle_accurate_wavefront_agrees_with_fast_path_end_to_end() {
             dev.weight_memory_mut().store_tile(*addr, tile).unwrap();
         }
         let mut host = HostMemory::new(1 << 20);
-        let block: Vec<u8> = (0..compiled.input_bytes).map(|i| (i * 7 % 256) as u8).collect();
+        let block: Vec<u8> = (0..compiled.input_bytes)
+            .map(|i| (i * 7 % 256) as u8)
+            .collect();
         host.write(0, &block).unwrap();
         dev.run(&compiled.program, &mut host).unwrap();
         host.read(compiled.output_host_addr as usize, compiled.output_bytes)
             .unwrap()
             .to_vec()
     };
-    assert_eq!(run(true), run(false), "wavefront and oracle must agree bit-for-bit");
+    assert_eq!(
+        run(true),
+        run(false),
+        "wavefront and oracle must agree bit-for-bit"
+    );
 }
 
 #[test]
@@ -148,8 +155,9 @@ fn lstm_cell_sequences_are_deterministic_and_bounded() {
     use tpu_repro::tpu_nn::lstm::{LstmCell, LstmState};
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let cell = LstmCell::random(8, 16, 0.4, &mut rng);
-    let xs: Vec<Matrix> =
-        (0..10).map(|t| Matrix::from_fn(4, 8, |r, c| ((t + r + c) % 7) as f32 * 0.1)).collect();
+    let xs: Vec<Matrix> = (0..10)
+        .map(|t| Matrix::from_fn(4, 8, |r, c| ((t + r + c) % 7) as f32 * 0.1))
+        .collect();
     let a = cell.run_sequence(&xs, LstmState::zeros(4, 16));
     let b = cell.run_sequence(&xs, LstmState::zeros(4, 16));
     assert_eq!(a, b);
@@ -175,16 +183,26 @@ fn convolution_through_the_device_matches_spatial_reference() {
 
     let cfg = TpuConfig::small(); // 8x8 array
     let dim = cfg.array_dim;
-    let spec = ConvSpec { h: 5, w: 5, in_ch: 2, out_ch: 8, kh: 3, kw: 3, stride: 1, pad: 1 };
+    let spec = ConvSpec {
+        h: 5,
+        w: 5,
+        in_ch: 2,
+        out_ch: 8,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+    };
     let batch_examples = 2;
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(55);
     use rand::Rng;
-    let wf = Matrix::from_fn(spec.patch_len(), spec.out_ch, |_, _| rng.gen_range(-0.5f32..0.5));
-    let input =
-        NhwcTensor::from_fn(batch_examples, spec.h, spec.w, spec.in_ch, |_, _, _, _| {
-            rng.gen_range(-1.0f32..1.0)
-        });
+    let wf = Matrix::from_fn(spec.patch_len(), spec.out_ch, |_, _| {
+        rng.gen_range(-0.5f32..0.5)
+    });
+    let input = NhwcTensor::from_fn(batch_examples, spec.h, spec.w, spec.in_ch, |_, _, _, _| {
+        rng.gen_range(-1.0f32..1.0)
+    });
 
     // Oracle: spatial convolution + ReLU.
     let want = conv2d_reference(&input, &wf, &spec);
@@ -212,7 +230,9 @@ fn convolution_through_the_device_matches_spatial_reference() {
 
     let mut dev = FuncTpu::new(cfg.clone());
     for (i, tile) in tiles.iter().enumerate() {
-        dev.weight_memory_mut().store_tile(i * cfg.tile_bytes(), tile).unwrap();
+        dev.weight_memory_mut()
+            .store_tile(i * cfg.tile_bytes(), tile)
+            .unwrap();
     }
 
     // Block-format the im2col activations and stage them in host memory.
@@ -229,13 +249,23 @@ fn convolution_through_the_device_matches_spatial_reference() {
         key: cfg_keys::ACC_SCALE,
         value: (in_q.scale * qw.scale()).to_bits(),
     });
-    p.push(Instruction::SetConfig { key: cfg_keys::OUTPUT_SCALE, value: out_q.scale.to_bits() });
+    p.push(Instruction::SetConfig {
+        key: cfg_keys::OUTPUT_SCALE,
+        value: out_q.scale.to_bits(),
+    });
     p.push(Instruction::SetConfig {
         key: cfg_keys::OUTPUT_ZERO_POINT,
         value: out_q.zero_point as u32,
     });
-    p.push(Instruction::ReadHostMemory { host_addr: 0, ub_addr: 0, len: blocks.len() as u32 });
-    p.push(Instruction::ReadWeights { dram_addr: 0, tiles: tiles.len() as u16 });
+    p.push(Instruction::ReadHostMemory {
+        host_addr: 0,
+        ub_addr: 0,
+        len: blocks.len() as u32,
+    });
+    p.push(Instruction::ReadWeights {
+        dram_addr: 0,
+        tiles: tiles.len() as u16,
+    });
     for info in grid.iter() {
         p.push(Instruction::MatrixMultiply {
             ub_addr: (info.k_index * rows * dim) as u32,
@@ -264,7 +294,10 @@ fn convolution_through_the_device_matches_spatial_reference() {
 
     dev.run(&p, &mut host).unwrap();
 
-    let raw = host.read(0x8000, out_block_bytes as usize).unwrap().to_vec();
+    let raw = host
+        .read(0x8000, out_block_bytes as usize)
+        .unwrap()
+        .to_vec();
     let codes = deformat_activations(&raw, rows, spec.out_ch.min(dim), dim);
     let got = QuantizedActivations::from_codes(rows, spec.out_ch, codes, out_q).dequantize();
 

@@ -28,13 +28,18 @@ fn matmul_without_weights_faults_everywhere() {
     let program = assemble(src).unwrap();
     let violations = verify(&program, &cfg);
     assert!(
-        violations.iter().any(|v| v.message.contains("no weight tile")),
+        violations
+            .iter()
+            .any(|v| v.message.contains("no weight tile")),
         "verifier should flag the missing Read_Weights: {violations:?}"
     );
     // ...the functional device faults...
     let err = run_func(&cfg, src).unwrap_err();
     assert!(
-        matches!(err, TpuError::WeightFifoUnderflow | TpuError::NoWeightsLoaded),
+        matches!(
+            err,
+            TpuError::WeightFifoUnderflow | TpuError::NoWeightsLoaded
+        ),
         "functional fault: {err}"
     );
     // ...and the pipeline model faults the same way.
@@ -69,9 +74,15 @@ fn accumulator_overflow_faults_the_device() {
         entries - 2
     );
     let program = assemble(&src).unwrap();
-    assert!(!verify(&program, &cfg).is_empty(), "verifier must flag accumulator overflow");
+    assert!(
+        !verify(&program, &cfg).is_empty(),
+        "verifier must flag accumulator overflow"
+    );
     let err = run_func(&cfg, &src).unwrap_err();
-    assert!(matches!(err, TpuError::AccumulatorOutOfRange { .. }), "device fault: {err}");
+    assert!(
+        matches!(err, TpuError::AccumulatorOutOfRange { .. }),
+        "device fault: {err}"
+    );
 }
 
 #[test]
@@ -82,11 +93,16 @@ fn fifo_overflow_is_flagged_statically() {
     let program = assemble(&src).unwrap();
     let violations = verify(&program, &cfg);
     assert!(
-        violations.iter().any(|v| v.message.to_lowercase().contains("fifo")),
+        violations
+            .iter()
+            .any(|v| v.message.to_lowercase().contains("fifo")),
         "verifier must flag FIFO overfill: {violations:?}"
     );
     let err = run_func(&cfg, &src).unwrap_err();
-    assert!(matches!(err, TpuError::WeightFifoOverflow { .. }), "device fault: {err}");
+    assert!(
+        matches!(err, TpuError::WeightFifoOverflow { .. }),
+        "device fault: {err}"
+    );
 }
 
 #[test]
@@ -94,14 +110,21 @@ fn missing_halt_is_rejected_before_dispatch() {
     let cfg = TpuConfig::small();
     let program = assemble("nop\n").unwrap();
     assert!(
-        verify(&program, &cfg).iter().any(|v| v.message.to_lowercase().contains("halt")),
+        verify(&program, &cfg)
+            .iter()
+            .any(|v| v.message.to_lowercase().contains("halt")),
         "verifier must require a halt"
     );
-    let err = PipelineModel::new(cfg.clone()).execute(&program).unwrap_err();
+    let err = PipelineModel::new(cfg.clone())
+        .execute(&program)
+        .unwrap_err();
     assert_eq!(err, TpuError::MissingHalt);
     let mut tpu = FuncTpu::new(cfg);
     let mut host = HostMemory::new(1 << 12);
-    assert_eq!(tpu.run(&program, &mut host).unwrap_err(), TpuError::MissingHalt);
+    assert_eq!(
+        tpu.run(&program, &mut host).unwrap_err(),
+        TpuError::MissingHalt
+    );
 }
 
 #[test]
@@ -111,7 +134,10 @@ fn host_memory_overflow_faults_the_device() {
     let mut tpu = FuncTpu::new(cfg);
     let mut host = HostMemory::new(1 << 16); // 64 KiB: address is way out
     let err = tpu.run(&program, &mut host).unwrap_err();
-    assert!(matches!(err, TpuError::HostMemoryOutOfRange { .. }), "device fault: {err}");
+    assert!(
+        matches!(err, TpuError::HostMemoryOutOfRange { .. }),
+        "device fault: {err}"
+    );
 }
 
 #[test]
@@ -120,7 +146,10 @@ fn weight_memory_overflow_faults_the_device() {
     let capacity = cfg.weight_memory_bytes;
     let src = format!("read_weights dram={:#x}, tiles=1\nhalt\n", capacity);
     let err = run_func(&cfg, &src).unwrap_err();
-    assert!(matches!(err, TpuError::WeightMemoryOutOfRange { .. }), "device fault: {err}");
+    assert!(
+        matches!(err, TpuError::WeightMemoryOutOfRange { .. }),
+        "device fault: {err}"
+    );
 }
 
 #[test]
@@ -132,7 +161,10 @@ fn corrupted_binary_streams_fail_to_decode() {
     // Truncation: cut mid-instruction.
     let truncated = &bytes[..bytes.len() - 2];
     let err = Program::decode(truncated).unwrap_err();
-    assert!(matches!(err, TpuError::TruncatedInstruction { .. }), "{err}");
+    assert!(
+        matches!(err, TpuError::TruncatedInstruction { .. }),
+        "{err}"
+    );
 
     // Corruption: overwrite an opcode byte with garbage.
     bytes[0] = 0xEE;

@@ -13,8 +13,7 @@ use tpu_repro::tpu_nn::model::{NnKind, NnModel};
 /// Random small-ish FC/vector models.
 fn model_strategy() -> impl Strategy<Value = NnModel> {
     let layer = prop_oneof![
-        (64usize..2048, 64usize..2048)
-            .prop_map(|(i, o)| Layer::fc(i, o, Nonlinearity::Relu)),
+        (64usize..2048, 64usize..2048).prop_map(|(i, o)| Layer::fc(i, o, Nonlinearity::Relu)),
         (64usize..1024, 1u64..4).prop_map(|(w, c)| Layer::vector(w, c)),
     ];
     (prop::collection::vec(layer, 1..6), 1usize..256).prop_map(|(mut layers, batch)| {

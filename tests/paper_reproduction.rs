@@ -47,7 +47,10 @@ fn claim_four_of_six_apps_are_memory_bound_on_tpu() {
         .iter()
         .filter(|m| tpu.is_memory_bound(m.ops_per_weight_byte()))
         .count();
-    assert_eq!(memory_bound, 4, "MLPs and LSTMs under the ridge, CNNs above");
+    assert_eq!(
+        memory_bound, 4,
+        "MLPs and LSTMs under the ridge, CNNs above"
+    );
 }
 
 #[test]
@@ -89,8 +92,16 @@ fn claim_tpu_prime_perf_watt_nearly_70x_gpu_200x_cpu() {
     let f9 = figure9(&cfg());
     let vs_cpu = f9.bar("TPU'/CPU", Accounting::Incremental).unwrap();
     let vs_gpu = f9.bar("TPU'/GPU", Accounting::Incremental).unwrap();
-    assert!(vs_cpu.wm > 100.0, "TPU'/CPU incremental WM {} (paper ~196)", vs_cpu.wm);
-    assert!(vs_gpu.wm > 20.0, "TPU'/GPU incremental WM {} (paper ~68)", vs_gpu.wm);
+    assert!(
+        vs_cpu.wm > 100.0,
+        "TPU'/CPU incremental WM {} (paper ~196)",
+        vs_cpu.wm
+    );
+    assert!(
+        vs_gpu.wm > 20.0,
+        "TPU'/GPU incremental WM {} (paper ~68)",
+        vs_gpu.wm
+    );
 }
 
 #[test]
@@ -150,7 +161,10 @@ fn claim_ub_improved_allocator_brings_largest_app_near_14_mib() {
         .iter()
         .map(|m| tpu_repro::tpu_compiler::alloc::ub_usage(m).reuse_mib)
         .fold(0.0f64, f64::max);
-    assert!((8.0..=20.0).contains(&max), "largest app uses {max} MiB (paper: 14)");
+    assert!(
+        (8.0..=20.0).contains(&max),
+        "largest app uses {max} MiB (paper: 14)"
+    );
 }
 
 #[test]
@@ -165,8 +179,8 @@ fn claim_ridge_points() {
 fn claim_energy_proportionality_ranking() {
     // Section 6: TPU worst, CPU best; at 10% load TPU uses 88% of full
     // power, CPU 56%, GPU 66%.
-    use tpu_repro::tpu_power::energy::{PowerCurve, PowerWorkload};
     use tpu_repro::tpu_platforms::spec::Platform;
+    use tpu_repro::tpu_power::energy::{PowerCurve, PowerWorkload};
     let f = |p| PowerCurve::for_die(p, PowerWorkload::Cnn0).fraction_of_busy(0.10);
     let (c, g, t) = (f(Platform::Haswell), f(Platform::K80), f(Platform::Tpu));
     assert!(t > g && g > c);
@@ -177,8 +191,8 @@ fn claim_energy_proportionality_ranking() {
 fn claim_haswell_plus_tpus_runs_cnn0_80x_faster_for_20pct_more_power() {
     // Section 6: "the Haswell server plus four TPUs use <20% additional
     // power but run CNN0 80 times faster than the Haswell server alone."
-    use tpu_repro::tpu_power::energy::host_server_power;
     use tpu_repro::tpu_platforms::spec::Platform;
+    use tpu_repro::tpu_power::energy::host_server_power;
     let cpu = ChipSpec::haswell();
     let tpu_curve = tpu_repro::tpu_power::energy::PowerCurve::for_die(
         Platform::Tpu,
@@ -193,7 +207,10 @@ fn claim_haswell_plus_tpus_runs_cnn0_80x_faster_for_20pct_more_power() {
     let t6 = tpu_repro::tpu_platforms::table6(&cfg());
     let cnn0 = t6.columns.iter().find(|c| c.name == "CNN0").unwrap();
     let server_ratio = cnn0.tpu_rel * 4.0 / 2.0;
-    assert!((60.0..=100.0).contains(&server_ratio), "CNN0 server speedup {server_ratio}");
+    assert!(
+        (60.0..=100.0).contains(&server_ratio),
+        "CNN0 server speedup {server_ratio}"
+    );
 }
 
 #[test]
@@ -236,9 +253,21 @@ fn claim_avx2_int8_cpu_would_shrink_perf_watt_to_12_to_24x() {
     // Section 8: "If all DNNs had similar speedup, performance/Watt
     // ratio would drop from 41-83X to 12-24X."
     let w = tpu_repro::tpu_power::avx2_whatif(&cfg());
-    assert!((30.0..=90.0).contains(&w.gm_before), "before GM {}", w.gm_before);
-    assert!((8.0..=30.0).contains(&w.gm_after), "after GM {}", w.gm_after);
-    assert!((8.0..=30.0).contains(&w.wm_after), "after WM {}", w.wm_after);
+    assert!(
+        (30.0..=90.0).contains(&w.gm_before),
+        "before GM {}",
+        w.gm_before
+    );
+    assert!(
+        (8.0..=30.0).contains(&w.gm_after),
+        "after GM {}",
+        w.gm_after
+    );
+    assert!(
+        (8.0..=30.0).contains(&w.wm_after),
+        "after WM {}",
+        w.wm_after
+    );
     assert!(w.gm_after >= 8.0, "still roughly an order of magnitude");
 }
 
@@ -247,12 +276,23 @@ fn claim_p40_peak_efficiency_still_trails_the_tpu() {
     // Section 8: the 16-nm, 250 W, 47-TOPS P40 is newer, but even at
     // peak its TOPS/Watt trails the 28-nm TPU by an order of magnitude.
     let c = tpu_repro::tpu_platforms::p40_peak_comparison();
-    assert!(c.tpu_advantage_busy > 10.0, "TPU advantage {}", c.tpu_advantage_busy);
+    assert!(
+        c.tpu_advantage_busy > 10.0,
+        "TPU advantage {}",
+        c.tpu_advantage_busy
+    );
     // And under latency bounds the predicted delivered fraction of P40
     // peak is small for the memory-bound majority of the workload.
     let rows = tpu_repro::tpu_platforms::p40_comparison(&cfg());
-    let memory_bound = rows.iter().filter(|r| r.app.starts_with("MLP") || r.app.starts_with("LSTM"));
+    let memory_bound = rows
+        .iter()
+        .filter(|r| r.app.starts_with("MLP") || r.app.starts_with("LSTM"));
     for r in memory_bound {
-        assert!(r.p40_peak_fraction < 0.10, "{} delivers {:.1}% of P40 peak", r.app, 100.0 * r.p40_peak_fraction);
+        assert!(
+            r.p40_peak_fraction < 0.10,
+            "{} delivers {:.1}% of P40 peak",
+            r.app,
+            100.0 * r.p40_peak_fraction
+        );
     }
 }

@@ -1,0 +1,270 @@
+//! Cross-crate tests of the discrete-event serving runtime: equivalence
+//! with the analytic `queue_sim` engine, bit-exact determinism, and the
+//! paper's batching trade-off surfaced end to end.
+
+use tpu_repro::tpu_core::TpuConfig;
+use tpu_repro::tpu_platforms::queue_sim;
+use tpu_repro::tpu_serve::tenant::ArrivalProcess;
+use tpu_repro::tpu_serve::{run, BatchPolicy, ClusterSpec, Dispatch, ServiceCurve, TenantSpec};
+
+/// A single-tenant spec mirroring a `queue_sim` configuration.
+fn mirror_tenant(cfg: &queue_sim::QueueSimConfig) -> TenantSpec {
+    TenantSpec::new(
+        "MLP0",
+        ArrivalProcess::Poisson {
+            rate_rps: cfg.arrival_rate,
+        },
+        BatchPolicy::Fixed { batch: cfg.batch },
+        7.0,
+        cfg.requests,
+    )
+    .with_curve(ServiceCurve::new(
+        cfg.service_t0_ms,
+        cfg.service_t1_ms,
+        cfg.service_jitter_sigma,
+    ))
+}
+
+#[test]
+fn fixed_batch_single_die_reproduces_queue_sim() {
+    // Same seed, same arrival-gap formula, same dispatch rule (batch
+    // ready when its last member arrives and the die is free): the
+    // event-driven engine must land on queue_sim's numbers to within
+    // float-accumulation noise.
+    let tpu = TpuConfig::paper();
+    for (batch, rate) in [(64usize, 30_000.0), (200, 180_000.0), (256, 100_000.0)] {
+        let legacy_cfg = queue_sim::QueueSimConfig {
+            arrival_rate: rate,
+            batch,
+            service_t0_ms: 0.873,
+            service_t1_ms: 0.00008,
+            service_jitter_sigma: 0.0,
+            requests: 40_000,
+            seed: 42,
+        };
+        let legacy = queue_sim::simulate(&legacy_cfg);
+        let report = run(
+            &ClusterSpec::new(1, 42),
+            &[mirror_tenant(&legacy_cfg)],
+            &tpu,
+        );
+        let t = &report.tenants[0];
+        let tol = 1e-6;
+        assert!(
+            (t.p50_ms - legacy.p50_ms).abs() < tol,
+            "batch {batch}: p50 {} vs queue_sim {}",
+            t.p50_ms,
+            legacy.p50_ms
+        );
+        assert!(
+            (t.p99_ms - legacy.p99_ms).abs() < tol,
+            "batch {batch}: p99 {} vs queue_sim {}",
+            t.p99_ms,
+            legacy.p99_ms
+        );
+        assert!(
+            (t.throughput_rps - legacy.throughput_ips).abs() / legacy.throughput_ips < 1e-6,
+            "batch {batch}: throughput {} vs queue_sim {}",
+            t.throughput_rps,
+            legacy.throughput_ips
+        );
+    }
+}
+
+#[test]
+fn same_seed_produces_bit_identical_reports() {
+    let tpu = TpuConfig::paper();
+    let cluster = ClusterSpec::new(3, 1234).with_dispatch(Dispatch::RoundRobin);
+    let tenants = [
+        TenantSpec::new(
+            "MLP0",
+            ArrivalProcess::Poisson {
+                rate_rps: 120_000.0,
+            },
+            BatchPolicy::Timeout {
+                max_batch: 200,
+                t_max_ms: 2.0,
+            },
+            7.0,
+            20_000,
+        ),
+        TenantSpec::new(
+            "LSTM0",
+            ArrivalProcess::Bursty {
+                rate_rps: 10_000.0,
+                burst_factor: 3.0,
+                period_ms: 25.0,
+                duty: 0.25,
+            },
+            BatchPolicy::SloAdaptive {
+                max_batch: 64,
+                slo_ms: 50.0,
+                margin_ms: 5.0,
+            },
+            50.0,
+            4_000,
+        ),
+    ];
+    let a = run(&cluster, &tenants, &tpu);
+    let b = run(&cluster, &tenants, &tpu);
+    assert_eq!(a, b, "structurally identical");
+    assert_eq!(
+        format!("{a}"),
+        format!("{b}"),
+        "same seed must render a bit-identical report"
+    );
+    assert_eq!(
+        tpu_repro::tpu_serve::ServeReport::to_json(&a).to_string(),
+        tpu_repro::tpu_serve::ServeReport::to_json(&b).to_string()
+    );
+}
+
+#[test]
+fn timeout_bounded_batching_lowers_p99_at_equal_load() {
+    // The acceptance experiment: identical offered load and service
+    // curve; only the dispatch policy differs. Fixed batch-200 pays the
+    // full accumulation delay (and misses the 7 ms target); a 2 ms
+    // timeout caps it.
+    let tpu = TpuConfig::paper();
+    let mk = |policy| {
+        TenantSpec::new(
+            "MLP0",
+            ArrivalProcess::Poisson { rate_rps: 30_000.0 },
+            policy,
+            7.0,
+            15_000,
+        )
+        .with_curve(ServiceCurve::tpu_mlp0_table4())
+    };
+    let fixed = run(
+        &ClusterSpec::new(1, 42),
+        &[mk(BatchPolicy::Fixed { batch: 200 })],
+        &tpu,
+    );
+    let timeout = run(
+        &ClusterSpec::new(1, 42),
+        &[mk(BatchPolicy::Timeout {
+            max_batch: 200,
+            t_max_ms: 2.0,
+        })],
+        &tpu,
+    );
+    let f = &fixed.tenants[0];
+    let t = &timeout.tenants[0];
+    assert!(
+        t.p99_ms < 0.5 * f.p99_ms,
+        "timeout p99 {} must clearly beat fixed p99 {}",
+        t.p99_ms,
+        f.p99_ms
+    );
+    assert!(
+        f.p99_ms > 7.0,
+        "fixed-200 breaches the 7 ms target: {}",
+        f.p99_ms
+    );
+    assert!(
+        t.p99_ms < 7.0,
+        "timeout meets the 7 ms target: {}",
+        t.p99_ms
+    );
+    assert!(t.slo_attainment > f.slo_attainment);
+}
+
+#[test]
+fn slo_adaptive_meets_target_with_bigger_batches_than_timeout() {
+    // The adaptive policy spends the SLO budget on accumulation:
+    // it should meet the target while dispatching larger batches (fewer,
+    // more efficient dispatches) than a fixed 2 ms timeout.
+    let tpu = TpuConfig::paper();
+    let mk = |policy| {
+        TenantSpec::new(
+            "MLP0",
+            ArrivalProcess::Poisson { rate_rps: 30_000.0 },
+            policy,
+            7.0,
+            15_000,
+        )
+        .with_curve(ServiceCurve::tpu_mlp0_table4())
+    };
+    let timeout = run(
+        &ClusterSpec::new(1, 42),
+        &[mk(BatchPolicy::Timeout {
+            max_batch: 200,
+            t_max_ms: 2.0,
+        })],
+        &tpu,
+    );
+    let adaptive = run(
+        &ClusterSpec::new(1, 42),
+        &[mk(BatchPolicy::SloAdaptive {
+            max_batch: 200,
+            slo_ms: 7.0,
+            margin_ms: 1.0,
+        })],
+        &tpu,
+    );
+    let t = &timeout.tenants[0];
+    let a = &adaptive.tenants[0];
+    assert!(
+        a.slo_attainment >= 0.999,
+        "adaptive attainment {}",
+        a.slo_attainment
+    );
+    assert!(a.p99_ms < 7.0, "adaptive p99 {}", a.p99_ms);
+    assert!(
+        a.mean_batch > 1.5 * t.mean_batch,
+        "adaptive batches {} should dwarf timeout batches {}",
+        a.mean_batch,
+        t.mean_batch
+    );
+}
+
+#[test]
+fn mixed_tenant_scenario_serves_all_six_workloads_within_slo() {
+    let tpu = TpuConfig::paper();
+    let scenario = tpu_repro::tpu_serve::scenario_by_name("mixed-tenants")
+        .expect("scenario exists")
+        .scale_requests(0.1);
+    let reports = scenario.execute(&tpu);
+    let r = &reports[0].1;
+    assert_eq!(r.tenants.len(), 6, "all six Table 1 workloads are tenants");
+    for t in &r.tenants {
+        assert!(
+            t.slo_attainment > 0.95,
+            "{} attainment {} (p99 {} vs SLO {})",
+            t.name,
+            t.slo_attainment,
+            t.p99_ms,
+            t.slo_ms
+        );
+    }
+    assert!(r.mean_utilization() > 0.2 && r.mean_utilization() < 0.95);
+}
+
+#[test]
+fn calibrated_curves_drive_the_engine_without_overrides() {
+    // No curve override anywhere: service times flow from
+    // tpu_perfmodel/tpu_platforms calibration. CNN0's per-request cost
+    // dwarfs MLP0's, so at equal rates its utilization must be higher.
+    let tpu = TpuConfig::paper();
+    let mk = |workload: &str| {
+        TenantSpec::new(
+            workload,
+            ArrivalProcess::Poisson { rate_rps: 2_000.0 },
+            BatchPolicy::Timeout {
+                max_batch: 32,
+                t_max_ms: 5.0,
+            },
+            50.0,
+            2_000,
+        )
+    };
+    let mlp = run(&ClusterSpec::new(1, 9), &[mk("MLP0")], &tpu);
+    let cnn = run(&ClusterSpec::new(1, 9), &[mk("CNN0")], &tpu);
+    assert!(
+        cnn.mean_utilization() > 3.0 * mlp.mean_utilization(),
+        "CNN0 util {} vs MLP0 util {}",
+        cnn.mean_utilization(),
+        mlp.mean_utilization()
+    );
+}

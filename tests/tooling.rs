@@ -44,11 +44,19 @@ fn assembled_program_runs_on_all_three_engines() {
 
     // Pipeline model: executes and orders matmul after DMA, activate
     // after matmul.
-    let trace = PipelineModel::new(cfg.clone()).execute(&program).expect("pipeline executes");
+    let trace = PipelineModel::new(cfg.clone())
+        .execute(&program)
+        .expect("pipeline executes");
     assert_eq!(trace.records.len(), program.len());
     let starts: Vec<u64> = trace.records.iter().map(|r| r.start).collect();
-    assert!(starts[2] >= trace.records[0].complete, "matmul waits for input DMA");
-    assert!(starts[3] >= trace.records[2].complete, "activate waits for matmul");
+    assert!(
+        starts[2] >= trace.records[0].complete,
+        "matmul waits for input DMA"
+    );
+    assert!(
+        starts[3] >= trace.records[2].complete,
+        "activate waits for matmul"
+    );
 
     // Functional device: identity weights pass positive codes through.
     let mut tpu = FuncTpu::new(cfg);
@@ -65,7 +73,11 @@ fn assembled_program_runs_on_all_three_engines() {
     let stats = tpu.run(&program, &mut host).expect("functional run");
     assert_eq!(stats.matmuls, 1);
     let output = host.read(0x2000, batch * d).unwrap();
-    assert_eq!(output, &input[..], "identity weights + ReLU on positive codes");
+    assert_eq!(
+        output,
+        &input[..],
+        "identity weights + ReLU on positive codes"
+    );
 }
 
 #[test]
@@ -87,7 +99,11 @@ fn repeat_directive_scales_pipeline_occupancy_linearly() {
     let t4 = model.execute(&assemble(&src_n(4)).unwrap()).unwrap();
     let busy1 = t1.unit_busy(tpu_repro::tpu_core::pipeline::Unit::Matrix);
     let busy4 = t4.unit_busy(tpu_repro::tpu_core::pipeline::Unit::Matrix);
-    assert_eq!(busy4, busy1 * 4, "matrix occupancy scales with repeat count");
+    assert_eq!(
+        busy4,
+        busy1 * 4,
+        "matrix occupancy scales with repeat count"
+    );
 }
 
 #[test]
@@ -112,7 +128,11 @@ fn calibrated_quantization_runs_on_the_functional_device() {
     }
     tpu.weight_memory_mut().store_bytes(0, &tile).unwrap();
 
-    let codes: Vec<u8> = float_inputs.data().iter().map(|&v| params.quantize(v)).collect();
+    let codes: Vec<u8> = float_inputs
+        .data()
+        .iter()
+        .map(|&v| params.quantize(v))
+        .collect();
     let mut host = HostMemory::new(1 << 16);
     host.write(0, &codes).unwrap();
 
@@ -137,7 +157,11 @@ fn assembler_error_spans_point_at_the_offending_token() {
     let err = assemble(src).unwrap_err();
     let span = err.span().expect("operand errors carry spans");
     assert_eq!(span.line, 2);
-    assert!(span.col > 20, "column {} should point into the operand list", span.col);
+    assert!(
+        span.col > 20,
+        "column {} should point into the operand list",
+        span.col
+    );
 }
 
 #[test]
@@ -147,7 +171,12 @@ fn four_tpu_server_outpaces_one_die_within_the_same_deadline() {
     // carries ~4x the throughput at the same 7 ms tail.
     let one = simulate_server(&tpu_server(1, Dispatch::LeastLoaded, 180_000.0));
     let four = simulate_server(&tpu_server(4, Dispatch::LeastLoaded, 720_000.0));
-    assert!(one.p99_ms < 7.0 && four.p99_ms < 7.0, "{} / {}", one.p99_ms, four.p99_ms);
+    assert!(
+        one.p99_ms < 7.0 && four.p99_ms < 7.0,
+        "{} / {}",
+        one.p99_ms,
+        four.p99_ms
+    );
     let ratio = four.throughput_ips / one.throughput_ips;
     assert!((3.5..4.5).contains(&ratio), "throughput ratio {ratio}");
 }
@@ -218,7 +247,9 @@ fn compiled_model_program_flows_through_the_pipeline_model() {
     let cal = calibrate(&model, &weights, &input);
     let compiled = compile_fc(&model, &weights, &cal, &cfg).expect("compiles");
 
-    let trace = PipelineModel::new(cfg).execute(&compiled.program).expect("pipeline executes");
+    let trace = PipelineModel::new(cfg)
+        .execute(&compiled.program)
+        .expect("pipeline executes");
     assert_eq!(trace.records.len(), compiled.program.len());
     assert!(trace.cpi() > 1.0);
     // The compiler prefetches: at least one matmul should start with no
@@ -226,7 +257,12 @@ fn compiled_model_program_flows_through_the_pipeline_model() {
     let matmuls: Vec<_> = trace
         .records
         .iter()
-        .filter(|r| matches!(r.inst, tpu_repro::tpu_core::isa::Instruction::MatrixMultiply { .. }))
+        .filter(|r| {
+            matches!(
+                r.inst,
+                tpu_repro::tpu_core::isa::Instruction::MatrixMultiply { .. }
+            )
+        })
         .collect();
     assert!(!matmuls.is_empty());
     assert!(
@@ -259,7 +295,11 @@ fn program_statistics_survive_the_asm_round_trip() {
         Opcode::Activate,
         Opcode::Halt,
     ] {
-        assert_eq!(p.count(op), q.count(op), "{op:?} count changed in round trip");
+        assert_eq!(
+            p.count(op),
+            q.count(op),
+            "{op:?} count changed in round trip"
+        );
     }
     assert_eq!(p.encoded_bytes(), q.encoded_bytes());
 }
