@@ -1,0 +1,61 @@
+//! Fleet event throughput: how many simulation events per second the
+//! `tpu_cluster` engine sustains at 10 and 100 hosts. This is the perf
+//! trajectory for fleet-scale PRs — regressions in the shared event
+//! queue, the routing scan, or the per-host dispatch machinery show up
+//! here first. The 1-host configuration doubles as an overhead check
+//! against the raw `tpu_serve` event loop (see `serving.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tpu_cluster::{run_fleet, FleetSpec, FleetTenantSpec, HopModel, RouterPolicy};
+use tpu_core::TpuConfig;
+use tpu_serve::tenant::ArrivalProcess;
+use tpu_serve::{BatchPolicy, ServiceCurve, TenantSpec};
+
+/// An MLP0 tenant sized so each host pool sees meaningful load:
+/// `rate ≈ 0.5 × hosts × dies × capacity(batch 200)`.
+fn tenants(hosts: usize, requests: usize) -> Vec<FleetTenantSpec> {
+    let per_die = ServiceCurve::tpu_mlp0_table4().capacity_ips(200);
+    vec![FleetTenantSpec::new(
+        TenantSpec::new(
+            "MLP0",
+            ArrivalProcess::Poisson {
+                rate_rps: 0.5 * hosts as f64 * 2.0 * per_die,
+            },
+            BatchPolicy::Timeout {
+                max_batch: 200,
+                t_max_ms: 2.0,
+            },
+            7.0,
+            requests,
+        )
+        .with_curve(ServiceCurve::tpu_mlp0_table4()),
+        hosts,
+    )]
+}
+
+fn fleet_event_throughput(c: &mut Criterion) {
+    let cfg = TpuConfig::paper();
+    let mut group = c.benchmark_group("cluster_event_loop");
+    group.sample_size(10);
+    for hosts in [1usize, 10, 100] {
+        let requests = 2_000 * hosts;
+        let spec = FleetSpec::new(hosts, 2, 42)
+            .with_router(RouterPolicy::LeastOutstanding)
+            .with_hop(HopModel::Table5 { scale_ms: 1.0 });
+        let ts = tenants(hosts, requests);
+        let events = run_fleet(&spec, &ts, &cfg).report.events_processed;
+        println!("cluster_event_loop/hosts/{hosts}: {events} events per iteration");
+        group.bench_with_input(BenchmarkId::new("hosts", hosts), &hosts, |b, &_h| {
+            b.iter(|| black_box(run_fleet(&spec, &ts, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fleet_event_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! Reactive replica autoscaling from tail-latency and utilization
+//! signals.
+//!
+//! Every `interval_ms` the fleet engine computes, per tenant, the p99
+//! of the latencies completed *since the last tick* (the window) and
+//! the mean per-replica utilization (busy time accumulated by the
+//! tenant's replicas over the interval, divided by replicas). The
+//! decision rule is deliberately simple and fully deterministic:
+//!
+//! * **up** when the window p99 breaches `p99_up_frac` × SLO *or*
+//!   utilization exceeds `util_up`, the tenant is below its replica
+//!   ceiling, and the cooldown has elapsed;
+//! * **down** when the window p99 sits below `p99_down_frac` × SLO
+//!   *and* utilization is under `util_down`, the tenant is above its
+//!   floor, and the cooldown has elapsed;
+//! * **hold** otherwise.
+//!
+//! Cooldowns damp oscillation: after any action the tenant holds for
+//! `cooldown_ms` regardless of signals.
+
+use serde::{Deserialize, Serialize};
+
+/// Autoscaler tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleConfig {
+    /// Evaluation period, ms.
+    pub interval_ms: f64,
+    /// Scale up when window p99 > this fraction of the SLO.
+    pub p99_up_frac: f64,
+    /// Scale down only when window p99 < this fraction of the SLO.
+    pub p99_down_frac: f64,
+    /// Scale up when mean per-replica utilization exceeds this.
+    pub util_up: f64,
+    /// Scale down only when mean per-replica utilization is below this.
+    pub util_down: f64,
+    /// Minimum time between actions for one tenant, ms.
+    pub cooldown_ms: f64,
+}
+
+impl AutoscaleConfig {
+    /// A reasonable reactive controller: 20 ms ticks, scale up on SLO
+    /// breach or >85% utilization, scale down under 50% of SLO and
+    /// <25% utilization, 40 ms cooldown.
+    pub fn reactive() -> Self {
+        AutoscaleConfig {
+            interval_ms: 20.0,
+            p99_up_frac: 1.0,
+            p99_down_frac: 0.5,
+            util_up: 0.85,
+            util_down: 0.25,
+            cooldown_ms: 40.0,
+        }
+    }
+
+    /// Reject degenerate configurations up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a nonpositive interval or cooldown, or thresholds out
+    /// of order.
+    pub fn validate(&self) {
+        assert!(self.interval_ms > 0.0, "interval must be positive");
+        assert!(self.cooldown_ms >= 0.0, "cooldown must be nonnegative");
+        assert!(
+            self.p99_down_frac < self.p99_up_frac,
+            "down threshold must sit below up threshold"
+        );
+        assert!(
+            self.util_down < self.util_up,
+            "utilization thresholds out of order"
+        );
+    }
+}
+
+/// What the controller wants for one tenant this tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Add one replica.
+    Up,
+    /// Drain one replica.
+    Down,
+    /// Leave the count alone.
+    Hold,
+}
+
+/// One tenant's observed state at an autoscaler tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleSignals {
+    /// p99 of the latencies completed during the window; `None` when no
+    /// request completed — an idle tenant, which can only scale down on
+    /// the utilization signal.
+    pub window_p99: Option<f64>,
+    /// The tenant's latency target, ms.
+    pub slo_ms: f64,
+    /// Mean per-replica utilization over the window.
+    pub replica_util: f64,
+    /// Serving replicas right now.
+    pub replicas: usize,
+    /// Autoscaler floor.
+    pub min_replicas: usize,
+    /// Autoscaler ceiling.
+    pub max_replicas: usize,
+    /// Time since this tenant's last scaling action, ms.
+    pub since_last_action_ms: f64,
+}
+
+/// The pure decision rule (see module docs).
+pub fn decide(cfg: &AutoscaleConfig, s: &ScaleSignals) -> ScaleDecision {
+    if s.since_last_action_ms < cfg.cooldown_ms {
+        return ScaleDecision::Hold;
+    }
+    let p99 = s.window_p99.unwrap_or(0.0);
+    if (p99 > cfg.p99_up_frac * s.slo_ms || s.replica_util > cfg.util_up)
+        && s.replicas < s.max_replicas
+    {
+        return ScaleDecision::Up;
+    }
+    if p99 < cfg.p99_down_frac * s.slo_ms
+        && s.replica_util < cfg.util_down
+        && s.replicas > s.min_replicas
+    {
+        return ScaleDecision::Down;
+    }
+    ScaleDecision::Hold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AutoscaleConfig {
+        AutoscaleConfig::reactive()
+    }
+
+    fn signals(
+        window_p99: Option<f64>,
+        replica_util: f64,
+        replicas: usize,
+        min_replicas: usize,
+        max_replicas: usize,
+        since_last_action_ms: f64,
+    ) -> ScaleSignals {
+        ScaleSignals {
+            window_p99,
+            slo_ms: 7.0,
+            replica_util,
+            replicas,
+            min_replicas,
+            max_replicas,
+            since_last_action_ms,
+        }
+    }
+
+    #[test]
+    fn breached_slo_scales_up() {
+        let d = decide(&cfg(), &signals(Some(9.0), 0.5, 2, 1, 4, 100.0));
+        assert_eq!(d, ScaleDecision::Up);
+    }
+
+    #[test]
+    fn hot_replicas_scale_up_even_inside_slo() {
+        let d = decide(&cfg(), &signals(Some(3.0), 0.95, 2, 1, 4, 100.0));
+        assert_eq!(d, ScaleDecision::Up);
+    }
+
+    #[test]
+    fn quiet_and_cold_scales_down_to_the_floor_only() {
+        let d = decide(&cfg(), &signals(Some(1.0), 0.1, 3, 2, 4, 100.0));
+        assert_eq!(d, ScaleDecision::Down);
+        let at_floor = decide(&cfg(), &signals(Some(1.0), 0.1, 2, 2, 4, 100.0));
+        assert_eq!(at_floor, ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn ceiling_blocks_scale_up() {
+        let d = decide(&cfg(), &signals(Some(20.0), 1.5, 4, 1, 4, 100.0));
+        assert_eq!(d, ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn cooldown_holds_everything() {
+        let d = decide(&cfg(), &signals(Some(20.0), 1.5, 2, 1, 4, 10.0));
+        assert_eq!(d, ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn idle_window_scales_down_on_utilization_alone() {
+        let d = decide(&cfg(), &signals(None, 0.05, 3, 1, 4, 100.0));
+        assert_eq!(d, ScaleDecision::Down);
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds out of order")]
+    fn degenerate_config_rejected() {
+        AutoscaleConfig {
+            util_up: 0.2,
+            util_down: 0.5,
+            ..AutoscaleConfig::reactive()
+        }
+        .validate();
+    }
+}

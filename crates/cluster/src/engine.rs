@@ -1,0 +1,836 @@
+//! The fleet event loop: many [`HostCore`]s under one simulated clock.
+//!
+//! One `tpu_serve::sim::EventQueue` carries every event in the fleet —
+//! front-end arrivals, routed deliveries, per-host timers and die
+//! completions, autoscaler ticks, and injected failures — so the whole
+//! simulation is bit-identical from [`FleetSpec::seed`]. Host `h` seeds
+//! its service stream from `stream_seed(seed, h)` and tenant `t` its
+//! arrival stream from `stream_seed(seed, t)`; since stream 0 is the
+//! master seed, a 1-host, 1-replica fleet with
+//! [`crate::fleet::HopModel::None`] replays the *identical* event
+//! sequence as `tpu_serve::run` — the
+//! integration tests pin that per-host report equality bit for bit.
+//!
+//! Request life cycle: generated at the front end → routed to a
+//! replica (round-robin / least-outstanding / bounded consistent hash)
+//! → optional network/PCIe hop → queued on the host → batched and
+//! dispatched by the shared [`HostCore`] machinery → latency committed
+//! at batch completion, *including* hop and any crash-retry delay
+//! (retries keep the original arrival timestamp, so failures land in
+//! the tail where they belong).
+
+use crate::autoscale::{decide, ScaleDecision, ScaleSignals};
+use crate::failure::FailureKind;
+use crate::fleet::{place, FleetSpec, FleetTenantSpec};
+use crate::report::{FleetHostReport, FleetReport, FleetTenantReport, ReplicaSample};
+use crate::route::{Candidate, RouterState};
+use std::collections::VecDeque;
+use tpu_core::TpuConfig;
+use tpu_serve::report::percentile;
+use tpu_serve::sim::{self, EventQueue};
+use tpu_serve::{ArrivalGen, HostCore, HostEvent, ServeReport, ServiceCurve};
+
+/// Everything that can happen in the fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FleetEvent {
+    /// The front end generates a request for `tenant`.
+    Arrival { tenant: usize },
+    /// A routed request reaches its replica after the network hop.
+    Deliver {
+        tenant: usize,
+        replica: usize,
+        arrived_ms: f64,
+    },
+    /// A host-internal event (timer / die completion), epoch-tagged so
+    /// events scheduled before a crash go stale.
+    Host {
+        host: usize,
+        epoch: u32,
+        event: HostEvent,
+    },
+    /// Autoscaler evaluation tick.
+    Autoscale,
+    /// The `index`-th entry of the failure schedule strikes.
+    Failure { index: usize },
+}
+
+struct HostRt {
+    core: HostCore,
+    healthy: bool,
+    epoch: u32,
+    events: u64,
+    crashes: usize,
+    weight_used: u64,
+    live_slots: usize,
+    /// `slot_owner[slot]` = tenant index (slots are append-only).
+    slot_owner: Vec<usize>,
+}
+
+struct ReplicaRt {
+    host: usize,
+    slot: usize,
+    /// Accepts new routes (false once the autoscaler drains it).
+    routable: bool,
+    /// Still placed (false once fully drained and retired).
+    live: bool,
+    /// Routed but not yet completed (queued + in flight + in hop).
+    outstanding: usize,
+    /// Autoscaler window watermark into the slot's latency log.
+    window_mark: usize,
+    /// Autoscaler window watermark into the slot's busy time.
+    busy_mark: f64,
+}
+
+struct TenantRt {
+    spec: FleetTenantSpec,
+    curve: ServiceCurve,
+    hop_ms: f64,
+    gen: ArrivalGen,
+    replicas: Vec<ReplicaRt>,
+    router: RouterState,
+    /// Requests routed but not yet delivered (hop in flight).
+    in_hop: usize,
+    /// Requests displaced by a crash and not yet re-routed.
+    displaced_pending: usize,
+    /// Requests with no live replica to go to (all hosts down); they
+    /// re-route on recovery or scale-up, keeping their arrival times.
+    parked: VecDeque<f64>,
+    retries: usize,
+    /// Every request has been generated *and* delivered; replicas
+    /// flush partial batches.
+    drained: bool,
+    last_scale_ms: f64,
+}
+
+impl TenantRt {
+    fn candidates(&self, hosts: &[HostRt]) -> Vec<Candidate> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.live && r.routable && hosts[r.host].healthy)
+            .map(|(i, r)| Candidate {
+                replica: i,
+                outstanding: r.outstanding,
+            })
+            .collect()
+    }
+
+    fn serving_replicas(&self, hosts: &[HostRt]) -> usize {
+        self.replicas
+            .iter()
+            .filter(|r| r.live && r.routable && hosts[r.host].healthy)
+            .count()
+    }
+}
+
+/// The outcome of [`run_fleet`]: the fleet-wide report plus each
+/// host's own [`ServeReport`] (host 0's is what the 1-host parity test
+/// compares against `tpu_serve::run`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRun {
+    /// Fleet-wide per-tenant and per-host outcomes.
+    pub report: FleetReport,
+    /// Per-host serving reports, in host index order.
+    pub host_reports: Vec<ServeReport>,
+}
+
+/// Run the fleet simulation to completion.
+///
+/// # Panics
+///
+/// Panics on a degenerate setup (no hosts, no tenants, infeasible
+/// placement, a failure schedule naming an unknown host) and on an
+/// unservable end state (requests still parked because every replica
+/// of a tenant stayed down through the end of the run).
+pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig) -> FleetRun {
+    assert!(!spec.hosts.is_empty(), "need at least one host");
+    assert!(!tenants.is_empty(), "need at least one tenant");
+    if let Some(a) = &spec.autoscale {
+        a.validate();
+    }
+    for f in &spec.failures {
+        assert!(f.host < spec.hosts.len(), "failure names unknown host");
+        assert!(f.at_ms.is_finite() && f.at_ms >= 0.0, "bad failure time");
+    }
+
+    let mut hosts: Vec<HostRt> = spec
+        .hosts
+        .iter()
+        .enumerate()
+        .map(|(h, hs)| HostRt {
+            // Host 0 shares the master seed so a 1-host fleet replays
+            // tpu_serve's service-jitter stream exactly.
+            core: HostCore::new(hs.dies, hs.dispatch, sim::stream_seed(spec.seed, h as u64)),
+            healthy: true,
+            epoch: 0,
+            events: 0,
+            crashes: 0,
+            weight_used: 0,
+            live_slots: 0,
+            slot_owner: Vec::new(),
+        })
+        .collect();
+
+    let plan = place(&spec.hosts, tenants);
+    let mut trs: Vec<TenantRt> = tenants
+        .iter()
+        .enumerate()
+        .map(|(t, ft)| {
+            assert!(
+                ft.tenant.requests > 0,
+                "tenant {} has no requests",
+                ft.tenant.name
+            );
+            let curve = ft.tenant.effective_curve(cfg);
+            let weight = ft.weight_bytes();
+            let replicas = plan[t]
+                .iter()
+                .map(|&host| {
+                    let slot = hosts[host].core.add_slot(ft.tenant.clone(), curve);
+                    hosts[host].slot_owner.push(t);
+                    hosts[host].weight_used += weight;
+                    hosts[host].live_slots += 1;
+                    ReplicaRt {
+                        host,
+                        slot,
+                        routable: true,
+                        live: true,
+                        outstanding: 0,
+                        window_mark: 0,
+                        busy_mark: 0.0,
+                    }
+                })
+                .collect();
+            TenantRt {
+                curve,
+                hop_ms: spec.hop.hop_ms(&ft.tenant.workload),
+                gen: ArrivalGen::new(
+                    ft.tenant.arrivals,
+                    ft.tenant.requests,
+                    sim::stream_seed(spec.seed, t as u64),
+                ),
+                replicas,
+                router: RouterState::new(),
+                in_hop: 0,
+                displaced_pending: 0,
+                parked: VecDeque::new(),
+                retries: 0,
+                drained: false,
+                last_scale_ms: f64::NEG_INFINITY,
+                spec: ft.clone(),
+            }
+        })
+        .collect();
+
+    let mut q: EventQueue<FleetEvent> = EventQueue::new();
+    for (t, tr) in trs.iter_mut().enumerate() {
+        let gap = tr.gen.gap_ms(0.0);
+        q.schedule(gap, FleetEvent::Arrival { tenant: t });
+    }
+    for (i, f) in spec.failures.iter().enumerate() {
+        q.schedule(f.at_ms, FleetEvent::Failure { index: i });
+    }
+    if let Some(a) = &spec.autoscale {
+        q.schedule(a.interval_ms, FleetEvent::Autoscale);
+    }
+
+    let mut timeline = vec![sample_now(0.0, &trs, &hosts)];
+    let mut events_processed = 0u64;
+    let mut failures_processed = 0usize;
+
+    while let Some((now, event)) = q.pop() {
+        events_processed += 1;
+        match event {
+            FleetEvent::Arrival { tenant } => {
+                let cands = trs[tenant].candidates(&hosts);
+                let picked = trs[tenant].router.pick(spec.router, tenant, &cands);
+                // Schedule the next arrival before delivering, so the
+                // zero-hop path makes schedule calls in exactly
+                // tpu_serve::run's order (next arrival, then timer
+                // re-arm inside the delivery tail).
+                if trs[tenant].gen.on_deliver() {
+                    let gap = trs[tenant].gen.gap_ms(now);
+                    q.schedule(now + gap, FleetEvent::Arrival { tenant });
+                }
+                match picked {
+                    Some(replica) => {
+                        deliver_or_hop(&mut q, &mut hosts, &mut trs, tenant, replica, now, now);
+                    }
+                    None => {
+                        // Every replica is down: park the request; it
+                        // re-routes on recovery or scale-up.
+                        trs[tenant].parked.push_back(now);
+                    }
+                }
+            }
+            FleetEvent::Deliver {
+                tenant,
+                replica,
+                arrived_ms,
+            } => {
+                trs[tenant].in_hop -= 1;
+                let (host, slot) = {
+                    let r = &trs[tenant].replicas[replica];
+                    (r.host, r.slot)
+                };
+                if hosts[host].healthy {
+                    hosts[host].core.enqueue(slot, arrived_ms);
+                    hosts[host].events += 1;
+                    finish_delivery(&mut q, &mut hosts, &mut trs, tenant, host, slot, now);
+                } else {
+                    // The host crashed while the request was in the
+                    // hop: retry it elsewhere at its original arrival
+                    // time.
+                    trs[tenant].replicas[replica].outstanding -= 1;
+                    maybe_retire(&mut hosts, &mut trs, tenant, replica);
+                    trs[tenant].retries += 1;
+                    route_request(&mut q, &mut hosts, &mut trs, spec, tenant, arrived_ms, now);
+                }
+            }
+            FleetEvent::Host { host, epoch, event } => {
+                if epoch != hosts[host].epoch {
+                    continue; // scheduled before a crash; stale
+                }
+                hosts[host].events += 1;
+                match event {
+                    HostEvent::Timer { slot, generation } => {
+                        if !hosts[host].core.on_timer(slot, generation) {
+                            continue; // stale timer; the queue changed
+                        }
+                    }
+                    HostEvent::DieFree { die } => {
+                        if let Some(done) = hosts[host].core.on_die_free(die) {
+                            let tenant = hosts[host].slot_owner[done.slot];
+                            let replica = trs[tenant]
+                                .replicas
+                                .iter()
+                                .position(|r| r.host == host && r.slot == done.slot)
+                                .expect("completed slot has a replica");
+                            trs[tenant].replicas[replica].outstanding -= done.completions;
+                            maybe_retire(&mut hosts, &mut trs, tenant, replica);
+                        }
+                    }
+                }
+                try_dispatch_host(&mut q, &mut hosts, host, now);
+            }
+            FleetEvent::Autoscale => {
+                let cfg_a = spec.autoscale.as_ref().expect("tick implies config");
+                for t in 0..trs.len() {
+                    autoscale_tenant(&mut q, &mut hosts, &mut trs, spec, t, now, cfg_a);
+                }
+                // Rescue path: parked requests mean every replica of a
+                // tenant is unreachable — effectively infinite queue
+                // depth — so try to place a replica regardless of the
+                // window signals or cooldown. If nothing can be placed
+                // and no failure event is still pending, the fleet can
+                // never serve them: fail loudly instead of ticking
+                // forever.
+                for t in 0..trs.len() {
+                    if trs[t].parked.is_empty() {
+                        continue;
+                    }
+                    unpark(&mut q, &mut hosts, &mut trs, spec, t, now);
+                    if trs[t].parked.is_empty() {
+                        continue;
+                    }
+                    let rescued = try_scale_up(&mut q, &mut hosts, &mut trs, spec, t, now);
+                    if !rescued && failures_processed == spec.failures.len() {
+                        panic!(
+                            "tenant {t} ({}) has {} parked requests, no healthy \
+                             replica, no pending recovery, and nowhere to place a \
+                             new replica — the fleet is unservable",
+                            trs[t].spec.tenant.name,
+                            trs[t].parked.len()
+                        );
+                    }
+                }
+                timeline.push(sample_now(now, &trs, &hosts));
+                let active = trs.iter().any(|tr| {
+                    tr.gen.remaining() > 0
+                        || tr.in_hop > 0
+                        || !tr.parked.is_empty()
+                        || tr.replicas.iter().any(|r| r.outstanding > 0)
+                });
+                if active {
+                    q.schedule(now + cfg_a.interval_ms, FleetEvent::Autoscale);
+                }
+            }
+            FleetEvent::Failure { index } => {
+                failures_processed += 1;
+                let f = spec.failures[index];
+                match f.kind {
+                    FailureKind::Crash => {
+                        if hosts[f.host].healthy {
+                            hosts[f.host].healthy = false;
+                            hosts[f.host].epoch += 1;
+                            hosts[f.host].crashes += 1;
+                            let displaced = hosts[f.host].core.crash(now);
+                            // Two phases: first count every displaced
+                            // request as pending so no re-delivery can
+                            // prematurely mark its tenant drained (and
+                            // flush partial batches) while siblings are
+                            // still waiting to be re-routed.
+                            let mut requeue: Vec<(usize, f64)> = Vec::new();
+                            for (slot, arrivals) in displaced {
+                                let tenant = hosts[f.host].slot_owner[slot];
+                                let replica = trs[tenant]
+                                    .replicas
+                                    .iter()
+                                    .position(|r| r.host == f.host && r.slot == slot)
+                                    .expect("displaced slot has a replica");
+                                trs[tenant].replicas[replica].outstanding -= arrivals.len();
+                                maybe_retire(&mut hosts, &mut trs, tenant, replica);
+                                trs[tenant].displaced_pending += arrivals.len();
+                                requeue.extend(arrivals.into_iter().map(|ts| (tenant, ts)));
+                            }
+                            for (tenant, ts) in requeue {
+                                trs[tenant].displaced_pending -= 1;
+                                trs[tenant].retries += 1;
+                                route_request(&mut q, &mut hosts, &mut trs, spec, tenant, ts, now);
+                            }
+                        }
+                    }
+                    FailureKind::Recover => {
+                        if !hosts[f.host].healthy {
+                            hosts[f.host].healthy = true;
+                            for t in 0..trs.len() {
+                                unpark(&mut q, &mut hosts, &mut trs, spec, t, now);
+                            }
+                        }
+                    }
+                    FailureKind::SlowStart { factor } => {
+                        hosts[f.host].core.set_slow_factor(factor);
+                    }
+                    FailureKind::SlowEnd => {
+                        hosts[f.host].core.set_slow_factor(1.0);
+                    }
+                }
+                timeline.push(sample_now(now, &trs, &hosts));
+            }
+        }
+    }
+
+    for (t, tr) in trs.iter().enumerate() {
+        assert!(
+            tr.parked.is_empty(),
+            "tenant {t} ({}) ends with {} unserved parked requests: every \
+             replica stayed down; give the scenario a recovery or capacity",
+            tr.spec.tenant.name,
+            tr.parked.len()
+        );
+        assert!(
+            tr.gen.remaining() == 0 && tr.in_hop == 0,
+            "tenant {t} finished with work left (engine bug)"
+        );
+        let served: usize = tr
+            .replicas
+            .iter()
+            .map(|r| hosts[r.host].core.latency_count(r.slot))
+            .sum();
+        assert_eq!(
+            served, tr.spec.tenant.requests,
+            "tenant {t} lost requests (engine bug)"
+        );
+    }
+
+    let makespan_ms = hosts
+        .iter()
+        .map(|h| h.core.makespan_ms())
+        .fold(0.0, f64::max);
+    // Close the timeline at the makespan, unless the last recorded
+    // sample already covers that instant with the same counts.
+    let last_t = timeline.last().map(|s| s.t_ms).unwrap_or(0.0);
+    let closing = sample_now(makespan_ms.max(last_t), &trs, &hosts);
+    if timeline.last() != Some(&closing) {
+        timeline.push(closing);
+    }
+
+    let host_reports: Vec<ServeReport> = hosts
+        .iter()
+        .map(|h| h.core.report(h.core.makespan_ms(), h.events))
+        .collect();
+
+    let tenant_reports: Vec<FleetTenantReport> = trs
+        .iter()
+        .enumerate()
+        .map(|(t, tr)| {
+            let mut merged: Vec<f64> = tr
+                .replicas
+                .iter()
+                .flat_map(|r| hosts[r.host].core.slot_latencies(r.slot))
+                .collect();
+            merged.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            let n = merged.len();
+            let batches: usize = tr
+                .replicas
+                .iter()
+                .map(|r| hosts[r.host].core.slot_batches(r.slot))
+                .sum();
+            let dispatched: usize = tr
+                .replicas
+                .iter()
+                .map(|r| hosts[r.host].core.slot_dispatched(r.slot))
+                .sum();
+            let slo_ms = tr.spec.tenant.slo_ms;
+            let slo_hits = merged.iter().filter(|&&l| l <= slo_ms).count();
+            let counts: Vec<usize> = timeline.iter().map(|s| s.replicas[t]).collect();
+            FleetTenantReport {
+                name: tr.spec.tenant.name.clone(),
+                workload: tr.spec.tenant.workload.clone(),
+                priority: tr.spec.tenant.priority,
+                requests: n,
+                retries: tr.retries,
+                batches,
+                mean_batch: dispatched as f64 / batches.max(1) as f64,
+                mean_ms: merged.iter().sum::<f64>() / n.max(1) as f64,
+                p50_ms: percentile(&merged, 0.50),
+                p95_ms: percentile(&merged, 0.95),
+                p99_ms: percentile(&merged, 0.99),
+                slo_ms,
+                slo_attainment: slo_hits as f64 / n.max(1) as f64,
+                throughput_rps: n as f64 / makespan_ms.max(f64::MIN_POSITIVE) * 1000.0,
+                replicas_final: *counts.last().expect("timeline non-empty"),
+                replicas_min: counts.iter().copied().min().unwrap_or(0),
+                replicas_max: counts.iter().copied().max().unwrap_or(0),
+            }
+        })
+        .collect();
+
+    let host_rows: Vec<FleetHostReport> = hosts
+        .iter()
+        .enumerate()
+        .map(|(h, hr)| {
+            let busy = hr.core.busy_ms();
+            FleetHostReport {
+                host: h,
+                dies: hr.core.die_count(),
+                batches: host_reports[h].dies.iter().map(|d| d.batches).sum(),
+                busy_ms: busy,
+                utilization: (busy
+                    / (hr.core.die_count() as f64 * makespan_ms.max(f64::MIN_POSITIVE)))
+                .min(1.0),
+                crashes: hr.crashes,
+                slots: hr.slot_owner.len(),
+            }
+        })
+        .collect();
+
+    FleetRun {
+        report: FleetReport {
+            tenants: tenant_reports,
+            hosts: host_rows,
+            replica_timeline: timeline,
+            makespan_ms,
+            events_processed,
+        },
+        host_reports,
+    }
+}
+
+/// The shared tail of every delivery: check whether the tenant just
+/// became fully delivered (flush its other replicas), re-arm the
+/// receiving slot's timer, and dispatch — in exactly the order
+/// `tpu_serve::run` uses, so the 1-host fleet replays it bit for bit.
+fn finish_delivery(
+    q: &mut EventQueue<FleetEvent>,
+    hosts: &mut [HostRt],
+    trs: &mut [TenantRt],
+    tenant: usize,
+    host: usize,
+    slot: usize,
+    now: f64,
+) {
+    let flush_hosts = maybe_mark_drained(hosts, trs, tenant, host);
+    let epoch = hosts[host].epoch;
+    hosts[host].core.after_arrival(slot, now, &mut |at, e| {
+        q.schedule(
+            at,
+            FleetEvent::Host {
+                host,
+                epoch,
+                event: e,
+            },
+        )
+    });
+    try_dispatch_host(q, hosts, host, now);
+    for h in flush_hosts {
+        try_dispatch_host(q, hosts, h, now);
+    }
+}
+
+/// Mark the tenant drained once every request has been generated and
+/// delivered: all live replicas flush partial batches. Returns the
+/// *other* hosts (not `delivered_host`) that need a dispatch pass; the
+/// caller runs them after its own, preserving single-host event order.
+fn maybe_mark_drained(
+    hosts: &mut [HostRt],
+    trs: &mut [TenantRt],
+    tenant: usize,
+    delivered_host: usize,
+) -> Vec<usize> {
+    let tr = &mut trs[tenant];
+    if tr.drained
+        || tr.gen.remaining() > 0
+        || tr.in_hop > 0
+        || tr.displaced_pending > 0
+        || !tr.parked.is_empty()
+    {
+        return Vec::new();
+    }
+    tr.drained = true;
+    let mut flush = Vec::new();
+    for r in &tr.replicas {
+        if r.live {
+            hosts[r.host].core.set_draining(r.slot, true);
+            if r.host != delivered_host && !flush.contains(&r.host) {
+                flush.push(r.host);
+            }
+        }
+    }
+    flush
+}
+
+/// Dispatch-ready work on one host, scheduling its events with the
+/// current epoch.
+fn try_dispatch_host(q: &mut EventQueue<FleetEvent>, hosts: &mut [HostRt], host: usize, now: f64) {
+    let epoch = hosts[host].epoch;
+    hosts[host].core.try_dispatch(now, &mut |at, e| {
+        q.schedule(
+            at,
+            FleetEvent::Host {
+                host,
+                epoch,
+                event: e,
+            },
+        )
+    });
+}
+
+/// Route one request (fresh, retried, or unparked) at time `now`,
+/// keeping its original arrival timestamp `ts` for latency accounting.
+fn route_request(
+    q: &mut EventQueue<FleetEvent>,
+    hosts: &mut [HostRt],
+    trs: &mut [TenantRt],
+    spec: &FleetSpec,
+    tenant: usize,
+    ts: f64,
+    now: f64,
+) {
+    let cands = trs[tenant].candidates(hosts);
+    match trs[tenant].router.pick(spec.router, tenant, &cands) {
+        None => trs[tenant].parked.push_back(ts),
+        Some(replica) => deliver_or_hop(q, hosts, trs, tenant, replica, ts, now),
+    }
+}
+
+/// Hand one routed request (front-end arrival time `ts`) to `replica`:
+/// either schedule the network hop or deliver straight into the host
+/// queue. The single delivery path shared by fresh arrivals, crash
+/// retries, and unparked requests.
+fn deliver_or_hop(
+    q: &mut EventQueue<FleetEvent>,
+    hosts: &mut [HostRt],
+    trs: &mut [TenantRt],
+    tenant: usize,
+    replica: usize,
+    ts: f64,
+    now: f64,
+) {
+    trs[tenant].replicas[replica].outstanding += 1;
+    let hop = trs[tenant].hop_ms;
+    if hop > 0.0 {
+        trs[tenant].in_hop += 1;
+        q.schedule(
+            now + hop,
+            FleetEvent::Deliver {
+                tenant,
+                replica,
+                arrived_ms: ts,
+            },
+        );
+    } else {
+        let (host, slot) = {
+            let r = &trs[tenant].replicas[replica];
+            (r.host, r.slot)
+        };
+        hosts[host].core.enqueue(slot, ts);
+        hosts[host].events += 1;
+        finish_delivery(q, hosts, trs, tenant, host, slot, now);
+    }
+}
+
+/// Retire a drained replica once its last outstanding request clears.
+fn maybe_retire(hosts: &mut [HostRt], trs: &mut [TenantRt], tenant: usize, replica: usize) {
+    let weight = trs[tenant].spec.weight_bytes();
+    let r = &mut trs[tenant].replicas[replica];
+    if r.live && !r.routable && r.outstanding == 0 {
+        r.live = false;
+        hosts[r.host].weight_used -= weight;
+        hosts[r.host].live_slots -= 1;
+    }
+}
+
+/// Re-route parked requests while candidates exist.
+fn unpark(
+    q: &mut EventQueue<FleetEvent>,
+    hosts: &mut [HostRt],
+    trs: &mut [TenantRt],
+    spec: &FleetSpec,
+    tenant: usize,
+    now: f64,
+) {
+    while let Some(&ts) = trs[tenant].parked.front() {
+        if trs[tenant].candidates(hosts).is_empty() {
+            break;
+        }
+        trs[tenant].parked.pop_front();
+        route_request(q, hosts, trs, spec, tenant, ts, now);
+    }
+}
+
+/// Evaluate and apply one tenant's autoscaling decision.
+fn autoscale_tenant(
+    q: &mut EventQueue<FleetEvent>,
+    hosts: &mut [HostRt],
+    trs: &mut [TenantRt],
+    spec: &FleetSpec,
+    tenant: usize,
+    now: f64,
+    cfg: &crate::autoscale::AutoscaleConfig,
+) {
+    // Gather the window signals and advance the watermarks. Window
+    // latencies include draining replicas (their completions are real
+    // tail samples), but the utilization signal counts only *serving*
+    // replicas' busy time — busy time burned by draining or crashed
+    // replicas must not inflate the per-serving-replica average and
+    // trigger spurious scale-ups.
+    let mut window: Vec<f64> = Vec::new();
+    let mut busy_delta = 0.0;
+    {
+        let tr = &mut trs[tenant];
+        for r in &mut tr.replicas {
+            let core = &hosts[r.host].core;
+            window.extend(core.slot_latencies_from(r.slot, r.window_mark));
+            r.window_mark = core.latency_count(r.slot);
+            let busy = core.slot_busy_ms(r.slot);
+            let delta = busy - r.busy_mark;
+            r.busy_mark = busy;
+            if r.live && r.routable && hosts[r.host].healthy {
+                busy_delta += delta;
+            }
+        }
+    }
+    window.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let window_p99 = if window.is_empty() {
+        None
+    } else {
+        Some(percentile(&window, 0.99))
+    };
+    let serving = trs[tenant].serving_replicas(hosts);
+    let util = busy_delta / (cfg.interval_ms * serving.max(1) as f64);
+    let decision = decide(
+        cfg,
+        &ScaleSignals {
+            window_p99,
+            slo_ms: trs[tenant].spec.tenant.slo_ms,
+            replica_util: util,
+            replicas: serving,
+            min_replicas: trs[tenant].spec.min_replicas,
+            max_replicas: trs[tenant].spec.max_replicas,
+            since_last_action_ms: now - trs[tenant].last_scale_ms,
+        },
+    );
+    match decision {
+        ScaleDecision::Hold => {}
+        ScaleDecision::Up => {
+            try_scale_up(q, hosts, trs, spec, tenant, now);
+        }
+        ScaleDecision::Down => {
+            let victim = trs[tenant]
+                .replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.live && r.routable && hosts[r.host].healthy)
+                .min_by_key(|(i, r)| (r.outstanding, *i))
+                .map(|(i, _)| i);
+            if let Some(replica) = victim {
+                let (host, slot) = {
+                    let r = &mut trs[tenant].replicas[replica];
+                    r.routable = false;
+                    (r.host, r.slot)
+                };
+                hosts[host].core.set_draining(slot, true);
+                try_dispatch_host(q, hosts, host, now);
+                maybe_retire(hosts, trs, tenant, replica);
+                trs[tenant].last_scale_ms = now;
+            }
+        }
+    }
+}
+
+/// Place one more replica of a tenant on the best eligible host
+/// (healthy, free weight memory, not already hosting it), route any
+/// parked requests to it, and stamp the cooldown. Returns whether a
+/// replica was placed.
+fn try_scale_up(
+    q: &mut EventQueue<FleetEvent>,
+    hosts: &mut [HostRt],
+    trs: &mut [TenantRt],
+    spec: &FleetSpec,
+    tenant: usize,
+    now: f64,
+) -> bool {
+    // The ceiling counts *live* replicas, including ones on crashed
+    // hosts (they rejoin on recovery): a transient outage must not let
+    // the tenant durably exceed its configured max_replicas.
+    let live = trs[tenant].replicas.iter().filter(|r| r.live).count();
+    if live >= trs[tenant].spec.max_replicas {
+        return false;
+    }
+    let weight = trs[tenant].spec.weight_bytes();
+    let target = hosts
+        .iter()
+        .enumerate()
+        .filter(|(h, hr)| {
+            hr.healthy
+                && hr.weight_used + weight <= spec.hosts[*h].weight_capacity_bytes
+                && !trs[tenant].replicas.iter().any(|r| r.live && r.host == *h)
+        })
+        .min_by_key(|(h, hr)| (hr.live_slots, *h))
+        .map(|(h, _)| h);
+    let Some(host) = target else {
+        return false;
+    };
+    let slot = hosts[host]
+        .core
+        .add_slot(trs[tenant].spec.tenant.clone(), trs[tenant].curve);
+    hosts[host].slot_owner.push(tenant);
+    hosts[host].weight_used += weight;
+    hosts[host].live_slots += 1;
+    if trs[tenant].drained {
+        hosts[host].core.set_draining(slot, true);
+    }
+    let mark = hosts[host].core.latency_count(slot);
+    let busy = hosts[host].core.slot_busy_ms(slot);
+    trs[tenant].replicas.push(ReplicaRt {
+        host,
+        slot,
+        routable: true,
+        live: true,
+        outstanding: 0,
+        window_mark: mark,
+        busy_mark: busy,
+    });
+    trs[tenant].last_scale_ms = now;
+    unpark(q, hosts, trs, spec, tenant, now);
+    true
+}
+
+/// Snapshot the per-tenant serving replica counts.
+fn sample_now(t_ms: f64, trs: &[TenantRt], hosts: &[HostRt]) -> ReplicaSample {
+    ReplicaSample {
+        t_ms,
+        replicas: trs.iter().map(|tr| tr.serving_replicas(hosts)).collect(),
+    }
+}

@@ -1,0 +1,178 @@
+//! Failure injection: host crashes, slow stragglers, and recoveries on
+//! a deterministic schedule.
+//!
+//! A failure schedule is an explicit list of [`FailureEvent`]s — fully
+//! reproducible by construction — or one generated from a seed by
+//! [`seeded_outages`], which draws exponential time-between-failure
+//! gaps per host from the fleet's master seed. Either way the schedule
+//! is fixed before the simulation starts, so a fixed seed yields a
+//! bit-identical run.
+//!
+//! Semantics (implemented by the fleet engine):
+//!
+//! * **Crash** — the host's queued *and* in-flight requests are
+//!   displaced and retried on surviving replicas (keeping their
+//!   original arrival timestamps, so retry cost lands in the tail);
+//!   its scheduled events go stale via an epoch bump.
+//! * **SlowStart/SlowEnd** — a straggler: future batch service times on
+//!   the host are scaled by `factor` until the matching `SlowEnd`.
+//! * **Recover** — the host rejoins with idle dies and empty queues.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tpu_serve::sim;
+
+/// What happens to the host.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The host dies; its work is displaced and retried elsewhere.
+    Crash,
+    /// The host rejoins the fleet, idle and healthy.
+    Recover,
+    /// The host becomes a straggler: service times × `factor`.
+    SlowStart {
+        /// Service-time multiplier (> 1 for a straggler).
+        factor: f64,
+    },
+    /// The straggler returns to full speed.
+    SlowEnd,
+}
+
+/// One scheduled failure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// When it strikes, ms.
+    pub at_ms: f64,
+    /// Which host.
+    pub host: usize,
+    /// What happens.
+    pub kind: FailureKind,
+}
+
+impl FailureEvent {
+    /// A crash at `at_ms`.
+    pub fn crash(at_ms: f64, host: usize) -> Self {
+        FailureEvent {
+            at_ms,
+            host,
+            kind: FailureKind::Crash,
+        }
+    }
+
+    /// A recovery at `at_ms`.
+    pub fn recover(at_ms: f64, host: usize) -> Self {
+        FailureEvent {
+            at_ms,
+            host,
+            kind: FailureKind::Recover,
+        }
+    }
+
+    /// A straggler window `[at_ms, until_ms)` at `factor`× service
+    /// time, expanded to its start/end event pair.
+    pub fn slow_window(at_ms: f64, until_ms: f64, host: usize, factor: f64) -> [Self; 2] {
+        assert!(until_ms > at_ms, "straggler window must have extent");
+        assert!(factor > 1.0, "a straggler is slower, not faster");
+        [
+            FailureEvent {
+                at_ms,
+                host,
+                kind: FailureKind::SlowStart { factor },
+            },
+            FailureEvent {
+                at_ms: until_ms,
+                host,
+                kind: FailureKind::SlowEnd,
+            },
+        ]
+    }
+}
+
+/// Generate a crash/recover schedule for `hosts` hosts over
+/// `horizon_ms`: per host, exponential gaps with mean `mtbf_ms`
+/// between failures, each outage lasting `mttr_ms`. Host streams
+/// derive from `seed` (stream `0xFA11 + host`), so the schedule is a
+/// pure function of its arguments. Events are sorted by
+/// `(time, host)`.
+///
+/// # Panics
+///
+/// Panics on nonpositive horizon, MTBF, or MTTR.
+pub fn seeded_outages(
+    seed: u64,
+    hosts: usize,
+    horizon_ms: f64,
+    mtbf_ms: f64,
+    mttr_ms: f64,
+) -> Vec<FailureEvent> {
+    assert!(horizon_ms > 0.0 && mtbf_ms > 0.0 && mttr_ms > 0.0);
+    let mut events = Vec::new();
+    for host in 0..hosts {
+        let mut rng = StdRng::seed_from_u64(sim::stream_seed(seed, 0xFA11 + host as u64));
+        let mut t = 0.0;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -mtbf_ms * u.ln();
+            if t >= horizon_ms {
+                break;
+            }
+            events.push(FailureEvent::crash(t, host));
+            events.push(FailureEvent::recover(t + mttr_ms, host));
+            t += mttr_ms;
+        }
+    }
+    events.sort_by(|a, b| {
+        a.at_ms
+            .partial_cmp(&b.at_ms)
+            .expect("finite failure times")
+            .then(a.host.cmp(&b.host))
+    });
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_schedules_are_reproducible_and_sorted() {
+        let a = seeded_outages(42, 4, 1000.0, 400.0, 50.0);
+        let b = seeded_outages(42, 4, 1000.0, 400.0, 50.0);
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[0].at_ms <= w[1].at_ms, "sorted by time");
+        }
+        assert_ne!(a, seeded_outages(43, 4, 1000.0, 400.0, 50.0));
+    }
+
+    #[test]
+    fn every_crash_gets_a_recovery() {
+        let events = seeded_outages(7, 3, 2000.0, 300.0, 75.0);
+        let crashes = events
+            .iter()
+            .filter(|e| e.kind == FailureKind::Crash)
+            .count();
+        let recoveries = events
+            .iter()
+            .filter(|e| e.kind == FailureKind::Recover)
+            .count();
+        assert_eq!(crashes, recoveries);
+        assert!(crashes > 0, "a 2 s horizon at 300 ms MTBF must crash");
+    }
+
+    #[test]
+    fn slow_window_expands_to_a_pair() {
+        let [start, end] = FailureEvent::slow_window(10.0, 60.0, 2, 3.0);
+        assert_eq!(start.at_ms, 10.0);
+        assert_eq!(end.at_ms, 60.0);
+        assert_eq!(start.kind, FailureKind::SlowStart { factor: 3.0 });
+        assert_eq!(end.kind, FailureKind::SlowEnd);
+    }
+
+    #[test]
+    #[should_panic(expected = "slower")]
+    fn fast_straggler_rejected() {
+        let _ = FailureEvent::slow_window(0.0, 1.0, 0, 0.5);
+    }
+}

@@ -1,0 +1,331 @@
+//! Fleet topology: hosts, replicated tenants, network hops, and model
+//! placement under weight-memory capacity constraints.
+//!
+//! A fleet is a set of TPU hosts (each a [`tpu_serve::HostCore`] die
+//! pool) plus the front-end configuration: the routing policy, the
+//! per-hop latency model, an optional autoscaler, and a failure
+//! schedule. Placement replicates each Table 1 workload across hosts,
+//! charging each replica the workload's full 8-bit weight footprint
+//! ([`tpu_nn::model::NnModel::total_weights`]) against the host's
+//! weight-memory capacity — the paper's TPU carries 8 GiB of DDR3
+//! weight DRAM, which is the default budget here.
+
+use crate::autoscale::AutoscaleConfig;
+use crate::failure::FailureEvent;
+use crate::route::RouterPolicy;
+use serde::{Deserialize, Serialize};
+use tpu_platforms::server::Dispatch;
+use tpu_platforms::HostOverhead;
+use tpu_serve::tenant::resolve_workload;
+use tpu_serve::TenantSpec;
+
+/// The paper's TPU weight-memory budget: 8 GiB of DDR3.
+pub const DEFAULT_WEIGHT_CAPACITY_BYTES: u64 = 8 * 1024 * 1024 * 1024;
+
+/// One TPU host of the fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// Accelerator dies behind this host.
+    pub dies: usize,
+    /// How the host routes ready batches to free dies.
+    pub dispatch: Dispatch,
+    /// Weight-memory capacity, bytes (8-bit weights).
+    pub weight_capacity_bytes: u64,
+}
+
+impl HostSpec {
+    /// A host with `dies` dies, least-loaded dispatch, and the paper's
+    /// 8 GiB weight memory.
+    pub fn new(dies: usize) -> Self {
+        HostSpec {
+            dies,
+            dispatch: Dispatch::LeastLoaded,
+            weight_capacity_bytes: DEFAULT_WEIGHT_CAPACITY_BYTES,
+        }
+    }
+
+    /// Override the weight-memory capacity.
+    pub fn with_weight_capacity(mut self, bytes: u64) -> Self {
+        self.weight_capacity_bytes = bytes;
+        self
+    }
+}
+
+/// The front-end → host network/PCIe hop latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HopModel {
+    /// Zero-cost hops: requests reach the host queue instantly. A
+    /// 1-host fleet with this model reproduces `tpu_serve` bit for bit.
+    None,
+    /// Hop latency derived from the Table 5 host-interaction data: each
+    /// hop costs `scale_ms` × the workload's measured host-overhead
+    /// fraction (e.g. MLP0's 21% → 0.21 ms at scale 1.0). Heavier
+    /// host-interaction workloads pay proportionally more per hop.
+    Table5 {
+        /// Milliseconds per unit of Table 5 overhead fraction.
+        scale_ms: f64,
+    },
+}
+
+impl HopModel {
+    /// The hop latency for one workload, ms.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown workload name (Table 5 is keyed by name).
+    pub fn hop_ms(&self, workload: &str) -> f64 {
+        match *self {
+            HopModel::None => 0.0,
+            HopModel::Table5 { scale_ms } => {
+                assert!(scale_ms >= 0.0, "hop scale must be nonnegative");
+                scale_ms * HostOverhead::for_app(workload).fraction
+            }
+        }
+    }
+}
+
+/// One tenant of the fleet: a `tpu_serve` tenant spec plus replication
+/// bounds. `tenant.requests` is the tenant's *fleet-wide* request
+/// count; the router spreads it across replicas.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTenantSpec {
+    /// The workload, arrival process, policy, priority, and SLO.
+    pub tenant: TenantSpec,
+    /// Replicas placed at simulation start.
+    pub replicas: usize,
+    /// Autoscaler floor (≥ 1).
+    pub min_replicas: usize,
+    /// Autoscaler ceiling.
+    pub max_replicas: usize,
+}
+
+impl FleetTenantSpec {
+    /// A tenant with a fixed replica count (autoscaler bounds pinned to
+    /// `replicas`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero replicas.
+    pub fn new(tenant: TenantSpec, replicas: usize) -> Self {
+        assert!(replicas > 0, "tenant {} needs a replica", tenant.name);
+        FleetTenantSpec {
+            tenant,
+            replicas,
+            min_replicas: replicas,
+            max_replicas: replicas,
+        }
+    }
+
+    /// Let the autoscaler move the replica count within `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= min <= replicas <= max`.
+    pub fn with_replica_bounds(mut self, min: usize, max: usize) -> Self {
+        assert!(
+            1 <= min && min <= self.replicas && self.replicas <= max,
+            "replica bounds must satisfy 1 <= min <= start <= max"
+        );
+        self.min_replicas = min;
+        self.max_replicas = max;
+        self
+    }
+
+    /// The replica's weight-memory footprint, bytes (8-bit weights).
+    pub fn weight_bytes(&self) -> u64 {
+        resolve_workload(&self.tenant.workload)
+            .expect("validated at TenantSpec construction")
+            .total_weights()
+    }
+}
+
+/// The whole fleet: hosts plus front-end configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// The hosts, in index order.
+    pub hosts: Vec<HostSpec>,
+    /// Master seed; host service streams, tenant arrival streams, and
+    /// failure schedules all derive from it.
+    pub seed: u64,
+    /// Front-end routing policy.
+    pub router: RouterPolicy,
+    /// Network/PCIe hop latency model.
+    pub hop: HopModel,
+    /// Reactive autoscaler; `None` freezes replica counts.
+    pub autoscale: Option<AutoscaleConfig>,
+    /// Failure injection schedule (crashes, stragglers, recoveries).
+    pub failures: Vec<FailureEvent>,
+}
+
+impl FleetSpec {
+    /// A uniform fleet: `hosts` hosts of `dies_per_host` dies each,
+    /// least-outstanding routing, zero-cost hops, no autoscaler, no
+    /// failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty fleet.
+    pub fn new(hosts: usize, dies_per_host: usize, seed: u64) -> Self {
+        assert!(hosts > 0, "need at least one host");
+        FleetSpec {
+            hosts: (0..hosts).map(|_| HostSpec::new(dies_per_host)).collect(),
+            seed,
+            router: RouterPolicy::LeastOutstanding,
+            hop: HopModel::None,
+            autoscale: None,
+            failures: Vec::new(),
+        }
+    }
+
+    /// Select the routing policy.
+    pub fn with_router(mut self, router: RouterPolicy) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Select the hop latency model.
+    pub fn with_hop(mut self, hop: HopModel) -> Self {
+        self.hop = hop;
+        self
+    }
+
+    /// Enable the reactive autoscaler.
+    pub fn with_autoscale(mut self, autoscale: AutoscaleConfig) -> Self {
+        self.autoscale = Some(autoscale);
+        self
+    }
+
+    /// Install a failure schedule.
+    pub fn with_failures(mut self, failures: Vec<FailureEvent>) -> Self {
+        self.failures = failures;
+        self
+    }
+}
+
+/// Plan initial placement: for each tenant in declaration order, place
+/// each replica on the eligible host (enough free weight memory, not
+/// already hosting the tenant) carrying the fewest replicas so far,
+/// breaking ties by host index. Returns `plan[tenant][replica] = host`.
+///
+/// # Panics
+///
+/// Panics when a replica cannot be placed — the error names the
+/// tenant, its footprint, and the per-host free memory so capacity
+/// bugs in scenario definitions surface immediately.
+pub fn place(hosts: &[HostSpec], tenants: &[FleetTenantSpec]) -> Vec<Vec<usize>> {
+    let mut used = vec![0u64; hosts.len()];
+    let mut slots = vec![0usize; hosts.len()];
+    let mut plan = Vec::with_capacity(tenants.len());
+    for t in tenants {
+        let w = t.weight_bytes();
+        let mut mine = Vec::with_capacity(t.replicas);
+        for r in 0..t.replicas {
+            let host = hosts
+                .iter()
+                .enumerate()
+                .filter(|(h, spec)| !mine.contains(h) && used[*h] + w <= spec.weight_capacity_bytes)
+                .min_by_key(|(h, _)| (slots[*h], *h))
+                .map(|(h, _)| h)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "cannot place replica {r} of tenant {} ({w} weight bytes): \
+                         free per host = {:?}",
+                        t.tenant.name,
+                        hosts
+                            .iter()
+                            .enumerate()
+                            .map(|(h, s)| s.weight_capacity_bytes.saturating_sub(used[h]))
+                            .collect::<Vec<_>>()
+                    )
+                });
+            used[host] += w;
+            slots[host] += 1;
+            mine.push(host);
+        }
+        plan.push(mine);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_serve::tenant::ArrivalProcess;
+    use tpu_serve::BatchPolicy;
+
+    fn tenant(workload: &str, replicas: usize) -> FleetTenantSpec {
+        FleetTenantSpec::new(
+            TenantSpec::new(
+                workload,
+                ArrivalProcess::Poisson { rate_rps: 1000.0 },
+                BatchPolicy::Fixed { batch: 8 },
+                7.0,
+                100,
+            ),
+            replicas,
+        )
+    }
+
+    #[test]
+    fn placement_spreads_replicas_across_distinct_hosts() {
+        let hosts: Vec<HostSpec> = (0..4).map(|_| HostSpec::new(2)).collect();
+        let plan = place(&hosts, &[tenant("MLP0", 3), tenant("LSTM0", 2)]);
+        assert_eq!(plan[0], vec![0, 1, 2]);
+        // LSTM0 prefers the emptiest host (3), then the least-loaded
+        // remaining one by index.
+        assert_eq!(plan[1], vec![3, 0]);
+        let mut all = plan[0].clone();
+        all.dedup();
+        assert_eq!(all.len(), 3, "replicas of one tenant on distinct hosts");
+    }
+
+    #[test]
+    fn placement_respects_weight_capacity() {
+        // CNN1 carries ~86M weights, MLP0 20M. A 90 MB host fits one
+        // CNN1 replica and nothing more, so MLP0 lands on host 2.
+        let small = HostSpec::new(1).with_weight_capacity(90_000_000);
+        let plan = place(
+            &[small.clone(), small.clone(), small],
+            &[tenant("CNN1", 2), tenant("MLP0", 1)],
+        );
+        assert_eq!(plan[0], vec![0, 1]);
+        assert_eq!(plan[1], vec![2], "only host 2 has 20M free");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place replica 1")]
+    fn capacity_exhaustion_blocks_the_second_replica() {
+        let small = HostSpec::new(1).with_weight_capacity(90_000_000);
+        let _ = place(
+            &[small.clone(), small.clone(), small],
+            &[tenant("CNN1", 2), tenant("MLP0", 2)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place replica")]
+    fn infeasible_placement_panics_with_context() {
+        let tiny = HostSpec::new(1).with_weight_capacity(1_000_000);
+        let _ = place(&[tiny], &[tenant("CNN1", 1)]);
+    }
+
+    #[test]
+    fn table5_hops_scale_with_host_overhead() {
+        let hop = HopModel::Table5 { scale_ms: 2.0 };
+        assert!((hop.hop_ms("MLP0") - 0.42).abs() < 1e-12);
+        assert!((hop.hop_ms("MLP1") - 1.52).abs() < 1e-12);
+        assert_eq!(HopModel::None.hop_ms("CNN0"), 0.0);
+    }
+
+    #[test]
+    fn replica_bounds_validate() {
+        let t = tenant("MLP0", 3).with_replica_bounds(2, 6);
+        assert_eq!((t.min_replicas, t.max_replicas), (2, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "replica bounds")]
+    fn bad_replica_bounds_rejected() {
+        let _ = tenant("MLP0", 3).with_replica_bounds(4, 6);
+    }
+}

@@ -1,0 +1,70 @@
+//! # tpu-cluster — fleet-level multi-host serving simulation
+//!
+//! The TPU paper analyzes one accelerator card, but its motivating
+//! context is datacenter-scale inference under tight p99 bounds. This
+//! crate is the layer above `tpu_serve`'s single-host runtime: a fleet
+//! of TPU hosts under **one** simulated clock, with the concerns a
+//! production serving stack actually has —
+//!
+//! * [`fleet`] — topology and model placement: each Table 1 workload is
+//!   replicated across hosts, charged its full weight footprint against
+//!   per-host weight-memory capacity (the paper's 8 GiB DDR3);
+//! * [`route`] — front-end routing: round-robin,
+//!   least-outstanding-requests, and consistent hashing with bounded
+//!   load, all deterministic;
+//! * [`autoscale`] — a reactive controller that adds and drains
+//!   replicas from windowed per-tenant p99 and utilization signals,
+//!   with cooldowns;
+//! * [`failure`] — seeded, deterministic failure schedules: host
+//!   crashes (queued *and* in-flight work retried on survivors), slow
+//!   stragglers, recoveries;
+//! * [`engine`] — the fleet event loop tying it together over the
+//!   event core extracted into `tpu_serve::sim`;
+//! * [`report`] — fleet-wide per-tenant tails, SLO attainment, per-host
+//!   utilization, and replica-count timelines, as text or JSON —
+//!   bit-identical for a fixed seed;
+//! * [`scenario`] — named experiments (`fleet-steady`,
+//!   `diurnal-autoscale`, `host-failover`, `router-shootout`,
+//!   `straggler-tail`) behind the `tpu_cluster` CLI.
+//!
+//! The anchor invariant: a 1-host, 1-replica fleet with zero-cost hops
+//! replays `tpu_serve::run`'s event sequence **exactly** — same seed
+//! derivation, same event order, same report, bit for bit. The
+//! integration tests pin it, which keeps every fleet mechanism anchored
+//! to the single-host runtime the paper's serving data calibrated.
+//!
+//! ```
+//! use tpu_cluster::{run_fleet, FleetSpec, FleetTenantSpec};
+//! use tpu_serve::tenant::ArrivalProcess;
+//! use tpu_serve::{BatchPolicy, TenantSpec};
+//!
+//! let cfg = tpu_core::TpuConfig::paper();
+//! let tenant = TenantSpec::new(
+//!     "MLP0",
+//!     ArrivalProcess::Poisson { rate_rps: 200_000.0 },
+//!     BatchPolicy::Timeout { max_batch: 200, t_max_ms: 2.0 },
+//!     7.0,
+//!     5_000,
+//! );
+//! let fleet = FleetSpec::new(2, 2, 42);
+//! let run = run_fleet(&fleet, &[FleetTenantSpec::new(tenant, 2)], &cfg);
+//! assert!(run.report.tenant("MLP0").unwrap().slo_attainment > 0.99);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod autoscale;
+pub mod engine;
+pub mod failure;
+pub mod fleet;
+pub mod report;
+pub mod route;
+pub mod scenario;
+
+pub use autoscale::{AutoscaleConfig, ScaleSignals};
+pub use engine::{run_fleet, FleetRun};
+pub use failure::{seeded_outages, FailureEvent, FailureKind};
+pub use fleet::{place, FleetSpec, FleetTenantSpec, HopModel, HostSpec};
+pub use report::{FleetHostReport, FleetReport, FleetTenantReport, ReplicaSample};
+pub use route::RouterPolicy;
+pub use scenario::{all_scenarios, scenario_by_name, FleetScenario, FleetScenarioRun};

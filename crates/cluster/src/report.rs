@@ -1,0 +1,357 @@
+//! Fleet-wide reporting: per-tenant tails across all replicas, per-host
+//! utilization, and the replica-count timeline.
+//!
+//! Like `tpu_serve`'s report, the `Display` rendering and the JSON
+//! field set are fixed-format and fully determined by the simulation:
+//! "same seed ⇒ bit-identical fleet report" is assertable as string
+//! equality, and the JSON key set is a stable schema the snapshot tests
+//! pin.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One tenant's fleet-wide outcome (latencies merged across replicas).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTenantReport {
+    /// Tenant display name.
+    pub name: String,
+    /// Table 1 workload the tenant runs.
+    pub workload: String,
+    /// Admission priority.
+    pub priority: u8,
+    /// Requests served across the fleet.
+    pub requests: usize,
+    /// Requests retried after a host crash.
+    pub retries: usize,
+    /// Batches dispatched across all replicas.
+    pub batches: usize,
+    /// Mean dispatched batch size.
+    pub mean_batch: f64,
+    /// Mean end-to-end latency (routing hop + queue + service), ms.
+    pub mean_ms: f64,
+    /// Median latency, ms.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// The tenant's latency target, ms.
+    pub slo_ms: f64,
+    /// Fraction of requests at or under the target.
+    pub slo_attainment: f64,
+    /// Served throughput over the whole run, requests/s.
+    pub throughput_rps: f64,
+    /// Live replicas at the end of the run.
+    pub replicas_final: usize,
+    /// Fewest live replicas observed on the timeline.
+    pub replicas_min: usize,
+    /// Most live replicas observed on the timeline.
+    pub replicas_max: usize,
+}
+
+/// One host's fleet-level outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetHostReport {
+    /// Host index.
+    pub host: usize,
+    /// Dies behind the host.
+    pub dies: usize,
+    /// Batches its dies executed.
+    pub batches: usize,
+    /// Total die busy time, ms.
+    pub busy_ms: f64,
+    /// Busy fraction of `dies × makespan`, in [0, 1].
+    pub utilization: f64,
+    /// Crashes the host suffered.
+    pub crashes: usize,
+    /// Tenant slots ever placed on the host (live + retired).
+    pub slots: usize,
+}
+
+/// Live replica counts per tenant at one instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaSample {
+    /// Sample time, ms.
+    pub t_ms: f64,
+    /// Live replicas per tenant, in tenant declaration order.
+    pub replicas: Vec<usize>,
+}
+
+/// The full outcome of one fleet simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Per-tenant outcomes, in tenant declaration order.
+    pub tenants: Vec<FleetTenantReport>,
+    /// Per-host outcomes, in host index order.
+    pub hosts: Vec<FleetHostReport>,
+    /// Replica-count timeline (start, autoscaler ticks, failures, end).
+    pub replica_timeline: Vec<ReplicaSample>,
+    /// Completion time of the last batch anywhere in the fleet, ms.
+    pub makespan_ms: f64,
+    /// Events the fleet engine processed.
+    pub events_processed: u64,
+}
+
+impl FleetReport {
+    /// Requests served across all tenants.
+    pub fn total_requests(&self) -> usize {
+        self.tenants.iter().map(|t| t.requests).sum()
+    }
+
+    /// Find one tenant's report by name.
+    pub fn tenant(&self, name: &str) -> Option<&FleetTenantReport> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+
+    /// Mean host utilization, in [0, 1].
+    pub fn mean_utilization(&self) -> f64 {
+        if self.hosts.is_empty() {
+            return 0.0;
+        }
+        self.hosts.iter().map(|h| h.utilization).sum::<f64>() / self.hosts.len() as f64
+    }
+
+    /// The report as a `serde_json` value (stable key order).
+    pub fn to_json(&self) -> serde_json::Value {
+        use serde_json::Value;
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| {
+                Value::object([
+                    ("name".into(), Value::String(t.name.clone())),
+                    ("workload".into(), Value::String(t.workload.clone())),
+                    ("priority".into(), Value::Number(t.priority as f64)),
+                    ("requests".into(), Value::Number(t.requests as f64)),
+                    ("retries".into(), Value::Number(t.retries as f64)),
+                    ("batches".into(), Value::Number(t.batches as f64)),
+                    ("mean_batch".into(), Value::Number(round3(t.mean_batch))),
+                    ("mean_ms".into(), Value::Number(round3(t.mean_ms))),
+                    ("p50_ms".into(), Value::Number(round3(t.p50_ms))),
+                    ("p95_ms".into(), Value::Number(round3(t.p95_ms))),
+                    ("p99_ms".into(), Value::Number(round3(t.p99_ms))),
+                    ("slo_ms".into(), Value::Number(t.slo_ms)),
+                    (
+                        "slo_attainment".into(),
+                        Value::Number(round3(t.slo_attainment)),
+                    ),
+                    (
+                        "throughput_rps".into(),
+                        Value::Number(round3(t.throughput_rps)),
+                    ),
+                    (
+                        "replicas_final".into(),
+                        Value::Number(t.replicas_final as f64),
+                    ),
+                    ("replicas_min".into(), Value::Number(t.replicas_min as f64)),
+                    ("replicas_max".into(), Value::Number(t.replicas_max as f64)),
+                ])
+            })
+            .collect();
+        let hosts = self
+            .hosts
+            .iter()
+            .map(|h| {
+                Value::object([
+                    ("host".into(), Value::Number(h.host as f64)),
+                    ("dies".into(), Value::Number(h.dies as f64)),
+                    ("batches".into(), Value::Number(h.batches as f64)),
+                    ("busy_ms".into(), Value::Number(round3(h.busy_ms))),
+                    ("utilization".into(), Value::Number(round3(h.utilization))),
+                    ("crashes".into(), Value::Number(h.crashes as f64)),
+                    ("slots".into(), Value::Number(h.slots as f64)),
+                ])
+            })
+            .collect();
+        let timeline = self
+            .replica_timeline
+            .iter()
+            .map(|s| {
+                Value::object([
+                    ("t_ms".into(), Value::Number(round3(s.t_ms))),
+                    (
+                        "replicas".into(),
+                        Value::Array(
+                            s.replicas
+                                .iter()
+                                .map(|&r| Value::Number(r as f64))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Value::object([
+            ("tenants".into(), Value::Array(tenants)),
+            ("hosts".into(), Value::Array(hosts)),
+            ("replica_timeline".into(), Value::Array(timeline)),
+            (
+                "makespan_ms".into(),
+                Value::Number(round3(self.makespan_ms)),
+            ),
+            (
+                "events_processed".into(),
+                Value::Number(self.events_processed as f64),
+            ),
+        ])
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>5} {:>9} {:>7} {:>8} {:>9} {:>9} {:>9} {:>7} {:>12} {:>9}",
+            "tenant",
+            "prio",
+            "requests",
+            "retry",
+            "batch",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "SLO%",
+            "rps",
+            "replicas"
+        )?;
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "{:<12} {:>5} {:>9} {:>7} {:>8.1} {:>9.3} {:>9.3} {:>9.3} {:>7.2} {:>12.0} {:>9}",
+                t.name,
+                t.priority,
+                t.requests,
+                t.retries,
+                t.mean_batch,
+                t.p50_ms,
+                t.p95_ms,
+                t.p99_ms,
+                100.0 * t.slo_attainment,
+                t.throughput_rps,
+                format!(
+                    "{}/{}..{}",
+                    t.replicas_final, t.replicas_min, t.replicas_max
+                ),
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "{:<6} {:>5} {:>9} {:>12} {:>12} {:>8} {:>6}",
+            "host", "dies", "batches", "busy ms", "utilization", "crashes", "slots"
+        )?;
+        for h in &self.hosts {
+            writeln!(
+                f,
+                "{:<6} {:>5} {:>9} {:>12.3} {:>11.1}% {:>8} {:>6}",
+                h.host,
+                h.dies,
+                h.batches,
+                h.busy_ms,
+                100.0 * h.utilization,
+                h.crashes,
+                h.slots
+            )?;
+        }
+        if self.replica_timeline.len() > 1 {
+            writeln!(f)?;
+            writeln!(f, "replica timeline (t ms: per-tenant live replicas):")?;
+            for s in &self.replica_timeline {
+                writeln!(f, "  {:>9.3}: {:?}", s.t_ms, s.replicas)?;
+            }
+        }
+        writeln!(
+            f,
+            "\nmakespan {:.3} ms · {} events · mean host utilization {:.1}%",
+            self.makespan_ms,
+            self.events_processed,
+            100.0 * self.mean_utilization()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FleetReport {
+        FleetReport {
+            tenants: vec![FleetTenantReport {
+                name: "MLP0".into(),
+                workload: "MLP0".into(),
+                priority: 3,
+                requests: 100,
+                retries: 4,
+                batches: 10,
+                mean_batch: 10.0,
+                mean_ms: 1.5,
+                p50_ms: 1.2,
+                p95_ms: 2.5,
+                p99_ms: 3.0,
+                slo_ms: 7.0,
+                slo_attainment: 0.99,
+                throughput_rps: 10_000.0,
+                replicas_final: 2,
+                replicas_min: 2,
+                replicas_max: 3,
+            }],
+            hosts: vec![FleetHostReport {
+                host: 0,
+                dies: 2,
+                batches: 10,
+                busy_ms: 8.0,
+                utilization: 0.4,
+                crashes: 1,
+                slots: 1,
+            }],
+            replica_timeline: vec![
+                ReplicaSample {
+                    t_ms: 0.0,
+                    replicas: vec![3],
+                },
+                ReplicaSample {
+                    t_ms: 10.0,
+                    replicas: vec![2],
+                },
+            ],
+            makespan_ms: 10.0,
+            events_processed: 321,
+        }
+    }
+
+    #[test]
+    fn display_is_stable_and_complete() {
+        let a = format!("{}", sample());
+        assert_eq!(a, format!("{}", sample()));
+        for needle in ["MLP0", "p99 ms", "replica timeline", "crashes", "2/2..3"] {
+            assert!(a.contains(needle), "missing {needle:?} in:\n{a}");
+        }
+    }
+
+    #[test]
+    fn json_has_the_fleet_fields() {
+        let j = serde_json::to_string(&sample().to_json());
+        for needle in [
+            "\"retries\":4",
+            "\"replicas_final\":2",
+            "\"replica_timeline\"",
+            "\"crashes\":1",
+            "\"events_processed\":321",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
+    }
+
+    #[test]
+    fn lookups_work() {
+        let r = sample();
+        assert!(r.tenant("MLP0").is_some());
+        assert!(r.tenant("CNN9").is_none());
+        assert_eq!(r.total_requests(), 100);
+        assert!((r.mean_utilization() - 0.4).abs() < 1e-12);
+    }
+}

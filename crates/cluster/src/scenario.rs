@@ -1,0 +1,335 @@
+//! Named, reproducible fleet experiments.
+//!
+//! Each scenario is a fleet topology plus tenants, sometimes swept over
+//! a parameter (router policy, straggler on/off). The `tpu_cluster` CLI
+//! runs them by name; the integration tests pin their qualitative
+//! outcomes (failover keeps SLO attainment above a threshold, the
+//! straggler stretches the tail, least-outstanding routing beats
+//! round-robin under a straggler).
+//!
+//! Arrival rates are sized against the calibrated per-die capacities of
+//! the Table 1 workloads (MLP0 ~242k rps/die, LSTM0 ~27k, CNN0 ~8.3k;
+//! see `tpu_serve::scenario`).
+
+use crate::autoscale::AutoscaleConfig;
+use crate::engine::{run_fleet, FleetRun};
+use crate::failure::FailureEvent;
+use crate::fleet::{FleetSpec, FleetTenantSpec, HopModel};
+use crate::route::RouterPolicy;
+use tpu_core::TpuConfig;
+use tpu_serve::tenant::ArrivalProcess;
+use tpu_serve::{BatchPolicy, TenantSpec};
+
+/// One concrete run within a scenario.
+#[derive(Debug, Clone)]
+pub struct FleetScenarioRun {
+    /// Label distinguishing this run within the scenario.
+    pub label: String,
+    /// The fleet topology and front-end configuration.
+    pub spec: FleetSpec,
+    /// The tenants admitted to it.
+    pub tenants: Vec<FleetTenantSpec>,
+}
+
+/// A named, reproducible fleet experiment.
+#[derive(Debug, Clone)]
+pub struct FleetScenario {
+    /// CLI name, e.g. `host-failover`.
+    pub name: &'static str,
+    /// One-line description for `tpu_cluster list`.
+    pub description: &'static str,
+    /// The runs, executed in order.
+    pub runs: Vec<FleetScenarioRun>,
+}
+
+impl FleetScenario {
+    /// Execute every run and pair it with its label.
+    pub fn execute(&self, cfg: &TpuConfig) -> Vec<(String, FleetRun)> {
+        self.runs
+            .iter()
+            .map(|r| (r.label.clone(), run_fleet(&r.spec, &r.tenants, cfg)))
+            .collect()
+    }
+
+    /// Re-seed every run (CLI `--seed`).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        for r in &mut self.runs {
+            r.spec.seed = seed;
+        }
+        self
+    }
+
+    /// Scale every tenant's request count by `factor` (CLI
+    /// `--requests-scale`), keeping at least one request per tenant.
+    /// Failure and autoscaler times are left alone; note that failure
+    /// events are pre-scheduled and still fire (appearing in crash
+    /// counts and on the timeline) even when a heavily scaled run
+    /// serves its last request before they strike.
+    pub fn scale_requests(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale must be positive");
+        for r in &mut self.runs {
+            for t in &mut r.tenants {
+                t.tenant.requests = ((t.tenant.requests as f64 * factor).round() as usize).max(1);
+            }
+        }
+        self
+    }
+}
+
+fn timeout_tenant(
+    workload: &str,
+    rate_rps: f64,
+    max_batch: usize,
+    t_max_ms: f64,
+    slo_ms: f64,
+    priority: u8,
+    requests: usize,
+) -> TenantSpec {
+    TenantSpec::new(
+        workload,
+        ArrivalProcess::Poisson { rate_rps },
+        BatchPolicy::Timeout {
+            max_batch,
+            t_max_ms,
+        },
+        slo_ms,
+        requests,
+    )
+    .with_priority(priority)
+}
+
+/// The steady-state datacenter mix: three workload classes replicated
+/// across six 2-die hosts behind least-outstanding routing with
+/// Table 5 hops, every tenant comfortably inside its SLO.
+fn fleet_steady() -> FleetScenario {
+    let spec = FleetSpec::new(6, 2, 42)
+        .with_router(RouterPolicy::LeastOutstanding)
+        .with_hop(HopModel::Table5 { scale_ms: 1.0 });
+    FleetScenario {
+        name: "fleet-steady",
+        description: "MLP0+LSTM0+CNN0 replicated over 6×2-die hosts at ~40% load",
+        runs: vec![FleetScenarioRun {
+            label: "steady".into(),
+            spec,
+            tenants: vec![
+                FleetTenantSpec::new(
+                    timeout_tenant("MLP0", 600_000.0, 200, 2.0, 7.0, 3, 60_000),
+                    3,
+                ),
+                FleetTenantSpec::new(
+                    timeout_tenant("LSTM0", 40_000.0, 64, 5.0, 50.0, 2, 8_000),
+                    3,
+                ),
+                FleetTenantSpec::new(timeout_tenant("CNN0", 10_000.0, 8, 10.0, 30.0, 1, 2_000), 2),
+            ],
+        }],
+    }
+}
+
+/// Diurnal load on an autoscaled fleet: MLP0 swings between a 3× burst
+/// phase and a trickle; the reactive controller grows the replica set
+/// into the burst and drains it back during the lull.
+fn diurnal_autoscale() -> FleetScenario {
+    let tenant = TenantSpec::new(
+        "MLP0",
+        ArrivalProcess::Bursty {
+            rate_rps: 500_000.0,
+            burst_factor: 3.0,
+            period_ms: 80.0,
+            duty: 0.3,
+        },
+        BatchPolicy::Timeout {
+            max_batch: 200,
+            t_max_ms: 2.0,
+        },
+        7.0,
+        120_000,
+    )
+    .with_priority(3);
+    let spec = FleetSpec::new(8, 2, 42)
+        .with_router(RouterPolicy::LeastOutstanding)
+        .with_hop(HopModel::Table5 { scale_ms: 1.0 })
+        .with_autoscale(AutoscaleConfig {
+            interval_ms: 10.0,
+            cooldown_ms: 20.0,
+            ..AutoscaleConfig::reactive()
+        });
+    FleetScenario {
+        name: "diurnal-autoscale",
+        description: "bursty MLP0 on 8 hosts: reactive replica scaling, 2..8 replicas",
+        runs: vec![FleetScenarioRun {
+            label: "diurnal".into(),
+            spec,
+            tenants: vec![FleetTenantSpec::new(tenant, 3).with_replica_bounds(2, 8)],
+        }],
+    }
+}
+
+/// The failover drill: host 0 crashes mid-run taking replicas of both
+/// tenants with it, displaced requests retry on the survivors, and the
+/// host rejoins later. The integration tests pin that post-recovery
+/// SLO attainment stays above a threshold for every tenant.
+fn host_failover() -> FleetScenario {
+    let spec = FleetSpec::new(4, 2, 42)
+        .with_router(RouterPolicy::LeastOutstanding)
+        .with_hop(HopModel::Table5 { scale_ms: 1.0 })
+        .with_failures(vec![
+            FailureEvent::crash(30.0, 0),
+            FailureEvent::recover(80.0, 0),
+        ]);
+    FleetScenario {
+        name: "host-failover",
+        description: "4-host fleet: host 0 crashes at 30 ms, recovers at 80 ms",
+        runs: vec![FleetScenarioRun {
+            label: "failover".into(),
+            spec,
+            tenants: vec![
+                FleetTenantSpec::new(
+                    timeout_tenant("MLP0", 300_000.0, 200, 2.0, 7.0, 3, 60_000),
+                    3,
+                ),
+                FleetTenantSpec::new(
+                    timeout_tenant("LSTM0", 20_000.0, 64, 5.0, 50.0, 2, 4_000),
+                    2,
+                ),
+            ],
+        }],
+    }
+}
+
+/// Router shoot-out: the same fleet and load under round-robin,
+/// least-outstanding, and bounded consistent hashing, with host 2
+/// turned into a 3× straggler mid-run. Load-aware policies route
+/// around the straggler; round-robin keeps feeding it and pays in p99.
+fn router_shootout() -> FleetScenario {
+    let mk = |label: &str, router: RouterPolicy| {
+        let spec = FleetSpec::new(4, 2, 42)
+            .with_router(router)
+            .with_hop(HopModel::Table5 { scale_ms: 1.0 })
+            .with_failures(FailureEvent::slow_window(10.0, 60.0, 2, 3.0).to_vec());
+        FleetScenarioRun {
+            label: label.into(),
+            spec,
+            tenants: vec![FleetTenantSpec::new(
+                timeout_tenant("MLP0", 700_000.0, 200, 2.0, 7.0, 3, 100_000),
+                4,
+            )],
+        }
+    };
+    FleetScenario {
+        name: "router-shootout",
+        description: "RR vs least-outstanding vs consistent-hash with a 3× straggler",
+        runs: vec![
+            mk("round-robin", RouterPolicy::RoundRobin),
+            mk("least-outstanding", RouterPolicy::LeastOutstanding),
+            mk(
+                "consistent-hash",
+                RouterPolicy::ConsistentHash {
+                    vnodes: 16,
+                    bound: 1.25,
+                },
+            ),
+        ],
+    }
+}
+
+/// The straggler-tail experiment: identical fleets, one with host 2
+/// running 4× slow for a window. Round-robin routing spreads requests
+/// evenly, so the slow host's share defines the tail.
+fn straggler_tail() -> FleetScenario {
+    let tenants = || {
+        vec![
+            FleetTenantSpec::new(
+                timeout_tenant("MLP0", 450_000.0, 200, 2.0, 7.0, 3, 60_000),
+                3,
+            ),
+            FleetTenantSpec::new(
+                timeout_tenant("LSTM1", 30_000.0, 96, 5.0, 50.0, 2, 4_000),
+                2,
+            ),
+        ]
+    };
+    let base = FleetSpec::new(3, 2, 42)
+        .with_router(RouterPolicy::RoundRobin)
+        .with_hop(HopModel::Table5 { scale_ms: 1.0 });
+    FleetScenario {
+        name: "straggler-tail",
+        description: "3-host fleet, round-robin: baseline vs 4× straggler window",
+        runs: vec![
+            FleetScenarioRun {
+                label: "baseline".into(),
+                spec: base.clone(),
+                tenants: tenants(),
+            },
+            FleetScenarioRun {
+                label: "straggler-4x".into(),
+                spec: base.with_failures(FailureEvent::slow_window(15.0, 45.0, 2, 4.0).to_vec()),
+                tenants: tenants(),
+            },
+        ],
+    }
+}
+
+/// All named scenarios, in CLI listing order.
+pub fn all_scenarios() -> Vec<FleetScenario> {
+    vec![
+        fleet_steady(),
+        diurnal_autoscale(),
+        host_failover(),
+        router_shootout(),
+        straggler_tail(),
+    ]
+}
+
+/// Look a scenario up by its CLI name.
+pub fn scenario_by_name(name: &str) -> Option<FleetScenario> {
+    all_scenarios().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_resolves_by_name() {
+        for s in all_scenarios() {
+            assert!(scenario_by_name(s.name).is_some(), "{}", s.name);
+            assert!(!s.runs.is_empty(), "{} has no runs", s.name);
+        }
+        assert!(scenario_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn seeding_and_scaling_apply_to_every_run() {
+        let s = scenario_by_name("router-shootout")
+            .unwrap()
+            .with_seed(7)
+            .scale_requests(0.01);
+        for r in &s.runs {
+            assert_eq!(r.spec.seed, 7);
+            assert_eq!(r.tenants[0].tenant.requests, 1_000);
+        }
+    }
+
+    #[test]
+    fn fleet_steady_executes_within_slo_when_scaled_down() {
+        let cfg = TpuConfig::paper();
+        let s = scenario_by_name("fleet-steady")
+            .unwrap()
+            .scale_requests(0.05);
+        let runs = s.execute(&cfg);
+        assert_eq!(runs.len(), 1);
+        let r = &runs[0].1.report;
+        assert_eq!(r.tenants.len(), 3);
+        for t in &r.tenants {
+            assert!(
+                t.slo_attainment > 0.95,
+                "{}: attainment {} (p99 {} vs SLO {})",
+                t.name,
+                t.slo_attainment,
+                t.p99_ms,
+                t.slo_ms
+            );
+        }
+    }
+}

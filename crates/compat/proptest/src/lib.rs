@@ -1,8 +1,9 @@
 //! Offline shim for `proptest`.
 //!
 //! Implements the subset of the proptest API this workspace uses:
-//! the [`Strategy`] trait with `prop_map`, range / tuple / [`Just`] /
-//! vec / simple-regex string strategies, the `prop_oneof!` union, the
+//! the [`strategy::Strategy`] trait with `prop_map`, range / tuple /
+//! [`strategy::Just`] / vec / simple-regex string strategies, the
+//! `prop_oneof!` union, the
 //! `proptest!` test macro with optional `#![proptest_config(...)]`, and
 //! the `prop_assert*` family. No shrinking: a failing case fails the
 //! test directly with the generated inputs in the panic message.

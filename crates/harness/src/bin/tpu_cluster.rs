@@ -1,0 +1,97 @@
+//! `tpu_cluster` — run named fleet-level serving scenarios (replication,
+//! routing, autoscaling, failure injection) and report per-tenant tails,
+//! SLO attainment, per-host utilization, and replica timelines.
+//!
+//! ```text
+//! tpu_cluster list
+//! tpu_cluster run <scenario> [--seed N] [--requests-scale F] [--json]
+//! tpu_cluster run --all [--json]
+//! ```
+//!
+//! Exit codes: 0 success, 1 unknown scenario, 2 usage.
+
+use std::process::ExitCode;
+use tpu_cluster::{all_scenarios, scenario_by_name, FleetScenario};
+use tpu_core::TpuConfig;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tpu_cluster list\n       tpu_cluster run <scenario>|--all \
+         [--seed N] [--requests-scale F] [--json]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for s in all_scenarios() {
+                println!("{:<20} {}", s.name, s.description);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => run_command(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run_command(args: &[String]) -> ExitCode {
+    let mut name: Option<&str> = None;
+    let mut run_all = false;
+    let mut seed: Option<u64> = None;
+    let mut scale: Option<f64> = None;
+    let mut json = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--all" => run_all = true,
+            "--json" => json = true,
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = Some(v),
+                None => return usage(),
+            },
+            "--requests-scale" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0.0 => scale = Some(v),
+                _ => return usage(),
+            },
+            other if !other.starts_with('-') && name.is_none() => name = Some(other),
+            _ => return usage(),
+        }
+    }
+
+    let scenarios: Vec<FleetScenario> = if run_all {
+        all_scenarios()
+    } else {
+        let Some(n) = name else { return usage() };
+        match scenario_by_name(n) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("tpu_cluster: unknown scenario {n:?}; try `tpu_cluster list`");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let cfg = TpuConfig::paper();
+    for mut s in scenarios {
+        if let Some(seed) = seed {
+            s = s.with_seed(seed);
+        }
+        if let Some(f) = scale {
+            s = s.scale_requests(f);
+        }
+        println!("== {} — {}", s.name, s.description);
+        for (label, run) in s.execute(&cfg) {
+            println!("\n-- {label}");
+            if json {
+                println!("{}", serde_json::to_string_pretty(&run.report.to_json()));
+            } else {
+                print!("{}", run.report);
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

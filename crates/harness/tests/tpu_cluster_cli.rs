@@ -1,0 +1,87 @@
+//! End-to-end tests of the `tpu_cluster` binary: scenario listing,
+//! seeded runs, JSON output, and exit codes for bad input.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tpu_cluster"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn list_names_every_scenario() {
+    let out = run(&["list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "fleet-steady",
+        "diurnal-autoscale",
+        "host-failover",
+        "router-shootout",
+        "straggler-tail",
+    ] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn failover_run_reports_the_crash_and_recovery() {
+    let out = run(&["run", "host-failover", "--requests-scale", "0.1"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("host-failover"), "{stdout}");
+    assert!(stdout.contains("replica timeline"), "{stdout}");
+    assert!(stdout.contains("MLP0"), "{stdout}");
+}
+
+#[test]
+fn json_output_is_json_and_seed_is_respected() {
+    let args = ["run", "fleet-steady", "--requests-scale", "0.02", "--json"];
+    let a = run(&args);
+    let b = run(&args);
+    assert!(a.status.success());
+    let ja = String::from_utf8_lossy(&a.stdout);
+    assert!(ja.contains("\"replica_timeline\""), "{ja}");
+    assert!(ja.contains("\"slo_attainment\""), "{ja}");
+    assert_eq!(
+        ja,
+        String::from_utf8_lossy(&b.stdout),
+        "same seed, same JSON"
+    );
+
+    let other = run(&[
+        "run",
+        "fleet-steady",
+        "--requests-scale",
+        "0.02",
+        "--json",
+        "--seed",
+        "9",
+    ]);
+    assert_ne!(
+        ja,
+        String::from_utf8_lossy(&other.stdout),
+        "a different seed must change the report"
+    );
+}
+
+#[test]
+fn unknown_scenario_fails_with_exit_one() {
+    let out = run(&["run", "warehouse-scale"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scenario"));
+}
+
+#[test]
+fn missing_arguments_fail_with_usage() {
+    for args in [&[][..], &["run"][..], &["run", "--seed", "x"][..]] {
+        let out = run(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+}

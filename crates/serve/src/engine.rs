@@ -1,29 +1,45 @@
-//! The discrete-event, multi-tenant serving engine.
+//! The discrete-event, multi-tenant serving engine for one host.
 //!
 //! Generalizes the closed-form serving models of `tpu_platforms`
 //! (`queue_sim`, `batching`, `server`) into one seeded scheduler:
 //! Poisson (or bursty) request streams per tenant, policy-driven batch
 //! formation, priority admission onto a pool of accelerator dies, and
 //! per-request end-to-end latency accounting. With a single tenant,
-//! a [`BatchPolicy::Fixed`] policy and one die, the engine reproduces
+//! a [`crate::policy::BatchPolicy::Fixed`] policy and one die, the engine reproduces
 //! `queue_sim::simulate` exactly (same seed, same arrival stream, same
 //! dispatch instants) — the integration tests pin that equivalence.
 //!
-//! Everything is deterministic from [`ClusterSpec::seed`]: arrival
-//! streams are per-tenant seeded RNGs, ties in the event queue break by
-//! schedule order, and die selection is a pure function of engine state.
+//! Since the fleet refactor, this module is a thin orchestration layer:
+//! the host state machine lives in [`crate::host::HostCore`], the event
+//! queue in [`crate::sim`], and arrival generation in
+//! [`crate::tenant::ArrivalGen`]. `run` wires one host to its own queue
+//! and locally-generated arrivals; `tpu_cluster::run_fleet` wires many
+//! hosts to one shared queue with front-end routing. Everything is
+//! deterministic from [`ClusterSpec::seed`]: arrival streams are
+//! per-tenant seeded RNGs (stream `i` = [`crate::sim::stream_seed`] of
+//! the master seed), ties in the event queue break by schedule order,
+//! and die selection is a pure function of engine state.
 
 use crate::event::{Event, EventQueue};
-use crate::policy::BatchPolicy;
-use crate::report::{percentile, DieReport, ServeReport, TenantReport};
-use crate::service::ServiceCurve;
-use crate::tenant::TenantSpec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::host::{HostCore, HostEvent};
+use crate::report::ServeReport;
+use crate::sim;
+use crate::tenant::{ArrivalGen, TenantSpec};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 use tpu_core::TpuConfig;
 pub use tpu_platforms::server::Dispatch;
+
+impl From<HostEvent> for Event {
+    fn from(e: HostEvent) -> Event {
+        match e {
+            HostEvent::Timer { slot, generation } => Event::Timer {
+                tenant: slot,
+                generation,
+            },
+            HostEvent::DieFree { die } => Event::DieFree { die },
+        }
+    }
+}
 
 /// The die pool the tenants share.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,37 +69,6 @@ impl ClusterSpec {
     }
 }
 
-struct TenantState {
-    spec: TenantSpec,
-    curve: ServiceCurve,
-    queue: VecDeque<f64>,
-    remaining: usize,
-    arrival_rng: StdRng,
-    timer_generation: u64,
-    latencies: Vec<f64>,
-    batches: usize,
-    dispatched: usize,
-}
-
-impl TenantState {
-    fn draining(&self) -> bool {
-        self.remaining == 0
-    }
-
-    fn next_gap_ms(&mut self, now_ms: f64) -> f64 {
-        let rate = self.spec.arrivals.rate_at(now_ms);
-        assert!(rate > 0.0, "arrival rate must stay positive");
-        let u: f64 = self.arrival_rng.gen_range(f64::EPSILON..1.0);
-        -(1000.0 / rate) * u.ln()
-    }
-}
-
-struct DieState {
-    busy: bool,
-    busy_ms: f64,
-    batches: usize,
-}
-
 /// Run the serving simulation to completion and report.
 ///
 /// # Panics
@@ -94,297 +79,78 @@ pub fn run(cluster: &ClusterSpec, tenants: &[TenantSpec], cfg: &TpuConfig) -> Se
     assert!(cluster.dies > 0, "need at least one die");
     assert!(!tenants.is_empty(), "need at least one tenant");
 
-    let mut states: Vec<TenantState> = tenants
+    let mut host = HostCore::new(cluster.dies, cluster.dispatch, cluster.seed);
+    let mut gens: Vec<ArrivalGen> = tenants
         .iter()
         .enumerate()
         .map(|(i, spec)| {
             assert!(spec.requests > 0, "tenant {} has no requests", spec.name);
-            spec.arrivals.validate();
-            assert!(
-                spec.policy.max_batch() > 0,
-                "tenant {} has a zero batch",
-                spec.name
-            );
-            TenantState {
-                curve: spec.effective_curve(cfg),
-                queue: VecDeque::new(),
-                remaining: spec.requests,
-                // Tenant 0 shares the master seed so a single-tenant run
-                // reproduces queue_sim's arrival stream bit for bit.
-                arrival_rng: StdRng::seed_from_u64(
-                    cluster
-                        .seed
-                        .wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
-                ),
-                timer_generation: 0,
-                latencies: Vec::with_capacity(spec.requests),
-                batches: 0,
-                dispatched: 0,
-                spec: spec.clone(),
-            }
+            host.add_slot(spec.clone(), spec.effective_curve(cfg));
+            // Tenant 0 shares the master seed so a single-tenant run
+            // reproduces queue_sim's arrival stream bit for bit.
+            ArrivalGen::new(
+                spec.arrivals,
+                spec.requests,
+                sim::stream_seed(cluster.seed, i as u64),
+            )
         })
         .collect();
-
-    let mut service_rng = StdRng::seed_from_u64(cluster.seed ^ 0x5bd1_e995_9e37_79b9);
-    let mut dies: Vec<DieState> = (0..cluster.dies)
-        .map(|_| DieState {
-            busy: false,
-            busy_ms: 0.0,
-            batches: 0,
-        })
-        .collect();
-    let mut rr_next = 0usize;
 
     let mut q = EventQueue::new();
-    for (i, t) in states.iter_mut().enumerate() {
-        let gap = t.next_gap_ms(0.0);
+    for (i, g) in gens.iter_mut().enumerate() {
+        let gap = g.gap_ms(0.0);
         q.schedule(gap, Event::Arrival { tenant: i });
     }
 
     let mut events_processed = 0u64;
-    let mut makespan_ms = 0.0f64;
-
     while let Some((now, event)) = q.pop() {
         events_processed += 1;
         match event {
             Event::Arrival { tenant } => {
-                let t = &mut states[tenant];
-                debug_assert!(t.remaining > 0, "arrival after stream end");
-                t.queue.push_back(now);
-                t.remaining -= 1;
-                if t.remaining > 0 {
-                    let gap = t.next_gap_ms(now);
+                host.enqueue(tenant, now);
+                if gens[tenant].on_deliver() {
+                    let gap = gens[tenant].gap_ms(now);
                     q.schedule(now + gap, Event::Arrival { tenant });
+                } else {
+                    host.set_draining(tenant, true);
                 }
-                // A Timeout deadline depends only on the oldest request,
-                // so it needs (re)arming only when this arrival *is* the
-                // new oldest; SloAdaptive's depends on queue length too,
-                // so every arrival moves it. Skipping the no-op re-arms
-                // keeps the heap free of one stale timer per request.
-                let rearm = match t.spec.policy {
-                    BatchPolicy::Fixed { .. } => false,
-                    BatchPolicy::Timeout { .. } => t.queue.len() == 1,
-                    BatchPolicy::SloAdaptive { .. } => true,
-                };
-                if rearm {
-                    arm_timer(&mut q, tenant, &mut states[tenant], now);
-                }
+                host.after_arrival(tenant, now, &mut |at, e| q.schedule(at, e.into()));
             }
             Event::Timer { tenant, generation } => {
-                if states[tenant].timer_generation != generation {
+                if !host.on_timer(tenant, generation) {
                     continue; // stale timer; the queue changed since
                 }
             }
             Event::DieFree { die } => {
-                dies[die].busy = false;
+                host.on_die_free(die);
             }
         }
 
         // Any event can unblock a dispatch: a batch may have become
         // ready (arrival/timer) or capacity may have appeared (die free).
-        try_dispatch(
-            &mut q,
-            &mut states,
-            &mut dies,
-            cluster.dispatch,
-            &mut rr_next,
-            &mut service_rng,
-            now,
-            &mut makespan_ms,
-        );
+        host.try_dispatch(now, &mut |at, e| q.schedule(at, e.into()));
     }
 
-    for (i, t) in states.iter().enumerate() {
+    for (i, g) in gens.iter().enumerate() {
         assert!(
-            t.queue.is_empty() && t.remaining == 0,
+            g.remaining() == 0 && host.outstanding(i) == 0,
             "tenant {i} finished with work left (engine bug)"
         );
+        assert_eq!(
+            host.latency_count(i),
+            tenants[i].requests,
+            "tenant {i} lost requests (engine bug)"
+        );
     }
 
-    build_report(states, dies, makespan_ms, events_processed)
-}
-
-/// Arm (or re-arm) the tenant's dispatch timer for its current oldest
-/// request. Each queue mutation bumps the generation so earlier timers
-/// become no-ops.
-fn arm_timer(q: &mut EventQueue, tenant: usize, t: &mut TenantState, now_ms: f64) {
-    t.timer_generation += 1;
-    if let Some(&oldest) = t.queue.front() {
-        if let Some(deadline) = t
-            .spec
-            .policy
-            .next_deadline_ms(oldest, t.queue.len(), &t.curve)
-        {
-            q.schedule(
-                deadline.max(now_ms),
-                Event::Timer {
-                    tenant,
-                    generation: t.timer_generation,
-                },
-            );
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn try_dispatch(
-    q: &mut EventQueue,
-    states: &mut [TenantState],
-    dies: &mut [DieState],
-    dispatch: Dispatch,
-    rr_next: &mut usize,
-    service_rng: &mut StdRng,
-    now_ms: f64,
-    makespan_ms: &mut f64,
-) {
-    loop {
-        if !dies.iter().any(|d| !d.busy) {
-            return;
-        }
-        // Ready tenants, contended by (priority desc, oldest wait asc,
-        // index asc).
-        let ready = states
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| {
-                t.spec.policy.should_dispatch(
-                    now_ms,
-                    t.queue.front().copied().unwrap_or(f64::INFINITY),
-                    t.queue.len(),
-                    t.draining(),
-                    &t.curve,
-                )
-            })
-            .min_by(|(ia, a), (ib, b)| {
-                b.spec
-                    .priority
-                    .cmp(&a.spec.priority)
-                    .then(
-                        a.queue
-                            .front()
-                            .partial_cmp(&b.queue.front())
-                            .expect("finite arrivals"),
-                    )
-                    .then(ia.cmp(ib))
-            })
-            .map(|(i, _)| i);
-        let Some(tenant) = ready else { return };
-
-        let die = pick_die(dies, dispatch, rr_next);
-        let t = &mut states[tenant];
-        let batch = t.queue.len().min(t.spec.policy.max_batch());
-        let jitter = lognormal_multiplier(service_rng, t.curve.jitter_sigma);
-        let service = t.curve.service_ms(batch) * jitter;
-        let end = now_ms + service;
-
-        for _ in 0..batch {
-            let arrival = t.queue.pop_front().expect("batch within queue");
-            t.latencies.push(end - arrival);
-        }
-        t.batches += 1;
-        t.dispatched += batch;
-        arm_timer(q, tenant, t, now_ms);
-
-        let d = &mut dies[die];
-        d.busy = true;
-        d.busy_ms += service;
-        d.batches += 1;
-        *makespan_ms = makespan_ms.max(end);
-        q.schedule(end, Event::DieFree { die });
-    }
-}
-
-/// Choose a free die. Round-robin cycles the pool (skipping busy dies);
-/// least-loaded picks the free die with the least accumulated busy time.
-fn pick_die(dies: &[DieState], dispatch: Dispatch, rr_next: &mut usize) -> usize {
-    match dispatch {
-        Dispatch::RoundRobin => {
-            let n = dies.len();
-            for k in 0..n {
-                let d = (*rr_next + k) % n;
-                if !dies[d].busy {
-                    *rr_next = (d + 1) % n;
-                    return d;
-                }
-            }
-            unreachable!("caller checked a free die exists")
-        }
-        Dispatch::LeastLoaded => dies
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| !d.busy)
-            .min_by(|a, b| {
-                a.1.busy_ms
-                    .partial_cmp(&b.1.busy_ms)
-                    .expect("finite busy times")
-            })
-            .map(|(i, _)| i)
-            .expect("caller checked a free die exists"),
-    }
-}
-
-/// Unit-median lognormal multiplier via Box–Muller, matching the jitter
-/// model of `tpu_platforms::queue_sim`.
-fn lognormal_multiplier(rng: &mut StdRng, sigma: f64) -> f64 {
-    if sigma <= 0.0 {
-        return 1.0;
-    }
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-    (sigma * z).exp()
-}
-
-fn build_report(
-    states: Vec<TenantState>,
-    dies: Vec<DieState>,
-    makespan_ms: f64,
-    events_processed: u64,
-) -> ServeReport {
-    let tenants: Vec<TenantReport> = states
-        .into_iter()
-        .map(|mut t| {
-            t.latencies
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-            let n = t.latencies.len();
-            let slo_hits = t.latencies.iter().filter(|&&l| l <= t.spec.slo_ms).count();
-            TenantReport {
-                name: t.spec.name.clone(),
-                workload: t.spec.workload.clone(),
-                priority: t.spec.priority,
-                requests: n,
-                batches: t.batches,
-                mean_batch: t.dispatched as f64 / t.batches.max(1) as f64,
-                mean_ms: t.latencies.iter().sum::<f64>() / n.max(1) as f64,
-                p50_ms: percentile(&t.latencies, 0.50),
-                p95_ms: percentile(&t.latencies, 0.95),
-                p99_ms: percentile(&t.latencies, 0.99),
-                slo_ms: t.spec.slo_ms,
-                slo_attainment: slo_hits as f64 / n.max(1) as f64,
-                throughput_rps: n as f64 / makespan_ms.max(f64::MIN_POSITIVE) * 1000.0,
-            }
-        })
-        .collect();
-    let dies: Vec<DieReport> = dies
-        .into_iter()
-        .map(|d| DieReport {
-            batches: d.batches,
-            busy_ms: d.busy_ms,
-            utilization: (d.busy_ms / makespan_ms.max(f64::MIN_POSITIVE)).min(1.0),
-        })
-        .collect();
-    ServeReport {
-        tenants,
-        dies,
-        makespan_ms,
-        events_processed,
-    }
+    host.report(host.makespan_ms(), events_processed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::policy::BatchPolicy;
+    use crate::service::ServiceCurve;
     use crate::tenant::ArrivalProcess;
 
     fn mlp0_tenant(rate: f64, policy: BatchPolicy, requests: usize) -> TenantSpec {

@@ -1,14 +1,12 @@
-//! The discrete-event core: a binary-heap event queue over simulated
-//! milliseconds.
+//! Host-level events, instantiating the extracted event core.
 //!
-//! No wall clock and no threads anywhere in this crate: every state
-//! change is an [`Event`] popped from the [`EventQueue`] in
-//! `(time, sequence)` order. The sequence number makes the pop order —
-//! and therefore the whole simulation — fully deterministic even when
-//! events share a timestamp.
+//! The queue mechanics (binary heap, `(time, sequence)` ordering, the
+//! monotonic clock) live in [`crate::sim`]; this module only defines
+//! *what* can happen inside a single serving host. `tpu_cluster` wraps
+//! these same host events in a fleet-level enum and shares the clock
+//! across many hosts.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use crate::sim;
 
 /// What can happen inside the serving runtime.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,91 +31,8 @@ pub enum Event {
     },
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Scheduled {
-    at_ms: f64,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at_ms == other.at_ms && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap: earlier time first, then lower sequence number.
-        // Times are finite by construction (asserted on push).
-        other
-            .at_ms
-            .partial_cmp(&self.at_ms)
-            .expect("finite event times")
-            .then(other.seq.cmp(&self.seq))
-    }
-}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// A deterministic future-event list.
-#[derive(Debug, Default)]
-pub struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
-    next_seq: u64,
-    now_ms: f64,
-}
-
-impl EventQueue {
-    /// An empty queue at time zero.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Current simulated time in milliseconds (the timestamp of the last
-    /// popped event).
-    pub fn now_ms(&self) -> f64 {
-        self.now_ms
-    }
-
-    /// Schedule `event` at absolute time `at_ms`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `at_ms` is not finite or lies in the simulated past.
-    pub fn schedule(&mut self, at_ms: f64, event: Event) {
-        assert!(at_ms.is_finite(), "event time must be finite");
-        assert!(
-            at_ms >= self.now_ms,
-            "cannot schedule into the past: {at_ms} < {}",
-            self.now_ms
-        );
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Scheduled { at_ms, seq, event });
-    }
-
-    /// Pop the next event, advancing simulated time to it.
-    pub fn pop(&mut self) -> Option<(f64, Event)> {
-        let s = self.heap.pop()?;
-        self.now_ms = s.at_ms;
-        Some((s.at_ms, s.event))
-    }
-
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// Whether no events are pending.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-}
+/// A deterministic future-event list over host-level [`Event`]s.
+pub type EventQueue = sim::EventQueue<Event>;
 
 #[cfg(test)]
 mod tests {

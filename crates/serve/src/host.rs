@@ -1,0 +1,631 @@
+//! One serving host as a reusable, externally-clocked state machine.
+//!
+//! [`HostCore`] is the multi-layer extraction behind `tpu_cluster`: it
+//! owns everything *inside* one host — per-tenant queues, batching
+//! timers, the die pool, the seeded service-jitter stream, committed
+//! latencies — but not the clock and not the arrival streams. Callers
+//! feed it deliveries and events and pass a `sched` closure through
+//! which it schedules its own future [`HostEvent`]s:
+//!
+//! * `tpu_serve::run` drives one `HostCore` from its own
+//!   [`crate::event::EventQueue`], generating arrivals locally;
+//! * `tpu_cluster` drives many under a single fleet-level queue,
+//!   routing front-end arrivals onto hosts and injecting failures.
+//!
+//! Latencies are committed when a batch *completes* (the die-free
+//! event), not when it dispatches — so a host crash can return both its
+//! queued and its in-flight requests for fleet-level retry. Die
+//! selection breaks busy-time ties by die index explicitly, keeping
+//! dispatch a pure function of host state.
+
+use crate::policy::BatchPolicy;
+use crate::report::{percentile, DieReport, ServeReport, TenantReport};
+use crate::service::ServiceCurve;
+use crate::sim;
+use crate::tenant::TenantSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+pub use tpu_platforms::server::Dispatch;
+
+/// An event a host schedules for itself. The embedding simulation maps
+/// these onto its own event enum (see [`crate::event::Event`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HostEvent {
+    /// A batching timer for tenant slot `slot` fires; stale timers are
+    /// skipped via `generation`.
+    Timer {
+        /// Index into the host's slot table.
+        slot: usize,
+        /// Queue generation the timer was armed against.
+        generation: u64,
+    },
+    /// `die` finishes its current batch.
+    DieFree {
+        /// Index into the host's die table.
+        die: usize,
+    },
+}
+
+/// A batch that just completed on a die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedBatch {
+    /// Tenant slot the batch belonged to.
+    pub slot: usize,
+    /// Requests in the batch (their latencies are now committed).
+    pub completions: usize,
+    /// Completion time, ms.
+    pub end_ms: f64,
+}
+
+/// One tenant's residency on this host.
+struct Slot {
+    spec: TenantSpec,
+    curve: ServiceCurve,
+    queue: VecDeque<f64>,
+    draining: bool,
+    timer_generation: u64,
+    latencies: Vec<f64>,
+    batches: usize,
+    dispatched: usize,
+    busy_ms: f64,
+}
+
+/// A batch in flight on a die.
+struct Inflight {
+    slot: usize,
+    end_ms: f64,
+    arrivals: Vec<f64>,
+}
+
+struct DieState {
+    busy: bool,
+    busy_ms: f64,
+    batches: usize,
+    inflight: Option<Inflight>,
+}
+
+/// The per-host serving state machine (see module docs).
+pub struct HostCore {
+    slots: Vec<Slot>,
+    dies: Vec<DieState>,
+    dispatch: Dispatch,
+    rr_next: usize,
+    service_rng: StdRng,
+    makespan_ms: f64,
+    slow_factor: f64,
+}
+
+impl HostCore {
+    /// An idle host: `dies` dies, a dispatch discipline, and a service
+    /// jitter stream derived from `host_seed` (see
+    /// [`sim::service_seed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dies` is zero.
+    pub fn new(dies: usize, dispatch: Dispatch, host_seed: u64) -> Self {
+        assert!(dies > 0, "need at least one die");
+        HostCore {
+            slots: Vec::new(),
+            dies: (0..dies)
+                .map(|_| DieState {
+                    busy: false,
+                    busy_ms: 0.0,
+                    batches: 0,
+                    inflight: None,
+                })
+                .collect(),
+            dispatch,
+            rr_next: 0,
+            service_rng: StdRng::seed_from_u64(sim::service_seed(host_seed)),
+            makespan_ms: 0.0,
+            slow_factor: 1.0,
+        }
+    }
+
+    /// Add a tenant slot (replica); returns its index. Slots can be
+    /// added mid-simulation (fleet autoscaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's policy has a zero batch bound.
+    pub fn add_slot(&mut self, spec: TenantSpec, curve: ServiceCurve) -> usize {
+        assert!(
+            spec.policy.max_batch() > 0,
+            "tenant {} has a zero batch",
+            spec.name
+        );
+        self.slots.push(Slot {
+            curve,
+            queue: VecDeque::new(),
+            draining: false,
+            timer_generation: 0,
+            latencies: Vec::new(),
+            batches: 0,
+            dispatched: 0,
+            busy_ms: 0.0,
+            spec,
+        });
+        self.slots.len() - 1
+    }
+
+    /// Number of tenant slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of dies.
+    pub fn die_count(&self) -> usize {
+        self.dies.len()
+    }
+
+    /// The spec a slot was created with.
+    pub fn slot_spec(&self, slot: usize) -> &TenantSpec {
+        &self.slots[slot].spec
+    }
+
+    /// The slot's effective service curve.
+    pub fn slot_curve(&self, slot: usize) -> &ServiceCurve {
+        &self.slots[slot].curve
+    }
+
+    /// Queue a delivered request (front-end arrival time `arrived_ms`).
+    pub fn enqueue(&mut self, slot: usize, arrived_ms: f64) {
+        self.slots[slot].queue.push_back(arrived_ms);
+    }
+
+    /// Mark a slot as draining: partial batches flush immediately
+    /// because no further arrivals are expected.
+    pub fn set_draining(&mut self, slot: usize, draining: bool) {
+        self.slots[slot].draining = draining;
+    }
+
+    /// Whether a slot is draining.
+    pub fn is_draining(&self, slot: usize) -> bool {
+        self.slots[slot].draining
+    }
+
+    /// Re-arm the slot's batching timer after an arrival when the policy
+    /// needs it. A `Timeout` deadline depends only on the oldest
+    /// request, so it needs (re)arming only when this arrival *is* the
+    /// new oldest; `SloAdaptive`'s depends on queue length too, so every
+    /// arrival moves it. Skipping the no-op re-arms keeps the heap free
+    /// of one stale timer per request.
+    pub fn after_arrival(
+        &mut self,
+        slot: usize,
+        now_ms: f64,
+        sched: &mut impl FnMut(f64, HostEvent),
+    ) {
+        let rearm = match self.slots[slot].spec.policy {
+            BatchPolicy::Fixed { .. } => false,
+            BatchPolicy::Timeout { .. } => self.slots[slot].queue.len() == 1,
+            BatchPolicy::SloAdaptive { .. } => true,
+        };
+        if rearm {
+            self.arm_timer(slot, now_ms, sched);
+        }
+    }
+
+    /// Handle a timer event; returns `false` for stale timers (the
+    /// queue changed since the timer was armed), which the caller should
+    /// ignore without attempting dispatch.
+    pub fn on_timer(&mut self, slot: usize, generation: u64) -> bool {
+        self.slots[slot].timer_generation == generation
+    }
+
+    /// Handle a die-free event: commit the completed batch's latencies
+    /// and free the die. Returns `None` if the die held no batch (e.g.
+    /// it was cleared by a crash and the event is stale).
+    pub fn on_die_free(&mut self, die: usize) -> Option<CompletedBatch> {
+        let d = &mut self.dies[die];
+        d.busy = false;
+        let inflight = d.inflight.take()?;
+        // Makespan counts *completed* batches only, so a crash that
+        // aborts an in-flight batch never leaves a phantom completion
+        // time behind.
+        self.makespan_ms = self.makespan_ms.max(inflight.end_ms);
+        let slot = &mut self.slots[inflight.slot];
+        let completions = inflight.arrivals.len();
+        for arrived in inflight.arrivals {
+            slot.latencies.push(inflight.end_ms - arrived);
+        }
+        Some(CompletedBatch {
+            slot: inflight.slot,
+            completions,
+            end_ms: inflight.end_ms,
+        })
+    }
+
+    /// Straggler injection: scale all *future* batch service times.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a nonpositive factor.
+    pub fn set_slow_factor(&mut self, factor: f64) {
+        assert!(factor > 0.0, "slow factor must be positive");
+        self.slow_factor = factor;
+    }
+
+    /// Current straggler factor (1.0 = healthy).
+    pub fn slow_factor(&self) -> f64 {
+        self.slow_factor
+    }
+
+    /// Crash the host at time `now_ms`: every queued and in-flight
+    /// request is displaced and returned as `(slot, front-end arrival
+    /// times)` for the caller to retry elsewhere; dies go idle. Busy
+    /// time that actually elapsed and committed latencies are kept, but
+    /// the un-elapsed remainder of aborted batches is refunded so
+    /// utilization never counts die time that never happened. The
+    /// caller is responsible for ignoring this host's already-scheduled
+    /// events (e.g. by epoch-tagging them).
+    pub fn crash(&mut self, now_ms: f64) -> Vec<(usize, Vec<f64>)> {
+        let mut displaced: Vec<(usize, Vec<f64>)> = Vec::new();
+        for d in &mut self.dies {
+            d.busy = false;
+            if let Some(inflight) = d.inflight.take() {
+                let refund = (inflight.end_ms - now_ms).max(0.0);
+                d.busy_ms -= refund;
+                d.batches -= 1;
+                let s = &mut self.slots[inflight.slot];
+                s.busy_ms -= refund;
+                s.batches -= 1;
+                s.dispatched -= inflight.arrivals.len();
+                displaced.push((inflight.slot, inflight.arrivals));
+            }
+        }
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            s.timer_generation += 1; // invalidate armed timers
+            if !s.queue.is_empty() {
+                displaced.push((i, s.queue.drain(..).collect()));
+            }
+        }
+        displaced
+    }
+
+    /// Requests queued at a slot (not yet dispatched).
+    pub fn queued(&self, slot: usize) -> usize {
+        self.slots[slot].queue.len()
+    }
+
+    /// Requests of a slot currently in flight on dies.
+    pub fn in_flight(&self, slot: usize) -> usize {
+        self.dies
+            .iter()
+            .filter_map(|d| d.inflight.as_ref())
+            .filter(|b| b.slot == slot)
+            .map(|b| b.arrivals.len())
+            .sum()
+    }
+
+    /// Queued plus in-flight requests for a slot (the routing signal
+    /// behind least-outstanding-requests).
+    pub fn outstanding(&self, slot: usize) -> usize {
+        self.queued(slot) + self.in_flight(slot)
+    }
+
+    /// Busy time a slot has accumulated on this host's dies, ms.
+    pub fn slot_busy_ms(&self, slot: usize) -> f64 {
+        self.slots[slot].busy_ms
+    }
+
+    /// Latencies committed for a slot so far.
+    pub fn latency_count(&self, slot: usize) -> usize {
+        self.slots[slot].latencies.len()
+    }
+
+    /// Total busy time across dies, ms.
+    pub fn busy_ms(&self) -> f64 {
+        self.dies.iter().map(|d| d.busy_ms).sum()
+    }
+
+    /// Completion time of the latest batch dispatched so far, ms.
+    pub fn makespan_ms(&self) -> f64 {
+        self.makespan_ms
+    }
+
+    /// Dispatch ready batches onto free dies until nothing can move.
+    /// Ready slots contend by (priority desc, oldest wait asc, slot
+    /// index asc); free dies by the dispatch discipline with explicit
+    /// index tie-breaks. Any event can unblock a dispatch: a batch may
+    /// have become ready (arrival/timer) or capacity may have appeared
+    /// (die free).
+    pub fn try_dispatch(&mut self, now_ms: f64, sched: &mut impl FnMut(f64, HostEvent)) {
+        loop {
+            if !self.dies.iter().any(|d| !d.busy) {
+                return;
+            }
+            let ready = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| {
+                    s.spec.policy.should_dispatch(
+                        now_ms,
+                        s.queue.front().copied().unwrap_or(f64::INFINITY),
+                        s.queue.len(),
+                        s.draining,
+                        &s.curve,
+                    )
+                })
+                .min_by(|(ia, a), (ib, b)| {
+                    b.spec
+                        .priority
+                        .cmp(&a.spec.priority)
+                        .then(
+                            a.queue
+                                .front()
+                                .partial_cmp(&b.queue.front())
+                                .expect("finite arrivals"),
+                        )
+                        .then(ia.cmp(ib))
+                })
+                .map(|(i, _)| i);
+            let Some(slot) = ready else { return };
+
+            let die = pick_die(&self.dies, self.dispatch, &mut self.rr_next);
+            let s = &mut self.slots[slot];
+            let batch = s.queue.len().min(s.spec.policy.max_batch());
+            let jitter = sim::lognormal_multiplier(&mut self.service_rng, s.curve.jitter_sigma);
+            let service = s.curve.service_ms(batch) * jitter * self.slow_factor;
+            let end = now_ms + service;
+
+            let arrivals: Vec<f64> = s.queue.drain(..batch).collect();
+            s.batches += 1;
+            s.dispatched += batch;
+            s.busy_ms += service;
+            self.arm_timer(slot, now_ms, sched);
+
+            let d = &mut self.dies[die];
+            d.busy = true;
+            d.busy_ms += service;
+            d.batches += 1;
+            d.inflight = Some(Inflight {
+                slot,
+                end_ms: end,
+                arrivals,
+            });
+            sched(end, HostEvent::DieFree { die });
+        }
+    }
+
+    /// Arm (or re-arm) the slot's dispatch timer for its current oldest
+    /// request. Each queue mutation bumps the generation so earlier
+    /// timers become no-ops.
+    fn arm_timer(&mut self, slot: usize, now_ms: f64, sched: &mut impl FnMut(f64, HostEvent)) {
+        let s = &mut self.slots[slot];
+        s.timer_generation += 1;
+        if let Some(&oldest) = s.queue.front() {
+            if let Some(deadline) = s
+                .spec
+                .policy
+                .next_deadline_ms(oldest, s.queue.len(), &s.curve)
+            {
+                sched(
+                    deadline.max(now_ms),
+                    HostEvent::Timer {
+                        slot,
+                        generation: s.timer_generation,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Build the host's [`ServeReport`] (per-slot percentiles and SLO
+    /// attainment against `makespan_ms`, per-die utilization). The host
+    /// state is left untouched, so fleet-level reports can merge raw
+    /// latencies afterwards.
+    pub fn report(&self, makespan_ms: f64, events_processed: u64) -> ServeReport {
+        let tenants: Vec<TenantReport> = self
+            .slots
+            .iter()
+            .map(|s| {
+                let mut sorted = s.latencies.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+                let n = sorted.len();
+                let slo_hits = sorted.iter().filter(|&&l| l <= s.spec.slo_ms).count();
+                TenantReport {
+                    name: s.spec.name.clone(),
+                    workload: s.spec.workload.clone(),
+                    priority: s.spec.priority,
+                    requests: n,
+                    batches: s.batches,
+                    mean_batch: s.dispatched as f64 / s.batches.max(1) as f64,
+                    mean_ms: sorted.iter().sum::<f64>() / n.max(1) as f64,
+                    p50_ms: percentile(&sorted, 0.50),
+                    p95_ms: percentile(&sorted, 0.95),
+                    p99_ms: percentile(&sorted, 0.99),
+                    slo_ms: s.spec.slo_ms,
+                    slo_attainment: slo_hits as f64 / n.max(1) as f64,
+                    throughput_rps: n as f64 / makespan_ms.max(f64::MIN_POSITIVE) * 1000.0,
+                }
+            })
+            .collect();
+        let dies: Vec<DieReport> = self
+            .dies
+            .iter()
+            .map(|d| DieReport {
+                batches: d.batches,
+                busy_ms: d.busy_ms,
+                utilization: (d.busy_ms / makespan_ms.max(f64::MIN_POSITIVE)).min(1.0),
+            })
+            .collect();
+        ServeReport {
+            tenants,
+            dies,
+            makespan_ms,
+            events_processed,
+        }
+    }
+
+    /// A copy of one slot's committed latencies, in commit order (for
+    /// fleet-level merging across replicas).
+    pub fn slot_latencies(&self, slot: usize) -> Vec<f64> {
+        self.slots[slot].latencies.clone()
+    }
+
+    /// The latencies committed for a slot since index `from` (the
+    /// autoscaler's sliding window; pair with [`Self::latency_count`]).
+    pub fn slot_latencies_from(&self, slot: usize, from: usize) -> Vec<f64> {
+        self.slots[slot].latencies[from..].to_vec()
+    }
+
+    /// Batches dispatched by a slot so far.
+    pub fn slot_batches(&self, slot: usize) -> usize {
+        self.slots[slot].batches
+    }
+
+    /// Requests dispatched by a slot so far (sum of batch sizes).
+    pub fn slot_dispatched(&self, slot: usize) -> usize {
+        self.slots[slot].dispatched
+    }
+}
+
+/// Choose a free die. Round-robin cycles the pool (skipping busy dies);
+/// least-loaded picks the free die with the least accumulated busy
+/// time, breaking exact ties by die index so dispatch never depends on
+/// iteration accidents.
+fn pick_die(dies: &[DieState], dispatch: Dispatch, rr_next: &mut usize) -> usize {
+    match dispatch {
+        Dispatch::RoundRobin => {
+            let n = dies.len();
+            for k in 0..n {
+                let d = (*rr_next + k) % n;
+                if !dies[d].busy {
+                    *rr_next = (d + 1) % n;
+                    return d;
+                }
+            }
+            unreachable!("caller checked a free die exists")
+        }
+        Dispatch::LeastLoaded => dies
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.busy)
+            .min_by(|a, b| {
+                a.1.busy_ms
+                    .partial_cmp(&b.1.busy_ms)
+                    .expect("finite busy times")
+                    .then(a.0.cmp(&b.0))
+            })
+            .map(|(i, _)| i)
+            .expect("caller checked a free die exists"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::ArrivalProcess;
+
+    fn spec(policy: BatchPolicy) -> TenantSpec {
+        TenantSpec::new(
+            "MLP0",
+            ArrivalProcess::Poisson { rate_rps: 1000.0 },
+            policy,
+            7.0,
+            100,
+        )
+    }
+
+    fn fresh_host(dies: usize) -> HostCore {
+        let mut h = HostCore::new(dies, Dispatch::LeastLoaded, 42);
+        h.add_slot(
+            spec(BatchPolicy::Fixed { batch: 2 }),
+            ServiceCurve::new(1.0, 0.1, 0.0),
+        );
+        h
+    }
+
+    /// Regression: equal-load ties must break by die index, lowest
+    /// first, so cluster-level determinism never leans on heap or
+    /// iterator accidents.
+    #[test]
+    fn least_loaded_breaks_ties_by_die_index() {
+        let mut h = fresh_host(4);
+        let mut scheduled = Vec::new();
+        // All four dies idle at 0.0 busy: the first dispatch must land
+        // on die 0, the next (with die 0 busy, 1..3 still tied) on 1.
+        h.enqueue(0, 0.0);
+        h.enqueue(0, 0.0);
+        h.try_dispatch(0.0, &mut |at, e| scheduled.push((at, e)));
+        h.enqueue(0, 0.0);
+        h.enqueue(0, 0.0);
+        h.try_dispatch(0.0, &mut |at, e| scheduled.push((at, e)));
+        let dies: Vec<usize> = scheduled
+            .iter()
+            .filter_map(|(_, e)| match e {
+                HostEvent::DieFree { die } => Some(*die),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dies, vec![0, 1], "ties break toward the lowest index");
+    }
+
+    #[test]
+    fn latencies_commit_at_completion_not_dispatch() {
+        let mut h = fresh_host(1);
+        let mut scheduled = Vec::new();
+        h.enqueue(0, 0.0);
+        h.enqueue(0, 0.5);
+        h.try_dispatch(1.0, &mut |at, e| scheduled.push((at, e)));
+        assert_eq!(h.latency_count(0), 0, "in flight, not committed");
+        assert_eq!(h.in_flight(0), 2);
+        let done = h.on_die_free(0).expect("batch completes");
+        assert_eq!(done.completions, 2);
+        assert_eq!(h.latency_count(0), 2);
+        assert_eq!(h.in_flight(0), 0);
+    }
+
+    #[test]
+    fn crash_displaces_queued_and_inflight_requests() {
+        let mut h = fresh_host(1);
+        let mut scheduled = Vec::new();
+        h.enqueue(0, 0.0);
+        h.enqueue(0, 0.1);
+        h.try_dispatch(0.2, &mut |at, e| scheduled.push((at, e)));
+        let busy_before = h.busy_ms();
+        h.enqueue(0, 0.3); // queued behind the busy die
+        let displaced = h.crash(0.4);
+        let total: usize = displaced.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, 3, "both in-flight and queued come back");
+        assert_eq!(h.latency_count(0), 0, "nothing was committed");
+        assert_eq!(h.on_die_free(0), None, "stale die-free is a no-op");
+        // The batch was dispatched at 0.2 and aborted at 0.4: only the
+        // 0.2 ms that elapsed stays on the books, and the aborted batch
+        // no longer counts as executed.
+        assert_eq!(h.slot_batches(0), 0);
+        assert_eq!(h.slot_dispatched(0), 0);
+        assert!(
+            (h.busy_ms() - 0.2).abs() < 1e-12,
+            "busy {} vs dispatched {busy_before}",
+            h.busy_ms()
+        );
+        assert_eq!(h.makespan_ms(), 0.0, "no batch ever completed");
+    }
+
+    #[test]
+    fn slow_factor_scales_service_times() {
+        let mut fast = fresh_host(1);
+        let mut slow = fresh_host(1);
+        slow.set_slow_factor(4.0);
+        let mut ends = Vec::new();
+        for h in [&mut fast, &mut slow] {
+            h.enqueue(0, 0.0);
+            h.enqueue(0, 0.0);
+            let mut got = Vec::new();
+            h.try_dispatch(0.0, &mut |at, _| got.push(at));
+            ends.push(got[0]);
+        }
+        assert!((ends[1] - 4.0 * ends[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one die")]
+    fn zero_dies_rejected() {
+        let _ = HostCore::new(0, Dispatch::LeastLoaded, 1);
+    }
+}

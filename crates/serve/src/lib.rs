@@ -6,8 +6,14 @@
 //! `tpu_platforms` demonstrate that with closed forms; this crate turns
 //! it into an actual scheduler:
 //!
-//! * [`event`] — a binary-heap event loop over simulated milliseconds:
-//!   no wall clock, no threads, bit-identical results from a seed;
+//! * [`sim`] — the extracted event core: a generic binary-heap event
+//!   queue over simulated milliseconds plus seeded RNG-stream plumbing,
+//!   shared with `tpu_cluster` (no wall clock, no threads, bit-identical
+//!   results from a seed);
+//! * [`event`] — the host-level event vocabulary instantiating [`sim`];
+//! * [`host`] — one host as an externally-clocked state machine
+//!   ([`host::HostCore`]): queues, timers, dies, committed latencies —
+//!   reused verbatim by the fleet simulator;
 //! * [`policy`] — batch formation: fixed-size, timeout-bounded
 //!   (dispatch when full *or* after `t_max` ms), and SLO-adaptive;
 //! * [`tenant`] — multi-tenant admission: the six Table 1 workloads as
@@ -51,15 +57,18 @@
 
 pub mod engine;
 pub mod event;
+pub mod host;
 pub mod policy;
 pub mod report;
 pub mod scenario;
 pub mod service;
+pub mod sim;
 pub mod tenant;
 
 pub use engine::{run, ClusterSpec, Dispatch};
+pub use host::{CompletedBatch, HostCore, HostEvent};
 pub use policy::BatchPolicy;
 pub use report::{DieReport, ServeReport, TenantReport};
 pub use scenario::{all_scenarios, scenario_by_name, Scenario, ScenarioRun};
 pub use service::ServiceCurve;
-pub use tenant::{ArrivalProcess, TenantSpec};
+pub use tenant::{ArrivalGen, ArrivalProcess, TenantSpec};

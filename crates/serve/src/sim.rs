@@ -1,0 +1,202 @@
+//! The extracted event core: a generic, deterministic discrete-event
+//! queue plus the seeded-RNG stream plumbing, shared by `tpu_serve`
+//! (one host) and `tpu_cluster` (a fleet of hosts under one clock).
+//!
+//! Everything here is deliberately free of serving semantics:
+//!
+//! * [`EventQueue`] is generic over the event payload `E`. Events pop in
+//!   `(time, sequence)` order, so simulations are bit-identical from a
+//!   seed even when events share a timestamp — `tpu_serve` instantiates
+//!   it with its host-level [`crate::event::Event`], `tpu_cluster` with
+//!   a fleet-level event that wraps per-host events;
+//! * [`stream_seed`] / [`service_seed`] derive independent RNG streams
+//!   from one master seed. Stream 0 *is* the master seed
+//!   (`stream_seed(s, 0) == s`), which is what lets a 1-host fleet
+//!   reproduce a single-host `tpu_serve` run bit for bit;
+//! * [`lognormal_multiplier`] is the shared service-jitter model
+//!   (unit-median lognormal via Box–Muller, matching
+//!   `tpu_platforms::queue_sim`). It draws from the RNG **only when**
+//!   `sigma > 0`, so deterministic (TPU-like) curves leave the stream
+//!   untouched.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Weyl-sequence increment (2^64 / φ) used to derive per-stream seeds.
+pub const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Derive the seed of an indexed RNG stream from a master seed.
+///
+/// Stream 0 is the master seed itself, so single-stream simulations
+/// (one tenant, one host) reproduce legacy seeding exactly.
+pub fn stream_seed(master: u64, stream: u64) -> u64 {
+    master.wrapping_add(stream.wrapping_mul(GOLDEN_GAMMA))
+}
+
+/// Derive the service-jitter stream for a host from its seed. XORing
+/// keeps it out of the [`stream_seed`] additive orbit.
+pub fn service_seed(host_seed: u64) -> u64 {
+    host_seed ^ 0x5bd1_e995_9e37_79b9
+}
+
+/// Unit-median lognormal multiplier via Box–Muller. `sigma <= 0.0`
+/// returns 1.0 **without advancing the RNG** — deterministic platforms
+/// must not perturb the stream shared with jittery ones.
+pub fn lognormal_multiplier(rng: &mut StdRng, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 1.0;
+    }
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z).exp()
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Scheduled<E> {
+    at_ms: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_ms == other.at_ms && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap: earlier time first, then lower sequence number.
+        // Times are finite by construction (asserted on push).
+        other
+            .at_ms
+            .partial_cmp(&self.at_ms)
+            .expect("finite event times")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list, generic over the event payload.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now_ms: f64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now_ms: 0.0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in milliseconds (the timestamp of the last
+    /// popped event).
+    pub fn now_ms(&self) -> f64 {
+        self.now_ms
+    }
+
+    /// Schedule `event` at absolute time `at_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at_ms` is not finite or lies in the simulated past.
+    pub fn schedule(&mut self, at_ms: f64, event: E) {
+        assert!(at_ms.is_finite(), "event time must be finite");
+        assert!(
+            at_ms >= self.now_ms,
+            "cannot schedule into the past: {at_ms} < {}",
+            self.now_ms
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at_ms, seq, event });
+    }
+
+    /// Pop the next event, advancing simulated time to it.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let s = self.heap.pop()?;
+        self.now_ms = s.at_ms;
+        Some((s.at_ms, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stream_zero_is_the_master_seed() {
+        assert_eq!(stream_seed(42, 0), 42);
+        assert_ne!(stream_seed(42, 1), 42);
+        assert_ne!(stream_seed(42, 1), stream_seed(42, 2));
+    }
+
+    #[test]
+    fn service_seed_leaves_the_stream_orbit() {
+        for s in 0..64u64 {
+            assert_ne!(service_seed(7), stream_seed(7, s));
+        }
+    }
+
+    #[test]
+    fn zero_sigma_jitter_is_exactly_one_and_draws_nothing() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(lognormal_multiplier(&mut a, 0.0), 1.0);
+        // The RNG state must be untouched: the next draws agree.
+        let x: f64 = a.gen_range(0.0..1.0);
+        let y: f64 = b.gen_range(0.0..1.0);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn positive_sigma_jitter_is_positive_and_seeded() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let x = lognormal_multiplier(&mut a, 0.3);
+        let y = lognormal_multiplier(&mut b, 0.3);
+        assert!(x > 0.0);
+        assert_eq!(x, y, "same seed, same jitter");
+    }
+
+    #[test]
+    fn generic_queue_pops_time_then_fifo() {
+        let mut q: EventQueue<&'static str> = EventQueue::new();
+        q.schedule(2.0, "late");
+        q.schedule(1.0, "first");
+        q.schedule(1.0, "second");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["first", "second", "late"]);
+    }
+}

@@ -9,6 +9,8 @@
 
 use crate::policy::BatchPolicy;
 use crate::service::ServiceCurve;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use tpu_core::TpuConfig;
 use tpu_nn::model::NnModel;
@@ -100,6 +102,57 @@ impl ArrivalProcess {
                 }
             }
         }
+    }
+}
+
+/// A seeded generator for one tenant's arrival stream: the inversion
+/// sampler behind both the single-host engine and the fleet front-end.
+/// Gap draws consume exactly one RNG sample each, so any embedding that
+/// schedules one arrival at a time reproduces the same stream.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    remaining: usize,
+    rng: StdRng,
+}
+
+impl ArrivalGen {
+    /// A generator for `requests` arrivals from `process`, seeded with
+    /// `seed` (derive per-tenant seeds via
+    /// [`crate::sim::stream_seed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate process or zero requests.
+    pub fn new(process: ArrivalProcess, requests: usize, seed: u64) -> Self {
+        process.validate();
+        assert!(requests > 0, "arrival stream needs at least one request");
+        ArrivalGen {
+            process,
+            remaining: requests,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draw the exponential gap to the next arrival after `now_ms`.
+    pub fn gap_ms(&mut self, now_ms: f64) -> f64 {
+        let rate = self.process.rate_at(now_ms);
+        assert!(rate > 0.0, "arrival rate must stay positive");
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        -(1000.0 / rate) * u.ln()
+    }
+
+    /// Record one delivery; returns whether more arrivals will follow
+    /// (i.e. whether the caller should draw and schedule another gap).
+    pub fn on_deliver(&mut self) -> bool {
+        debug_assert!(self.remaining > 0, "arrival after stream end");
+        self.remaining -= 1;
+        self.remaining > 0
+    }
+
+    /// Arrivals not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.remaining
     }
 }
 

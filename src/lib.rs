@@ -23,10 +23,16 @@
 //!   SLO-adaptive), priority admission of the Table 1 workloads onto a
 //!   shared die pool, and per-tenant p50/p95/p99 + utilization
 //!   reporting. Run scenarios with the `tpu_serve` binary.
+//! * [`tpu_cluster`] — the fleet above it: many hosts under one clock,
+//!   model placement with weight-memory capacity, front-end routing
+//!   (round-robin / least-outstanding / bounded consistent hash),
+//!   reactive autoscaling, and failure injection. Run scenarios with
+//!   the `tpu_cluster` binary.
 
 #![warn(missing_docs)]
 
 pub use tpu_asm;
+pub use tpu_cluster;
 pub use tpu_compiler;
 pub use tpu_core;
 pub use tpu_harness;

@@ -1,0 +1,199 @@
+//! JSON report stability: the serialized `tpu_serve` and `tpu_cluster`
+//! reports are bit-identical across runs with the same seed, and their
+//! field names form a stable schema that downstream tooling can rely
+//! on. Renaming or dropping a field fails here first.
+
+use tpu_repro::tpu_cluster::{
+    run_fleet, AutoscaleConfig, FailureEvent, FleetSpec, FleetTenantSpec, HopModel, RouterPolicy,
+};
+use tpu_repro::tpu_core::TpuConfig;
+use tpu_repro::tpu_serve::tenant::ArrivalProcess;
+use tpu_repro::tpu_serve::{run, BatchPolicy, ClusterSpec, TenantSpec};
+
+fn serve_json() -> String {
+    let cfg = TpuConfig::paper();
+    let tenants = [TenantSpec::new(
+        "MLP0",
+        ArrivalProcess::Poisson {
+            rate_rps: 100_000.0,
+        },
+        BatchPolicy::Timeout {
+            max_batch: 200,
+            t_max_ms: 2.0,
+        },
+        7.0,
+        8_000,
+    )];
+    let report = run(&ClusterSpec::new(2, 77), &tenants, &cfg);
+    report.to_json().to_string()
+}
+
+fn cluster_json() -> String {
+    let cfg = TpuConfig::paper();
+    let spec = FleetSpec::new(3, 2, 77)
+        .with_router(RouterPolicy::LeastOutstanding)
+        .with_hop(HopModel::Table5 { scale_ms: 1.0 })
+        .with_autoscale(AutoscaleConfig::reactive())
+        .with_failures(vec![
+            FailureEvent::crash(10.0, 1),
+            FailureEvent::recover(30.0, 1),
+        ]);
+    let tenants = [FleetTenantSpec::new(
+        TenantSpec::new(
+            "MLP0",
+            ArrivalProcess::Poisson {
+                rate_rps: 250_000.0,
+            },
+            BatchPolicy::Timeout {
+                max_batch: 200,
+                t_max_ms: 2.0,
+            },
+            7.0,
+            15_000,
+        ),
+        2,
+    )
+    .with_replica_bounds(1, 3)];
+    let run = run_fleet(&spec, &tenants, &cfg);
+    run.report.to_json().to_string()
+}
+
+/// Keys of a JSON `Value::Object`, for schema assertions.
+fn object_keys(v: &serde_json::Value) -> Vec<String> {
+    match v {
+        serde_json::Value::Object(m) => m.keys().cloned().collect(),
+        other => panic!("expected an object, got {other:?}"),
+    }
+}
+
+fn get<'v>(v: &'v serde_json::Value, key: &str) -> &'v serde_json::Value {
+    match v {
+        serde_json::Value::Object(m) => &m[key],
+        other => panic!("expected an object, got {other:?}"),
+    }
+}
+
+fn first(v: &serde_json::Value) -> &serde_json::Value {
+    match v {
+        serde_json::Value::Array(a) => &a[0],
+        other => panic!("expected an array, got {other:?}"),
+    }
+}
+
+#[test]
+fn serve_json_is_bit_identical_across_seeded_runs() {
+    assert_eq!(serve_json(), serve_json());
+}
+
+#[test]
+fn cluster_json_is_bit_identical_across_seeded_runs() {
+    assert_eq!(cluster_json(), cluster_json());
+}
+
+#[test]
+fn serve_json_schema_is_stable() {
+    let cfg = TpuConfig::paper();
+    let tenants = [TenantSpec::new(
+        "LSTM0",
+        ArrivalProcess::Poisson { rate_rps: 5_000.0 },
+        BatchPolicy::Fixed { batch: 16 },
+        50.0,
+        1_000,
+    )];
+    let v = run(&ClusterSpec::new(1, 3), &tenants, &cfg).to_json();
+    // Keys are sorted (BTreeMap), so the schema is the sorted name set.
+    assert_eq!(
+        object_keys(&v),
+        ["dies", "events_processed", "makespan_ms", "tenants"]
+    );
+    assert_eq!(
+        object_keys(first(get(&v, "tenants"))),
+        [
+            "batches",
+            "mean_batch",
+            "mean_ms",
+            "name",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "priority",
+            "requests",
+            "slo_attainment",
+            "slo_ms",
+            "throughput_rps",
+            "workload",
+        ]
+    );
+    assert_eq!(
+        object_keys(first(get(&v, "dies"))),
+        ["batches", "busy_ms", "utilization"]
+    );
+}
+
+#[test]
+fn cluster_json_schema_is_stable() {
+    let cfg = TpuConfig::paper();
+    let spec = FleetSpec::new(2, 1, 9);
+    let tenants = [FleetTenantSpec::new(
+        TenantSpec::new(
+            "MLP1",
+            ArrivalProcess::Poisson { rate_rps: 30_000.0 },
+            BatchPolicy::Timeout {
+                max_batch: 128,
+                t_max_ms: 2.0,
+            },
+            7.0,
+            2_000,
+        ),
+        2,
+    )];
+    let v = run_fleet(&spec, &tenants, &cfg).report.to_json();
+    assert_eq!(
+        object_keys(&v),
+        [
+            "events_processed",
+            "hosts",
+            "makespan_ms",
+            "replica_timeline",
+            "tenants",
+        ]
+    );
+    assert_eq!(
+        object_keys(first(get(&v, "tenants"))),
+        [
+            "batches",
+            "mean_batch",
+            "mean_ms",
+            "name",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "priority",
+            "replicas_final",
+            "replicas_max",
+            "replicas_min",
+            "requests",
+            "retries",
+            "slo_attainment",
+            "slo_ms",
+            "throughput_rps",
+            "workload",
+        ]
+    );
+    assert_eq!(
+        object_keys(first(get(&v, "hosts"))),
+        [
+            "batches",
+            "busy_ms",
+            "crashes",
+            "dies",
+            "host",
+            "slots",
+            "utilization",
+        ]
+    );
+    assert_eq!(
+        object_keys(first(get(&v, "replica_timeline"))),
+        ["replicas", "t_ms"]
+    );
+}
