@@ -1,0 +1,83 @@
+//! Arrival-source throughput: how many arrival timestamps per second
+//! each workload shape generates, outside any simulation. Poisson and
+//! diurnal pay one RNG draw (plus, for diurnal, a profile
+//! interpolation) per arrival; trace replay is a pure array walk. This
+//! is the floor cost of the workload layer — every request a simulation
+//! serves was generated here first, so a regression in the inversion
+//! sampler or the trace cursor taxes both engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tpu_serve::workload::{record_stream, ArrivalProcess, ArrivalSource, DiurnalProfile};
+
+const ARRIVALS: usize = 100_000;
+
+fn sources() -> Vec<(&'static str, ArrivalProcess)> {
+    vec![
+        (
+            "poisson",
+            ArrivalProcess::Poisson {
+                rate_rps: 200_000.0,
+            },
+        ),
+        (
+            "bursty",
+            ArrivalProcess::Bursty {
+                rate_rps: 200_000.0,
+                burst_factor: 3.0,
+                period_ms: 40.0,
+                duty: 0.2,
+            },
+        ),
+        (
+            "diurnal",
+            ArrivalProcess::Diurnal {
+                profile: DiurnalProfile::day_night(50_000.0, 400_000.0, 80.0),
+            },
+        ),
+    ]
+}
+
+/// Drain a source without materializing the stream (the engines' hot
+/// path: one pull per arrival event).
+fn drain(src: &mut dyn ArrivalSource) -> usize {
+    src.reset();
+    let mut now = 0.0;
+    let mut n = 0usize;
+    while let Some(t) = src.next_arrival_ms(now) {
+        now = t;
+        n += 1;
+    }
+    n
+}
+
+fn arrival_source_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_arrivals");
+    group.sample_size(10);
+    for (name, process) in sources() {
+        let mut src = process.source("bench", ARRIVALS, 42);
+        println!("workload_arrivals/{name}: {ARRIVALS} arrivals per iteration");
+        group.bench_with_input(BenchmarkId::new(name, ARRIVALS), &ARRIVALS, |b, &_n| {
+            b.iter(|| black_box(drain(src.as_mut())))
+        });
+    }
+    // Trace replay: record a diurnal stream once, then replay it.
+    let (_, diurnal) = sources().pop().expect("diurnal is last");
+    let mut recorded = diurnal.source("bench", ARRIVALS, 42);
+    let arrivals_ms = record_stream(recorded.as_mut());
+    let mut replay = ArrivalProcess::Recorded { arrivals_ms }.source("bench", ARRIVALS, 0);
+    println!("workload_arrivals/trace-replay: {ARRIVALS} arrivals per iteration");
+    group.bench_with_input(
+        BenchmarkId::new("trace-replay", ARRIVALS),
+        &ARRIVALS,
+        |b, &_n| b.iter(|| black_box(drain(replay.as_mut()))),
+    );
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = arrival_source_throughput
+}
+criterion_main!(benches);

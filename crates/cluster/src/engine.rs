@@ -28,7 +28,8 @@ use std::collections::VecDeque;
 use tpu_core::TpuConfig;
 use tpu_serve::report::percentile;
 use tpu_serve::sim::{self, EventQueue};
-use tpu_serve::{ArrivalGen, HostCore, HostEvent, ServeReport, ServiceCurve};
+use tpu_serve::workload::ArrivalSource;
+use tpu_serve::{HostCore, HostEvent, ServeReport, ServiceCurve};
 
 /// Everything that can happen in the fleet.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,7 +86,10 @@ struct TenantRt {
     spec: FleetTenantSpec,
     curve: ServiceCurve,
     hop_ms: f64,
-    gen: ArrivalGen,
+    gen: Box<dyn ArrivalSource>,
+    /// A front-end arrival has been scheduled but not yet fired (the
+    /// source counts arrivals as emitted when they are *scheduled*).
+    pending_arrival: bool,
     replicas: Vec<ReplicaRt>,
     router: RouterState,
     /// Requests routed but not yet delivered (hop in flight).
@@ -120,6 +124,12 @@ impl TenantRt {
             .iter()
             .filter(|r| r.live && r.routable && hosts[r.host].healthy)
             .count()
+    }
+
+    /// Front-end arrivals not yet delivered into a host queue: still to
+    /// be emitted by the source, or scheduled and waiting to fire.
+    fn undelivered(&self) -> usize {
+        self.gen.remaining() + self.pending_arrival as usize
     }
 }
 
@@ -204,11 +214,12 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
             TenantRt {
                 curve,
                 hop_ms: spec.hop.hop_ms(&ft.tenant.workload),
-                gen: ArrivalGen::new(
-                    ft.tenant.arrivals,
+                gen: ft.tenant.arrivals.source(
+                    &ft.tenant.name,
                     ft.tenant.requests,
                     sim::stream_seed(spec.seed, t as u64),
                 ),
+                pending_arrival: false,
                 replicas,
                 router: RouterState::new(),
                 in_hop: 0,
@@ -224,8 +235,12 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
 
     let mut q: EventQueue<FleetEvent> = EventQueue::new();
     for (t, tr) in trs.iter_mut().enumerate() {
-        let gap = tr.gen.gap_ms(0.0);
-        q.schedule(gap, FleetEvent::Arrival { tenant: t });
+        let at = tr
+            .gen
+            .next_arrival_ms(0.0)
+            .expect("a source emits at least one arrival");
+        tr.pending_arrival = true;
+        q.schedule(at, FleetEvent::Arrival { tenant: t });
     }
     for (i, f) in spec.failures.iter().enumerate() {
         q.schedule(f.at_ms, FleetEvent::Failure { index: i });
@@ -242,15 +257,16 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
         events_processed += 1;
         match event {
             FleetEvent::Arrival { tenant } => {
+                trs[tenant].pending_arrival = false;
                 let cands = trs[tenant].candidates(&hosts);
                 let picked = trs[tenant].router.pick(spec.router, tenant, &cands);
                 // Schedule the next arrival before delivering, so the
                 // zero-hop path makes schedule calls in exactly
                 // tpu_serve::run's order (next arrival, then timer
                 // re-arm inside the delivery tail).
-                if trs[tenant].gen.on_deliver() {
-                    let gap = trs[tenant].gen.gap_ms(now);
-                    q.schedule(now + gap, FleetEvent::Arrival { tenant });
+                if let Some(at) = trs[tenant].gen.next_arrival_ms(now) {
+                    trs[tenant].pending_arrival = true;
+                    q.schedule(at, FleetEvent::Arrival { tenant });
                 }
                 match picked {
                     Some(replica) => {
@@ -346,7 +362,7 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                 }
                 timeline.push(sample_now(now, &trs, &hosts));
                 let active = trs.iter().any(|tr| {
-                    tr.gen.remaining() > 0
+                    tr.undelivered() > 0
                         || tr.in_hop > 0
                         || !tr.parked.is_empty()
                         || tr.replicas.iter().any(|r| r.outstanding > 0)
@@ -419,7 +435,7 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
             tr.parked.len()
         );
         assert!(
-            tr.gen.remaining() == 0 && tr.in_hop == 0,
+            tr.undelivered() == 0 && tr.in_hop == 0,
             "tenant {t} finished with work left (engine bug)"
         );
         let served: usize = tr
@@ -570,7 +586,7 @@ fn maybe_mark_drained(
 ) -> Vec<usize> {
     let tr = &mut trs[tenant];
     if tr.drained
-        || tr.gen.remaining() > 0
+        || tr.undelivered() > 0
         || tr.in_hop > 0
         || tr.displaced_pending > 0
         || !tr.parked.is_empty()

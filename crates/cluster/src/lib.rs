@@ -24,8 +24,16 @@
 //!   utilization, and replica-count timelines, as text or JSON —
 //!   bit-identical for a fixed seed;
 //! * [`scenario`] — named experiments (`fleet-steady`,
-//!   `diurnal-autoscale`, `host-failover`, `router-shootout`,
-//!   `straggler-tail`) behind the `tpu_cluster` CLI.
+//!   `diurnal-autoscale`, `trace-replay`, `host-failover`,
+//!   `router-shootout`, `straggler-tail`) behind the `tpu_cluster` CLI.
+//!
+//! The front end draws its request streams from
+//! `tpu_serve::workload` — any [`tpu_serve::workload::ArrivalSource`]
+//! (Poisson, bursty/MMPP, piecewise-linear diurnal, recorded-trace
+//! replay) plugs into the fleet, and any scenario's streams can be
+//! recorded to a versioned `tpu-trace` file (`tpu_cluster trace
+//! record`) and replayed bit-identically here or through `tpu_serve`
+//! (`--trace`).
 //!
 //! The anchor invariant: a 1-host, 1-replica fleet with zero-cost hops
 //! replays `tpu_serve::run`'s event sequence **exactly** — same seed

@@ -18,6 +18,7 @@ use crate::fleet::{FleetSpec, FleetTenantSpec, HopModel};
 use crate::route::RouterPolicy;
 use tpu_core::TpuConfig;
 use tpu_serve::tenant::ArrivalProcess;
+use tpu_serve::workload::{DiurnalProfile, Trace};
 use tpu_serve::{BatchPolicy, TenantSpec};
 
 /// One concrete run within a scenario.
@@ -64,12 +65,58 @@ impl FleetScenario {
     /// Failure and autoscaler times are left alone; note that failure
     /// events are pre-scheduled and still fire (appearing in crash
     /// counts and on the timeline) even when a heavily scaled run
-    /// serves its last request before they strike.
+    /// serves its last request before they strike. Tenants replaying an
+    /// inline recording are capped at the recording's length (they
+    /// replay a prefix; there is nothing to scale up into).
     pub fn scale_requests(mut self, factor: f64) -> Self {
         assert!(factor > 0.0, "scale must be positive");
         for r in &mut self.runs {
             for t in &mut r.tenants {
-                t.tenant.requests = ((t.tenant.requests as f64 * factor).round() as usize).max(1);
+                t.tenant.scale_requests(factor);
+            }
+        }
+        self
+    }
+
+    /// Record the arrival streams of one run — by label, or the first
+    /// run when `run_label` is `None` — without simulating (the streams
+    /// are a pure function of the tenant specs and the fleet seed; see
+    /// `tpu_serve::workload`). The CLI's `trace record` writes the
+    /// result to disk, and the same file replays through `tpu_serve`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown run label.
+    pub fn record_trace(&self, run_label: Option<&str>) -> Trace {
+        let run = match run_label {
+            None => &self.runs[0],
+            Some(l) => self
+                .runs
+                .iter()
+                .find(|r| r.label == l)
+                .unwrap_or_else(|| panic!("scenario {} has no run {l:?}", self.name)),
+        };
+        let tenants: Vec<TenantSpec> = run.tenants.iter().map(|t| t.tenant.clone()).collect();
+        Trace::record(
+            &tenants,
+            run.spec.seed,
+            &format!("{}/{}", self.name, run.label),
+        )
+    }
+
+    /// Drive every run's tenants from a recorded trace (CLI `--trace`):
+    /// each tenant replays its recorded stream, matched by name, with
+    /// its request count capped at the stream length (a scaled-down
+    /// scenario replays a prefix — see `Trace::apply`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace lacks one of the scenario's tenants
+    /// (pre-check with `Trace::covers`).
+    pub fn with_trace(mut self, trace: &Trace) -> Self {
+        for r in &mut self.runs {
+            for t in &mut r.tenants {
+                trace.apply(std::slice::from_mut(&mut t.tenant));
             }
         }
         self
@@ -126,17 +173,15 @@ fn fleet_steady() -> FleetScenario {
     }
 }
 
-/// Diurnal load on an autoscaled fleet: MLP0 swings between a 3× burst
-/// phase and a trickle; the reactive controller grows the replica set
-/// into the burst and drains it back during the lull.
+/// Diurnal load on an autoscaled fleet: MLP0 rides a true piecewise-
+/// linear day/night rate curve (trough 100k rps, peak 900k rps over an
+/// 80 ms "day"); the reactive controller grows the replica set into the
+/// peak and drains it back through the trough.
 fn diurnal_autoscale() -> FleetScenario {
     let tenant = TenantSpec::new(
         "MLP0",
-        ArrivalProcess::Bursty {
-            rate_rps: 500_000.0,
-            burst_factor: 3.0,
-            period_ms: 80.0,
-            duty: 0.3,
+        ArrivalProcess::Diurnal {
+            profile: DiurnalProfile::day_night(100_000.0, 900_000.0, 80.0),
         },
         BatchPolicy::Timeout {
             max_batch: 200,
@@ -156,12 +201,91 @@ fn diurnal_autoscale() -> FleetScenario {
         });
     FleetScenario {
         name: "diurnal-autoscale",
-        description: "bursty MLP0 on 8 hosts: reactive replica scaling, 2..8 replicas",
+        description: "diurnal MLP0 (100k..900k rps) on 8 hosts: reactive scaling, 2..8 replicas",
         runs: vec![FleetScenarioRun {
             label: "diurnal".into(),
             spec,
             tenants: vec![FleetTenantSpec::new(tenant, 3).with_replica_bounds(2, 8)],
         }],
+    }
+}
+
+/// Trace record/replay, end to end: a diurnal MLP0 plus a bursty LSTM0
+/// drive a 4-host fleet; the `replay` run feeds the *recorded* arrival
+/// streams of the `synthetic` run back through the front end and must
+/// reproduce its report bit for bit (the integration tests pin it).
+///
+/// `--seed` re-seeds only the service-jitter streams and the synthetic
+/// run's arrivals — the replay run keeps the arrivals recorded at
+/// construction (seed 42), so the two runs match only at the default
+/// seed.
+fn trace_replay() -> FleetScenario {
+    let spec = || {
+        FleetSpec::new(4, 2, 42)
+            .with_router(RouterPolicy::LeastOutstanding)
+            .with_hop(HopModel::Table5 { scale_ms: 1.0 })
+    };
+    let tenants = vec![
+        FleetTenantSpec::new(
+            TenantSpec::new(
+                "MLP0",
+                ArrivalProcess::Diurnal {
+                    profile: DiurnalProfile::day_night(100_000.0, 500_000.0, 60.0),
+                },
+                BatchPolicy::Timeout {
+                    max_batch: 200,
+                    t_max_ms: 2.0,
+                },
+                7.0,
+                40_000,
+            )
+            .with_priority(3),
+            3,
+        ),
+        FleetTenantSpec::new(
+            TenantSpec::new(
+                "LSTM0",
+                ArrivalProcess::Bursty {
+                    rate_rps: 30_000.0,
+                    burst_factor: 3.0,
+                    period_ms: 30.0,
+                    duty: 0.25,
+                },
+                BatchPolicy::Timeout {
+                    max_batch: 64,
+                    t_max_ms: 5.0,
+                },
+                50.0,
+                6_000,
+            )
+            .with_priority(2),
+            2,
+        ),
+    ];
+    let synthetic = FleetScenarioRun {
+        label: "synthetic".into(),
+        spec: spec(),
+        tenants: tenants.clone(),
+    };
+    // Record the synthetic streams (a pure function of specs + seed)
+    // and embed them inline for the replay run.
+    let specs: Vec<TenantSpec> = tenants.iter().map(|t| t.tenant.clone()).collect();
+    let trace = Trace::record(&specs, synthetic.spec.seed, "trace-replay/synthetic");
+    let mut replay_tenants = tenants;
+    for t in &mut replay_tenants {
+        trace.apply(std::slice::from_mut(&mut t.tenant));
+    }
+    FleetScenario {
+        name: "trace-replay",
+        description: "diurnal+bursty mix on 4 hosts: synthetic run vs bit-identical trace replay",
+        runs: vec![
+            synthetic,
+            FleetScenarioRun {
+                label: "replay".into(),
+                spec: spec(),
+                tenants: replay_tenants,
+            },
+        ],
     }
 }
 
@@ -275,6 +399,7 @@ pub fn all_scenarios() -> Vec<FleetScenario> {
     vec![
         fleet_steady(),
         diurnal_autoscale(),
+        trace_replay(),
         host_failover(),
         router_shootout(),
         straggler_tail(),
@@ -309,6 +434,38 @@ mod tests {
             assert_eq!(r.spec.seed, 7);
             assert_eq!(r.tenants[0].tenant.requests, 1_000);
         }
+    }
+
+    #[test]
+    fn scaling_up_clamps_recorded_replays_instead_of_panicking() {
+        let s = scenario_by_name("trace-replay")
+            .unwrap()
+            .scale_requests(2.0);
+        let synth = &s.runs[0].tenants[0].tenant;
+        let replay = &s.runs[1].tenants[0].tenant;
+        assert_eq!(synth.requests, 80_000, "synthetic tenants scale freely");
+        assert_eq!(replay.requests, 40_000, "replays cap at the recording");
+    }
+
+    #[test]
+    fn trace_replay_scenario_reproduces_its_synthetic_run_bit_for_bit() {
+        let cfg = TpuConfig::paper();
+        let s = scenario_by_name("trace-replay")
+            .unwrap()
+            .scale_requests(0.1);
+        let runs = s.execute(&cfg);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].0, "synthetic");
+        assert_eq!(runs[1].0, "replay");
+        assert_eq!(
+            format!("{}", runs[0].1.report),
+            format!("{}", runs[1].1.report),
+            "replaying the recorded streams must reproduce the synthetic report"
+        );
+        assert_eq!(
+            runs[0].1.report.to_json().to_string(),
+            runs[1].1.report.to_json().to_string()
+        );
     }
 
     #[test]

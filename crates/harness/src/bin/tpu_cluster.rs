@@ -1,23 +1,30 @@
 //! `tpu_cluster` — run named fleet-level serving scenarios (replication,
 //! routing, autoscaling, failure injection) and report per-tenant tails,
-//! SLO attainment, per-host utilization, and replica timelines.
+//! SLO attainment, per-host utilization, and replica timelines. Any
+//! scenario's arrival streams can be recorded to a versioned `tpu-trace`
+//! file and replayed — through this CLI or through `tpu_serve` —
+//! bit-identically.
 //!
 //! ```text
 //! tpu_cluster list
-//! tpu_cluster run <scenario> [--seed N] [--requests-scale F] [--json]
+//! tpu_cluster run <scenario> [--seed N] [--requests-scale F] [--json] [--trace FILE]
 //! tpu_cluster run --all [--json]
+//! tpu_cluster trace record <scenario> --out FILE [--run LABEL] [--seed N] [--requests-scale F]
 //! ```
 //!
-//! Exit codes: 0 success, 1 unknown scenario, 2 usage.
+//! Exit codes: 0 success, 1 unknown scenario or bad trace, 2 usage.
 
 use std::process::ExitCode;
 use tpu_cluster::{all_scenarios, scenario_by_name, FleetScenario};
 use tpu_core::TpuConfig;
+use tpu_serve::workload::Trace;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: tpu_cluster list\n       tpu_cluster run <scenario>|--all \
-         [--seed N] [--requests-scale F] [--json]"
+         [--seed N] [--requests-scale F] [--json] [--trace FILE]\n       \
+         tpu_cluster trace record <scenario> --out FILE [--run LABEL] \
+         [--seed N] [--requests-scale F]"
     );
     ExitCode::from(2)
 }
@@ -32,16 +39,26 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => run_command(&args[1..]),
+        Some("trace") if args.get(1).map(String::as_str) == Some("record") => {
+            record_command(&args[2..])
+        }
         _ => usage(),
     }
 }
 
+/// Shared `run`/`trace record` flag set.
+#[derive(Default)]
+struct CommonArgs {
+    name: Option<String>,
+    seed: Option<u64>,
+    scale: Option<f64>,
+}
+
 fn run_command(args: &[String]) -> ExitCode {
-    let mut name: Option<&str> = None;
+    let mut common = CommonArgs::default();
     let mut run_all = false;
-    let mut seed: Option<u64> = None;
-    let mut scale: Option<f64> = None;
     let mut json = false;
+    let mut trace_path: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -49,14 +66,20 @@ fn run_command(args: &[String]) -> ExitCode {
             "--all" => run_all = true,
             "--json" => json = true,
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => seed = Some(v),
+                Some(v) => common.seed = Some(v),
                 None => return usage(),
             },
             "--requests-scale" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) if v > 0.0 => scale = Some(v),
+                Some(v) if v > 0.0 => common.scale = Some(v),
                 _ => return usage(),
             },
-            other if !other.starts_with('-') && name.is_none() => name = Some(other),
+            "--trace" => match it.next() {
+                Some(v) => trace_path = Some(v.clone()),
+                None => return usage(),
+            },
+            other if !other.starts_with('-') && common.name.is_none() => {
+                common.name = Some(other.to_string())
+            }
             _ => return usage(),
         }
     }
@@ -64,7 +87,9 @@ fn run_command(args: &[String]) -> ExitCode {
     let scenarios: Vec<FleetScenario> = if run_all {
         all_scenarios()
     } else {
-        let Some(n) = name else { return usage() };
+        let Some(n) = common.name.as_deref() else {
+            return usage();
+        };
         match scenario_by_name(n) {
             Some(s) => vec![s],
             None => {
@@ -74,13 +99,38 @@ fn run_command(args: &[String]) -> ExitCode {
         }
     };
 
+    let trace = match trace_path.as_deref().map(Trace::load) {
+        None => None,
+        Some(Ok(t)) => Some(t),
+        Some(Err(e)) => {
+            eprintln!("tpu_cluster: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(t) = &trace {
+        for s in &scenarios {
+            for r in &s.runs {
+                if let Err(e) = t.covers(r.tenants.iter().map(|x| x.tenant.name.as_str())) {
+                    eprintln!("tpu_cluster: scenario {}: {e}", s.name);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
     let cfg = TpuConfig::paper();
     for mut s in scenarios {
-        if let Some(seed) = seed {
+        if let Some(seed) = common.seed {
             s = s.with_seed(seed);
         }
-        if let Some(f) = scale {
+        if let Some(f) = common.scale {
             s = s.scale_requests(f);
+        }
+        // The trace applies last: it caps each tenant's request count
+        // at its recorded stream length, so a scaled-down run replays
+        // a prefix of the recording.
+        if let Some(t) = &trace {
+            s = s.with_trace(t);
         }
         println!("== {} — {}", s.name, s.description);
         for (label, run) in s.execute(&cfg) {
@@ -93,5 +143,70 @@ fn run_command(args: &[String]) -> ExitCode {
         }
         println!();
     }
+    ExitCode::SUCCESS
+}
+
+fn record_command(args: &[String]) -> ExitCode {
+    let mut common = CommonArgs::default();
+    let mut out: Option<String> = None;
+    let mut run_label: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => return usage(),
+            },
+            "--run" => match it.next() {
+                Some(v) => run_label = Some(v.clone()),
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => common.seed = Some(v),
+                None => return usage(),
+            },
+            "--requests-scale" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0.0 => common.scale = Some(v),
+                _ => return usage(),
+            },
+            other if !other.starts_with('-') && common.name.is_none() => {
+                common.name = Some(other.to_string())
+            }
+            _ => return usage(),
+        }
+    }
+
+    let (Some(n), Some(out)) = (common.name.as_deref(), out) else {
+        return usage();
+    };
+    let Some(mut s) = scenario_by_name(n) else {
+        eprintln!("tpu_cluster: unknown scenario {n:?}; try `tpu_cluster list`");
+        return ExitCode::FAILURE;
+    };
+    if let Some(l) = run_label.as_deref() {
+        if !s.runs.iter().any(|r| r.label == l) {
+            let labels: Vec<&str> = s.runs.iter().map(|r| r.label.as_str()).collect();
+            eprintln!("tpu_cluster: scenario {n} has no run {l:?}; it has {labels:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(seed) = common.seed {
+        s = s.with_seed(seed);
+    }
+    if let Some(f) = common.scale {
+        s = s.scale_requests(f);
+    }
+    let trace = s.record_trace(run_label.as_deref());
+    if let Err(e) = trace.save(&out) {
+        eprintln!("tpu_cluster: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "recorded {} arrivals across {} tenants ({}) to {out}",
+        trace.total_arrivals(),
+        trace.tenants.len(),
+        trace.source
+    );
     ExitCode::SUCCESS
 }

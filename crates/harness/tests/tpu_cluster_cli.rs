@@ -1,6 +1,8 @@
 //! End-to-end tests of the `tpu_cluster` binary: scenario listing,
-//! seeded runs, JSON output, and exit codes for bad input.
+//! seeded runs, JSON output, trace record/replay (including replay
+//! through `tpu_serve`), and exit codes for bad input.
 
+use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn run(args: &[&str]) -> Output {
@@ -8,6 +10,33 @@ fn run(args: &[&str]) -> Output {
         .args(args)
         .output()
         .expect("binary runs")
+}
+
+fn run_serve(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tpu_serve"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+/// A per-test temp path that cleans up on drop.
+struct TempFile(PathBuf);
+
+impl TempFile {
+    fn new(name: &str) -> Self {
+        let path =
+            std::env::temp_dir().join(format!("tpu_cluster_cli_{}_{name}", std::process::id()));
+        TempFile(path)
+    }
+    fn as_str(&self) -> &str {
+        self.0.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
 }
 
 #[test]
@@ -18,6 +47,7 @@ fn list_names_every_scenario() {
     for name in [
         "fleet-steady",
         "diurnal-autoscale",
+        "trace-replay",
         "host-failover",
         "router-shootout",
         "straggler-tail",
@@ -69,6 +99,128 @@ fn json_output_is_json_and_seed_is_respected() {
         String::from_utf8_lossy(&other.stdout),
         "a different seed must change the report"
     );
+}
+
+#[test]
+fn recorded_trace_replays_bit_identically() {
+    let trace = TempFile::new("fleet_steady.trace.json");
+    let rec = run(&[
+        "trace",
+        "record",
+        "fleet-steady",
+        "--requests-scale",
+        "0.02",
+        "--out",
+        trace.as_str(),
+    ]);
+    assert!(
+        rec.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&rec.stderr)
+    );
+    assert!(String::from_utf8_lossy(&rec.stdout).contains("recorded"));
+
+    let synthetic = run(&["run", "fleet-steady", "--requests-scale", "0.02", "--json"]);
+    let replay = run(&[
+        "run",
+        "fleet-steady",
+        "--requests-scale",
+        "0.02",
+        "--json",
+        "--trace",
+        trace.as_str(),
+    ]);
+    assert!(synthetic.status.success() && replay.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&synthetic.stdout),
+        String::from_utf8_lossy(&replay.stdout),
+        "replaying the recorded streams must reproduce the synthetic report"
+    );
+}
+
+#[test]
+fn a_cluster_trace_replays_through_tpu_serve() {
+    // Record the fleet scenario's streams, then feed MLP0's recording
+    // into the single-host simulator: the same trace file drives both.
+    let trace = TempFile::new("cross.trace.json");
+    let rec = run(&[
+        "trace",
+        "record",
+        "fleet-steady",
+        "--requests-scale",
+        "0.01",
+        "--out",
+        trace.as_str(),
+    ]);
+    assert!(rec.status.success());
+
+    let args = ["run", "mlp0-burst", "--json", "--trace", trace.as_str()];
+    let a = run_serve(&args);
+    assert!(
+        a.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&a.stderr)
+    );
+    let b = run_serve(&args);
+    assert_eq!(
+        String::from_utf8_lossy(&a.stdout),
+        String::from_utf8_lossy(&b.stdout),
+        "trace-driven runs are deterministic"
+    );
+    // Both runs of the scenario replay the same 600-request recording.
+    assert!(
+        String::from_utf8_lossy(&a.stdout).contains("\"requests\": 600"),
+        "requests pinned to the trace length:\n{}",
+        String::from_utf8_lossy(&a.stdout)
+    );
+}
+
+#[test]
+fn missing_trace_file_fails_with_exit_one() {
+    let out = run(&[
+        "run",
+        "fleet-steady",
+        "--trace",
+        "/nonexistent/nope.trace.json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read trace"));
+}
+
+#[test]
+fn trace_missing_a_scenario_tenant_fails_with_exit_one() {
+    // fleet-steady's trace carries MLP0/LSTM0/CNN0; mixed-tenants (via
+    // tpu_serve) also needs MLP1, LSTM1, CNN1 — a friendly error, not a
+    // panic.
+    let trace = TempFile::new("partial.trace.json");
+    let rec = run(&[
+        "trace",
+        "record",
+        "fleet-steady",
+        "--requests-scale",
+        "0.01",
+        "--out",
+        trace.as_str(),
+    ]);
+    assert!(rec.status.success());
+    let out = run_serve(&["run", "mixed-tenants", "--trace", trace.as_str()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("has no tenant"));
+}
+
+#[test]
+fn unknown_record_run_label_fails_with_exit_one() {
+    let out = run(&[
+        "trace",
+        "record",
+        "trace-replay",
+        "--run",
+        "typo",
+        "--out",
+        "/tmp/should_not_exist.trace.json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("has no run"));
 }
 
 #[test]

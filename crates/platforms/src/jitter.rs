@@ -1,0 +1,87 @@
+//! The shared service-time jitter model.
+//!
+//! The paper's serving argument hinges on execution-time variance: "the
+//! TPU's deterministic execution model is a better match to the
+//! 99th-percentile response-time requirement ... than the time-varying
+//! optimizations of CPUs and GPUs". Both serving simulators model that
+//! variance the same way — a unit-median lognormal multiplier on each
+//! batch's service time — and both must draw it *identically* so a
+//! single-tenant `tpu_serve` run reproduces [`crate::queue_sim`] bit
+//! for bit. This module is the one copy of that sampler; `queue_sim`
+//! and `tpu_serve::sim` both delegate here.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Unit-median lognormal multiplier via Box–Muller. `sigma <= 0.0`
+/// returns 1.0 **without advancing the RNG** — deterministic (TPU-like)
+/// platforms must not perturb a stream shared with jittery ones.
+pub fn lognormal_multiplier(rng: &mut StdRng, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 1.0;
+    }
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Parity pin: the shared sampler must reproduce the historical
+    /// inline Box–Muller (previously duplicated in `queue_sim` and
+    /// `tpu_serve::sim`) draw for draw, so extracting it changed no
+    /// simulation output.
+    #[test]
+    fn matches_the_legacy_inline_box_muller_exactly() {
+        let legacy = |rng: &mut StdRng, sigma: f64| -> f64 {
+            if sigma <= 0.0 {
+                return 1.0;
+            }
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (sigma * z).exp()
+        };
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            for i in 0..256 {
+                let sigma = if i % 3 == 0 {
+                    0.0
+                } else {
+                    0.05 * (i % 7) as f64
+                };
+                let x = lognormal_multiplier(&mut a, sigma);
+                let y = legacy(&mut b, sigma);
+                assert_eq!(x.to_bits(), y.to_bits(), "seed {seed} draw {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_sigma_is_one_and_leaves_the_stream_untouched() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(lognormal_multiplier(&mut a, 0.0), 1.0);
+        let x: f64 = a.gen_range(0.0..1.0);
+        let y: f64 = b.gen_range(0.0..1.0);
+        assert_eq!(x, y, "sigma 0 must not advance the RNG");
+    }
+
+    #[test]
+    fn unit_median_and_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws: Vec<f64> = (0..10_001)
+            .map(|_| lognormal_multiplier(&mut rng, 0.3))
+            .collect();
+        assert!(draws.iter().all(|&x| x > 0.0));
+        let mut sorted = draws.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!((median - 1.0).abs() < 0.05, "median {median}");
+    }
+}

@@ -24,6 +24,7 @@ pub mod achieved;
 pub mod batching;
 pub mod boost;
 pub mod host;
+pub mod jitter;
 pub mod latency;
 pub mod queue_sim;
 pub mod roofline;

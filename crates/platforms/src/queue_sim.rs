@@ -95,15 +95,7 @@ pub fn simulate(cfg: &QueueSimConfig) -> QueueSimResult {
         // server is free.
         let ready = *chunk.last().expect("nonempty chunk");
         let start = ready.max(server_free);
-        let jitter = if cfg.service_jitter_sigma > 0.0 {
-            // Lognormal multiplier with unit median via Box-Muller.
-            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-            (cfg.service_jitter_sigma * z).exp()
-        } else {
-            1.0
-        };
+        let jitter = crate::jitter::lognormal_multiplier(&mut rng, cfg.service_jitter_sigma);
         let service = (cfg.service_t0_ms + cfg.service_t1_ms * chunk.len() as f64) * jitter;
         let end = start + service;
         server_free = end;

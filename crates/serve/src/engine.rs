@@ -12,19 +12,23 @@
 //! Since the fleet refactor, this module is a thin orchestration layer:
 //! the host state machine lives in [`crate::host::HostCore`], the event
 //! queue in [`crate::sim`], and arrival generation in
-//! [`crate::tenant::ArrivalGen`]. `run` wires one host to its own queue
-//! and locally-generated arrivals; `tpu_cluster::run_fleet` wires many
-//! hosts to one shared queue with front-end routing. Everything is
-//! deterministic from [`ClusterSpec::seed`]: arrival streams are
-//! per-tenant seeded RNGs (stream `i` = [`crate::sim::stream_seed`] of
-//! the master seed), ties in the event queue break by schedule order,
-//! and die selection is a pure function of engine state.
+//! [`crate::workload`] — the engine pulls timestamps from a boxed
+//! [`ArrivalSource`] per tenant and never looks at the stream's shape
+//! (Poisson, bursty, diurnal, or trace replay all plug in). `run` wires
+//! one host to its own queue and locally-generated arrivals;
+//! `tpu_cluster::run_fleet` wires many hosts to one shared queue with
+//! front-end routing. Everything is deterministic from
+//! [`ClusterSpec::seed`]: arrival streams are per-tenant seeded RNGs
+//! (stream `i` = [`crate::sim::stream_seed`] of the master seed), ties
+//! in the event queue break by schedule order, and die selection is a
+//! pure function of engine state.
 
 use crate::event::{Event, EventQueue};
 use crate::host::{HostCore, HostEvent};
 use crate::report::ServeReport;
 use crate::sim;
-use crate::tenant::{ArrivalGen, TenantSpec};
+use crate::tenant::TenantSpec;
+use crate::workload::ArrivalSource;
 use serde::{Deserialize, Serialize};
 use tpu_core::TpuConfig;
 pub use tpu_platforms::server::Dispatch;
@@ -80,7 +84,7 @@ pub fn run(cluster: &ClusterSpec, tenants: &[TenantSpec], cfg: &TpuConfig) -> Se
     assert!(!tenants.is_empty(), "need at least one tenant");
 
     let mut host = HostCore::new(cluster.dies, cluster.dispatch, cluster.seed);
-    let mut gens: Vec<ArrivalGen> = tenants
+    let mut sources: Vec<Box<dyn ArrivalSource>> = tenants
         .iter()
         .enumerate()
         .map(|(i, spec)| {
@@ -88,8 +92,8 @@ pub fn run(cluster: &ClusterSpec, tenants: &[TenantSpec], cfg: &TpuConfig) -> Se
             host.add_slot(spec.clone(), spec.effective_curve(cfg));
             // Tenant 0 shares the master seed so a single-tenant run
             // reproduces queue_sim's arrival stream bit for bit.
-            ArrivalGen::new(
-                spec.arrivals,
+            spec.arrivals.source(
+                &spec.name,
                 spec.requests,
                 sim::stream_seed(cluster.seed, i as u64),
             )
@@ -97,9 +101,11 @@ pub fn run(cluster: &ClusterSpec, tenants: &[TenantSpec], cfg: &TpuConfig) -> Se
         .collect();
 
     let mut q = EventQueue::new();
-    for (i, g) in gens.iter_mut().enumerate() {
-        let gap = g.gap_ms(0.0);
-        q.schedule(gap, Event::Arrival { tenant: i });
+    for (i, s) in sources.iter_mut().enumerate() {
+        let at = s
+            .next_arrival_ms(0.0)
+            .expect("a source emits at least one arrival");
+        q.schedule(at, Event::Arrival { tenant: i });
     }
 
     let mut events_processed = 0u64;
@@ -108,11 +114,9 @@ pub fn run(cluster: &ClusterSpec, tenants: &[TenantSpec], cfg: &TpuConfig) -> Se
         match event {
             Event::Arrival { tenant } => {
                 host.enqueue(tenant, now);
-                if gens[tenant].on_deliver() {
-                    let gap = gens[tenant].gap_ms(now);
-                    q.schedule(now + gap, Event::Arrival { tenant });
-                } else {
-                    host.set_draining(tenant, true);
+                match sources[tenant].next_arrival_ms(now) {
+                    Some(at) => q.schedule(at, Event::Arrival { tenant }),
+                    None => host.set_draining(tenant, true),
                 }
                 host.after_arrival(tenant, now, &mut |at, e| q.schedule(at, e.into()));
             }
@@ -131,9 +135,9 @@ pub fn run(cluster: &ClusterSpec, tenants: &[TenantSpec], cfg: &TpuConfig) -> Se
         host.try_dispatch(now, &mut |at, e| q.schedule(at, e.into()));
     }
 
-    for (i, g) in gens.iter().enumerate() {
+    for (i, s) in sources.iter().enumerate() {
         assert!(
-            g.remaining() == 0 && host.outstanding(i) == 0,
+            s.remaining() == 0 && host.outstanding(i) == 0,
             "tenant {i} finished with work left (engine bug)"
         );
         assert_eq!(

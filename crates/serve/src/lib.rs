@@ -19,6 +19,11 @@
 //! * [`tenant`] — multi-tenant admission: the six Table 1 workloads as
 //!   tenants with per-tenant arrival processes, priorities, and latency
 //!   targets;
+//! * [`workload`] — the pluggable arrival layer: a trait-based
+//!   [`workload::ArrivalSource`] (seeded, deterministic, resettable)
+//!   with Poisson, bursty/MMPP, piecewise-linear diurnal, and
+//!   file-backed trace-replay implementations, plus the versioned
+//!   `tpu-trace` record/replay format shared with `tpu_cluster`;
 //! * [`service`] — per-batch service times calibrated from the Section 7
 //!   analytic model and Table 5 host overheads, not hardcoded constants;
 //! * [`engine`] — the scheduler itself: policy-driven batch formation,
@@ -64,6 +69,7 @@ pub mod scenario;
 pub mod service;
 pub mod sim;
 pub mod tenant;
+pub mod workload;
 
 pub use engine::{run, ClusterSpec, Dispatch};
 pub use host::{CompletedBatch, HostCore, HostEvent};
@@ -71,4 +77,5 @@ pub use policy::BatchPolicy;
 pub use report::{DieReport, ServeReport, TenantReport};
 pub use scenario::{all_scenarios, scenario_by_name, Scenario, ScenarioRun};
 pub use service::ServiceCurve;
-pub use tenant::{ArrivalGen, ArrivalProcess, TenantSpec};
+pub use tenant::{ArrivalProcess, TenantSpec};
+pub use workload::{ArrivalSource, DiurnalProfile, Trace, TraceTenant};

@@ -15,6 +15,7 @@ use crate::policy::BatchPolicy;
 use crate::report::ServeReport;
 use crate::service::ServiceCurve;
 use crate::tenant::{ArrivalProcess, TenantSpec};
+use crate::workload::Trace;
 use tpu_core::TpuConfig;
 
 /// One concrete run within a scenario.
@@ -58,12 +59,55 @@ impl Scenario {
 
     /// Scale every tenant's request count by `factor` (CLI
     /// `--requests-scale`), keeping at least one request per tenant.
+    /// Tenants replaying an inline recording are capped at the
+    /// recording's length (they replay a prefix; there is nothing to
+    /// scale up into).
     pub fn scale_requests(mut self, factor: f64) -> Self {
         assert!(factor > 0.0, "scale must be positive");
         for r in &mut self.runs {
             for t in &mut r.tenants {
-                t.requests = ((t.requests as f64 * factor).round() as usize).max(1);
+                t.scale_requests(factor);
             }
+        }
+        self
+    }
+
+    /// Record the arrival streams of one run — by label, or the first
+    /// run when `run_label` is `None` — without simulating (see
+    /// [`crate::workload::record_stream`]). The CLI's `trace record`
+    /// writes the result to disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown run label.
+    pub fn record_trace(&self, run_label: Option<&str>) -> Trace {
+        let run = match run_label {
+            None => &self.runs[0],
+            Some(l) => self
+                .runs
+                .iter()
+                .find(|r| r.label == l)
+                .unwrap_or_else(|| panic!("scenario {} has no run {l:?}", self.name)),
+        };
+        Trace::record(
+            &run.tenants,
+            run.cluster.seed,
+            &format!("{}/{}", self.name, run.label),
+        )
+    }
+
+    /// Drive every run's tenants from a recorded trace (CLI `--trace`):
+    /// each tenant replays its recorded stream, matched by name, with
+    /// its request count capped at the stream length (a scaled-down
+    /// scenario replays a prefix — see [`Trace::apply`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace lacks one of the scenario's tenants
+    /// (pre-check with [`Trace::covers`]).
+    pub fn with_trace(mut self, trace: &Trace) -> Self {
+        for r in &mut self.runs {
+            trace.apply(&mut r.tenants);
         }
         self
     }

@@ -13,16 +13,15 @@
 //!   from one master seed. Stream 0 *is* the master seed
 //!   (`stream_seed(s, 0) == s`), which is what lets a 1-host fleet
 //!   reproduce a single-host `tpu_serve` run bit for bit;
-//! * [`lognormal_multiplier`] is the shared service-jitter model
-//!   (unit-median lognormal via Box–Muller, matching
-//!   `tpu_platforms::queue_sim`). It draws from the RNG **only when**
-//!   `sigma > 0`, so deterministic (TPU-like) curves leave the stream
-//!   untouched.
+//! * [`lognormal_multiplier`] is the shared service-jitter model — a
+//!   re-export of [`tpu_platforms::jitter::lognormal_multiplier`], the
+//!   single Box–Muller sampler both `queue_sim` and this engine draw
+//!   from. It draws from the RNG **only when** `sigma > 0`, so
+//!   deterministic (TPU-like) curves leave the stream untouched.
 
-use rand::rngs::StdRng;
-use rand::Rng;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+pub use tpu_platforms::jitter::lognormal_multiplier;
 
 /// Weyl-sequence increment (2^64 / φ) used to derive per-stream seeds.
 pub const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
@@ -39,19 +38,6 @@ pub fn stream_seed(master: u64, stream: u64) -> u64 {
 /// keeps it out of the [`stream_seed`] additive orbit.
 pub fn service_seed(host_seed: u64) -> u64 {
     host_seed ^ 0x5bd1_e995_9e37_79b9
-}
-
-/// Unit-median lognormal multiplier via Box–Muller. `sigma <= 0.0`
-/// returns 1.0 **without advancing the RNG** — deterministic platforms
-/// must not perturb the stream shared with jittery ones.
-pub fn lognormal_multiplier(rng: &mut StdRng, sigma: f64) -> f64 {
-    if sigma <= 0.0 {
-        return 1.0;
-    }
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-    (sigma * z).exp()
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -153,7 +139,8 @@ impl<E> EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn stream_zero_is_the_master_seed() {

@@ -6,165 +6,31 @@
 //! priority, and a latency target. The engine admits any number of
 //! tenants onto a shared die pool; ties for a free die break by priority
 //! (higher first), then by the oldest waiting request.
+//!
+//! The *shape* of a tenant's request stream lives in
+//! [`crate::workload`]: [`ArrivalProcess`] (re-exported here) describes
+//! it, and [`ArrivalProcess::source`] instantiates the
+//! [`crate::workload::ArrivalSource`] the engines pull arrivals from.
 
 use crate::policy::BatchPolicy;
 use crate::service::ServiceCurve;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use tpu_core::TpuConfig;
 use tpu_nn::model::NnModel;
 use tpu_nn::workloads;
 
-/// The shape of a tenant's request stream.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum ArrivalProcess {
-    /// Stationary Poisson arrivals at `rate_rps` requests/second.
-    Poisson {
-        /// Mean offered load, requests per second.
-        rate_rps: f64,
-    },
-    /// An on/off modulated Poisson process: `burst_factor`× the base
-    /// rate for the first `duty` fraction of every `period_ms` window,
-    /// and a complementary trickle for the rest (the mean stays
-    /// `rate_rps`).
-    Bursty {
-        /// Mean offered load, requests per second.
-        rate_rps: f64,
-        /// Rate multiplier during the on-phase (> 1).
-        burst_factor: f64,
-        /// Length of one on/off cycle, ms.
-        period_ms: f64,
-        /// Fraction of the period spent in the on-phase (0, 1).
-        duty: f64,
-    },
-}
-
-impl ArrivalProcess {
-    /// Mean offered load, requests per second.
-    pub fn mean_rate_rps(&self) -> f64 {
-        match *self {
-            ArrivalProcess::Poisson { rate_rps } | ArrivalProcess::Bursty { rate_rps, .. } => {
-                rate_rps
-            }
-        }
-    }
-
-    /// Reject degenerate processes at admission time rather than
-    /// mid-simulation.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a nonpositive mean rate, and for bursty processes on a
-    /// nonpositive period, a duty outside (0, 1), a burst factor below
-    /// 1, or `burst_factor * duty >= 1` (which would drive the off-phase
-    /// rate to zero and stall the arrival stream).
-    pub fn validate(&self) {
-        assert!(self.mean_rate_rps() > 0.0, "arrival rate must be positive");
-        if let ArrivalProcess::Bursty {
-            burst_factor,
-            period_ms,
-            duty,
-            ..
-        } = *self
-        {
-            assert!(period_ms > 0.0, "burst period must be positive");
-            assert!(
-                duty > 0.0 && duty < 1.0,
-                "burst duty must lie strictly inside (0, 1)"
-            );
-            assert!(burst_factor >= 1.0, "burst factor must be at least 1");
-            assert!(
-                burst_factor * duty < 1.0,
-                "burst_factor * duty must stay below 1, or the off-phase \
-                 rate hits zero and the arrival stream stalls"
-            );
-        }
-    }
-
-    /// Instantaneous rate at simulated time `now_ms`.
-    pub fn rate_at(&self, now_ms: f64) -> f64 {
-        match *self {
-            ArrivalProcess::Poisson { rate_rps } => rate_rps,
-            ArrivalProcess::Bursty {
-                rate_rps,
-                burst_factor,
-                period_ms,
-                duty,
-            } => {
-                let phase = (now_ms / period_ms).fract();
-                if phase < duty {
-                    rate_rps * burst_factor
-                } else {
-                    // Complement keeps the long-run mean at rate_rps.
-                    let off = (1.0 - burst_factor * duty) / (1.0 - duty);
-                    rate_rps * off.max(0.0)
-                }
-            }
-        }
-    }
-}
-
-/// A seeded generator for one tenant's arrival stream: the inversion
-/// sampler behind both the single-host engine and the fleet front-end.
-/// Gap draws consume exactly one RNG sample each, so any embedding that
-/// schedules one arrival at a time reproduces the same stream.
-#[derive(Debug, Clone)]
-pub struct ArrivalGen {
-    process: ArrivalProcess,
-    remaining: usize,
-    rng: StdRng,
-}
-
-impl ArrivalGen {
-    /// A generator for `requests` arrivals from `process`, seeded with
-    /// `seed` (derive per-tenant seeds via
-    /// [`crate::sim::stream_seed`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics on a degenerate process or zero requests.
-    pub fn new(process: ArrivalProcess, requests: usize, seed: u64) -> Self {
-        process.validate();
-        assert!(requests > 0, "arrival stream needs at least one request");
-        ArrivalGen {
-            process,
-            remaining: requests,
-            rng: StdRng::seed_from_u64(seed),
-        }
-    }
-
-    /// Draw the exponential gap to the next arrival after `now_ms`.
-    pub fn gap_ms(&mut self, now_ms: f64) -> f64 {
-        let rate = self.process.rate_at(now_ms);
-        assert!(rate > 0.0, "arrival rate must stay positive");
-        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-        -(1000.0 / rate) * u.ln()
-    }
-
-    /// Record one delivery; returns whether more arrivals will follow
-    /// (i.e. whether the caller should draw and schedule another gap).
-    pub fn on_deliver(&mut self) -> bool {
-        debug_assert!(self.remaining > 0, "arrival after stream end");
-        self.remaining -= 1;
-        self.remaining > 0
-    }
-
-    /// Arrivals not yet delivered.
-    pub fn remaining(&self) -> usize {
-        self.remaining
-    }
-}
+pub use crate::workload::ArrivalProcess;
 
 /// One tenant of the serving runtime.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TenantSpec {
-    /// Display name (defaults to the workload name).
+    /// Display name (defaults to the workload name). Trace record and
+    /// replay match streams by this name.
     pub name: String,
     /// Table 1 workload name: "MLP0", "MLP1", "LSTM0", "LSTM1", "CNN0",
     /// or "CNN1".
     pub workload: String,
-    /// Request stream.
+    /// Request stream shape (see [`crate::workload`]).
     pub arrivals: ArrivalProcess,
     /// Batching policy.
     pub policy: BatchPolicy,
@@ -172,7 +38,9 @@ pub struct TenantSpec {
     pub priority: u8,
     /// Per-request latency target, ms (reported as SLO attainment).
     pub slo_ms: f64,
-    /// Requests this tenant contributes to the simulation.
+    /// Requests this tenant contributes to the simulation. For
+    /// trace-backed arrivals this selects a prefix of the recording and
+    /// must not exceed its length.
     pub requests: usize,
     /// Service curve override; `None` calibrates from the workload via
     /// [`ServiceCurve::from_workload`].
@@ -226,6 +94,21 @@ impl TenantSpec {
         self
     }
 
+    /// Scale the request count by `factor`, keeping at least one
+    /// request and clamping a replayed inline recording to its length
+    /// (it replays a prefix; there is nothing to scale up into).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a nonpositive factor.
+    pub fn scale_requests(&mut self, factor: f64) {
+        assert!(factor > 0.0, "scale must be positive");
+        self.requests = ((self.requests as f64 * factor).round() as usize).max(1);
+        if let ArrivalProcess::Recorded { arrivals_ms } = &self.arrivals {
+            self.requests = self.requests.min(arrivals_ms.len());
+        }
+    }
+
     /// The tenant's effective service curve on `cfg`.
     pub fn effective_curve(&self, cfg: &TpuConfig) -> ServiceCurve {
         match self.curve {
@@ -273,51 +156,6 @@ mod tests {
             7.0,
             100,
         );
-    }
-
-    #[test]
-    fn bursty_mean_rate_is_preserved() {
-        let a = ArrivalProcess::Bursty {
-            rate_rps: 1000.0,
-            burst_factor: 3.0,
-            period_ms: 100.0,
-            duty: 0.2,
-        };
-        // Time-average of rate_at over one period ≈ rate_rps.
-        let steps = 10_000;
-        let mean: f64 = (0..steps)
-            .map(|i| a.rate_at(100.0 * i as f64 / steps as f64))
-            .sum::<f64>()
-            / steps as f64;
-        assert!((mean - 1000.0).abs() / 1000.0 < 0.01, "mean {mean}");
-        a.validate();
-    }
-
-    #[test]
-    #[should_panic(expected = "burst_factor * duty")]
-    fn saturated_duty_cycle_is_rejected_at_admission() {
-        // burst_factor * duty = 1.25 would zero the off-phase rate and
-        // stall the stream mid-simulation; validate() catches it up
-        // front instead.
-        ArrivalProcess::Bursty {
-            rate_rps: 10_000.0,
-            burst_factor: 5.0,
-            period_ms: 20.0,
-            duty: 0.25,
-        }
-        .validate();
-    }
-
-    #[test]
-    #[should_panic(expected = "duty must lie strictly inside")]
-    fn degenerate_duty_is_rejected() {
-        ArrivalProcess::Bursty {
-            rate_rps: 1.0,
-            burst_factor: 2.0,
-            period_ms: 10.0,
-            duty: 1.0,
-        }
-        .validate();
     }
 
     #[test]

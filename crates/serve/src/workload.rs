@@ -1,0 +1,1267 @@
+//! The pluggable workload layer: who sends traffic, in what shape.
+//!
+//! The paper's latency-bound analysis (Sections 2 and 8) is grounded in
+//! production-shaped request streams; this module is where those shapes
+//! live. An [`ArrivalSource`] is a seeded, deterministic, resettable
+//! generator of one tenant's arrival timestamps, pulled one arrival at
+//! a time by the single-host engine ([`crate::engine::run`]) and the
+//! fleet front-end (`tpu_cluster::run_fleet`) alike:
+//!
+//! * [`PoissonSource`] — stationary Poisson arrivals by inversion
+//!   sampling (one uniform draw per arrival);
+//! * [`BurstySource`] — an on/off modulated Poisson process (MMPP):
+//!   `burst_factor`× the base rate for the duty fraction of every
+//!   period, a complementary trickle otherwise;
+//! * [`DiurnalSource`] — a cyclic piecewise-linear rate profile
+//!   ([`DiurnalProfile`]), the production diurnal curve in miniature;
+//! * [`TraceSource`] — file-backed replay of recorded, per-tenant
+//!   timestamped arrivals ([`Trace`]).
+//!
+//! [`ArrivalProcess`] is the serializable *description* of a stream —
+//! scenarios and CLIs carry it around, and [`ArrivalProcess::source`]
+//! instantiates the matching source.
+//!
+//! # Determinism and the record/replay contract
+//!
+//! Arrival generation is **open loop**: the next timestamp depends only
+//! on the previous one, never on simulation state. Both engines exploit
+//! this by always pulling with `now_ms` equal to the previous arrival's
+//! timestamp, which means a stream can be materialized *outside* any
+//! simulation ([`record_stream`]) and the simulation replayed from the
+//! recording with bit-identical results. [`Trace::record`] captures
+//! every tenant of a scenario this way (tenant `i` draws from RNG
+//! stream [`crate::sim::stream_seed`]`(seed, i)`, exactly as the
+//! engines seed them), and replaying the trace through either
+//! `tpu_serve` or a 1-host `tpu_cluster` reproduces the synthetic run
+//! bit for bit — the `trace_replay` integration tests pin it.
+//!
+//! # Trace file format (`tpu-trace`, version 1)
+//!
+//! A trace is one JSON document:
+//!
+//! ```json
+//! {
+//!   "format": "tpu-trace",
+//!   "version": 1,
+//!   "seed": "42",
+//!   "source": "fleet-steady/steady",
+//!   "tenants": [
+//!     { "name": "MLP0", "arrivals_ms": [0.0193, 0.0236, 0.031] }
+//!   ]
+//! }
+//! ```
+//!
+//! * `format` / `version` — the header; loaders reject anything else.
+//! * `seed` / `source` — provenance only (the master seed and a label
+//!   for the run that was recorded); replay never reads them.
+//! * `tenants[*].name` — matched against [`TenantSpec::name`] at replay
+//!   time; a trace may carry more tenants than a run uses.
+//! * `tenants[*].arrivals_ms` — absolute simulated timestamps in
+//!   milliseconds: finite, non-negative, non-decreasing.
+//!
+//! Timestamps are rendered with Rust's shortest-roundtrip `f64`
+//! formatting and parsed with `str::parse`, so a serialize → parse
+//! cycle is bit-exact — the determinism contract is that **replaying a
+//! trace schedules every arrival at the recorded bit pattern**, no
+//! accumulation, no rounding.
+
+use crate::sim;
+use crate::tenant::TenantSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::fmt;
+
+/// The trace format name expected in the file header.
+pub const TRACE_FORMAT: &str = "tpu-trace";
+/// The trace format version this build reads and writes.
+pub const TRACE_VERSION: u64 = 1;
+
+/// A seeded, deterministic, resettable generator of one tenant's
+/// arrival timestamps.
+///
+/// Sources are **pull-based and open loop**: [`Self::next_arrival_ms`]
+/// is always called with the previous arrival's timestamp (or `0.0`
+/// before the first), and the returned stream is a pure function of the
+/// source's construction — which is what makes record/replay exact (see
+/// the module docs).
+pub trait ArrivalSource: fmt::Debug {
+    /// Emit the next arrival's absolute timestamp, given the previous
+    /// arrival's timestamp `now_ms` (`0.0` before the first). Returns
+    /// `None` once the stream is exhausted.
+    fn next_arrival_ms(&mut self, now_ms: f64) -> Option<f64>;
+
+    /// Arrivals not yet emitted.
+    fn remaining(&self) -> usize;
+
+    /// Arrivals the full stream will emit.
+    fn total(&self) -> usize;
+
+    /// Rewind to the freshly-constructed state (same seed, same
+    /// stream).
+    fn reset(&mut self);
+}
+
+/// Materialize a source's full stream without running a simulation.
+///
+/// Resets the source, then pulls arrivals feeding each timestamp back
+/// as the next `now_ms` — exactly the call pattern of both engines, so
+/// the recorded stream equals what a simulation would generate. The
+/// source is left exhausted; `reset` it to reuse.
+pub fn record_stream(source: &mut dyn ArrivalSource) -> Vec<f64> {
+    source.reset();
+    let mut out = Vec::with_capacity(source.remaining());
+    let mut now = 0.0;
+    while let Some(t) = source.next_arrival_ms(now) {
+        out.push(t);
+        now = t;
+    }
+    out
+}
+
+/// The shared inversion sampler: exponential gaps at the process's
+/// instantaneous rate, one uniform draw per arrival.
+#[derive(Debug, Clone)]
+struct Inversion {
+    total: usize,
+    emitted: usize,
+    seed: u64,
+    rng: StdRng,
+}
+
+impl Inversion {
+    fn new(requests: usize, seed: u64) -> Self {
+        assert!(requests > 0, "arrival stream needs at least one request");
+        Inversion {
+            total: requests,
+            emitted: 0,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draw the next arrival after `now_ms` at instantaneous `rate`
+    /// requests/second.
+    fn next(&mut self, now_ms: f64, rate: f64) -> Option<f64> {
+        if self.emitted == self.total {
+            return None;
+        }
+        self.emitted += 1;
+        assert!(rate > 0.0, "arrival rate must stay positive");
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        Some(now_ms + -(1000.0 / rate) * u.ln())
+    }
+
+    fn remaining(&self) -> usize {
+        self.total - self.emitted
+    }
+
+    fn reset(&mut self) {
+        self.emitted = 0;
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// Stationary Poisson arrivals at a fixed mean rate.
+#[derive(Debug, Clone)]
+pub struct PoissonSource {
+    rate_rps: f64,
+    core: Inversion,
+}
+
+impl PoissonSource {
+    /// A stream of `requests` arrivals at `rate_rps`, seeded with
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a nonpositive rate or zero requests.
+    pub fn new(rate_rps: f64, requests: usize, seed: u64) -> Self {
+        assert!(rate_rps > 0.0, "arrival rate must be positive");
+        PoissonSource {
+            rate_rps,
+            core: Inversion::new(requests, seed),
+        }
+    }
+}
+
+impl ArrivalSource for PoissonSource {
+    fn next_arrival_ms(&mut self, now_ms: f64) -> Option<f64> {
+        self.core.next(now_ms, self.rate_rps)
+    }
+    fn remaining(&self) -> usize {
+        self.core.remaining()
+    }
+    fn total(&self) -> usize {
+        self.core.total
+    }
+    fn reset(&mut self) {
+        self.core.reset();
+    }
+}
+
+/// The instantaneous rate of an on/off (MMPP) process at `now_ms`.
+fn bursty_rate(rate_rps: f64, burst_factor: f64, period_ms: f64, duty: f64, now_ms: f64) -> f64 {
+    let phase = (now_ms / period_ms).fract();
+    if phase < duty {
+        rate_rps * burst_factor
+    } else {
+        // Complement keeps the long-run mean at rate_rps.
+        let off = (1.0 - burst_factor * duty) / (1.0 - duty);
+        rate_rps * off.max(0.0)
+    }
+}
+
+/// An on/off modulated Poisson process: `burst_factor`× the base rate
+/// for the first `duty` fraction of every `period_ms` window and a
+/// complementary trickle for the rest, so the long-run mean stays
+/// `rate_rps`.
+#[derive(Debug, Clone)]
+pub struct BurstySource {
+    rate_rps: f64,
+    burst_factor: f64,
+    period_ms: f64,
+    duty: f64,
+    core: Inversion,
+}
+
+impl BurstySource {
+    /// A stream of `requests` bursty arrivals, seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters (see
+    /// [`ArrivalProcess::validate`]).
+    pub fn new(
+        rate_rps: f64,
+        burst_factor: f64,
+        period_ms: f64,
+        duty: f64,
+        requests: usize,
+        seed: u64,
+    ) -> Self {
+        ArrivalProcess::Bursty {
+            rate_rps,
+            burst_factor,
+            period_ms,
+            duty,
+        }
+        .validate();
+        BurstySource {
+            rate_rps,
+            burst_factor,
+            period_ms,
+            duty,
+            core: Inversion::new(requests, seed),
+        }
+    }
+}
+
+impl ArrivalSource for BurstySource {
+    fn next_arrival_ms(&mut self, now_ms: f64) -> Option<f64> {
+        let rate = bursty_rate(
+            self.rate_rps,
+            self.burst_factor,
+            self.period_ms,
+            self.duty,
+            now_ms,
+        );
+        self.core.next(now_ms, rate)
+    }
+    fn remaining(&self) -> usize {
+        self.core.remaining()
+    }
+    fn total(&self) -> usize {
+        self.core.total
+    }
+    fn reset(&mut self) {
+        self.core.reset();
+    }
+}
+
+/// A cyclic piecewise-linear request-rate profile: the diurnal curve.
+///
+/// `points` are `(phase_ms, rate_rps)` knots over one period, sorted by
+/// phase with the first knot pinned at phase 0; the rate interpolates
+/// linearly between knots and wraps from the last knot back to the
+/// first at the period boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalProfile {
+    /// Length of one cycle, ms.
+    pub period_ms: f64,
+    /// `(phase_ms, rate_rps)` knots (see type docs).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl DiurnalProfile {
+    /// A validated profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a nonpositive period, fewer than two knots, a first
+    /// knot off phase 0, unsorted or out-of-range phases, or
+    /// nonpositive rates.
+    pub fn new(period_ms: f64, points: Vec<(f64, f64)>) -> Self {
+        let p = DiurnalProfile { period_ms, points };
+        p.validate();
+        p
+    }
+
+    /// The simplest day/night cycle: a triangle wave from `trough_rps`
+    /// at phase 0 up to `peak_rps` at half period and back.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < trough_rps <= peak_rps` and the period is
+    /// positive.
+    pub fn day_night(trough_rps: f64, peak_rps: f64, period_ms: f64) -> Self {
+        assert!(
+            trough_rps <= peak_rps,
+            "trough must not exceed peak: {trough_rps} vs {peak_rps}"
+        );
+        DiurnalProfile::new(
+            period_ms,
+            vec![(0.0, trough_rps), (period_ms / 2.0, peak_rps)],
+        )
+    }
+
+    /// Reject degenerate profiles up front.
+    ///
+    /// # Panics
+    ///
+    /// See [`Self::new`].
+    pub fn validate(&self) {
+        assert!(self.period_ms > 0.0, "diurnal period must be positive");
+        assert!(
+            self.points.len() >= 2,
+            "diurnal profile needs at least two knots"
+        );
+        assert_eq!(
+            self.points[0].0, 0.0,
+            "the first diurnal knot must sit at phase 0"
+        );
+        for w in self.points.windows(2) {
+            assert!(
+                w[0].0 < w[1].0,
+                "diurnal knot phases must increase: {} then {}",
+                w[0].0,
+                w[1].0
+            );
+        }
+        let last = self.points.last().expect("nonempty");
+        assert!(
+            last.0 < self.period_ms,
+            "diurnal knot phase {} must lie inside the period {}",
+            last.0,
+            self.period_ms
+        );
+        for &(phase, rate) in &self.points {
+            assert!(
+                rate > 0.0 && rate.is_finite(),
+                "diurnal rate at phase {phase} must be positive and finite"
+            );
+        }
+    }
+
+    /// Instantaneous rate at simulated time `t_ms` (cyclic).
+    pub fn rate_at(&self, t_ms: f64) -> f64 {
+        let phase = t_ms.rem_euclid(self.period_ms);
+        // Find the knot pair bracketing the phase; the last segment
+        // wraps to the first knot at the period boundary.
+        let n = self.points.len();
+        for i in 0..n {
+            let (p0, r0) = self.points[i];
+            let (p1, r1) = if i + 1 < n {
+                self.points[i + 1]
+            } else {
+                (self.period_ms, self.points[0].1)
+            };
+            if phase >= p0 && phase < p1 {
+                let f = (phase - p0) / (p1 - p0);
+                return r0 + (r1 - r0) * f;
+            }
+        }
+        // phase == period_ms can only happen through float edge cases.
+        self.points[0].1
+    }
+
+    /// The time-averaged rate over one period (trapezoid rule over the
+    /// knots, including the wrap segment).
+    pub fn mean_rate_rps(&self) -> f64 {
+        let n = self.points.len();
+        let mut area = 0.0;
+        for i in 0..n {
+            let (p0, r0) = self.points[i];
+            let (p1, r1) = if i + 1 < n {
+                self.points[i + 1]
+            } else {
+                (self.period_ms, self.points[0].1)
+            };
+            area += 0.5 * (r0 + r1) * (p1 - p0);
+        }
+        area / self.period_ms
+    }
+}
+
+/// Arrivals following a [`DiurnalProfile`], sampled by inversion at the
+/// instantaneous rate (the same approximation the bursty process uses:
+/// each gap is exponential at the rate in force when it starts).
+#[derive(Debug, Clone)]
+pub struct DiurnalSource {
+    profile: DiurnalProfile,
+    core: Inversion,
+}
+
+impl DiurnalSource {
+    /// A stream of `requests` arrivals along `profile`, seeded with
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate profile or zero requests.
+    pub fn new(profile: DiurnalProfile, requests: usize, seed: u64) -> Self {
+        profile.validate();
+        DiurnalSource {
+            profile,
+            core: Inversion::new(requests, seed),
+        }
+    }
+}
+
+impl ArrivalSource for DiurnalSource {
+    fn next_arrival_ms(&mut self, now_ms: f64) -> Option<f64> {
+        let rate = self.profile.rate_at(now_ms);
+        self.core.next(now_ms, rate)
+    }
+    fn remaining(&self) -> usize {
+        self.core.remaining()
+    }
+    fn total(&self) -> usize {
+        self.core.total
+    }
+    fn reset(&mut self) {
+        self.core.reset();
+    }
+}
+
+/// Replay of a recorded arrival stream: emits the stored timestamps in
+/// order, no RNG involved.
+#[derive(Debug, Clone)]
+pub struct TraceSource {
+    arrivals_ms: Vec<f64>,
+    cursor: usize,
+}
+
+impl TraceSource {
+    /// Replay the first `requests` timestamps of `arrivals_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero requests, a stream shorter than `requests`, or
+    /// timestamps that are not finite, non-negative, and
+    /// non-decreasing.
+    pub fn new(mut arrivals_ms: Vec<f64>, requests: usize) -> Self {
+        assert!(requests > 0, "arrival stream needs at least one request");
+        assert!(
+            requests <= arrivals_ms.len(),
+            "replay wants {requests} arrivals but the trace holds only {}",
+            arrivals_ms.len()
+        );
+        arrivals_ms.truncate(requests);
+        validate_arrivals(&arrivals_ms);
+        TraceSource {
+            arrivals_ms,
+            cursor: 0,
+        }
+    }
+}
+
+impl ArrivalSource for TraceSource {
+    fn next_arrival_ms(&mut self, now_ms: f64) -> Option<f64> {
+        let &t = self.arrivals_ms.get(self.cursor)?;
+        assert!(
+            t >= now_ms,
+            "trace arrival {t} ms lies before the previous one at {now_ms} ms"
+        );
+        self.cursor += 1;
+        Some(t)
+    }
+    fn remaining(&self) -> usize {
+        self.arrivals_ms.len() - self.cursor
+    }
+    fn total(&self) -> usize {
+        self.arrivals_ms.len()
+    }
+    fn reset(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+/// Validate one recorded stream: finite, non-negative, non-decreasing.
+///
+/// # Panics
+///
+/// Panics on the first violation; [`check_arrivals`] is the fallible
+/// twin used when parsing untrusted trace files.
+fn validate_arrivals(arrivals_ms: &[f64]) {
+    if let Err(e) = check_arrivals(arrivals_ms) {
+        panic!("{e}");
+    }
+}
+
+/// The fallible twin of [`validate_arrivals`].
+fn check_arrivals(arrivals_ms: &[f64]) -> Result<(), String> {
+    let mut prev = 0.0f64;
+    for (i, &t) in arrivals_ms.iter().enumerate() {
+        if !(t.is_finite() && t >= 0.0) {
+            return Err(format!(
+                "trace arrival {i} is not a finite non-negative timestamp: {t}"
+            ));
+        }
+        if t < prev {
+            return Err(format!(
+                "trace arrivals must be non-decreasing: [{i}] = {t} after {prev}"
+            ));
+        }
+        prev = t;
+    }
+    Ok(())
+}
+
+/// The serializable description of a tenant's request stream. Scenarios
+/// and CLIs carry this; [`Self::source`] instantiates the matching
+/// [`ArrivalSource`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Stationary Poisson arrivals at `rate_rps` requests/second.
+    Poisson {
+        /// Mean offered load, requests per second.
+        rate_rps: f64,
+    },
+    /// An on/off modulated Poisson process: `burst_factor`× the base
+    /// rate for the first `duty` fraction of every `period_ms` window,
+    /// and a complementary trickle for the rest (the mean stays
+    /// `rate_rps`).
+    Bursty {
+        /// Mean offered load, requests per second.
+        rate_rps: f64,
+        /// Rate multiplier during the on-phase (> 1).
+        burst_factor: f64,
+        /// Length of one on/off cycle, ms.
+        period_ms: f64,
+        /// Fraction of the period spent in the on-phase (0, 1).
+        duty: f64,
+    },
+    /// A cyclic piecewise-linear rate profile (the diurnal curve).
+    Diurnal {
+        /// The rate profile.
+        profile: DiurnalProfile,
+    },
+    /// Replay of a recorded stream carried inline.
+    Recorded {
+        /// Absolute arrival timestamps, ms (finite, non-negative,
+        /// non-decreasing).
+        arrivals_ms: Vec<f64>,
+    },
+    /// Replay of a recorded stream from a trace file; the tenant is
+    /// matched by name at source-construction time.
+    Trace {
+        /// Path of a [`Trace`] file (see the module docs for the
+        /// format).
+        path: String,
+    },
+}
+
+impl ArrivalProcess {
+    /// Mean offered load in requests per second, when the process knows
+    /// it analytically: `None` for a file-backed trace, the empirical
+    /// mean for an inline recording.
+    pub fn mean_rate_rps(&self) -> Option<f64> {
+        match self {
+            ArrivalProcess::Poisson { rate_rps } | ArrivalProcess::Bursty { rate_rps, .. } => {
+                Some(*rate_rps)
+            }
+            ArrivalProcess::Diurnal { profile } => Some(profile.mean_rate_rps()),
+            ArrivalProcess::Recorded { arrivals_ms } => arrivals_ms
+                .last()
+                .filter(|&&end| end > 0.0)
+                .map(|&end| arrivals_ms.len() as f64 / end * 1000.0),
+            ArrivalProcess::Trace { .. } => None,
+        }
+    }
+
+    /// Reject degenerate processes at admission time rather than
+    /// mid-simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a nonpositive mean rate; for bursty processes on a
+    /// nonpositive period, a duty outside (0, 1), a burst factor below
+    /// 1, or `burst_factor * duty >= 1` (which would drive the
+    /// off-phase rate to zero and stall the arrival stream); for
+    /// diurnal processes on a degenerate profile; for recorded streams
+    /// on empty or non-monotone timestamps; and for trace files on an
+    /// empty path.
+    pub fn validate(&self) {
+        match self {
+            ArrivalProcess::Poisson { rate_rps } => {
+                assert!(*rate_rps > 0.0, "arrival rate must be positive");
+            }
+            ArrivalProcess::Bursty {
+                rate_rps,
+                burst_factor,
+                period_ms,
+                duty,
+            } => {
+                assert!(*rate_rps > 0.0, "arrival rate must be positive");
+                assert!(*period_ms > 0.0, "burst period must be positive");
+                assert!(
+                    *duty > 0.0 && *duty < 1.0,
+                    "burst duty must lie strictly inside (0, 1)"
+                );
+                assert!(*burst_factor >= 1.0, "burst factor must be at least 1");
+                assert!(
+                    burst_factor * duty < 1.0,
+                    "burst_factor * duty must stay below 1, or the off-phase \
+                     rate hits zero and the arrival stream stalls"
+                );
+            }
+            ArrivalProcess::Diurnal { profile } => profile.validate(),
+            ArrivalProcess::Recorded { arrivals_ms } => {
+                assert!(!arrivals_ms.is_empty(), "recorded stream is empty");
+                validate_arrivals(arrivals_ms);
+            }
+            ArrivalProcess::Trace { path } => {
+                assert!(!path.is_empty(), "trace path is empty");
+            }
+        }
+    }
+
+    /// Instantaneous rate at simulated time `now_ms` for the
+    /// rate-modulated (synthetic) processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics for trace-backed processes, which have no analytic rate.
+    pub fn rate_at(&self, now_ms: f64) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate_rps } => *rate_rps,
+            ArrivalProcess::Bursty {
+                rate_rps,
+                burst_factor,
+                period_ms,
+                duty,
+            } => bursty_rate(*rate_rps, *burst_factor, *period_ms, *duty, now_ms),
+            ArrivalProcess::Diurnal { profile } => profile.rate_at(now_ms),
+            ArrivalProcess::Recorded { .. } | ArrivalProcess::Trace { .. } => {
+                panic!("trace-backed processes have no analytic rate")
+            }
+        }
+    }
+
+    /// Instantiate the source for `tenant`'s stream of `requests`
+    /// arrivals, seeded with `seed` (derive per-tenant seeds via
+    /// [`crate::sim::stream_seed`]).
+    ///
+    /// For trace-backed processes the first `requests` recorded
+    /// arrivals replay (so scaled-down runs replay a prefix), `seed` is
+    /// unused, and `tenant` selects the stream by name from the trace
+    /// file.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate process, zero requests, an unreadable or
+    /// malformed trace file, a trace that lacks `tenant`, or a trace
+    /// shorter than `requests`.
+    pub fn source(&self, tenant: &str, requests: usize, seed: u64) -> Box<dyn ArrivalSource> {
+        self.validate();
+        match self {
+            ArrivalProcess::Poisson { rate_rps } => {
+                Box::new(PoissonSource::new(*rate_rps, requests, seed))
+            }
+            ArrivalProcess::Bursty {
+                rate_rps,
+                burst_factor,
+                period_ms,
+                duty,
+            } => Box::new(BurstySource::new(
+                *rate_rps,
+                *burst_factor,
+                *period_ms,
+                *duty,
+                requests,
+                seed,
+            )),
+            ArrivalProcess::Diurnal { profile } => {
+                Box::new(DiurnalSource::new(profile.clone(), requests, seed))
+            }
+            ArrivalProcess::Recorded { arrivals_ms } => {
+                Box::new(TraceSource::new(arrivals_ms.clone(), requests))
+            }
+            ArrivalProcess::Trace { path } => {
+                let trace =
+                    Trace::load(path).unwrap_or_else(|e| panic!("cannot load trace {path:?}: {e}"));
+                let t = trace.tenant(tenant).unwrap_or_else(|| {
+                    panic!(
+                        "trace {path:?} has no tenant {tenant:?} (it has {:?})",
+                        trace.tenants.iter().map(|t| &t.name).collect::<Vec<_>>()
+                    )
+                });
+                Box::new(TraceSource::new(t.arrivals_ms.clone(), requests))
+            }
+        }
+    }
+}
+
+/// One tenant's recorded stream inside a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceTenant {
+    /// The tenant's display name ([`TenantSpec::name`]).
+    pub name: String,
+    /// Absolute arrival timestamps, ms.
+    pub arrivals_ms: Vec<f64>,
+}
+
+/// A recorded workload: per-tenant timestamped arrival streams plus
+/// provenance, serializable to the versioned `tpu-trace` JSON format
+/// (see the module docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// The master seed of the run that was recorded (provenance only).
+    pub seed: u64,
+    /// A human-readable label for what was recorded (provenance only).
+    pub source: String,
+    /// The recorded streams, in stream-index order.
+    pub tenants: Vec<TraceTenant>,
+}
+
+impl Trace {
+    /// Record the arrival streams `tenants` would generate under master
+    /// seed `seed` — tenant `i` draws from RNG stream
+    /// [`sim::stream_seed`]`(seed, i)`, exactly as [`crate::engine::run`]
+    /// and `tpu_cluster::run_fleet` seed them — without running a
+    /// simulation (arrival generation is open loop; see the module
+    /// docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate tenant (no requests, invalid process).
+    pub fn record(tenants: &[TenantSpec], seed: u64, source: &str) -> Trace {
+        let recorded = tenants
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let mut src = spec.arrivals.source(
+                    &spec.name,
+                    spec.requests,
+                    sim::stream_seed(seed, i as u64),
+                );
+                TraceTenant {
+                    name: spec.name.clone(),
+                    arrivals_ms: record_stream(src.as_mut()),
+                }
+            })
+            .collect();
+        Trace {
+            seed,
+            source: source.to_string(),
+            tenants: recorded,
+        }
+    }
+
+    /// Look a recorded stream up by tenant name.
+    pub fn tenant(&self, name: &str) -> Option<&TraceTenant> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+
+    /// Rewrite `tenants` to replay this trace: each tenant's arrivals
+    /// become its recorded stream (matched by name, carried inline) and
+    /// its request count the stream length — or, when the spec already
+    /// asks for fewer requests than the recording holds, a prefix of it
+    /// (which, by the open-loop property, equals generating fewer
+    /// requests from the recording seed). Scaled-down replays therefore
+    /// compose with `--requests-scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace lacks one of the tenants; [`Self::covers`]
+    /// is the fallible pre-check CLIs use.
+    pub fn apply(&self, tenants: &mut [TenantSpec]) {
+        for spec in tenants {
+            let t = self.tenant(&spec.name).unwrap_or_else(|| {
+                panic!(
+                    "trace ({}) has no tenant {:?}; it has {:?}",
+                    self.source,
+                    spec.name,
+                    self.tenants.iter().map(|t| &t.name).collect::<Vec<_>>()
+                )
+            });
+            spec.requests = spec.requests.min(t.arrivals_ms.len());
+            spec.arrivals = ArrivalProcess::Recorded {
+                arrivals_ms: t.arrivals_ms.clone(),
+            };
+        }
+    }
+
+    /// Check that every name in `tenants` has a recorded stream;
+    /// returns the first missing name otherwise.
+    pub fn covers<'a>(&self, tenants: impl IntoIterator<Item = &'a str>) -> Result<(), String> {
+        for name in tenants {
+            if self.tenant(name).is_none() {
+                return Err(format!(
+                    "trace ({}) has no tenant {name:?}; it has {:?}",
+                    self.source,
+                    self.tenants.iter().map(|t| &t.name).collect::<Vec<_>>()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The trace as a JSON document (the on-disk format).
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            (
+                "format".to_string(),
+                Value::String(TRACE_FORMAT.to_string()),
+            ),
+            ("version".to_string(), Value::Number(TRACE_VERSION as f64)),
+            // A string, not a number: u64 seeds above 2^53 would lose
+            // bits through the f64-backed JSON number representation.
+            ("seed".to_string(), Value::String(self.seed.to_string())),
+            ("source".to_string(), Value::String(self.source.clone())),
+            (
+                "tenants".to_string(),
+                Value::Array(
+                    self.tenants
+                        .iter()
+                        .map(|t| {
+                            Value::object([
+                                ("name".to_string(), Value::String(t.name.clone())),
+                                (
+                                    "arrivals_ms".to_string(),
+                                    Value::Array(
+                                        t.arrivals_ms.iter().map(|&x| Value::Number(x)).collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse a trace from its JSON text.
+    ///
+    /// Errors on malformed JSON, a wrong format name, an unsupported
+    /// version, or missing/ill-typed fields.
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let doc = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        let obj = as_object(&doc, "trace document")?;
+        let format = as_string(field(obj, "format")?, "format")?;
+        if format != TRACE_FORMAT {
+            return Err(format!("not a {TRACE_FORMAT} file (format {format:?})"));
+        }
+        let version = as_number(field(obj, "version")?, "version")?;
+        if version != TRACE_VERSION as f64 {
+            return Err(format!(
+                "unsupported trace version {version} (this build reads {TRACE_VERSION})"
+            ));
+        }
+        // Written as a string (u64-exact); a plain JSON number is also
+        // accepted for hand-authored traces.
+        let seed = match field(obj, "seed")? {
+            Value::String(s) => s
+                .parse::<u64>()
+                .map_err(|_| format!("seed {s:?} is not a u64"))?,
+            Value::Number(n) => *n as u64,
+            _ => return Err("seed must be a string or number".to_string()),
+        };
+        let source = as_string(field(obj, "source")?, "source")?.to_string();
+        let Value::Array(items) = field(obj, "tenants")? else {
+            return Err("`tenants` must be an array".to_string());
+        };
+        let mut tenants = Vec::with_capacity(items.len());
+        for item in items {
+            let t = as_object(item, "tenant entry")?;
+            let name = as_string(field(t, "name")?, "tenant name")?.to_string();
+            let Value::Array(raw) = field(t, "arrivals_ms")? else {
+                return Err(format!("tenant {name:?}: `arrivals_ms` must be an array"));
+            };
+            let mut arrivals_ms = Vec::with_capacity(raw.len());
+            for v in raw {
+                arrivals_ms.push(as_number(v, "arrival timestamp")?);
+            }
+            if arrivals_ms.is_empty() {
+                return Err(format!("tenant {name:?}: recorded stream is empty"));
+            }
+            check_arrivals(&arrivals_ms).map_err(|e| format!("tenant {name:?}: {e}"))?;
+            tenants.push(TraceTenant { name, arrivals_ms });
+        }
+        Ok(Trace {
+            seed,
+            source,
+            tenants,
+        })
+    }
+
+    /// Write the trace to `path` (compact JSON, one document).
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        std::fs::write(path, serde_json::to_string(&self.to_json()))
+            .map_err(|e| format!("cannot write trace {path:?}: {e}"))
+    }
+
+    /// Load a trace from `path`.
+    pub fn load(path: &str) -> Result<Trace, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read trace {path:?}: {e}"))?;
+        Trace::parse(&text)
+    }
+
+    /// Total recorded arrivals across tenants.
+    pub fn total_arrivals(&self) -> usize {
+        self.tenants.iter().map(|t| t.arrivals_ms.len()).sum()
+    }
+}
+
+fn as_object<'a>(
+    v: &'a Value,
+    what: &str,
+) -> Result<&'a std::collections::BTreeMap<String, Value>, String> {
+    match v {
+        Value::Object(m) => Ok(m),
+        _ => Err(format!("{what} must be a JSON object")),
+    }
+}
+
+fn field<'a>(
+    obj: &'a std::collections::BTreeMap<String, Value>,
+    key: &str,
+) -> Result<&'a Value, String> {
+    obj.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn as_string<'a>(v: &'a Value, what: &str) -> Result<&'a str, String> {
+    match v {
+        Value::String(s) => Ok(s),
+        _ => Err(format!("{what} must be a string")),
+    }
+}
+
+fn as_number(v: &Value, what: &str) -> Result<f64, String> {
+    match v {
+        Value::Number(n) => Ok(*n),
+        _ => Err(format!("{what} must be a number")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bursty_mean_rate_is_preserved() {
+        let a = ArrivalProcess::Bursty {
+            rate_rps: 1000.0,
+            burst_factor: 3.0,
+            period_ms: 100.0,
+            duty: 0.2,
+        };
+        // Time-average of rate_at over one period ≈ rate_rps.
+        let steps = 10_000;
+        let mean: f64 = (0..steps)
+            .map(|i| a.rate_at(100.0 * i as f64 / steps as f64))
+            .sum::<f64>()
+            / steps as f64;
+        assert!((mean - 1000.0).abs() / 1000.0 < 0.01, "mean {mean}");
+        a.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "burst_factor * duty")]
+    fn saturated_duty_cycle_is_rejected_at_admission() {
+        ArrivalProcess::Bursty {
+            rate_rps: 10_000.0,
+            burst_factor: 5.0,
+            period_ms: 20.0,
+            duty: 0.25,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "duty must lie strictly inside")]
+    fn degenerate_duty_is_rejected() {
+        ArrivalProcess::Bursty {
+            rate_rps: 1.0,
+            burst_factor: 2.0,
+            period_ms: 10.0,
+            duty: 1.0,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn sources_are_deterministic_and_resettable() {
+        let processes = [
+            ArrivalProcess::Poisson { rate_rps: 5_000.0 },
+            ArrivalProcess::Bursty {
+                rate_rps: 5_000.0,
+                burst_factor: 3.0,
+                period_ms: 20.0,
+                duty: 0.2,
+            },
+            ArrivalProcess::Diurnal {
+                profile: DiurnalProfile::day_night(1_000.0, 10_000.0, 50.0),
+            },
+        ];
+        for p in &processes {
+            let mut a = p.source("t", 500, 42);
+            let mut b = p.source("t", 500, 42);
+            let sa = record_stream(a.as_mut());
+            let sb = record_stream(b.as_mut());
+            assert_eq!(sa, sb, "{p:?}: same seed, same stream");
+            assert_eq!(a.remaining(), 0);
+            a.reset();
+            assert_eq!(a.remaining(), 500);
+            assert_eq!(record_stream(a.as_mut()), sa, "{p:?}: reset replays");
+            let mut c = p.source("t", 500, 43);
+            assert_ne!(record_stream(c.as_mut()), sa, "{p:?}: seeds differ");
+            assert!(sa.windows(2).all(|w| w[0] <= w[1]), "{p:?}: monotone");
+        }
+    }
+
+    #[test]
+    fn diurnal_profile_interpolates_and_wraps() {
+        let p = DiurnalProfile::new(100.0, vec![(0.0, 100.0), (50.0, 300.0)]);
+        assert_eq!(p.rate_at(0.0), 100.0);
+        assert_eq!(p.rate_at(25.0), 200.0);
+        assert_eq!(p.rate_at(50.0), 300.0);
+        // Wrap segment: 300 at 50 back down to 100 at 100 (== phase 0).
+        assert_eq!(p.rate_at(75.0), 200.0);
+        assert_eq!(p.rate_at(125.0), 200.0, "cyclic");
+        assert!((p.mean_rate_rps() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_stream_is_denser_at_the_peak() {
+        let profile = DiurnalProfile::day_night(500.0, 20_000.0, 100.0);
+        let mut src = DiurnalSource::new(profile, 4_000, 7);
+        let stream = record_stream(&mut src);
+        // Count arrivals by phase quarter; the peak quarter (around
+        // phase 50) must dominate the trough quarter (around phase 0).
+        let mut quarters = [0usize; 4];
+        for t in &stream {
+            quarters[((t.rem_euclid(100.0)) / 25.0) as usize % 4] += 1;
+        }
+        // Triangle 500..20k: the two peak quarters average ~15.1k rps
+        // vs ~5.4k for the trough quarters, a ~2.8× density ratio.
+        assert!(
+            quarters[1] + quarters[2] > 2 * (quarters[0] + quarters[3]),
+            "peak quarters must dominate: {quarters:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "first diurnal knot")]
+    fn diurnal_profile_requires_a_phase_zero_knot() {
+        DiurnalProfile::new(100.0, vec![(10.0, 1.0), (50.0, 2.0)]);
+    }
+
+    #[test]
+    fn trace_source_replays_a_prefix() {
+        let mut src = TraceSource::new(vec![1.0, 2.0, 3.0, 4.0], 3);
+        assert_eq!(src.total(), 3);
+        assert_eq!(src.next_arrival_ms(0.0), Some(1.0));
+        assert_eq!(src.next_arrival_ms(1.0), Some(2.0));
+        assert_eq!(src.next_arrival_ms(2.0), Some(3.0));
+        assert_eq!(src.next_arrival_ms(3.0), None);
+        src.reset();
+        assert_eq!(src.next_arrival_ms(0.0), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn unsorted_trace_is_rejected() {
+        TraceSource::new(vec![2.0, 1.0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "holds only")]
+    fn oversubscribed_replay_is_rejected() {
+        TraceSource::new(vec![1.0, 2.0], 3);
+    }
+
+    #[test]
+    fn trace_json_roundtrip_is_bit_exact() {
+        let trace = Trace {
+            seed: 42,
+            source: "unit/roundtrip".to_string(),
+            tenants: vec![
+                TraceTenant {
+                    name: "MLP0".to_string(),
+                    arrivals_ms: vec![0.012345678901234567, 1.0, 2.5, 1e-12 + 3.0],
+                },
+                TraceTenant {
+                    name: "CNN0".to_string(),
+                    arrivals_ms: vec![0.1],
+                },
+            ],
+        };
+        let text = serde_json::to_string(&trace.to_json());
+        let back = Trace::parse(&text).expect("parses");
+        assert_eq!(back, trace);
+        for (a, b) in trace.tenants.iter().zip(&back.tenants) {
+            for (x, y) in a.arrivals_ms.iter().zip(&b.arrivals_ms) {
+                assert_eq!(x.to_bits(), y.to_bits(), "bit-exact timestamps");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_header_is_enforced() {
+        assert!(Trace::parse("{}").is_err(), "missing header");
+        let wrong_format = r#"{"format":"csv","version":1,"seed":0,"source":"","tenants":[]}"#;
+        assert!(Trace::parse(wrong_format).unwrap_err().contains("format"));
+        let wrong_version =
+            r#"{"format":"tpu-trace","version":99,"seed":0,"source":"","tenants":[]}"#;
+        assert!(Trace::parse(wrong_version).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn parse_rejects_corrupt_streams_as_errors_not_panics() {
+        let mk = |arrivals: &str| {
+            format!(
+                r#"{{"format":"tpu-trace","version":1,"seed":0,"source":"x",
+                     "tenants":[{{"name":"MLP0","arrivals_ms":{arrivals}}}]}}"#
+            )
+        };
+        assert!(Trace::parse(&mk("[2.0,1.0]"))
+            .unwrap_err()
+            .contains("non-decreasing"));
+        assert!(Trace::parse(&mk("[-1.0]"))
+            .unwrap_err()
+            .contains("non-negative"));
+        assert!(Trace::parse(&mk("[]")).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn seeds_above_2_pow_53_roundtrip_exactly() {
+        let trace = Trace {
+            seed: u64::MAX - 1,
+            source: "unit".to_string(),
+            tenants: vec![TraceTenant {
+                name: "MLP0".to_string(),
+                arrivals_ms: vec![1.0],
+            }],
+        };
+        let back = Trace::parse(&serde_json::to_string(&trace.to_json())).unwrap();
+        assert_eq!(back.seed, u64::MAX - 1);
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn file_backed_trace_variant_replays_the_saved_stream() {
+        use crate::policy::BatchPolicy;
+        let spec = TenantSpec::new(
+            "MLP0",
+            ArrivalProcess::Poisson { rate_rps: 2_000.0 },
+            BatchPolicy::Fixed { batch: 4 },
+            7.0,
+            48,
+        );
+        let trace = Trace::record(std::slice::from_ref(&spec), 11, "unit/file");
+        let path = std::env::temp_dir().join(format!(
+            "tpu_workload_file_variant_{}.trace.json",
+            std::process::id()
+        ));
+        let path = path.to_str().expect("utf-8 temp path");
+        trace.save(path).expect("trace writes");
+        let mut src = ArrivalProcess::Trace {
+            path: path.to_string(),
+        }
+        .source("MLP0", 48, 0);
+        assert_eq!(record_stream(src.as_mut()), trace.tenants[0].arrivals_ms);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn deeply_nested_trace_json_errors_instead_of_overflowing() {
+        let bomb = "[".repeat(100_000);
+        assert!(Trace::parse(&bomb).is_err(), "parse must return, not crash");
+    }
+
+    #[test]
+    fn covers_reports_the_missing_tenant() {
+        let trace = Trace {
+            seed: 0,
+            source: "unit".to_string(),
+            tenants: vec![TraceTenant {
+                name: "MLP0".to_string(),
+                arrivals_ms: vec![1.0],
+            }],
+        };
+        assert!(trace.covers(["MLP0"]).is_ok());
+        assert!(trace.covers(["MLP0", "CNN1"]).unwrap_err().contains("CNN1"));
+    }
+
+    #[test]
+    fn apply_replays_a_prefix_when_the_spec_asks_for_fewer_requests() {
+        use crate::policy::BatchPolicy;
+        let mut tenants = vec![TenantSpec::new(
+            "MLP0",
+            ArrivalProcess::Poisson { rate_rps: 1_000.0 },
+            BatchPolicy::Fixed { batch: 4 },
+            7.0,
+            40,
+        )];
+        let trace = Trace::record(&tenants, 3, "unit");
+        tenants[0].requests = 10;
+        trace.apply(&mut tenants);
+        assert_eq!(tenants[0].requests, 10, "prefix replay keeps the ask");
+        tenants[0].requests = 500;
+        trace.apply(&mut tenants);
+        assert_eq!(tenants[0].requests, 40, "capped at the recording");
+    }
+
+    #[test]
+    fn recording_matches_the_engine_seeding() {
+        use crate::policy::BatchPolicy;
+        // Trace::record seeds tenant i with stream_seed(master, i); the
+        // recorded stream must equal pulling the source by hand.
+        let spec = TenantSpec::new(
+            "MLP0",
+            ArrivalProcess::Poisson { rate_rps: 1_000.0 },
+            BatchPolicy::Fixed { batch: 8 },
+            7.0,
+            64,
+        );
+        let trace = Trace::record(std::slice::from_ref(&spec), 42, "unit");
+        let mut src = spec.arrivals.source("MLP0", 64, sim::stream_seed(42, 0));
+        assert_eq!(trace.tenants[0].arrivals_ms, record_stream(src.as_mut()));
+        assert_eq!(trace.total_arrivals(), 64);
+    }
+
+    #[test]
+    fn apply_rewrites_tenants_to_inline_replay() {
+        use crate::policy::BatchPolicy;
+        let mut tenants = vec![TenantSpec::new(
+            "LSTM0",
+            ArrivalProcess::Poisson { rate_rps: 500.0 },
+            BatchPolicy::Fixed { batch: 4 },
+            50.0,
+            32,
+        )];
+        let trace = Trace::record(&tenants, 7, "unit");
+        trace.apply(&mut tenants);
+        match &tenants[0].arrivals {
+            ArrivalProcess::Recorded { arrivals_ms } => {
+                assert_eq!(arrivals_ms, &trace.tenants[0].arrivals_ms)
+            }
+            other => panic!("expected Recorded, got {other:?}"),
+        }
+        assert_eq!(tenants[0].requests, 32);
+    }
+}

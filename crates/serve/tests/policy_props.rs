@@ -6,9 +6,7 @@
 use proptest::prelude::*;
 use tpu_serve::event::{Event, EventQueue};
 use tpu_serve::tenant::ArrivalProcess;
-use tpu_serve::{
-    run, ArrivalGen, BatchPolicy, ClusterSpec, Dispatch, HostCore, ServiceCurve, TenantSpec,
-};
+use tpu_serve::{run, BatchPolicy, ClusterSpec, Dispatch, HostCore, ServiceCurve, TenantSpec};
 
 /// Drive a single tenant through a [`HostCore`] event loop and return
 /// (latencies, largest dispatched batch).
@@ -30,19 +28,20 @@ fn drive_single(
     .with_curve(curve);
     let mut host = HostCore::new(dies, Dispatch::LeastLoaded, seed);
     host.add_slot(spec.clone(), curve);
-    let mut gen = ArrivalGen::new(spec.arrivals, requests, seed);
+    let mut source = spec.arrivals.source(&spec.name, requests, seed);
     let mut q = EventQueue::new();
-    q.schedule(gen.gap_ms(0.0), Event::Arrival { tenant: 0 });
+    q.schedule(
+        source.next_arrival_ms(0.0).expect("nonempty stream"),
+        Event::Arrival { tenant: 0 },
+    );
     let mut biggest_batch = 0usize;
     while let Some((now, event)) = q.pop() {
         match event {
             Event::Arrival { tenant } => {
                 host.enqueue(tenant, now);
-                if gen.on_deliver() {
-                    let gap = gen.gap_ms(now);
-                    q.schedule(now + gap, Event::Arrival { tenant });
-                } else {
-                    host.set_draining(tenant, true);
+                match source.next_arrival_ms(now) {
+                    Some(at) => q.schedule(at, Event::Arrival { tenant }),
+                    None => host.set_draining(tenant, true),
                 }
                 host.after_arrival(tenant, now, &mut |at, e| q.schedule(at, e.into()));
             }

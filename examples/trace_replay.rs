@@ -1,0 +1,82 @@
+//! Workload record/replay walkthrough: one recorded trace drives both
+//! simulators bit-identically.
+//!
+//! ```console
+//! $ cargo run --release --example trace_replay
+//! ```
+//!
+//! Four acts:
+//!  1. an MLP0 tenant rides a piecewise-linear diurnal profile through
+//!     the single-host `tpu_serve` engine;
+//!  2. its arrival stream is recorded to a versioned `tpu-trace` JSON
+//!     file — without re-running the simulation (arrival generation is
+//!     open loop);
+//!  3. the trace is loaded back and replayed through `tpu_serve`: the
+//!     report matches the synthetic run byte for byte;
+//!  4. the same file feeds a 2-host `tpu_cluster` fleet — the recorded
+//!     production shape, replayed at fleet scale.
+
+use tpu_repro::tpu_cluster::{run_fleet, FleetSpec, FleetTenantSpec, RouterPolicy};
+use tpu_repro::tpu_core::TpuConfig;
+use tpu_repro::tpu_serve::workload::{ArrivalProcess, DiurnalProfile, Trace};
+use tpu_repro::tpu_serve::{run, BatchPolicy, ClusterSpec, TenantSpec};
+
+fn diurnal_tenant() -> TenantSpec {
+    TenantSpec::new(
+        "MLP0",
+        ArrivalProcess::Diurnal {
+            profile: DiurnalProfile::day_night(50_000.0, 400_000.0, 60.0),
+        },
+        BatchPolicy::Timeout {
+            max_batch: 200,
+            t_max_ms: 2.0,
+        },
+        7.0,
+        20_000,
+    )
+}
+
+fn main() {
+    let cfg = TpuConfig::paper();
+    let seed = 42;
+
+    println!("=== 1. synthetic diurnal run (tpu_serve, 2 dies) ===\n");
+    let tenants = vec![diurnal_tenant()];
+    let synthetic = run(&ClusterSpec::new(2, seed), &tenants, &cfg);
+    print!("{synthetic}");
+
+    println!("\n=== 2. record the arrival stream ===\n");
+    let trace = Trace::record(&tenants, seed, "example/diurnal");
+    let path = std::env::temp_dir().join("tpu_trace_example.trace.json");
+    let path = path.to_str().expect("utf-8 temp path");
+    trace.save(path).expect("trace writes");
+    println!(
+        "recorded {} arrivals for {} tenant(s) to {path}",
+        trace.total_arrivals(),
+        trace.tenants.len(),
+    );
+
+    println!("\n=== 3. replay through tpu_serve ===\n");
+    let loaded = Trace::load(path).expect("trace loads");
+    let mut replayed = tenants.clone();
+    loaded.apply(&mut replayed);
+    let replay = run(&ClusterSpec::new(2, seed), &replayed, &cfg);
+    print!("{replay}");
+    assert_eq!(
+        format!("{synthetic}"),
+        format!("{replay}"),
+        "replay must reproduce the synthetic report byte for byte"
+    );
+    println!("\nreplay report is byte-identical to the synthetic run ✓");
+
+    println!("\n=== 4. the same trace drives a 2-host fleet ===\n");
+    let fleet = FleetSpec::new(2, 2, seed).with_router(RouterPolicy::LeastOutstanding);
+    let fleet_tenants: Vec<FleetTenantSpec> = replayed
+        .iter()
+        .map(|t| FleetTenantSpec::new(t.clone(), 2))
+        .collect();
+    let fleet_run = run_fleet(&fleet, &fleet_tenants, &cfg);
+    print!("{}", fleet_run.report);
+
+    let _ = std::fs::remove_file(path);
+}

@@ -1,0 +1,228 @@
+//! The workload layer's acceptance tests: trace record → serialize →
+//! parse → replay round-trips are bit-identical through both simulators
+//! for randomized tenant mixes, and the refactor from the closed
+//! `ArrivalProcess` enum to pluggable `ArrivalSource`s left every
+//! existing Poisson/bursty scenario's report byte-for-byte unchanged
+//! (pinned against pre-refactor golden snapshots).
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use tpu_repro::tpu_cluster::{run_fleet, FleetSpec, FleetTenantSpec, HopModel};
+use tpu_repro::tpu_core::TpuConfig;
+use tpu_repro::tpu_serve::workload::{ArrivalProcess, DiurnalProfile, Trace};
+use tpu_repro::tpu_serve::{run, BatchPolicy, ClusterSpec, ServeReport, ServiceCurve, TenantSpec};
+
+/// A randomized arrival shape with parameters kept inside each
+/// process's validity envelope and at rates the small request counts
+/// below can serve quickly.
+fn any_process() -> impl Strategy<Value = ArrivalProcess> {
+    prop_oneof![
+        (2_000.0f64..60_000.0).prop_map(|rate_rps| ArrivalProcess::Poisson { rate_rps }),
+        (
+            2_000.0f64..40_000.0,
+            1.5f64..4.0,
+            10.0f64..60.0,
+            0.05f64..0.24
+        )
+            .prop_map(
+                |(rate_rps, burst_factor, period_ms, duty)| ArrivalProcess::Bursty {
+                    rate_rps,
+                    burst_factor,
+                    period_ms,
+                    duty,
+                }
+            ),
+        (1_000.0f64..10_000.0, 2.0f64..8.0, 20.0f64..100.0).prop_map(
+            |(trough, peak_factor, period_ms)| ArrivalProcess::Diurnal {
+                profile: DiurnalProfile::day_night(trough, trough * peak_factor, period_ms),
+            }
+        ),
+    ]
+}
+
+fn any_policy() -> impl Strategy<Value = BatchPolicy> {
+    prop_oneof![
+        (1usize..32).prop_map(|batch| BatchPolicy::Fixed { batch }),
+        (2usize..64, 0.5f64..4.0).prop_map(|(max_batch, t_max_ms)| BatchPolicy::Timeout {
+            max_batch,
+            t_max_ms
+        }),
+    ]
+}
+
+fn tenant_mix() -> impl Strategy<Value = Vec<TenantSpec>> {
+    prop::collection::vec((any_process(), any_policy(), 50usize..200, 0usize..6), 1..4).prop_map(
+        |parts| {
+            let workloads = ["MLP0", "MLP1", "LSTM0", "LSTM1", "CNN0", "CNN1"];
+            parts
+                .into_iter()
+                .enumerate()
+                .map(|(i, (process, policy, requests, w))| {
+                    // Unique display names: record/replay matches streams
+                    // by name, so duplicates must not alias.
+                    TenantSpec::new(workloads[w], process, policy, 30.0, requests)
+                        .named(&format!("t{i}-{}", workloads[w]))
+                        .with_curve(ServiceCurve::new(0.4, 0.01, 0.0))
+                })
+                .collect()
+        },
+    )
+}
+
+/// Record a mix, push the trace through its JSON text form, and replay:
+/// the whole pipeline must be bit-exact.
+fn roundtrip(tenants: &[TenantSpec], seed: u64) -> (Vec<TenantSpec>, Trace) {
+    let trace = Trace::record(tenants, seed, "proptest");
+    let text = serde_json::to_string(&trace.to_json());
+    let parsed = Trace::parse(&text).expect("recorded traces parse");
+    assert_eq!(parsed, trace, "serialize → parse must be lossless");
+    let mut replayed = tenants.to_vec();
+    parsed.apply(&mut replayed);
+    (replayed, parsed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Record → replay through `tpu_serve::run` yields a bit-identical
+    /// JSON (and text) report for randomized mixes and seeds.
+    #[test]
+    fn serve_replay_is_bit_identical(
+        tenants in tenant_mix(),
+        seed in 0u64..10_000,
+        dies in 1usize..4,
+    ) {
+        let cfg = TpuConfig::paper();
+        let cluster = ClusterSpec::new(dies, seed);
+        let synthetic = run(&cluster, &tenants, &cfg);
+        let (replayed, _) = roundtrip(&tenants, seed);
+        let replay = run(&cluster, &replayed, &cfg);
+        prop_assert_eq!(
+            ServeReport::to_json(&synthetic).to_string(),
+            ServeReport::to_json(&replay).to_string(),
+            "JSON reports must match bit for bit"
+        );
+        prop_assert_eq!(format!("{synthetic}"), format!("{replay}"));
+    }
+
+    /// The same property through a 1-host `tpu_cluster` fleet.
+    #[test]
+    fn one_host_cluster_replay_is_bit_identical(
+        tenants in tenant_mix(),
+        seed in 0u64..10_000,
+        dies in 1usize..4,
+    ) {
+        let cfg = TpuConfig::paper();
+        let fleet = FleetSpec::new(1, dies, seed).with_hop(HopModel::None);
+        let wrap = |ts: &[TenantSpec]| -> Vec<FleetTenantSpec> {
+            ts.iter().map(|t| FleetTenantSpec::new(t.clone(), 1)).collect()
+        };
+        let synthetic = run_fleet(&fleet, &wrap(&tenants), &cfg);
+        let (replayed, _) = roundtrip(&tenants, seed);
+        let replay = run_fleet(&fleet, &wrap(&replayed), &cfg);
+        prop_assert_eq!(
+            synthetic.report.to_json().to_string(),
+            replay.report.to_json().to_string(),
+            "fleet JSON reports must match bit for bit"
+        );
+        prop_assert_eq!(
+            format!("{}", synthetic.report),
+            format!("{}", replay.report)
+        );
+    }
+
+    /// Replaying a *prefix* of a recording equals generating fewer
+    /// requests from the same seed — the open-loop property behind
+    /// `--requests-scale` on trace-driven scenarios.
+    #[test]
+    fn prefix_replay_equals_shorter_synthetic_run(
+        tenants in tenant_mix(),
+        seed in 0u64..10_000,
+    ) {
+        let cfg = TpuConfig::paper();
+        let trace = Trace::record(&tenants, seed, "prefix");
+        let mut short = tenants.clone();
+        let mut prefix = tenants.clone();
+        for (i, (s, p)) in short.iter_mut().zip(prefix.iter_mut()).enumerate() {
+            let half = (s.requests / 2).max(1);
+            s.requests = half;
+            p.requests = half;
+            p.arrivals = ArrivalProcess::Recorded {
+                arrivals_ms: trace.tenants[i].arrivals_ms.clone(),
+            };
+        }
+        let cluster = ClusterSpec::new(2, seed);
+        let a = run(&cluster, &short, &cfg);
+        let b = run(&cluster, &prefix, &cfg);
+        prop_assert_eq!(format!("{a}"), format!("{b}"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Refactor parity: pre-refactor golden snapshots.
+// ---------------------------------------------------------------------
+
+fn golden(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden_workload")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing golden {path:?}: {e}"))
+}
+
+/// Render a serve scenario exactly as the CLI does.
+fn render_serve(name: &str, scale: f64) -> String {
+    let cfg = TpuConfig::paper();
+    let s = tpu_repro::tpu_serve::scenario_by_name(name)
+        .expect("scenario exists")
+        .scale_requests(scale);
+    let mut out = format!("== {} — {}\n", s.name, s.description);
+    for (label, report) in s.execute(&cfg) {
+        out.push_str(&format!("\n-- {label}\n{report}"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Render a fleet scenario exactly as the CLI does.
+fn render_cluster(name: &str, scale: f64) -> String {
+    let cfg = TpuConfig::paper();
+    let s = tpu_repro::tpu_cluster::scenario_by_name(name)
+        .expect("scenario exists")
+        .scale_requests(scale);
+    let mut out = format!("== {} — {}\n", s.name, s.description);
+    for (label, run) in s.execute(&cfg) {
+        out.push_str(&format!("\n-- {label}\n{}", run.report));
+    }
+    out.push('\n');
+    out
+}
+
+/// The workload refactor changed no existing scenario output: these
+/// snapshots were generated by the *pre-refactor* binaries.
+#[test]
+fn serve_scenarios_match_pre_refactor_reports() {
+    assert_eq!(
+        render_serve("mlp0-burst", 0.1),
+        golden("serve_mlp0_burst_s0.1.txt"),
+        "mlp0-burst drifted from its pre-refactor report"
+    );
+    assert_eq!(
+        render_serve("mixed-tenants", 0.02),
+        golden("serve_mixed_tenants_s0.02.txt"),
+        "mixed-tenants drifted from its pre-refactor report"
+    );
+}
+
+#[test]
+fn cluster_scenarios_match_pre_refactor_reports() {
+    assert_eq!(
+        render_cluster("fleet-steady", 0.02),
+        golden("cluster_fleet_steady_s0.02.txt"),
+        "fleet-steady drifted from its pre-refactor report"
+    );
+    assert_eq!(
+        render_cluster("host-failover", 0.1),
+        golden("cluster_host_failover_s0.1.txt"),
+        "host-failover drifted from its pre-refactor report"
+    );
+}
