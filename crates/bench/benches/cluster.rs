@@ -7,32 +7,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use tpu_cluster::{run_fleet, FleetSpec, FleetTenantSpec, HopModel, RouterPolicy};
+use tpu_bench::fleet_tenants;
+use tpu_cluster::{run_fleet, FleetSpec, HopModel, RouterPolicy};
 use tpu_core::TpuConfig;
-use tpu_serve::tenant::ArrivalProcess;
-use tpu_serve::{BatchPolicy, ServiceCurve, TenantSpec};
-
-/// An MLP0 tenant sized so each host pool sees meaningful load:
-/// `rate ≈ 0.5 × hosts × dies × capacity(batch 200)`.
-fn tenants(hosts: usize, requests: usize) -> Vec<FleetTenantSpec> {
-    let per_die = ServiceCurve::tpu_mlp0_table4().capacity_ips(200);
-    vec![FleetTenantSpec::new(
-        TenantSpec::new(
-            "MLP0",
-            ArrivalProcess::Poisson {
-                rate_rps: 0.5 * hosts as f64 * 2.0 * per_die,
-            },
-            BatchPolicy::Timeout {
-                max_batch: 200,
-                t_max_ms: 2.0,
-            },
-            7.0,
-            requests,
-        )
-        .with_curve(ServiceCurve::tpu_mlp0_table4()),
-        hosts,
-    )]
-}
 
 fn fleet_event_throughput(c: &mut Criterion) {
     let cfg = TpuConfig::paper();
@@ -43,7 +20,7 @@ fn fleet_event_throughput(c: &mut Criterion) {
         let spec = FleetSpec::new(hosts, 2, 42)
             .with_router(RouterPolicy::LeastOutstanding)
             .with_hop(HopModel::Table5 { scale_ms: 1.0 });
-        let ts = tenants(hosts, requests);
+        let ts = fleet_tenants(hosts, requests);
         let events = run_fleet(&spec, &ts, &cfg).report.events_processed;
         println!("cluster_event_loop/hosts/{hosts}: {events} events per iteration");
         group.bench_with_input(BenchmarkId::new("hosts", hosts), &hosts, |b, &_h| {

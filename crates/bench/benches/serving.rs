@@ -6,24 +6,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use tpu_bench::mlp0_tenant;
 use tpu_core::TpuConfig;
 use tpu_serve::tenant::ArrivalProcess;
-use tpu_serve::{run, BatchPolicy, ClusterSpec, ServiceCurve, TenantSpec};
+use tpu_serve::{run, BatchPolicy, ClusterSpec, TenantSpec};
 
 fn single_tenant(requests: usize) -> Vec<TenantSpec> {
-    vec![TenantSpec::new(
-        "MLP0",
-        ArrivalProcess::Poisson {
-            rate_rps: 150_000.0,
-        },
-        BatchPolicy::Timeout {
-            max_batch: 200,
-            t_max_ms: 2.0,
-        },
-        7.0,
-        requests,
-    )
-    .with_curve(ServiceCurve::tpu_mlp0_table4())]
+    vec![mlp0_tenant(150_000.0, requests)]
 }
 
 fn mixed_tenants(requests_each: usize) -> Vec<TenantSpec> {

@@ -1,0 +1,286 @@
+//! `bench_cluster` — the quick-mode fleet-throughput runner behind
+//! `BENCH_cluster.json` and the CI regression gate.
+//!
+//! For each fleet size (1, 10, 100 hosts) it runs the canonical MLP0
+//! fleet workload (`tpu_bench::fleet_tenants`) twice in the same
+//! process on the same machine:
+//!
+//! * **baseline** — the pre-PR hot path: the reference `BinaryHeap`
+//!   event queue (`TPU_SIM_EVENT_QUEUE=heap`) and the per-arrival
+//!   scan-and-allocate router (`TPU_CLUSTER_ROUTER=scan`);
+//! * **current** — the timer-wheel event core and the indexed
+//!   least-outstanding router.
+//!
+//! Both modes are bit-identical in their reports (asserted here on
+//! every run — the escape hatches only change speed), so the speedup
+//! column is a like-for-like measurement taken in one run. `--check
+//! FILE` compares the measured 100-host *speedup* against the
+//! committed `BENCH_cluster.json` and fails (exit 1) on a regression
+//! beyond `--tolerance` (default 0.20). Comparing same-run ratios
+//! removes absolute-throughput skew between machines; the relative
+//! benefit of O(1) structures still varies some with cache hierarchy
+//! and load, which is what the tolerance (and a generous `--budget-ms`
+//! on CI) absorbs — if the gate flakes on shared runners, raise the
+//! budget or tolerance rather than trusting a single short sample.
+//!
+//! ```text
+//! bench_cluster [--out FILE] [--check FILE] [--tolerance F]
+//!               [--budget-ms N] [--hosts A,B,C]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+use tpu_bench::fleet_tenants;
+use tpu_cluster::{run_fleet, FleetRun, FleetSpec, FleetTenantSpec, HopModel, RouterPolicy};
+use tpu_core::TpuConfig;
+
+/// Requests per host at each fleet size (matches `benches/cluster.rs`).
+const REQUESTS_PER_HOST: usize = 2_000;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_cluster [--out FILE] [--check FILE] [--tolerance F] \
+         [--budget-ms N] [--hosts A,B,C]"
+    );
+    ExitCode::from(2)
+}
+
+fn spec_for(hosts: usize) -> (FleetSpec, Vec<FleetTenantSpec>) {
+    let spec = FleetSpec::new(hosts, 2, 42)
+        .with_router(RouterPolicy::LeastOutstanding)
+        .with_hop(HopModel::Table5 { scale_ms: 1.0 });
+    (spec, fleet_tenants(hosts, REQUESTS_PER_HOST * hosts))
+}
+
+/// Run the fleet until `budget_ms` of wall clock is spent (at least
+/// twice), returning events/sec and the last run for identity checks.
+fn measure(
+    spec: &FleetSpec,
+    tenants: &[FleetTenantSpec],
+    cfg: &TpuConfig,
+    budget_ms: u64,
+) -> (f64, u64, FleetRun) {
+    // One untimed warmup (page-in, allocator growth).
+    let mut last = run_fleet(spec, tenants, cfg);
+    let events = last.report.events_processed;
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while iters < 2 || start.elapsed().as_millis() < budget_ms as u128 {
+        last = run_fleet(spec, tenants, cfg);
+        iters += 1;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    ((events * iters) as f64 / elapsed, events, last)
+}
+
+struct Row {
+    hosts: usize,
+    events: u64,
+    baseline_eps: f64,
+    current_eps: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.current_eps / self.baseline_eps
+    }
+}
+
+fn rows_to_json(rows: &[Row]) -> serde_json::Value {
+    use serde_json::Value;
+    Value::object([
+        (
+            "bench".to_string(),
+            Value::String("cluster_event_loop".to_string()),
+        ),
+        (
+            "workload".to_string(),
+            Value::String(format!(
+                "MLP0 x {REQUESTS_PER_HOST} requests/host, 2 dies/host"
+            )),
+        ),
+        (
+            "hosts".to_string(),
+            Value::Array(
+                rows.iter()
+                    .map(|r| {
+                        Value::object([
+                            ("hosts".to_string(), Value::Number(r.hosts as f64)),
+                            (
+                                "events_per_iteration".to_string(),
+                                Value::Number(r.events as f64),
+                            ),
+                            (
+                                "baseline_heap_scan_events_per_sec".to_string(),
+                                Value::Number(r.baseline_eps.round()),
+                            ),
+                            (
+                                "events_per_sec".to_string(),
+                                Value::Number(r.current_eps.round()),
+                            ),
+                            (
+                                "speedup".to_string(),
+                                Value::Number((r.speedup() * 100.0).round() / 100.0),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Pull `hosts[i].speedup` for a fleet size out of a committed report.
+fn committed_speedup(doc: &serde_json::Value, hosts: usize) -> Option<f64> {
+    let serde_json::Value::Object(top) = doc else {
+        return None;
+    };
+    let serde_json::Value::Array(rows) = top.get("hosts")? else {
+        return None;
+    };
+    rows.iter().find_map(|row| {
+        let serde_json::Value::Object(r) = row else {
+            return None;
+        };
+        match (r.get("hosts"), r.get("speedup")) {
+            (Some(serde_json::Value::Number(h)), Some(serde_json::Value::Number(s)))
+                if *h == hosts as f64 =>
+            {
+                Some(*s)
+            }
+            _ => None,
+        }
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut tolerance = 0.20f64;
+    let mut budget_ms = 1_500u64;
+    let mut hosts_list = vec![1usize, 10, 100];
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => return usage(),
+            },
+            "--check" => match it.next() {
+                Some(v) => check = Some(v.clone()),
+                None => return usage(),
+            },
+            "--tolerance" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if (0.0..1.0).contains(&v) => tolerance = v,
+                _ => return usage(),
+            },
+            "--budget-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => budget_ms = v,
+                _ => return usage(),
+            },
+            "--hosts" => match it.next() {
+                Some(v) => {
+                    let parsed: Option<Vec<usize>> = v
+                        .split(',')
+                        .map(|h| h.parse().ok().filter(|&h| h > 0))
+                        .collect();
+                    match parsed {
+                        Some(h) if !h.is_empty() => hosts_list = h,
+                        _ => return usage(),
+                    }
+                }
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let cfg = TpuConfig::paper();
+    let mut rows = Vec::new();
+    for &hosts in &hosts_list {
+        let (spec, tenants) = spec_for(hosts);
+
+        std::env::set_var("TPU_SIM_EVENT_QUEUE", "heap");
+        std::env::set_var("TPU_CLUSTER_ROUTER", "scan");
+        let (baseline_eps, events, baseline_run) = measure(&spec, &tenants, &cfg, budget_ms);
+
+        std::env::remove_var("TPU_SIM_EVENT_QUEUE");
+        std::env::remove_var("TPU_CLUSTER_ROUTER");
+        let (current_eps, _, current_run) = measure(&spec, &tenants, &cfg, budget_ms);
+
+        assert_eq!(
+            baseline_run, current_run,
+            "baseline and current modes must be bit-identical (hosts={hosts})"
+        );
+
+        let row = Row {
+            hosts,
+            events,
+            baseline_eps,
+            current_eps,
+        };
+        println!(
+            "hosts={:<4} events/iter={:<7} baseline={:>12.0} ev/s  current={:>12.0} ev/s  speedup={:.2}x",
+            row.hosts,
+            row.events,
+            row.baseline_eps,
+            row.current_eps,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+
+    let doc = rows_to_json(&rows);
+    if let Some(path) = out {
+        let body = format!("{}\n", serde_json::to_string_pretty(&doc));
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("bench_cluster: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = check {
+        let gate_hosts = *hosts_list.last().expect("hosts list non-empty");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_cluster: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let committed = match serde_json::from_str(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("bench_cluster: {path} is not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(want) = committed_speedup(&committed, gate_hosts) else {
+            eprintln!("bench_cluster: {path} has no speedup entry for {gate_hosts} hosts");
+            return ExitCode::FAILURE;
+        };
+        let got = rows
+            .iter()
+            .find(|r| r.hosts == gate_hosts)
+            .expect("measured the gate size")
+            .speedup();
+        let floor = want * (1.0 - tolerance);
+        if got < floor {
+            eprintln!(
+                "bench_cluster: REGRESSION at {gate_hosts} hosts: same-run speedup {got:.2}x \
+                 fell below {floor:.2}x (committed {want:.2}x - {:.0}% tolerance)",
+                tolerance * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "gate ok at {gate_hosts} hosts: speedup {got:.2}x >= {floor:.2}x \
+             (committed {want:.2}x - {:.0}% tolerance)",
+            tolerance * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}

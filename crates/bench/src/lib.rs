@@ -10,12 +10,20 @@
 //!   systolic wavefront throughput by array size, timing-engine op rates,
 //!   Unified Buffer allocators, quantized matmul, and the functional
 //!   device end-to-end.
+//! * `serving` / `cluster` / `workload` — event-loop and arrival-layer
+//!   throughput of the serving runtime and the fleet simulator.
 //!
-//! This library crate exposes small helpers shared by the benches.
+//! This library crate exposes small helpers shared by the benches and
+//! by the `bench_cluster` quick-mode throughput runner (`src/bin/`),
+//! including the canonical MLP0 load builders that the serving and
+//! cluster benches sweep — one definition, not per-bench copies.
 
 #![warn(missing_docs)]
 
+use tpu_cluster::FleetTenantSpec;
 use tpu_core::TpuConfig;
+use tpu_serve::tenant::ArrivalProcess;
+use tpu_serve::{BatchPolicy, ServiceCurve, TenantSpec};
 
 /// The array sizes the microarchitecture ablations sweep: from a 32x32
 /// toy to the shipped 256x256.
@@ -26,6 +34,34 @@ pub fn ablation_dims() -> Vec<usize> {
 /// A paper-configuration handle for benches.
 pub fn paper_config() -> TpuConfig {
     TpuConfig::paper()
+}
+
+/// The canonical single-host bench tenant: MLP0 under a Poisson stream
+/// with a timeout-bounded batch-200 policy and the Table 4 service
+/// curve.
+pub fn mlp0_tenant(rate_rps: f64, requests: usize) -> TenantSpec {
+    TenantSpec::new(
+        "MLP0",
+        ArrivalProcess::Poisson { rate_rps },
+        BatchPolicy::Timeout {
+            max_batch: 200,
+            t_max_ms: 2.0,
+        },
+        7.0,
+        requests,
+    )
+    .with_curve(ServiceCurve::tpu_mlp0_table4())
+}
+
+/// The canonical fleet bench load: one MLP0 tenant replicated across
+/// every host, sized so each host pool sees meaningful load —
+/// `rate ≈ 0.5 × hosts × dies × capacity(batch 200)`.
+pub fn fleet_tenants(hosts: usize, requests: usize) -> Vec<FleetTenantSpec> {
+    let per_die = ServiceCurve::tpu_mlp0_table4().capacity_ips(200);
+    vec![FleetTenantSpec::new(
+        mlp0_tenant(0.5 * hosts as f64 * 2.0 * per_die, requests),
+        hosts,
+    )]
 }
 
 #[cfg(test)]
@@ -44,5 +80,14 @@ mod tests {
     #[test]
     fn paper_config_is_valid() {
         assert!(paper_config().validate().is_ok());
+    }
+
+    #[test]
+    fn fleet_tenants_replicate_across_all_hosts() {
+        let ts = fleet_tenants(10, 1000);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].replicas, 10);
+        assert_eq!(ts[0].tenant.requests, 1000);
+        assert_eq!(ts[0].tenant.name, "MLP0");
     }
 }

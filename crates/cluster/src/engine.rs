@@ -23,7 +23,7 @@ use crate::autoscale::{decide, ScaleDecision, ScaleSignals};
 use crate::failure::FailureKind;
 use crate::fleet::{place, FleetSpec, FleetTenantSpec};
 use crate::report::{FleetHostReport, FleetReport, FleetTenantReport, ReplicaSample};
-use crate::route::{Candidate, RouterState};
+use crate::route::{Candidate, OutstandingIndex, RouterPolicy, RouterState};
 use std::collections::VecDeque;
 use tpu_core::TpuConfig;
 use tpu_serve::report::percentile;
@@ -65,6 +65,10 @@ struct HostRt {
     live_slots: usize,
     /// `slot_owner[slot]` = tenant index (slots are append-only).
     slot_owner: Vec<usize>,
+    /// `slot_replica[slot]` = the owning tenant's replica index — the
+    /// O(1) reverse map that replaces the per-completion linear scan
+    /// over `TenantRt::replicas` (replicas never move hosts or slots).
+    slot_replica: Vec<usize>,
 }
 
 struct ReplicaRt {
@@ -104,32 +108,144 @@ struct TenantRt {
     /// flush partial batches.
     drained: bool,
     last_scale_ms: f64,
+    /// The serving replicas — live, routable, healthy host — keyed by
+    /// `(outstanding, replica)`, maintained update-on-delta at every
+    /// eligibility or outstanding-count transition. Routing and the
+    /// replica-count samples read it in O(log replicas) / O(1) instead
+    /// of scanning (and allocating) per request.
+    index: OutstandingIndex,
+    /// Reused candidate scratch buffer for the scan-based policies
+    /// (round-robin, consistent hash) — no per-request allocation.
+    cand_buf: Vec<Candidate>,
+    /// `false` restores the pre-index per-arrival candidate scan (the
+    /// `TPU_CLUSTER_ROUTER=scan` baseline escape hatch; decisions are
+    /// identical either way).
+    use_index: bool,
+}
+
+/// The single serving-eligibility rule: a replica is routable traffic's
+/// candidate iff it is live, routable, and its host is healthy. The
+/// `OutstandingIndex` mirrors exactly the replicas satisfying this
+/// predicate, so every site that tests eligibility must go through it —
+/// a second inlined copy that drifts would silently desync the index
+/// from the scan.
+#[inline]
+fn serving(r: &ReplicaRt, hosts: &[HostRt]) -> bool {
+    r.live && r.routable && hosts[r.host].healthy
 }
 
 impl TenantRt {
-    fn candidates(&self, hosts: &[HostRt]) -> Vec<Candidate> {
-        self.replicas
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.live && r.routable && hosts[r.host].healthy)
-            .map(|(i, r)| Candidate {
-                replica: i,
-                outstanding: r.outstanding,
-            })
-            .collect()
+    fn eligible(&self, replica: usize, hosts: &[HostRt]) -> bool {
+        serving(&self.replicas[replica], hosts)
+    }
+
+    fn fill_candidates(&mut self, hosts: &[HostRt]) {
+        self.cand_buf.clear();
+        for (i, r) in self.replicas.iter().enumerate() {
+            if serving(r, hosts) {
+                self.cand_buf.push(Candidate {
+                    replica: i,
+                    outstanding: r.outstanding,
+                });
+            }
+        }
     }
 
     fn serving_replicas(&self, hosts: &[HostRt]) -> usize {
-        self.replicas
-            .iter()
-            .filter(|r| r.live && r.routable && hosts[r.host].healthy)
-            .count()
+        if self.use_index {
+            self.index.len()
+        } else {
+            self.replicas.iter().filter(|r| serving(r, hosts)).count()
+        }
+    }
+
+    fn has_candidates(&self, hosts: &[HostRt]) -> bool {
+        if self.use_index {
+            !self.index.is_empty()
+        } else {
+            self.replicas.iter().any(|r| serving(r, hosts))
+        }
     }
 
     /// Front-end arrivals not yet delivered into a host queue: still to
     /// be emitted by the source, or scheduled and waiting to fire.
     fn undelivered(&self) -> usize {
         self.gen.remaining() + self.pending_arrival as usize
+    }
+}
+
+/// Pick a replica for one request of `tenant`, or `None` when nothing
+/// is routable. Least-outstanding reads the delta-maintained index —
+/// the same `(outstanding, replica)` minimum as the legacy candidate
+/// scan, without the per-request O(replicas) walk; the scan policies
+/// (and the `scan` baseline mode) go through the reused candidate
+/// buffer.
+fn pick_replica(
+    trs: &mut [TenantRt],
+    hosts: &[HostRt],
+    spec: &FleetSpec,
+    tenant: usize,
+) -> Option<usize> {
+    let tr = &mut trs[tenant];
+    if !tr.use_index {
+        // The pre-index hot path, verbatim: collect the eligible
+        // replicas into a fresh `Vec` per request and scan it.
+        let cands: Vec<Candidate> = tr
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| serving(r, hosts))
+            .map(|(i, r)| Candidate {
+                replica: i,
+                outstanding: r.outstanding,
+            })
+            .collect();
+        return tr.router.pick(spec.router, tenant, &cands);
+    }
+    if spec.router == RouterPolicy::LeastOutstanding {
+        return tr.index.least();
+    }
+    tr.fill_candidates(hosts);
+    let TenantRt {
+        router, cand_buf, ..
+    } = tr;
+    router.pick(spec.router, tenant, cand_buf)
+}
+
+/// Apply a delta to a replica's outstanding count, keeping the
+/// least-outstanding index in sync when the replica is serving.
+fn set_outstanding(
+    trs: &mut [TenantRt],
+    hosts: &[HostRt],
+    tenant: usize,
+    replica: usize,
+    new_outstanding: usize,
+) {
+    let in_index = trs[tenant].use_index && trs[tenant].eligible(replica, hosts);
+    let tr = &mut trs[tenant];
+    let old = tr.replicas[replica].outstanding;
+    tr.replicas[replica].outstanding = new_outstanding;
+    if in_index {
+        tr.index.update(old, new_outstanding, replica);
+    }
+}
+
+/// A host's health flipped: add (`true`) or drop (`false`) every
+/// routable replica it carries from its tenant's serving index.
+fn reindex_host_replicas(trs: &mut [TenantRt], hosts: &[HostRt], host: usize, now_serving: bool) {
+    for (&tenant, &replica) in hosts[host].slot_owner.iter().zip(&hosts[host].slot_replica) {
+        let tr = &mut trs[tenant];
+        if !tr.use_index {
+            continue;
+        }
+        let r = &tr.replicas[replica];
+        if r.live && r.routable {
+            if now_serving {
+                tr.index.insert(r.outstanding, replica);
+            } else {
+                tr.index.remove(r.outstanding, replica);
+            }
+        }
     }
 }
 
@@ -178,8 +294,15 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
             weight_used: 0,
             live_slots: 0,
             slot_owner: Vec::new(),
+            slot_replica: Vec::new(),
         })
         .collect();
+
+    // The indexed least-outstanding router is on unless the
+    // `TPU_CLUSTER_ROUTER=scan` baseline escape hatch restores the
+    // pre-index per-arrival scan (identical decisions, only slower —
+    // `bench_cluster` measures the two in one run).
+    let use_index = !matches!(std::env::var("TPU_CLUSTER_ROUTER").as_deref(), Ok("scan"));
 
     let plan = place(&spec.hosts, tenants);
     let mut trs: Vec<TenantRt> = tenants
@@ -193,13 +316,19 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
             );
             let curve = ft.tenant.effective_curve(cfg);
             let weight = ft.weight_bytes();
-            let replicas = plan[t]
+            let mut index = OutstandingIndex::new();
+            let replicas: Vec<ReplicaRt> = plan[t]
                 .iter()
-                .map(|&host| {
+                .enumerate()
+                .map(|(replica, &host)| {
                     let slot = hosts[host].core.add_slot(ft.tenant.clone(), curve);
                     hosts[host].slot_owner.push(t);
+                    hosts[host].slot_replica.push(replica);
                     hosts[host].weight_used += weight;
                     hosts[host].live_slots += 1;
+                    if use_index {
+                        index.insert(0, replica);
+                    }
                     ReplicaRt {
                         host,
                         slot,
@@ -228,6 +357,9 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                 retries: 0,
                 drained: false,
                 last_scale_ms: f64::NEG_INFINITY,
+                index,
+                cand_buf: Vec::new(),
+                use_index,
                 spec: ft.clone(),
             }
         })
@@ -258,8 +390,7 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
         match event {
             FleetEvent::Arrival { tenant } => {
                 trs[tenant].pending_arrival = false;
-                let cands = trs[tenant].candidates(&hosts);
-                let picked = trs[tenant].router.pick(spec.router, tenant, &cands);
+                let picked = pick_replica(&mut trs, &hosts, spec, tenant);
                 // Schedule the next arrival before delivering, so the
                 // zero-hop path makes schedule calls in exactly
                 // tpu_serve::run's order (next arrival, then timer
@@ -297,7 +428,8 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                     // The host crashed while the request was in the
                     // hop: retry it elsewhere at its original arrival
                     // time.
-                    trs[tenant].replicas[replica].outstanding -= 1;
+                    let o = trs[tenant].replicas[replica].outstanding;
+                    set_outstanding(&mut trs, &hosts, tenant, replica, o - 1);
                     maybe_retire(&mut hosts, &mut trs, tenant, replica);
                     trs[tenant].retries += 1;
                     route_request(&mut q, &mut hosts, &mut trs, spec, tenant, arrived_ms, now);
@@ -317,12 +449,15 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                     HostEvent::DieFree { die } => {
                         if let Some(done) = hosts[host].core.on_die_free(die) {
                             let tenant = hosts[host].slot_owner[done.slot];
-                            let replica = trs[tenant]
-                                .replicas
-                                .iter()
-                                .position(|r| r.host == host && r.slot == done.slot)
-                                .expect("completed slot has a replica");
-                            trs[tenant].replicas[replica].outstanding -= done.completions;
+                            let replica = hosts[host].slot_replica[done.slot];
+                            let o = trs[tenant].replicas[replica].outstanding;
+                            set_outstanding(
+                                &mut trs,
+                                &hosts,
+                                tenant,
+                                replica,
+                                o - done.completions,
+                            );
                             maybe_retire(&mut hosts, &mut trs, tenant, replica);
                         }
                     }
@@ -377,6 +512,9 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                 match f.kind {
                     FailureKind::Crash => {
                         if hosts[f.host].healthy {
+                            // Serving replicas on this host leave the
+                            // routing index before the health flip.
+                            reindex_host_replicas(&mut trs, &hosts, f.host, false);
                             hosts[f.host].healthy = false;
                             hosts[f.host].epoch += 1;
                             hosts[f.host].crashes += 1;
@@ -389,12 +527,15 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                             let mut requeue: Vec<(usize, f64)> = Vec::new();
                             for (slot, arrivals) in displaced {
                                 let tenant = hosts[f.host].slot_owner[slot];
-                                let replica = trs[tenant]
-                                    .replicas
-                                    .iter()
-                                    .position(|r| r.host == f.host && r.slot == slot)
-                                    .expect("displaced slot has a replica");
-                                trs[tenant].replicas[replica].outstanding -= arrivals.len();
+                                let replica = hosts[f.host].slot_replica[slot];
+                                let o = trs[tenant].replicas[replica].outstanding;
+                                set_outstanding(
+                                    &mut trs,
+                                    &hosts,
+                                    tenant,
+                                    replica,
+                                    o - arrivals.len(),
+                                );
                                 maybe_retire(&mut hosts, &mut trs, tenant, replica);
                                 trs[tenant].displaced_pending += arrivals.len();
                                 requeue.extend(arrivals.into_iter().map(|ts| (tenant, ts)));
@@ -409,6 +550,7 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                     FailureKind::Recover => {
                         if !hosts[f.host].healthy {
                             hosts[f.host].healthy = true;
+                            reindex_host_replicas(&mut trs, &hosts, f.host, true);
                             for t in 0..trs.len() {
                                 unpark(&mut q, &mut hosts, &mut trs, spec, t, now);
                             }
@@ -475,7 +617,7 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                 .iter()
                 .flat_map(|r| hosts[r.host].core.slot_latencies(r.slot))
                 .collect();
-            merged.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            merged.sort_unstable_by(|a, b| a.total_cmp(b));
             let n = merged.len();
             let batches: usize = tr
                 .replicas
@@ -585,11 +727,15 @@ fn maybe_mark_drained(
     delivered_host: usize,
 ) -> Vec<usize> {
     let tr = &mut trs[tenant];
+    // Cheap flags first: `pending_arrival` is true for nearly every
+    // delivery mid-run, so the virtual `remaining()` call on the boxed
+    // arrival source is skipped on the hot path.
     if tr.drained
-        || tr.undelivered() > 0
+        || tr.pending_arrival
         || tr.in_hop > 0
         || tr.displaced_pending > 0
         || !tr.parked.is_empty()
+        || tr.gen.remaining() > 0
     {
         return Vec::new();
     }
@@ -633,8 +779,7 @@ fn route_request(
     ts: f64,
     now: f64,
 ) {
-    let cands = trs[tenant].candidates(hosts);
-    match trs[tenant].router.pick(spec.router, tenant, &cands) {
+    match pick_replica(trs, hosts, spec, tenant) {
         None => trs[tenant].parked.push_back(ts),
         Some(replica) => deliver_or_hop(q, hosts, trs, tenant, replica, ts, now),
     }
@@ -653,7 +798,8 @@ fn deliver_or_hop(
     ts: f64,
     now: f64,
 ) {
-    trs[tenant].replicas[replica].outstanding += 1;
+    let o = trs[tenant].replicas[replica].outstanding;
+    set_outstanding(trs, hosts, tenant, replica, o + 1);
     let hop = trs[tenant].hop_ms;
     if hop > 0.0 {
         trs[tenant].in_hop += 1;
@@ -697,7 +843,7 @@ fn unpark(
     now: f64,
 ) {
     while let Some(&ts) = trs[tenant].parked.front() {
-        if trs[tenant].candidates(hosts).is_empty() {
+        if !trs[tenant].has_candidates(hosts) {
             break;
         }
         trs[tenant].parked.pop_front();
@@ -737,7 +883,7 @@ fn autoscale_tenant(
             }
         }
     }
-    window.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    window.sort_unstable_by(|a, b| a.total_cmp(b));
     let window_p99 = if window.is_empty() {
         None
     } else {
@@ -772,8 +918,14 @@ fn autoscale_tenant(
                 .map(|(i, _)| i);
             if let Some(replica) = victim {
                 let (host, slot) = {
-                    let r = &mut trs[tenant].replicas[replica];
+                    let tr = &mut trs[tenant];
+                    let r = &mut tr.replicas[replica];
                     r.routable = false;
+                    if tr.use_index {
+                        // The victim was serving (the filter above);
+                        // draining removes it from the routable set.
+                        tr.index.remove(r.outstanding, replica);
+                    }
                     (r.host, r.slot)
                 };
                 hosts[host].core.set_draining(slot, true);
@@ -822,6 +974,7 @@ fn try_scale_up(
         .core
         .add_slot(trs[tenant].spec.tenant.clone(), trs[tenant].curve);
     hosts[host].slot_owner.push(tenant);
+    hosts[host].slot_replica.push(trs[tenant].replicas.len());
     hosts[host].weight_used += weight;
     hosts[host].live_slots += 1;
     if trs[tenant].drained {
@@ -829,6 +982,9 @@ fn try_scale_up(
     }
     let mark = hosts[host].core.latency_count(slot);
     let busy = hosts[host].core.slot_busy_ms(slot);
+    if trs[tenant].use_index {
+        trs[tenant].index.insert(0, trs[tenant].replicas.len());
+    }
     trs[tenant].replicas.push(ReplicaRt {
         host,
         slot,

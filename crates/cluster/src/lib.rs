@@ -74,5 +74,5 @@ pub use engine::{run_fleet, FleetRun};
 pub use failure::{seeded_outages, FailureEvent, FailureKind};
 pub use fleet::{place, FleetSpec, FleetTenantSpec, HopModel, HostSpec};
 pub use report::{FleetHostReport, FleetReport, FleetTenantReport, ReplicaSample};
-pub use route::RouterPolicy;
+pub use route::{OutstandingIndex, RouterPolicy};
 pub use scenario::{all_scenarios, scenario_by_name, FleetScenario, FleetScenarioRun};

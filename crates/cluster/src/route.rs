@@ -144,6 +144,111 @@ fn least_outstanding(candidates: &[Candidate]) -> usize {
         .replica
 }
 
+/// The indexed least-outstanding balancer over a tenant's *routable*
+/// replicas, maintained update-on-delta by the fleet engine instead of
+/// re-scanned per request. Replicas are bucketed by outstanding count,
+/// each bucket a replica-index bitmap, with a lazily-advanced floor
+/// cursor over the buckets: moving a replica between counts is two bit
+/// flips, and [`OutstandingIndex::least`] finds the first set bit of
+/// the least non-empty bucket — O(1) amortized, no allocation, no
+/// ordered-tree walk. `least` is the same `(outstanding, replica)`
+/// minimum — ties to the lowest replica index — that
+/// [`RouterPolicy::LeastOutstanding`]'s candidate scan computes, so
+/// swapping the engine onto the index changes no routing decision (the
+/// differential tests below pin that). Membership tracks eligibility:
+/// the engine inserts a replica when it becomes routable (placement,
+/// host recovery) and removes it when it stops being so (crash, drain,
+/// retirement).
+#[derive(Debug, Default, Clone)]
+pub struct OutstandingIndex {
+    /// `buckets[count]` = bitmap over replica indices at that count.
+    buckets: Vec<Vec<u64>>,
+    /// Set bits per bucket (emptiness without scanning words).
+    bucket_len: Vec<usize>,
+    /// Total tracked replicas.
+    len: usize,
+    /// No non-empty bucket lies below this count (advanced lazily in
+    /// [`Self::least`], reset by inserts — the classic lazy minimum).
+    floor: usize,
+}
+
+impl OutstandingIndex {
+    /// An empty index (no routable replicas).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of routable replicas tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no replica is routable.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Track a replica that just became routable.
+    pub fn insert(&mut self, outstanding: usize, replica: usize) {
+        if self.buckets.len() <= outstanding {
+            self.buckets.resize_with(outstanding + 1, Vec::new);
+            self.bucket_len.resize(outstanding + 1, 0);
+        }
+        let bucket = &mut self.buckets[outstanding];
+        let word = replica / 64;
+        if bucket.len() <= word {
+            bucket.resize(word + 1, 0);
+        }
+        let bit = 1u64 << (replica % 64);
+        debug_assert!(bucket[word] & bit == 0, "replica {replica} already tracked");
+        bucket[word] |= bit;
+        self.bucket_len[outstanding] += 1;
+        self.len += 1;
+        self.floor = self.floor.min(outstanding);
+    }
+
+    /// Stop tracking a replica (crashed host, draining, retired).
+    pub fn remove(&mut self, outstanding: usize, replica: usize) {
+        let word = replica / 64;
+        let bit = 1u64 << (replica % 64);
+        debug_assert!(
+            self.buckets
+                .get(outstanding)
+                .and_then(|b| b.get(word))
+                .is_some_and(|w| w & bit != 0),
+            "replica {replica} was not tracked at {outstanding}"
+        );
+        self.buckets[outstanding][word] &= !bit;
+        self.bucket_len[outstanding] -= 1;
+        self.len -= 1;
+    }
+
+    /// Move a tracked replica between outstanding counts (one routed
+    /// request in, or a completed batch out).
+    pub fn update(&mut self, old_outstanding: usize, new_outstanding: usize, replica: usize) {
+        self.remove(old_outstanding, replica);
+        self.insert(new_outstanding, replica);
+    }
+
+    /// The replica with the fewest outstanding requests, ties to the
+    /// lowest replica index; `None` when nothing is routable.
+    pub fn least(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.bucket_len[self.floor] == 0 {
+            self.floor += 1;
+        }
+        let bucket = &self.buckets[self.floor];
+        let (word, bits) = bucket
+            .iter()
+            .enumerate()
+            .find(|&(_, &w)| w != 0)
+            .expect("bucket_len said non-empty");
+        Some(word * 64 + bits.trailing_zeros() as usize)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +322,88 @@ mod tests {
         for _ in 0..32 {
             let pick = s.pick(policy, 1, &cands(&[40, 0])).unwrap();
             assert_eq!(pick, 1, "overloaded replica is skipped");
+        }
+    }
+
+    /// Regression pin for the indexed-router swap: with equal
+    /// outstanding counts, both the legacy candidate scan and the
+    /// indexed structure must pick the *lowest replica index*.
+    #[test]
+    fn scan_and_index_break_ties_to_the_lowest_replica() {
+        let mut s = RouterState::new();
+        let tied = cands(&[3, 3, 3, 3]);
+        assert_eq!(s.pick(RouterPolicy::LeastOutstanding, 0, &tied), Some(0));
+
+        let mut idx = OutstandingIndex::new();
+        for c in &tied {
+            idx.insert(c.outstanding, c.replica);
+        }
+        assert_eq!(idx.least(), Some(0), "index ties break to lowest replica");
+
+        // Remove the lowest; the tie moves to the next index, in both.
+        idx.remove(3, 0);
+        assert_eq!(idx.least(), Some(1));
+        assert_eq!(
+            s.pick(
+                RouterPolicy::LeastOutstanding,
+                0,
+                &cands(&[usize::MAX, 3, 3, 3])[1..]
+            ),
+            Some(1)
+        );
+    }
+
+    /// Differential: an arbitrary sequence of insert/remove/delta
+    /// updates leaves the index agreeing with a fresh least-outstanding
+    /// scan of the same replica population at every step.
+    #[test]
+    fn index_matches_scan_under_random_updates() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut idx = OutstandingIndex::new();
+        // tracked[replica] = Some(outstanding) while routable.
+        let mut tracked: Vec<Option<usize>> = vec![None; 24];
+        for _ in 0..4_000 {
+            let replica = rng.gen_range(0..tracked.len());
+            match tracked[replica] {
+                None => {
+                    let outstanding = rng.gen_range(0..4usize);
+                    idx.insert(outstanding, replica);
+                    tracked[replica] = Some(outstanding);
+                }
+                Some(outstanding) => {
+                    if rng.gen_range(0..4usize) == 0 {
+                        idx.remove(outstanding, replica);
+                        tracked[replica] = None;
+                    } else {
+                        let next = if outstanding > 0 && rng.gen_range(0..2usize) == 0 {
+                            outstanding - 1
+                        } else {
+                            outstanding + 1
+                        };
+                        idx.update(outstanding, next, replica);
+                        tracked[replica] = Some(next);
+                    }
+                }
+            }
+            let scan: Vec<Candidate> = tracked
+                .iter()
+                .enumerate()
+                .filter_map(|(replica, o)| {
+                    o.map(|outstanding| Candidate {
+                        replica,
+                        outstanding,
+                    })
+                })
+                .collect();
+            assert_eq!(idx.len(), scan.len());
+            let expected = if scan.is_empty() {
+                None
+            } else {
+                Some(least_outstanding(&scan))
+            };
+            assert_eq!(idx.least(), expected, "index diverged from the scan");
         }
     }
 

@@ -22,7 +22,7 @@ use tpu_serve::workload::Trace;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: tpu_cluster list\n       tpu_cluster run <scenario>|--all \
-         [--seed N] [--requests-scale F] [--json] [--trace FILE]\n       \
+         [--seed N] [--requests-scale F] [--json] [--trace FILE] [--engine-stats]\n       \
          tpu_cluster trace record <scenario> --out FILE [--run LABEL] \
          [--seed N] [--requests-scale F]"
     );
@@ -58,6 +58,7 @@ fn run_command(args: &[String]) -> ExitCode {
     let mut common = CommonArgs::default();
     let mut run_all = false;
     let mut json = false;
+    let mut engine_stats = false;
     let mut trace_path: Option<String> = None;
 
     let mut it = args.iter();
@@ -65,6 +66,7 @@ fn run_command(args: &[String]) -> ExitCode {
         match a.as_str() {
             "--all" => run_all = true,
             "--json" => json = true,
+            "--engine-stats" => engine_stats = true,
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => common.seed = Some(v),
                 None => return usage(),
@@ -133,7 +135,10 @@ fn run_command(args: &[String]) -> ExitCode {
             s = s.with_trace(t);
         }
         println!("== {} — {}", s.name, s.description);
-        for (label, run) in s.execute(&cfg) {
+        let started = std::time::Instant::now();
+        let results = s.execute(&cfg);
+        let wall = started.elapsed();
+        for (label, run) in &results {
             println!("\n-- {label}");
             if json {
                 println!("{}", serde_json::to_string_pretty(&run.report.to_json()));
@@ -142,6 +147,17 @@ fn run_command(args: &[String]) -> ExitCode {
             }
         }
         println!();
+        if engine_stats {
+            // Off by default, and on stderr, so golden stdout (text or
+            // JSON) is untouched either way.
+            let events: u64 = results.iter().map(|(_, r)| r.report.events_processed).sum();
+            eprintln!(
+                "engine-stats: {}: events={events} wall_ms={:.3} events_per_sec={:.0}",
+                s.name,
+                wall.as_secs_f64() * 1e3,
+                events as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE)
+            );
+        }
     }
     ExitCode::SUCCESS
 }

@@ -237,3 +237,45 @@ fn missing_arguments_fail_with_usage() {
         assert_eq!(out.status.code(), Some(2), "args {args:?}");
     }
 }
+
+/// `--engine-stats` prints wall-clock / events / events-per-sec on
+/// *stderr* and leaves stdout byte-identical, so golden outputs (text
+/// or JSON) never see it.
+#[test]
+fn engine_stats_go_to_stderr_and_leave_stdout_untouched() {
+    let plain = run(&["run", "fleet-steady", "--requests-scale", "0.02"]);
+    let stats = run(&[
+        "run",
+        "fleet-steady",
+        "--requests-scale",
+        "0.02",
+        "--engine-stats",
+    ]);
+    assert!(plain.status.success() && stats.status.success());
+    assert_eq!(plain.stdout, stats.stdout, "stdout must not change");
+    assert!(plain.stderr.is_empty());
+    let err = String::from_utf8_lossy(&stats.stderr);
+    assert!(
+        err.contains("engine-stats: fleet-steady:")
+            && err.contains("events=")
+            && err.contains("wall_ms=")
+            && err.contains("events_per_sec="),
+        "stderr: {err}"
+    );
+}
+
+#[test]
+fn serve_engine_stats_go_to_stderr_and_leave_stdout_untouched() {
+    let plain = run_serve(&["run", "mlp0-burst", "--requests-scale", "0.05", "--json"]);
+    let stats = run_serve(&[
+        "run",
+        "mlp0-burst",
+        "--requests-scale",
+        "0.05",
+        "--json",
+        "--engine-stats",
+    ]);
+    assert!(plain.status.success() && stats.status.success());
+    assert_eq!(plain.stdout, stats.stdout, "stdout must not change");
+    assert!(String::from_utf8_lossy(&stats.stderr).contains("engine-stats: mlp0-burst:"));
+}

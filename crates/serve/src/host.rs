@@ -94,6 +94,11 @@ pub struct HostCore {
     service_rng: StdRng,
     makespan_ms: f64,
     slow_factor: f64,
+    /// Recycled batch arrival buffers: a completed batch's `Vec` goes
+    /// back here instead of being freed, so steady-state dispatch
+    /// allocates nothing (bounded by the die count; crash-displaced
+    /// buffers leave the pool with their requests).
+    spare_batches: Vec<Vec<f64>>,
 }
 
 impl HostCore {
@@ -121,6 +126,7 @@ impl HostCore {
             service_rng: StdRng::seed_from_u64(sim::service_seed(host_seed)),
             makespan_ms: 0.0,
             slow_factor: 1.0,
+            spare_batches: Vec::new(),
         }
     }
 
@@ -171,6 +177,7 @@ impl HostCore {
     }
 
     /// Queue a delivered request (front-end arrival time `arrived_ms`).
+    #[inline]
     pub fn enqueue(&mut self, slot: usize, arrived_ms: f64) {
         self.slots[slot].queue.push_back(arrived_ms);
     }
@@ -211,6 +218,7 @@ impl HostCore {
     /// Handle a timer event; returns `false` for stale timers (the
     /// queue changed since the timer was armed), which the caller should
     /// ignore without attempting dispatch.
+    #[inline]
     pub fn on_timer(&mut self, slot: usize, generation: u64) -> bool {
         self.slots[slot].timer_generation == generation
     }
@@ -228,9 +236,12 @@ impl HostCore {
         self.makespan_ms = self.makespan_ms.max(inflight.end_ms);
         let slot = &mut self.slots[inflight.slot];
         let completions = inflight.arrivals.len();
-        for arrived in inflight.arrivals {
+        for &arrived in &inflight.arrivals {
             slot.latencies.push(inflight.end_ms - arrived);
         }
+        let mut spare = inflight.arrivals;
+        spare.clear();
+        self.spare_batches.push(spare);
         Some(CompletedBatch {
             slot: inflight.slot,
             completions,
@@ -372,7 +383,8 @@ impl HostCore {
             let service = s.curve.service_ms(batch) * jitter * self.slow_factor;
             let end = now_ms + service;
 
-            let arrivals: Vec<f64> = s.queue.drain(..batch).collect();
+            let mut arrivals = self.spare_batches.pop().unwrap_or_default();
+            arrivals.extend(s.queue.drain(..batch));
             s.batches += 1;
             s.dispatched += batch;
             s.busy_ms += service;
@@ -424,7 +436,7 @@ impl HostCore {
             .iter()
             .map(|s| {
                 let mut sorted = s.latencies.clone();
-                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+                sorted.sort_unstable_by(|a, b| a.total_cmp(b)); // finite, ±0-free: same order, no float Option
                 let n = sorted.len();
                 let slo_hits = sorted.iter().filter(|&&l| l <= s.spec.slo_ms).count();
                 TenantReport {

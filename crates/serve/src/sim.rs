@@ -18,9 +18,46 @@
 //!   single Box–Muller sampler both `queue_sim` and this engine draw
 //!   from. It draws from the RNG **only when** `sigma > 0`, so
 //!   deterministic (TPU-like) curves leave the stream untouched.
+//!
+//! # The timer wheel
+//!
+//! The future-event list is a hierarchical timer wheel (a 64-ary radix
+//! heap / calendar queue) rather than a binary heap. Event times are
+//! finite, non-negative `f64` milliseconds, and for such floats the IEEE
+//! bit pattern is *monotone*: `a <= b` iff `a.to_bits() <= b.to_bits()`.
+//! Each event is therefore keyed by the `u64` time-bits of its
+//! timestamp, and every comparison the scheduler makes is an integer
+//! comparison — no `partial_cmp` on floats anywhere in the hot path.
+//!
+//! The wheel has [`WHEEL_LEVELS`] levels of 64 slots each; level `l`
+//! buckets keys by bit range `[6l, 6l+6)` relative to the *hand* (the
+//! key prefix of the most recently drained slot). Scheduling hashes the
+//! key into the level of its highest bit differing from the hand —
+//! O(1). Below the levels sits the **bottom rung**: the most recently
+//! drained slot, sorted once, from which pops are O(1). When the rung
+//! runs dry the wheel rolls forward: the lowest occupied slot of the
+//! lowest occupied level (the overflow levels re-bucket on rollover)
+//! holds exactly the globally smallest keys and becomes the next rung.
+//! Because simulated time is monotone (scheduling into the past is
+//! rejected), every event is drained into the rung at most once — never
+//! re-cascaded level by level — so schedule/pop are O(1) amortized.
+//! Equal-key events stay in FIFO (sequence) order end to end: slot
+//! buckets are FIFO, the rung sort is stable, and late same-key inserts
+//! land after their elders — so pops remain *exactly* `(time,
+//! sequence)` ordered. The differential proptest in
+//! `tests/event_queue_props.rs` pins the wheel against the reference
+//! binary heap on arbitrary schedules.
+//!
+//! The pre-wheel `BinaryHeap` implementation is kept as
+//! [`QueueBackend::BinaryHeap`] — it is the reference for differential
+//! tests and the in-run baseline for the `bench_cluster` throughput
+//! gate. `EventQueue::new` picks the wheel unless the
+//! `TPU_SIM_EVENT_QUEUE=heap` environment variable asks for the
+//! reference backend; the two are observationally identical (same pops,
+//! same panics), so the switch can never change a report.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 pub use tpu_platforms::jitter::lognormal_multiplier;
 
 /// Weyl-sequence increment (2^64 / φ) used to derive per-stream seeds.
@@ -38,6 +75,22 @@ pub fn stream_seed(master: u64, stream: u64) -> u64 {
 /// keeps it out of the [`stream_seed`] additive orbit.
 pub fn service_seed(host_seed: u64) -> u64 {
     host_seed ^ 0x5bd1_e995_9e37_79b9
+}
+
+/// Bits per wheel level (64 slots).
+const LEVEL_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Levels covering the full 64-bit key space (the upper levels are the
+/// overflow levels that re-bucket on rollover).
+pub const WHEEL_LEVELS: usize = 11; // ceil(64 / 6)
+
+/// The monotone integer key of a finite, non-negative event time.
+/// `+ 0.0` collapses `-0.0` to `+0.0` so the one non-monotone bit
+/// pattern in the accepted domain is normalized away.
+#[inline]
+fn time_key(at_ms: f64) -> u64 {
+    (at_ms + 0.0).to_bits()
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -71,68 +124,271 @@ impl<E> PartialOrd for Scheduled<E> {
     }
 }
 
+/// One pending event inside the wheel.
+#[derive(Debug, Clone, Copy)]
+struct Entry<E> {
+    key: u64,
+    event: E,
+}
+
+/// Stable ascending sort by key for one drained slot. Insertion sort
+/// for the common handful of entries (in place, no allocation), the
+/// standard library's stable sort above that; both preserve the FIFO
+/// order of equal keys, which *is* the sequence order.
+fn sort_rung<E>(rung: &mut [Entry<E>]) {
+    if rung.len() <= 32 {
+        for i in 1..rung.len() {
+            let mut j = i;
+            while j > 0 && rung[j - 1].key > rung[j].key {
+                rung.swap(j - 1, j);
+                j -= 1;
+            }
+        }
+    } else {
+        rung.sort_by_key(|e| e.key);
+    }
+}
+
+/// The hierarchical timer wheel (see the module docs).
+#[derive(Debug)]
+struct Wheel<E> {
+    /// `slots[level * 64 + slot]`; each bucket is FIFO in sequence
+    /// order (pushes happen in sequence order).
+    slots: Vec<VecDeque<Entry<E>>>,
+    /// Per-level occupancy bitmaps: bit `s` set iff slot `s` non-empty.
+    occupied: [u64; WHEEL_LEVELS],
+    /// Key prefix of the most recently drained slot. Wheel entries are
+    /// bucketed relative to it; all wheel keys exceed `bottom_bound`.
+    hand: u64,
+    /// Inclusive upper key bound of the bottom rung: the top of the
+    /// most recently drained slot's key range.
+    bottom_bound: u64,
+    /// The bottom rung: the most recently drained slot, sorted
+    /// ascending by `(key, sequence)`. Pops come off the front in O(1);
+    /// newly scheduled keys at or below `bottom_bound` sorted-insert
+    /// here (equal keys after their elders, keeping FIFO).
+    bottom: VecDeque<Entry<E>>,
+    len: usize,
+}
+
+impl<E> Wheel<E> {
+    fn new() -> Self {
+        Wheel {
+            slots: (0..WHEEL_LEVELS * SLOTS).map(|_| VecDeque::new()).collect(),
+            occupied: [0; WHEEL_LEVELS],
+            hand: 0,
+            bottom_bound: 0,
+            bottom: VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    /// The (level, slot) a key hashes to, relative to the hand.
+    #[inline]
+    fn bucket(hand: u64, key: u64) -> (usize, usize) {
+        let diff = hand ^ key;
+        if diff == 0 {
+            (0, (key & (SLOTS as u64 - 1)) as usize)
+        } else {
+            let level = ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize;
+            let slot = ((key >> (level as u32 * LEVEL_BITS)) & (SLOTS as u64 - 1)) as usize;
+            (level, slot)
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, key: u64, event: E) {
+        self.len += 1;
+        if key <= self.bottom_bound {
+            // Lands inside the bottom rung's key range: sorted insert,
+            // after any entries sharing the key (they have lower
+            // sequence numbers).
+            let at = self.bottom.partition_point(|e| e.key <= key);
+            self.bottom.insert(at, Entry { key, event });
+            return;
+        }
+        let (level, slot) = Self::bucket(self.hand, key);
+        self.occupied[level] |= 1 << slot;
+        self.slots[level * SLOTS + slot].push_back(Entry { key, event });
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Entry<E>> {
+        if let Some(entry) = self.bottom.pop_front() {
+            self.len -= 1;
+            return Some(entry);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        self.advance();
+        self.len -= 1;
+        self.bottom.pop_front()
+    }
+
+    /// Roll the wheel forward: drain the lowest occupied slot of the
+    /// lowest occupied level — by construction every key in it is `<=`
+    /// every key elsewhere in the wheel — into the (empty) bottom rung,
+    /// sort it once, and advance the hand to the slot's key-range
+    /// prefix. Each event is drained at most once (straight into the
+    /// rung it pops from, never re-cascaded level by level), so
+    /// schedule/pop stay O(1) amortized even though adjacent `f64`
+    /// times differ deep in the mantissa.
+    #[cold]
+    fn advance(&mut self) {
+        debug_assert!(self.bottom.is_empty(), "checked by pop");
+        let level = (0..WHEEL_LEVELS)
+            .find(|&l| self.occupied[l] != 0)
+            .expect("len > 0 with an empty bottom rung means a slot is occupied");
+        let slot = self.occupied[level].trailing_zeros() as usize;
+        self.occupied[level] &= !(1u64 << slot);
+        // The slot's buffer becomes the bottom rung; the old (empty)
+        // rung buffer takes its place — no allocation either way.
+        std::mem::swap(&mut self.bottom, &mut self.slots[level * SLOTS + slot]);
+        sort_rung(self.bottom.make_contiguous());
+        let shift = level as u32 * LEVEL_BITS;
+        self.hand = (self.bottom.front().expect("occupancy bit was set").key >> shift) << shift;
+        // The rung is entitled to the drained slot's whole key range,
+        // but claiming only up to its current maximum keeps it small:
+        // later keys land in the wheel's lower levels (relative to the
+        // advanced hand) instead of sorted-inserting into an
+        // ever-growing rung. Only keys tying or interleaving the
+        // already-drained ones pay the rung insert.
+        self.bottom_bound = self.bottom.back().expect("occupancy bit was set").key;
+    }
+}
+
+/// Which future-event-list implementation an [`EventQueue`] runs on.
+///
+/// Both backends pop in exactly `(time, sequence)` order — the choice
+/// can never change a simulation result, only its speed. The reference
+/// heap exists for differential testing and for measuring the wheel's
+/// speedup inside one `bench_cluster` run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueBackend {
+    /// The hierarchical timer wheel (default).
+    TimerWheel,
+    /// The pre-wheel `BinaryHeap` reference implementation.
+    BinaryHeap,
+}
+
+impl QueueBackend {
+    /// The backend `EventQueue::new` uses: the wheel, unless the
+    /// `TPU_SIM_EVENT_QUEUE=heap` environment variable selects the
+    /// reference heap (a benchmarking escape hatch).
+    pub fn from_env() -> Self {
+        match std::env::var("TPU_SIM_EVENT_QUEUE").as_deref() {
+            Ok("heap") => QueueBackend::BinaryHeap,
+            _ => QueueBackend::TimerWheel,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Fel<E> {
+    Wheel(Wheel<E>),
+    Heap(BinaryHeap<Scheduled<E>>),
+}
+
 /// A deterministic future-event list, generic over the event payload.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    fel: Fel<E>,
     next_seq: u64,
     now_ms: f64,
 }
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            now_ms: 0.0,
-        }
+        Self::new()
     }
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue at time zero.
+    /// An empty queue at time zero, on the environment-selected backend
+    /// (see [`QueueBackend::from_env`]; the timer wheel by default).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_backend(QueueBackend::from_env())
+    }
+
+    /// An empty queue at time zero on an explicit backend.
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        EventQueue {
+            fel: match backend {
+                QueueBackend::TimerWheel => Fel::Wheel(Wheel::new()),
+                QueueBackend::BinaryHeap => Fel::Heap(BinaryHeap::new()),
+            },
+            next_seq: 0,
+            now_ms: 0.0,
+        }
+    }
+
+    /// The backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match self.fel {
+            Fel::Wheel(_) => QueueBackend::TimerWheel,
+            Fel::Heap(_) => QueueBackend::BinaryHeap,
+        }
     }
 
     /// Current simulated time in milliseconds (the timestamp of the last
     /// popped event).
+    #[inline]
     pub fn now_ms(&self) -> f64 {
         self.now_ms
     }
 
-    /// Schedule `event` at absolute time `at_ms`.
+    /// Schedule `event` at absolute time `at_ms`. Scheduling *at* the
+    /// current time is allowed (the event pops after everything already
+    /// pending at that timestamp); scheduling before it is not.
     ///
     /// # Panics
     ///
     /// Panics if `at_ms` is not finite or lies in the simulated past.
+    #[inline]
     pub fn schedule(&mut self, at_ms: f64, event: E) {
         assert!(at_ms.is_finite(), "event time must be finite");
+        let seq = self.next_seq;
         assert!(
             at_ms >= self.now_ms,
-            "cannot schedule into the past: {at_ms} < {}",
+            "cannot schedule into the past: event seq {seq} at {at_ms} < now {}",
             self.now_ms
         );
-        let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at_ms, seq, event });
+        match &mut self.fel {
+            Fel::Wheel(w) => w.push(time_key(at_ms), event),
+            Fel::Heap(h) => h.push(Scheduled { at_ms, seq, event }),
+        }
     }
 
     /// Pop the next event, advancing simulated time to it.
+    #[inline]
     pub fn pop(&mut self) -> Option<(f64, E)> {
-        let s = self.heap.pop()?;
-        self.now_ms = s.at_ms;
-        Some((s.at_ms, s.event))
+        let (at_ms, event) = match &mut self.fel {
+            Fel::Wheel(w) => {
+                let e = w.pop()?;
+                (f64::from_bits(e.key), e.event)
+            }
+            Fel::Heap(h) => {
+                let s = h.pop()?;
+                (s.at_ms, s.event)
+            }
+        };
+        self.now_ms = at_ms;
+        Some((at_ms, event))
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.fel {
+            Fel::Wheel(w) => w.len,
+            Fel::Heap(h) => h.len(),
+        }
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -177,13 +433,131 @@ mod tests {
         assert_eq!(x, y, "same seed, same jitter");
     }
 
+    const BOTH: [QueueBackend; 2] = [QueueBackend::TimerWheel, QueueBackend::BinaryHeap];
+
     #[test]
     fn generic_queue_pops_time_then_fifo() {
-        let mut q: EventQueue<&'static str> = EventQueue::new();
-        q.schedule(2.0, "late");
-        q.schedule(1.0, "first");
-        q.schedule(1.0, "second");
-        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec!["first", "second", "late"]);
+        for backend in BOTH {
+            let mut q: EventQueue<&'static str> = EventQueue::with_backend(backend);
+            q.schedule(2.0, "late");
+            q.schedule(1.0, "first");
+            q.schedule(1.0, "second");
+            let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec!["first", "second", "late"], "{backend:?}");
+        }
+    }
+
+    /// Boundary pinned for the scheduler swap: after popping at time t,
+    /// scheduling *at* t is accepted and the event pops next.
+    #[test]
+    fn equal_time_schedule_after_pop_is_accepted() {
+        for backend in BOTH {
+            let mut q: EventQueue<u32> = EventQueue::with_backend(backend);
+            q.schedule(3.5, 0);
+            q.schedule(3.5, 1);
+            assert_eq!(q.pop(), Some((3.5, 0)), "{backend:?}");
+            assert_eq!(q.now_ms(), 3.5);
+            q.schedule(3.5, 2); // at_ms == now_ms: boundary, not the past
+            assert_eq!(q.pop(), Some((3.5, 1)), "{backend:?}");
+            assert_eq!(q.pop(), Some((3.5, 2)), "{backend:?}");
+            assert_eq!(q.pop(), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past: event seq 2")]
+    fn past_time_panic_names_the_event_sequence() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule(1.0, 0); // seq 0
+        q.schedule(2.0, 1); // seq 1
+        q.pop();
+        q.pop();
+        q.schedule(1.5, 2); // seq 2, in the past of now = 2.0
+    }
+
+    #[test]
+    fn negative_zero_time_is_normalized() {
+        let mut q: EventQueue<u32> = EventQueue::with_backend(QueueBackend::TimerWheel);
+        q.schedule(-0.0, 7);
+        q.schedule(0.0, 8);
+        assert_eq!(q.pop(), Some((0.0, 7)));
+        assert_eq!(q.pop(), Some((0.0, 8)));
+    }
+
+    /// The wheel's overflow levels: keys spanning many orders of
+    /// magnitude re-bucket down without losing (time, seq) order.
+    #[test]
+    fn wheel_handles_wide_time_ranges() {
+        let mut q: EventQueue<usize> = EventQueue::with_backend(QueueBackend::TimerWheel);
+        let times = [
+            0.0,
+            1e-9,
+            0.25,
+            0.250000000001,
+            1.0,
+            3.0,
+            1024.0,
+            1e6,
+            1e6,
+            1e12,
+        ];
+        for (i, &t) in times.iter().enumerate().rev() {
+            q.schedule(t, i);
+        }
+        let mut got = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            got.push((t, i));
+        }
+        // Sorted by time; the two equal timestamps pop in schedule
+        // order (8 was scheduled before 7 by the .rev()).
+        let popped_times: Vec<f64> = got.iter().map(|&(t, _)| t).collect();
+        let mut sorted = popped_times.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(popped_times, sorted);
+        let equal_pair: Vec<usize> = got
+            .iter()
+            .filter(|&&(t, _)| t == 1e6)
+            .map(|&(_, i)| i)
+            .collect();
+        assert_eq!(equal_pair, vec![8, 7], "FIFO among equal timestamps");
+    }
+
+    /// Differential smoke test (the heavyweight version with arbitrary
+    /// interleavings lives in `tests/event_queue_props.rs`).
+    #[test]
+    fn wheel_and_heap_agree_on_an_interleaved_schedule() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let mut wheel: EventQueue<u64> = EventQueue::with_backend(QueueBackend::TimerWheel);
+        let mut heap: EventQueue<u64> = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        let mut payload = 0u64;
+        for _ in 0..5_000 {
+            if rng.gen_range(0.0..1.0) < 0.6 || wheel.is_empty() {
+                // Quantized offsets force frequent exact-time collisions.
+                let delta = rng.gen_range(0u32..32) as f64 * 0.25;
+                let at = wheel.now_ms() + delta;
+                wheel.schedule(at, payload);
+                heap.schedule(at, payload);
+                payload += 1;
+            } else {
+                assert_eq!(wheel.pop(), heap.pop());
+            }
+            assert_eq!(wheel.len(), heap.len());
+        }
+        while !wheel.is_empty() {
+            assert_eq!(wheel.pop(), heap.pop());
+        }
+        assert_eq!(heap.pop(), None);
+    }
+
+    #[test]
+    fn explicit_backends_report_themselves() {
+        assert_eq!(
+            EventQueue::<u8>::with_backend(QueueBackend::TimerWheel).backend(),
+            QueueBackend::TimerWheel
+        );
+        assert_eq!(
+            EventQueue::<u8>::with_backend(QueueBackend::BinaryHeap).backend(),
+            QueueBackend::BinaryHeap
+        );
     }
 }

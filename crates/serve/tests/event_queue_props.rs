@@ -1,0 +1,108 @@
+//! Differential properties of the event core: the hierarchical timer
+//! wheel must be observationally identical to the reference
+//! `BinaryHeap` future-event list on *arbitrary* schedules — same pop
+//! times, same payloads, same `(time, sequence)` ordering — because the
+//! engines' bit-identical-per-seed contract rests on the queue.
+
+use proptest::prelude::*;
+use tpu_serve::sim::{EventQueue, QueueBackend};
+
+/// One scripted action against both queues.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Schedule at `now + delta_quarters * 0.25` ms (quantized so
+    /// exact-time collisions are common, exercising FIFO tie-breaks).
+    Schedule { delta_quarters: u32 },
+    /// Schedule at `now + delta_ms` with an arbitrary fractional offset
+    /// (exercises keys that differ deep in the mantissa).
+    ScheduleFine { delta_ms: f64 },
+    /// Pop once (no-op on empty queues).
+    Pop,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..64).prop_map(|delta_quarters| Op::Schedule { delta_quarters }),
+        (0.0f64..1e7).prop_map(|delta_ms| Op::ScheduleFine { delta_ms }),
+        Just(Op::Pop),
+        Just(Op::Pop),
+    ]
+}
+
+proptest! {
+    /// Replay an arbitrary schedule/pop interleaving through both
+    /// backends in lockstep; every observable must agree at every step.
+    #[test]
+    fn wheel_matches_reference_heap_on_arbitrary_schedules(
+        ops in prop::collection::vec(op(), 1..400),
+    ) {
+        let mut wheel: EventQueue<usize> = EventQueue::with_backend(QueueBackend::TimerWheel);
+        let mut heap: EventQueue<usize> = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        let mut payload = 0usize;
+        for op in ops {
+            match op {
+                Op::Schedule { delta_quarters } => {
+                    let at = wheel.now_ms() + delta_quarters as f64 * 0.25;
+                    wheel.schedule(at, payload);
+                    heap.schedule(at, payload);
+                    payload += 1;
+                }
+                Op::ScheduleFine { delta_ms } => {
+                    let at = wheel.now_ms() + delta_ms;
+                    wheel.schedule(at, payload);
+                    heap.schedule(at, payload);
+                    payload += 1;
+                }
+                Op::Pop => {
+                    prop_assert_eq!(wheel.pop(), heap.pop());
+                    prop_assert_eq!(wheel.now_ms().to_bits(), heap.now_ms().to_bits());
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.is_empty(), heap.is_empty());
+        }
+        // Drain both: the full residual order must agree too.
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Popped timestamps are nondecreasing and FIFO among equal times,
+    /// checked against a straight sort of the scheduled (time, seq)
+    /// pairs — the wheel alone, no reference queue in the loop.
+    #[test]
+    fn wheel_pops_in_time_then_sequence_order(
+        deltas in prop::collection::vec((0u32..16, 1usize..6), 1..120),
+    ) {
+        let mut q: EventQueue<usize> = EventQueue::with_backend(QueueBackend::TimerWheel);
+        let mut expected: Vec<(u64, usize)> = Vec::new();
+        let mut seq = 0usize;
+        for (delta, burst) in deltas {
+            let at = q.now_ms() + delta as f64 * 0.5;
+            for _ in 0..burst {
+                q.schedule(at, seq);
+                expected.push((at.to_bits(), seq));
+                seq += 1;
+            }
+            // Interleave occasional pops so the hand advances and the
+            // wheel re-buckets mid-run.
+            if delta % 3 == 0 {
+                if let Some((t, p)) = q.pop() {
+                    let want = expected.iter().copied().min().expect("queue non-empty");
+                    prop_assert_eq!((t.to_bits(), p), want);
+                    expected.retain(|&e| e != want);
+                }
+            }
+        }
+        expected.sort_unstable();
+        let mut got = Vec::new();
+        while let Some((t, p)) = q.pop() {
+            got.push((t.to_bits(), p));
+        }
+        prop_assert_eq!(got, expected);
+    }
+}
