@@ -30,17 +30,20 @@
 
 use std::process::ExitCode;
 use std::time::Instant;
-use tpu_bench::fleet_tenants;
+use tpu_bench::{colocate_fleet, fleet_tenants};
 use tpu_cluster::{run_fleet, FleetRun, FleetSpec, FleetTenantSpec, HopModel, RouterPolicy};
 use tpu_core::TpuConfig;
 
 /// Requests per host at each fleet size (matches `benches/cluster.rs`).
 const REQUESTS_PER_HOST: usize = 2_000;
 
+/// Fleet size of the co-located (weight-swap) measurement.
+const COLOCATE_HOSTS: usize = 100;
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bench_cluster [--out FILE] [--check FILE] [--tolerance F] \
-         [--budget-ms N] [--hosts A,B,C]"
+         [--budget-ms N] [--hosts A,B,C] [--no-colocate]"
     );
     ExitCode::from(2)
 }
@@ -86,9 +89,9 @@ impl Row {
     }
 }
 
-fn rows_to_json(rows: &[Row]) -> serde_json::Value {
+fn rows_to_json(rows: &[Row], colocate: Option<&Row>) -> serde_json::Value {
     use serde_json::Value;
-    Value::object([
+    let mut fields = vec![
         (
             "bench".to_string(),
             Value::String("cluster_event_loop".to_string()),
@@ -127,7 +130,38 @@ fn rows_to_json(rows: &[Row]) -> serde_json::Value {
                     .collect(),
             ),
         ),
-    ])
+    ];
+    if let Some(c) = colocate {
+        fields.push((
+            "colocate".to_string(),
+            Value::object([
+                ("hosts".to_string(), Value::Number(c.hosts as f64)),
+                (
+                    "workload".to_string(),
+                    Value::String(
+                        "MLP0+LSTM0+CNN0 bin-packed, swap-aware routing, 2 dies/host".to_string(),
+                    ),
+                ),
+                (
+                    "events_per_iteration".to_string(),
+                    Value::Number(c.events as f64),
+                ),
+                (
+                    "baseline_heap_scan_events_per_sec".to_string(),
+                    Value::Number(c.baseline_eps.round()),
+                ),
+                (
+                    "events_per_sec".to_string(),
+                    Value::Number(c.current_eps.round()),
+                ),
+                (
+                    "speedup".to_string(),
+                    Value::Number((c.speedup() * 100.0).round() / 100.0),
+                ),
+            ]),
+        ));
+    }
+    Value::object(fields)
 }
 
 /// Pull `hosts[i].speedup` for a fleet size out of a committed report.
@@ -160,6 +194,7 @@ fn main() -> ExitCode {
     let mut tolerance = 0.20f64;
     let mut budget_ms = 1_500u64;
     let mut hosts_list = vec![1usize, 10, 100];
+    let mut run_colocate = true;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -193,6 +228,7 @@ fn main() -> ExitCode {
                 }
                 None => return usage(),
             },
+            "--no-colocate" => run_colocate = false,
             _ => return usage(),
         }
     }
@@ -232,7 +268,44 @@ fn main() -> ExitCode {
         rows.push(row);
     }
 
-    let doc = rows_to_json(&rows);
+    // The co-located case: same machinery, weight-swap hot path on
+    // (bin-packed placement, swap events, warm-die dispatch, swap-aware
+    // routing). Both modes must still be bit-identical — the escape
+    // hatches never touch the weight subsystem.
+    let colocate_row = if run_colocate {
+        let (spec, tenants) = colocate_fleet(COLOCATE_HOSTS, REQUESTS_PER_HOST * COLOCATE_HOSTS);
+
+        std::env::set_var("TPU_SIM_EVENT_QUEUE", "heap");
+        std::env::set_var("TPU_CLUSTER_ROUTER", "scan");
+        let (baseline_eps, events, baseline_run) = measure(&spec, &tenants, &cfg, budget_ms);
+
+        std::env::remove_var("TPU_SIM_EVENT_QUEUE");
+        std::env::remove_var("TPU_CLUSTER_ROUTER");
+        let (current_eps, _, current_run) = measure(&spec, &tenants, &cfg, budget_ms);
+
+        assert_eq!(
+            baseline_run, current_run,
+            "baseline and current modes must be bit-identical (colocate)"
+        );
+        let swaps: usize = current_run.report.tenants.iter().map(|t| t.swaps).sum();
+        assert!(swaps > 0, "the co-located case must exercise the swap path");
+
+        let row = Row {
+            hosts: COLOCATE_HOSTS,
+            events,
+            baseline_eps,
+            current_eps,
+        };
+        println!(
+            "colocate hosts={:<4} events/iter={:<7} baseline={:>12.0} ev/s  current={:>12.0} ev/s  speedup={:.2}x  swaps/iter={}",
+            row.hosts, row.events, row.baseline_eps, row.current_eps, row.speedup(), swaps
+        );
+        Some(row)
+    } else {
+        None
+    };
+
+    let doc = rows_to_json(&rows, colocate_row.as_ref());
     if let Some(path) = out {
         let body = format!("{}\n", serde_json::to_string_pretty(&doc));
         if let Err(e) = std::fs::write(&path, body) {

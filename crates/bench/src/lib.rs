@@ -20,7 +20,7 @@
 
 #![warn(missing_docs)]
 
-use tpu_cluster::FleetTenantSpec;
+use tpu_cluster::{ColocateConfig, FleetSpec, FleetTenantSpec, HopModel, RouterPolicy};
 use tpu_core::TpuConfig;
 use tpu_serve::tenant::ArrivalProcess;
 use tpu_serve::{BatchPolicy, ServiceCurve, TenantSpec};
@@ -64,6 +64,41 @@ pub fn fleet_tenants(hosts: usize, requests: usize) -> Vec<FleetTenantSpec> {
     )]
 }
 
+/// The canonical *co-located* fleet bench load: three Table 1 model
+/// classes (MLP0, LSTM0, CNN0) each replicated across every host of a
+/// swap-aware, bin-packed fleet, rates sized so the pool sees roughly
+/// the same aggregate load as [`fleet_tenants`]. Exercises the
+/// weight-swap hot path (warm-die dispatch, swap events, affinity
+/// routing) at fleet scale.
+pub fn colocate_fleet(hosts: usize, requests: usize) -> (FleetSpec, Vec<FleetTenantSpec>) {
+    let spec = FleetSpec::new(hosts, 2, 42)
+        .with_router(RouterPolicy::SwapAware)
+        .with_hop(HopModel::Table5 { scale_ms: 1.0 })
+        .with_colocate(ColocateConfig::bin_packed());
+    let mk = |workload: &str, rate_rps: f64, max_batch: usize, slo_ms: f64, share: f64| {
+        FleetTenantSpec::new(
+            TenantSpec::new(
+                workload,
+                ArrivalProcess::Poisson { rate_rps },
+                BatchPolicy::Timeout {
+                    max_batch,
+                    t_max_ms: 2.0,
+                },
+                slo_ms,
+                ((requests as f64 * share) as usize).max(1),
+            ),
+            hosts,
+        )
+    };
+    let dies = 2.0 * hosts as f64;
+    let tenants = vec![
+        mk("MLP0", 0.30 * dies * 242_000.0, 200, 7.0, 0.90),
+        mk("LSTM0", 0.10 * dies * 27_000.0, 64, 50.0, 0.08),
+        mk("CNN0", 0.05 * dies * 8_300.0, 8, 30.0, 0.02),
+    ];
+    (spec, tenants)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,6 +115,24 @@ mod tests {
     #[test]
     fn paper_config_is_valid() {
         assert!(paper_config().validate().is_ok());
+    }
+
+    #[test]
+    fn colocate_fleet_is_colocated_and_replicated() {
+        let (spec, tenants) = colocate_fleet(4, 10_000);
+        assert!(spec.colocate.is_some());
+        assert_eq!(spec.router, RouterPolicy::SwapAware);
+        assert_eq!(tenants.len(), 3);
+        for t in &tenants {
+            assert_eq!(t.replicas, 4);
+            assert!(t.tenant.requests >= 1);
+        }
+        let run = tpu_cluster::run_fleet(&spec, &tenants, &paper_config());
+        assert!(run.report.colocated);
+        assert!(
+            run.report.tenants.iter().map(|t| t.swaps).sum::<usize>() > 0,
+            "the co-located bench load must exercise the swap path"
+        );
     }
 
     #[test]

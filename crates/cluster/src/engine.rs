@@ -21,13 +21,14 @@
 
 use crate::autoscale::{decide, ScaleDecision, ScaleSignals};
 use crate::failure::FailureKind;
-use crate::fleet::{place, FleetSpec, FleetTenantSpec};
+use crate::fleet::{plan_placement, tenant_swap_ms, FleetSpec, FleetTenantSpec, PlacementPlan};
 use crate::report::{FleetHostReport, FleetReport, FleetTenantReport, ReplicaSample};
 use crate::route::{Candidate, OutstandingIndex, RouterPolicy, RouterState};
 use std::collections::VecDeque;
 use tpu_core::TpuConfig;
 use tpu_serve::report::percentile;
 use tpu_serve::sim::{self, EventQueue};
+use tpu_serve::weights::ModelWeights;
 use tpu_serve::workload::ArrivalSource;
 use tpu_serve::{HostCore, HostEvent, ServeReport, ServiceCurve};
 
@@ -121,6 +122,9 @@ struct TenantRt {
     /// `TPU_CLUSTER_ROUTER=scan` baseline escape hatch; decisions are
     /// identical either way).
     use_index: bool,
+    /// The tenant's model identity in the weight-swap subsystem
+    /// (co-located fleets only; `None` keeps its slots weight-free).
+    weights: Option<ModelWeights>,
 }
 
 /// The single serving-eligibility rule: a replica is routable traffic's
@@ -186,6 +190,23 @@ fn pick_replica(
     spec: &FleetSpec,
     tenant: usize,
 ) -> Option<usize> {
+    if spec.router == RouterPolicy::SwapAware {
+        // Swap affinity needs live host state (which dies are warm for
+        // the tenant's model), so it resolves here rather than in the
+        // host-blind RouterState: prefer warm replicas, then fewest
+        // outstanding, then lowest index — a deterministic scan.
+        return trs[tenant]
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| serving(r, hosts))
+            .map(|(i, r)| {
+                let cold = !hosts[r.host].core.slot_has_warm_die(r.slot);
+                (cold, r.outstanding, i)
+            })
+            .min()
+            .map(|(_, _, i)| i);
+    }
     let tr = &mut trs[tenant];
     if !tr.use_index {
         // The pre-index hot path, verbatim: collect the eligible
@@ -258,6 +279,9 @@ pub struct FleetRun {
     pub report: FleetReport,
     /// Per-host serving reports, in host index order.
     pub host_reports: Vec<ServeReport>,
+    /// The initial placement the engine actually used (the same plan
+    /// `tpu_cluster place` prints; a property test pins the equality).
+    pub placement: PlacementPlan,
 }
 
 /// Run the fleet simulation to completion.
@@ -277,6 +301,9 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
     for f in &spec.failures {
         assert!(f.host < spec.hosts.len(), "failure names unknown host");
         assert!(f.at_ms.is_finite() && f.at_ms >= 0.0, "bad failure time");
+    }
+    if let Some(c) = &spec.colocate {
+        c.validate();
     }
 
     let mut hosts: Vec<HostRt> = spec
@@ -304,7 +331,8 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
     // `bench_cluster` measures the two in one run).
     let use_index = !matches!(std::env::var("TPU_CLUSTER_ROUTER").as_deref(), Ok("scan"));
 
-    let plan = place(&spec.hosts, tenants);
+    let placement = plan_placement(spec, tenants, cfg);
+    let plan = &placement.assignments;
     let mut trs: Vec<TenantRt> = tenants
         .iter()
         .enumerate()
@@ -316,12 +344,22 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
             );
             let curve = ft.tenant.effective_curve(cfg);
             let weight = ft.weight_bytes();
+            // Co-location: the tenant is model `t`, and its batches pay
+            // the calibrated swap stall on a model change.
+            let weights = spec.colocate.map(|c| ModelWeights {
+                model: t,
+                bytes: weight,
+                swap_ms: tenant_swap_ms(ft, cfg, c.swap_scale),
+            });
             let mut index = OutstandingIndex::new();
             let replicas: Vec<ReplicaRt> = plan[t]
                 .iter()
                 .enumerate()
                 .map(|(replica, &host)| {
                     let slot = hosts[host].core.add_slot(ft.tenant.clone(), curve);
+                    if let Some(mw) = weights {
+                        hosts[host].core.set_slot_weights(slot, mw);
+                    }
                     hosts[host].slot_owner.push(t);
                     hosts[host].slot_replica.push(replica);
                     hosts[host].weight_used += weight;
@@ -360,6 +398,7 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                 index,
                 cand_buf: Vec::new(),
                 use_index,
+                weights,
                 spec: ft.clone(),
             }
         })
@@ -445,6 +484,14 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                         if !hosts[host].core.on_timer(slot, generation) {
                             continue; // stale timer; the queue changed
                         }
+                    }
+                    HostEvent::WeightSwap { die } => {
+                        // Bookkeeping only: the die's pending model
+                        // becomes active. No capacity changed (the die
+                        // stays busy until its DieFree), so skip the
+                        // dispatch pass.
+                        hosts[host].core.on_weight_swap(die);
+                        continue;
                     }
                     HostEvent::DieFree { die } => {
                         if let Some(done) = hosts[host].core.on_die_free(die) {
@@ -632,6 +679,16 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
             let slo_ms = tr.spec.tenant.slo_ms;
             let slo_hits = merged.iter().filter(|&&l| l <= slo_ms).count();
             let counts: Vec<usize> = timeline.iter().map(|s| s.replicas[t]).collect();
+            let swaps: usize = tr
+                .replicas
+                .iter()
+                .map(|r| hosts[r.host].core.slot_swaps(r.slot))
+                .sum();
+            let swap_ms: f64 = tr
+                .replicas
+                .iter()
+                .map(|r| hosts[r.host].core.slot_swap_ms(r.slot))
+                .sum();
             FleetTenantReport {
                 name: tr.spec.tenant.name.clone(),
                 workload: tr.spec.tenant.workload.clone(),
@@ -650,6 +707,8 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                 replicas_final: *counts.last().expect("timeline non-empty"),
                 replicas_min: counts.iter().copied().min().unwrap_or(0),
                 replicas_max: counts.iter().copied().max().unwrap_or(0),
+                swaps,
+                swap_ms,
             }
         })
         .collect();
@@ -669,6 +728,10 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                 .min(1.0),
                 crashes: hr.crashes,
                 slots: hr.slot_owner.len(),
+                resident_models: hr.live_slots,
+                resident_bytes: hr.weight_used,
+                swaps: hr.core.swaps(),
+                swap_ms: hr.core.swap_ms(),
             }
         })
         .collect();
@@ -680,8 +743,10 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
             replica_timeline: timeline,
             makespan_ms,
             events_processed,
+            colocated: spec.colocate.is_some(),
         },
         host_reports,
+        placement,
     }
 }
 
@@ -973,6 +1038,9 @@ fn try_scale_up(
     let slot = hosts[host]
         .core
         .add_slot(trs[tenant].spec.tenant.clone(), trs[tenant].curve);
+    if let Some(mw) = trs[tenant].weights {
+        hosts[host].core.set_slot_weights(slot, mw);
+    }
     hosts[host].slot_owner.push(tenant);
     hosts[host].slot_replica.push(trs[tenant].replicas.len());
     hosts[host].weight_used += weight;

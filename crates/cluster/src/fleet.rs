@@ -14,13 +14,18 @@ use crate::autoscale::AutoscaleConfig;
 use crate::failure::FailureEvent;
 use crate::route::RouterPolicy;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use tpu_core::TpuConfig;
 use tpu_platforms::server::Dispatch;
 use tpu_platforms::HostOverhead;
 use tpu_serve::tenant::resolve_workload;
+use tpu_serve::weights::{swap_cost_ms, WeightSet};
 use tpu_serve::TenantSpec;
 
-/// The paper's TPU weight-memory budget: 8 GiB of DDR3.
-pub const DEFAULT_WEIGHT_CAPACITY_BYTES: u64 = 8 * 1024 * 1024 * 1024;
+/// The paper's TPU weight-memory budget: 8 GiB of DDR3 (the single
+/// definition lives in `tpu_serve::weights`, shared with the swap-cost
+/// model).
+pub const DEFAULT_WEIGHT_CAPACITY_BYTES: u64 = tpu_serve::weights::DDR3_CAPACITY_BYTES;
 
 /// One TPU host of the fleet.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -139,6 +144,108 @@ impl FleetTenantSpec {
     }
 }
 
+/// How the initial placement plan is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// The legacy spread planner: tenants in declaration order, each
+    /// replica on the eligible host carrying the fewest slots so far
+    /// (ties by index). Replicas of one tenant land on distinct hosts.
+    Spread,
+    /// Best-fit-decreasing bin packing with a combined objective:
+    /// replicas are placed heaviest-footprint first, each on the
+    /// feasible host minimizing `mem_weight × weight-memory fill +
+    /// load_weight × expected die utilization` after the placement
+    /// (ties by host index). Balances the 8 GiB DDR3 budget *and* the
+    /// expected per-tenant load instead of just spreading slots.
+    BinPack {
+        /// Weight of the weight-memory fill term (≥ 0).
+        mem_weight: f64,
+        /// Weight of the expected-die-utilization term (≥ 0).
+        load_weight: f64,
+    },
+}
+
+impl PlacementPolicy {
+    /// Reject degenerate objectives up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or all-zero `BinPack` weights.
+    pub fn validate(&self) {
+        if let PlacementPolicy::BinPack {
+            mem_weight,
+            load_weight,
+        } = *self
+        {
+            assert!(
+                mem_weight >= 0.0 && load_weight >= 0.0,
+                "bin-pack objective weights must be nonnegative"
+            );
+            assert!(
+                mem_weight + load_weight > 0.0,
+                "bin-pack objective needs at least one positive weight"
+            );
+        }
+    }
+}
+
+/// Opt-in multi-model co-location. When set, the fleet charges the
+/// DDR3-derived weight-swap stall whenever a die dispatches a batch
+/// for a model other than the one its weight FIFO last streamed (see
+/// `tpu_serve::weights`), the placement plan comes from
+/// [`ColocateConfig::placement`], and the fleet report gains per-host
+/// residency/swap columns and per-tenant swap counters. When `None`
+/// (the default), every run is byte-identical to the pre-subsystem
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColocateConfig {
+    /// The placement planner for the initial plan (autoscaling always
+    /// adds replicas greedily, as before).
+    pub placement: PlacementPolicy,
+    /// Scale on the calibrated swap cost (1.0 = the Table 2 DDR3
+    /// bandwidth with the Table 5 host-overhead inflation).
+    pub swap_scale: f64,
+}
+
+impl ColocateConfig {
+    /// Co-location under `placement` with the calibrated swap cost.
+    pub fn new(placement: PlacementPolicy) -> Self {
+        ColocateConfig {
+            placement,
+            swap_scale: 1.0,
+        }
+    }
+
+    /// Bin packing with equal memory/load objective weights — the
+    /// default co-located planner.
+    pub fn bin_packed() -> Self {
+        Self::new(PlacementPolicy::BinPack {
+            mem_weight: 1.0,
+            load_weight: 1.0,
+        })
+    }
+
+    /// Scale the swap cost (scenarios sweep it).
+    pub fn with_swap_scale(mut self, scale: f64) -> Self {
+        self.swap_scale = scale;
+        self
+    }
+
+    /// Reject degenerate configurations up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a nonpositive or non-finite swap scale or a degenerate
+    /// placement objective.
+    pub fn validate(&self) {
+        assert!(
+            self.swap_scale > 0.0 && self.swap_scale.is_finite(),
+            "swap scale must be positive and finite"
+        );
+        self.placement.validate();
+    }
+}
+
 /// The whole fleet: hosts plus front-end configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetSpec {
@@ -155,6 +262,9 @@ pub struct FleetSpec {
     pub autoscale: Option<AutoscaleConfig>,
     /// Failure injection schedule (crashes, stragglers, recoveries).
     pub failures: Vec<FailureEvent>,
+    /// Multi-model co-location; `None` (the default) keeps the legacy
+    /// whole-replica behaviour bit for bit.
+    pub colocate: Option<ColocateConfig>,
 }
 
 impl FleetSpec {
@@ -174,6 +284,7 @@ impl FleetSpec {
             hop: HopModel::None,
             autoscale: None,
             failures: Vec::new(),
+            colocate: None,
         }
     }
 
@@ -199,6 +310,22 @@ impl FleetSpec {
     pub fn with_failures(mut self, failures: Vec<FailureEvent>) -> Self {
         self.failures = failures;
         self
+    }
+
+    /// Opt in to multi-model co-location (weight-swap costs, the
+    /// configured placement planner, residency/swap reporting).
+    pub fn with_colocate(mut self, colocate: ColocateConfig) -> Self {
+        colocate.validate();
+        self.colocate = Some(colocate);
+        self
+    }
+
+    /// The placement planner in force: the colocate config's, or the
+    /// legacy spread planner.
+    pub fn placement_policy(&self) -> PlacementPolicy {
+        self.colocate
+            .map(|c| c.placement)
+            .unwrap_or(PlacementPolicy::Spread)
     }
 }
 
@@ -243,6 +370,258 @@ pub fn place(hosts: &[HostSpec], tenants: &[FleetTenantSpec]) -> Vec<Vec<usize>>
             mine.push(host);
         }
         plan.push(mine);
+    }
+    plan
+}
+
+/// The deterministic weight-swap stall one of `tenant`'s batches pays
+/// when its die changes models: the Table 1 footprint streamed at the
+/// configured DDR3 bandwidth, inflated by the workload's Table 5
+/// host-interaction fraction and the colocate `swap_scale`.
+pub fn tenant_swap_ms(tenant: &FleetTenantSpec, cfg: &TpuConfig, swap_scale: f64) -> f64 {
+    swap_cost_ms(
+        tenant.weight_bytes(),
+        cfg,
+        HostOverhead::for_app(&tenant.tenant.workload).fraction,
+        swap_scale,
+    )
+}
+
+/// The expected die-busy seconds per second one replica of `tenant`
+/// contributes: its share of the tenant's mean offered rate times the
+/// per-request die time at the policy's batch bound. Trace-file-backed
+/// tenants (no analytic rate) contribute zero.
+pub fn expected_replica_load(tenant: &FleetTenantSpec, cfg: &TpuConfig) -> f64 {
+    let Some(rate) = tenant.tenant.arrivals.mean_rate_rps() else {
+        return 0.0;
+    };
+    let per_replica = rate / tenant.replicas as f64;
+    let b = tenant.tenant.policy.max_batch();
+    let curve = tenant.tenant.effective_curve(cfg);
+    per_replica * (curve.service_ms(b) / b as f64) / 1000.0
+}
+
+/// One host's share of a [`PlacementPlan`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostPlacement {
+    /// Host index.
+    pub host: usize,
+    /// Dies behind the host.
+    pub dies: usize,
+    /// Weight bytes the plan places here.
+    pub weight_bytes: u64,
+    /// The host's weight-memory budget, bytes.
+    pub capacity_bytes: u64,
+    /// Expected die utilization from the placed replicas, in [0, ∞)
+    /// (sum of [`expected_replica_load`] over the replicas ÷ dies).
+    pub expected_load: f64,
+    /// Tenant names of the placed replicas, in tenant declaration
+    /// order.
+    pub replicas: Vec<String>,
+}
+
+/// An initial placement: which host each tenant replica starts on,
+/// plus the per-host residency/load summary the `tpu_cluster place`
+/// inspector prints. The engine uses exactly this plan at run start —
+/// a property test pins it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementPlan {
+    /// `assignments[tenant][replica]` = host index.
+    pub assignments: Vec<Vec<usize>>,
+    /// Per-host summaries, in host index order.
+    pub hosts: Vec<HostPlacement>,
+}
+
+impl PlacementPlan {
+    /// The plan as a JSON value (stable key order), for
+    /// `tpu_cluster place --json`.
+    pub fn to_json(&self) -> serde_json::Value {
+        use serde_json::Value;
+        Value::object([
+            (
+                "assignments".into(),
+                Value::Array(
+                    self.assignments
+                        .iter()
+                        .map(|hosts| {
+                            Value::Array(hosts.iter().map(|&h| Value::Number(h as f64)).collect())
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "hosts".into(),
+                Value::Array(
+                    self.hosts
+                        .iter()
+                        .map(|h| {
+                            Value::object([
+                                ("host".into(), Value::Number(h.host as f64)),
+                                ("dies".into(), Value::Number(h.dies as f64)),
+                                ("weight_bytes".into(), Value::Number(h.weight_bytes as f64)),
+                                (
+                                    "capacity_bytes".into(),
+                                    Value::Number(h.capacity_bytes as f64),
+                                ),
+                                (
+                                    "expected_load".into(),
+                                    Value::Number((h.expected_load * 1000.0).round() / 1000.0),
+                                ),
+                                (
+                                    "replicas".into(),
+                                    Value::Array(
+                                        h.replicas
+                                            .iter()
+                                            .map(|r| Value::String(r.clone()))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for PlacementPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<6} {:>5} {:>12} {:>9} {:>10}  replicas",
+            "host", "dies", "weight MB", "fill%", "exp. load"
+        )?;
+        for h in &self.hosts {
+            writeln!(
+                f,
+                "{:<6} {:>5} {:>12.1} {:>8.1}% {:>10.3}  {}",
+                h.host,
+                h.dies,
+                h.weight_bytes as f64 / 1e6,
+                100.0 * h.weight_bytes as f64 / h.capacity_bytes.max(1) as f64,
+                h.expected_load,
+                h.replicas.join(","),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Compute the initial placement plan the engine will use: the legacy
+/// spread planner, or — when the spec opts into co-location — the
+/// configured bin-packing planner. Either way every placement is
+/// admitted through a `tpu_serve::weights::WeightSet` per host, so no
+/// plan can oversubscribe a host's weight memory.
+///
+/// # Panics
+///
+/// Panics when a replica cannot be placed (the error names the tenant,
+/// its footprint, and per-host free memory).
+pub fn plan_placement(
+    spec: &FleetSpec,
+    tenants: &[FleetTenantSpec],
+    cfg: &TpuConfig,
+) -> PlacementPlan {
+    let assignments = match spec.placement_policy() {
+        PlacementPolicy::Spread => place(&spec.hosts, tenants),
+        PlacementPolicy::BinPack {
+            mem_weight,
+            load_weight,
+        } => bin_pack(&spec.hosts, tenants, cfg, mem_weight, load_weight),
+    };
+    let mut sets: Vec<WeightSet> = spec
+        .hosts
+        .iter()
+        .map(|h| WeightSet::new(h.weight_capacity_bytes))
+        .collect();
+    let mut loads = vec![0.0f64; spec.hosts.len()];
+    let mut replicas: Vec<Vec<String>> = vec![Vec::new(); spec.hosts.len()];
+    for (t, ft) in tenants.iter().enumerate() {
+        let w = ft.weight_bytes();
+        let l = expected_replica_load(ft, cfg);
+        for &host in &assignments[t] {
+            sets[host]
+                .admit(t, w)
+                .unwrap_or_else(|e| panic!("planner oversubscribed host {host}: {e}"));
+            loads[host] += l;
+            replicas[host].push(ft.tenant.name.clone());
+        }
+    }
+    let hosts = spec
+        .hosts
+        .iter()
+        .enumerate()
+        .map(|(h, hs)| HostPlacement {
+            host: h,
+            dies: hs.dies,
+            weight_bytes: sets[h].used_bytes(),
+            capacity_bytes: hs.weight_capacity_bytes,
+            expected_load: loads[h] / hs.dies.max(1) as f64,
+            replicas: std::mem::take(&mut replicas[h]),
+        })
+        .collect();
+    PlacementPlan { assignments, hosts }
+}
+
+/// Best-fit-decreasing bin packing (see
+/// [`PlacementPolicy::BinPack`]): replicas in heaviest-footprint-first
+/// order (ties by tenant declaration order), each placed on the
+/// feasible host — enough free weight memory, not already hosting the
+/// tenant — minimizing the combined fill/load objective, ties by host
+/// index. Deterministic: no RNG, stable orderings throughout.
+///
+/// # Panics
+///
+/// Panics when a replica cannot be placed.
+fn bin_pack(
+    hosts: &[HostSpec],
+    tenants: &[FleetTenantSpec],
+    cfg: &TpuConfig,
+    mem_weight: f64,
+    load_weight: f64,
+) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..tenants.len()).collect();
+    // Heaviest model first (classic BFD); stable, so equal footprints
+    // keep declaration order.
+    order.sort_by_key(|&t| std::cmp::Reverse(tenants[t].weight_bytes()));
+    let mut sets: Vec<WeightSet> = hosts
+        .iter()
+        .map(|h| WeightSet::new(h.weight_capacity_bytes))
+        .collect();
+    let mut loads = vec![0.0f64; hosts.len()];
+    let mut plan: Vec<Vec<usize>> = vec![Vec::new(); tenants.len()];
+    for &t in &order {
+        let ft = &tenants[t];
+        let w = ft.weight_bytes();
+        let l = expected_replica_load(ft, cfg);
+        for r in 0..ft.replicas {
+            let host = hosts
+                .iter()
+                .enumerate()
+                .filter(|(h, _)| !plan[t].contains(h) && sets[*h].fits(w))
+                .map(|(h, hs)| {
+                    let fill =
+                        (sets[h].used_bytes() + w) as f64 / hs.weight_capacity_bytes.max(1) as f64;
+                    let util = (loads[h] + l) / hs.dies.max(1) as f64;
+                    (mem_weight * fill + load_weight * util, h)
+                })
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                .map(|(_, h)| h)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "cannot bin-pack replica {r} of tenant {} ({w} weight bytes): \
+                         free per host = {:?}",
+                        ft.tenant.name,
+                        sets.iter().map(WeightSet::free_bytes).collect::<Vec<_>>()
+                    )
+                });
+            sets[host]
+                .admit(t, w)
+                .expect("feasibility checked by the filter");
+            loads[host] += l;
+            plan[t].push(host);
+        }
     }
     plan
 }
@@ -307,6 +686,127 @@ mod tests {
     fn infeasible_placement_panics_with_context() {
         let tiny = HostSpec::new(1).with_weight_capacity(1_000_000);
         let _ = place(&[tiny], &[tenant("CNN1", 1)]);
+    }
+
+    fn spec_with(hosts: usize, dies: usize) -> FleetSpec {
+        FleetSpec::new(hosts, dies, 42)
+    }
+
+    #[test]
+    fn spread_plan_matches_the_legacy_placer_exactly() {
+        let cfg = TpuConfig::paper();
+        let spec = spec_with(4, 2);
+        let tenants = [tenant("MLP0", 3), tenant("LSTM0", 2)];
+        let plan = plan_placement(&spec, &tenants, &cfg);
+        assert_eq!(plan.assignments, place(&spec.hosts, &tenants));
+        assert_eq!(plan.hosts.len(), 4);
+        let placed: usize = plan.hosts.iter().map(|h| h.replicas.len()).sum();
+        assert_eq!(placed, 5);
+        // MLP0 (20M weights) on hosts 0-2, LSTM0 (52M) on 3 and 0.
+        assert_eq!(plan.hosts[0].replicas, vec!["MLP0", "LSTM0"]);
+        assert_eq!(
+            plan.hosts[0].weight_bytes,
+            tenants[0].weight_bytes() + tenants[1].weight_bytes()
+        );
+    }
+
+    #[test]
+    fn bin_pack_places_heaviest_models_first_and_respects_capacity() {
+        let cfg = TpuConfig::paper();
+        // Hosts that fit CNN1 (~100M) plus one small model, nothing more.
+        let mut spec = spec_with(3, 2).with_colocate(ColocateConfig::bin_packed());
+        for h in &mut spec.hosts {
+            h.weight_capacity_bytes = 130_000_000;
+        }
+        let tenants = [tenant("MLP0", 2), tenant("CNN1", 2), tenant("MLP1", 1)];
+        let plan = plan_placement(&spec, &tenants, &cfg);
+        for h in &plan.hosts {
+            assert!(
+                h.weight_bytes <= h.capacity_bytes,
+                "host {} oversubscribed: {} > {}",
+                h.host,
+                h.weight_bytes,
+                h.capacity_bytes
+            );
+        }
+        // CNN1's two replicas land on distinct hosts despite being
+        // placed first (heaviest).
+        assert_eq!(plan.assignments[1].len(), 2);
+        assert_ne!(plan.assignments[1][0], plan.assignments[1][1]);
+    }
+
+    #[test]
+    fn bin_pack_load_objective_separates_hot_tenants() {
+        let cfg = TpuConfig::paper();
+        // Two equally heavy, hot tenants and plenty of memory: the
+        // load term must spread them over both hosts rather than
+        // stacking one host.
+        let spec = spec_with(2, 2).with_colocate(ColocateConfig::new(PlacementPolicy::BinPack {
+            mem_weight: 0.0,
+            load_weight: 1.0,
+        }));
+        let mk = |name: &str| {
+            let mut t = tenant("MLP0", 1);
+            t.tenant = t.tenant.named(name);
+            t
+        };
+        let tenants = [mk("hot-a"), mk("hot-b")];
+        let plan = plan_placement(&spec, &tenants, &cfg);
+        assert_ne!(
+            plan.assignments[0][0], plan.assignments[1][0],
+            "load-aware packing must not stack both hot tenants: {plan}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot bin-pack replica")]
+    fn bin_pack_panics_with_context_when_infeasible() {
+        let cfg = TpuConfig::paper();
+        let mut spec = spec_with(1, 1).with_colocate(ColocateConfig::bin_packed());
+        spec.hosts[0].weight_capacity_bytes = 1_000_000;
+        let _ = plan_placement(&spec, &[tenant("CNN1", 1)], &cfg);
+    }
+
+    #[test]
+    fn swap_cost_tracks_footprint_and_table5_overhead() {
+        let cfg = TpuConfig::paper();
+        let mlp0 = tenant_swap_ms(&tenant("MLP0", 1), &cfg, 1.0);
+        let cnn1 = tenant_swap_ms(&tenant("CNN1", 1), &cfg, 1.0);
+        assert!(mlp0 > 0.0);
+        // CNN1 carries ~5x MLP0's weights; overhead fractions differ
+        // (0.14 vs 0.21) but the footprint dominates.
+        assert!(cnn1 > 3.0 * mlp0, "CNN1 {cnn1} vs MLP0 {mlp0}");
+        assert_eq!(tenant_swap_ms(&tenant("MLP0", 1), &cfg, 2.0), 2.0 * mlp0);
+    }
+
+    #[test]
+    fn expected_replica_load_divides_by_replicas() {
+        let cfg = TpuConfig::paper();
+        let one = expected_replica_load(&tenant("MLP0", 1), &cfg);
+        let four = expected_replica_load(&tenant("MLP0", 4), &cfg);
+        assert!(one > 0.0);
+        assert!((one / four - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "swap scale must be positive")]
+    fn degenerate_colocate_config_is_rejected() {
+        let _ = spec_with(1, 1).with_colocate(ColocateConfig::bin_packed().with_swap_scale(0.0));
+    }
+
+    #[test]
+    fn placement_plan_renders_text_and_json() {
+        let cfg = TpuConfig::paper();
+        let spec = spec_with(2, 2).with_colocate(ColocateConfig::bin_packed());
+        let plan = plan_placement(&spec, &[tenant("MLP0", 2), tenant("LSTM0", 1)], &cfg);
+        let text = format!("{plan}");
+        for needle in ["host", "weight MB", "exp. load", "MLP0"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        let json = serde_json::to_string(&plan.to_json());
+        for needle in ["\"assignments\"", "\"capacity_bytes\"", "\"expected_load\""] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //!
 //! * [`fleet`] — topology and model placement: each Table 1 workload is
 //!   replicated across hosts, charged its full weight footprint against
-//!   per-host weight-memory capacity (the paper's 8 GiB DDR3);
+//!   per-host weight-memory capacity (the paper's 8 GiB DDR3). Opt-in
+//!   **multi-model co-location** ([`fleet::ColocateConfig`]) switches
+//!   placement to a bin-packing planner balancing weight memory *and*
+//!   expected load, and charges the deterministic DDR3 weight-swap
+//!   stall (`tpu_serve::weights`) whenever a die changes models;
 //! * [`route`] — front-end routing: round-robin,
 //!   least-outstanding-requests, and consistent hashing with bounded
 //!   load, all deterministic;
@@ -25,7 +29,10 @@
 //!   bit-identical for a fixed seed;
 //! * [`scenario`] — named experiments (`fleet-steady`,
 //!   `diurnal-autoscale`, `trace-replay`, `host-failover`,
-//!   `router-shootout`, `straggler-tail`) behind the `tpu_cluster` CLI.
+//!   `router-shootout`, `straggler-tail`, `colocate-interference`,
+//!   `colocate-vs-dedicated`) behind the `tpu_cluster` CLI, which also
+//!   ships a `place` inspector printing any scenario's
+//!   [`fleet::PlacementPlan`] without simulating.
 //!
 //! The front end draws its request streams from
 //! `tpu_serve::workload` — any [`tpu_serve::workload::ArrivalSource`]
@@ -72,7 +79,10 @@ pub mod scenario;
 pub use autoscale::{AutoscaleConfig, ScaleSignals};
 pub use engine::{run_fleet, FleetRun};
 pub use failure::{seeded_outages, FailureEvent, FailureKind};
-pub use fleet::{place, FleetSpec, FleetTenantSpec, HopModel, HostSpec};
+pub use fleet::{
+    place, plan_placement, ColocateConfig, FleetSpec, FleetTenantSpec, HopModel, HostPlacement,
+    HostSpec, PlacementPlan, PlacementPolicy,
+};
 pub use report::{FleetHostReport, FleetReport, FleetTenantReport, ReplicaSample};
 pub use route::{OutstandingIndex, RouterPolicy};
 pub use scenario::{all_scenarios, scenario_by_name, FleetScenario, FleetScenarioRun};

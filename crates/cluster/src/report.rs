@@ -47,6 +47,11 @@ pub struct FleetTenantReport {
     pub replicas_min: usize,
     /// Most live replicas observed on the timeline.
     pub replicas_max: usize,
+    /// Weight swaps this tenant's batches initiated (always 0 outside
+    /// co-located runs; reported only when [`FleetReport::colocated`]).
+    pub swaps: usize,
+    /// Total weight-swap stall this tenant's batches paid, ms.
+    pub swap_ms: f64,
 }
 
 /// One host's fleet-level outcome.
@@ -66,6 +71,15 @@ pub struct FleetHostReport {
     pub crashes: usize,
     /// Tenant slots ever placed on the host (live + retired).
     pub slots: usize,
+    /// Models resident in the host's weight memory at run end
+    /// (reported only when [`FleetReport::colocated`]).
+    pub resident_models: usize,
+    /// Weight bytes resident at run end.
+    pub resident_bytes: u64,
+    /// Weight swaps the host's dies initiated.
+    pub swaps: usize,
+    /// Total weight-swap stall on the host's dies, ms.
+    pub swap_ms: f64,
 }
 
 /// Live replica counts per tenant at one instant.
@@ -90,6 +104,10 @@ pub struct FleetReport {
     pub makespan_ms: f64,
     /// Events the fleet engine processed.
     pub events_processed: u64,
+    /// Whether the run opted into multi-model co-location. Gates the
+    /// residency/swap columns in both renderings, so non-co-located
+    /// reports stay byte-identical to the pre-subsystem format.
+    pub colocated: bool,
 }
 
 impl FleetReport {
@@ -118,7 +136,7 @@ impl FleetReport {
             .tenants
             .iter()
             .map(|t| {
-                Value::object([
+                let mut fields = vec![
                     ("name".into(), Value::String(t.name.clone())),
                     ("workload".into(), Value::String(t.workload.clone())),
                     ("priority".into(), Value::Number(t.priority as f64)),
@@ -145,14 +163,19 @@ impl FleetReport {
                     ),
                     ("replicas_min".into(), Value::Number(t.replicas_min as f64)),
                     ("replicas_max".into(), Value::Number(t.replicas_max as f64)),
-                ])
+                ];
+                if self.colocated {
+                    fields.push(("swaps".into(), Value::Number(t.swaps as f64)));
+                    fields.push(("swap_ms".into(), Value::Number(round3(t.swap_ms))));
+                }
+                Value::object(fields)
             })
             .collect();
         let hosts = self
             .hosts
             .iter()
             .map(|h| {
-                Value::object([
+                let mut fields = vec![
                     ("host".into(), Value::Number(h.host as f64)),
                     ("dies".into(), Value::Number(h.dies as f64)),
                     ("batches".into(), Value::Number(h.batches as f64)),
@@ -160,7 +183,20 @@ impl FleetReport {
                     ("utilization".into(), Value::Number(round3(h.utilization))),
                     ("crashes".into(), Value::Number(h.crashes as f64)),
                     ("slots".into(), Value::Number(h.slots as f64)),
-                ])
+                ];
+                if self.colocated {
+                    fields.push((
+                        "resident_models".into(),
+                        Value::Number(h.resident_models as f64),
+                    ));
+                    fields.push((
+                        "resident_bytes".into(),
+                        Value::Number(h.resident_bytes as f64),
+                    ));
+                    fields.push(("swaps".into(), Value::Number(h.swaps as f64)));
+                    fields.push(("swap_ms".into(), Value::Number(round3(h.swap_ms))));
+                }
+                Value::object(fields)
             })
             .collect();
         let timeline = self
@@ -181,7 +217,7 @@ impl FleetReport {
                 ])
             })
             .collect();
-        Value::object([
+        let mut top = vec![
             ("tenants".into(), Value::Array(tenants)),
             ("hosts".into(), Value::Array(hosts)),
             ("replica_timeline".into(), Value::Array(timeline)),
@@ -193,7 +229,11 @@ impl FleetReport {
                 "events_processed".into(),
                 Value::Number(self.events_processed as f64),
             ),
-        ])
+        ];
+        if self.colocated {
+            top.push(("colocated".into(), Value::Bool(true)));
+        }
+        Value::object(top)
     }
 }
 
@@ -257,6 +297,41 @@ impl fmt::Display for FleetReport {
                 h.slots
             )?;
         }
+        if self.colocated {
+            writeln!(f)?;
+            writeln!(
+                f,
+                "{:<6} {:>7} {:>12} {:>7} {:>10}",
+                "co-loc", "models", "resident MB", "swaps", "swap ms"
+            )?;
+            for h in &self.hosts {
+                writeln!(
+                    f,
+                    "{:<6} {:>7} {:>12.1} {:>7} {:>10.3}",
+                    h.host,
+                    h.resident_models,
+                    h.resident_bytes as f64 / 1e6,
+                    h.swaps,
+                    h.swap_ms
+                )?;
+            }
+            writeln!(f)?;
+            writeln!(
+                f,
+                "{:<12} {:>7} {:>10} {:>12}",
+                "tenant", "swaps", "swap ms", "swap/req ms"
+            )?;
+            for t in &self.tenants {
+                writeln!(
+                    f,
+                    "{:<12} {:>7} {:>10.3} {:>12.4}",
+                    t.name,
+                    t.swaps,
+                    t.swap_ms,
+                    t.swap_ms / t.requests.max(1) as f64
+                )?;
+            }
+        }
         if self.replica_timeline.len() > 1 {
             writeln!(f)?;
             writeln!(f, "replica timeline (t ms: per-tenant live replicas):")?;
@@ -298,6 +373,8 @@ mod tests {
                 replicas_final: 2,
                 replicas_min: 2,
                 replicas_max: 3,
+                swaps: 0,
+                swap_ms: 0.0,
             }],
             hosts: vec![FleetHostReport {
                 host: 0,
@@ -307,6 +384,10 @@ mod tests {
                 utilization: 0.4,
                 crashes: 1,
                 slots: 1,
+                resident_models: 1,
+                resident_bytes: 20_000_000,
+                swaps: 0,
+                swap_ms: 0.0,
             }],
             replica_timeline: vec![
                 ReplicaSample {
@@ -320,7 +401,19 @@ mod tests {
             ],
             makespan_ms: 10.0,
             events_processed: 321,
+            colocated: false,
         }
+    }
+
+    fn colocated_sample() -> FleetReport {
+        let mut r = sample();
+        r.colocated = true;
+        r.tenants[0].swaps = 4;
+        r.tenants[0].swap_ms = 2.848;
+        r.hosts[0].swaps = 4;
+        r.hosts[0].swap_ms = 2.848;
+        r.hosts[0].resident_models = 2;
+        r
     }
 
     #[test]
@@ -343,6 +436,42 @@ mod tests {
             "\"events_processed\":321",
         ] {
             assert!(j.contains(needle), "missing {needle} in {j}");
+        }
+    }
+
+    /// The co-location gating contract: the residency/swap columns and
+    /// keys appear only when the run opted in, so every pre-existing
+    /// (non-co-located) report is byte-identical to the old format.
+    #[test]
+    fn swap_columns_render_only_for_colocated_runs() {
+        let plain = format!("{}", sample());
+        for needle in ["co-loc", "swap ms", "resident MB"] {
+            assert!(!plain.contains(needle), "{needle:?} leaked into:\n{plain}");
+        }
+        let plain_json = serde_json::to_string(&sample().to_json());
+        for needle in ["swaps", "resident_models", "colocated"] {
+            assert!(
+                !plain_json.contains(needle),
+                "{needle} leaked into {plain_json}"
+            );
+        }
+
+        let colo = format!("{}", colocated_sample());
+        for needle in ["co-loc", "resident MB", "swap/req ms", "2.848"] {
+            assert!(colo.contains(needle), "missing {needle:?} in:\n{colo}");
+        }
+        let colo_json = serde_json::to_string(&colocated_sample().to_json());
+        for needle in [
+            "\"colocated\":true",
+            "\"swaps\":4",
+            "\"swap_ms\":2.848",
+            "\"resident_models\":2",
+            "\"resident_bytes\":20000000",
+        ] {
+            assert!(
+                colo_json.contains(needle),
+                "missing {needle} in {colo_json}"
+            );
         }
     }
 

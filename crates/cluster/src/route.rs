@@ -29,6 +29,14 @@ pub enum RouterPolicy {
         /// Load bound as a multiple of the mean outstanding load (> 1).
         bound: f64,
     },
+    /// Swap-affinity routing for co-located fleets: prefer candidates
+    /// whose host already has a die *warm* for the tenant's model (its
+    /// weights loaded or loading — no swap stall to dispatch there),
+    /// then fewest outstanding, then lowest replica index. The fleet
+    /// engine resolves warmth against live host state; a bare
+    /// [`RouterState::pick`] has no host view and degrades to
+    /// least-outstanding.
+    SwapAware,
 }
 
 /// One routable replica, as the router sees it.
@@ -81,7 +89,9 @@ impl RouterState {
                 self.rr_cursor += 1;
                 candidates[i].replica
             }
-            RouterPolicy::LeastOutstanding => least_outstanding(candidates),
+            RouterPolicy::LeastOutstanding | RouterPolicy::SwapAware => {
+                least_outstanding(candidates)
+            }
             RouterPolicy::ConsistentHash { vnodes, bound } => {
                 assert!(vnodes > 0, "need at least one virtual node");
                 assert!(bound > 1.0, "load bound must exceed 1");

@@ -14,7 +14,7 @@
 use crate::autoscale::AutoscaleConfig;
 use crate::engine::{run_fleet, FleetRun};
 use crate::failure::FailureEvent;
-use crate::fleet::{FleetSpec, FleetTenantSpec, HopModel};
+use crate::fleet::{ColocateConfig, FleetSpec, FleetTenantSpec, HopModel, PlacementPolicy};
 use crate::route::RouterPolicy;
 use tpu_core::TpuConfig;
 use tpu_serve::tenant::ArrivalProcess;
@@ -394,6 +394,101 @@ fn straggler_tail() -> FleetScenario {
     }
 }
 
+/// The mixed Table 1 tenant set: all six workloads with the
+/// `mixed-tenants` rates (sized for ~60% of a 4-die pool together),
+/// `replicas` replicas each.
+fn table1_mix(replicas: usize) -> Vec<FleetTenantSpec> {
+    vec![
+        FleetTenantSpec::new(
+            timeout_tenant("MLP0", 150_000.0, 200, 2.0, 7.0, 3, 45_000),
+            replicas,
+        ),
+        FleetTenantSpec::new(
+            timeout_tenant("MLP1", 80_000.0, 168, 2.0, 7.0, 3, 24_000),
+            replicas,
+        ),
+        FleetTenantSpec::new(
+            timeout_tenant("LSTM0", 12_000.0, 64, 5.0, 50.0, 2, 3_600),
+            replicas,
+        ),
+        FleetTenantSpec::new(
+            timeout_tenant("LSTM1", 20_000.0, 96, 5.0, 50.0, 2, 6_000),
+            replicas,
+        ),
+        FleetTenantSpec::new(
+            timeout_tenant("CNN0", 3_000.0, 8, 10.0, 30.0, 1, 900),
+            replicas,
+        ),
+        FleetTenantSpec::new(
+            timeout_tenant("CNN1", 800.0, 32, 20.0, 60.0, 1, 240),
+            replicas,
+        ),
+    ]
+}
+
+/// Co-location interference vs swap-affinity routing: the mixed
+/// Table 1 set, two replicas each, bin-packed onto four 2-die hosts
+/// with weight-swap costs on. The `least-outstanding` run routes
+/// blindly and keeps forcing dies to reload weights; the `swap-aware`
+/// run prefers replicas whose host already holds the model's weights
+/// warm, trading a little load balance for fewer swaps.
+fn colocate_interference() -> FleetScenario {
+    let mk = |label: &str, router: RouterPolicy| {
+        let spec = FleetSpec::new(4, 2, 42)
+            .with_router(router)
+            .with_hop(HopModel::Table5 { scale_ms: 1.0 })
+            .with_colocate(ColocateConfig::bin_packed());
+        FleetScenarioRun {
+            label: label.into(),
+            spec,
+            tenants: table1_mix(2),
+        }
+    };
+    FleetScenario {
+        name: "colocate-interference",
+        description: "Table 1 mix x2 bin-packed on 4 hosts: blind vs swap-affinity routing",
+        runs: vec![
+            mk("least-outstanding", RouterPolicy::LeastOutstanding),
+            mk("swap-aware", RouterPolicy::SwapAware),
+        ],
+    }
+}
+
+/// Co-located vs dedicated placement under the same offered load: the
+/// `dedicated` run gives each of the six Table 1 tenants its own
+/// 1-die host (a die only ever pays its cold weight load), the
+/// `colocated` run bin-packs the same tenants onto three 1-die hosts —
+/// half the hardware — where each die ping-pongs between two models
+/// and pays the DDR3 weight-swap stall on every alternation. Both runs
+/// carry the weight subsystem, so the per-tenant swap counters and
+/// the p99 gap are a like-for-like interference measurement.
+fn colocate_vs_dedicated() -> FleetScenario {
+    let dedicated = FleetSpec::new(6, 1, 42)
+        .with_router(RouterPolicy::LeastOutstanding)
+        .with_hop(HopModel::Table5 { scale_ms: 1.0 })
+        .with_colocate(ColocateConfig::new(PlacementPolicy::Spread));
+    let colocated = FleetSpec::new(3, 1, 42)
+        .with_router(RouterPolicy::SwapAware)
+        .with_hop(HopModel::Table5 { scale_ms: 1.0 })
+        .with_colocate(ColocateConfig::bin_packed());
+    FleetScenario {
+        name: "colocate-vs-dedicated",
+        description: "Table 1 mix: one model per die (6 hosts) vs bin-packed co-location (3 hosts)",
+        runs: vec![
+            FleetScenarioRun {
+                label: "dedicated".into(),
+                spec: dedicated,
+                tenants: table1_mix(1),
+            },
+            FleetScenarioRun {
+                label: "colocated".into(),
+                spec: colocated,
+                tenants: table1_mix(1),
+            },
+        ],
+    }
+}
+
 /// All named scenarios, in CLI listing order.
 pub fn all_scenarios() -> Vec<FleetScenario> {
     vec![
@@ -403,6 +498,8 @@ pub fn all_scenarios() -> Vec<FleetScenario> {
         host_failover(),
         router_shootout(),
         straggler_tail(),
+        colocate_interference(),
+        colocate_vs_dedicated(),
     ]
 }
 
@@ -465,6 +562,28 @@ mod tests {
         assert_eq!(
             runs[0].1.report.to_json().to_string(),
             runs[1].1.report.to_json().to_string()
+        );
+    }
+
+    #[test]
+    fn colocated_runs_swap_and_swap_affinity_routing_reduces_it() {
+        let cfg = TpuConfig::paper();
+        let s = scenario_by_name("colocate-interference")
+            .unwrap()
+            .scale_requests(0.2);
+        let runs = s.execute(&cfg);
+        assert_eq!(runs.len(), 2);
+        let blind = &runs[0].1.report;
+        let aware = &runs[1].1.report;
+        assert!(blind.colocated && aware.colocated);
+        let swaps =
+            |r: &crate::report::FleetReport| -> usize { r.tenants.iter().map(|t| t.swaps).sum() };
+        assert!(swaps(blind) > 0, "co-located dies must swap");
+        assert!(
+            swaps(aware) < swaps(blind),
+            "swap-affinity routing must reduce swaps: {} vs {}",
+            swaps(aware),
+            swaps(blind)
         );
     }
 

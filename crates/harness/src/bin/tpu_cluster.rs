@@ -9,13 +9,20 @@
 //! tpu_cluster list
 //! tpu_cluster run <scenario> [--seed N] [--requests-scale F] [--json] [--trace FILE]
 //! tpu_cluster run --all [--json]
+//! tpu_cluster place <scenario> [--run LABEL] [--seed N] [--requests-scale F] [--json]
 //! tpu_cluster trace record <scenario> --out FILE [--run LABEL] [--seed N] [--requests-scale F]
+//! tpu_cluster trace import --csv FILE --out FILE [--source LABEL]
 //! ```
+//!
+//! `place` prints the placement plan a scenario's runs would start
+//! from — which host each replica lands on, per-host weight-memory
+//! fill and expected load — without simulating. `trace import` maps an
+//! external `timestamp,tenant` CSV into `tpu-trace` v1.
 //!
 //! Exit codes: 0 success, 1 unknown scenario or bad trace, 2 usage.
 
 use std::process::ExitCode;
-use tpu_cluster::{all_scenarios, scenario_by_name, FleetScenario};
+use tpu_cluster::{all_scenarios, plan_placement, scenario_by_name, FleetScenario};
 use tpu_core::TpuConfig;
 use tpu_serve::workload::Trace;
 
@@ -23,8 +30,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: tpu_cluster list\n       tpu_cluster run <scenario>|--all \
          [--seed N] [--requests-scale F] [--json] [--trace FILE] [--engine-stats]\n       \
+         tpu_cluster place <scenario> [--run LABEL] [--seed N] [--requests-scale F] [--json]\n       \
          tpu_cluster trace record <scenario> --out FILE [--run LABEL] \
-         [--seed N] [--requests-scale F]"
+         [--seed N] [--requests-scale F]\n       \
+         tpu_cluster trace import --csv FILE --out FILE [--source LABEL]"
     );
     ExitCode::from(2)
 }
@@ -39,8 +48,12 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => run_command(&args[1..]),
+        Some("place") => place_command(&args[1..]),
         Some("trace") if args.get(1).map(String::as_str) == Some("record") => {
             record_command(&args[2..])
+        }
+        Some("trace") if args.get(1).map(String::as_str) == Some("import") => {
+            tpu_harness::cli::trace_import_command("tpu_cluster", &args[2..], usage)
         }
         _ => usage(),
     }
@@ -159,6 +172,74 @@ fn run_command(args: &[String]) -> ExitCode {
             );
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// `place`: print the plan each run of a scenario would start from,
+/// without simulating.
+fn place_command(args: &[String]) -> ExitCode {
+    let mut common = CommonArgs::default();
+    let mut json = false;
+    let mut run_label: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--run" => match it.next() {
+                Some(v) => run_label = Some(v.clone()),
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => common.seed = Some(v),
+                None => return usage(),
+            },
+            "--requests-scale" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0.0 => common.scale = Some(v),
+                _ => return usage(),
+            },
+            other if !other.starts_with('-') && common.name.is_none() => {
+                common.name = Some(other.to_string())
+            }
+            _ => return usage(),
+        }
+    }
+
+    let Some(n) = common.name.as_deref() else {
+        return usage();
+    };
+    let Some(mut s) = scenario_by_name(n) else {
+        eprintln!("tpu_cluster: unknown scenario {n:?}; try `tpu_cluster list`");
+        return ExitCode::FAILURE;
+    };
+    if let Some(l) = run_label.as_deref() {
+        if !s.runs.iter().any(|r| r.label == l) {
+            let labels: Vec<&str> = s.runs.iter().map(|r| r.label.as_str()).collect();
+            eprintln!("tpu_cluster: scenario {n} has no run {l:?}; it has {labels:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(seed) = common.seed {
+        s = s.with_seed(seed);
+    }
+    if let Some(f) = common.scale {
+        s = s.scale_requests(f);
+    }
+    let cfg = TpuConfig::paper();
+    println!("== {} — {}", s.name, s.description);
+    for r in &s.runs {
+        if run_label.as_deref().is_some_and(|l| l != r.label) {
+            continue;
+        }
+        let plan = plan_placement(&r.spec, &r.tenants, &cfg);
+        println!("\n-- {}", r.label);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&plan.to_json()));
+        } else {
+            print!("{plan}");
+        }
+    }
+    println!();
     ExitCode::SUCCESS
 }
 

@@ -9,7 +9,11 @@
 //! tpu_serve run <scenario> [--seed N] [--requests-scale F] [--json] [--trace FILE]
 //! tpu_serve run --all [--json]
 //! tpu_serve trace record <scenario> --out FILE [--run LABEL] [--seed N] [--requests-scale F]
+//! tpu_serve trace import --csv FILE --out FILE [--source LABEL]
 //! ```
+//!
+//! `trace import` maps an external `timestamp,tenant` CSV into
+//! `tpu-trace` v1.
 //!
 //! Exit codes: 0 success, 1 unknown scenario or bad trace, 2 usage.
 
@@ -23,7 +27,8 @@ fn usage() -> ExitCode {
         "usage: tpu_serve list\n       tpu_serve run <scenario>|--all \
          [--seed N] [--requests-scale F] [--json] [--trace FILE] [--engine-stats]\n       \
          tpu_serve trace record <scenario> --out FILE [--run LABEL] \
-         [--seed N] [--requests-scale F]"
+         [--seed N] [--requests-scale F]\n       \
+         tpu_serve trace import --csv FILE --out FILE [--source LABEL]"
     );
     ExitCode::from(2)
 }
@@ -40,6 +45,9 @@ fn main() -> ExitCode {
         Some("run") => run_command(&args[1..]),
         Some("trace") if args.get(1).map(String::as_str) == Some("record") => {
             record_command(&args[2..])
+        }
+        Some("trace") if args.get(1).map(String::as_str) == Some("import") => {
+            tpu_harness::cli::trace_import_command("tpu_serve", &args[2..], usage)
         }
         _ => usage(),
     }

@@ -1,0 +1,66 @@
+//! Command implementations shared by the `tpu_serve` and `tpu_cluster`
+//! binaries, so the two CLIs cannot drift apart on common surface.
+
+use std::process::ExitCode;
+use tpu_serve::workload::Trace;
+
+/// The shared `trace import` command: map an external
+/// `timestamp,tenant` CSV into a `tpu-trace` v1 file.
+///
+/// `bin` prefixes error messages (`tpu_serve` / `tpu_cluster`);
+/// `usage` is the caller's usage printer, invoked on malformed
+/// arguments. Flags: `--csv FILE` (required), `--out FILE` (required),
+/// `--source LABEL` (defaults to `csv:<FILE>`).
+pub fn trace_import_command(bin: &str, args: &[String], usage: fn() -> ExitCode) -> ExitCode {
+    let mut csv: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut source: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => match it.next() {
+                Some(v) => csv = Some(v.clone()),
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => return usage(),
+            },
+            "--source" => match it.next() {
+                Some(v) => source = Some(v.clone()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let (Some(csv), Some(out)) = (csv, out) else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(&csv) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{bin}: cannot read csv {csv:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = source.unwrap_or_else(|| format!("csv:{csv}"));
+    let trace = match Trace::from_csv(&text, &source) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{bin}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = trace.save(&out) {
+        eprintln!("{bin}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "imported {} arrivals across {} tenants ({}) to {out}",
+        trace.total_arrivals(),
+        trace.tenants.len(),
+        trace.source
+    );
+    ExitCode::SUCCESS
+}

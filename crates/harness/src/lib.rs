@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod cli;
 pub mod extensions;
 pub mod figures;
 pub mod gantt;

@@ -51,9 +51,150 @@ fn list_names_every_scenario() {
         "host-failover",
         "router-shootout",
         "straggler-tail",
+        "colocate-interference",
+        "colocate-vs-dedicated",
     ] {
         assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
     }
+}
+
+#[test]
+fn place_prints_the_plan_without_simulating() {
+    let out = run(&["place", "colocate-vs-dedicated"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "-- dedicated",
+        "-- colocated",
+        "weight MB",
+        "exp. load",
+        "MLP0",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+    assert!(
+        !stdout.contains("p99"),
+        "place must not simulate or print a report:\n{stdout}"
+    );
+
+    // --run selects one label; --json dumps the machine format.
+    let json = run(&[
+        "place",
+        "colocate-vs-dedicated",
+        "--run",
+        "colocated",
+        "--json",
+    ]);
+    assert!(json.status.success());
+    let js = String::from_utf8_lossy(&json.stdout);
+    assert!(js.contains("\"assignments\""), "{js}");
+    assert!(js.contains("\"expected_load\""), "{js}");
+    assert!(!js.contains("-- dedicated"), "{js}");
+
+    let bad = run(&["place", "nope"]);
+    assert_eq!(bad.status.code(), Some(1));
+    let bad_run = run(&["place", "fleet-steady", "--run", "nope"]);
+    assert_eq!(bad_run.status.code(), Some(1));
+}
+
+#[test]
+fn colocated_scenario_reports_swaps() {
+    let out = run(&["run", "colocate-vs-dedicated", "--requests-scale", "0.05"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["co-loc", "resident MB", "swap/req ms"] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn csv_import_produces_a_replayable_tpu_trace() {
+    let csv = TempFile::new("ext.csv");
+    let trace = TempFile::new("ext.trace.json");
+    // Cover every fleet-steady tenant so the import replays through
+    // `run --trace` (replay caps each tenant at its recorded length).
+    std::fs::write(
+        csv.0.as_path(),
+        "timestamp,tenant\n0.5,MLP0\n0.6,LSTM0\n0.75,CNN0\n1.5,MLP0\n2.0,LSTM0\n2.5,CNN0\n",
+    )
+    .expect("csv writes");
+    let out = run(&[
+        "trace",
+        "import",
+        "--csv",
+        csv.as_str(),
+        "--out",
+        trace.as_str(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("imported 6 arrivals across 3 tenants"),
+        "{stdout}"
+    );
+
+    // The emitted file is tpu-trace v1 and drives a replay run.
+    let body = std::fs::read_to_string(&trace.0).expect("trace exists");
+    assert!(body.contains("\"format\":\"tpu-trace\""), "{body}");
+    let replay = run(&[
+        "run",
+        "fleet-steady",
+        "--requests-scale",
+        "0.0001",
+        "--trace",
+        trace.as_str(),
+    ]);
+    assert!(
+        replay.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&replay.stderr)
+    );
+
+    // And the serve CLI imports the identical file from the same CSV.
+    let trace2 = TempFile::new("ext2.trace.json");
+    let out2 = run_serve(&[
+        "trace",
+        "import",
+        "--csv",
+        csv.as_str(),
+        "--out",
+        trace2.as_str(),
+        "--source",
+        "csv:shared",
+    ]);
+    assert!(out2.status.success());
+    let a = std::fs::read_to_string(&trace.0).unwrap();
+    let b = std::fs::read_to_string(&trace2.0).unwrap();
+    // Identical apart from the provenance label.
+    assert_eq!(a.replace(&format!("csv:{}", csv.as_str()), "csv:shared"), b);
+
+    let bad = run(&[
+        "trace",
+        "import",
+        "--csv",
+        "/nonexistent.csv",
+        "--out",
+        "/tmp/x",
+    ]);
+    assert_eq!(bad.status.code(), Some(1));
+    let usage = run(&["trace", "import", "--csv", csv.as_str()]);
+    assert_eq!(
+        usage.status.code(),
+        Some(2),
+        "missing --out is a usage error"
+    );
 }
 
 #[test]

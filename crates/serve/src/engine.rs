@@ -41,6 +41,7 @@ impl From<HostEvent> for Event {
                 generation,
             },
             HostEvent::DieFree { die } => Event::DieFree { die },
+            HostEvent::WeightSwap { die } => Event::WeightSwap { die },
         }
     }
 }
@@ -127,6 +128,12 @@ pub fn run(cluster: &ClusterSpec, tenants: &[TenantSpec], cfg: &TpuConfig) -> Se
             }
             Event::DieFree { die } => {
                 host.on_die_free(die);
+            }
+            Event::WeightSwap { die } => {
+                // Bookkeeping only (the die stays busy until DieFree);
+                // fires only when slots carry weight identities.
+                host.on_weight_swap(die);
+                continue;
             }
         }
 

@@ -29,6 +29,13 @@ pub enum Event {
         /// Index into the engine's die table.
         die: usize,
     },
+    /// The weight FIFO finishes streaming a new model's weights into
+    /// `die` (only emitted when slots carry weight identities; see
+    /// [`crate::weights`]).
+    WeightSwap {
+        /// Index into the engine's die table.
+        die: usize,
+    },
 }
 
 /// A deterministic future-event list over host-level [`Event`]s.

@@ -23,6 +23,7 @@ use crate::report::{percentile, DieReport, ServeReport, TenantReport};
 use crate::service::ServiceCurve;
 use crate::sim;
 use crate::tenant::TenantSpec;
+use crate::weights::{DieWeights, ModelWeights};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -42,6 +43,13 @@ pub enum HostEvent {
     },
     /// `die` finishes its current batch.
     DieFree {
+        /// Index into the host's die table.
+        die: usize,
+    },
+    /// The weight FIFO finishes streaming a new model's weights into
+    /// `die` (scheduled only when co-located slots carry
+    /// [`ModelWeights`]; a weight-free host never emits it).
+    WeightSwap {
         /// Index into the host's die table.
         die: usize,
     },
@@ -69,6 +77,13 @@ struct Slot {
     batches: usize,
     dispatched: usize,
     busy_ms: f64,
+    /// The model identity behind this slot's weights; `None` (the
+    /// default) keeps the slot outside the weight-swap model entirely.
+    weights: Option<ModelWeights>,
+    /// Swaps this slot's batches initiated.
+    swaps: usize,
+    /// Total swap stall this slot's batches paid, ms.
+    swap_ms: f64,
 }
 
 /// A batch in flight on a die.
@@ -83,6 +98,8 @@ struct DieState {
     busy_ms: f64,
     batches: usize,
     inflight: Option<Inflight>,
+    /// Which model's weights this die holds (co-located serving).
+    weights: DieWeights,
 }
 
 /// The per-host serving state machine (see module docs).
@@ -119,6 +136,7 @@ impl HostCore {
                     busy_ms: 0.0,
                     batches: 0,
                     inflight: None,
+                    weights: DieWeights::new(),
                 })
                 .collect(),
             dispatch,
@@ -151,9 +169,24 @@ impl HostCore {
             batches: 0,
             dispatched: 0,
             busy_ms: 0.0,
+            weights: None,
+            swaps: 0,
+            swap_ms: 0.0,
             spec,
         });
         self.slots.len() - 1
+    }
+
+    /// Enter a slot into the weight-swap model: its batches now pay
+    /// `weights.swap_ms` whenever they dispatch onto a die whose active
+    /// model differs (see [`crate::weights`]). Hosts whose slots never
+    /// call this are byte-identical to the pre-subsystem engine.
+    pub fn set_slot_weights(&mut self, slot: usize, weights: ModelWeights) {
+        assert!(
+            weights.swap_ms.is_finite() && weights.swap_ms >= 0.0,
+            "swap cost must be finite and nonnegative"
+        );
+        self.slots[slot].weights = Some(weights);
     }
 
     /// Number of tenant slots.
@@ -249,6 +282,44 @@ impl HostCore {
         })
     }
 
+    /// Handle a weight-swap completion: the die's pending model becomes
+    /// active. Returns the model, or `None` for a stale event (the die
+    /// was wiped by a crash since the swap began).
+    pub fn on_weight_swap(&mut self, die: usize) -> Option<usize> {
+        self.dies[die].weights.complete_swap()
+    }
+
+    /// Whether some die is *warm* for this slot's model — its weights
+    /// are loaded or loading, so a dispatch may avoid the swap. Slots
+    /// outside the weight model are always warm. The fleet front end's
+    /// swap-affinity router reads this per candidate replica.
+    pub fn slot_has_warm_die(&self, slot: usize) -> bool {
+        match self.slots[slot].weights {
+            None => true,
+            Some(mw) => self.dies.iter().any(|d| d.weights.warm(mw.model)),
+        }
+    }
+
+    /// Swaps a slot's batches have initiated.
+    pub fn slot_swaps(&self, slot: usize) -> usize {
+        self.slots[slot].swaps
+    }
+
+    /// Total swap stall a slot's batches have paid, ms.
+    pub fn slot_swap_ms(&self, slot: usize) -> f64 {
+        self.slots[slot].swap_ms
+    }
+
+    /// Weight swaps initiated across all dies.
+    pub fn swaps(&self) -> usize {
+        self.dies.iter().map(|d| d.weights.swaps()).sum()
+    }
+
+    /// Total swap stall across all dies, ms.
+    pub fn swap_ms(&self) -> f64 {
+        self.dies.iter().map(|d| d.weights.swap_ms()).sum()
+    }
+
     /// Straggler injection: scale all *future* batch service times.
     ///
     /// # Panics
@@ -276,6 +347,9 @@ impl HostCore {
         let mut displaced: Vec<(usize, Vec<f64>)> = Vec::new();
         for d in &mut self.dies {
             d.busy = false;
+            // The crash wipes whatever weights were loaded or loading;
+            // a restarted die reloads from DDR3 (cold) on next dispatch.
+            d.weights.clear();
             if let Some(inflight) = d.inflight.take() {
                 let refund = (inflight.end_ms - now_ms).max(0.0);
                 d.busy_ms -= refund;
@@ -376,29 +450,49 @@ impl HostCore {
                 .map(|(i, _)| i);
             let Some(slot) = ready else { return };
 
-            let die = pick_die(&self.dies, self.dispatch, &mut self.rr_next);
+            // Weighted slots prefer a free die already warm for their
+            // model (no reload to dispatch there); weight-free slots
+            // keep the plain discipline, bit for bit.
+            let die = match self.slots[slot].weights {
+                Some(mw) => pick_die_warm(&self.dies, self.dispatch, &mut self.rr_next, mw.model),
+                None => pick_die(&self.dies, self.dispatch, &mut self.rr_next),
+            };
+            // Weight swap: a batch whose model is not the one the die's
+            // weight FIFO last streamed pays the DDR3 load first.
+            let swap = self.slots[slot]
+                .weights
+                .filter(|mw| self.dies[die].weights.needs_swap(mw.model));
+            let swap_ms = swap.map_or(0.0, |mw| mw.swap_ms);
             let s = &mut self.slots[slot];
             let batch = s.queue.len().min(s.spec.policy.max_batch());
             let jitter = sim::lognormal_multiplier(&mut self.service_rng, s.curve.jitter_sigma);
             let service = s.curve.service_ms(batch) * jitter * self.slow_factor;
-            let end = now_ms + service;
+            let end = now_ms + swap_ms + service;
 
             let mut arrivals = self.spare_batches.pop().unwrap_or_default();
             arrivals.extend(s.queue.drain(..batch));
             s.batches += 1;
             s.dispatched += batch;
-            s.busy_ms += service;
+            s.busy_ms += swap_ms + service;
+            if let Some(mw) = swap {
+                s.swaps += 1;
+                s.swap_ms += mw.swap_ms;
+            }
             self.arm_timer(slot, now_ms, sched);
 
             let d = &mut self.dies[die];
             d.busy = true;
-            d.busy_ms += service;
+            d.busy_ms += swap_ms + service;
             d.batches += 1;
             d.inflight = Some(Inflight {
                 slot,
                 end_ms: end,
                 arrivals,
             });
+            if let Some(mw) = swap {
+                d.weights.begin_swap(mw.model, mw.swap_ms);
+                sched(now_ms + swap_ms, HostEvent::WeightSwap { die });
+            }
             sched(end, HostEvent::DieFree { die });
         }
     }
@@ -528,6 +622,46 @@ fn pick_die(dies: &[DieState], dispatch: Dispatch, rr_next: &mut usize) -> usize
     }
 }
 
+/// Choose a free die for a *weighted* slot: prefer dies already warm
+/// for `model` (its weights loaded or loading — dispatching there
+/// charges no swap), falling back to every free die when none is warm;
+/// within the preferred set, the configured discipline decides exactly
+/// as [`pick_die`] would.
+fn pick_die_warm(
+    dies: &[DieState],
+    dispatch: Dispatch,
+    rr_next: &mut usize,
+    model: usize,
+) -> usize {
+    let warm_exists = dies.iter().any(|d| !d.busy && d.weights.warm(model));
+    let eligible = |d: &DieState| !d.busy && (!warm_exists || d.weights.warm(model));
+    match dispatch {
+        Dispatch::RoundRobin => {
+            let n = dies.len();
+            for k in 0..n {
+                let d = (*rr_next + k) % n;
+                if eligible(&dies[d]) {
+                    *rr_next = (d + 1) % n;
+                    return d;
+                }
+            }
+            unreachable!("caller checked a free die exists")
+        }
+        Dispatch::LeastLoaded => dies
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| eligible(d))
+            .min_by(|a, b| {
+                a.1.busy_ms
+                    .partial_cmp(&b.1.busy_ms)
+                    .expect("finite busy times")
+                    .then(a.0.cmp(&b.0))
+            })
+            .map(|(i, _)| i)
+            .expect("caller checked a free die exists"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -639,5 +773,94 @@ mod tests {
     #[should_panic(expected = "at least one die")]
     fn zero_dies_rejected() {
         let _ = HostCore::new(0, Dispatch::LeastLoaded, 1);
+    }
+
+    /// Co-location: alternating models on one die pay the swap stall,
+    /// repeat batches of the warm model do not, and the swap completion
+    /// event lands on the queue at dispatch + swap_ms.
+    #[test]
+    fn weight_swaps_charge_only_on_model_change() {
+        let mut h = HostCore::new(1, Dispatch::LeastLoaded, 42);
+        let curve = ServiceCurve::new(1.0, 0.0, 0.0); // flat 1 ms, no jitter
+        let a = h.add_slot(spec(BatchPolicy::Fixed { batch: 1 }), curve);
+        let b = h.add_slot(spec(BatchPolicy::Fixed { batch: 1 }), curve);
+        h.set_slot_weights(
+            a,
+            ModelWeights {
+                model: 0,
+                bytes: 10,
+                swap_ms: 0.5,
+            },
+        );
+        h.set_slot_weights(
+            b,
+            ModelWeights {
+                model: 1,
+                bytes: 10,
+                swap_ms: 0.25,
+            },
+        );
+        let mut sched: Vec<(f64, HostEvent)> = Vec::new();
+
+        // Cold die: slot a's first batch pays its 0.5 ms load.
+        h.enqueue(a, 0.0);
+        h.try_dispatch(0.0, &mut |at, e| sched.push((at, e)));
+        assert_eq!(
+            sched,
+            vec![
+                (0.5, HostEvent::WeightSwap { die: 0 }),
+                (1.5, HostEvent::DieFree { die: 0 }),
+            ]
+        );
+        assert!(!h.slot_has_warm_die(b));
+        assert_eq!(h.on_weight_swap(0), Some(0));
+        assert!(h.slot_has_warm_die(a));
+        assert_eq!(h.on_die_free(0).unwrap().end_ms, 1.5);
+
+        // Warm model: no swap, no WeightSwap event, plain 1 ms batch.
+        sched.clear();
+        h.enqueue(a, 1.5);
+        h.try_dispatch(1.5, &mut |at, e| sched.push((at, e)));
+        assert_eq!(sched, vec![(2.5, HostEvent::DieFree { die: 0 })]);
+        h.on_die_free(0);
+
+        // Model change: slot b evicts a's weights, paying 0.25 ms.
+        sched.clear();
+        h.enqueue(b, 2.5);
+        h.try_dispatch(2.5, &mut |at, e| sched.push((at, e)));
+        assert_eq!(
+            sched,
+            vec![
+                (2.75, HostEvent::WeightSwap { die: 0 }),
+                (3.75, HostEvent::DieFree { die: 0 }),
+            ]
+        );
+        assert_eq!(h.on_weight_swap(0), Some(1));
+        h.on_die_free(0);
+
+        assert_eq!((h.slot_swaps(a), h.slot_swaps(b)), (1, 1));
+        assert_eq!(h.swaps(), 2);
+        assert!((h.swap_ms() - 0.75).abs() < 1e-12);
+        assert!((h.slot_swap_ms(b) - 0.25).abs() < 1e-12);
+        // Swap stalls count as die busy time (the FIFO occupies the die).
+        assert!((h.busy_ms() - 3.75).abs() < 1e-12);
+    }
+
+    /// A host whose slots carry no weights never schedules a swap event
+    /// and never charges a stall — the opt-in contract behind the
+    /// byte-identity of all pre-existing scenarios.
+    #[test]
+    fn weight_free_slots_never_swap() {
+        let mut h = fresh_host(1);
+        let mut sched = Vec::new();
+        h.enqueue(0, 0.0);
+        h.enqueue(0, 0.0);
+        h.try_dispatch(0.0, &mut |at, e| sched.push((at, e)));
+        assert!(sched
+            .iter()
+            .all(|(_, e)| !matches!(e, HostEvent::WeightSwap { .. })));
+        assert_eq!(h.swaps(), 0);
+        assert_eq!(h.swap_ms(), 0.0);
+        assert!(h.slot_has_warm_die(0), "weight-free slots are always warm");
     }
 }

@@ -19,6 +19,11 @@
 //! * [`tenant`] — multi-tenant admission: the six Table 1 workloads as
 //!   tenants with per-tenant arrival processes, priorities, and latency
 //!   targets;
+//! * [`weights`] — the weight-memory subsystem: per-die resident-model
+//!   state against the 8 GiB DDR3 budget and the deterministic
+//!   DDR3-bandwidth-derived weight-swap cost charged when a die
+//!   changes models (multi-model co-location; opt-in, used by
+//!   `tpu_cluster`);
 //! * [`workload`] — the pluggable arrival layer: a trait-based
 //!   [`workload::ArrivalSource`] (seeded, deterministic, resettable)
 //!   with Poisson, bursty/MMPP, piecewise-linear diurnal, and
@@ -69,6 +74,7 @@ pub mod scenario;
 pub mod service;
 pub mod sim;
 pub mod tenant;
+pub mod weights;
 pub mod workload;
 
 pub use engine::{run, ClusterSpec, Dispatch};
@@ -78,4 +84,5 @@ pub use report::{DieReport, ServeReport, TenantReport};
 pub use scenario::{all_scenarios, scenario_by_name, Scenario, ScenarioRun};
 pub use service::ServiceCurve;
 pub use tenant::{ArrivalProcess, TenantSpec};
+pub use weights::{ModelWeights, WeightSet};
 pub use workload::{ArrivalSource, DiurnalProfile, Trace, TraceTenant};

@@ -85,6 +85,19 @@ const SLOTS: usize = 1 << LEVEL_BITS;
 /// overflow levels that re-bucket on rollover).
 pub const WHEEL_LEVELS: usize = 11; // ceil(64 / 6)
 
+/// Bottom-rung spill threshold. A push whose key lands inside the
+/// rung's range pays a sorted insert — O(rung length) of memmove — so
+/// a single slot accumulating a huge equal-time burst would degrade
+/// the rung toward an ever-growing sorted list. Once the rung holds
+/// this many entries, a push at or above the rung's *maximum* key
+/// spills into the wheel instead (shrinking the rung's claimed key
+/// range), which is always order-safe: the spilled key is ≥ every rung
+/// key, and equal keys keep FIFO order because wheel buckets drain
+/// after the rung. Pushes strictly below the rung maximum still insert
+/// (they must, to pop before it), so the bound applies exactly to the
+/// degenerate case that hurts: long runs of equal or increasing keys.
+pub const RUNG_SPILL_THRESHOLD: usize = 128;
+
 /// The monotone integer key of a finite, non-negative event time.
 /// `+ 0.0` collapses `-0.0` to `+0.0` so the one non-monotone bit
 /// pattern in the accepted domain is normalized away.
@@ -200,6 +213,24 @@ impl<E> Wheel<E> {
     fn push(&mut self, key: u64, event: E) {
         self.len += 1;
         if key <= self.bottom_bound {
+            // Spill: the rung is at its threshold and this key is at or
+            // above every key in it, so handing it to the wheel cannot
+            // reorder anything (wheel entries pop after the rung, and
+            // equal keys pushed later carry higher sequence numbers).
+            // Shrinking `bottom_bound` below the key sends the rest of
+            // the burst the same way — the rung stops growing. Keys of
+            // exactly 0 cannot shrink the bound further and fall back
+            // to the (bounded, since every key ≥ 0 now spills) insert.
+            if self.bottom.len() >= RUNG_SPILL_THRESHOLD {
+                let rung_max = self.bottom.back().expect("rung at threshold").key;
+                if key >= rung_max && key > 0 {
+                    self.bottom_bound = key - 1;
+                    let (level, slot) = Self::bucket(self.hand, key);
+                    self.occupied[level] |= 1 << slot;
+                    self.slots[level * SLOTS + slot].push_back(Entry { key, event });
+                    return;
+                }
+            }
             // Lands inside the bottom rung's key range: sorted insert,
             // after any entries sharing the key (they have lower
             // sequence numbers).
@@ -390,6 +421,17 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Entries currently in the wheel's sorted bottom rung (always 0 on
+    /// the heap backend). Exposed so the spill-threshold tests can
+    /// assert the rung stays bounded under equal-time bursts (see
+    /// [`RUNG_SPILL_THRESHOLD`]).
+    pub fn rung_len(&self) -> usize {
+        match &self.fel {
+            Fel::Wheel(w) => w.bottom.len(),
+            Fel::Heap(_) => 0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -542,6 +584,66 @@ mod tests {
                 assert_eq!(wheel.pop(), heap.pop());
             }
             assert_eq!(wheel.len(), heap.len());
+        }
+        while !wheel.is_empty() {
+            assert_eq!(wheel.pop(), heap.pop());
+        }
+        assert_eq!(heap.pop(), None);
+    }
+
+    /// The spill threshold: an equal-time burst aimed at the bottom
+    /// rung stops growing it at the threshold (later entries go to the
+    /// wheel), and the drain order is still exactly (time, sequence).
+    #[test]
+    fn equal_time_burst_spills_out_of_the_bottom_rung() {
+        let mut q: EventQueue<usize> = EventQueue::with_backend(QueueBackend::TimerWheel);
+        // Establish a rung at t = 1.0 (schedule + pop puts the hand and
+        // bottom_bound at that key).
+        q.schedule(1.0, usize::MAX);
+        assert_eq!(q.pop(), Some((1.0, usize::MAX)));
+        // Single-slot burst: every event at the same timestamp, which
+        // is exactly the rung's upper bound.
+        let burst = RUNG_SPILL_THRESHOLD * 8;
+        for i in 0..burst {
+            q.schedule(1.0, i);
+            assert!(
+                q.rung_len() <= RUNG_SPILL_THRESHOLD,
+                "rung grew past the spill threshold at push {i}: {}",
+                q.rung_len()
+            );
+        }
+        for want in 0..burst {
+            assert_eq!(q.pop(), Some((1.0, want)), "FIFO across the spill");
+        }
+        assert!(q.is_empty());
+    }
+
+    /// Spilling must not reorder anything: equal-time runs long enough
+    /// to trip the threshold, interleaved with pops and nearby keys,
+    /// drain in exactly the reference heap's (time, sequence) order.
+    #[test]
+    fn spill_keeps_interleaved_schedules_ordered() {
+        let mut wheel: EventQueue<usize> = EventQueue::with_backend(QueueBackend::TimerWheel);
+        let mut heap: EventQueue<usize> = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        let mut payload = 0usize;
+        for round in 0..6 {
+            let base = wheel.now_ms();
+            // A run of equal-time events well past the threshold, with
+            // a sprinkle of earlier and later keys mixed in.
+            for i in 0..(RUNG_SPILL_THRESHOLD * 2 + 17) {
+                let at = match i % 9 {
+                    0 => base + 0.25,
+                    1 => base + 1.75,
+                    _ => base + 1.0,
+                };
+                wheel.schedule(at, payload);
+                heap.schedule(at, payload);
+                payload += 1;
+            }
+            // Drain part of it so the hand advances mid-burst.
+            for _ in 0..(RUNG_SPILL_THRESHOLD + round) {
+                assert_eq!(wheel.pop(), heap.pop());
+            }
         }
         while !wheel.is_empty() {
             assert_eq!(wheel.pop(), heap.pop());

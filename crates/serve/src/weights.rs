@@ -1,0 +1,347 @@
+//! The weight-memory subsystem: multi-model co-location on one die pool.
+//!
+//! The paper's TPU serves models out of an 8 GiB DDR3 Weight Memory
+//! behind the on-chip weight FIFO (Section 2, Figure 1): a die holds
+//! the *weights* of several models at once — the Table 1 footprints sum
+//! to well under the DDR3 budget — but the matrix unit computes with
+//! one model's weights at a time, streamed through the FIFO at the
+//! sustained DDR3 bandwidth (34 GB/s, Table 2). Switching the model a
+//! die serves therefore costs a deterministic **weight-swap stall**:
+//! the time to stream the incoming model's weight bytes from DDR3
+//! through the FIFO, inflated by the model's Table 5 host-interaction
+//! fraction (the host drives the reload DMA just as it drives every
+//! other device interaction).
+//!
+//! This module owns the three pieces the serving layers share:
+//!
+//! * [`swap_cost_ms`] — the calibrated swap cost, a pure function of
+//!   the model's weight bytes, the configured DDR3 bandwidth, and its
+//!   Table 5 overhead fraction — no RNG, so co-located runs stay
+//!   bit-identical per seed;
+//! * [`ModelWeights`] / [`DieWeights`] — per-slot model identity and
+//!   per-die resident-weights state ([`crate::host::HostCore`] embeds
+//!   them; a dispatch whose model differs from the die's active model
+//!   pays the swap and schedules a
+//!   [`crate::host::HostEvent::WeightSwap`] completion on the event
+//!   queue);
+//! * [`WeightSet`] — a resident-set tracker against the DDR3 budget,
+//!   used by `tpu_cluster`'s placement planners (and their property
+//!   tests) to guarantee no plan ever oversubscribes a host's weight
+//!   memory (the fleet layer budgets weight memory per *host*; see
+//!   `tpu_cluster::fleet::HostSpec::weight_capacity_bytes`).
+//!
+//! Everything here is opt-in: a [`crate::host::HostCore`] whose slots
+//! carry no [`ModelWeights`] never charges a swap, never schedules a
+//! swap event, and is byte-identical to the pre-subsystem engine.
+
+use std::fmt;
+use tpu_core::TpuConfig;
+
+/// The paper's weight-memory budget: 8 GiB of DDR3 behind one TPU
+/// card. The fleet layer applies it per *host*
+/// (`tpu_cluster::fleet::DEFAULT_WEIGHT_CAPACITY_BYTES` re-exports
+/// this value), overridable per `HostSpec`.
+pub const DDR3_CAPACITY_BYTES: u64 = 8 * 1024 * 1024 * 1024;
+
+/// The deterministic weight-swap cost for one model, in milliseconds:
+/// the time to stream `weight_bytes` from DDR3 through the weight FIFO
+/// at the configured sustained bandwidth, inflated by the model's
+/// Table 5 host-interaction fraction (`0.21` for MLP0) — the host
+/// drives the reload like any other device interaction — and scaled by
+/// `scale` (1.0 = the calibrated cost; scenarios sweep it).
+///
+/// # Panics
+///
+/// Panics on a degenerate configuration (nonpositive bandwidth), a
+/// negative overhead fraction, or a nonpositive scale.
+pub fn swap_cost_ms(weight_bytes: u64, cfg: &TpuConfig, host_fraction: f64, scale: f64) -> f64 {
+    assert!(
+        cfg.weight_memory_bw > 0.0,
+        "weight memory bandwidth must be positive"
+    );
+    assert!(
+        host_fraction >= 0.0,
+        "host overhead fraction must be nonnegative"
+    );
+    assert!(scale > 0.0, "swap scale must be positive");
+    weight_bytes as f64 / cfg.weight_memory_bw * 1000.0 * (1.0 + host_fraction) * scale
+}
+
+/// One model's weight-memory identity, attached to a host slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelWeights {
+    /// Fleet-wide model id (the owning tenant's index; two tenants are
+    /// two models even on the same Table 1 architecture).
+    pub model: usize,
+    /// Weight footprint in bytes (8-bit weights, Table 1).
+    pub bytes: u64,
+    /// The swap stall charged when a die must load this model
+    /// (see [`swap_cost_ms`]).
+    pub swap_ms: f64,
+}
+
+/// Which model's weights a die is currently streaming from.
+///
+/// `active` is the model whose weights last finished loading through
+/// the FIFO; `pending` is a load in flight (set at dispatch, promoted
+/// to `active` by the [`crate::host::HostEvent::WeightSwap`] completion
+/// event). A die whose active *or* pending model matches the next batch
+/// is *warm*: dispatching it charges no swap.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DieWeights {
+    active: Option<usize>,
+    pending: Option<usize>,
+    swaps: usize,
+    swap_ms: f64,
+}
+
+impl DieWeights {
+    /// A die that has never loaded any model's weights.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether dispatching `model` on this die would charge a swap:
+    /// true unless the die's active (or in-flight pending) model
+    /// already is `model`.
+    pub fn needs_swap(&self, model: usize) -> bool {
+        self.pending != Some(model) && (self.pending.is_some() || self.active != Some(model))
+    }
+
+    /// Start streaming `model`'s weights (the dispatch charged
+    /// `cost_ms`); the completion event promotes it to active.
+    pub fn begin_swap(&mut self, model: usize, cost_ms: f64) {
+        self.pending = Some(model);
+        self.swaps += 1;
+        self.swap_ms += cost_ms;
+    }
+
+    /// The weight FIFO finished streaming: the pending model becomes
+    /// active. Returns the model, or `None` for a stale completion
+    /// (the host crashed since the swap began).
+    pub fn complete_swap(&mut self) -> Option<usize> {
+        let done = self.pending.take();
+        if done.is_some() {
+            self.active = done;
+        }
+        done
+    }
+
+    /// The model whose weights are loaded (post-completion).
+    pub fn active(&self) -> Option<usize> {
+        self.active
+    }
+
+    /// The model whose weights are streaming in, if any.
+    pub fn pending(&self) -> Option<usize> {
+        self.pending
+    }
+
+    /// Whether `model`'s weights are loaded or loading here.
+    pub fn warm(&self, model: usize) -> bool {
+        self.active == Some(model) || self.pending == Some(model)
+    }
+
+    /// Swaps this die has begun (including one aborted by a crash).
+    pub fn swaps(&self) -> usize {
+        self.swaps
+    }
+
+    /// Total swap stall this die has been charged, ms.
+    pub fn swap_ms(&self) -> f64 {
+        self.swap_ms
+    }
+
+    /// A crash wipes the die: whatever was loaded or loading is gone
+    /// (the counters survive — they record swaps *initiated*).
+    pub fn clear(&mut self) {
+        self.active = None;
+        self.pending = None;
+    }
+}
+
+/// The set of models resident in one die's weight memory, tracked
+/// against a byte budget. The placement planners admit every replica
+/// they place through this, so "no plan oversubscribes the 8 GiB DDR3"
+/// is enforced in one place (and property-tested there).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightSet {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    /// `(model, bytes)` in admission order.
+    resident: Vec<(usize, u64)>,
+}
+
+/// Admission failure: the model does not fit the remaining budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightOverflow {
+    /// The model that failed to fit.
+    pub model: usize,
+    /// Its footprint, bytes.
+    pub bytes: u64,
+    /// Bytes still free in the set.
+    pub free_bytes: u64,
+}
+
+impl fmt::Display for WeightOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "model {} needs {} weight bytes but only {} are free",
+            self.model, self.bytes, self.free_bytes
+        )
+    }
+}
+
+impl WeightSet {
+    /// An empty set with `capacity_bytes` of weight memory.
+    pub fn new(capacity_bytes: u64) -> Self {
+        WeightSet {
+            capacity_bytes,
+            used_bytes: 0,
+            resident: Vec::new(),
+        }
+    }
+
+    /// An empty set with the paper's 8 GiB DDR3 budget.
+    pub fn ddr3() -> Self {
+        Self::new(DDR3_CAPACITY_BYTES)
+    }
+
+    /// Admit a model, charging its footprint against the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`WeightOverflow`] when the footprint exceeds the
+    /// free bytes; the set is unchanged.
+    pub fn admit(&mut self, model: usize, bytes: u64) -> Result<(), WeightOverflow> {
+        let free = self.capacity_bytes - self.used_bytes;
+        if bytes > free {
+            return Err(WeightOverflow {
+                model,
+                bytes,
+                free_bytes: free,
+            });
+        }
+        self.used_bytes += bytes;
+        self.resident.push((model, bytes));
+        Ok(())
+    }
+
+    /// Release a resident model, refunding its footprint. No-op when
+    /// the model is not resident.
+    pub fn release(&mut self, model: usize) {
+        if let Some(i) = self.resident.iter().position(|&(m, _)| m == model) {
+            self.used_bytes -= self.resident.remove(i).1;
+        }
+    }
+
+    /// Whether `bytes` more would still fit.
+    pub fn fits(&self, bytes: u64) -> bool {
+        self.used_bytes + bytes <= self.capacity_bytes
+    }
+
+    /// Bytes admitted so far.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// The byte budget.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes still free.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity_bytes - self.used_bytes
+    }
+
+    /// Resident models in admission order.
+    pub fn models(&self) -> impl Iterator<Item = usize> + '_ {
+        self.resident.iter().map(|&(m, _)| m)
+    }
+
+    /// Number of resident models.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_cost_is_ddr3_stream_time_times_host_overhead() {
+        let cfg = TpuConfig::paper();
+        // 34 GB of weights at 34 GB/s = 1 s = 1000 ms, +21% host.
+        let ms = swap_cost_ms(34_000_000_000, &cfg, 0.21, 1.0);
+        assert!((ms - 1210.0).abs() < 1e-9, "{ms}");
+        // MLP0's 20M weights: 20e6 / 34e9 * 1000 * 1.21 ≈ 0.712 ms.
+        let mlp0 = swap_cost_ms(20_000_000, &cfg, 0.21, 1.0);
+        assert!((mlp0 - 0.7117647058823529).abs() < 1e-12, "{mlp0}");
+        assert_eq!(
+            swap_cost_ms(20_000_000, &cfg, 0.21, 2.0),
+            2.0 * mlp0,
+            "scale is linear"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "swap scale must be positive")]
+    fn zero_swap_scale_rejected() {
+        let _ = swap_cost_ms(1, &TpuConfig::paper(), 0.0, 0.0);
+    }
+
+    #[test]
+    fn die_weights_track_active_and_pending() {
+        let mut d = DieWeights::new();
+        assert!(d.needs_swap(3), "cold die always swaps");
+        d.begin_swap(3, 1.5);
+        assert!(!d.needs_swap(3), "the in-flight load counts as warm");
+        assert!(d.needs_swap(4));
+        assert_eq!(d.active(), None, "not loaded until completion");
+        assert_eq!(d.complete_swap(), Some(3));
+        assert_eq!(d.active(), Some(3));
+        assert!(!d.needs_swap(3));
+        assert!(d.warm(3));
+        d.begin_swap(4, 2.0);
+        assert_eq!(d.swaps(), 2);
+        assert!((d.swap_ms() - 3.5).abs() < 1e-12);
+        d.clear();
+        assert_eq!(d.complete_swap(), None, "stale completion after crash");
+        assert!(d.needs_swap(4), "crash wipes the loaded weights");
+        assert_eq!(d.swaps(), 2, "counters record swaps initiated");
+    }
+
+    #[test]
+    fn weight_set_enforces_the_budget() {
+        let mut s = WeightSet::new(100);
+        assert!(s.admit(0, 60).is_ok());
+        assert!(s.fits(40));
+        assert!(!s.fits(41));
+        let err = s.admit(1, 41).unwrap_err();
+        assert_eq!(err.free_bytes, 40);
+        assert!(err.to_string().contains("41 weight bytes"));
+        assert!(s.admit(1, 40).is_ok());
+        assert_eq!(s.used_bytes(), 100);
+        assert_eq!(s.len(), 2);
+        s.release(0);
+        assert_eq!(s.free_bytes(), 60);
+        assert_eq!(s.models().collect::<Vec<_>>(), vec![1]);
+        s.release(7); // absent: no-op
+        assert_eq!(s.used_bytes(), 40);
+    }
+
+    #[test]
+    fn ddr3_set_has_the_paper_budget() {
+        let s = WeightSet::ddr3();
+        assert_eq!(s.capacity_bytes(), 8 * 1024 * 1024 * 1024);
+        assert!(s.is_empty());
+    }
+}

@@ -105,4 +105,68 @@ proptest! {
         }
         prop_assert_eq!(got, expected);
     }
+
+    /// The rung-spill threshold: a single-slot burst — many events at
+    /// one identical timestamp, interleaved with pops and stragglers at
+    /// nearby times — must (a) never grow the sorted bottom rung past
+    /// the spill threshold once the burst lands there, and (b) stay
+    /// observationally identical to the reference heap throughout.
+    #[test]
+    fn single_slot_burst_spills_and_matches_the_heap(
+        bursts in prop::collection::vec(
+            // (burst length, straggler offset in quarters, pops between)
+            (1usize..600, 0u32..8, 0usize..64),
+            1..8,
+        ),
+    ) {
+        use tpu_serve::sim::RUNG_SPILL_THRESHOLD;
+        let mut wheel: EventQueue<usize> = EventQueue::with_backend(QueueBackend::TimerWheel);
+        let mut heap: EventQueue<usize> = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        let mut payload = 0usize;
+        for (len, offset, pops) in bursts {
+            // Start each burst from a drained queue: prime the rung
+            // with one event and pop it, so the burst's timestamp is
+            // exactly the rung's maximum key — the case the spill
+            // threshold bounds (inserts *below* the rung max must still
+            // grow the rung; they pop first).
+            loop {
+                let (a, b) = (wheel.pop(), heap.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            let at = wheel.now_ms() + 1.0;
+            wheel.schedule(at, payload);
+            heap.schedule(at, payload);
+            payload += 1;
+            prop_assert_eq!(wheel.pop(), heap.pop());
+            // The single-slot burst: every event at exactly `at`.
+            for _ in 0..len {
+                wheel.schedule(at, payload);
+                heap.schedule(at, payload);
+                payload += 1;
+                prop_assert!(
+                    wheel.rung_len() <= RUNG_SPILL_THRESHOLD,
+                    "rung grew past the spill threshold: {}",
+                    wheel.rung_len()
+                );
+            }
+            // A straggler at (or after) the burst time, then some pops.
+            let late = at + offset as f64 * 0.25;
+            wheel.schedule(late, payload);
+            heap.schedule(late, payload);
+            payload += 1;
+            for _ in 0..pops {
+                prop_assert_eq!(wheel.pop(), heap.pop());
+            }
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
 }

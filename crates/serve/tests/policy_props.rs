@@ -55,6 +55,10 @@ fn drive_single(
                     biggest_batch = biggest_batch.max(done.completions);
                 }
             }
+            Event::WeightSwap { die } => {
+                host.on_weight_swap(die);
+                continue;
+            }
         }
         host.try_dispatch(now, &mut |at, e| q.schedule(at, e.into()));
     }

@@ -1,0 +1,67 @@
+//! Multi-model co-location walkthrough: the weight-memory subsystem,
+//! the bin-packing planner, and the weight-swap interference it prices.
+//!
+//! ```console
+//! $ cargo run --release --example colocation
+//! ```
+//!
+//! Three acts:
+//!  1. the placement plans: six Table 1 models, one per 1-die host
+//!     (dedicated) vs bin-packed onto three hosts (co-located) — what
+//!     `tpu_cluster place` prints without simulating;
+//!  2. the runs behind them: identical offered load, but the co-located
+//!     dies ping-pong between two models and pay the DDR3 weight-swap
+//!     stall (footprint / 34 GB/s × Table 5 host inflation) on every
+//!     alternation — read the swap columns and the p99 gap;
+//!  3. the swap cost table itself, per Table 1 workload.
+
+use tpu_repro::tpu_cluster::{plan_placement, scenario_by_name, FleetTenantSpec};
+use tpu_repro::tpu_core::TpuConfig;
+use tpu_repro::tpu_serve::weights::swap_cost_ms;
+
+fn main() {
+    let cfg = TpuConfig::paper();
+    let s = scenario_by_name("colocate-vs-dedicated")
+        .expect("scenario exists")
+        .scale_requests(0.2);
+
+    println!("=== 1. placement plans (what `tpu_cluster place` shows) ===\n");
+    for r in &s.runs {
+        println!("-- {}", r.label);
+        print!("{}", plan_placement(&r.spec, &r.tenants, &cfg));
+        println!();
+    }
+
+    println!("=== 2. dedicated vs co-located, same offered load ===\n");
+    let runs = s.execute(&cfg);
+    for (label, run) in &runs {
+        println!("-- {label}");
+        print!("{}", run.report);
+        println!();
+    }
+    let d = &runs[0].1.report;
+    let c = &runs[1].1.report;
+    println!("p99 interference deltas (co-located - dedicated):");
+    for (dt, ct) in d.tenants.iter().zip(&c.tenants) {
+        println!(
+            "  {:<8} {:+8.3} ms  ({} extra swaps)",
+            dt.name,
+            ct.p99_ms - dt.p99_ms,
+            ct.swaps.saturating_sub(dt.swaps),
+        );
+    }
+
+    println!("\n=== 3. calibrated weight-swap costs (DDR3 34 GB/s, Table 5) ===\n");
+    println!("{:<10} {:>12} {:>12}", "workload", "weights MB", "swap ms");
+    for r in &s.runs[0].tenants {
+        let t: &FleetTenantSpec = r;
+        let bytes = t.weight_bytes();
+        let frac = tpu_repro::tpu_platforms::HostOverhead::for_app(&t.tenant.workload).fraction;
+        println!(
+            "{:<10} {:>12.1} {:>12.3}",
+            t.tenant.workload,
+            bytes as f64 / 1e6,
+            swap_cost_ms(bytes, &cfg, frac, 1.0),
+        );
+    }
+}
