@@ -31,8 +31,11 @@
 use std::process::ExitCode;
 use std::time::Instant;
 use tpu_bench::{colocate_fleet, fleet_tenants};
-use tpu_cluster::{run_fleet, FleetRun, FleetSpec, FleetTenantSpec, HopModel, RouterPolicy};
+use tpu_cluster::{
+    run_fleet, run_fleet_telemetry, FleetRun, FleetSpec, FleetTenantSpec, HopModel, RouterPolicy,
+};
 use tpu_core::TpuConfig;
+use tpu_telemetry::{MetricsConfig, RunTelemetry, TelemetryConfig};
 
 /// Requests per host at each fleet size (matches `benches/cluster.rs`).
 const REQUESTS_PER_HOST: usize = 2_000;
@@ -40,10 +43,13 @@ const REQUESTS_PER_HOST: usize = 2_000;
 /// Fleet size of the co-located (weight-swap) measurement.
 const COLOCATE_HOSTS: usize = 100;
 
+/// Fleet size of the telemetry-overhead measurement.
+const TELEMETRY_HOSTS: usize = 10;
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bench_cluster [--out FILE] [--check FILE] [--tolerance F] \
-         [--budget-ms N] [--hosts A,B,C] [--no-colocate]"
+         [--budget-ms N] [--hosts A,B,C] [--no-colocate] [--no-telemetry]"
     );
     ExitCode::from(2)
 }
@@ -76,6 +82,37 @@ fn measure(
     ((events * iters) as f64 / elapsed, events, last)
 }
 
+/// As [`measure`], but every iteration carries the full instrument set
+/// (trace + metrics + profile). The reports must stay bit-identical to
+/// the uninstrumented runs — asserted by the caller.
+fn measure_telemetry(
+    spec: &FleetSpec,
+    tenants: &[FleetTenantSpec],
+    cfg: &TpuConfig,
+    budget_ms: u64,
+) -> (f64, FleetRun) {
+    let tcfg = TelemetryConfig {
+        trace: true,
+        metrics: Some(MetricsConfig::default()),
+        profile: true,
+    };
+    let mut last = run_fleet_telemetry(spec, tenants, cfg, &mut RunTelemetry::from_config(&tcfg));
+    let events = last.report.events_processed;
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while iters < 2 || start.elapsed().as_millis() < budget_ms as u128 {
+        let mut tel = RunTelemetry::from_config(&tcfg);
+        last = run_fleet_telemetry(spec, tenants, cfg, &mut tel);
+        assert!(
+            tel.tracer.as_ref().is_some_and(|t| !t.is_empty()),
+            "instrumented iterations must record spans"
+        );
+        iters += 1;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    ((events * iters) as f64 / elapsed, last)
+}
+
 struct Row {
     hosts: usize,
     events: u64,
@@ -89,7 +126,28 @@ impl Row {
     }
 }
 
-fn rows_to_json(rows: &[Row], colocate: Option<&Row>) -> serde_json::Value {
+/// The telemetry overhead measurement: the same workload with
+/// instruments off (the default hot path every golden runs) and fully
+/// on, in one process. `on_cost` is the machine-independent same-run
+/// ratio gated by `--check`.
+struct TelemetryRow {
+    hosts: usize,
+    events: u64,
+    off_eps: f64,
+    on_eps: f64,
+}
+
+impl TelemetryRow {
+    fn on_cost(&self) -> f64 {
+        self.off_eps / self.on_eps
+    }
+}
+
+fn rows_to_json(
+    rows: &[Row],
+    colocate: Option<&Row>,
+    telemetry: Option<&TelemetryRow>,
+) -> serde_json::Value {
     use serde_json::Value;
     let mut fields = vec![
         (
@@ -161,7 +219,46 @@ fn rows_to_json(rows: &[Row], colocate: Option<&Row>) -> serde_json::Value {
             ]),
         ));
     }
+    if let Some(t) = telemetry {
+        fields.push((
+            "telemetry".to_string(),
+            Value::object([
+                ("hosts".to_string(), Value::Number(t.hosts as f64)),
+                (
+                    "events_per_iteration".to_string(),
+                    Value::Number(t.events as f64),
+                ),
+                (
+                    "off_events_per_sec".to_string(),
+                    Value::Number(t.off_eps.round()),
+                ),
+                (
+                    "on_events_per_sec".to_string(),
+                    Value::Number(t.on_eps.round()),
+                ),
+                (
+                    "on_cost".to_string(),
+                    Value::Number((t.on_cost() * 100.0).round() / 100.0),
+                ),
+            ]),
+        ));
+    }
     Value::object(fields)
+}
+
+/// Pull `telemetry.on_cost` out of a committed report (absent in
+/// pre-telemetry reports).
+fn committed_on_cost(doc: &serde_json::Value) -> Option<f64> {
+    let serde_json::Value::Object(top) = doc else {
+        return None;
+    };
+    let serde_json::Value::Object(t) = top.get("telemetry")? else {
+        return None;
+    };
+    match t.get("on_cost") {
+        Some(serde_json::Value::Number(c)) => Some(*c),
+        _ => None,
+    }
 }
 
 /// Pull `hosts[i].speedup` for a fleet size out of a committed report.
@@ -195,6 +292,7 @@ fn main() -> ExitCode {
     let mut budget_ms = 1_500u64;
     let mut hosts_list = vec![1usize, 10, 100];
     let mut run_colocate = true;
+    let mut run_telemetry_row = true;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -229,6 +327,7 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--no-colocate" => run_colocate = false,
+            "--no-telemetry" => run_telemetry_row = false,
             _ => return usage(),
         }
     }
@@ -305,7 +404,36 @@ fn main() -> ExitCode {
         None
     };
 
-    let doc = rows_to_json(&rows, colocate_row.as_ref());
+    // The telemetry overhead pair: the default path (instruments off —
+    // what every golden and the rows above run) against the fully
+    // instrumented engine, same workload, same process. The off mode is
+    // the regression being guarded: telemetry must stay pay-for-what-
+    // you-use, and even on-mode must not distort the engine (the report
+    // equality is asserted).
+    let telemetry_row = if run_telemetry_row {
+        let (spec, tenants) = spec_for(TELEMETRY_HOSTS);
+        let (off_eps, events, off_run) = measure(&spec, &tenants, &cfg, budget_ms);
+        let (on_eps, on_run) = measure_telemetry(&spec, &tenants, &cfg, budget_ms);
+        assert_eq!(
+            off_run, on_run,
+            "telemetry-on runs must report bit-identically to telemetry-off"
+        );
+        let row = TelemetryRow {
+            hosts: TELEMETRY_HOSTS,
+            events,
+            off_eps,
+            on_eps,
+        };
+        println!(
+            "telemetry hosts={:<4} events/iter={:<7} off={:>12.0} ev/s  on={:>12.0} ev/s  on-cost={:.2}x",
+            row.hosts, row.events, row.off_eps, row.on_eps, row.on_cost()
+        );
+        Some(row)
+    } else {
+        None
+    };
+
+    let doc = rows_to_json(&rows, colocate_row.as_ref(), telemetry_row.as_ref());
     if let Some(path) = out {
         let body = format!("{}\n", serde_json::to_string_pretty(&doc));
         if let Err(e) = std::fs::write(&path, body) {
@@ -354,6 +482,26 @@ fn main() -> ExitCode {
              (committed {want:.2}x - {:.0}% tolerance)",
             tolerance * 100.0
         );
+        // Telemetry gate: the same-run off/on ratio must not grow past
+        // the committed cost plus tolerance — a creeping hot-path tax
+        // in off mode (or runaway instrument cost in on mode) trips it.
+        if let (Some(measured), Some(want)) = (&telemetry_row, committed_on_cost(&committed)) {
+            let ceiling = want * (1.0 + tolerance);
+            let got = measured.on_cost();
+            if got > ceiling {
+                eprintln!(
+                    "bench_cluster: REGRESSION: telemetry on-cost {got:.2}x exceeded \
+                     {ceiling:.2}x (committed {want:.2}x + {:.0}% tolerance)",
+                    tolerance * 100.0
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "gate ok for telemetry: on-cost {got:.2}x <= {ceiling:.2}x \
+                 (committed {want:.2}x + {:.0}% tolerance)",
+                tolerance * 100.0
+            );
+        }
     }
     ExitCode::SUCCESS
 }

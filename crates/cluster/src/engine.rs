@@ -31,6 +31,7 @@ use tpu_serve::sim::{self, EventQueue};
 use tpu_serve::weights::ModelWeights;
 use tpu_serve::workload::ArrivalSource;
 use tpu_serve::{HostCore, HostEvent, ServeReport, ServiceCurve};
+use tpu_telemetry::{HostProbe, MetricsRecorder, RunTelemetry};
 
 /// Everything that can happen in the fleet.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -293,6 +294,26 @@ pub struct FleetRun {
 /// unservable end state (requests still parked because every replica
 /// of a tenant stayed down through the end of the run).
 pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig) -> FleetRun {
+    run_fleet_telemetry(spec, tenants, cfg, &mut RunTelemetry::off())
+}
+
+/// [`run_fleet`] with instruments attached. The engine only *observes*
+/// through `tel` — no event, RNG draw, or decision changes — so the
+/// returned [`FleetRun`] is bit-identical to the uninstrumented run and
+/// the recorded artifacts are bit-identical across same-seed runs.
+/// Hosts record onto their own probes (`pid` = host index); fleet-level
+/// moments (retries, parks, scale decisions, recoveries) land on a
+/// front-end track at `pid` = host count.
+///
+/// # Panics
+///
+/// As [`run_fleet`].
+pub fn run_fleet_telemetry(
+    spec: &FleetSpec,
+    tenants: &[FleetTenantSpec],
+    cfg: &TpuConfig,
+    tel: &mut RunTelemetry,
+) -> FleetRun {
     assert!(!spec.hosts.is_empty(), "need at least one host");
     assert!(!tenants.is_empty(), "need at least one tenant");
     if let Some(a) = &spec.autoscale {
@@ -324,6 +345,22 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
             slot_replica: Vec::new(),
         })
         .collect();
+
+    // Tracing: one probe per host records die slices and per-request
+    // span trees; the front end gets its own process track for
+    // fleet-level instants.
+    let mut fe_probe = if tel.tracer.is_some() {
+        for (h, host) in hosts.iter_mut().enumerate() {
+            host.core.set_probe(HostProbe::new(
+                h as u32,
+                &format!("host {h}"),
+                spec.hosts[h].dies,
+            ));
+        }
+        Some(HostProbe::new(spec.hosts.len() as u32, "front-end", 0))
+    } else {
+        None
+    };
 
     // The indexed least-outstanding router is on unless the
     // `TPU_CLUSTER_ROUTER=scan` baseline escape hatch restores the
@@ -422,12 +459,21 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
 
     let mut timeline = vec![sample_now(0.0, &trs, &hosts)];
     let mut events_processed = 0u64;
+    // Per-event-type tallies for the engine profile; see EVENT_NAMES.
+    let mut counts = [0u64; 8];
     let mut failures_processed = 0usize;
 
     while let Some((now, event)) = q.pop() {
         events_processed += 1;
+        if let Some(m) = tel.metrics.as_mut() {
+            if m.due(now) {
+                let t = m.advance(now);
+                sample_metrics(m, t, now, &trs, &hosts);
+            }
+        }
         match event {
             FleetEvent::Arrival { tenant } => {
+                counts[0] += 1;
                 trs[tenant].pending_arrival = false;
                 let picked = pick_replica(&mut trs, &hosts, spec, tenant);
                 // Schedule the next arrival before delivering, so the
@@ -445,6 +491,9 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                     None => {
                         // Every replica is down: park the request; it
                         // re-routes on recovery or scale-up.
+                        if let Some(p) = fe_probe.as_mut() {
+                            p.instant("fleet", "park", now);
+                        }
                         trs[tenant].parked.push_back(now);
                     }
                 }
@@ -454,6 +503,7 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                 replica,
                 arrived_ms,
             } => {
+                counts[1] += 1;
                 trs[tenant].in_hop -= 1;
                 let (host, slot) = {
                     let r = &trs[tenant].replicas[replica];
@@ -471,21 +521,27 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                     set_outstanding(&mut trs, &hosts, tenant, replica, o - 1);
                     maybe_retire(&mut hosts, &mut trs, tenant, replica);
                     trs[tenant].retries += 1;
+                    if let Some(p) = fe_probe.as_mut() {
+                        p.instant("fleet", "retry", now);
+                    }
                     route_request(&mut q, &mut hosts, &mut trs, spec, tenant, arrived_ms, now);
                 }
             }
             FleetEvent::Host { host, epoch, event } => {
                 if epoch != hosts[host].epoch {
+                    counts[5] += 1;
                     continue; // scheduled before a crash; stale
                 }
                 hosts[host].events += 1;
                 match event {
                     HostEvent::Timer { slot, generation } => {
+                        counts[2] += 1;
                         if !hosts[host].core.on_timer(slot, generation) {
                             continue; // stale timer; the queue changed
                         }
                     }
                     HostEvent::WeightSwap { die } => {
+                        counts[3] += 1;
                         // Bookkeeping only: the die's pending model
                         // becomes active. No capacity changed (the die
                         // stays busy until its DieFree), so skip the
@@ -494,6 +550,7 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                         continue;
                     }
                     HostEvent::DieFree { die } => {
+                        counts[4] += 1;
                         if let Some(done) = hosts[host].core.on_die_free(die) {
                             let tenant = hosts[host].slot_owner[done.slot];
                             let replica = hosts[host].slot_replica[done.slot];
@@ -512,7 +569,13 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                 try_dispatch_host(&mut q, &mut hosts, host, now);
             }
             FleetEvent::Autoscale => {
+                counts[6] += 1;
                 let cfg_a = spec.autoscale.as_ref().expect("tick implies config");
+                // Serving counts before the pass, so scale decisions
+                // can be traced as front-end instants afterwards.
+                let before: Option<Vec<usize>> = fe_probe
+                    .as_ref()
+                    .map(|_| trs.iter().map(|tr| tr.serving_replicas(&hosts)).collect());
                 for t in 0..trs.len() {
                     autoscale_tenant(&mut q, &mut hosts, &mut trs, spec, t, now, cfg_a);
                 }
@@ -542,6 +605,17 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                         );
                     }
                 }
+                if let Some(p) = fe_probe.as_mut() {
+                    let before = before.expect("snapshot taken when tracing");
+                    for (t, tr) in trs.iter().enumerate() {
+                        let after = tr.serving_replicas(&hosts);
+                        if after > before[t] {
+                            p.instant("scale-up", &tr.spec.tenant.name, now);
+                        } else if after < before[t] {
+                            p.instant("scale-down", &tr.spec.tenant.name, now);
+                        }
+                    }
+                }
                 timeline.push(sample_now(now, &trs, &hosts));
                 let active = trs.iter().any(|tr| {
                     tr.undelivered() > 0
@@ -554,6 +628,7 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                 }
             }
             FleetEvent::Failure { index } => {
+                counts[7] += 1;
                 failures_processed += 1;
                 let f = spec.failures[index];
                 match f.kind {
@@ -590,12 +665,18 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
                             for (tenant, ts) in requeue {
                                 trs[tenant].displaced_pending -= 1;
                                 trs[tenant].retries += 1;
+                                if let Some(p) = fe_probe.as_mut() {
+                                    p.instant("fleet", "retry", now);
+                                }
                                 route_request(&mut q, &mut hosts, &mut trs, spec, tenant, ts, now);
                             }
                         }
                     }
                     FailureKind::Recover => {
                         if !hosts[f.host].healthy {
+                            if let Some(p) = fe_probe.as_mut() {
+                                p.instant("fault", &format!("recover host{}", f.host), now);
+                            }
                             hosts[f.host].healthy = true;
                             reindex_host_replicas(&mut trs, &hosts, f.host, true);
                             for t in 0..trs.len() {
@@ -648,6 +729,35 @@ pub fn run_fleet(spec: &FleetSpec, tenants: &[FleetTenantSpec], cfg: &TpuConfig)
     let closing = sample_now(makespan_ms.max(last_t), &trs, &hosts);
     if timeline.last() != Some(&closing) {
         timeline.push(closing);
+    }
+
+    if let Some(tr) = tel.tracer.as_mut() {
+        for host in hosts.iter_mut() {
+            if let Some(p) = host.core.take_probe() {
+                tr.absorb(p.into_tracer());
+            }
+        }
+        if let Some(p) = fe_probe.take() {
+            tr.absorb(p.into_tracer());
+        }
+    }
+    if let Some(p) = tel.profile.as_mut() {
+        const EVENT_NAMES: [&str; 8] = [
+            "arrival",
+            "deliver",
+            "timer",
+            "weight-swap",
+            "die-free",
+            "stale-host",
+            "autoscale",
+            "failure",
+        ];
+        p.event_counts = EVENT_NAMES
+            .iter()
+            .zip(counts)
+            .map(|(n, c)| (n.to_string(), c))
+            .collect();
+        p.wheel = q.wheel_profile();
     }
 
     let host_reports: Vec<ServeReport> = hosts
@@ -1065,6 +1175,37 @@ fn try_scale_up(
     trs[tenant].last_scale_ms = now;
     unpark(q, hosts, trs, spec, tenant, now);
     true
+}
+
+/// Record one cadence sample of the fleet probe series: per tenant the
+/// outstanding / serving-replica / parked counts, per host the die
+/// utilization, resident weight sets, and pending swaps.
+fn sample_metrics(m: &mut MetricsRecorder, t: f64, now: f64, trs: &[TenantRt], hosts: &[HostRt]) {
+    for tr in trs {
+        let name = &tr.spec.tenant.name;
+        let outstanding: usize = tr.replicas.iter().map(|r| r.outstanding).sum();
+        m.record(&format!("outstanding/{name}"), t, outstanding as f64);
+        m.record(
+            &format!("replicas/{name}"),
+            t,
+            tr.serving_replicas(hosts) as f64,
+        );
+        m.record(&format!("parked/{name}"), t, tr.parked.len() as f64);
+    }
+    for (h, host) in hosts.iter().enumerate() {
+        let util = if now > 0.0 {
+            (host.core.busy_ms() / (host.core.die_count() as f64 * now)).min(1.0)
+        } else {
+            0.0
+        };
+        m.record(&format!("util/host{h}"), t, util);
+        m.record(&format!("resident/host{h}"), t, host.live_slots as f64);
+        m.record(
+            &format!("pending_swaps/host{h}"),
+            t,
+            host.core.pending_swaps() as f64,
+        );
+    }
 }
 
 /// Snapshot the per-tenant serving replica counts.

@@ -77,7 +77,7 @@ pub mod route;
 pub mod scenario;
 
 pub use autoscale::{AutoscaleConfig, ScaleSignals};
-pub use engine::{run_fleet, FleetRun};
+pub use engine::{run_fleet, run_fleet_telemetry, FleetRun};
 pub use failure::{seeded_outages, FailureEvent, FailureKind};
 pub use fleet::{
     place, plan_placement, ColocateConfig, FleetSpec, FleetTenantSpec, HopModel, HostPlacement,

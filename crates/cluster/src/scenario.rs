@@ -12,7 +12,7 @@
 //! see `tpu_serve::scenario`).
 
 use crate::autoscale::AutoscaleConfig;
-use crate::engine::{run_fleet, FleetRun};
+use crate::engine::{run_fleet, run_fleet_telemetry, FleetRun};
 use crate::failure::FailureEvent;
 use crate::fleet::{ColocateConfig, FleetSpec, FleetTenantSpec, HopModel, PlacementPolicy};
 use crate::route::RouterPolicy;
@@ -49,6 +49,26 @@ impl FleetScenario {
         self.runs
             .iter()
             .map(|r| (r.label.clone(), run_fleet(&r.spec, &r.tenants, cfg)))
+            .collect()
+    }
+
+    /// [`Self::execute`] with one [`tpu_telemetry::RunTelemetry`] per
+    /// run (the reports stay bit-identical to the uninstrumented runs).
+    pub fn execute_telemetry(
+        &self,
+        cfg: &TpuConfig,
+        tel: &mut [tpu_telemetry::RunTelemetry],
+    ) -> Vec<(String, FleetRun)> {
+        assert_eq!(tel.len(), self.runs.len(), "one RunTelemetry per run");
+        self.runs
+            .iter()
+            .zip(tel)
+            .map(|(r, t)| {
+                (
+                    r.label.clone(),
+                    run_fleet_telemetry(&r.spec, &r.tenants, cfg, t),
+                )
+            })
             .collect()
     }
 

@@ -24,12 +24,14 @@
 use std::process::ExitCode;
 use tpu_cluster::{all_scenarios, plan_placement, scenario_by_name, FleetScenario};
 use tpu_core::TpuConfig;
+use tpu_harness::telemetry::{self, TelemetryArgs};
 use tpu_serve::workload::Trace;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: tpu_cluster list\n       tpu_cluster run <scenario>|--all \
-         [--seed N] [--requests-scale F] [--json] [--trace FILE] [--engine-stats]\n       \
+         [--seed N] [--requests-scale F] [--json] [--trace FILE] [--engine-stats]\n           \
+         [--chrome-trace FILE] [--metrics-out FILE] [--metrics-interval MS] [--svg FILE]\n       \
          tpu_cluster place <scenario> [--run LABEL] [--seed N] [--requests-scale F] [--json]\n       \
          tpu_cluster trace record <scenario> --out FILE [--run LABEL] \
          [--seed N] [--requests-scale F]\n       \
@@ -71,15 +73,15 @@ fn run_command(args: &[String]) -> ExitCode {
     let mut common = CommonArgs::default();
     let mut run_all = false;
     let mut json = false;
-    let mut engine_stats = false;
     let mut trace_path: Option<String> = None;
+    let mut tel_args = TelemetryArgs::default();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--all" => run_all = true,
             "--json" => json = true,
-            "--engine-stats" => engine_stats = true,
+            "--engine-stats" => tel_args.engine_stats = true,
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => common.seed = Some(v),
                 None => return usage(),
@@ -92,11 +94,31 @@ fn run_command(args: &[String]) -> ExitCode {
                 Some(v) => trace_path = Some(v.clone()),
                 None => return usage(),
             },
+            "--chrome-trace" => match it.next() {
+                Some(v) => tel_args.chrome_trace = Some(v.clone()),
+                None => return usage(),
+            },
+            "--metrics-out" => match it.next() {
+                Some(v) => tel_args.metrics_out = Some(v.clone()),
+                None => return usage(),
+            },
+            "--metrics-interval" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0.0 => tel_args.metrics_interval_ms = Some(v),
+                _ => return usage(),
+            },
+            "--svg" => match it.next() {
+                Some(v) => tel_args.svg = Some(v.clone()),
+                None => return usage(),
+            },
             other if !other.starts_with('-') && common.name.is_none() => {
                 common.name = Some(other.to_string())
             }
             _ => return usage(),
         }
+    }
+    if run_all && tel_args.artifacts_requested() {
+        eprintln!("tpu_cluster: telemetry artifact flags need a single scenario, not --all");
+        return usage();
     }
 
     let scenarios: Vec<FleetScenario> = if run_all {
@@ -148,19 +170,30 @@ fn run_command(args: &[String]) -> ExitCode {
             s = s.with_trace(t);
         }
         println!("== {} — {}", s.name, s.description);
+        let mut tels = tel_args.for_runs(s.runs.len());
+        let instrumented = tels.iter().any(|t| t.enabled());
         let started = std::time::Instant::now();
-        let results = s.execute(&cfg);
+        let results = if instrumented {
+            s.execute_telemetry(&cfg, &mut tels)
+        } else {
+            s.execute(&cfg)
+        };
         let wall = started.elapsed();
-        for (label, run) in &results {
+        for (i, (label, run)) in results.iter().enumerate() {
             println!("\n-- {label}");
             if json {
                 println!("{}", serde_json::to_string_pretty(&run.report.to_json()));
             } else {
                 print!("{}", run.report);
             }
+            if let Some(t) = tels[i].tracer.as_ref() {
+                for line in telemetry::span_summary_lines(t) {
+                    println!("{line}");
+                }
+            }
         }
         println!();
-        if engine_stats {
+        if tel_args.engine_stats {
             // Off by default, and on stderr, so golden stdout (text or
             // JSON) is untouched either way.
             let events: u64 = results.iter().map(|(_, r)| r.report.events_processed).sum();
@@ -170,6 +203,22 @@ fn run_command(args: &[String]) -> ExitCode {
                 wall.as_secs_f64() * 1e3,
                 events as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE)
             );
+            telemetry::print_engine_profiles(
+                s.name,
+                results.iter().map(|(l, _)| l.as_str()).zip(&tels),
+            );
+        }
+        let labels: Vec<&str> = results.iter().map(|(l, _)| l.as_str()).collect();
+        match telemetry::write_artifacts(&tel_args, &labels, &tels) {
+            Ok(paths) => {
+                for p in paths {
+                    eprintln!("telemetry: wrote {p}");
+                }
+            }
+            Err(e) => {
+                eprintln!("tpu_cluster: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS

@@ -22,6 +22,7 @@ pub mod paper;
 pub mod svg_out;
 pub mod table;
 pub mod tables;
+pub mod telemetry;
 
 use tpu_core::TpuConfig;
 

@@ -1,0 +1,224 @@
+//! Shared observability plumbing for the `tpu_serve` and `tpu_cluster`
+//! CLIs.
+//!
+//! Both binaries accept the same telemetry flag set (`--chrome-trace`,
+//! `--metrics-out`, `--metrics-interval`, `--svg`, `--engine-stats`);
+//! this module turns the parsed flags into a
+//! [`tpu_telemetry::TelemetryConfig`], derives per-run artifact paths
+//! for multi-run scenarios, writes the artifacts (validating that every
+//! JSON document round-trips through `serde_json` before it hits disk),
+//! and renders the compact span summary and `--engine-stats` profile
+//! lines. Everything is driven off sim-time state recorded by the
+//! engines, so two same-seed runs write bit-identical files.
+
+use tpu_telemetry::{MetricsConfig, MetricsRecorder, RunTelemetry, TelemetryConfig, Tracer};
+
+/// The telemetry flag set shared by `tpu_serve run` and
+/// `tpu_cluster run`.
+#[derive(Debug, Default, Clone)]
+pub struct TelemetryArgs {
+    /// `--chrome-trace FILE`: write the Chrome trace-event JSON here.
+    pub chrome_trace: Option<String>,
+    /// `--metrics-out FILE`: write probe series here (`.csv` → long CSV,
+    /// anything else → JSON).
+    pub metrics_out: Option<String>,
+    /// `--metrics-interval MS`: probe cadence (default 1 sim-ms).
+    pub metrics_interval_ms: Option<f64>,
+    /// `--svg FILE`: render the per-host/die utilization series here.
+    pub svg: Option<String>,
+    /// `--engine-stats`: collect the engine self-profile.
+    pub engine_stats: bool,
+}
+
+impl TelemetryArgs {
+    /// True when any flag asks for an output file (these are rejected
+    /// with `--all` — one scenario per artifact set).
+    pub fn artifacts_requested(&self) -> bool {
+        self.chrome_trace.is_some() || self.metrics_out.is_some() || self.svg.is_some()
+    }
+
+    /// The [`TelemetryConfig`] these flags ask for. Metrics turn on for
+    /// either `--metrics-out` or `--svg`; the trace for
+    /// `--chrome-trace`; the profile for `--engine-stats`.
+    pub fn config(&self) -> TelemetryConfig {
+        TelemetryConfig {
+            trace: self.chrome_trace.is_some(),
+            metrics: (self.metrics_out.is_some() || self.svg.is_some()).then(|| MetricsConfig {
+                interval_ms: self.metrics_interval_ms.unwrap_or(1.0),
+                ..MetricsConfig::default()
+            }),
+            profile: self.engine_stats,
+        }
+    }
+
+    /// One [`RunTelemetry`] per scenario run, per [`Self::config`].
+    pub fn for_runs(&self, runs: usize) -> Vec<RunTelemetry> {
+        let cfg = self.config();
+        (0..runs).map(|_| RunTelemetry::from_config(&cfg)).collect()
+    }
+}
+
+/// The artifact path for one run: the base path as-is for single-run
+/// scenarios, otherwise the run label (slugified) spliced in before the
+/// extension — `trace.json` + `swap-aware` → `trace.swap-aware.json`.
+pub fn artifact_path(base: &str, label: &str, multi: bool) -> String {
+    if !multi {
+        return base.to_string();
+    }
+    let slug: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    let name_start = base.rfind('/').map_or(0, |s| s + 1);
+    match base.rfind('.').filter(|&i| i > name_start) {
+        Some(i) => format!("{}.{}{}", &base[..i], slug, &base[i..]),
+        None => format!("{base}.{slug}"),
+    }
+}
+
+/// Write every requested artifact for every run and return the paths
+/// written, in run order. JSON artifacts are re-parsed before writing,
+/// so a malformed export fails loudly instead of landing on disk.
+///
+/// # Errors
+///
+/// A human-readable message naming the path on I/O failure, JSON that
+/// does not round-trip, or an unrenderable chart.
+pub fn write_artifacts(
+    args: &TelemetryArgs,
+    labels: &[&str],
+    tels: &[RunTelemetry],
+) -> Result<Vec<String>, String> {
+    let multi = labels.len() > 1;
+    let mut written = Vec::new();
+    for (label, tel) in labels.iter().zip(tels) {
+        if let (Some(base), Some(tr)) = (args.chrome_trace.as_deref(), tel.tracer.as_ref()) {
+            let path = artifact_path(base, label, multi);
+            let text = tr.render();
+            serde_json::from_str(&text)
+                .map_err(|e| format!("{path}: trace JSON does not parse: {e}"))?;
+            std::fs::write(&path, &text).map_err(|e| format!("{path}: {e}"))?;
+            written.push(path);
+        }
+        if let (Some(base), Some(m)) = (args.metrics_out.as_deref(), tel.metrics.as_ref()) {
+            let path = artifact_path(base, label, multi);
+            let text = if path.ends_with(".csv") {
+                m.to_csv()
+            } else {
+                let text = serde_json::to_string_pretty(&m.to_json());
+                serde_json::from_str(&text)
+                    .map_err(|e| format!("{path}: metrics JSON does not parse: {e}"))?;
+                text + "\n"
+            };
+            std::fs::write(&path, &text).map_err(|e| format!("{path}: {e}"))?;
+            written.push(path);
+        }
+        if let (Some(base), Some(m)) = (args.svg.as_deref(), tel.metrics.as_ref()) {
+            let path = artifact_path(base, label, multi);
+            let svg = tpu_plot::timeseries(
+                &format!("utilization — {label}"),
+                "utilization",
+                &util_series(m),
+            )
+            .map_err(|e| format!("{path}: {e}"))?;
+            std::fs::write(&path, svg).map_err(|e| format!("{path}: {e}"))?;
+            written.push(path);
+        }
+    }
+    Ok(written)
+}
+
+/// The `util/*` probe series as plottable `(name, points)` pairs.
+fn util_series(m: &MetricsRecorder) -> Vec<(String, Vec<(f64, f64)>)> {
+    m.series_names()
+        .iter()
+        .filter(|n| n.starts_with("util/"))
+        .map(|n| {
+            let pts = m.points(n).iter().map(|p| (p.t_ms, p.value)).collect();
+            (n.to_string(), pts)
+        })
+        .collect()
+}
+
+/// The compact span summary printed under a run's report when tracing
+/// is on: one line per `(category, name)` with span count and total
+/// simulated milliseconds.
+pub fn span_summary_lines(tracer: &Tracer) -> Vec<String> {
+    let rows = tracer.summary();
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec!["   spans (count, total sim-ms):".to_string()];
+    for r in rows {
+        out.push(format!(
+            "   {:<24} n={:<7} total={:.3}",
+            format!("{}/{}", r.cat, r.name),
+            r.count,
+            r.total_ms
+        ));
+    }
+    out
+}
+
+/// Print each run's engine profile to stderr, after the scenario's
+/// one-line `engine-stats:` summary (which stays exactly as it was).
+pub fn print_engine_profiles<'a>(
+    scenario: &str,
+    runs: impl Iterator<Item = (&'a str, &'a RunTelemetry)>,
+) {
+    for (label, tel) in runs {
+        if let Some(p) = &tel.profile {
+            eprintln!("engine-stats: {scenario}: run {label}:");
+            for line in p.lines() {
+                eprintln!("{line}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_run_keeps_the_base_path() {
+        assert_eq!(
+            artifact_path("out/trace.json", "only", false),
+            "out/trace.json"
+        );
+    }
+
+    #[test]
+    fn multi_run_splices_the_slug_before_the_extension() {
+        assert_eq!(
+            artifact_path("out/trace.json", "swap aware", true),
+            "out/trace.swap-aware.json"
+        );
+        assert_eq!(artifact_path("metrics", "b=8", true), "metrics.b-8");
+        assert_eq!(artifact_path("a.dir/metrics", "x", true), "a.dir/metrics.x");
+    }
+
+    #[test]
+    fn config_maps_flags_to_instruments() {
+        let args = TelemetryArgs {
+            svg: Some("u.svg".into()),
+            engine_stats: true,
+            ..TelemetryArgs::default()
+        };
+        let cfg = args.config();
+        assert!(!cfg.trace && cfg.profile);
+        assert_eq!(cfg.metrics.expect("svg implies metrics").interval_ms, 1.0);
+        assert!(!args.artifacts_requested() || args.svg.is_some());
+        let tels = args.for_runs(3);
+        assert_eq!(tels.len(), 3);
+        assert!(tels
+            .iter()
+            .all(|t| t.metrics.is_some() && t.profile.is_some()));
+    }
+}

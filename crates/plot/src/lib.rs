@@ -37,12 +37,14 @@ mod chart;
 mod error;
 mod scale;
 mod svg;
+mod timeseries;
 
 pub use bars::BarChart;
 pub use chart::{Chart, Marker, Series, PALETTE};
 pub use error::PlotError;
 pub use scale::{Scale, Tick};
 pub use svg::{escape, Anchor, SvgDocument};
+pub use timeseries::timeseries;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,83 @@
+//! Time-series line charts for telemetry probe output.
+//!
+//! The observability layer (`tpu_telemetry`) samples probe series on a
+//! fixed sim-time cadence; this helper turns any set of named
+//! `(t_ms, value)` series into one multi-line [`Chart`] so the CLIs can
+//! render `--metrics-out` probes straight to SVG. It takes plain
+//! slices, not telemetry types, so the plot crate stays dependency-free.
+
+use crate::chart::{Chart, Series};
+use crate::error::PlotError;
+use crate::scale::Scale;
+
+/// Render named `(t_ms, value)` series as one linear-axis line chart
+/// over simulated time. Series are drawn in the order given (palette
+/// colors cycle); empty series are skipped so a probe that never fired
+/// doesn't poison the axis ranges.
+///
+/// # Errors
+///
+/// Returns [`PlotError`] when no series has any points or a value is
+/// non-finite.
+///
+/// # Examples
+///
+/// ```
+/// let svg = tpu_plot::timeseries(
+///     "die utilization",
+///     "utilization",
+///     &[("util/host0".to_string(), vec![(0.0, 0.0), (1.0, 0.8)])],
+/// )?;
+/// assert!(svg.starts_with("<svg"));
+/// # Ok::<(), tpu_plot::PlotError>(())
+/// ```
+pub fn timeseries(
+    title: &str,
+    y_label: &str,
+    series: &[(String, Vec<(f64, f64)>)],
+) -> Result<String, PlotError> {
+    let mut chart = Chart::new(title)
+        .x_axis("sim time (ms)", Scale::Linear)
+        .y_axis(y_label, Scale::Linear);
+    for (name, points) in series {
+        if points.is_empty() {
+            continue;
+        }
+        chart = chart.series(Series::line(name.clone(), points.clone()));
+    }
+    chart.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_multiple_series_and_skips_empty_ones() {
+        let svg = timeseries(
+            "queue depth",
+            "requests",
+            &[
+                ("queued/MLP0".to_string(), vec![(0.0, 1.0), (2.0, 5.0)]),
+                ("queued/CNN0".to_string(), vec![(0.0, 2.0), (2.0, 3.0)]),
+                ("parked/MLP0".to_string(), Vec::new()),
+            ],
+        )
+        .expect("chart renders");
+        assert!(svg.contains("queued/MLP0") && svg.contains("queued/CNN0"));
+        assert!(!svg.contains("parked/MLP0"));
+    }
+
+    #[test]
+    fn same_input_renders_identical_bytes() {
+        let build = || {
+            timeseries(
+                "u",
+                "v",
+                &[("util/host0".to_string(), vec![(0.0, 0.1), (5.0, 0.9)])],
+            )
+            .expect("chart renders")
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -32,6 +32,7 @@ use crate::workload::ArrivalSource;
 use serde::{Deserialize, Serialize};
 use tpu_core::TpuConfig;
 pub use tpu_platforms::server::Dispatch;
+use tpu_telemetry::{HostProbe, MetricsRecorder, RunTelemetry};
 
 impl From<HostEvent> for Event {
     fn from(e: HostEvent) -> Event {
@@ -81,6 +82,24 @@ impl ClusterSpec {
 /// Panics on a degenerate setup: no dies, no tenants, a tenant with no
 /// requests, or a nonpositive arrival rate.
 pub fn run(cluster: &ClusterSpec, tenants: &[TenantSpec], cfg: &TpuConfig) -> ServeReport {
+    run_telemetry(cluster, tenants, cfg, &mut RunTelemetry::off())
+}
+
+/// [`run`] with telemetry instruments attached (see
+/// [`tpu_telemetry::RunTelemetry`]). The instruments only observe —
+/// they never schedule events or draw from an RNG — so the returned
+/// report is bit-identical to the plain [`run`]'s; with every
+/// instrument `None` this *is* [`run`].
+///
+/// # Panics
+///
+/// As [`run`].
+pub fn run_telemetry(
+    cluster: &ClusterSpec,
+    tenants: &[TenantSpec],
+    cfg: &TpuConfig,
+    tel: &mut RunTelemetry,
+) -> ServeReport {
     assert!(cluster.dies > 0, "need at least one die");
     assert!(!tenants.is_empty(), "need at least one tenant");
 
@@ -100,6 +119,9 @@ pub fn run(cluster: &ClusterSpec, tenants: &[TenantSpec], cfg: &TpuConfig) -> Se
             )
         })
         .collect();
+    if tel.tracer.is_some() {
+        host.set_probe(HostProbe::new(0, "host 0", cluster.dies));
+    }
 
     let mut q = EventQueue::new();
     for (i, s) in sources.iter_mut().enumerate() {
@@ -109,11 +131,21 @@ pub fn run(cluster: &ClusterSpec, tenants: &[TenantSpec], cfg: &TpuConfig) -> Se
         q.schedule(at, Event::Arrival { tenant: i });
     }
 
+    // Per-event-type tallies for the engine profile (plain adds, no
+    // branches; folded into `tel.profile` after the loop).
+    let mut counts = [0u64; 4];
     let mut events_processed = 0u64;
     while let Some((now, event)) = q.pop() {
         events_processed += 1;
+        if let Some(m) = tel.metrics.as_mut() {
+            if m.due(now) {
+                let t = m.advance(now);
+                sample_host(m, t, now, &host, tenants);
+            }
+        }
         match event {
             Event::Arrival { tenant } => {
+                counts[0] += 1;
                 host.enqueue(tenant, now);
                 match sources[tenant].next_arrival_ms(now) {
                     Some(at) => q.schedule(at, Event::Arrival { tenant }),
@@ -122,14 +154,17 @@ pub fn run(cluster: &ClusterSpec, tenants: &[TenantSpec], cfg: &TpuConfig) -> Se
                 host.after_arrival(tenant, now, &mut |at, e| q.schedule(at, e.into()));
             }
             Event::Timer { tenant, generation } => {
+                counts[1] += 1;
                 if !host.on_timer(tenant, generation) {
                     continue; // stale timer; the queue changed since
                 }
             }
             Event::DieFree { die } => {
+                counts[2] += 1;
                 host.on_die_free(die);
             }
             Event::WeightSwap { die } => {
+                counts[3] += 1;
                 // Bookkeeping only (the die stays busy until DieFree);
                 // fires only when slots carry weight identities.
                 host.on_weight_swap(die);
@@ -154,7 +189,51 @@ pub fn run(cluster: &ClusterSpec, tenants: &[TenantSpec], cfg: &TpuConfig) -> Se
         );
     }
 
+    if let Some(tr) = tel.tracer.as_mut() {
+        if let Some(p) = host.take_probe() {
+            tr.absorb(p.into_tracer());
+        }
+    }
+    if let Some(pr) = tel.profile.as_mut() {
+        pr.event_counts = [
+            ("arrival", counts[0]),
+            ("timer", counts[1]),
+            ("die-free", counts[2]),
+            ("weight-swap", counts[3]),
+        ]
+        .into_iter()
+        .map(|(n, c)| (n.to_string(), c))
+        .collect();
+        pr.wheel = q.wheel_profile();
+    }
+
     host.report(host.makespan_ms(), events_processed)
+}
+
+/// One metrics sample at cadence point `t` (host state as of `now`):
+/// per-tenant queue depth and mean batch occupancy, per-die
+/// utilization, and the count of dies mid-swap.
+fn sample_host(m: &mut MetricsRecorder, t: f64, now: f64, host: &HostCore, tenants: &[TenantSpec]) {
+    for (i, spec) in tenants.iter().enumerate() {
+        m.record(&format!("queued/{}", spec.name), t, host.queued(i) as f64);
+        let batches = host.slot_batches(i);
+        if batches > 0 {
+            m.record(
+                &format!("batch_mean/{}", spec.name),
+                t,
+                host.slot_dispatched(i) as f64 / batches as f64,
+            );
+        }
+    }
+    for d in 0..host.die_count() {
+        let util = if now > 0.0 {
+            (host.die_busy_ms(d) / now).min(1.0)
+        } else {
+            0.0
+        };
+        m.record(&format!("util/die{d}"), t, util);
+    }
+    m.record("pending_swaps", t, host.pending_swaps() as f64);
 }
 
 #[cfg(test)]
@@ -318,6 +397,49 @@ mod tests {
             rb.tenants[0].p99_ms,
             rs.tenants[0].p99_ms
         );
+    }
+
+    /// The telemetry contract at engine level: a fully-instrumented run
+    /// returns the same report as the plain one, the profile's event
+    /// tally matches `events_processed`, and the request spans cover
+    /// every request.
+    #[test]
+    fn telemetry_observes_without_perturbing() {
+        use tpu_telemetry::{MetricsConfig, TelemetryConfig};
+        let cfg = TpuConfig::paper();
+        let spec = ClusterSpec::new(2, 42);
+        let tenants = [mlp0_tenant(
+            50_000.0,
+            BatchPolicy::Timeout {
+                max_batch: 64,
+                t_max_ms: 2.0,
+            },
+            2_000,
+        )];
+        let plain = run(&spec, &tenants, &cfg);
+        let mut tel = RunTelemetry::from_config(&TelemetryConfig {
+            trace: true,
+            metrics: Some(MetricsConfig::default()),
+            profile: true,
+        });
+        let instrumented = run_telemetry(&spec, &tenants, &cfg, &mut tel);
+        assert_eq!(
+            format!("{plain}"),
+            format!("{instrumented}"),
+            "instruments must not change the report"
+        );
+        let profile = tel.profile.expect("profile filled");
+        assert_eq!(profile.total_events(), instrumented.events_processed);
+        assert!(profile.wheel.expect("wheel backend").advances > 0);
+        let tracer = tel.tracer.expect("tracer filled");
+        let requests = tracer
+            .summary()
+            .into_iter()
+            .find(|r| r.cat == "request" && r.name == "MLP0")
+            .expect("request spans recorded");
+        assert_eq!(requests.count as usize, tenants[0].requests);
+        let metrics = tel.metrics.expect("metrics filled");
+        assert!(metrics.points("util/die0").len() > 1);
     }
 
     #[test]

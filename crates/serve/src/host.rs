@@ -28,6 +28,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
 pub use tpu_platforms::server::Dispatch;
+use tpu_telemetry::HostProbe;
 
 /// An event a host schedules for itself. The embedding simulation maps
 /// these onto its own event enum (see [`crate::event::Event`]).
@@ -86,9 +87,13 @@ struct Slot {
     swap_ms: f64,
 }
 
-/// A batch in flight on a die.
+/// A batch in flight on a die. `start_ms`/`swap_ms` exist for the
+/// telemetry probe (span reconstruction at completion); the scheduler
+/// itself never reads them.
 struct Inflight {
     slot: usize,
+    start_ms: f64,
+    swap_ms: f64,
     end_ms: f64,
     arrivals: Vec<f64>,
 }
@@ -116,6 +121,9 @@ pub struct HostCore {
     /// allocates nothing (bounded by the die count; crash-displaced
     /// buffers leave the pool with their requests).
     spare_batches: Vec<Vec<f64>>,
+    /// Telemetry probe recording this host's spans; `None` (the
+    /// default) keeps every hook to a single branch.
+    probe: Option<Box<HostProbe>>,
 }
 
 impl HostCore {
@@ -145,7 +153,21 @@ impl HostCore {
             makespan_ms: 0.0,
             slow_factor: 1.0,
             spare_batches: Vec::new(),
+            probe: None,
         }
+    }
+
+    /// Attach a telemetry probe: batch completions and crashes now
+    /// record spans into it (see [`HostProbe`]). Purely observational —
+    /// scheduling decisions, RNG draws, and reports are unchanged.
+    pub fn set_probe(&mut self, probe: HostProbe) {
+        self.probe = Some(Box::new(probe));
+    }
+
+    /// Detach the probe (end of run) to absorb its spans into the run
+    /// tracer.
+    pub fn take_probe(&mut self) -> Option<HostProbe> {
+        self.probe.take().map(|b| *b)
     }
 
     /// Add a tenant slot (replica); returns its index. Slots can be
@@ -272,6 +294,16 @@ impl HostCore {
         for &arrived in &inflight.arrivals {
             slot.latencies.push(inflight.end_ms - arrived);
         }
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.batch_complete(
+                die,
+                &slot.spec.name,
+                inflight.start_ms,
+                inflight.swap_ms,
+                inflight.end_ms,
+                &inflight.arrivals,
+            );
+        }
         let mut spare = inflight.arrivals;
         spare.clear();
         self.spare_batches.push(spare);
@@ -344,6 +376,9 @@ impl HostCore {
     /// caller is responsible for ignoring this host's already-scheduled
     /// events (e.g. by epoch-tagging them).
     pub fn crash(&mut self, now_ms: f64) -> Vec<(usize, Vec<f64>)> {
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.instant("fault", "crash", now_ms);
+        }
         let mut displaced: Vec<(usize, Vec<f64>)> = Vec::new();
         for d in &mut self.dies {
             d.busy = false;
@@ -404,6 +439,21 @@ impl HostCore {
     /// Total busy time across dies, ms.
     pub fn busy_ms(&self) -> f64 {
         self.dies.iter().map(|d| d.busy_ms).sum()
+    }
+
+    /// Busy time one die has accumulated, ms (telemetry's per-die
+    /// utilization probe).
+    pub fn die_busy_ms(&self, die: usize) -> f64 {
+        self.dies[die].busy_ms
+    }
+
+    /// Dies currently streaming a weight swap (telemetry's pending
+    /// weight-set probe).
+    pub fn pending_swaps(&self) -> usize {
+        self.dies
+            .iter()
+            .filter(|d| d.weights.pending().is_some())
+            .count()
     }
 
     /// Completion time of the latest batch dispatched so far, ms.
@@ -486,6 +536,8 @@ impl HostCore {
             d.batches += 1;
             d.inflight = Some(Inflight {
                 slot,
+                start_ms: now_ms,
+                swap_ms,
                 end_ms: end,
                 arrivals,
             });
@@ -862,5 +914,48 @@ mod tests {
         assert_eq!(h.swaps(), 0);
         assert_eq!(h.swap_ms(), 0.0);
         assert!(h.slot_has_warm_die(0), "weight-free slots are always warm");
+    }
+
+    /// An attached probe records swap/service spans whose totals match
+    /// the host's own counters, and recording changes no observable
+    /// host state (same latencies, same busy time as a probe-free run).
+    #[test]
+    fn probe_spans_agree_with_swap_counters() {
+        let run = |probed: bool| {
+            let mut h = HostCore::new(1, Dispatch::LeastLoaded, 42);
+            let curve = ServiceCurve::new(1.0, 0.0, 0.0);
+            let a = h.add_slot(spec(BatchPolicy::Fixed { batch: 1 }), curve);
+            h.set_slot_weights(
+                a,
+                ModelWeights {
+                    model: 0,
+                    bytes: 10,
+                    swap_ms: 0.5,
+                },
+            );
+            if probed {
+                h.set_probe(HostProbe::new(0, "host 0", 1));
+            }
+            let mut sched = Vec::new();
+            h.enqueue(a, 0.0);
+            h.try_dispatch(0.0, &mut |at, e| sched.push((at, e)));
+            h.on_weight_swap(0);
+            h.on_die_free(0);
+            h
+        };
+        let mut probed = run(true);
+        let bare = run(false);
+        assert_eq!(probed.slot_latencies(0), bare.slot_latencies(0));
+        assert_eq!(probed.busy_ms(), bare.busy_ms());
+        let tracer = probed.take_probe().expect("probe attached").into_tracer();
+        let rows = tracer.summary();
+        let total = |cat: &str| {
+            rows.iter()
+                .filter(|r| r.cat == cat)
+                .map(|r| r.total_ms)
+                .sum::<f64>()
+        };
+        assert!((total("swap") - probed.slot_swap_ms(0)).abs() < 1e-12);
+        assert!((total("swap") + total("service") - probed.busy_ms()).abs() < 1e-12);
     }
 }

@@ -77,7 +77,7 @@ pub mod tenant;
 pub mod weights;
 pub mod workload;
 
-pub use engine::{run, ClusterSpec, Dispatch};
+pub use engine::{run, run_telemetry, ClusterSpec, Dispatch};
 pub use host::{CompletedBatch, HostCore, HostEvent};
 pub use policy::BatchPolicy;
 pub use report::{DieReport, ServeReport, TenantReport};

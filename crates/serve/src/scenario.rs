@@ -10,7 +10,7 @@
 //! the Table 1 workloads (see `ServiceCurve::from_workload`): MLP0
 //! ~242k rps/die, LSTM0 ~27k, CNN0 ~8.3k, CNN1 ~2.8k.
 
-use crate::engine::{run, ClusterSpec, Dispatch};
+use crate::engine::{run, run_telemetry, ClusterSpec, Dispatch};
 use crate::policy::BatchPolicy;
 use crate::report::ServeReport;
 use crate::service::ServiceCurve;
@@ -46,6 +46,32 @@ impl Scenario {
         self.runs
             .iter()
             .map(|r| (r.label.clone(), run(&r.cluster, &r.tenants, cfg)))
+            .collect()
+    }
+
+    /// [`Self::execute`] with one [`tpu_telemetry::RunTelemetry`] per
+    /// run (the CLI's `--chrome-trace` / `--metrics-out` /
+    /// `--engine-stats` path). Reports are bit-identical to
+    /// [`Self::execute`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tel.len() == self.runs.len()`.
+    pub fn execute_telemetry(
+        &self,
+        cfg: &TpuConfig,
+        tel: &mut [tpu_telemetry::RunTelemetry],
+    ) -> Vec<(String, ServeReport)> {
+        assert_eq!(tel.len(), self.runs.len(), "one RunTelemetry per run");
+        self.runs
+            .iter()
+            .zip(tel)
+            .map(|(r, t)| {
+                (
+                    r.label.clone(),
+                    run_telemetry(&r.cluster, &r.tenants, cfg, t),
+                )
+            })
             .collect()
     }
 

@@ -59,6 +59,7 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 pub use tpu_platforms::jitter::lognormal_multiplier;
+use tpu_telemetry::WheelProfile;
 
 /// Weyl-sequence increment (2^64 / φ) used to derive per-stream seeds.
 pub const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
@@ -162,6 +163,39 @@ fn sort_rung<E>(rung: &mut [Entry<E>]) {
     }
 }
 
+/// Lifetime counters the wheel keeps about itself. All updates happen
+/// in the `#[cold]` `advance` path, the rare spill branch, or the
+/// already-O(rung) sorted insert, so the hot push/pop paths are
+/// untouched; `EventQueue::wheel_profile` snapshots them for
+/// `--engine-stats`.
+#[derive(Debug, Clone)]
+struct WheelStats {
+    /// Times `advance` drained a slot from each level.
+    drains_per_level: [u64; WHEEL_LEVELS],
+    /// Rung length at each drain, in power-of-two buckets (index =
+    /// `floor(log2 len)`).
+    rung_hist: [u64; 32],
+    /// Longest bottom rung observed (at drain or after a rung insert).
+    max_rung: usize,
+    /// Times `advance` ran.
+    advances: u64,
+    /// Pushes diverted into the wheel by the [`RUNG_SPILL_THRESHOLD`]
+    /// guard.
+    spills: u64,
+}
+
+impl WheelStats {
+    fn new() -> Self {
+        WheelStats {
+            drains_per_level: [0; WHEEL_LEVELS],
+            rung_hist: [0; 32],
+            max_rung: 0,
+            advances: 0,
+            spills: 0,
+        }
+    }
+}
+
 /// The hierarchical timer wheel (see the module docs).
 #[derive(Debug)]
 struct Wheel<E> {
@@ -182,6 +216,8 @@ struct Wheel<E> {
     /// here (equal keys after their elders, keeping FIFO).
     bottom: VecDeque<Entry<E>>,
     len: usize,
+    /// Boxed so the counters don't bloat the `Fel` enum variant.
+    stats: Box<WheelStats>,
 }
 
 impl<E> Wheel<E> {
@@ -193,6 +229,7 @@ impl<E> Wheel<E> {
             bottom_bound: 0,
             bottom: VecDeque::new(),
             len: 0,
+            stats: Box::new(WheelStats::new()),
         }
     }
 
@@ -224,6 +261,7 @@ impl<E> Wheel<E> {
             if self.bottom.len() >= RUNG_SPILL_THRESHOLD {
                 let rung_max = self.bottom.back().expect("rung at threshold").key;
                 if key >= rung_max && key > 0 {
+                    self.stats.spills += 1;
                     self.bottom_bound = key - 1;
                     let (level, slot) = Self::bucket(self.hand, key);
                     self.occupied[level] |= 1 << slot;
@@ -236,6 +274,9 @@ impl<E> Wheel<E> {
             // sequence numbers).
             let at = self.bottom.partition_point(|e| e.key <= key);
             self.bottom.insert(at, Entry { key, event });
+            if self.bottom.len() > self.stats.max_rung {
+                self.stats.max_rung = self.bottom.len();
+            }
             return;
         }
         let (level, slot) = Self::bucket(self.hand, key);
@@ -277,6 +318,13 @@ impl<E> Wheel<E> {
         // rung buffer takes its place — no allocation either way.
         std::mem::swap(&mut self.bottom, &mut self.slots[level * SLOTS + slot]);
         sort_rung(self.bottom.make_contiguous());
+        self.stats.advances += 1;
+        self.stats.drains_per_level[level] += 1;
+        let n = self.bottom.len();
+        self.stats.rung_hist[((usize::BITS - 1 - n.leading_zeros()) as usize).min(31)] += 1;
+        if n > self.stats.max_rung {
+            self.stats.max_rung = n;
+        }
         let shift = level as u32 * LEVEL_BITS;
         self.hand = (self.bottom.front().expect("occupancy bit was set").key >> shift) << shift;
         // The rung is entitled to the drained slot's whole key range,
@@ -430,6 +478,32 @@ impl<E> EventQueue<E> {
         match &self.fel {
             Fel::Wheel(w) => w.bottom.len(),
             Fel::Heap(_) => 0,
+        }
+    }
+
+    /// Snapshot the wheel's self-profile for `--engine-stats`: drains
+    /// per level, current occupied-slot counts, the rung-length
+    /// histogram, and the [`RUNG_SPILL_THRESHOLD`] spill counter.
+    /// `None` on the reference heap backend, which keeps no statistics.
+    pub fn wheel_profile(&self) -> Option<WheelProfile> {
+        match &self.fel {
+            Fel::Wheel(w) => {
+                let mut rung_hist = w.stats.rung_hist.to_vec();
+                while rung_hist.last() == Some(&0) {
+                    rung_hist.pop();
+                }
+                Some(WheelProfile {
+                    slots_per_level: SLOTS,
+                    drains_per_level: w.stats.drains_per_level.to_vec(),
+                    occupied_slots: w.occupied.iter().map(|b| b.count_ones()).collect(),
+                    rung_hist,
+                    max_rung: w.stats.max_rung,
+                    advances: w.stats.advances,
+                    spills: w.stats.spills,
+                    pending: w.len,
+                })
+            }
+            Fel::Heap(_) => None,
         }
     }
 }
@@ -649,6 +723,42 @@ mod tests {
             assert_eq!(wheel.pop(), heap.pop());
         }
         assert_eq!(heap.pop(), None);
+    }
+
+    /// The self-profile counters observe exactly what the engine did:
+    /// the spill path increments `spills`, drains land in the level
+    /// histogram, and the heap backend reports no profile at all.
+    #[test]
+    fn wheel_profile_counts_spills_drains_and_occupancy() {
+        let mut q: EventQueue<usize> = EventQueue::with_backend(QueueBackend::TimerWheel);
+        assert_eq!(
+            q.wheel_profile().expect("wheel backend profiles").advances,
+            0
+        );
+        q.schedule(1.0, usize::MAX);
+        assert_eq!(q.pop(), Some((1.0, usize::MAX)));
+        for i in 0..(RUNG_SPILL_THRESHOLD * 2) {
+            q.schedule(1.0, i);
+        }
+        let mid = q.wheel_profile().expect("wheel backend profiles");
+        assert!(mid.spills > 0, "equal-time burst must trip the spill path");
+        assert!(mid.occupied_slots.iter().sum::<u32>() > 0);
+        assert_eq!(mid.pending, RUNG_SPILL_THRESHOLD * 2);
+        while q.pop().is_some() {}
+        let done = q.wheel_profile().expect("wheel backend profiles");
+        assert_eq!(done.pending, 0);
+        assert!(done.advances > mid.advances);
+        assert_eq!(
+            done.drains_per_level.iter().sum::<u64>(),
+            done.advances,
+            "every advance drains exactly one slot"
+        );
+        assert_eq!(done.rung_hist.iter().sum::<u64>(), done.advances);
+        assert!(done.max_rung >= RUNG_SPILL_THRESHOLD);
+        assert_eq!(
+            EventQueue::<usize>::with_backend(QueueBackend::BinaryHeap).wheel_profile(),
+            None
+        );
     }
 
     #[test]

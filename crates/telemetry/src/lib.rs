@@ -1,0 +1,188 @@
+//! # tpu-telemetry — opt-in observability for the serving simulators
+//!
+//! Three instruments, all recorded in **sim time** (never wall clock),
+//! all strictly opt-in:
+//!
+//! * [`trace`] — causal request tracing: every request gets a span tree
+//!   (arrival → queue → dispatch → weight-swap stall → service →
+//!   complete) plus per-die activity tracks, exported as Chrome
+//!   trace-event JSON loadable in Perfetto / `chrome://tracing`;
+//! * [`metrics`] — seeded-cadence time-series probes (queue depth,
+//!   per-die utilization, outstanding-per-replica, resident weights,
+//!   replica counts) in ring-buffered series, exportable as CSV or
+//!   JSON;
+//! * [`profile`] — engine self-profiling: per-event-type counts and
+//!   timer-wheel occupancy / rung-spill counters behind
+//!   `--engine-stats`.
+//!
+//! The determinism contract is the point of the design: a run carries a
+//! [`RunTelemetry`] whose fields are all `Option`s. With every field
+//! `None` (the [`RunTelemetry::off`] default, and what the plain
+//! `run`/`run_fleet` entry points pass) the engines' hot paths pay one
+//! branch per hook and emit nothing, so every seeded report stays
+//! byte-identical to an uninstrumented build. With telemetry on, the
+//! instruments only *observe* — they never schedule events, draw from
+//! an RNG, or read a clock — so the report is still bit-identical to
+//! the telemetry-off run and the artifacts themselves are bit-identical
+//! across same-seed runs.
+//!
+//! Artifacts leave the run through a [`TelemetrySink`]; the default
+//! [`NoopSink`] discards everything, the CLIs install a file-writing
+//! sink, and tests install collecting sinks.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use metrics::{MetricsConfig, MetricsRecorder, Point};
+pub use profile::{EngineProfile, WheelProfile};
+pub use trace::{HostProbe, Phase, SummaryRow, TraceEvent, Tracer};
+
+/// What to record during a run. The default ([`TelemetryConfig::off`])
+/// records nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryConfig {
+    /// Record a Chrome-trace span tree per request plus die tracks.
+    pub trace: bool,
+    /// Sample time-series probes on this cadence.
+    pub metrics: Option<MetricsConfig>,
+    /// Collect per-event-type counts and timer-wheel statistics.
+    pub profile: bool,
+}
+
+impl TelemetryConfig {
+    /// Record nothing (the default).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// True if any instrument is switched on.
+    pub fn enabled(&self) -> bool {
+        self.trace || self.metrics.is_some() || self.profile
+    }
+}
+
+/// The per-run instrument set threaded through an engine. Fields are
+/// `None` when the corresponding instrument is off; engines check each
+/// with a single branch.
+#[derive(Debug, Default)]
+pub struct RunTelemetry {
+    /// Span recorder for the Chrome trace (fleet-level events land
+    /// here; per-host spans are recorded by [`HostProbe`]s and absorbed
+    /// at end of run).
+    pub tracer: Option<Tracer>,
+    /// Cadence sampler for the time-series probes.
+    pub metrics: Option<MetricsRecorder>,
+    /// Engine self-profile, filled in at end of run.
+    pub profile: Option<EngineProfile>,
+}
+
+impl RunTelemetry {
+    /// Record nothing — what the uninstrumented entry points pass.
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Allocate instruments per `cfg`.
+    pub fn from_config(cfg: &TelemetryConfig) -> Self {
+        Self {
+            tracer: cfg.trace.then(Tracer::new),
+            metrics: cfg.metrics.as_ref().map(MetricsRecorder::new),
+            profile: cfg.profile.then(EngineProfile::new),
+        }
+    }
+
+    /// True if any instrument is live.
+    pub fn enabled(&self) -> bool {
+        self.tracer.is_some() || self.metrics.is_some() || self.profile.is_some()
+    }
+
+    /// Hand every recorded artifact to `sink`, tagged with the run
+    /// `label`.
+    pub fn emit(&self, label: &str, sink: &mut dyn TelemetrySink) {
+        if let Some(t) = &self.tracer {
+            sink.on_trace(label, t);
+        }
+        if let Some(m) = &self.metrics {
+            sink.on_metrics(label, m);
+        }
+        if let Some(p) = &self.profile {
+            sink.on_profile(label, p);
+        }
+    }
+}
+
+/// Receives a run's artifacts. Every method defaults to a no-op so a
+/// sink implements only what it consumes.
+pub trait TelemetrySink {
+    /// Called once per run with the completed trace.
+    fn on_trace(&mut self, _label: &str, _tracer: &Tracer) {}
+    /// Called once per run with the sampled series.
+    fn on_metrics(&mut self, _label: &str, _metrics: &MetricsRecorder) {}
+    /// Called once per run with the engine profile.
+    fn on_profile(&mut self, _label: &str, _profile: &EngineProfile) {}
+}
+
+/// The default sink: discards everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_config_allocates_nothing() {
+        let t = RunTelemetry::from_config(&TelemetryConfig::off());
+        assert!(!t.enabled());
+        assert!(t.tracer.is_none() && t.metrics.is_none() && t.profile.is_none());
+    }
+
+    #[test]
+    fn full_config_allocates_every_instrument() {
+        let cfg = TelemetryConfig {
+            trace: true,
+            metrics: Some(MetricsConfig::default()),
+            profile: true,
+        };
+        assert!(cfg.enabled());
+        let t = RunTelemetry::from_config(&cfg);
+        assert!(t.tracer.is_some() && t.metrics.is_some() && t.profile.is_some());
+    }
+
+    #[test]
+    fn emit_routes_each_instrument_to_the_sink() {
+        #[derive(Default)]
+        struct Counting {
+            traces: usize,
+            metrics: usize,
+            profiles: usize,
+        }
+        impl TelemetrySink for Counting {
+            fn on_trace(&mut self, label: &str, _t: &Tracer) {
+                assert_eq!(label, "run-a");
+                self.traces += 1;
+            }
+            fn on_metrics(&mut self, _label: &str, _m: &MetricsRecorder) {
+                self.metrics += 1;
+            }
+            fn on_profile(&mut self, _label: &str, _p: &EngineProfile) {
+                self.profiles += 1;
+            }
+        }
+        let cfg = TelemetryConfig {
+            trace: true,
+            metrics: Some(MetricsConfig::default()),
+            profile: true,
+        };
+        let t = RunTelemetry::from_config(&cfg);
+        let mut sink = Counting::default();
+        t.emit("run-a", &mut sink);
+        assert_eq!((sink.traces, sink.metrics, sink.profiles), (1, 1, 1));
+        RunTelemetry::off().emit("run-a", &mut NoopSink);
+    }
+}

@@ -1,0 +1,471 @@
+//! Causal request tracing in the Chrome trace-event format.
+//!
+//! A [`Tracer`] accumulates [`TraceEvent`]s — die activity as complete
+//! (`ph:"X"`) slices, per-request span trees as nestable async
+//! (`ph:"b"`/`"e"`) events keyed by a per-request id, and fleet-level
+//! moments (crashes, retries, scale decisions) as instants — and
+//! exports them as one JSON document loadable in Perfetto or
+//! `chrome://tracing`. Hosts map to processes (`pid`), dies to threads
+//! (`tid`), so the UI shows one track per host/die.
+//!
+//! All timestamps are **simulated milliseconds**; the export multiplies
+//! by 1000 into the microsecond unit the format specifies. Nothing here
+//! reads a clock, so two same-seed runs render byte-identical traces.
+
+use serde_json::Value;
+
+/// Trace-event phase, mirroring the Chrome `ph` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A complete slice with a duration (`ph:"X"`).
+    Complete,
+    /// Begin of a nestable async span (`ph:"b"`).
+    AsyncBegin,
+    /// End of a nestable async span (`ph:"e"`).
+    AsyncEnd,
+    /// A zero-duration instant (`ph:"i"`).
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event phase.
+    pub phase: Phase,
+    /// Span name (tenant or phase name).
+    pub name: String,
+    /// Category — groups spans in the UI and in [`Tracer::summary`]
+    /// (`"service"`, `"swap"`, `"request"`, `"fleet"`, …).
+    pub cat: String,
+    /// Process id — host index (the fleet front-end uses one past the
+    /// last host).
+    pub pid: u32,
+    /// Thread id — `1 + die` for die tracks, `0` otherwise.
+    pub tid: u32,
+    /// Start time in simulated milliseconds.
+    pub ts_ms: f64,
+    /// Duration in simulated milliseconds ([`Phase::Complete`] only).
+    pub dur_ms: f64,
+    /// Async span id ([`Phase::AsyncBegin`]/[`Phase::AsyncEnd`] only).
+    pub id: u64,
+    /// Extra `args` rendered into the event.
+    pub args: Vec<(String, Value)>,
+}
+
+/// Aggregated span totals for the compact report summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRow {
+    /// Span category.
+    pub cat: String,
+    /// Span name.
+    pub name: String,
+    /// Number of spans.
+    pub count: u64,
+    /// Total span duration in simulated milliseconds.
+    pub total_ms: f64,
+}
+
+/// Accumulates trace events and exports them as Chrome trace JSON.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    /// Process/thread naming metadata, kept apart so it leads the
+    /// export regardless of timestamps.
+    meta: Vec<Value>,
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    /// An empty tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded (non-metadata) events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded events, in insertion order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Name the process track `pid` (a host).
+    pub fn name_process(&mut self, pid: u32, name: &str) {
+        self.meta.push(meta_event("process_name", pid, 0, name));
+    }
+
+    /// Name the thread track `(pid, tid)` (a die).
+    pub fn name_thread(&mut self, pid: u32, tid: u32, name: &str) {
+        self.meta.push(meta_event("thread_name", pid, tid, name));
+    }
+
+    /// Record a complete slice.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        cat: &str,
+        name: &str,
+        ts_ms: f64,
+        dur_ms: f64,
+        args: Vec<(String, Value)>,
+    ) {
+        self.events.push(TraceEvent {
+            phase: Phase::Complete,
+            name: name.to_string(),
+            cat: cat.to_string(),
+            pid,
+            tid,
+            ts_ms,
+            dur_ms,
+            id: 0,
+            args,
+        });
+    }
+
+    /// Begin a nestable async span.
+    pub fn async_begin(&mut self, pid: u32, cat: &str, name: &str, id: u64, ts_ms: f64) {
+        self.events.push(TraceEvent {
+            phase: Phase::AsyncBegin,
+            name: name.to_string(),
+            cat: cat.to_string(),
+            pid,
+            tid: 0,
+            ts_ms,
+            dur_ms: 0.0,
+            id,
+            args: Vec::new(),
+        });
+    }
+
+    /// End a nestable async span.
+    pub fn async_end(&mut self, pid: u32, cat: &str, name: &str, id: u64, ts_ms: f64) {
+        self.events.push(TraceEvent {
+            phase: Phase::AsyncEnd,
+            name: name.to_string(),
+            cat: cat.to_string(),
+            pid,
+            tid: 0,
+            ts_ms,
+            dur_ms: 0.0,
+            id,
+            args: Vec::new(),
+        });
+    }
+
+    /// Record an instant.
+    pub fn instant(
+        &mut self,
+        pid: u32,
+        cat: &str,
+        name: &str,
+        ts_ms: f64,
+        args: Vec<(String, Value)>,
+    ) {
+        self.events.push(TraceEvent {
+            phase: Phase::Instant,
+            name: name.to_string(),
+            cat: cat.to_string(),
+            pid,
+            tid: 0,
+            ts_ms,
+            dur_ms: 0.0,
+            id: 0,
+            args,
+        });
+    }
+
+    /// Merge another tracer's events (e.g. a host probe's) into this
+    /// one.
+    pub fn absorb(&mut self, other: Tracer) {
+        self.meta.extend(other.meta);
+        self.events.extend(other.events);
+    }
+
+    /// Export as a Chrome trace-event document: metadata first, then
+    /// events stably sorted by timestamp (insertion order breaks ties,
+    /// so the export is deterministic).
+    pub fn to_chrome_json(&self) -> Value {
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by_key(|&i| self.events[i].ts_ms.to_bits());
+        let mut out: Vec<Value> = self.meta.clone();
+        out.extend(order.into_iter().map(|i| event_json(&self.events[i])));
+        Value::object([
+            ("displayTimeUnit".to_string(), Value::String("ms".into())),
+            ("traceEvents".to_string(), Value::Array(out)),
+        ])
+    }
+
+    /// Render the Chrome trace document as a compact JSON string.
+    pub fn render(&self) -> String {
+        serde_json::to_string(&self.to_chrome_json())
+    }
+
+    /// Aggregate spans into `(cat, name)` totals, sorted by category
+    /// then name. Complete slices contribute their duration; async
+    /// spans are paired begin/end per `(id, cat, name)`.
+    pub fn summary(&self) -> Vec<SummaryRow> {
+        use std::collections::BTreeMap;
+        let mut open: BTreeMap<(u64, &str, &str), Vec<f64>> = BTreeMap::new();
+        let mut rows: BTreeMap<(&str, &str), (u64, f64)> = BTreeMap::new();
+        for e in &self.events {
+            match e.phase {
+                Phase::Complete => {
+                    let r = rows.entry((&e.cat, &e.name)).or_insert((0, 0.0));
+                    r.0 += 1;
+                    r.1 += e.dur_ms;
+                }
+                Phase::AsyncBegin => {
+                    open.entry((e.id, &e.cat, &e.name))
+                        .or_default()
+                        .push(e.ts_ms);
+                }
+                Phase::AsyncEnd => {
+                    if let Some(begin) = open
+                        .get_mut(&(e.id, e.cat.as_str(), e.name.as_str()))
+                        .and_then(Vec::pop)
+                    {
+                        let r = rows.entry((&e.cat, &e.name)).or_insert((0, 0.0));
+                        r.0 += 1;
+                        r.1 += e.ts_ms - begin;
+                    }
+                }
+                Phase::Instant => {
+                    let r = rows.entry((&e.cat, &e.name)).or_insert((0, 0.0));
+                    r.0 += 1;
+                }
+            }
+        }
+        rows.into_iter()
+            .map(|((cat, name), (count, total_ms))| SummaryRow {
+                cat: cat.to_string(),
+                name: name.to_string(),
+                count,
+                total_ms,
+            })
+            .collect()
+    }
+}
+
+fn meta_event(kind: &str, pid: u32, tid: u32, name: &str) -> Value {
+    Value::object([
+        ("ph".to_string(), Value::String("M".into())),
+        ("name".to_string(), Value::String(kind.into())),
+        ("pid".to_string(), Value::Number(pid as f64)),
+        ("tid".to_string(), Value::Number(tid as f64)),
+        (
+            "args".to_string(),
+            Value::object([("name".to_string(), Value::String(name.into()))]),
+        ),
+    ])
+}
+
+fn event_json(e: &TraceEvent) -> Value {
+    let mut fields = vec![
+        ("name".to_string(), Value::String(e.name.clone())),
+        ("cat".to_string(), Value::String(e.cat.clone())),
+        ("pid".to_string(), Value::Number(e.pid as f64)),
+        ("tid".to_string(), Value::Number(e.tid as f64)),
+        ("ts".to_string(), Value::Number(e.ts_ms * 1000.0)),
+    ];
+    let ph = match e.phase {
+        Phase::Complete => {
+            fields.push(("dur".to_string(), Value::Number(e.dur_ms * 1000.0)));
+            "X"
+        }
+        Phase::AsyncBegin => "b",
+        Phase::AsyncEnd => "e",
+        Phase::Instant => {
+            fields.push(("s".to_string(), Value::String("t".into())));
+            "i"
+        }
+    };
+    fields.push(("ph".to_string(), Value::String(ph.into())));
+    if matches!(e.phase, Phase::AsyncBegin | Phase::AsyncEnd) {
+        fields.push(("id".to_string(), Value::String(format!("{:#x}", e.id))));
+    }
+    if !e.args.is_empty() {
+        fields.push(("args".to_string(), Value::object(e.args.iter().cloned())));
+    }
+    Value::object(fields)
+}
+
+/// Records one host's spans: die activity slices plus the per-request
+/// async span tree (queue → swap-stall → service), all emitted at
+/// batch completion so aborted batches leave no spans.
+///
+/// The engines hand a probe to each `HostCore`; at end of run the
+/// probe's tracer is absorbed into the run's [`Tracer`].
+#[derive(Debug)]
+pub struct HostProbe {
+    pid: u32,
+    next_id: u64,
+    tracer: Tracer,
+}
+
+impl HostProbe {
+    /// A probe for host `pid` with named process/die tracks.
+    pub fn new(pid: u32, host_name: &str, dies: usize) -> Self {
+        let mut tracer = Tracer::new();
+        tracer.name_process(pid, host_name);
+        for d in 0..dies {
+            tracer.name_thread(pid, d as u32 + 1, &format!("die {d}"));
+        }
+        Self {
+            pid,
+            next_id: 0,
+            tracer,
+        }
+    }
+
+    /// The host index this probe records for.
+    pub fn pid(&self) -> u32 {
+        self.pid
+    }
+
+    /// Record one completed batch: a swap slice (if the die swapped
+    /// weights), a service slice on the die track, and a request span
+    /// tree per batched arrival.
+    #[allow(clippy::too_many_arguments)]
+    pub fn batch_complete(
+        &mut self,
+        die: usize,
+        tenant: &str,
+        start_ms: f64,
+        swap_ms: f64,
+        end_ms: f64,
+        arrivals: &[f64],
+    ) {
+        let tid = die as u32 + 1;
+        let served_at = start_ms + swap_ms;
+        if swap_ms > 0.0 {
+            self.tracer.complete(
+                self.pid,
+                tid,
+                "swap",
+                tenant,
+                start_ms,
+                swap_ms,
+                vec![("swap_ms".to_string(), Value::Number(swap_ms))],
+            );
+        }
+        self.tracer.complete(
+            self.pid,
+            tid,
+            "service",
+            tenant,
+            served_at,
+            end_ms - served_at,
+            vec![("batch".to_string(), Value::Number(arrivals.len() as f64))],
+        );
+        for &arrived in arrivals {
+            let id = ((self.pid as u64) << 32) | self.next_id;
+            self.next_id += 1;
+            self.tracer
+                .async_begin(self.pid, "request", tenant, id, arrived);
+            self.tracer
+                .async_begin(self.pid, "phase", "queue", id, arrived);
+            self.tracer
+                .async_end(self.pid, "phase", "queue", id, start_ms);
+            if swap_ms > 0.0 {
+                self.tracer
+                    .async_begin(self.pid, "phase", "swap-stall", id, start_ms);
+                self.tracer
+                    .async_end(self.pid, "phase", "swap-stall", id, served_at);
+            }
+            self.tracer
+                .async_begin(self.pid, "phase", "service", id, served_at);
+            self.tracer
+                .async_end(self.pid, "phase", "service", id, end_ms);
+            self.tracer
+                .async_end(self.pid, "request", tenant, id, end_ms);
+        }
+    }
+
+    /// Record a host-level instant (crash, recovery, …).
+    pub fn instant(&mut self, cat: &str, name: &str, ts_ms: f64) {
+        self.tracer.instant(self.pid, cat, name, ts_ms, Vec::new());
+    }
+
+    /// Surrender the recorded events for absorption into the run
+    /// tracer.
+    pub fn into_tracer(self) -> Tracer {
+        self.tracer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_is_sorted_and_parses() {
+        let mut t = Tracer::new();
+        t.name_process(0, "host 0");
+        t.complete(0, 1, "service", "MLP0", 5.0, 2.0, Vec::new());
+        t.complete(0, 1, "service", "MLP0", 1.0, 1.5, Vec::new());
+        t.instant(0, "fleet", "crash", 0.5, Vec::new());
+        let text = t.render();
+        let doc = serde_json::from_str(&text).expect("trace JSON parses");
+        let Value::Object(map) = doc else {
+            panic!("expected an object")
+        };
+        let Value::Array(events) = &map["traceEvents"] else {
+            panic!("expected traceEvents array")
+        };
+        assert_eq!(events.len(), 4);
+        // Metadata first, then events by ascending ts.
+        let ts: Vec<f64> = events[1..]
+            .iter()
+            .map(|e| match e {
+                Value::Object(m) => match m["ts"] {
+                    Value::Number(n) => n,
+                    _ => panic!("ts is a number"),
+                },
+                _ => panic!("event is an object"),
+            })
+            .collect();
+        assert_eq!(ts, vec![500.0, 1000.0, 5000.0]);
+    }
+
+    #[test]
+    fn probe_records_swap_service_and_request_spans() {
+        let mut p = HostProbe::new(3, "host 3", 2);
+        p.batch_complete(1, "CNN0", 10.0, 4.0, 20.0, &[7.0, 9.0]);
+        let t = p.into_tracer();
+        let rows = t.summary();
+        let get = |cat: &str, name: &str| {
+            rows.iter()
+                .find(|r| r.cat == cat && r.name == name)
+                .unwrap_or_else(|| panic!("missing row {cat}/{name}"))
+        };
+        assert_eq!(get("swap", "CNN0").total_ms, 4.0);
+        assert_eq!(get("service", "CNN0").total_ms, 6.0);
+        // Two requests: queue waits (10-7)+(10-9)=4, stalls 4+4=8,
+        // service 6+6=12, end-to-end (20-7)+(20-9)=24.
+        assert_eq!(get("phase", "queue").total_ms, 4.0);
+        assert_eq!(get("phase", "swap-stall").total_ms, 8.0);
+        assert_eq!(get("phase", "service").total_ms, 12.0);
+        let req = get("request", "CNN0");
+        assert_eq!((req.count, req.total_ms), (2, 24.0));
+    }
+
+    #[test]
+    fn same_inputs_render_identical_bytes() {
+        let build = || {
+            let mut p = HostProbe::new(0, "host 0", 1);
+            p.batch_complete(0, "LSTM0", 2.0, 0.0, 5.0, &[1.0]);
+            let mut t = Tracer::new();
+            t.absorb(p.into_tracer());
+            t.render()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -28,6 +28,10 @@
 //!   (round-robin / least-outstanding / bounded consistent hash),
 //!   reactive autoscaling, and failure injection. Run scenarios with
 //!   the `tpu_cluster` binary.
+//! * [`tpu_telemetry`] — opt-in observability for both simulators:
+//!   causal request tracing to Chrome trace-event JSON, cadence-based
+//!   time-series probes, and engine self-profiling. Off by default;
+//!   instruments observe sim time only and never perturb a run.
 
 #![warn(missing_docs)]
 
@@ -42,3 +46,4 @@ pub use tpu_platforms;
 pub use tpu_plot;
 pub use tpu_power;
 pub use tpu_serve;
+pub use tpu_telemetry;
