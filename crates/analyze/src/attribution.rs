@@ -1,0 +1,730 @@
+//! Latency attribution over a request log: where did each tenant's
+//! milliseconds go?
+//!
+//! Every number here is recomputed from the
+//! [`RequestLog`] record stream alone — the
+//! per-request decomposition `latency = queue + swap + service` (see
+//! `tpu_telemetry::reqlog` for the phase definitions) is summed,
+//! ranked, and sliced in a few ways:
+//!
+//! - **per-tenant phase sums and percentile splits** — at p50/p95/p99
+//!   the split is the actual record at that rank, so the three phases
+//!   of one real request are shown, not an average of unrelated ones;
+//! - **tail attribution** — the slowest 1% (at least one request) per
+//!   tenant, with phase sums and how many of those requests retried;
+//! - **batch and die occupancy** — records sharing
+//!   `(host, die, dispatch, end)` are one dispatched batch, recovering
+//!   per-tenant batch/swap counters and per-die busy time without any
+//!   extra instrumentation;
+//! - **SLO burn windows** — fixed-width completion-time windows with
+//!   the fraction of requests over their tenant's SLO bound.
+//!
+//! The rendering (text tables, JSON, SVG) is a pure function of the
+//! log, so same-seed artifacts analyze to bit-identical output.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+use tpu_plot::{PlotError, StackedBars};
+use tpu_telemetry::{RequestLog, RequestRecord};
+
+/// The three phases of one request at a latency percentile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSplit {
+    /// End-to-end latency of the record at this rank, ms.
+    pub latency_ms: f64,
+    /// Its queue phase, ms.
+    pub queue_ms: f64,
+    /// Its weight-swap stall, ms.
+    pub swap_ms: f64,
+    /// Its on-die service time, ms.
+    pub service_ms: f64,
+}
+
+impl PhaseSplit {
+    fn of(r: &RequestRecord) -> Self {
+        PhaseSplit {
+            latency_ms: r.latency_ms(),
+            queue_ms: r.queue_ms(),
+            swap_ms: r.swap_ms,
+            service_ms: r.service_ms(),
+        }
+    }
+}
+
+/// Phase sums over a tenant's slowest 1% of requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailAttribution {
+    /// Requests in the tail (`max(1, ceil(n / 100))`).
+    pub requests: usize,
+    /// Summed queue time across the tail, ms.
+    pub queue_ms: f64,
+    /// Summed swap stall across the tail, ms.
+    pub swap_ms: f64,
+    /// Summed service time across the tail, ms.
+    pub service_ms: f64,
+    /// Tail requests that were retried at least once.
+    pub retried: usize,
+}
+
+/// One tenant's full attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantAttribution {
+    /// Tenant display name.
+    pub name: String,
+    /// The tenant's latency target, ms.
+    pub slo_ms: f64,
+    /// Requests served.
+    pub requests: usize,
+    /// Retries summed across its requests.
+    pub retries: u64,
+    /// Summed queue time, ms.
+    pub queue_ms: f64,
+    /// Summed swap stall, ms.
+    pub swap_ms: f64,
+    /// Summed service time, ms.
+    pub service_ms: f64,
+    /// Summed end-to-end latency, ms (equals the other three sums).
+    pub latency_ms: f64,
+    /// Mean end-to-end latency, ms.
+    pub mean_ms: f64,
+    /// The record at the median latency rank.
+    pub p50: PhaseSplit,
+    /// The record at the 95th-percentile rank.
+    pub p95: PhaseSplit,
+    /// The record at the 99th-percentile rank.
+    pub p99: PhaseSplit,
+    /// Fraction of requests at or under the SLO bound.
+    pub slo_attainment: f64,
+    /// Batches dispatched for this tenant.
+    pub batches: usize,
+    /// Batches that paid a weight-swap stall.
+    pub batch_swaps: usize,
+    /// Swap stall summed once per batch, ms.
+    pub batch_swap_ms: f64,
+    /// The slowest 1%.
+    pub tail: TailAttribution,
+}
+
+/// One die's recovered occupancy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DieOccupancy {
+    /// Host index.
+    pub host: u32,
+    /// Die index within the host.
+    pub die: u32,
+    /// Batches the die executed.
+    pub batches: usize,
+    /// Swap stall on the die, ms.
+    pub swap_ms: f64,
+    /// Busy time (swap + service) on the die, ms.
+    pub busy_ms: f64,
+    /// Busy fraction of the makespan, in [0, 1].
+    pub occupancy: f64,
+}
+
+/// One completion-time window's SLO burn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnWindow {
+    /// Window index (`floor(end_ms / window_ms)`).
+    pub index: u64,
+    /// Window start, ms.
+    pub start_ms: f64,
+    /// Window end (exclusive), ms.
+    pub end_ms: f64,
+    /// Requests completing in the window.
+    pub requests: usize,
+    /// Of those, requests over their tenant's SLO bound.
+    pub violations: usize,
+}
+
+impl BurnWindow {
+    /// Violating fraction of the window, in [0, 1].
+    pub fn burn(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.requests as f64
+        }
+    }
+}
+
+/// The full attribution computed from one request log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribution {
+    /// Per-tenant attributions, in the log's tenant-table order.
+    pub tenants: Vec<TenantAttribution>,
+    /// Per-die occupancies, ordered by (host, die).
+    pub dies: Vec<DieOccupancy>,
+    /// Non-empty SLO burn windows, in time order.
+    pub windows: Vec<BurnWindow>,
+    /// The burn-window width used, ms.
+    pub window_ms: f64,
+    /// Latest completion in the log, ms.
+    pub makespan_ms: f64,
+    /// Records analyzed.
+    pub total_requests: usize,
+}
+
+impl Attribution {
+    /// Analyze a log. `window_ms` sets the SLO burn-window width;
+    /// `None` uses a twentieth of the makespan.
+    pub fn from_log(log: &RequestLog, window_ms: Option<f64>) -> Self {
+        let makespan_ms = log
+            .records()
+            .iter()
+            .map(|r| r.end_ms)
+            .fold(0.0f64, f64::max);
+        let window_ms = match window_ms {
+            Some(w) if w.is_finite() && w > 0.0 => w,
+            _ => {
+                if makespan_ms > 0.0 {
+                    makespan_ms / 20.0
+                } else {
+                    1.0
+                }
+            }
+        };
+
+        // One entry per dispatched batch: records sharing placement and
+        // batch timestamps came off the die together. Key is
+        // (host, die, dispatch bits, end bits); value is
+        // (tenant, swap_ms, die time).
+        type BatchKey = (u32, u32, u64, u64);
+        let mut batches: BTreeMap<BatchKey, (usize, f64, f64)> = BTreeMap::new();
+        for r in log.records() {
+            batches
+                .entry((r.host, r.die, r.dispatch_ms.to_bits(), r.end_ms.to_bits()))
+                .or_insert((r.tenant, r.swap_ms, r.end_ms - r.dispatch_ms));
+        }
+
+        let mut by_tenant: Vec<Vec<&RequestRecord>> = vec![Vec::new(); log.tenant_count()];
+        for r in log.records() {
+            by_tenant[r.tenant].push(r);
+        }
+
+        let mut windows: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
+        for r in log.records() {
+            let w = windows
+                .entry((r.end_ms / window_ms) as u64)
+                .or_insert((0, 0));
+            w.0 += 1;
+            if r.latency_ms() > log.tenant_slo_ms(r.tenant) {
+                w.1 += 1;
+            }
+        }
+
+        let tenants = by_tenant
+            .iter()
+            .enumerate()
+            .map(|(ti, records)| {
+                let mut sorted = records.clone();
+                sorted.sort_by(|a, b| a.latency_ms().total_cmp(&b.latency_ms()));
+                let n = sorted.len();
+                let at = |p: f64| {
+                    if n == 0 {
+                        PhaseSplit {
+                            latency_ms: 0.0,
+                            queue_ms: 0.0,
+                            swap_ms: 0.0,
+                            service_ms: 0.0,
+                        }
+                    } else {
+                        PhaseSplit::of(sorted[((n - 1) as f64 * p) as usize])
+                    }
+                };
+                let tail_n = if n == 0 { 0 } else { 1.max(n.div_ceil(100)) };
+                let tail_records = &sorted[n - tail_n..];
+                let tail = TailAttribution {
+                    requests: tail_n,
+                    queue_ms: tail_records.iter().map(|r| r.queue_ms()).sum(),
+                    swap_ms: tail_records.iter().map(|r| r.swap_ms).sum(),
+                    service_ms: tail_records.iter().map(|r| r.service_ms()).sum(),
+                    retried: tail_records.iter().filter(|r| r.retries > 0).count(),
+                };
+                let latency_ms: f64 = records.iter().map(|r| r.latency_ms()).sum();
+                let slo_ms = log.tenant_slo_ms(ti);
+                let tenant_batches: Vec<_> = batches.values().filter(|b| b.0 == ti).collect();
+                TenantAttribution {
+                    name: log.tenant_name(ti).to_string(),
+                    slo_ms,
+                    requests: n,
+                    retries: records.iter().map(|r| r.retries as u64).sum(),
+                    queue_ms: records.iter().map(|r| r.queue_ms()).sum(),
+                    swap_ms: records.iter().map(|r| r.swap_ms).sum(),
+                    service_ms: records.iter().map(|r| r.service_ms()).sum(),
+                    latency_ms,
+                    mean_ms: if n == 0 { 0.0 } else { latency_ms / n as f64 },
+                    p50: at(0.50),
+                    p95: at(0.95),
+                    p99: at(0.99),
+                    slo_attainment: if n == 0 {
+                        0.0
+                    } else {
+                        records.iter().filter(|r| r.latency_ms() <= slo_ms).count() as f64
+                            / n as f64
+                    },
+                    batches: tenant_batches.len(),
+                    batch_swaps: tenant_batches.iter().filter(|b| b.1 > 0.0).count(),
+                    batch_swap_ms: tenant_batches.iter().map(|b| b.1).sum(),
+                    tail,
+                }
+            })
+            .collect();
+
+        let mut dies: BTreeMap<(u32, u32), DieOccupancy> = BTreeMap::new();
+        for (&(host, die, _, _), &(_, swap_ms, dur_ms)) in &batches {
+            let d = dies.entry((host, die)).or_insert(DieOccupancy {
+                host,
+                die,
+                batches: 0,
+                swap_ms: 0.0,
+                busy_ms: 0.0,
+                occupancy: 0.0,
+            });
+            d.batches += 1;
+            d.swap_ms += swap_ms;
+            d.busy_ms += dur_ms;
+        }
+        let dies = dies
+            .into_values()
+            .map(|mut d| {
+                d.occupancy = if makespan_ms > 0.0 {
+                    d.busy_ms / makespan_ms
+                } else {
+                    0.0
+                };
+                d
+            })
+            .collect();
+
+        Attribution {
+            tenants,
+            dies,
+            windows: windows
+                .into_iter()
+                .map(|(index, (requests, violations))| BurnWindow {
+                    index,
+                    start_ms: index as f64 * window_ms,
+                    end_ms: (index + 1) as f64 * window_ms,
+                    requests,
+                    violations,
+                })
+                .collect(),
+            window_ms,
+            makespan_ms,
+            total_requests: log.len(),
+        }
+    }
+
+    /// The attribution as a `serde_json` value (stable key order, full
+    /// precision — these numbers are the reconciliation contract).
+    pub fn to_json(&self) -> Value {
+        let split = |s: &PhaseSplit| {
+            Value::object([
+                ("latency_ms".into(), Value::Number(s.latency_ms)),
+                ("queue_ms".into(), Value::Number(s.queue_ms)),
+                ("swap_ms".into(), Value::Number(s.swap_ms)),
+                ("service_ms".into(), Value::Number(s.service_ms)),
+            ])
+        };
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| {
+                Value::object([
+                    ("name".into(), Value::String(t.name.clone())),
+                    ("slo_ms".into(), Value::Number(t.slo_ms)),
+                    ("requests".into(), Value::Number(t.requests as f64)),
+                    ("retries".into(), Value::Number(t.retries as f64)),
+                    ("queue_ms".into(), Value::Number(t.queue_ms)),
+                    ("swap_ms".into(), Value::Number(t.swap_ms)),
+                    ("service_ms".into(), Value::Number(t.service_ms)),
+                    ("latency_ms".into(), Value::Number(t.latency_ms)),
+                    ("mean_ms".into(), Value::Number(t.mean_ms)),
+                    ("p50".into(), split(&t.p50)),
+                    ("p95".into(), split(&t.p95)),
+                    ("p99".into(), split(&t.p99)),
+                    ("slo_attainment".into(), Value::Number(t.slo_attainment)),
+                    ("batches".into(), Value::Number(t.batches as f64)),
+                    ("batch_swaps".into(), Value::Number(t.batch_swaps as f64)),
+                    ("batch_swap_ms".into(), Value::Number(t.batch_swap_ms)),
+                    (
+                        "tail".into(),
+                        Value::object([
+                            ("requests".into(), Value::Number(t.tail.requests as f64)),
+                            ("queue_ms".into(), Value::Number(t.tail.queue_ms)),
+                            ("swap_ms".into(), Value::Number(t.tail.swap_ms)),
+                            ("service_ms".into(), Value::Number(t.tail.service_ms)),
+                            ("retried".into(), Value::Number(t.tail.retried as f64)),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        let dies = self
+            .dies
+            .iter()
+            .map(|d| {
+                Value::object([
+                    ("host".into(), Value::Number(d.host as f64)),
+                    ("die".into(), Value::Number(d.die as f64)),
+                    ("batches".into(), Value::Number(d.batches as f64)),
+                    ("swap_ms".into(), Value::Number(d.swap_ms)),
+                    ("busy_ms".into(), Value::Number(d.busy_ms)),
+                    ("occupancy".into(), Value::Number(d.occupancy)),
+                ])
+            })
+            .collect();
+        let windows = self
+            .windows
+            .iter()
+            .map(|w| {
+                Value::object([
+                    ("index".into(), Value::Number(w.index as f64)),
+                    ("start_ms".into(), Value::Number(w.start_ms)),
+                    ("end_ms".into(), Value::Number(w.end_ms)),
+                    ("requests".into(), Value::Number(w.requests as f64)),
+                    ("violations".into(), Value::Number(w.violations as f64)),
+                    ("burn".into(), Value::Number(w.burn())),
+                ])
+            })
+            .collect();
+        Value::object([
+            (
+                "format".into(),
+                Value::String("tpu-attribution".to_string()),
+            ),
+            ("version".into(), Value::Number(1.0)),
+            ("tenants".into(), Value::Array(tenants)),
+            ("dies".into(), Value::Array(dies)),
+            ("slo_burn_windows".into(), Value::Array(windows)),
+            ("window_ms".into(), Value::Number(self.window_ms)),
+            ("makespan_ms".into(), Value::Number(self.makespan_ms)),
+            (
+                "total_requests".into(),
+                Value::Number(self.total_requests as f64),
+            ),
+        ])
+    }
+
+    /// Stacked tail breakdown: one bar per tenant, mean queue / swap /
+    /// service milliseconds per slowest-1% request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlotError::NoData`] on an empty attribution.
+    pub fn breakdown_svg(&self) -> Result<String, PlotError> {
+        let mut chart = StackedBars::new(
+            "tail attribution (slowest 1%)",
+            &["queue", "swap", "service"],
+        )
+        .y_label("mean ms per tail request");
+        for t in &self.tenants {
+            if t.tail.requests == 0 {
+                continue;
+            }
+            let n = t.tail.requests as f64;
+            chart = chart.bar(
+                &t.name,
+                &[
+                    t.tail.queue_ms / n,
+                    t.tail.swap_ms / n,
+                    t.tail.service_ms / n,
+                ],
+            );
+        }
+        chart.render()
+    }
+}
+
+/// Per-tenant latency samples, in the log's tenant-table order (the
+/// input shape `tpu_plot`'s distribution charts take).
+fn latency_series(log: &RequestLog) -> Vec<(String, Vec<f64>)> {
+    let mut series: Vec<(String, Vec<f64>)> = (0..log.tenant_count())
+        .map(|i| (log.tenant_name(i).to_string(), Vec::new()))
+        .collect();
+    for r in log.records() {
+        series[r.tenant].1.push(r.latency_ms());
+    }
+    series
+}
+
+/// Per-tenant latency CDFs for a log.
+///
+/// # Errors
+///
+/// Returns [`PlotError::NoData`] on an empty log.
+pub fn cdf_svg(log: &RequestLog) -> Result<String, PlotError> {
+    tpu_plot::cdf("latency CDF", "latency (ms)", &latency_series(log))
+}
+
+/// Per-tenant tail (exceedance) curves for a log, log-scale y.
+///
+/// # Errors
+///
+/// Returns [`PlotError::NoData`] on an empty log.
+pub fn tail_svg(log: &RequestLog) -> Result<String, PlotError> {
+    tpu_plot::tail_curve("latency tail", "latency (ms)", &latency_series(log))
+}
+
+impl fmt::Display for Attribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "latency attribution: {} requests, {} tenants, makespan {:.3} ms",
+            self.total_requests,
+            self.tenants.len(),
+            self.makespan_ms
+        )?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "{:<12} {:>8} {:>6} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>7} {:>6} {:>8}",
+            "tenant",
+            "req",
+            "retry",
+            "mean ms",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "slo ms",
+            "attain%",
+            "queue%",
+            "swap%",
+            "service%"
+        )?;
+        for t in &self.tenants {
+            let pct = |part: f64| {
+                if t.latency_ms > 0.0 {
+                    100.0 * part / t.latency_ms
+                } else {
+                    0.0
+                }
+            };
+            writeln!(
+                f,
+                "{:<12} {:>8} {:>6} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>8.1} {:>8.1} {:>7.1} {:>6.1} {:>8.1}",
+                t.name,
+                t.requests,
+                t.retries,
+                t.mean_ms,
+                t.p50.latency_ms,
+                t.p95.latency_ms,
+                t.p99.latency_ms,
+                t.slo_ms,
+                100.0 * t.slo_attainment,
+                pct(t.queue_ms),
+                pct(t.swap_ms),
+                pct(t.service_ms)
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(f, "phase split at percentile (the record at that rank, ms)")?;
+        writeln!(
+            f,
+            "{:<12} {:>4} {:>9} {:>9} {:>9} {:>9}",
+            "tenant", "pct", "latency", "queue", "swap", "service"
+        )?;
+        for t in &self.tenants {
+            for (label, s) in [("p50", &t.p50), ("p95", &t.p95), ("p99", &t.p99)] {
+                writeln!(
+                    f,
+                    "{:<12} {:>4} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+                    if label == "p50" { t.name.as_str() } else { "" },
+                    label,
+                    s.latency_ms,
+                    s.queue_ms,
+                    s.swap_ms,
+                    s.service_ms
+                )?;
+            }
+        }
+        writeln!(f)?;
+        writeln!(f, "tail attribution (slowest 1%, mean ms per tail request)")?;
+        writeln!(
+            f,
+            "{:<12} {:>8} {:>9} {:>9} {:>9} {:>8}",
+            "tenant", "req", "queue", "swap", "service", "retried"
+        )?;
+        for t in &self.tenants {
+            let n = 1.0f64.max(t.tail.requests as f64);
+            writeln!(
+                f,
+                "{:<12} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>8}",
+                t.name,
+                t.tail.requests,
+                t.tail.queue_ms / n,
+                t.tail.swap_ms / n,
+                t.tail.service_ms / n,
+                t.tail.retried
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(f, "die occupancy (busy = swap + service over the makespan)")?;
+        writeln!(
+            f,
+            "{:>4} {:>4} {:>8} {:>10} {:>10} {:>7}",
+            "host", "die", "batches", "swap ms", "busy ms", "occup%"
+        )?;
+        for d in &self.dies {
+            writeln!(
+                f,
+                "{:>4} {:>4} {:>8} {:>10.3} {:>10.3} {:>7.1}",
+                d.host,
+                d.die,
+                d.batches,
+                d.swap_ms,
+                d.busy_ms,
+                100.0 * d.occupancy
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(f, "slo burn windows ({:.3} ms wide)", self.window_ms)?;
+        writeln!(
+            f,
+            "{:>6} {:>10} {:>10} {:>8} {:>6} {:>6}",
+            "window", "start", "end", "req", "viol", "burn%"
+        )?;
+        for w in &self.windows {
+            writeln!(
+                f,
+                "{:>6} {:>10.3} {:>10.3} {:>8} {:>6} {:>6.1}",
+                w.index,
+                w.start_ms,
+                w.end_ms,
+                w.requests,
+                w.violations,
+                100.0 * w.burn()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_telemetry::RequestProbe;
+
+    /// Two tenants on one host: MLP0 batches on die 0 (one swap), LSTM0
+    /// on die 1, latencies chosen so the decomposition is exact.
+    fn sample_log() -> RequestLog {
+        let mut probe = RequestProbe::new(0);
+        // MLP0: batch [0.0, 0.5] dispatched 1.0, swap 0.5, end 3.0.
+        probe.batch_complete(0, "MLP0", 7.0, 1.0, 0.5, 3.0, &[0.0, 0.5]);
+        // MLP0: batch [4.0] dispatched 4.25, no swap, end 5.0.
+        probe.batch_complete(0, "MLP0", 7.0, 4.25, 0.0, 5.0, &[4.0]);
+        // LSTM0: batch [2.0, 2.5, 3.0] dispatched 6.0, no swap, end 18.0
+        // (over its 10ms SLO for all three).
+        probe.batch_complete(1, "LSTM0", 10.0, 6.0, 0.0, 18.0, &[2.0, 2.5, 3.0]);
+        let mut log = RequestLog::new();
+        log.note_retry("LSTM0", 2.0);
+        log.absorb(probe);
+        log
+    }
+
+    #[test]
+    fn sums_decompose_exactly_and_tail_is_the_slowest_slice() {
+        let a = Attribution::from_log(&sample_log(), None);
+        assert_eq!(a.total_requests, 6);
+        assert_eq!(a.makespan_ms, 18.0);
+        let mlp = &a.tenants[0];
+        assert_eq!(mlp.name, "MLP0");
+        assert_eq!((mlp.requests, mlp.batches, mlp.batch_swaps), (3, 2, 1));
+        assert_eq!(mlp.batch_swap_ms, 0.5);
+        // Swap sums are per record; the batch stall counted once is 0.5.
+        assert_eq!(mlp.swap_ms, 1.0);
+        assert!((mlp.queue_ms + mlp.swap_ms + mlp.service_ms - mlp.latency_ms).abs() < 1e-12);
+        assert_eq!(mlp.latency_ms, 3.0 + 2.5 + 1.0);
+        assert_eq!(mlp.slo_attainment, 1.0);
+        // Slowest 1% of 3 requests is the single 3.0ms one (arrived 0.0).
+        assert_eq!(mlp.tail.requests, 1);
+        assert_eq!(mlp.tail.queue_ms, 1.0);
+        assert_eq!(mlp.tail.swap_ms, 0.5);
+        assert_eq!(mlp.tail.service_ms, 1.5);
+        let lstm = &a.tenants[1];
+        assert_eq!(lstm.retries, 1);
+        assert_eq!(lstm.slo_attainment, 0.0);
+        assert_eq!(lstm.tail.retried, 1, "the 16ms record is the retried one");
+        // p50 of [15, 15.5, 16] is the actual middle record; with three
+        // samples the shared nearest-rank rule puts p99 there too.
+        assert_eq!(lstm.p50.latency_ms, 15.5);
+        assert_eq!(lstm.p99.latency_ms, 15.5);
+        assert_eq!(lstm.p99.queue_ms, 3.5);
+    }
+
+    #[test]
+    fn die_occupancy_counts_each_batch_once() {
+        let a = Attribution::from_log(&sample_log(), None);
+        assert_eq!(a.dies.len(), 2);
+        let d0 = &a.dies[0];
+        assert_eq!((d0.host, d0.die, d0.batches), (0, 0, 2));
+        assert_eq!(d0.swap_ms, 0.5);
+        assert_eq!(d0.busy_ms, 2.0 + 0.75);
+        let d1 = &a.dies[1];
+        assert_eq!((d1.die, d1.batches), (1, 1));
+        assert_eq!(d1.busy_ms, 12.0);
+        assert!((d1.occupancy - 12.0 / 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burn_windows_are_sparse_and_catch_the_violations() {
+        let a = Attribution::from_log(&sample_log(), Some(5.0));
+        assert_eq!(a.window_ms, 5.0);
+        // Completions at 3.0/3.0/5.0/5.0 land in windows 0 and 1;
+        // 18.0×3 in window 3 — window 2 is absent.
+        let idx: Vec<u64> = a.windows.iter().map(|w| w.index).collect();
+        assert_eq!(idx, vec![0, 1, 3]);
+        assert_eq!(a.windows[0].requests, 2);
+        assert_eq!(a.windows[0].violations, 0);
+        assert_eq!(a.windows[2].requests, 3);
+        assert_eq!(a.windows[2].violations, 3);
+        assert_eq!(a.windows[2].burn(), 1.0);
+    }
+
+    #[test]
+    fn default_window_is_a_twentieth_of_the_makespan() {
+        let a = Attribution::from_log(&sample_log(), None);
+        assert!((a.window_ms - 18.0 / 20.0).abs() < 1e-12);
+        let empty = Attribution::from_log(&RequestLog::new(), None);
+        assert_eq!(empty.window_ms, 1.0);
+        assert!(empty.tenants.is_empty() && empty.windows.is_empty());
+    }
+
+    #[test]
+    fn renderings_are_deterministic_and_carry_the_headline_numbers() {
+        let a = Attribution::from_log(&sample_log(), None);
+        let b = Attribution::from_log(&sample_log(), None);
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(
+            serde_json::to_string(&a.to_json()),
+            serde_json::to_string(&b.to_json())
+        );
+        let text = a.to_string();
+        assert!(text.contains("MLP0") && text.contains("LSTM0"));
+        assert!(text.contains("slo burn windows"));
+        let json = serde_json::to_string(&a.to_json());
+        assert!(json.contains("\"format\":\"tpu-attribution\""));
+        assert!(json.contains("\"slo_burn_windows\""));
+    }
+
+    #[test]
+    fn svg_renderings_cover_every_tenant() {
+        let log = sample_log();
+        let a = Attribution::from_log(&log, None);
+        for svg in [
+            a.breakdown_svg().expect("breakdown"),
+            cdf_svg(&log).expect("cdf"),
+            tail_svg(&log).expect("tail"),
+        ] {
+            assert!(svg.starts_with("<svg"));
+            assert!(svg.contains("MLP0") && svg.contains("LSTM0"));
+        }
+        assert!(matches!(
+            Attribution::from_log(&RequestLog::new(), None).breakdown_svg(),
+            Err(PlotError::NoData)
+        ));
+    }
+}

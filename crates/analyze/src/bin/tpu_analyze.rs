@@ -1,0 +1,201 @@
+//! `tpu_analyze` — analyze `--request-log` artifacts and diff runs.
+//!
+//! ```text
+//! tpu_analyze attribution <log.json> [--json] [--window MS]
+//!     [--svg-breakdown FILE] [--svg-cdf FILE] [--svg-tail FILE]
+//! tpu_analyze diff <base> <cand> [--json] [--runs N]
+//! ```
+//!
+//! `attribution` decomposes a request log into per-tenant queue /
+//! swap-stall / service phases, tail attribution, die occupancy, and
+//! SLO burn windows. `diff` compares two artifacts — request logs,
+//! report JSON, or captured multi-run CLI output — tenant by tenant;
+//! with `--runs N` both inputs must hold N seed replicates and the
+//! deltas are folded into a mean and min..max spread.
+//!
+//! Exit codes: 0 success, 1 bad input, 2 usage.
+
+use std::process::ExitCode;
+use tpu_analyze::{diff_runs, diff_spread, load_summaries, Attribution};
+use tpu_telemetry::RequestLog;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tpu_analyze attribution <log.json> [--json] [--window MS]\n           \
+         [--svg-breakdown FILE] [--svg-cdf FILE] [--svg-tail FILE]\n       \
+         tpu_analyze diff <base> <cand> [--json] [--runs N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("attribution") => attribution_command(&args[1..]),
+        Some("diff") => diff_command(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write(path: &str, text: &str) -> Result<(), String> {
+    std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn attribution_command(args: &[String]) -> ExitCode {
+    let mut input: Option<String> = None;
+    let mut json = false;
+    let mut window: Option<f64> = None;
+    let mut svg_breakdown: Option<String> = None;
+    let mut svg_cdf: Option<String> = None;
+    let mut svg_tail: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--window" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0.0 => window = Some(v),
+                _ => return usage(),
+            },
+            "--svg-breakdown" => match it.next() {
+                Some(v) => svg_breakdown = Some(v.clone()),
+                None => return usage(),
+            },
+            "--svg-cdf" => match it.next() {
+                Some(v) => svg_cdf = Some(v.clone()),
+                None => return usage(),
+            },
+            "--svg-tail" => match it.next() {
+                Some(v) => svg_tail = Some(v.clone()),
+                None => return usage(),
+            },
+            other if !other.starts_with('-') && input.is_none() => input = Some(other.to_string()),
+            _ => return usage(),
+        }
+    }
+    let Some(input) = input else {
+        return usage();
+    };
+
+    let result = read(&input)
+        .and_then(|text| RequestLog::parse(&text))
+        .and_then(|log| {
+            let a = Attribution::from_log(&log, window);
+            if json {
+                println!("{}", serde_json::to_string_pretty(&a.to_json()));
+            } else {
+                print!("{a}");
+            }
+            let svgs = [
+                (
+                    &svg_breakdown,
+                    a.breakdown_svg().map_err(|e| format!("breakdown svg: {e}")),
+                ),
+                (
+                    &svg_cdf,
+                    tpu_analyze::cdf_svg(&log).map_err(|e| format!("cdf svg: {e}")),
+                ),
+                (
+                    &svg_tail,
+                    tpu_analyze::tail_svg(&log).map_err(|e| format!("tail svg: {e}")),
+                ),
+            ];
+            for (path, svg) in svgs {
+                if let Some(path) = path {
+                    write(path, &svg?)?;
+                    eprintln!("analyze: wrote {path}");
+                }
+            }
+            Ok(())
+        });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tpu_analyze: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn diff_command(args: &[String]) -> ExitCode {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut runs: Option<usize> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--runs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => runs = Some(v),
+                _ => return usage(),
+            },
+            other if !other.starts_with('-') && inputs.len() < 2 => inputs.push(other.to_string()),
+            _ => return usage(),
+        }
+    }
+    let [base_path, cand_path] = inputs.as_slice() else {
+        return usage();
+    };
+
+    let result = (|| -> Result<(), String> {
+        let mut base =
+            load_summaries(&read(base_path)?).map_err(|e| format!("{base_path}: {e}"))?;
+        let mut cand =
+            load_summaries(&read(cand_path)?).map_err(|e| format!("{cand_path}: {e}"))?;
+        // A bare artifact has no `-- label` line; name the side by file.
+        for (side, path) in [(&mut base, base_path), (&mut cand, cand_path)] {
+            if side.len() == 1 {
+                side[0].label = path.clone();
+            }
+        }
+        match runs {
+            Some(n) if n > 1 => {
+                if base.len() != n || cand.len() != n {
+                    return Err(format!(
+                        "--runs {n} needs {n} documents per input, got {} and {}",
+                        base.len(),
+                        cand.len()
+                    ));
+                }
+                // Replicates share a label per side; name the sides by file.
+                for (side, path) in [(&mut base, base_path), (&mut cand, cand_path)] {
+                    for r in side.iter_mut() {
+                        r.label = path.clone();
+                    }
+                }
+                let diffs: Vec<_> = base
+                    .iter()
+                    .zip(&cand)
+                    .map(|(b, c)| diff_runs(b, c))
+                    .collect();
+                let spread = diff_spread(&diffs);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&spread.to_json()));
+                } else {
+                    print!("{spread}");
+                }
+            }
+            _ => {
+                let d = diff_runs(&base[0], &cand[0]);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&d.to_json()));
+                } else {
+                    print!("{d}");
+                }
+            }
+        }
+        Ok(())
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tpu_analyze: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

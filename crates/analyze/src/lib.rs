@@ -1,0 +1,29 @@
+//! # tpu_analyze — post-hoc analysis over telemetry artifacts
+//!
+//! The serving simulators answer "what happened" with a report; this
+//! crate answers "why" from the opt-in `--request-log` record stream
+//! (see `tpu_telemetry::reqlog`):
+//!
+//! - [`attribution`]: per-tenant latency decomposition into queue /
+//!   swap-stall / service phases at p50/p95/p99, tail attribution over
+//!   the slowest 1%, per-die occupancy, and SLO burn windows — rendered
+//!   as text tables, JSON, or SVG (stacked breakdowns, CDFs, tail
+//!   curves) via `tpu_plot`.
+//! - [`diff`]: run-to-run comparison of per-tenant latency, SLO
+//!   attainment, and swap behavior across request logs, report JSON,
+//!   or seed-replicate sets.
+//!
+//! Everything here is a pure function of the artifact bytes: analyzing
+//! the same log twice renders bit-identical output, matching the
+//! repository-wide determinism contract.
+
+#![warn(missing_docs)]
+
+pub mod attribution;
+pub mod diff;
+
+pub use attribution::{cdf_svg, tail_svg, Attribution};
+pub use diff::{
+    diff_runs, diff_spread, load_summaries, summarize_log, summarize_report_json, DiffSpread,
+    RunDiff, RunSummary, TenantSummary,
+};

@@ -23,19 +23,27 @@
 //! on CI) absorbs — if the gate flakes on shared runners, raise the
 //! budget or tolerance rather than trusting a single short sample.
 //!
+//! Beyond the heap-vs-wheel rows it measures the observability
+//! surface: the full-instrument and request-log-only on-cost ratios
+//! (both bit-identical in their reports, both gated), and the
+//! `tpu_analyze` attribution throughput over a 100k-record request log
+//! (gated on log depth and a finite positive rate).
+//!
 //! ```text
 //! bench_cluster [--out FILE] [--check FILE] [--tolerance F]
 //!               [--budget-ms N] [--hosts A,B,C]
+//!               [--no-colocate] [--no-telemetry] [--no-analyze]
 //! ```
 
 use std::process::ExitCode;
 use std::time::Instant;
+use tpu_analyze::Attribution;
 use tpu_bench::{colocate_fleet, fleet_tenants};
 use tpu_cluster::{
     run_fleet, run_fleet_telemetry, FleetRun, FleetSpec, FleetTenantSpec, HopModel, RouterPolicy,
 };
 use tpu_core::TpuConfig;
-use tpu_telemetry::{MetricsConfig, RunTelemetry, TelemetryConfig};
+use tpu_telemetry::{MetricsConfig, RequestLog, RunTelemetry, TelemetryConfig};
 
 /// Requests per host at each fleet size (matches `benches/cluster.rs`).
 const REQUESTS_PER_HOST: usize = 2_000;
@@ -46,10 +54,19 @@ const COLOCATE_HOSTS: usize = 100;
 /// Fleet size of the telemetry-overhead measurement.
 const TELEMETRY_HOSTS: usize = 10;
 
+/// Fleet size of the analyzer-throughput measurement: 50 hosts ×
+/// 2 000 requests/host = a 100 000-record log, the scale the analyze
+/// gate pins.
+const ANALYZE_HOSTS: usize = 50;
+
+/// The analyzer row's contract: its log must be at least this deep so
+/// the measured records/sec reflects a real artifact, not a toy.
+const ANALYZE_MIN_RECORDS: usize = 100_000;
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bench_cluster [--out FILE] [--check FILE] [--tolerance F] \
-         [--budget-ms N] [--hosts A,B,C] [--no-colocate] [--no-telemetry]"
+         [--budget-ms N] [--hosts A,B,C] [--no-colocate] [--no-telemetry] [--no-analyze]"
     );
     ExitCode::from(2)
 }
@@ -94,6 +111,7 @@ fn measure_telemetry(
     let tcfg = TelemetryConfig {
         trace: true,
         metrics: Some(MetricsConfig::default()),
+        requests: false,
         profile: true,
     };
     let mut last = run_fleet_telemetry(spec, tenants, cfg, &mut RunTelemetry::from_config(&tcfg));
@@ -111,6 +129,36 @@ fn measure_telemetry(
     }
     let elapsed = start.elapsed().as_secs_f64();
     ((events * iters) as f64 / elapsed, last)
+}
+
+/// As [`measure`], but with only the `--request-log` record stream on —
+/// the cost of recording one fixed-width record per served request.
+fn measure_request_log(
+    spec: &FleetSpec,
+    tenants: &[FleetTenantSpec],
+    cfg: &TpuConfig,
+    budget_ms: u64,
+) -> (f64, FleetRun, RequestLog) {
+    let tcfg = TelemetryConfig {
+        trace: false,
+        metrics: None,
+        requests: true,
+        profile: false,
+    };
+    let mut tel = RunTelemetry::from_config(&tcfg);
+    let mut last = run_fleet_telemetry(spec, tenants, cfg, &mut tel);
+    let mut log = tel.requests.expect("request log on");
+    let events = last.report.events_processed;
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while iters < 2 || start.elapsed().as_millis() < budget_ms as u128 {
+        let mut tel = RunTelemetry::from_config(&tcfg);
+        last = run_fleet_telemetry(spec, tenants, cfg, &mut tel);
+        log = tel.requests.expect("request log on");
+        iters += 1;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    ((events * iters) as f64 / elapsed, last, log)
 }
 
 struct Row {
@@ -143,10 +191,38 @@ impl TelemetryRow {
     }
 }
 
+/// The request-log overhead measurement: the same off/on shape as
+/// [`TelemetryRow`], but with only the `--request-log` record stream on
+/// — the marginal price of one fixed-width record per served request.
+struct RequestLogRow {
+    hosts: usize,
+    events: u64,
+    records: usize,
+    off_eps: f64,
+    on_eps: f64,
+}
+
+impl RequestLogRow {
+    fn on_cost(&self) -> f64 {
+        self.off_eps / self.on_eps
+    }
+}
+
+/// The analyzer throughput measurement: full latency attribution
+/// (phases, tails, occupancy, burn windows) over a committed-scale
+/// request log, in records/sec.
+struct AnalyzeRow {
+    hosts: usize,
+    records: usize,
+    records_per_sec: f64,
+}
+
 fn rows_to_json(
     rows: &[Row],
     colocate: Option<&Row>,
     telemetry: Option<&TelemetryRow>,
+    request_log: Option<&RequestLogRow>,
+    analyze: Option<&AnalyzeRow>,
 ) -> serde_json::Value {
     use serde_json::Value;
     let mut fields = vec![
@@ -243,16 +319,57 @@ fn rows_to_json(
             ]),
         ));
     }
+    if let Some(r) = request_log {
+        fields.push((
+            "request_log".to_string(),
+            Value::object([
+                ("hosts".to_string(), Value::Number(r.hosts as f64)),
+                (
+                    "events_per_iteration".to_string(),
+                    Value::Number(r.events as f64),
+                ),
+                (
+                    "records_per_iteration".to_string(),
+                    Value::Number(r.records as f64),
+                ),
+                (
+                    "off_events_per_sec".to_string(),
+                    Value::Number(r.off_eps.round()),
+                ),
+                (
+                    "on_events_per_sec".to_string(),
+                    Value::Number(r.on_eps.round()),
+                ),
+                (
+                    "on_cost".to_string(),
+                    Value::Number((r.on_cost() * 100.0).round() / 100.0),
+                ),
+            ]),
+        ));
+    }
+    if let Some(a) = analyze {
+        fields.push((
+            "analyze".to_string(),
+            Value::object([
+                ("hosts".to_string(), Value::Number(a.hosts as f64)),
+                ("records".to_string(), Value::Number(a.records as f64)),
+                (
+                    "records_per_sec".to_string(),
+                    Value::Number(a.records_per_sec.round()),
+                ),
+            ]),
+        ));
+    }
     Value::object(fields)
 }
 
-/// Pull `telemetry.on_cost` out of a committed report (absent in
-/// pre-telemetry reports).
-fn committed_on_cost(doc: &serde_json::Value) -> Option<f64> {
+/// Pull `<section>.on_cost` out of a committed report (absent in
+/// reports that predate the section).
+fn committed_on_cost(doc: &serde_json::Value, section: &str) -> Option<f64> {
     let serde_json::Value::Object(top) = doc else {
         return None;
     };
-    let serde_json::Value::Object(t) = top.get("telemetry")? else {
+    let serde_json::Value::Object(t) = top.get(section)? else {
         return None;
     };
     match t.get("on_cost") {
@@ -293,6 +410,7 @@ fn main() -> ExitCode {
     let mut hosts_list = vec![1usize, 10, 100];
     let mut run_colocate = true;
     let mut run_telemetry_row = true;
+    let mut run_analyze = true;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -328,6 +446,7 @@ fn main() -> ExitCode {
             },
             "--no-colocate" => run_colocate = false,
             "--no-telemetry" => run_telemetry_row = false,
+            "--no-analyze" => run_analyze = false,
             _ => return usage(),
         }
     }
@@ -410,7 +529,7 @@ fn main() -> ExitCode {
     // the regression being guarded: telemetry must stay pay-for-what-
     // you-use, and even on-mode must not distort the engine (the report
     // equality is asserted).
-    let telemetry_row = if run_telemetry_row {
+    let (telemetry_row, request_log_row) = if run_telemetry_row {
         let (spec, tenants) = spec_for(TELEMETRY_HOSTS);
         let (off_eps, events, off_run) = measure(&spec, &tenants, &cfg, budget_ms);
         let (on_eps, on_run) = measure_telemetry(&spec, &tenants, &cfg, budget_ms);
@@ -428,12 +547,87 @@ fn main() -> ExitCode {
             "telemetry hosts={:<4} events/iter={:<7} off={:>12.0} ev/s  on={:>12.0} ev/s  on-cost={:.2}x",
             row.hosts, row.events, row.off_eps, row.on_eps, row.on_cost()
         );
+        // The request-log pair shares the off measurement: same spec,
+        // same workload, and off-mode is identical either way.
+        let (req_eps, req_run, req_log) = measure_request_log(&spec, &tenants, &cfg, budget_ms);
+        assert_eq!(
+            off_run, req_run,
+            "request-log-on runs must report bit-identically to telemetry-off"
+        );
+        let served: usize = req_run.report.tenants.iter().map(|t| t.requests).sum();
+        assert_eq!(
+            req_log.len(),
+            served,
+            "the record stream must hold one record per served request"
+        );
+        let req_row = RequestLogRow {
+            hosts: TELEMETRY_HOSTS,
+            events,
+            records: req_log.len(),
+            off_eps,
+            on_eps: req_eps,
+        };
+        println!(
+            "request-log hosts={:<4} records/iter={:<7} off={:>12.0} ev/s  on={:>12.0} ev/s  on-cost={:.2}x",
+            req_row.hosts, req_row.records, req_row.off_eps, req_row.on_eps, req_row.on_cost()
+        );
+        (Some(row), Some(req_row))
+    } else {
+        (None, None)
+    };
+
+    // The analyzer throughput row: build one committed-scale request
+    // log (100k records) and time full attribution passes over it.
+    let analyze_row = if run_analyze {
+        let (spec, tenants) = spec_for(ANALYZE_HOSTS);
+        let tcfg = TelemetryConfig {
+            trace: false,
+            metrics: None,
+            requests: true,
+            profile: false,
+        };
+        let mut tel = RunTelemetry::from_config(&tcfg);
+        let run = run_fleet_telemetry(&spec, &tenants, &cfg, &mut tel);
+        let log = tel.requests.expect("request log on");
+        let served: usize = run.report.tenants.iter().map(|t| t.requests).sum();
+        assert_eq!(log.len(), served, "one record per served request");
+        assert!(
+            log.len() >= ANALYZE_MIN_RECORDS,
+            "analyze row needs >= {ANALYZE_MIN_RECORDS} records, got {}",
+            log.len()
+        );
+        // One untimed warmup, doubling as a correctness check.
+        let a = Attribution::from_log(&log, None);
+        assert_eq!(a.total_requests, log.len(), "attribution covers the log");
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < 2 || start.elapsed().as_millis() < budget_ms as u128 {
+            let a = Attribution::from_log(&log, None);
+            assert_eq!(a.total_requests, log.len(), "attribution covers the log");
+            iters += 1;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let row = AnalyzeRow {
+            hosts: ANALYZE_HOSTS,
+            records: log.len(),
+            records_per_sec: (log.len() as u64 * iters) as f64 / elapsed,
+        };
+        println!(
+            "analyze hosts={:<4} records={:<7} attribution={:>12.0} records/s",
+            row.hosts, row.records, row.records_per_sec
+        );
         Some(row)
     } else {
         None
     };
 
-    let doc = rows_to_json(&rows, colocate_row.as_ref(), telemetry_row.as_ref());
+    let doc = rows_to_json(
+        &rows,
+        colocate_row.as_ref(),
+        telemetry_row.as_ref(),
+        request_log_row.as_ref(),
+        analyze_row.as_ref(),
+    );
     if let Some(path) = out {
         let body = format!("{}\n", serde_json::to_string_pretty(&doc));
         if let Err(e) = std::fs::write(&path, body) {
@@ -485,7 +679,9 @@ fn main() -> ExitCode {
         // Telemetry gate: the same-run off/on ratio must not grow past
         // the committed cost plus tolerance — a creeping hot-path tax
         // in off mode (or runaway instrument cost in on mode) trips it.
-        if let (Some(measured), Some(want)) = (&telemetry_row, committed_on_cost(&committed)) {
+        if let (Some(measured), Some(want)) =
+            (&telemetry_row, committed_on_cost(&committed, "telemetry"))
+        {
             let ceiling = want * (1.0 + tolerance);
             let got = measured.on_cost();
             if got > ceiling {
@@ -500,6 +696,50 @@ fn main() -> ExitCode {
                 "gate ok for telemetry: on-cost {got:.2}x <= {ceiling:.2}x \
                  (committed {want:.2}x + {:.0}% tolerance)",
                 tolerance * 100.0
+            );
+        }
+        // Same ceiling rule for the record stream on its own: it must
+        // stay far cheaper than the full instrument set. Its committed
+        // ratio sits near 1.0, where a purely relative band is narrower
+        // than run-to-run noise, so the ceiling also gets the tolerance
+        // as an absolute allowance.
+        if let (Some(measured), Some(want)) = (
+            &request_log_row,
+            committed_on_cost(&committed, "request_log"),
+        ) {
+            let ceiling = want * (1.0 + tolerance) + tolerance;
+            let got = measured.on_cost();
+            if got > ceiling {
+                eprintln!(
+                    "bench_cluster: REGRESSION: request-log on-cost {got:.2}x exceeded \
+                     {ceiling:.2}x (committed {want:.2}x + {:.0}% tolerance)",
+                    tolerance * 100.0
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "gate ok for request-log: on-cost {got:.2}x <= {ceiling:.2}x \
+                 (committed {want:.2}x + {:.0}% tolerance)",
+                tolerance * 100.0
+            );
+        }
+        // The analyzer gate is absolute, not relative: the log must be
+        // committed-scale and the throughput a real, finite rate.
+        if let Some(a) = &analyze_row {
+            if a.records < ANALYZE_MIN_RECORDS
+                || !a.records_per_sec.is_finite()
+                || a.records_per_sec <= 0.0
+            {
+                eprintln!(
+                    "bench_cluster: REGRESSION: analyze row degenerate \
+                     ({} records, {} records/s)",
+                    a.records, a.records_per_sec
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "gate ok for analyze: {} records at {:.0} records/s",
+                a.records, a.records_per_sec
             );
         }
     }

@@ -31,7 +31,7 @@ use tpu_serve::sim::{self, EventQueue};
 use tpu_serve::weights::ModelWeights;
 use tpu_serve::workload::ArrivalSource;
 use tpu_serve::{HostCore, HostEvent, ServeReport, ServiceCurve};
-use tpu_telemetry::{HostProbe, MetricsRecorder, RunTelemetry};
+use tpu_telemetry::{HostProbe, MetricsRecorder, RequestProbe, RunTelemetry};
 
 /// Everything that can happen in the fleet.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -361,6 +361,14 @@ pub fn run_fleet_telemetry(
     } else {
         None
     };
+    // Request logging: one probe per host buffers a decomposed record
+    // per served request; the run log absorbs them in host-index order
+    // at end of run, so the artifact is a pure function of the seed.
+    if tel.requests.is_some() {
+        for (h, host) in hosts.iter_mut().enumerate() {
+            host.core.set_request_probe(RequestProbe::new(h as u32));
+        }
+    }
 
     // The indexed least-outstanding router is on unless the
     // `TPU_CLUSTER_ROUTER=scan` baseline escape hatch restores the
@@ -524,6 +532,9 @@ pub fn run_fleet_telemetry(
                     if let Some(p) = fe_probe.as_mut() {
                         p.instant("fleet", "retry", now);
                     }
+                    if let Some(l) = tel.requests.as_mut() {
+                        l.note_retry(&trs[tenant].spec.tenant.name, arrived_ms);
+                    }
                     route_request(&mut q, &mut hosts, &mut trs, spec, tenant, arrived_ms, now);
                 }
             }
@@ -563,6 +574,17 @@ pub fn run_fleet_telemetry(
                                 o - done.completions,
                             );
                             maybe_retire(&mut hosts, &mut trs, tenant, replica);
+                            if let Some(m) = tel.metrics.as_mut() {
+                                // The batch's latencies were just
+                                // committed at the end of the slot's
+                                // buffer; feed them to the tenant sketch.
+                                let from =
+                                    hosts[host].core.latency_count(done.slot) - done.completions;
+                                let series = format!("latency/{}", trs[tenant].spec.tenant.name);
+                                for l in hosts[host].core.slot_latencies_from(done.slot, from) {
+                                    m.observe(&series, l);
+                                }
+                            }
                         }
                     }
                 }
@@ -668,6 +690,9 @@ pub fn run_fleet_telemetry(
                                 if let Some(p) = fe_probe.as_mut() {
                                     p.instant("fleet", "retry", now);
                                 }
+                                if let Some(l) = tel.requests.as_mut() {
+                                    l.note_retry(&trs[tenant].spec.tenant.name, ts);
+                                }
                                 route_request(&mut q, &mut hosts, &mut trs, spec, tenant, ts, now);
                             }
                         }
@@ -740,6 +765,17 @@ pub fn run_fleet_telemetry(
         if let Some(p) = fe_probe.take() {
             tr.absorb(p.into_tracer());
         }
+    }
+    if let Some(log) = tel.requests.as_mut() {
+        for host in hosts.iter_mut() {
+            if let Some(p) = host.core.take_request_probe() {
+                log.absorb(p);
+            }
+        }
+    }
+    if let Some(m) = tel.metrics.as_mut() {
+        // The final partial interval's latency percentiles.
+        m.flush_sketches(makespan_ms);
     }
     if let Some(p) = tel.profile.as_mut() {
         const EVENT_NAMES: [&str; 8] = [

@@ -1,0 +1,268 @@
+//! The `analyze` subcommand shared by the `tpu_serve` and `tpu_cluster`
+//! CLIs.
+//!
+//! `analyze <scenario>` executes the scenario with a requests-only
+//! telemetry set (no artifact files needed) and prints the
+//! [`tpu_analyze::Attribution`] per run; `analyze --input LOG` analyzes
+//! an existing `--request-log` artifact instead. `--diff` compares a
+//! scenario's first two runs tenant-by-tenant, and `--runs N` repeats
+//! the comparison over N seed replicates and prints the delta spread —
+//! for single-run scenarios the replicates themselves are the two
+//! sides.
+//!
+//! The CLIs differ only in scenario type, so each passes a closure that
+//! maps `(scenario, seed, scale)` to labelled [`RequestLog`]s; all flag
+//! parsing, pairing, and rendering lives here.
+
+use crate::telemetry::artifact_path;
+use std::process::ExitCode;
+use tpu_analyze::{diff_runs, diff_spread, summarize_log, Attribution, RunSummary};
+use tpu_telemetry::{RequestLog, RunTelemetry, TelemetryConfig};
+
+/// Executes one scenario at `(name, seed, scale)` and returns its runs'
+/// labelled request logs, or a message for stderr.
+pub type CollectFn<'a> =
+    &'a dyn Fn(&str, Option<u64>, Option<f64>) -> Result<Vec<(String, RequestLog)>, String>;
+
+/// A requests-only telemetry set for `runs` runs (what the `analyze`
+/// subcommand instruments a scenario with).
+pub fn requests_only_tels(runs: usize) -> Vec<RunTelemetry> {
+    let cfg = TelemetryConfig {
+        trace: false,
+        metrics: None,
+        requests: true,
+        profile: false,
+    };
+    (0..runs).map(|_| RunTelemetry::from_config(&cfg)).collect()
+}
+
+#[derive(Default)]
+struct AnalyzeArgs {
+    name: Option<String>,
+    input: Option<String>,
+    run_label: Option<String>,
+    seed: Option<u64>,
+    scale: Option<f64>,
+    json: bool,
+    diff: bool,
+    runs: usize,
+    window: Option<f64>,
+    svg_breakdown: Option<String>,
+    svg_cdf: Option<String>,
+    svg_tail: Option<String>,
+}
+
+/// Run the `analyze` subcommand for one CLI. `bin` names the binary in
+/// error messages; `usage` is its usage printer; `collect` executes a
+/// scenario and hands back labelled request logs.
+pub fn analyze_command(
+    bin: &str,
+    args: &[String],
+    usage: fn() -> ExitCode,
+    collect: CollectFn<'_>,
+) -> ExitCode {
+    let mut a = AnalyzeArgs {
+        runs: 1,
+        ..AnalyzeArgs::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => a.json = true,
+            "--diff" => a.diff = true,
+            "--input" => match it.next() {
+                Some(v) => a.input = Some(v.clone()),
+                None => return usage(),
+            },
+            "--run" => match it.next() {
+                Some(v) => a.run_label = Some(v.clone()),
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => a.seed = Some(v),
+                None => return usage(),
+            },
+            "--requests-scale" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0.0 => a.scale = Some(v),
+                _ => return usage(),
+            },
+            "--runs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => a.runs = v,
+                _ => return usage(),
+            },
+            "--window" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0.0 => a.window = Some(v),
+                _ => return usage(),
+            },
+            "--svg-breakdown" => match it.next() {
+                Some(v) => a.svg_breakdown = Some(v.clone()),
+                None => return usage(),
+            },
+            "--svg-cdf" => match it.next() {
+                Some(v) => a.svg_cdf = Some(v.clone()),
+                None => return usage(),
+            },
+            "--svg-tail" => match it.next() {
+                Some(v) => a.svg_tail = Some(v.clone()),
+                None => return usage(),
+            },
+            other if !other.starts_with('-') && a.name.is_none() => {
+                a.name = Some(other.to_string())
+            }
+            _ => return usage(),
+        }
+    }
+    if a.name.is_some() == a.input.is_some() {
+        eprintln!("{bin}: analyze needs a scenario name or --input LOG, not both or neither");
+        return usage();
+    }
+    if a.diff && a.input.is_some() {
+        eprintln!("{bin}: --diff runs a scenario; to diff two files use `tpu_analyze diff`");
+        return usage();
+    }
+
+    let result = if a.diff {
+        diff_flow(&a, collect)
+    } else {
+        attribution_flow(&a, collect)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{bin}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn attribution_flow(a: &AnalyzeArgs, collect: CollectFn<'_>) -> Result<(), String> {
+    let logs = match (&a.input, &a.name) {
+        (Some(path), _) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            vec![(path.clone(), RequestLog::parse(&text)?)]
+        }
+        (None, Some(name)) => {
+            let mut logs = collect(name, a.seed, a.scale)?;
+            if let Some(label) = &a.run_label {
+                logs.retain(|(l, _)| l == label);
+                if logs.is_empty() {
+                    return Err(format!("scenario {name} has no run {label:?}"));
+                }
+            }
+            logs
+        }
+        (None, None) => unreachable!("checked by the caller"),
+    };
+
+    let multi = logs.len() > 1;
+    for (label, log) in &logs {
+        let attribution = Attribution::from_log(log, a.window);
+        if multi || a.input.is_none() {
+            println!("-- {label}");
+        }
+        if a.json {
+            println!("{}", serde_json::to_string_pretty(&attribution.to_json()));
+        } else {
+            print!("{attribution}");
+        }
+        let svgs = [
+            (&a.svg_breakdown, attribution.breakdown_svg()),
+            (&a.svg_cdf, tpu_analyze::cdf_svg(log)),
+            (&a.svg_tail, tpu_analyze::tail_svg(log)),
+        ];
+        for (base, svg) in svgs {
+            if let Some(base) = base {
+                let path = artifact_path(base, label, multi);
+                let svg = svg.map_err(|e| format!("{path}: {e}"))?;
+                std::fs::write(&path, svg).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("analyze: wrote {path}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn diff_flow(a: &AnalyzeArgs, collect: CollectFn<'_>) -> Result<(), String> {
+    let name = a.name.as_deref().expect("checked by the caller");
+    if a.svg_breakdown.is_some() || a.svg_cdf.is_some() || a.svg_tail.is_some() {
+        return Err("--diff does not render SVGs; run analyze without --diff".to_string());
+    }
+    // Replicate seeds are consecutive from the given (or default 1)
+    // base seed; a single replicate keeps the scenario's own seed.
+    let seed_for = |i: u64| {
+        if a.runs == 1 {
+            a.seed
+        } else {
+            Some(a.seed.unwrap_or(1) + i)
+        }
+    };
+    let summarize = |label: &str, log: &RequestLog| RunSummary {
+        label: label.to_string(),
+        tenants: summarize_log(log),
+    };
+
+    let first = collect(name, seed_for(0), a.scale)?;
+    if first.len() >= 2 {
+        // Diff the scenario's first two runs, replicated over seeds.
+        let pair = |logs: &[(String, RequestLog)]| {
+            diff_runs(
+                &summarize(&logs[0].0, &logs[0].1),
+                &summarize(&logs[1].0, &logs[1].1),
+            )
+        };
+        let mut diffs = vec![pair(&first)];
+        for i in 1..a.runs as u64 {
+            diffs.push(pair(&collect(name, seed_for(i), a.scale)?));
+        }
+        print_diffs(&diffs, a.json);
+    } else {
+        // One run: the seed replicates themselves are the two sides.
+        if a.runs < 2 {
+            return Err(format!(
+                "scenario {name} has a single run; seed-replicate diffing needs --runs N (N >= 2)"
+            ));
+        }
+        let label = |i: u64| format!("{} seed {}", first[0].0, seed_for(i).unwrap());
+        let base = summarize(&label(0), &first[0].1);
+        let diffs: Result<Vec<_>, String> = (1..a.runs as u64)
+            .map(|i| {
+                let rep = collect(name, seed_for(i), a.scale)?;
+                Ok(diff_runs(&base, &summarize(&label(i), &rep[0].1)))
+            })
+            .collect();
+        print_diffs(&diffs?, a.json);
+    }
+    Ok(())
+}
+
+fn print_diffs(diffs: &[tpu_analyze::RunDiff], json: bool) {
+    if diffs.len() == 1 {
+        if json {
+            println!("{}", serde_json::to_string_pretty(&diffs[0].to_json()));
+        } else {
+            print!("{}", diffs[0]);
+        }
+    } else {
+        let spread = diff_spread(diffs);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&spread.to_json()));
+        } else {
+            print!("{spread}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_only_tels_enable_exactly_the_record_stream() {
+        let tels = requests_only_tels(2);
+        assert_eq!(tels.len(), 2);
+        for t in &tels {
+            assert!(t.requests.is_some() && t.enabled());
+            assert!(t.tracer.is_none() && t.metrics.is_none() && t.profile.is_none());
+        }
+    }
+}

@@ -8,12 +8,15 @@
 //! tpu_serve list
 //! tpu_serve run <scenario> [--seed N] [--requests-scale F] [--json] [--trace FILE]
 //! tpu_serve run --all [--json]
+//! tpu_serve analyze <scenario>|--input LOG [--diff] [--runs N] [--json]
 //! tpu_serve trace record <scenario> --out FILE [--run LABEL] [--seed N] [--requests-scale F]
 //! tpu_serve trace import --csv FILE --out FILE [--source LABEL]
 //! ```
 //!
-//! `trace import` maps an external `timestamp,tenant` CSV into
-//! `tpu-trace` v1.
+//! `analyze` decomposes per-request latency into queue / swap / service
+//! phases (from an in-memory run, or an existing `--request-log`
+//! artifact via `--input`); `--diff` compares runs. `trace import` maps
+//! an external `timestamp,tenant` CSV into `tpu-trace` v1.
 //!
 //! Exit codes: 0 success, 1 unknown scenario or bad trace, 2 usage.
 
@@ -27,7 +30,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: tpu_serve list\n       tpu_serve run <scenario>|--all \
          [--seed N] [--requests-scale F] [--json] [--trace FILE] [--engine-stats]\n           \
-         [--chrome-trace FILE] [--metrics-out FILE] [--metrics-interval MS] [--svg FILE]\n       \
+         [--chrome-trace FILE] [--metrics-out FILE] [--metrics-interval MS] [--svg FILE]\n           \
+         [--request-log FILE]\n       \
+         tpu_serve analyze <scenario>|--input LOG [--run LABEL] [--seed N] \
+         [--requests-scale F]\n           \
+         [--json] [--diff] [--runs N] [--window MS]\n           \
+         [--svg-breakdown FILE] [--svg-cdf FILE] [--svg-tail FILE]\n       \
          tpu_serve trace record <scenario> --out FILE [--run LABEL] \
          [--seed N] [--requests-scale F]\n       \
          tpu_serve trace import --csv FILE --out FILE [--source LABEL]"
@@ -45,6 +53,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => run_command(&args[1..]),
+        Some("analyze") => analyze_command(&args[1..]),
         Some("trace") if args.get(1).map(String::as_str) == Some("record") => {
             record_command(&args[2..])
         }
@@ -96,12 +105,22 @@ fn run_command(args: &[String]) -> ExitCode {
                 Some(v) => tel_args.metrics_out = Some(v.clone()),
                 None => return usage(),
             },
-            "--metrics-interval" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) if v > 0.0 => tel_args.metrics_interval_ms = Some(v),
-                _ => return usage(),
+            "--metrics-interval" => match it.next() {
+                Some(raw) => match telemetry::parse_metrics_interval(raw) {
+                    Ok(v) => tel_args.metrics_interval_ms = Some(v),
+                    Err(e) => {
+                        eprintln!("tpu_serve: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => return usage(),
             },
             "--svg" => match it.next() {
                 Some(v) => tel_args.svg = Some(v.clone()),
+                None => return usage(),
+            },
+            "--request-log" => match it.next() {
+                Some(v) => tel_args.request_log = Some(v.clone()),
                 None => return usage(),
             },
             other if !other.starts_with('-') && common.name.is_none() => {
@@ -163,6 +182,12 @@ fn run_command(args: &[String]) -> ExitCode {
         if let Some(t) = &trace {
             s = s.with_trace(t);
         }
+        // Fail on unwritable artifact paths before spending sim time.
+        let run_labels: Vec<&str> = s.runs.iter().map(|r| r.label.as_str()).collect();
+        if let Err(e) = tel_args.validate_artifact_paths(&run_labels) {
+            eprintln!("tpu_serve: {e}");
+            return ExitCode::FAILURE;
+        }
         println!("== {} — {}", s.name, s.description);
         let mut tels = tel_args.for_runs(s.runs.len());
         let instrumented = tels.iter().any(|t| t.enabled());
@@ -216,6 +241,30 @@ fn run_command(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `analyze`: latency attribution and run diffing over the per-request
+/// record stream (in-memory, or from a `--request-log` artifact).
+fn analyze_command(args: &[String]) -> ExitCode {
+    let cfg = TpuConfig::paper();
+    tpu_harness::analyze::analyze_command("tpu_serve", args, usage, &|name, seed, scale| {
+        let Some(mut s) = scenario_by_name(name) else {
+            return Err(format!("unknown scenario {name:?}; try `tpu_serve list`"));
+        };
+        if let Some(seed) = seed {
+            s = s.with_seed(seed);
+        }
+        if let Some(f) = scale {
+            s = s.scale_requests(f);
+        }
+        let mut tels = tpu_harness::analyze::requests_only_tels(s.runs.len());
+        let results = s.execute_telemetry(&cfg, &mut tels);
+        Ok(results
+            .into_iter()
+            .zip(tels)
+            .map(|((label, _), tel)| (label, tel.requests.expect("requested")))
+            .collect())
+    })
 }
 
 fn record_command(args: &[String]) -> ExitCode {

@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod check;
 pub mod cli;
 pub mod extensions;

@@ -2,7 +2,8 @@
 //! CLIs.
 //!
 //! Both binaries accept the same telemetry flag set (`--chrome-trace`,
-//! `--metrics-out`, `--metrics-interval`, `--svg`, `--engine-stats`);
+//! `--metrics-out`, `--metrics-interval`, `--svg`, `--request-log`,
+//! `--engine-stats`);
 //! this module turns the parsed flags into a
 //! [`tpu_telemetry::TelemetryConfig`], derives per-run artifact paths
 //! for multi-run scenarios, writes the artifacts (validating that every
@@ -26,6 +27,8 @@ pub struct TelemetryArgs {
     pub metrics_interval_ms: Option<f64>,
     /// `--svg FILE`: render the per-host/die utilization series here.
     pub svg: Option<String>,
+    /// `--request-log FILE`: write the per-request record stream here.
+    pub request_log: Option<String>,
     /// `--engine-stats`: collect the engine self-profile.
     pub engine_stats: bool,
 }
@@ -34,12 +37,16 @@ impl TelemetryArgs {
     /// True when any flag asks for an output file (these are rejected
     /// with `--all` — one scenario per artifact set).
     pub fn artifacts_requested(&self) -> bool {
-        self.chrome_trace.is_some() || self.metrics_out.is_some() || self.svg.is_some()
+        self.chrome_trace.is_some()
+            || self.metrics_out.is_some()
+            || self.svg.is_some()
+            || self.request_log.is_some()
     }
 
     /// The [`TelemetryConfig`] these flags ask for. Metrics turn on for
     /// either `--metrics-out` or `--svg`; the trace for
-    /// `--chrome-trace`; the profile for `--engine-stats`.
+    /// `--chrome-trace`; the record stream for `--request-log`; the
+    /// profile for `--engine-stats`.
     pub fn config(&self) -> TelemetryConfig {
         TelemetryConfig {
             trace: self.chrome_trace.is_some(),
@@ -47,14 +54,59 @@ impl TelemetryArgs {
                 interval_ms: self.metrics_interval_ms.unwrap_or(1.0),
                 ..MetricsConfig::default()
             }),
+            requests: self.request_log.is_some(),
             profile: self.engine_stats,
         }
+    }
+
+    /// Check that every requested artifact path is writable before the
+    /// simulation spends any time, by opening each spliced per-run path
+    /// for append (creating missing files, truncating nothing).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first unwritable path.
+    pub fn validate_artifact_paths(&self, labels: &[&str]) -> Result<(), String> {
+        let multi = labels.len() > 1;
+        let bases = [
+            self.chrome_trace.as_deref(),
+            self.metrics_out.as_deref(),
+            self.svg.as_deref(),
+            self.request_log.as_deref(),
+        ];
+        for base in bases.into_iter().flatten() {
+            for label in labels {
+                let path = artifact_path(base, label, multi);
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .map_err(|e| format!("{path}: not writable: {e}"))?;
+            }
+        }
+        Ok(())
     }
 
     /// One [`RunTelemetry`] per scenario run, per [`Self::config`].
     pub fn for_runs(&self, runs: usize) -> Vec<RunTelemetry> {
         let cfg = self.config();
         (0..runs).map(|_| RunTelemetry::from_config(&cfg)).collect()
+    }
+}
+
+/// Parse a `--metrics-interval` value, rejecting zero, negative, and
+/// non-finite cadences with a message the CLIs print verbatim (the
+/// recorder would otherwise loop forever advancing by zero).
+///
+/// # Errors
+///
+/// A human-readable message quoting the rejected value.
+pub fn parse_metrics_interval(raw: &str) -> Result<f64, String> {
+    match raw.parse::<f64>() {
+        Ok(v) if v.is_finite() && v > 0.0 => Ok(v),
+        _ => Err(format!(
+            "--metrics-interval must be a positive number of sim-ms, got {raw:?}"
+        )),
     }
 }
 
@@ -128,6 +180,14 @@ pub fn write_artifacts(
             )
             .map_err(|e| format!("{path}: {e}"))?;
             std::fs::write(&path, svg).map_err(|e| format!("{path}: {e}"))?;
+            written.push(path);
+        }
+        if let (Some(base), Some(log)) = (args.request_log.as_deref(), tel.requests.as_ref()) {
+            let path = artifact_path(base, label, multi);
+            let text = log.render();
+            tpu_telemetry::RequestLog::parse(&text)
+                .map_err(|e| format!("{path}: request log does not round-trip: {e}"))?;
+            std::fs::write(&path, &text).map_err(|e| format!("{path}: {e}"))?;
             written.push(path);
         }
     }
@@ -205,6 +265,35 @@ mod tests {
     }
 
     #[test]
+    fn splicing_edge_cases_pin_exact_filenames() {
+        // Extensionless path in a directory: slug appended.
+        assert_eq!(
+            artifact_path("out/metrics", "run a", true),
+            "out/metrics.run-a"
+        );
+        // A dot in the directory is not an extension; the file's own
+        // extension still gets the splice.
+        assert_eq!(
+            artifact_path("a.b/trace.json", "x", true),
+            "a.b/trace.x.json"
+        );
+        // A leading-dot (hidden) file has no extension to splice before.
+        assert_eq!(artifact_path(".hidden", "x", true), ".hidden.x");
+        assert_eq!(artifact_path("out/.hidden", "x", true), "out/.hidden.x");
+        // Multiple extensions: only the last one is spliced before.
+        assert_eq!(
+            artifact_path("trace.tar.json", "x", true),
+            "trace.tar.x.json"
+        );
+        // Duplicate labels collide onto the same path — the last run
+        // wins, which write_artifacts surfaces by listing it twice.
+        assert_eq!(
+            artifact_path("t.json", "dup", true),
+            artifact_path("t.json", "dup", true)
+        );
+    }
+
+    #[test]
     fn config_maps_flags_to_instruments() {
         let args = TelemetryArgs {
             svg: Some("u.svg".into()),
@@ -212,7 +301,7 @@ mod tests {
             ..TelemetryArgs::default()
         };
         let cfg = args.config();
-        assert!(!cfg.trace && cfg.profile);
+        assert!(!cfg.trace && cfg.profile && !cfg.requests);
         assert_eq!(cfg.metrics.expect("svg implies metrics").interval_ms, 1.0);
         assert!(!args.artifacts_requested() || args.svg.is_some());
         let tels = args.for_runs(3);
@@ -220,5 +309,53 @@ mod tests {
         assert!(tels
             .iter()
             .all(|t| t.metrics.is_some() && t.profile.is_some()));
+    }
+
+    #[test]
+    fn request_log_flag_turns_the_record_stream_on() {
+        let args = TelemetryArgs {
+            request_log: Some("req.json".into()),
+            ..TelemetryArgs::default()
+        };
+        assert!(args.artifacts_requested());
+        let cfg = args.config();
+        assert!(cfg.requests && !cfg.trace && cfg.metrics.is_none());
+        assert!(args.for_runs(2).iter().all(|t| t.requests.is_some()));
+    }
+
+    #[test]
+    fn metrics_interval_parsing_rejects_degenerate_cadences() {
+        assert_eq!(parse_metrics_interval("2.5"), Ok(2.5));
+        for bad in ["0", "-1", "nan", "inf", "fast"] {
+            let err = parse_metrics_interval(bad).unwrap_err();
+            assert!(err.contains(bad), "{err} should quote {bad:?}");
+            assert!(err.contains("--metrics-interval"));
+        }
+    }
+
+    #[test]
+    fn path_validation_fails_early_on_unwritable_targets() {
+        let args = TelemetryArgs {
+            request_log: Some("/nonexistent-dir/req.json".into()),
+            ..TelemetryArgs::default()
+        };
+        let err = args.validate_artifact_paths(&["only"]).unwrap_err();
+        assert!(err.contains("/nonexistent-dir/req.json"), "{err}");
+        assert!(err.contains("not writable"), "{err}");
+
+        // A writable target passes, and multi-run validation checks the
+        // spliced per-run paths, not the base.
+        let dir = std::env::temp_dir().join("tpu_harness_validate_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let base = dir.join("req.json");
+        let args = TelemetryArgs {
+            request_log: Some(base.to_string_lossy().into_owned()),
+            ..TelemetryArgs::default()
+        };
+        args.validate_artifact_paths(&["a b", "c"])
+            .expect("writable");
+        assert!(dir.join("req.a-b.json").exists());
+        assert!(dir.join("req.c.json").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,270 @@
+//! Stacked-breakdown bar charts (latency phase attribution: one bar
+//! per tenant, segments for queue / swap / service time).
+
+use crate::chart::PALETTE;
+use crate::error::PlotError;
+use crate::scale::Scale;
+use crate::svg::{Anchor, SvgDocument};
+
+/// A stacked bar chart: `categories` along the x axis, one bar per
+/// category built by stacking the `segments` bottom-up in segment
+/// order.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_plot::StackedBars;
+///
+/// let svg = StackedBars::new("tail attribution", &["queue", "swap", "service"])
+///     .bar("MLP0", &[0.4, 0.0, 1.1])
+///     .bar("CNN1", &[2.3, 0.9, 4.0])
+///     .y_label("ms per tail request")
+///     .render()
+///     .expect("valid chart");
+/// assert!(svg.contains("CNN1"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StackedBars {
+    title: String,
+    segments: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+    y_label: String,
+}
+
+impl StackedBars {
+    /// Start a chart with the segment labels (legend, stacking order
+    /// bottom-up). Categories along the x axis are defined, in order,
+    /// by the [`StackedBars::bar`] calls.
+    pub fn new(title: impl Into<String>, segments: &[&str]) -> Self {
+        StackedBars {
+            title: title.into(),
+            segments: segments.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            y_label: String::new(),
+        }
+    }
+
+    /// Supply one category's segment values, in segment order. Values
+    /// must be finite and non-negative (a stack has no direction for a
+    /// negative part).
+    pub fn bar(mut self, category: &str, values: &[f64]) -> Self {
+        self.rows.push((category.to_string(), values.to_vec()));
+        self
+    }
+
+    /// Label the y axis.
+    pub fn y_label(mut self, label: impl Into<String>) -> Self {
+        self.y_label = label.into();
+        self
+    }
+
+    /// Render to an SVG string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlotError::NoData`] with no rows,
+    /// [`PlotError::RaggedGroups`] when a row's width differs from the
+    /// segment count, and [`PlotError::NonFinitePoint`] on NaN,
+    /// infinite, or negative values.
+    pub fn render(&self) -> Result<String, PlotError> {
+        if self.rows.is_empty() {
+            return Err(PlotError::NoData);
+        }
+        for (cat, vals) in &self.rows {
+            if vals.len() != self.segments.len() {
+                return Err(PlotError::RaggedGroups {
+                    expected: self.segments.len(),
+                    found: vals.len(),
+                });
+            }
+            if vals.iter().any(|v| !v.is_finite() || *v < 0.0) {
+                return Err(PlotError::NonFinitePoint {
+                    series: cat.clone(),
+                });
+            }
+        }
+
+        let max_total = self
+            .rows
+            .iter()
+            .map(|(_, v)| v.iter().sum::<f64>())
+            .fold(f64::MIN, f64::max);
+        // All-zero stacks still render (empty plot area, zero-height bars).
+        let y_hi = if max_total > 0.0 {
+            max_total * 1.1
+        } else {
+            1.0
+        };
+        let scale = Scale::Linear;
+        scale.check_domain(0.0, y_hi)?;
+
+        let (width, height) = (720.0, 420.0);
+        let (left, right, top, bottom) = (70.0, 20.0, 40.0, 70.0);
+        let plot_w = width - left - right;
+        let plot_h = height - top - bottom;
+        let mut doc = SvgDocument::new(width, height);
+        doc.text(
+            width / 2.0,
+            22.0,
+            &self.title,
+            14.0,
+            Anchor::Middle,
+            "#111111",
+        );
+
+        for t in scale.ticks(0.0, y_hi) {
+            let uy = scale.normalize(t.value, 0.0, y_hi);
+            if !(0.0..=1.0).contains(&uy) {
+                continue;
+            }
+            let py = top + (1.0 - uy) * plot_h;
+            doc.dashed_line(left, py, left + plot_w, py, "#cccccc");
+            doc.text(left - 6.0, py + 3.5, &t.label, 10.0, Anchor::End, "#333333");
+        }
+
+        let slot = plot_w / self.rows.len() as f64;
+        let bar_w = slot * 0.6;
+        for (ci, (cat, vals)) in self.rows.iter().enumerate() {
+            let x = left + ci as f64 * slot + slot * 0.2;
+            let total: f64 = vals.iter().sum();
+            let mut stacked = 0.0;
+            for (si, &v) in vals.iter().enumerate() {
+                if v <= 0.0 {
+                    continue; // zero slices would draw invisible rects
+                }
+                let y0 = scale.normalize(stacked, 0.0, y_hi).clamp(0.0, 1.0);
+                stacked += v;
+                let y1 = scale.normalize(stacked, 0.0, y_hi).clamp(0.0, 1.0);
+                doc.rect(
+                    x,
+                    top + (1.0 - y1) * plot_h,
+                    bar_w,
+                    (y1 - y0) * plot_h,
+                    PALETTE[si % PALETTE.len()],
+                    Some("#444444"),
+                );
+            }
+            // Total caption above the stack.
+            let uy = scale.normalize(total, 0.0, y_hi).clamp(0.0, 1.0);
+            doc.text(
+                x + bar_w / 2.0,
+                top + (1.0 - uy) * plot_h - 4.0,
+                &trim_total(total),
+                8.5,
+                Anchor::Middle,
+                "#333333",
+            );
+            doc.text(
+                x + bar_w / 2.0,
+                top + plot_h + 16.0,
+                cat,
+                10.0,
+                Anchor::Middle,
+                "#333333",
+            );
+        }
+
+        // Legend under the category labels.
+        let mut lx = left;
+        let ly = height - 22.0;
+        for (si, s) in self.segments.iter().enumerate() {
+            doc.rect(
+                lx,
+                ly - 9.0,
+                10.0,
+                10.0,
+                PALETTE[si % PALETTE.len()],
+                Some("#444444"),
+            );
+            doc.text(lx + 14.0, ly, s, 10.0, Anchor::Start, "#111111");
+            lx += 18.0 + 7.0 * s.len() as f64;
+        }
+        doc.line(
+            left,
+            top + plot_h,
+            left + plot_w,
+            top + plot_h,
+            "#000000",
+            1.0,
+        );
+        doc.line(left, top, left, top + plot_h, "#000000", 1.0);
+        doc.vertical_text(18.0, top + plot_h / 2.0, &self.y_label, 11.0);
+
+        Ok(doc.finish())
+    }
+}
+
+fn trim_total(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> StackedBars {
+        StackedBars::new("tail attribution", &["queue", "swap", "service"])
+            .bar("MLP0", &[0.4, 0.0, 1.1])
+            .bar("CNN1", &[2.3, 0.9, 4.0])
+    }
+
+    #[test]
+    fn renders_categories_segments_and_totals() {
+        let svg = chart().y_label("ms per tail request").render().unwrap();
+        for label in ["MLP0", "CNN1", "queue", "swap", "service"] {
+            assert!(svg.contains(label), "{label} missing");
+        }
+        assert!(svg.contains("7.20"), "stack total caption");
+        assert!(svg.contains("ms per tail request"));
+    }
+
+    #[test]
+    fn zero_segments_are_skipped_not_drawn() {
+        let svg = chart().render().unwrap();
+        // Background + 2 MLP0 slices (swap is zero) + 3 CNN1 slices
+        // + 3 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 1 + 2 + 3 + 3);
+    }
+
+    #[test]
+    fn all_zero_stacks_still_render() {
+        let svg = StackedBars::new("t", &["a"]).bar("x", &[0.0]).render();
+        assert!(svg.unwrap().starts_with("<svg"));
+    }
+
+    #[test]
+    fn empty_ragged_and_negative_inputs_error() {
+        assert_eq!(
+            StackedBars::new("t", &["a"]).render().unwrap_err(),
+            PlotError::NoData
+        );
+        assert_eq!(
+            StackedBars::new("t", &["a", "b"])
+                .bar("x", &[1.0])
+                .render()
+                .unwrap_err(),
+            PlotError::RaggedGroups {
+                expected: 2,
+                found: 1
+            }
+        );
+        assert!(matches!(
+            StackedBars::new("t", &["a"])
+                .bar("x", &[-1.0])
+                .render()
+                .unwrap_err(),
+            PlotError::NonFinitePoint { .. }
+        ));
+    }
+
+    #[test]
+    fn same_input_renders_identical_bytes() {
+        assert_eq!(chart().render().unwrap(), chart().render().unwrap());
+    }
+}

@@ -1,0 +1,163 @@
+//! Latency distribution charts: empirical CDFs and log-scale tail
+//! (exceedance) curves.
+//!
+//! `tpu_analyze` renders per-tenant latency distributions with these
+//! helpers: the CDF answers "where is the body", the tail curve puts
+//! `P(latency > x)` on a log axis so the slowest 1% — where SLO budgets
+//! are won and lost — stops hiding in the top pixel of a linear plot.
+//! Both take plain sample slices, keeping the plot crate free of
+//! telemetry types.
+
+use crate::chart::{Chart, Series};
+use crate::error::PlotError;
+use crate::scale::Scale;
+
+fn sorted_finite(name: &str, values: &[f64]) -> Result<Vec<f64>, PlotError> {
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(PlotError::NonFinitePoint {
+            series: name.to_string(),
+        });
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Ok(sorted)
+}
+
+/// Render named sample sets as empirical CDF curves on linear axes:
+/// each series is sorted and drawn as `(value, (i + 1) / n)`. Empty
+/// series are skipped, like [`crate::timeseries`].
+///
+/// # Errors
+///
+/// Returns [`PlotError`] when no series has any samples or a sample is
+/// non-finite.
+///
+/// # Examples
+///
+/// ```
+/// let svg = tpu_plot::cdf(
+///     "latency CDF",
+///     "latency (ms)",
+///     &[("MLP0".to_string(), vec![1.0, 2.0, 2.5, 9.0])],
+/// )?;
+/// assert!(svg.starts_with("<svg"));
+/// # Ok::<(), tpu_plot::PlotError>(())
+/// ```
+pub fn cdf(title: &str, x_label: &str, series: &[(String, Vec<f64>)]) -> Result<String, PlotError> {
+    let mut chart = Chart::new(title)
+        .x_axis(x_label, Scale::Linear)
+        .y_axis("fraction of requests", Scale::Linear);
+    for (name, values) in series {
+        if values.is_empty() {
+            continue;
+        }
+        let sorted = sorted_finite(name, values)?;
+        let n = sorted.len() as f64;
+        let points = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n))
+            .collect();
+        chart = chart.series(Series::line(name.clone(), points));
+    }
+    chart.render()
+}
+
+/// Render named sample sets as tail (exceedance) curves: each series is
+/// sorted and drawn as `(value, (n - i) / n)` — the fraction of samples
+/// at or above the value — on a base-10 log y axis, so each decade of
+/// the tail (p90, p99, p99.9) gets equal vertical room. Empty series
+/// are skipped.
+///
+/// # Errors
+///
+/// Returns [`PlotError`] when no series has any samples or a sample is
+/// non-finite.
+///
+/// # Examples
+///
+/// ```
+/// let samples: Vec<f64> = (1..=100).map(|i| i as f64 * 0.1).collect();
+/// let svg = tpu_plot::tail_curve(
+///     "latency tail",
+///     "latency (ms)",
+///     &[("MLP0".to_string(), samples)],
+/// )?;
+/// assert!(svg.starts_with("<svg"));
+/// # Ok::<(), tpu_plot::PlotError>(())
+/// ```
+pub fn tail_curve(
+    title: &str,
+    x_label: &str,
+    series: &[(String, Vec<f64>)],
+) -> Result<String, PlotError> {
+    let mut chart = Chart::new(title)
+        .x_axis(x_label, Scale::Linear)
+        .y_axis("P(latency > x)", Scale::Log10);
+    for (name, values) in series {
+        if values.is_empty() {
+            continue;
+        }
+        let sorted = sorted_finite(name, values)?;
+        let n = sorted.len() as f64;
+        // (n - i) / n >= 1/n stays strictly positive, so the log axis
+        // is always satisfiable.
+        let points = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (n - i as f64) / n))
+            .collect();
+        chart = chart.series(Series::line(name.clone(), points));
+    }
+    chart.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (1..=n).map(|i| i as f64 * 0.5).collect()
+    }
+
+    #[test]
+    fn cdf_renders_and_is_deterministic() {
+        let series = [
+            ("MLP0".to_string(), ramp(50)),
+            ("empty".to_string(), Vec::new()),
+            ("LSTM0".to_string(), ramp(10)),
+        ];
+        let a = cdf("latency CDF", "latency (ms)", &series).expect("renders");
+        let b = cdf("latency CDF", "latency (ms)", &series).expect("renders");
+        assert_eq!(a, b);
+        assert!(a.starts_with("<svg") && a.contains("MLP0") && a.contains("LSTM0"));
+        assert!(a.contains("fraction of requests"));
+    }
+
+    #[test]
+    fn tail_curve_uses_a_log_axis_and_positive_fractions() {
+        let svg =
+            tail_curve("tail", "latency (ms)", &[("t".to_string(), ramp(1000))]).expect("renders");
+        assert!(svg.contains("P(latency &gt; x)"));
+        // Log decade ticks from 1/n = 0.001 up to 1 appear as labels.
+        assert!(svg.contains(">0.001<") && svg.contains(">1<"));
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_internally() {
+        let shuffled = vec![3.0, 1.0, 2.0];
+        let ordered = vec![1.0, 2.0, 3.0];
+        let a = cdf("c", "x", &[("s".to_string(), shuffled)]).expect("renders");
+        let b = cdf("c", "x", &[("s".to_string(), ordered)]).expect("renders");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_non_finite_inputs_error() {
+        assert!(matches!(cdf("c", "x", &[]), Err(PlotError::NoData)));
+        assert!(matches!(
+            tail_curve("t", "x", &[("bad".to_string(), vec![1.0, f64::NAN])]),
+            Err(PlotError::NonFinitePoint { .. })
+        ));
+    }
+}

@@ -12,7 +12,10 @@
 //!   series and the paper's marker shapes ([`Marker::Star`] for the TPU,
 //!   [`Marker::Triangle`] for the K80, [`Marker::Circle`] for Haswell).
 //! - [`BarChart`]: grouped bars with an optional log y axis.
-//! - [`SvgDocument`]: the low-level escaped-SVG builder both use.
+//! - [`StackedBars`]: stacked breakdown bars (latency phase attribution).
+//! - [`cdf`] / [`tail_curve`]: empirical latency CDFs and log-scale
+//!   exceedance curves for `tpu_analyze`.
+//! - [`SvgDocument`]: the low-level escaped-SVG builder all of them use.
 //!
 //! # Examples
 //!
@@ -33,14 +36,18 @@
 #![warn(missing_docs)]
 
 mod bars;
+mod breakdown;
 mod chart;
+mod dist;
 mod error;
 mod scale;
 mod svg;
 mod timeseries;
 
 pub use bars::BarChart;
+pub use breakdown::StackedBars;
 pub use chart::{Chart, Marker, Series, PALETTE};
+pub use dist::{cdf, tail_curve};
 pub use error::PlotError;
 pub use scale::{Scale, Tick};
 pub use svg::{escape, Anchor, SvgDocument};

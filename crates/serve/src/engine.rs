@@ -32,7 +32,7 @@ use crate::workload::ArrivalSource;
 use serde::{Deserialize, Serialize};
 use tpu_core::TpuConfig;
 pub use tpu_platforms::server::Dispatch;
-use tpu_telemetry::{HostProbe, MetricsRecorder, RunTelemetry};
+use tpu_telemetry::{HostProbe, MetricsRecorder, RequestProbe, RunTelemetry};
 
 impl From<HostEvent> for Event {
     fn from(e: HostEvent) -> Event {
@@ -122,6 +122,9 @@ pub fn run_telemetry(
     if tel.tracer.is_some() {
         host.set_probe(HostProbe::new(0, "host 0", cluster.dies));
     }
+    if tel.requests.is_some() {
+        host.set_request_probe(RequestProbe::new(0));
+    }
 
     let mut q = EventQueue::new();
     for (i, s) in sources.iter_mut().enumerate() {
@@ -161,7 +164,19 @@ pub fn run_telemetry(
             }
             Event::DieFree { die } => {
                 counts[2] += 1;
-                host.on_die_free(die);
+                let done = host.on_die_free(die);
+                if let Some(m) = tel.metrics.as_mut() {
+                    if let Some(done) = done {
+                        // The batch's latencies were just committed at
+                        // the end of the slot's buffer; feed them to the
+                        // per-tenant sketch (slot index == tenant index).
+                        let from = host.latency_count(done.slot) - done.completions;
+                        let series = format!("latency/{}", tenants[done.slot].name);
+                        for l in host.slot_latencies_from(done.slot, from) {
+                            m.observe(&series, l);
+                        }
+                    }
+                }
             }
             Event::WeightSwap { die } => {
                 counts[3] += 1;
@@ -193,6 +208,15 @@ pub fn run_telemetry(
         if let Some(p) = host.take_probe() {
             tr.absorb(p.into_tracer());
         }
+    }
+    if let Some(log) = tel.requests.as_mut() {
+        if let Some(p) = host.take_request_probe() {
+            log.absorb(p);
+        }
+    }
+    if let Some(m) = tel.metrics.as_mut() {
+        // The final partial interval's latency percentiles.
+        m.flush_sketches(host.makespan_ms());
     }
     if let Some(pr) = tel.profile.as_mut() {
         pr.event_counts = [
@@ -421,6 +445,7 @@ mod tests {
             trace: true,
             metrics: Some(MetricsConfig::default()),
             profile: true,
+            requests: true,
         });
         let instrumented = run_telemetry(&spec, &tenants, &cfg, &mut tel);
         assert_eq!(
@@ -440,6 +465,21 @@ mod tests {
         assert_eq!(requests.count as usize, tenants[0].requests);
         let metrics = tel.metrics.expect("metrics filled");
         assert!(metrics.points("util/die0").len() > 1);
+        // The latency sketch saw every request and flushed percentile
+        // points on the cadence.
+        let sketch = metrics.sketch("latency/MLP0").expect("sketch filled");
+        assert_eq!(sketch.count() as usize, tenants[0].requests);
+        assert!(!metrics.points("latency/MLP0.p99").is_empty());
+        // The request log holds one decomposed record per request, with
+        // component sums telling the same story as the report.
+        let log = tel.requests.expect("request log filled");
+        assert_eq!(log.len(), tenants[0].requests);
+        let sum: f64 = log.records().iter().map(|r| r.latency_ms()).sum();
+        let report_sum = instrumented.tenants[0].mean_ms * tenants[0].requests as f64;
+        assert!(
+            (sum - report_sum).abs() < 1e-6 * report_sum.max(1.0),
+            "request-log latency sum {sum} vs report {report_sum}"
+        );
     }
 
     #[test]

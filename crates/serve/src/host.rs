@@ -28,7 +28,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
 pub use tpu_platforms::server::Dispatch;
-use tpu_telemetry::HostProbe;
+use tpu_telemetry::{HostProbe, RequestProbe};
 
 /// An event a host schedules for itself. The embedding simulation maps
 /// these onto its own event enum (see [`crate::event::Event`]).
@@ -124,6 +124,9 @@ pub struct HostCore {
     /// Telemetry probe recording this host's spans; `None` (the
     /// default) keeps every hook to a single branch.
     probe: Option<Box<HostProbe>>,
+    /// Request-log probe recording one record per served request;
+    /// `None` (the default) keeps the completion hook to one branch.
+    reqlog: Option<Box<RequestProbe>>,
 }
 
 impl HostCore {
@@ -154,6 +157,7 @@ impl HostCore {
             slow_factor: 1.0,
             spare_batches: Vec::new(),
             probe: None,
+            reqlog: None,
         }
     }
 
@@ -168,6 +172,19 @@ impl HostCore {
     /// tracer.
     pub fn take_probe(&mut self) -> Option<HostProbe> {
         self.probe.take().map(|b| *b)
+    }
+
+    /// Attach a request-log probe: each completed batch now records one
+    /// [`tpu_telemetry::RequestRecord`] per request. Purely
+    /// observational, like [`HostCore::set_probe`].
+    pub fn set_request_probe(&mut self, probe: RequestProbe) {
+        self.reqlog = Some(Box::new(probe));
+    }
+
+    /// Detach the request-log probe (end of run) to absorb its records
+    /// into the run's [`tpu_telemetry::RequestLog`].
+    pub fn take_request_probe(&mut self) -> Option<RequestProbe> {
+        self.reqlog.take().map(|b| *b)
     }
 
     /// Add a tenant slot (replica); returns its index. Slots can be
@@ -298,6 +315,17 @@ impl HostCore {
             p.batch_complete(
                 die,
                 &slot.spec.name,
+                inflight.start_ms,
+                inflight.swap_ms,
+                inflight.end_ms,
+                &inflight.arrivals,
+            );
+        }
+        if let Some(r) = self.reqlog.as_deref_mut() {
+            r.batch_complete(
+                die,
+                &slot.spec.name,
+                slot.spec.slo_ms,
                 inflight.start_ms,
                 inflight.swap_ms,
                 inflight.end_ms,
@@ -957,5 +985,53 @@ mod tests {
         };
         assert!((total("swap") - probed.slot_swap_ms(0)).abs() < 1e-12);
         assert!((total("swap") + total("service") - probed.busy_ms()).abs() < 1e-12);
+    }
+
+    /// An attached request probe records one decomposed record per
+    /// served request, agreeing with the slot's committed latencies,
+    /// and changes no observable host state.
+    #[test]
+    fn request_probe_records_agree_with_latencies() {
+        let run = |probed: bool| {
+            let mut h = HostCore::new(1, Dispatch::LeastLoaded, 42);
+            let curve = ServiceCurve::new(1.0, 0.0, 0.0);
+            let a = h.add_slot(spec(BatchPolicy::Fixed { batch: 2 }), curve);
+            h.set_slot_weights(
+                a,
+                ModelWeights {
+                    model: 0,
+                    bytes: 10,
+                    swap_ms: 0.5,
+                },
+            );
+            if probed {
+                h.set_request_probe(RequestProbe::new(7));
+            }
+            let mut sched = Vec::new();
+            h.enqueue(a, 0.0);
+            h.enqueue(a, 0.25);
+            h.try_dispatch(0.25, &mut |at, e| sched.push((at, e)));
+            h.on_weight_swap(0);
+            h.on_die_free(0);
+            h
+        };
+        let mut probed = run(true);
+        let bare = run(false);
+        assert_eq!(probed.slot_latencies(0), bare.slot_latencies(0));
+        assert_eq!(probed.busy_ms(), bare.busy_ms());
+        let probe = probed.take_request_probe().expect("probe attached");
+        let mut log = tpu_telemetry::RequestLog::new();
+        log.absorb(probe);
+        assert_eq!(log.len(), 2);
+        let latencies: Vec<f64> = log.records().iter().map(|r| r.latency_ms()).collect();
+        assert_eq!(latencies, probed.slot_latencies(0));
+        for r in log.records() {
+            assert_eq!(r.host, 7);
+            assert_eq!(r.die, 0);
+            assert_eq!(r.swap_ms, 0.5);
+            assert!((r.queue_ms() + r.swap_ms + r.service_ms() - r.latency_ms()).abs() < 1e-12);
+        }
+        assert_eq!(log.tenant_name(0), "MLP0");
+        assert_eq!(log.tenant_slo_ms(0), 7.0);
     }
 }

@@ -9,13 +9,12 @@ use std::fmt;
 
 /// Latency percentile over a **sorted** slice, using the same index
 /// formula as `tpu_platforms::queue_sim` (nearest-rank on n-1).
-pub fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&p), "percentile in [0,1]");
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    sorted_ms[((sorted_ms.len() as f64 - 1.0) * p) as usize]
-}
+///
+/// The implementation lives in [`tpu_telemetry::stats`] so the serving
+/// report, the fleet report, and `tpu_analyze` share one index rule;
+/// this re-export keeps the historical `tpu_serve::report::percentile`
+/// path working.
+pub use tpu_telemetry::stats::percentile;
 
 /// One tenant's outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

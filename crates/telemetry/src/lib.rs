@@ -13,7 +13,14 @@
 //!   JSON;
 //! * [`profile`] — engine self-profiling: per-event-type counts and
 //!   timer-wheel occupancy / rung-spill counters behind
-//!   `--engine-stats`.
+//!   `--engine-stats`;
+//! * [`reqlog`] — a compact per-request record stream (tenant, host,
+//!   die, arrival/dispatch/complete, swap stall, retries) behind
+//!   `--request-log`, the analysis-ready input of `tpu_analyze`.
+//!
+//! [`stats`] holds the shared percentile index rule and the
+//! bounded-memory [`LatencySketch`] the metrics recorder uses for
+//! per-interval latency percentiles.
 //!
 //! The determinism contract is the point of the design: a run carries a
 //! [`RunTelemetry`] whose fields are all `Option`s. With every field
@@ -34,10 +41,14 @@
 
 pub mod metrics;
 pub mod profile;
+pub mod reqlog;
+pub mod stats;
 pub mod trace;
 
 pub use metrics::{MetricsConfig, MetricsRecorder, Point};
 pub use profile::{EngineProfile, WheelProfile};
+pub use reqlog::{RequestLog, RequestProbe, RequestRecord};
+pub use stats::{percentile, LatencySketch};
 pub use trace::{HostProbe, Phase, SummaryRow, TraceEvent, Tracer};
 
 /// What to record during a run. The default ([`TelemetryConfig::off`])
@@ -50,6 +61,8 @@ pub struct TelemetryConfig {
     pub metrics: Option<MetricsConfig>,
     /// Collect per-event-type counts and timer-wheel statistics.
     pub profile: bool,
+    /// Record one [`RequestRecord`] per served request.
+    pub requests: bool,
 }
 
 impl TelemetryConfig {
@@ -60,7 +73,7 @@ impl TelemetryConfig {
 
     /// True if any instrument is switched on.
     pub fn enabled(&self) -> bool {
-        self.trace || self.metrics.is_some() || self.profile
+        self.trace || self.metrics.is_some() || self.profile || self.requests
     }
 }
 
@@ -77,6 +90,9 @@ pub struct RunTelemetry {
     pub metrics: Option<MetricsRecorder>,
     /// Engine self-profile, filled in at end of run.
     pub profile: Option<EngineProfile>,
+    /// Per-request record stream (host [`RequestProbe`]s are absorbed
+    /// here at end of run, in host-index order).
+    pub requests: Option<RequestLog>,
 }
 
 impl RunTelemetry {
@@ -91,12 +107,16 @@ impl RunTelemetry {
             tracer: cfg.trace.then(Tracer::new),
             metrics: cfg.metrics.as_ref().map(MetricsRecorder::new),
             profile: cfg.profile.then(EngineProfile::new),
+            requests: cfg.requests.then(RequestLog::new),
         }
     }
 
     /// True if any instrument is live.
     pub fn enabled(&self) -> bool {
-        self.tracer.is_some() || self.metrics.is_some() || self.profile.is_some()
+        self.tracer.is_some()
+            || self.metrics.is_some()
+            || self.profile.is_some()
+            || self.requests.is_some()
     }
 
     /// Hand every recorded artifact to `sink`, tagged with the run
@@ -111,6 +131,9 @@ impl RunTelemetry {
         if let Some(p) = &self.profile {
             sink.on_profile(label, p);
         }
+        if let Some(r) = &self.requests {
+            sink.on_requests(label, r);
+        }
     }
 }
 
@@ -123,6 +146,8 @@ pub trait TelemetrySink {
     fn on_metrics(&mut self, _label: &str, _metrics: &MetricsRecorder) {}
     /// Called once per run with the engine profile.
     fn on_profile(&mut self, _label: &str, _profile: &EngineProfile) {}
+    /// Called once per run with the request log.
+    fn on_requests(&mut self, _label: &str, _log: &RequestLog) {}
 }
 
 /// The default sink: discards everything.
@@ -140,6 +165,7 @@ mod tests {
         let t = RunTelemetry::from_config(&TelemetryConfig::off());
         assert!(!t.enabled());
         assert!(t.tracer.is_none() && t.metrics.is_none() && t.profile.is_none());
+        assert!(t.requests.is_none());
     }
 
     #[test]
@@ -148,10 +174,12 @@ mod tests {
             trace: true,
             metrics: Some(MetricsConfig::default()),
             profile: true,
+            requests: true,
         };
         assert!(cfg.enabled());
         let t = RunTelemetry::from_config(&cfg);
         assert!(t.tracer.is_some() && t.metrics.is_some() && t.profile.is_some());
+        assert!(t.requests.is_some());
     }
 
     #[test]
@@ -161,6 +189,7 @@ mod tests {
             traces: usize,
             metrics: usize,
             profiles: usize,
+            requests: usize,
         }
         impl TelemetrySink for Counting {
             fn on_trace(&mut self, label: &str, _t: &Tracer) {
@@ -173,16 +202,23 @@ mod tests {
             fn on_profile(&mut self, _label: &str, _p: &EngineProfile) {
                 self.profiles += 1;
             }
+            fn on_requests(&mut self, _label: &str, _r: &RequestLog) {
+                self.requests += 1;
+            }
         }
         let cfg = TelemetryConfig {
             trace: true,
             metrics: Some(MetricsConfig::default()),
             profile: true,
+            requests: true,
         };
         let t = RunTelemetry::from_config(&cfg);
         let mut sink = Counting::default();
         t.emit("run-a", &mut sink);
-        assert_eq!((sink.traces, sink.metrics, sink.profiles), (1, 1, 1));
+        assert_eq!(
+            (sink.traces, sink.metrics, sink.profiles, sink.requests),
+            (1, 1, 1, 1)
+        );
         RunTelemetry::off().emit("run-a", &mut NoopSink);
     }
 }

@@ -9,7 +9,15 @@
 //! Each series is a bounded ring: once `ring_cap` points are held the
 //! oldest falls off and a drop counter increments, so long runs stay
 //! bounded while the export records exactly what was kept.
+//!
+//! Besides gauges, the recorder holds [`LatencySketch`]es: engines call
+//! [`MetricsRecorder::observe`] per committed latency, and each cadence
+//! advance flushes the interval's sketch into `{series}.p50` /
+//! `{series}.p99` points — per-interval percentiles over time at
+//! 10k-host scale without storing any sample. A cumulative whole-run
+//! sketch per series stays queryable via [`MetricsRecorder::sketch`].
 
+use crate::stats::LatencySketch;
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -47,6 +55,12 @@ struct SeriesBuf {
     dropped: u64,
 }
 
+#[derive(Debug, Default)]
+struct SketchBuf {
+    interval: LatencySketch,
+    cumulative: LatencySketch,
+}
+
 /// Ring-buffered, named time series sampled on a fixed cadence.
 #[derive(Debug)]
 pub struct MetricsRecorder {
@@ -54,6 +68,7 @@ pub struct MetricsRecorder {
     ring_cap: usize,
     next_ms: f64,
     series: BTreeMap<String, SeriesBuf>,
+    sketches: BTreeMap<String, SketchBuf>,
 }
 
 impl MetricsRecorder {
@@ -64,6 +79,7 @@ impl MetricsRecorder {
             ring_cap: cfg.ring_cap.max(1),
             next_ms: 0.0,
             series: BTreeMap::new(),
+            sketches: BTreeMap::new(),
         }
     }
 
@@ -88,7 +104,49 @@ impl MetricsRecorder {
         let k = ((now_ms - self.next_ms) / self.interval_ms).floor();
         let t = self.next_ms + k * self.interval_ms;
         self.next_ms = t + self.interval_ms;
+        // Every observation so far happened at an event time before the
+        // previous `next_ms`, hence at or before `t` — stamping the
+        // interval percentiles at `t` never time-travels.
+        self.flush_sketches(t);
         t
+    }
+
+    /// Feed one latency sample into `series`' interval and cumulative
+    /// sketches (created on first use). Percentile points materialize at
+    /// the next cadence advance.
+    pub fn observe(&mut self, series: &str, value_ms: f64) {
+        let buf = self.sketches.entry(series.to_string()).or_default();
+        buf.interval.observe(value_ms);
+        buf.cumulative.observe(value_ms);
+    }
+
+    /// The whole-run cumulative sketch of `series`, if any sample was
+    /// observed.
+    pub fn sketch(&self, series: &str) -> Option<&LatencySketch> {
+        self.sketches.get(series).map(|b| &b.cumulative)
+    }
+
+    /// Flush every non-empty interval sketch into `{series}.p50` /
+    /// `{series}.p99` points stamped at `t_ms`, then reset the interval
+    /// sketches. Called by `advance` on each cadence point; engines call
+    /// it once more at end of run so the final partial interval is not
+    /// lost.
+    pub fn flush_sketches(&mut self, t_ms: f64) {
+        let flushed: Vec<(String, f64, f64)> = self
+            .sketches
+            .iter_mut()
+            .filter(|(_, b)| !b.interval.is_empty())
+            .map(|(name, b)| {
+                let p50 = b.interval.percentile(0.5);
+                let p99 = b.interval.percentile(0.99);
+                b.interval.reset();
+                (name.clone(), p50, p99)
+            })
+            .collect();
+        for (name, p50, p99) in flushed {
+            self.record(&format!("{name}.p50"), t_ms, p50);
+            self.record(&format!("{name}.p99"), t_ms, p99);
+        }
     }
 
     /// Append a point to `series` (created on first use).
@@ -209,5 +267,34 @@ mod tests {
         assert!(csv.starts_with("t_ms,series,value\n"));
         assert_eq!(csv.lines().count(), 4);
         serde_json::from_str(&json).expect("metrics JSON parses");
+    }
+
+    #[test]
+    fn observed_latencies_flush_percentile_points_per_interval() {
+        let mut m = MetricsRecorder::new(&MetricsConfig {
+            interval_ms: 10.0,
+            ring_cap: 64,
+        });
+        assert_eq!(m.advance(0.0), 0.0);
+        for i in 1..=100 {
+            m.observe("latency/MLP0", i as f64 * 0.01);
+        }
+        // Nothing materializes until the next cadence point.
+        assert!(m.points("latency/MLP0.p99").is_empty());
+        assert_eq!(m.advance(10.0), 10.0);
+        let p99 = m.points("latency/MLP0.p99");
+        let p50 = m.points("latency/MLP0.p50");
+        assert_eq!((p99.len(), p50.len()), (1, 1));
+        assert_eq!(p99[0].t_ms, 10.0);
+        assert!(p99[0].value >= 0.99 && p99[0].value <= 1.01 + 1e-3);
+        assert!(p50[0].value < p99[0].value);
+        // The interval sketch reset; the cumulative one kept everything.
+        m.observe("latency/MLP0", 50.0);
+        m.flush_sketches(15.0);
+        let p99 = m.points("latency/MLP0.p99");
+        assert_eq!(p99.len(), 2);
+        assert!(p99[1].value >= 50.0, "second interval stands alone");
+        assert_eq!(m.sketch("latency/MLP0").map(|s| s.count()), Some(101));
+        assert!(m.sketch("absent").is_none());
     }
 }

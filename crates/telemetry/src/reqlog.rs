@@ -1,0 +1,482 @@
+//! The compact per-request record stream behind `--request-log`.
+//!
+//! Where the Chrome trace tells the story of a run span by span, the
+//! request log is the analysis-ready form: one fixed-width record per
+//! served request carrying tenant, placement (host/die), the three
+//! timestamps (arrival, dispatch, completion), the weight-swap stall
+//! charged to its batch, and how many times a failure made it retry.
+//! `tpu_analyze` computes every attribution from this stream alone.
+//!
+//! Recording follows the [`crate::trace::HostProbe`] pattern: each
+//! `HostCore` owns a [`RequestProbe`] that buffers records at batch
+//! completion (one per arrival in the batch, in completion order), and
+//! the run-level [`RequestLog`] absorbs the probes in host-index order
+//! at end of run — so the record order, like everything else in the
+//! simulators, is a pure function of the seed and same-seed runs render
+//! bit-identical JSON.
+//!
+//! Component definitions (all in simulated milliseconds):
+//!
+//! * `queue = dispatch - arrived` — everything before the batch left,
+//!   including network/PCIe hop, router parking, and crash-retry delay;
+//! * `swap` — the weight-swap stall its batch paid at dispatch;
+//! * `service = end - dispatch - swap` — time on the die.
+//!
+//! Retries are attributed at absorb time by joining the fleet engine's
+//! [`RequestLog::note_retry`] calls against records on the exact
+//! `(tenant, arrived_ms)` bits — retried requests keep their original
+//! arrival timestamp, so per-tenant retry sums match the report
+//! exactly; when several same-tenant requests share one arrival
+//! timestamp the full count lands on the first absorbed record.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// One served request, fully decomposed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestRecord {
+    /// Index into the log's tenant table.
+    pub tenant: usize,
+    /// Host that served the request.
+    pub host: u32,
+    /// Die (within the host) that served it.
+    pub die: u32,
+    /// Arrival at the front end (original arrival for retried requests).
+    pub arrived_ms: f64,
+    /// When its batch was dispatched to the die.
+    pub dispatch_ms: f64,
+    /// Weight-swap stall its batch paid at dispatch.
+    pub swap_ms: f64,
+    /// Batch completion time.
+    pub end_ms: f64,
+    /// How many times a failure re-routed this request.
+    pub retries: u32,
+}
+
+impl RequestRecord {
+    /// Time from arrival to dispatch (hop + queue + retry delay).
+    pub fn queue_ms(&self) -> f64 {
+        self.dispatch_ms - self.arrived_ms
+    }
+
+    /// Time on the die after the swap stall.
+    pub fn service_ms(&self) -> f64 {
+        self.end_ms - self.dispatch_ms - self.swap_ms
+    }
+
+    /// End-to-end latency (what the report percentiles are over).
+    pub fn latency_ms(&self) -> f64 {
+        self.end_ms - self.arrived_ms
+    }
+}
+
+/// Per-host request recorder, owned by a `HostCore` while a run is in
+/// flight (mirrors [`crate::trace::HostProbe`] ownership).
+#[derive(Debug)]
+pub struct RequestProbe {
+    host: u32,
+    tenants: Vec<(String, f64)>,
+    by_name: BTreeMap<String, usize>,
+    records: Vec<RequestRecord>,
+}
+
+impl RequestProbe {
+    /// A probe for host `host` with no records.
+    pub fn new(host: u32) -> Self {
+        Self {
+            host,
+            tenants: Vec::new(),
+            by_name: BTreeMap::new(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Record one completed batch: one record per arrival timestamp,
+    /// all sharing the batch's dispatch/swap/end times.
+    #[allow(clippy::too_many_arguments)] // one argument per record field
+    pub fn batch_complete(
+        &mut self,
+        die: usize,
+        tenant: &str,
+        slo_ms: f64,
+        start_ms: f64,
+        swap_ms: f64,
+        end_ms: f64,
+        arrivals: &[f64],
+    ) {
+        let idx = match self.by_name.get(tenant) {
+            Some(&i) => i,
+            None => {
+                let i = self.tenants.len();
+                self.tenants.push((tenant.to_string(), slo_ms));
+                self.by_name.insert(tenant.to_string(), i);
+                i
+            }
+        };
+        for &arrived_ms in arrivals {
+            self.records.push(RequestRecord {
+                tenant: idx,
+                host: self.host,
+                die: die as u32,
+                arrived_ms,
+                dispatch_ms: start_ms,
+                swap_ms,
+                end_ms,
+                retries: 0,
+            });
+        }
+    }
+
+    /// Records buffered so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no batch has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// The run-level request log: the merged record stream plus the tenant
+/// table, renderable as a compact JSON artifact and parseable back.
+#[derive(Debug, Default)]
+pub struct RequestLog {
+    tenants: Vec<(String, f64)>,
+    by_name: BTreeMap<String, usize>,
+    records: Vec<RequestRecord>,
+    pending_retries: BTreeMap<(String, u64), u32>,
+}
+
+impl RequestLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Note that a failure re-routed a `tenant` request that originally
+    /// arrived at `arrived_ms`; the count attaches to a matching record
+    /// when a probe is absorbed.
+    pub fn note_retry(&mut self, tenant: &str, arrived_ms: f64) {
+        *self
+            .pending_retries
+            .entry((tenant.to_string(), arrived_ms.to_bits()))
+            .or_insert(0) += 1;
+    }
+
+    /// Merge a host probe's records (in its completion order), remapping
+    /// tenant indices by name and attaching any noted retries.
+    pub fn absorb(&mut self, probe: RequestProbe) {
+        let remap: Vec<usize> = probe
+            .tenants
+            .iter()
+            .map(|(name, slo_ms)| match self.by_name.get(name) {
+                Some(&i) => i,
+                None => {
+                    let i = self.tenants.len();
+                    self.tenants.push((name.clone(), *slo_ms));
+                    self.by_name.insert(name.clone(), i);
+                    i
+                }
+            })
+            .collect();
+        for mut r in probe.records {
+            let name = &self.tenants[remap[r.tenant]].0;
+            if !self.pending_retries.is_empty() {
+                if let Some(n) = self
+                    .pending_retries
+                    .remove(&(name.clone(), r.arrived_ms.to_bits()))
+                {
+                    r.retries = n;
+                }
+            }
+            r.tenant = remap[r.tenant];
+            self.records.push(r);
+        }
+    }
+
+    /// Number of tenants in the table.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Tenant `i`'s name.
+    pub fn tenant_name(&self, i: usize) -> &str {
+        &self.tenants[i].0
+    }
+
+    /// Tenant `i`'s SLO bound in milliseconds.
+    pub fn tenant_slo_ms(&self, i: usize) -> f64 {
+        self.tenants[i].1
+    }
+
+    /// Look a tenant index up by name.
+    pub fn tenant_index(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Every record, in absorb order (per-host completion order, hosts
+    /// in index order).
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no record has been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Retries noted but never matched to a record (a completed run
+    /// attributes every retry, so anything here signals a contract bug).
+    pub fn unattributed_retries(&self) -> u64 {
+        self.pending_retries.values().map(|&n| n as u64).sum()
+    }
+
+    /// The artifact as a JSON value:
+    /// `{format, version, tenants: [{name, slo_ms}], records: [[tenant,
+    /// host, die, arrived_ms, dispatch_ms, swap_ms, end_ms, retries]]}`.
+    pub fn to_json(&self) -> Value {
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|(name, slo_ms)| {
+                Value::object([
+                    ("name".to_string(), Value::String(name.clone())),
+                    ("slo_ms".to_string(), Value::Number(*slo_ms)),
+                ])
+            })
+            .collect();
+        let records = self
+            .records
+            .iter()
+            .map(|r| {
+                Value::Array(vec![
+                    Value::Number(r.tenant as f64),
+                    Value::Number(r.host as f64),
+                    Value::Number(r.die as f64),
+                    Value::Number(r.arrived_ms),
+                    Value::Number(r.dispatch_ms),
+                    Value::Number(r.swap_ms),
+                    Value::Number(r.end_ms),
+                    Value::Number(r.retries as f64),
+                ])
+            })
+            .collect();
+        Value::object([
+            (
+                "format".to_string(),
+                Value::String("tpu-request-log".to_string()),
+            ),
+            ("version".to_string(), Value::Number(1.0)),
+            ("tenants".to_string(), Value::Array(tenants)),
+            ("records".to_string(), Value::Array(records)),
+        ])
+    }
+
+    /// The artifact text the CLIs write: compact JSON plus a trailing
+    /// newline. Bit-identical across same-seed runs.
+    pub fn render(&self) -> String {
+        let mut s = serde_json::to_string(&self.to_json());
+        s.push('\n');
+        s
+    }
+
+    /// True when `v` looks like a rendered request log.
+    pub fn is_request_log_json(v: &Value) -> bool {
+        matches!(field(v, "format"), Some(Value::String(f)) if f == "tpu-request-log")
+    }
+
+    /// Parse a rendered artifact back.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the text is not valid JSON
+    /// or not a version-1 request log.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = serde_json::from_str(text).map_err(|e| format!("request log: {e:?}"))?;
+        Self::from_json(&v)
+    }
+
+    /// Build a log from an already-parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on a malformed document.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        if !Self::is_request_log_json(v) {
+            return Err("request log: missing `\"format\": \"tpu-request-log\"`".to_string());
+        }
+        match field(v, "version") {
+            Some(Value::Number(n)) if *n == 1.0 => {}
+            other => return Err(format!("request log: unsupported version {other:?}")),
+        }
+        let mut log = RequestLog::new();
+        let tenants = as_array(field(v, "tenants"), "tenants")?;
+        for (i, t) in tenants.iter().enumerate() {
+            let name = match field(t, "name") {
+                Some(Value::String(s)) => s.clone(),
+                _ => return Err(format!("request log: tenant {i} has no name")),
+            };
+            let slo_ms =
+                num(field(t, "slo_ms")).ok_or(format!("request log: tenant {i} slo_ms"))?;
+            log.by_name.insert(name.clone(), i);
+            log.tenants.push((name, slo_ms));
+        }
+        let records = as_array(field(v, "records"), "records")?;
+        for (i, rec) in records.iter().enumerate() {
+            let row = match rec {
+                Value::Array(row) if row.len() == 8 => row,
+                _ => return Err(format!("request log: record {i} is not an 8-field row")),
+            };
+            let f = |j: usize| num(row.get(j)).ok_or(format!("request log: record {i} field {j}"));
+            let tenant = f(0)? as usize;
+            if tenant >= log.tenants.len() {
+                return Err(format!(
+                    "request log: record {i} tenant {tenant} out of range"
+                ));
+            }
+            log.records.push(RequestRecord {
+                tenant,
+                host: f(1)? as u32,
+                die: f(2)? as u32,
+                arrived_ms: f(3)?,
+                dispatch_ms: f(4)?,
+                swap_ms: f(5)?,
+                end_ms: f(6)?,
+                retries: f(7)? as u32,
+            });
+        }
+        Ok(log)
+    }
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Object(map) => map.get(key),
+        _ => None,
+    }
+}
+
+fn num(v: Option<&Value>) -> Option<f64> {
+    match v {
+        Some(Value::Number(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn as_array<'a>(v: Option<&'a Value>, key: &str) -> Result<&'a Vec<Value>, String> {
+    match v {
+        Some(Value::Array(a)) => Ok(a),
+        _ => Err(format!("request log: `{key}` is not an array")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// (tenant, slo, start, swap, end, arrivals) per batch.
+    type BatchSpec<'a> = (&'a str, f64, f64, f64, f64, &'a [f64]);
+
+    fn probe_with(host: u32, batches: &[BatchSpec]) -> RequestProbe {
+        let mut p = RequestProbe::new(host);
+        for &(tenant, slo, start, swap, end, arrivals) in batches {
+            p.batch_complete(0, tenant, slo, start, swap, end, arrivals);
+        }
+        p
+    }
+
+    #[test]
+    fn absorb_merges_tenant_tables_by_name() {
+        let mut log = RequestLog::new();
+        log.absorb(probe_with(
+            0,
+            &[
+                ("MLP0", 7.0, 1.0, 0.0, 2.0, &[0.5]),
+                ("LSTM0", 10.0, 3.0, 0.5, 5.0, &[2.0]),
+            ],
+        ));
+        log.absorb(probe_with(
+            1,
+            &[("LSTM0", 10.0, 4.0, 0.0, 6.0, &[3.0, 3.5])],
+        ));
+        assert_eq!(log.tenant_count(), 2);
+        assert_eq!(log.tenant_index("LSTM0"), Some(1));
+        assert_eq!(log.tenant_slo_ms(1), 10.0);
+        assert_eq!(log.len(), 4);
+        // Host 1's LSTM0 records were remapped onto the merged index.
+        assert!(log.records()[2..]
+            .iter()
+            .all(|r| r.tenant == 1 && r.host == 1));
+    }
+
+    #[test]
+    fn retries_join_on_exact_arrival_bits() {
+        let mut log = RequestLog::new();
+        log.note_retry("MLP0", 0.5);
+        log.note_retry("MLP0", 0.5);
+        log.note_retry("MLP0", 99.0); // never completes
+        log.absorb(probe_with(0, &[("MLP0", 7.0, 1.0, 0.0, 2.0, &[0.5, 0.75])]));
+        assert_eq!(log.records()[0].retries, 2);
+        assert_eq!(log.records()[1].retries, 0);
+        assert_eq!(log.unattributed_retries(), 1);
+    }
+
+    #[test]
+    fn components_decompose_the_latency() {
+        let r = RequestRecord {
+            tenant: 0,
+            host: 0,
+            die: 3,
+            arrived_ms: 1.0,
+            dispatch_ms: 4.0,
+            swap_ms: 2.0,
+            end_ms: 10.0,
+            retries: 0,
+        };
+        assert_eq!(r.queue_ms(), 3.0);
+        assert_eq!(r.service_ms(), 4.0);
+        assert_eq!(r.latency_ms(), 9.0);
+        assert_eq!(r.queue_ms() + r.swap_ms + r.service_ms(), r.latency_ms());
+    }
+
+    #[test]
+    fn render_round_trips_and_is_deterministic() {
+        let build = || {
+            let mut log = RequestLog::new();
+            log.note_retry("B", 2.25);
+            log.absorb(probe_with(
+                0,
+                &[
+                    ("A", 7.0, 1.0, 0.0, 2.0, &[0.5]),
+                    ("B", 10.0, 3.0, 0.5, 5.0, &[2.25]),
+                ],
+            ));
+            log
+        };
+        let text = build().render();
+        assert_eq!(text, build().render(), "render must be deterministic");
+        assert!(text.ends_with('\n'));
+        let parsed = RequestLog::parse(&text).expect("round trip");
+        assert_eq!(parsed.records(), build().records());
+        assert_eq!(parsed.tenant_count(), 2);
+        assert_eq!(parsed.records()[1].retries, 1);
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(RequestLog::parse("not json").is_err());
+        assert!(RequestLog::parse("{\"format\":\"other\"}").is_err());
+        assert!(RequestLog::parse("{\"format\":\"tpu-request-log\",\"version\":2}").is_err());
+        let bad_row = r#"{"format":"tpu-request-log","version":1,"tenants":[],"records":[[1,2]]}"#;
+        assert!(RequestLog::parse(bad_row).is_err());
+        let bad_tenant = r#"{"format":"tpu-request-log","version":1,"tenants":[],"records":[[0,0,0,0,0,0,0,0]]}"#;
+        assert!(RequestLog::parse(bad_tenant).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! Shared latency statistics: the exact percentile index rule used by
+//! every report, and a bounded-memory streaming percentile sketch.
+//!
+//! [`percentile`] is the single home of the nearest-rank-on-`n-1`
+//! indexing rule; `tpu_serve::report` re-exports it so the serving and
+//! fleet reports (and the analyzer) cannot drift apart.
+//!
+//! [`LatencySketch`] is an HDR-style log-bucketed histogram: values are
+//! quantized to a fixed unit, small values get one bucket per unit, and
+//! larger values share exponentially wider buckets that each hold at
+//! most `2^(1-SUB_BUCKET_BITS)` relative error. Memory is bounded by
+//! the bucket count (a few thousand `u64`s regardless of sample count),
+//! sketches merge by bucket-wise addition, and every operation is
+//! integer arithmetic, so estimates are bit-identical across platforms.
+
+/// The percentile `p` in `[0, 1]` of an ascending-sorted slice, using
+/// the nearest-rank index `((len - 1) * p).floor()` — the exact rule the
+/// serving and fleet reports pin in their goldens.
+///
+/// Returns `0.0` for an empty slice.
+///
+/// # Panics
+///
+/// Panics when `p` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_telemetry::stats::percentile;
+///
+/// let sorted = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&sorted, 0.5), 2.0);
+/// assert_eq!(percentile(&sorted, 1.0), 4.0);
+/// ```
+pub fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "percentile {p} outside [0, 1]");
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p) as usize;
+    sorted_ms[idx]
+}
+
+/// Sub-bucket resolution: each power-of-two range is split into
+/// `2^SUB_BUCKET_BITS` buckets, bounding relative quantization error at
+/// `2^(1 - SUB_BUCKET_BITS)` = 1/128 ≈ 0.78%.
+const SUB_BUCKET_BITS: u32 = 8;
+const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+
+/// The quantization unit: 0.1 microseconds of simulated time. Values
+/// below one unit land in bucket zero.
+const UNIT_MS: f64 = 1e-4;
+
+/// Values are clamped to this many units before bucketing (~10^14 ms,
+/// far beyond any simulated makespan) so the bucket index — and with it
+/// the sketch's memory — stays bounded.
+const MAX_UNITS: u64 = 1 << 50;
+
+/// An HDR-style log-bucketed latency histogram with bounded memory.
+///
+/// `observe` quantizes a sample to [`LatencySketch::unit_ms`] and
+/// increments one bucket; `percentile` walks the cumulative counts with
+/// the same nearest-rank index rule as [`percentile`] and returns the
+/// bucket's upper edge, so estimates never under-report and exceed the
+/// exact value by at most `exact / 128 + unit_ms`.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_telemetry::stats::LatencySketch;
+///
+/// let mut s = LatencySketch::new();
+/// for v in 1..=1000 {
+///     s.observe(v as f64 * 0.1);
+/// }
+/// // The exact p99 (same index rule as `percentile`) is 99.0.
+/// let p99 = s.percentile(0.99);
+/// assert!(p99 >= 99.0 && p99 <= 99.0 * 1.01 + 2.0 * s.unit_ms());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencySketch {
+    counts: Vec<u64>,
+    count: u64,
+}
+
+impl LatencySketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The quantization unit in milliseconds (the absolute error floor).
+    pub fn unit_ms(&self) -> f64 {
+        UNIT_MS
+    }
+
+    /// Samples observed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no samples have been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Buckets currently allocated (the memory bound in `u64`s).
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn index_of(units: u64) -> usize {
+        if units < SUB_BUCKETS {
+            return units as usize;
+        }
+        // msb >= SUB_BUCKET_BITS here, so shift >= 1 and the sub-bucket
+        // lands in [SUB_BUCKETS/2, SUB_BUCKETS): indices stay contiguous
+        // across the power-of-two boundaries.
+        let msb = 63 - units.leading_zeros();
+        let shift = msb - (SUB_BUCKET_BITS - 1);
+        (shift as u64 * (SUB_BUCKETS / 2) + (units >> shift)) as usize
+    }
+
+    /// The exclusive upper edge of bucket `index`, in units.
+    fn upper_units(index: usize) -> u64 {
+        let index = index as u64;
+        if index < SUB_BUCKETS {
+            return index + 1;
+        }
+        let shift = index / (SUB_BUCKETS / 2) - 1;
+        let sub = index - shift * (SUB_BUCKETS / 2);
+        (sub + 1) << shift
+    }
+
+    /// Record one latency sample. Non-finite and negative values count
+    /// as zero.
+    pub fn observe(&mut self, value_ms: f64) {
+        let units = if value_ms.is_finite() && value_ms > 0.0 {
+            ((value_ms / UNIT_MS) as u64).min(MAX_UNITS)
+        } else {
+            0
+        };
+        let idx = Self::index_of(units);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.count += 1;
+    }
+
+    /// The estimated percentile `p` in `[0, 1]`: the upper edge of the
+    /// bucket holding the nearest-rank sample (so the estimate is an
+    /// upper bound within `exact / 128 + unit_ms`). Returns `0.0` when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "percentile {p} outside [0, 1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((self.count as f64 - 1.0) * p) as u64;
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum > rank {
+                return Self::upper_units(idx) as f64 * UNIT_MS;
+            }
+        }
+        // Unreachable while count equals the bucket sum; keep a sane
+        // fallback rather than panicking on an internal inconsistency.
+        Self::upper_units(self.counts.len().saturating_sub(1)) as f64 * UNIT_MS
+    }
+
+    /// Add every bucket of `other` into `self` (distribution union).
+    pub fn merge(&mut self, other: &LatencySketch) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.count += other.count;
+    }
+
+    /// Forget every sample but keep the allocation.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_uses_the_report_index_rule() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.0), 7.0);
+        assert_eq!(percentile(&[7.0], 1.0), 7.0);
+        let sorted: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 0.5), 49.0);
+        assert_eq!(percentile(&sorted, 0.95), 94.0);
+        assert_eq!(percentile(&sorted, 0.99), 98.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn percentile_rejects_out_of_range() {
+        let _ = percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn bucket_indices_are_contiguous_and_monotone() {
+        let mut last = None;
+        // Walk unit values across several power-of-two boundaries; the
+        // bucket index must never decrease and never skip more than one.
+        for units in 0..(SUB_BUCKETS * 8) {
+            let idx = LatencySketch::index_of(units);
+            if let Some(prev) = last {
+                assert!(
+                    idx == prev || idx == prev + 1,
+                    "units {units}: {prev} -> {idx}"
+                );
+            }
+            assert!(
+                units < LatencySketch::upper_units(idx),
+                "units {units} below upper edge of its bucket {idx}"
+            );
+            last = Some(idx);
+        }
+    }
+
+    #[test]
+    fn estimate_bounds_the_exact_value_from_above() {
+        let mut s = LatencySketch::new();
+        let mut vals: Vec<f64> = (1..=999).map(|i| (i as f64) * 0.731).collect();
+        for &v in &vals {
+            s.observe(v);
+        }
+        vals.sort_by(f64::total_cmp);
+        for p in [0.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = percentile(&vals, p);
+            let est = s.percentile(p);
+            assert!(est >= exact, "p{p}: est {est} < exact {exact}");
+            assert!(
+                est <= exact * (1.0 + 1.0 / 128.0) + 2.0 * UNIT_MS,
+                "p{p}: est {est} too far above exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_observing_the_union() {
+        let all: Vec<f64> = (0..500).map(|i| (i as f64) * 1.37 + 0.05).collect();
+        let mut whole = LatencySketch::new();
+        let (mut a, mut b) = (LatencySketch::new(), LatencySketch::new());
+        for (i, &v) in all.iter().enumerate() {
+            whole.observe(v);
+            if i % 2 == 0 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.count(), 500);
+    }
+
+    #[test]
+    fn memory_stays_bounded_for_huge_values() {
+        let mut s = LatencySketch::new();
+        s.observe(0.0);
+        s.observe(-5.0);
+        s.observe(f64::NAN);
+        s.observe(1e13);
+        assert!(s.buckets() < 8_000, "buckets {}", s.buckets());
+        assert_eq!(s.count(), 4);
+        // The three degenerate samples all landed in bucket zero.
+        assert_eq!(s.percentile(0.5), UNIT_MS);
+        s.reset();
+        assert!(s.is_empty());
+        assert_eq!(s.percentile(0.99), 0.0);
+    }
+}

@@ -30,11 +30,18 @@
 //!   the `tpu_cluster` binary.
 //! * [`tpu_telemetry`] — opt-in observability for both simulators:
 //!   causal request tracing to Chrome trace-event JSON, cadence-based
-//!   time-series probes, and engine self-profiling. Off by default;
-//!   instruments observe sim time only and never perturb a run.
+//!   time-series probes, per-request record logs, streaming percentile
+//!   sketches, and engine self-profiling. Off by default; instruments
+//!   observe sim time only and never perturb a run.
+//! * [`tpu_analyze`] — post-hoc analysis over telemetry artifacts:
+//!   per-tenant latency attribution (queue / swap / service phases,
+//!   tail breakdowns, SLO burn windows) and run-to-run diffing with
+//!   seed-replicate spread. Run it with the `tpu_analyze` binary or the
+//!   CLIs' `analyze` subcommands.
 
 #![warn(missing_docs)]
 
+pub use tpu_analyze;
 pub use tpu_asm;
 pub use tpu_cluster;
 pub use tpu_compiler;

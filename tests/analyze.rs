@@ -1,0 +1,261 @@
+//! The analyzer contract, end to end:
+//!
+//! * **Attribution reconciles with the report** — `tpu_analyze`'s
+//!   per-tenant decomposition of a `colocate-interference` request log
+//!   matches the fleet report bit-for-bit on every shared counter
+//!   (requests, retries, batches, swaps) and to float round-off on
+//!   every shared statistic (mean, p50/p95/p99, SLO attainment, swap
+//!   stall), and the queue/swap/service phases sum back to end-to-end
+//!   latency;
+//! * **Retries reconcile under failures** — in `host-failover` the
+//!   log's retry attribution matches the report's retry counters;
+//! * **The sketch bounds the exact percentile** — `LatencySketch`
+//!   estimates sit in `[exact, exact * (1 + 1/128) + 2 units]` for
+//!   arbitrary sample sets (proptest);
+//! * **Diffing round-trips** — a rendered request log summarizes
+//!   identically to its in-memory form, and a multi-document capture
+//!   splits back into labeled runs.
+
+use proptest::prelude::*;
+use tpu_repro::tpu_analyze::{diff_runs, load_summaries, summarize_log, Attribution, RunSummary};
+use tpu_repro::tpu_cluster::{self, FleetRun};
+use tpu_repro::tpu_core::TpuConfig;
+use tpu_repro::tpu_telemetry::stats::{percentile, LatencySketch};
+use tpu_repro::tpu_telemetry::{RequestLog, RunTelemetry, TelemetryConfig};
+
+/// The golden scale: small enough to be fast, large enough to batch,
+/// swap, and retry (same as `tests/telemetry.rs`).
+const SCALE: f64 = 0.05;
+
+fn requests_only(runs: usize) -> Vec<RunTelemetry> {
+    let cfg = TelemetryConfig {
+        trace: false,
+        metrics: None,
+        requests: true,
+        profile: false,
+    };
+    (0..runs).map(|_| RunTelemetry::from_config(&cfg)).collect()
+}
+
+/// Run a fleet scenario with the record stream on and pair each run's
+/// report with its request log.
+fn fleet_logs_at(name: &str, scale: f64) -> Vec<(String, FleetRun, RequestLog)> {
+    let cfg = TpuConfig::paper();
+    let s = tpu_cluster::scenario_by_name(name)
+        .expect("scenario exists")
+        .scale_requests(scale);
+    let mut tels = requests_only(s.runs.len());
+    let results = s.execute_telemetry(&cfg, &mut tels);
+    results
+        .into_iter()
+        .zip(tels)
+        .map(|((label, run), tel)| (label, run, tel.requests.expect("request log on")))
+        .collect()
+}
+
+fn fleet_logs(name: &str) -> Vec<(String, FleetRun, RequestLog)> {
+    fleet_logs_at(name, SCALE)
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-6
+}
+
+#[test]
+fn colocate_attribution_reconciles_with_fleet_report() {
+    for (label, run, log) in fleet_logs("colocate-interference") {
+        let a = Attribution::from_log(&log, None);
+        assert_eq!(
+            a.total_requests,
+            run.report.tenants.iter().map(|t| t.requests).sum::<usize>(),
+            "{label}: every served request must have a record"
+        );
+        assert_eq!(
+            a.tenants.len(),
+            run.report.tenants.len(),
+            "{label}: tenant sets must match"
+        );
+        let mut saw_swaps = false;
+        for tr in &run.report.tenants {
+            let ta = a
+                .tenants
+                .iter()
+                .find(|t| t.name == tr.name)
+                .unwrap_or_else(|| panic!("{label}: tenant {} missing from log", tr.name));
+            // Counters are bit-exact.
+            assert_eq!(ta.requests, tr.requests, "{label}/{}: requests", tr.name);
+            assert_eq!(
+                ta.retries, tr.retries as u64,
+                "{label}/{}: retries",
+                tr.name
+            );
+            assert_eq!(ta.batches, tr.batches, "{label}/{}: batches", tr.name);
+            assert_eq!(ta.batch_swaps, tr.swaps, "{label}/{}: swaps", tr.name);
+            // Statistics agree to float round-off (both sides are full
+            // precision; only the JSON renderings round).
+            assert!(
+                close(ta.batch_swap_ms, tr.swap_ms),
+                "{label}/{}: swap stall {} vs report {}",
+                tr.name,
+                ta.batch_swap_ms,
+                tr.swap_ms
+            );
+            assert!(close(ta.mean_ms, tr.mean_ms), "{label}/{}: mean", tr.name);
+            assert!(
+                close(ta.p50.latency_ms, tr.p50_ms),
+                "{label}/{}: p50",
+                tr.name
+            );
+            assert!(
+                close(ta.p95.latency_ms, tr.p95_ms),
+                "{label}/{}: p95",
+                tr.name
+            );
+            assert!(
+                close(ta.p99.latency_ms, tr.p99_ms),
+                "{label}/{}: p99",
+                tr.name
+            );
+            assert!(
+                close(ta.slo_attainment, tr.slo_attainment),
+                "{label}/{}: attainment",
+                tr.name
+            );
+            // The decomposition is lossless: queue + swap + service sum
+            // back to total end-to-end latency (= mean × requests).
+            let phases = ta.queue_ms + ta.swap_ms + ta.service_ms;
+            assert!(
+                close(phases, ta.latency_ms) && close(phases, tr.mean_ms * tr.requests as f64),
+                "{label}/{}: phases {phases} vs latency {}",
+                tr.name,
+                ta.latency_ms
+            );
+            // The tail is a subset of the phase totals.
+            assert!(ta.tail.requests >= 1 && ta.tail.requests <= ta.requests);
+            assert!(ta.tail.queue_ms <= ta.queue_ms + 1e-9);
+            assert!(ta.tail.swap_ms <= ta.swap_ms + 1e-9);
+            assert!(ta.tail.service_ms <= ta.service_ms + 1e-9);
+            saw_swaps |= tr.swaps > 0;
+        }
+        assert!(saw_swaps, "{label}: the co-located scenario must swap");
+        // Die occupancy covers exactly the batches the hosts report.
+        let die_batches: usize = a.dies.iter().map(|d| d.batches).sum();
+        let host_batches: usize = run.report.hosts.iter().map(|h| h.batches).sum();
+        assert_eq!(die_batches, host_batches, "{label}: batch totals");
+        for d in &a.dies {
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&d.occupancy),
+                "{label}: die {}/{} occupancy {}",
+                d.host,
+                d.die,
+                d.occupancy
+            );
+        }
+        // Burn windows partition the request stream.
+        let windowed: usize = a.windows.iter().map(|w| w.requests).sum();
+        assert_eq!(windowed, a.total_requests, "{label}: window coverage");
+    }
+}
+
+#[test]
+fn failover_retries_reconcile_with_the_report() {
+    let mut fleet_retried = false;
+    // The injected crash only catches requests in flight at a larger
+    // scale; 0.05 drains before the outage lands.
+    for (label, run, log) in fleet_logs_at("host-failover", 0.2) {
+        let a = Attribution::from_log(&log, None);
+        for tr in &run.report.tenants {
+            let ta = a
+                .tenants
+                .iter()
+                .find(|t| t.name == tr.name)
+                .unwrap_or_else(|| panic!("{label}: tenant {} missing from log", tr.name));
+            assert_eq!(
+                ta.retries, tr.retries as u64,
+                "{label}/{}: retry attribution must match the report",
+                tr.name
+            );
+            fleet_retried |= tr.retries > 0;
+        }
+        assert_eq!(log.unattributed_retries(), 0, "{label}: orphan retries");
+    }
+    assert!(fleet_retried, "host-failover must retry at least once");
+}
+
+#[test]
+fn summaries_survive_the_render_parse_round_trip() {
+    let (label, _, log) = fleet_logs("fleet-steady").remove(0);
+    let reparsed = RequestLog::parse(&log.render()).expect("rendered log parses");
+    assert_eq!(
+        log.render(),
+        reparsed.render(),
+        "{label}: render must be a fixed point"
+    );
+    let a = RunSummary {
+        label: label.clone(),
+        tenants: summarize_log(&log),
+    };
+    let b = RunSummary {
+        label: label.clone(),
+        tenants: summarize_log(&reparsed),
+    };
+    assert_eq!(a.tenants, b.tenants, "{label}: summaries must agree");
+    // A self-diff is all zeros.
+    let d = diff_runs(&a, &b);
+    for t in &d.tenants {
+        assert_eq!(t.d_mean_ms(), 0.0, "{}: self-diff mean", t.name);
+        assert_eq!(t.d_p99_ms(), 0.0, "{}: self-diff p99", t.name);
+        assert_eq!(
+            t.d_slo_attainment(),
+            0.0,
+            "{}: self-diff attainment",
+            t.name
+        );
+    }
+    assert!(d.only_base.is_empty() && d.only_cand.is_empty());
+}
+
+#[test]
+fn load_summaries_splits_labeled_multi_run_captures() {
+    let logs = fleet_logs("colocate-interference");
+    assert!(logs.len() >= 2, "scenario has two policy runs");
+    let mut capture = String::from("== colocate-interference — policies\n");
+    for (label, _, log) in &logs {
+        capture.push_str(&format!("\n-- {label}\n{}", log.render()));
+    }
+    let runs = load_summaries(&capture).expect("capture splits");
+    assert_eq!(runs.len(), logs.len(), "one summary per document");
+    for (run, (label, _, log)) in runs.iter().zip(&logs) {
+        assert_eq!(&run.label, label, "labels come from the -- lines");
+        assert_eq!(
+            run.tenants,
+            summarize_log(log),
+            "{label}: extracted summary matches the direct one"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sketch_percentiles_bound_the_exact_value(
+        samples in prop::collection::vec(0.0f64..5000.0, 1..500)
+    ) {
+        let mut sketch = LatencySketch::new();
+        for &v in &samples {
+            sketch.observe(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        for p in [0.5, 0.95, 0.99] {
+            let exact = percentile(&sorted, p);
+            let est = sketch.percentile(p);
+            prop_assert!(est >= exact, "p{p}: est {est} under-reports exact {exact}");
+            prop_assert!(
+                est <= exact * (1.0 + 1.0 / 128.0) + 2.0 * sketch.unit_ms(),
+                "p{p}: est {est} too far above exact {exact}"
+            );
+        }
+    }
+}

@@ -26,6 +26,7 @@ fn full_config() -> TelemetryConfig {
     TelemetryConfig {
         trace: true,
         metrics: Some(MetricsConfig::default()),
+        requests: true,
         profile: true,
     }
 }
@@ -161,6 +162,10 @@ fn artifacts(seed: u64) -> Vec<String> {
         let metrics_text = serde_json::to_string_pretty(&m.to_json());
         serde_json::from_str(&metrics_text).expect("metrics JSON parses");
         out.push(metrics_text);
+        let log = t.requests.as_ref().expect("request log on");
+        let log_text = log.render();
+        tpu_repro::tpu_telemetry::RequestLog::parse(&log_text).expect("request log parses");
+        out.push(log_text);
         out.push(t.profile.as_ref().expect("profile on").lines().join("\n"));
     }
     out
