@@ -61,6 +61,31 @@ fn arrival_source_throughput(c: &mut Criterion) {
             b.iter(|| black_box(drain(src.as_mut())))
         });
     }
+    // The pre-batching inversion sampler, inlined as a reference: one
+    // `1000/rate` divide and one `ln` per draw, no pre-drawn uniform
+    // block. The gap between this row and `poisson` is the win from
+    // hoisting the divide and batching the log transform (the shipped
+    // sampler is pinned bit-identical to this form by a unit test).
+    {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        println!("workload_arrivals/poisson-naive: {ARRIVALS} arrivals per iteration");
+        group.bench_with_input(
+            BenchmarkId::new("poisson-naive", ARRIVALS),
+            &ARRIVALS,
+            |b, &n| {
+                b.iter(|| {
+                    let mut now = 0.0f64;
+                    for _ in 0..n {
+                        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        now += -u.ln() * (1000.0 / 200_000.0);
+                    }
+                    black_box(now)
+                })
+            },
+        );
+    }
     // Trace replay: record a diurnal stream once, then replay it.
     let (_, diurnal) = sources().pop().expect("diurnal is last");
     let mut recorded = diurnal.source("bench", ARRIVALS, 42);

@@ -29,16 +29,22 @@
 //! `tpu_analyze` attribution throughput over a 100k-record request log
 //! (gated on log depth and a finite positive rate).
 //!
+//! The `sharded` rows measure the multi-core fleet engine against the
+//! forced single-threaded reference (`TPU_CLUSTER_ENGINE=single`) on
+//! the cell-structured sweep workload, asserting bit-identical reports
+//! on every run; `--check` enforces a ≥2x absolute floor at 1000 hosts
+//! on machines with ≥4 cores (skipped, loudly, below that).
+//!
 //! ```text
 //! bench_cluster [--out FILE] [--check FILE] [--tolerance F]
 //!               [--budget-ms N] [--hosts A,B,C]
-//!               [--no-colocate] [--no-telemetry] [--no-analyze]
+//!               [--no-colocate] [--no-telemetry] [--no-analyze] [--no-sharded]
 //! ```
 
 use std::process::ExitCode;
 use std::time::Instant;
 use tpu_analyze::Attribution;
-use tpu_bench::{colocate_fleet, fleet_tenants};
+use tpu_bench::{colocate_fleet, fleet_tenants, sweep_fleet};
 use tpu_cluster::{
     run_fleet, run_fleet_telemetry, FleetRun, FleetSpec, FleetTenantSpec, HopModel, RouterPolicy,
 };
@@ -63,10 +69,22 @@ const ANALYZE_HOSTS: usize = 50;
 /// the measured records/sec reflects a real artifact, not a toy.
 const ANALYZE_MIN_RECORDS: usize = 100_000;
 
+/// Fleet sizes of the sharded-engine (single vs multi-core) rows.
+const SHARDED_HOSTS: [usize; 2] = [100, 1_000];
+
+/// The sharded gate's fleet size and speedup floor, enforced only on
+/// machines with at least [`SHARDED_GATE_MIN_CORES`] cores — below
+/// that the parallel win is mostly locality and the floor would gate
+/// the hardware, not the code.
+const SHARDED_GATE_HOSTS: usize = 1_000;
+const SHARDED_GATE_MIN_SPEEDUP: f64 = 2.0;
+const SHARDED_GATE_MIN_CORES: usize = 4;
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bench_cluster [--out FILE] [--check FILE] [--tolerance F] \
-         [--budget-ms N] [--hosts A,B,C] [--no-colocate] [--no-telemetry] [--no-analyze]"
+         [--budget-ms N] [--hosts A,B,C] [--no-colocate] [--no-telemetry] [--no-analyze] \
+         [--no-sharded]"
     );
     ExitCode::from(2)
 }
@@ -174,6 +192,26 @@ impl Row {
     }
 }
 
+/// The sharded-engine measurement: the same cell-structured workload
+/// (`tpu_bench::sweep_fleet`, one component per 10-host cell) under
+/// the forced single-threaded reference and the sharded multi-core
+/// engine, in one process. The two are bit-identical in their reports
+/// — asserted on every run; that is the engine's determinism contract
+/// — so the same-run ratio is a like-for-like measurement of the
+/// parallel (plus per-shard locality) win.
+struct ShardedRow {
+    hosts: usize,
+    events: u64,
+    single_eps: f64,
+    sharded_eps: f64,
+}
+
+impl ShardedRow {
+    fn speedup(&self) -> f64 {
+        self.sharded_eps / self.single_eps
+    }
+}
+
 /// The telemetry overhead measurement: the same workload with
 /// instruments off (the default hot path every golden runs) and fully
 /// on, in one process. `on_cost` is the machine-independent same-run
@@ -220,6 +258,7 @@ struct AnalyzeRow {
 fn rows_to_json(
     rows: &[Row],
     colocate: Option<&Row>,
+    sharded: &[ShardedRow],
     telemetry: Option<&TelemetryRow>,
     request_log: Option<&RequestLogRow>,
     analyze: Option<&AnalyzeRow>,
@@ -291,6 +330,52 @@ fn rows_to_json(
                 (
                     "speedup".to_string(),
                     Value::Number((c.speedup() * 100.0).round() / 100.0),
+                ),
+            ]),
+        ));
+    }
+    if !sharded.is_empty() {
+        fields.push((
+            "sharded".to_string(),
+            Value::object([
+                (
+                    "workload".to_string(),
+                    Value::String(
+                        "MLP0 per 10-host cell, one shard per cell, 2 dies/host".to_string(),
+                    ),
+                ),
+                (
+                    "workers".to_string(),
+                    Value::Number(available_cores() as f64),
+                ),
+                (
+                    "rows".to_string(),
+                    Value::Array(
+                        sharded
+                            .iter()
+                            .map(|r| {
+                                Value::object([
+                                    ("hosts".to_string(), Value::Number(r.hosts as f64)),
+                                    (
+                                        "events_per_iteration".to_string(),
+                                        Value::Number(r.events as f64),
+                                    ),
+                                    (
+                                        "single_events_per_sec".to_string(),
+                                        Value::Number(r.single_eps.round()),
+                                    ),
+                                    (
+                                        "events_per_sec".to_string(),
+                                        Value::Number(r.sharded_eps.round()),
+                                    ),
+                                    (
+                                        "speedup".to_string(),
+                                        Value::Number((r.speedup() * 100.0).round() / 100.0),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
                 ),
             ]),
         ));
@@ -378,6 +463,13 @@ fn committed_on_cost(doc: &serde_json::Value, section: &str) -> Option<f64> {
     }
 }
 
+/// The worker pool the sharded engine will actually use.
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Pull `hosts[i].speedup` for a fleet size out of a committed report.
 fn committed_speedup(doc: &serde_json::Value, hosts: usize) -> Option<f64> {
     let serde_json::Value::Object(top) = doc else {
@@ -409,6 +501,7 @@ fn main() -> ExitCode {
     let mut budget_ms = 1_500u64;
     let mut hosts_list = vec![1usize, 10, 100];
     let mut run_colocate = true;
+    let mut run_sharded = true;
     let mut run_telemetry_row = true;
     let mut run_analyze = true;
 
@@ -445,6 +538,7 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--no-colocate" => run_colocate = false,
+            "--no-sharded" => run_sharded = false,
             "--no-telemetry" => run_telemetry_row = false,
             "--no-analyze" => run_analyze = false,
             _ => return usage(),
@@ -521,6 +615,44 @@ fn main() -> ExitCode {
         Some(row)
     } else {
         None
+    };
+
+    // The sharded-engine pair: the cell-structured sweep workload under
+    // the forced single-threaded reference, then the forced sharded
+    // engine (workers = available cores). Bit-identity is the contract;
+    // it is asserted on every size.
+    let sharded_rows: Vec<ShardedRow> = if run_sharded {
+        let mut out = Vec::new();
+        for hosts in SHARDED_HOSTS {
+            let (spec, tenants) = sweep_fleet(hosts, REQUESTS_PER_HOST * hosts);
+
+            std::env::set_var("TPU_CLUSTER_ENGINE", "single");
+            let (single_eps, events, single_run) = measure(&spec, &tenants, &cfg, budget_ms);
+
+            std::env::set_var("TPU_CLUSTER_ENGINE", "sharded");
+            let (sharded_eps, _, sharded_run) = measure(&spec, &tenants, &cfg, budget_ms);
+            std::env::remove_var("TPU_CLUSTER_ENGINE");
+
+            assert_eq!(
+                single_run, sharded_run,
+                "sharded and single-threaded engines must be bit-identical (hosts={hosts})"
+            );
+
+            let row = ShardedRow {
+                hosts,
+                events,
+                single_eps,
+                sharded_eps,
+            };
+            println!(
+                "sharded hosts={:<4} events/iter={:<8} single={:>12.0} ev/s  sharded={:>12.0} ev/s  speedup={:.2}x  workers={}",
+                row.hosts, row.events, row.single_eps, row.sharded_eps, row.speedup(), available_cores()
+            );
+            out.push(row);
+        }
+        out
+    } else {
+        Vec::new()
     };
 
     // The telemetry overhead pair: the default path (instruments off —
@@ -624,6 +756,7 @@ fn main() -> ExitCode {
     let doc = rows_to_json(
         &rows,
         colocate_row.as_ref(),
+        &sharded_rows,
         telemetry_row.as_ref(),
         request_log_row.as_ref(),
         analyze_row.as_ref(),
@@ -741,6 +874,34 @@ fn main() -> ExitCode {
                 "gate ok for analyze: {} records at {:.0} records/s",
                 a.records, a.records_per_sec
             );
+        }
+        // The sharded gate is an absolute floor, not committed-relative:
+        // on a machine with enough cores, the multi-core engine must
+        // beat the single-threaded reference by at least 2x at 1000
+        // hosts. Below the core threshold the floor would measure the
+        // hardware, not the code, so it is skipped (and says so).
+        if let Some(row) = sharded_rows.iter().find(|r| r.hosts == SHARDED_GATE_HOSTS) {
+            let cores = available_cores();
+            if cores < SHARDED_GATE_MIN_CORES {
+                println!(
+                    "gate skipped for sharded: {cores} core(s) < {SHARDED_GATE_MIN_CORES} \
+                     (measured {:.2}x at {SHARDED_GATE_HOSTS} hosts, informational)",
+                    row.speedup()
+                );
+            } else if row.speedup() < SHARDED_GATE_MIN_SPEEDUP {
+                eprintln!(
+                    "bench_cluster: REGRESSION: sharded speedup {:.2}x at {SHARDED_GATE_HOSTS} \
+                     hosts fell below the {SHARDED_GATE_MIN_SPEEDUP:.1}x floor on {cores} cores",
+                    row.speedup()
+                );
+                return ExitCode::FAILURE;
+            } else {
+                println!(
+                    "gate ok for sharded: {:.2}x >= {SHARDED_GATE_MIN_SPEEDUP:.1}x at \
+                     {SHARDED_GATE_HOSTS} hosts on {cores} cores",
+                    row.speedup()
+                );
+            }
         }
     }
     ExitCode::SUCCESS

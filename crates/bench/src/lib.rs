@@ -99,6 +99,36 @@ pub fn colocate_fleet(hosts: usize, requests: usize) -> (FleetSpec, Vec<FleetTen
     (spec, tenants)
 }
 
+/// The cell-structured fleet load behind the sharded-engine rows: one
+/// MLP0 tenant spread over each disjoint 10-host cell (the
+/// `fleet-sweep` scenario's shape), so the tenant↔host graph has one
+/// connected component per cell and the parallel engine can shard it
+/// across cores. Each cell runs at ~50% of its pooled capacity;
+/// `requests` is the fleet-wide total, split evenly across cells.
+///
+/// # Panics
+///
+/// Panics when `hosts` is below 20 (fewer than two cells shard into
+/// nothing).
+pub fn sweep_fleet(hosts: usize, requests: usize) -> (FleetSpec, Vec<FleetTenantSpec>) {
+    assert!(hosts >= 20, "sweep_fleet needs at least two 10-host cells");
+    let cells = hosts / 10;
+    let spec = FleetSpec::new(hosts, 2, 42)
+        .with_router(RouterPolicy::LeastOutstanding)
+        .with_hop(HopModel::Table5 { scale_ms: 1.0 });
+    let per_die = ServiceCurve::tpu_mlp0_table4().capacity_ips(200);
+    let rate = 0.5 * 10.0 * 2.0 * per_die;
+    let tenants = (0..cells)
+        .map(|c| {
+            FleetTenantSpec::new(
+                mlp0_tenant(rate, (requests / cells).max(1)).named(&format!("cell{c:03}")),
+                10,
+            )
+        })
+        .collect();
+    (spec, tenants)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

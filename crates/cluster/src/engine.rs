@@ -24,6 +24,7 @@ use crate::failure::FailureKind;
 use crate::fleet::{plan_placement, tenant_swap_ms, FleetSpec, FleetTenantSpec, PlacementPlan};
 use crate::report::{FleetHostReport, FleetReport, FleetTenantReport, ReplicaSample};
 use crate::route::{Candidate, OutstandingIndex, RouterPolicy, RouterState};
+use crate::shard::{self, Scope};
 use std::collections::VecDeque;
 use tpu_core::TpuConfig;
 use tpu_serve::report::percentile;
@@ -71,6 +72,11 @@ struct HostRt {
     /// O(1) reverse map that replaces the per-completion linear scan
     /// over `TenantRt::replicas` (replicas never move hosts or slots).
     slot_replica: Vec<usize>,
+    /// The [`HostCore::weights_epoch`] this host's cached replica
+    /// warmth bits reflect; when the core's epoch has moved past it, a
+    /// [`refresh_host_warmth`] pass re-derives the bits and fixes the
+    /// swap-affinity warm-index memberships.
+    warm_epoch: u64,
 }
 
 struct ReplicaRt {
@@ -86,6 +92,11 @@ struct ReplicaRt {
     window_mark: usize,
     /// Autoscaler window watermark into the slot's busy time.
     busy_mark: f64,
+    /// Cached warmth bit (swap-affinity routing only): whether the
+    /// replica's host had a die warm for its model as of the host's
+    /// [`HostRt::warm_epoch`]. Meaningful only while the replica is in
+    /// the serving index; recomputed fresh at every (re)insert.
+    warm: bool,
 }
 
 struct TenantRt {
@@ -116,6 +127,14 @@ struct TenantRt {
     /// replica-count samples read it in O(log replicas) / O(1) instead
     /// of scanning (and allocating) per request.
     index: OutstandingIndex,
+    /// The *warm* subset of `index` (swap-affinity routing only):
+    /// serving replicas whose host has a die warm for the tenant's
+    /// model, keyed by the same `(outstanding, replica)` order. The
+    /// `SwapAware` pick is `warm.least()` falling back to
+    /// `index.least()` — the same `(cold, outstanding, replica)`
+    /// minimum as the legacy per-arrival scan, without the O(replicas)
+    /// walk. Maintained only when `swap_indexed`.
+    warm: OutstandingIndex,
     /// Reused candidate scratch buffer for the scan-based policies
     /// (round-robin, consistent hash) — no per-request allocation.
     cand_buf: Vec<Candidate>,
@@ -123,6 +142,9 @@ struct TenantRt {
     /// `TPU_CLUSTER_ROUTER=scan` baseline escape hatch; decisions are
     /// identical either way).
     use_index: bool,
+    /// `use_index` and the fleet routes with [`RouterPolicy::SwapAware`]
+    /// — the warm subset index is live.
+    swap_indexed: bool,
     /// The tenant's model identity in the weight-swap subsystem
     /// (co-located fleets only; `None` keeps its slots weight-free).
     weights: Option<ModelWeights>,
@@ -192,11 +214,19 @@ fn pick_replica(
     tenant: usize,
 ) -> Option<usize> {
     if spec.router == RouterPolicy::SwapAware {
-        // Swap affinity needs live host state (which dies are warm for
-        // the tenant's model), so it resolves here rather than in the
-        // host-blind RouterState: prefer warm replicas, then fewest
-        // outstanding, then lowest index — a deterministic scan.
-        return trs[tenant]
+        // Swap affinity: prefer warm replicas, then fewest outstanding,
+        // then lowest index. The indexed path reads the delta-maintained
+        // warm subset (falling back to the full serving index when no
+        // replica is warm) — the identical `(cold, outstanding, replica)`
+        // minimum as the scan below, since warm always beats cold.
+        if trs[tenant].swap_indexed {
+            let tr = &mut trs[tenant];
+            return tr.warm.least().or_else(|| tr.index.least());
+        }
+        let tr = &trs[tenant];
+        // The pre-index baseline (`TPU_CLUSTER_ROUTER=scan`), verbatim:
+        // resolve warmth per candidate against live host state.
+        return tr
             .replicas
             .iter()
             .enumerate()
@@ -249,6 +279,9 @@ fn set_outstanding(
     tr.replicas[replica].outstanding = new_outstanding;
     if in_index {
         tr.index.update(old, new_outstanding, replica);
+        if tr.swap_indexed && tr.replicas[replica].warm {
+            tr.warm.update(old, new_outstanding, replica);
+        }
     }
 }
 
@@ -260,12 +293,64 @@ fn reindex_host_replicas(trs: &mut [TenantRt], hosts: &[HostRt], host: usize, no
         if !tr.use_index {
             continue;
         }
-        let r = &tr.replicas[replica];
+        let r = &mut tr.replicas[replica];
         if r.live && r.routable {
             if now_serving {
-                tr.index.insert(r.outstanding, replica);
+                // Warmth is re-derived fresh at insert (the host's dies
+                // were wiped by the crash that removed it), so the warm
+                // subset never trusts a bit cached across an outage.
+                let warm = tr.swap_indexed && hosts[host].core.slot_has_warm_die(r.slot);
+                r.warm = warm;
+                let o = r.outstanding;
+                tr.index.insert(o, replica);
+                if warm {
+                    tr.warm.insert(o, replica);
+                }
             } else {
-                tr.index.remove(r.outstanding, replica);
+                let (o, warm) = (r.outstanding, r.warm);
+                tr.index.remove(o, replica);
+                if tr.swap_indexed && warm {
+                    tr.warm.remove(o, replica);
+                }
+            }
+        }
+    }
+}
+
+/// Re-derive the cached warmth bits for one host's replicas after its
+/// die weight state changed (swap begun, swap completed), moving
+/// serving replicas between the swap-affinity warm index and the cold
+/// remainder. One integer compare when nothing changed — the common
+/// case for every non-co-located fleet.
+fn refresh_host_warmth(trs: &mut [TenantRt], hosts: &mut [HostRt], host: usize) {
+    let h = &mut hosts[host];
+    let epoch = h.core.weights_epoch();
+    if epoch == h.warm_epoch {
+        return;
+    }
+    h.warm_epoch = epoch;
+    if !h.healthy {
+        // Crashed hosts' replicas are out of every index; their bits
+        // are re-derived at recover-time reinsert.
+        return;
+    }
+    for (&tenant, &replica) in h.slot_owner.iter().zip(&h.slot_replica) {
+        let tr = &mut trs[tenant];
+        if !tr.swap_indexed {
+            continue;
+        }
+        let r = &mut tr.replicas[replica];
+        let warm = h.core.slot_has_warm_die(r.slot);
+        if warm == r.warm {
+            continue;
+        }
+        r.warm = warm;
+        if r.live && r.routable {
+            let o = r.outstanding;
+            if warm {
+                tr.warm.insert(o, replica);
+            } else {
+                tr.warm.remove(o, replica);
             }
         }
     }
@@ -327,14 +412,79 @@ pub fn run_fleet_telemetry(
         c.validate();
     }
 
-    let mut hosts: Vec<HostRt> = spec
+    let placement = plan_placement(spec, tenants, cfg);
+
+    // Engine selection (see `crate::shard`): partition the fleet into
+    // the connected components of the tenant↔host placement graph and
+    // run them on worker threads, byte-identical to the single-threaded
+    // reference kept behind `TPU_CLUSTER_ENGINE=single`. Sharding
+    // requires a static replica set (no autoscaler — scale-up couples
+    // components) and no instruments (artifacts interleave hosts in
+    // global orders the shards don't see); anything else runs the
+    // reference engine.
+    let choice = shard::engine_choice();
+    let tel_off = tel.tracer.is_none()
+        && tel.metrics.is_none()
+        && tel.profile.is_none()
+        && tel.requests.is_none();
+    if choice != shard::EngineChoice::Single && spec.autoscale.is_none() && tel_off {
+        let scopes = shard::partition(spec, &placement.assignments);
+        let workers = shard::shard_workers();
+        let shard_now = match choice {
+            shard::EngineChoice::Sharded => true,
+            _ => scopes.len() >= 2 && workers >= 2,
+        };
+        if shard_now {
+            return run_fleet_sharded(spec, tenants, cfg, placement, scopes, workers);
+        }
+    }
+
+    let scope = Scope::identity(spec, &placement.assignments);
+    let out = run_scoped(spec, tenants, cfg, tel, &scope);
+    assemble(spec, placement, out)
+}
+
+/// What one scoped (whole-fleet or single-shard) run hands back for
+/// report assembly or cross-shard merging.
+struct ScopedRun {
+    hosts: Vec<HostRt>,
+    trs: Vec<TenantRt>,
+    events_processed: u64,
+    /// Replica-count samples in event order: t=0, every failure and
+    /// autoscale event, and the deduplicated closing sample. Tenant
+    /// columns are in *local* index order (global for the identity
+    /// scope).
+    timeline: Vec<ReplicaSample>,
+    /// `(global failure index, sample-after-the-event)` per failure
+    /// event processed, in pop order — what the sharded merge replays
+    /// to reconstruct the global timeline.
+    fail_samples: Vec<(usize, ReplicaSample)>,
+    makespan_ms: f64,
+}
+
+/// Run the fleet event loop over one [`Scope`] — the whole fleet for
+/// the single-threaded reference, one connected component for a shard.
+/// All seeds, model identities, and probe labels use **global** ids
+/// via the scope mapping, so a component's sub-run replays exactly the
+/// global run restricted to that component.
+fn run_scoped(
+    spec: &FleetSpec,
+    tenants: &[FleetTenantSpec],
+    cfg: &TpuConfig,
+    tel: &mut RunTelemetry,
+    scope: &Scope,
+) -> ScopedRun {
+    let mut hosts: Vec<HostRt> = scope
         .hosts
         .iter()
-        .enumerate()
-        .map(|(h, hs)| HostRt {
+        .map(|&gh| HostRt {
             // Host 0 shares the master seed so a 1-host fleet replays
             // tpu_serve's service-jitter stream exactly.
-            core: HostCore::new(hs.dies, hs.dispatch, sim::stream_seed(spec.seed, h as u64)),
+            core: HostCore::new(
+                spec.hosts[gh].dies,
+                spec.hosts[gh].dispatch,
+                sim::stream_seed(spec.seed, gh as u64),
+            ),
             healthy: true,
             epoch: 0,
             events: 0,
@@ -343,6 +493,7 @@ pub fn run_fleet_telemetry(
             live_slots: 0,
             slot_owner: Vec::new(),
             slot_replica: Vec::new(),
+            warm_epoch: 0,
         })
         .collect();
 
@@ -351,10 +502,11 @@ pub fn run_fleet_telemetry(
     // fleet-level instants.
     let mut fe_probe = if tel.tracer.is_some() {
         for (h, host) in hosts.iter_mut().enumerate() {
+            let gh = scope.hosts[h];
             host.core.set_probe(HostProbe::new(
-                h as u32,
-                &format!("host {h}"),
-                spec.hosts[h].dies,
+                gh as u32,
+                &format!("host {gh}"),
+                spec.hosts[gh].dies,
             ));
         }
         Some(HostProbe::new(spec.hosts.len() as u32, "front-end", 0))
@@ -366,7 +518,8 @@ pub fn run_fleet_telemetry(
     // at end of run, so the artifact is a pure function of the seed.
     if tel.requests.is_some() {
         for (h, host) in hosts.iter_mut().enumerate() {
-            host.core.set_request_probe(RequestProbe::new(h as u32));
+            host.core
+                .set_request_probe(RequestProbe::new(scope.hosts[h] as u32));
         }
     }
 
@@ -375,13 +528,16 @@ pub fn run_fleet_telemetry(
     // pre-index per-arrival scan (identical decisions, only slower —
     // `bench_cluster` measures the two in one run).
     let use_index = !matches!(std::env::var("TPU_CLUSTER_ROUTER").as_deref(), Ok("scan"));
+    // Swap-affinity routing additionally maintains the warm subset
+    // index; the `scan` hatch restores the per-arrival warmth scan.
+    let swap_indexed = use_index && spec.router == RouterPolicy::SwapAware;
 
-    let placement = plan_placement(spec, tenants, cfg);
-    let plan = &placement.assignments;
-    let mut trs: Vec<TenantRt> = tenants
+    let mut trs: Vec<TenantRt> = scope
+        .tenants
         .iter()
         .enumerate()
-        .map(|(t, ft)| {
+        .map(|(t, &gt)| {
+            let ft = &tenants[gt];
             assert!(
                 ft.tenant.requests > 0,
                 "tenant {} has no requests",
@@ -389,15 +545,17 @@ pub fn run_fleet_telemetry(
             );
             let curve = ft.tenant.effective_curve(cfg);
             let weight = ft.weight_bytes();
-            // Co-location: the tenant is model `t`, and its batches pay
-            // the calibrated swap stall on a model change.
+            // Co-location: the tenant is model `gt` — its *global*
+            // index, so shards charge identical swap stalls — and its
+            // batches pay the calibrated cost on a model change.
             let weights = spec.colocate.map(|c| ModelWeights {
-                model: t,
+                model: gt,
                 bytes: weight,
                 swap_ms: tenant_swap_ms(ft, cfg, c.swap_scale),
             });
             let mut index = OutstandingIndex::new();
-            let replicas: Vec<ReplicaRt> = plan[t]
+            let mut warm = OutstandingIndex::new();
+            let replicas: Vec<ReplicaRt> = scope.plan[t]
                 .iter()
                 .enumerate()
                 .map(|(replica, &host)| {
@@ -412,6 +570,10 @@ pub fn run_fleet_telemetry(
                     if use_index {
                         index.insert(0, replica);
                     }
+                    let warm_bit = swap_indexed && hosts[host].core.slot_has_warm_die(slot);
+                    if warm_bit {
+                        warm.insert(0, replica);
+                    }
                     ReplicaRt {
                         host,
                         slot,
@@ -420,6 +582,7 @@ pub fn run_fleet_telemetry(
                         outstanding: 0,
                         window_mark: 0,
                         busy_mark: 0.0,
+                        warm: warm_bit,
                     }
                 })
                 .collect();
@@ -429,7 +592,7 @@ pub fn run_fleet_telemetry(
                 gen: ft.tenant.arrivals.source(
                     &ft.tenant.name,
                     ft.tenant.requests,
-                    sim::stream_seed(spec.seed, t as u64),
+                    sim::stream_seed(spec.seed, gt as u64),
                 ),
                 pending_arrival: false,
                 replicas,
@@ -441,8 +604,10 @@ pub fn run_fleet_telemetry(
                 drained: false,
                 last_scale_ms: f64::NEG_INFINITY,
                 index,
+                warm,
                 cand_buf: Vec::new(),
                 use_index,
+                swap_indexed,
                 weights,
                 spec: ft.clone(),
             }
@@ -458,7 +623,7 @@ pub fn run_fleet_telemetry(
         tr.pending_arrival = true;
         q.schedule(at, FleetEvent::Arrival { tenant: t });
     }
-    for (i, f) in spec.failures.iter().enumerate() {
+    for (i, (_, f)) in scope.failures.iter().enumerate() {
         q.schedule(f.at_ms, FleetEvent::Failure { index: i });
     }
     if let Some(a) = &spec.autoscale {
@@ -466,6 +631,7 @@ pub fn run_fleet_telemetry(
     }
 
     let mut timeline = vec![sample_now(0.0, &trs, &hosts)];
+    let mut fail_samples: Vec<(usize, ReplicaSample)> = Vec::new();
     let mut events_processed = 0u64;
     // Per-event-type tallies for the engine profile; see EVENT_NAMES.
     let mut counts = [0u64; 8];
@@ -556,8 +722,10 @@ pub fn run_fleet_telemetry(
                         // Bookkeeping only: the die's pending model
                         // becomes active. No capacity changed (the die
                         // stays busy until its DieFree), so skip the
-                        // dispatch pass.
+                        // dispatch pass — but the promotion cooled the
+                        // die's previous model, so refresh warmth.
                         hosts[host].core.on_weight_swap(die);
+                        refresh_host_warmth(&mut trs, &mut hosts, host);
                         continue;
                     }
                     HostEvent::DieFree { die } => {
@@ -588,7 +756,7 @@ pub fn run_fleet_telemetry(
                         }
                     }
                 }
-                try_dispatch_host(&mut q, &mut hosts, host, now);
+                try_dispatch_host(&mut q, &mut hosts, &mut trs, host, now);
             }
             FleetEvent::Autoscale => {
                 counts[6] += 1;
@@ -617,7 +785,7 @@ pub fn run_fleet_telemetry(
                         continue;
                     }
                     let rescued = try_scale_up(&mut q, &mut hosts, &mut trs, spec, t, now);
-                    if !rescued && failures_processed == spec.failures.len() {
+                    if !rescued && failures_processed == scope.failures.len() {
                         panic!(
                             "tenant {t} ({}) has {} parked requests, no healthy \
                              replica, no pending recovery, and nowhere to place a \
@@ -652,7 +820,7 @@ pub fn run_fleet_telemetry(
             FleetEvent::Failure { index } => {
                 counts[7] += 1;
                 failures_processed += 1;
-                let f = spec.failures[index];
+                let (fail_id, f) = scope.failures[index];
                 match f.kind {
                     FailureKind::Crash => {
                         if hosts[f.host].healthy {
@@ -663,6 +831,11 @@ pub fn run_fleet_telemetry(
                             hosts[f.host].epoch += 1;
                             hosts[f.host].crashes += 1;
                             let displaced = hosts[f.host].core.crash(now);
+                            // The wipe bumped the weights epoch; the
+                            // replicas are already out of every index
+                            // and re-derive warmth at recover, so just
+                            // sync the cache marker.
+                            hosts[f.host].warm_epoch = hosts[f.host].core.weights_epoch();
                             // Two phases: first count every displaced
                             // request as pending so no re-delivery can
                             // prematurely mark its tenant drained (and
@@ -716,7 +889,9 @@ pub fn run_fleet_telemetry(
                         hosts[f.host].core.set_slow_factor(1.0);
                     }
                 }
-                timeline.push(sample_now(now, &trs, &hosts));
+                let sample = sample_now(now, &trs, &hosts);
+                fail_samples.push((fail_id, sample.clone()));
+                timeline.push(sample);
             }
         }
     }
@@ -795,6 +970,157 @@ pub fn run_fleet_telemetry(
             .collect();
         p.wheel = q.wheel_profile();
     }
+
+    ScopedRun {
+        hosts,
+        trs,
+        events_processed,
+        timeline,
+        fail_samples,
+        makespan_ms,
+    }
+}
+
+/// Run the independent placement components on worker threads and
+/// merge, byte-identical to the single-threaded reference: shard
+/// results scatter back to global host/tenant positions, and the
+/// replica timeline is replayed from the per-failure samples in the
+/// exact `(time, failure index)` order the reference engine pops them.
+fn run_fleet_sharded(
+    spec: &FleetSpec,
+    tenants: &[FleetTenantSpec],
+    cfg: &TpuConfig,
+    placement: PlacementPlan,
+    scopes: Vec<Scope>,
+    workers: usize,
+) -> FleetRun {
+    let weights: Vec<u64> = scopes
+        .iter()
+        .map(|s| shard::scope_weight(s, tenants))
+        .collect();
+    let assignment = shard::assign_workers(&weights, workers);
+
+    let scopes_ref = &scopes;
+    let mut results: Vec<Option<ScopedRun>> = (0..scopes.len()).map(|_| None).collect();
+    std::thread::scope(|sc| {
+        let handles: Vec<_> = assignment
+            .iter()
+            .map(|comps| {
+                sc.spawn(move || {
+                    comps
+                        .iter()
+                        .map(|&c| {
+                            let out = run_scoped(
+                                spec,
+                                tenants,
+                                cfg,
+                                &mut RunTelemetry::off(),
+                                &scopes_ref[c],
+                            );
+                            (c, out)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(outs) => {
+                    for (c, out) in outs {
+                        results[c] = Some(out);
+                    }
+                }
+                // Re-raise scenario panics (e.g. an unservable fleet)
+                // with their original message.
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+    });
+
+    // Scatter shard state back to global positions; replica host
+    // indices return to global space so report assembly reads the
+    // right cores.
+    let mut hosts: Vec<Option<HostRt>> = (0..spec.hosts.len()).map(|_| None).collect();
+    let mut trs: Vec<Option<TenantRt>> = (0..tenants.len()).map(|_| None).collect();
+    let mut events_processed = 0u64;
+    let mut makespan_ms = 0.0f64;
+    let mut samples: Vec<(usize, usize, ReplicaSample)> = Vec::new();
+    for (c, (scope, out)) in scopes.iter().zip(results).enumerate() {
+        let out = out.expect("every component ran");
+        events_processed += out.events_processed;
+        makespan_ms = makespan_ms.max(out.makespan_ms);
+        for (local, host) in out.hosts.into_iter().enumerate() {
+            hosts[scope.hosts[local]] = Some(host);
+        }
+        for (local, mut tr) in out.trs.into_iter().enumerate() {
+            for r in &mut tr.replicas {
+                r.host = scope.hosts[r.host];
+            }
+            trs[scope.tenants[local]] = Some(tr);
+        }
+        for (fail_id, sample) in out.fail_samples {
+            samples.push((fail_id, c, sample));
+        }
+    }
+    let hosts: Vec<HostRt> = hosts.into_iter().map(|h| h.expect("host ran")).collect();
+    let trs: Vec<TenantRt> = trs.into_iter().map(|t| t.expect("tenant ran")).collect();
+
+    // Reconstruct the global replica timeline. Serving counts change
+    // only at failure events here (no autoscaler in sharded runs), and
+    // the reference engine pops same-time failures in schedule order,
+    // so replaying the per-shard samples sorted by `(time, global
+    // failure index)` over a running counts vector reproduces its
+    // sample sequence exactly — including the t=0 sample and the
+    // deduplicated closing sample at the makespan.
+    samples.sort_by(|a, b| a.2.t_ms.total_cmp(&b.2.t_ms).then(a.0.cmp(&b.0)));
+    let mut counts_now: Vec<usize> = placement.assignments.iter().map(|p| p.len()).collect();
+    let mut timeline = vec![ReplicaSample {
+        t_ms: 0.0,
+        replicas: counts_now.clone(),
+    }];
+    for (_, c, sample) in samples {
+        for (local, &gt) in scopes[c].tenants.iter().enumerate() {
+            counts_now[gt] = sample.replicas[local];
+        }
+        timeline.push(ReplicaSample {
+            t_ms: sample.t_ms,
+            replicas: counts_now.clone(),
+        });
+    }
+    let last_t = timeline.last().map(|s| s.t_ms).unwrap_or(0.0);
+    let closing = ReplicaSample {
+        t_ms: makespan_ms.max(last_t),
+        replicas: counts_now,
+    };
+    if timeline.last() != Some(&closing) {
+        timeline.push(closing);
+    }
+
+    assemble(
+        spec,
+        placement,
+        ScopedRun {
+            hosts,
+            trs,
+            events_processed,
+            timeline,
+            fail_samples: Vec::new(),
+            makespan_ms,
+        },
+    )
+}
+
+/// Assemble the [`FleetRun`] from a finished (whole-fleet or merged)
+/// run's state. Host and replica indices are global here.
+fn assemble(spec: &FleetSpec, placement: PlacementPlan, out: ScopedRun) -> FleetRun {
+    let ScopedRun {
+        hosts,
+        trs,
+        events_processed,
+        timeline,
+        makespan_ms,
+        ..
+    } = out;
 
     let host_reports: Vec<ServeReport> = hosts
         .iter()
@@ -921,9 +1247,9 @@ fn finish_delivery(
             },
         )
     });
-    try_dispatch_host(q, hosts, host, now);
+    try_dispatch_host(q, hosts, trs, host, now);
     for h in flush_hosts {
-        try_dispatch_host(q, hosts, h, now);
+        try_dispatch_host(q, hosts, trs, h, now);
     }
 }
 
@@ -964,8 +1290,16 @@ fn maybe_mark_drained(
 }
 
 /// Dispatch-ready work on one host, scheduling its events with the
-/// current epoch.
-fn try_dispatch_host(q: &mut EventQueue<FleetEvent>, hosts: &mut [HostRt], host: usize, now: f64) {
+/// current epoch. Dispatches can begin weight swaps (warming the new
+/// model's die, displacing the old), so the warmth cache is refreshed
+/// on the way out.
+fn try_dispatch_host(
+    q: &mut EventQueue<FleetEvent>,
+    hosts: &mut [HostRt],
+    trs: &mut [TenantRt],
+    host: usize,
+    now: f64,
+) {
     let epoch = hosts[host].epoch;
     hosts[host].core.try_dispatch(now, &mut |at, e| {
         q.schedule(
@@ -977,6 +1311,7 @@ fn try_dispatch_host(q: &mut EventQueue<FleetEvent>, hosts: &mut [HostRt], host:
             },
         )
     });
+    refresh_host_warmth(trs, hosts, host);
 }
 
 /// Route one request (fresh, retried, or unparked) at time `now`,
@@ -1132,15 +1467,20 @@ fn autoscale_tenant(
                     let tr = &mut trs[tenant];
                     let r = &mut tr.replicas[replica];
                     r.routable = false;
+                    let (o, warm) = (r.outstanding, r.warm);
+                    let (h, s) = (r.host, r.slot);
                     if tr.use_index {
                         // The victim was serving (the filter above);
                         // draining removes it from the routable set.
-                        tr.index.remove(r.outstanding, replica);
+                        tr.index.remove(o, replica);
+                        if tr.swap_indexed && warm {
+                            tr.warm.remove(o, replica);
+                        }
                     }
-                    (r.host, r.slot)
+                    (h, s)
                 };
                 hosts[host].core.set_draining(slot, true);
-                try_dispatch_host(q, hosts, host, now);
+                try_dispatch_host(q, hosts, trs, host, now);
                 maybe_retire(hosts, trs, tenant, replica);
                 trs[tenant].last_scale_ms = now;
             }
@@ -1196,8 +1536,13 @@ fn try_scale_up(
     }
     let mark = hosts[host].core.latency_count(slot);
     let busy = hosts[host].core.slot_busy_ms(slot);
+    let warm_bit = trs[tenant].swap_indexed && hosts[host].core.slot_has_warm_die(slot);
     if trs[tenant].use_index {
-        trs[tenant].index.insert(0, trs[tenant].replicas.len());
+        let replica = trs[tenant].replicas.len();
+        trs[tenant].index.insert(0, replica);
+        if warm_bit {
+            trs[tenant].warm.insert(0, replica);
+        }
     }
     trs[tenant].replicas.push(ReplicaRt {
         host,
@@ -1207,6 +1552,7 @@ fn try_scale_up(
         outstanding: 0,
         window_mark: mark,
         busy_mark: busy,
+        warm: warm_bit,
     });
     trs[tenant].last_scale_ms = now;
     unpark(q, hosts, trs, spec, tenant, now);

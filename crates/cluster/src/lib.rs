@@ -30,9 +30,16 @@
 //! * [`scenario`] — named experiments (`fleet-steady`,
 //!   `diurnal-autoscale`, `trace-replay`, `host-failover`,
 //!   `router-shootout`, `straggler-tail`, `colocate-interference`,
-//!   `colocate-vs-dedicated`) behind the `tpu_cluster` CLI, which also
-//!   ships a `place` inspector printing any scenario's
+//!   `colocate-vs-dedicated`, `fleet-sweep`) behind the `tpu_cluster`
+//!   CLI, which also ships a `place` inspector printing any scenario's
 //!   [`fleet::PlacementPlan`] without simulating.
+//!
+//! The engine runs **multi-core by default**: the connected components
+//! of the tenant↔host placement graph are independent sub-simulations,
+//! so eligible fleets (no autoscaler, no live telemetry) shard across
+//! worker threads and merge — byte-identical to the single-threaded
+//! reference for every seed and worker count (`TPU_CLUSTER_ENGINE`,
+//! `TPU_CLUSTER_SHARDS`; see `engine` and `shard`).
 //!
 //! The front end draws its request streams from
 //! `tpu_serve::workload` — any [`tpu_serve::workload::ArrivalSource`]
@@ -75,6 +82,7 @@ pub mod fleet;
 pub mod report;
 pub mod route;
 pub mod scenario;
+mod shard;
 
 pub use autoscale::{AutoscaleConfig, ScaleSignals};
 pub use engine::{run_fleet, run_fleet_telemetry, FleetRun};
@@ -85,4 +93,7 @@ pub use fleet::{
 };
 pub use report::{FleetHostReport, FleetReport, FleetTenantReport, ReplicaSample};
 pub use route::{OutstandingIndex, RouterPolicy};
-pub use scenario::{all_scenarios, scenario_by_name, FleetScenario, FleetScenarioRun};
+pub use scenario::{
+    all_scenarios, fleet_sweep, scenario_by_name, FleetScenario, FleetScenarioRun,
+    FLEET_SWEEP_DEFAULT_HOSTS,
+};

@@ -509,6 +509,57 @@ fn colocate_vs_dedicated() -> FleetScenario {
     }
 }
 
+/// The default `fleet-sweep` host count — small enough that the golden
+/// snapshot stays reviewable, large enough for four independent cells.
+pub const FLEET_SWEEP_DEFAULT_HOSTS: usize = 40;
+
+/// The sharded-engine scale sweep: `hosts` 2-die hosts carved into
+/// 10-host **cells**, one MLP0-class tenant spread across each cell.
+/// Spread placement fills hosts in index order, so the cells are
+/// disjoint and the tenant↔host graph has one connected component per
+/// cell — exactly the shape the parallel engine shards across cores
+/// (and, by the determinism contract, byte-identical to the
+/// single-threaded reference at any `--hosts`). A crash/recover pair
+/// in each of the first two cells keeps the failure path honest at
+/// every scale. The CLI's `--hosts` flag re-parameterizes it
+/// (`tpu_cluster run fleet-sweep --hosts 1000`).
+///
+/// # Panics
+///
+/// Panics when `hosts` is below 20 (the failure schedule touches the
+/// first two cells).
+pub fn fleet_sweep(hosts: usize) -> FleetScenario {
+    assert!(hosts >= 20, "fleet-sweep needs at least two 10-host cells");
+    let cells = hosts / 10;
+    let spec = FleetSpec::new(hosts, 2, 42)
+        .with_router(RouterPolicy::LeastOutstanding)
+        .with_hop(HopModel::Table5 { scale_ms: 1.0 })
+        .with_failures(vec![
+            FailureEvent::crash(2.0, 3),
+            FailureEvent::crash(3.0, 13),
+            FailureEvent::recover(5.0, 3),
+            FailureEvent::recover(6.0, 13),
+        ]);
+    let tenants = (0..cells)
+        .map(|c| {
+            FleetTenantSpec::new(
+                timeout_tenant("MLP0", 1_200_000.0, 200, 2.0, 7.0, 2, 20_000)
+                    .named(&format!("cell{c:03}")),
+                10,
+            )
+        })
+        .collect();
+    FleetScenario {
+        name: "fleet-sweep",
+        description: "10-host MLP0 cells swept over fleet size: one shard per cell",
+        runs: vec![FleetScenarioRun {
+            label: "sweep".into(),
+            spec,
+            tenants,
+        }],
+    }
+}
+
 /// All named scenarios, in CLI listing order.
 pub fn all_scenarios() -> Vec<FleetScenario> {
     vec![
@@ -520,6 +571,7 @@ pub fn all_scenarios() -> Vec<FleetScenario> {
         straggler_tail(),
         colocate_interference(),
         colocate_vs_dedicated(),
+        fleet_sweep(FLEET_SWEEP_DEFAULT_HOSTS),
     ]
 }
 

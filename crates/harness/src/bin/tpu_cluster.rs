@@ -36,8 +36,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: tpu_cluster list\n       tpu_cluster run <scenario>|--all \
          [--seed N] [--requests-scale F] [--json] [--trace FILE] [--engine-stats]\n           \
-         [--chrome-trace FILE] [--metrics-out FILE] [--metrics-interval MS] [--svg FILE]\n           \
-         [--request-log FILE]\n       \
+         [--hosts N (fleet-sweep)] [--chrome-trace FILE] [--metrics-out FILE]\n           \
+         [--metrics-interval MS] [--svg FILE] [--request-log FILE]\n       \
          tpu_cluster analyze <scenario>|--input LOG [--run LABEL] [--seed N] \
          [--requests-scale F]\n           \
          [--json] [--diff] [--runs N] [--window MS]\n           \
@@ -84,6 +84,7 @@ fn run_command(args: &[String]) -> ExitCode {
     let mut common = CommonArgs::default();
     let mut run_all = false;
     let mut json = false;
+    let mut hosts: Option<usize> = None;
     let mut trace_path: Option<String> = None;
     let mut tel_args = TelemetryArgs::default();
 
@@ -96,6 +97,10 @@ fn run_command(args: &[String]) -> ExitCode {
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => common.seed = Some(v),
                 None => return usage(),
+            },
+            "--hosts" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 20 => hosts = Some(v),
+                _ => return usage(),
             },
             "--requests-scale" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) if v > 0.0 => common.scale = Some(v),
@@ -154,6 +159,16 @@ fn run_command(args: &[String]) -> ExitCode {
                 eprintln!("tpu_cluster: unknown scenario {n:?}; try `tpu_cluster list`");
                 return ExitCode::FAILURE;
             }
+        }
+    };
+    let scenarios: Vec<FleetScenario> = match hosts {
+        None => scenarios,
+        Some(h) => {
+            if scenarios.len() != 1 || scenarios[0].name != "fleet-sweep" {
+                eprintln!("tpu_cluster: --hosts re-parameterizes the fleet-sweep scenario only");
+                return usage();
+            }
+            vec![tpu_cluster::fleet_sweep(h)]
         }
     };
 

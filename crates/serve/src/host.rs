@@ -116,6 +116,12 @@ pub struct HostCore {
     service_rng: StdRng,
     makespan_ms: f64,
     slow_factor: f64,
+    /// Bumped whenever some die's loaded/loading weight set changes
+    /// (swap begin, swap completion, crash wipe). External warmth
+    /// caches ([`Self::slot_has_warm_die`] consumers, e.g. the fleet's
+    /// swap-affinity router index) compare it to decide whether a
+    /// refresh is needed.
+    weights_epoch: u64,
     /// Recycled batch arrival buffers: a completed batch's `Vec` goes
     /// back here instead of being freed, so steady-state dispatch
     /// allocates nothing (bounded by the die count; crash-displaced
@@ -155,6 +161,7 @@ impl HostCore {
             service_rng: StdRng::seed_from_u64(sim::service_seed(host_seed)),
             makespan_ms: 0.0,
             slow_factor: 1.0,
+            weights_epoch: 0,
             spare_batches: Vec::new(),
             probe: None,
             reqlog: None,
@@ -346,7 +353,19 @@ impl HostCore {
     /// active. Returns the model, or `None` for a stale event (the die
     /// was wiped by a crash since the swap began).
     pub fn on_weight_swap(&mut self, die: usize) -> Option<usize> {
-        self.dies[die].weights.complete_swap()
+        let model = self.dies[die].weights.complete_swap();
+        if model.is_some() {
+            self.weights_epoch += 1;
+        }
+        model
+    }
+
+    /// The warmth epoch: bumped whenever some die's loaded/loading
+    /// weight set changes, so callers caching
+    /// [`Self::slot_has_warm_die`] answers can skip refreshes while it
+    /// is unchanged.
+    pub fn weights_epoch(&self) -> u64 {
+        self.weights_epoch
     }
 
     /// Whether some die is *warm* for this slot's model — its weights
@@ -408,6 +427,7 @@ impl HostCore {
             p.instant("fault", "crash", now_ms);
         }
         let mut displaced: Vec<(usize, Vec<f64>)> = Vec::new();
+        self.weights_epoch += 1; // the wipe below cools every die
         for d in &mut self.dies {
             d.busy = false;
             // The crash wipes whatever weights were loaded or loading;
@@ -571,6 +591,7 @@ impl HostCore {
             });
             if let Some(mw) = swap {
                 d.weights.begin_swap(mw.model, mw.swap_ms);
+                self.weights_epoch += 1;
                 sched(now_ms + swap_ms, HostEvent::WeightSwap { die });
             }
             sched(end, HostEvent::DieFree { die });

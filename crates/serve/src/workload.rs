@@ -86,7 +86,7 @@ pub const TRACE_VERSION: u64 = 1;
 /// before the first), and the returned stream is a pure function of the
 /// source's construction — which is what makes record/replay exact (see
 /// the module docs).
-pub trait ArrivalSource: fmt::Debug {
+pub trait ArrivalSource: fmt::Debug + Send {
     /// Emit the next arrival's absolute timestamp, given the previous
     /// arrival's timestamp `now_ms` (`0.0` before the first). Returns
     /// `None` once the stream is exhausted.
@@ -120,14 +120,37 @@ pub fn record_stream(source: &mut dyn ArrivalSource) -> Vec<f64> {
     out
 }
 
+/// How many `ln(u)` values [`Inversion`] pre-draws per refill. The
+/// uniform draws are rate-independent, so batching them changes neither
+/// the RNG consumption order nor any emitted timestamp — it only
+/// amortizes the RNG and `ln` calls across arrivals.
+const LN_BATCH: usize = 256;
+
 /// The shared inversion sampler: exponential gaps at the process's
 /// instantaneous rate, one uniform draw per arrival.
+///
+/// Two hot-path optimizations, both bit-identical to the naive
+/// one-draw-one-divide form: the `-(1000.0 / rate)` scale is cached
+/// and only recomputed when the instantaneous rate changes (exact
+/// `f64` comparison — stationary and piecewise-constant processes pay
+/// one divide per segment instead of one per arrival), and `ln(u)`
+/// values are pre-drawn in blocks of [`LN_BATCH`] (uniform draws do
+/// not depend on the rate, so the RNG stream is consumed in exactly
+/// the original order).
 #[derive(Debug, Clone)]
 struct Inversion {
     total: usize,
     emitted: usize,
     seed: u64,
     rng: StdRng,
+    /// Pre-drawn `ln(u)` values in draw order; `ln_next` indexes the
+    /// next unconsumed entry.
+    ln_buf: Vec<f64>,
+    ln_next: usize,
+    /// The rate that produced `neg_scale`; `NaN` until the first draw.
+    cached_rate: f64,
+    /// `-(1000.0 / cached_rate)`, hoisted out of the per-draw path.
+    neg_scale: f64,
 }
 
 impl Inversion {
@@ -138,6 +161,10 @@ impl Inversion {
             emitted: 0,
             seed,
             rng: StdRng::seed_from_u64(seed),
+            ln_buf: Vec::new(),
+            ln_next: 0,
+            cached_rate: f64::NAN,
+            neg_scale: f64::NAN,
         }
     }
 
@@ -149,8 +176,30 @@ impl Inversion {
         }
         self.emitted += 1;
         assert!(rate > 0.0, "arrival rate must stay positive");
-        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-        Some(now_ms + -(1000.0 / rate) * u.ln())
+        if rate != self.cached_rate {
+            self.cached_rate = rate;
+            self.neg_scale = -(1000.0 / rate);
+        }
+        if self.ln_next == self.ln_buf.len() {
+            self.refill();
+        }
+        let ln_u = self.ln_buf[self.ln_next];
+        self.ln_next += 1;
+        Some(now_ms + self.neg_scale * ln_u)
+    }
+
+    /// Pre-draw `ln(u)` for the next block of arrivals. `emitted`
+    /// already counts the arrival being drawn, so the outstanding
+    /// budget includes it — the RNG is never advanced past what the
+    /// stream will emit.
+    fn refill(&mut self) {
+        let n = (self.total - self.emitted + 1).min(LN_BATCH);
+        self.ln_buf.clear();
+        self.ln_next = 0;
+        for _ in 0..n {
+            let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+            self.ln_buf.push(u.ln());
+        }
     }
 
     fn remaining(&self) -> usize {
@@ -160,6 +209,10 @@ impl Inversion {
     fn reset(&mut self) {
         self.emitted = 0;
         self.rng = StdRng::seed_from_u64(self.seed);
+        self.ln_buf.clear();
+        self.ln_next = 0;
+        self.cached_rate = f64::NAN;
+        self.neg_scale = f64::NAN;
     }
 }
 
@@ -1099,6 +1152,53 @@ mod tests {
             let mut c = p.source("t", 500, 43);
             assert_ne!(record_stream(c.as_mut()), sa, "{p:?}: seeds differ");
             assert!(sa.windows(2).all(|w| w[0] <= w[1]), "{p:?}: monotone");
+        }
+    }
+
+    #[test]
+    fn batched_sampler_matches_the_naive_form_bit_for_bit() {
+        // The hot-path form (cached `-(1000/rate)` scale, block-drawn
+        // `ln(u)`) must reproduce the naive one-draw-one-divide
+        // sampler exactly. 600 requests crosses the `LN_BATCH` refill
+        // boundary twice; the bursty/diurnal cases exercise the
+        // rate-change invalidation of the cached scale.
+        let processes = [
+            ArrivalProcess::Poisson { rate_rps: 5_000.0 },
+            ArrivalProcess::Bursty {
+                rate_rps: 5_000.0,
+                burst_factor: 3.0,
+                period_ms: 20.0,
+                duty: 0.2,
+            },
+            ArrivalProcess::Diurnal {
+                profile: DiurnalProfile::day_night(1_000.0, 10_000.0, 50.0),
+            },
+        ];
+        for p in &processes {
+            let mut src = p.source("t", 600, 42);
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut now = 0.0;
+            for k in 0..600 {
+                let rate = match p {
+                    ArrivalProcess::Poisson { rate_rps } => *rate_rps,
+                    ArrivalProcess::Bursty {
+                        rate_rps,
+                        burst_factor,
+                        period_ms,
+                        duty,
+                    } => bursty_rate(*rate_rps, *burst_factor, *period_ms, *duty, now),
+                    ArrivalProcess::Diurnal { profile } => profile.rate_at(now),
+                    ArrivalProcess::Recorded { .. } | ArrivalProcess::Trace { .. } => {
+                        unreachable!()
+                    }
+                };
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let expected = now + -(1000.0 / rate) * u.ln();
+                let got = src.next_arrival_ms(now).unwrap();
+                assert_eq!(got.to_bits(), expected.to_bits(), "{p:?}: draw {k}");
+                now = got;
+            }
+            assert_eq!(src.next_arrival_ms(now), None);
         }
     }
 

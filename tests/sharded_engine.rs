@@ -1,0 +1,195 @@
+//! Differential tests for the sharded parallel fleet engine: for every
+//! eligible spec, the multi-core engine must reproduce the
+//! single-threaded reference **byte for byte** — struct equality, text
+//! report, and JSON — at every worker count. The engine-mode env vars
+//! are process-global; concurrently running tests are unaffected
+//! because the modes are observationally identical, which is exactly
+//! what these tests pin (the same argument as the heap/scan hatch test
+//! in `golden_scheduler.rs`).
+
+use tpu_repro::tpu_cluster::{
+    fleet_sweep, run_fleet, scenario_by_name, FailureEvent, FleetRun, FleetSpec, FleetTenantSpec,
+    HopModel, RouterPolicy,
+};
+use tpu_repro::tpu_core::TpuConfig;
+use tpu_repro::tpu_serve::tenant::ArrivalProcess;
+use tpu_repro::tpu_serve::{BatchPolicy, TenantSpec};
+
+/// Run `f` with `TPU_CLUSTER_ENGINE` (and optionally
+/// `TPU_CLUSTER_SHARDS`) pinned, restoring the environment after.
+fn with_engine<T>(engine: &str, shards: Option<usize>, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("TPU_CLUSTER_ENGINE", engine);
+    match shards {
+        Some(n) => std::env::set_var("TPU_CLUSTER_SHARDS", n.to_string()),
+        None => std::env::remove_var("TPU_CLUSTER_SHARDS"),
+    }
+    let out = f();
+    std::env::remove_var("TPU_CLUSTER_ENGINE");
+    std::env::remove_var("TPU_CLUSTER_SHARDS");
+    out
+}
+
+fn assert_bit_identical(reference: &FleetRun, candidate: &FleetRun, what: &str) {
+    assert_eq!(
+        format!("{}", reference.report),
+        format!("{}", candidate.report),
+        "{what}: text report differs from the single-threaded reference"
+    );
+    assert_eq!(
+        reference.report.to_json().to_string(),
+        candidate.report.to_json().to_string(),
+        "{what}: JSON report differs from the single-threaded reference"
+    );
+    assert_eq!(
+        reference, candidate,
+        "{what}: run structs differ from the single-threaded reference"
+    );
+}
+
+/// The flagship shape: the `fleet-sweep` scenario's disjoint 10-host
+/// cells, with its crash/recover schedule, at 1, 2, and 7 workers.
+#[test]
+fn fleet_sweep_sharded_replays_the_single_reference_bit_for_bit() {
+    let cfg = TpuConfig::paper();
+    let s = fleet_sweep(40).scale_requests(0.1);
+    let run_of =
+        |r: &tpu_repro::tpu_cluster::FleetScenarioRun| run_fleet(&r.spec, &r.tenants, &cfg);
+    let reference = with_engine("single", None, || run_of(&s.runs[0]));
+    for workers in [1usize, 2, 7] {
+        let sharded = with_engine("sharded", Some(workers), || run_of(&s.runs[0]));
+        assert_bit_identical(&reference, &sharded, &format!("{workers} workers"));
+    }
+}
+
+/// A hand-built fleet where spread placement *merges* cells: tenants
+/// 0/1/2 claim three disjoint 3-host cells, then tenant 3's six
+/// replicas bridge the first two — leaving two components of uneven
+/// weight, mixed arrival shapes, and failures in both.
+#[test]
+fn bridged_cells_with_failures_and_mixed_tenants_match_the_reference() {
+    let cfg = TpuConfig::paper();
+    let spec = FleetSpec::new(9, 2, 7)
+        .with_router(RouterPolicy::LeastOutstanding)
+        .with_hop(HopModel::Table5 { scale_ms: 1.0 })
+        .with_failures(vec![
+            FailureEvent::crash(0.8, 1),
+            FailureEvent::crash(1.0, 7),
+            FailureEvent::recover(2.5, 1),
+            FailureEvent::recover(3.0, 7),
+        ]);
+    let tenants = vec![
+        FleetTenantSpec::new(
+            TenantSpec::new(
+                "MLP0",
+                ArrivalProcess::Poisson {
+                    rate_rps: 400_000.0,
+                },
+                BatchPolicy::Timeout {
+                    max_batch: 200,
+                    t_max_ms: 2.0,
+                },
+                7.0,
+                3_000,
+            ),
+            3,
+        ),
+        FleetTenantSpec::new(
+            TenantSpec::new(
+                "LSTM0",
+                ArrivalProcess::Bursty {
+                    rate_rps: 20_000.0,
+                    burst_factor: 3.0,
+                    period_ms: 5.0,
+                    duty: 0.25,
+                },
+                BatchPolicy::SloAdaptive {
+                    max_batch: 64,
+                    slo_ms: 50.0,
+                    margin_ms: 5.0,
+                },
+                50.0,
+                400,
+            )
+            .named("LSTM0-cellB"),
+            3,
+        ),
+        FleetTenantSpec::new(
+            TenantSpec::new(
+                "CNN0",
+                ArrivalProcess::Poisson { rate_rps: 4_000.0 },
+                BatchPolicy::Fixed { batch: 8 },
+                30.0,
+                200,
+            ),
+            3,
+        ),
+        FleetTenantSpec::new(
+            TenantSpec::new(
+                "MLP1",
+                ArrivalProcess::Poisson {
+                    rate_rps: 300_000.0,
+                },
+                BatchPolicy::Timeout {
+                    max_batch: 200,
+                    t_max_ms: 2.0,
+                },
+                7.0,
+                2_000,
+            )
+            .named("MLP1-bridge"),
+            6,
+        ),
+    ];
+    let reference = with_engine("single", None, || run_fleet(&spec, &tenants, &cfg));
+    for workers in [2usize, 5] {
+        let sharded = with_engine("sharded", Some(workers), || {
+            run_fleet(&spec, &tenants, &cfg)
+        });
+        assert_bit_identical(&reference, &sharded, &format!("{workers} workers"));
+    }
+}
+
+/// Ineligible specs (autoscaled, or a single component) silently fall
+/// back to the reference even when sharding is forced — same bytes,
+/// no panic.
+#[test]
+fn ineligible_specs_fall_back_to_the_reference() {
+    let cfg = TpuConfig::paper();
+    let s = scenario_by_name("diurnal-autoscale")
+        .expect("scenario exists")
+        .scale_requests(0.05);
+    let r = &s.runs[0];
+    let reference = with_engine("single", None, || run_fleet(&r.spec, &r.tenants, &cfg));
+    let forced = with_engine("sharded", Some(4), || run_fleet(&r.spec, &r.tenants, &cfg));
+    assert_bit_identical(&reference, &forced, "autoscaled spec");
+
+    let one = scenario_by_name("fleet-steady")
+        .expect("scenario exists")
+        .scale_requests(0.05);
+    let r = &one.runs[0];
+    let reference = with_engine("single", None, || run_fleet(&r.spec, &r.tenants, &cfg));
+    let forced = with_engine("sharded", Some(4), || run_fleet(&r.spec, &r.tenants, &cfg));
+    assert_bit_identical(&reference, &forced, "single-component spec");
+}
+
+/// The swap-affinity warm-set index must route identically to the
+/// O(replicas) scan it replaced: both colocate scenarios, which
+/// exercise `RouterPolicy::SwapAware` end to end, replay bit for bit
+/// under `TPU_CLUSTER_ROUTER=scan`.
+#[test]
+fn swap_affinity_warm_index_matches_the_scan_router_bit_for_bit() {
+    let cfg = TpuConfig::paper();
+    for name in ["colocate-interference", "colocate-vs-dedicated"] {
+        let s = scenario_by_name(name)
+            .expect("scenario exists")
+            .scale_requests(0.2);
+        std::env::set_var("TPU_CLUSTER_ROUTER", "scan");
+        let scanned = s.execute(&cfg);
+        std::env::remove_var("TPU_CLUSTER_ROUTER");
+        let indexed = s.execute(&cfg);
+        for ((sl, sr), (il, ir)) in scanned.iter().zip(&indexed) {
+            assert_eq!(sl, il);
+            assert_bit_identical(sr, ir, &format!("{name}/{sl} scan vs warm index"));
+        }
+    }
+}
