@@ -44,7 +44,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 use tpu_analyze::Attribution;
-use tpu_bench::{colocate_fleet, fleet_tenants, sweep_fleet};
+use tpu_bench::{colocate_fleet, fleet_tenants, resilient_fleet, sweep_fleet};
 use tpu_cluster::{
     run_fleet, run_fleet_telemetry, FleetRun, FleetSpec, FleetTenantSpec, HopModel, RouterPolicy,
 };
@@ -72,6 +72,11 @@ const ANALYZE_MIN_RECORDS: usize = 100_000;
 /// Fleet sizes of the sharded-engine (single vs multi-core) rows.
 const SHARDED_HOSTS: [usize; 2] = [100, 1_000];
 
+/// Fleet size of the failure-heavy resilience measurement: three
+/// 8-host cells under staggered rack outages with retries, budgets,
+/// and brownout shedding all live.
+const RESILIENT_HOSTS: usize = 24;
+
 /// The sharded gate's fleet size and speedup floor, enforced only on
 /// machines with at least [`SHARDED_GATE_MIN_CORES`] cores — below
 /// that the parallel win is mostly locality and the floor would gate
@@ -84,7 +89,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: bench_cluster [--out FILE] [--check FILE] [--tolerance F] \
          [--budget-ms N] [--hosts A,B,C] [--no-colocate] [--no-telemetry] [--no-analyze] \
-         [--no-sharded]"
+         [--no-sharded] [--no-resilience]"
     );
     ExitCode::from(2)
 }
@@ -255,6 +260,20 @@ struct AnalyzeRow {
     records_per_sec: f64,
 }
 
+/// The failure-heavy resilience measurement: the overcommitted
+/// rack-outage workload with the full resilience layer on. The sim is
+/// deterministic, so the behavioral columns (retries, dropped, shed)
+/// are exact per-iteration counts; events/sec is the hot-path price of
+/// displacement + backoff + budget + brownout bookkeeping.
+struct ResilienceRow {
+    hosts: usize,
+    events: u64,
+    events_per_sec: f64,
+    retries: usize,
+    dropped: usize,
+    shed: usize,
+}
+
 fn rows_to_json(
     rows: &[Row],
     colocate: Option<&Row>,
@@ -262,6 +281,7 @@ fn rows_to_json(
     telemetry: Option<&TelemetryRow>,
     request_log: Option<&RequestLogRow>,
     analyze: Option<&AnalyzeRow>,
+    resilience: Option<&ResilienceRow>,
 ) -> serde_json::Value {
     use serde_json::Value;
     let mut fields = vec![
@@ -445,6 +465,33 @@ fn rows_to_json(
             ]),
         ));
     }
+    if let Some(r) = resilience {
+        fields.push((
+            "resilience".to_string(),
+            Value::object([
+                ("hosts".to_string(), Value::Number(r.hosts as f64)),
+                (
+                    "workload".to_string(),
+                    Value::String(
+                        "overcommitted 8-host cells, staggered rack outages, \
+                         retry budget + brownout"
+                            .to_string(),
+                    ),
+                ),
+                (
+                    "events_per_iteration".to_string(),
+                    Value::Number(r.events as f64),
+                ),
+                (
+                    "events_per_sec".to_string(),
+                    Value::Number(r.events_per_sec.round()),
+                ),
+                ("retries".to_string(), Value::Number(r.retries as f64)),
+                ("dropped".to_string(), Value::Number(r.dropped as f64)),
+                ("shed".to_string(), Value::Number(r.shed as f64)),
+            ]),
+        ));
+    }
     Value::object(fields)
 }
 
@@ -504,6 +551,7 @@ fn main() -> ExitCode {
     let mut run_sharded = true;
     let mut run_telemetry_row = true;
     let mut run_analyze = true;
+    let mut run_resilience = true;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -541,6 +589,7 @@ fn main() -> ExitCode {
             "--no-sharded" => run_sharded = false,
             "--no-telemetry" => run_telemetry_row = false,
             "--no-analyze" => run_analyze = false,
+            "--no-resilience" => run_resilience = false,
             _ => return usage(),
         }
     }
@@ -753,6 +802,33 @@ fn main() -> ExitCode {
         None
     };
 
+    // The failure-heavy row: the overcommitted rack-outage workload
+    // with the full resilience layer live. The behavioral counts come
+    // from the deterministic report; the gate below requires the row
+    // to genuinely exercise retries and brownout shedding.
+    let resilience_row = if run_resilience {
+        let (spec, tenants) = resilient_fleet(RESILIENT_HOSTS, REQUESTS_PER_HOST * RESILIENT_HOSTS);
+        let (events_per_sec, events, run) = measure(&spec, &tenants, &cfg, budget_ms);
+        let sum = |f: fn(&tpu_cluster::FleetTenantReport) -> usize| -> usize {
+            run.report.tenants.iter().map(f).sum()
+        };
+        let row = ResilienceRow {
+            hosts: RESILIENT_HOSTS,
+            events,
+            events_per_sec,
+            retries: sum(|t| t.retries),
+            dropped: sum(|t| t.dropped),
+            shed: sum(|t| t.shed),
+        };
+        println!(
+            "resilience hosts={:<4} events/iter={:<8} current={:>12.0} ev/s  retries/iter={} dropped/iter={} shed/iter={}",
+            row.hosts, row.events, row.events_per_sec, row.retries, row.dropped, row.shed
+        );
+        Some(row)
+    } else {
+        None
+    };
+
     let doc = rows_to_json(
         &rows,
         colocate_row.as_ref(),
@@ -760,6 +836,7 @@ fn main() -> ExitCode {
         telemetry_row.as_ref(),
         request_log_row.as_ref(),
         analyze_row.as_ref(),
+        resilience_row.as_ref(),
     );
     if let Some(path) = out {
         let body = format!("{}\n", serde_json::to_string_pretty(&doc));
@@ -873,6 +950,29 @@ fn main() -> ExitCode {
             println!(
                 "gate ok for analyze: {} records at {:.0} records/s",
                 a.records, a.records_per_sec
+            );
+        }
+        // The resilience gate is behavioral, not relative: the sim is
+        // deterministic, so the failure-heavy row must always displace
+        // work into the retry layer and trip the brownout controller —
+        // a zero in either column means the resilience hot path
+        // silently stopped being exercised.
+        if let Some(r) = &resilience_row {
+            if r.retries == 0
+                || r.shed == 0
+                || !r.events_per_sec.is_finite()
+                || r.events_per_sec <= 0.0
+            {
+                eprintln!(
+                    "bench_cluster: REGRESSION: resilience row degenerate \
+                     ({} retries, {} shed, {} events/s)",
+                    r.retries, r.shed, r.events_per_sec
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "gate ok for resilience: {} retries, {} dropped, {} shed at {:.0} events/s",
+                r.retries, r.dropped, r.shed, r.events_per_sec
             );
         }
         // The sharded gate is an absolute floor, not committed-relative:

@@ -20,7 +20,10 @@
 
 #![warn(missing_docs)]
 
-use tpu_cluster::{ColocateConfig, FleetSpec, FleetTenantSpec, HopModel, RouterPolicy};
+use tpu_cluster::{
+    BrownoutConfig, ColocateConfig, FleetSpec, FleetTenantSpec, FleetTopology, HopModel,
+    RetryBudget, RetryPolicy, RouterPolicy,
+};
 use tpu_core::TpuConfig;
 use tpu_serve::tenant::ArrivalProcess;
 use tpu_serve::{BatchPolicy, ServiceCurve, TenantSpec};
@@ -129,6 +132,88 @@ pub fn sweep_fleet(hosts: usize, requests: usize) -> (FleetSpec, Vec<FleetTenant
     (spec, tenants)
 }
 
+/// The failure-heavy fleet load behind the resilience row: 8-host
+/// cells, each carrying an overcommitted two-tenant mix (a priority-3
+/// `critical` stream plus a priority-1 `bulk` stream at several times
+/// its rate) under staggered whole-rack outages, with the full
+/// resilience layer on — bounded backed-off retries, a per-tenant
+/// retry budget, and a brownout controller shedding `bulk`. The hot
+/// paths this row prices are exactly the ones the quiet fleets above
+/// never touch: displacement, backoff scheduling, budget accounting,
+/// and brownout bookkeeping on every completion.
+///
+/// `requests` is the fleet-wide total, split across cells at a
+/// 15%/85% critical/bulk ratio.
+///
+/// # Panics
+///
+/// Panics when `hosts` is below one 8-host cell.
+pub fn resilient_fleet(hosts: usize, requests: usize) -> (FleetSpec, Vec<FleetTenantSpec>) {
+    assert!(hosts >= 8, "resilient_fleet needs at least one 8-host cell");
+    let cells = hosts / 8;
+    let topo = FleetTopology::new(4, 2);
+    let mut failures = Vec::new();
+    for c in 0..cells {
+        // Staggered whole-rack outages inside every cell: racks 2c and
+        // 2c+1 down over [1.0, 2.5) and [3.0, 4.5) ms.
+        failures.extend(topo.rack_outage(1.0, 2.5, 2 * c, hosts));
+        failures.extend(topo.rack_outage(3.0, 4.5, 2 * c + 1, hosts));
+    }
+    let spec = FleetSpec::new(hosts, 2, 42)
+        .with_router(RouterPolicy::LeastOutstanding)
+        .with_hop(HopModel::Table5 { scale_ms: 1.0 })
+        .with_failures(failures)
+        .with_retry(RetryPolicy {
+            max_attempts: 4,
+            backoff_base_ms: 0.1,
+            backoff_max_ms: 1.0,
+            jitter_frac: 0.25,
+            budget: Some(RetryBudget {
+                tokens: 1024.0,
+                refill_per_ms: 64.0,
+            }),
+            hedge: None,
+        })
+        .with_brownout(BrownoutConfig {
+            max_priority_shed: 1,
+            slo_burn_threshold: 0.4,
+            window: 32,
+            clear_threshold: 0.15,
+            min_trip_ms: 0.5,
+        });
+    let mk = |rate_rps: f64, priority: u8, requests: usize| {
+        TenantSpec::new(
+            "MLP0",
+            ArrivalProcess::Poisson { rate_rps },
+            BatchPolicy::Timeout {
+                max_batch: 200,
+                t_max_ms: 0.5,
+            },
+            2.5,
+            requests.max(1),
+        )
+        .with_priority(priority)
+    };
+    let per_cell = requests / cells;
+    // All criticals place first: spread placement then leaves every
+    // host equally filled, so bulk `c` lands (by the index tie-break)
+    // on exactly critical `c`'s hosts — each cell one component, its
+    // two tenants contending for the same dies.
+    let criticals = (0..cells).map(|c| {
+        FleetTenantSpec::new(
+            mk(600_000.0, 3, (per_cell as f64 * 0.15) as usize).named(&format!("critical{c:03}")),
+            8,
+        )
+    });
+    let bulks = (0..cells).map(|c| {
+        FleetTenantSpec::new(
+            mk(3_300_000.0, 1, (per_cell as f64 * 0.85) as usize).named(&format!("bulk{c:03}")),
+            8,
+        )
+    });
+    (spec, criticals.chain(bulks).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +248,27 @@ mod tests {
             run.report.tenants.iter().map(|t| t.swaps).sum::<usize>() > 0,
             "the co-located bench load must exercise the swap path"
         );
+    }
+
+    #[test]
+    fn resilient_fleet_pairs_tenants_into_disjoint_cells() {
+        let (spec, tenants) = resilient_fleet(24, 48_000);
+        assert!(spec.retry.is_some() && spec.brownout.is_some());
+        let plan = tpu_cluster::plan_placement(&spec, &tenants, &paper_config());
+        // critical c and bulk c must land on the same 8 hosts, and
+        // cells must not overlap.
+        let hosts_of = |tenant: usize| -> Vec<usize> {
+            let mut hs = plan.assignments[tenant].clone();
+            hs.sort_unstable();
+            hs
+        };
+        for c in 0..3 {
+            let critical = hosts_of(c);
+            let bulk = hosts_of(3 + c);
+            assert_eq!(critical, bulk, "cell {c} tenants must share hosts");
+            let want: Vec<usize> = (8 * c..8 * (c + 1)).collect();
+            assert_eq!(critical, want, "cell {c} must own hosts {want:?}");
+        }
     }
 
     #[test]

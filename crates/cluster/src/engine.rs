@@ -20,12 +20,14 @@
 //! the tail where they belong).
 
 use crate::autoscale::{decide, ScaleDecision, ScaleSignals};
-use crate::failure::FailureKind;
+use crate::failure::{validate_schedule, FailureKind};
 use crate::fleet::{plan_placement, tenant_swap_ms, FleetSpec, FleetTenantSpec, PlacementPlan};
 use crate::report::{FleetHostReport, FleetReport, FleetTenantReport, ReplicaSample};
+use crate::resilience::{BrownoutConfig, RetryPolicy};
 use crate::route::{Candidate, OutstandingIndex, RouterPolicy, RouterState};
 use crate::shard::{self, Scope};
-use std::collections::VecDeque;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
 use tpu_core::TpuConfig;
 use tpu_serve::report::percentile;
 use tpu_serve::sim::{self, EventQueue};
@@ -56,11 +58,26 @@ enum FleetEvent {
     Autoscale,
     /// The `index`-th entry of the failure schedule strikes.
     Failure { index: usize },
+    /// A backed-off re-route of a displaced request (retry policy
+    /// only; the legacy path re-routes displaced work immediately).
+    /// `ts` is the request's original front-end arrival time.
+    Retry { tenant: usize, ts: f64 },
+    /// The hedging delay elapsed for the request that arrived at `ts`:
+    /// enqueue a tied copy on a second replica if the original hasn't
+    /// dispatched yet.
+    HedgeFire { tenant: usize, ts: f64 },
 }
 
 struct HostRt {
     core: HostCore,
     healthy: bool,
+    /// The front-end↔host network partition flag: a partitioned host
+    /// looks dead to the router (its replicas leave every serving
+    /// index) but keeps draining the requests already queued on it —
+    /// their completions still count. Orthogonal to `healthy`: a host
+    /// can crash while partitioned, and a recovery while partitioned
+    /// restores the core without making it routable.
+    partitioned: bool,
     epoch: u32,
     events: u64,
     crashes: usize,
@@ -148,17 +165,187 @@ struct TenantRt {
     /// The tenant's model identity in the weight-swap subsystem
     /// (co-located fleets only; `None` keeps its slots weight-free).
     weights: Option<ModelWeights>,
+    /// Retry/backoff/hedging runtime ([`FleetSpec::retry`] only;
+    /// `None` replays the legacy immediate-infinite-retry path bit for
+    /// bit).
+    retry_rt: Option<RetryRt>,
+    /// Requests rejected at admission by a tripped brownout controller.
+    shed: usize,
+    /// Displaced requests abandoned by the retry policy (attempts
+    /// exhausted or retry budget empty).
+    dropped: usize,
+    /// Tied hedge copies actually launched.
+    hedges: usize,
+    /// Hedged requests whose *hedge* copy dispatched first.
+    hedge_wins: usize,
+}
+
+/// Where a hedged request's copies stand, keyed by the request's
+/// arrival-timestamp bits in [`RetryRt::hedge_pending`].
+#[derive(Debug, Clone, Copy)]
+enum HedgeTie {
+    /// The primary copy is routed (queued or in its hop) and the hedge
+    /// timer is armed; no tied copy exists yet.
+    Pending { primary: usize },
+    /// Both copies are queued on distinct replicas; whichever
+    /// dispatches first cancels the other at its queue.
+    Tied { primary: usize, hedge: usize },
+}
+
+/// Per-tenant retry/backoff/hedging state (present iff the fleet sets
+/// [`FleetSpec::retry`]).
+struct RetryRt {
+    policy: RetryPolicy,
+    /// Backoff jitter stream — `stream_seed(seed, 0xB0FF_0000 + gt)`
+    /// for *global* tenant `gt`, so shards draw identical jitter.
+    rng: StdRng,
+    /// Retries already spent per displaced request, keyed by the
+    /// request's arrival-timestamp bits. Entries are dropped when the
+    /// request is abandoned; a served retry's entry is left behind
+    /// (harmlessly — the map only ever holds displaced requests).
+    attempts: HashMap<u64, u32>,
+    /// Token-bucket retry budget level (lazily refilled; meaningful
+    /// only when the policy carries a [`crate::resilience::RetryBudget`]).
+    tokens: f64,
+    last_refill_ms: f64,
+    /// Outstanding hedge ties by arrival-timestamp bits.
+    hedge_pending: HashMap<u64, HedgeTie>,
+    /// Ring of recent completion latencies feeding the hedge-delay
+    /// quantile (capacity = the hedge config's `window`).
+    lat_window: VecDeque<f64>,
+    /// Total completions observed (the hedge delay stays floored at
+    /// `min_delay_ms` until 20 samples exist).
+    lat_seen: usize,
+}
+
+/// One brownout controller: a ring of recent completion SLO outcomes
+/// over a placement-connected component, tripping sheds on sustained
+/// burn and clearing with hysteresis.
+struct BrownoutRt {
+    cfg: BrownoutConfig,
+    /// Ring of the last `cfg.window` completions (`true` = SLO miss or
+    /// abandoned request).
+    ring: Vec<bool>,
+    pos: usize,
+    filled: bool,
+    misses: usize,
+    tripped: bool,
+    /// When the controller last changed state (floor for clearing).
+    changed_ms: f64,
+}
+
+impl BrownoutRt {
+    fn new(cfg: BrownoutConfig) -> Self {
+        BrownoutRt {
+            cfg,
+            ring: vec![false; cfg.window],
+            pos: 0,
+            filled: false,
+            misses: 0,
+            tripped: false,
+            changed_ms: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one completion outcome and re-evaluate the trip state.
+    /// Returns `Some(new_state)` when the controller flipped.
+    fn observe(&mut self, miss: bool, now: f64) -> Option<bool> {
+        self.misses -= self.ring[self.pos] as usize;
+        self.ring[self.pos] = miss;
+        self.misses += miss as usize;
+        self.pos += 1;
+        if self.pos == self.ring.len() {
+            self.pos = 0;
+            self.filled = true;
+        }
+        if !self.filled {
+            return None;
+        }
+        let frac = self.misses as f64 / self.ring.len() as f64;
+        if !self.tripped && frac >= self.cfg.slo_burn_threshold {
+            self.tripped = true;
+            self.changed_ms = now;
+            return Some(true);
+        }
+        if self.tripped
+            && frac <= self.cfg.clear_threshold
+            && now - self.changed_ms >= self.cfg.min_trip_ms
+        {
+            self.tripped = false;
+            self.changed_ms = now;
+            return Some(false);
+        }
+        None
+    }
+}
+
+/// The brownout controllers for one scoped run: one [`BrownoutRt`] per
+/// placement-connected component (`group_of[tenant]` → group), so the
+/// single-threaded reference and the sharded engine — where a shard
+/// *is* one component — observe identical completion streams.
+struct BrownoutCtl {
+    cfg: BrownoutConfig,
+    group_of: Vec<usize>,
+    groups: Vec<BrownoutRt>,
+}
+
+impl BrownoutCtl {
+    /// Union-find the local tenants over shared hosts in `plan` and
+    /// build one controller per component.
+    fn new(cfg: BrownoutConfig, plan: &[Vec<usize>], hosts: usize) -> Self {
+        let n = plan.len();
+        let mut parent: Vec<usize> = (0..n + hosts).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (t, hs) in plan.iter().enumerate() {
+            for &h in hs {
+                let a = find(&mut parent, t);
+                let b = find(&mut parent, n + h);
+                // Lower root wins, so group ids are stable in tenant
+                // order regardless of union order.
+                let (lo, hi) = (a.min(b), a.max(b));
+                parent[hi] = lo;
+            }
+        }
+        let mut dense: HashMap<usize, usize> = HashMap::new();
+        let mut groups = Vec::new();
+        let group_of = (0..n)
+            .map(|t| {
+                let root = find(&mut parent, t);
+                *dense.entry(root).or_insert_with(|| {
+                    groups.push(BrownoutRt::new(cfg));
+                    groups.len() - 1
+                })
+            })
+            .collect();
+        BrownoutCtl {
+            cfg,
+            group_of,
+            groups,
+        }
+    }
+
+    /// Whether an arrival for `tenant` at `priority` is shed right now.
+    fn sheds(&self, tenant: usize, priority: u8) -> bool {
+        priority <= self.cfg.max_priority_shed && self.groups[self.group_of[tenant]].tripped
+    }
 }
 
 /// The single serving-eligibility rule: a replica is routable traffic's
-/// candidate iff it is live, routable, and its host is healthy. The
+/// candidate iff it is live, routable, and its host is healthy and
+/// reachable (not partitioned from the front end). The
 /// `OutstandingIndex` mirrors exactly the replicas satisfying this
 /// predicate, so every site that tests eligibility must go through it —
 /// a second inlined copy that drifts would silently desync the index
 /// from the scan.
 #[inline]
 fn serving(r: &ReplicaRt, hosts: &[HostRt]) -> bool {
-    r.live && r.routable && hosts[r.host].healthy
+    r.live && r.routable && hosts[r.host].healthy && !hosts[r.host].partitioned
 }
 
 impl TenantRt {
@@ -404,9 +591,9 @@ pub fn run_fleet_telemetry(
     if let Some(a) = &spec.autoscale {
         a.validate();
     }
-    for f in &spec.failures {
-        assert!(f.host < spec.hosts.len(), "failure names unknown host");
-        assert!(f.at_ms.is_finite() && f.at_ms >= 0.0, "bad failure time");
+    let dies_per_host: Vec<usize> = spec.hosts.iter().map(|h| h.dies).collect();
+    if let Err(errors) = validate_schedule(&spec.failures, &dies_per_host) {
+        panic!("invalid failure schedule:\n{}", errors.join("\n"));
     }
     if let Some(c) = &spec.colocate {
         c.validate();
@@ -486,6 +673,7 @@ fn run_scoped(
                 sim::stream_seed(spec.seed, gh as u64),
             ),
             healthy: true,
+            partitioned: false,
             epoch: 0,
             events: 0,
             crashes: 0,
@@ -609,10 +797,41 @@ fn run_scoped(
                 use_index,
                 swap_indexed,
                 weights,
+                retry_rt: spec.retry.map(|policy| RetryRt {
+                    policy,
+                    rng: StdRng::seed_from_u64(sim::stream_seed(
+                        spec.seed,
+                        0xB0FF_0000 + gt as u64,
+                    )),
+                    attempts: HashMap::new(),
+                    tokens: policy.budget.map_or(0.0, |b| b.tokens),
+                    last_refill_ms: 0.0,
+                    hedge_pending: HashMap::new(),
+                    lat_window: VecDeque::new(),
+                    lat_seen: 0,
+                }),
+                shed: 0,
+                dropped: 0,
+                hedges: 0,
+                hedge_wins: 0,
                 spec: ft.clone(),
             }
         })
         .collect();
+
+    // Hedging needs to see dispatches to resolve ties first-wins; the
+    // log is a no-op for every fleet that doesn't opt in.
+    if spec.retry.is_some_and(|r| r.hedge.is_some()) {
+        for host in hosts.iter_mut() {
+            host.core.enable_dispatch_log();
+        }
+    }
+    // Graceful degradation (opt-in): one brownout controller per
+    // placement-connected component sheds the lowest-priority
+    // admissions while its component's SLO burn stays high.
+    let mut brownout: Option<BrownoutCtl> = spec
+        .brownout
+        .map(|cfg| BrownoutCtl::new(cfg, &scope.plan, hosts.len()));
 
     let mut q: EventQueue<FleetEvent> = EventQueue::new();
     for (t, tr) in trs.iter_mut().enumerate() {
@@ -634,7 +853,7 @@ fn run_scoped(
     let mut fail_samples: Vec<(usize, ReplicaSample)> = Vec::new();
     let mut events_processed = 0u64;
     // Per-event-type tallies for the engine profile; see EVENT_NAMES.
-    let mut counts = [0u64; 8];
+    let mut counts = [0u64; 10];
     let mut failures_processed = 0usize;
 
     while let Some((now, event)) = q.pop() {
@@ -649,6 +868,31 @@ fn run_scoped(
             FleetEvent::Arrival { tenant } => {
                 counts[0] += 1;
                 trs[tenant].pending_arrival = false;
+                // Graceful degradation (opt-in): a tripped brownout
+                // controller rejects the lowest-priority admissions at
+                // the front door, before any routing work.
+                if brownout
+                    .as_ref()
+                    .is_some_and(|b| b.sheds(tenant, trs[tenant].spec.tenant.priority))
+                {
+                    if let Some(at) = trs[tenant].gen.next_arrival_ms(now) {
+                        trs[tenant].pending_arrival = true;
+                        q.schedule(at, FleetEvent::Arrival { tenant });
+                    }
+                    trs[tenant].shed += 1;
+                    if let Some(p) = fe_probe.as_mut() {
+                        p.instant("fleet", "shed", now);
+                    }
+                    if let Some(l) = tel.requests.as_mut() {
+                        l.note_shed(&trs[tenant].spec.tenant.name, now);
+                    }
+                    // The shed may have been the tenant's last
+                    // undelivered request: flush now-drained replicas.
+                    for h in maybe_mark_drained(&mut hosts, &mut trs, tenant, usize::MAX) {
+                        try_dispatch_host(&mut q, &mut hosts, &mut trs, h, now);
+                    }
+                    continue;
+                }
                 let picked = pick_replica(&mut trs, &hosts, spec, tenant);
                 // Schedule the next arrival before delivering, so the
                 // zero-hop path makes schedule calls in exactly
@@ -660,6 +904,20 @@ fn run_scoped(
                 }
                 match picked {
                     Some(replica) => {
+                        // Hedging (opt-in): arm the tied-copy timer at
+                        // the delay the recent completion tail implies,
+                        // measured past the hop so the primary is
+                        // always delivered before the hedge can fire.
+                        if let Some(delay) = hedge_delay(&trs[tenant]) {
+                            let hop = trs[tenant].hop_ms;
+                            let rt = trs[tenant].retry_rt.as_mut().expect("hedge implies policy");
+                            rt.hedge_pending
+                                .insert(now.to_bits(), HedgeTie::Pending { primary: replica });
+                            q.schedule(
+                                now + hop + delay,
+                                FleetEvent::HedgeFire { tenant, ts: now },
+                            );
+                        }
                         deliver_or_hop(&mut q, &mut hosts, &mut trs, tenant, replica, now, now);
                     }
                     None => {
@@ -690,18 +948,31 @@ fn run_scoped(
                 } else {
                     // The host crashed while the request was in the
                     // hop: retry it elsewhere at its original arrival
-                    // time.
+                    // time. A mid-hop request can't be tied yet, so
+                    // any hedge entry is still pending — discard it
+                    // (retries are never hedged).
                     let o = trs[tenant].replicas[replica].outstanding;
                     set_outstanding(&mut trs, &hosts, tenant, replica, o - 1);
                     maybe_retire(&mut hosts, &mut trs, tenant, replica);
-                    trs[tenant].retries += 1;
-                    if let Some(p) = fe_probe.as_mut() {
-                        p.instant("fleet", "retry", now);
+                    if let Some(rt) = trs[tenant].retry_rt.as_mut() {
+                        rt.hedge_pending.remove(&arrived_ms.to_bits());
                     }
-                    if let Some(l) = tel.requests.as_mut() {
-                        l.note_retry(&trs[tenant].spec.tenant.name, arrived_ms);
+                    if retry_or_drop(
+                        &mut q,
+                        &mut hosts,
+                        &mut trs,
+                        spec,
+                        tenant,
+                        arrived_ms,
+                        now,
+                        &mut fe_probe,
+                        tel,
+                        &mut brownout,
+                    ) {
+                        for h in maybe_mark_drained(&mut hosts, &mut trs, tenant, usize::MAX) {
+                            try_dispatch_host(&mut q, &mut hosts, &mut trs, h, now);
+                        }
                     }
-                    route_request(&mut q, &mut hosts, &mut trs, spec, tenant, arrived_ms, now);
                 }
             }
             FleetEvent::Host { host, epoch, event } => {
@@ -728,9 +999,9 @@ fn run_scoped(
                         refresh_host_warmth(&mut trs, &mut hosts, host);
                         continue;
                     }
-                    HostEvent::DieFree { die } => {
+                    HostEvent::DieFree { die, generation } => {
                         counts[4] += 1;
-                        if let Some(done) = hosts[host].core.on_die_free(die) {
+                        if let Some(done) = hosts[host].core.on_die_free(die, generation) {
                             let tenant = hosts[host].slot_owner[done.slot];
                             let replica = hosts[host].slot_replica[done.slot];
                             let o = trs[tenant].replicas[replica].outstanding;
@@ -742,12 +1013,22 @@ fn run_scoped(
                                 o - done.completions,
                             );
                             maybe_retire(&mut hosts, &mut trs, tenant, replica);
+                            // The batch's latencies were just committed
+                            // at the end of the slot's buffer.
+                            let from = hosts[host].core.latency_count(done.slot) - done.completions;
+                            observe_completions(
+                                &mut trs,
+                                &hosts,
+                                &mut brownout,
+                                &mut fe_probe,
+                                tenant,
+                                host,
+                                done.slot,
+                                from,
+                                now,
+                            );
                             if let Some(m) = tel.metrics.as_mut() {
-                                // The batch's latencies were just
-                                // committed at the end of the slot's
-                                // buffer; feed them to the tenant sketch.
-                                let from =
-                                    hosts[host].core.latency_count(done.slot) - done.completions;
+                                // Feed them to the tenant sketch too.
                                 let series = format!("latency/{}", trs[tenant].spec.tenant.name);
                                 for l in hosts[host].core.slot_latencies_from(done.slot, from) {
                                     m.observe(&series, l);
@@ -810,6 +1091,7 @@ fn run_scoped(
                 let active = trs.iter().any(|tr| {
                     tr.undelivered() > 0
                         || tr.in_hop > 0
+                        || tr.displaced_pending > 0
                         || !tr.parked.is_empty()
                         || tr.replicas.iter().any(|r| r.outstanding > 0)
                 });
@@ -825,8 +1107,11 @@ fn run_scoped(
                     FailureKind::Crash => {
                         if hosts[f.host].healthy {
                             // Serving replicas on this host leave the
-                            // routing index before the health flip.
-                            reindex_host_replicas(&mut trs, &hosts, f.host, false);
+                            // routing index before the health flip
+                            // (they are already out if partitioned).
+                            if !hosts[f.host].partitioned {
+                                reindex_host_replicas(&mut trs, &hosts, f.host, false);
+                            }
                             hosts[f.host].healthy = false;
                             hosts[f.host].epoch += 1;
                             hosts[f.host].crashes += 1;
@@ -859,14 +1144,36 @@ fn run_scoped(
                             }
                             for (tenant, ts) in requeue {
                                 trs[tenant].displaced_pending -= 1;
-                                trs[tenant].retries += 1;
-                                if let Some(p) = fe_probe.as_mut() {
-                                    p.instant("fleet", "retry", now);
+                                // Hedge interplay: a displaced copy's
+                                // tie is broken. A still-queued sibling
+                                // on another host serves the request
+                                // alone (no retry); a sole pending copy
+                                // falls through to the retry layer.
+                                let tie = trs[tenant]
+                                    .retry_rt
+                                    .as_mut()
+                                    .and_then(|rt| rt.hedge_pending.remove(&ts.to_bits()));
+                                if matches!(tie, Some(HedgeTie::Tied { .. })) {
+                                    continue;
                                 }
-                                if let Some(l) = tel.requests.as_mut() {
-                                    l.note_retry(&trs[tenant].spec.tenant.name, ts);
+                                if retry_or_drop(
+                                    &mut q,
+                                    &mut hosts,
+                                    &mut trs,
+                                    spec,
+                                    tenant,
+                                    ts,
+                                    now,
+                                    &mut fe_probe,
+                                    tel,
+                                    &mut brownout,
+                                ) {
+                                    for h in
+                                        maybe_mark_drained(&mut hosts, &mut trs, tenant, usize::MAX)
+                                    {
+                                        try_dispatch_host(&mut q, &mut hosts, &mut trs, h, now);
+                                    }
                                 }
-                                route_request(&mut q, &mut hosts, &mut trs, spec, tenant, ts, now);
                             }
                         }
                     }
@@ -876,9 +1183,14 @@ fn run_scoped(
                                 p.instant("fault", &format!("recover host{}", f.host), now);
                             }
                             hosts[f.host].healthy = true;
-                            reindex_host_replicas(&mut trs, &hosts, f.host, true);
-                            for t in 0..trs.len() {
-                                unpark(&mut q, &mut hosts, &mut trs, spec, t, now);
+                            // A recovery behind a partition restores
+                            // the core but not routability; the
+                            // reinsert and unpark happen at rejoin.
+                            if !hosts[f.host].partitioned {
+                                reindex_host_replicas(&mut trs, &hosts, f.host, true);
+                                for t in 0..trs.len() {
+                                    unpark(&mut q, &mut hosts, &mut trs, spec, t, now);
+                                }
                             }
                         }
                     }
@@ -888,10 +1200,153 @@ fn run_scoped(
                     FailureKind::SlowEnd => {
                         hosts[f.host].core.set_slow_factor(1.0);
                     }
+                    FailureKind::PartitionStart => {
+                        if !hosts[f.host].partitioned {
+                            if let Some(p) = fe_probe.as_mut() {
+                                p.instant("fault", &format!("partition host{}", f.host), now);
+                            }
+                            // The host looks dead to the router but
+                            // keeps draining its queues; a crashed
+                            // host's replicas are already out of every
+                            // index.
+                            if hosts[f.host].healthy {
+                                reindex_host_replicas(&mut trs, &hosts, f.host, false);
+                            }
+                            hosts[f.host].partitioned = true;
+                        }
+                    }
+                    FailureKind::PartitionEnd => {
+                        if hosts[f.host].partitioned {
+                            if let Some(p) = fe_probe.as_mut() {
+                                p.instant("fault", &format!("rejoin host{}", f.host), now);
+                            }
+                            hosts[f.host].partitioned = false;
+                            // Rejoin with whatever stale queues built
+                            // up while unreachable; routable again iff
+                            // the host is also healthy.
+                            if hosts[f.host].healthy {
+                                reindex_host_replicas(&mut trs, &hosts, f.host, true);
+                                for t in 0..trs.len() {
+                                    unpark(&mut q, &mut hosts, &mut trs, spec, t, now);
+                                }
+                            }
+                        }
+                    }
+                    FailureKind::DieFail { die } => {
+                        // Partial degradation: the die leaves the pool
+                        // whether or not the host is up (the outage
+                        // survives a crash/recover cycle); a displaced
+                        // in-flight batch re-enters through the retry
+                        // layer. In-flight requests resolved any hedge
+                        // ties at dispatch, so no tie check is needed.
+                        if let Some((slot, arrivals)) = hosts[f.host].core.fail_die(die, now) {
+                            let tenant = hosts[f.host].slot_owner[slot];
+                            let replica = hosts[f.host].slot_replica[slot];
+                            let o = trs[tenant].replicas[replica].outstanding;
+                            set_outstanding(&mut trs, &hosts, tenant, replica, o - arrivals.len());
+                            maybe_retire(&mut hosts, &mut trs, tenant, replica);
+                            trs[tenant].displaced_pending += arrivals.len();
+                            for ts in arrivals {
+                                trs[tenant].displaced_pending -= 1;
+                                if retry_or_drop(
+                                    &mut q,
+                                    &mut hosts,
+                                    &mut trs,
+                                    spec,
+                                    tenant,
+                                    ts,
+                                    now,
+                                    &mut fe_probe,
+                                    tel,
+                                    &mut brownout,
+                                ) {
+                                    for h in
+                                        maybe_mark_drained(&mut hosts, &mut trs, tenant, usize::MAX)
+                                    {
+                                        try_dispatch_host(&mut q, &mut hosts, &mut trs, h, now);
+                                    }
+                                }
+                            }
+                        }
+                        // The weight wipe cooled the die; re-derive the
+                        // cached warmth for swap-affinity routing.
+                        refresh_host_warmth(&mut trs, &mut hosts, f.host);
+                    }
+                    FailureKind::DieRecover { die } => {
+                        hosts[f.host].core.recover_die(die);
+                        if hosts[f.host].healthy {
+                            // The pool grew: queued work may dispatch.
+                            try_dispatch_host(&mut q, &mut hosts, &mut trs, f.host, now);
+                        }
+                    }
+                    FailureKind::DieSlow { die, factor } => {
+                        hosts[f.host].core.set_die_slow(die, factor);
+                    }
                 }
                 let sample = sample_now(now, &trs, &hosts);
                 fail_samples.push((fail_id, sample.clone()));
                 timeline.push(sample);
+            }
+            FleetEvent::Retry { tenant, ts } => {
+                counts[8] += 1;
+                // The backoff elapsed: re-route at the original
+                // arrival time (or park if every replica is down).
+                trs[tenant].displaced_pending -= 1;
+                route_request(&mut q, &mut hosts, &mut trs, spec, tenant, ts, now);
+            }
+            FleetEvent::HedgeFire { tenant, ts } => {
+                counts[9] += 1;
+                let bits = ts.to_bits();
+                // Still pending? Dispatched or displaced requests had
+                // their entries removed; this fire is then stale.
+                let pending = match trs[tenant]
+                    .retry_rt
+                    .as_ref()
+                    .and_then(|rt| rt.hedge_pending.get(&bits))
+                {
+                    Some(&HedgeTie::Pending { primary }) => Some(primary),
+                    _ => None,
+                };
+                let Some(primary) = pending else { continue };
+                // Tie to the least-outstanding serving replica other
+                // than the one still holding the request.
+                let second = trs[tenant]
+                    .replicas
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, r)| i != primary && serving(r, &hosts))
+                    .min_by_key(|&(i, r)| (r.outstanding, i))
+                    .map(|(i, _)| i);
+                let rt = trs[tenant].retry_rt.as_mut().expect("fire implies policy");
+                let Some(second) = second else {
+                    // Nowhere to hedge to; the primary stays solo.
+                    rt.hedge_pending.remove(&bits);
+                    continue;
+                };
+                rt.hedge_pending.insert(
+                    bits,
+                    HedgeTie::Tied {
+                        primary,
+                        hedge: second,
+                    },
+                );
+                trs[tenant].hedges += 1;
+                if let Some(p) = fe_probe.as_mut() {
+                    p.instant("fleet", "hedge", now);
+                }
+                // The tied copy injects straight into the second
+                // replica's queue (the hedge delay already dominates
+                // the hop) and keeps the original arrival time, so a
+                // hedge win is a real latency win.
+                let o = trs[tenant].replicas[second].outstanding;
+                set_outstanding(&mut trs, &hosts, tenant, second, o + 1);
+                let (host, slot) = {
+                    let r = &trs[tenant].replicas[second];
+                    (r.host, r.slot)
+                };
+                hosts[host].core.enqueue(slot, ts);
+                hosts[host].events += 1;
+                finish_delivery(&mut q, &mut hosts, &mut trs, tenant, host, slot, now);
             }
         }
     }
@@ -905,7 +1360,7 @@ fn run_scoped(
             tr.parked.len()
         );
         assert!(
-            tr.undelivered() == 0 && tr.in_hop == 0,
+            tr.undelivered() == 0 && tr.in_hop == 0 && tr.displaced_pending == 0,
             "tenant {t} finished with work left (engine bug)"
         );
         let served: usize = tr
@@ -914,7 +1369,8 @@ fn run_scoped(
             .map(|r| hosts[r.host].core.latency_count(r.slot))
             .sum();
         assert_eq!(
-            served, tr.spec.tenant.requests,
+            served + tr.dropped + tr.shed,
+            tr.spec.tenant.requests,
             "tenant {t} lost requests (engine bug)"
         );
     }
@@ -953,7 +1409,7 @@ fn run_scoped(
         m.flush_sketches(makespan_ms);
     }
     if let Some(p) = tel.profile.as_mut() {
-        const EVENT_NAMES: [&str; 8] = [
+        const EVENT_NAMES: [&str; 10] = [
             "arrival",
             "deliver",
             "timer",
@@ -962,6 +1418,8 @@ fn run_scoped(
             "stale-host",
             "autoscale",
             "failure",
+            "retry",
+            "hedge-fire",
         ];
         p.event_counts = EVENT_NAMES
             .iter()
@@ -1166,6 +1624,11 @@ fn assemble(spec: &FleetSpec, placement: PlacementPlan, out: ScopedRun) -> Fleet
                 workload: tr.spec.tenant.workload.clone(),
                 priority: tr.spec.tenant.priority,
                 requests: n,
+                offered: tr.spec.tenant.requests,
+                dropped: tr.dropped,
+                shed: tr.shed,
+                hedges: tr.hedges,
+                hedge_wins: tr.hedge_wins,
                 retries: tr.retries,
                 batches,
                 mean_batch: dispatched as f64 / batches.max(1) as f64,
@@ -1216,6 +1679,7 @@ fn assemble(spec: &FleetSpec, placement: PlacementPlan, out: ScopedRun) -> Fleet
             makespan_ms,
             events_processed,
             colocated: spec.colocate.is_some(),
+            resilient: spec.retry.is_some() || spec.brownout.is_some(),
         },
         host_reports,
         placement,
@@ -1312,6 +1776,227 @@ fn try_dispatch_host(
         )
     });
     refresh_host_warmth(trs, hosts, host);
+    resolve_ties(q, hosts, trs, host, now);
+}
+
+/// First-wins hedge resolution: every request that just dispatched on
+/// `host` cancels its tied sibling's still-queued copy at that
+/// sibling's queue, so exactly one copy ever executes. Runs directly
+/// after each dispatch pass — before any other host can dispatch — so
+/// two copies of one request can never both reach a die. A no-op for
+/// fleets without hedging (the dispatch log only exists when it's on).
+fn resolve_ties(
+    q: &mut EventQueue<FleetEvent>,
+    hosts: &mut [HostRt],
+    trs: &mut [TenantRt],
+    host: usize,
+    now: f64,
+) {
+    let mut dispatched: Vec<(usize, f64)> = Vec::new();
+    hosts[host].core.drain_dispatched(&mut dispatched);
+    for (slot, ts) in dispatched {
+        let tenant = hosts[host].slot_owner[slot];
+        let Some(tie) = trs[tenant]
+            .retry_rt
+            .as_mut()
+            .and_then(|rt| rt.hedge_pending.remove(&ts.to_bits()))
+        else {
+            continue;
+        };
+        let winner = hosts[host].slot_replica[slot];
+        let loser = match tie {
+            // No tied copy was launched; removing the entry just
+            // staled the pending hedge timer.
+            HedgeTie::Pending { .. } => continue,
+            HedgeTie::Tied { primary, hedge } => {
+                if winner == hedge {
+                    trs[tenant].hedge_wins += 1;
+                    primary
+                } else {
+                    hedge
+                }
+            }
+        };
+        let (lh, lslot) = {
+            let r = &trs[tenant].replicas[loser];
+            (r.host, r.slot)
+        };
+        let epoch = hosts[lh].epoch;
+        let canceled = hosts[lh].core.cancel_queued(lslot, ts, now, &mut |at, e| {
+            q.schedule(
+                at,
+                FleetEvent::Host {
+                    host: lh,
+                    epoch,
+                    event: e,
+                },
+            )
+        });
+        if canceled {
+            let o = trs[tenant].replicas[loser].outstanding;
+            set_outstanding(trs, hosts, tenant, loser, o - 1);
+            maybe_retire(hosts, trs, tenant, loser);
+        }
+    }
+}
+
+/// The hedge-fire delay for one tenant's fresh arrival, or `None` when
+/// hedging is off. The delay is the configured quantile over the
+/// recent completion window, floored at `min_delay_ms` — and pinned to
+/// the floor until 20 completions exist (a tail estimate over fewer
+/// samples is noise).
+fn hedge_delay(tr: &TenantRt) -> Option<f64> {
+    let rt = tr.retry_rt.as_ref()?;
+    let h = rt.policy.hedge?;
+    if rt.lat_seen < 20 {
+        return Some(h.min_delay_ms);
+    }
+    let mut lat: Vec<f64> = rt.lat_window.iter().copied().collect();
+    lat.sort_unstable_by(|a, b| a.total_cmp(b));
+    Some(percentile(&lat, h.quantile).max(h.min_delay_ms))
+}
+
+/// Feed one completed batch's just-committed latencies to the owning
+/// tenant's hedge-delay window and its component's brownout
+/// controller. A no-op unless one of those consumers exists.
+#[allow(clippy::too_many_arguments)]
+fn observe_completions(
+    trs: &mut [TenantRt],
+    hosts: &[HostRt],
+    brownout: &mut Option<BrownoutCtl>,
+    fe_probe: &mut Option<HostProbe>,
+    tenant: usize,
+    host: usize,
+    slot: usize,
+    from: usize,
+    now: f64,
+) {
+    let hedging = trs[tenant]
+        .retry_rt
+        .as_ref()
+        .is_some_and(|rt| rt.policy.hedge.is_some());
+    if brownout.is_none() && !hedging {
+        return;
+    }
+    let lats = hosts[host].core.slot_latencies_from(slot, from);
+    let slo = trs[tenant].spec.tenant.slo_ms;
+    if hedging {
+        let rt = trs[tenant].retry_rt.as_mut().expect("hedging checked");
+        let window = rt.policy.hedge.expect("hedging checked").window;
+        for &l in &lats {
+            if rt.lat_window.len() == window {
+                rt.lat_window.pop_front();
+            }
+            rt.lat_window.push_back(l);
+            rt.lat_seen += 1;
+        }
+    }
+    if let Some(b) = brownout.as_mut() {
+        let g = b.group_of[tenant];
+        for &l in &lats {
+            if let Some(state) = b.groups[g].observe(l > slo, now) {
+                if let Some(p) = fe_probe.as_mut() {
+                    let what = if state {
+                        "brownout-trip"
+                    } else {
+                        "brownout-clear"
+                    };
+                    p.instant("fleet", what, now);
+                }
+            }
+        }
+    }
+}
+
+/// One displaced request hits the retry layer. With no policy this is
+/// the legacy path verbatim: count the retry and re-route immediately,
+/// with no bound. With a policy: bounded attempts (`max_attempts`
+/// counts the original send), a lazily-refilled token-bucket retry
+/// budget, and deterministic exponential backoff with seeded jitter —
+/// the re-route happens at a later [`FleetEvent::Retry`]. Returns
+/// `true` when the request was abandoned; the caller must then run the
+/// drained-flush check, since the drop may have been the tenant's last
+/// outstanding piece of work.
+#[allow(clippy::too_many_arguments)]
+fn retry_or_drop(
+    q: &mut EventQueue<FleetEvent>,
+    hosts: &mut [HostRt],
+    trs: &mut [TenantRt],
+    spec: &FleetSpec,
+    tenant: usize,
+    ts: f64,
+    now: f64,
+    fe_probe: &mut Option<HostProbe>,
+    tel: &mut RunTelemetry,
+    brownout: &mut Option<BrownoutCtl>,
+) -> bool {
+    if trs[tenant].retry_rt.is_none() {
+        trs[tenant].retries += 1;
+        if let Some(p) = fe_probe.as_mut() {
+            p.instant("fleet", "retry", now);
+        }
+        if let Some(l) = tel.requests.as_mut() {
+            l.note_retry(&trs[tenant].spec.tenant.name, ts);
+        }
+        route_request(q, hosts, trs, spec, tenant, ts, now);
+        return false;
+    }
+    let bits = ts.to_bits();
+    let rt = trs[tenant].retry_rt.as_mut().expect("checked above");
+    let spent = rt.attempts.get(&bits).copied().unwrap_or(0);
+    let exhausted = spent + 1 >= rt.policy.max_attempts;
+    // Lazily refill the budget bucket before judging this retry.
+    let over_budget = if let Some(b) = rt.policy.budget {
+        rt.tokens = (rt.tokens + (now - rt.last_refill_ms) * b.refill_per_ms).min(b.tokens);
+        rt.last_refill_ms = now;
+        rt.tokens < 1.0
+    } else {
+        false
+    };
+    if exhausted || over_budget {
+        rt.attempts.remove(&bits);
+        trs[tenant].dropped += 1;
+        if let Some(p) = fe_probe.as_mut() {
+            p.instant("fleet", "drop", now);
+        }
+        if let Some(l) = tel.requests.as_mut() {
+            l.note_drop(&trs[tenant].spec.tenant.name, ts);
+        }
+        // An abandoned request is burn: feed the component's brownout
+        // controller so retry-budget pressure can trip sheds.
+        if let Some(b) = brownout.as_mut() {
+            let g = b.group_of[tenant];
+            if let Some(state) = b.groups[g].observe(true, now) {
+                if let Some(p) = fe_probe.as_mut() {
+                    let what = if state {
+                        "brownout-trip"
+                    } else {
+                        "brownout-clear"
+                    };
+                    p.instant("fleet", what, now);
+                }
+            }
+        }
+        return true;
+    }
+    rt.attempts.insert(bits, spent + 1);
+    if rt.policy.budget.is_some() {
+        rt.tokens -= 1.0;
+    }
+    let u = rt.rng.gen_range(0.0..1.0);
+    let delay = rt.policy.backoff_ms(spent + 1, u);
+    trs[tenant].retries += 1;
+    if let Some(p) = fe_probe.as_mut() {
+        p.instant("fleet", "backoff", now);
+    }
+    if let Some(l) = tel.requests.as_mut() {
+        l.note_retry(&trs[tenant].spec.tenant.name, ts);
+    }
+    // Count the request as displaced until its Retry fires, so the
+    // drained check can't trip while it waits out the backoff.
+    trs[tenant].displaced_pending += 1;
+    q.schedule(now + delay, FleetEvent::Retry { tenant, ts });
+    false
 }
 
 /// Route one request (fresh, retried, or unparked) at time `now`,
@@ -1424,7 +2109,7 @@ fn autoscale_tenant(
             let busy = core.slot_busy_ms(r.slot);
             let delta = busy - r.busy_mark;
             r.busy_mark = busy;
-            if r.live && r.routable && hosts[r.host].healthy {
+            if serving(r, hosts) {
                 busy_delta += delta;
             }
         }
@@ -1459,7 +2144,7 @@ fn autoscale_tenant(
                 .replicas
                 .iter()
                 .enumerate()
-                .filter(|(_, r)| r.live && r.routable && hosts[r.host].healthy)
+                .filter(|(_, r)| self::serving(r, hosts))
                 .min_by_key(|(i, r)| (r.outstanding, *i))
                 .map(|(i, _)| i);
             if let Some(replica) = victim {
@@ -1513,6 +2198,7 @@ fn try_scale_up(
         .enumerate()
         .filter(|(h, hr)| {
             hr.healthy
+                && !hr.partitioned
                 && hr.weight_used + weight <= spec.hosts[*h].weight_capacity_bytes
                 && !trs[tenant].replicas.iter().any(|r| r.live && r.host == *h)
         })

@@ -17,6 +17,28 @@
 //! * **SlowStart/SlowEnd** — a straggler: future batch service times on
 //!   the host are scaled by `factor` until the matching `SlowEnd`.
 //! * **Recover** — the host rejoins with idle dies and empty queues.
+//! * **PartitionStart/PartitionEnd** — a front-end↔host network
+//!   partition: the router stops sending (the host looks dead to
+//!   placement and routing) but the host keeps draining the work it
+//!   already holds, rejoining with whatever queue is left.
+//! * **DieFail/DieRecover** — partial degradation: one die leaves the
+//!   host's dispatch pool (its in-flight batch is displaced and
+//!   retried) and later rejoins cold.
+//! * **DieSlow** — one die runs at `factor`× service time (`1.0`
+//!   restores full speed).
+//!
+//! Correlated failures — whole racks or power domains going down
+//! together — are expressed in the same per-host vocabulary: the
+//! [`crate::topology::FleetTopology`] constructors expand a domain
+//! event into one `FailureEvent` per member host at the same
+//! timestamp, so the engine (and the sharded engine's partitioner)
+//! never needs a second failure representation.
+//!
+//! Schedules are validated before the run starts by
+//! [`validate_schedule`]: non-finite or negative times, out-of-range
+//! host or die indices, and impossible transitions (crashing a
+//! crashed host, recovering a healthy one) are rejected with
+//! line-item messages instead of panicking mid-simulation.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -37,6 +59,31 @@ pub enum FailureKind {
     },
     /// The straggler returns to full speed.
     SlowEnd,
+    /// The front-end↔host link partitions: the router treats the host
+    /// as dead, but it keeps draining its in-flight and queued work.
+    PartitionStart,
+    /// The partition heals; the host rejoins the routing pool with
+    /// whatever (stale) queues it still holds.
+    PartitionEnd,
+    /// One die fails: its in-flight batch is displaced and retried,
+    /// and the die leaves the dispatch pool until [`Self::DieRecover`].
+    DieFail {
+        /// Which die on the host.
+        die: usize,
+    },
+    /// A failed die rejoins the dispatch pool, cold (no warm weights).
+    DieRecover {
+        /// Which die on the host.
+        die: usize,
+    },
+    /// One die runs at `factor`× service time (`1.0` restores full
+    /// speed); composes multiplicatively with host-level stragglers.
+    DieSlow {
+        /// Which die on the host.
+        die: usize,
+        /// Per-die service-time multiplier (> 0, finite).
+        factor: f64,
+    },
 }
 
 /// One scheduled failure.
@@ -87,6 +134,184 @@ impl FailureEvent {
             },
         ]
     }
+
+    /// A front-end↔host partition window `[at_ms, until_ms)`, expanded
+    /// to its start/end event pair.
+    pub fn partition_window(at_ms: f64, until_ms: f64, host: usize) -> [Self; 2] {
+        assert!(until_ms > at_ms, "partition window must have extent");
+        [
+            FailureEvent {
+                at_ms,
+                host,
+                kind: FailureKind::PartitionStart,
+            },
+            FailureEvent {
+                at_ms: until_ms,
+                host,
+                kind: FailureKind::PartitionEnd,
+            },
+        ]
+    }
+
+    /// A die failure at `at_ms`.
+    pub fn die_fail(at_ms: f64, host: usize, die: usize) -> Self {
+        FailureEvent {
+            at_ms,
+            host,
+            kind: FailureKind::DieFail { die },
+        }
+    }
+
+    /// A die recovery at `at_ms`.
+    pub fn die_recover(at_ms: f64, host: usize, die: usize) -> Self {
+        FailureEvent {
+            at_ms,
+            host,
+            kind: FailureKind::DieRecover { die },
+        }
+    }
+
+    /// A per-die slowdown (or restore, at `factor` 1.0) at `at_ms`.
+    pub fn die_slow(at_ms: f64, host: usize, die: usize, factor: f64) -> Self {
+        assert!(factor > 0.0, "die slowdown factor must be positive");
+        FailureEvent {
+            at_ms,
+            host,
+            kind: FailureKind::DieSlow { die, factor },
+        }
+    }
+}
+
+/// Validate a failure schedule against a fleet of `dies_per_host`
+/// hosts (one entry per host) **before** the run starts, replaying the
+/// per-host state machine in the order the engine would fire the
+/// events — ascending `(at_ms, schedule index)`, matching the event
+/// queue's `(time, seq)` pop order. Returns every problem found as a
+/// line-item message:
+///
+/// * non-finite or negative `at_ms`;
+/// * host index out of range;
+/// * `Crash` of an already-crashed host, `Recover` of a healthy one;
+/// * `PartitionStart` of an already-partitioned host, `PartitionEnd`
+///   of an unpartitioned one;
+/// * die index out of range, `DieFail` of an already-failed die,
+///   `DieRecover` of a healthy one;
+/// * non-finite or nonpositive `SlowStart`/`DieSlow` factors.
+///
+/// Events with an invalid time or host are excluded from the state
+/// replay (they can't meaningfully advance it). Crash/recover state is
+/// tracked independently of partition and die state — a host may
+/// crash while partitioned, and its dies keep their degradation
+/// across the crash.
+pub fn validate_schedule(
+    failures: &[FailureEvent],
+    dies_per_host: &[usize],
+) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    let mut order: Vec<usize> = (0..failures.len()).collect();
+    order.sort_by(|&a, &b| {
+        failures[a]
+            .at_ms
+            .total_cmp(&failures[b].at_ms)
+            .then(a.cmp(&b))
+    });
+    let mut healthy = vec![true; dies_per_host.len()];
+    let mut partitioned = vec![false; dies_per_host.len()];
+    let mut die_ok: Vec<Vec<bool>> = dies_per_host.iter().map(|&d| vec![true; d]).collect();
+    for i in order {
+        let f = &failures[i];
+        let at = f.at_ms;
+        let mut bad = |msg: String| errors.push(format!("failure[{i}] at {at} ms: {msg}"));
+        if !f.at_ms.is_finite() || f.at_ms < 0.0 {
+            bad(format!("time {} is not finite and non-negative", f.at_ms));
+            continue;
+        }
+        if f.host >= dies_per_host.len() {
+            bad(format!(
+                "host {} out of range (fleet has {} hosts)",
+                f.host,
+                dies_per_host.len()
+            ));
+            continue;
+        }
+        let dies = dies_per_host[f.host];
+        match f.kind {
+            FailureKind::Crash => {
+                if !healthy[f.host] {
+                    bad(format!("host {} is already crashed", f.host));
+                } else {
+                    healthy[f.host] = false;
+                }
+            }
+            FailureKind::Recover => {
+                if healthy[f.host] {
+                    bad(format!("host {} is already healthy", f.host));
+                } else {
+                    healthy[f.host] = true;
+                }
+            }
+            FailureKind::SlowStart { factor } => {
+                if !(factor.is_finite() && factor > 0.0) {
+                    bad(format!("straggler factor {factor} must be finite and > 0"));
+                }
+            }
+            FailureKind::SlowEnd => {}
+            FailureKind::PartitionStart => {
+                if partitioned[f.host] {
+                    bad(format!("host {} is already partitioned", f.host));
+                } else {
+                    partitioned[f.host] = true;
+                }
+            }
+            FailureKind::PartitionEnd => {
+                if !partitioned[f.host] {
+                    bad(format!("host {} is not partitioned", f.host));
+                } else {
+                    partitioned[f.host] = false;
+                }
+            }
+            FailureKind::DieFail { die } => {
+                if die >= dies {
+                    bad(format!(
+                        "die {die} out of range (host {} has {dies} dies)",
+                        f.host
+                    ));
+                } else if !die_ok[f.host][die] {
+                    bad(format!("die {die} on host {} is already failed", f.host));
+                } else {
+                    die_ok[f.host][die] = false;
+                }
+            }
+            FailureKind::DieRecover { die } => {
+                if die >= dies {
+                    bad(format!(
+                        "die {die} out of range (host {} has {dies} dies)",
+                        f.host
+                    ));
+                } else if die_ok[f.host][die] {
+                    bad(format!("die {die} on host {} is already healthy", f.host));
+                } else {
+                    die_ok[f.host][die] = true;
+                }
+            }
+            FailureKind::DieSlow { die, factor } => {
+                if die >= dies {
+                    bad(format!(
+                        "die {die} out of range (host {} has {dies} dies)",
+                        f.host
+                    ));
+                }
+                if !(factor.is_finite() && factor > 0.0) {
+                    bad(format!("die factor {factor} must be finite and > 0"));
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
 }
 
 /// Generate a crash/recover schedule for `hosts` hosts over
@@ -95,6 +320,12 @@ impl FailureEvent {
 /// derive from `seed` (stream `0xFA11 + host`), so the schedule is a
 /// pure function of its arguments. Events are sorted by
 /// `(time, host)`.
+///
+/// Generation is clamped to the horizon: no event lands after
+/// `horizon_ms` (an outage still open at the horizon recovers exactly
+/// there), and the crash times drawn for a host are a prefix of the
+/// crash times the same seed draws at any longer horizon — see the
+/// determinism test.
 ///
 /// # Panics
 ///
@@ -118,7 +349,7 @@ pub fn seeded_outages(
                 break;
             }
             events.push(FailureEvent::crash(t, host));
-            events.push(FailureEvent::recover(t + mttr_ms, host));
+            events.push(FailureEvent::recover((t + mttr_ms).min(horizon_ms), host));
             t += mttr_ms;
         }
     }
@@ -174,5 +405,100 @@ mod tests {
     #[should_panic(expected = "slower")]
     fn fast_straggler_rejected() {
         let _ = FailureEvent::slow_window(0.0, 1.0, 0, 0.5);
+    }
+
+    #[test]
+    fn seeded_outages_clamp_to_the_horizon_without_perturbing_the_stream() {
+        let short = seeded_outages(42, 6, 500.0, 200.0, 80.0);
+        let long = seeded_outages(42, 6, 2000.0, 200.0, 80.0);
+        assert!(
+            short.iter().all(|e| e.at_ms <= 500.0),
+            "no event may land past the horizon"
+        );
+        // Per host, the short horizon's crash times are exactly the
+        // long horizon's crashes below 500 ms — clamping the recovery
+        // must not consume or shift any RNG draws.
+        for host in 0..6 {
+            let crashes = |evs: &[FailureEvent], cap: f64| -> Vec<f64> {
+                evs.iter()
+                    .filter(|e| e.host == host && e.kind == FailureKind::Crash && e.at_ms < cap)
+                    .map(|e| e.at_ms)
+                    .collect()
+            };
+            assert_eq!(
+                crashes(&short, 500.0),
+                crashes(&long, 500.0),
+                "host {host}: crash-time prefix must be horizon-independent"
+            );
+        }
+        // And the schedule stays a valid alternation per host.
+        assert!(validate_schedule(&short, &[2; 6]).is_ok());
+    }
+
+    #[test]
+    fn validate_schedule_accepts_the_legal_vocabulary() {
+        let mut evs = vec![
+            FailureEvent::crash(10.0, 0),
+            FailureEvent::recover(20.0, 0),
+            FailureEvent::crash(20.0, 0), // recover then crash in the same ms
+            FailureEvent::recover(30.0, 0),
+            FailureEvent::die_fail(5.0, 1, 1),
+            FailureEvent::die_recover(15.0, 1, 1),
+            FailureEvent::die_slow(16.0, 1, 0, 2.5),
+            FailureEvent::die_slow(18.0, 1, 0, 1.0),
+        ];
+        evs.extend(FailureEvent::slow_window(1.0, 9.0, 1, 3.0));
+        evs.extend(FailureEvent::partition_window(12.0, 22.0, 1));
+        assert_eq!(validate_schedule(&evs, &[2, 2]), Ok(()));
+    }
+
+    #[test]
+    fn validate_schedule_reports_line_item_errors() {
+        let evs = vec![
+            FailureEvent::crash(f64::NAN, 0),
+            FailureEvent::crash(-1.0, 0),
+            FailureEvent::crash(5.0, 9),
+            FailureEvent::crash(6.0, 0),
+            FailureEvent::crash(7.0, 0),   // double crash
+            FailureEvent::recover(8.0, 1), // recover of healthy host
+            FailureEvent {
+                at_ms: 9.0,
+                host: 1,
+                kind: FailureKind::PartitionEnd, // not partitioned
+            },
+            FailureEvent::die_fail(10.0, 1, 7), // die out of range
+            FailureEvent::die_recover(11.0, 1, 0), // die already healthy
+            FailureEvent {
+                at_ms: 12.0,
+                host: 0,
+                kind: FailureKind::SlowStart { factor: -2.0 },
+            },
+        ];
+        let errs = validate_schedule(&evs, &[2, 2]).unwrap_err();
+        assert_eq!(errs.len(), 9);
+        let has = |needle: &str| {
+            assert!(
+                errs.iter().any(|e| e.contains(needle)),
+                "missing {needle:?} in {errs:#?}"
+            )
+        };
+        has("not finite");
+        has("out of range (fleet has 2 hosts)");
+        has("already crashed");
+        has("already healthy");
+        has("not partitioned");
+        has("die 7 out of range");
+        has("die 0 on host 1 is already healthy");
+        has("factor -2 must be finite and > 0");
+        // Line items carry the schedule index and timestamp.
+        has("failure[4] at 7 ms");
+    }
+
+    #[test]
+    fn validate_schedule_replays_in_time_order_not_list_order() {
+        // Listed out of order, but by (time, index) it is a legal
+        // crash → recover sequence.
+        let evs = vec![FailureEvent::recover(20.0, 0), FailureEvent::crash(10.0, 0)];
+        assert_eq!(validate_schedule(&evs, &[2]), Ok(()));
     }
 }

@@ -12,6 +12,7 @@
 
 use crate::autoscale::AutoscaleConfig;
 use crate::failure::FailureEvent;
+use crate::resilience::{BrownoutConfig, RetryPolicy};
 use crate::route::RouterPolicy;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -265,6 +266,11 @@ pub struct FleetSpec {
     /// Multi-model co-location; `None` (the default) keeps the legacy
     /// whole-replica behaviour bit for bit.
     pub colocate: Option<ColocateConfig>,
+    /// Retry policy for displaced work; `None` (the default) keeps the
+    /// legacy immediate-infinite retry bit for bit.
+    pub retry: Option<RetryPolicy>,
+    /// Brownout load-shedding; `None` (the default) admits everything.
+    pub brownout: Option<BrownoutConfig>,
 }
 
 impl FleetSpec {
@@ -285,6 +291,8 @@ impl FleetSpec {
             autoscale: None,
             failures: Vec::new(),
             colocate: None,
+            retry: None,
+            brownout: None,
         }
     }
 
@@ -317,6 +325,22 @@ impl FleetSpec {
     pub fn with_colocate(mut self, colocate: ColocateConfig) -> Self {
         colocate.validate();
         self.colocate = Some(colocate);
+        self
+    }
+
+    /// Opt in to bounded, backed-off retries (with optional budget and
+    /// hedging) instead of the legacy immediate-infinite retry.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        retry.validate();
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Opt in to brownout load-shedding of low-priority admissions
+    /// under SLO burn.
+    pub fn with_brownout(mut self, brownout: BrownoutConfig) -> Self {
+        brownout.validate();
+        self.brownout = Some(brownout);
         self
     }
 

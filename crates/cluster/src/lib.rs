@@ -21,7 +21,17 @@
 //!   with cooldowns;
 //! * [`failure`] — seeded, deterministic failure schedules: host
 //!   crashes (queued *and* in-flight work retried on survivors), slow
-//!   stragglers, recoveries;
+//!   stragglers, recoveries, front-end↔host partitions, and die-level
+//!   partial degradation — validated up front by
+//!   [`failure::validate_schedule`];
+//! * [`topology`] — failure-domain containment (die ⊂ host ⊂ rack ⊂
+//!   power-domain) with seeded **correlated** outage generation
+//!   ([`topology::seeded_domain_outages`]);
+//! * [`resilience`] — opt-in retry policies (bounded attempts,
+//!   deterministic exponential backoff with seeded jitter, per-tenant
+//!   retry budgets), request hedging with first-wins cancellation, and
+//!   brownout load-shedding ([`resilience::RetryPolicy`],
+//!   [`resilience::BrownoutConfig`]);
 //! * [`engine`] — the fleet event loop tying it together over the
 //!   event core extracted into `tpu_serve::sim`;
 //! * [`report`] — fleet-wide per-tenant tails, SLO attainment, per-host
@@ -30,8 +40,9 @@
 //! * [`scenario`] — named experiments (`fleet-steady`,
 //!   `diurnal-autoscale`, `trace-replay`, `host-failover`,
 //!   `router-shootout`, `straggler-tail`, `colocate-interference`,
-//!   `colocate-vs-dedicated`, `fleet-sweep`) behind the `tpu_cluster`
-//!   CLI, which also ships a `place` inspector printing any scenario's
+//!   `colocate-vs-dedicated`, `fleet-sweep`, `rack-outage`,
+//!   `retry-storm`) behind the `tpu_cluster` CLI, which also ships a
+//!   `place` inspector printing any scenario's
 //!   [`fleet::PlacementPlan`] without simulating.
 //!
 //! The engine runs **multi-core by default**: the connected components
@@ -80,20 +91,24 @@ pub mod engine;
 pub mod failure;
 pub mod fleet;
 pub mod report;
+pub mod resilience;
 pub mod route;
 pub mod scenario;
 mod shard;
+pub mod topology;
 
 pub use autoscale::{AutoscaleConfig, ScaleSignals};
 pub use engine::{run_fleet, run_fleet_telemetry, FleetRun};
-pub use failure::{seeded_outages, FailureEvent, FailureKind};
+pub use failure::{seeded_outages, validate_schedule, FailureEvent, FailureKind};
 pub use fleet::{
     place, plan_placement, ColocateConfig, FleetSpec, FleetTenantSpec, HopModel, HostPlacement,
     HostSpec, PlacementPlan, PlacementPolicy,
 };
 pub use report::{FleetHostReport, FleetReport, FleetTenantReport, ReplicaSample};
+pub use resilience::{BrownoutConfig, HedgeConfig, RetryBudget, RetryPolicy};
 pub use route::{OutstandingIndex, RouterPolicy};
 pub use scenario::{
-    all_scenarios, fleet_sweep, scenario_by_name, FleetScenario, FleetScenarioRun,
-    FLEET_SWEEP_DEFAULT_HOSTS,
+    all_scenarios, fleet_sweep, rack_outage, scenario_by_name, FleetScenario, FleetScenarioRun,
+    FLEET_SWEEP_DEFAULT_HOSTS, RACK_OUTAGE_DEFAULT_HOSTS,
 };
+pub use topology::{seeded_domain_outages, FleetTopology};

@@ -21,6 +21,18 @@ pub struct FleetTenantReport {
     pub priority: u8,
     /// Requests served across the fleet.
     pub requests: usize,
+    /// Requests the front end generated for the tenant (served +
+    /// dropped + shed; reported only when [`FleetReport::resilient`]).
+    pub offered: usize,
+    /// Displaced requests the retry policy abandoned (attempts
+    /// exhausted or retry budget empty).
+    pub dropped: usize,
+    /// Requests rejected at admission by a tripped brownout controller.
+    pub shed: usize,
+    /// Tied hedge copies launched.
+    pub hedges: usize,
+    /// Hedged requests whose hedge copy dispatched first.
+    pub hedge_wins: usize,
     /// Requests retried after a host crash.
     pub retries: usize,
     /// Batches dispatched across all replicas.
@@ -108,6 +120,11 @@ pub struct FleetReport {
     /// residency/swap columns in both renderings, so non-co-located
     /// reports stay byte-identical to the pre-subsystem format.
     pub colocated: bool,
+    /// Whether the run opted into the resilience layer (a retry policy
+    /// or a brownout controller). Gates the offered/dropped/shed/hedge
+    /// section in both renderings — same contract as [`Self::colocated`]:
+    /// runs that don't opt in render byte-identically to before.
+    pub resilient: bool,
 }
 
 impl FleetReport {
@@ -167,6 +184,13 @@ impl FleetReport {
                 if self.colocated {
                     fields.push(("swaps".into(), Value::Number(t.swaps as f64)));
                     fields.push(("swap_ms".into(), Value::Number(round3(t.swap_ms))));
+                }
+                if self.resilient {
+                    fields.push(("offered".into(), Value::Number(t.offered as f64)));
+                    fields.push(("dropped".into(), Value::Number(t.dropped as f64)));
+                    fields.push(("shed".into(), Value::Number(t.shed as f64)));
+                    fields.push(("hedges".into(), Value::Number(t.hedges as f64)));
+                    fields.push(("hedge_wins".into(), Value::Number(t.hedge_wins as f64)));
                 }
                 Value::object(fields)
             })
@@ -232,6 +256,9 @@ impl FleetReport {
         ];
         if self.colocated {
             top.push(("colocated".into(), Value::Bool(true)));
+        }
+        if self.resilient {
+            top.push(("resilient".into(), Value::Bool(true)));
         }
         Value::object(top)
     }
@@ -332,6 +359,21 @@ impl fmt::Display for FleetReport {
                 )?;
             }
         }
+        if self.resilient {
+            writeln!(f)?;
+            writeln!(
+                f,
+                "{:<12} {:>8} {:>8} {:>8} {:>8} {:>7} {:>11}",
+                "resilience", "offered", "served", "dropped", "shed", "hedges", "hedge wins"
+            )?;
+            for t in &self.tenants {
+                writeln!(
+                    f,
+                    "{:<12} {:>8} {:>8} {:>8} {:>8} {:>7} {:>11}",
+                    t.name, t.offered, t.requests, t.dropped, t.shed, t.hedges, t.hedge_wins
+                )?;
+            }
+        }
         if self.replica_timeline.len() > 1 {
             writeln!(f)?;
             writeln!(f, "replica timeline (t ms: per-tenant live replicas):")?;
@@ -360,6 +402,11 @@ mod tests {
                 workload: "MLP0".into(),
                 priority: 3,
                 requests: 100,
+                offered: 100,
+                dropped: 0,
+                shed: 0,
+                hedges: 0,
+                hedge_wins: 0,
                 retries: 4,
                 batches: 10,
                 mean_batch: 10.0,
@@ -402,7 +449,19 @@ mod tests {
             makespan_ms: 10.0,
             events_processed: 321,
             colocated: false,
+            resilient: false,
         }
+    }
+
+    fn resilient_sample() -> FleetReport {
+        let mut r = sample();
+        r.resilient = true;
+        r.tenants[0].offered = 110;
+        r.tenants[0].dropped = 4;
+        r.tenants[0].shed = 6;
+        r.tenants[0].hedges = 3;
+        r.tenants[0].hedge_wins = 2;
+        r
     }
 
     fn colocated_sample() -> FleetReport {
@@ -472,6 +531,41 @@ mod tests {
                 colo_json.contains(needle),
                 "missing {needle} in {colo_json}"
             );
+        }
+    }
+
+    /// The resilience gating contract, mirroring the co-location one:
+    /// the offered/dropped/shed/hedge section and keys appear only when
+    /// the run opted into the resilience layer, so every pre-existing
+    /// report stays byte-identical to the old format.
+    #[test]
+    fn resilience_columns_render_only_for_resilient_runs() {
+        let plain = format!("{}", sample());
+        for needle in ["resilience", "offered", "shed", "hedge"] {
+            assert!(!plain.contains(needle), "{needle:?} leaked into:\n{plain}");
+        }
+        let plain_json = serde_json::to_string(&sample().to_json());
+        for needle in ["offered", "dropped", "shed", "hedges", "resilient"] {
+            assert!(
+                !plain_json.contains(needle),
+                "{needle} leaked into {plain_json}"
+            );
+        }
+
+        let res = format!("{}", resilient_sample());
+        for needle in ["resilience", "offered", "hedge wins"] {
+            assert!(res.contains(needle), "missing {needle:?} in:\n{res}");
+        }
+        let res_json = serde_json::to_string(&resilient_sample().to_json());
+        for needle in [
+            "\"resilient\":true",
+            "\"offered\":110",
+            "\"dropped\":4",
+            "\"shed\":6",
+            "\"hedges\":3",
+            "\"hedge_wins\":2",
+        ] {
+            assert!(res_json.contains(needle), "missing {needle} in {res_json}");
         }
     }
 

@@ -15,7 +15,9 @@ use crate::autoscale::AutoscaleConfig;
 use crate::engine::{run_fleet, run_fleet_telemetry, FleetRun};
 use crate::failure::FailureEvent;
 use crate::fleet::{ColocateConfig, FleetSpec, FleetTenantSpec, HopModel, PlacementPolicy};
+use crate::resilience::{BrownoutConfig, HedgeConfig, RetryBudget, RetryPolicy};
 use crate::route::RouterPolicy;
+use crate::topology::{seeded_domain_outages, FleetTopology};
 use tpu_core::TpuConfig;
 use tpu_serve::tenant::ArrivalProcess;
 use tpu_serve::workload::{DiurnalProfile, Trace};
@@ -560,6 +562,182 @@ pub fn fleet_sweep(hosts: usize) -> FleetScenario {
     }
 }
 
+/// The default `rack-outage` fleet — one 8-host failure-domain cell:
+/// two 4-host racks under a single power-domain.
+pub const RACK_OUTAGE_DEFAULT_HOSTS: usize = 8;
+
+/// The correlated-failure drill: `hosts` 2-die hosts carved into
+/// 8-host **cells** (two 4-host racks to a power-domain, one
+/// MLP0-class tenant spread across each cell), run with bounded
+/// backed-off retries, a retry budget, and p95 hedging.
+///
+/// Cell 0 takes a deterministic beating — a whole-rack outage at
+/// 0.3 ms via [`FleetTopology::rack_outage`], a front-end partition of
+/// the sibling rack (the hosts keep draining, invisible to the
+/// router), and a die failure on a freshly recovered host. Fleets
+/// beyond the default size (`--hosts`) additionally replay a seeded
+/// **correlated** outage schedule ([`seeded_domain_outages`]) across
+/// the remaining racks — the schedule the CI sharded-vs-single diff
+/// replays at 1000 hosts, byte-identical at every
+/// `TPU_CLUSTER_SHARDS`.
+///
+/// # Panics
+///
+/// Panics when `hosts` is below one 8-host cell.
+pub fn rack_outage(hosts: usize) -> FleetScenario {
+    assert!(
+        hosts >= RACK_OUTAGE_DEFAULT_HOSTS,
+        "rack-outage needs at least one 8-host cell"
+    );
+    let topo = FleetTopology::new(4, 2);
+    let cells = hosts / RACK_OUTAGE_DEFAULT_HOSTS;
+    // Deterministic faults in cell 0, timed to land inside even a
+    // heavily scaled-down run.
+    let mut failures = topo.rack_outage(0.30, 0.70, 0, hosts);
+    failures.extend(topo.rack_partition(0.75, 1.00, 1, hosts));
+    failures.push(FailureEvent::die_fail(0.80, 1, 0));
+    failures.push(FailureEvent::die_recover(1.00, 1, 0));
+    // A 4x-slow die on the surviving rack while it carries the whole
+    // cell: the straggler tail is what the hedges race against.
+    failures.push(FailureEvent::die_slow(0.10, 6, 0, 8.0));
+    failures.push(FailureEvent::die_slow(0.10, 6, 1, 8.0));
+    failures.push(FailureEvent::die_slow(3.00, 6, 0, 1.0));
+    failures.push(FailureEvent::die_slow(3.00, 6, 1, 1.0));
+    // Larger fleets add seeded rack- and domain-level outages over the
+    // remaining cells (empty at the default size).
+    failures.extend(
+        seeded_domain_outages(42, topo, hosts, 16.0, 60.0, 240.0, 2.0)
+            .into_iter()
+            .filter(|e| e.host >= RACK_OUTAGE_DEFAULT_HOSTS),
+    );
+    let retry = RetryPolicy {
+        max_attempts: 5,
+        backoff_base_ms: 0.2,
+        backoff_max_ms: 3.0,
+        jitter_frac: 0.2,
+        budget: Some(RetryBudget {
+            tokens: 256.0,
+            refill_per_ms: 16.0,
+        }),
+        hedge: Some(HedgeConfig {
+            min_delay_ms: 0.5,
+            quantile: 0.95,
+            window: 128,
+        }),
+    };
+    let spec = FleetSpec::new(hosts, 2, 42)
+        .with_router(RouterPolicy::LeastOutstanding)
+        .with_hop(HopModel::Table5 { scale_ms: 1.0 })
+        .with_failures(failures)
+        .with_retry(retry);
+    let tenants = (0..cells)
+        .map(|c| {
+            FleetTenantSpec::new(
+                timeout_tenant("MLP0", 1_200_000.0, 200, 2.0, 7.0, 2, 60_000)
+                    .named(&format!("cell{c:03}")),
+                RACK_OUTAGE_DEFAULT_HOSTS,
+            )
+        })
+        .collect();
+    FleetScenario {
+        name: "rack-outage",
+        description: "8-host cells under correlated rack/domain faults: backoff, budget, hedging",
+        runs: vec![FleetScenarioRun {
+            label: "outage".into(),
+            spec,
+            tenants,
+        }],
+    }
+}
+
+/// The retry-storm contrast: one overcommitted 8-host cell (a
+/// priority-3 `critical` tenant plus a priority-1 `bulk` tenant at
+/// ~3× its rate) hit by staggered whole-rack outages, run twice over
+/// the identical failure schedule —
+///
+/// * `blind` — the legacy front end: every displaced request retries
+///   immediately and unboundedly, so each crash re-amplifies the
+///   queue it displaced;
+/// * `resilient` — bounded attempts with exponential backoff and
+///   seeded jitter, a per-tenant retry budget that breaks the circuit
+///   (dropping, and reporting, what it refuses to amplify), and a
+///   brownout controller shedding `bulk` admissions while the cell's
+///   SLO burn is over threshold.
+///
+/// The integration tests pin the contrast: the resilient run issues
+/// strictly fewer retries and holds strictly higher SLO attainment
+/// for `critical` than the blind run.
+fn retry_storm() -> FleetScenario {
+    let topo = FleetTopology::new(4, 2);
+    let hosts = 8;
+    // Staggered rack outages: rack 0 dies first, recovers, then rack 1
+    // dies — each crash displacing the backlog the previous one built.
+    // A die failure on a rack-1 host persists across that host's
+    // crash/recover pair (die state survives host restarts). Times sit
+    // inside the arrival window even at the goldens' 0.05 scale, so
+    // the storm always overlaps admission.
+    let mut failures = topo.rack_outage(1.0, 2.5, 0, hosts);
+    failures.extend(topo.rack_outage(3.0, 4.5, 1, hosts));
+    failures.push(FailureEvent::die_fail(2.6, 5, 0));
+    failures.push(FailureEvent::die_recover(5.0, 5, 0));
+    let spec = || {
+        FleetSpec::new(hosts, 2, 42)
+            .with_router(RouterPolicy::LeastOutstanding)
+            .with_hop(HopModel::Table5 { scale_ms: 1.0 })
+            .with_failures(failures.clone())
+    };
+    // Short batching timeouts keep queues shallow (a crash displaces
+    // at most a timeout's worth of backlog); the tight 2 ms SLO on
+    // `critical` is what the storm threatens.
+    let tenants = || {
+        vec![
+            FleetTenantSpec::new(
+                timeout_tenant("MLP0", 600_000.0, 64, 0.3, 1.2, 3, 72_000).named("critical"),
+                hosts,
+            ),
+            FleetTenantSpec::new(
+                timeout_tenant("MLP0", 3_300_000.0, 200, 0.5, 2.5, 1, 400_000).named("bulk"),
+                hosts,
+            ),
+        ]
+    };
+    let retry = RetryPolicy {
+        max_attempts: 4,
+        backoff_base_ms: 0.1,
+        backoff_max_ms: 1.0,
+        jitter_frac: 0.25,
+        budget: Some(RetryBudget {
+            tokens: 1024.0,
+            refill_per_ms: 64.0,
+        }),
+        hedge: None,
+    };
+    let brownout = BrownoutConfig {
+        max_priority_shed: 1,
+        slo_burn_threshold: 0.4,
+        window: 32,
+        clear_threshold: 0.15,
+        min_trip_ms: 0.5,
+    };
+    FleetScenario {
+        name: "retry-storm",
+        description:
+            "staggered rack outages, 2 tenants: blind infinite retry vs backoff+budget+shedding",
+        runs: vec![
+            FleetScenarioRun {
+                label: "blind".into(),
+                spec: spec(),
+                tenants: tenants(),
+            },
+            FleetScenarioRun {
+                label: "resilient".into(),
+                spec: spec().with_retry(retry).with_brownout(brownout),
+                tenants: tenants(),
+            },
+        ],
+    }
+}
+
 /// All named scenarios, in CLI listing order.
 pub fn all_scenarios() -> Vec<FleetScenario> {
     vec![
@@ -572,6 +750,8 @@ pub fn all_scenarios() -> Vec<FleetScenario> {
         colocate_interference(),
         colocate_vs_dedicated(),
         fleet_sweep(FLEET_SWEEP_DEFAULT_HOSTS),
+        rack_outage(RACK_OUTAGE_DEFAULT_HOSTS),
+        retry_storm(),
     ]
 }
 

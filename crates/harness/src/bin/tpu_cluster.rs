@@ -36,7 +36,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: tpu_cluster list\n       tpu_cluster run <scenario>|--all \
          [--seed N] [--requests-scale F] [--json] [--trace FILE] [--engine-stats]\n           \
-         [--hosts N (fleet-sweep)] [--chrome-trace FILE] [--metrics-out FILE]\n           \
+         [--hosts N (fleet-sweep, rack-outage)] [--chrome-trace FILE] [--metrics-out FILE]\n           \
          [--metrics-interval MS] [--svg FILE] [--request-log FILE]\n       \
          tpu_cluster analyze <scenario>|--input LOG [--run LABEL] [--seed N] \
          [--requests-scale F]\n           \
@@ -99,7 +99,7 @@ fn run_command(args: &[String]) -> ExitCode {
                 None => return usage(),
             },
             "--hosts" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) if v >= 20 => hosts = Some(v),
+                Some(v) if v >= 8 => hosts = Some(v),
                 _ => return usage(),
             },
             "--requests-scale" => match it.next().and_then(|v| v.parse().ok()) {
@@ -161,14 +161,22 @@ fn run_command(args: &[String]) -> ExitCode {
             }
         }
     };
-    let scenarios: Vec<FleetScenario> = match hosts {
-        None => scenarios,
-        Some(h) => {
-            if scenarios.len() != 1 || scenarios[0].name != "fleet-sweep" {
-                eprintln!("tpu_cluster: --hosts re-parameterizes the fleet-sweep scenario only");
-                return usage();
-            }
+    let scenarios: Vec<FleetScenario> = match (hosts, scenarios.first().map(|s| s.name)) {
+        (None, _) => scenarios,
+        (Some(h), Some("fleet-sweep")) if scenarios.len() == 1 && h >= 20 => {
             vec![tpu_cluster::fleet_sweep(h)]
+        }
+        (Some(h), Some("rack-outage"))
+            if scenarios.len() == 1 && h >= tpu_cluster::RACK_OUTAGE_DEFAULT_HOSTS =>
+        {
+            vec![tpu_cluster::rack_outage(h)]
+        }
+        (Some(_), _) => {
+            eprintln!(
+                "tpu_cluster: --hosts re-parameterizes fleet-sweep (N >= 20) or \
+                 rack-outage (N >= 8) only"
+            );
+            return usage();
         }
     };
 

@@ -41,7 +41,9 @@ impl From<HostEvent> for Event {
                 tenant: slot,
                 generation,
             },
-            HostEvent::DieFree { die } => Event::DieFree { die },
+            // Single-host runs never fail a die, so the generation is
+            // always 0 and the serve-level event needn't carry it.
+            HostEvent::DieFree { die, .. } => Event::DieFree { die },
             HostEvent::WeightSwap { die } => Event::WeightSwap { die },
         }
     }
@@ -164,7 +166,7 @@ pub fn run_telemetry(
             }
             Event::DieFree { die } => {
                 counts[2] += 1;
-                let done = host.on_die_free(die);
+                let done = host.on_die_free(die, 0);
                 if let Some(m) = tel.metrics.as_mut() {
                     if let Some(done) = done {
                         // The batch's latencies were just committed at

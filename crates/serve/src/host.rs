@@ -42,10 +42,15 @@ pub enum HostEvent {
         /// Queue generation the timer was armed against.
         generation: u64,
     },
-    /// `die` finishes its current batch.
+    /// `die` finishes its current batch; stale events (the die failed
+    /// and was cleared since this batch dispatched) are skipped via
+    /// `generation`.
     DieFree {
         /// Index into the host's die table.
         die: usize,
+        /// Die generation the batch dispatched against (always 0 on a
+        /// host that never loses a die).
+        generation: u64,
     },
     /// The weight FIFO finishes streaming a new model's weights into
     /// `die` (scheduled only when co-located slots carry
@@ -105,6 +110,15 @@ struct DieState {
     inflight: Option<Inflight>,
     /// Which model's weights this die holds (co-located serving).
     weights: DieWeights,
+    /// Whether the die is in the dispatch pool (die-level degradation
+    /// takes it out; `true` on every healthy host).
+    enabled: bool,
+    /// Per-die service-time multiplier (1.0 = full speed), composing
+    /// multiplicatively with the host-level straggler factor.
+    slow: f64,
+    /// Bumped when the die fails so in-flight [`HostEvent::DieFree`]
+    /// events scheduled against the old incarnation go stale.
+    generation: u64,
 }
 
 /// The per-host serving state machine (see module docs).
@@ -133,6 +147,11 @@ pub struct HostCore {
     /// Request-log probe recording one record per served request;
     /// `None` (the default) keeps the completion hook to one branch.
     reqlog: Option<Box<RequestProbe>>,
+    /// Opt-in dispatch log for the fleet's hedging layer: every
+    /// dispatched request's `(slot, arrived_ms)` is appended so the
+    /// front end can resolve tied requests first-wins at dispatch
+    /// time. `None` (the default) keeps the hot path to one branch.
+    dispatch_log: Option<Vec<(usize, f64)>>,
 }
 
 impl HostCore {
@@ -154,6 +173,9 @@ impl HostCore {
                     batches: 0,
                     inflight: None,
                     weights: DieWeights::new(),
+                    enabled: true,
+                    slow: 1.0,
+                    generation: 0,
                 })
                 .collect(),
             dispatch,
@@ -165,6 +187,22 @@ impl HostCore {
             spare_batches: Vec::new(),
             probe: None,
             reqlog: None,
+            dispatch_log: None,
+        }
+    }
+
+    /// Turn on the dispatch log: [`Self::try_dispatch`] now records
+    /// every dispatched request's `(slot, arrived_ms)` for
+    /// [`Self::drain_dispatched`]. Purely observational.
+    pub fn enable_dispatch_log(&mut self) {
+        self.dispatch_log = Some(Vec::new());
+    }
+
+    /// Move the dispatch log's accumulated `(slot, arrived_ms)` pairs
+    /// into `out` (a no-op when the log is off).
+    pub fn drain_dispatched(&mut self, out: &mut Vec<(usize, f64)>) {
+        if let Some(log) = &mut self.dispatch_log {
+            out.append(log);
         }
     }
 
@@ -304,9 +342,16 @@ impl HostCore {
 
     /// Handle a die-free event: commit the completed batch's latencies
     /// and free the die. Returns `None` if the die held no batch (e.g.
-    /// it was cleared by a crash and the event is stale).
-    pub fn on_die_free(&mut self, die: usize) -> Option<CompletedBatch> {
+    /// it was cleared by a crash and the event is stale), or if
+    /// `generation` doesn't match the die's current incarnation (the
+    /// die failed since the batch dispatched — its batch was already
+    /// displaced, and a newer incarnation's work must not be freed
+    /// early by the stale event).
+    pub fn on_die_free(&mut self, die: usize, generation: u64) -> Option<CompletedBatch> {
         let d = &mut self.dies[die];
+        if d.generation != generation {
+            return None;
+        }
         d.busy = false;
         let inflight = d.inflight.take()?;
         // Makespan counts *completed* batches only, so a crash that
@@ -414,6 +459,82 @@ impl HostCore {
         self.slow_factor
     }
 
+    /// Fail one die (partial degradation): it leaves the dispatch pool
+    /// and its weights are wiped; the in-flight batch, if any, is
+    /// displaced and returned as `(slot, front-end arrival times)` for
+    /// the caller to retry elsewhere, with the un-elapsed remainder of
+    /// its die time refunded exactly as [`Self::crash`] does. The
+    /// die's generation is bumped so its already-scheduled
+    /// [`HostEvent::DieFree`] goes stale.
+    pub fn fail_die(&mut self, die: usize, now_ms: f64) -> Option<(usize, Vec<f64>)> {
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.instant("fault", "die-fail", now_ms);
+        }
+        let d = &mut self.dies[die];
+        d.enabled = false;
+        d.generation += 1;
+        d.busy = false;
+        d.weights.clear();
+        self.weights_epoch += 1; // the wipe cools the die
+        let inflight = d.inflight.take()?;
+        let refund = (inflight.end_ms - now_ms).max(0.0);
+        d.busy_ms -= refund;
+        d.batches -= 1;
+        let s = &mut self.slots[inflight.slot];
+        s.busy_ms -= refund;
+        s.batches -= 1;
+        s.dispatched -= inflight.arrivals.len();
+        Some((inflight.slot, inflight.arrivals))
+    }
+
+    /// A failed die rejoins the dispatch pool, idle and cold.
+    pub fn recover_die(&mut self, die: usize) {
+        self.dies[die].enabled = true;
+    }
+
+    /// Whether a die is in the dispatch pool.
+    pub fn die_enabled(&self, die: usize) -> bool {
+        self.dies[die].enabled
+    }
+
+    /// Per-die slowdown injection: scale the die's *future* batch
+    /// service times by `factor` (1.0 restores full speed); composes
+    /// multiplicatively with [`Self::set_slow_factor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a nonpositive factor.
+    pub fn set_die_slow(&mut self, die: usize, factor: f64) {
+        assert!(factor > 0.0, "die slow factor must be positive");
+        self.dies[die].slow = factor;
+    }
+
+    /// Remove the still-queued copy of a hedged request — identified
+    /// by its exact arrival-timestamp bits — from `slot`'s queue,
+    /// re-arming the slot's batching timer around the removal (the
+    /// removed request may have been the oldest, which the timer
+    /// deadline keys on). Returns `false` when no such request is
+    /// queued (it already dispatched or was displaced).
+    pub fn cancel_queued(
+        &mut self,
+        slot: usize,
+        arrived_ms: f64,
+        now_ms: f64,
+        sched: &mut impl FnMut(f64, HostEvent),
+    ) -> bool {
+        let s = &mut self.slots[slot];
+        let Some(pos) = s
+            .queue
+            .iter()
+            .position(|q| q.to_bits() == arrived_ms.to_bits())
+        else {
+            return false;
+        };
+        s.queue.remove(pos);
+        self.arm_timer(slot, now_ms, sched);
+        true
+    }
+
     /// Crash the host at time `now_ms`: every queued and in-flight
     /// request is displaced and returned as `(slot, front-end arrival
     /// times)` for the caller to retry elsewhere; dies go idle. Busy
@@ -517,7 +638,7 @@ impl HostCore {
     /// (die free).
     pub fn try_dispatch(&mut self, now_ms: f64, sched: &mut impl FnMut(f64, HostEvent)) {
         loop {
-            if !self.dies.iter().any(|d| !d.busy) {
+            if !self.dies.iter().any(|d| !d.busy && d.enabled) {
                 return;
             }
             let ready = self
@@ -561,14 +682,18 @@ impl HostCore {
                 .weights
                 .filter(|mw| self.dies[die].weights.needs_swap(mw.model));
             let swap_ms = swap.map_or(0.0, |mw| mw.swap_ms);
+            let die_slow = self.dies[die].slow;
             let s = &mut self.slots[slot];
             let batch = s.queue.len().min(s.spec.policy.max_batch());
             let jitter = sim::lognormal_multiplier(&mut self.service_rng, s.curve.jitter_sigma);
-            let service = s.curve.service_ms(batch) * jitter * self.slow_factor;
+            let service = s.curve.service_ms(batch) * jitter * self.slow_factor * die_slow;
             let end = now_ms + swap_ms + service;
 
             let mut arrivals = self.spare_batches.pop().unwrap_or_default();
             arrivals.extend(s.queue.drain(..batch));
+            if let Some(log) = &mut self.dispatch_log {
+                log.extend(arrivals.iter().map(|&a| (slot, a)));
+            }
             s.batches += 1;
             s.dispatched += batch;
             s.busy_ms += swap_ms + service;
@@ -594,7 +719,8 @@ impl HostCore {
                 self.weights_epoch += 1;
                 sched(now_ms + swap_ms, HostEvent::WeightSwap { die });
             }
-            sched(end, HostEvent::DieFree { die });
+            let generation = self.dies[die].generation;
+            sched(end, HostEvent::DieFree { die, generation });
         }
     }
 
@@ -701,7 +827,7 @@ fn pick_die(dies: &[DieState], dispatch: Dispatch, rr_next: &mut usize) -> usize
             let n = dies.len();
             for k in 0..n {
                 let d = (*rr_next + k) % n;
-                if !dies[d].busy {
+                if !dies[d].busy && dies[d].enabled {
                     *rr_next = (d + 1) % n;
                     return d;
                 }
@@ -711,7 +837,7 @@ fn pick_die(dies: &[DieState], dispatch: Dispatch, rr_next: &mut usize) -> usize
         Dispatch::LeastLoaded => dies
             .iter()
             .enumerate()
-            .filter(|(_, d)| !d.busy)
+            .filter(|(_, d)| !d.busy && d.enabled)
             .min_by(|a, b| {
                 a.1.busy_ms
                     .partial_cmp(&b.1.busy_ms)
@@ -734,8 +860,10 @@ fn pick_die_warm(
     rr_next: &mut usize,
     model: usize,
 ) -> usize {
-    let warm_exists = dies.iter().any(|d| !d.busy && d.weights.warm(model));
-    let eligible = |d: &DieState| !d.busy && (!warm_exists || d.weights.warm(model));
+    let warm_exists = dies
+        .iter()
+        .any(|d| !d.busy && d.enabled && d.weights.warm(model));
+    let eligible = |d: &DieState| !d.busy && d.enabled && (!warm_exists || d.weights.warm(model));
     match dispatch {
         Dispatch::RoundRobin => {
             let n = dies.len();
@@ -805,7 +933,7 @@ mod tests {
         let dies: Vec<usize> = scheduled
             .iter()
             .filter_map(|(_, e)| match e {
-                HostEvent::DieFree { die } => Some(*die),
+                HostEvent::DieFree { die, .. } => Some(*die),
                 _ => None,
             })
             .collect();
@@ -821,7 +949,7 @@ mod tests {
         h.try_dispatch(1.0, &mut |at, e| scheduled.push((at, e)));
         assert_eq!(h.latency_count(0), 0, "in flight, not committed");
         assert_eq!(h.in_flight(0), 2);
-        let done = h.on_die_free(0).expect("batch completes");
+        let done = h.on_die_free(0, 0).expect("batch completes");
         assert_eq!(done.completions, 2);
         assert_eq!(h.latency_count(0), 2);
         assert_eq!(h.in_flight(0), 0);
@@ -840,7 +968,7 @@ mod tests {
         let total: usize = displaced.iter().map(|(_, v)| v.len()).sum();
         assert_eq!(total, 3, "both in-flight and queued come back");
         assert_eq!(h.latency_count(0), 0, "nothing was committed");
-        assert_eq!(h.on_die_free(0), None, "stale die-free is a no-op");
+        assert_eq!(h.on_die_free(0, 0), None, "stale die-free is a no-op");
         // The batch was dispatched at 0.2 and aborted at 0.4: only the
         // 0.2 ms that elapsed stays on the books, and the aborted batch
         // no longer counts as executed.
@@ -868,6 +996,141 @@ mod tests {
             ends.push(got[0]);
         }
         assert!((ends[1] - 4.0 * ends[0]).abs() < 1e-12);
+    }
+
+    /// Die-level degradation: a failed die displaces its in-flight
+    /// batch with a refund (exactly like a crash, but scoped to one
+    /// die), its scheduled die-free goes stale via the generation, and
+    /// dispatch flows to the surviving dies until it recovers.
+    #[test]
+    fn die_failure_displaces_and_disables_until_recovery() {
+        let mut h = fresh_host(2);
+        let mut sched: Vec<(f64, HostEvent)> = Vec::new();
+        h.enqueue(0, 0.0);
+        h.enqueue(0, 0.0);
+        h.try_dispatch(0.0, &mut |at, e| sched.push((at, e)));
+        assert_eq!(h.in_flight(0), 2, "batch in flight on die 0");
+
+        let displaced = h.fail_die(0, 0.1).expect("in-flight work comes back");
+        assert_eq!(displaced.0, 0);
+        assert_eq!(displaced.1.len(), 2);
+        assert!(!h.die_enabled(0));
+        assert_eq!(
+            h.on_die_free(0, 0),
+            None,
+            "the old incarnation's die-free is stale"
+        );
+        assert!(
+            (h.busy_ms() - 0.1).abs() < 1e-12,
+            "only elapsed die time stays on the books"
+        );
+
+        // Dispatch lands on die 1 (the only enabled die), even though
+        // die 0 has less accumulated busy time.
+        sched.clear();
+        h.enqueue(0, 0.2);
+        h.enqueue(0, 0.2);
+        h.try_dispatch(0.2, &mut |at, e| sched.push((at, e)));
+        let frees: Vec<(usize, u64)> = sched
+            .iter()
+            .filter_map(|(_, e)| match e {
+                HostEvent::DieFree { die, generation } => Some((*die, *generation)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(frees, vec![(1, 0)]);
+
+        // An idle failed die accepts no work at all.
+        sched.clear();
+        h.enqueue(0, 0.3);
+        h.enqueue(0, 0.3);
+        h.try_dispatch(0.3, &mut |at, e| sched.push((at, e)));
+        assert!(sched.is_empty(), "no free enabled die");
+
+        // Recovery: the die rejoins (cold) at its bumped generation.
+        h.recover_die(0);
+        assert!(h.die_enabled(0));
+        h.try_dispatch(0.3, &mut |at, e| sched.push((at, e)));
+        let frees: Vec<(usize, u64)> = sched
+            .iter()
+            .filter_map(|(_, e)| match e {
+                HostEvent::DieFree { die, generation } => Some((*die, *generation)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(frees, vec![(0, 1)], "new incarnation's generation");
+    }
+
+    #[test]
+    fn die_slow_scales_only_that_die() {
+        let mut base = fresh_host(2);
+        let mut degraded = fresh_host(2);
+        degraded.set_die_slow(0, 3.0);
+        let ends = |h: &mut HostCore| -> Vec<(usize, f64)> {
+            let mut got = Vec::new();
+            h.enqueue(0, 0.0);
+            h.enqueue(0, 0.0);
+            h.try_dispatch(0.0, &mut |at, e| {
+                if let HostEvent::DieFree { die, .. } = e {
+                    got.push((die, at));
+                }
+            });
+            got
+        };
+        let b = ends(&mut base);
+        let d = ends(&mut degraded);
+        assert_eq!(b[0].0, 0, "both dispatch onto die 0");
+        assert_eq!(d[0].0, 0);
+        assert!((d[0].1 - 3.0 * b[0].1).abs() < 1e-12, "die 0 is 3× slow");
+        // Restore: the next batch (same jitter stream position) runs
+        // at full speed again.
+        degraded.on_die_free(0, 0);
+        base.on_die_free(0, 0);
+        degraded.set_die_slow(0, 1.0);
+        let b = ends(&mut base);
+        let d = ends(&mut degraded);
+        assert!((d[0].1 - b[0].1).abs() < 1e-12);
+    }
+
+    /// The hedging hooks: the dispatch log records exactly what
+    /// dispatched, and `cancel_queued` removes a queued copy by
+    /// timestamp bits (re-arming the timer) without touching anything
+    /// in flight.
+    #[test]
+    fn dispatch_log_and_queue_cancellation() {
+        let mut h = HostCore::new(1, Dispatch::LeastLoaded, 42);
+        h.add_slot(
+            spec(BatchPolicy::Fixed { batch: 2 }),
+            ServiceCurve::new(1.0, 0.1, 0.0),
+        );
+        h.enable_dispatch_log();
+        let mut sched: Vec<(f64, HostEvent)> = Vec::new();
+        h.enqueue(0, 0.0);
+        h.enqueue(0, 0.25);
+        h.try_dispatch(0.25, &mut |at, e| sched.push((at, e)));
+        let mut dispatched = Vec::new();
+        h.drain_dispatched(&mut dispatched);
+        assert_eq!(dispatched, vec![(0, 0.0), (0, 0.25)]);
+        h.drain_dispatched(&mut dispatched);
+        assert_eq!(dispatched.len(), 2, "drain empties the log");
+
+        // Queue two more; cancel one by its exact timestamp.
+        h.enqueue(0, 0.5);
+        h.enqueue(0, 0.75);
+        assert!(h.cancel_queued(0, 0.5, 0.8, &mut |_, _| {}));
+        assert!(!h.cancel_queued(0, 0.5, 0.8, &mut |_, _| {}), "gone");
+        assert!(
+            !h.cancel_queued(0, 0.0, 0.8, &mut |_, _| {}),
+            "the dispatched copy is not queued"
+        );
+        assert_eq!(h.queued(0), 1);
+        // The survivor still dispatches once the die frees.
+        h.on_die_free(0, 0);
+        h.set_draining(0, true);
+        sched.clear();
+        h.try_dispatch(1.5, &mut |at, e| sched.push((at, e)));
+        h.drain_dispatched(&mut dispatched);
+        assert_eq!(dispatched.last(), Some(&(0, 0.75)));
     }
 
     #[test]
@@ -910,20 +1173,35 @@ mod tests {
             sched,
             vec![
                 (0.5, HostEvent::WeightSwap { die: 0 }),
-                (1.5, HostEvent::DieFree { die: 0 }),
+                (
+                    1.5,
+                    HostEvent::DieFree {
+                        die: 0,
+                        generation: 0
+                    }
+                ),
             ]
         );
         assert!(!h.slot_has_warm_die(b));
         assert_eq!(h.on_weight_swap(0), Some(0));
         assert!(h.slot_has_warm_die(a));
-        assert_eq!(h.on_die_free(0).unwrap().end_ms, 1.5);
+        assert_eq!(h.on_die_free(0, 0).unwrap().end_ms, 1.5);
 
         // Warm model: no swap, no WeightSwap event, plain 1 ms batch.
         sched.clear();
         h.enqueue(a, 1.5);
         h.try_dispatch(1.5, &mut |at, e| sched.push((at, e)));
-        assert_eq!(sched, vec![(2.5, HostEvent::DieFree { die: 0 })]);
-        h.on_die_free(0);
+        assert_eq!(
+            sched,
+            vec![(
+                2.5,
+                HostEvent::DieFree {
+                    die: 0,
+                    generation: 0
+                }
+            )]
+        );
+        h.on_die_free(0, 0);
 
         // Model change: slot b evicts a's weights, paying 0.25 ms.
         sched.clear();
@@ -933,11 +1211,17 @@ mod tests {
             sched,
             vec![
                 (2.75, HostEvent::WeightSwap { die: 0 }),
-                (3.75, HostEvent::DieFree { die: 0 }),
+                (
+                    3.75,
+                    HostEvent::DieFree {
+                        die: 0,
+                        generation: 0
+                    }
+                ),
             ]
         );
         assert_eq!(h.on_weight_swap(0), Some(1));
-        h.on_die_free(0);
+        h.on_die_free(0, 0);
 
         assert_eq!((h.slot_swaps(a), h.slot_swaps(b)), (1, 1));
         assert_eq!(h.swaps(), 2);
@@ -989,7 +1273,7 @@ mod tests {
             h.enqueue(a, 0.0);
             h.try_dispatch(0.0, &mut |at, e| sched.push((at, e)));
             h.on_weight_swap(0);
-            h.on_die_free(0);
+            h.on_die_free(0, 0);
             h
         };
         let mut probed = run(true);
@@ -1033,7 +1317,7 @@ mod tests {
             h.enqueue(a, 0.25);
             h.try_dispatch(0.25, &mut |at, e| sched.push((at, e)));
             h.on_weight_swap(0);
-            h.on_die_free(0);
+            h.on_die_free(0, 0);
             h
         };
         let mut probed = run(true);

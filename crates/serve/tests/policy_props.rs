@@ -51,7 +51,7 @@ fn drive_single(
                 }
             }
             Event::DieFree { die } => {
-                if let Some(done) = host.on_die_free(die) {
+                if let Some(done) = host.on_die_free(die, 0) {
                     biggest_batch = biggest_batch.max(done.completions);
                 }
             }

@@ -146,6 +146,12 @@ pub struct RequestLog {
     by_name: BTreeMap<String, usize>,
     records: Vec<RequestRecord>,
     pending_retries: BTreeMap<(String, u64), u32>,
+    /// Requests the retry policy abandoned, per tenant. They never
+    /// complete, so they can't join a record — the log carries them as
+    /// tallies instead.
+    dropped: BTreeMap<String, u64>,
+    /// Requests shed at admission by a brownout controller, per tenant.
+    shed: BTreeMap<String, u64>,
 }
 
 impl RequestLog {
@@ -162,6 +168,28 @@ impl RequestLog {
             .pending_retries
             .entry((tenant.to_string(), arrived_ms.to_bits()))
             .or_insert(0) += 1;
+    }
+
+    /// Note that the retry policy abandoned a `tenant` request (its
+    /// original arrival time is accepted for call-site symmetry but
+    /// only the tally is kept — a dropped request has no record).
+    pub fn note_drop(&mut self, tenant: &str, _arrived_ms: f64) {
+        *self.dropped.entry(tenant.to_string()).or_insert(0) += 1;
+    }
+
+    /// Note that a brownout controller shed a `tenant` admission.
+    pub fn note_shed(&mut self, tenant: &str, _at_ms: f64) {
+        *self.shed.entry(tenant.to_string()).or_insert(0) += 1;
+    }
+
+    /// Requests the retry policy abandoned for `tenant`.
+    pub fn dropped_for(&self, tenant: &str) -> u64 {
+        self.dropped.get(tenant).copied().unwrap_or(0)
+    }
+
+    /// Admissions shed for `tenant`.
+    pub fn shed_for(&self, tenant: &str) -> u64 {
+        self.shed.get(tenant).copied().unwrap_or(0)
     }
 
     /// Merge a host probe's records (in its completion order), remapping
@@ -267,7 +295,7 @@ impl RequestLog {
                 ])
             })
             .collect();
-        Value::object([
+        let mut top = vec![
             (
                 "format".to_string(),
                 Value::String("tpu-request-log".to_string()),
@@ -275,7 +303,26 @@ impl RequestLog {
             ("version".to_string(), Value::Number(1.0)),
             ("tenants".to_string(), Value::Array(tenants)),
             ("records".to_string(), Value::Array(records)),
-        ])
+        ];
+        // Dropped/shed tallies ride along only when a resilience run
+        // produced any, so pre-existing artifacts stay byte-identical.
+        if !self.dropped.is_empty() || !self.shed.is_empty() {
+            let mut names: Vec<&String> = self.dropped.keys().chain(self.shed.keys()).collect();
+            names.sort();
+            names.dedup();
+            let lost = names
+                .into_iter()
+                .map(|n| {
+                    Value::Array(vec![
+                        Value::String(n.clone()),
+                        Value::Number(self.dropped_for(n) as f64),
+                        Value::Number(self.shed_for(n) as f64),
+                    ])
+                })
+                .collect();
+            top.push(("lost".to_string(), Value::Array(lost)));
+        }
+        Value::object(top)
     }
 
     /// The artifact text the CLIs write: compact JSON plus a trailing
@@ -350,6 +397,28 @@ impl RequestLog {
                 end_ms: f(6)?,
                 retries: f(7)? as u32,
             });
+        }
+        // Optional: resilience runs carry `[name, dropped, shed]` rows.
+        if let Some(Value::Array(lost)) = field(v, "lost") {
+            for (i, row) in lost.iter().enumerate() {
+                let row = match row {
+                    Value::Array(row) if row.len() == 3 => row,
+                    _ => return Err(format!("request log: lost row {i} is not a 3-field row")),
+                };
+                let name = match row.first() {
+                    Some(Value::String(s)) => s.clone(),
+                    _ => return Err(format!("request log: lost row {i} has no tenant name")),
+                };
+                let dropped =
+                    num(row.get(1)).ok_or(format!("request log: lost row {i} dropped"))? as u64;
+                let shed = num(row.get(2)).ok_or(format!("request log: lost row {i} shed"))? as u64;
+                if dropped > 0 {
+                    log.dropped.insert(name.clone(), dropped);
+                }
+                if shed > 0 {
+                    log.shed.insert(name, shed);
+                }
+            }
         }
         Ok(log)
     }
@@ -467,6 +536,26 @@ mod tests {
         assert_eq!(parsed.tenant_count(), 2);
         assert_eq!(parsed.records()[1].retries, 1);
         assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn losses_round_trip_through_render() {
+        let mut log = RequestLog::new();
+        log.absorb(probe_with(0, &[("A", 7.0, 1.0, 0.0, 2.0, &[0.5])]));
+        log.note_drop("A", 0.75);
+        log.note_drop("A", 0.8);
+        log.note_shed("B", 1.5);
+        assert_eq!(log.dropped_for("A"), 2);
+        assert_eq!(log.shed_for("A"), 0);
+        assert_eq!(log.shed_for("B"), 1);
+        let parsed = RequestLog::parse(&log.render()).expect("round trip");
+        assert_eq!(parsed.dropped_for("A"), 2);
+        assert_eq!(parsed.shed_for("B"), 1);
+        assert_eq!(parsed.render(), log.render());
+        // Loss-free logs must not grow a `lost` section.
+        let mut clean = RequestLog::new();
+        clean.absorb(probe_with(0, &[("A", 7.0, 1.0, 0.0, 2.0, &[0.5])]));
+        assert!(!clean.render().contains("lost"));
     }
 
     #[test]
