@@ -9,14 +9,17 @@
 //! `attribution` decomposes a request log into per-tenant queue /
 //! swap-stall / service phases, tail attribution, die occupancy, and
 //! SLO burn windows. `diff` compares two artifacts — request logs,
-//! report JSON, or captured multi-run CLI output — tenant by tenant;
-//! with `--runs N` both inputs must hold N seed replicates and the
-//! deltas are folded into a mean and min..max spread.
+//! report JSON, captured multi-run CLI output, or `tpu-incidents`
+//! timelines from the health monitor — tenant by tenant (incident by
+//! incident for timelines); with `--runs N` both inputs must hold N
+//! seed replicates and the deltas are folded into a mean and min..max
+//! spread.
 //!
 //! Exit codes: 0 success, 1 bad input, 2 usage.
 
 use std::process::ExitCode;
-use tpu_analyze::{diff_runs, diff_spread, load_summaries, Attribution};
+use tpu_analyze::{diff_incidents, diff_runs, diff_spread, load_summaries, Attribution};
+use tpu_monitor::IncidentReport;
 use tpu_telemetry::RequestLog;
 
 fn usage() -> ExitCode {
@@ -143,10 +146,32 @@ fn diff_command(args: &[String]) -> ExitCode {
     };
 
     let result = (|| -> Result<(), String> {
-        let mut base =
-            load_summaries(&read(base_path)?).map_err(|e| format!("{base_path}: {e}"))?;
-        let mut cand =
-            load_summaries(&read(cand_path)?).map_err(|e| format!("{cand_path}: {e}"))?;
+        let base_text = read(base_path)?;
+        let cand_text = read(cand_path)?;
+        // Two incident timelines diff as timelines, not as run
+        // summaries (mixing one of each is an input error the summary
+        // loader reports).
+        let incidents = |text: &str| {
+            serde_json::from_str(text)
+                .ok()
+                .filter(IncidentReport::is_incidents_json)
+        };
+        if let (Some(b), Some(c)) = (incidents(&base_text), incidents(&cand_text)) {
+            if runs.is_some_and(|n| n > 1) {
+                return Err("--runs does not apply to incident timelines".to_string());
+            }
+            let b = IncidentReport::from_json(&b).map_err(|e| format!("{base_path}: {e}"))?;
+            let c = IncidentReport::from_json(&c).map_err(|e| format!("{cand_path}: {e}"))?;
+            let d = diff_incidents(base_path, &b, cand_path, &c);
+            if json {
+                println!("{}", serde_json::to_string_pretty(&d.to_json()));
+            } else {
+                print!("{d}");
+            }
+            return Ok(());
+        }
+        let mut base = load_summaries(&base_text).map_err(|e| format!("{base_path}: {e}"))?;
+        let mut cand = load_summaries(&cand_text).map_err(|e| format!("{cand_path}: {e}"))?;
         // A bare artifact has no `-- label` line; name the side by file.
         for (side, path) in [(&mut base, base_path), (&mut cand, cand_path)] {
             if side.len() == 1 {

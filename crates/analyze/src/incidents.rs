@@ -1,0 +1,256 @@
+//! Diffing `tpu-incidents` artifacts: did a change add, remove, or
+//! move incidents?
+//!
+//! Incidents are matched across the two timelines by `(kind, subject)`
+//! — the stable identity of *what* went wrong where — so a regression
+//! shows up as an `only in candidate` row and a fix as an
+//! `only in base` row, while a matched pair reports how its open
+//! window moved. Multiple occurrences of the same key (a flapping
+//! alert) are matched in open order; unpaired occurrences spill into
+//! the only-in rows.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+use tpu_monitor::{Incident, IncidentReport};
+
+/// One matched incident pair's movement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidentShift {
+    /// `kind:subject` identity the pair was matched on.
+    pub key: String,
+    /// Candidate minus base open time, ms.
+    pub opened_delta_ms: f64,
+    /// Candidate minus base open-window length, ms (an incident still
+    /// open at end of run measures to the end of its timeline).
+    pub duration_delta_ms: f64,
+}
+
+/// The diff of two incident timelines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidentDiff {
+    /// Label of the base side (usually its file path).
+    pub base_label: String,
+    /// Label of the candidate side.
+    pub cand_label: String,
+    /// Incident counts per side: `(base, cand)`.
+    pub counts: (usize, usize),
+    /// Page counts per side: `(base, cand)`.
+    pub pages: (usize, usize),
+    /// Open-at-end counts per side: `(base, cand)`.
+    pub open_at_end: (usize, usize),
+    /// `kind:subject` keys present only in the base timeline, with
+    /// their open windows.
+    pub only_base: Vec<String>,
+    /// Keys present only in the candidate timeline.
+    pub only_cand: Vec<String>,
+    /// Matched pairs and how they moved.
+    pub matched: Vec<IncidentShift>,
+}
+
+fn key(i: &Incident) -> String {
+    format!("{}:{}", i.kind.as_str(), i.subject)
+}
+
+fn window(i: &Incident, folds_end_ms: f64) -> (f64, f64) {
+    (i.opened_ms, i.resolved_ms.unwrap_or(folds_end_ms))
+}
+
+fn describe(i: &Incident, folds_end_ms: f64) -> String {
+    let (from, until) = window(i, folds_end_ms);
+    let until = if i.resolved_ms.is_some() {
+        format!("{until:.3}")
+    } else {
+        "end".to_string()
+    };
+    format!("{} [{}] {from:.3} .. {until}", key(i), i.severity.as_str())
+}
+
+/// Group incidents by identity key, preserving open order.
+fn by_key(report: &IncidentReport) -> BTreeMap<String, Vec<&Incident>> {
+    let mut map: BTreeMap<String, Vec<&Incident>> = BTreeMap::new();
+    for i in &report.incidents {
+        map.entry(key(i)).or_default().push(i);
+    }
+    map
+}
+
+/// Diff two incident timelines, matching incidents by
+/// `(kind, subject)` in open order.
+pub fn diff_incidents(
+    base_label: &str,
+    base: &IncidentReport,
+    cand_label: &str,
+    cand: &IncidentReport,
+) -> IncidentDiff {
+    let base_end = base.interval_ms * base.folds as f64;
+    let cand_end = cand.interval_ms * cand.folds as f64;
+    let pages = |r: &IncidentReport| {
+        r.incidents
+            .iter()
+            .filter(|i| i.severity.as_str() == "page")
+            .count()
+    };
+    let open = |r: &IncidentReport| r.incidents.iter().filter(|i| i.open_at_end()).count();
+    let b = by_key(base);
+    let c = by_key(cand);
+    let mut only_base = Vec::new();
+    let mut only_cand = Vec::new();
+    let mut matched = Vec::new();
+    let keys: std::collections::BTreeSet<&String> = b.keys().chain(c.keys()).collect();
+    for k in keys {
+        let empty = Vec::new();
+        let bs = b.get(k).unwrap_or(&empty);
+        let cs = c.get(k).unwrap_or(&empty);
+        for (bi, ci) in bs.iter().zip(cs) {
+            let (bf, bu) = window(bi, base_end);
+            let (cf, cu) = window(ci, cand_end);
+            matched.push(IncidentShift {
+                key: k.clone(),
+                opened_delta_ms: cf - bf,
+                duration_delta_ms: (cu - cf) - (bu - bf),
+            });
+        }
+        for bi in bs.iter().skip(cs.len()) {
+            only_base.push(describe(bi, base_end));
+        }
+        for ci in cs.iter().skip(bs.len()) {
+            only_cand.push(describe(ci, cand_end));
+        }
+    }
+    IncidentDiff {
+        base_label: base_label.to_string(),
+        cand_label: cand_label.to_string(),
+        counts: (base.incidents.len(), cand.incidents.len()),
+        pages: (pages(base), pages(cand)),
+        open_at_end: (open(base), open(cand)),
+        only_base,
+        only_cand,
+        matched,
+    }
+}
+
+impl IncidentDiff {
+    /// The diff as a `serde_json` value (stable key order).
+    pub fn to_json(&self) -> Value {
+        let pair = |(a, b): (usize, usize)| {
+            Value::Array(vec![Value::Number(a as f64), Value::Number(b as f64)])
+        };
+        let strings =
+            |v: &[String]| Value::Array(v.iter().map(|s| Value::String(s.clone())).collect());
+        Value::object([
+            (
+                "format".to_string(),
+                Value::String("tpu-incidents-diff".to_string()),
+            ),
+            ("version".to_string(), Value::Number(1.0)),
+            ("base".to_string(), Value::String(self.base_label.clone())),
+            ("cand".to_string(), Value::String(self.cand_label.clone())),
+            ("incidents".to_string(), pair(self.counts)),
+            ("pages".to_string(), pair(self.pages)),
+            ("open_at_end".to_string(), pair(self.open_at_end)),
+            ("only_base".to_string(), strings(&self.only_base)),
+            ("only_cand".to_string(), strings(&self.only_cand)),
+            (
+                "matched".to_string(),
+                Value::Array(
+                    self.matched
+                        .iter()
+                        .map(|m| {
+                            Value::object([
+                                ("key".to_string(), Value::String(m.key.clone())),
+                                (
+                                    "opened_delta_ms".to_string(),
+                                    Value::Number(m.opened_delta_ms),
+                                ),
+                                (
+                                    "duration_delta_ms".to_string(),
+                                    Value::Number(m.duration_delta_ms),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for IncidentDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "incident diff: {} -> {} (candidate minus base)",
+            self.base_label, self.cand_label
+        )?;
+        writeln!(
+            f,
+            "  incidents {} -> {}, pages {} -> {}, open at end {} -> {}",
+            self.counts.0,
+            self.counts.1,
+            self.pages.0,
+            self.pages.1,
+            self.open_at_end.0,
+            self.open_at_end.1
+        )?;
+        for s in &self.only_base {
+            writeln!(f, "  only in base: {s}")?;
+        }
+        for s in &self.only_cand {
+            writeln!(f, "  only in cand: {s}")?;
+        }
+        for m in &self.matched {
+            writeln!(
+                f,
+                "  {}: opened {:+.3} ms, duration {:+.3} ms",
+                m.key, m.opened_delta_ms, m.duration_delta_ms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_monitor::{FleetMonitor, MonitorConfig};
+    use tpu_telemetry::MonitorSink;
+
+    /// A tiny timeline with one burn incident for tenant `t`.
+    fn report_with_burn(t: &str, delay_folds: u64) -> IncidentReport {
+        let mut cfg = MonitorConfig::with_interval(1.0);
+        cfg.burn.min_served = 4;
+        let mut mon = FleetMonitor::new(cfg);
+        for fold in 0..24u64 {
+            for _ in 0..4 {
+                let lat = if fold >= 8 + delay_folds { 10.0 } else { 1.0 };
+                mon.observe_latency(t, lat, 7.0);
+            }
+            mon.close_sample(fold as f64);
+        }
+        mon.report()
+    }
+
+    #[test]
+    fn matched_shift_and_only_rows() {
+        let base = report_with_burn("A", 0);
+        let cand = report_with_burn("A", 4);
+        let d = diff_incidents("a.json", &base, "b.json", &cand);
+        assert_eq!(d.counts, (1, 1));
+        assert_eq!(d.matched.len(), 1);
+        assert_eq!(d.matched[0].key, "slo-burn:A");
+        assert!(d.matched[0].opened_delta_ms > 3.0);
+        assert!(d.only_base.is_empty() && d.only_cand.is_empty());
+
+        let other = report_with_burn("B", 0);
+        let d = diff_incidents("a.json", &base, "b.json", &other);
+        assert_eq!(d.only_base.len(), 1, "{d:?}");
+        assert_eq!(d.only_cand.len(), 1, "{d:?}");
+        assert!(d.only_base[0].starts_with("slo-burn:A"));
+        assert!(d.only_cand[0].starts_with("slo-burn:B"));
+        let json = serde_json::to_string(&d.to_json());
+        assert!(json.contains("\"tpu-incidents-diff\""));
+        let text = d.to_string();
+        assert!(text.contains("only in base: slo-burn:A"), "{text}");
+    }
+}

@@ -12,6 +12,9 @@
 //! - [`diff`]: run-to-run comparison of per-tenant latency, SLO
 //!   attainment, and swap behavior across request logs, report JSON,
 //!   or seed-replicate sets.
+//! - [`incidents`]: diffing `tpu-incidents` timelines from the health
+//!   monitor — regressions show up as incidents only in the candidate,
+//!   fixes as incidents only in the base.
 //!
 //! Everything here is a pure function of the artifact bytes: analyzing
 //! the same log twice renders bit-identical output, matching the
@@ -21,9 +24,11 @@
 
 pub mod attribution;
 pub mod diff;
+pub mod incidents;
 
 pub use attribution::{cdf_svg, tail_svg, Attribution};
 pub use diff::{
     diff_runs, diff_spread, load_summaries, summarize_log, summarize_report_json, DiffSpread,
     RunDiff, RunSummary, TenantSummary,
 };
+pub use incidents::{diff_incidents, IncidentDiff, IncidentShift};

@@ -24,10 +24,11 @@
 //! budget or tolerance rather than trusting a single short sample.
 //!
 //! Beyond the heap-vs-wheel rows it measures the observability
-//! surface: the full-instrument and request-log-only on-cost ratios
-//! (both bit-identical in their reports, both gated), and the
-//! `tpu_analyze` attribution throughput over a 100k-record request log
-//! (gated on log depth and a finite positive rate).
+//! surface: the full-instrument, request-log-only, and streaming
+//! health-monitor on-cost ratios (all bit-identical in their reports,
+//! all gated), and the `tpu_analyze` attribution throughput over a
+//! 100k-record request log (gated on log depth and a finite positive
+//! rate).
 //!
 //! The `sharded` rows measure the multi-core fleet engine against the
 //! forced single-threaded reference (`TPU_CLUSTER_ENGINE=single`) on
@@ -49,6 +50,7 @@ use tpu_cluster::{
     run_fleet, run_fleet_telemetry, FleetRun, FleetSpec, FleetTenantSpec, HopModel, RouterPolicy,
 };
 use tpu_core::TpuConfig;
+use tpu_monitor::{FleetMonitor, MonitorConfig};
 use tpu_telemetry::{MetricsConfig, RequestLog, RunTelemetry, TelemetryConfig};
 
 /// Requests per host at each fleet size (matches `benches/cluster.rs`).
@@ -184,6 +186,47 @@ fn measure_request_log(
     ((events * iters) as f64 / elapsed, last, log)
 }
 
+/// As [`measure`], but with the streaming health monitor attached as
+/// the *only* instrument — the marginal price of folding the gauge
+/// stream, burn windows, and anomaly detectors at every cadence
+/// boundary during the run. The report must stay bit-identical to the
+/// uninstrumented run (asserted by the caller), and the monitor must
+/// genuinely fold samples (the returned fold count is asserted).
+fn measure_monitor(
+    spec: &FleetSpec,
+    tenants: &[FleetTenantSpec],
+    cfg: &TpuConfig,
+    budget_ms: u64,
+) -> (f64, FleetRun, u64) {
+    let attach = || {
+        let mut tel = RunTelemetry::off();
+        tel.monitor = Some(Box::new(FleetMonitor::new(MonitorConfig::default())));
+        tel
+    };
+    let folds_of = |tel: RunTelemetry| -> u64 {
+        tel.monitor
+            .expect("monitor attached")
+            .into_any()
+            .downcast::<FleetMonitor>()
+            .expect("fleet monitor")
+            .folds()
+    };
+    let mut tel = attach();
+    let mut last = run_fleet_telemetry(spec, tenants, cfg, &mut tel);
+    let events = last.report.events_processed;
+    let mut folds = folds_of(tel);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while iters < 2 || start.elapsed().as_millis() < budget_ms as u128 {
+        let mut tel = attach();
+        last = run_fleet_telemetry(spec, tenants, cfg, &mut tel);
+        folds = folds_of(tel);
+        iters += 1;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    ((events * iters) as f64 / elapsed, last, folds)
+}
+
 struct Row {
     hosts: usize,
     events: u64,
@@ -251,6 +294,24 @@ impl RequestLogRow {
     }
 }
 
+/// The health-monitor overhead measurement: the same off/on shape as
+/// [`TelemetryRow`], but with only the streaming `--monitor` sink on —
+/// the marginal price of the online burn/anomaly/incident fold per
+/// cadence boundary.
+struct MonitorRow {
+    hosts: usize,
+    events: u64,
+    folds: u64,
+    off_eps: f64,
+    on_eps: f64,
+}
+
+impl MonitorRow {
+    fn on_cost(&self) -> f64 {
+        self.off_eps / self.on_eps
+    }
+}
+
 /// The analyzer throughput measurement: full latency attribution
 /// (phases, tails, occupancy, burn windows) over a committed-scale
 /// request log, in records/sec.
@@ -274,12 +335,14 @@ struct ResilienceRow {
     shed: usize,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn rows_to_json(
     rows: &[Row],
     colocate: Option<&Row>,
     sharded: &[ShardedRow],
     telemetry: Option<&TelemetryRow>,
     request_log: Option<&RequestLogRow>,
+    monitor: Option<&MonitorRow>,
     analyze: Option<&AnalyzeRow>,
     resilience: Option<&ResilienceRow>,
 ) -> serde_json::Value {
@@ -448,6 +511,34 @@ fn rows_to_json(
                 (
                     "on_cost".to_string(),
                     Value::Number((r.on_cost() * 100.0).round() / 100.0),
+                ),
+            ]),
+        ));
+    }
+    if let Some(m) = monitor {
+        fields.push((
+            "monitor".to_string(),
+            Value::object([
+                ("hosts".to_string(), Value::Number(m.hosts as f64)),
+                (
+                    "events_per_iteration".to_string(),
+                    Value::Number(m.events as f64),
+                ),
+                (
+                    "folds_per_iteration".to_string(),
+                    Value::Number(m.folds as f64),
+                ),
+                (
+                    "off_events_per_sec".to_string(),
+                    Value::Number(m.off_eps.round()),
+                ),
+                (
+                    "on_events_per_sec".to_string(),
+                    Value::Number(m.on_eps.round()),
+                ),
+                (
+                    "on_cost".to_string(),
+                    Value::Number((m.on_cost() * 100.0).round() / 100.0),
                 ),
             ]),
         ));
@@ -710,7 +801,7 @@ fn main() -> ExitCode {
     // the regression being guarded: telemetry must stay pay-for-what-
     // you-use, and even on-mode must not distort the engine (the report
     // equality is asserted).
-    let (telemetry_row, request_log_row) = if run_telemetry_row {
+    let (telemetry_row, request_log_row, monitor_row) = if run_telemetry_row {
         let (spec, tenants) = spec_for(TELEMETRY_HOSTS);
         let (off_eps, events, off_run) = measure(&spec, &tenants, &cfg, budget_ms);
         let (on_eps, on_run) = measure_telemetry(&spec, &tenants, &cfg, budget_ms);
@@ -752,9 +843,29 @@ fn main() -> ExitCode {
             "request-log hosts={:<4} records/iter={:<7} off={:>12.0} ev/s  on={:>12.0} ev/s  on-cost={:.2}x",
             req_row.hosts, req_row.records, req_row.off_eps, req_row.on_eps, req_row.on_cost()
         );
-        (Some(row), Some(req_row))
+        // The health-monitor pair shares the same off measurement: the
+        // monitor is the only instrument attached, so the ratio is the
+        // marginal price of the streaming burn/anomaly/incident fold.
+        let (mon_eps, mon_run, mon_folds) = measure_monitor(&spec, &tenants, &cfg, budget_ms);
+        assert_eq!(
+            off_run, mon_run,
+            "monitor-on runs must report bit-identically to telemetry-off"
+        );
+        assert!(mon_folds > 0, "the monitor must fold cadence samples");
+        let mon_row = MonitorRow {
+            hosts: TELEMETRY_HOSTS,
+            events,
+            folds: mon_folds,
+            off_eps,
+            on_eps: mon_eps,
+        };
+        println!(
+            "monitor hosts={:<4} folds/iter={:<7} off={:>12.0} ev/s  on={:>12.0} ev/s  on-cost={:.2}x",
+            mon_row.hosts, mon_row.folds, mon_row.off_eps, mon_row.on_eps, mon_row.on_cost()
+        );
+        (Some(row), Some(req_row), Some(mon_row))
     } else {
-        (None, None)
+        (None, None, None)
     };
 
     // The analyzer throughput row: build one committed-scale request
@@ -835,6 +946,7 @@ fn main() -> ExitCode {
         &sharded_rows,
         telemetry_row.as_ref(),
         request_log_row.as_ref(),
+        monitor_row.as_ref(),
         analyze_row.as_ref(),
         resilience_row.as_ref(),
     );
@@ -929,6 +1041,29 @@ fn main() -> ExitCode {
             }
             println!(
                 "gate ok for request-log: on-cost {got:.2}x <= {ceiling:.2}x \
+                 (committed {want:.2}x + {:.0}% tolerance)",
+                tolerance * 100.0
+            );
+        }
+        // The monitor's ratio also sits near 1.0 — the same relative
+        // band plus absolute allowance as the record stream. A breach
+        // means the streaming fold (burn windows, anomaly detectors,
+        // incident state) grew a per-event or per-fold hot-path tax.
+        if let (Some(measured), Some(want)) =
+            (&monitor_row, committed_on_cost(&committed, "monitor"))
+        {
+            let ceiling = want * (1.0 + tolerance) + tolerance;
+            let got = measured.on_cost();
+            if got > ceiling {
+                eprintln!(
+                    "bench_cluster: REGRESSION: monitor on-cost {got:.2}x exceeded \
+                     {ceiling:.2}x (committed {want:.2}x + {:.0}% tolerance)",
+                    tolerance * 100.0
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "gate ok for monitor: on-cost {got:.2}x <= {ceiling:.2}x \
                  (committed {want:.2}x + {:.0}% tolerance)",
                 tolerance * 100.0
             );

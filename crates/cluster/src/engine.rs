@@ -27,7 +27,7 @@ use crate::resilience::{BrownoutConfig, RetryPolicy};
 use crate::route::{Candidate, OutstandingIndex, RouterPolicy, RouterState};
 use crate::shard::{self, Scope};
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use tpu_core::TpuConfig;
 use tpu_serve::report::percentile;
 use tpu_serve::sim::{self, EventQueue};
@@ -613,7 +613,8 @@ pub fn run_fleet_telemetry(
     let tel_off = tel.tracer.is_none()
         && tel.metrics.is_none()
         && tel.profile.is_none()
-        && tel.requests.is_none();
+        && tel.requests.is_none()
+        && tel.monitor.is_none();
     if choice != shard::EngineChoice::Single && spec.autoscale.is_none() && tel_off {
         let scopes = shard::partition(spec, &placement.assignments);
         let workers = shard::shard_workers();
@@ -864,6 +865,13 @@ fn run_scoped(
                 sample_metrics(m, t, now, &trs, &hosts);
             }
         }
+        if let Some(mon) = tel.monitor.as_mut() {
+            if mon.due(now) {
+                let t = mon.advance(now);
+                fleet_gauges(now, &trs, &hosts, &mut |name, v| mon.record(&name, v));
+                mon.close_sample(t);
+            }
+        }
         match event {
             FleetEvent::Arrival { tenant } => {
                 counts[0] += 1;
@@ -1033,6 +1041,19 @@ fn run_scoped(
                                 for l in hosts[host].core.slot_latencies_from(done.slot, from) {
                                     m.observe(&series, l);
                                 }
+                            }
+                            if let Some(mon) = tel.monitor.as_mut() {
+                                let spec = &trs[tenant].spec.tenant;
+                                for l in hosts[host].core.slot_latencies_from(done.slot, from) {
+                                    mon.observe_latency(&spec.name, l, spec.slo_ms);
+                                }
+                                mon.observe_service(
+                                    &spec.name,
+                                    host,
+                                    die,
+                                    done.end_ms - done.start_ms - done.swap_ms,
+                                    done.completions,
+                                );
                             }
                         }
                     }
@@ -1407,6 +1428,9 @@ fn run_scoped(
     if let Some(m) = tel.metrics.as_mut() {
         // The final partial interval's latency percentiles.
         m.flush_sketches(makespan_ms);
+    }
+    if let Some(mon) = tel.monitor.as_mut() {
+        mon.finish();
     }
     if let Some(p) = tel.profile.as_mut() {
         const EVENT_NAMES: [&str; 10] = [
@@ -2245,20 +2269,40 @@ fn try_scale_up(
     true
 }
 
-/// Record one cadence sample of the fleet probe series: per tenant the
-/// outstanding / serving-replica / parked counts, per host the die
-/// utilization, resident weight sets, and pending swaps.
-fn sample_metrics(m: &mut MetricsRecorder, t: f64, now: f64, trs: &[TenantRt], hosts: &[HostRt]) {
+/// Emit one cadence sample's fleet gauges: per tenant the outstanding
+/// / serving-replica / parked / cumulative-retry / cumulative-arrival
+/// counts and live-replica placement, per host the die utilization,
+/// raw busy-time, backlog, resident weight sets, and pending swaps.
+/// Shared by the metrics recorder and the health monitor so an offline
+/// monitor replay from the metrics artifact sees exactly the gauge
+/// values the online monitor saw.
+fn fleet_gauges(now: f64, trs: &[TenantRt], hosts: &[HostRt], emit: &mut dyn FnMut(String, f64)) {
     for tr in trs {
         let name = &tr.spec.tenant.name;
         let outstanding: usize = tr.replicas.iter().map(|r| r.outstanding).sum();
-        m.record(&format!("outstanding/{name}"), t, outstanding as f64);
-        m.record(
-            &format!("replicas/{name}"),
-            t,
+        emit(format!("outstanding/{name}"), outstanding as f64);
+        emit(
+            format!("replicas/{name}"),
             tr.serving_replicas(hosts) as f64,
         );
-        m.record(&format!("parked/{name}"), t, tr.parked.len() as f64);
+        emit(format!("parked/{name}"), tr.parked.len() as f64);
+        emit(format!("retries/{name}"), tr.retries as f64);
+        // Requests delivered out of the front end so far (monotone) —
+        // the monitor's outage demand gate.
+        emit(
+            format!("arrived/{name}"),
+            (tr.gen.total() - tr.undelivered()) as f64,
+        );
+        // Live-replica placement per host; retired placements keep
+        // emitting 0 so a stale snapshot can't pin demand on a host
+        // the autoscaler vacated.
+        let mut placed: BTreeMap<usize, usize> = BTreeMap::new();
+        for r in &tr.replicas {
+            *placed.entry(r.host).or_insert(0) += r.live as usize;
+        }
+        for (h, n) in placed {
+            emit(format!("placed/{name}/host{h}"), n as f64);
+        }
     }
     for (h, host) in hosts.iter().enumerate() {
         let util = if now > 0.0 {
@@ -2266,14 +2310,23 @@ fn sample_metrics(m: &mut MetricsRecorder, t: f64, now: f64, trs: &[TenantRt], h
         } else {
             0.0
         };
-        m.record(&format!("util/host{h}"), t, util);
-        m.record(&format!("resident/host{h}"), t, host.live_slots as f64);
-        m.record(
-            &format!("pending_swaps/host{h}"),
-            t,
+        emit(format!("util/host{h}"), util);
+        emit(format!("busy/host{h}"), host.core.busy_ms());
+        let backlog: usize = (0..host.core.slot_count())
+            .map(|s| host.core.outstanding(s))
+            .sum();
+        emit(format!("backlog/host{h}"), backlog as f64);
+        emit(format!("resident/host{h}"), host.live_slots as f64);
+        emit(
+            format!("pending_swaps/host{h}"),
             host.core.pending_swaps() as f64,
         );
     }
+}
+
+/// Record one cadence sample of the fleet probe series at stamp `t`.
+fn sample_metrics(m: &mut MetricsRecorder, t: f64, now: f64, trs: &[TenantRt], hosts: &[HostRt]) {
+    fleet_gauges(now, trs, hosts, &mut |name, v| m.record(&name, t, v));
 }
 
 /// Snapshot the per-tenant serving replica counts.

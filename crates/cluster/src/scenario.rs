@@ -41,6 +41,10 @@ pub struct FleetScenario {
     pub name: &'static str,
     /// One-line description for `tpu_cluster list`.
     pub description: &'static str,
+    /// The failure-domain topology the scenario's fleets are carved
+    /// into, when it has one (the health monitor uses it to collapse
+    /// host-level outage alerts into rack- and domain-level incidents).
+    pub topology: Option<FleetTopology>,
     /// The runs, executed in order.
     pub runs: Vec<FleetScenarioRun>,
 }
@@ -177,6 +181,7 @@ fn fleet_steady() -> FleetScenario {
     FleetScenario {
         name: "fleet-steady",
         description: "MLP0+LSTM0+CNN0 replicated over 6×2-die hosts at ~40% load",
+        topology: None,
         runs: vec![FleetScenarioRun {
             label: "steady".into(),
             spec,
@@ -224,6 +229,7 @@ fn diurnal_autoscale() -> FleetScenario {
     FleetScenario {
         name: "diurnal-autoscale",
         description: "diurnal MLP0 (100k..900k rps) on 8 hosts: reactive scaling, 2..8 replicas",
+        topology: None,
         runs: vec![FleetScenarioRun {
             label: "diurnal".into(),
             spec,
@@ -300,6 +306,7 @@ fn trace_replay() -> FleetScenario {
     FleetScenario {
         name: "trace-replay",
         description: "diurnal+bursty mix on 4 hosts: synthetic run vs bit-identical trace replay",
+        topology: None,
         runs: vec![
             synthetic,
             FleetScenarioRun {
@@ -326,6 +333,7 @@ fn host_failover() -> FleetScenario {
     FleetScenario {
         name: "host-failover",
         description: "4-host fleet: host 0 crashes at 30 ms, recovers at 80 ms",
+        topology: None,
         runs: vec![FleetScenarioRun {
             label: "failover".into(),
             spec,
@@ -365,6 +373,7 @@ fn router_shootout() -> FleetScenario {
     FleetScenario {
         name: "router-shootout",
         description: "RR vs least-outstanding vs consistent-hash with a 3× straggler",
+        topology: None,
         runs: vec![
             mk("round-robin", RouterPolicy::RoundRobin),
             mk("least-outstanding", RouterPolicy::LeastOutstanding),
@@ -401,6 +410,7 @@ fn straggler_tail() -> FleetScenario {
     FleetScenario {
         name: "straggler-tail",
         description: "3-host fleet, round-robin: baseline vs 4× straggler window",
+        topology: None,
         runs: vec![
             FleetScenarioRun {
                 label: "baseline".into(),
@@ -469,6 +479,7 @@ fn colocate_interference() -> FleetScenario {
     FleetScenario {
         name: "colocate-interference",
         description: "Table 1 mix x2 bin-packed on 4 hosts: blind vs swap-affinity routing",
+        topology: None,
         runs: vec![
             mk("least-outstanding", RouterPolicy::LeastOutstanding),
             mk("swap-aware", RouterPolicy::SwapAware),
@@ -496,6 +507,7 @@ fn colocate_vs_dedicated() -> FleetScenario {
     FleetScenario {
         name: "colocate-vs-dedicated",
         description: "Table 1 mix: one model per die (6 hosts) vs bin-packed co-location (3 hosts)",
+        topology: None,
         runs: vec![
             FleetScenarioRun {
                 label: "dedicated".into(),
@@ -554,6 +566,7 @@ pub fn fleet_sweep(hosts: usize) -> FleetScenario {
     FleetScenario {
         name: "fleet-sweep",
         description: "10-host MLP0 cells swept over fleet size: one shard per cell",
+        topology: None,
         runs: vec![FleetScenarioRun {
             label: "sweep".into(),
             spec,
@@ -642,6 +655,7 @@ pub fn rack_outage(hosts: usize) -> FleetScenario {
     FleetScenario {
         name: "rack-outage",
         description: "8-host cells under correlated rack/domain faults: backoff, budget, hedging",
+        topology: Some(topo),
         runs: vec![FleetScenarioRun {
             label: "outage".into(),
             spec,
@@ -723,6 +737,7 @@ fn retry_storm() -> FleetScenario {
         name: "retry-storm",
         description:
             "staggered rack outages, 2 tenants: blind infinite retry vs backoff+budget+shedding",
+        topology: Some(topo),
         runs: vec![
             FleetScenarioRun {
                 label: "blind".into(),

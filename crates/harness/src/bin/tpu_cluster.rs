@@ -37,7 +37,11 @@ fn usage() -> ExitCode {
         "usage: tpu_cluster list\n       tpu_cluster run <scenario>|--all \
          [--seed N] [--requests-scale F] [--json] [--trace FILE] [--engine-stats]\n           \
          [--hosts N (fleet-sweep, rack-outage)] [--chrome-trace FILE] [--metrics-out FILE]\n           \
-         [--metrics-interval MS] [--svg FILE] [--request-log FILE]\n       \
+         [--metrics-interval MS] [--svg FILE] [--request-log FILE]\n           \
+         [--monitor] [--incidents-out FILE] [--monitor-interval MS]\n       \
+         tpu_cluster monitor <scenario> [--seed N] [--requests-scale F] [--json]\n           \
+         [--monitor-interval MS] [--incidents-out FILE] [--svg-timeline FILE]\n           \
+         [--svg-heatmap FILE]\n       \
          tpu_cluster analyze <scenario>|--input LOG [--run LABEL] [--seed N] \
          [--requests-scale F]\n           \
          [--json] [--diff] [--runs N] [--window MS]\n           \
@@ -60,6 +64,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => run_command(&args[1..]),
+        Some("monitor") => monitor_command(&args[1..]),
         Some("analyze") => analyze_command(&args[1..]),
         Some("place") => place_command(&args[1..]),
         Some("trace") if args.get(1).map(String::as_str) == Some("record") => {
@@ -134,6 +139,24 @@ fn run_command(args: &[String]) -> ExitCode {
             },
             "--request-log" => match it.next() {
                 Some(v) => tel_args.request_log = Some(v.clone()),
+                None => return usage(),
+            },
+            "--monitor" => tel_args.monitor = true,
+            "--incidents-out" => match it.next() {
+                Some(v) => tel_args.incidents_out = Some(v.clone()),
+                None => return usage(),
+            },
+            "--monitor-interval" => match it.next() {
+                Some(raw) => match telemetry::parse_metrics_interval(raw) {
+                    Ok(v) => tel_args.monitor_interval_ms = Some(v),
+                    Err(e) => {
+                        eprintln!(
+                            "tpu_cluster: {}",
+                            e.replace("--metrics-interval", "--monitor-interval")
+                        );
+                        return ExitCode::from(2);
+                    }
+                },
                 None => return usage(),
             },
             other if !other.starts_with('-') && common.name.is_none() => {
@@ -221,6 +244,7 @@ fn run_command(args: &[String]) -> ExitCode {
         }
         println!("== {} — {}", s.name, s.description);
         let mut tels = tel_args.for_runs(s.runs.len());
+        tel_args.attach_monitors(&mut tels, s.topology);
         let instrumented = tels.iter().any(|t| t.enabled());
         let started = std::time::Instant::now();
         let results = if instrumented {
@@ -270,7 +294,170 @@ fn run_command(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        // The monitor's summary goes to stderr (golden stdout stays
+        // untouched); `--incidents-out` additionally writes the report.
+        let multi = labels.len() > 1;
+        for (i, label) in labels.iter().enumerate() {
+            let Some(mon) = telemetry::take_monitor(&mut tels[i]) else {
+                continue;
+            };
+            let report = mon.report();
+            for line in report.render_text().lines() {
+                eprintln!("monitor: {}: {label}: {line}", s.name);
+            }
+            if let Some(base) = tel_args.incidents_out.as_deref() {
+                match telemetry::write_incidents(base, label, multi, &report) {
+                    Ok(p) => eprintln!("telemetry: wrote {p}"),
+                    Err(e) => {
+                        eprintln!("tpu_cluster: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
     }
+    ExitCode::SUCCESS
+}
+
+/// `monitor`: run one scenario with the streaming health monitor
+/// attached and print its incident timeline (text, or `tpu-incidents`
+/// JSON with `--json`), optionally writing the report and the
+/// timeline / fleet-heatmap SVGs.
+fn monitor_command(args: &[String]) -> ExitCode {
+    let mut common = CommonArgs::default();
+    let mut json = false;
+    let mut tel_args = TelemetryArgs {
+        monitor: true,
+        ..TelemetryArgs::default()
+    };
+    let mut svg_timeline: Option<String> = None;
+    let mut svg_heatmap: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => common.seed = Some(v),
+                None => return usage(),
+            },
+            "--requests-scale" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0.0 => common.scale = Some(v),
+                _ => return usage(),
+            },
+            "--incidents-out" => match it.next() {
+                Some(v) => tel_args.incidents_out = Some(v.clone()),
+                None => return usage(),
+            },
+            "--monitor-interval" => match it.next() {
+                Some(raw) => match telemetry::parse_metrics_interval(raw) {
+                    Ok(v) => tel_args.monitor_interval_ms = Some(v),
+                    Err(e) => {
+                        eprintln!(
+                            "tpu_cluster: {}",
+                            e.replace("--metrics-interval", "--monitor-interval")
+                        );
+                        return ExitCode::from(2);
+                    }
+                },
+                None => return usage(),
+            },
+            "--svg-timeline" => match it.next() {
+                Some(v) => svg_timeline = Some(v.clone()),
+                None => return usage(),
+            },
+            "--svg-heatmap" => match it.next() {
+                Some(v) => svg_heatmap = Some(v.clone()),
+                None => return usage(),
+            },
+            other if !other.starts_with('-') && common.name.is_none() => {
+                common.name = Some(other.to_string())
+            }
+            _ => return usage(),
+        }
+    }
+
+    let Some(n) = common.name.as_deref() else {
+        return usage();
+    };
+    let Some(mut s) = scenario_by_name(n) else {
+        eprintln!("tpu_cluster: unknown scenario {n:?}; try `tpu_cluster list`");
+        return ExitCode::FAILURE;
+    };
+    if let Some(seed) = common.seed {
+        s = s.with_seed(seed);
+    }
+    if let Some(f) = common.scale {
+        s = s.scale_requests(f);
+    }
+    let run_labels: Vec<&str> = s.runs.iter().map(|r| r.label.as_str()).collect();
+    if let Err(e) = tel_args.validate_artifact_paths(&run_labels) {
+        eprintln!("tpu_cluster: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let cfg = TpuConfig::paper();
+    let mut tels = tel_args.for_runs(s.runs.len());
+    tel_args.attach_monitors(&mut tels, s.topology);
+    let results = s.execute_telemetry(&cfg, &mut tels);
+    let multi = results.len() > 1;
+    println!("== {} — {}", s.name, s.description);
+    for (i, (label, _)) in results.iter().enumerate() {
+        let Some(mon) = telemetry::take_monitor(&mut tels[i]) else {
+            continue;
+        };
+        let report = mon.report();
+        println!("\n-- {label}");
+        if json {
+            println!("{}", serde_json::to_string_pretty(&report.to_json()));
+        } else {
+            print!("{}", report.render_text());
+        }
+        if let Some(base) = tel_args.incidents_out.as_deref() {
+            match telemetry::write_incidents(base, label, multi, &report) {
+                Ok(p) => eprintln!("telemetry: wrote {p}"),
+                Err(e) => {
+                    eprintln!("tpu_cluster: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(base) = svg_timeline.as_deref() {
+            let path = telemetry::artifact_path(base, label, multi);
+            match tpu_monitor::timeline_svg(&report) {
+                Ok(Some(svg)) => {
+                    if let Err(e) = std::fs::write(&path, svg) {
+                        eprintln!("tpu_cluster: {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("telemetry: wrote {path}");
+                }
+                Ok(None) => eprintln!("telemetry: {path}: no incidents, nothing to draw"),
+                Err(e) => {
+                    eprintln!("tpu_cluster: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(base) = svg_heatmap.as_deref() {
+            let path = telemetry::artifact_path(base, label, multi);
+            match tpu_monitor::heatmap_svg(mon.history()) {
+                Ok(Some(svg)) => {
+                    if let Err(e) = std::fs::write(&path, svg) {
+                        eprintln!("tpu_cluster: {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("telemetry: wrote {path}");
+                }
+                Ok(None) => eprintln!("telemetry: {path}: no history rows, nothing to draw"),
+                Err(e) => {
+                    eprintln!("tpu_cluster: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    println!();
     ExitCode::SUCCESS
 }
 

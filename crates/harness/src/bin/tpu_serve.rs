@@ -31,7 +31,7 @@ fn usage() -> ExitCode {
         "usage: tpu_serve list\n       tpu_serve run <scenario>|--all \
          [--seed N] [--requests-scale F] [--json] [--trace FILE] [--engine-stats]\n           \
          [--chrome-trace FILE] [--metrics-out FILE] [--metrics-interval MS] [--svg FILE]\n           \
-         [--request-log FILE]\n       \
+         [--request-log FILE] [--monitor] [--incidents-out FILE] [--monitor-interval MS]\n       \
          tpu_serve analyze <scenario>|--input LOG [--run LABEL] [--seed N] \
          [--requests-scale F]\n           \
          [--json] [--diff] [--runs N] [--window MS]\n           \
@@ -123,6 +123,24 @@ fn run_command(args: &[String]) -> ExitCode {
                 Some(v) => tel_args.request_log = Some(v.clone()),
                 None => return usage(),
             },
+            "--monitor" => tel_args.monitor = true,
+            "--incidents-out" => match it.next() {
+                Some(v) => tel_args.incidents_out = Some(v.clone()),
+                None => return usage(),
+            },
+            "--monitor-interval" => match it.next() {
+                Some(raw) => match telemetry::parse_metrics_interval(raw) {
+                    Ok(v) => tel_args.monitor_interval_ms = Some(v),
+                    Err(e) => {
+                        eprintln!(
+                            "tpu_serve: {}",
+                            e.replace("--metrics-interval", "--monitor-interval")
+                        );
+                        return ExitCode::from(2);
+                    }
+                },
+                None => return usage(),
+            },
             other if !other.starts_with('-') && common.name.is_none() => {
                 common.name = Some(other.to_string())
             }
@@ -190,6 +208,8 @@ fn run_command(args: &[String]) -> ExitCode {
         }
         println!("== {} — {}", s.name, s.description);
         let mut tels = tel_args.for_runs(s.runs.len());
+        // Single-host scenarios have no failure-domain topology.
+        tel_args.attach_monitors(&mut tels, None);
         let instrumented = tels.iter().any(|t| t.enabled());
         let started = std::time::Instant::now();
         let results = if instrumented {
@@ -237,6 +257,27 @@ fn run_command(args: &[String]) -> ExitCode {
             Err(e) => {
                 eprintln!("tpu_serve: {e}");
                 return ExitCode::FAILURE;
+            }
+        }
+        // The monitor's summary goes to stderr (golden stdout stays
+        // untouched); `--incidents-out` additionally writes the report.
+        let multi = labels.len() > 1;
+        for (i, label) in labels.iter().enumerate() {
+            let Some(mon) = telemetry::take_monitor(&mut tels[i]) else {
+                continue;
+            };
+            let report = mon.report();
+            for line in report.render_text().lines() {
+                eprintln!("monitor: {}: {label}: {line}", s.name);
+            }
+            if let Some(base) = tel_args.incidents_out.as_deref() {
+                match telemetry::write_incidents(base, label, multi, &report) {
+                    Ok(p) => eprintln!("telemetry: wrote {p}"),
+                    Err(e) => {
+                        eprintln!("tpu_serve: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
         }
     }

@@ -12,6 +12,8 @@
 //! lines. Everything is driven off sim-time state recorded by the
 //! engines, so two same-seed runs write bit-identical files.
 
+use tpu_cluster::FleetTopology;
+use tpu_monitor::{FleetMonitor, IncidentReport, MonitorConfig};
 use tpu_telemetry::{MetricsConfig, MetricsRecorder, RunTelemetry, TelemetryConfig, Tracer};
 
 /// The telemetry flag set shared by `tpu_serve run` and
@@ -31,6 +33,16 @@ pub struct TelemetryArgs {
     pub request_log: Option<String>,
     /// `--engine-stats`: collect the engine self-profile.
     pub engine_stats: bool,
+    /// `--monitor`: attach the streaming health monitor (summary on
+    /// stderr; stdout reports stay byte-identical).
+    pub monitor: bool,
+    /// `--incidents-out FILE`: write the `tpu-incidents` report here
+    /// (implies `--monitor`).
+    pub incidents_out: Option<String>,
+    /// `--monitor-interval MS`: monitor fold cadence. Defaults to the
+    /// metrics cadence when metrics ride along (so the fold stream is
+    /// reconstructible from the artifact), else 0.05 sim-ms.
+    pub monitor_interval_ms: Option<f64>,
 }
 
 impl TelemetryArgs {
@@ -41,6 +53,13 @@ impl TelemetryArgs {
             || self.metrics_out.is_some()
             || self.svg.is_some()
             || self.request_log.is_some()
+            || self.incidents_out.is_some()
+    }
+
+    /// True when the streaming health monitor should attach
+    /// (`--monitor`, or any flag that needs its output).
+    pub fn monitor_on(&self) -> bool {
+        self.monitor || self.incidents_out.is_some()
     }
 
     /// The [`TelemetryConfig`] these flags ask for. Metrics turn on for
@@ -73,6 +92,7 @@ impl TelemetryArgs {
             self.metrics_out.as_deref(),
             self.svg.as_deref(),
             self.request_log.as_deref(),
+            self.incidents_out.as_deref(),
         ];
         for base in bases.into_iter().flatten() {
             for label in labels {
@@ -92,6 +112,70 @@ impl TelemetryArgs {
         let cfg = self.config();
         (0..runs).map(|_| RunTelemetry::from_config(&cfg)).collect()
     }
+
+    /// The [`MonitorConfig`] these flags ask for: `--monitor-interval`
+    /// when given, else the metrics cadence when a metrics recorder
+    /// rides along (keeping both instruments on one fold stream so the
+    /// online incident set replays offline from the artifact), else the
+    /// 0.05 sim-ms default.
+    pub fn monitor_config(&self, topology: Option<FleetTopology>) -> MonitorConfig {
+        let interval = self
+            .monitor_interval_ms
+            .unwrap_or(match self.config().metrics {
+                Some(m) => m.interval_ms,
+                None => MonitorConfig::default().interval_ms,
+            });
+        let mut cfg = MonitorConfig::with_interval(interval);
+        if let Some(t) = topology {
+            cfg = cfg.with_topology(t);
+        }
+        cfg
+    }
+
+    /// Attach one [`FleetMonitor`] per run when the flags ask for it.
+    pub fn attach_monitors(&self, tels: &mut [RunTelemetry], topology: Option<FleetTopology>) {
+        if !self.monitor_on() {
+            return;
+        }
+        let cfg = self.monitor_config(topology);
+        for t in tels {
+            t.monitor = Some(Box::new(FleetMonitor::new(cfg.clone())));
+        }
+    }
+}
+
+/// Recover the concrete [`FleetMonitor`] a run's telemetry carried
+/// (the engines only see the `MonitorSink` trait).
+pub fn take_monitor(tel: &mut RunTelemetry) -> Option<FleetMonitor> {
+    tel.monitor
+        .take()
+        .and_then(|m| m.into_any().downcast::<FleetMonitor>().ok())
+        .map(|b| *b)
+}
+
+/// Write one run's `tpu-incidents` artifact, re-parsing the document
+/// before it hits disk (the same round-trip guard every other JSON
+/// artifact gets).
+///
+/// # Errors
+///
+/// A human-readable message naming the path on I/O failure or JSON
+/// that does not round-trip.
+pub fn write_incidents(
+    base: &str,
+    label: &str,
+    multi: bool,
+    report: &IncidentReport,
+) -> Result<String, String> {
+    let path = artifact_path(base, label, multi);
+    let text = report.render();
+    let round_trip = IncidentReport::parse(&text)
+        .map_err(|e| format!("{path}: incidents JSON does not round-trip: {e}"))?;
+    if &round_trip != report {
+        return Err(format!("{path}: incidents JSON does not round-trip"));
+    }
+    std::fs::write(&path, &text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(path)
 }
 
 /// Parse a `--metrics-interval` value, rejecting zero, negative, and
@@ -228,6 +312,9 @@ pub fn span_summary_lines(tracer: &Tracer) -> Vec<String> {
 
 /// Print each run's engine profile to stderr, after the scenario's
 /// one-line `engine-stats:` summary (which stays exactly as it was).
+/// When a metrics recorder rode along, any series that hit its ring
+/// capacity is named with its dropped-point count — a silent truncation
+/// would otherwise read as a complete artifact.
 pub fn print_engine_profiles<'a>(
     scenario: &str,
     runs: impl Iterator<Item = (&'a str, &'a RunTelemetry)>,
@@ -237,6 +324,14 @@ pub fn print_engine_profiles<'a>(
             eprintln!("engine-stats: {scenario}: run {label}:");
             for line in p.lines() {
                 eprintln!("{line}");
+            }
+        }
+        if let Some(m) = &tel.metrics {
+            for (name, dropped) in m.dropped_series() {
+                eprintln!(
+                    "engine-stats: {scenario}: run {label}: metrics series {name} \
+                     dropped {dropped} oldest points (ring capacity)"
+                );
             }
         }
     }

@@ -1,0 +1,216 @@
+//! Monitor configuration: cadence, topology, and detector thresholds.
+
+use tpu_cluster::FleetTopology;
+
+/// Multi-window SLO burn-rate alerting, per tenant.
+///
+/// Burn rate is the observed SLO-miss fraction divided by the error
+/// budget `1 - target`: a service exactly meeting its target burns at
+/// 1.0, one missing every request at `1/(1-target)`. The alert opens
+/// when **both** a fast and a slow trailing window exceed their
+/// thresholds (the fast window gives reaction time, the slow one
+/// suppresses blips), and resolves once the fast window stays under
+/// its threshold for [`BurnConfig::clear_folds`] consecutive folds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnConfig {
+    /// SLO attainment target (fraction of requests within SLO).
+    pub target: f64,
+    /// Fast window length, in cadence folds.
+    pub fast_folds: usize,
+    /// Slow window length, in cadence folds.
+    pub slow_folds: usize,
+    /// Burn-rate threshold for the fast window.
+    pub fast_burn: f64,
+    /// Burn-rate threshold for the slow window.
+    pub slow_burn: f64,
+    /// Minimum served requests in the slow window before it may alert.
+    pub min_served: u64,
+    /// Consecutive cool fast-window folds required to resolve.
+    pub clear_folds: u32,
+}
+
+impl Default for BurnConfig {
+    fn default() -> Self {
+        BurnConfig {
+            target: 0.9,
+            fast_folds: 4,
+            slow_folds: 16,
+            fast_burn: 6.0,
+            slow_burn: 3.0,
+            min_served: 16,
+            clear_folds: 4,
+        }
+    }
+}
+
+/// Straggler scoring: a die whose trailing-window mean service time
+/// sits far above its tenant's cross-die median.
+///
+/// Completions arrive in batches ~a batch-service-time apart, so a
+/// single cadence fold usually holds either a whole batch or nothing;
+/// each die's per-fold sums therefore accumulate into a trailing
+/// window of [`StragglerConfig::window_folds`] folds before scoring.
+/// Peer groups are per tenant — different models have wildly different
+/// service times, so a fleet-wide median would flag every die serving
+/// the slowest model. The spread is the median absolute deviation,
+/// floored at [`StragglerConfig::rel_floor`] of the median so a
+/// near-zero MAD (all healthy dies identical) cannot inflate z.
+/// Tenants whose `arrived/` gauge has been quiet for more than a
+/// quarter window stop being scored: the end-of-run drain flushes
+/// ragged partial batches whose durations say nothing about die
+/// health.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StragglerConfig {
+    /// MAD-normalized z-score threshold.
+    pub z: f64,
+    /// The die's mean must also exceed `ratio` x the median.
+    pub ratio: f64,
+    /// Trailing window length, in cadence folds.
+    pub window_folds: usize,
+    /// Minimum completions on a die in the window for it to be scored.
+    pub min_samples: u64,
+    /// Minimum dies in the peer group for the median to mean anything.
+    pub min_peers: usize,
+    /// Spread floor as a fraction of the median.
+    pub rel_floor: f64,
+    /// Consecutive flagged folds required to open.
+    pub confirm_folds: u32,
+    /// Consecutive clean folds required to resolve.
+    pub clear_folds: u32,
+}
+
+impl Default for StragglerConfig {
+    fn default() -> Self {
+        StragglerConfig {
+            z: 4.0,
+            ratio: 2.0,
+            window_folds: 40,
+            min_samples: 4,
+            min_peers: 3,
+            rel_floor: 0.1,
+            confirm_folds: 2,
+            clear_folds: 2,
+        }
+    }
+}
+
+/// Outage detection: a host whose backlog (queued + in-flight
+/// requests) is empty across [`OutageConfig::folds`] consecutive folds
+/// while at least [`OutageConfig::min_demand`] new requests arrived
+/// that fold for tenants placed on it — the router hands a reachable
+/// empty host work immediately, so sustained emptiness while its
+/// tenants' arrivals keep flowing means the router can't reach it
+/// (crash, or a partition once the host drains). Hosts that never held
+/// work are exempt, and the demand gate closes when arrivals stop, so
+/// the end-of-run drain never alerts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutageConfig {
+    /// Consecutive empty-under-demand folds required to open.
+    pub folds: u32,
+    /// New-arrivals-per-fold floor (summed over tenants placed on the
+    /// host) for an empty fold to count.
+    pub min_demand: f64,
+}
+
+impl Default for OutageConfig {
+    fn default() -> Self {
+        OutageConfig {
+            folds: 3,
+            min_demand: 4.0,
+        }
+    }
+}
+
+/// Retry-storm detection over the derivative of the fleet's cumulative
+/// retry counter: the per-fold retry rate (retries per simulated ms)
+/// must exceed [`RetryStormConfig::rate_per_ms`] for
+/// [`RetryStormConfig::confirm_folds`] consecutive folds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryStormConfig {
+    /// Retry-rate threshold, retries per simulated millisecond.
+    pub rate_per_ms: f64,
+    /// Consecutive hot folds required to open.
+    pub confirm_folds: u32,
+    /// Consecutive cool folds required to resolve.
+    pub clear_folds: u32,
+    /// Rate multiple over the threshold that escalates severity to
+    /// page.
+    pub page_multiple: f64,
+}
+
+impl Default for RetryStormConfig {
+    fn default() -> Self {
+        RetryStormConfig {
+            rate_per_ms: 200.0,
+            confirm_folds: 2,
+            clear_folds: 2,
+            page_multiple: 4.0,
+        }
+    }
+}
+
+/// The full monitor configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorConfig {
+    /// Sampling cadence in simulated milliseconds. When a metrics
+    /// recorder rides along, the CLIs keep both on the same cadence so
+    /// the online fold stream is exactly reconstructible from the
+    /// metrics artifact ([`crate::FleetMonitor::replay`]).
+    pub interval_ms: f64,
+    /// Failure-domain structure for incident blame; `None` keeps
+    /// outage incidents at host granularity.
+    pub topology: Option<FleetTopology>,
+    /// SLO burn alerting.
+    pub burn: BurnConfig,
+    /// Straggler scoring.
+    pub straggler: StragglerConfig,
+    /// Host outage detection.
+    pub outage: OutageConfig,
+    /// Retry-storm detection.
+    pub retry_storm: RetryStormConfig,
+    /// Folds an incident must stay active before it is auto-acked.
+    pub ack_folds: u32,
+    /// Per-host utilization history rows retained for the fleet
+    /// heatmap (oldest dropped beyond; incident detection is
+    /// unaffected).
+    pub history_cap: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            interval_ms: 0.05,
+            topology: None,
+            burn: BurnConfig::default(),
+            straggler: StragglerConfig::default(),
+            outage: OutageConfig::default(),
+            retry_storm: RetryStormConfig::default(),
+            ack_folds: 2,
+            history_cap: 4096,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// A config on the given cadence with every detector at defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a nonpositive or non-finite cadence.
+    pub fn with_interval(interval_ms: f64) -> Self {
+        assert!(
+            interval_ms.is_finite() && interval_ms > 0.0,
+            "monitor cadence must be positive"
+        );
+        MonitorConfig {
+            interval_ms,
+            ..MonitorConfig::default()
+        }
+    }
+
+    /// Attach the fleet's failure-domain topology for incident blame.
+    pub fn with_topology(mut self, topology: FleetTopology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+}

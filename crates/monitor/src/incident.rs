@@ -1,0 +1,495 @@
+//! The incident timeline: structured open/ack/resolve records folded
+//! from alert edges, exported as `tpu-incidents` v1 JSON.
+
+use serde_json::Value;
+
+/// What kind of condition the incident tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IncidentKind {
+    /// A tenant burning SLO error budget past both window thresholds.
+    Burn,
+    /// A host / rack / power-domain doing no work while demand queues.
+    Outage,
+    /// A die serving far slower than its tenant's peer dies.
+    Straggler,
+    /// The fleet's retry rate spiking past threshold.
+    RetryStorm,
+}
+
+impl IncidentKind {
+    /// The stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IncidentKind::Burn => "slo-burn",
+            IncidentKind::Outage => "outage",
+            IncidentKind::Straggler => "straggler",
+            IncidentKind::RetryStorm => "retry-storm",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "slo-burn" => Some(IncidentKind::Burn),
+            "outage" => Some(IncidentKind::Outage),
+            "straggler" => Some(IncidentKind::Straggler),
+            "retry-storm" => Some(IncidentKind::RetryStorm),
+            _ => None,
+        }
+    }
+}
+
+/// How loud the incident is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Worth a ticket: degraded but bounded.
+    Warn,
+    /// Worth waking someone: a whole failure domain or a burning SLO.
+    Page,
+}
+
+impl Severity {
+    /// The stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Page => "page",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "warn" => Some(Severity::Warn),
+            "page" => Some(Severity::Page),
+            _ => None,
+        }
+    }
+}
+
+/// What the incident points at.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Blame {
+    /// Hosts implicated (empty for tenant-scoped incidents).
+    pub hosts: Vec<usize>,
+    /// The blamed rack, when the topology resolves one.
+    pub rack: Option<usize>,
+    /// The blamed power domain, when the topology resolves one.
+    pub domain: Option<usize>,
+    /// The tenant, for SLO-burn (and the dominant contributor for a
+    /// retry storm).
+    pub tenant: Option<String>,
+    /// Set when this incident was absorbed by a wider one (host outage
+    /// folded into its rack's incident).
+    pub merged_into: Option<u64>,
+}
+
+/// One incident: a contiguous stretch of an alert being active, with
+/// open/ack/resolve edges stamped at cadence fold times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incident {
+    /// 1-based id in open order.
+    pub id: u64,
+    /// Detector family.
+    pub kind: IncidentKind,
+    /// Human-readable subject (`rack0`, `host6/die1`, `cell000`, …).
+    pub subject: String,
+    /// Severity assigned at open.
+    pub severity: Severity,
+    /// Fold stamp at which the alert opened, ms.
+    pub opened_ms: f64,
+    /// Fold stamp at which the incident auto-acked (stayed active
+    /// `ack_folds` folds), if it did.
+    pub acked_ms: Option<f64>,
+    /// Fold stamp at which the alert resolved; `None` if still open at
+    /// end of run.
+    pub resolved_ms: Option<f64>,
+    /// Peak detector magnitude while open (burn rate, z-score, flat
+    /// folds, retries/ms).
+    pub peak: f64,
+    /// What the incident points at.
+    pub blame: Blame,
+}
+
+impl Incident {
+    /// True when the incident never resolved.
+    pub fn open_at_end(&self) -> bool {
+        self.resolved_ms.is_none()
+    }
+
+    /// True when `[self.opened_ms, resolve-or-end]` overlaps
+    /// `[from_ms, until_ms]`.
+    pub fn overlaps(&self, from_ms: f64, until_ms: f64) -> bool {
+        let end = self.resolved_ms.unwrap_or(f64::INFINITY);
+        self.opened_ms <= until_ms && end >= from_ms
+    }
+
+    fn to_json(&self) -> Value {
+        let opt_num = |v: Option<f64>| v.map(Value::Number).unwrap_or(Value::Null);
+        let opt_idx = |v: Option<usize>| v.map(|i| Value::Number(i as f64)).unwrap_or(Value::Null);
+        Value::object([
+            ("id".to_string(), Value::Number(self.id as f64)),
+            (
+                "kind".to_string(),
+                Value::String(self.kind.as_str().to_string()),
+            ),
+            ("subject".to_string(), Value::String(self.subject.clone())),
+            (
+                "severity".to_string(),
+                Value::String(self.severity.as_str().to_string()),
+            ),
+            ("opened_ms".to_string(), Value::Number(self.opened_ms)),
+            ("acked_ms".to_string(), opt_num(self.acked_ms)),
+            ("resolved_ms".to_string(), opt_num(self.resolved_ms)),
+            ("open_at_end".to_string(), Value::Bool(self.open_at_end())),
+            ("peak".to_string(), Value::Number(self.peak)),
+            (
+                "blame".to_string(),
+                Value::object([
+                    (
+                        "hosts".to_string(),
+                        Value::Array(
+                            self.blame
+                                .hosts
+                                .iter()
+                                .map(|&h| Value::Number(h as f64))
+                                .collect(),
+                        ),
+                    ),
+                    ("rack".to_string(), opt_idx(self.blame.rack)),
+                    ("domain".to_string(), opt_idx(self.blame.domain)),
+                    (
+                        "tenant".to_string(),
+                        self.blame
+                            .tenant
+                            .clone()
+                            .map(Value::String)
+                            .unwrap_or(Value::Null),
+                    ),
+                    (
+                        "merged_into".to_string(),
+                        self.blame
+                            .merged_into
+                            .map(|i| Value::Number(i as f64))
+                            .unwrap_or(Value::Null),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<Incident, String> {
+        let field = |key: &str| -> Result<&Value, String> {
+            match v {
+                Value::Object(m) => m.get(key).ok_or(format!("incident missing {key:?}")),
+                _ => Err("incident is not an object".to_string()),
+            }
+        };
+        let num = |key: &str| -> Result<f64, String> {
+            match field(key)? {
+                Value::Number(n) => Ok(*n),
+                _ => Err(format!("incident field {key:?} is not a number")),
+            }
+        };
+        let opt_num = |key: &str| -> Result<Option<f64>, String> {
+            match field(key)? {
+                Value::Null => Ok(None),
+                Value::Number(n) => Ok(Some(*n)),
+                _ => Err(format!("incident field {key:?} is not a number or null")),
+            }
+        };
+        let text = |key: &str| -> Result<&str, String> {
+            match field(key)? {
+                Value::String(s) => Ok(s.as_str()),
+                _ => Err(format!("incident field {key:?} is not a string")),
+            }
+        };
+        let blame = field("blame")?;
+        let bfield = |key: &str| -> Result<&Value, String> {
+            match blame {
+                Value::Object(m) => m.get(key).ok_or(format!("blame missing {key:?}")),
+                _ => Err("incident blame is not an object".to_string()),
+            }
+        };
+        let opt_idx = |key: &str| -> Result<Option<usize>, String> {
+            match bfield(key)? {
+                Value::Null => Ok(None),
+                Value::Number(n) => Ok(Some(*n as usize)),
+                _ => Err(format!("blame field {key:?} is not a number or null")),
+            }
+        };
+        let hosts = match bfield("hosts")? {
+            Value::Array(a) => a
+                .iter()
+                .map(|h| match h {
+                    Value::Number(n) => Ok(*n as usize),
+                    _ => Err("blame hosts entry is not a number".to_string()),
+                })
+                .collect::<Result<Vec<usize>, String>>()?,
+            _ => return Err("blame hosts is not an array".to_string()),
+        };
+        Ok(Incident {
+            id: num("id")? as u64,
+            kind: IncidentKind::parse(text("kind")?)
+                .ok_or_else(|| format!("unknown incident kind {:?}", text("kind").unwrap()))?,
+            subject: text("subject")?.to_string(),
+            severity: Severity::parse(text("severity")?)
+                .ok_or_else(|| format!("unknown severity {:?}", text("severity").unwrap()))?,
+            opened_ms: num("opened_ms")?,
+            acked_ms: opt_num("acked_ms")?,
+            resolved_ms: opt_num("resolved_ms")?,
+            peak: num("peak")?,
+            blame: Blame {
+                hosts,
+                rack: opt_idx("rack")?,
+                domain: opt_idx("domain")?,
+                tenant: match bfield("tenant")? {
+                    Value::Null => None,
+                    Value::String(s) => Some(s.clone()),
+                    _ => return Err("blame tenant is not a string or null".to_string()),
+                },
+                merged_into: match bfield("merged_into")? {
+                    Value::Null => None,
+                    Value::Number(n) => Some(*n as u64),
+                    _ => return Err("blame merged_into is not a number or null".to_string()),
+                },
+            },
+        })
+    }
+}
+
+/// A run's complete incident timeline, as written by `--incidents-out`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidentReport {
+    /// The monitor cadence the folds were stamped on, ms.
+    pub interval_ms: f64,
+    /// Folds the monitor closed (including the final partial one).
+    pub folds: u64,
+    /// Incidents in open order.
+    pub incidents: Vec<Incident>,
+}
+
+impl IncidentReport {
+    /// Export as a `tpu-incidents` v1 JSON document.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            (
+                "format".to_string(),
+                Value::String("tpu-incidents".to_string()),
+            ),
+            ("version".to_string(), Value::Number(1.0)),
+            ("interval_ms".to_string(), Value::Number(self.interval_ms)),
+            ("folds".to_string(), Value::Number(self.folds as f64)),
+            (
+                "incidents".to_string(),
+                Value::Array(self.incidents.iter().map(Incident::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// The document as pretty-printed JSON text (newline-terminated).
+    pub fn render(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json()) + "\n"
+    }
+
+    /// True when `v` looks like a `tpu-incidents` document.
+    pub fn is_incidents_json(v: &Value) -> bool {
+        matches!(v, Value::Object(m)
+            if matches!(m.get("format"), Some(Value::String(f)) if f == "tpu-incidents"))
+    }
+
+    /// Parse a `tpu-incidents` v1 document.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first malformed field.
+    pub fn parse(text: &str) -> Result<IncidentReport, String> {
+        let v = serde_json::from_str(text).map_err(|e| format!("incidents: {e}"))?;
+        Self::from_json(&v)
+    }
+
+    /// As [`IncidentReport::parse`], from an already-parsed [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first malformed field.
+    pub fn from_json(v: &Value) -> Result<IncidentReport, String> {
+        let Value::Object(m) = v else {
+            return Err("incidents: not a JSON object".to_string());
+        };
+        if !Self::is_incidents_json(v) {
+            return Err("incidents: format is not \"tpu-incidents\"".to_string());
+        }
+        match m.get("version") {
+            Some(Value::Number(n)) if *n == 1.0 => {}
+            other => return Err(format!("incidents: unsupported version {other:?}")),
+        }
+        let interval_ms = match m.get("interval_ms") {
+            Some(Value::Number(n)) if *n > 0.0 => *n,
+            _ => return Err("incidents: bad interval_ms".to_string()),
+        };
+        let folds = match m.get("folds") {
+            Some(Value::Number(n)) if *n >= 0.0 => *n as u64,
+            _ => return Err("incidents: bad folds".to_string()),
+        };
+        let incidents = match m.get("incidents") {
+            Some(Value::Array(a)) => a
+                .iter()
+                .map(Incident::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("incidents: missing incidents array".to_string()),
+        };
+        Ok(IncidentReport {
+            interval_ms,
+            folds,
+            incidents,
+        })
+    }
+
+    /// The human-readable timeline the `monitor` subcommand prints:
+    /// a one-line summary, then one line per incident in open order.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let pages = self
+            .incidents
+            .iter()
+            .filter(|i| i.severity == Severity::Page)
+            .count();
+        let open = self.incidents.iter().filter(|i| i.open_at_end()).count();
+        out.push_str(&format!(
+            "incidents: {} ({} page, {} warn), {} open at end  [{} folds @ {} ms]\n",
+            self.incidents.len(),
+            pages,
+            self.incidents.len() - pages,
+            open,
+            self.folds,
+            self.interval_ms
+        ));
+        for i in &self.incidents {
+            let until = match i.resolved_ms {
+                Some(r) => format!("{r:.3}"),
+                None => "end".to_string(),
+            };
+            let acked = match i.acked_ms {
+                Some(a) => format!("  acked {a:.3}"),
+                None => String::new(),
+            };
+            let mut blame = Vec::new();
+            if !i.blame.hosts.is_empty() {
+                let hosts: Vec<String> = i.blame.hosts.iter().map(|h| format!("{h}")).collect();
+                blame.push(format!("hosts [{}]", hosts.join(",")));
+            }
+            if let Some(r) = i.blame.rack {
+                blame.push(format!("rack {r}"));
+            }
+            if let Some(d) = i.blame.domain {
+                blame.push(format!("domain {d}"));
+            }
+            if let Some(t) = &i.blame.tenant {
+                blame.push(format!("tenant {t}"));
+            }
+            if let Some(m) = i.blame.merged_into {
+                blame.push(format!("merged into #{m}"));
+            }
+            let blame = if blame.is_empty() {
+                String::new()
+            } else {
+                format!("  blame: {}", blame.join(", "))
+            };
+            out.push_str(&format!(
+                "  #{:<3} [{}] {:<12} {:<16} {:>8.3} .. {:<8}{}  peak {:.2}{}\n",
+                i.id,
+                i.severity.as_str(),
+                i.kind.as_str(),
+                i.subject,
+                i.opened_ms,
+                until,
+                acked,
+                i.peak,
+                blame
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IncidentReport {
+        IncidentReport {
+            interval_ms: 0.05,
+            folds: 40,
+            incidents: vec![
+                Incident {
+                    id: 1,
+                    kind: IncidentKind::Outage,
+                    subject: "rack0".to_string(),
+                    severity: Severity::Page,
+                    opened_ms: 0.5,
+                    acked_ms: Some(0.6),
+                    resolved_ms: Some(0.8),
+                    peak: 5.0,
+                    blame: Blame {
+                        hosts: vec![0, 1, 2, 3],
+                        rack: Some(0),
+                        domain: Some(0),
+                        tenant: None,
+                        merged_into: None,
+                    },
+                },
+                Incident {
+                    id: 2,
+                    kind: IncidentKind::Burn,
+                    subject: "cell000".to_string(),
+                    severity: Severity::Page,
+                    opened_ms: 0.55,
+                    acked_ms: None,
+                    resolved_ms: None,
+                    peak: 8.25,
+                    blame: Blame {
+                        tenant: Some("cell000".to_string()),
+                        ..Blame::default()
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_bit_exactly() {
+        let r = sample();
+        let parsed = IncidentReport::parse(&r.render()).expect("round-trip");
+        assert_eq!(r, parsed);
+    }
+
+    #[test]
+    fn format_detection_and_bad_documents() {
+        let r = sample();
+        assert!(IncidentReport::is_incidents_json(&r.to_json()));
+        assert!(!IncidentReport::is_incidents_json(&Value::object([])));
+        assert!(IncidentReport::parse("{}").is_err());
+        assert!(IncidentReport::parse("not json").is_err());
+        let wrong_version = r.render().replace("\"version\": 1", "\"version\": 2");
+        assert!(IncidentReport::parse(&wrong_version)
+            .unwrap_err()
+            .contains("version"));
+    }
+
+    #[test]
+    fn overlap_treats_open_incidents_as_unbounded() {
+        let r = sample();
+        assert!(r.incidents[0].overlaps(0.7, 1.0));
+        assert!(!r.incidents[0].overlaps(0.9, 1.0));
+        assert!(r.incidents[1].overlaps(100.0, 200.0), "open at end");
+        assert!(!r.incidents[1].overlaps(0.0, 0.5));
+    }
+
+    #[test]
+    fn text_rendering_names_every_incident() {
+        let text = sample().render_text();
+        assert!(text.contains("incidents: 2 (2 page, 0 warn), 1 open at end"));
+        assert!(text.contains("rack0") && text.contains("cell000"));
+        assert!(text.contains("rack 0") && text.contains("tenant cell000"));
+        assert!(text.contains(".. end"), "open incident renders 'end'");
+    }
+}

@@ -1,0 +1,51 @@
+//! # tpu-monitor — the streaming fleet health monitor
+//!
+//! PR 6/7 built *recording* (traces, metrics, request logs) and
+//! *offline* analysis; this crate is the online layer: a
+//! [`FleetMonitor`] attached to a run consumes the telemetry probe
+//! stream *while the simulation executes* and folds it into alerts and
+//! a structured incident timeline, exactly the way a production SRE
+//! stack watches the paper's "7 ms p99" SLO as it burns — except that
+//! here the failures come from a known injected schedule, so detection
+//! precision and recall can be scored against ground truth.
+//!
+//! Three detector families run per cadence fold:
+//!
+//! * **SLO burn-rate alerting** ([`BurnConfig`]) — per tenant, the
+//!   classic multi-window rule: alert when both a fast and a slow
+//!   trailing window burn error budget faster than threshold, resolve
+//!   with hysteresis once the fast window cools.
+//! * **Anomaly detectors** — straggler scoring
+//!   ([`StragglerConfig`]: per-die trailing-window mean service time
+//!   vs the tenant's cross-die median, MAD-normalized z plus a ratio
+//!   guard), outage detection ([`OutageConfig`]: a host whose backlog
+//!   reads empty for K folds while arrivals keep flowing for tenants
+//!   placed on it), and retry-storm detection ([`RetryStormConfig`]:
+//!   the derivative of the fleet's cumulative retry counter).
+//! * **Incident segmentation** ([`Incident`]) — alert edges fold into
+//!   `tpu-incidents` v1 JSON with open/ack/resolve edges and severity;
+//!   host-level outage alerts that cover a whole rack (or power
+//!   domain) collapse into one incident blamed on that failure domain
+//!   via [`tpu_cluster::FleetTopology`].
+//!
+//! The determinism contract matches every other instrument: the
+//! monitor observes sim-time state at event-pop time, schedules
+//! nothing, draws no RNG, so a monitored run reports byte-identically
+//! to a bare one — and because every input it folds is also recorded
+//! by the metrics recorder and the request log, the whole online
+//! computation can be replayed offline from the artifacts
+//! ([`FleetMonitor::replay`]) to the bit-identical incident set
+//! (streaming ≡ batch; the proptests pin this).
+
+#![warn(missing_docs)]
+
+mod config;
+mod incident;
+mod monitor;
+mod render;
+mod replay;
+
+pub use config::{BurnConfig, MonitorConfig, OutageConfig, RetryStormConfig, StragglerConfig};
+pub use incident::{Blame, Incident, IncidentKind, IncidentReport, Severity};
+pub use monitor::{FleetMonitor, HistoryRow};
+pub use render::{heatmap_svg, timeline_svg};

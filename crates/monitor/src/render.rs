@@ -1,0 +1,137 @@
+//! SVG rendering: the incident timeline and the fleet heatmap.
+
+use crate::incident::{IncidentReport, Severity};
+use crate::monitor::HistoryRow;
+use tpu_plot::{band_timeline, heat_grid, Band, Lane, PlotError};
+
+/// Render the incident timeline: one lane per incident in open order,
+/// a band from open to resolve (or to end of run), red for pages and
+/// orange for warns, with a black tick at the ack time. Returns `None`
+/// when the report holds no incidents (nothing to draw is not an
+/// error).
+///
+/// # Errors
+///
+/// Propagates [`PlotError`] from the chart layer (non-finite edges).
+pub fn timeline_svg(report: &IncidentReport) -> Result<Option<String>, PlotError> {
+    if report.incidents.is_empty() {
+        return Ok(None);
+    }
+    let t_end = report.folds.saturating_sub(1) as f64 * report.interval_ms;
+    let t_max = report
+        .incidents
+        .iter()
+        .map(|i| i.resolved_ms.unwrap_or(i.opened_ms))
+        .fold(t_end, f64::max);
+    let lanes: Vec<Lane> = report
+        .incidents
+        .iter()
+        .map(|i| Lane {
+            label: format!("#{} {} {}", i.id, i.kind.as_str(), i.subject),
+            bands: vec![Band {
+                start: i.opened_ms,
+                end: i.resolved_ms.unwrap_or(t_max),
+                color: match i.severity {
+                    Severity::Page => "#c0392b".to_string(),
+                    Severity::Warn => "#e67e22".to_string(),
+                },
+                marker: i.acked_ms,
+            }],
+        })
+        .collect();
+    band_timeline(
+        "incident timeline",
+        &lanes,
+        0.0,
+        t_max.max(report.interval_ms),
+    )
+    .map(Some)
+}
+
+/// Render the fleet heatmap: hosts × retained folds, shaded by each
+/// host's per-fold busy rate. Returns `None` when no history rows were
+/// retained (e.g. the run closed fewer than two folds).
+///
+/// # Errors
+///
+/// Propagates [`PlotError`] from the chart layer.
+pub fn heatmap_svg<'a, I>(history: I) -> Result<Option<String>, PlotError>
+where
+    I: IntoIterator<Item = &'a HistoryRow>,
+{
+    let rows: Vec<&HistoryRow> = history.into_iter().collect();
+    if rows.is_empty() {
+        return Ok(None);
+    }
+    let cols: Vec<f64> = rows.iter().map(|(t, _)| *t).collect();
+    let mut hosts: Vec<usize> = rows
+        .iter()
+        .flat_map(|(_, cells)| cells.iter().map(|&(h, _)| h))
+        .collect();
+    hosts.sort_unstable();
+    hosts.dedup();
+    let grid: Vec<(String, Vec<f64>)> = hosts
+        .iter()
+        .map(|&h| {
+            let values = rows
+                .iter()
+                .map(|(_, cells)| {
+                    cells
+                        .iter()
+                        .find(|&&(hh, _)| hh == h)
+                        .map(|&(_, v)| v)
+                        .unwrap_or(f64::NAN)
+                })
+                .collect();
+            (format!("host{h}"), values)
+        })
+        .collect();
+    heat_grid("fleet busy rate (per-host, per fold)", &cols, &grid).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incident::{Blame, Incident, IncidentKind};
+
+    #[test]
+    fn timeline_renders_bands_per_incident() {
+        let report = IncidentReport {
+            interval_ms: 0.05,
+            folds: 40,
+            incidents: vec![Incident {
+                id: 1,
+                kind: IncidentKind::Outage,
+                subject: "rack0".to_string(),
+                severity: Severity::Page,
+                opened_ms: 0.5,
+                acked_ms: Some(0.6),
+                resolved_ms: None,
+                peak: 4.0,
+                blame: Blame::default(),
+            }],
+        };
+        let svg = timeline_svg(&report).expect("renders").expect("has lanes");
+        assert!(svg.contains("#1 outage rack0"));
+        assert!(svg.contains("#c0392b"));
+        let empty = IncidentReport {
+            incidents: vec![],
+            ..report
+        };
+        assert!(timeline_svg(&empty).expect("no error").is_none());
+    }
+
+    #[test]
+    fn heatmap_renders_hosts_by_folds() {
+        let rows: Vec<HistoryRow> = vec![
+            (1.0, vec![(0, 0.5), (1, 1.0)]),
+            (2.0, vec![(0, 0.0), (1, 2.0)]),
+        ];
+        let svg = heatmap_svg(rows.iter())
+            .expect("renders")
+            .expect("has rows");
+        assert!(svg.contains("host0") && svg.contains("host1"));
+        let empty: Vec<HistoryRow> = Vec::new();
+        assert!(heatmap_svg(empty.iter()).expect("no error").is_none());
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline replay: rebuild the online incident set from the metrics
+//! and request-log artifacts, bit-identically (streaming ≡ batch).
+//!
+//! The reconstruction leans on three exact correspondences:
+//!
+//! * **Stamps.** The monitor shares the metrics recorder's cadence
+//!   arithmetic bit for bit, so when both ran on the same interval the
+//!   monitor's fold stamps are exactly the gauge-point timestamps in
+//!   the artifact (percentile series are excluded — their final
+//!   end-of-run flush lands off-cadence).
+//! * **Fold attribution.** A completion ending at `e` was observed
+//!   after every fold whose trigger `stamp + Δ ≤ e` had fired and
+//!   before the next one, so it belongs to fold `1 + |{s : s+Δ ≤ e}|`
+//!   (the first fold closes at the first event pop, before any
+//!   completion is processed). `s + Δ` is the same f64 expression the
+//!   engine compares against, so the bucketing is exact. Records past
+//!   the last fold are discarded, matching the streaming monitor's
+//!   `finish`, which never closes a partial fold.
+//! * **Arithmetic.** `latency = end - arrived` and
+//!   `service = end - dispatch - swap` are the request log's own
+//!   accessors — the identical expressions the engine feeds the
+//!   streaming monitor — and per-`(tenant, host, die)` the log's
+//!   record order equals the die's completion order, so every f64
+//!   accumulation runs in the same sequence.
+
+use crate::monitor::FleetMonitor;
+use crate::MonitorConfig;
+use serde_json::Value;
+use tpu_telemetry::{MonitorSink, RequestLog};
+
+impl FleetMonitor {
+    /// Recompute the incident set offline from a parsed `tpu-metrics`
+    /// artifact and the run's [`RequestLog`]. The returned monitor is
+    /// finished; its [`report`](FleetMonitor::report) equals the
+    /// streaming one's bitwise when `cfg` matches the online run.
+    ///
+    /// # Errors
+    ///
+    /// A message when the artifact is malformed, its cadence differs
+    /// from `cfg.interval_ms`, or any series dropped points to the
+    /// ring bound (a truncated artifact cannot replay faithfully).
+    pub fn replay(
+        cfg: MonitorConfig,
+        metrics: &Value,
+        log: &RequestLog,
+    ) -> Result<FleetMonitor, String> {
+        let Value::Object(doc) = metrics else {
+            return Err("metrics artifact is not a JSON object".to_string());
+        };
+        match doc.get("interval_ms") {
+            Some(Value::Number(n)) if n.to_bits() == cfg.interval_ms.to_bits() => {}
+            Some(Value::Number(n)) => {
+                return Err(format!(
+                    "metrics cadence {n} differs from monitor cadence {}",
+                    cfg.interval_ms
+                ));
+            }
+            _ => return Err("metrics artifact has no interval_ms".to_string()),
+        }
+        let Some(Value::Object(series)) = doc.get("series") else {
+            return Err("metrics artifact has no series map".to_string());
+        };
+        // Gauge series only: percentile series flush off-cadence at end
+        // of run and the streaming monitor never sees them.
+        let mut gauges: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
+        for (name, body) in series {
+            match body {
+                Value::Object(b) => {
+                    match b.get("dropped") {
+                        Some(Value::Number(d)) if *d == 0.0 => {}
+                        _ => {
+                            return Err(format!(
+                                "series {name:?} dropped points to the ring bound; \
+                                 replay needs a complete artifact (raise --metrics-ring)"
+                            ));
+                        }
+                    }
+                    if name.ends_with(".p50") || name.ends_with(".p99") {
+                        continue;
+                    }
+                    let Some(Value::Array(points)) = b.get("points") else {
+                        return Err(format!("series {name:?} has no points"));
+                    };
+                    let mut pts = Vec::with_capacity(points.len());
+                    for p in points {
+                        match p {
+                            Value::Array(tv) if tv.len() == 2 => match (&tv[0], &tv[1]) {
+                                (Value::Number(t), Value::Number(v)) => pts.push((*t, *v)),
+                                _ => return Err(format!("series {name:?}: non-numeric point")),
+                            },
+                            _ => return Err(format!("series {name:?}: malformed point")),
+                        }
+                    }
+                    gauges.push((name, pts));
+                }
+                _ => return Err(format!("series {name:?} is not an object")),
+            }
+        }
+        // Fold stamps: the union of gauge timestamps, ascending.
+        let mut stamps: Vec<f64> = gauges
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().map(|&(t, _)| t))
+            .collect();
+        stamps.sort_by(|a, b| a.partial_cmp(b).expect("finite stamps"));
+        stamps.dedup_by(|a, b| a.to_bits() == b.to_bits());
+
+        // Bucket request records by fold (see module docs); trailing
+        // records past the last fold are dropped on both paths.
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); stamps.len()];
+        for (i, r) in log.records().iter().enumerate() {
+            let fired = stamps.partition_point(|&s| s + cfg.interval_ms <= r.end_ms);
+            if let Some(bucket) = buckets.get_mut(1 + fired) {
+                bucket.push(i);
+            }
+        }
+
+        let mut mon = FleetMonitor::new(cfg);
+        let mut cursors = vec![0usize; gauges.len()];
+        for (fold, &stamp) in stamps.iter().enumerate() {
+            for (gi, (name, pts)) in gauges.iter().enumerate() {
+                let c = &mut cursors[gi];
+                while *c < pts.len() && pts[*c].0 < stamp {
+                    *c += 1;
+                }
+                if *c < pts.len() && pts[*c].0.to_bits() == stamp.to_bits() {
+                    mon.record(name, pts[*c].1);
+                    *c += 1;
+                }
+            }
+            for &i in &buckets[fold] {
+                let r = &log.records()[i];
+                let tenant = log.tenant_name(r.tenant);
+                let slo = log.tenant_slo_ms(r.tenant);
+                mon.observe_latency(tenant, r.latency_ms(), slo);
+                mon.observe_service(tenant, r.host as usize, r.die as usize, r.service_ms(), 1);
+            }
+            mon.close_sample(stamp);
+        }
+        mon.finish();
+        Ok(mon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic metrics artifact: `(name, points, dropped)` per
+    /// series.
+    type SeriesSpec<'a> = (&'a str, &'a [(f64, f64)], f64);
+
+    fn metrics_doc(interval: f64, series: &[SeriesSpec]) -> Value {
+        Value::object([
+            ("interval_ms".to_string(), Value::Number(interval)),
+            (
+                "series".to_string(),
+                Value::object(series.iter().map(|(name, pts, dropped)| {
+                    (
+                        name.to_string(),
+                        Value::object([
+                            ("dropped".to_string(), Value::Number(*dropped)),
+                            (
+                                "points".to_string(),
+                                Value::Array(
+                                    pts.iter()
+                                        .map(|&(t, v)| {
+                                            Value::Array(vec![Value::Number(t), Value::Number(v)])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ]),
+                    )
+                })),
+            ),
+        ])
+    }
+
+    #[test]
+    fn replay_rejects_cadence_mismatch_and_truncation() {
+        let log = RequestLog::new();
+        let doc = metrics_doc(1.0, &[("busy/host0", &[(0.0, 0.0)], 0.0)]);
+        assert!(
+            FleetMonitor::replay(MonitorConfig::with_interval(0.5), &doc, &log)
+                .unwrap_err()
+                .contains("cadence")
+        );
+        let doc = metrics_doc(1.0, &[("busy/host0", &[(0.0, 0.0)], 3.0)]);
+        assert!(
+            FleetMonitor::replay(MonitorConfig::with_interval(1.0), &doc, &log)
+                .unwrap_err()
+                .contains("dropped")
+        );
+        assert!(
+            FleetMonitor::replay(MonitorConfig::with_interval(1.0), &Value::Null, &log).is_err()
+        );
+    }
+
+    #[test]
+    fn replay_matches_a_hand_driven_streaming_monitor() {
+        // Stream: gauges at stamps 0,1,2,3; one batch completing at
+        // t=1.4 (observed in the fold closing at stamp 2).
+        let cfg = || MonitorConfig::with_interval(1.0);
+        let mut streaming = FleetMonitor::new(cfg());
+        for (fold, stamp) in [0.0, 1.0, 2.0, 3.0].into_iter().enumerate() {
+            streaming.record("busy/host0", fold as f64 * 2.0);
+            streaming.record("outstanding/A", 5.0);
+            if fold == 2 {
+                streaming.observe_latency("A", 1.4 - 0.2, 7.0);
+                streaming.observe_service("A", 0, 1, 1.4 - 0.5 - 0.1, 1);
+            }
+            streaming.close_sample(stamp);
+        }
+        streaming.finish();
+
+        let doc = metrics_doc(
+            1.0,
+            &[
+                (
+                    "busy/host0",
+                    &[(0.0, 0.0), (1.0, 2.0), (2.0, 4.0), (3.0, 6.0)],
+                    0.0,
+                ),
+                (
+                    "outstanding/A",
+                    &[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0), (3.0, 5.0)],
+                    0.0,
+                ),
+                // Percentile series with an off-cadence final flush
+                // must not create a phantom fold.
+                ("latency/A.p99", &[(2.0, 1.2), (3.7, 1.3)], 0.0),
+            ],
+        );
+        let mut log = RequestLog::new();
+        let mut probe = tpu_telemetry::RequestProbe::new(0);
+        probe.batch_complete(1, "A", 7.0, 0.5, 0.1, 1.4, &[0.2]);
+        log.absorb(probe);
+
+        let replayed = FleetMonitor::replay(cfg(), &doc, &log).expect("replay");
+        assert_eq!(replayed.folds(), 4);
+        assert_eq!(replayed.report(), streaming.report());
+    }
+}

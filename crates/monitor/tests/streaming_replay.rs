@@ -1,0 +1,211 @@
+//! The monitor's contracts, driven through the real fleet engine:
+//!
+//! * **streaming ≡ batch** — the online incident set equals an offline
+//!   [`FleetMonitor::replay`] from the metrics + request-log artifacts,
+//!   bit for bit, for the seeded scenario and across arbitrary seeds;
+//! * **zero perturbation** — a monitored run's fleet report is
+//!   byte-identical to the bare run's;
+//! * **determinism** — the `tpu-incidents` artifact text is byte-stable
+//!   across same-seed runs;
+//! * **ground truth** — the injected rack crash in `rack-outage` is
+//!   recalled and blamed on rack 0, `fleet-steady` stays silent, and
+//!   the `retry-storm` blind run pages on the storm.
+
+use proptest::prelude::*;
+use tpu_cluster::{scenario_by_name, FleetRun};
+use tpu_core::TpuConfig;
+use tpu_monitor::{FleetMonitor, IncidentKind, MonitorConfig};
+use tpu_telemetry::{MetricsConfig, MetricsRecorder, RequestLog, RunTelemetry};
+
+const INTERVAL_MS: f64 = 0.05;
+
+/// Run a scenario with metrics + request log + monitor attached and
+/// return, per run, the label, the fleet run, and the instruments.
+fn run_monitored(
+    name: &str,
+    scale: f64,
+    seed: u64,
+) -> Vec<(
+    String,
+    FleetRun,
+    FleetMonitor,
+    serde_json::Value,
+    RequestLog,
+)> {
+    let cfg = TpuConfig::paper();
+    let s = scenario_by_name(name)
+        .expect("known scenario")
+        .with_seed(seed)
+        .scale_requests(scale);
+    let mut tels: Vec<RunTelemetry> = s
+        .runs
+        .iter()
+        .map(|_| {
+            let mut mon_cfg = MonitorConfig::with_interval(INTERVAL_MS);
+            if let Some(t) = s.topology {
+                mon_cfg = mon_cfg.with_topology(t);
+            }
+            let mut tel = RunTelemetry::off();
+            tel.metrics = Some(MetricsRecorder::new(&MetricsConfig {
+                interval_ms: INTERVAL_MS,
+                ring_cap: 1 << 20,
+            }));
+            tel.requests = Some(RequestLog::new());
+            tel.monitor = Some(Box::new(FleetMonitor::new(mon_cfg)));
+            tel
+        })
+        .collect();
+    let runs = s.execute_telemetry(&cfg, &mut tels);
+    runs.into_iter()
+        .zip(tels)
+        .map(|((label, run), tel)| {
+            let mon = *tel
+                .monitor
+                .expect("monitor attached")
+                .into_any()
+                .downcast::<FleetMonitor>()
+                .expect("a FleetMonitor");
+            let metrics = tel.metrics.expect("metrics attached").to_json();
+            let log = tel.requests.expect("request log attached");
+            (label, run, mon, metrics, log)
+        })
+        .collect()
+}
+
+#[test]
+fn online_incidents_replay_bit_identical_from_artifacts() {
+    for (label, _, mon, metrics, log) in run_monitored("rack-outage", 0.1, 42) {
+        let streaming = mon.report();
+        assert!(
+            !streaming.incidents.is_empty(),
+            "{label}: the scaled rack-outage run still detects incidents"
+        );
+        let replayed =
+            FleetMonitor::replay(mon.config().clone(), &metrics, &log).expect("replay succeeds");
+        assert_eq!(replayed.folds(), mon.folds(), "{label}: fold counts");
+        assert_eq!(replayed.report(), streaming, "{label}: incident sets");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// streaming ≡ batch holds for arbitrary seeds, not just the
+    /// scenario default.
+    #[test]
+    fn replay_matches_streaming_for_any_seed(seed in 1u64..10_000) {
+        for (label, _, mon, metrics, log) in run_monitored("rack-outage", 0.05, seed) {
+            let replayed = FleetMonitor::replay(mon.config().clone(), &metrics, &log)
+                .expect("replay succeeds");
+            prop_assert_eq!(replayed.report(), mon.report(), "{} seed {}", label, seed);
+        }
+    }
+}
+
+#[test]
+fn monitored_run_report_is_byte_identical_to_bare() {
+    let cfg = TpuConfig::paper();
+    let bare = scenario_by_name("rack-outage")
+        .expect("known scenario")
+        .with_seed(42)
+        .scale_requests(0.1)
+        .execute(&cfg);
+    let monitored = run_monitored("rack-outage", 0.1, 42);
+    assert_eq!(bare.len(), monitored.len());
+    for ((label, bare_run), (_, mon_run, ..)) in bare.iter().zip(&monitored) {
+        assert_eq!(bare_run.report, mon_run.report, "{label}: reports");
+        assert_eq!(
+            bare_run.report.to_json().to_string(),
+            mon_run.report.to_json().to_string(),
+            "{label}: rendered report bytes"
+        );
+    }
+}
+
+#[test]
+fn incident_artifact_is_byte_stable_across_same_seed_runs() {
+    let a = run_monitored("rack-outage", 0.1, 7);
+    let b = run_monitored("rack-outage", 0.1, 7);
+    for ((label, _, ma, ..), (_, _, mb, ..)) in a.iter().zip(&b) {
+        assert_eq!(ma.report().render(), mb.report().render(), "{label}");
+    }
+}
+
+#[test]
+fn rack_outage_crash_is_recalled_and_blamed_on_rack0() {
+    // The scenario injects a rack 0 crash over [0.30, 0.70] ms; the
+    // monitor must open a rack0-blamed page overlapping that window
+    // (100% recall on the injected rack outage) and must not blame any
+    // host outside the two injected failure domains.
+    for (label, _, mon, _, _) in run_monitored("rack-outage", 0.2, 42) {
+        let report = mon.report();
+        let racks: Vec<_> = report
+            .incidents
+            .iter()
+            .filter(|i| i.kind == IncidentKind::Outage && i.subject == "rack0")
+            .collect();
+        assert_eq!(racks.len(), 1, "{label}: one rack0 incident: {report:?}");
+        let inc = racks[0];
+        assert!(inc.overlaps(0.30, 0.70), "{label}: {inc:?}");
+        assert!(
+            inc.opened_ms >= 0.30 && inc.opened_ms <= 0.60,
+            "{label}: opened at {}",
+            inc.opened_ms
+        );
+        let resolved = inc.resolved_ms.expect("recovery resolves the incident");
+        assert!(
+            (0.70..=1.00).contains(&resolved),
+            "{label}: resolved at {resolved}"
+        );
+        assert_eq!(inc.blame.rack, Some(0), "{label}");
+        // Precision: every outage incident blames hosts wholly inside
+        // one of the two injected domains (rack 0 crash, rack 1
+        // partition).
+        for i in &report.incidents {
+            if i.kind != IncidentKind::Outage {
+                continue;
+            }
+            let in_rack0 = i.blame.hosts.iter().all(|&h| h < 4);
+            let in_rack1 = i.blame.hosts.iter().all(|&h| (4..8).contains(&h));
+            assert!(in_rack0 || in_rack1, "{label}: stray blame in {i:?}");
+        }
+    }
+}
+
+#[test]
+fn fleet_steady_raises_no_false_alarms() {
+    for (label, _, mon, _, _) in run_monitored("fleet-steady", 0.1, 42) {
+        let report = mon.report();
+        assert!(
+            report.incidents.is_empty(),
+            "{label}: healthy fleet must stay silent: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn retry_storm_blind_run_pages_on_the_storm() {
+    let runs = run_monitored("retry-storm", 0.1, 42);
+    let (_, _, mon, _, _) = runs
+        .iter()
+        .find(|(label, ..)| label == "blind")
+        .expect("blind run present");
+    let report = mon.report();
+    assert!(
+        report
+            .incidents
+            .iter()
+            .any(|i| i.kind == IncidentKind::RetryStorm),
+        "blind run must raise a retry-storm incident: {report:?}"
+    );
+    // Both staggered rack outages ([1.0, 2.5] and [3.0, 4.5]) recall.
+    for (rack, from, until) in [("rack0", 1.0, 2.5), ("rack1", 3.0, 4.5)] {
+        assert!(
+            report
+                .incidents
+                .iter()
+                .any(|i| i.subject == rack && i.overlaps(from, until)),
+            "missing {rack} outage in {report:?}"
+        );
+    }
+}

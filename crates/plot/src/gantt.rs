@@ -1,0 +1,213 @@
+//! Band timelines (Gantt-style): one labelled lane per subject, filled
+//! spans over a shared linear time axis.
+//!
+//! The health monitor renders incident timelines with this — one lane
+//! per incident, a colored band from open to resolve, an optional tick
+//! where the incident was acknowledged — but the API takes plain
+//! slices so any span-shaped data plots the same way.
+
+use crate::error::PlotError;
+use crate::svg::{Anchor, SvgDocument};
+
+/// One filled band within a lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Band {
+    /// Span start on the time axis.
+    pub start: f64,
+    /// Span end on the time axis (`>= start`).
+    pub end: f64,
+    /// Fill color (any SVG color string).
+    pub color: String,
+    /// Optional marker time drawn as a vertical tick inside the band.
+    pub marker: Option<f64>,
+}
+
+/// One labelled lane of bands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lane {
+    /// Label drawn in the left gutter.
+    pub label: String,
+    /// Bands drawn in the lane, in the order given.
+    pub bands: Vec<Band>,
+}
+
+const WIDTH: f64 = 860.0;
+const LANE_H: f64 = 22.0;
+const GUTTER: f64 = 150.0;
+const TOP: f64 = 40.0;
+const BOTTOM: f64 = 34.0;
+const RIGHT: f64 = 20.0;
+
+/// Render labelled lanes of time bands as a standalone SVG. The time
+/// domain is `[t_min, t_max]`; lanes are drawn top to bottom in the
+/// order given. Identical input renders identical bytes.
+///
+/// # Errors
+///
+/// [`PlotError::NoData`] when no lane is given,
+/// [`PlotError::EmptyDomain`] when the domain is empty or not finite,
+/// and [`PlotError::NonFinitePoint`] when a band is not finite.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_plot::{band_timeline, Band, Lane};
+///
+/// let svg = band_timeline(
+///     "incidents",
+///     &[Lane {
+///         label: "rack0".to_string(),
+///         bands: vec![Band { start: 0.3, end: 0.7, color: "#c0392b".to_string(), marker: None }],
+///     }],
+///     0.0,
+///     1.0,
+/// )?;
+/// assert!(svg.starts_with("<svg"));
+/// # Ok::<(), tpu_plot::PlotError>(())
+/// ```
+pub fn band_timeline(
+    title: &str,
+    lanes: &[Lane],
+    t_min: f64,
+    t_max: f64,
+) -> Result<String, PlotError> {
+    if lanes.is_empty() {
+        return Err(PlotError::NoData);
+    }
+    if !(t_min.is_finite() && t_max.is_finite()) || t_max <= t_min {
+        return Err(PlotError::EmptyDomain {
+            lo: t_min,
+            hi: t_max,
+        });
+    }
+    for lane in lanes {
+        for b in &lane.bands {
+            let finite =
+                b.start.is_finite() && b.end.is_finite() && b.marker.is_none_or(f64::is_finite);
+            if !finite || b.end < b.start {
+                return Err(PlotError::NonFinitePoint {
+                    series: lane.label.clone(),
+                });
+            }
+        }
+    }
+    let height = TOP + lanes.len() as f64 * LANE_H + BOTTOM;
+    let plot_w = WIDTH - GUTTER - RIGHT;
+    let x = |t: f64| GUTTER + (t - t_min) / (t_max - t_min) * plot_w;
+    let mut doc = SvgDocument::new(WIDTH, height);
+    doc.text(WIDTH / 2.0, 20.0, title, 13.0, Anchor::Middle, "#222222");
+    // Time gridlines at 5 even divisions.
+    for i in 0..=5 {
+        let t = t_min + (t_max - t_min) * i as f64 / 5.0;
+        let gx = x(t);
+        doc.dashed_line(gx, TOP, gx, height - BOTTOM, "#cccccc");
+        doc.text(
+            gx,
+            height - BOTTOM + 14.0,
+            &format!("{t:.2}"),
+            9.0,
+            Anchor::Middle,
+            "#333333",
+        );
+    }
+    doc.text(
+        GUTTER + plot_w / 2.0,
+        height - 6.0,
+        "sim time (ms)",
+        10.0,
+        Anchor::Middle,
+        "#333333",
+    );
+    for (i, lane) in lanes.iter().enumerate() {
+        let y = TOP + i as f64 * LANE_H;
+        if i > 0 {
+            doc.line(GUTTER, y, WIDTH - RIGHT, y, "#eeeeee", 0.5);
+        }
+        doc.text(
+            GUTTER - 8.0,
+            y + LANE_H * 0.68,
+            &lane.label,
+            10.0,
+            Anchor::End,
+            "#222222",
+        );
+        for b in &lane.bands {
+            let x0 = x(b.start.max(t_min));
+            let x1 = x(b.end.min(t_max));
+            // Keep zero-length (still-open, single-fold) bands visible.
+            let w = (x1 - x0).max(1.5);
+            doc.rect(x0, y + 3.0, w, LANE_H - 6.0, &b.color, Some("#555555"));
+            if let Some(m) = b.marker {
+                if m >= t_min && m <= t_max {
+                    let mx = x(m);
+                    doc.line(mx, y + 2.0, mx, y + LANE_H - 2.0, "#000000", 1.0);
+                }
+            }
+        }
+    }
+    doc.line(GUTTER, TOP, GUTTER, height - BOTTOM, "#333333", 1.0);
+    Ok(doc.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lanes() -> Vec<Lane> {
+        vec![
+            Lane {
+                label: "rack0".to_string(),
+                bands: vec![Band {
+                    start: 0.3,
+                    end: 0.7,
+                    color: "#c0392b".to_string(),
+                    marker: Some(0.4),
+                }],
+            },
+            Lane {
+                label: "cell000".to_string(),
+                bands: vec![Band {
+                    start: 0.35,
+                    end: 0.9,
+                    color: "#e67e22".to_string(),
+                    marker: None,
+                }],
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_lanes_and_is_deterministic() {
+        let build = || band_timeline("incidents", &lanes(), 0.0, 1.0).expect("renders");
+        let svg = build();
+        assert_eq!(svg, build());
+        assert!(svg.contains("rack0") && svg.contains("cell000"));
+        assert!(svg.contains("#c0392b"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed_input() {
+        assert_eq!(
+            band_timeline("t", &[], 0.0, 1.0).unwrap_err(),
+            PlotError::NoData
+        );
+        assert!(matches!(
+            band_timeline("t", &lanes(), 1.0, 1.0).unwrap_err(),
+            PlotError::EmptyDomain { .. }
+        ));
+        let bad = vec![Lane {
+            label: "x".to_string(),
+            bands: vec![Band {
+                start: 0.5,
+                end: 0.1,
+                color: "#000".to_string(),
+                marker: None,
+            }],
+        }];
+        assert!(matches!(
+            band_timeline("t", &bad, 0.0, 1.0).unwrap_err(),
+            PlotError::NonFinitePoint { .. }
+        ));
+    }
+}

@@ -1,0 +1,183 @@
+//! Row × column heat grids over a linear time axis.
+//!
+//! The health monitor's fleet heatmap (hosts × cadence folds, shaded
+//! by per-fold busy rate) renders through this; like every chart here
+//! the API takes plain slices and identical input produces identical
+//! bytes.
+
+use crate::error::PlotError;
+use crate::svg::{Anchor, SvgDocument};
+
+const WIDTH: f64 = 860.0;
+const ROW_H: f64 = 16.0;
+const GUTTER: f64 = 110.0;
+const TOP: f64 = 40.0;
+const BOTTOM: f64 = 34.0;
+const RIGHT: f64 = 20.0;
+
+/// Linear white → deep-blue shade for a unit-interval value.
+fn shade(v: f64) -> String {
+    let v = v.clamp(0.0, 1.0);
+    let r = (255.0 - 213.0 * v).round() as u8;
+    let g = (255.0 - 179.0 * v).round() as u8;
+    let b = (255.0 - 75.0 * v).round() as u8;
+    format!("#{r:02x}{g:02x}{b:02x}")
+}
+
+/// Render a heat grid: one row per label, one column per time stamp,
+/// each cell shaded by its value relative to the grid maximum. `rows`
+/// pairs each label with its per-column values (`f64::NAN` marks a
+/// missing cell, drawn as a gap).
+///
+/// # Errors
+///
+/// [`PlotError::NoData`] when there are no rows or no columns,
+/// [`PlotError::RaggedGroups`] when a row's width differs from the
+/// column count, and [`PlotError::NonFinitePoint`] for an infinite
+/// cell or a non-finite column stamp.
+///
+/// # Examples
+///
+/// ```
+/// let svg = tpu_plot::heat_grid(
+///     "fleet utilization",
+///     &[0.0, 1.0],
+///     &[("host0".to_string(), vec![0.2, 0.9])],
+/// )?;
+/// assert!(svg.starts_with("<svg"));
+/// # Ok::<(), tpu_plot::PlotError>(())
+/// ```
+pub fn heat_grid(
+    title: &str,
+    cols: &[f64],
+    rows: &[(String, Vec<f64>)],
+) -> Result<String, PlotError> {
+    if rows.is_empty() || cols.is_empty() {
+        return Err(PlotError::NoData);
+    }
+    if cols.iter().any(|t| !t.is_finite()) {
+        return Err(PlotError::NonFinitePoint {
+            series: "columns".to_string(),
+        });
+    }
+    let mut max = 0.0f64;
+    for (label, values) in rows {
+        if values.len() != cols.len() {
+            return Err(PlotError::RaggedGroups {
+                expected: cols.len(),
+                found: values.len(),
+            });
+        }
+        for &v in values {
+            if v.is_infinite() {
+                return Err(PlotError::NonFinitePoint {
+                    series: label.clone(),
+                });
+            }
+            if !v.is_nan() {
+                max = max.max(v.abs());
+            }
+        }
+    }
+    let height = TOP + rows.len() as f64 * ROW_H + BOTTOM;
+    let plot_w = WIDTH - GUTTER - RIGHT;
+    let cell_w = plot_w / cols.len() as f64;
+    let mut doc = SvgDocument::new(WIDTH, height);
+    doc.text(WIDTH / 2.0, 20.0, title, 13.0, Anchor::Middle, "#222222");
+    for (i, (label, values)) in rows.iter().enumerate() {
+        let y = TOP + i as f64 * ROW_H;
+        doc.text(
+            GUTTER - 8.0,
+            y + ROW_H * 0.7,
+            label,
+            9.0,
+            Anchor::End,
+            "#222222",
+        );
+        for (j, &v) in values.iter().enumerate() {
+            if v.is_nan() {
+                continue;
+            }
+            let rel = if max > 0.0 { v.abs() / max } else { 0.0 };
+            doc.rect(
+                GUTTER + j as f64 * cell_w,
+                y,
+                cell_w,
+                ROW_H,
+                &shade(rel),
+                None,
+            );
+        }
+    }
+    // Stamp labels at 5 even divisions of the column range.
+    let (t0, t1) = (cols[0], cols[cols.len() - 1]);
+    for i in 0..=5 {
+        let frac = i as f64 / 5.0;
+        let t = t0 + (t1 - t0) * frac;
+        doc.text(
+            GUTTER + plot_w * frac,
+            height - BOTTOM + 14.0,
+            &format!("{t:.2}"),
+            9.0,
+            Anchor::Middle,
+            "#333333",
+        );
+    }
+    doc.text(
+        GUTTER + plot_w / 2.0,
+        height - 6.0,
+        "sim time (ms)",
+        10.0,
+        Anchor::Middle,
+        "#333333",
+    );
+    doc.line(GUTTER, TOP, GUTTER, height - BOTTOM, "#333333", 1.0);
+    Ok(doc.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_grid_and_is_deterministic() {
+        let rows = vec![
+            ("host0".to_string(), vec![0.1, 0.8, 0.0]),
+            ("host1".to_string(), vec![0.5, f64::NAN, 1.0]),
+        ];
+        let build = || heat_grid("fleet", &[0.0, 1.0, 2.0], &rows).expect("renders");
+        let svg = build();
+        assert_eq!(svg, build());
+        assert!(svg.contains("host0") && svg.contains("host1"));
+        // NaN cell leaves a gap: 5 cells drawn, not 6.
+        assert_eq!(svg.matches("<rect").count(), 1 + 5, "background + cells");
+    }
+
+    #[test]
+    fn shade_spans_white_to_saturated() {
+        assert_eq!(shade(0.0), "#ffffff");
+        assert_eq!(shade(1.0), "#2a4cb4");
+        assert_eq!(shade(-1.0), "#ffffff", "clamped below");
+        assert_eq!(shade(2.0), "#2a4cb4", "clamped above");
+    }
+
+    #[test]
+    fn rejects_empty_ragged_and_infinite_input() {
+        assert_eq!(heat_grid("t", &[0.0], &[]).unwrap_err(), PlotError::NoData);
+        assert_eq!(
+            heat_grid("t", &[], &[("h".to_string(), vec![])]).unwrap_err(),
+            PlotError::NoData
+        );
+        assert!(matches!(
+            heat_grid("t", &[0.0, 1.0], &[("h".to_string(), vec![0.5])]).unwrap_err(),
+            PlotError::RaggedGroups {
+                expected: 2,
+                found: 1
+            }
+        ));
+        assert!(matches!(
+            heat_grid("t", &[0.0], &[("h".to_string(), vec![f64::INFINITY])]).unwrap_err(),
+            PlotError::NonFinitePoint { .. }
+        ));
+    }
+}

@@ -15,6 +15,8 @@
 //! - [`StackedBars`]: stacked breakdown bars (latency phase attribution).
 //! - [`cdf`] / [`tail_curve`]: empirical latency CDFs and log-scale
 //!   exceedance curves for `tpu_analyze`.
+//! - [`band_timeline`] / [`heat_grid`]: incident band timelines and
+//!   host-by-fold heat grids for the fleet health monitor.
 //! - [`SvgDocument`]: the low-level escaped-SVG builder all of them use.
 //!
 //! # Examples
@@ -40,6 +42,8 @@ mod breakdown;
 mod chart;
 mod dist;
 mod error;
+mod gantt;
+mod heatmap;
 mod scale;
 mod svg;
 mod timeseries;
@@ -49,6 +53,8 @@ pub use breakdown::StackedBars;
 pub use chart::{Chart, Marker, Series, PALETTE};
 pub use dist::{cdf, tail_curve};
 pub use error::PlotError;
+pub use gantt::{band_timeline, Band, Lane};
+pub use heatmap::heat_grid;
 pub use scale::{Scale, Tick};
 pub use svg::{escape, Anchor, SvgDocument};
 pub use timeseries::timeseries;

@@ -148,6 +148,13 @@ pub fn run_telemetry(
                 sample_host(m, t, now, &host, tenants);
             }
         }
+        if let Some(mon) = tel.monitor.as_mut() {
+            if mon.due(now) {
+                let t = mon.advance(now);
+                host_gauges(now, &host, tenants, &mut |name, v| mon.record(&name, v));
+                mon.close_sample(t);
+            }
+        }
         match event {
             Event::Arrival { tenant } => {
                 counts[0] += 1;
@@ -177,6 +184,22 @@ pub fn run_telemetry(
                         for l in host.slot_latencies_from(done.slot, from) {
                             m.observe(&series, l);
                         }
+                    }
+                }
+                if let Some(mon) = tel.monitor.as_mut() {
+                    if let Some(done) = done {
+                        let spec = &tenants[done.slot];
+                        let from = host.latency_count(done.slot) - done.completions;
+                        for l in host.slot_latencies_from(done.slot, from) {
+                            mon.observe_latency(&spec.name, l, spec.slo_ms);
+                        }
+                        mon.observe_service(
+                            &spec.name,
+                            0,
+                            die,
+                            done.end_ms - done.start_ms - done.swap_ms,
+                            done.completions,
+                        );
                     }
                 }
             }
@@ -220,6 +243,9 @@ pub fn run_telemetry(
         // The final partial interval's latency percentiles.
         m.flush_sketches(host.makespan_ms());
     }
+    if let Some(mon) = tel.monitor.as_mut() {
+        mon.finish();
+    }
     if let Some(pr) = tel.profile.as_mut() {
         pr.event_counts = [
             ("arrival", counts[0]),
@@ -236,17 +262,24 @@ pub fn run_telemetry(
     host.report(host.makespan_ms(), events_processed)
 }
 
-/// One metrics sample at cadence point `t` (host state as of `now`):
+/// Emit one cadence sample's host gauges (state as of `now`):
 /// per-tenant queue depth and mean batch occupancy, per-die
-/// utilization, and the count of dies mid-swap.
-fn sample_host(m: &mut MetricsRecorder, t: f64, now: f64, host: &HostCore, tenants: &[TenantSpec]) {
+/// utilization, the host's raw busy-time, and the count of dies
+/// mid-swap. Shared by the metrics recorder and the health monitor so
+/// an offline monitor replay from the metrics artifact sees exactly
+/// the gauge values the online monitor saw.
+fn host_gauges(
+    now: f64,
+    host: &HostCore,
+    tenants: &[TenantSpec],
+    emit: &mut dyn FnMut(String, f64),
+) {
     for (i, spec) in tenants.iter().enumerate() {
-        m.record(&format!("queued/{}", spec.name), t, host.queued(i) as f64);
+        emit(format!("queued/{}", spec.name), host.queued(i) as f64);
         let batches = host.slot_batches(i);
         if batches > 0 {
-            m.record(
-                &format!("batch_mean/{}", spec.name),
-                t,
+            emit(
+                format!("batch_mean/{}", spec.name),
                 host.slot_dispatched(i) as f64 / batches as f64,
             );
         }
@@ -257,9 +290,17 @@ fn sample_host(m: &mut MetricsRecorder, t: f64, now: f64, host: &HostCore, tenan
         } else {
             0.0
         };
-        m.record(&format!("util/die{d}"), t, util);
+        emit(format!("util/die{d}"), util);
     }
-    m.record("pending_swaps", t, host.pending_swaps() as f64);
+    emit("busy/host0".to_string(), host.busy_ms());
+    let backlog: usize = (0..host.slot_count()).map(|s| host.outstanding(s)).sum();
+    emit("backlog/host0".to_string(), backlog as f64);
+    emit("pending_swaps".to_string(), host.pending_swaps() as f64);
+}
+
+/// Record one cadence sample of the host probe series at stamp `t`.
+fn sample_host(m: &mut MetricsRecorder, t: f64, now: f64, host: &HostCore, tenants: &[TenantSpec]) {
+    host_gauges(now, host, tenants, &mut |name, v| m.record(&name, t, v));
 }
 
 #[cfg(test)]

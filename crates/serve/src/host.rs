@@ -68,6 +68,11 @@ pub struct CompletedBatch {
     pub slot: usize,
     /// Requests in the batch (their latencies are now committed).
     pub completions: usize,
+    /// Dispatch time, ms (`end - start - swap` is the on-die service
+    /// time the health monitor's straggler detector scores).
+    pub start_ms: f64,
+    /// Weight-swap stall the batch paid at dispatch, ms.
+    pub swap_ms: f64,
     /// Completion time, ms.
     pub end_ms: f64,
 }
@@ -390,6 +395,8 @@ impl HostCore {
         Some(CompletedBatch {
             slot: inflight.slot,
             completions,
+            start_ms: inflight.start_ms,
+            swap_ms: inflight.swap_ms,
             end_ms: inflight.end_ms,
         })
     }

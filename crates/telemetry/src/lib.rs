@@ -77,6 +77,49 @@ impl TelemetryConfig {
     }
 }
 
+/// A streaming consumer of the telemetry probe stream, folded *during*
+/// the run (the health monitor in `tpu_monitor` is the one
+/// implementation). Like every instrument it only observes: it is fed
+/// sim-time state at event-pop time, never schedules events, and never
+/// draws from an RNG, so a run with a sink attached reports
+/// byte-identically to an uninstrumented run.
+///
+/// The cadence contract mirrors [`MetricsRecorder`]: the engine calls
+/// [`MonitorSink::due`] at each event pop and, when true,
+/// [`MonitorSink::advance`] (which returns the sample stamp — the
+/// largest cadence boundary at or before `now`), then [`MonitorSink::record`]
+/// for each gauge series, then [`MonitorSink::close_sample`] to fold
+/// the finished interval. Completions stream in between folds through
+/// [`MonitorSink::observe_latency`] / [`MonitorSink::observe_service`];
+/// [`MonitorSink::finish`] closes the final partial interval.
+pub trait MonitorSink: std::fmt::Debug {
+    /// True when `now_ms` has reached the next cadence boundary.
+    fn due(&self, now_ms: f64) -> bool;
+    /// Advance the cadence past `now_ms`, returning the sample stamp.
+    fn advance(&mut self, now_ms: f64) -> f64;
+    /// Record one gauge value for the sample being assembled.
+    fn record(&mut self, series: &str, value: f64);
+    /// Fold the assembled sample (gauges plus streamed completions)
+    /// at stamp `t_ms`.
+    fn close_sample(&mut self, t_ms: f64);
+    /// One served request's end-to-end latency against its SLO.
+    fn observe_latency(&mut self, tenant: &str, latency_ms: f64, slo_ms: f64);
+    /// One completed batch's per-request service time on a die,
+    /// weighted by its `completions` count.
+    fn observe_service(
+        &mut self,
+        tenant: &str,
+        host: usize,
+        die: usize,
+        service_ms: f64,
+        completions: usize,
+    );
+    /// End of run: fold the final partial interval.
+    fn finish(&mut self);
+    /// Downcast support so a CLI can recover the concrete monitor.
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}
+
 /// The per-run instrument set threaded through an engine. Fields are
 /// `None` when the corresponding instrument is off; engines check each
 /// with a single branch.
@@ -93,6 +136,9 @@ pub struct RunTelemetry {
     /// Per-request record stream (host [`RequestProbe`]s are absorbed
     /// here at end of run, in host-index order).
     pub requests: Option<RequestLog>,
+    /// Streaming health monitor (attached by the CLIs behind
+    /// `--monitor`; not part of [`TelemetryConfig`]).
+    pub monitor: Option<Box<dyn MonitorSink>>,
 }
 
 impl RunTelemetry {
@@ -108,6 +154,7 @@ impl RunTelemetry {
             metrics: cfg.metrics.as_ref().map(MetricsRecorder::new),
             profile: cfg.profile.then(EngineProfile::new),
             requests: cfg.requests.then(RequestLog::new),
+            monitor: None,
         }
     }
 
@@ -117,6 +164,7 @@ impl RunTelemetry {
             || self.metrics.is_some()
             || self.profile.is_some()
             || self.requests.is_some()
+            || self.monitor.is_some()
     }
 
     /// Hand every recorded artifact to `sink`, tagged with the run

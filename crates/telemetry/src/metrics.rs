@@ -177,6 +177,17 @@ impl MetricsRecorder {
         self.series.get(series).map(|b| b.dropped).unwrap_or(0)
     }
 
+    /// Every series that hit the ring bound, with its dropped-point
+    /// count, in name order — what `--engine-stats` surfaces so a
+    /// truncated artifact is never mistaken for a complete one.
+    pub fn dropped_series(&self) -> Vec<(&str, u64)> {
+        self.series
+            .iter()
+            .filter(|(_, b)| b.dropped > 0)
+            .map(|(n, b)| (n.as_str(), b.dropped))
+            .collect()
+    }
+
     /// Export every series in long format: `t_ms,series,value` with a
     /// header row, series in name order, points oldest first.
     pub fn to_csv(&self) -> String {
